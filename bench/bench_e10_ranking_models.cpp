@@ -1,0 +1,79 @@
+/// \file bench_e10_ranking_models.cpp
+/// \brief E10 — paper §2.1: "most alternative ranking functions would
+/// easily adapt or reuse large parts of this implementation. Also, most
+/// of the SQL queries above are independent of query-terms, which allows
+/// to materialize intermediate results for reuse."
+///
+/// All four models run over the *same* materialized query-independent
+/// views; only the final join-project-aggregate differs. Reproduction
+/// target: per-query latency within the same ballpark across models.
+
+#include "bench/bench_util.h"
+#include "ir/ranking.h"
+
+namespace spindle {
+namespace bench {
+namespace {
+
+constexpr int64_t kDocs = 20000;
+
+void RunModel(benchmark::State& state, RankModel model) {
+  TextIndexPtr index = GetIndex(kDocs);
+  const auto& queries = GetQueries(kDocs, 3);
+  SearchOptions options;
+  options.model = model;
+  options.top_k = 10;
+  size_t qi = 0;
+  for (auto _ : state) {
+    const std::string& query = queries[qi++ % queries.size()];
+    RelationPtr qterms = OrDie(index->QueryTerms(query), "qterms");
+    RelationPtr top = OrDie(RankWithModel(*index, qterms, options), "rank");
+    benchmark::DoNotOptimize(top);
+  }
+  state.SetLabel(RankModelName(model));
+}
+
+void BM_RankBm25(benchmark::State& state) {
+  RunModel(state, RankModel::kBm25);
+}
+void BM_RankTfIdf(benchmark::State& state) {
+  RunModel(state, RankModel::kTfIdf);
+}
+void BM_RankLmDirichlet(benchmark::State& state) {
+  RunModel(state, RankModel::kLmDirichlet);
+}
+void BM_RankLmJelinekMercer(benchmark::State& state) {
+  RunModel(state, RankModel::kLmJelinekMercer);
+}
+
+BENCHMARK(BM_RankBm25)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RankTfIdf)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RankLmDirichlet)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RankLmJelinekMercer)->Unit(benchmark::kMillisecond);
+
+/// BM25 parameter sweep: free parameters change scores, not cost.
+void BM_RankBm25Params(benchmark::State& state) {
+  TextIndexPtr index = GetIndex(kDocs);
+  const auto& queries = GetQueries(kDocs, 3);
+  Bm25Params params{state.range(0) / 100.0, state.range(1) / 100.0};
+  size_t qi = 0;
+  for (auto _ : state) {
+    RelationPtr qterms =
+        OrDie(index->QueryTerms(queries[qi++ % queries.size()]), "qterms");
+    RelationPtr scored = OrDie(RankBm25(*index, qterms, params), "bm25");
+    benchmark::DoNotOptimize(scored);
+  }
+}
+
+BENCHMARK(BM_RankBm25Params)
+    ->ArgNames({"k1x100", "bx100"})
+    ->Args({120, 75})
+    ->Args({90, 40})
+    ->Args({200, 100})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace spindle
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+/// \file bench_e11_production_strategy.cpp
+/// \brief E11 — paper §3: "the production version of this strategy ...
+/// includes 5 parallel keyword search branches and query expansion with
+/// synonyms and compound terms".
+///
+/// Measures hot request latency as branches are added (1..5) and with
+/// synonym expansion toggled. Reproduction target: latency grows roughly
+/// linearly in the number of rank branches; synonym expansion adds the
+/// cost of the extra query rows, not of new indexes.
+
+#include "bench/bench_util.h"
+#include "strategy/prebuilt.h"
+
+namespace spindle {
+namespace bench {
+namespace {
+
+constexpr int64_t kLots = 20000;
+
+strategy::ProductionStrategyOptions OptionsForBranches(int branches,
+                                                       bool synonyms) {
+  strategy::ProductionStrategyOptions opts;
+  std::vector<strategy::ProductionStrategyOptions::Branch> all = {
+      {"description", 0.35, false}, {"title", 0.25, false},
+      {"tags", 0.1, false},         {"sellerNotes", 0.1, false},
+      {"description", 0.2, true},
+  };
+  opts.branches.assign(all.begin(), all.begin() + branches);
+  opts.expand_synonyms = synonyms;
+  return opts;
+}
+
+void BM_ProductionBranches(benchmark::State& state) {
+  const int branches = static_cast<int>(state.range(0));
+  Catalog& catalog = GetAuctionCatalog(kLots);
+  MaterializationCache cache(2048ull << 20);
+  strategy::StrategyExecutor executor(&catalog, &cache);
+  strategy::Strategy strat =
+      OrDie(strategy::MakeProductionStrategy(
+                OptionsForBranches(branches, /*synonyms=*/false)),
+            "strategy");
+  const auto& queries = GetAuctionQueries(kLots);
+  OrDie(executor.Run(strat, queries[0]), "warmup");
+
+  size_t qi = 0;
+  for (auto _ : state) {
+    ProbRelation hits =
+        OrDie(executor.Run(strat, queries[qi++ % queries.size()]), "run");
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["branches"] = branches;
+  state.counters["indexes"] =
+      static_cast<double>(executor.evaluator().stats().index_misses);
+}
+
+BENCHMARK(BM_ProductionBranches)
+    ->ArgNames({"branches"})
+    ->DenseRange(1, 5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProductionSynonyms(benchmark::State& state) {
+  const bool synonyms = state.range(0) != 0;
+  Catalog& catalog = GetAuctionCatalog(kLots);
+  MaterializationCache cache(2048ull << 20);
+  strategy::StrategyExecutor executor(&catalog, &cache);
+  strategy::Strategy strat = OrDie(
+      strategy::MakeProductionStrategy(OptionsForBranches(5, synonyms)),
+      "strategy");
+  const auto& queries = GetAuctionQueries(kLots);
+  OrDie(executor.Run(strat, queries[0]), "warmup");
+
+  size_t qi = 0;
+  for (auto _ : state) {
+    ProbRelation hits =
+        OrDie(executor.Run(strat, queries[qi++ % queries.size()]), "run");
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetLabel(synonyms ? "with synonym expansion" : "plain query");
+}
+
+BENCHMARK(BM_ProductionSynonyms)
+    ->ArgNames({"synonyms"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace spindle
+
+BENCHMARK_MAIN();

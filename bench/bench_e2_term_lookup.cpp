@@ -1,0 +1,85 @@
+/// \file bench_e2_term_lookup.cpp
+/// \brief E2 — paper Fig. 1: "term lookup requires an inner join on terms
+/// between a table containing query terms and a table containing term
+/// occurrences".
+///
+/// Measures the relational join formulation of posting-list lookup
+/// against collection size and query-term document frequency, and
+/// contrasts it with a specialized dictionary lookup (hash probe into
+/// per-term postings). The join is expected to cost O(|term_doc|) per
+/// batch of query terms, the specialized probe O(|postings|) — the gap is
+/// the price of generality the paper accepts.
+
+#include "bench/bench_util.h"
+#include "engine/ops.h"
+
+namespace spindle {
+namespace bench {
+namespace {
+
+/// Join-based lookup (Fig. 1b): query terms join term_doc on term.
+void BM_TermLookupJoin(benchmark::State& state) {
+  const int64_t num_docs = state.range(0);
+  TextIndexPtr index = GetIndex(num_docs);
+  const auto& queries = GetQueries(num_docs, 3);
+  Analyzer analyzer = OrDie(Analyzer::Make({}), "analyzer");
+
+  size_t qi = 0;
+  for (auto _ : state) {
+    const std::string& query = queries[qi++ % queries.size()];
+    RelationBuilder qb({{"term", DataType::kString}});
+    for (const Token& tok : analyzer.Analyze(query)) {
+      Status st = qb.AddRow({tok.text});
+      if (!st.ok()) abort();
+    }
+    RelationPtr qrel = OrDie(qb.Build(), "qrel");
+    RelationPtr matches =
+        OrDie(HashJoin(index->term_doc(), qrel, {{0, 0}}), "join");
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["term_doc_rows"] =
+      static_cast<double>(index->term_doc()->num_rows());
+}
+
+BENCHMARK(BM_TermLookupJoin)
+    ->ArgNames({"docs"})
+    ->Arg(2000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Specialized lookup: dictionary probe straight to the postings list.
+void BM_TermLookupSpecialized(benchmark::State& state) {
+  const int64_t num_docs = state.range(0);
+  const SpecializedIndex& index = GetSpecializedIndex(num_docs);
+  const auto& queries = GetQueries(num_docs, 3);
+  Analyzer analyzer = OrDie(Analyzer::Make({}), "analyzer");
+
+  size_t qi = 0;
+  int64_t postings_touched = 0;
+  for (auto _ : state) {
+    const std::string& query = queries[qi++ % queries.size()];
+    for (const Token& tok : analyzer.Analyze(query)) {
+      const auto* plist = index.PostingsFor(tok.text);
+      if (plist != nullptr) {
+        postings_touched += static_cast<int64_t>(plist->size());
+        benchmark::DoNotOptimize(plist->data());
+      }
+    }
+  }
+  state.counters["postings/query"] =
+      static_cast<double>(postings_touched) / state.iterations();
+}
+
+BENCHMARK(BM_TermLookupSpecialized)
+    ->ArgNames({"docs"})
+    ->Arg(2000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace spindle
+
+BENCHMARK_MAIN();

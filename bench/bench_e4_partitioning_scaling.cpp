@@ -1,0 +1,115 @@
+/// \file bench_e4_partitioning_scaling.cpp
+/// \brief E4 — paper §2.2 / refs [1, 13]: per-property vertical
+/// partitioning "is less scalable when the number of properties is high".
+///
+/// Fixed triple count (~200k), sweeping the number of distinct
+/// properties. Measures (a) the eager build cost of per-property
+/// partitioning, which grows with property count, and (b) access latency
+/// for a working set of 5 properties under each layout — adaptive only
+/// ever materializes the 5 touched properties, reproducing the
+/// "not all swans are white" shape.
+
+#include "bench/bench_util.h"
+#include "triples/partitioning.h"
+
+namespace spindle {
+namespace bench {
+namespace {
+
+constexpr int64_t kTotalTriples = 200000;
+
+RelationPtr SyntheticGraph(int64_t num_properties) {
+  static auto* cache = new std::map<int64_t, RelationPtr>();
+  auto it = cache->find(num_properties);
+  if (it != cache->end()) return it->second;
+  Rng rng(17);
+  TripleStore store;
+  for (int64_t i = 0; i < kTotalTriples; ++i) {
+    int64_t prop = rng.NextBounded(static_cast<uint64_t>(num_properties));
+    store.Add("node" + std::to_string(rng.NextBounded(50000)),
+              "prop" + std::to_string(prop),
+              "value" + std::to_string(rng.NextBounded(1000)));
+  }
+  RelationPtr rel = OrDie(store.StringTriples(), "triples");
+  cache->emplace(num_properties, rel);
+  return rel;
+}
+
+void BM_PerPropertyBuild(benchmark::State& state) {
+  const int64_t num_properties = state.range(0);
+  RelationPtr triples = SyntheticGraph(num_properties);
+  size_t partitions = 0;
+  for (auto _ : state) {
+    auto layout = OrDie(PartitionedTriples::Make(
+                            triples, TripleLayout::kPerProperty, nullptr),
+                        "layout");
+    benchmark::DoNotOptimize(layout);
+    partitions = layout.num_partitions();
+  }
+  state.counters["properties"] = static_cast<double>(partitions);
+}
+
+BENCHMARK(BM_PerPropertyBuild)
+    ->ArgNames({"properties"})
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void AccessWorkingSet(benchmark::State& state, TripleLayout kind) {
+  const int64_t num_properties = state.range(0);
+  RelationPtr triples = SyntheticGraph(num_properties);
+  MaterializationCache cache(1024 << 20);
+  auto layout = OrDie(
+      PartitionedTriples::Make(
+          triples, kind,
+          kind == TripleLayout::kAdaptive ? &cache : nullptr),
+      "layout");
+  for (auto _ : state) {
+    for (int p = 0; p < 5; ++p) {
+      RelationPtr part =
+          OrDie(layout.Pattern("prop" + std::to_string(p)), "pattern");
+      benchmark::DoNotOptimize(part);
+    }
+  }
+  if (kind == TripleLayout::kAdaptive) {
+    state.counters["materialized"] =
+        static_cast<double>(cache.stats().entries);
+  }
+}
+
+void BM_AccessSingleTable(benchmark::State& state) {
+  AccessWorkingSet(state, TripleLayout::kSingleTable);
+}
+void BM_AccessPerProperty(benchmark::State& state) {
+  AccessWorkingSet(state, TripleLayout::kPerProperty);
+}
+void BM_AccessAdaptive(benchmark::State& state) {
+  AccessWorkingSet(state, TripleLayout::kAdaptive);
+}
+
+BENCHMARK(BM_AccessSingleTable)
+    ->ArgNames({"properties"})
+    ->Arg(10)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AccessPerProperty)
+    ->ArgNames({"properties"})
+    ->Arg(10)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AccessAdaptive)
+    ->ArgNames({"properties"})
+    ->Arg(10)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace spindle
+
+BENCHMARK_MAIN();

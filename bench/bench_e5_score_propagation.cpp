@@ -1,0 +1,110 @@
+/// \file bench_e5_score_propagation.cpp
+/// \brief E5 — paper §2.3: the probabilistic relational algebra appends a
+/// probability column to every table and combines it in every operator.
+/// This benchmark quantifies the overhead of score propagation by pairing
+/// each PRA operator with its boolean-only engine equivalent.
+///
+/// Reproduction target: propagation costs a small constant factor (one
+/// extra float64 column and a multiply/merge per tuple), not an
+/// asymptotic change — which is what makes "structured search playing
+/// alongside unstructured search with the very same tools" affordable.
+
+#include "bench/bench_util.h"
+#include "engine/ops.h"
+#include "pra/pra_ops.h"
+
+namespace spindle {
+namespace bench {
+namespace {
+
+ProbRelation MakeEvents(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  RelationBuilder b({{"id", DataType::kInt64},
+                     {"key", DataType::kInt64},
+                     {"p", DataType::kFloat64}});
+  for (int64_t i = 0; i < n; ++i) {
+    Status st = b.AddRow({i, static_cast<int64_t>(rng.NextBounded(n / 4)),
+                          rng.NextDouble()});
+    if (!st.ok()) abort();
+  }
+  return OrDie(ProbRelation::Wrap(OrDie(b.Build(), "build")), "wrap");
+}
+
+void BM_JoinBoolean(benchmark::State& state) {
+  ProbRelation l = MakeEvents(state.range(0), 1);
+  ProbRelation r = MakeEvents(state.range(0), 2);
+  for (auto _ : state) {
+    RelationPtr out = OrDie(HashJoin(l.rel(), r.rel(), {{1, 1}}), "join");
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_JoinIndependent(benchmark::State& state) {
+  ProbRelation l = MakeEvents(state.range(0), 1);
+  ProbRelation r = MakeEvents(state.range(0), 2);
+  for (auto _ : state) {
+    ProbRelation out = OrDie(pra::JoinIndependent(l, r, {{1, 1}}), "join");
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_ProjectDistinctBoolean(benchmark::State& state) {
+  ProbRelation in = MakeEvents(state.range(0), 3);
+  for (auto _ : state) {
+    RelationPtr out = OrDie(Distinct(in.rel(), {1}), "distinct");
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_ProjectIndependent(benchmark::State& state) {
+  ProbRelation in = MakeEvents(state.range(0), 3);
+  for (auto _ : state) {
+    ProbRelation out =
+        OrDie(pra::ProjectPositions(in, {1}, Assumption::kIndependent),
+              "project");
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_SelectBoolean(benchmark::State& state) {
+  ProbRelation in = MakeEvents(state.range(0), 4);
+  auto pred = Expr::Lt(Expr::Column(1), Expr::LitInt(state.range(0) / 8));
+  for (auto _ : state) {
+    RelationPtr out =
+        OrDie(Filter(in.rel(), pred, FunctionRegistry::Default()),
+              "filter");
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_SelectProbabilistic(benchmark::State& state) {
+  ProbRelation in = MakeEvents(state.range(0), 4);
+  auto pred = Expr::Lt(Expr::Column(1), Expr::LitInt(state.range(0) / 8));
+  for (auto _ : state) {
+    ProbRelation out =
+        OrDie(pra::Select(in, pred, FunctionRegistry::Default()), "select");
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_BayesNormalization(benchmark::State& state) {
+  ProbRelation in = MakeEvents(state.range(0), 5);
+  for (auto _ : state) {
+    ProbRelation out = OrDie(pra::Bayes(in, {1}), "bayes");
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+BENCHMARK(BM_JoinBoolean)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JoinIndependent)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProjectDistinctBoolean)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProjectIndependent)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelectBoolean)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelectProbabilistic)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BayesNormalization)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace spindle
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/// \file bench_e8_on_demand_indexing.cpp
+/// \brief E8 — paper §2.1: "the ability to create such index structures
+/// on-demand is crucial ... their parameters (e.g. stemming language) are
+/// often hard to decide upfront. Data fed to our system undergoes almost
+/// no pre-processing."
+///
+/// Measures (a) the cost of building the full relational index for
+/// sub-collections of varying size (what a cold filtered search pays),
+/// and (b) re-indexing the same raw text under different analyzer
+/// configurations — no re-ingest, just a different on-demand index.
+
+#include "bench/bench_util.h"
+#include "engine/ops.h"
+
+namespace spindle {
+namespace bench {
+namespace {
+
+constexpr int64_t kCorpus = 20000;
+
+void BM_IndexSubCollection(benchmark::State& state) {
+  const int64_t pct = state.range(0);
+  RelationPtr full = GetCollection(kCorpus);
+  const size_t take = static_cast<size_t>(kCorpus * pct / 100);
+  RelationPtr sub = OrDie(Limit(full, take), "limit");
+  Analyzer analyzer = OrDie(Analyzer::Make({}), "analyzer");
+  int64_t postings = 0;
+  for (auto _ : state) {
+    TextIndexPtr index = OrDie(TextIndex::Build(sub, analyzer), "build");
+    benchmark::DoNotOptimize(index);
+    postings = index->stats().total_postings;
+  }
+  state.counters["docs"] = static_cast<double>(take);
+  state.counters["postings"] = static_cast<double>(postings);
+}
+
+BENCHMARK(BM_IndexSubCollection)
+    ->ArgNames({"pct"})
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReindexWithAnalyzer(benchmark::State& state) {
+  // 0: none, 1: s-english, 2: sb-english, 3: sb-english + stopwords.
+  AnalyzerOptions opts;
+  switch (state.range(0)) {
+    case 0:
+      opts.stemmer = "none";
+      break;
+    case 1:
+      opts.stemmer = "s-english";
+      break;
+    case 2:
+      opts.stemmer = "sb-english";
+      break;
+    case 3:
+      opts.stemmer = "sb-english";
+      opts.remove_stopwords = true;
+      break;
+  }
+  RelationPtr docs = OrDie(Limit(GetCollection(kCorpus), 5000), "limit");
+  Analyzer analyzer = OrDie(Analyzer::Make(opts), "analyzer");
+  int64_t terms = 0;
+  for (auto _ : state) {
+    TextIndexPtr index = OrDie(TextIndex::Build(docs, analyzer), "build");
+    benchmark::DoNotOptimize(index);
+    terms = index->stats().num_terms;
+  }
+  state.counters["distinct_terms"] = static_cast<double>(terms);
+}
+
+BENCHMARK(BM_ReindexWithAnalyzer)
+    ->ArgNames({"analyzer"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace spindle
+
+BENCHMARK_MAIN();

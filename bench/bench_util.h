@@ -1,0 +1,123 @@
+/// \file bench_util.h
+/// \brief Shared fixtures for the experiment benchmarks (E1-E11).
+///
+/// Fixtures are built once per process and cached by parameter, so
+/// google-benchmark iterations measure hot behaviour; cold behaviour is
+/// measured explicitly where an experiment calls for it.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/indexing.h"
+#include "ir/searcher.h"
+#include "specialized/inverted_index.h"
+#include "storage/catalog.h"
+#include "workload/graph_gen.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+namespace bench {
+
+/// Aborts the benchmark with a message if a Result failed.
+template <typename T>
+T OrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    fprintf(stderr, "%s failed: %s\n", what,
+            result.status().ToString().c_str());
+    abort();
+  }
+  return std::move(result).ValueOrDie();
+}
+
+inline TextCollectionOptions CollectionOptions(int64_t num_docs) {
+  TextCollectionOptions opts;
+  opts.num_docs = num_docs;
+  opts.vocab_size = std::max<int64_t>(2000, num_docs / 2);
+  opts.avg_doc_len = 60;
+  return opts;
+}
+
+/// (docID, data) collection of the given size, cached.
+inline RelationPtr GetCollection(int64_t num_docs) {
+  static auto* cache = new std::map<int64_t, RelationPtr>();
+  auto it = cache->find(num_docs);
+  if (it != cache->end()) return it->second;
+  RelationPtr docs = OrDie(
+      GenerateTextCollection(CollectionOptions(num_docs)), "text gen");
+  cache->emplace(num_docs, docs);
+  return docs;
+}
+
+/// Relational TextIndex over GetCollection(num_docs), cached.
+inline TextIndexPtr GetIndex(int64_t num_docs) {
+  static auto* cache = new std::map<int64_t, TextIndexPtr>();
+  auto it = cache->find(num_docs);
+  if (it != cache->end()) return it->second;
+  Analyzer analyzer = OrDie(Analyzer::Make({}), "analyzer");
+  TextIndexPtr index =
+      OrDie(TextIndex::Build(GetCollection(num_docs), analyzer), "index");
+  cache->emplace(num_docs, index);
+  return index;
+}
+
+/// Specialized baseline index over the same collection, cached.
+inline const SpecializedIndex& GetSpecializedIndex(int64_t num_docs) {
+  static auto* cache = new std::map<int64_t, SpecializedIndex>();
+  auto it = cache->find(num_docs);
+  if (it != cache->end()) return it->second;
+  Analyzer analyzer = OrDie(Analyzer::Make({}), "analyzer");
+  auto index = OrDie(
+      SpecializedIndex::Build(GetCollection(num_docs), analyzer),
+      "specialized index");
+  return cache->emplace(num_docs, std::move(index)).first->second;
+}
+
+/// Query workload over the collection vocabulary, cached.
+inline const std::vector<std::string>& GetQueries(int64_t num_docs,
+                                                  int terms) {
+  static auto* cache =
+      new std::map<std::pair<int64_t, int>, std::vector<std::string>>();
+  auto key = std::make_pair(num_docs, terms);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  auto queries = GenerateQueries(CollectionOptions(num_docs), 64, terms);
+  return cache->emplace(key, std::move(queries)).first->second;
+}
+
+inline AuctionGraphOptions AuctionOptions(int64_t num_lots) {
+  AuctionGraphOptions opts;
+  opts.num_lots = num_lots;
+  opts.num_auctions = std::max<int64_t>(2, num_lots / 100);
+  return opts;
+}
+
+/// Catalog with a registered auction graph, cached per size.
+inline Catalog& GetAuctionCatalog(int64_t num_lots) {
+  static auto* cache = new std::map<int64_t, std::unique_ptr<Catalog>>();
+  auto it = cache->find(num_lots);
+  if (it != cache->end()) return *it->second;
+  auto catalog = std::make_unique<Catalog>();
+  TripleStore store =
+      OrDie(GenerateAuctionGraph(AuctionOptions(num_lots)), "auction gen");
+  Status st = store.RegisterInto(*catalog);
+  if (!st.ok()) abort();
+  return *cache->emplace(num_lots, std::move(catalog)).first->second;
+}
+
+inline const std::vector<std::string>& GetAuctionQueries(int64_t num_lots) {
+  static auto* cache = new std::map<int64_t, std::vector<std::string>>();
+  auto it = cache->find(num_lots);
+  if (it != cache->end()) return it->second;
+  auto queries =
+      GenerateAuctionQueries(AuctionOptions(num_lots), 64, 3);
+  return cache->emplace(num_lots, std::move(queries)).first->second;
+}
+
+}  // namespace bench
+}  // namespace spindle

@@ -1,0 +1,93 @@
+/// \file multilingual.cpp
+/// \brief Why on-demand indexing with configurable analyzers matters
+/// (paper §2.1): the same raw text, indexed under different Snowball
+/// stemmers, yields different — language-appropriate — retrieval.
+///
+/// A mixed German/English product collection is searched twice per query:
+/// once with the German stemmer, once with the English one. Neither index
+/// required re-ingesting anything: both are built on demand from the same
+/// stored strings.
+
+#include <cstdio>
+#include <string>
+
+#include "ir/searcher.h"
+#include "storage/relation.h"
+
+using namespace spindle;
+
+namespace {
+
+RelationPtr Collection() {
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  struct Doc {
+    int64_t id;
+    const char* text;
+  };
+  const Doc docs[] = {
+      // German product descriptions.
+      {1, "Antike B\xc3\xbc" "cher aus dem Nachlass, viele Zeitungen"},
+      {2, "Zeitung von 1923, gut erhalten"},
+      {3, "Katzen Figuren aus Porzellan, die Katze ist handbemalt"},
+      // English product descriptions.
+      {4, "Antique books from an estate, many newspapers"},
+      {5, "Running shoes, barely used for runs"},
+      {6, "Porcelain cat figurines, the cats are hand painted"},
+  };
+  for (const auto& d : docs) {
+    if (!b.AddRow({d.id, std::string(d.text)}).ok()) abort();
+  }
+  return b.Build().ValueOrDie();
+}
+
+void Show(const char* label, const RelationPtr& hits) {
+  std::printf("%s\n", label);
+  if (hits->num_rows() == 0) {
+    std::printf("  (no results)\n");
+    return;
+  }
+  for (size_t r = 0; r < hits->num_rows(); ++r) {
+    std::printf("  doc %lld  score %.4f\n",
+                static_cast<long long>(hits->column(0).Int64At(r)),
+                hits->column(1).Float64At(r));
+  }
+}
+
+}  // namespace
+
+int main() {
+  RelationPtr docs = Collection();
+
+  AnalyzerOptions de;
+  de.stemmer = "sb-german";
+  AnalyzerOptions en;
+  en.stemmer = "sb-english";
+  Searcher german(de);
+  Searcher english(en);
+
+  struct Query {
+    const char* text;
+    const char* why;
+  };
+  const Query queries[] = {
+      {"Zeitungen",
+       "German plural; sb-german conflates Zeitungen/Zeitung"},
+      {"Katze", "sb-german maps Katzen/Katze to one stem"},
+      {"runs", "sb-english conflates runs/running"},
+      {"cats", "sb-english maps cats/cat to one stem"},
+  };
+  for (const auto& q : queries) {
+    std::printf("== query \"%s\" (%s) ==\n", q.text, q.why);
+    Show(" sb-german index:",
+         german.Search(docs, "multi", q.text, {}).ValueOrDie());
+    Show(" sb-english index:",
+         english.Search(docs, "multi", q.text, {}).ValueOrDie());
+    std::printf("\n");
+  }
+  std::printf(
+      "Both indexes were built on demand from the same raw strings —\n"
+      "changing the stemming language never re-ingests data (paper "
+      "\xc2\xa7" "2.1).\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+/// \file run_spinql.cpp
+/// \brief Batch SpinQL runner: load a triple file, execute a SpinQL
+/// program, print (or save) the result — the scripting counterpart of
+/// spinql_shell.
+///
+/// Usage:
+///   run_spinql <triples.nt | triples.tsv> <program.spinql>
+///              [--query "text"] [--sql] [--out result.tsv]
+///
+/// The triple file is registered as table `triples` (plus `triples_int`,
+/// `triples_float` for .nt input). With --query, a (data, p) singleton is
+/// registered as `query` so programs can use RANK. --sql prints the SQL
+/// translation of the program instead of executing it.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "spinql/evaluator.h"
+#include "spinql/optimizer.h"
+#include "spinql/sql_emitter.h"
+#include "storage/io.h"
+#include "triples/ntriples.h"
+
+using namespace spindle;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <triples.nt|.tsv> <program.spinql> "
+                 "[--query \"text\"] [--sql] [--out result.tsv]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string triples_path = argv[1];
+  std::string program_path = argv[2];
+  std::string query_text;
+  std::string out_path;
+  bool emit_sql = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sql") == 0) {
+      emit_sql = true;
+    } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
+      query_text = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Catalog catalog;
+  if (EndsWith(triples_path, ".tsv")) {
+    auto rel = ReadTsv(triples_path);
+    if (!rel.ok()) return Fail(rel.status());
+    catalog.Register("triples", rel.ValueOrDie());
+  } else {
+    auto store = LoadNTriplesFile(triples_path);
+    if (!store.ok()) return Fail(store.status());
+    Status st = store.ValueOrDie().RegisterInto(catalog);
+    if (!st.ok()) return Fail(st);
+  }
+
+  std::ifstream program_file(program_path);
+  if (!program_file) {
+    std::fprintf(stderr, "cannot open %s\n", program_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << program_file.rdbuf();
+  auto program = spinql::Program::Parse(buffer.str());
+  if (!program.ok()) return Fail(program.status());
+
+  if (!query_text.empty()) {
+    RelationBuilder qb(
+        {{"data", DataType::kString}, {"p", DataType::kFloat64}});
+    Status st = qb.AddRow({query_text, 1.0});
+    if (!st.ok()) return Fail(st);
+    auto qrel = qb.Build();
+    if (!qrel.ok()) return Fail(qrel.status());
+    catalog.Register("query", qrel.ValueOrDie());
+  }
+
+  if (emit_sql) {
+    auto sql = spinql::EmitProgramSql(program.ValueOrDie(), catalog);
+    if (!sql.ok()) return Fail(sql.status());
+    std::printf("%s", sql.ValueOrDie().c_str());
+    return 0;
+  }
+
+  auto optimized =
+      spinql::OptimizeProgram(program.ValueOrDie(), nullptr);
+  if (!optimized.ok()) return Fail(optimized.status());
+
+  MaterializationCache cache(512 << 20);
+  spinql::Evaluator evaluator(&catalog, &cache);
+  auto result = evaluator.Eval(optimized.ValueOrDie());
+  if (!result.ok()) return Fail(result.status());
+
+  if (!out_path.empty()) {
+    Status st = WriteTsv(*result.ValueOrDie().rel(), out_path);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %zu rows to %s\n",
+                result.ValueOrDie().num_rows(), out_path.c_str());
+  } else {
+    std::printf("%s", result.ValueOrDie().rel()->ToString(50).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+/// \file spinql_shell.cpp
+/// \brief Interactive SpinQL shell over a generated product catalog and
+/// auction graph — explore the probabilistic relational algebra directly.
+///
+/// Reads statements (`name = expr;`) or expressions from stdin, one per
+/// line (end with ';' for statements). Special commands:
+///   .tables            list catalog tables
+///   .sql <binding>     show the SQL translation of a binding
+///   .program           print accumulated program
+///   .quit
+///
+/// Usage: ./spinql_shell   (then type, e.g.)
+///   SELECT [$2="category" and $3="toy"] (triples)
+///   docs = PROJECT [$1,$6] (JOIN INDEPENDENT [$1=$1] (
+///       SELECT [$2="category" and $3="toy"] (triples),
+///       SELECT [$2="description"] (triples)));
+///   docs
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "spinql/evaluator.h"
+#include "spinql/parser.h"
+#include "spinql/sql_emitter.h"
+#include "workload/graph_gen.h"
+
+using namespace spindle;
+
+int main() {
+  Catalog catalog;
+  {
+    ProductCatalogOptions popts;
+    popts.num_products = 500;
+    auto products = GenerateProductCatalog(popts);
+    if (!products.ok() ||
+        !products.ValueOrDie().RegisterInto(catalog).ok()) {
+      return 1;
+    }
+    AuctionGraphOptions aopts;
+    aopts.num_lots = 500;
+    aopts.num_auctions = 10;
+    auto auctions = GenerateAuctionGraph(aopts);
+    if (!auctions.ok() ||
+        !auctions.ValueOrDie().RegisterInto(catalog, "auction_triples")
+             .ok()) {
+      return 1;
+    }
+  }
+  MaterializationCache cache(256 << 20);
+  spinql::Evaluator evaluator(&catalog, &cache);
+  spinql::Program session;
+
+  std::printf("Spindle SpinQL shell. Tables: ");
+  for (const auto& name : catalog.List()) std::printf("%s ", name.c_str());
+  std::printf("\nType .quit to exit.\n");
+
+  std::string line;
+  while (std::printf("spinql> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".tables") {
+      for (const auto& name : catalog.List()) {
+        auto rel = catalog.Get(name).ValueOrDie();
+        std::printf("  %-18s %s [%zu rows]\n", name.c_str(),
+                    rel->schema().ToString().c_str(), rel->num_rows());
+      }
+      continue;
+    }
+    if (line == ".program") {
+      std::printf("%s", session.ToString().c_str());
+      continue;
+    }
+    if (line.rfind(".sql ", 0) == 0) {
+      std::string name = line.substr(5);
+      auto node = session.Lookup(name);
+      if (!node.ok()) {
+        std::printf("%s\n", node.status().ToString().c_str());
+        continue;
+      }
+      auto sql = spinql::EmitSql(node.ValueOrDie(), session, catalog);
+      std::printf("%s\n", sql.ok() ? sql.ValueOrDie().c_str()
+                                   : sql.status().ToString().c_str());
+      continue;
+    }
+
+    // Statement (contains '=') accumulates into the session program;
+    // a bare expression evaluates immediately.
+    bool is_statement = line.find(';') != std::string::npos;
+    if (is_statement) {
+      auto parsed = spinql::Program::Parse(line);
+      if (!parsed.ok()) {
+        std::printf("%s\n", parsed.status().ToString().c_str());
+        continue;
+      }
+      bool ok = true;
+      for (const auto& [name, node] : parsed.ValueOrDie().statements()) {
+        Status st = session.Append(name, node);
+        if (!st.ok()) {
+          std::printf("%s\n", st.ToString().c_str());
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      auto result = evaluator.Eval(
+          session, parsed.ValueOrDie().statements().back().first);
+      if (!result.ok()) {
+        std::printf("%s\n", result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", result.ValueOrDie().rel()->ToString(10).c_str());
+    } else {
+      auto node = spinql::ParseExpression(line);
+      if (!node.ok()) {
+        std::printf("%s\n", node.status().ToString().c_str());
+        continue;
+      }
+      // Bindings from the session are visible to bare expressions.
+      spinql::Program scratch = session;
+      Status st = scratch.Append("_", node.ValueOrDie());
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      auto result = evaluator.Eval(scratch, "_");
+      if (!result.ok()) {
+        std::printf("%s\n", result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", result.ValueOrDie().rel()->ToString(10).c_str());
+    }
+  }
+  return 0;
+}

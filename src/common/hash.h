@@ -1,0 +1,36 @@
+/// \file hash.h
+/// \brief Hashing helpers shared by the join/aggregate kernels.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace spindle {
+
+/// \brief FNV-1a 64-bit hash of a byte string.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// \brief Finalizing mixer (from MurmurHash3) for integer keys.
+inline uint64_t HashInt64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// \brief Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace spindle

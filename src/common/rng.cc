@@ -1,0 +1,33 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spindle {
+
+double Rng::NextGaussian() {
+  // Box-Muller transform; discards the second value for simplicity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), cdf_(n) {
+  double sum = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (auto& v : cdf_) v *= inv;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace spindle

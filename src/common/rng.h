@@ -1,0 +1,82 @@
+/// \file rng.h
+/// \brief Deterministic pseudo-random number generation and the samplers
+/// used by the synthetic workload generators.
+///
+/// All Spindle generators take explicit 64-bit seeds so every test and
+/// benchmark run is reproducible bit-for-bit.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spindle {
+
+/// \brief SplitMix64: used to seed Xoshiro and as a cheap standalone mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = SplitMix64(sm);
+  }
+
+  /// \brief Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// \brief Standard normal via Box-Muller (one value per call).
+  double NextGaussian();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+/// \brief Samples ranks 1..n from a Zipf distribution with exponent s.
+///
+/// Uses a precomputed CDF with binary search; construction is O(n),
+/// sampling O(log n). Deterministic given the Rng.
+class ZipfSampler {
+ public:
+  /// \param n number of distinct items (ranks 1..n)
+  /// \param s Zipf exponent (typical natural text: ~1.0)
+  ZipfSampler(uint64_t n, double s);
+
+  /// \brief Returns a rank in [1, n]; low ranks are most probable.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace spindle

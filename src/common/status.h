@@ -1,0 +1,164 @@
+/// \file status.h
+/// \brief Error handling primitives: Status and Result<T>.
+///
+/// Spindle follows the RocksDB/Arrow convention: functions that can fail
+/// return a Status (or a Result<T> carrying either a value or a Status).
+/// No exceptions cross module boundaries.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace spindle {
+
+/// \brief Machine-readable error category carried by every Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kTypeMismatch,
+  kParseError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a stable, human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief The outcome of an operation: OK, or an error code plus message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and cheap enough
+/// in the error case (one string).
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// \brief Creates a Status with an explicit code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Usage:
+/// \code
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   int v = r.ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Returns the contained value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// \brief Moves the contained value out; must only be called when ok().
+  T MoveValueOrDie() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// \brief Returns the value if ok(), otherwise the provided default.
+  T ValueOr(T def) const {
+    return ok() ? *value_ : std::move(def);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+/// Propagates a non-OK Status to the caller.
+#define SPINDLE_RETURN_IF_ERROR(expr)                    \
+  do {                                                   \
+    ::spindle::Status _spindle_status = (expr);          \
+    if (!_spindle_status.ok()) return _spindle_status;   \
+  } while (false)
+
+#define SPINDLE_CONCAT_IMPL(a, b) a##b
+#define SPINDLE_CONCAT(a, b) SPINDLE_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error propagates the Status,
+/// otherwise assigns the value to `lhs` (which may be a declaration).
+#define SPINDLE_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  SPINDLE_ASSIGN_OR_RETURN_IMPL(SPINDLE_CONCAT(_spindle_res_, __LINE__),   \
+                                lhs, rexpr)
+
+#define SPINDLE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace spindle

@@ -1,0 +1,31 @@
+/// \file str.h
+/// \brief Small string utilities used across modules.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spindle {
+
+/// \brief ASCII-only lowercasing; bytes >= 0x80 pass through unchanged.
+std::string ToLowerAscii(std::string_view s);
+
+/// \brief Splits on a single character; keeps empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// \brief Formats a double with up to `precision` significant digits,
+/// trimming trailing zeros ("1.5", "0.25", "3").
+std::string FormatDouble(double v, int precision = 12);
+
+/// \brief Escapes a string for embedding in double quotes.
+std::string QuoteString(std::string_view s);
+
+/// \brief True if `s` consists only of ASCII digits (and is non-empty).
+bool IsDigits(std::string_view s);
+
+}  // namespace spindle

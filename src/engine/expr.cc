@@ -1,0 +1,524 @@
+#include "engine/expr.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/str.h"
+
+namespace spindle {
+
+namespace {
+
+/// Broadcast-aware element index.
+inline size_t BIdx(const Column& c, size_t row) {
+  return c.size() == 1 ? 0 : row;
+}
+
+/// Output size: 1 if every argument is a broadcast scalar, else nrows.
+size_t OutSize(const std::vector<Column>& args, size_t nrows) {
+  for (const auto& a : args) {
+    if (a.size() != 1) return nrows;
+  }
+  return args.empty() ? nrows : 1;
+}
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kFloat64;
+}
+
+double AsFloat(const Column& c, size_t i) {
+  return c.type() == DataType::kInt64 ? static_cast<double>(c.Int64At(i))
+                                      : c.Float64At(i);
+}
+
+Status ExpectArgCount(const char* name, const std::vector<Column>& args,
+                      size_t n) {
+  if (args.size() != n) {
+    return Status::InvalidArgument(std::string(name) + " expects " +
+                                   std::to_string(n) + " arguments, got " +
+                                   std::to_string(args.size()));
+  }
+  return Status::OK();
+}
+
+/// Numeric binary op preserving int64 when both inputs are int64.
+template <typename IntOp, typename FloatOp>
+Result<Column> NumericBinary(const char* name, const std::vector<Column>& args,
+                             size_t nrows, IntOp iop, FloatOp fop) {
+  SPINDLE_RETURN_IF_ERROR(ExpectArgCount(name, args, 2));
+  if (!IsNumeric(args[0].type()) || !IsNumeric(args[1].type())) {
+    return Status::TypeMismatch(std::string(name) +
+                                " requires numeric arguments");
+  }
+  size_t out_n = OutSize(args, nrows);
+  if (args[0].type() == DataType::kInt64 &&
+      args[1].type() == DataType::kInt64) {
+    std::vector<int64_t> out(out_n);
+    for (size_t r = 0; r < out_n; ++r) {
+      out[r] = iop(args[0].Int64At(BIdx(args[0], r)),
+                   args[1].Int64At(BIdx(args[1], r)));
+    }
+    return Column::MakeInt64(std::move(out));
+  }
+  std::vector<double> out(out_n);
+  for (size_t r = 0; r < out_n; ++r) {
+    out[r] = fop(AsFloat(args[0], BIdx(args[0], r)),
+                 AsFloat(args[1], BIdx(args[1], r)));
+  }
+  return Column::MakeFloat64(std::move(out));
+}
+
+/// Float-only binary op (always yields float64).
+template <typename FloatOp>
+Result<Column> FloatBinary(const char* name, const std::vector<Column>& args,
+                           size_t nrows, FloatOp fop) {
+  SPINDLE_RETURN_IF_ERROR(ExpectArgCount(name, args, 2));
+  if (!IsNumeric(args[0].type()) || !IsNumeric(args[1].type())) {
+    return Status::TypeMismatch(std::string(name) +
+                                " requires numeric arguments");
+  }
+  size_t out_n = OutSize(args, nrows);
+  std::vector<double> out(out_n);
+  for (size_t r = 0; r < out_n; ++r) {
+    out[r] = fop(AsFloat(args[0], BIdx(args[0], r)),
+                 AsFloat(args[1], BIdx(args[1], r)));
+  }
+  return Column::MakeFloat64(std::move(out));
+}
+
+/// Float-only unary op.
+template <typename FloatOp>
+Result<Column> FloatUnary(const char* name, const std::vector<Column>& args,
+                          size_t nrows, FloatOp fop) {
+  SPINDLE_RETURN_IF_ERROR(ExpectArgCount(name, args, 1));
+  if (!IsNumeric(args[0].type())) {
+    return Status::TypeMismatch(std::string(name) +
+                                " requires a numeric argument");
+  }
+  size_t out_n = OutSize(args, nrows);
+  std::vector<double> out(out_n);
+  for (size_t r = 0; r < out_n; ++r) {
+    out[r] = fop(AsFloat(args[0], BIdx(args[0], r)));
+  }
+  return Column::MakeFloat64(std::move(out));
+}
+
+/// Comparison: int/float (promoted) or string vs string.
+template <typename Cmp>
+Result<Column> Compare(const char* name, const std::vector<Column>& args,
+                       size_t nrows, Cmp cmp) {
+  SPINDLE_RETURN_IF_ERROR(ExpectArgCount(name, args, 2));
+  size_t out_n = OutSize(args, nrows);
+  std::vector<int64_t> out(out_n);
+  const Column& a = args[0];
+  const Column& b = args[1];
+  if (a.type() == DataType::kString && b.type() == DataType::kString) {
+    for (size_t r = 0; r < out_n; ++r) {
+      int c = a.StringAt(BIdx(a, r)).compare(b.StringAt(BIdx(b, r)));
+      out[r] = cmp(c, 0) ? 1 : 0;
+    }
+  } else if (IsNumeric(a.type()) && IsNumeric(b.type())) {
+    if (a.type() == DataType::kInt64 && b.type() == DataType::kInt64) {
+      for (size_t r = 0; r < out_n; ++r) {
+        int64_t x = a.Int64At(BIdx(a, r)), y = b.Int64At(BIdx(b, r));
+        int c = x < y ? -1 : (x > y ? 1 : 0);
+        out[r] = cmp(c, 0) ? 1 : 0;
+      }
+    } else {
+      for (size_t r = 0; r < out_n; ++r) {
+        double x = AsFloat(a, BIdx(a, r)), y = AsFloat(b, BIdx(b, r));
+        int c = x < y ? -1 : (x > y ? 1 : 0);
+        out[r] = cmp(c, 0) ? 1 : 0;
+      }
+    }
+  } else {
+    return Status::TypeMismatch(std::string(name) +
+                                ": incomparable argument types");
+  }
+  return Column::MakeInt64(std::move(out));
+}
+
+Result<Column> BoolBinary(const char* name, const std::vector<Column>& args,
+                          size_t nrows, bool is_and) {
+  SPINDLE_RETURN_IF_ERROR(ExpectArgCount(name, args, 2));
+  if (args[0].type() != DataType::kInt64 ||
+      args[1].type() != DataType::kInt64) {
+    return Status::TypeMismatch(std::string(name) +
+                                " requires boolean (int64) arguments");
+  }
+  size_t out_n = OutSize(args, nrows);
+  std::vector<int64_t> out(out_n);
+  for (size_t r = 0; r < out_n; ++r) {
+    bool x = args[0].Int64At(BIdx(args[0], r)) != 0;
+    bool y = args[1].Int64At(BIdx(args[1], r)) != 0;
+    out[r] = (is_and ? (x && y) : (x || y)) ? 1 : 0;
+  }
+  return Column::MakeInt64(std::move(out));
+}
+
+void RegisterBuiltins(FunctionRegistry* reg) {
+  reg->Register("add", [](const std::vector<Column>& a, size_t n) {
+    return NumericBinary("add", a, n, [](int64_t x, int64_t y) { return x + y; },
+                         [](double x, double y) { return x + y; });
+  });
+  reg->Register("sub", [](const std::vector<Column>& a, size_t n) {
+    return NumericBinary("sub", a, n, [](int64_t x, int64_t y) { return x - y; },
+                         [](double x, double y) { return x - y; });
+  });
+  reg->Register("mul", [](const std::vector<Column>& a, size_t n) {
+    return NumericBinary("mul", a, n, [](int64_t x, int64_t y) { return x * y; },
+                         [](double x, double y) { return x * y; });
+  });
+  reg->Register("div", [](const std::vector<Column>& a, size_t n) {
+    return FloatBinary("div", a, n, [](double x, double y) { return x / y; });
+  });
+  reg->Register("pow", [](const std::vector<Column>& a, size_t n) {
+    return FloatBinary("pow", a, n,
+                       [](double x, double y) { return std::pow(x, y); });
+  });
+  reg->Register("min2", [](const std::vector<Column>& a, size_t n) {
+    return NumericBinary("min2", a, n,
+                         [](int64_t x, int64_t y) { return x < y ? x : y; },
+                         [](double x, double y) { return x < y ? x : y; });
+  });
+  reg->Register("max2", [](const std::vector<Column>& a, size_t n) {
+    return NumericBinary("max2", a, n,
+                         [](int64_t x, int64_t y) { return x > y ? x : y; },
+                         [](double x, double y) { return x > y ? x : y; });
+  });
+  reg->Register("neg", [](const std::vector<Column>& a, size_t n) -> Result<Column> {
+    SPINDLE_RETURN_IF_ERROR(ExpectArgCount("neg", a, 1));
+    if (a[0].type() == DataType::kInt64) {
+      size_t out_n = OutSize(a, n);
+      std::vector<int64_t> out(out_n);
+      for (size_t r = 0; r < out_n; ++r) out[r] = -a[0].Int64At(BIdx(a[0], r));
+      return Column::MakeInt64(std::move(out));
+    }
+    return FloatUnary("neg", a, n, [](double x) { return -x; });
+  });
+
+  reg->Register("eq", [](const std::vector<Column>& a, size_t n) {
+    return Compare("eq", a, n, [](int c, int) { return c == 0; });
+  });
+  reg->Register("ne", [](const std::vector<Column>& a, size_t n) {
+    return Compare("ne", a, n, [](int c, int) { return c != 0; });
+  });
+  reg->Register("lt", [](const std::vector<Column>& a, size_t n) {
+    return Compare("lt", a, n, [](int c, int) { return c < 0; });
+  });
+  reg->Register("le", [](const std::vector<Column>& a, size_t n) {
+    return Compare("le", a, n, [](int c, int) { return c <= 0; });
+  });
+  reg->Register("gt", [](const std::vector<Column>& a, size_t n) {
+    return Compare("gt", a, n, [](int c, int) { return c > 0; });
+  });
+  reg->Register("ge", [](const std::vector<Column>& a, size_t n) {
+    return Compare("ge", a, n, [](int c, int) { return c >= 0; });
+  });
+
+  reg->Register("and", [](const std::vector<Column>& a, size_t n) {
+    return BoolBinary("and", a, n, /*is_and=*/true);
+  });
+  reg->Register("or", [](const std::vector<Column>& a, size_t n) {
+    return BoolBinary("or", a, n, /*is_and=*/false);
+  });
+  reg->Register("not", [](const std::vector<Column>& a, size_t n) -> Result<Column> {
+    SPINDLE_RETURN_IF_ERROR(ExpectArgCount("not", a, 1));
+    if (a[0].type() != DataType::kInt64) {
+      return Status::TypeMismatch("not requires a boolean (int64) argument");
+    }
+    size_t out_n = OutSize(a, n);
+    std::vector<int64_t> out(out_n);
+    for (size_t r = 0; r < out_n; ++r) {
+      out[r] = a[0].Int64At(BIdx(a[0], r)) == 0 ? 1 : 0;
+    }
+    return Column::MakeInt64(std::move(out));
+  });
+
+  reg->Register("log", [](const std::vector<Column>& a, size_t n) {
+    return FloatUnary("log", a, n, [](double x) { return std::log(x); });
+  });
+  reg->Register("log2", [](const std::vector<Column>& a, size_t n) {
+    return FloatUnary("log2", a, n, [](double x) { return std::log2(x); });
+  });
+  reg->Register("log10", [](const std::vector<Column>& a, size_t n) {
+    return FloatUnary("log10", a, n, [](double x) { return std::log10(x); });
+  });
+  reg->Register("exp", [](const std::vector<Column>& a, size_t n) {
+    return FloatUnary("exp", a, n, [](double x) { return std::exp(x); });
+  });
+  reg->Register("sqrt", [](const std::vector<Column>& a, size_t n) {
+    return FloatUnary("sqrt", a, n, [](double x) { return std::sqrt(x); });
+  });
+  reg->Register("abs", [](const std::vector<Column>& a, size_t n) -> Result<Column> {
+    SPINDLE_RETURN_IF_ERROR(ExpectArgCount("abs", a, 1));
+    if (a[0].type() == DataType::kInt64) {
+      size_t out_n = OutSize(a, n);
+      std::vector<int64_t> out(out_n);
+      for (size_t r = 0; r < out_n; ++r) {
+        int64_t v = a[0].Int64At(BIdx(a[0], r));
+        out[r] = v < 0 ? -v : v;
+      }
+      return Column::MakeInt64(std::move(out));
+    }
+    return FloatUnary("abs", a, n, [](double x) { return std::fabs(x); });
+  });
+
+  reg->Register("lcase", [](const std::vector<Column>& a, size_t n) -> Result<Column> {
+    SPINDLE_RETURN_IF_ERROR(ExpectArgCount("lcase", a, 1));
+    if (a[0].type() != DataType::kString) {
+      return Status::TypeMismatch("lcase requires a string argument");
+    }
+    size_t out_n = OutSize(a, n);
+    std::vector<std::string> out(out_n);
+    for (size_t r = 0; r < out_n; ++r) {
+      out[r] = ToLowerAscii(a[0].StringAt(BIdx(a[0], r)));
+    }
+    return Column::MakeString(std::move(out));
+  });
+  reg->Register("ucase", [](const std::vector<Column>& a, size_t n) -> Result<Column> {
+    SPINDLE_RETURN_IF_ERROR(ExpectArgCount("ucase", a, 1));
+    if (a[0].type() != DataType::kString) {
+      return Status::TypeMismatch("ucase requires a string argument");
+    }
+    size_t out_n = OutSize(a, n);
+    std::vector<std::string> out(out_n);
+    for (size_t r = 0; r < out_n; ++r) {
+      const std::string& s = a[0].StringAt(BIdx(a[0], r));
+      std::string up;
+      up.reserve(s.size());
+      for (unsigned char c : s) {
+        up.push_back(c < 0x80 ? static_cast<char>(std::toupper(c))
+                              : static_cast<char>(c));
+      }
+      out[r] = std::move(up);
+    }
+    return Column::MakeString(std::move(out));
+  });
+  reg->Register("concat", [](const std::vector<Column>& a, size_t n) -> Result<Column> {
+    SPINDLE_RETURN_IF_ERROR(ExpectArgCount("concat", a, 2));
+    if (a[0].type() != DataType::kString || a[1].type() != DataType::kString) {
+      return Status::TypeMismatch("concat requires string arguments");
+    }
+    size_t out_n = OutSize(a, n);
+    std::vector<std::string> out(out_n);
+    for (size_t r = 0; r < out_n; ++r) {
+      out[r] = a[0].StringAt(BIdx(a[0], r)) + a[1].StringAt(BIdx(a[1], r));
+    }
+    return Column::MakeString(std::move(out));
+  });
+  reg->Register("strlen", [](const std::vector<Column>& a, size_t n) -> Result<Column> {
+    SPINDLE_RETURN_IF_ERROR(ExpectArgCount("strlen", a, 1));
+    if (a[0].type() != DataType::kString) {
+      return Status::TypeMismatch("strlen requires a string argument");
+    }
+    size_t out_n = OutSize(a, n);
+    std::vector<int64_t> out(out_n);
+    for (size_t r = 0; r < out_n; ++r) {
+      out[r] = static_cast<int64_t>(a[0].StringAt(BIdx(a[0], r)).size());
+    }
+    return Column::MakeInt64(std::move(out));
+  });
+
+  reg->Register("to_float64", [](const std::vector<Column>& a, size_t n) -> Result<Column> {
+    SPINDLE_RETURN_IF_ERROR(ExpectArgCount("to_float64", a, 1));
+    if (a[0].type() == DataType::kFloat64) return a[0];
+    if (a[0].type() == DataType::kInt64) {
+      return FloatUnary("to_float64", a, n, [](double x) { return x; });
+    }
+    size_t out_n = OutSize(a, n);
+    std::vector<double> out(out_n);
+    for (size_t r = 0; r < out_n; ++r) {
+      out[r] = std::strtod(a[0].StringAt(BIdx(a[0], r)).c_str(), nullptr);
+    }
+    return Column::MakeFloat64(std::move(out));
+  });
+  reg->Register("to_int64", [](const std::vector<Column>& a, size_t n) -> Result<Column> {
+    SPINDLE_RETURN_IF_ERROR(ExpectArgCount("to_int64", a, 1));
+    size_t out_n = OutSize(a, n);
+    std::vector<int64_t> out(out_n);
+    for (size_t r = 0; r < out_n; ++r) {
+      size_t i = BIdx(a[0], r);
+      switch (a[0].type()) {
+        case DataType::kInt64:
+          out[r] = a[0].Int64At(i);
+          break;
+        case DataType::kFloat64:
+          out[r] = static_cast<int64_t>(a[0].Float64At(i));
+          break;
+        case DataType::kString:
+          out[r] = std::strtoll(a[0].StringAt(i).c_str(), nullptr, 10);
+          break;
+      }
+    }
+    return Column::MakeInt64(std::move(out));
+  });
+  reg->Register("to_string", [](const std::vector<Column>& a, size_t n) -> Result<Column> {
+    SPINDLE_RETURN_IF_ERROR(ExpectArgCount("to_string", a, 1));
+    size_t out_n = OutSize(a, n);
+    std::vector<std::string> out(out_n);
+    for (size_t r = 0; r < out_n; ++r) {
+      out[r] = a[0].ToStringAt(BIdx(a[0], r));
+    }
+    return Column::MakeString(std::move(out));
+  });
+
+  reg->Register("if", [](const std::vector<Column>& a, size_t n) -> Result<Column> {
+    SPINDLE_RETURN_IF_ERROR(ExpectArgCount("if", a, 3));
+    if (a[0].type() != DataType::kInt64) {
+      return Status::TypeMismatch("if requires a boolean (int64) condition");
+    }
+    if (a[1].type() != a[2].type()) {
+      return Status::TypeMismatch("if branches must have the same type");
+    }
+    size_t out_n = OutSize(a, n);
+    Column out(a[1].type());
+    out.Reserve(out_n);
+    for (size_t r = 0; r < out_n; ++r) {
+      bool cond = a[0].Int64At(BIdx(a[0], r)) != 0;
+      const Column& src = cond ? a[1] : a[2];
+      out.AppendFrom(src, BIdx(src, r));
+    }
+    return out;
+  });
+}
+
+}  // namespace
+
+FunctionRegistry::FunctionRegistry() { RegisterBuiltins(this); }
+
+FunctionRegistry& FunctionRegistry::Default() {
+  static FunctionRegistry* instance = new FunctionRegistry();
+  return *instance;
+}
+
+void FunctionRegistry::Register(const std::string& name, ScalarFn fn) {
+  fns_[name] = std::move(fn);
+}
+
+const ScalarFn* FunctionRegistry::Find(const std::string& name) const {
+  auto it = fns_.find(name);
+  return it == fns_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FunctionRegistry::List() const {
+  std::vector<std::string> names;
+  names.reserve(fns_.size());
+  for (const auto& [name, fn] : fns_) names.push_back(name);
+  return names;
+}
+
+ExprPtr Expr::Column(size_t index) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kColumnRef));
+  e->column_index_ = index;
+  return e;
+}
+
+ExprPtr Expr::ColumnNamed(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kNamedColumnRef));
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Lit(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kLiteral));
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Call(std::string fn, std::vector<ExprPtr> args) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kCall));
+  e->name_ = std::move(fn);
+  e->args_ = std::move(args);
+  return e;
+}
+
+Result<Column> Expr::Evaluate(const Relation& rel,
+                              const FunctionRegistry& registry) const {
+  switch (kind_) {
+    case ExprKind::kColumnRef: {
+      if (column_index_ >= rel.num_columns()) {
+        return Status::OutOfRange("column index " +
+                                  std::to_string(column_index_) +
+                                  " out of range for schema " +
+                                  rel.schema().ToString());
+      }
+      return rel.column(column_index_);
+    }
+    case ExprKind::kNamedColumnRef: {
+      auto idx = rel.schema().FindField(name_);
+      if (!idx.has_value()) {
+        return Status::NotFound("no column named '" + name_ + "' in " +
+                                rel.schema().ToString());
+      }
+      return rel.column(*idx);
+    }
+    case ExprKind::kLiteral: {
+      spindle::Column c(ValueType(literal_));
+      Status st = c.AppendValue(literal_);
+      if (!st.ok()) return st;
+      return c;
+    }
+    case ExprKind::kCall: {
+      const ScalarFn* fn = registry.Find(name_);
+      if (fn == nullptr) {
+        return Status::NotFound("no scalar function named '" + name_ + "'");
+      }
+      std::vector<spindle::Column> arg_cols;
+      arg_cols.reserve(args_.size());
+      for (const auto& a : args_) {
+        SPINDLE_ASSIGN_OR_RETURN(spindle::Column c,
+                                 a->Evaluate(rel, registry));
+        arg_cols.push_back(std::move(c));
+      }
+      return (*fn)(arg_cols, rel.num_rows());
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumnRef: {
+      std::string out = "$";
+      out += std::to_string(column_index_ + 1);
+      return out;
+    }
+    case ExprKind::kNamedColumnRef:
+      // The probability column prints as SpinQL's `P` keyword so canonical
+      // output stays parseable; other named refs are engine-internal.
+      if (name_ == "p") return "P";
+      return "col('" + name_ + "')";
+    case ExprKind::kLiteral:
+      if (ValueType(literal_) == DataType::kString) {
+        return QuoteString(std::get<std::string>(literal_));
+      }
+      return ValueToString(literal_);
+    case ExprKind::kCall: {
+      std::string out = name_ + "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args_[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "";
+}
+
+Result<Column> MaterializeFull(Column col, size_t nrows) {
+  if (col.size() == nrows) return col;
+  if (col.size() != 1) {
+    return Status::Internal("expression produced " +
+                            std::to_string(col.size()) + " rows, expected " +
+                            std::to_string(nrows) + " or 1");
+  }
+  Column out(col.type());
+  out.Reserve(nrows);
+  for (size_t r = 0; r < nrows; ++r) out.AppendFrom(col, 0);
+  return out;
+}
+
+}  // namespace spindle

@@ -1,0 +1,130 @@
+/// \file expr.h
+/// \brief Vectorized scalar expressions evaluated over relations.
+///
+/// Expressions are trees of column references, literals and function calls.
+/// Evaluation is columnar: each node produces a whole Column. A column of
+/// size 1 acts as a broadcast scalar. Booleans are Int64 columns holding
+/// 0 or 1.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief A scalar function: consumes evaluated argument columns (size
+/// `nrows` or broadcast size 1) and produces a column of size `nrows` or 1.
+using ScalarFn = std::function<Result<Column>(const std::vector<Column>& args,
+                                              size_t nrows)>;
+
+/// \brief Named scalar functions available to expressions.
+///
+/// Builtins (always present in Default()):
+///   arithmetic: add, sub, mul, div (div always yields float64), neg
+///   comparison: eq, ne, lt, le, gt, ge  (int64/float64/string)
+///   logic:      and, or, not
+///   math:       log (natural), log2, log10, exp, sqrt, abs, pow,
+///               min2, max2
+///   string:     lcase, ucase, concat, strlen
+///   casts:      to_int64, to_float64, to_string
+///   misc:       if (cond, then, else)
+///
+/// Other modules register additional functions (e.g. the text module's
+/// `stem(term, language)` — the paper's Snowball UDF).
+class FunctionRegistry {
+ public:
+  /// \brief Creates a registry preloaded with the builtins above.
+  FunctionRegistry();
+
+  /// \brief The process-wide default registry.
+  static FunctionRegistry& Default();
+
+  /// \brief Registers (or replaces) a function. Idempotent.
+  void Register(const std::string& name, ScalarFn fn);
+
+  /// \brief Returns the function or nullptr.
+  const ScalarFn* Find(const std::string& name) const;
+
+  /// \brief Sorted names, for diagnostics.
+  std::vector<std::string> List() const;
+
+ private:
+  std::map<std::string, ScalarFn> fns_;
+};
+
+/// \brief Node kinds of the expression tree.
+enum class ExprKind { kColumnRef, kNamedColumnRef, kLiteral, kCall };
+
+/// \brief An immutable scalar expression tree.
+class Expr {
+ public:
+  /// \name Factories.
+  /// @{
+  /// Reference to a column by 0-based position.
+  static ExprPtr Column(size_t index);
+  /// Reference to a column by name (first match in the schema).
+  static ExprPtr ColumnNamed(std::string name);
+  static ExprPtr Lit(Value v);
+  static ExprPtr LitInt(int64_t v) { return Lit(Value(v)); }
+  static ExprPtr LitFloat(double v) { return Lit(Value(v)); }
+  static ExprPtr LitString(std::string v) { return Lit(Value(std::move(v))); }
+  static ExprPtr Call(std::string fn, std::vector<ExprPtr> args);
+  /// @}
+
+  /// \name Convenience combinators.
+  /// @{
+  static ExprPtr Eq(ExprPtr a, ExprPtr b) { return Call("eq", {a, b}); }
+  static ExprPtr Ne(ExprPtr a, ExprPtr b) { return Call("ne", {a, b}); }
+  static ExprPtr Lt(ExprPtr a, ExprPtr b) { return Call("lt", {a, b}); }
+  static ExprPtr Le(ExprPtr a, ExprPtr b) { return Call("le", {a, b}); }
+  static ExprPtr Gt(ExprPtr a, ExprPtr b) { return Call("gt", {a, b}); }
+  static ExprPtr Ge(ExprPtr a, ExprPtr b) { return Call("ge", {a, b}); }
+  static ExprPtr And(ExprPtr a, ExprPtr b) { return Call("and", {a, b}); }
+  static ExprPtr Or(ExprPtr a, ExprPtr b) { return Call("or", {a, b}); }
+  static ExprPtr Not(ExprPtr a) { return Call("not", {a}); }
+  static ExprPtr Add(ExprPtr a, ExprPtr b) { return Call("add", {a, b}); }
+  static ExprPtr Sub(ExprPtr a, ExprPtr b) { return Call("sub", {a, b}); }
+  static ExprPtr Mul(ExprPtr a, ExprPtr b) { return Call("mul", {a, b}); }
+  static ExprPtr Div(ExprPtr a, ExprPtr b) { return Call("div", {a, b}); }
+  /// @}
+
+  ExprKind kind() const { return kind_; }
+  size_t column_index() const { return column_index_; }
+  const std::string& column_name() const { return name_; }
+  const Value& literal() const { return literal_; }
+  const std::string& function_name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+  /// \brief Evaluates against a relation. The result has rel.num_rows()
+  /// rows, or 1 row when the whole expression is constant.
+  Result<spindle::Column> Evaluate(const Relation& rel,
+                                   const FunctionRegistry& registry) const;
+
+  /// \brief Canonical rendering, used in cache signatures.
+  std::string ToString() const;
+
+ private:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind_;
+  size_t column_index_ = 0;
+  std::string name_;       // column name or function name
+  Value literal_ = int64_t{0};
+  std::vector<ExprPtr> args_;
+};
+
+/// \brief Expands a broadcast (size-1) column to `nrows` rows; columns
+/// already at `nrows` pass through unchanged.
+Result<Column> MaterializeFull(Column col, size_t nrows);
+
+}  // namespace spindle

@@ -1,0 +1,68 @@
+#include "engine/materialization_cache.h"
+
+namespace spindle {
+
+std::optional<RelationPtr> MaterializationCache::Get(
+    const std::string& signature) {
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    stats_.misses++;
+    return std::nullopt;
+  }
+  stats_.hits++;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(signature);
+  it->second.lru_it = lru_.begin();
+  return it->second.rel;
+}
+
+void MaterializationCache::Put(const std::string& signature,
+                               RelationPtr rel) {
+  if (budget_bytes_ == 0) return;
+  size_t bytes = rel->ByteSize();
+  if (bytes > budget_bytes_) return;
+  auto it = entries_.find(signature);
+  if (it != entries_.end()) {
+    stats_.bytes_cached -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    stats_.entries--;
+  }
+  EvictToFit(bytes);
+  lru_.push_front(signature);
+  entries_[signature] = Entry{std::move(rel), bytes, lru_.begin()};
+  stats_.bytes_cached += bytes;
+  stats_.inserts++;
+  stats_.entries++;
+}
+
+void MaterializationCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  stats_.bytes_cached = 0;
+  stats_.entries = 0;
+}
+
+void MaterializationCache::ResetCounters() {
+  stats_.hits = stats_.misses = stats_.inserts = stats_.evictions = 0;
+}
+
+void MaterializationCache::set_budget_bytes(size_t b) {
+  budget_bytes_ = b;
+  EvictToFit(0);
+}
+
+void MaterializationCache::EvictToFit(size_t incoming_bytes) {
+  while (!lru_.empty() &&
+         stats_.bytes_cached + incoming_bytes > budget_bytes_) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    stats_.bytes_cached -= it->second.bytes;
+    stats_.evictions++;
+    stats_.entries--;
+    entries_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace spindle

@@ -1,0 +1,73 @@
+/// \file materialization_cache.h
+/// \brief The adaptive, query-driven materialization cache (paper §2.2).
+///
+/// Every intermediate result in Spindle is produced by a canonical
+/// expression (a SpinQL/plan signature). The cache maps signatures to
+/// materialized relations, so that "when the same computation is requested
+/// several times, its full result is already materialized". This subsumes
+/// on-demand vertical partitioning: a selection on the property column of
+/// the triples table becomes a cached per-property table the first time it
+/// is asked for.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief LRU cache of materialized relations keyed by plan signature.
+class MaterializationCache {
+ public:
+  /// \brief Counters exposed for tests and the E3/E8 benchmarks.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    size_t bytes_cached = 0;
+    size_t entries = 0;
+  };
+
+  /// \param budget_bytes approximate maximum resident size; entries are
+  /// evicted LRU-first once exceeded. 0 disables caching entirely.
+  explicit MaterializationCache(size_t budget_bytes = 256 << 20)
+      : budget_bytes_(budget_bytes) {}
+
+  /// \brief Returns the cached relation for `signature`, if resident.
+  /// Counts a hit or miss.
+  std::optional<RelationPtr> Get(const std::string& signature);
+
+  /// \brief Materializes `rel` under `signature`, evicting LRU entries as
+  /// needed. Relations larger than the whole budget are not cached.
+  void Put(const std::string& signature, RelationPtr rel);
+
+  /// \brief Drops every entry (used to measure cold performance).
+  void Clear();
+
+  const Stats& stats() const { return stats_; }
+  void ResetCounters();
+  size_t budget_bytes() const { return budget_bytes_; }
+  void set_budget_bytes(size_t b);
+
+ private:
+  struct Entry {
+    RelationPtr rel;
+    size_t bytes;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void EvictToFit(size_t incoming_bytes);
+
+  size_t budget_bytes_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  Stats stats_;
+};
+
+}  // namespace spindle

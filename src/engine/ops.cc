@@ -1,0 +1,539 @@
+#include "engine/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace spindle {
+
+namespace {
+
+/// Hashes/compares rows of a relation restricted to a column subset.
+class RowKey {
+ public:
+  RowKey(const Relation& rel, const std::vector<size_t>& cols)
+      : rel_(rel), cols_(cols) {}
+
+  uint64_t Hash(size_t row) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (size_t c : cols_) h = HashCombine(h, rel_.column(c).HashAt(row));
+    return h;
+  }
+
+  bool Equals(size_t row, const RowKey& other, size_t other_row) const {
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      if (!rel_.column(cols_[i]).ElementEquals(
+              row, other.rel_.column(other.cols_[i]), other_row)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  const Relation& rel_;
+  const std::vector<size_t>& cols_;
+};
+
+Status CheckColumnRange(const Relation& rel, const std::vector<size_t>& cols) {
+  for (size_t c : cols) {
+    if (c >= rel.num_columns()) {
+      return Status::OutOfRange("column index " + std::to_string(c) +
+                                " out of range for " +
+                                rel.schema().ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Result<RelationPtr> GatherRows(const Relation& rel,
+                               const std::vector<uint32_t>& rows) {
+  std::vector<Column> cols;
+  cols.reserve(rel.num_columns());
+  for (size_t c = 0; c < rel.num_columns(); ++c) {
+    cols.push_back(rel.column(c).Gather(rows));
+  }
+  return Relation::Make(rel.schema(), std::move(cols));
+}
+
+}  // namespace
+
+Result<RelationPtr> Filter(const RelationPtr& rel, const ExprPtr& predicate,
+                           const FunctionRegistry& registry) {
+  SPINDLE_ASSIGN_OR_RETURN(Column mask, predicate->Evaluate(*rel, registry));
+  if (mask.type() != DataType::kInt64) {
+    return Status::TypeMismatch("filter predicate must be boolean (int64)");
+  }
+  std::vector<uint32_t> rows;
+  if (mask.size() == 1) {
+    if (mask.Int64At(0) != 0) return rel;
+    return Relation::Empty(rel->schema());
+  }
+  if (mask.size() != rel->num_rows()) {
+    return Status::Internal("predicate result has wrong row count");
+  }
+  const auto& bits = mask.int64_data();
+  for (size_t r = 0; r < bits.size(); ++r) {
+    if (bits[r] != 0) rows.push_back(static_cast<uint32_t>(r));
+  }
+  return GatherRows(*rel, rows);
+}
+
+Result<RelationPtr> ProjectColumns(const RelationPtr& rel,
+                                   const std::vector<size_t>& columns,
+                                   const std::vector<std::string>& names) {
+  SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, columns));
+  if (!names.empty() && names.size() != columns.size()) {
+    return Status::InvalidArgument(
+        "ProjectColumns: names/columns size mismatch");
+  }
+  Schema schema;
+  std::vector<ColumnPtr> cols;
+  cols.reserve(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const Field& f = rel->schema().field(columns[i]);
+    schema.AddField({names.empty() ? f.name : names[i], f.type});
+    cols.push_back(rel->column_ptr(columns[i]));
+  }
+  return Relation::MakeShared(std::move(schema), std::move(cols));
+}
+
+Result<RelationPtr> ProjectExprs(const RelationPtr& rel,
+                                 const std::vector<ExprPtr>& exprs,
+                                 const std::vector<std::string>& names,
+                                 const FunctionRegistry& registry) {
+  if (exprs.size() != names.size()) {
+    return Status::InvalidArgument("ProjectExprs: names/exprs size mismatch");
+  }
+  Schema schema;
+  std::vector<Column> cols;
+  cols.reserve(exprs.size());
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    SPINDLE_ASSIGN_OR_RETURN(Column c, exprs[i]->Evaluate(*rel, registry));
+    SPINDLE_ASSIGN_OR_RETURN(c, MaterializeFull(std::move(c),
+                                                rel->num_rows()));
+    schema.AddField({names[i], c.type()});
+    cols.push_back(std::move(c));
+  }
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+Result<RelationPtr> HashJoin(const RelationPtr& left, const RelationPtr& right,
+                             const std::vector<JoinKey>& keys,
+                             JoinType type) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("HashJoin requires at least one key");
+  }
+  std::vector<size_t> lcols, rcols;
+  lcols.reserve(keys.size());
+  rcols.reserve(keys.size());
+  for (const auto& k : keys) {
+    lcols.push_back(k.left);
+    rcols.push_back(k.right);
+  }
+  SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*left, lcols));
+  SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*right, rcols));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (left->column(lcols[i]).type() != right->column(rcols[i]).type()) {
+      return Status::TypeMismatch(
+          "join key type mismatch at key " + std::to_string(i) + ": " +
+          DataTypeName(left->column(lcols[i]).type()) + " vs " +
+          DataTypeName(right->column(rcols[i]).type()));
+    }
+  }
+
+  RowKey lkey(*left, lcols);
+  RowKey rkey(*right, rcols);
+
+  std::vector<uint32_t> lrows, rrows;
+  // Output contract: matches ordered by (left row, right row). The
+  // default plan builds a hash table on the right side and probes with
+  // the left, which produces that order directly. When the left side is
+  // much smaller (an inner join of a tiny filtered set against a big
+  // table — the shape of every per-query ranking join), building on the
+  // left and probing the right avoids allocating a large table; the
+  // match list is then sorted back into contract order.
+  const bool build_on_left =
+      type == JoinType::kInner &&
+      left->num_rows() * 8 < right->num_rows();
+  if (build_on_left) {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> table;
+    table.reserve(left->num_rows() * 2);
+    for (size_t l = 0; l < left->num_rows(); ++l) {
+      table[lkey.Hash(l)].push_back(static_cast<uint32_t>(l));
+    }
+    std::vector<std::pair<uint32_t, uint32_t>> matches;
+    for (size_t r = 0; r < right->num_rows(); ++r) {
+      auto it = table.find(rkey.Hash(r));
+      if (it == table.end()) continue;
+      for (uint32_t l : it->second) {
+        if (lkey.Equals(l, rkey, r)) {
+          matches.emplace_back(l, static_cast<uint32_t>(r));
+        }
+      }
+    }
+    std::sort(matches.begin(), matches.end());
+    lrows.reserve(matches.size());
+    rrows.reserve(matches.size());
+    for (const auto& [l, r] : matches) {
+      lrows.push_back(l);
+      rrows.push_back(r);
+    }
+  } else {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> table;
+    table.reserve(right->num_rows() * 2);
+    for (size_t r = 0; r < right->num_rows(); ++r) {
+      table[rkey.Hash(r)].push_back(static_cast<uint32_t>(r));
+    }
+    for (size_t l = 0; l < left->num_rows(); ++l) {
+      auto it = table.find(lkey.Hash(l));
+      bool matched = false;
+      if (it != table.end()) {
+        for (uint32_t r : it->second) {
+          if (lkey.Equals(l, rkey, r)) {
+            matched = true;
+            if (type == JoinType::kInner) {
+              lrows.push_back(static_cast<uint32_t>(l));
+              rrows.push_back(r);
+            } else {
+              break;  // semi/anti only need existence
+            }
+          }
+        }
+      }
+      if (type == JoinType::kLeftSemi && matched) {
+        lrows.push_back(static_cast<uint32_t>(l));
+      } else if (type == JoinType::kLeftAnti && !matched) {
+        lrows.push_back(static_cast<uint32_t>(l));
+      }
+    }
+  }
+
+  Schema schema;
+  std::vector<Column> cols;
+  for (size_t c = 0; c < left->num_columns(); ++c) {
+    schema.AddField(left->schema().field(c));
+    cols.push_back(left->column(c).Gather(lrows));
+  }
+  if (type == JoinType::kInner) {
+    for (size_t c = 0; c < right->num_columns(); ++c) {
+      schema.AddField(right->schema().field(c));
+      cols.push_back(right->column(c).Gather(rrows));
+    }
+  }
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+Result<RelationPtr> GroupAggregate(const RelationPtr& rel,
+                                   const std::vector<size_t>& group_columns,
+                                   const std::vector<AggSpec>& aggs) {
+  SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, group_columns));
+  for (const auto& a : aggs) {
+    if (a.kind != AggKind::kCount) {
+      SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, {a.column}));
+      if (a.kind != AggKind::kMin && a.kind != AggKind::kMax &&
+          rel->column(a.column).type() == DataType::kString) {
+        return Status::TypeMismatch("sum/avg require a numeric column");
+      }
+    }
+  }
+
+  RowKey key(*rel, group_columns);
+  // hash -> list of (representative row, group index); collision-safe.
+  std::unordered_map<uint64_t, std::vector<std::pair<uint32_t, uint32_t>>>
+      groups;
+  groups.reserve(rel->num_rows());
+  std::vector<uint32_t> repr_rows;           // group -> representative row
+  std::vector<uint32_t> group_of_row(rel->num_rows());
+
+  const bool global = group_columns.empty();
+  if (global) {
+    repr_rows.push_back(0);
+    std::fill(group_of_row.begin(), group_of_row.end(), 0);
+  } else {
+    for (size_t r = 0; r < rel->num_rows(); ++r) {
+      uint64_t h = key.Hash(r);
+      auto& bucket = groups[h];
+      uint32_t gid = UINT32_MAX;
+      for (auto& [repr, g] : bucket) {
+        if (key.Equals(r, key, repr)) {
+          gid = g;
+          break;
+        }
+      }
+      if (gid == UINT32_MAX) {
+        gid = static_cast<uint32_t>(repr_rows.size());
+        repr_rows.push_back(static_cast<uint32_t>(r));
+        bucket.emplace_back(static_cast<uint32_t>(r), gid);
+      }
+      group_of_row[r] = gid;
+    }
+  }
+  const size_t num_groups =
+      global ? 1 : repr_rows.size();
+
+  // Accumulators.
+  struct Acc {
+    std::vector<int64_t> counts;
+    std::vector<double> fsums;
+    std::vector<int64_t> isums;
+    std::vector<uint32_t> minmax_row;  // row index of current min/max
+    std::vector<bool> seen;
+  };
+  std::vector<Acc> accs(aggs.size());
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const auto& a = aggs[i];
+    if (a.kind == AggKind::kCount) {
+      accs[i].counts.assign(num_groups, 0);
+    } else if (a.kind == AggKind::kSum || a.kind == AggKind::kAvg) {
+      accs[i].counts.assign(num_groups, 0);
+      if (rel->column(a.column).type() == DataType::kInt64) {
+        accs[i].isums.assign(num_groups, 0);
+      }
+      accs[i].fsums.assign(num_groups, 0.0);
+    } else {
+      accs[i].minmax_row.assign(num_groups, 0);
+      accs[i].seen.assign(num_groups, false);
+    }
+  }
+
+  for (size_t r = 0; r < rel->num_rows(); ++r) {
+    uint32_t g = group_of_row[r];
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const auto& a = aggs[i];
+      Acc& acc = accs[i];
+      switch (a.kind) {
+        case AggKind::kCount:
+          acc.counts[g]++;
+          break;
+        case AggKind::kSum:
+        case AggKind::kAvg: {
+          const Column& c = rel->column(a.column);
+          acc.counts[g]++;
+          if (c.type() == DataType::kInt64) {
+            acc.isums[g] += c.Int64At(r);
+            acc.fsums[g] += static_cast<double>(c.Int64At(r));
+          } else {
+            acc.fsums[g] += c.Float64At(r);
+          }
+          break;
+        }
+        case AggKind::kMin:
+        case AggKind::kMax: {
+          const Column& c = rel->column(a.column);
+          if (!acc.seen[g]) {
+            acc.seen[g] = true;
+            acc.minmax_row[g] = static_cast<uint32_t>(r);
+          } else {
+            int cmp = c.ElementCompare(r, c, acc.minmax_row[g]);
+            if ((a.kind == AggKind::kMin && cmp < 0) ||
+                (a.kind == AggKind::kMax && cmp > 0)) {
+              acc.minmax_row[g] = static_cast<uint32_t>(r);
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Assemble output.
+  Schema schema;
+  std::vector<Column> cols;
+  std::vector<uint32_t> repr_for_output(repr_rows.begin(), repr_rows.end());
+  if (global && rel->num_rows() == 0) {
+    // No representative row exists; group columns are empty anyway.
+    repr_for_output.clear();
+    repr_for_output.push_back(0);
+  }
+  for (size_t gc : group_columns) {
+    schema.AddField(rel->schema().field(gc));
+    cols.push_back(rel->column(gc).Gather(repr_rows));
+  }
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const auto& a = aggs[i];
+    const Acc& acc = accs[i];
+    switch (a.kind) {
+      case AggKind::kCount: {
+        schema.AddField({a.name, DataType::kInt64});
+        cols.push_back(Column::MakeInt64(acc.counts));
+        break;
+      }
+      case AggKind::kSum: {
+        if (rel->column(a.column).type() == DataType::kInt64) {
+          schema.AddField({a.name, DataType::kInt64});
+          cols.push_back(Column::MakeInt64(acc.isums));
+        } else {
+          schema.AddField({a.name, DataType::kFloat64});
+          cols.push_back(Column::MakeFloat64(acc.fsums));
+        }
+        break;
+      }
+      case AggKind::kAvg: {
+        std::vector<double> avgs(num_groups, 0.0);
+        for (size_t g = 0; g < num_groups; ++g) {
+          if (acc.counts[g] > 0) {
+            avgs[g] = acc.fsums[g] / static_cast<double>(acc.counts[g]);
+          }
+        }
+        schema.AddField({a.name, DataType::kFloat64});
+        cols.push_back(Column::MakeFloat64(std::move(avgs)));
+        break;
+      }
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        const Column& c = rel->column(a.column);
+        Column out(c.type());
+        out.Reserve(num_groups);
+        for (size_t g = 0; g < num_groups; ++g) {
+          if (acc.seen.empty() || !acc.seen[g]) {
+            // Empty group (only possible for the global empty-input case):
+            // emit a type-appropriate zero.
+            switch (c.type()) {
+              case DataType::kInt64:
+                out.AppendInt64(0);
+                break;
+              case DataType::kFloat64:
+                out.AppendFloat64(0.0);
+                break;
+              case DataType::kString:
+                out.AppendString("");
+                break;
+            }
+          } else {
+            out.AppendFrom(c, acc.minmax_row[g]);
+          }
+        }
+        schema.AddField({a.name, c.type()});
+        cols.push_back(std::move(out));
+        break;
+      }
+    }
+  }
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+Result<RelationPtr> Distinct(const RelationPtr& rel,
+                             std::vector<size_t> columns) {
+  if (columns.empty()) {
+    columns.resize(rel->num_columns());
+    std::iota(columns.begin(), columns.end(), 0);
+  }
+  SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, columns));
+  RowKey key(*rel, columns);
+  std::unordered_map<uint64_t, std::vector<uint32_t>> seen;
+  seen.reserve(rel->num_rows());
+  std::vector<uint32_t> keep;
+  for (size_t r = 0; r < rel->num_rows(); ++r) {
+    uint64_t h = key.Hash(r);
+    auto& bucket = seen[h];
+    bool dup = false;
+    for (uint32_t prev : bucket) {
+      if (key.Equals(r, key, prev)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(static_cast<uint32_t>(r));
+      keep.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  Schema schema;
+  std::vector<Column> cols;
+  for (size_t c : columns) {
+    schema.AddField(rel->schema().field(c));
+    cols.push_back(rel->column(c).Gather(keep));
+  }
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+Result<RelationPtr> SortBy(const RelationPtr& rel,
+                           const std::vector<SortKey>& keys) {
+  for (const auto& k : keys) {
+    SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, {k.column}));
+  }
+  std::vector<uint32_t> order(rel->num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     for (const auto& k : keys) {
+                       const Column& c = rel->column(k.column);
+                       int cmp = c.ElementCompare(a, c, b);
+                       if (cmp != 0) return k.descending ? cmp > 0 : cmp < 0;
+                     }
+                     return false;
+                   });
+  return GatherRows(*rel, order);
+}
+
+Result<RelationPtr> TopK(const RelationPtr& rel, const SortKey& key,
+                         size_t k) {
+  SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, {key.column}));
+  std::vector<uint32_t> order(rel->num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  size_t n = std::min(k, order.size());
+  const Column& c = rel->column(key.column);
+  auto cmp = [&](uint32_t a, uint32_t b) {
+    int v = c.ElementCompare(a, c, b);
+    if (v != 0) return key.descending ? v > 0 : v < 0;
+    return a < b;  // deterministic tie-break by input order
+  };
+  std::partial_sort(order.begin(), order.begin() + n, order.end(), cmp);
+  order.resize(n);
+  return GatherRows(*rel, order);
+}
+
+Result<RelationPtr> UnionAll(const std::vector<RelationPtr>& inputs) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("UnionAll requires at least one input");
+  }
+  const Schema& schema = inputs[0]->schema();
+  for (const auto& in : inputs) {
+    if (!in->schema().TypesEqual(schema)) {
+      return Status::TypeMismatch(
+          "UnionAll inputs are not union-compatible: " + schema.ToString() +
+          " vs " + in->schema().ToString());
+    }
+  }
+  std::vector<Column> cols;
+  size_t total = 0;
+  for (const auto& in : inputs) total += in->num_rows();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    Column out(schema.field(c).type);
+    out.Reserve(total);
+    for (const auto& in : inputs) {
+      const Column& src = in->column(c);
+      for (size_t r = 0; r < src.size(); ++r) out.AppendFrom(src, r);
+    }
+    cols.push_back(std::move(out));
+  }
+  return Relation::Make(schema, std::move(cols));
+}
+
+Result<RelationPtr> Limit(const RelationPtr& rel, size_t n) {
+  if (n >= rel->num_rows()) return rel;
+  std::vector<uint32_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  return GatherRows(*rel, rows);
+}
+
+Result<RelationPtr> WithRowNumber(const RelationPtr& rel,
+                                  const std::string& name) {
+  Schema schema = rel->schema();
+  schema.AddField({name, DataType::kInt64});
+  std::vector<ColumnPtr> cols;
+  for (size_t c = 0; c < rel->num_columns(); ++c) {
+    cols.push_back(rel->column_ptr(c));
+  }
+  std::vector<int64_t> nums(rel->num_rows());
+  std::iota(nums.begin(), nums.end(), 1);
+  cols.push_back(
+      std::make_shared<const Column>(Column::MakeInt64(std::move(nums))));
+  return Relation::MakeShared(std::move(schema), std::move(cols));
+}
+
+}  // namespace spindle

@@ -1,0 +1,112 @@
+/// \file ops.h
+/// \brief The relational operator kernels of the column-store engine.
+///
+/// Every operator is a pure function RelationPtr -> RelationPtr with full
+/// materialization of its result (MonetDB/BAT execution model). This is
+/// deliberate: it is what makes the paper's adaptive, query-driven
+/// materialization cache (§2.2) natural — any intermediate is a nameable,
+/// reusable table.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/expr.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief Join flavours. Inner emits left columns followed by right
+/// columns; semi/anti emit left columns only.
+enum class JoinType { kInner, kLeftSemi, kLeftAnti };
+
+/// \brief An equi-join key pair (column positions in left and right input).
+struct JoinKey {
+  size_t left;
+  size_t right;
+};
+
+/// \brief Aggregate function kinds.
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+/// \brief One aggregate to compute in GroupAggregate.
+struct AggSpec {
+  AggKind kind;
+  /// Input column (ignored for kCount).
+  size_t column = 0;
+  /// Output field name.
+  std::string name;
+};
+
+/// \brief Sort key: column position and direction.
+struct SortKey {
+  size_t column;
+  bool descending = false;
+};
+
+/// \brief Rows where `predicate` evaluates to non-zero.
+Result<RelationPtr> Filter(const RelationPtr& rel, const ExprPtr& predicate,
+                           const FunctionRegistry& registry);
+
+/// \brief Positional projection; shares column buffers with the input.
+/// If `names` is non-empty it renames the projected fields.
+Result<RelationPtr> ProjectColumns(const RelationPtr& rel,
+                                   const std::vector<size_t>& columns,
+                                   const std::vector<std::string>& names = {});
+
+/// \brief Generalized projection: one expression per output field.
+Result<RelationPtr> ProjectExprs(const RelationPtr& rel,
+                                 const std::vector<ExprPtr>& exprs,
+                                 const std::vector<std::string>& names,
+                                 const FunctionRegistry& registry);
+
+/// \brief Hash equi-join.
+///
+/// Builds on the smaller side for inner joins; emits matches in left-row
+/// order (stable for the left input). Join key columns must have identical
+/// types on both sides.
+Result<RelationPtr> HashJoin(const RelationPtr& left, const RelationPtr& right,
+                             const std::vector<JoinKey>& keys,
+                             JoinType type = JoinType::kInner);
+
+/// \brief Hash group-by with aggregates.
+///
+/// Output schema: the group columns (original names) followed by one field
+/// per AggSpec. An empty `group_columns` yields a single global row
+/// (matching SQL aggregate-without-group-by on non-empty input; on empty
+/// input it yields COUNT=0, SUM=0, and an error-free empty-min convention
+/// of 0 for min/max/avg).
+Result<RelationPtr> GroupAggregate(const RelationPtr& rel,
+                                   const std::vector<size_t>& group_columns,
+                                   const std::vector<AggSpec>& aggs);
+
+/// \brief Distinct rows over the given columns (all columns if empty);
+/// keeps the first occurrence, preserving input order, and projects to the
+/// distinct columns.
+Result<RelationPtr> Distinct(const RelationPtr& rel,
+                             std::vector<size_t> columns = {});
+
+/// \brief Stable sort by the given keys.
+Result<RelationPtr> SortBy(const RelationPtr& rel,
+                           const std::vector<SortKey>& keys);
+
+/// \brief Top-k rows under a single sort key (ties broken by row order).
+Result<RelationPtr> TopK(const RelationPtr& rel, const SortKey& key,
+                         size_t k);
+
+/// \brief Appends union-compatible relations (bag semantics, no dedup).
+/// Output takes the first input's schema.
+Result<RelationPtr> UnionAll(const std::vector<RelationPtr>& inputs);
+
+/// \brief First n rows.
+Result<RelationPtr> Limit(const RelationPtr& rel, size_t n);
+
+/// \brief Appends an int64 column `name` numbering rows 1..N
+/// (the paper's `row_number() over ()`).
+Result<RelationPtr> WithRowNumber(const RelationPtr& rel,
+                                  const std::string& name);
+
+}  // namespace spindle

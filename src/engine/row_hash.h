@@ -1,0 +1,46 @@
+/// \file row_hash.h
+/// \brief Hashing/equality over relation rows restricted to a column
+/// subset. Shared by the join/aggregate kernels and the PRA deduplication
+/// operators.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief A view over selected columns of a relation that can hash and
+/// compare rows. The relation and column vector must outlive the hasher.
+class RowHasher {
+ public:
+  RowHasher(const Relation& rel, std::vector<size_t> cols)
+      : rel_(rel), cols_(std::move(cols)) {}
+
+  uint64_t Hash(size_t row) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (size_t c : cols_) h = HashCombine(h, rel_.column(c).HashAt(row));
+    return h;
+  }
+
+  bool Equals(size_t row, const RowHasher& other, size_t other_row) const {
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      if (!rel_.column(cols_[i]).ElementEquals(
+              row, other.rel_.column(other.cols_[i]), other_row)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const std::vector<size_t>& columns() const { return cols_; }
+
+ private:
+  const Relation& rel_;
+  std::vector<size_t> cols_;
+};
+
+}  // namespace spindle

@@ -1,0 +1,62 @@
+#include "ir/eval.h"
+
+#include <algorithm>
+
+namespace spindle {
+
+std::vector<int64_t> RankedIds(const Relation& ranked) {
+  std::vector<int64_t> ids;
+  ids.reserve(ranked.num_rows());
+  for (size_t r = 0; r < ranked.num_rows(); ++r) {
+    ids.push_back(ranked.column(0).Int64At(r));
+  }
+  return ids;
+}
+
+double PrecisionAtK(const std::vector<int64_t>& ranked,
+                    const RelevantSet& relevant, size_t k) {
+  if (k == 0 || ranked.empty()) return 0.0;
+  size_t n = std::min(k, ranked.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (relevant.count(ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(const std::vector<int64_t>& ranked,
+                 const RelevantSet& relevant, size_t k) {
+  if (relevant.empty()) return 0.0;
+  size_t n = std::min(k, ranked.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (relevant.count(ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double ReciprocalRank(const std::vector<int64_t>& ranked,
+                      const RelevantSet& relevant) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (relevant.count(ranked[i])) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+double AveragePrecision(const std::vector<int64_t>& ranked,
+                        const RelevantSet& relevant) {
+  if (relevant.empty()) return 0.0;
+  double sum = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (relevant.count(ranked[i])) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(relevant.size());
+}
+
+}  // namespace spindle

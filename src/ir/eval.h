@@ -1,0 +1,45 @@
+/// \file eval.h
+/// \brief Retrieval-effectiveness metrics (precision@k, MRR, AP).
+///
+/// The paper's goal is "effective and efficient search solutions"; these
+/// metrics close the loop on the *effective* half: given a ranked result
+/// list and a relevance set, they quantify ranking quality. Used by the
+/// quality tests over synthetic topical collections
+/// (workload/topical_gen.h), where ground-truth relevance is known by
+/// construction.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief A relevance judgment set for one query.
+using RelevantSet = std::unordered_set<int64_t>;
+
+/// \brief Extracts the docID column of a ranked (docID, score) relation
+/// in rank order.
+std::vector<int64_t> RankedIds(const Relation& ranked);
+
+/// \brief Fraction of the top-k results that are relevant. Returns 0 for
+/// k == 0 or an empty ranking.
+double PrecisionAtK(const std::vector<int64_t>& ranked,
+                    const RelevantSet& relevant, size_t k);
+
+/// \brief Fraction of the relevant set retrieved within the top-k.
+double RecallAtK(const std::vector<int64_t>& ranked,
+                 const RelevantSet& relevant, size_t k);
+
+/// \brief Reciprocal rank of the first relevant result (0 if none).
+double ReciprocalRank(const std::vector<int64_t>& ranked,
+                      const RelevantSet& relevant);
+
+/// \brief Average precision over the full ranking.
+double AveragePrecision(const std::vector<int64_t>& ranked,
+                        const RelevantSet& relevant);
+
+}  // namespace spindle

@@ -1,0 +1,250 @@
+#include "ir/indexing.h"
+
+#include "engine/ops.h"
+
+namespace spindle {
+
+namespace {
+
+/// Resolves the (docID, data) columns of a collection relation: prefers
+/// fields named "docID"/"data", falling back to the first int64 and first
+/// string column.
+Status ResolveDocColumns(const Relation& docs, size_t* id_col,
+                         size_t* text_col) {
+  auto id = docs.schema().FindField("docID");
+  auto tx = docs.schema().FindField("data");
+  if (!id.has_value()) {
+    for (size_t c = 0; c < docs.num_columns(); ++c) {
+      if (docs.column(c).type() == DataType::kInt64) {
+        id = c;
+        break;
+      }
+    }
+  }
+  if (!tx.has_value()) {
+    for (size_t c = 0; c < docs.num_columns(); ++c) {
+      if (docs.column(c).type() == DataType::kString) {
+        tx = c;
+        break;
+      }
+    }
+  }
+  if (!id.has_value() || !tx.has_value()) {
+    return Status::InvalidArgument(
+        "collection relation needs an int64 docID column and a string data "
+        "column; got " + docs.schema().ToString());
+  }
+  if (docs.column(*id).type() != DataType::kInt64 ||
+      docs.column(*tx).type() != DataType::kString) {
+    return Status::TypeMismatch("docID must be int64 and data string, got " +
+                                docs.schema().ToString());
+  }
+  *id_col = *id;
+  *text_col = *tx;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RelationPtr> TokenizeRelation(const RelationPtr& rel, size_t text_col,
+                                     const Analyzer& analyzer) {
+  if (text_col >= rel->num_columns()) {
+    return Status::OutOfRange("tokenize column out of range");
+  }
+  if (rel->column(text_col).type() != DataType::kString) {
+    return Status::TypeMismatch("tokenize requires a string column");
+  }
+
+  Schema schema;
+  std::vector<size_t> carry;
+  for (size_t c = 0; c < rel->num_columns(); ++c) {
+    if (c == text_col) continue;
+    schema.AddField(rel->schema().field(c));
+    carry.push_back(c);
+  }
+  schema.AddField({"term", DataType::kString});
+  schema.AddField({"pos", DataType::kInt64});
+
+  std::vector<Column> cols;
+  cols.reserve(schema.num_fields());
+  for (size_t c : carry) cols.emplace_back(rel->column(c).type());
+  Column terms(DataType::kString);
+  Column positions(DataType::kInt64);
+
+  const Column& text = rel->column(text_col);
+  for (size_t r = 0; r < rel->num_rows(); ++r) {
+    std::vector<Token> tokens = analyzer.Analyze(text.StringAt(r));
+    for (const Token& tok : tokens) {
+      for (size_t i = 0; i < carry.size(); ++i) {
+        cols[i].AppendFrom(rel->column(carry[i]), r);
+      }
+      terms.AppendString(tok.text);
+      positions.AppendInt64(tok.pos);
+    }
+  }
+  cols.push_back(std::move(terms));
+  cols.push_back(std::move(positions));
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+Result<TextIndexPtr> TextIndex::Build(const RelationPtr& docs,
+                                      const Analyzer& analyzer) {
+  size_t id_col = 0, text_col = 0;
+  SPINDLE_RETURN_IF_ERROR(ResolveDocColumns(*docs, &id_col, &text_col));
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr narrowed,
+      ProjectColumns(docs, {id_col, text_col}, {"docID", "data"}));
+
+  auto index = std::shared_ptr<TextIndex>(new TextIndex(analyzer));
+
+  // (docID, term, pos) then reordered to Fig. 1's (term, docID, pos).
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr tokenized,
+                           TokenizeRelation(narrowed, 1, analyzer));
+  SPINDLE_ASSIGN_OR_RETURN(
+      index->term_doc_,
+      ProjectColumns(tokenized, {1, 0, 2}, {"term", "docID", "pos"}));
+
+  // doc_len, zero-filled for documents with no surviving tokens so that
+  // avg_doc_len reflects the whole collection.
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr doc_len_nonzero,
+      GroupAggregate(tokenized, {0}, {{AggKind::kCount, 0, "len"}}));
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr all_ids, ProjectColumns(narrowed, {0}, {"docID"}));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr distinct_ids, Distinct(all_ids));
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr missing,
+      HashJoin(distinct_ids, doc_len_nonzero, {{0, 0}},
+               JoinType::kLeftAnti));
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr missing_zero,
+      ProjectExprs(missing, {Expr::Column(0), Expr::LitInt(0)},
+                   {"docID", "len"}, FunctionRegistry::Default()));
+  SPINDLE_ASSIGN_OR_RETURN(index->doc_len_,
+                           UnionAll({doc_len_nonzero, missing_zero}));
+
+  // termdict: row_number() over distinct terms.
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr distinct_terms,
+                           Distinct(index->term_doc_, {0}));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr numbered,
+                           WithRowNumber(distinct_terms, "termID"));
+  SPINDLE_ASSIGN_OR_RETURN(
+      index->termdict_,
+      ProjectColumns(numbered, {1, 0}, {"termID", "term"}));
+
+  // tf: join term_doc with termdict on term, then count.
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr with_ids,
+      HashJoin(index->term_doc_, index->termdict_, {{0, 1}}));
+  // columns: term, docID, pos, termID, term
+  SPINDLE_ASSIGN_OR_RETURN(
+      index->tf_,
+      GroupAggregate(with_ids, {3, 1}, {{AggKind::kCount, 0, "tf"}}));
+
+  const int64_t num_docs = static_cast<int64_t>(distinct_ids->num_rows());
+
+  // idf: ln((N - df + 0.5) / (df + 0.5)), the paper's formulation.
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr df,
+      GroupAggregate(index->tf_, {0}, {{AggKind::kCount, 0, "df"}}));
+  auto df_col = Expr::Column(1);
+  auto idf_expr = Expr::Call(
+      "log", {Expr::Div(
+                 Expr::Add(Expr::Sub(Expr::LitFloat(double(num_docs)),
+                                     df_col),
+                           Expr::LitFloat(0.5)),
+                 Expr::Add(df_col, Expr::LitFloat(0.5)))});
+  SPINDLE_ASSIGN_OR_RETURN(
+      index->idf_,
+      ProjectExprs(df, {Expr::Column(0), df_col, idf_expr},
+                   {"termID", "df", "idf"}, FunctionRegistry::Default()));
+
+  // cf: collection frequency per term (for the language models).
+  SPINDLE_ASSIGN_OR_RETURN(
+      index->cf_,
+      GroupAggregate(index->tf_, {0}, {{AggKind::kSum, 2, "cf"}}));
+
+  // Term-partitioned tf access path (counting sort by the dense termID):
+  // query-independent, built once, reused by every ranking call.
+  {
+    const auto& term_ids = index->tf_->column(0).int64_data();
+    const size_t num_terms = index->termdict_->num_rows();
+    std::vector<uint32_t> counts(num_terms + 2, 0);
+    for (int64_t id : term_ids) counts[static_cast<size_t>(id)]++;
+    index->tf_offsets_.assign(num_terms + 1, {0, 0});
+    uint32_t offset = 0;
+    for (size_t id = 1; id <= num_terms; ++id) {
+      index->tf_offsets_[id] = {offset, counts[id]};
+      offset += counts[id];
+    }
+    index->tf_rows_.resize(term_ids.size());
+    std::vector<uint32_t> cursor(num_terms + 1, 0);
+    for (size_t r = 0; r < term_ids.size(); ++r) {
+      size_t id = static_cast<size_t>(term_ids[r]);
+      index->tf_rows_[index->tf_offsets_[id].first + cursor[id]++] =
+          static_cast<uint32_t>(r);
+    }
+  }
+
+  index->stats_.num_docs = num_docs;
+  index->stats_.num_terms = static_cast<int64_t>(index->termdict_->num_rows());
+  index->stats_.total_postings =
+      static_cast<int64_t>(index->term_doc_->num_rows());
+  index->stats_.avg_doc_len =
+      num_docs == 0 ? 0.0
+                    : static_cast<double>(index->stats_.total_postings) /
+                          static_cast<double>(num_docs);
+  return TextIndexPtr(std::move(index));
+}
+
+std::pair<const uint32_t*, size_t> TextIndex::TfRowsForTerm(
+    int64_t term_id) const {
+  if (term_id < 1 ||
+      term_id >= static_cast<int64_t>(tf_offsets_.size())) {
+    return {nullptr, 0};
+  }
+  const auto& [offset, len] = tf_offsets_[static_cast<size_t>(term_id)];
+  return {tf_rows_.data() + offset, len};
+}
+
+Result<RelationPtr> TextIndex::QueryTerms(const std::string& query) const {
+  std::vector<Token> tokens = analyzer_.Analyze(query);
+  Column terms(DataType::kString);
+  for (const Token& tok : tokens) terms.AppendString(tok.text);
+  Schema schema({{"qterm", DataType::kString}});
+  std::vector<Column> cols;
+  cols.push_back(std::move(terms));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr qrel,
+                           Relation::Make(std::move(schema),
+                                          std::move(cols)));
+  // Join against termdict (term lookup as a relational join, Fig. 1).
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr joined,
+                           HashJoin(qrel, termdict_, {{0, 1}}));
+  // columns: qterm, termID, term
+  return ProjectColumns(joined, {1}, {"termID"});
+}
+
+Result<RelationPtr> TextIndex::QueryTermsWeighted(
+    const std::vector<std::pair<std::string, double>>& texts) const {
+  Column terms(DataType::kString);
+  Column weights(DataType::kFloat64);
+  for (const auto& [text, weight] : texts) {
+    for (const Token& tok : analyzer_.Analyze(text)) {
+      terms.AppendString(tok.text);
+      weights.AppendFloat64(weight);
+    }
+  }
+  Schema schema({{"qterm", DataType::kString}, {"w", DataType::kFloat64}});
+  std::vector<Column> cols;
+  cols.push_back(std::move(terms));
+  cols.push_back(std::move(weights));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr qrel,
+                           Relation::Make(std::move(schema),
+                                          std::move(cols)));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr joined,
+                           HashJoin(qrel, termdict_, {{0, 1}}));
+  // columns: qterm, w, termID, term
+  return ProjectColumns(joined, {2, 1}, {"termID", "w"});
+}
+
+}  // namespace spindle

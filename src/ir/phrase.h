@@ -1,0 +1,42 @@
+/// \file phrase.h
+/// \brief Positional phrase matching and proximity-boosted ranking.
+///
+/// Fig. 1 of the paper stores term *positions* in the relational inverted
+/// index precisely so that "custom distance functions" stay expressible.
+/// This module exercises them: a phrase match is a cascade of self-joins
+/// on (docID, pos - offset) over the term_doc relation — no new index
+/// structure, just relational algebra over the existing views.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "ir/indexing.h"
+#include "ir/ranking.h"
+
+namespace spindle {
+
+/// \brief Documents containing the analyzed terms of `phrase`
+/// consecutively and in order. Returns (docID: int64, phrase_tf: int64),
+/// the number of phrase occurrences per document.
+///
+/// A single-term phrase degenerates to that term's tf; an empty or
+/// fully-out-of-vocabulary phrase yields an empty relation.
+Result<RelationPtr> MatchPhrase(const TextIndex& index,
+                                const std::string& phrase);
+
+/// \brief BM25 with a phrase bonus: score = bm25 + boost * ln(1 +
+/// phrase_tf). Documents matching only the bag-of-words still rank; exact
+/// phrase hits move up.
+struct PhraseBoostParams {
+  Bm25Params bm25;
+  double boost = 1.0;
+};
+
+Result<RelationPtr> RankBm25PhraseBoosted(const TextIndex& index,
+                                          const std::string& query,
+                                          const PhraseBoostParams& params =
+                                              {});
+
+}  // namespace spindle

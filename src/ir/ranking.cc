@@ -1,0 +1,204 @@
+#include "ir/ranking.h"
+
+#include "engine/ops.h"
+
+namespace spindle {
+
+namespace {
+
+const FunctionRegistry& Reg() { return FunctionRegistry::Default(); }
+
+Status CheckQterms(const RelationPtr& qterms) {
+  if (qterms->num_columns() < 1 ||
+      qterms->column(0).type() != DataType::kInt64) {
+    return Status::InvalidArgument(
+        "qterms must be a (termID: int64[, w: float64]) relation");
+  }
+  if (qterms->num_columns() >= 2 &&
+      qterms->column(1).type() != DataType::kFloat64) {
+    return Status::TypeMismatch("qterms weight column must be float64");
+  }
+  return Status::OK();
+}
+
+/// tf (termID, docID, tf) restricted to query terms (one copy per query
+/// occurrence): join tf x qterms on termID. Output: (termID, docID, tf, w)
+/// where w is the per-query-term weight (1.0 when qterms has no weight
+/// column) — weighted query terms are how synonym/compound expansion
+/// contributes with reduced influence (paper §3, production strategy).
+Result<RelationPtr> MatchQuery(const TextIndex& index,
+                               const RelationPtr& qterms) {
+  // Equivalent to HashJoin(tf, qterms, termID = termID), but goes through
+  // the query-independent term-partitioned access path so only matching
+  // tf rows are touched (see TextIndex::TfRowsForTerm).
+  const bool weighted = qterms->num_columns() >= 2;
+  std::vector<uint32_t> rows;
+  std::vector<double> weights;
+  for (size_t q = 0; q < qterms->num_rows(); ++q) {
+    auto [begin, len] =
+        index.TfRowsForTerm(qterms->column(0).Int64At(q));
+    double w = weighted ? qterms->column(1).Float64At(q) : 1.0;
+    rows.insert(rows.end(), begin, begin + len);
+    weights.insert(weights.end(), len, w);
+  }
+  Schema schema({{"termID", DataType::kInt64},
+                 {"docID", DataType::kInt64},
+                 {"tf", DataType::kInt64},
+                 {"w", DataType::kFloat64}});
+  std::vector<Column> cols;
+  cols.push_back(index.tf()->column(0).Gather(rows));
+  cols.push_back(index.tf()->column(1).Gather(rows));
+  cols.push_back(index.tf()->column(2).Gather(rows));
+  cols.push_back(Column::MakeFloat64(std::move(weights)));
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+}  // namespace
+
+Result<RelationPtr> RankBm25(const TextIndex& index,
+                             const RelationPtr& qterms,
+                             const Bm25Params& params) {
+  SPINDLE_RETURN_IF_ERROR(CheckQterms(qterms));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr matched, MatchQuery(index, qterms));
+  // + idf:   termID, docID, tf, termID, df, idf
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr with_idf,
+                           HashJoin(matched, index.idf(), {{0, 0}}));
+  // + len:   ..., docID, len
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr with_len,
+                           HashJoin(with_idf, index.doc_len(), {{1, 0}}));
+  // columns: termID, docID, tf, w, termID, df, idf, docID, len
+  const size_t kDoc = 1, kTf = 2, kW = 3, kIdf = 6, kLen = 8;
+  const double avgdl =
+      index.stats().avg_doc_len > 0 ? index.stats().avg_doc_len : 1.0;
+  // tf / (tf + k1*(1 - b + b*len/avgdl)) * idf   — the paper's tf_bm25
+  // with the idf contribution folded in.
+  auto tf = Expr::Call("to_float64", {Expr::Column(kTf)});
+  auto norm = Expr::Add(
+      tf, Expr::Mul(Expr::LitFloat(params.k1),
+                    Expr::Add(Expr::LitFloat(1.0 - params.b),
+                              Expr::Mul(Expr::LitFloat(params.b),
+                                        Expr::Div(Expr::Column(kLen),
+                                                  Expr::LitFloat(avgdl))))));
+  auto weight = Expr::Mul(Expr::Mul(Expr::Div(tf, norm), Expr::Column(kIdf)),
+                          Expr::Column(kW));
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr weighted,
+      ProjectExprs(with_len, {Expr::Column(kDoc), weight},
+                   {"docID", "w"}, Reg()));
+  return GroupAggregate(weighted, {0}, {{AggKind::kSum, 1, "score"}});
+}
+
+Result<RelationPtr> RankTfIdf(const TextIndex& index,
+                              const RelationPtr& qterms) {
+  SPINDLE_RETURN_IF_ERROR(CheckQterms(qterms));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr matched, MatchQuery(index, qterms));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr with_df,
+                           HashJoin(matched, index.idf(), {{0, 0}}));
+  // columns: termID, docID, tf, w, termID, df, idf
+  const size_t kDoc = 1, kTf = 2, kW = 3, kDf = 5;
+  const double n = static_cast<double>(
+      index.stats().num_docs > 0 ? index.stats().num_docs : 1);
+  auto tf = Expr::Call("to_float64", {Expr::Column(kTf)});
+  auto plain_idf = Expr::Call(
+      "log", {Expr::Div(Expr::LitFloat(n), Expr::Column(kDf))});
+  auto weight = Expr::Mul(
+      Expr::Mul(Expr::Add(Expr::LitFloat(1.0), Expr::Call("log", {tf})),
+                plain_idf),
+      Expr::Column(kW));
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr weighted,
+      ProjectExprs(with_df, {Expr::Column(kDoc), weight}, {"docID", "w"},
+                   Reg()));
+  return GroupAggregate(weighted, {0}, {{AggKind::kSum, 1, "score"}});
+}
+
+Result<RelationPtr> RankLmDirichlet(const TextIndex& index,
+                                    const RelationPtr& qterms,
+                                    const DirichletParams& params) {
+  SPINDLE_RETURN_IF_ERROR(CheckQterms(qterms));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr matched, MatchQuery(index, qterms));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr with_cf,
+                           HashJoin(matched, index.cf(), {{0, 0}}));
+  // columns: termID, docID, tf, w, termID, cf
+  const size_t kDoc = 1, kTf = 2, kW = 3, kCf = 5;
+  const double total = static_cast<double>(
+      index.stats().total_postings > 0 ? index.stats().total_postings : 1);
+  const double mu = params.mu;
+  // w * ln(1 + tf * total / (mu * cf))
+  auto tf = Expr::Call("to_float64", {Expr::Column(kTf)});
+  auto term_part = Expr::Mul(
+      Expr::Call(
+          "log",
+          {Expr::Add(Expr::LitFloat(1.0),
+                     Expr::Div(Expr::Mul(tf, Expr::LitFloat(total)),
+                               Expr::Mul(Expr::LitFloat(mu),
+                                         Expr::Column(kCf))))}),
+      Expr::Column(kW));
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr weighted,
+      ProjectExprs(with_cf, {Expr::Column(kDoc), term_part}, {"docID", "m"},
+                   Reg()));
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr summed,
+      GroupAggregate(weighted, {0}, {{AggKind::kSum, 1, "msum"}}));
+  // + |q| * ln(mu / (len + mu)) over candidate documents; with weighted
+  // query terms |q| generalizes to the total query weight.
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr with_len,
+                           HashJoin(summed, index.doc_len(), {{0, 0}}));
+  // columns: docID, msum, docID, len
+  double qlen = 0.0;
+  if (qterms->num_columns() >= 2) {
+    for (double w : qterms->column(1).float64_data()) qlen += w;
+  } else {
+    qlen = static_cast<double>(qterms->num_rows());
+  }
+  auto len_part = Expr::Mul(
+      Expr::LitFloat(qlen),
+      Expr::Call("log",
+                 {Expr::Div(Expr::LitFloat(mu),
+                            Expr::Add(Expr::Column(3),
+                                      Expr::LitFloat(mu)))}));
+  return ProjectExprs(with_len,
+                      {Expr::Column(0), Expr::Add(Expr::Column(1), len_part)},
+                      {"docID", "score"}, Reg());
+}
+
+Result<RelationPtr> RankLmJelinekMercer(const TextIndex& index,
+                                        const RelationPtr& qterms,
+                                        const JelinekMercerParams& params) {
+  SPINDLE_RETURN_IF_ERROR(CheckQterms(qterms));
+  if (params.lambda <= 0.0 || params.lambda >= 1.0) {
+    return Status::InvalidArgument("lambda must be in (0, 1)");
+  }
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr matched, MatchQuery(index, qterms));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr with_cf,
+                           HashJoin(matched, index.cf(), {{0, 0}}));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr with_len,
+                           HashJoin(with_cf, index.doc_len(), {{1, 0}}));
+  // columns: termID, docID, tf, w, termID, cf, docID, len
+  const size_t kDoc = 1, kTf = 2, kW = 3, kCf = 5, kLen = 7;
+  const double total = static_cast<double>(
+      index.stats().total_postings > 0 ? index.stats().total_postings : 1);
+  const double ratio = (1.0 - params.lambda) / params.lambda;
+  // w * ln(1 + ratio * (tf/len) / (cf/total))
+  auto tf = Expr::Call("to_float64", {Expr::Column(kTf)});
+  auto weight = Expr::Mul(
+      Expr::Call(
+          "log",
+          {Expr::Add(
+              Expr::LitFloat(1.0),
+              Expr::Mul(Expr::LitFloat(ratio),
+                        Expr::Div(Expr::Mul(tf, Expr::LitFloat(total)),
+                                  Expr::Mul(Expr::Column(kLen),
+                                            Expr::Call(
+                                                "to_float64",
+                                                {Expr::Column(kCf)})))))}),
+      Expr::Column(kW));
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr weighted,
+      ProjectExprs(with_len, {Expr::Column(kDoc), weight}, {"docID", "w"},
+                   Reg()));
+  return GroupAggregate(weighted, {0}, {{AggKind::kSum, 1, "score"}});
+}
+
+}  // namespace spindle

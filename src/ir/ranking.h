@@ -1,0 +1,69 @@
+/// \file ranking.h
+/// \brief Retrieval models as relational pipelines over a TextIndex.
+///
+/// The paper implements Okapi BM25 as a cascade of SQL views and observes
+/// that "most alternative ranking functions would easily adapt or reuse
+/// large parts of this implementation". Spindle ships BM25, TF-IDF and two
+/// query-likelihood language models; all four share the materialized,
+/// query-independent views (tf, doc_len, idf, cf) and differ only in the
+/// final join-project-aggregate.
+///
+/// Every ranker returns (docID: int64, score: float64), unsorted; compose
+/// with TopK for result lists. Scores follow the conventions of each
+/// model; the PRA layer treats them as (unnormalized) probabilities of
+/// relevance, which the relational Bayes can normalize when needed.
+
+#pragma once
+
+#include "common/status.h"
+#include "ir/indexing.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief Okapi BM25 free parameters (paper: k1 saturation, b doc-length
+/// normalization).
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// \brief score(d) = sum over query terms of
+/// idf * tf / (tf + k1 * (1 - b + b * len/avgdl)).
+///
+/// `qterms` is a (termID) relation, typically TextIndex::QueryTerms();
+/// duplicated query terms contribute once per occurrence, as in the
+/// paper's SQL.
+Result<RelationPtr> RankBm25(const TextIndex& index,
+                             const RelationPtr& qterms,
+                             const Bm25Params& params = {});
+
+/// \brief score(d) = sum (1 + ln tf) * ln(N / df).
+Result<RelationPtr> RankTfIdf(const TextIndex& index,
+                              const RelationPtr& qterms);
+
+/// \brief Dirichlet-smoothed query likelihood.
+struct DirichletParams {
+  double mu = 2000.0;
+};
+
+/// \brief score(d) = sum_{t in q∩d} ln(1 + tf / (mu * P(t|C)))
+///                   + |q| * ln(mu / (len + mu)),
+/// the standard rank-equivalent decomposition of Dirichlet QL restricted
+/// to candidate documents (those matching at least one query term).
+Result<RelationPtr> RankLmDirichlet(const TextIndex& index,
+                                    const RelationPtr& qterms,
+                                    const DirichletParams& params = {});
+
+/// \brief Jelinek-Mercer smoothed query likelihood.
+struct JelinekMercerParams {
+  double lambda = 0.1;  ///< collection weight
+};
+
+/// \brief score(d) = sum_{t in q∩d}
+///   ln(1 + (1 - lambda)/lambda * (tf/len) / P(t|C)).
+Result<RelationPtr> RankLmJelinekMercer(const TextIndex& index,
+                                        const RelationPtr& qterms,
+                                        const JelinekMercerParams& params = {});
+
+}  // namespace spindle

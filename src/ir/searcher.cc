@@ -1,0 +1,86 @@
+#include "ir/searcher.h"
+
+#include "engine/ops.h"
+#include "ir/phrase.h"
+
+namespace spindle {
+
+const char* RankModelName(RankModel model) {
+  switch (model) {
+    case RankModel::kBm25:
+      return "bm25";
+    case RankModel::kTfIdf:
+      return "tfidf";
+    case RankModel::kLmDirichlet:
+      return "lm-dirichlet";
+    case RankModel::kLmJelinekMercer:
+      return "lm-jm";
+  }
+  return "?";
+}
+
+Result<RelationPtr> RankWithModel(const TextIndex& index,
+                                  const RelationPtr& qterms,
+                                  const SearchOptions& options) {
+  RelationPtr scored;
+  switch (options.model) {
+    case RankModel::kBm25: {
+      SPINDLE_ASSIGN_OR_RETURN(scored,
+                               RankBm25(index, qterms, options.bm25));
+      break;
+    }
+    case RankModel::kTfIdf: {
+      SPINDLE_ASSIGN_OR_RETURN(scored, RankTfIdf(index, qterms));
+      break;
+    }
+    case RankModel::kLmDirichlet: {
+      SPINDLE_ASSIGN_OR_RETURN(
+          scored, RankLmDirichlet(index, qterms, options.dirichlet));
+      break;
+    }
+    case RankModel::kLmJelinekMercer: {
+      SPINDLE_ASSIGN_OR_RETURN(
+          scored, RankLmJelinekMercer(index, qterms, options.jm));
+      break;
+    }
+  }
+  size_t k = options.top_k == 0 ? scored->num_rows() : options.top_k;
+  return TopK(scored, SortKey{1, /*descending=*/true}, k);
+}
+
+Result<TextIndexPtr> Searcher::GetOrBuildIndex(
+    const RelationPtr& docs, const std::string& collection_signature) {
+  SPINDLE_ASSIGN_OR_RETURN(Analyzer analyzer,
+                           Analyzer::Make(analyzer_options_));
+  std::string key = collection_signature + "|" + analyzer.Signature();
+  auto it = indexes_.find(key);
+  if (it != indexes_.end()) {
+    stats_.index_hits++;
+    return it->second;
+  }
+  stats_.index_misses++;
+  SPINDLE_ASSIGN_OR_RETURN(TextIndexPtr index,
+                           TextIndex::Build(docs, analyzer));
+  indexes_.emplace(std::move(key), index);
+  return index;
+}
+
+Result<RelationPtr> Searcher::Search(const RelationPtr& docs,
+                                     const std::string& collection_signature,
+                                     const std::string& query,
+                                     const SearchOptions& options) {
+  SPINDLE_ASSIGN_OR_RETURN(TextIndexPtr index,
+                           GetOrBuildIndex(docs, collection_signature));
+  if (options.phrase_boost > 0.0 && options.model == RankModel::kBm25) {
+    SPINDLE_ASSIGN_OR_RETURN(
+        RelationPtr scored,
+        RankBm25PhraseBoosted(*index, query,
+                              {options.bm25, options.phrase_boost}));
+    size_t k = options.top_k == 0 ? scored->num_rows() : options.top_k;
+    return TopK(scored, SortKey{1, /*descending=*/true}, k);
+  }
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr qterms, index->QueryTerms(query));
+  return RankWithModel(*index, qterms, options);
+}
+
+}  // namespace spindle

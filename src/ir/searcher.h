@@ -1,0 +1,88 @@
+/// \file searcher.h
+/// \brief High-level keyword search with on-demand index reuse.
+///
+/// A Searcher builds TextIndexes on demand for (sub-)collections and keeps
+/// them keyed by (collection signature, analyzer signature) — the IR-side
+/// instance of the paper's adaptive materialization: "two distinct inverted
+/// indices were created on-demand, given the selected sub-collection"
+/// (paper §3), and re-requesting the same sub-collection hits the cache.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "ir/indexing.h"
+#include "ir/ranking.h"
+
+namespace spindle {
+
+/// \brief Which retrieval model Search() runs.
+enum class RankModel { kBm25, kTfIdf, kLmDirichlet, kLmJelinekMercer };
+
+const char* RankModelName(RankModel model);
+
+/// \brief Search configuration: model, its parameters, result-list size.
+struct SearchOptions {
+  RankModel model = RankModel::kBm25;
+  Bm25Params bm25;
+  DirichletParams dirichlet;
+  JelinekMercerParams jm;
+  /// Top-k cutoff; 0 returns all matching documents (unsorted callers
+  /// beware: k == 0 still sorts by score descending).
+  size_t top_k = 10;
+  /// BM25 only: when > 0, documents containing the query as an exact
+  /// phrase get a bonus of phrase_boost * ln(1 + phrase_tf), using the
+  /// positional self-join of ir/phrase.h.
+  double phrase_boost = 0.0;
+};
+
+/// \brief Builds, caches and queries on-demand text indexes.
+class Searcher {
+ public:
+  struct Stats {
+    uint64_t index_hits = 0;
+    uint64_t index_misses = 0;
+  };
+
+  explicit Searcher(AnalyzerOptions analyzer_options = {})
+      : analyzer_options_(std::move(analyzer_options)) {}
+
+  /// \brief Returns the index for `docs` under this searcher's analyzer,
+  /// building it if `collection_signature` has not been seen (or the
+  /// analyzer changed). The signature must uniquely identify the
+  /// collection contents — e.g. a SpinQL expression signature or a
+  /// catalog name + version.
+  Result<TextIndexPtr> GetOrBuildIndex(
+      const RelationPtr& docs, const std::string& collection_signature);
+
+  /// \brief Ranks `docs` for `query`; returns (docID, score) sorted by
+  /// score descending, cut to options.top_k.
+  Result<RelationPtr> Search(const RelationPtr& docs,
+                             const std::string& collection_signature,
+                             const std::string& query,
+                             const SearchOptions& options = {});
+
+  /// \brief Drops all cached indexes (cold-start measurements).
+  void ClearIndexCache() { indexes_.clear(); }
+
+  const Stats& stats() const { return stats_; }
+  const AnalyzerOptions& analyzer_options() const {
+    return analyzer_options_;
+  }
+
+ private:
+  AnalyzerOptions analyzer_options_;
+  std::unordered_map<std::string, TextIndexPtr> indexes_;
+  Stats stats_;
+};
+
+/// \brief Runs the configured model over a prebuilt index: (docID, score)
+/// sorted descending, cut to options.top_k.
+Result<RelationPtr> RankWithModel(const TextIndex& index,
+                                  const RelationPtr& qterms,
+                                  const SearchOptions& options);
+
+}  // namespace spindle

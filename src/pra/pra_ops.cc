@@ -1,0 +1,287 @@
+#include "pra/pra_ops.h"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "engine/row_hash.h"
+
+namespace spindle {
+namespace pra {
+
+namespace {
+
+/// Merges duplicate rows of `attrs` (all columns are key columns),
+/// combining the parallel `probs` under `assumption`. Returns the merged
+/// relation with a trailing p column.
+Result<ProbRelation> DedupCombine(const RelationPtr& attrs,
+                                  const std::vector<double>& probs,
+                                  Assumption assumption) {
+  std::vector<size_t> all_cols(attrs->num_columns());
+  std::iota(all_cols.begin(), all_cols.end(), 0);
+  RowHasher key(*attrs, all_cols);
+
+  std::unordered_map<uint64_t, std::vector<std::pair<uint32_t, uint32_t>>>
+      buckets;
+  buckets.reserve(attrs->num_rows());
+  std::vector<uint32_t> repr_rows;
+  std::vector<double> merged;
+  for (size_t r = 0; r < attrs->num_rows(); ++r) {
+    uint64_t h = key.Hash(r);
+    auto& bucket = buckets[h];
+    bool found = false;
+    for (auto& [repr, g] : bucket) {
+      if (key.Equals(r, key, repr)) {
+        merged[g] = CombineProb(assumption, merged[g], probs[r]);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      uint32_t g = static_cast<uint32_t>(repr_rows.size());
+      bucket.emplace_back(static_cast<uint32_t>(r), g);
+      repr_rows.push_back(static_cast<uint32_t>(r));
+      merged.push_back(probs[r]);
+    }
+  }
+
+  Schema schema = attrs->schema();
+  schema.AddField({"p", DataType::kFloat64});
+  std::vector<Column> cols;
+  cols.reserve(attrs->num_columns() + 1);
+  for (size_t c = 0; c < attrs->num_columns(); ++c) {
+    cols.push_back(attrs->column(c).Gather(repr_rows));
+  }
+  cols.push_back(Column::MakeFloat64(std::move(merged)));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr out,
+                           Relation::Make(std::move(schema),
+                                          std::move(cols)));
+  return ProbRelation::Wrap(std::move(out));
+}
+
+/// Builds (attrs + p) without merging.
+Result<ProbRelation> AttachP(Schema attr_schema, std::vector<Column> attrs,
+                             std::vector<double> probs) {
+  attr_schema.AddField({"p", DataType::kFloat64});
+  attrs.push_back(Column::MakeFloat64(std::move(probs)));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr out,
+                           Relation::Make(std::move(attr_schema),
+                                          std::move(attrs)));
+  return ProbRelation::Wrap(std::move(out));
+}
+
+}  // namespace
+
+Result<ProbRelation> Select(const ProbRelation& in, const ExprPtr& predicate,
+                            const FunctionRegistry& registry) {
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr out,
+                           Filter(in.rel(), predicate, registry));
+  return ProbRelation::Wrap(std::move(out));
+}
+
+Result<ProbRelation> Project(const ProbRelation& in,
+                             const std::vector<ExprPtr>& items,
+                             const std::vector<std::string>& names,
+                             Assumption assumption,
+                             const FunctionRegistry& registry) {
+  if (items.size() != names.size()) {
+    return Status::InvalidArgument("Project: items/names size mismatch");
+  }
+  const size_t nrows = in.num_rows();
+  if (items.empty()) {
+    // Projection onto the empty schema: one tuple aggregating the whole
+    // input (empty relation for empty input). A relation cannot carry
+    // rows without columns, so the result holds only the p column.
+    Schema p_only({{"p", DataType::kFloat64}});
+    if (nrows == 0) {
+      return ProbRelation::Wrap(Relation::Empty(std::move(p_only)));
+    }
+    const auto& probs = in.rel()->column(in.prob_col()).float64_data();
+    double combined = probs[0];
+    for (size_t r = 1; r < nrows; ++r) {
+      combined = CombineProb(assumption, combined, probs[r]);
+    }
+    std::vector<Column> cols;
+    cols.push_back(Column::MakeFloat64({combined}));
+    SPINDLE_ASSIGN_OR_RETURN(
+        RelationPtr out, Relation::Make(std::move(p_only), std::move(cols)));
+    return ProbRelation::Wrap(std::move(out));
+  }
+  Schema attr_schema;
+  std::vector<Column> attr_cols;
+  attr_cols.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    SPINDLE_ASSIGN_OR_RETURN(Column c,
+                             items[i]->Evaluate(*in.rel(), registry));
+    SPINDLE_ASSIGN_OR_RETURN(c, MaterializeFull(std::move(c), nrows));
+    attr_schema.AddField({names[i], c.type()});
+    attr_cols.push_back(std::move(c));
+  }
+  std::vector<double> probs = in.rel()->column(in.prob_col()).float64_data();
+
+  if (assumption == Assumption::kAll) {
+    return AttachP(std::move(attr_schema), std::move(attr_cols),
+                   std::move(probs));
+  }
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr attrs,
+      Relation::Make(std::move(attr_schema), std::move(attr_cols)));
+  return DedupCombine(attrs, probs, assumption);
+}
+
+Result<ProbRelation> ProjectPositions(const ProbRelation& in,
+                                      const std::vector<size_t>& positions,
+                                      Assumption assumption) {
+  std::vector<ExprPtr> items;
+  std::vector<std::string> names;
+  for (size_t pos : positions) {
+    if (pos >= in.arity()) {
+      return Status::OutOfRange("projection position " +
+                                std::to_string(pos + 1) +
+                                " addresses the probability column or "
+                                "lies beyond the relation arity");
+    }
+    items.push_back(Expr::Column(pos));
+    names.push_back(in.rel()->schema().field(pos).name);
+  }
+  return Project(in, items, names, assumption, FunctionRegistry::Default());
+}
+
+Result<ProbRelation> JoinIndependent(const ProbRelation& left,
+                                     const ProbRelation& right,
+                                     const std::vector<JoinKey>& keys) {
+  for (const auto& k : keys) {
+    if (k.left >= left.arity() || k.right >= right.arity()) {
+      return Status::OutOfRange(
+          "join key addresses the probability column or lies beyond the "
+          "relation arity");
+    }
+  }
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr joined,
+      HashJoin(left.rel(), right.rel(), keys, JoinType::kInner));
+  // Layout: left attrs, left p, right attrs, right p.
+  const size_t lp = left.prob_col();
+  const size_t rp = left.rel()->num_columns() + right.prob_col();
+  std::vector<ExprPtr> items;
+  std::vector<std::string> names;
+  for (size_t c = 0; c < left.arity(); ++c) {
+    items.push_back(Expr::Column(c));
+    names.push_back(joined->schema().field(c).name);
+  }
+  for (size_t c = 0; c < right.arity(); ++c) {
+    size_t idx = left.rel()->num_columns() + c;
+    items.push_back(Expr::Column(idx));
+    names.push_back(joined->schema().field(idx).name);
+  }
+  items.push_back(Expr::Mul(Expr::Column(lp), Expr::Column(rp)));
+  names.push_back("p");
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr out,
+      ProjectExprs(joined, items, names, FunctionRegistry::Default()));
+  return ProbRelation::Wrap(std::move(out));
+}
+
+Result<ProbRelation> Unite(Assumption assumption,
+                           const std::vector<ProbRelation>& inputs) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("Unite requires at least one input");
+  }
+  std::vector<RelationPtr> rels;
+  rels.reserve(inputs.size());
+  for (const auto& in : inputs) rels.push_back(in.rel());
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr appended, UnionAll(rels));
+  SPINDLE_ASSIGN_OR_RETURN(ProbRelation bag,
+                           ProbRelation::Wrap(std::move(appended)));
+  if (assumption == Assumption::kAll) return bag;
+  std::vector<size_t> positions(bag.arity());
+  std::iota(positions.begin(), positions.end(), 0);
+  return ProjectPositions(bag, positions, assumption);
+}
+
+Result<ProbRelation> Weight(const ProbRelation& in, double weight) {
+  std::vector<double> probs = in.rel()->column(in.prob_col()).float64_data();
+  for (double& p : probs) p *= weight;
+  Schema schema;
+  std::vector<Column> cols;
+  for (size_t c = 0; c < in.arity(); ++c) {
+    schema.AddField(in.rel()->schema().field(c));
+    Column copy = in.rel()->column(c);
+    cols.push_back(std::move(copy));
+  }
+  return AttachP(std::move(schema), std::move(cols), std::move(probs));
+}
+
+Result<ProbRelation> Complement(const ProbRelation& in) {
+  std::vector<double> probs = in.rel()->column(in.prob_col()).float64_data();
+  for (double& p : probs) p = 1.0 - p;
+  Schema schema;
+  std::vector<Column> cols;
+  for (size_t c = 0; c < in.arity(); ++c) {
+    schema.AddField(in.rel()->schema().field(c));
+    Column copy = in.rel()->column(c);
+    cols.push_back(std::move(copy));
+  }
+  return AttachP(std::move(schema), std::move(cols), std::move(probs));
+}
+
+Result<ProbRelation> Bayes(const ProbRelation& in,
+                           const std::vector<size_t>& group_cols) {
+  for (size_t c : group_cols) {
+    if (c >= in.arity()) {
+      return Status::OutOfRange("Bayes group column out of range");
+    }
+  }
+  const size_t n = in.num_rows();
+  std::vector<double> probs = in.rel()->column(in.prob_col()).float64_data();
+
+  std::vector<double> group_sum;
+  std::vector<uint32_t> group_of_row(n);
+  if (group_cols.empty()) {
+    double total = std::accumulate(probs.begin(), probs.end(), 0.0);
+    group_sum.assign(1, total);
+    std::fill(group_of_row.begin(), group_of_row.end(), 0);
+  } else {
+    RowHasher key(*in.rel(), group_cols);
+    std::unordered_map<uint64_t, std::vector<std::pair<uint32_t, uint32_t>>>
+        buckets;
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t h = key.Hash(r);
+      auto& bucket = buckets[h];
+      uint32_t gid = UINT32_MAX;
+      for (auto& [repr, g] : bucket) {
+        if (key.Equals(r, key, repr)) {
+          gid = g;
+          break;
+        }
+      }
+      if (gid == UINT32_MAX) {
+        gid = static_cast<uint32_t>(group_sum.size());
+        bucket.emplace_back(static_cast<uint32_t>(r), gid);
+        group_sum.push_back(0.0);
+      }
+      group_of_row[r] = gid;
+      group_sum[gid] += probs[r];
+    }
+  }
+  for (size_t r = 0; r < n; ++r) {
+    double denom = group_sum[group_of_row[r]];
+    probs[r] = denom > 0.0 ? probs[r] / denom : 0.0;
+  }
+  Schema schema;
+  std::vector<Column> cols;
+  for (size_t c = 0; c < in.arity(); ++c) {
+    schema.AddField(in.rel()->schema().field(c));
+    Column copy = in.rel()->column(c);
+    cols.push_back(std::move(copy));
+  }
+  return AttachP(std::move(schema), std::move(cols), std::move(probs));
+}
+
+Result<ProbRelation> TopKByProb(const ProbRelation& in, size_t k) {
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr out, TopK(in.rel(), SortKey{in.prob_col(), true}, k));
+  return ProbRelation::Wrap(std::move(out));
+}
+
+}  // namespace pra
+}  // namespace spindle

@@ -1,0 +1,76 @@
+/// \file pra_ops.h
+/// \brief The Probabilistic Relational Algebra operators (paper §2.3,
+/// after Fuhr & Rölleke [8] and Roelleke et al. [12]).
+///
+/// Each operator states how probabilities combine when tuples are
+/// processed: selections keep them, independent joins multiply them,
+/// projections/unions merge duplicates under an explicit Assumption, and
+/// the relational Bayes normalizes them within groups. "If applied
+/// correctly, this algebra allows to keep the probabilistic computation
+/// sound."
+
+#pragma once
+
+#include <vector>
+
+#include "engine/expr.h"
+#include "engine/ops.h"
+#include "pra/prob_relation.h"
+
+namespace spindle {
+namespace pra {
+
+/// \brief sigma: keeps tuples whose predicate holds; probabilities pass
+/// through unchanged. The predicate may reference attribute columns and p.
+Result<ProbRelation> Select(const ProbRelation& in, const ExprPtr& predicate,
+                            const FunctionRegistry& registry);
+
+/// \brief pi: projects attribute expressions, then merges duplicate
+/// tuples under `assumption`. With kAll, duplicates are kept (bag).
+///
+/// An empty `items` list projects onto the empty schema: the result is a
+/// single tuple whose probability aggregates the whole input (PRA's way of
+/// counting / summing evidence), or an empty relation for empty input.
+Result<ProbRelation> Project(const ProbRelation& in,
+                             const std::vector<ExprPtr>& items,
+                             const std::vector<std::string>& names,
+                             Assumption assumption,
+                             const FunctionRegistry& registry);
+
+/// \brief Positional projection shortcut (no expression evaluation).
+Result<ProbRelation> ProjectPositions(const ProbRelation& in,
+                                      const std::vector<size_t>& positions,
+                                      Assumption assumption);
+
+/// \brief join^indep: equi-join; p = p_left * p_right. Keys are attribute
+/// positions (p cannot be a key). Output: left attributes, right
+/// attributes, p.
+Result<ProbRelation> JoinIndependent(const ProbRelation& left,
+                                     const ProbRelation& right,
+                                     const std::vector<JoinKey>& keys);
+
+/// \brief union: appends union-compatible inputs and merges duplicate
+/// tuples under `assumption` (kAll appends without merging).
+Result<ProbRelation> Unite(Assumption assumption,
+                           const std::vector<ProbRelation>& inputs);
+
+/// \brief Scales every probability by w (the building block of linear
+/// mixes: WEIGHT + UNITE DISJOINT).
+Result<ProbRelation> Weight(const ProbRelation& in, double weight);
+
+/// \brief complement: p -> 1 - p on the same tuple set.
+Result<ProbRelation> Complement(const ProbRelation& in);
+
+/// \brief The relational Bayes [12]: normalizes p within each group of
+/// equal values on `group_cols` (attribute positions); empty `group_cols`
+/// normalizes over the whole relation. Groups whose probability mass is 0
+/// keep p = 0.
+Result<ProbRelation> Bayes(const ProbRelation& in,
+                           const std::vector<size_t>& group_cols);
+
+/// \brief Keeps the k most probable tuples, ordered by descending p
+/// (ties broken by input order).
+Result<ProbRelation> TopKByProb(const ProbRelation& in, size_t k);
+
+}  // namespace pra
+}  // namespace spindle

@@ -1,0 +1,75 @@
+#include "pra/prob_relation.h"
+
+#include <algorithm>
+
+namespace spindle {
+
+const char* AssumptionName(Assumption a) {
+  switch (a) {
+    case Assumption::kIndependent:
+      return "INDEPENDENT";
+    case Assumption::kDisjoint:
+      return "DISJOINT";
+    case Assumption::kMax:
+      return "MAX";
+    case Assumption::kAll:
+      return "ALL";
+  }
+  return "?";
+}
+
+double CombineProb(Assumption assumption, double a, double b) {
+  switch (assumption) {
+    case Assumption::kIndependent:
+      return 1.0 - (1.0 - a) * (1.0 - b);
+    case Assumption::kDisjoint:
+      return a + b;
+    case Assumption::kMax:
+      return std::max(a, b);
+    case Assumption::kAll:
+      return a;
+  }
+  return a;
+}
+
+Result<ProbRelation> ProbRelation::Wrap(RelationPtr rel) {
+  if (rel->num_columns() == 0) {
+    return Status::InvalidArgument("probabilistic relation needs columns");
+  }
+  const Field& last = rel->schema().field(rel->num_columns() - 1);
+  if (last.type != DataType::kFloat64 || last.name != "p") {
+    return Status::InvalidArgument(
+        "last column must be float64 'p', got " + rel->schema().ToString());
+  }
+  return ProbRelation(std::move(rel));
+}
+
+Result<ProbRelation> ProbRelation::Attach(RelationPtr rel) {
+  if (rel->num_columns() > 0) {
+    const Field& last = rel->schema().field(rel->num_columns() - 1);
+    if (last.type == DataType::kFloat64 && last.name == "p") {
+      return ProbRelation(std::move(rel));
+    }
+  }
+  Schema schema = rel->schema();
+  schema.AddField({"p", DataType::kFloat64});
+  std::vector<ColumnPtr> cols;
+  cols.reserve(rel->num_columns() + 1);
+  for (size_t c = 0; c < rel->num_columns(); ++c) {
+    cols.push_back(rel->column_ptr(c));
+  }
+  cols.push_back(std::make_shared<const Column>(
+      Column::MakeFloat64(std::vector<double>(rel->num_rows(), 1.0))));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr out,
+                           Relation::MakeShared(std::move(schema),
+                                                std::move(cols)));
+  return ProbRelation(std::move(out));
+}
+
+bool ProbRelation::ProbsAreNormalized() const {
+  const auto& p = rel_->column(prob_col()).float64_data();
+  return std::all_of(p.begin(), p.end(),
+                     [](double v) { return v >= 0.0 && v <= 1.0; });
+}
+
+}  // namespace spindle

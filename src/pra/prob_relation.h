@@ -1,0 +1,75 @@
+/// \file prob_relation.h
+/// \brief Probabilistic relations: tuple-level uncertainty (paper §2.3).
+///
+/// "A probability column p is appended to all tables, including triples, in
+/// our RDBMS." A ProbRelation is a relation whose *last* column is the
+/// float64 probability column, named "p". Positional attribute references
+/// ($1, $2, ...) never address p — exactly as in the paper's SpinQL
+/// examples, where a join of two 3-attribute triple patterns exposes
+/// $1..$6 and p is maintained implicitly.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief The probability-combination assumption of a PRA operator
+/// (Fuhr & Rölleke). Governs what happens when duplicate tuples merge.
+enum class Assumption {
+  /// Events are independent: p = 1 - prod(1 - p_i).
+  kIndependent,
+  /// Events are disjoint: p = sum(p_i). This is also how counting works in
+  /// PRA (summing p=1 duplicates yields frequencies) and how BM25's final
+  /// score aggregation is expressed. Sums may exceed 1 when the input does
+  /// not actually satisfy disjointness; Spindle does not clamp.
+  kDisjoint,
+  /// Keep the strongest evidence: p = max(p_i).
+  kMax,
+  /// Bag semantics: duplicates are kept, probabilities untouched.
+  kAll,
+};
+
+const char* AssumptionName(Assumption a);
+
+/// \brief Combines two probabilities under an assumption (kAll keeps `a`).
+double CombineProb(Assumption assumption, double a, double b);
+
+/// \brief A relation with an implicit trailing probability column.
+class ProbRelation {
+ public:
+  ProbRelation() = default;
+
+  /// \brief Wraps a relation that already has a trailing float64 column
+  /// named "p".
+  static Result<ProbRelation> Wrap(RelationPtr rel);
+
+  /// \brief Attaches p = 1.0 to a deterministic relation (facts). If the
+  /// relation already has a trailing "p" column it is wrapped as-is.
+  static Result<ProbRelation> Attach(RelationPtr rel);
+
+  /// \brief The underlying relation (attributes + trailing p).
+  const RelationPtr& rel() const { return rel_; }
+
+  /// \brief Number of attribute columns, excluding p.
+  size_t arity() const { return rel_->num_columns() - 1; }
+  size_t prob_col() const { return rel_->num_columns() - 1; }
+  size_t num_rows() const { return rel_->num_rows(); }
+
+  double prob_at(size_t row) const {
+    return rel_->column(prob_col()).Float64At(row);
+  }
+
+  /// \brief True if every probability lies in [0, 1].
+  bool ProbsAreNormalized() const;
+
+ private:
+  explicit ProbRelation(RelationPtr rel) : rel_(std::move(rel)) {}
+  RelationPtr rel_;
+};
+
+}  // namespace spindle

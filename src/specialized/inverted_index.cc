@@ -1,0 +1,105 @@
+#include "specialized/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace spindle {
+
+Result<SpecializedIndex> SpecializedIndex::Build(const RelationPtr& docs,
+                                                 const Analyzer& analyzer) {
+  auto id_field = docs->schema().FindField("docID");
+  auto data_field = docs->schema().FindField("data");
+  size_t id_col = id_field.value_or(0);
+  size_t data_col = data_field.value_or(1);
+  if (docs->num_columns() < 2 ||
+      docs->column(id_col).type() != DataType::kInt64 ||
+      docs->column(data_col).type() != DataType::kString) {
+    return Status::InvalidArgument(
+        "SpecializedIndex needs (docID: int64, data: string), got " +
+        docs->schema().ToString());
+  }
+
+  SpecializedIndex index(analyzer);
+  index.num_docs_ = static_cast<int64_t>(docs->num_rows());
+  index.doc_ids_.reserve(docs->num_rows());
+  index.doc_lens_.reserve(docs->num_rows());
+
+  int64_t total_len = 0;
+  std::unordered_map<int64_t, int32_t> term_freqs;
+  for (size_t r = 0; r < docs->num_rows(); ++r) {
+    const std::string& text = docs->column(data_col).StringAt(r);
+    std::vector<Token> tokens = index.analyzer_.Analyze(text);
+    term_freqs.clear();
+    for (const Token& tok : tokens) {
+      int64_t tid = index.dict_.Intern(tok.text);
+      if (tid >= static_cast<int64_t>(index.postings_.size())) {
+        index.postings_.resize(tid + 1);
+      }
+      term_freqs[tid]++;
+    }
+    int64_t dense_doc = static_cast<int64_t>(index.doc_ids_.size());
+    index.doc_ids_.push_back(docs->column(id_col).Int64At(r));
+    index.doc_lens_.push_back(static_cast<int32_t>(tokens.size()));
+    total_len += static_cast<int64_t>(tokens.size());
+    for (const auto& [tid, tf] : term_freqs) {
+      index.postings_[tid].push_back(Posting{dense_doc, tf});
+    }
+  }
+  index.avg_doc_len_ =
+      index.num_docs_ == 0
+          ? 0.0
+          : static_cast<double>(total_len) / index.num_docs_;
+  return index;
+}
+
+const std::vector<SpecializedIndex::Posting>* SpecializedIndex::PostingsFor(
+    const std::string& term) const {
+  int64_t tid = dict_.Lookup(term);
+  if (tid < 0) return nullptr;
+  return &postings_[tid];
+}
+
+std::vector<ScoredDoc> SpecializedIndex::SearchBm25(
+    const std::string& query, size_t k, const Bm25Params& params) const {
+  std::vector<Token> qtokens = analyzer_.Analyze(query);
+  const double avgdl = avg_doc_len_ > 0 ? avg_doc_len_ : 1.0;
+  const double n = static_cast<double>(num_docs_);
+
+  std::unordered_map<int64_t, double> acc;  // dense doc -> score
+  for (const Token& tok : qtokens) {
+    int64_t tid = dict_.Lookup(tok.text);
+    if (tid < 0) continue;
+    const auto& plist = postings_[tid];
+    const double df = static_cast<double>(plist.size());
+    const double idf = std::log((n - df + 0.5) / (df + 0.5));
+    for (const Posting& p : plist) {
+      const double tf = static_cast<double>(p.tf);
+      const double len = static_cast<double>(doc_lens_[p.doc]);
+      const double w =
+          idf * tf /
+          (tf + params.k1 * (1.0 - params.b + params.b * len / avgdl));
+      acc[p.doc] += w;
+    }
+  }
+
+  std::vector<ScoredDoc> results;
+  results.reserve(acc.size());
+  for (const auto& [dense, score] : acc) {
+    results.push_back(ScoredDoc{doc_ids_[dense], score});
+  }
+  auto better = [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  };
+  if (k < results.size()) {
+    std::partial_sort(results.begin(), results.begin() + k, results.end(),
+                      better);
+    results.resize(k);
+  } else {
+    std::sort(results.begin(), results.end(), better);
+  }
+  return results;
+}
+
+}  // namespace spindle

@@ -1,0 +1,69 @@
+/// \file inverted_index.h
+/// \brief A classic specialized in-memory text engine — the baseline class
+/// the paper positions itself against ("while beating specialized text
+/// retrieval systems on raw speed is not the focus of this study, reaching
+/// reasonable performance is a requirement").
+///
+/// Dictionary + postings lists (doc, tf), document lengths, term-at-a-time
+/// BM25 scoring with a bounded top-k heap. Uses the same Analyzer as the
+/// IR-on-DB path, so scores are *exactly* comparable (tested).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/ranking.h"
+#include "storage/relation.h"
+#include "storage/string_dict.h"
+#include "text/analyzer.h"
+
+namespace spindle {
+
+/// \brief A scored document.
+struct ScoredDoc {
+  int64_t doc_id;
+  double score;
+};
+
+/// \brief Specialized inverted index with BM25 top-k search.
+class SpecializedIndex {
+ public:
+  /// \brief One postings entry.
+  struct Posting {
+    int64_t doc;
+    int32_t tf;
+  };
+
+  /// \brief Builds from a (docID: int64, data: string) relation.
+  static Result<SpecializedIndex> Build(const RelationPtr& docs,
+                                        const Analyzer& analyzer);
+
+  /// \brief BM25 top-k, term-at-a-time with an accumulator table.
+  /// Results are sorted by descending score, ties by ascending docID.
+  std::vector<ScoredDoc> SearchBm25(const std::string& query, size_t k,
+                                    const Bm25Params& params = {}) const;
+
+  int64_t num_docs() const { return num_docs_; }
+  double avg_doc_len() const { return avg_doc_len_; }
+  int64_t num_terms() const { return dict_.size(); }
+
+  /// \brief The postings list for a term ("" view if absent).
+  const std::vector<Posting>* PostingsFor(const std::string& term) const;
+
+ private:
+  explicit SpecializedIndex(Analyzer analyzer)
+      : analyzer_(std::move(analyzer)) {}
+
+  Analyzer analyzer_;
+  StringDict dict_{0};  // term -> dense id
+  std::vector<std::vector<Posting>> postings_;
+  std::vector<int64_t> doc_ids_;   // dense doc index -> external docID
+  std::vector<int32_t> doc_lens_;  // dense doc index -> length
+  int64_t num_docs_ = 0;
+  double avg_doc_len_ = 0.0;
+};
+
+}  // namespace spindle

@@ -1,0 +1,217 @@
+#include "spinql/ast.h"
+
+#include "common/str.h"
+
+namespace spindle {
+namespace spinql {
+
+std::string RankSpec::ToString() const {
+  std::string out;
+  switch (model) {
+    case RankModel::kBm25:
+      out = "BM25 [k1=" + FormatDouble(bm25.k1) + ", b=" +
+            FormatDouble(bm25.b);
+      break;
+    case RankModel::kTfIdf:
+      out = "TFIDF [";
+      break;
+    case RankModel::kLmDirichlet:
+      out = "LMD [mu=" + FormatDouble(dirichlet.mu);
+      break;
+    case RankModel::kLmJelinekMercer:
+      out = "LMJM [lambda=" + FormatDouble(jm.lambda);
+      break;
+  }
+  if (out.back() != '[') out += ", ";
+  out += "analyzer=" + QuoteString(analyzer.stemmer) + "]";
+  return out;
+}
+
+NodePtr Node::RelRef(std::string name) {
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kRelRef));
+  n->rel_name_ = std::move(name);
+  return n;
+}
+
+NodePtr Node::Select(ExprPtr predicate, NodePtr in) {
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kSelect));
+  n->predicate_ = std::move(predicate);
+  n->inputs_ = {std::move(in)};
+  return n;
+}
+
+NodePtr Node::Project(Assumption assumption, std::vector<ExprPtr> items,
+                      std::vector<std::string> names, NodePtr in) {
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kProject));
+  n->assumption_ = assumption;
+  n->items_ = std::move(items);
+  n->names_ = std::move(names);
+  n->inputs_ = {std::move(in)};
+  return n;
+}
+
+NodePtr Node::Join(std::vector<JoinKey> keys, NodePtr left, NodePtr right) {
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kJoin));
+  n->keys_ = std::move(keys);
+  n->inputs_ = {std::move(left), std::move(right)};
+  return n;
+}
+
+NodePtr Node::Unite(Assumption assumption, std::vector<NodePtr> inputs) {
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kUnite));
+  n->assumption_ = assumption;
+  n->inputs_ = std::move(inputs);
+  return n;
+}
+
+NodePtr Node::Weight(double w, NodePtr in) {
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kWeight));
+  n->weight_ = w;
+  n->inputs_ = {std::move(in)};
+  return n;
+}
+
+NodePtr Node::Complement(NodePtr in) {
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kComplement));
+  n->inputs_ = {std::move(in)};
+  return n;
+}
+
+NodePtr Node::Bayes(std::vector<size_t> group_cols, NodePtr in) {
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kBayes));
+  n->group_cols_ = std::move(group_cols);
+  n->inputs_ = {std::move(in)};
+  return n;
+}
+
+NodePtr Node::Tokenize(size_t column, AnalyzerOptions analyzer, NodePtr in) {
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kTokenize));
+  n->tokenize_col_ = column;
+  n->tokenize_analyzer_ = std::move(analyzer);
+  n->inputs_ = {std::move(in)};
+  return n;
+}
+
+NodePtr Node::Rank(RankSpec spec, NodePtr docs, NodePtr query) {
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kRank));
+  n->rank_ = std::move(spec);
+  n->inputs_ = {std::move(docs), std::move(query)};
+  return n;
+}
+
+NodePtr Node::TopK(size_t k, NodePtr in) {
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kTopK));
+  n->k_ = k;
+  n->inputs_ = {std::move(in)};
+  return n;
+}
+
+std::string Node::ToString() const {
+  switch (kind_) {
+    case NodeKind::kRelRef:
+      return rel_name_;
+    case NodeKind::kSelect:
+      return "SELECT [" + predicate_->ToString() + "] (" +
+             inputs_[0]->ToString() + ")";
+    case NodeKind::kProject: {
+      std::string out = "PROJECT ";
+      if (assumption_ != Assumption::kAll) {
+        out += AssumptionName(assumption_);
+        out += " ";
+      }
+      out += "[";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += items_[i]->ToString();
+        if (!names_[i].empty()) out += " AS " + names_[i];
+      }
+      out += "] (" + inputs_[0]->ToString() + ")";
+      return out;
+    }
+    case NodeKind::kJoin: {
+      std::string out = "JOIN INDEPENDENT [";
+      for (size_t i = 0; i < keys_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "$";
+        out += std::to_string(keys_[i].left + 1);
+        out += "=$";
+        out += std::to_string(keys_[i].right + 1);
+      }
+      out += "] (" + inputs_[0]->ToString() + ", " +
+             inputs_[1]->ToString() + ")";
+      return out;
+    }
+    case NodeKind::kUnite: {
+      std::string out = "UNITE ";
+      out += AssumptionName(assumption_);
+      out += " (";
+      for (size_t i = 0; i < inputs_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += inputs_[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case NodeKind::kWeight:
+      return "WEIGHT [" + FormatDouble(weight_) + "] (" +
+             inputs_[0]->ToString() + ")";
+    case NodeKind::kComplement:
+      return "COMPLEMENT (" + inputs_[0]->ToString() + ")";
+    case NodeKind::kBayes: {
+      std::string out = "BAYES [";
+      for (size_t i = 0; i < group_cols_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "$";
+        out += std::to_string(group_cols_[i] + 1);
+      }
+      out += "] (" + inputs_[0]->ToString() + ")";
+      return out;
+    }
+    case NodeKind::kTokenize: {
+      std::string out = "TOKENIZE [$" + std::to_string(tokenize_col_ + 1);
+      out += ", " + QuoteString(tokenize_analyzer_.stemmer);
+      out += "] (" + inputs_[0]->ToString() + ")";
+      return out;
+    }
+    case NodeKind::kRank:
+      return "RANK " + rank_.ToString() + " (" + inputs_[0]->ToString() +
+             ", " + inputs_[1]->ToString() + ")";
+    case NodeKind::kTopK:
+      return "TOPK [" + std::to_string(k_) + "] (" +
+             inputs_[0]->ToString() + ")";
+  }
+  return "";
+}
+
+Result<NodePtr> Program::Lookup(const std::string& name) const {
+  for (const auto& [bname, node] : statements_) {
+    if (bname == name) return node;
+  }
+  return Status::NotFound("no SpinQL binding named '" + name + "'");
+}
+
+bool Program::HasBinding(const std::string& name) const {
+  for (const auto& [bname, node] : statements_) {
+    if (bname == name) return true;
+  }
+  return false;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const auto& [name, node] : statements_) {
+    out += name + " = " + node->ToString() + ";\n";
+  }
+  return out;
+}
+
+Status Program::Append(std::string name, NodePtr node) {
+  if (HasBinding(name)) {
+    return Status::AlreadyExists("binding '" + name + "' already defined");
+  }
+  statements_.emplace_back(std::move(name), std::move(node));
+  return Status::OK();
+}
+
+}  // namespace spinql
+}  // namespace spindle

@@ -1,0 +1,141 @@
+/// \file ast.h
+/// \brief SpinQL abstract syntax: the operator tree of the probabilistic
+/// relational algebra, plus the IR extensions (TOKENIZE, RANK, TOPK).
+///
+/// Scalar expressions inside SELECT predicates and PROJECT items reuse the
+/// engine's Expr tree: `$N` becomes a positional column reference (0-based
+/// internally), the keyword `P` becomes a named reference to the implicit
+/// probability column, and every operator (=, AND, +, stem(), ...) is a
+/// registry function call — which keeps canonical printing parseable.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/expr.h"
+#include "engine/ops.h"
+#include "ir/searcher.h"
+#include "pra/prob_relation.h"
+#include "text/analyzer.h"
+
+namespace spindle {
+namespace spinql {
+
+/// \brief SpinQL operator kinds.
+enum class NodeKind {
+  kRelRef,      ///< reference to a base table or earlier binding
+  kSelect,      ///< SELECT [pred] (in)
+  kProject,     ///< PROJECT assumption? [items] (in)
+  kJoin,        ///< JOIN INDEPENDENT [$i=$j,...] (l, r)
+  kUnite,       ///< UNITE assumption (in, in, ...)
+  kWeight,      ///< WEIGHT [w] (in)
+  kComplement,  ///< COMPLEMENT (in)
+  kBayes,       ///< BAYES [$i,...] (in)
+  kTokenize,    ///< TOKENIZE [$i, "analyzer"?] (in)
+  kRank,        ///< RANK MODEL [params] (docs, query)
+  kTopK,        ///< TOPK [k] (in)
+};
+
+/// \brief Ranking configuration of a RANK node.
+struct RankSpec {
+  RankModel model = RankModel::kBm25;
+  Bm25Params bm25;
+  DirichletParams dirichlet;
+  JelinekMercerParams jm;
+  AnalyzerOptions analyzer;  ///< default: sb-english
+
+  std::string ToString() const;
+};
+
+class Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+/// \brief One SpinQL operator. Immutable; build via the factory methods.
+class Node {
+ public:
+  static NodePtr RelRef(std::string name);
+  static NodePtr Select(ExprPtr predicate, NodePtr in);
+  static NodePtr Project(Assumption assumption, std::vector<ExprPtr> items,
+                         std::vector<std::string> names, NodePtr in);
+  static NodePtr Join(std::vector<JoinKey> keys, NodePtr left, NodePtr right);
+  static NodePtr Unite(Assumption assumption, std::vector<NodePtr> inputs);
+  static NodePtr Weight(double w, NodePtr in);
+  static NodePtr Complement(NodePtr in);
+  static NodePtr Bayes(std::vector<size_t> group_cols, NodePtr in);
+  static NodePtr Tokenize(size_t column, AnalyzerOptions analyzer,
+                          NodePtr in);
+  static NodePtr Rank(RankSpec spec, NodePtr docs, NodePtr query);
+  static NodePtr TopK(size_t k, NodePtr in);
+
+  NodeKind kind() const { return kind_; }
+  const std::string& rel_name() const { return rel_name_; }
+  const ExprPtr& predicate() const { return predicate_; }
+  Assumption assumption() const { return assumption_; }
+  const std::vector<ExprPtr>& items() const { return items_; }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<JoinKey>& keys() const { return keys_; }
+  double weight() const { return weight_; }
+  const std::vector<size_t>& group_cols() const { return group_cols_; }
+  size_t tokenize_col() const { return tokenize_col_; }
+  const AnalyzerOptions& tokenize_analyzer() const {
+    return tokenize_analyzer_;
+  }
+  const RankSpec& rank() const { return rank_; }
+  size_t k() const { return k_; }
+  const std::vector<NodePtr>& inputs() const { return inputs_; }
+
+  /// \brief Canonical SpinQL text; parsing it back yields an equal tree.
+  std::string ToString() const;
+
+ private:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+
+  NodeKind kind_;
+  std::string rel_name_;
+  ExprPtr predicate_;
+  Assumption assumption_ = Assumption::kAll;
+  std::vector<ExprPtr> items_;
+  std::vector<std::string> names_;
+  std::vector<JoinKey> keys_;
+  double weight_ = 1.0;
+  std::vector<size_t> group_cols_;
+  size_t tokenize_col_ = 0;
+  AnalyzerOptions tokenize_analyzer_;
+  RankSpec rank_;
+  size_t k_ = 0;
+  std::vector<NodePtr> inputs_;
+};
+
+/// \brief A parsed SpinQL program: an ordered list of `name = expr;`
+/// statements. Later statements may reference earlier bindings by name.
+class Program {
+ public:
+  /// \brief Parses SpinQL source (see parser.h for the grammar).
+  static Result<Program> Parse(const std::string& source);
+
+  const std::vector<std::pair<std::string, NodePtr>>& statements() const {
+    return statements_;
+  }
+
+  /// \brief The expression bound to `name`, or NotFound.
+  Result<NodePtr> Lookup(const std::string& name) const;
+
+  bool HasBinding(const std::string& name) const;
+
+  /// \brief The name bound by the final statement (the program output).
+  const std::string& output() const { return statements_.back().first; }
+
+  /// \brief Canonical source (one statement per line).
+  std::string ToString() const;
+
+  /// \brief Appends a statement (used by the strategy compiler).
+  Status Append(std::string name, NodePtr node);
+
+ private:
+  std::vector<std::pair<std::string, NodePtr>> statements_;
+};
+
+}  // namespace spinql
+}  // namespace spindle

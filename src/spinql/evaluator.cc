@@ -1,0 +1,326 @@
+#include "spinql/evaluator.h"
+
+#include "engine/ops.h"
+#include "ir/ranking.h"
+#include "pra/pra_ops.h"
+#include "spinql/parser.h"
+
+namespace spindle {
+namespace spinql {
+
+Evaluator::Evaluator(Catalog* catalog, MaterializationCache* cache)
+    : catalog_(catalog), cache_(cache),
+      registry_(&FunctionRegistry::Default()) {
+  RegisterTextFunctions(*registry_);
+}
+
+Result<ProbRelation> Evaluator::Eval(const Program& program) {
+  return Eval(program, program.output());
+}
+
+Result<ProbRelation> Evaluator::Eval(const Program& program,
+                                     const std::string& binding) {
+  SPINDLE_ASSIGN_OR_RETURN(NodePtr node, program.Lookup(binding));
+  return EvalNode(node, program);
+}
+
+Result<ProbRelation> Evaluator::EvalExpression(const std::string& spinql) {
+  SPINDLE_ASSIGN_OR_RETURN(NodePtr node, ParseExpression(spinql));
+  Program empty_program;
+  return EvalNode(node, empty_program);
+}
+
+Result<NodePtr> Evaluator::ResolveForSignature(const NodePtr& node,
+                                               const Program& program) const {
+  if (node->kind() == NodeKind::kRelRef) {
+    auto bound = program.Lookup(node->rel_name());
+    if (bound.ok()) {
+      return ResolveForSignature(bound.ValueOrDie(), program);
+    }
+    return Node::RelRef("tbl:" + node->rel_name() + "@" +
+                        std::to_string(catalog_->Version(node->rel_name())));
+  }
+  std::vector<NodePtr> inputs;
+  inputs.reserve(node->inputs().size());
+  for (const auto& in : node->inputs()) {
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr resolved,
+                             ResolveForSignature(in, program));
+    inputs.push_back(std::move(resolved));
+  }
+  switch (node->kind()) {
+    case NodeKind::kSelect:
+      return Node::Select(node->predicate(), inputs[0]);
+    case NodeKind::kProject:
+      return Node::Project(node->assumption(), node->items(), node->names(),
+                           inputs[0]);
+    case NodeKind::kJoin:
+      return Node::Join(node->keys(), inputs[0], inputs[1]);
+    case NodeKind::kUnite:
+      return Node::Unite(node->assumption(), std::move(inputs));
+    case NodeKind::kWeight:
+      return Node::Weight(node->weight(), inputs[0]);
+    case NodeKind::kComplement:
+      return Node::Complement(inputs[0]);
+    case NodeKind::kBayes:
+      return Node::Bayes(node->group_cols(), inputs[0]);
+    case NodeKind::kTokenize:
+      return Node::Tokenize(node->tokenize_col(), node->tokenize_analyzer(),
+                            inputs[0]);
+    case NodeKind::kRank:
+      return Node::Rank(node->rank(), inputs[0], inputs[1]);
+    case NodeKind::kTopK:
+      return Node::TopK(node->k(), inputs[0]);
+    case NodeKind::kRelRef:
+      break;  // handled above
+  }
+  return Status::Internal("unreachable node kind");
+}
+
+Result<std::string> Evaluator::Signature(const NodePtr& node,
+                                         const Program& program) const {
+  SPINDLE_ASSIGN_OR_RETURN(NodePtr resolved,
+                           ResolveForSignature(node, program));
+  return resolved->ToString();
+}
+
+Result<ProbRelation> Evaluator::EvalNode(const NodePtr& node,
+                                         const Program& program) {
+  if (node->kind() == NodeKind::kRelRef) {
+    auto bound = program.Lookup(node->rel_name());
+    if (bound.ok()) return EvalNode(bound.ValueOrDie(), program);
+    SPINDLE_ASSIGN_OR_RETURN(RelationPtr rel,
+                             catalog_->Get(node->rel_name()));
+    return ProbRelation::Attach(std::move(rel));
+  }
+
+  std::string signature;
+  if (cache_ != nullptr) {
+    SPINDLE_ASSIGN_OR_RETURN(signature, Signature(node, program));
+    if (auto hit = cache_->Get(signature)) {
+      return ProbRelation::Wrap(*hit);
+    }
+  }
+
+  ProbRelation result;
+  switch (node->kind()) {
+    case NodeKind::kSelect: {
+      SPINDLE_ASSIGN_OR_RETURN(ProbRelation in,
+                               EvalNode(node->inputs()[0], program));
+      SPINDLE_ASSIGN_OR_RETURN(
+          result, pra::Select(in, node->predicate(), *registry_));
+      break;
+    }
+    case NodeKind::kProject: {
+      SPINDLE_ASSIGN_OR_RETURN(ProbRelation in,
+                               EvalNode(node->inputs()[0], program));
+      // Fill default output names: a plain $N keeps the input field name,
+      // computed items become c1, c2, ...
+      std::vector<std::string> names = node->names();
+      for (size_t i = 0; i < names.size(); ++i) {
+        if (!names[i].empty()) continue;
+        const ExprPtr& item = node->items()[i];
+        if (item->kind() == ExprKind::kColumnRef &&
+            item->column_index() < in.arity()) {
+          names[i] = in.rel()->schema().field(item->column_index()).name;
+        } else {
+          std::string fresh = "c";
+          fresh += std::to_string(i + 1);
+          names[i] = std::move(fresh);
+        }
+      }
+      SPINDLE_ASSIGN_OR_RETURN(
+          result, pra::Project(in, node->items(), names, node->assumption(),
+                               *registry_));
+      break;
+    }
+    case NodeKind::kJoin: {
+      SPINDLE_ASSIGN_OR_RETURN(ProbRelation l,
+                               EvalNode(node->inputs()[0], program));
+      SPINDLE_ASSIGN_OR_RETURN(ProbRelation r,
+                               EvalNode(node->inputs()[1], program));
+      SPINDLE_ASSIGN_OR_RETURN(result,
+                               pra::JoinIndependent(l, r, node->keys()));
+      break;
+    }
+    case NodeKind::kUnite: {
+      std::vector<ProbRelation> inputs;
+      inputs.reserve(node->inputs().size());
+      for (const auto& in_node : node->inputs()) {
+        SPINDLE_ASSIGN_OR_RETURN(ProbRelation in,
+                                 EvalNode(in_node, program));
+        inputs.push_back(std::move(in));
+      }
+      SPINDLE_ASSIGN_OR_RETURN(result,
+                               pra::Unite(node->assumption(), inputs));
+      break;
+    }
+    case NodeKind::kWeight: {
+      SPINDLE_ASSIGN_OR_RETURN(ProbRelation in,
+                               EvalNode(node->inputs()[0], program));
+      SPINDLE_ASSIGN_OR_RETURN(result, pra::Weight(in, node->weight()));
+      break;
+    }
+    case NodeKind::kComplement: {
+      SPINDLE_ASSIGN_OR_RETURN(ProbRelation in,
+                               EvalNode(node->inputs()[0], program));
+      SPINDLE_ASSIGN_OR_RETURN(result, pra::Complement(in));
+      break;
+    }
+    case NodeKind::kBayes: {
+      SPINDLE_ASSIGN_OR_RETURN(ProbRelation in,
+                               EvalNode(node->inputs()[0], program));
+      SPINDLE_ASSIGN_OR_RETURN(result,
+                               pra::Bayes(in, node->group_cols()));
+      break;
+    }
+    case NodeKind::kTokenize: {
+      SPINDLE_ASSIGN_OR_RETURN(ProbRelation in,
+                               EvalNode(node->inputs()[0], program));
+      const size_t arity = in.arity();
+      if (node->tokenize_col() >= arity) {
+        return Status::OutOfRange("TOKENIZE column out of range");
+      }
+      SPINDLE_ASSIGN_OR_RETURN(Analyzer analyzer,
+                               Analyzer::Make(node->tokenize_analyzer()));
+      SPINDLE_ASSIGN_OR_RETURN(
+          RelationPtr tokenized,
+          TokenizeRelation(in.rel(), node->tokenize_col(), analyzer));
+      // tokenized: attrs without text col (p last among them), term, pos.
+      // Reorder so p is trailing again: attrs..., term, pos, p.
+      std::vector<size_t> order;
+      for (size_t c = 0; c + 1 < arity; ++c) order.push_back(c);
+      order.push_back(arity);      // term
+      order.push_back(arity + 1);  // pos
+      order.push_back(arity - 1);  // p
+      SPINDLE_ASSIGN_OR_RETURN(RelationPtr reordered,
+                               ProjectColumns(tokenized, order));
+      SPINDLE_ASSIGN_OR_RETURN(result,
+                               ProbRelation::Wrap(std::move(reordered)));
+      break;
+    }
+    case NodeKind::kRank: {
+      SPINDLE_ASSIGN_OR_RETURN(result, EvalRank(*node, program));
+      break;
+    }
+    case NodeKind::kTopK: {
+      SPINDLE_ASSIGN_OR_RETURN(ProbRelation in,
+                               EvalNode(node->inputs()[0], program));
+      SPINDLE_ASSIGN_OR_RETURN(result, pra::TopKByProb(in, node->k()));
+      break;
+    }
+    case NodeKind::kRelRef:
+      return Status::Internal("unreachable");
+  }
+
+  if (cache_ != nullptr) {
+    cache_->Put(signature, result.rel());
+  }
+  return result;
+}
+
+Result<ProbRelation> Evaluator::EvalRank(const Node& node,
+                                         const Program& program) {
+  SPINDLE_ASSIGN_OR_RETURN(ProbRelation docs,
+                           EvalNode(node.inputs()[0], program));
+  SPINDLE_ASSIGN_OR_RETURN(ProbRelation query,
+                           EvalNode(node.inputs()[1], program));
+  if (docs.arity() < 2 ||
+      docs.rel()->column(1).type() != DataType::kString) {
+    return Status::InvalidArgument(
+        "RANK collection input must be (id, text: string[, ...], p), got " +
+        docs.rel()->schema().ToString());
+  }
+  if (query.arity() < 1 ||
+      query.rel()->column(0).type() != DataType::kString) {
+    return Status::InvalidArgument(
+        "RANK query input must be (text: string[, ...], p), got " +
+        query.rel()->schema().ToString());
+  }
+
+  const RankSpec& spec = node.rank();
+  SPINDLE_ASSIGN_OR_RETURN(Analyzer analyzer,
+                           Analyzer::Make(spec.analyzer));
+
+  // On-demand index keyed by the collection subexpression's signature —
+  // query-independent, so all queries over the same sub-collection share
+  // one materialized index.
+  SPINDLE_ASSIGN_OR_RETURN(std::string docs_sig,
+                           Signature(node.inputs()[0], program));
+  std::string index_key = docs_sig + "|" + analyzer.Signature();
+  TextIndexPtr index;
+  auto it = index_cache_.find(index_key);
+  if (it != index_cache_.end()) {
+    stats_.index_hits++;
+    index = it->second;
+  } else {
+    stats_.index_misses++;
+    // Dense internal docIDs 1..n; external ids (string or int64) are
+    // restored after ranking.
+    Schema schema({{"docID", DataType::kInt64},
+                   {"data", DataType::kString}});
+    std::vector<int64_t> ids(docs.num_rows());
+    for (size_t r = 0; r < docs.num_rows(); ++r) {
+      ids[r] = static_cast<int64_t>(r) + 1;
+    }
+    std::vector<Column> cols;
+    cols.push_back(Column::MakeInt64(std::move(ids)));
+    Column data = docs.rel()->column(1);
+    cols.push_back(std::move(data));
+    SPINDLE_ASSIGN_OR_RETURN(
+        RelationPtr dense_docs,
+        Relation::Make(std::move(schema), std::move(cols)));
+    SPINDLE_ASSIGN_OR_RETURN(index, TextIndex::Build(dense_docs, analyzer));
+    index_cache_.emplace(std::move(index_key), index);
+  }
+
+  // Weighted query terms: every query row contributes its analyzed tokens
+  // with weight p (synonym/compound expansion uses weights < 1).
+  std::vector<std::pair<std::string, double>> texts;
+  texts.reserve(query.num_rows());
+  for (size_t r = 0; r < query.num_rows(); ++r) {
+    texts.emplace_back(query.rel()->column(0).StringAt(r), query.prob_at(r));
+  }
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr qterms,
+                           index->QueryTermsWeighted(texts));
+
+  SearchOptions options;
+  options.model = spec.model;
+  options.bm25 = spec.bm25;
+  options.dirichlet = spec.dirichlet;
+  options.jm = spec.jm;
+  options.top_k = 0;  // TOPK is a separate operator
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr scored,
+                           RankWithModel(*index, qterms, options));
+
+  // Map dense docIDs back to external ids; the document's own probability
+  // multiplies the score (scores and sub-collection confidence combine
+  // independently).
+  const Column& id_col = docs.rel()->column(0);
+  Schema out_schema({{"id", id_col.type()}, {"p", DataType::kFloat64}});
+  Column out_ids(id_col.type());
+  Column out_p(DataType::kFloat64);
+  out_ids.Reserve(scored->num_rows());
+  out_p.Reserve(scored->num_rows());
+  for (size_t r = 0; r < scored->num_rows(); ++r) {
+    size_t docs_row =
+        static_cast<size_t>(scored->column(0).Int64At(r)) - 1;
+    out_ids.AppendFrom(id_col, docs_row);
+    out_p.AppendFloat64(scored->column(1).Float64At(r) *
+                        docs.prob_at(docs_row));
+  }
+  std::vector<Column> out_cols;
+  out_cols.push_back(std::move(out_ids));
+  out_cols.push_back(std::move(out_p));
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr out,
+      Relation::Make(std::move(out_schema), std::move(out_cols)));
+  SPINDLE_ASSIGN_OR_RETURN(ProbRelation ranked,
+                           ProbRelation::Wrap(std::move(out)));
+  // A single external id can appear as several documents (e.g. multiple
+  // description triples); their evidence accumulates disjointly.
+  return pra::Project(ranked, {Expr::Column(0)}, {"id"},
+                      Assumption::kDisjoint, *registry_);
+}
+
+}  // namespace spinql
+}  // namespace spindle

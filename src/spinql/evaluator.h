@@ -1,0 +1,74 @@
+/// \file evaluator.h
+/// \brief Executes SpinQL programs against a catalog, with adaptive
+/// materialization of every intermediate result (paper §2.2-2.3).
+///
+/// Each operator node has a canonical signature (its SpinQL text with
+/// bindings expanded and base tables pinned to their catalog versions).
+/// Results are materialized into the MaterializationCache under that
+/// signature, creating "an adaptive, query-driven set of cache tables each
+/// corresponding to a specific sub-query on the original data". On-demand
+/// text indexes built by RANK nodes are cached the same way, keyed by the
+/// signature of their collection subexpression plus the analyzer
+/// configuration.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "engine/materialization_cache.h"
+#include "ir/indexing.h"
+#include "spinql/ast.h"
+#include "storage/catalog.h"
+#include "text/text_functions.h"
+
+namespace spindle {
+namespace spinql {
+
+/// \brief SpinQL program evaluator.
+class Evaluator {
+ public:
+  struct Stats {
+    uint64_t index_hits = 0;
+    uint64_t index_misses = 0;
+  };
+
+  /// \param catalog base tables (must outlive the evaluator)
+  /// \param cache adaptive materialization cache; nullptr disables caching
+  ///        of intermediates (used to measure the ablation in E3/E8)
+  Evaluator(Catalog* catalog, MaterializationCache* cache = nullptr);
+
+  /// \brief Evaluates the program's final binding.
+  Result<ProbRelation> Eval(const Program& program);
+
+  /// \brief Evaluates a specific binding of the program.
+  Result<ProbRelation> Eval(const Program& program,
+                            const std::string& binding);
+
+  /// \brief Parses and evaluates a single SpinQL expression.
+  Result<ProbRelation> EvalExpression(const std::string& spinql);
+
+  /// \brief The canonical cache signature of a node (bindings expanded,
+  /// base tables version-pinned).
+  Result<std::string> Signature(const NodePtr& node,
+                                const Program& program) const;
+
+  const Stats& stats() const { return stats_; }
+  void ClearIndexCache() { index_cache_.clear(); }
+  MaterializationCache* cache() { return cache_; }
+
+ private:
+  Result<ProbRelation> EvalNode(const NodePtr& node, const Program& program);
+  Result<ProbRelation> EvalRank(const Node& node, const Program& program);
+  Result<NodePtr> ResolveForSignature(const NodePtr& node,
+                                      const Program& program) const;
+
+  Catalog* catalog_;
+  MaterializationCache* cache_;
+  FunctionRegistry* registry_;
+  std::unordered_map<std::string, TextIndexPtr> index_cache_;
+  Stats stats_;
+};
+
+}  // namespace spinql
+}  // namespace spindle

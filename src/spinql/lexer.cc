@@ -1,0 +1,229 @@
+#include "spinql/lexer.h"
+
+#include <cctype>
+
+namespace spindle {
+namespace spinql {
+
+namespace {
+
+Status LexError(size_t line, size_t col, const std::string& msg) {
+  return Status::ParseError("line " + std::to_string(line) + ":" +
+                            std::to_string(col) + ": " + msg);
+}
+
+}  // namespace
+
+Result<std::vector<Tok>> Lex(const std::string& source) {
+  std::vector<Tok> toks;
+  size_t i = 0, line = 1, col = 1;
+  const size_t n = source.size();
+
+  auto advance = [&](size_t by) {
+    for (size_t k = 0; k < by; ++k) {
+      if (source[i] == '\n') {
+        line++;
+        col = 1;
+      } else {
+        col++;
+      }
+      i++;
+    }
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comments: -- ... \n
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') advance(1);
+      continue;
+    }
+    Tok tok;
+    tok.line = line;
+    tok.col = col;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        advance(1);
+      }
+      tok.kind = TokKind::kIdent;
+      tok.text = source.substr(start, i - start);
+      toks.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '$') {
+      advance(1);
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance(1);
+      }
+      if (start == i) {
+        return LexError(tok.line, tok.col, "expected digits after '$'");
+      }
+      tok.kind = TokKind::kDollar;
+      tok.number = std::stod(source.substr(start, i - start));
+      toks.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance(1);
+      }
+      if (i < n && source[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_float = true;
+        advance(1);
+        while (i < n &&
+               std::isdigit(static_cast<unsigned char>(source[i]))) {
+          advance(1);
+        }
+      }
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        size_t save = i;
+        advance(1);
+        if (i < n && (source[i] == '+' || source[i] == '-')) advance(1);
+        if (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          is_float = true;
+          while (i < n &&
+                 std::isdigit(static_cast<unsigned char>(source[i]))) {
+            advance(1);
+          }
+        } else {
+          // not an exponent, restore (cannot move backwards with advance,
+          // so re-lex from the saved offset)
+          i = save;
+        }
+      }
+      tok.kind = is_float ? TokKind::kFloat : TokKind::kInt;
+      tok.number = std::stod(source.substr(start, i - start));
+      toks.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      advance(1);
+      std::string out;
+      bool closed = false;
+      while (i < n) {
+        char d = source[i];
+        if (d == '\\' && i + 1 < n) {
+          out.push_back(source[i + 1]);
+          advance(2);
+          continue;
+        }
+        if (d == '"') {
+          advance(1);
+          closed = true;
+          break;
+        }
+        out.push_back(d);
+        advance(1);
+      }
+      if (!closed) {
+        return LexError(tok.line, tok.col, "unterminated string literal");
+      }
+      tok.kind = TokKind::kString;
+      tok.text = std::move(out);
+      toks.push_back(std::move(tok));
+      continue;
+    }
+
+    auto two = [&](char second) {
+      return i + 1 < n && source[i + 1] == second;
+    };
+    switch (c) {
+      case '=':
+        tok.kind = TokKind::kEquals;
+        advance(1);
+        break;
+      case '!':
+        if (!two('=')) {
+          return LexError(tok.line, tok.col, "expected '=' after '!'");
+        }
+        tok.kind = TokKind::kNotEquals;
+        advance(2);
+        break;
+      case '<':
+        if (two('=')) {
+          tok.kind = TokKind::kLessEq;
+          advance(2);
+        } else if (two('>')) {
+          tok.kind = TokKind::kNotEquals;
+          advance(2);
+        } else {
+          tok.kind = TokKind::kLess;
+          advance(1);
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          tok.kind = TokKind::kGreaterEq;
+          advance(2);
+        } else {
+          tok.kind = TokKind::kGreater;
+          advance(1);
+        }
+        break;
+      case '+':
+        tok.kind = TokKind::kPlus;
+        advance(1);
+        break;
+      case '-':
+        tok.kind = TokKind::kMinus;
+        advance(1);
+        break;
+      case '*':
+        tok.kind = TokKind::kStar;
+        advance(1);
+        break;
+      case '/':
+        tok.kind = TokKind::kSlash;
+        advance(1);
+        break;
+      case ',':
+        tok.kind = TokKind::kComma;
+        advance(1);
+        break;
+      case ';':
+        tok.kind = TokKind::kSemicolon;
+        advance(1);
+        break;
+      case '(':
+        tok.kind = TokKind::kLParen;
+        advance(1);
+        break;
+      case ')':
+        tok.kind = TokKind::kRParen;
+        advance(1);
+        break;
+      case '[':
+        tok.kind = TokKind::kLBracket;
+        advance(1);
+        break;
+      case ']':
+        tok.kind = TokKind::kRBracket;
+        advance(1);
+        break;
+      default:
+        return LexError(tok.line, tok.col,
+                        std::string("unexpected character '") + c + "'");
+    }
+    toks.push_back(std::move(tok));
+  }
+  Tok end;
+  end.kind = TokKind::kEnd;
+  end.line = line;
+  end.col = col;
+  toks.push_back(std::move(end));
+  return toks;
+}
+
+}  // namespace spinql
+}  // namespace spindle

@@ -1,0 +1,55 @@
+/// \file lexer.h
+/// \brief Tokenizer for SpinQL, the probabilistic-relational-algebra DSL
+/// of paper §2.3.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spindle {
+namespace spinql {
+
+/// \brief Lexical token kinds.
+enum class TokKind {
+  kIdent,     ///< bare identifiers, including operator keywords
+  kDollar,    ///< positional attribute reference $N (value in `number`)
+  kString,    ///< "double quoted", with \" and \\ escapes
+  kInt,       ///< integer literal
+  kFloat,     ///< floating literal
+  kEquals,    ///< =
+  kNotEquals, ///< !=
+  kLess,      ///< <
+  kLessEq,    ///< <=
+  kGreater,   ///< >
+  kGreaterEq, ///< >=
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kComma,
+  kSemicolon,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kEnd,
+};
+
+/// \brief One token with source position (for error messages).
+struct Tok {
+  TokKind kind;
+  std::string text;   ///< identifier or string contents
+  double number = 0;  ///< numeric value for kInt/kFloat/kDollar
+  size_t line = 1;
+  size_t col = 1;
+};
+
+/// \brief Tokenizes a SpinQL source string. `--` starts a line comment.
+Result<std::vector<Tok>> Lex(const std::string& source);
+
+}  // namespace spinql
+}  // namespace spindle

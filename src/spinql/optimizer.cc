@@ -1,0 +1,310 @@
+#include "spinql/optimizer.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace spindle {
+namespace spinql {
+
+namespace {
+
+/// Best-effort arity inference without a catalog; nullopt when the tree
+/// bottoms out in an opaque RelRef before the arity is determined.
+std::optional<size_t> ArityOf(const NodePtr& node) {
+  switch (node->kind()) {
+    case NodeKind::kRelRef:
+      return std::nullopt;
+    case NodeKind::kProject:
+      return node->items().size();
+    case NodeKind::kRank:
+      return 1;
+    case NodeKind::kJoin: {
+      auto l = ArityOf(node->inputs()[0]);
+      auto r = ArityOf(node->inputs()[1]);
+      if (!l || !r) return std::nullopt;
+      return *l + *r;
+    }
+    case NodeKind::kUnite:
+      for (const auto& in : node->inputs()) {
+        if (auto a = ArityOf(in)) return a;
+      }
+      return std::nullopt;
+    case NodeKind::kTokenize: {
+      auto a = ArityOf(node->inputs()[0]);
+      if (!a) return std::nullopt;
+      return *a + 1;
+    }
+    case NodeKind::kSelect:
+    case NodeKind::kWeight:
+    case NodeKind::kComplement:
+    case NodeKind::kBayes:
+    case NodeKind::kTopK:
+      return ArityOf(node->inputs()[0]);
+  }
+  return std::nullopt;
+}
+
+/// True if the expression references only positional columns in
+/// [lo, hi) and never the probability column.
+bool RefsOnly(const ExprPtr& e, size_t lo, size_t hi) {
+  switch (e->kind()) {
+    case ExprKind::kColumnRef:
+      return e->column_index() >= lo && e->column_index() < hi;
+    case ExprKind::kNamedColumnRef:
+      return false;  // P (or any named ref) blocks movement
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kCall:
+      for (const auto& arg : e->args()) {
+        if (!RefsOnly(arg, lo, hi)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+/// Shifts every positional reference down by `delta`.
+ExprPtr Remap(const ExprPtr& e, size_t delta) {
+  switch (e->kind()) {
+    case ExprKind::kColumnRef:
+      return Expr::Column(e->column_index() - delta);
+    case ExprKind::kNamedColumnRef:
+    case ExprKind::kLiteral:
+      return e;
+    case ExprKind::kCall: {
+      std::vector<ExprPtr> args;
+      args.reserve(e->args().size());
+      for (const auto& arg : e->args()) args.push_back(Remap(arg, delta));
+      return Expr::Call(e->function_name(), std::move(args));
+    }
+  }
+  return e;
+}
+
+/// Splits a predicate into its AND-conjuncts.
+void Conjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind() == ExprKind::kCall && e->function_name() == "and" &&
+      e->args().size() == 2) {
+    Conjuncts(e->args()[0], out);
+    Conjuncts(e->args()[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr acc = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    acc = Expr::And(acc, conjuncts[i]);
+  }
+  return acc;
+}
+
+class Rewriter {
+ public:
+  explicit Rewriter(OptimizerStats* stats) : stats_(stats) {}
+
+  NodePtr Rewrite(const NodePtr& node) {
+    // Rewrite children first, then apply local rules to fixpoint.
+    NodePtr current = RebuildWithInputs(node);
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 16) {
+      changed = false;
+      if (NodePtr next = ApplyLocal(current)) {
+        // A root rewrite can create new opportunities below (e.g. a
+        // pushed-down SELECT landing on another SELECT) — re-normalize
+        // the children before the next root pass.
+        current = RebuildWithInputs(next);
+        changed = true;
+      }
+    }
+    return current;
+  }
+
+ private:
+  NodePtr RebuildWithInputs(const NodePtr& node) {
+    if (node->inputs().empty()) return node;
+    std::vector<NodePtr> inputs;
+    inputs.reserve(node->inputs().size());
+    bool changed = false;
+    for (const auto& in : node->inputs()) {
+      NodePtr rewritten = Rewrite(in);
+      changed = changed || rewritten.get() != in.get();
+      inputs.push_back(std::move(rewritten));
+    }
+    if (!changed) return node;
+    switch (node->kind()) {
+      case NodeKind::kSelect:
+        return Node::Select(node->predicate(), inputs[0]);
+      case NodeKind::kProject:
+        return Node::Project(node->assumption(), node->items(),
+                             node->names(), inputs[0]);
+      case NodeKind::kJoin:
+        return Node::Join(node->keys(), inputs[0], inputs[1]);
+      case NodeKind::kUnite:
+        return Node::Unite(node->assumption(), std::move(inputs));
+      case NodeKind::kWeight:
+        return Node::Weight(node->weight(), inputs[0]);
+      case NodeKind::kComplement:
+        return Node::Complement(inputs[0]);
+      case NodeKind::kBayes:
+        return Node::Bayes(node->group_cols(), inputs[0]);
+      case NodeKind::kTokenize:
+        return Node::Tokenize(node->tokenize_col(),
+                              node->tokenize_analyzer(), inputs[0]);
+      case NodeKind::kRank:
+        return Node::Rank(node->rank(), inputs[0], inputs[1]);
+      case NodeKind::kTopK:
+        return Node::TopK(node->k(), inputs[0]);
+      case NodeKind::kRelRef:
+        break;
+    }
+    return node;
+  }
+
+  /// One local rewrite at the root, or nullptr if none applies.
+  NodePtr ApplyLocal(const NodePtr& node) {
+    switch (node->kind()) {
+      case NodeKind::kSelect: {
+        const NodePtr& in = node->inputs()[0];
+        // Rule 1: SELECT over SELECT fuses conjunctively (inner first).
+        if (in->kind() == NodeKind::kSelect) {
+          stats_->select_fusions++;
+          return Node::Select(
+              Expr::And(in->predicate(), node->predicate()),
+              in->inputs()[0]);
+        }
+        // Rule 2: push single-side conjuncts into join inputs.
+        if (in->kind() == NodeKind::kJoin) {
+          auto larity = ArityOf(in->inputs()[0]);
+          if (!larity) return nullptr;
+          auto total = ArityOf(in);
+          std::vector<ExprPtr> conjuncts;
+          Conjuncts(node->predicate(), &conjuncts);
+          std::vector<ExprPtr> to_left, to_right, stay;
+          for (const auto& c : conjuncts) {
+            if (RefsOnly(c, 0, *larity)) {
+              to_left.push_back(c);
+            } else if (total &&
+                       RefsOnly(c, *larity, *total)) {
+              to_right.push_back(Remap(c, *larity));
+            } else {
+              stay.push_back(c);
+            }
+          }
+          if (to_left.empty() && to_right.empty()) return nullptr;
+          stats_->select_pushdowns++;
+          NodePtr left = in->inputs()[0];
+          NodePtr right = in->inputs()[1];
+          if (!to_left.empty()) {
+            left = Node::Select(AndAll(to_left), left);
+          }
+          if (!to_right.empty()) {
+            right = Node::Select(AndAll(to_right), right);
+          }
+          NodePtr join = Node::Join(in->keys(), left, right);
+          if (stay.empty()) return join;
+          return Node::Select(AndAll(stay), join);
+        }
+        return nullptr;
+      }
+      case NodeKind::kWeight: {
+        const NodePtr& in = node->inputs()[0];
+        // Rule 4: WEIGHT[1] is the identity.
+        if (node->weight() == 1.0) {
+          stats_->weight_eliminations++;
+          return in;
+        }
+        // Rule 3: nested weights multiply.
+        if (in->kind() == NodeKind::kWeight) {
+          stats_->weight_fusions++;
+          return Node::Weight(node->weight() * in->weight(),
+                              in->inputs()[0]);
+        }
+        // Rule 7: distribute over UNITE DISJOINT (sum is linear).
+        if (in->kind() == NodeKind::kUnite &&
+            in->assumption() == Assumption::kDisjoint) {
+          stats_->weight_distributions++;
+          std::vector<NodePtr> weighted;
+          weighted.reserve(in->inputs().size());
+          for (const auto& u : in->inputs()) {
+            weighted.push_back(Node::Weight(node->weight(), u));
+          }
+          return Node::Unite(Assumption::kDisjoint, std::move(weighted));
+        }
+        return nullptr;
+      }
+      case NodeKind::kTopK: {
+        const NodePtr& in = node->inputs()[0];
+        // Rule 5: nested TOPK keeps the smaller k.
+        if (in->kind() == NodeKind::kTopK) {
+          stats_->topk_fusions++;
+          return Node::TopK(std::min(node->k(), in->k()),
+                            in->inputs()[0]);
+        }
+        return nullptr;
+      }
+      case NodeKind::kUnite: {
+        // Rule 6: flatten nested unions with the same assumption.
+        bool flattenable = false;
+        for (const auto& in : node->inputs()) {
+          if (in->kind() == NodeKind::kUnite &&
+              in->assumption() == node->assumption() &&
+              node->assumption() != Assumption::kAll) {
+            flattenable = true;
+            break;
+          }
+        }
+        // UNITE ALL flattening is also exact (pure append).
+        if (!flattenable) {
+          for (const auto& in : node->inputs()) {
+            if (in->kind() == NodeKind::kUnite &&
+                in->assumption() == Assumption::kAll &&
+                node->assumption() == Assumption::kAll) {
+              flattenable = true;
+              break;
+            }
+          }
+        }
+        if (!flattenable) return nullptr;
+        stats_->unite_flattenings++;
+        std::vector<NodePtr> flat;
+        for (const auto& in : node->inputs()) {
+          if (in->kind() == NodeKind::kUnite &&
+              in->assumption() == node->assumption()) {
+            for (const auto& sub : in->inputs()) flat.push_back(sub);
+          } else {
+            flat.push_back(in);
+          }
+        }
+        return Node::Unite(node->assumption(), std::move(flat));
+      }
+      default:
+        return nullptr;
+    }
+  }
+
+  OptimizerStats* stats_;
+};
+
+}  // namespace
+
+Result<NodePtr> Optimize(const NodePtr& node, OptimizerStats* stats) {
+  OptimizerStats local;
+  Rewriter rewriter(stats != nullptr ? stats : &local);
+  return rewriter.Rewrite(node);
+}
+
+Result<Program> OptimizeProgram(const Program& program,
+                                OptimizerStats* stats) {
+  Program out;
+  for (const auto& [name, node] : program.statements()) {
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr optimized, Optimize(node, stats));
+    SPINDLE_RETURN_IF_ERROR(out.Append(name, std::move(optimized)));
+  }
+  return out;
+}
+
+}  // namespace spinql
+}  // namespace spindle

@@ -1,0 +1,57 @@
+/// \file optimizer.h
+/// \brief Algebraic rewrites for SpinQL plans.
+///
+/// Strategy compilation produces straightforward but naive plans (every
+/// block emits its fragment independently). The optimizer applies
+/// probability-preserving rewrites before evaluation:
+///
+///   1. SELECT fusion:        SELECT[p](SELECT[q](x))  ->  SELECT[q AND p](x)
+///   2. SELECT pushdown into JOIN inputs when the predicate touches only
+///      one side's attributes (with positional remapping),
+///   3. WEIGHT fusion:        WEIGHT[a](WEIGHT[b](x))  ->  WEIGHT[a*b](x)
+///   4. WEIGHT[1] elimination,
+///   5. TOPK fusion:          TOPK[a](TOPK[b](x))      ->  TOPK[min(a,b)](x)
+///   6. UNITE flattening for nested unions under the same assumption
+///      (noisy-or, sum and max are associative),
+///   7. WEIGHT distribution over UNITE DISJOINT
+///      (w * sum = sum of w*), enabling further fusion.
+///
+/// All rewrites are exact: the optimized plan evaluates to a relation
+/// equal (up to row order, which Spindle operators keep deterministic) to
+/// the original — property-tested in tests/optimizer_test.cc.
+
+#pragma once
+
+#include "common/status.h"
+#include "spinql/ast.h"
+
+namespace spindle {
+namespace spinql {
+
+/// \brief Rewrite statistics for inspection and tests.
+struct OptimizerStats {
+  int select_fusions = 0;
+  int select_pushdowns = 0;
+  int weight_fusions = 0;
+  int weight_eliminations = 0;
+  int topk_fusions = 0;
+  int unite_flattenings = 0;
+  int weight_distributions = 0;
+
+  int total() const {
+    return select_fusions + select_pushdowns + weight_fusions +
+           weight_eliminations + topk_fusions + unite_flattenings +
+           weight_distributions;
+  }
+};
+
+/// \brief Optimizes one expression tree (bindings are not expanded; a
+/// RelRef is treated as opaque).
+Result<NodePtr> Optimize(const NodePtr& node, OptimizerStats* stats);
+
+/// \brief Optimizes every statement of a program.
+Result<Program> OptimizeProgram(const Program& program,
+                                OptimizerStats* stats);
+
+}  // namespace spinql
+}  // namespace spindle

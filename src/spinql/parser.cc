@@ -1,0 +1,529 @@
+#include "spinql/parser.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/str.h"
+#include "spinql/lexer.h"
+
+namespace spindle {
+namespace spinql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kw = new std::set<std::string>{
+      "SELECT", "PROJECT", "JOIN",  "UNITE",       "WEIGHT", "COMPLEMENT",
+      "BAYES",  "TOKENIZE", "RANK", "TOPK",        "AND",    "OR",
+      "NOT",    "AS",       "INDEPENDENT", "DISJOINT", "MAX", "ALL",
+      "BM25",   "TFIDF",    "LMD",  "LMJM"};
+  return *kw;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!At(TokKind::kEnd)) {
+      SPINDLE_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+      SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kEquals, "'='"));
+      SPINDLE_ASSIGN_OR_RETURN(NodePtr node, ParseExpr());
+      SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kSemicolon, "';'"));
+      SPINDLE_RETURN_IF_ERROR(program.Append(std::move(name),
+                                             std::move(node)));
+    }
+    if (program.statements().empty()) {
+      return Status::ParseError("empty SpinQL program");
+    }
+    return program;
+  }
+
+  Result<NodePtr> ParseSingleExpr() {
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr node, ParseExpr());
+    if (!At(TokKind::kEnd)) {
+      return Error("trailing input after expression");
+    }
+    return node;
+  }
+
+ private:
+  const Tok& Cur() const { return toks_[pos_]; }
+  bool At(TokKind k) const { return Cur().kind == k; }
+  bool AtIdent(const char* text) const {
+    return Cur().kind == TokKind::kIdent && Cur().text == text;
+  }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) pos_++;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("line " + std::to_string(Cur().line) + ":" +
+                              std::to_string(Cur().col) + ": " + msg);
+  }
+
+  Status Expect(TokKind k, const char* what) {
+    if (!At(k)) return Error(std::string("expected ") + what);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (!At(TokKind::kIdent)) return Error("expected identifier");
+    std::string text = Cur().text;
+    Advance();
+    return text;
+  }
+
+  Result<double> ExpectNumber() {
+    if (!At(TokKind::kInt) && !At(TokKind::kFloat)) {
+      return Error("expected number");
+    }
+    double v = Cur().number;
+    Advance();
+    return v;
+  }
+
+  Result<size_t> ExpectColRef() {
+    if (!At(TokKind::kDollar)) return Error("expected $N column reference");
+    double v = Cur().number;
+    if (v < 1) return Error("column references are 1-based");
+    Advance();
+    return static_cast<size_t>(v) - 1;
+  }
+
+  Result<Assumption> ParseAssumption() {
+    if (AtIdent("INDEPENDENT")) {
+      Advance();
+      return Assumption::kIndependent;
+    }
+    if (AtIdent("DISJOINT")) {
+      Advance();
+      return Assumption::kDisjoint;
+    }
+    if (AtIdent("MAX")) {
+      Advance();
+      return Assumption::kMax;
+    }
+    if (AtIdent("ALL")) {
+      Advance();
+      return Assumption::kAll;
+    }
+    return Error("expected assumption (INDEPENDENT, DISJOINT, MAX or ALL)");
+  }
+
+  bool AtAssumption() const {
+    return AtIdent("INDEPENDENT") || AtIdent("DISJOINT") || AtIdent("MAX") ||
+           AtIdent("ALL");
+  }
+
+  Result<NodePtr> ParseExpr() {
+    if (!At(TokKind::kIdent)) {
+      return Error("expected SpinQL operator or relation name");
+    }
+    const std::string& word = Cur().text;
+    if (word == "SELECT") return ParseSelect();
+    if (word == "PROJECT") return ParseProject();
+    if (word == "JOIN") return ParseJoin();
+    if (word == "UNITE") return ParseUnite();
+    if (word == "WEIGHT") return ParseWeight();
+    if (word == "COMPLEMENT") return ParseComplement();
+    if (word == "BAYES") return ParseBayes();
+    if (word == "TOKENIZE") return ParseTokenize();
+    if (word == "RANK") return ParseRank();
+    if (word == "TOPK") return ParseTopK();
+    if (Keywords().count(word)) {
+      return Error("keyword '" + word + "' cannot be used here");
+    }
+    std::string name = word;
+    Advance();
+    return Node::RelRef(std::move(name));
+  }
+
+  Result<NodePtr> ParseParenInput() {
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr in, ParseExpr());
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+    return in;
+  }
+
+  Result<NodePtr> ParseSelect() {
+    Advance();  // SELECT
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kLBracket, "'['"));
+    SPINDLE_ASSIGN_OR_RETURN(ExprPtr pred, ParsePredicate());
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRBracket, "']'"));
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr in, ParseParenInput());
+    return Node::Select(std::move(pred), std::move(in));
+  }
+
+  Result<NodePtr> ParseProject() {
+    Advance();  // PROJECT
+    Assumption assumption = Assumption::kAll;
+    if (AtAssumption()) {
+      SPINDLE_ASSIGN_OR_RETURN(assumption, ParseAssumption());
+    }
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kLBracket, "'['"));
+    std::vector<ExprPtr> items;
+    std::vector<std::string> names;
+    if (!At(TokKind::kRBracket)) {
+      while (true) {
+        SPINDLE_ASSIGN_OR_RETURN(ExprPtr item, ParseScalar());
+        std::string name;
+        if (AtIdent("AS")) {
+          Advance();
+          SPINDLE_ASSIGN_OR_RETURN(name, ExpectIdent());
+        }
+        items.push_back(std::move(item));
+        names.push_back(std::move(name));
+        if (!At(TokKind::kComma)) break;
+        Advance();
+      }
+    }
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRBracket, "']'"));
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr in, ParseParenInput());
+    return Node::Project(assumption, std::move(items), std::move(names),
+                         std::move(in));
+  }
+
+  Result<NodePtr> ParseJoin() {
+    Advance();  // JOIN
+    if (!AtIdent("INDEPENDENT")) {
+      return Error("only JOIN INDEPENDENT is defined");
+    }
+    Advance();
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kLBracket, "'['"));
+    std::vector<JoinKey> keys;
+    while (true) {
+      SPINDLE_ASSIGN_OR_RETURN(size_t l, ExpectColRef());
+      SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kEquals, "'='"));
+      SPINDLE_ASSIGN_OR_RETURN(size_t r, ExpectColRef());
+      keys.push_back(JoinKey{l, r});
+      if (!At(TokKind::kComma)) break;
+      Advance();
+    }
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRBracket, "']'"));
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr left, ParseExpr());
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kComma, "','"));
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr right, ParseExpr());
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+    return Node::Join(std::move(keys), std::move(left), std::move(right));
+  }
+
+  Result<NodePtr> ParseUnite() {
+    Advance();  // UNITE
+    SPINDLE_ASSIGN_OR_RETURN(Assumption assumption, ParseAssumption());
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
+    std::vector<NodePtr> inputs;
+    while (true) {
+      SPINDLE_ASSIGN_OR_RETURN(NodePtr in, ParseExpr());
+      inputs.push_back(std::move(in));
+      if (!At(TokKind::kComma)) break;
+      Advance();
+    }
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+    if (inputs.size() < 2) {
+      return Error("UNITE needs at least two inputs");
+    }
+    return Node::Unite(assumption, std::move(inputs));
+  }
+
+  Result<NodePtr> ParseWeight() {
+    Advance();  // WEIGHT
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kLBracket, "'['"));
+    SPINDLE_ASSIGN_OR_RETURN(double w, ExpectNumber());
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRBracket, "']'"));
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr in, ParseParenInput());
+    return Node::Weight(w, std::move(in));
+  }
+
+  Result<NodePtr> ParseComplement() {
+    Advance();  // COMPLEMENT
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr in, ParseParenInput());
+    return Node::Complement(std::move(in));
+  }
+
+  Result<NodePtr> ParseBayes() {
+    Advance();  // BAYES
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kLBracket, "'['"));
+    std::vector<size_t> cols;
+    if (!At(TokKind::kRBracket)) {
+      while (true) {
+        SPINDLE_ASSIGN_OR_RETURN(size_t c, ExpectColRef());
+        cols.push_back(c);
+        if (!At(TokKind::kComma)) break;
+        Advance();
+      }
+    }
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRBracket, "']'"));
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr in, ParseParenInput());
+    return Node::Bayes(std::move(cols), std::move(in));
+  }
+
+  Result<NodePtr> ParseTokenize() {
+    Advance();  // TOKENIZE
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kLBracket, "'['"));
+    SPINDLE_ASSIGN_OR_RETURN(size_t col, ExpectColRef());
+    AnalyzerOptions analyzer;
+    analyzer.stemmer = "none";
+    if (At(TokKind::kComma)) {
+      Advance();
+      if (!At(TokKind::kString)) return Error("expected analyzer string");
+      analyzer.stemmer = Cur().text;
+      Advance();
+    }
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRBracket, "']'"));
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr in, ParseParenInput());
+    return Node::Tokenize(col, std::move(analyzer), std::move(in));
+  }
+
+  Result<NodePtr> ParseRank() {
+    Advance();  // RANK
+    RankSpec spec;
+    if (AtIdent("BM25")) {
+      spec.model = RankModel::kBm25;
+    } else if (AtIdent("TFIDF")) {
+      spec.model = RankModel::kTfIdf;
+    } else if (AtIdent("LMD")) {
+      spec.model = RankModel::kLmDirichlet;
+    } else if (AtIdent("LMJM")) {
+      spec.model = RankModel::kLmJelinekMercer;
+    } else {
+      return Error("expected ranking model (BM25, TFIDF, LMD or LMJM)");
+    }
+    Advance();
+    if (At(TokKind::kLBracket)) {
+      Advance();
+      while (!At(TokKind::kRBracket)) {
+        SPINDLE_ASSIGN_OR_RETURN(std::string key, ExpectIdent());
+        SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kEquals, "'='"));
+        if (key == "analyzer") {
+          if (!At(TokKind::kString)) {
+            return Error("analyzer parameter expects a string");
+          }
+          spec.analyzer.stemmer = Cur().text;
+          Advance();
+        } else if (key == "stopwords") {
+          SPINDLE_ASSIGN_OR_RETURN(double v, ExpectNumber());
+          spec.analyzer.remove_stopwords = v != 0;
+        } else if (key == "k1") {
+          SPINDLE_ASSIGN_OR_RETURN(spec.bm25.k1, ExpectNumber());
+        } else if (key == "b") {
+          SPINDLE_ASSIGN_OR_RETURN(spec.bm25.b, ExpectNumber());
+        } else if (key == "mu") {
+          SPINDLE_ASSIGN_OR_RETURN(spec.dirichlet.mu, ExpectNumber());
+        } else if (key == "lambda") {
+          SPINDLE_ASSIGN_OR_RETURN(spec.jm.lambda, ExpectNumber());
+        } else {
+          return Error("unknown RANK parameter '" + key + "'");
+        }
+        if (At(TokKind::kComma)) Advance();
+      }
+      Advance();  // ]
+    }
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr docs, ParseExpr());
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kComma, "','"));
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr query, ParseExpr());
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+    return Node::Rank(std::move(spec), std::move(docs), std::move(query));
+  }
+
+  Result<NodePtr> ParseTopK() {
+    Advance();  // TOPK
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kLBracket, "'['"));
+    SPINDLE_ASSIGN_OR_RETURN(double k, ExpectNumber());
+    SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRBracket, "']'"));
+    SPINDLE_ASSIGN_OR_RETURN(NodePtr in, ParseParenInput());
+    if (k < 0 || k != std::floor(k)) {
+      return Error("TOPK expects a non-negative integer");
+    }
+    return Node::TopK(static_cast<size_t>(k), std::move(in));
+  }
+
+  // --- predicates and scalars -------------------------------------------
+
+  Result<ExprPtr> ParsePredicate() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    SPINDLE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AtIdent("OR") || AtIdent("or")) {
+      Advance();
+      SPINDLE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SPINDLE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AtIdent("AND") || AtIdent("and")) {
+      Advance();
+      SPINDLE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AtIdent("NOT") || AtIdent("not")) {
+      Advance();
+      SPINDLE_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      return Expr::Not(std::move(inner));
+    }
+    if (At(TokKind::kLParen)) {
+      Advance();
+      SPINDLE_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+      SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    SPINDLE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseScalar());
+    switch (Cur().kind) {
+      case TokKind::kEquals:
+        Advance();
+        {
+          SPINDLE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseScalar());
+          return Expr::Eq(std::move(lhs), std::move(rhs));
+        }
+      case TokKind::kNotEquals:
+        Advance();
+        {
+          SPINDLE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseScalar());
+          return Expr::Ne(std::move(lhs), std::move(rhs));
+        }
+      case TokKind::kLess:
+        Advance();
+        {
+          SPINDLE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseScalar());
+          return Expr::Lt(std::move(lhs), std::move(rhs));
+        }
+      case TokKind::kLessEq:
+        Advance();
+        {
+          SPINDLE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseScalar());
+          return Expr::Le(std::move(lhs), std::move(rhs));
+        }
+      case TokKind::kGreater:
+        Advance();
+        {
+          SPINDLE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseScalar());
+          return Expr::Gt(std::move(lhs), std::move(rhs));
+        }
+      case TokKind::kGreaterEq:
+        Advance();
+        {
+          SPINDLE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseScalar());
+          return Expr::Ge(std::move(lhs), std::move(rhs));
+        }
+      default:
+        return lhs;  // bare boolean scalar (e.g. stop_en($1))
+    }
+  }
+
+  Result<ExprPtr> ParseScalar() {
+    SPINDLE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseTerm());
+    while (At(TokKind::kPlus) || At(TokKind::kMinus)) {
+      bool plus = At(TokKind::kPlus);
+      Advance();
+      SPINDLE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+      lhs = plus ? Expr::Add(std::move(lhs), std::move(rhs))
+                 : Expr::Sub(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    SPINDLE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseFactor());
+    while (At(TokKind::kStar) || At(TokKind::kSlash)) {
+      bool mul = At(TokKind::kStar);
+      Advance();
+      SPINDLE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseFactor());
+      lhs = mul ? Expr::Mul(std::move(lhs), std::move(rhs))
+                : Expr::Div(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    if (At(TokKind::kDollar)) {
+      SPINDLE_ASSIGN_OR_RETURN(size_t c, ExpectColRef());
+      return Expr::Column(c);
+    }
+    if (At(TokKind::kMinus)) {
+      Advance();
+      SPINDLE_ASSIGN_OR_RETURN(ExprPtr inner, ParseFactor());
+      return Expr::Call("neg", {std::move(inner)});
+    }
+    if (At(TokKind::kInt)) {
+      double v = Cur().number;
+      Advance();
+      return Expr::LitInt(static_cast<int64_t>(v));
+    }
+    if (At(TokKind::kFloat)) {
+      double v = Cur().number;
+      Advance();
+      return Expr::LitFloat(v);
+    }
+    if (At(TokKind::kString)) {
+      std::string s = Cur().text;
+      Advance();
+      return Expr::LitString(std::move(s));
+    }
+    if (At(TokKind::kLParen)) {
+      Advance();
+      SPINDLE_ASSIGN_OR_RETURN(ExprPtr inner, ParseScalar());
+      SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      return inner;
+    }
+    if (At(TokKind::kIdent)) {
+      std::string name = Cur().text;
+      if (name == "P" || name == "p") {
+        Advance();
+        return Expr::ColumnNamed("p");
+      }
+      if (Keywords().count(name)) {
+        return Error("keyword '" + name + "' cannot appear in a scalar");
+      }
+      Advance();
+      SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kLParen,
+                                     "'(' (function call)"));
+      std::vector<ExprPtr> args;
+      if (!At(TokKind::kRParen)) {
+        while (true) {
+          SPINDLE_ASSIGN_OR_RETURN(ExprPtr arg, ParseScalar());
+          args.push_back(std::move(arg));
+          if (!At(TokKind::kComma)) break;
+          Advance();
+        }
+      }
+      SPINDLE_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      return Expr::Call(std::move(name), std::move(args));
+    }
+    return Error("expected scalar expression");
+  }
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<NodePtr> ParseExpression(const std::string& source) {
+  SPINDLE_ASSIGN_OR_RETURN(std::vector<Tok> toks, Lex(source));
+  Parser parser(std::move(toks));
+  return parser.ParseSingleExpr();
+}
+
+Result<Program> Program::Parse(const std::string& source) {
+  SPINDLE_ASSIGN_OR_RETURN(std::vector<Tok> toks, Lex(source));
+  Parser parser(std::move(toks));
+  return parser.ParseProgram();
+}
+
+}  // namespace spinql
+}  // namespace spindle

@@ -1,0 +1,47 @@
+/// \file parser.h
+/// \brief Recursive-descent parser for SpinQL.
+///
+/// Grammar (EBNF-ish; keywords are uppercase):
+///
+///   program   = { IDENT "=" expr ";" } ;
+///   expr      = op | IDENT ;
+///   op        = "SELECT" "[" pred "]" "(" expr ")"
+///             | "PROJECT" [assumption] "[" [items] "]" "(" expr ")"
+///             | "JOIN" "INDEPENDENT" "[" eq {"," eq} "]"
+///                      "(" expr "," expr ")"
+///             | "UNITE" assumption "(" expr {"," expr} ")"
+///             | "WEIGHT" "[" number "]" "(" expr ")"
+///             | "COMPLEMENT" "(" expr ")"
+///             | "BAYES" "[" [colref {"," colref}] "]" "(" expr ")"
+///             | "TOKENIZE" "[" colref ["," STRING] "]" "(" expr ")"
+///             | "RANK" model ["[" [param {"," param}] "]"]
+///                      "(" expr "," expr ")"
+///             | "TOPK" "[" integer "]" "(" expr ")" ;
+///   model     = "BM25" | "TFIDF" | "LMD" | "LMJM" ;
+///   param     = IDENT "=" (number | STRING) ;
+///   assumption= "INDEPENDENT" | "DISJOINT" | "MAX" | "ALL" ;
+///   eq        = colref "=" colref ;           (left side, right side)
+///   items     = item {"," item} ; item = scalar ["AS" IDENT] ;
+///   pred      = andp {"OR" andp} ; andp = notp {"AND" notp} ;
+///   notp      = "NOT" notp | "(" pred ")" | cmp ;
+///   cmp       = scalar [("="|"!="|"<"|"<="|">"|">=") scalar] ;
+///   scalar    = term {("+"|"-") term} ; term = factor {("*"|"/") factor} ;
+///   factor    = colref | "P" | number | STRING
+///             | IDENT "(" [scalar {"," scalar}] ")" | "(" scalar ")" ;
+///   colref    = "$" integer ;                 (1-based, excludes p)
+///
+/// `P` denotes the implicit probability column. `--` starts a comment.
+
+#pragma once
+
+#include "common/status.h"
+#include "spinql/ast.h"
+
+namespace spindle {
+namespace spinql {
+
+/// \brief Parses a single SpinQL expression (no trailing `;`).
+Result<NodePtr> ParseExpression(const std::string& source);
+
+}  // namespace spinql
+}  // namespace spindle

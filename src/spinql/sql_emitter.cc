@@ -1,0 +1,392 @@
+#include "spinql/sql_emitter.h"
+
+#include "common/str.h"
+
+namespace spindle {
+namespace spinql {
+
+namespace {
+
+/// Scalar expression -> SQL, with positional refs rendered as
+/// `<alias>.c<N>` and P as `<alias>.p`.
+Result<std::string> ExprSql(const ExprPtr& e, const std::string& alias) {
+  switch (e->kind()) {
+    case ExprKind::kColumnRef:
+      return alias + ".c" + std::to_string(e->column_index() + 1);
+    case ExprKind::kNamedColumnRef:
+      if (e->column_name() == "p") return alias + ".p";
+      return alias + "." + e->column_name();
+    case ExprKind::kLiteral: {
+      const Value& v = e->literal();
+      if (ValueType(v) == DataType::kString) {
+        // SQL string literal with doubled quotes.
+        std::string out = "'";
+        for (char c : std::get<std::string>(v)) {
+          if (c == '\'') out += "''";
+          else out.push_back(c);
+        }
+        out += "'";
+        return out;
+      }
+      return ValueToString(v);
+    }
+    case ExprKind::kCall: {
+      const std::string& fn = e->function_name();
+      auto bin = [&](const char* op) -> Result<std::string> {
+        SPINDLE_ASSIGN_OR_RETURN(std::string a, ExprSql(e->args()[0], alias));
+        SPINDLE_ASSIGN_OR_RETURN(std::string b, ExprSql(e->args()[1], alias));
+        return "(" + a + " " + op + " " + b + ")";
+      };
+      if (fn == "eq") return bin("=");
+      if (fn == "ne") return bin("<>");
+      if (fn == "lt") return bin("<");
+      if (fn == "le") return bin("<=");
+      if (fn == "gt") return bin(">");
+      if (fn == "ge") return bin(">=");
+      if (fn == "and") return bin("AND");
+      if (fn == "or") return bin("OR");
+      if (fn == "add") return bin("+");
+      if (fn == "sub") return bin("-");
+      if (fn == "mul") return bin("*");
+      if (fn == "div") return bin("/");
+      if (fn == "not") {
+        SPINDLE_ASSIGN_OR_RETURN(std::string a, ExprSql(e->args()[0], alias));
+        return "(NOT " + a + ")";
+      }
+      if (fn == "neg") {
+        SPINDLE_ASSIGN_OR_RETURN(std::string a, ExprSql(e->args()[0], alias));
+        return "(-" + a + ")";
+      }
+      // Every other function (stem, lcase, log, ...) emits as a call —
+      // these are the MonetDB UDFs of the paper.
+      std::string out = fn + "(";
+      for (size_t i = 0; i < e->args().size(); ++i) {
+        if (i > 0) out += ", ";
+        SPINDLE_ASSIGN_OR_RETURN(std::string a, ExprSql(e->args()[i], alias));
+        out += a;
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+/// "t.c1 AS c1, t.c2 AS c2, ..." for `arity` columns.
+std::string PassThroughColumns(const std::string& alias, size_t arity,
+                               size_t first_output = 1) {
+  std::string out;
+  for (size_t i = 0; i < arity; ++i) {
+    if (i > 0) out += ", ";
+    out += alias + ".c" + std::to_string(i + 1) + " AS c" +
+           std::to_string(first_output + i);
+  }
+  return out;
+}
+
+std::string AggSql(Assumption assumption, const std::string& alias) {
+  switch (assumption) {
+    case Assumption::kIndependent:
+      return "1 - EXP(SUM(LN(1 - " + alias + ".p)))";
+    case Assumption::kDisjoint:
+      return "SUM(" + alias + ".p)";
+    case Assumption::kMax:
+      return "MAX(" + alias + ".p)";
+    case Assumption::kAll:
+      return alias + ".p";
+  }
+  return alias + ".p";
+}
+
+class Emitter {
+ public:
+  Emitter(const Program& program, const Catalog& catalog)
+      : program_(program), catalog_(catalog) {}
+
+  Result<size_t> Arity(const NodePtr& node) {
+    switch (node->kind()) {
+      case NodeKind::kRelRef: {
+        auto bound = program_.Lookup(node->rel_name());
+        if (bound.ok()) return Arity(bound.ValueOrDie());
+        SPINDLE_ASSIGN_OR_RETURN(RelationPtr rel,
+                                 catalog_.Get(node->rel_name()));
+        size_t n = rel->num_columns();
+        if (n > 0 && rel->schema().field(n - 1).name == "p" &&
+            rel->schema().field(n - 1).type == DataType::kFloat64) {
+          return n - 1;
+        }
+        return n;
+      }
+      case NodeKind::kSelect:
+      case NodeKind::kWeight:
+      case NodeKind::kComplement:
+      case NodeKind::kBayes:
+      case NodeKind::kTopK:
+        return Arity(node->inputs()[0]);
+      case NodeKind::kProject:
+        return node->items().size();
+      case NodeKind::kJoin: {
+        SPINDLE_ASSIGN_OR_RETURN(size_t l, Arity(node->inputs()[0]));
+        SPINDLE_ASSIGN_OR_RETURN(size_t r, Arity(node->inputs()[1]));
+        return l + r;
+      }
+      case NodeKind::kUnite:
+        return Arity(node->inputs()[0]);
+      case NodeKind::kTokenize: {
+        SPINDLE_ASSIGN_OR_RETURN(size_t in, Arity(node->inputs()[0]));
+        return in + 1;  // - text column + term + pos
+      }
+      case NodeKind::kRank:
+        return 1;  // (id, p)
+    }
+    return Status::Internal("unreachable node kind");
+  }
+
+  Result<std::string> Emit(const NodePtr& node) {
+    switch (node->kind()) {
+      case NodeKind::kRelRef: {
+        auto bound = program_.Lookup(node->rel_name());
+        if (bound.ok()) {
+          // Bound names are emitted as views by EmitProgramSql; reference
+          // them directly.
+          return "SELECT * FROM " + node->rel_name();
+        }
+        SPINDLE_ASSIGN_OR_RETURN(RelationPtr rel,
+                                 catalog_.Get(node->rel_name()));
+        SPINDLE_ASSIGN_OR_RETURN(size_t arity, Arity(node));
+        std::string out = "SELECT ";
+        for (size_t i = 0; i < arity; ++i) {
+          if (i > 0) out += ", ";
+          out += rel->schema().field(i).name + " AS c" +
+                 std::to_string(i + 1);
+        }
+        if (arity == rel->num_columns()) {
+          out += ", 1.0 AS p";  // deterministic table: certain facts
+        } else {
+          out += ", p";
+        }
+        out += " FROM " + node->rel_name();
+        return out;
+      }
+      case NodeKind::kSelect: {
+        SPINDLE_ASSIGN_OR_RETURN(std::string sub, Emit(node->inputs()[0]));
+        SPINDLE_ASSIGN_OR_RETURN(size_t arity, Arity(node->inputs()[0]));
+        SPINDLE_ASSIGN_OR_RETURN(std::string pred,
+                                 ExprSql(node->predicate(), "t"));
+        return "SELECT " + PassThroughColumns("t", arity) +
+               ", t.p AS p FROM (" + sub + ") AS t WHERE " + pred;
+      }
+      case NodeKind::kProject: {
+        SPINDLE_ASSIGN_OR_RETURN(std::string sub, Emit(node->inputs()[0]));
+        std::string items;
+        for (size_t i = 0; i < node->items().size(); ++i) {
+          if (i > 0) items += ", ";
+          SPINDLE_ASSIGN_OR_RETURN(std::string item,
+                                   ExprSql(node->items()[i], "t"));
+          items += item + " AS c" + std::to_string(i + 1);
+        }
+        std::string out = "SELECT " + items + ", " +
+                          AggSql(node->assumption(), "t") + " AS p FROM (" +
+                          sub + ") AS t";
+        if (node->assumption() != Assumption::kAll &&
+            !node->items().empty()) {
+          out += " GROUP BY ";
+          for (size_t i = 0; i < node->items().size(); ++i) {
+            if (i > 0) out += ", ";
+            SPINDLE_ASSIGN_OR_RETURN(std::string item,
+                                     ExprSql(node->items()[i], "t"));
+            out += item;
+          }
+        }
+        return out;
+      }
+      case NodeKind::kJoin: {
+        SPINDLE_ASSIGN_OR_RETURN(std::string lsql, Emit(node->inputs()[0]));
+        SPINDLE_ASSIGN_OR_RETURN(std::string rsql, Emit(node->inputs()[1]));
+        SPINDLE_ASSIGN_OR_RETURN(size_t larity, Arity(node->inputs()[0]));
+        SPINDLE_ASSIGN_OR_RETURN(size_t rarity, Arity(node->inputs()[1]));
+        std::string out = "SELECT " + PassThroughColumns("t1", larity);
+        if (rarity > 0) {
+          out += ", " + PassThroughColumns("t2", rarity, larity + 1);
+        }
+        out += ", t1.p * t2.p AS p FROM (" + lsql + ") AS t1, (" + rsql +
+               ") AS t2 WHERE ";
+        for (size_t i = 0; i < node->keys().size(); ++i) {
+          if (i > 0) out += " AND ";
+          out += "t1.c" + std::to_string(node->keys()[i].left + 1) +
+                 " = t2.c" + std::to_string(node->keys()[i].right + 1);
+        }
+        return out;
+      }
+      case NodeKind::kUnite: {
+        SPINDLE_ASSIGN_OR_RETURN(size_t arity, Arity(node->inputs()[0]));
+        std::string body;
+        for (size_t i = 0; i < node->inputs().size(); ++i) {
+          if (i > 0) body += " UNION ALL ";
+          SPINDLE_ASSIGN_OR_RETURN(std::string sub,
+                                   Emit(node->inputs()[i]));
+          body += "(" + sub + ")";
+        }
+        if (node->assumption() == Assumption::kAll) {
+          return "SELECT * FROM (" + body + ") AS t";
+        }
+        std::string cols = PassThroughColumns("t", arity);
+        std::string out = "SELECT " + cols + ", " +
+                          AggSql(node->assumption(), "t") + " AS p FROM (" +
+                          body + ") AS t";
+        if (arity > 0) {
+          out += " GROUP BY ";
+          for (size_t i = 0; i < arity; ++i) {
+            if (i > 0) out += ", ";
+            out += "t.c" + std::to_string(i + 1);
+          }
+        }
+        return out;
+      }
+      case NodeKind::kWeight: {
+        SPINDLE_ASSIGN_OR_RETURN(std::string sub, Emit(node->inputs()[0]));
+        SPINDLE_ASSIGN_OR_RETURN(size_t arity, Arity(node->inputs()[0]));
+        return "SELECT " + PassThroughColumns("t", arity) + ", t.p * " +
+               FormatDouble(node->weight()) + " AS p FROM (" + sub +
+               ") AS t";
+      }
+      case NodeKind::kComplement: {
+        SPINDLE_ASSIGN_OR_RETURN(std::string sub, Emit(node->inputs()[0]));
+        SPINDLE_ASSIGN_OR_RETURN(size_t arity, Arity(node->inputs()[0]));
+        return "SELECT " + PassThroughColumns("t", arity) +
+               ", 1 - t.p AS p FROM (" + sub + ") AS t";
+      }
+      case NodeKind::kBayes: {
+        SPINDLE_ASSIGN_OR_RETURN(std::string sub, Emit(node->inputs()[0]));
+        SPINDLE_ASSIGN_OR_RETURN(size_t arity, Arity(node->inputs()[0]));
+        std::string partition;
+        if (!node->group_cols().empty()) {
+          partition = " PARTITION BY ";
+          for (size_t i = 0; i < node->group_cols().size(); ++i) {
+            if (i > 0) partition += ", ";
+            partition += "t.c" + std::to_string(node->group_cols()[i] + 1);
+          }
+        }
+        return "SELECT " + PassThroughColumns("t", arity) +
+               ", t.p / SUM(t.p) OVER (" +
+               (partition.empty() ? "" : partition.substr(1)) +
+               ") AS p FROM (" + sub + ") AS t";
+      }
+      case NodeKind::kTokenize: {
+        SPINDLE_ASSIGN_OR_RETURN(std::string sub, Emit(node->inputs()[0]));
+        SPINDLE_ASSIGN_OR_RETURN(size_t arity, Arity(node->inputs()[0]));
+        // Carried columns, then token and pos from the tokenize UDF.
+        std::string out = "SELECT ";
+        size_t out_idx = 1;
+        for (size_t i = 0; i < arity; ++i) {
+          if (i == node->tokenize_col()) continue;
+          out += "t.c" + std::to_string(i + 1) + " AS c" +
+                 std::to_string(out_idx++) + ", ";
+        }
+        std::string token = "tk.token";
+        if (node->tokenize_analyzer().stemmer != "none") {
+          token = "stem(lcase(tk.token), '" +
+                  node->tokenize_analyzer().stemmer + "')";
+        }
+        out += token + " AS c" + std::to_string(out_idx++);
+        out += ", tk.pos AS c" + std::to_string(out_idx++);
+        out += ", t.p AS p FROM (" + sub + ") AS t, LATERAL tokenize(t.c" +
+               std::to_string(node->tokenize_col() + 1) + ") AS tk";
+        return out;
+      }
+      case NodeKind::kRank:
+        return EmitRank(node);
+      case NodeKind::kTopK: {
+        SPINDLE_ASSIGN_OR_RETURN(std::string sub, Emit(node->inputs()[0]));
+        return "SELECT * FROM (" + sub + ") AS t ORDER BY t.p DESC LIMIT " +
+               std::to_string(node->k());
+      }
+    }
+    return Status::Internal("unreachable node kind");
+  }
+
+  /// The paper's §2.1 BM25 cascade as a WITH query.
+  Result<std::string> EmitRank(const NodePtr& node) {
+    const RankSpec& spec = node->rank();
+    SPINDLE_ASSIGN_OR_RETURN(std::string docs_sql, Emit(node->inputs()[0]));
+    SPINDLE_ASSIGN_OR_RETURN(std::string query_sql,
+                             Emit(node->inputs()[1]));
+    if (spec.model != RankModel::kBm25) {
+      return std::string("-- ") + RankModelName(spec.model) +
+             " shares the cascade below with a different weighting\n" +
+             "SELECT NULL AS c1, NULL AS p WHERE FALSE";
+    }
+    const std::string stem_expr =
+        spec.analyzer.stemmer == "none"
+            ? std::string("lcase(%TOK%)")
+            : "stem(lcase(%TOK%), '" + spec.analyzer.stemmer + "')";
+    auto stem_of = [&](const std::string& tok) {
+      std::string s = stem_expr;
+      size_t at = s.find("%TOK%");
+      s.replace(at, 5, tok);
+      return s;
+    };
+    std::string k1 = FormatDouble(spec.bm25.k1);
+    std::string b = FormatDouble(spec.bm25.b);
+    std::string sql;
+    sql += "WITH docs AS (" + docs_sql + "),\n";
+    sql += "query AS (" + query_sql + "),\n";
+    sql += "term_doc AS (SELECT " + stem_of("tk.token") +
+           " AS term, d.c1 AS docID, d.p AS dp FROM docs d, LATERAL "
+           "tokenize(d.c2) AS tk),\n";
+    sql += "doc_len AS (SELECT docID, count(*) AS len FROM term_doc GROUP "
+           "BY docID),\n";
+    sql += "termdict AS (SELECT row_number() OVER () AS termID, terms.term "
+           "FROM (SELECT DISTINCT term FROM term_doc) AS terms),\n";
+    sql += "tf AS (SELECT termdict.termID, term_doc.docID, count(*) AS tf "
+           "FROM term_doc, termdict WHERE term_doc.term = termdict.term "
+           "GROUP BY termdict.termID, term_doc.docID),\n";
+    sql += "idf AS (SELECT termID, log(((SELECT count(*) FROM doc_len) - "
+           "count(*) + 0.5) / (count(*) + 0.5)) AS idf FROM tf GROUP BY "
+           "termID),\n";
+    sql += "tf_bm25 AS (SELECT tf.docID, tf.termID, tf.tf / (tf.tf + (" +
+           k1 + " * (1 - " + b + " + " + b +
+           " * doc_len.len / (SELECT avg(len) FROM doc_len)))) AS tf FROM "
+           "tf, doc_len WHERE tf.docID = doc_len.docID),\n";
+    sql += "qterms AS (SELECT termdict.termID, q.p AS w FROM query q, "
+           "LATERAL tokenize(q.c1) AS qt, termdict WHERE " +
+           stem_of("qt.token") + " = termdict.term)\n";
+    sql += "SELECT tf_bm25.docID AS c1, sum(tf_bm25.tf * idf.idf * "
+           "qterms.w) AS p FROM tf_bm25, idf, qterms WHERE tf_bm25.termID "
+           "= qterms.termID AND idf.termID = qterms.termID GROUP BY "
+           "tf_bm25.docID";
+    return sql;
+  }
+
+ private:
+  const Program& program_;
+  const Catalog& catalog_;
+};
+
+}  // namespace
+
+Result<std::string> EmitSql(const NodePtr& node, const Program& program,
+                            const Catalog& catalog) {
+  Emitter emitter(program, catalog);
+  return emitter.Emit(node);
+}
+
+Result<std::string> EmitProgramSql(const Program& program,
+                                   const Catalog& catalog) {
+  Emitter emitter(program, catalog);
+  std::string out;
+  for (const auto& [name, node] : program.statements()) {
+    SPINDLE_ASSIGN_OR_RETURN(std::string sql, emitter.Emit(node));
+    out += "CREATE VIEW " + name + " AS\n" + sql + ";\n\n";
+  }
+  return out;
+}
+
+Result<size_t> InferArity(const NodePtr& node, const Program& program,
+                          const Catalog& catalog) {
+  Emitter emitter(program, catalog);
+  return emitter.Arity(node);
+}
+
+}  // namespace spinql
+}  // namespace spindle

@@ -1,0 +1,44 @@
+/// \file sql_emitter.h
+/// \brief SpinQL -> SQL translation (paper §2.3).
+///
+/// SpinQL's "particular focus on efficient translation to SQL" is
+/// reproduced as a textual emitter: every operator becomes a SELECT whose
+/// output columns are aliased c1..cn plus the probability column p, and
+/// probability computations "are only made explicit upon translation into
+/// SQL" — joins emit `t1.p * t2.p`, disjoint projections emit `SUM(t.p)`,
+/// independent ones `1 - EXP(SUM(LN(1 - t.p)))`, the relational Bayes a
+/// window-normalized `t.p / SUM(t.p) OVER (...)`.
+///
+/// RANK BM25 nodes expand into the paper's full §2.1 view cascade
+/// (term_doc, doc_len, termdict, tf, idf, tf_bm25, qterms) as a WITH
+/// query, using the tokenize/stem UDFs. The SQL dialect is
+/// MonetDB-flavored; Spindle executes plans natively and treats this
+/// output as documentation/interchange, exactly like the paper shows it.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "spinql/ast.h"
+#include "storage/catalog.h"
+
+namespace spindle {
+namespace spinql {
+
+/// \brief Emits SQL for one expression. `catalog` resolves base-table
+/// schemas (their real column names are aliased to c1..cn).
+Result<std::string> EmitSql(const NodePtr& node, const Program& program,
+                            const Catalog& catalog);
+
+/// \brief Emits the whole program as a cascade of CREATE VIEW statements,
+/// one per binding — the shape of the paper's Section 2 listings.
+Result<std::string> EmitProgramSql(const Program& program,
+                                   const Catalog& catalog);
+
+/// \brief Number of attribute columns (p excluded) an expression yields.
+Result<size_t> InferArity(const NodePtr& node, const Program& program,
+                          const Catalog& catalog);
+
+}  // namespace spinql
+}  // namespace spindle

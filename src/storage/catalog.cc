@@ -1,0 +1,33 @@
+#include "storage/catalog.h"
+
+namespace spindle {
+
+void Catalog::Register(const std::string& name, RelationPtr rel) {
+  Entry& e = entries_[name];
+  e.rel = std::move(rel);
+  e.version = next_version_++;
+}
+
+void Catalog::Drop(const std::string& name) { entries_.erase(name); }
+
+Result<RelationPtr> Catalog::Get(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return it->second.rel;
+}
+
+uint64_t Catalog::Version(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.version;
+}
+
+std::vector<std::string> Catalog::List() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+}  // namespace spindle

@@ -1,0 +1,50 @@
+/// \file catalog.h
+/// \brief Named base relations with version counters.
+///
+/// Versions let the materialization cache invalidate entries whose
+/// producing expressions read a table that has since been replaced.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief A mutable namespace of immutable relations.
+class Catalog {
+ public:
+  /// \brief Registers or replaces a relation; bumps its version.
+  void Register(const std::string& name, RelationPtr rel);
+
+  /// \brief Removes a relation; missing names are ignored.
+  void Drop(const std::string& name);
+
+  /// \brief Looks a relation up by name.
+  Result<RelationPtr> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return entries_.count(name) > 0;
+  }
+
+  /// \brief Monotonic version of a table; 0 if absent.
+  uint64_t Version(const std::string& name) const;
+
+  /// \brief All registered names, sorted.
+  std::vector<std::string> List() const;
+
+ private:
+  struct Entry {
+    RelationPtr rel;
+    uint64_t version = 0;
+  };
+  std::map<std::string, Entry> entries_;
+  uint64_t next_version_ = 1;
+};
+
+}  // namespace spindle

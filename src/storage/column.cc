@@ -1,0 +1,206 @@
+#include "storage/column.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/str.h"
+
+namespace spindle {
+
+Column Column::MakeInt64(std::vector<int64_t> data) {
+  Column c(DataType::kInt64);
+  c.ints_ = std::move(data);
+  return c;
+}
+
+Column Column::MakeFloat64(std::vector<double> data) {
+  Column c(DataType::kFloat64);
+  c.floats_ = std::move(data);
+  return c;
+}
+
+Column Column::MakeString(std::vector<std::string> data) {
+  Column c(DataType::kString);
+  c.strings_ = std::move(data);
+  return c;
+}
+
+size_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_.size();
+    case DataType::kFloat64:
+      return floats_.size();
+    case DataType::kString:
+      return strings_.size();
+  }
+  return 0;
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (ValueType(v) != type_) {
+    return Status::TypeMismatch(std::string("cannot append ") +
+                                DataTypeName(ValueType(v)) + " to " +
+                                DataTypeName(type_) + " column");
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(std::get<int64_t>(v));
+      break;
+    case DataType::kFloat64:
+      floats_.push_back(std::get<double>(v));
+      break;
+    case DataType::kString:
+      strings_.push_back(std::get<std::string>(v));
+      break;
+  }
+  return Status::OK();
+}
+
+void Column::AppendFrom(const Column& other, size_t row) {
+  assert(other.type_ == type_);
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(other.ints_[row]);
+      break;
+    case DataType::kFloat64:
+      floats_.push_back(other.floats_[row]);
+      break;
+    case DataType::kString:
+      strings_.push_back(other.strings_[row]);
+      break;
+  }
+}
+
+Value Column::ValueAt(size_t i) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(ints_[i]);
+    case DataType::kFloat64:
+      return Value(floats_[i]);
+    case DataType::kString:
+      return Value(strings_[i]);
+  }
+  return Value(int64_t{0});
+}
+
+std::string Column::ToStringAt(size_t i) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return std::to_string(ints_[i]);
+    case DataType::kFloat64:
+      return FormatDouble(floats_[i]);
+    case DataType::kString:
+      return strings_[i];
+  }
+  return "";
+}
+
+uint64_t Column::HashAt(size_t i) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return HashInt64(static_cast<uint64_t>(ints_[i]));
+    case DataType::kFloat64: {
+      double d = floats_[i];
+      if (d == 0.0) d = 0.0;  // collapse -0.0 and +0.0
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashInt64(bits);
+    }
+    case DataType::kString:
+      return HashBytes(strings_[i]);
+  }
+  return 0;
+}
+
+bool Column::ElementEquals(size_t i, const Column& other, size_t j) const {
+  assert(type_ == other.type_);
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_[i] == other.ints_[j];
+    case DataType::kFloat64:
+      return floats_[i] == other.floats_[j];
+    case DataType::kString:
+      return strings_[i] == other.strings_[j];
+  }
+  return false;
+}
+
+int Column::ElementCompare(size_t i, const Column& other, size_t j) const {
+  assert(type_ == other.type_);
+  switch (type_) {
+    case DataType::kInt64: {
+      int64_t a = ints_[i], b = other.ints_[j];
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kFloat64: {
+      double a = floats_[i], b = other.floats_[j];
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kString:
+      return strings_[i].compare(other.strings_[j]);
+  }
+  return 0;
+}
+
+Column Column::Gather(const std::vector<uint32_t>& indices) const {
+  Column out(type_);
+  out.Reserve(indices.size());
+  switch (type_) {
+    case DataType::kInt64:
+      for (uint32_t i : indices) out.ints_.push_back(ints_[i]);
+      break;
+    case DataType::kFloat64:
+      for (uint32_t i : indices) out.floats_.push_back(floats_[i]);
+      break;
+    case DataType::kString:
+      for (uint32_t i : indices) out.strings_.push_back(strings_[i]);
+      break;
+  }
+  return out;
+}
+
+bool Column::Equals(const Column& other) const {
+  if (type_ != other.type_ || size() != other.size()) return false;
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_ == other.ints_;
+    case DataType::kFloat64:
+      return floats_ == other.floats_;
+    case DataType::kString:
+      return strings_ == other.strings_;
+  }
+  return false;
+}
+
+size_t Column::ByteSize() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_.size() * sizeof(int64_t);
+    case DataType::kFloat64:
+      return floats_.size() * sizeof(double);
+    case DataType::kString: {
+      size_t bytes = strings_.size() * sizeof(std::string);
+      for (const auto& s : strings_) bytes += s.capacity();
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kFloat64:
+      floats_.reserve(n);
+      break;
+    case DataType::kString:
+      strings_.reserve(n);
+      break;
+  }
+}
+
+}  // namespace spindle

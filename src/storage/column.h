@@ -1,0 +1,102 @@
+/// \file column.h
+/// \brief A typed, densely-stored column of values — the unit of storage in
+/// Spindle's column-store kernel (the analogue of a MonetDB BAT tail).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace spindle {
+
+/// \brief A typed column. Exactly one of the three backing vectors is used,
+/// selected by type().
+///
+/// Columns are mutated only while being built; once handed to a Relation
+/// they are treated as immutable and shared via shared_ptr<const Column>.
+class Column {
+ public:
+  /// \brief Creates an empty column of the given type.
+  explicit Column(DataType type) : type_(type) {}
+
+  /// \name Construction from existing vectors.
+  /// @{
+  static Column MakeInt64(std::vector<int64_t> data);
+  static Column MakeFloat64(std::vector<double> data);
+  static Column MakeString(std::vector<std::string> data);
+  /// @}
+
+  DataType type() const { return type_; }
+  size_t size() const;
+
+  /// \name Append (build phase only).
+  /// @{
+  void AppendInt64(int64_t v) { ints_.push_back(v); }
+  void AppendFloat64(double v) { floats_.push_back(v); }
+  void AppendString(std::string v) { strings_.push_back(std::move(v)); }
+  /// Appends a Value; returns TypeMismatch if it does not match type().
+  Status AppendValue(const Value& v);
+  /// Appends row `row` of `other` (same type required; checked by assert).
+  void AppendFrom(const Column& other, size_t row);
+  /// @}
+
+  /// \name Typed element access (caller must respect type()).
+  /// @{
+  int64_t Int64At(size_t i) const { return ints_[i]; }
+  double Float64At(size_t i) const { return floats_[i]; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+  /// @}
+
+  /// \brief Generic element access (allocates for strings).
+  Value ValueAt(size_t i) const;
+
+  /// \brief Renders element i for display.
+  std::string ToStringAt(size_t i) const;
+
+  /// \brief Hash of element i, suitable for join/aggregate keys.
+  uint64_t HashAt(size_t i) const;
+
+  /// \brief True if element i of *this equals element j of other
+  /// (same type required).
+  bool ElementEquals(size_t i, const Column& other, size_t j) const;
+
+  /// \brief Three-way comparison of element i vs element j of other:
+  /// negative / 0 / positive. Same type required.
+  int ElementCompare(size_t i, const Column& other, size_t j) const;
+
+  /// \brief Returns a new column containing rows at `indices`, in order.
+  Column Gather(const std::vector<uint32_t>& indices) const;
+
+  /// \brief Deep equality (type, size and all elements).
+  bool Equals(const Column& other) const;
+
+  /// \brief Approximate heap footprint in bytes (used by the cache budget).
+  size_t ByteSize() const;
+
+  /// \name Raw data access for vectorized kernels.
+  /// @{
+  const std::vector<int64_t>& int64_data() const { return ints_; }
+  const std::vector<double>& float64_data() const { return floats_; }
+  const std::vector<std::string>& string_data() const { return strings_; }
+  std::vector<int64_t>& mutable_int64() { return ints_; }
+  std::vector<double>& mutable_float64() { return floats_; }
+  std::vector<std::string>& mutable_string() { return strings_; }
+  /// @}
+
+  void Reserve(size_t n);
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> floats_;
+  std::vector<std::string> strings_;
+};
+
+using ColumnPtr = std::shared_ptr<const Column>;
+
+}  // namespace spindle

@@ -1,0 +1,310 @@
+#include "storage/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/str.h"
+
+namespace spindle {
+
+namespace {
+
+constexpr char kMagic[] = "SPNDL1\n";
+constexpr size_t kMagicLen = 7;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + ": " + path);
+}
+
+bool WriteBytes(std::FILE* f, const void* data, size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+template <typename T>
+bool WritePod(std::FILE* f, T v) {
+  return WriteBytes(f, &v, sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  return ReadBytes(f, v, sizeof(*v));
+}
+
+std::string EscapeTsv(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeTsv(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      char next = s[i + 1];
+      if (next == 't') {
+        out.push_back('\t');
+        ++i;
+        continue;
+      }
+      if (next == 'n') {
+        out.push_back('\n');
+        ++i;
+        continue;
+      }
+      if (next == '\\') {
+        out.push_back('\\');
+        ++i;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+Result<DataType> ParseType(const std::string& name) {
+  if (name == "int64") return DataType::kInt64;
+  if (name == "float64") return DataType::kFloat64;
+  if (name == "string") return DataType::kString;
+  return Status::ParseError("unknown column type '" + name + "'");
+}
+
+}  // namespace
+
+Status WriteRelation(const Relation& rel, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return IoError("cannot open for writing", path);
+  if (!WriteBytes(f.get(), kMagic, kMagicLen)) {
+    return IoError("write failed", path);
+  }
+  uint32_t ncols = static_cast<uint32_t>(rel.num_columns());
+  uint64_t nrows = rel.num_rows();
+  if (!WritePod(f.get(), ncols) || !WritePod(f.get(), nrows)) {
+    return IoError("write failed", path);
+  }
+  for (size_t c = 0; c < rel.num_columns(); ++c) {
+    const Field& field = rel.schema().field(c);
+    uint8_t type = static_cast<uint8_t>(field.type);
+    uint32_t name_len = static_cast<uint32_t>(field.name.size());
+    if (!WritePod(f.get(), type) || !WritePod(f.get(), name_len) ||
+        !WriteBytes(f.get(), field.name.data(), field.name.size())) {
+      return IoError("write failed", path);
+    }
+  }
+  for (size_t c = 0; c < rel.num_columns(); ++c) {
+    const Column& col = rel.column(c);
+    switch (col.type()) {
+      case DataType::kInt64:
+        if (!WriteBytes(f.get(), col.int64_data().data(),
+                        nrows * sizeof(int64_t))) {
+          return IoError("write failed", path);
+        }
+        break;
+      case DataType::kFloat64:
+        if (!WriteBytes(f.get(), col.float64_data().data(),
+                        nrows * sizeof(double))) {
+          return IoError("write failed", path);
+        }
+        break;
+      case DataType::kString:
+        for (const std::string& s : col.string_data()) {
+          uint32_t len = static_cast<uint32_t>(s.size());
+          if (!WritePod(f.get(), len) ||
+              !WriteBytes(f.get(), s.data(), s.size())) {
+            return IoError("write failed", path);
+          }
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<RelationPtr> ReadRelation(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return IoError("cannot open for reading", path);
+  char magic[kMagicLen];
+  if (!ReadBytes(f.get(), magic, kMagicLen) ||
+      std::memcmp(magic, kMagic, kMagicLen) != 0) {
+    return Status::ParseError("not a Spindle relation file: " + path);
+  }
+  uint32_t ncols = 0;
+  uint64_t nrows = 0;
+  if (!ReadPod(f.get(), &ncols) || !ReadPod(f.get(), &nrows)) {
+    return IoError("truncated header", path);
+  }
+  Schema schema;
+  for (uint32_t c = 0; c < ncols; ++c) {
+    uint8_t type = 0;
+    uint32_t name_len = 0;
+    if (!ReadPod(f.get(), &type) || !ReadPod(f.get(), &name_len) ||
+        type > 2) {
+      return IoError("corrupt column header", path);
+    }
+    std::string name(name_len, '\0');
+    if (!ReadBytes(f.get(), name.data(), name_len)) {
+      return IoError("corrupt column name", path);
+    }
+    schema.AddField({std::move(name), static_cast<DataType>(type)});
+  }
+  std::vector<Column> cols;
+  cols.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    DataType type = schema.field(c).type;
+    switch (type) {
+      case DataType::kInt64: {
+        std::vector<int64_t> data(nrows);
+        if (!ReadBytes(f.get(), data.data(), nrows * sizeof(int64_t))) {
+          return IoError("truncated int64 column", path);
+        }
+        cols.push_back(Column::MakeInt64(std::move(data)));
+        break;
+      }
+      case DataType::kFloat64: {
+        std::vector<double> data(nrows);
+        if (!ReadBytes(f.get(), data.data(), nrows * sizeof(double))) {
+          return IoError("truncated float64 column", path);
+        }
+        cols.push_back(Column::MakeFloat64(std::move(data)));
+        break;
+      }
+      case DataType::kString: {
+        std::vector<std::string> data;
+        data.reserve(nrows);
+        for (uint64_t r = 0; r < nrows; ++r) {
+          uint32_t len = 0;
+          if (!ReadPod(f.get(), &len)) {
+            return IoError("truncated string column", path);
+          }
+          std::string s(len, '\0');
+          if (!ReadBytes(f.get(), s.data(), len)) {
+            return IoError("truncated string value", path);
+          }
+          data.push_back(std::move(s));
+        }
+        cols.push_back(Column::MakeString(std::move(data)));
+        break;
+      }
+    }
+  }
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+Status WriteTsv(const Relation& rel, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return IoError("cannot open for writing", path);
+  std::string header;
+  for (size_t c = 0; c < rel.num_columns(); ++c) {
+    if (c > 0) header += '\t';
+    header += rel.schema().field(c).name;
+    header += ':';
+    header += DataTypeName(rel.schema().field(c).type);
+  }
+  header += '\n';
+  if (!WriteBytes(f.get(), header.data(), header.size())) {
+    return IoError("write failed", path);
+  }
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    std::string line;
+    for (size_t c = 0; c < rel.num_columns(); ++c) {
+      if (c > 0) line += '\t';
+      const Column& col = rel.column(c);
+      line += col.type() == DataType::kString
+                  ? EscapeTsv(col.StringAt(r))
+                  : col.ToStringAt(r);
+    }
+    line += '\n';
+    if (!WriteBytes(f.get(), line.data(), line.size())) {
+      return IoError("write failed", path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<RelationPtr> ReadTsv(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return IoError("cannot open for reading", path);
+  std::string content;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    content.append(buf, got);
+  }
+  std::vector<std::string> lines = Split(content, '\n');
+  if (lines.empty() || lines[0].empty()) {
+    return Status::ParseError("TSV file has no header: " + path);
+  }
+  Schema schema;
+  for (const std::string& field_spec : Split(lines[0], '\t')) {
+    size_t colon = field_spec.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("TSV header field '" + field_spec +
+                                "' is not name:type");
+    }
+    SPINDLE_ASSIGN_OR_RETURN(DataType type,
+                             ParseType(field_spec.substr(colon + 1)));
+    schema.AddField({field_spec.substr(0, colon), type});
+  }
+  RelationBuilder builder(schema);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;  // trailing newline
+    std::vector<std::string> cells = Split(lines[i], '\t');
+    if (cells.size() != schema.num_fields()) {
+      return Status::ParseError("TSV row " + std::to_string(i) + " has " +
+                                std::to_string(cells.size()) +
+                                " cells, expected " +
+                                std::to_string(schema.num_fields()));
+    }
+    std::vector<Value> row;
+    row.reserve(cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      switch (schema.field(c).type) {
+        case DataType::kInt64:
+          row.emplace_back(
+              static_cast<int64_t>(std::strtoll(cells[c].c_str(),
+                                                nullptr, 10)));
+          break;
+        case DataType::kFloat64:
+          row.emplace_back(std::strtod(cells[c].c_str(), nullptr));
+          break;
+        case DataType::kString:
+          row.emplace_back(UnescapeTsv(cells[c]));
+          break;
+      }
+    }
+    SPINDLE_RETURN_IF_ERROR(builder.AddRow(row));
+  }
+  return builder.Build();
+}
+
+}  // namespace spindle

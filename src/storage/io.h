@@ -1,0 +1,37 @@
+/// \file io.h
+/// \brief Relation persistence: a simple columnar binary format plus
+/// TSV import/export. An industrial deployment feeds the engine from
+/// files; the paper's system ingests raw data "with almost no
+/// pre-processing", which these loaders preserve (strings stay verbatim).
+///
+/// Binary format (little-endian):
+///   magic "SPNDL1\n"            7 bytes
+///   u32 num_columns, u64 num_rows
+///   per column: u8 type, u32 name_len, name bytes
+///   per column payload:
+///     int64/float64: num_rows * 8 bytes
+///     string: per row u32 len + bytes
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief Writes a relation to `path` in the Spindle binary format.
+Status WriteRelation(const Relation& rel, const std::string& path);
+
+/// \brief Reads a relation written by WriteRelation.
+Result<RelationPtr> ReadRelation(const std::string& path);
+
+/// \brief Writes tab-separated values with a `name:type` header line.
+/// Tabs/newlines/backslashes in strings are escaped (\t, \n, \\).
+Status WriteTsv(const Relation& rel, const std::string& path);
+
+/// \brief Reads a TSV file written by WriteTsv (header required).
+Result<RelationPtr> ReadTsv(const std::string& path);
+
+}  // namespace spindle

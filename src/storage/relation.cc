@@ -1,0 +1,107 @@
+#include "storage/relation.h"
+
+#include <sstream>
+
+namespace spindle {
+
+Result<RelationPtr> Relation::Make(Schema schema,
+                                   std::vector<Column> columns) {
+  std::vector<ColumnPtr> ptrs;
+  ptrs.reserve(columns.size());
+  for (auto& c : columns) {
+    ptrs.push_back(std::make_shared<const Column>(std::move(c)));
+  }
+  return MakeShared(std::move(schema), std::move(ptrs));
+}
+
+Result<RelationPtr> Relation::MakeShared(Schema schema,
+                                         std::vector<ColumnPtr> columns) {
+  if (schema.num_fields() != columns.size()) {
+    return Status::InvalidArgument(
+        "schema has " + std::to_string(schema.num_fields()) +
+        " fields but " + std::to_string(columns.size()) + " columns given");
+  }
+  size_t rows = columns.empty() ? 0 : columns[0]->size();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i]->type() != schema.field(i).type) {
+      return Status::TypeMismatch(
+          "column " + std::to_string(i) + " has type " +
+          DataTypeName(columns[i]->type()) + ", schema expects " +
+          DataTypeName(schema.field(i).type));
+    }
+    if (columns[i]->size() != rows) {
+      return Status::InvalidArgument("columns have unequal lengths");
+    }
+  }
+  return RelationPtr(
+      new Relation(std::move(schema), std::move(columns), rows));
+}
+
+RelationPtr Relation::Empty(Schema schema) {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(schema.num_fields());
+  for (const auto& f : schema.fields()) {
+    cols.push_back(std::make_shared<const Column>(f.type));
+  }
+  return RelationPtr(new Relation(std::move(schema), std::move(cols), 0));
+}
+
+std::vector<Value> Relation::Row(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c->ValueAt(row));
+  return out;
+}
+
+bool Relation::Equals(const Relation& other) const {
+  if (!schema_.Equals(other.schema_)) return false;
+  if (num_rows_ != other.num_rows_) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!columns_[i]->Equals(*other.columns_[i])) return false;
+  }
+  return true;
+}
+
+size_t Relation::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) bytes += c->ByteSize();
+  return bytes;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::ostringstream out;
+  out << schema_.ToString() << " [" << num_rows_ << " rows]\n";
+  size_t n = std::min(num_rows_, max_rows);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out << " | ";
+      out << columns_[c]->ToStringAt(r);
+    }
+    out << "\n";
+  }
+  if (n < num_rows_) out << "... (" << (num_rows_ - n) << " more)\n";
+  return out.str();
+}
+
+RelationBuilder::RelationBuilder(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const auto& f : schema_.fields()) columns_.emplace_back(f.type);
+}
+
+Status RelationBuilder::AddRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(values.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " fields");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    SPINDLE_RETURN_IF_ERROR(columns_[i].AppendValue(values[i]));
+  }
+  return Status::OK();
+}
+
+Result<RelationPtr> RelationBuilder::Build() {
+  return Relation::Make(std::move(schema_), std::move(columns_));
+}
+
+}  // namespace spindle

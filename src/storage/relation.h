@@ -1,0 +1,98 @@
+/// \file relation.h
+/// \brief Immutable relations: a schema plus column data.
+///
+/// Every Spindle operator consumes and produces whole relations
+/// (full materialization, MonetDB/BAT style). Columns are shared between
+/// relations wherever an operator does not modify them, so projection and
+/// caching are cheap.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace spindle {
+
+class Relation;
+using RelationPtr = std::shared_ptr<const Relation>;
+
+/// \brief An immutable table: schema + columns, all of equal length.
+class Relation {
+ public:
+  /// \brief Builds a relation from freshly-built columns.
+  /// Fails if column count/types disagree with the schema or lengths differ.
+  static Result<RelationPtr> Make(Schema schema, std::vector<Column> columns);
+
+  /// \brief Builds a relation that shares existing column buffers.
+  static Result<RelationPtr> MakeShared(Schema schema,
+                                        std::vector<ColumnPtr> columns);
+
+  /// \brief An empty relation with the given schema.
+  static RelationPtr Empty(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  const Column& column(size_t i) const { return *columns_[i]; }
+  const ColumnPtr& column_ptr(size_t i) const { return columns_[i]; }
+
+  /// \brief Row `row` as a vector of Values (for tests and display).
+  std::vector<Value> Row(size_t row) const;
+
+  /// \brief Deep equality: schema plus all cells, order-sensitive.
+  bool Equals(const Relation& other) const;
+
+  /// \brief Approximate heap footprint (cache accounting).
+  size_t ByteSize() const;
+
+  /// \brief Pretty-prints up to `max_rows` rows with a header.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Relation(Schema schema, std::vector<ColumnPtr> columns, size_t num_rows)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  Schema schema_;
+  std::vector<ColumnPtr> columns_;
+  size_t num_rows_;
+};
+
+/// \brief Convenience row-at-a-time builder for tests and generators.
+///
+/// \code
+///   RelationBuilder b({{"docID", DataType::kInt64},
+///                      {"data", DataType::kString}});
+///   b.AddRow({int64_t{1}, std::string("hello world")});
+///   RelationPtr rel = b.Build().ValueOrDie();
+/// \endcode
+class RelationBuilder {
+ public:
+  explicit RelationBuilder(Schema schema);
+  RelationBuilder(std::initializer_list<Field> fields)
+      : RelationBuilder(Schema(std::vector<Field>(fields))) {}
+
+  /// \brief Appends one row; the Value types must match the schema.
+  Status AddRow(const std::vector<Value>& values);
+
+  /// \brief Direct typed appends, one column at a time (advanced use).
+  Column& column(size_t i) { return columns_[i]; }
+
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  /// \brief Finalizes into an immutable relation; the builder is consumed.
+  Result<RelationPtr> Build();
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace spindle

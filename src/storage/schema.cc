@@ -1,0 +1,32 @@
+#include "storage/schema.h"
+
+namespace spindle {
+
+std::optional<size_t> Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool Schema::TypesEqual(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].type != other.fields_[i].type) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace spindle

@@ -1,0 +1,55 @@
+/// \file schema.h
+/// \brief Relation schemas: ordered lists of named, typed fields.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace spindle {
+
+/// \brief A named, typed field of a relation.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief An ordered list of fields. Field names need not be unique
+/// (intermediate results of self-joins can repeat names); lookup by name
+/// returns the first match.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// \brief Index of the first field with this name, if any.
+  std::optional<size_t> FindField(const std::string& name) const;
+
+  /// \brief True if field count, names and types all match.
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// \brief True if types match positionally (names ignored) — the
+  /// requirement for union compatibility.
+  bool TypesEqual(const Schema& other) const;
+
+  /// \brief "(name: type, ...)".
+  std::string ToString() const;
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace spindle

@@ -1,0 +1,34 @@
+#include "storage/string_dict.h"
+
+#include <memory>
+
+namespace spindle {
+
+int64_t StringDict::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  // Deques of strings would keep views stable; with a vector we must
+  // re-index after reallocation. Reserve geometrically to amortize.
+  if (strings_.size() == strings_.capacity()) {
+    size_t new_cap = strings_.capacity() < 16 ? 16 : strings_.capacity() * 2;
+    std::vector<std::string> grown;
+    grown.reserve(new_cap);
+    for (auto& old : strings_) grown.push_back(std::move(old));
+    strings_ = std::move(grown);
+    index_.clear();
+    for (size_t i = 0; i < strings_.size(); ++i) {
+      index_.emplace(strings_[i], first_id_ + static_cast<int64_t>(i));
+    }
+  }
+  strings_.emplace_back(s);
+  int64_t id = first_id_ + static_cast<int64_t>(strings_.size()) - 1;
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+int64_t StringDict::Lookup(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace spindle

@@ -1,0 +1,47 @@
+/// \file string_dict.h
+/// \brief Bidirectional string <-> dense-id dictionary.
+///
+/// This is the building block behind `termdict` (paper §2.1): terms are
+/// interned once and the hot ranking path works on int64 term ids.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace spindle {
+
+/// \brief Interns strings, assigning dense ids starting at `first_id`.
+class StringDict {
+ public:
+  /// \param first_id the id given to the first interned string. The paper's
+  /// termdict uses row_number() which starts at 1, so 1 is the default.
+  explicit StringDict(int64_t first_id = 1) : first_id_(first_id) {}
+
+  /// \brief Returns the id of `s`, interning it if new.
+  int64_t Intern(std::string_view s);
+
+  /// \brief Returns the id of `s`, or -1 if not present.
+  int64_t Lookup(std::string_view s) const;
+
+  /// \brief The string for an id previously returned by Intern.
+  const std::string& StringFor(int64_t id) const {
+    return strings_[static_cast<size_t>(id - first_id_)];
+  }
+
+  int64_t size() const { return static_cast<int64_t>(strings_.size()); }
+  int64_t first_id() const { return first_id_; }
+
+  /// \brief All interned strings in id order.
+  const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  int64_t first_id_;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string_view, int64_t> index_;  // views into strings_
+};
+
+}  // namespace spindle

@@ -1,0 +1,31 @@
+#include "storage/types.h"
+
+#include "common/str.h"
+
+namespace spindle {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::string ValueToString(const Value& v) {
+  switch (ValueType(v)) {
+    case DataType::kInt64:
+      return std::to_string(std::get<int64_t>(v));
+    case DataType::kFloat64:
+      return FormatDouble(std::get<double>(v));
+    case DataType::kString:
+      return std::get<std::string>(v);
+  }
+  return "";
+}
+
+}  // namespace spindle

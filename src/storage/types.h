@@ -1,0 +1,38 @@
+/// \file types.h
+/// \brief Column data types and the Value variant.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace spindle {
+
+/// \brief Physical type of a column.
+///
+/// Spindle partitions data by physical type (the paper's "data-driven
+/// partitioning by the physical data type of objects"): the triple store
+/// keeps integer, float and string objects in separate tables rather than
+/// serializing every literal into strings.
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kString = 2,
+};
+
+/// \brief Stable lowercase name ("int64", "float64", "string").
+const char* DataTypeName(DataType type);
+
+/// \brief A single cell value. The alternative index matches DataType.
+using Value = std::variant<int64_t, double, std::string>;
+
+/// \brief The DataType of a Value.
+inline DataType ValueType(const Value& v) {
+  return static_cast<DataType>(v.index());
+}
+
+/// \brief Renders a Value for display ("42", "0.5", "abc").
+std::string ValueToString(const Value& v);
+
+}  // namespace spindle

@@ -1,0 +1,368 @@
+#include "strategy/block.h"
+
+namespace spindle {
+namespace strategy {
+
+namespace {
+
+using spinql::Node;
+using spinql::NodePtr;
+using spinql::Program;
+
+/// SELECT [$2 = property AND $3 = value] (triples)
+NodePtr SelectPattern(const std::string& triples, const std::string& property,
+                      const std::string& value = "") {
+  ExprPtr pred = Expr::Eq(Expr::Column(1), Expr::LitString(property));
+  if (!value.empty()) {
+    pred = Expr::And(std::move(pred),
+                     Expr::Eq(Expr::Column(2), Expr::LitString(value)));
+  }
+  return Node::Select(std::move(pred), Node::RelRef(triples));
+}
+
+class SourceBlock : public Block {
+ public:
+  explicit SourceBlock(std::string table) : table_(std::move(table)) {}
+  std::string type_name() const override { return "Source " + table_; }
+  size_t num_inputs() const override { return 0; }
+  Result<std::string> Emit(Program*, const std::vector<std::string>&,
+                           NameGen*) const override {
+    return table_;
+  }
+
+ private:
+  std::string table_;
+};
+
+class SelectByTypeBlock : public Block {
+ public:
+  SelectByTypeBlock(std::string type, std::string type_property,
+                    std::string triples)
+      : type_(std::move(type)), type_property_(std::move(type_property)),
+        triples_(std::move(triples)) {}
+  std::string type_name() const override {
+    return "Select type " + type_;
+  }
+  size_t num_inputs() const override { return 0; }
+  Result<std::string> Emit(Program* program,
+                           const std::vector<std::string>&,
+                           NameGen* names) const override {
+    NodePtr node = Node::Project(
+        Assumption::kMax, {Expr::Column(0)}, {"id"},
+        SelectPattern(triples_, type_property_, type_));
+    std::string name = names->Fresh("nodes");
+    SPINDLE_RETURN_IF_ERROR(program->Append(name, std::move(node)));
+    return name;
+  }
+
+ private:
+  std::string type_;
+  std::string type_property_;
+  std::string triples_;
+};
+
+class FilterByPropertyBlock : public Block {
+ public:
+  FilterByPropertyBlock(std::string property, std::string value,
+                        std::string triples)
+      : property_(std::move(property)), value_(std::move(value)),
+        triples_(std::move(triples)) {}
+  std::string type_name() const override {
+    return "Filter " + property_ + "=" + value_;
+  }
+  size_t num_inputs() const override { return 1; }
+  Result<std::string> Emit(Program* program,
+                           const std::vector<std::string>& inputs,
+                           NameGen* names) const override {
+    // join attrs: id, subject, property, object -> keep id.
+    NodePtr node = Node::Project(
+        Assumption::kMax, {Expr::Column(0)}, {"id"},
+        Node::Join({JoinKey{0, 0}}, Node::RelRef(inputs[0]),
+                   SelectPattern(triples_, property_, value_)));
+    std::string name = names->Fresh("filtered");
+    SPINDLE_RETURN_IF_ERROR(program->Append(name, std::move(node)));
+    return name;
+  }
+
+ private:
+  std::string property_;
+  std::string value_;
+  std::string triples_;
+};
+
+class ExtractPropertyBlock : public Block {
+ public:
+  ExtractPropertyBlock(std::string property, std::string triples)
+      : property_(std::move(property)), triples_(std::move(triples)) {}
+  std::string type_name() const override { return "Extract " + property_; }
+  size_t num_inputs() const override { return 1; }
+  Result<std::string> Emit(Program* program,
+                           const std::vector<std::string>& inputs,
+                           NameGen* names) const override {
+    // join attrs: id, subject, property, object -> (id, value).
+    NodePtr node = Node::Project(
+        Assumption::kAll, {Expr::Column(0), Expr::Column(3)},
+        {"id", "value"},
+        Node::Join({JoinKey{0, 0}}, Node::RelRef(inputs[0]),
+                   SelectPattern(triples_, property_)));
+    std::string name = names->Fresh("docs");
+    SPINDLE_RETURN_IF_ERROR(program->Append(name, std::move(node)));
+    return name;
+  }
+
+ private:
+  std::string property_;
+  std::string triples_;
+};
+
+class TraverseBlock : public Block {
+ public:
+  TraverseBlock(std::string property, Direction direction,
+                Assumption assumption, std::string triples)
+      : property_(std::move(property)), direction_(direction),
+        assumption_(assumption), triples_(std::move(triples)) {}
+  std::string type_name() const override {
+    return std::string("Traverse ") + property_ +
+           (direction_ == Direction::kForward ? "" : " (backward)");
+  }
+  size_t num_inputs() const override { return 1; }
+  Result<std::string> Emit(Program* program,
+                           const std::vector<std::string>& inputs,
+                           NameGen* names) const override {
+    // Forward joins node id on subject and keeps the object; backward
+    // joins on object and keeps the subject.
+    size_t join_col = direction_ == Direction::kForward ? 0 : 2;
+    size_t out_col = direction_ == Direction::kForward ? 3 : 1;
+    NodePtr node = Node::Project(
+        assumption_, {Expr::Column(out_col)}, {"id"},
+        Node::Join({JoinKey{0, join_col}}, Node::RelRef(inputs[0]),
+                   SelectPattern(triples_, property_)));
+    std::string name = names->Fresh("nodes");
+    SPINDLE_RETURN_IF_ERROR(program->Append(name, std::move(node)));
+    return name;
+  }
+
+ private:
+  std::string property_;
+  Direction direction_;
+  Assumption assumption_;
+  std::string triples_;
+};
+
+class RankByTextBlock : public Block {
+ public:
+  explicit RankByTextBlock(spinql::RankSpec spec) : spec_(std::move(spec)) {}
+  std::string type_name() const override {
+    return std::string("Rank by Text ") + RankModelName(spec_.model);
+  }
+  size_t num_inputs() const override { return 2; }
+  Result<std::string> Emit(Program* program,
+                           const std::vector<std::string>& inputs,
+                           NameGen* names) const override {
+    NodePtr node = Node::Rank(spec_, Node::RelRef(inputs[0]),
+                              Node::RelRef(inputs[1]));
+    std::string name = names->Fresh("ranked");
+    SPINDLE_RETURN_IF_ERROR(program->Append(name, std::move(node)));
+    return name;
+  }
+
+ private:
+  spinql::RankSpec spec_;
+};
+
+class QueryBlock : public Block {
+ public:
+  explicit QueryBlock(std::string table) : table_(std::move(table)) {}
+  std::string type_name() const override { return "Query"; }
+  size_t num_inputs() const override { return 0; }
+  Result<std::string> Emit(Program*, const std::vector<std::string>&,
+                           NameGen*) const override {
+    return table_;
+  }
+
+ private:
+  std::string table_;
+};
+
+class ExpandSynonymsBlock : public Block {
+ public:
+  ExpandSynonymsBlock(double weight, std::string synonym_property,
+                      std::string triples, AnalyzerOptions tokenizer)
+      : weight_(weight), synonym_property_(std::move(synonym_property)),
+        triples_(std::move(triples)), tokenizer_(std::move(tokenizer)) {}
+  std::string type_name() const override { return "Expand synonyms"; }
+  size_t num_inputs() const override { return 1; }
+  Result<std::string> Emit(Program* program,
+                           const std::vector<std::string>& inputs,
+                           NameGen* names) const override {
+    // Tokenize the query text; the tokens join against synonym triples;
+    // the synonym objects become additional weighted query rows.
+    // query (text, p) --TOKENIZE--> (term, pos, p) --PROJECT--> (term, p)
+    NodePtr qtok = Node::Project(
+        Assumption::kMax, {Expr::Column(0)}, {"term"},
+        Node::Tokenize(0, tokenizer_, Node::RelRef(inputs[0])));
+    std::string qtok_name = names->Fresh("qtok");
+    SPINDLE_RETURN_IF_ERROR(program->Append(qtok_name, qtok));
+    // join attrs: term, subject, property, object -> synonym text.
+    NodePtr syn = Node::Project(
+        Assumption::kMax, {Expr::Column(3)}, {"text"},
+        Node::Join({JoinKey{0, 0}}, Node::RelRef(qtok_name),
+                   SelectPattern(triples_, synonym_property_)));
+    std::string syn_name = names->Fresh("syn");
+    SPINDLE_RETURN_IF_ERROR(program->Append(syn_name, syn));
+    NodePtr expanded = Node::Unite(
+        Assumption::kAll,
+        {Node::RelRef(inputs[0]),
+         Node::Weight(weight_, Node::RelRef(syn_name))});
+    std::string name = names->Fresh("qexp");
+    SPINDLE_RETURN_IF_ERROR(program->Append(name, std::move(expanded)));
+    return name;
+  }
+
+ private:
+  double weight_;
+  std::string synonym_property_;
+  std::string triples_;
+  AnalyzerOptions tokenizer_;
+};
+
+class ExpandCompoundsBlock : public Block {
+ public:
+  ExpandCompoundsBlock(double weight, AnalyzerOptions tokenizer)
+      : weight_(weight), tokenizer_(std::move(tokenizer)) {}
+  std::string type_name() const override { return "Expand compounds"; }
+  size_t num_inputs() const override { return 1; }
+  Result<std::string> Emit(Program* program,
+                           const std::vector<std::string>& inputs,
+                           NameGen* names) const override {
+    // query (text, p) --TOKENIZE--> (term, pos, p); adjacent pairs join
+    // on pos+1 = pos and concatenate into compound candidates.
+    NodePtr qtok = Node::Tokenize(0, tokenizer_, Node::RelRef(inputs[0]));
+    std::string qtok_name = names->Fresh("ctok");
+    SPINDLE_RETURN_IF_ERROR(program->Append(qtok_name, qtok));
+    NodePtr shifted = Node::Project(
+        Assumption::kAll,
+        {Expr::Column(0),
+         Expr::Add(Expr::Column(1), Expr::LitInt(1))},
+        {"term", "nxt"}, Node::RelRef(qtok_name));
+    std::string shifted_name = names->Fresh("cshift");
+    SPINDLE_RETURN_IF_ERROR(program->Append(shifted_name,
+                                            std::move(shifted)));
+    // join attrs: term, nxt, term2, pos -> concat(term, term2).
+    NodePtr compounds = Node::Project(
+        Assumption::kMax,
+        {Expr::Call("concat", {Expr::Column(0), Expr::Column(2)})},
+        {"text"},
+        Node::Join({JoinKey{1, 1}}, Node::RelRef(shifted_name),
+                   Node::RelRef(qtok_name)));
+    std::string compounds_name = names->Fresh("ccomp");
+    SPINDLE_RETURN_IF_ERROR(program->Append(compounds_name,
+                                            std::move(compounds)));
+    NodePtr expanded = Node::Unite(
+        Assumption::kAll,
+        {Node::RelRef(inputs[0]),
+         Node::Weight(weight_, Node::RelRef(compounds_name))});
+    std::string name = names->Fresh("qcomp");
+    SPINDLE_RETURN_IF_ERROR(program->Append(name, std::move(expanded)));
+    return name;
+  }
+
+ private:
+  double weight_;
+  AnalyzerOptions tokenizer_;
+};
+
+class MixBlock : public Block {
+ public:
+  explicit MixBlock(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+  std::string type_name() const override { return "Mix (linear)"; }
+  size_t num_inputs() const override { return weights_.size(); }
+  Result<std::string> Emit(Program* program,
+                           const std::vector<std::string>& inputs,
+                           NameGen* names) const override {
+    std::vector<NodePtr> weighted;
+    weighted.reserve(inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      weighted.push_back(
+          Node::Weight(weights_[i], Node::RelRef(inputs[i])));
+    }
+    NodePtr node = Node::Unite(Assumption::kDisjoint, std::move(weighted));
+    std::string name = names->Fresh("mixed");
+    SPINDLE_RETURN_IF_ERROR(program->Append(name, std::move(node)));
+    return name;
+  }
+
+ private:
+  std::vector<double> weights_;
+};
+
+class TopKBlock : public Block {
+ public:
+  explicit TopKBlock(size_t k) : k_(k) {}
+  std::string type_name() const override {
+    return "Top " + std::to_string(k_);
+  }
+  size_t num_inputs() const override { return 1; }
+  Result<std::string> Emit(Program* program,
+                           const std::vector<std::string>& inputs,
+                           NameGen* names) const override {
+    NodePtr node = Node::TopK(k_, Node::RelRef(inputs[0]));
+    std::string name = names->Fresh("top");
+    SPINDLE_RETURN_IF_ERROR(program->Append(name, std::move(node)));
+    return name;
+  }
+
+ private:
+  size_t k_;
+};
+
+}  // namespace
+
+BlockPtr MakeSourceBlock(std::string table) {
+  return std::make_unique<SourceBlock>(std::move(table));
+}
+BlockPtr MakeSelectByTypeBlock(std::string type, std::string type_property,
+                               std::string triples) {
+  return std::make_unique<SelectByTypeBlock>(
+      std::move(type), std::move(type_property), std::move(triples));
+}
+BlockPtr MakeFilterByPropertyBlock(std::string property, std::string value,
+                                   std::string triples) {
+  return std::make_unique<FilterByPropertyBlock>(
+      std::move(property), std::move(value), std::move(triples));
+}
+BlockPtr MakeExtractPropertyBlock(std::string property, std::string triples) {
+  return std::make_unique<ExtractPropertyBlock>(std::move(property),
+                                                std::move(triples));
+}
+BlockPtr MakeTraverseBlock(std::string property, Direction direction,
+                           Assumption assumption, std::string triples) {
+  return std::make_unique<TraverseBlock>(std::move(property), direction,
+                                         assumption, std::move(triples));
+}
+BlockPtr MakeRankByTextBlock(spinql::RankSpec spec) {
+  return std::make_unique<RankByTextBlock>(std::move(spec));
+}
+BlockPtr MakeQueryBlock(std::string query_table) {
+  return std::make_unique<QueryBlock>(std::move(query_table));
+}
+BlockPtr MakeExpandSynonymsBlock(double weight, std::string synonym_property,
+                                 std::string triples,
+                                 AnalyzerOptions tokenizer) {
+  return std::make_unique<ExpandSynonymsBlock>(
+      weight, std::move(synonym_property), std::move(triples),
+      std::move(tokenizer));
+}
+BlockPtr MakeExpandCompoundsBlock(double weight,
+                                  AnalyzerOptions tokenizer) {
+  return std::make_unique<ExpandCompoundsBlock>(weight,
+                                                std::move(tokenizer));
+}
+BlockPtr MakeMixBlock(std::vector<double> weights) {
+  return std::make_unique<MixBlock>(std::move(weights));
+}
+BlockPtr MakeTopKBlock(size_t k) { return std::make_unique<TopKBlock>(k); }
+
+}  // namespace strategy
+}  // namespace spindle

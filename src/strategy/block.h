@@ -1,0 +1,124 @@
+/// \file block.h
+/// \brief Strategy building blocks (paper §2.4).
+///
+/// "A so-called search strategy is modeled out of building blocks ...
+/// The SpinQL queries contained in each block are combined automatically
+/// under the hood." Each Block emits its SpinQL fragment (as AST
+/// statements) into the program being compiled; the strategy graph wires
+/// block outputs to block inputs by binding name.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pra/prob_relation.h"
+#include "spinql/ast.h"
+#include "text/analyzer.h"
+#include "triples/graph.h"
+
+namespace spindle {
+namespace strategy {
+
+/// \brief Generates fresh, deterministic binding names (b1, b2, ...).
+class NameGen {
+ public:
+  std::string Fresh(const std::string& hint) {
+    return hint + "_" + std::to_string(++counter_);
+  }
+
+ private:
+  int counter_ = 0;
+};
+
+/// \brief A reusable strategy building block.
+class Block {
+ public:
+  virtual ~Block() = default;
+
+  /// \brief Display/type name ("Rank by Text BM25", ...).
+  virtual std::string type_name() const = 0;
+
+  /// \brief Number of upstream inputs this block consumes.
+  virtual size_t num_inputs() const = 0;
+
+  /// \brief Emits this block's SpinQL into `program`. `inputs` are the
+  /// binding (or table) names of upstream outputs. Returns the binding
+  /// name holding this block's output.
+  virtual Result<std::string> Emit(spinql::Program* program,
+                                   const std::vector<std::string>& inputs,
+                                   NameGen* names) const = 0;
+};
+
+using BlockPtr = std::unique_ptr<Block>;
+
+/// \name Block factories.
+/// All triple-reading blocks default to the "triples" catalog table.
+/// Node-set blocks consume/produce (id, p); collections are (id, value, p).
+/// @{
+
+/// \brief 0 inputs; outputs the named catalog table as-is.
+BlockPtr MakeSourceBlock(std::string table);
+
+/// \brief 0 inputs; nodes of `type` via (id, type_property, type) triples.
+BlockPtr MakeSelectByTypeBlock(std::string type,
+                               std::string type_property = "type",
+                               std::string triples = "triples");
+
+/// \brief 1 input (nodes); keeps nodes whose `property` equals `value`.
+BlockPtr MakeFilterByPropertyBlock(std::string property, std::string value,
+                                   std::string triples = "triples");
+
+/// \brief 1 input (nodes); outputs (id, value, p) pairs of `property`.
+BlockPtr MakeExtractPropertyBlock(std::string property,
+                                  std::string triples = "triples");
+
+/// \brief 1 input (nodes); follows `property` edges.
+BlockPtr MakeTraverseBlock(std::string property, Direction direction,
+                           Assumption assumption = Assumption::kMax,
+                           std::string triples = "triples");
+
+/// \brief 2 inputs (collection (id, text, p); query (text, p));
+/// outputs ranked (id, p). The paper's "Rank by Text BM25" block.
+BlockPtr MakeRankByTextBlock(spinql::RankSpec spec = {});
+
+/// \brief 0 inputs; outputs the query table (default "query", registered
+/// per request by the executor).
+BlockPtr MakeQueryBlock(std::string query_table = "query");
+
+/// \brief 1 input (query (text, p)); appends synonym expansions of the
+/// query tokens with the given weight, via (term, synonym_property, term')
+/// triples.
+BlockPtr MakeExpandSynonymsBlock(double weight,
+                                 std::string synonym_property = "synonym",
+                                 std::string triples = "triples",
+                                 AnalyzerOptions tokenizer = [] {
+                                   AnalyzerOptions o;
+                                   o.stemmer = "none";
+                                   return o;
+                                 }());
+
+/// \brief 1 input (query (text, p)); appends compound-term expansions:
+/// each adjacent pair of query tokens also contributes its concatenation
+/// ("key board" additionally queries "keyboard") with the given weight —
+/// the paper's "query expansion with ... compound terms" (§3).
+BlockPtr MakeExpandCompoundsBlock(double weight,
+                                  AnalyzerOptions tokenizer = [] {
+                                    AnalyzerOptions o;
+                                    o.stemmer = "none";
+                                    return o;
+                                  }());
+
+/// \brief N inputs (ranked (id, p) lists); linear combination with the
+/// given weights (WEIGHT + UNITE DISJOINT).
+BlockPtr MakeMixBlock(std::vector<double> weights);
+
+/// \brief 1 input; keeps the k most probable tuples.
+BlockPtr MakeTopKBlock(size_t k);
+
+/// @}
+
+}  // namespace strategy
+}  // namespace spindle

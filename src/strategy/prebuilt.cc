@@ -1,0 +1,125 @@
+#include "strategy/prebuilt.h"
+
+namespace spindle {
+namespace strategy {
+
+Result<Strategy> MakeToyStrategy(const ToyStrategyOptions& options) {
+  Strategy s;
+  SPINDLE_ASSIGN_OR_RETURN(
+      int products,
+      s.Add(MakeSelectByTypeBlock("product")));
+  SPINDLE_ASSIGN_OR_RETURN(
+      int toys, s.Add(MakeFilterByPropertyBlock("category",
+                                                options.category),
+                      {products}));
+  SPINDLE_ASSIGN_OR_RETURN(
+      int docs, s.Add(MakeExtractPropertyBlock("description"), {toys}));
+  SPINDLE_ASSIGN_OR_RETURN(int query, s.Add(MakeQueryBlock()));
+  SPINDLE_ASSIGN_OR_RETURN(
+      int ranked, s.Add(MakeRankByTextBlock(options.rank), {docs, query}));
+  SPINDLE_RETURN_IF_ERROR(
+      s.Add(MakeTopKBlock(options.top_k), {ranked}).status());
+  return s;
+}
+
+Result<Strategy> MakeAuctionStrategy(const AuctionStrategyOptions& options) {
+  Strategy s;
+  // 1. Select nodes of type lot.
+  SPINDLE_ASSIGN_OR_RETURN(int lots, s.Add(MakeSelectByTypeBlock("lot")));
+  SPINDLE_ASSIGN_OR_RETURN(int query, s.Add(MakeQueryBlock()));
+
+  // 2. Left branch: rank lots by their own description.
+  SPINDLE_ASSIGN_OR_RETURN(
+      int lot_docs, s.Add(MakeExtractPropertyBlock("description"), {lots}));
+  SPINDLE_ASSIGN_OR_RETURN(
+      int left,
+      s.Add(MakeRankByTextBlock(options.rank), {lot_docs, query}));
+
+  // 3. Right branch: traverse to the containing auction, rank auctions by
+  // their description, traverse hasAuction backward to get lots again.
+  SPINDLE_ASSIGN_OR_RETURN(
+      int auctions,
+      s.Add(MakeTraverseBlock("hasAuction", Direction::kForward), {lots}));
+  SPINDLE_ASSIGN_OR_RETURN(
+      int auction_docs,
+      s.Add(MakeExtractPropertyBlock("description"), {auctions}));
+  SPINDLE_ASSIGN_OR_RETURN(
+      int ranked_auctions,
+      s.Add(MakeRankByTextBlock(options.rank), {auction_docs, query}));
+  SPINDLE_ASSIGN_OR_RETURN(
+      int right,
+      s.Add(MakeTraverseBlock("hasAuction", Direction::kBackward,
+                              Assumption::kMax),
+            {ranked_auctions}));
+
+  // 4. Linear mix of the two ranked lot lists.
+  SPINDLE_ASSIGN_OR_RETURN(
+      int mixed,
+      s.Add(MakeMixBlock({options.lot_weight, options.auction_weight}),
+            {left, right}));
+  SPINDLE_RETURN_IF_ERROR(
+      s.Add(MakeTopKBlock(options.top_k), {mixed}).status());
+  return s;
+}
+
+Result<Strategy> MakeProductionStrategy(
+    const ProductionStrategyOptions& options) {
+  if (options.branches.empty()) {
+    return Status::InvalidArgument(
+        "production strategy needs at least one branch");
+  }
+  Strategy s;
+  SPINDLE_ASSIGN_OR_RETURN(int lots, s.Add(MakeSelectByTypeBlock("lot")));
+  SPINDLE_ASSIGN_OR_RETURN(int query, s.Add(MakeQueryBlock()));
+  int effective_query = query;
+  if (options.expand_synonyms) {
+    SPINDLE_ASSIGN_OR_RETURN(
+        effective_query,
+        s.Add(MakeExpandSynonymsBlock(options.synonym_weight), {query}));
+  }
+  if (options.expand_compounds) {
+    SPINDLE_ASSIGN_OR_RETURN(
+        effective_query,
+        s.Add(MakeExpandCompoundsBlock(options.compound_weight),
+              {effective_query}));
+  }
+
+  std::vector<int> ranked_branches;
+  std::vector<double> weights;
+  int auctions = -1;
+  for (const auto& branch : options.branches) {
+    int nodes = lots;
+    if (branch.via_auction) {
+      if (auctions < 0) {
+        SPINDLE_ASSIGN_OR_RETURN(
+            auctions, s.Add(MakeTraverseBlock("hasAuction",
+                                              Direction::kForward),
+                            {lots}));
+      }
+      nodes = auctions;
+    }
+    SPINDLE_ASSIGN_OR_RETURN(
+        int docs, s.Add(MakeExtractPropertyBlock(branch.property), {nodes}));
+    SPINDLE_ASSIGN_OR_RETURN(
+        int ranked, s.Add(MakeRankByTextBlock(options.rank),
+                          {docs, effective_query}));
+    if (branch.via_auction) {
+      SPINDLE_ASSIGN_OR_RETURN(
+          ranked, s.Add(MakeTraverseBlock("hasAuction",
+                                          Direction::kBackward,
+                                          Assumption::kMax),
+                        {ranked}));
+    }
+    ranked_branches.push_back(ranked);
+    weights.push_back(branch.weight);
+  }
+
+  SPINDLE_ASSIGN_OR_RETURN(
+      int mixed, s.Add(MakeMixBlock(std::move(weights)), ranked_branches));
+  SPINDLE_RETURN_IF_ERROR(
+      s.Add(MakeTopKBlock(options.top_k), {mixed}).status());
+  return s;
+}
+
+}  // namespace strategy
+}  // namespace spindle

@@ -1,0 +1,78 @@
+/// \file prebuilt.h
+/// \brief The paper's strategies, ready to run.
+///
+/// - MakeToyStrategy: Fig. 2 — keyword search on a product database,
+///   restricted to the description of products in category "toy".
+/// - MakeAuctionStrategy: Fig. 3 — rank auction lots by their own
+///   description and by the description of their containing auction,
+///   mixed linearly.
+/// - MakeProductionStrategy: §3's "industrial-strength" variant — multiple
+///   parallel keyword-search branches plus query expansion with synonyms.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "strategy/strategy.h"
+
+namespace spindle {
+namespace strategy {
+
+/// \brief Options for the Fig. 2 toy strategy.
+struct ToyStrategyOptions {
+  std::string category = "toy";
+  size_t top_k = 10;
+  spinql::RankSpec rank;
+};
+
+/// \brief Fig. 2: select products of `category`, extract descriptions,
+/// rank by text against the user query, top-k.
+Result<Strategy> MakeToyStrategy(const ToyStrategyOptions& options = {});
+
+/// \brief Options for the Fig. 3 auction strategy.
+struct AuctionStrategyOptions {
+  double lot_weight = 0.7;      ///< weight of the lot-description branch
+  double auction_weight = 0.3;  ///< weight of the auction-description branch
+  size_t top_k = 10;
+  spinql::RankSpec rank;
+};
+
+/// \brief Fig. 3: select lots; rank by lot description (left branch) and
+/// by containing-auction description via hasAuction traversal forth and
+/// back (right branch); linear mix; top-k.
+Result<Strategy> MakeAuctionStrategy(
+    const AuctionStrategyOptions& options = {});
+
+/// \brief Options for the production variant.
+struct ProductionStrategyOptions {
+  /// Properties ranked in parallel branches, each (property, weight,
+  /// traverse_via_auction). The default five branches mirror "5 parallel
+  /// keyword search branches".
+  struct Branch {
+    std::string property;
+    double weight;
+    bool via_auction = false;
+  };
+  std::vector<Branch> branches = {
+      {"description", 0.35, false}, {"title", 0.25, false},
+      {"tags", 0.1, false},         {"sellerNotes", 0.1, false},
+      {"description", 0.2, true},
+  };
+  double synonym_weight = 0.3;  ///< weight of expanded query terms
+  bool expand_synonyms = true;
+  /// Adjacent query tokens also search as concatenated compounds.
+  bool expand_compounds = false;
+  double compound_weight = 0.3;
+  size_t top_k = 10;
+  spinql::RankSpec rank;
+};
+
+/// \brief §3 production variant: query expansion with synonyms, N parallel
+/// rank branches over different lot/auction properties, linear mix, top-k.
+Result<Strategy> MakeProductionStrategy(
+    const ProductionStrategyOptions& options = {});
+
+}  // namespace strategy
+}  // namespace spindle

@@ -1,0 +1,91 @@
+#include "strategy/strategy.h"
+
+#include "spinql/optimizer.h"
+
+namespace spindle {
+namespace strategy {
+
+Result<int> Strategy::Add(BlockPtr block, std::vector<int> inputs) {
+  if (inputs.size() != block->num_inputs()) {
+    return Status::InvalidArgument(
+        block->type_name() + " expects " +
+        std::to_string(block->num_inputs()) + " inputs, got " +
+        std::to_string(inputs.size()));
+  }
+  for (int in : inputs) {
+    if (in < 0 || in >= static_cast<int>(nodes_.size())) {
+      return Status::OutOfRange("unknown input block id " +
+                                std::to_string(in));
+    }
+  }
+  nodes_.push_back(GraphNode{std::move(block), std::move(inputs)});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+std::string Strategy::Describe() const {
+  std::string out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    out += "#";
+    out += std::to_string(i);
+    out += ' ';
+    out += nodes_[i].block->type_name();
+    if (!nodes_[i].inputs.empty()) {
+      out += " <-";
+      for (int in : nodes_[i].inputs) {
+        out += " #";
+        out += std::to_string(in);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<spinql::Program> Strategy::Compile() const {
+  if (nodes_.empty()) {
+    return Status::InvalidArgument("empty strategy");
+  }
+  spinql::Program program;
+  NameGen names;
+  std::vector<std::string> bindings(nodes_.size());
+  // Blocks were added respecting topological order (inputs must already
+  // exist), so a single forward pass suffices.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    std::vector<std::string> input_names;
+    input_names.reserve(nodes_[i].inputs.size());
+    for (int in : nodes_[i].inputs) input_names.push_back(bindings[in]);
+    SPINDLE_ASSIGN_OR_RETURN(
+        bindings[i], nodes_[i].block->Emit(&program, input_names, &names));
+  }
+  // Ensure the program's final statement is the last block's output; 0-ary
+  // blocks (Source/Query) may not have appended anything.
+  const std::string& final_binding = bindings.back();
+  if (program.statements().empty() ||
+      program.output() != final_binding) {
+    SPINDLE_RETURN_IF_ERROR(program.Append(
+        "out", spinql::Node::RelRef(final_binding)));
+  }
+  return program;
+}
+
+Result<ProbRelation> StrategyExecutor::Run(const Strategy& strategy,
+                                           const std::string& query_text) {
+  SPINDLE_ASSIGN_OR_RETURN(spinql::Program program, strategy.Compile());
+  return RunProgram(program, query_text);
+}
+
+Result<ProbRelation> StrategyExecutor::RunProgram(
+    const spinql::Program& program, const std::string& query_text) {
+  RelationBuilder builder(
+      {{"data", DataType::kString}, {"p", DataType::kFloat64}});
+  SPINDLE_RETURN_IF_ERROR(builder.AddRow({query_text, 1.0}));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr query_rel, builder.Build());
+  catalog_->Register(kQueryTable, std::move(query_rel));
+  if (!optimize_) return evaluator_.Eval(program);
+  SPINDLE_ASSIGN_OR_RETURN(spinql::Program optimized,
+                           spinql::OptimizeProgram(program, nullptr));
+  return evaluator_.Eval(optimized);
+}
+
+}  // namespace strategy
+}  // namespace spindle

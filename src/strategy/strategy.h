@@ -1,0 +1,89 @@
+/// \file strategy.h
+/// \brief Strategy graphs: wiring blocks into executable search engines
+/// (paper §2.4, Figs. 2-3).
+///
+/// A Strategy is a DAG of blocks. Compile() walks it in topological order,
+/// letting every block emit its SpinQL statements into one program —
+/// "connecting blocks is a convenient way to express complex search
+/// scenarios declaratively"; the combined program is ordinary SpinQL and
+/// can be printed, translated to SQL, or executed.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/materialization_cache.h"
+#include "spinql/evaluator.h"
+#include "storage/catalog.h"
+#include "strategy/block.h"
+
+namespace spindle {
+namespace strategy {
+
+/// \brief A DAG of strategy blocks.
+class Strategy {
+ public:
+  /// \brief Adds a block wired to the outputs of `inputs` (ids returned by
+  /// earlier Add calls). Returns this block's id. Fails if the input count
+  /// does not match the block's arity or an input id is unknown.
+  Result<int> Add(BlockPtr block, std::vector<int> inputs = {});
+
+  size_t num_blocks() const { return nodes_.size(); }
+
+  /// \brief Human-readable listing of blocks and wiring.
+  std::string Describe() const;
+
+  /// \brief Compiles the whole graph into one SpinQL program whose final
+  /// binding is the last-added block's output.
+  Result<spinql::Program> Compile() const;
+
+ private:
+  struct GraphNode {
+    BlockPtr block;
+    std::vector<int> inputs;
+  };
+  std::vector<GraphNode> nodes_;
+};
+
+/// \brief Executes strategies against a catalog, with one persistent
+/// evaluator so on-demand indexes and cache tables survive across requests
+/// (the "hot database" of the paper's measurements).
+class StrategyExecutor {
+ public:
+  /// \param catalog must contain the triple tables the strategy reads.
+  /// \param cache adaptive materialization cache (nullptr disables).
+  StrategyExecutor(Catalog* catalog, MaterializationCache* cache)
+      : catalog_(catalog), evaluator_(catalog, cache) {}
+
+  /// \brief Runs `strategy` for a user query: registers the (data, p)
+  /// singleton `query` table, compiles (with per-strategy program
+  /// caching), evaluates, and returns the result relation.
+  Result<ProbRelation> Run(const Strategy& strategy,
+                           const std::string& query_text);
+
+  /// \brief Runs an already-compiled program for a query.
+  Result<ProbRelation> RunProgram(const spinql::Program& program,
+                                  const std::string& query_text);
+
+  spinql::Evaluator& evaluator() { return evaluator_; }
+
+  /// \brief Toggles the SpinQL plan optimizer (on by default). Compiled
+  /// strategy programs are normalized (select fusion, weight
+  /// distribution/fusion, union flattening, ...) before evaluation;
+  /// rewrites are exact, see spinql/optimizer.h.
+  void set_optimize(bool on) { optimize_ = on; }
+
+  /// \brief The name of the per-request query table ("query").
+  static constexpr const char* kQueryTable = "query";
+
+ private:
+  Catalog* catalog_;
+  spinql::Evaluator evaluator_;
+  bool optimize_ = true;
+};
+
+}  // namespace strategy
+}  // namespace spindle

@@ -1,0 +1,50 @@
+#include "text/analyzer.h"
+
+#include "common/str.h"
+#include "text/stopwords.h"
+
+namespace spindle {
+
+std::string AnalyzerOptions::Signature() const {
+  std::string sig = "analyzer(lc=";
+  sig += lowercase ? "1" : "0";
+  sig += ",stem=" + stemmer;
+  sig += ",stop=";
+  sig += remove_stopwords ? "1" : "0";
+  sig += ",min=" + std::to_string(tokenizer.min_token_len);
+  sig += ",max=" + std::to_string(tokenizer.max_token_len);
+  sig += ",num=";
+  sig += tokenizer.keep_numbers ? "1" : "0";
+  sig += ")";
+  return sig;
+}
+
+Result<Analyzer> Analyzer::Make(const AnalyzerOptions& options) {
+  SPINDLE_ASSIGN_OR_RETURN(const Stemmer* stemmer,
+                           GetStemmer(options.stemmer));
+  return Analyzer(options, stemmer);
+}
+
+std::vector<Token> Analyzer::Analyze(std::string_view text) const {
+  std::vector<Token> tokens = Tokenize(text, options_.tokenizer);
+  std::vector<Token> out;
+  out.reserve(tokens.size());
+  for (auto& tok : tokens) {
+    std::string term =
+        options_.lowercase ? ToLowerAscii(tok.text) : tok.text;
+    if (options_.remove_stopwords && IsEnglishStopword(term)) continue;
+    term = stemmer_->Stem(term);
+    if (term.empty()) continue;
+    out.push_back(Token{std::move(term), tok.pos});
+  }
+  return out;
+}
+
+std::string Analyzer::AnalyzeTerm(std::string_view token) const {
+  std::string term =
+      options_.lowercase ? ToLowerAscii(token) : std::string(token);
+  if (options_.remove_stopwords && IsEnglishStopword(term)) return "";
+  return stemmer_->Stem(term);
+}
+
+}  // namespace spindle

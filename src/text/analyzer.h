@@ -1,0 +1,61 @@
+/// \file analyzer.h
+/// \brief Configurable text analysis chains.
+///
+/// An analyzer is the paper's `stem(lcase(token), 'sb-english')` pipeline as
+/// a first-class object: tokenize -> lowercase -> (stop filter) -> stem.
+/// Because indexing is on-demand, the same raw text can be analyzed under
+/// any configuration at any time — no re-ingest required (paper §2.1).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "text/stemmer.h"
+#include "text/tokenizer.h"
+
+namespace spindle {
+
+/// \brief Analyzer configuration. The default matches the paper's example:
+/// lowercase + Snowball English, no stop filter.
+struct AnalyzerOptions {
+  bool lowercase = true;
+  /// A stemmer registry name ("sb-english", "none", ...).
+  std::string stemmer = "sb-english";
+  bool remove_stopwords = false;
+  TokenizerOptions tokenizer;
+
+  /// \brief Canonical signature, part of index cache keys: two analyzers
+  /// with equal signatures produce identical term spaces.
+  std::string Signature() const;
+};
+
+/// \brief An immutable, configured analysis chain.
+class Analyzer {
+ public:
+  /// \brief Builds an analyzer; fails if the stemmer name is unknown.
+  static Result<Analyzer> Make(const AnalyzerOptions& options);
+
+  /// \brief Full analysis of a document: tokens with their original
+  /// positions. Stop-filtered tokens are removed but positions of the
+  /// survivors are unchanged.
+  std::vector<Token> Analyze(std::string_view text) const;
+
+  /// \brief Analyzes a single already-extracted token (lowercase + stem);
+  /// returns an empty string if the token is stop-filtered away.
+  std::string AnalyzeTerm(std::string_view token) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+  std::string Signature() const { return options_.Signature(); }
+
+ private:
+  Analyzer(AnalyzerOptions options, const Stemmer* stemmer)
+      : options_(std::move(options)), stemmer_(stemmer) {}
+
+  AnalyzerOptions options_;
+  const Stemmer* stemmer_;
+};
+
+}  // namespace spindle

@@ -1,0 +1,256 @@
+/// \file dutch.cc
+/// \brief Full implementation of the Snowball Dutch stemmer.
+///
+/// Follows the published algorithm: accent removal, y/i protection,
+/// regions R1 (adjusted to leave >= 3 letters) and R2, steps 1, 2, 3a,
+/// 3b, 4 (vowel undoubling) and the postlude. UTF-8 accented vowels fold
+/// to their base letter during the prelude (documented deviation; they
+/// are vowels either way).
+
+#include <string>
+#include <string_view>
+
+#include "common/str.h"
+#include "text/stemmer.h"
+
+namespace spindle {
+namespace {
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u' ||
+         c == 'y';
+}
+
+class DutchSnowball {
+ public:
+  std::string Run(std::string word) {
+    w_ = std::move(word);
+    Prelude();
+    if (w_.size() <= 2) {
+      Postlude();
+      return w_;
+    }
+    ComputeRegions();
+    Step1();
+    Step2();
+    Step3a();
+    Step3b();
+    Step4();
+    Postlude();
+    return w_;
+  }
+
+ private:
+  bool Ends(std::string_view suf) const {
+    return w_.size() >= suf.size() &&
+           std::string_view(w_).substr(w_.size() - suf.size()) == suf;
+  }
+  bool InR1(size_t suf_len) const { return w_.size() - suf_len >= r1_; }
+  bool InR2(size_t suf_len) const { return w_.size() - suf_len >= r2_; }
+  void Drop(size_t n) { w_.erase(w_.size() - n); }
+
+  void Undouble() {
+    if (Ends("kk") || Ends("dd") || Ends("tt")) Drop(1);
+  }
+
+  /// A valid en-ending: preceded by a non-vowel, and not by "gem".
+  bool ValidEnEnding(size_t suf_len) const {
+    size_t n = w_.size() - suf_len;
+    if (n == 0 || IsVowel(w_[n - 1])) return false;
+    if (n >= 3 && std::string_view(w_).substr(n - 3, 3) == "gem") {
+      return false;
+    }
+    return true;
+  }
+
+  /// A valid s-ending: a non-vowel other than j.
+  bool ValidSEnding(size_t suf_len) const {
+    size_t n = w_.size() - suf_len;
+    return n > 0 && !IsVowel(w_[n - 1]) && w_[n - 1] != 'j';
+  }
+
+  void Prelude() {
+    // Fold UTF-8 accented vowels (umlauts, acutes, grave e).
+    std::string out;
+    out.reserve(w_.size());
+    for (size_t i = 0; i < w_.size(); ++i) {
+      unsigned char c = static_cast<unsigned char>(w_[i]);
+      if (c == 0xC3 && i + 1 < w_.size()) {
+        unsigned char d = static_cast<unsigned char>(w_[i + 1]);
+        ++i;
+        switch (d) {
+          case 0xA4:  // ä
+          case 0xA1:  // á
+            out.push_back('a');
+            continue;
+          case 0xAB:  // ë
+          case 0xA9:  // é
+          case 0xA8:  // è
+            out.push_back('e');
+            continue;
+          case 0xAF:  // ï
+          case 0xAD:  // í
+            out.push_back('i');
+            continue;
+          case 0xB6:  // ö
+          case 0xB3:  // ó
+            out.push_back('o');
+            continue;
+          case 0xBC:  // ü
+          case 0xBA:  // ú
+            out.push_back('u');
+            continue;
+          default:
+            out.push_back(static_cast<char>(c));
+            out.push_back(static_cast<char>(d));
+            continue;
+        }
+      }
+      out.push_back(static_cast<char>(c));
+    }
+    w_ = std::move(out);
+    // Protect initial y, y after vowel, and i between vowels.
+    for (size_t i = 0; i < w_.size(); ++i) {
+      if (w_[i] == 'y' && (i == 0 || IsVowel(w_[i - 1]))) {
+        w_[i] = 'Y';
+      } else if (w_[i] == 'i' && i > 0 && i + 1 < w_.size() &&
+                 IsVowel(w_[i - 1]) && IsVowel(w_[i + 1])) {
+        w_[i] = 'I';
+      }
+    }
+  }
+
+  void ComputeRegions() {
+    size_t n = w_.size();
+    r1_ = n;
+    for (size_t i = 1; i < n; ++i) {
+      if (!IsVowel(w_[i]) && IsVowel(w_[i - 1])) {
+        r1_ = i + 1;
+        break;
+      }
+    }
+    if (r1_ < 3) r1_ = 3;
+    r2_ = n;
+    for (size_t i = r1_ + 1; i < n; ++i) {
+      if (!IsVowel(w_[i]) && IsVowel(w_[i - 1])) {
+        r2_ = i + 1;
+        break;
+      }
+    }
+  }
+
+  void Step1() {
+    if (Ends("heden")) {
+      if (InR1(5)) {
+        Drop(5);
+        w_ += "heid";
+      }
+      return;
+    }
+    if (Ends("ene") || Ends("en")) {
+      size_t len = Ends("ene") ? 3 : 2;
+      if (InR1(len) && ValidEnEnding(len)) {
+        Drop(len);
+        Undouble();
+      }
+      return;
+    }
+    if (Ends("se") || Ends("s")) {
+      size_t len = Ends("se") ? 2 : 1;
+      if (InR1(len) && ValidSEnding(len)) Drop(len);
+    }
+  }
+
+  void Step2() {
+    e_removed_ = false;
+    size_t n = w_.size();
+    if (n >= 2 && w_[n - 1] == 'e' && InR1(1) && !IsVowel(w_[n - 2])) {
+      Drop(1);
+      e_removed_ = true;
+      Undouble();
+    }
+  }
+
+  void Step3a() {
+    if (Ends("heid") && InR2(4) && w_.size() >= 5 &&
+        w_[w_.size() - 5] != 'c') {
+      Drop(4);
+      if (Ends("en") && InR1(2) && ValidEnEnding(2)) {
+        Drop(2);
+        Undouble();
+      }
+    }
+  }
+
+  void Step3b() {
+    if (Ends("end") || Ends("ing")) {
+      if (InR2(3)) {
+        Drop(3);
+        if (Ends("ig") && InR2(2) && w_.size() >= 3 &&
+            w_[w_.size() - 3] != 'e') {
+          Drop(2);
+        } else {
+          Undouble();
+        }
+      }
+      return;
+    }
+    if (Ends("ig")) {
+      if (InR2(2) && w_.size() >= 3 && w_[w_.size() - 3] != 'e') Drop(2);
+      return;
+    }
+    if (Ends("lijk")) {
+      if (InR2(4)) {
+        Drop(4);
+        Step2();
+      }
+      return;
+    }
+    if (Ends("baar")) {
+      if (InR2(4)) Drop(4);
+      return;
+    }
+    if (Ends("bar")) {
+      if (InR2(3) && e_removed_) Drop(3);
+    }
+  }
+
+  void Step4() {
+    // Undouble vowel: ...C vv D  ->  ...C v D  (vv in {aa, ee, oo, uu},
+    // D a non-vowel other than I).
+    size_t n = w_.size();
+    if (n < 4) return;
+    char d = w_[n - 1];
+    char v1 = w_[n - 2], v2 = w_[n - 3];
+    char c = w_[n - 4];
+    if (!IsVowel(d) && d != 'I' && v1 == v2 &&
+        (v1 == 'a' || v1 == 'e' || v1 == 'o' || v1 == 'u') &&
+        !IsVowel(c)) {
+      w_.erase(n - 2, 1);
+    }
+  }
+
+  void Postlude() {
+    for (char& c : w_) {
+      if (c == 'Y') c = 'y';
+      if (c == 'I') c = 'i';
+    }
+  }
+
+  std::string w_;
+  size_t r1_ = 0;
+  size_t r2_ = 0;
+  bool e_removed_ = false;
+};
+
+}  // namespace
+
+namespace internal {
+
+std::string StemDutch(std::string_view word) {
+  DutchSnowball d;
+  return d.Run(ToLowerAscii(word));
+}
+
+}  // namespace internal
+}  // namespace spindle

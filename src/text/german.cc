@@ -1,0 +1,242 @@
+/// \file german.cc
+/// \brief Full implementation of the Snowball German stemmer.
+///
+/// Follows the published algorithm: prelude (ß -> ss; u/y between vowels
+/// are protected), regions R1/R2 with the R1-at-least-3-letters
+/// adjustment, steps 1-3, and the postlude. One documented deviation: the
+/// UTF-8 umlauts ä/ö/ü are folded to a/o/u in the prelude rather than in
+/// the postlude — they are vowels either way, so region computation and
+/// suffix matching are unaffected.
+
+#include <string>
+#include <string_view>
+
+#include "common/str.h"
+#include "text/stemmer.h"
+
+namespace spindle {
+namespace {
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u' ||
+         c == 'y';
+}
+
+bool ValidSEnding(char c) {
+  switch (c) {
+    case 'b':
+    case 'd':
+    case 'f':
+    case 'g':
+    case 'h':
+    case 'k':
+    case 'l':
+    case 'm':
+    case 'n':
+    case 'r':
+    case 't':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ValidStEnding(char c) { return ValidSEnding(c) && c != 'r'; }
+
+class GermanSnowball {
+ public:
+  std::string Run(std::string word) {
+    w_ = std::move(word);
+    Prelude();
+    if (w_.size() <= 2) {
+      Postlude();
+      return w_;
+    }
+    ComputeRegions();
+    Step1();
+    Step2();
+    Step3();
+    Postlude();
+    return w_;
+  }
+
+ private:
+  bool Ends(std::string_view suf) const {
+    return w_.size() >= suf.size() &&
+           std::string_view(w_).substr(w_.size() - suf.size()) == suf;
+  }
+  bool InR1(size_t suf_len) const { return w_.size() - suf_len >= r1_; }
+  bool InR2(size_t suf_len) const { return w_.size() - suf_len >= r2_; }
+  void Drop(size_t n) { w_.erase(w_.size() - n); }
+
+  void Prelude() {
+    // Fold UTF-8 umlauts and ß (documented deviation: done up front).
+    std::string out;
+    out.reserve(w_.size());
+    for (size_t i = 0; i < w_.size(); ++i) {
+      unsigned char c = static_cast<unsigned char>(w_[i]);
+      if (c == 0xC3 && i + 1 < w_.size()) {
+        unsigned char d = static_cast<unsigned char>(w_[i + 1]);
+        ++i;
+        switch (d) {
+          case 0xA4:  // ä
+          case 0x84:  // Ä
+            out.push_back('a');
+            continue;
+          case 0xB6:  // ö
+          case 0x96:  // Ö
+            out.push_back('o');
+            continue;
+          case 0xBC:  // ü
+          case 0x9C:  // Ü
+            out.push_back('u');
+            continue;
+          case 0x9F:  // ß
+            out += "ss";
+            continue;
+          default:
+            out.push_back(static_cast<char>(c));
+            out.push_back(static_cast<char>(d));
+            continue;
+        }
+      }
+      out.push_back(static_cast<char>(c));
+    }
+    w_ = std::move(out);
+    // Protect u and y between vowels from being treated as vowels.
+    for (size_t i = 1; i + 1 < w_.size(); ++i) {
+      if ((w_[i] == 'u' || w_[i] == 'y') && IsVowel(w_[i - 1]) &&
+          IsVowel(w_[i + 1])) {
+        w_[i] = static_cast<char>(w_[i] - 'a' + 'A');  // U / Y
+      }
+    }
+  }
+
+  void ComputeRegions() {
+    size_t n = w_.size();
+    r1_ = n;
+    for (size_t i = 1; i < n; ++i) {
+      if (!IsVowel(w_[i]) && IsVowel(w_[i - 1])) {
+        r1_ = i + 1;
+        break;
+      }
+    }
+    // R1 is adjusted so that the region before it contains >= 3 letters.
+    if (r1_ < 3) r1_ = 3;
+    r2_ = n;
+    for (size_t i = r1_ + 1; i < n; ++i) {
+      if (!IsVowel(w_[i]) && IsVowel(w_[i - 1])) {
+        r2_ = i + 1;
+        break;
+      }
+    }
+  }
+
+  void Step1() {
+    // Group (a): em, ern, er.
+    for (std::string_view suf : {"ern", "em", "er"}) {
+      if (Ends(suf)) {
+        if (InR1(suf.size())) Drop(suf.size());
+        return;
+      }
+    }
+    // Group (b): e, en, es — then undouble a trailing "niss".
+    for (std::string_view suf : {"en", "es", "e"}) {
+      if (Ends(suf)) {
+        if (InR1(suf.size())) {
+          Drop(suf.size());
+          if (Ends("niss")) Drop(1);
+        }
+        return;
+      }
+    }
+    // Group (c): s after a valid s-ending.
+    if (Ends("s")) {
+      if (InR1(1) && w_.size() >= 2 && ValidSEnding(w_[w_.size() - 2])) {
+        Drop(1);
+      }
+    }
+  }
+
+  void Step2() {
+    for (std::string_view suf : {"est", "en", "er"}) {
+      if (Ends(suf)) {
+        if (InR1(suf.size())) Drop(suf.size());
+        return;
+      }
+    }
+    if (Ends("st")) {
+      // Valid st-ending, itself preceded by at least 3 letters.
+      if (InR1(2) && w_.size() >= 6 &&
+          ValidStEnding(w_[w_.size() - 3])) {
+        Drop(2);
+      }
+    }
+  }
+
+  void Step3() {
+    if (Ends("end") || Ends("ung")) {
+      if (InR2(3)) {
+        Drop(3);
+        if (Ends("ig") && InR2(2) && w_.size() >= 3 &&
+            w_[w_.size() - 3] != 'e') {
+          Drop(2);
+        }
+      }
+      return;
+    }
+    if (Ends("isch")) {
+      if (InR2(4) && w_.size() >= 5 && w_[w_.size() - 5] != 'e') {
+        Drop(4);
+      }
+      return;
+    }
+    if (Ends("ig") || Ends("ik")) {
+      if (InR2(2) && w_.size() >= 3 && w_[w_.size() - 3] != 'e') {
+        Drop(2);
+      }
+      return;
+    }
+    if (Ends("lich") || Ends("heit")) {
+      if (InR2(4)) {
+        Drop(4);
+        if ((Ends("er") || Ends("en")) && InR1(2)) Drop(2);
+      }
+      return;
+    }
+    if (Ends("keit")) {
+      if (InR2(4)) {
+        Drop(4);
+        if (Ends("lich") && InR2(4)) {
+          Drop(4);
+        } else if (Ends("ig") && InR2(2)) {
+          Drop(2);
+        }
+      }
+    }
+  }
+
+  void Postlude() {
+    for (char& c : w_) {
+      if (c == 'U') c = 'u';
+      if (c == 'Y') c = 'y';
+    }
+  }
+
+  std::string w_;
+  size_t r1_ = 0;
+  size_t r2_ = 0;
+};
+
+}  // namespace
+
+namespace internal {
+
+/// Exposed for simple_stemmers.cc's registry.
+std::string StemGerman(std::string_view word) {
+  GermanSnowball g;
+  return g.Run(ToLowerAscii(word));
+}
+
+}  // namespace internal
+}  // namespace spindle

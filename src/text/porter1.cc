@@ -1,0 +1,238 @@
+/// \file porter1.cc
+/// \brief The original Porter (1980) stemmer — predecessor of the
+/// Snowball English algorithm, included for analyzer ablations (E8) and
+/// as the classic reference point.
+///
+/// Implemented from the paper "An algorithm for suffix stripping":
+/// measure m of VC sequences, conditions *v*, *d, *o, steps 1a-5b.
+
+#include <string>
+#include <string_view>
+
+#include "common/str.h"
+#include "text/stemmer.h"
+
+namespace spindle {
+namespace {
+
+/// y is a vowel when preceded by a consonant (or at position 0 it is a
+/// consonant).
+bool IsConsonant(const std::string& w, size_t i) {
+  switch (w[i]) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+      return false;
+    case 'y':
+      return i == 0 ? true : !IsConsonant(w, i - 1);
+    default:
+      return true;
+  }
+}
+
+class Porter1 {
+ public:
+  std::string Run(std::string word) {
+    w_ = std::move(word);
+    if (w_.size() <= 2) return w_;
+    Step1a();
+    Step1b();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5a();
+    Step5b();
+    return w_;
+  }
+
+ private:
+  bool Ends(std::string_view suf) const {
+    return w_.size() >= suf.size() &&
+           std::string_view(w_).substr(w_.size() - suf.size()) == suf;
+  }
+
+  /// Measure of the stem obtained by removing `suf_len` chars:
+  /// the number of VC sequences in [C](VC)^m[V].
+  int Measure(size_t suf_len) const {
+    size_t n = w_.size() - suf_len;
+    int m = 0;
+    size_t i = 0;
+    while (i < n && IsConsonant(w_, i)) ++i;  // leading consonants
+    while (i < n) {
+      while (i < n && !IsConsonant(w_, i)) ++i;  // vowels
+      if (i >= n) break;
+      ++m;
+      while (i < n && IsConsonant(w_, i)) ++i;  // consonants
+    }
+    return m;
+  }
+
+  /// *v*: the stem (minus suffix) contains a vowel.
+  bool HasVowel(size_t suf_len) const {
+    for (size_t i = 0; i + suf_len < w_.size(); ++i) {
+      if (!IsConsonant(w_, i)) return true;
+    }
+    return false;
+  }
+
+  /// *d: stem ends with a double consonant.
+  bool EndsDoubleConsonant() const {
+    size_t n = w_.size();
+    return n >= 2 && w_[n - 1] == w_[n - 2] && IsConsonant(w_, n - 1);
+  }
+
+  /// *o: stem ends cvc where the final c is not w, x or y.
+  bool EndsCvc(size_t suf_len) const {
+    size_t n = w_.size() - suf_len;
+    if (n < 3) return false;
+    if (!IsConsonant(w_, n - 3) || IsConsonant(w_, n - 2) ||
+        !IsConsonant(w_, n - 1)) {
+      return false;
+    }
+    char c = w_[n - 1];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  void Replace(size_t suf_len, std::string_view repl) {
+    w_.replace(w_.size() - suf_len, suf_len, repl);
+  }
+
+  /// Applies `suffix -> repl` if the stem measure condition holds.
+  /// Returns true if the suffix matched (whether or not replaced).
+  bool Rule(std::string_view suffix, std::string_view repl, int min_m) {
+    if (!Ends(suffix)) return false;
+    if (Measure(suffix.size()) > min_m - 1) {
+      Replace(suffix.size(), repl);
+    }
+    return true;
+  }
+
+  void Step1a() {
+    if (Ends("sses")) {
+      Replace(4, "ss");
+    } else if (Ends("ies")) {
+      Replace(3, "i");
+    } else if (Ends("ss")) {
+      // keep
+    } else if (Ends("s")) {
+      Replace(1, "");
+    }
+  }
+
+  void Step1b() {
+    if (Ends("eed")) {
+      if (Measure(3) > 0) Replace(3, "ee");
+      return;
+    }
+    size_t suf = 0;
+    if (Ends("ed") && HasVowel(2)) {
+      suf = 2;
+    } else if (Ends("ing") && HasVowel(3)) {
+      suf = 3;
+    } else {
+      return;
+    }
+    Replace(suf, "");
+    if (Ends("at")) {
+      Replace(2, "ate");
+    } else if (Ends("bl")) {
+      Replace(2, "ble");
+    } else if (Ends("iz")) {
+      Replace(2, "ize");
+    } else if (EndsDoubleConsonant() && !Ends("l") && !Ends("s") &&
+               !Ends("z")) {
+      w_.pop_back();
+    } else if (Measure(0) == 1 && EndsCvc(0)) {
+      w_.push_back('e');
+    }
+  }
+
+  void Step1c() {
+    if (Ends("y") && HasVowel(1)) {
+      w_[w_.size() - 1] = 'i';
+    }
+  }
+
+  void Step2() {
+    static constexpr struct {
+      std::string_view suffix;
+      std::string_view repl;
+    } kRules[] = {
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+        {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+        {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+        {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+        {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+        {"iviti", "ive"},   {"biliti", "ble"},
+    };
+    for (const auto& r : kRules) {
+      if (Rule(r.suffix, r.repl, 1)) return;
+    }
+  }
+
+  void Step3() {
+    static constexpr struct {
+      std::string_view suffix;
+      std::string_view repl;
+    } kRules[] = {
+        {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+        {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+    };
+    for (const auto& r : kRules) {
+      if (Rule(r.suffix, r.repl, 1)) return;
+    }
+  }
+
+  void Step4() {
+    static constexpr std::string_view kSuffixes[] = {
+        "ement", "ance", "ence", "able", "ible", "ment", "ant", "ent",
+        "ism",   "ate",  "iti",  "ous",  "ive",  "ize",  "ou",  "al",
+        "er",    "ic",
+    };
+    for (std::string_view suf : kSuffixes) {
+      if (Ends(suf)) {
+        if (Measure(suf.size()) > 1) Replace(suf.size(), "");
+        return;
+      }
+    }
+    if (Ends("ion")) {
+      if (Measure(3) > 1 && w_.size() >= 4 &&
+          (w_[w_.size() - 4] == 's' || w_[w_.size() - 4] == 't')) {
+        Replace(3, "");
+      }
+    }
+  }
+
+  void Step5a() {
+    if (!Ends("e")) return;
+    int m = Measure(1);
+    if (m > 1 || (m == 1 && !EndsCvc(1))) {
+      Replace(1, "");
+    }
+  }
+
+  void Step5b() {
+    if (Measure(0) > 1 && EndsDoubleConsonant() &&
+        w_.back() == 'l') {
+      w_.pop_back();
+    }
+  }
+
+  std::string w_;
+};
+
+}  // namespace
+
+namespace internal {
+
+std::string StemPorter1(std::string_view word) {
+  Porter1 p;
+  return p.Run(ToLowerAscii(word));
+}
+
+}  // namespace internal
+}  // namespace spindle

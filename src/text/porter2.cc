@@ -1,0 +1,394 @@
+/// \file porter2.cc
+/// \brief Full implementation of the Snowball English ("Porter2") stemmer.
+///
+/// Follows the published algorithm definition: prelude (apostrophe removal,
+/// consonant-y marking), regions R1/R2, steps 0, 1a, 1b, 1c, 2, 3, 4, 5,
+/// exceptional forms, and the postlude. Words of length <= 2 are left
+/// unchanged.
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "common/str.h"
+#include "text/stemmer.h"
+
+namespace spindle {
+namespace {
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u' || c == 'y';
+}
+
+// Doubles are exactly these nine pairs; note ll/ss/zz are *not* doubles.
+bool IsDoubleEnd(const std::string& w) {
+  size_t n = w.size();
+  if (n < 2 || w[n - 1] != w[n - 2]) return false;
+  switch (w[n - 1]) {
+    case 'b':
+    case 'd':
+    case 'f':
+    case 'g':
+    case 'm':
+    case 'n':
+    case 'p':
+    case 'r':
+    case 't':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ValidLiEnding(char c) {
+  switch (c) {
+    case 'c':
+    case 'd':
+    case 'e':
+    case 'g':
+    case 'h':
+    case 'k':
+    case 'm':
+    case 'n':
+    case 'r':
+    case 't':
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True if `w` ends in a short syllable: either VC with the final
+/// consonant not w/x/Y and the vowel preceded by a consonant, or a
+/// two-letter word starting vowel + consonant.
+bool EndsInShortSyllable(const std::string& w) {
+  size_t n = w.size();
+  if (n == 2 && IsVowel(w[0]) && !IsVowel(w[1])) return true;
+  if (n >= 3 && !IsVowel(w[n - 3]) && IsVowel(w[n - 2]) && !IsVowel(w[n - 1]) &&
+      w[n - 1] != 'w' && w[n - 1] != 'x' && w[n - 1] != 'Y') {
+    return true;
+  }
+  return false;
+}
+
+class Porter2 {
+ public:
+  std::string Run(std::string word) {
+    w_ = std::move(word);
+    if (w_.size() <= 2) return w_;
+
+    if (const char* ex = Exception1()) return ex;
+
+    Prelude();
+    ComputeRegions();
+
+    Step0();
+    Step1a();
+    if (Exception2()) {
+      Postlude();
+      return w_;
+    }
+    Step1b();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    Postlude();
+    return w_;
+  }
+
+ private:
+  bool Ends(std::string_view suf) const {
+    return w_.size() >= suf.size() &&
+           std::string_view(w_).substr(w_.size() - suf.size()) == suf;
+  }
+  bool InR1(size_t suf_len) const { return w_.size() - suf_len >= r1_; }
+  bool InR2(size_t suf_len) const { return w_.size() - suf_len >= r2_; }
+  void Replace(size_t suf_len, std::string_view repl) {
+    w_.replace(w_.size() - suf_len, suf_len, repl);
+  }
+  bool HasVowelBefore(size_t suf_len) const {
+    for (size_t i = 0; i + suf_len < w_.size(); ++i) {
+      if (IsVowel(w_[i])) return true;
+    }
+    return false;
+  }
+
+  const char* Exception1() const {
+    struct Pair {
+      const char* from;
+      const char* to;
+    };
+    static constexpr std::array<Pair, 18> kMap = {{{"skis", "ski"},
+                                                   {"skies", "sky"},
+                                                   {"dying", "die"},
+                                                   {"lying", "lie"},
+                                                   {"tying", "tie"},
+                                                   {"idly", "idl"},
+                                                   {"gently", "gentl"},
+                                                   {"ugly", "ugli"},
+                                                   {"early", "earli"},
+                                                   {"only", "onli"},
+                                                   {"singly", "singl"},
+                                                   {"sky", "sky"},
+                                                   {"news", "news"},
+                                                   {"howe", "howe"},
+                                                   {"atlas", "atlas"},
+                                                   {"cosmos", "cosmos"},
+                                                   {"bias", "bias"},
+                                                   {"andes", "andes"}}};
+    for (const auto& p : kMap) {
+      if (w_ == p.from) return p.to;
+    }
+    return nullptr;
+  }
+
+  bool Exception2() const {
+    static constexpr std::array<const char*, 8> kStop = {
+        "inning",  "outing", "canning", "herring",
+        "earring", "proceed", "exceed",  "succeed"};
+    for (const char* s : kStop) {
+      if (w_ == s) return true;
+    }
+    return false;
+  }
+
+  void Prelude() {
+    if (w_[0] == '\'') w_.erase(0, 1);
+    if (w_.empty()) return;
+    if (w_[0] == 'y') w_[0] = 'Y';
+    for (size_t i = 1; i < w_.size(); ++i) {
+      if (w_[i] == 'y' && IsVowel(w_[i - 1])) w_[i] = 'Y';
+    }
+  }
+
+  void ComputeRegions() {
+    size_t n = w_.size();
+    r1_ = n;
+    // Exceptional prefixes fix R1 directly.
+    if (w_.rfind("gener", 0) == 0) {
+      r1_ = 5;
+    } else if (w_.rfind("commun", 0) == 0) {
+      r1_ = 6;
+    } else if (w_.rfind("arsen", 0) == 0) {
+      r1_ = 5;
+    } else {
+      for (size_t i = 1; i < n; ++i) {
+        if (!IsVowel(w_[i]) && IsVowel(w_[i - 1])) {
+          r1_ = i + 1;
+          break;
+        }
+      }
+    }
+    r2_ = n;
+    for (size_t i = r1_ + 1; i < n; ++i) {
+      if (!IsVowel(w_[i]) && IsVowel(w_[i - 1])) {
+        r2_ = i + 1;
+        break;
+      }
+    }
+  }
+
+  void Step0() {
+    if (Ends("'s'")) {
+      Replace(3, "");
+    } else if (Ends("'s")) {
+      Replace(2, "");
+    } else if (Ends("'")) {
+      Replace(1, "");
+    }
+  }
+
+  void Step1a() {
+    if (Ends("sses")) {
+      Replace(4, "ss");
+    } else if (Ends("ied") || Ends("ies")) {
+      Replace(3, w_.size() - 3 > 1 ? "i" : "ie");
+    } else if (Ends("us") || Ends("ss")) {
+      // leave as is
+    } else if (Ends("s")) {
+      // Delete if the preceding word part contains a vowel not
+      // immediately before the s.
+      bool vowel_earlier = false;
+      for (size_t i = 0; i + 2 < w_.size(); ++i) {
+        if (IsVowel(w_[i])) {
+          vowel_earlier = true;
+          break;
+        }
+      }
+      if (vowel_earlier) Replace(1, "");
+    }
+  }
+
+  void Step1b() {
+    if (Ends("eedly")) {
+      if (InR1(5)) Replace(5, "ee");
+      return;
+    }
+    if (Ends("eed")) {
+      if (InR1(3)) Replace(3, "ee");
+      return;
+    }
+    size_t suf = 0;
+    if (Ends("ingly") || Ends("edly")) {
+      suf = Ends("ingly") ? 5 : 4;
+    } else if (Ends("ing")) {
+      suf = 3;
+    } else if (Ends("ed")) {
+      suf = 2;
+    } else {
+      return;
+    }
+    if (!HasVowelBefore(suf)) return;
+    Replace(suf, "");
+    if (Ends("at") || Ends("bl") || Ends("iz")) {
+      w_.push_back('e');
+    } else if (IsDoubleEnd(w_)) {
+      w_.pop_back();
+    } else if (EndsInShortSyllable(w_) && r1_ >= w_.size()) {
+      w_.push_back('e');
+    }
+  }
+
+  void Step1c() {
+    size_t n = w_.size();
+    if (n >= 3 && (w_[n - 1] == 'y' || w_[n - 1] == 'Y') &&
+        !IsVowel(w_[n - 2])) {
+      w_[n - 1] = 'i';
+    }
+  }
+
+  void Step2() {
+    struct Rule {
+      std::string_view suffix;
+      std::string_view repl;
+    };
+    static constexpr std::array<Rule, 22> kRules = {{
+        {"ization", "ize"}, {"ational", "ate"}, {"fulness", "ful"},
+        {"ousness", "ous"}, {"iveness", "ive"}, {"tional", "tion"},
+        {"biliti", "ble"},  {"lessli", "less"}, {"entli", "ent"},
+        {"ation", "ate"},   {"alism", "al"},    {"aliti", "al"},
+        {"ousli", "ous"},   {"iviti", "ive"},   {"fulli", "ful"},
+        {"enci", "ence"},   {"anci", "ance"},   {"abli", "able"},
+        {"izer", "ize"},    {"ator", "ate"},    {"alli", "al"},
+        {"bli", "ble"},
+    }};
+    for (const auto& rule : kRules) {
+      if (Ends(rule.suffix)) {
+        if (InR1(rule.suffix.size())) Replace(rule.suffix.size(), rule.repl);
+        return;
+      }
+    }
+    if (Ends("ogi")) {
+      if (InR1(3) && w_.size() >= 4 && w_[w_.size() - 4] == 'l') {
+        Replace(3, "og");
+      }
+      return;
+    }
+    if (Ends("li")) {
+      if (InR1(2) && w_.size() >= 3 && ValidLiEnding(w_[w_.size() - 3])) {
+        Replace(2, "");
+      }
+    }
+  }
+
+  void Step3() {
+    if (Ends("ational")) {
+      if (InR1(7)) Replace(7, "ate");
+      return;
+    }
+    if (Ends("tional")) {
+      if (InR1(6)) Replace(6, "tion");
+      return;
+    }
+    struct Rule {
+      std::string_view suffix;
+      std::string_view repl;
+    };
+    static constexpr std::array<Rule, 4> kRules = {{
+        {"alize", "al"},
+        {"icate", "ic"},
+        {"iciti", "ic"},
+        {"ical", "ic"},
+    }};
+    for (const auto& rule : kRules) {
+      if (Ends(rule.suffix)) {
+        if (InR1(rule.suffix.size())) Replace(rule.suffix.size(), rule.repl);
+        return;
+      }
+    }
+    if (Ends("ative")) {
+      if (InR1(5) && InR2(5)) Replace(5, "");
+      return;
+    }
+    if (Ends("ness")) {
+      if (InR1(4)) Replace(4, "");
+      return;
+    }
+    if (Ends("ful")) {
+      if (InR1(3)) Replace(3, "");
+    }
+  }
+
+  void Step4() {
+    static constexpr std::array<std::string_view, 17> kSuffixes = {
+        "ement", "ance", "ence", "able", "ible", "ment", "ant", "ent", "ism",
+        "ate",   "iti",  "ous",  "ive",  "ize",  "al",   "er",  "ic"};
+    for (std::string_view suf : kSuffixes) {
+      if (Ends(suf)) {
+        if (InR2(suf.size())) Replace(suf.size(), "");
+        return;
+      }
+    }
+    if (Ends("ion")) {
+      if (InR2(3) && w_.size() >= 4 &&
+          (w_[w_.size() - 4] == 's' || w_[w_.size() - 4] == 't')) {
+        Replace(3, "");
+      }
+    }
+  }
+
+  void Step5() {
+    size_t n = w_.size();
+    if (n == 0) return;
+    if (w_[n - 1] == 'e') {
+      if (InR2(1)) {
+        Replace(1, "");
+      } else if (InR1(1)) {
+        std::string head = w_.substr(0, n - 1);
+        if (!EndsInShortSyllable(head)) Replace(1, "");
+      }
+    } else if (w_[n - 1] == 'l') {
+      if (InR2(1) && n >= 2 && w_[n - 2] == 'l') Replace(1, "");
+    }
+  }
+
+  void Postlude() {
+    for (char& c : w_) {
+      if (c == 'Y') c = 'y';
+    }
+  }
+
+  std::string w_;
+  size_t r1_ = 0;
+  size_t r2_ = 0;
+};
+
+class EnglishStemmer : public Stemmer {
+ public:
+  std::string Stem(std::string_view word) const override {
+    Porter2 p;
+    return p.Run(ToLowerAscii(word));
+  }
+  std::string_view name() const override { return "sb-english"; }
+};
+
+}  // namespace
+
+const Stemmer& SnowballEnglish() {
+  static const EnglishStemmer* instance = new EnglishStemmer();
+  return *instance;
+}
+
+}  // namespace spindle

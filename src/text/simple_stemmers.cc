@@ -1,0 +1,173 @@
+/// \file simple_stemmers.cc
+/// \brief The weak s-stemmer and light suffix strippers for Dutch, German
+/// and French, plus the identity stemmer and the stemmer registry.
+///
+/// The non-English stemmers are *documented approximations* of the Snowball
+/// algorithms (see DESIGN.md): longest-suffix stripping with a minimum stem
+/// length, which preserves the behaviour that matters for the reproduction —
+/// conflating inflected forms so that on-demand indexing under different
+/// `stemming language` parameters produces different term spaces.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/str.h"
+#include "text/stemmer.h"
+
+namespace spindle {
+namespace internal {
+// Implemented in german.cc / dutch.cc / porter1.cc.
+std::string StemGerman(std::string_view word);
+std::string StemDutch(std::string_view word);
+std::string StemPorter1(std::string_view word);
+}  // namespace internal
+
+namespace {
+
+/// Adapts a free stemming function to the Stemmer interface.
+class FnStemmer : public Stemmer {
+ public:
+  using Fn = std::string (*)(std::string_view);
+  FnStemmer(std::string name, Fn fn) : name_(std::move(name)), fn_(fn) {}
+  std::string Stem(std::string_view word) const override {
+    return fn_(word);
+  }
+  std::string_view name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+class IdentityStemmer : public Stemmer {
+ public:
+  std::string Stem(std::string_view word) const override {
+    return std::string(word);
+  }
+  std::string_view name() const override { return "none"; }
+};
+
+/// Harman's weak "s-stemmer": only plural suffixes.
+class SStemmer : public Stemmer {
+ public:
+  std::string Stem(std::string_view word) const override {
+    std::string w = ToLowerAscii(word);
+    size_t n = w.size();
+    if (n > 3 && w.ends_with("ies") && !w.ends_with("eies") &&
+        !w.ends_with("aies")) {
+      w.replace(n - 3, 3, "y");
+    } else if (n > 2 && w.ends_with("es") && !w.ends_with("aes") &&
+               !w.ends_with("ees") && !w.ends_with("oes")) {
+      w.erase(n - 1);  // "es" -> "e"
+    } else if (n > 2 && w.ends_with("s") && !w.ends_with("us") &&
+               !w.ends_with("ss")) {
+      w.erase(n - 1);
+    }
+    return w;
+  }
+  std::string_view name() const override { return "s-english"; }
+};
+
+struct SuffixRule {
+  std::string_view suffix;
+  std::string_view repl;
+};
+
+/// Longest-match suffix stripper with a minimum remaining stem length.
+class LightStemmer : public Stemmer {
+ public:
+  LightStemmer(std::string name, std::vector<SuffixRule> rules,
+               size_t min_stem)
+      : name_(std::move(name)), rules_(std::move(rules)),
+        min_stem_(min_stem) {
+    std::stable_sort(rules_.begin(), rules_.end(),
+                     [](const SuffixRule& a, const SuffixRule& b) {
+                       return a.suffix.size() > b.suffix.size();
+                     });
+  }
+
+  std::string Stem(std::string_view word) const override {
+    std::string w = ToLowerAscii(word);
+    for (const auto& rule : rules_) {
+      if (w.size() >= rule.suffix.size() + min_stem_ &&
+          std::string_view(w).substr(w.size() - rule.suffix.size()) ==
+              rule.suffix) {
+        w.replace(w.size() - rule.suffix.size(), rule.suffix.size(),
+                  rule.repl);
+        break;
+      }
+    }
+    return w;
+  }
+  std::string_view name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<SuffixRule> rules_;
+  size_t min_stem_;
+};
+
+const LightStemmer& FrenchLight() {
+  static const LightStemmer* instance = new LightStemmer(
+      "sb-french",
+      {{"issement", ""},
+       {"issant", ""},
+       {"ements", ""},
+       {"ement", ""},
+       {"ments", "ment"},
+       {"euses", "eux"},
+       {"euse", "eux"},
+       {"elles", "el"},
+       {"elle", "el"},
+       {"ives", "if"},
+       {"ive", "if"},
+       {"ites", "ite"},
+       {"ations", "ation"},
+       {"aux", "al"},
+       {"ales", "al"},
+       {"ale", "al"},
+       {"ees", "e"},
+       {"ee", "e"},
+       {"es", ""},
+       {"er", ""},
+       {"ez", ""},
+       {"s", ""}},
+      3);
+  return *instance;
+}
+
+}  // namespace
+
+Result<const Stemmer*> GetStemmer(const std::string& name) {
+  static const IdentityStemmer* identity = new IdentityStemmer();
+  static const SStemmer* s_stemmer = new SStemmer();
+  static const std::map<std::string, const Stemmer*>* registry = [] {
+    auto* m = new std::map<std::string, const Stemmer*>();
+    (*m)["none"] = identity;
+    (*m)["s-english"] = s_stemmer;
+    (*m)["sb-english"] = &SnowballEnglish();
+    (*m)["english"] = &SnowballEnglish();
+    (*m)["porter2"] = &SnowballEnglish();
+    (*m)["sb-dutch"] = new FnStemmer("sb-dutch", &internal::StemDutch);
+    (*m)["sb-german"] =
+        new FnStemmer("sb-german", &internal::StemGerman);
+    (*m)["sb-french"] = &FrenchLight();
+    (*m)["porter1"] = new FnStemmer("porter1", &internal::StemPorter1);
+    return m;
+  }();
+  auto it = registry->find(name);
+  if (it == registry->end()) {
+    return Status::NotFound("no stemmer named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ListStemmers() {
+  return {"none",    "s-english", "sb-english", "english", "porter2",
+          "porter1", "sb-dutch",  "sb-german",  "sb-french"};
+}
+
+}  // namespace spindle

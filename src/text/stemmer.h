@@ -1,0 +1,49 @@
+/// \file stemmer.h
+/// \brief Stemmer interface and registry.
+///
+/// The paper (§2.1) extends MonetDB with "Snowball stemmers for several
+/// languages" as a UDF. Spindle ships:
+///   - "sb-english" (aliases "english", "porter2"): a full implementation
+///     of the Snowball English stemmer;
+///   - "s-english": Harman's weak s-stemmer;
+///   - "sb-dutch", "sb-german", "sb-french": light suffix-stripping
+///     approximations of the corresponding Snowball stemmers (documented
+///     substitutions — full algorithms are out of reproduction scope);
+///   - "none": identity.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spindle {
+
+/// \brief Maps a token to its stem. Implementations are stateless and
+/// thread-compatible.
+class Stemmer {
+ public:
+  virtual ~Stemmer() = default;
+
+  /// \brief Stems one (already lowercased) token.
+  virtual std::string Stem(std::string_view word) const = 0;
+
+  /// \brief The registry name of this stemmer.
+  virtual std::string_view name() const = 0;
+};
+
+/// \brief Returns the stemmer registered under `name` (see file comment for
+/// the available names), or NotFound.
+Result<const Stemmer*> GetStemmer(const std::string& name);
+
+/// \brief Names of all registered stemmers, sorted.
+std::vector<std::string> ListStemmers();
+
+/// \brief The Snowball English (Porter2) stemmer; exposed directly for
+/// unit tests.
+const Stemmer& SnowballEnglish();
+
+}  // namespace spindle

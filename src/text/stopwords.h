@@ -1,0 +1,17 @@
+/// \file stopwords.h
+/// \brief English stopword list for the optional stop filter.
+
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+namespace spindle {
+
+/// \brief The standard English stopword set (SMART-style subset).
+const std::unordered_set<std::string>& EnglishStopwords();
+
+/// \brief True if `word` (lowercase) is an English stopword.
+bool IsEnglishStopword(const std::string& word);
+
+}  // namespace spindle

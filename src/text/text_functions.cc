@@ -1,0 +1,59 @@
+#include "text/text_functions.h"
+
+#include "text/stemmer.h"
+#include "text/stopwords.h"
+
+namespace spindle {
+
+void RegisterTextFunctions(FunctionRegistry& registry) {
+  registry.Register(
+      "stem",
+      [](const std::vector<Column>& args, size_t nrows) -> Result<Column> {
+        if (args.size() != 2) {
+          return Status::InvalidArgument("stem expects (term, language)");
+        }
+        if (args[0].type() != DataType::kString ||
+            args[1].type() != DataType::kString) {
+          return Status::TypeMismatch("stem requires string arguments");
+        }
+        const Column& terms = args[0];
+        const Column& langs = args[1];
+        size_t out_n = (terms.size() == 1 && langs.size() == 1) ? 1 : nrows;
+        std::vector<std::string> out(out_n);
+        // Fast path: constant language (the common case).
+        if (langs.size() == 1) {
+          SPINDLE_ASSIGN_OR_RETURN(const Stemmer* stemmer,
+                                   GetStemmer(langs.StringAt(0)));
+          for (size_t r = 0; r < out_n; ++r) {
+            out[r] = stemmer->Stem(terms.StringAt(terms.size() == 1 ? 0 : r));
+          }
+        } else {
+          for (size_t r = 0; r < out_n; ++r) {
+            SPINDLE_ASSIGN_OR_RETURN(
+                const Stemmer* stemmer,
+                GetStemmer(langs.StringAt(langs.size() == 1 ? 0 : r)));
+            out[r] = stemmer->Stem(terms.StringAt(terms.size() == 1 ? 0 : r));
+          }
+        }
+        return Column::MakeString(std::move(out));
+      });
+
+  registry.Register(
+      "stop_en",
+      [](const std::vector<Column>& args, size_t nrows) -> Result<Column> {
+        if (args.size() != 1 || args[0].type() != DataType::kString) {
+          return Status::InvalidArgument("stop_en expects a string argument");
+        }
+        size_t out_n = args[0].size() == 1 ? 1 : nrows;
+        std::vector<int64_t> out(out_n);
+        for (size_t r = 0; r < out_n; ++r) {
+          out[r] = IsEnglishStopword(
+                       args[0].StringAt(args[0].size() == 1 ? 0 : r))
+                       ? 1
+                       : 0;
+        }
+        return Column::MakeInt64(std::move(out));
+      });
+}
+
+}  // namespace spindle

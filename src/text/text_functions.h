@@ -1,0 +1,19 @@
+/// \file text_functions.h
+/// \brief Registers the text UDFs into an engine FunctionRegistry.
+///
+/// These are the paper's "only additions needed to MonetDB": a tokenizer
+/// (exposed as the relational Tokenize operator in src/ir) and Snowball
+/// stemmers, exposed here as the scalar function
+///   stem(term, language)   e.g.  stem(lcase($1), "sb-english").
+
+#pragma once
+
+#include "engine/expr.h"
+
+namespace spindle {
+
+/// \brief Registers `stem` (and `stop_en`, a stopword predicate) into
+/// `registry`. Idempotent.
+void RegisterTextFunctions(FunctionRegistry& registry);
+
+}  // namespace spindle

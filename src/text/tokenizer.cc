@@ -1,0 +1,52 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace spindle {
+
+namespace {
+
+bool IsTokenChar(unsigned char c, bool keep_numbers) {
+  if (c >= 0x80) return true;  // UTF-8 continuation/lead bytes
+  if (std::isalpha(c)) return true;
+  if (keep_numbers && std::isdigit(c)) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view text,
+                            const TokenizerOptions& options) {
+  std::vector<Token> tokens;
+  int64_t pos = 0;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    if (!IsTokenChar(static_cast<unsigned char>(text[i]),
+                     options.keep_numbers)) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < n) {
+      unsigned char c = static_cast<unsigned char>(text[i]);
+      if (IsTokenChar(c, options.keep_numbers)) {
+        ++i;
+      } else if (c == '\'' && i > start && i + 1 < n &&
+                 IsTokenChar(static_cast<unsigned char>(text[i + 1]),
+                             options.keep_numbers)) {
+        ++i;  // in-word apostrophe
+      } else {
+        break;
+      }
+    }
+    size_t len = i - start;
+    if (len >= options.min_token_len && len <= options.max_token_len) {
+      tokens.push_back(Token{std::string(text.substr(start, len)), pos});
+    }
+    ++pos;
+  }
+  return tokens;
+}
+
+}  // namespace spindle

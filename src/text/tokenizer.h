@@ -1,0 +1,42 @@
+/// \file tokenizer.h
+/// \brief The text tokenizer (the paper's first MonetDB UDF).
+///
+/// Splits raw text into tokens and token positions. A token is a maximal
+/// run of ASCII alphanumerics or non-ASCII bytes; a single apostrophe
+/// between two letters stays inside the token ("don't"), which lets the
+/// Snowball stemmer handle possessive forms.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spindle {
+
+/// \brief One token with its position (0-based token index).
+struct Token {
+  std::string text;
+  int64_t pos;
+
+  bool operator==(const Token& other) const {
+    return text == other.text && pos == other.pos;
+  }
+};
+
+/// \brief Tokenizer configuration.
+struct TokenizerOptions {
+  /// Tokens shorter than this are dropped (positions still advance).
+  size_t min_token_len = 1;
+  /// Tokens longer than this are dropped (typical indexing hygiene).
+  size_t max_token_len = 64;
+  /// Treat ASCII digits as token characters.
+  bool keep_numbers = true;
+};
+
+/// \brief Splits `text` into tokens.
+std::vector<Token> Tokenize(std::string_view text,
+                            const TokenizerOptions& options = {});
+
+}  // namespace spindle

@@ -1,0 +1,149 @@
+#include "triples/emergent_schema.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "engine/ops.h"
+
+namespace spindle {
+
+namespace {
+
+Status CheckTriples(const RelationPtr& triples) {
+  if (triples->num_columns() != 4 ||
+      triples->column(0).type() != DataType::kString ||
+      triples->column(1).type() != DataType::kString ||
+      triples->column(2).type() != DataType::kString ||
+      triples->column(3).type() != DataType::kFloat64) {
+    return Status::InvalidArgument(
+        "emergent schema detection expects string "
+        "(subject, property, object, p) triples, got " +
+        triples->schema().ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<EmergentSchema> EmergentSchema::Detect(
+    const RelationPtr& triples, const EmergentSchemaOptions& opts) {
+  SPINDLE_RETURN_IF_ERROR(CheckTriples(triples));
+
+  // 1. Characteristic set per subject; remember the first (object, p)
+  // per (subject, property).
+  struct SubjectInfo {
+    std::vector<std::string> properties;  // sorted unique
+    std::map<std::string, std::pair<std::string, double>> first_value;
+  };
+  std::unordered_map<std::string, SubjectInfo> subjects;
+  std::vector<const std::string*> subject_order;  // stable output order
+  for (size_t r = 0; r < triples->num_rows(); ++r) {
+    const std::string& s = triples->column(0).StringAt(r);
+    const std::string& p = triples->column(1).StringAt(r);
+    auto [it, inserted] = subjects.try_emplace(s);
+    if (inserted) subject_order.push_back(&it->first);
+    SubjectInfo& info = it->second;
+    if (info.first_value
+            .emplace(p, std::make_pair(triples->column(2).StringAt(r),
+                                       triples->column(3).Float64At(r)))
+            .second) {
+      info.properties.push_back(p);
+    }
+  }
+  for (auto& [s, info] : subjects) {
+    std::sort(info.properties.begin(), info.properties.end());
+  }
+
+  // 2. Frequency of each characteristic set.
+  std::map<std::vector<std::string>, size_t> set_counts;
+  for (const auto& [s, info] : subjects) {
+    set_counts[info.properties]++;
+  }
+  std::vector<std::pair<std::vector<std::string>, size_t>> ranked(
+      set_counts.begin(), set_counts.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+
+  EmergentSchema schema;
+  schema.num_subjects_ = subjects.size();
+  const double total = static_cast<double>(subjects.size());
+  size_t covered = 0;
+  for (const auto& [props, count] : ranked) {
+    if (schema.tables_.size() >= opts.max_tables) break;
+    if (props.empty()) continue;
+    if (static_cast<double>(count) / total < opts.min_coverage) continue;
+
+    // 3. Materialize the wide table, one row per subject with exactly
+    // this characteristic set, in first-appearance order.
+    Schema table_schema;
+    table_schema.AddField({"subject", DataType::kString});
+    for (const auto& p : props) {
+      table_schema.AddField({p, DataType::kString});
+    }
+    table_schema.AddField({"p", DataType::kFloat64});
+    RelationBuilder builder(table_schema);
+    for (const std::string* s : subject_order) {
+      const SubjectInfo& info = subjects.at(*s);
+      if (info.properties != props) continue;
+      std::vector<Value> row;
+      row.reserve(props.size() + 2);
+      row.emplace_back(*s);
+      double prob = 1.0;
+      for (const auto& p : props) {
+        const auto& [value, vp] = info.first_value.at(p);
+        row.emplace_back(value);
+        prob *= vp;
+      }
+      row.emplace_back(prob);
+      SPINDLE_RETURN_IF_ERROR(builder.AddRow(row));
+    }
+    EmergentTable table;
+    table.properties = props;
+    table.num_subjects = count;
+    SPINDLE_ASSIGN_OR_RETURN(table.table, builder.Build());
+    covered += count;
+    schema.tables_.push_back(std::move(table));
+  }
+  schema.coverage_ =
+      total == 0 ? 0.0 : static_cast<double>(covered) / total;
+  return schema;
+}
+
+Result<RelationPtr> EmergentSchema::TableFor(
+    const std::vector<std::string>& properties) const {
+  if (properties.empty()) {
+    return Status::InvalidArgument("TableFor needs at least one property");
+  }
+  std::vector<RelationPtr> pieces;
+  for (const auto& table : tables_) {
+    bool qualifies = true;
+    std::vector<size_t> cols = {0};  // subject
+    for (const auto& want : properties) {
+      auto idx = table.table->schema().FindField(want);
+      if (!idx.has_value()) {
+        qualifies = false;
+        break;
+      }
+      cols.push_back(*idx);
+    }
+    if (!qualifies) continue;
+    cols.push_back(table.table->num_columns() - 1);  // p
+    std::vector<std::string> names = {"subject"};
+    names.insert(names.end(), properties.begin(), properties.end());
+    names.push_back("p");
+    SPINDLE_ASSIGN_OR_RETURN(RelationPtr piece,
+                             ProjectColumns(table.table, cols, names));
+    pieces.push_back(std::move(piece));
+  }
+  if (pieces.empty()) {
+    return Status::NotFound(
+        "no emergent table covers the requested properties");
+  }
+  if (pieces.size() == 1) return pieces[0];
+  return UnionAll(pieces);
+}
+
+}  // namespace spindle

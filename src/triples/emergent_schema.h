@@ -1,0 +1,73 @@
+/// \file emergent_schema.h
+/// \brief Emergent-schema detection (Pham & Boncz [11]) — the alternative
+/// the paper flags for future consideration in §2.2: "a data-driven
+/// technique to find a relational schema that is considered optimal for a
+/// given graph, thus eliminating many join operations."
+///
+/// Detection groups subjects by their *characteristic set* (the set of
+/// properties they carry), keeps the most frequent sets, and materializes
+/// one wide relational table per set: (subject, prop_1, ..., prop_k, p).
+/// Reading several properties of a subject then becomes a projection on
+/// one table instead of a cascade of self-joins on triples (benchmarked
+/// in E3's emergent case).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief Detection parameters.
+struct EmergentSchemaOptions {
+  /// Keep at most this many emergent tables (most frequent sets first).
+  size_t max_tables = 8;
+  /// Drop characteristic sets covering less than this fraction of
+  /// subjects.
+  double min_coverage = 0.01;
+};
+
+/// \brief One materialized emergent table.
+struct EmergentTable {
+  /// The characteristic set, sorted.
+  std::vector<std::string> properties;
+  /// (subject: string, <one string column per property>, p: float64).
+  /// For multi-valued properties the first value (in triple order) is
+  /// kept; p is the product of the used triples' probabilities.
+  RelationPtr table;
+  size_t num_subjects = 0;
+};
+
+/// \brief The detected schema over one triple relation.
+class EmergentSchema {
+ public:
+  /// \brief Detects and materializes emergent tables from a
+  /// (subject, property, object, p) relation with string objects.
+  static Result<EmergentSchema> Detect(const RelationPtr& triples,
+                                       const EmergentSchemaOptions& opts =
+                                           {});
+
+  const std::vector<EmergentTable>& tables() const { return tables_; }
+
+  /// \brief Fraction of subjects covered by the materialized tables.
+  double coverage() const { return coverage_; }
+  size_t num_subjects() const { return num_subjects_; }
+
+  /// \brief A (subject, <requested properties...>, p) relation assembled
+  /// from every emergent table whose characteristic set contains all
+  /// requested properties. Subjects outside the emergent tables are not
+  /// included — callers needing exactness fall back to self-joins for
+  /// the uncovered remainder (NotFound when no table qualifies).
+  Result<RelationPtr> TableFor(
+      const std::vector<std::string>& properties) const;
+
+ private:
+  std::vector<EmergentTable> tables_;
+  double coverage_ = 0.0;
+  size_t num_subjects_ = 0;
+};
+
+}  // namespace spindle

@@ -1,0 +1,111 @@
+#include "triples/graph.h"
+
+#include "engine/ops.h"
+#include "pra/pra_ops.h"
+
+namespace spindle {
+
+namespace {
+
+Status CheckTriples(const RelationPtr& triples) {
+  if (triples->num_columns() != 4 ||
+      triples->column(0).type() != DataType::kString ||
+      triples->column(1).type() != DataType::kString ||
+      triples->column(3).type() != DataType::kFloat64) {
+    return Status::InvalidArgument(
+        "expected (subject, property, object, p) triples, got " +
+        triples->schema().ToString());
+  }
+  return Status::OK();
+}
+
+Status CheckNodes(const ProbRelation& nodes) {
+  if (nodes.arity() != 1 ||
+      nodes.rel()->column(0).type() != DataType::kString) {
+    return Status::InvalidArgument("expected a node set (id: string, p)");
+  }
+  return Status::OK();
+}
+
+/// SELECT [property = prop AND object = value] then PROJECT [subject].
+Result<ProbRelation> SelectNodes(const RelationPtr& triples,
+                                 const std::string& property,
+                                 const std::string& value) {
+  SPINDLE_RETURN_IF_ERROR(CheckTriples(triples));
+  SPINDLE_ASSIGN_OR_RETURN(ProbRelation all, ProbRelation::Wrap(triples));
+  auto pred =
+      Expr::And(Expr::Eq(Expr::Column(1), Expr::LitString(property)),
+                Expr::Eq(Expr::Column(2), Expr::LitString(value)));
+  SPINDLE_ASSIGN_OR_RETURN(
+      ProbRelation matched,
+      pra::Select(all, pred, FunctionRegistry::Default()));
+  SPINDLE_ASSIGN_OR_RETURN(
+      ProbRelation ids,
+      pra::Project(matched, {Expr::Column(0)}, {"id"}, Assumption::kMax,
+                   FunctionRegistry::Default()));
+  return ids;
+}
+
+}  // namespace
+
+Result<ProbRelation> SelectByType(const RelationPtr& triples,
+                                  const std::string& type,
+                                  const std::string& type_property) {
+  return SelectNodes(triples, type_property, type);
+}
+
+Result<ProbRelation> SelectByProperty(const RelationPtr& triples,
+                                      const std::string& property,
+                                      const std::string& value) {
+  return SelectNodes(triples, property, value);
+}
+
+Result<ProbRelation> Traverse(const ProbRelation& nodes,
+                              const RelationPtr& triples,
+                              const std::string& property,
+                              Direction direction, Assumption assumption) {
+  SPINDLE_RETURN_IF_ERROR(CheckTriples(triples));
+  SPINDLE_RETURN_IF_ERROR(CheckNodes(nodes));
+  if (direction == Direction::kForward &&
+      triples->column(2).type() != DataType::kString) {
+    return Status::TypeMismatch(
+        "forward traversal requires string objects (node ids)");
+  }
+  SPINDLE_ASSIGN_OR_RETURN(ProbRelation all, ProbRelation::Wrap(triples));
+  SPINDLE_ASSIGN_OR_RETURN(
+      ProbRelation edges,
+      pra::Select(all,
+                  Expr::Eq(Expr::Column(1), Expr::LitString(property)),
+                  FunctionRegistry::Default()));
+  // Forward joins node id on subject and projects the object;
+  // backward joins node id on object and projects the subject.
+  const size_t join_col = direction == Direction::kForward ? 0 : 2;
+  const size_t out_col = direction == Direction::kForward ? 2 : 0;
+  SPINDLE_ASSIGN_OR_RETURN(
+      ProbRelation joined,
+      pra::JoinIndependent(nodes, edges, {{0, join_col}}));
+  // joined attrs: id, subject, property, object
+  return pra::Project(joined, {Expr::Column(1 + out_col)}, {"id"},
+                      assumption, FunctionRegistry::Default());
+}
+
+Result<ProbRelation> ExtractProperty(const ProbRelation& nodes,
+                                     const RelationPtr& triples,
+                                     const std::string& property) {
+  SPINDLE_RETURN_IF_ERROR(CheckTriples(triples));
+  SPINDLE_RETURN_IF_ERROR(CheckNodes(nodes));
+  SPINDLE_ASSIGN_OR_RETURN(ProbRelation all, ProbRelation::Wrap(triples));
+  SPINDLE_ASSIGN_OR_RETURN(
+      ProbRelation edges,
+      pra::Select(all,
+                  Expr::Eq(Expr::Column(1), Expr::LitString(property)),
+                  FunctionRegistry::Default()));
+  SPINDLE_ASSIGN_OR_RETURN(ProbRelation joined,
+                           pra::JoinIndependent(nodes, edges, {{0, 0}}));
+  // joined attrs: id, subject, property, object
+  return pra::Project(joined, {Expr::Column(0), Expr::Column(3)},
+                      {"id", "value"}, Assumption::kAll,
+                      FunctionRegistry::Default());
+}
+
+}  // namespace spindle

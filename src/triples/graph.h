@@ -1,0 +1,54 @@
+/// \file graph.h
+/// \brief Graph operations over the triple store: the structured-search
+/// building blocks of the paper's strategies (select nodes by type,
+/// traverse a property forward/backward, extract a property value).
+///
+/// Every operation consumes and produces probabilistic node sets
+/// (id: string, p) and "propagates probabilities through the graph"
+/// (paper §3): traversals multiply node and edge probabilities
+/// (JOIN INDEPENDENT) and merge multiple paths to the same node under a
+/// configurable assumption.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "pra/prob_relation.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief Traversal direction along a property edge.
+enum class Direction { kForward, kBackward };
+
+/// \brief Nodes of a given type: (id, p) from triples (id, "type", t).
+/// The `type_property` defaults to "type".
+Result<ProbRelation> SelectByType(const RelationPtr& triples,
+                                  const std::string& type,
+                                  const std::string& type_property = "type");
+
+/// \brief Nodes whose `property` equals `value`: (id, p).
+Result<ProbRelation> SelectByProperty(const RelationPtr& triples,
+                                      const std::string& property,
+                                      const std::string& value);
+
+/// \brief Follows `property` edges from `nodes`.
+///
+/// Forward:  node --property--> object   yields (object, p_node * p_edge).
+/// Backward: subject --property--> node  yields (subject, p_node * p_edge)
+/// — the paper's "traverses hasAuction backward, to obtain lots again".
+/// Multiple paths reaching one node merge under `assumption`.
+Result<ProbRelation> Traverse(const ProbRelation& nodes,
+                              const RelationPtr& triples,
+                              const std::string& property,
+                              Direction direction,
+                              Assumption assumption = Assumption::kMax);
+
+/// \brief Extracts (id, value, p) pairs for `property` of `nodes` — e.g.
+/// the (docID, description) collection handed to keyword search.
+Result<ProbRelation> ExtractProperty(const ProbRelation& nodes,
+                                     const RelationPtr& triples,
+                                     const std::string& property);
+
+}  // namespace spindle

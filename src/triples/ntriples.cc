@@ -1,0 +1,249 @@
+#include "triples/ntriples.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str.h"
+
+namespace spindle {
+
+namespace {
+
+/// Cursor over one line.
+class LineParser {
+ public:
+  LineParser(const std::string& line, size_t line_no)
+      : line_(line), line_no_(line_no) {}
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("line " + std::to_string(line_no_) + ": " +
+                              msg + " in '" + line_ + "'");
+  }
+
+  void SkipSpace() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= line_.size();
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < line_.size() ? line_[pos_] : '\0';
+  }
+
+  /// <iri> -> contents without brackets.
+  Result<std::string> ParseIri() {
+    SkipSpace();
+    if (pos_ >= line_.size() || line_[pos_] != '<') {
+      return Error("expected '<'");
+    }
+    size_t end = line_.find('>', pos_ + 1);
+    if (end == std::string::npos) return Error("unterminated IRI");
+    std::string iri = line_.substr(pos_ + 1, end - pos_ - 1);
+    pos_ = end + 1;
+    return iri;
+  }
+
+  /// "literal" with \" \\ \n \t escapes.
+  Result<std::string> ParseLiteral() {
+    SkipSpace();
+    if (pos_ >= line_.size() || line_[pos_] != '"') {
+      return Error("expected '\"'");
+    }
+    std::string out;
+    ++pos_;
+    while (pos_ < line_.size()) {
+      char c = line_[pos_];
+      if (c == '\\' && pos_ + 1 < line_.size()) {
+        char next = line_[pos_ + 1];
+        switch (next) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          default:
+            out.push_back(next);
+        }
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Error("unterminated literal");
+  }
+
+  /// Optional ^^<type> after a literal; "" if absent.
+  Result<std::string> ParseDatatype() {
+    if (pos_ + 1 < line_.size() && line_[pos_] == '^' &&
+        line_[pos_ + 1] == '^') {
+      pos_ += 2;
+      return ParseIri();
+    }
+    return std::string();
+  }
+
+  /// Optional probability; 1.0 if absent.
+  Result<double> ParseProbability() {
+    SkipSpace();
+    if (pos_ >= line_.size() || line_[pos_] == '.') return 1.0;
+    char* end = nullptr;
+    double p = std::strtod(line_.c_str() + pos_, &end);
+    if (end == line_.c_str() + pos_) {
+      return Error("expected probability or '.'");
+    }
+    if (p < 0.0 || p > 1.0) return Error("probability out of [0,1]");
+    pos_ = static_cast<size_t>(end - line_.c_str());
+    return p;
+  }
+
+  Status ExpectDot() {
+    SkipSpace();
+    if (pos_ >= line_.size() || line_[pos_] != '.') {
+      return Error("expected terminating '.'");
+    }
+    ++pos_;
+    SkipSpace();
+    if (pos_ < line_.size()) return Error("trailing content after '.'");
+    return Status::OK();
+  }
+
+ private:
+  const std::string& line_;
+  size_t line_no_;
+  size_t pos_ = 0;
+};
+
+std::string EscapeLiteral(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TripleStore> ParseNTriples(const std::string& text) {
+  TripleStore store;
+  std::vector<std::string> lines = Split(text, '\n');
+  for (size_t i = 0; i < lines.size(); ++i) {
+    LineParser p(lines[i], i + 1);
+    if (p.AtEnd() || p.Peek() == '#') continue;
+    SPINDLE_ASSIGN_OR_RETURN(std::string subject, p.ParseIri());
+    SPINDLE_ASSIGN_OR_RETURN(std::string predicate, p.ParseIri());
+    if (p.Peek() == '<') {
+      SPINDLE_ASSIGN_OR_RETURN(std::string object, p.ParseIri());
+      SPINDLE_ASSIGN_OR_RETURN(double prob, p.ParseProbability());
+      SPINDLE_RETURN_IF_ERROR(p.ExpectDot());
+      store.Add(std::move(subject), std::move(predicate),
+                std::move(object), prob);
+      continue;
+    }
+    SPINDLE_ASSIGN_OR_RETURN(std::string literal, p.ParseLiteral());
+    SPINDLE_ASSIGN_OR_RETURN(std::string datatype, p.ParseDatatype());
+    SPINDLE_ASSIGN_OR_RETURN(double prob, p.ParseProbability());
+    SPINDLE_RETURN_IF_ERROR(p.ExpectDot());
+    if (datatype == "int" || datatype == "integer" ||
+        datatype.find("#integer") != std::string::npos ||
+        datatype.find("#int") != std::string::npos) {
+      store.AddInt(std::move(subject), std::move(predicate),
+                   std::strtoll(literal.c_str(), nullptr, 10), prob);
+    } else if (datatype == "double" || datatype == "float" ||
+               datatype.find("#double") != std::string::npos ||
+               datatype.find("#float") != std::string::npos ||
+               datatype.find("#decimal") != std::string::npos) {
+      store.AddFloat(std::move(subject), std::move(predicate),
+                     std::strtod(literal.c_str(), nullptr), prob);
+    } else if (datatype.empty() ||
+               datatype.find("#string") != std::string::npos) {
+      store.Add(std::move(subject), std::move(predicate),
+                std::move(literal), prob);
+    } else {
+      // Unknown datatype: keep the lexical form as a string (the
+      // paper's "almost no pre-processing" stance).
+      store.Add(std::move(subject), std::move(predicate),
+                std::move(literal), prob);
+    }
+  }
+  return store;
+}
+
+Result<TripleStore> LoadNTriplesFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string content;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  return ParseNTriples(content);
+}
+
+Result<std::string> ToNTriples(const TripleStore& store) {
+  std::string out;
+  auto emit_prob = [&](double p) {
+    if (p < 1.0) {
+      out.push_back(' ');
+      out += FormatDouble(p);
+    }
+    out += " .\n";
+  };
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr strs, store.StringTriples());
+  for (size_t r = 0; r < strs->num_rows(); ++r) {
+    out += "<" + strs->column(0).StringAt(r) + "> <" +
+           strs->column(1).StringAt(r) + "> \"" +
+           EscapeLiteral(strs->column(2).StringAt(r)) + "\"";
+    emit_prob(strs->column(3).Float64At(r));
+  }
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr ints, store.IntTriples());
+  for (size_t r = 0; r < ints->num_rows(); ++r) {
+    out += "<" + ints->column(0).StringAt(r) + "> <" +
+           ints->column(1).StringAt(r) + "> \"" +
+           std::to_string(ints->column(2).Int64At(r)) + "\"^^<int>";
+    emit_prob(ints->column(3).Float64At(r));
+  }
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr flts, store.FloatTriples());
+  for (size_t r = 0; r < flts->num_rows(); ++r) {
+    out += "<" + flts->column(0).StringAt(r) + "> <" +
+           flts->column(1).StringAt(r) + "> \"" +
+           FormatDouble(flts->column(2).Float64At(r)) + "\"^^<double>";
+    emit_prob(flts->column(3).Float64At(r));
+  }
+  return out;
+}
+
+}  // namespace spindle

@@ -1,0 +1,40 @@
+/// \file ntriples.h
+/// \brief N-Triples-style interchange for the triple store.
+///
+/// The paper's system ingests RDF-ish semantic graphs; this loader reads
+/// the line-based N-Triples subset that covers that use:
+///
+///   <subject> <predicate> <object> .            # IRI object
+///   <subject> <predicate> "literal" .           # string literal
+///   <subject> <predicate> "12"^^<int> .         # typed literals
+///   <subject> <predicate> "3.5"^^<double> .
+///
+/// Spindle extension: an optional probability before the final dot
+/// carries tuple-level uncertainty (paper §2.3):
+///
+///   <s> <p> "extracted value" 0.8 .
+///
+/// `#` starts a comment; blank lines are ignored. IRIs are stored
+/// verbatim without the angle brackets.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "triples/triple_store.h"
+
+namespace spindle {
+
+/// \brief Parses N-Triples text into a TripleStore.
+Result<TripleStore> ParseNTriples(const std::string& text);
+
+/// \brief Loads an .nt file.
+Result<TripleStore> LoadNTriplesFile(const std::string& path);
+
+/// \brief Serializes a store back to N-Triples text (string, int and
+/// float partitions; probabilities < 1 are emitted with the extension
+/// syntax).
+Result<std::string> ToNTriples(const TripleStore& store);
+
+}  // namespace spindle

@@ -1,0 +1,79 @@
+#include "triples/partitioning.h"
+
+#include "engine/ops.h"
+
+namespace spindle {
+
+const char* TripleLayoutName(TripleLayout layout) {
+  switch (layout) {
+    case TripleLayout::kSingleTable:
+      return "single-table";
+    case TripleLayout::kPerProperty:
+      return "per-property";
+    case TripleLayout::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+Result<PartitionedTriples> PartitionedTriples::Make(
+    RelationPtr triples, TripleLayout layout, MaterializationCache* cache) {
+  if (triples->num_columns() != 4) {
+    return Status::InvalidArgument(
+        "expected (subject, property, object, p), got " +
+        triples->schema().ToString());
+  }
+  if (layout == TripleLayout::kAdaptive && cache == nullptr) {
+    return Status::InvalidArgument("adaptive layout requires a cache");
+  }
+  PartitionedTriples out(std::move(triples), layout, cache);
+  if (layout == TripleLayout::kPerProperty) {
+    // Eagerly split by property (Abadi-style vertical partitioning).
+    SPINDLE_ASSIGN_OR_RETURN(RelationPtr props,
+                             Distinct(out.triples_, {1}));
+    for (size_t r = 0; r < props->num_rows(); ++r) {
+      const std::string& prop = props->column(0).StringAt(r);
+      SPINDLE_ASSIGN_OR_RETURN(RelationPtr part, out.FilterProperty(prop));
+      out.partitions_.emplace(prop, std::move(part));
+    }
+  }
+  return out;
+}
+
+Result<RelationPtr> PartitionedTriples::FilterProperty(
+    const std::string& property) const {
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr filtered,
+      Filter(triples_,
+             Expr::Eq(Expr::Column(1), Expr::LitString(property)),
+             FunctionRegistry::Default()));
+  return ProjectColumns(filtered, {0, 2, 3});
+}
+
+Result<RelationPtr> PartitionedTriples::Pattern(
+    const std::string& property) const {
+  switch (layout_) {
+    case TripleLayout::kSingleTable:
+      return FilterProperty(property);
+    case TripleLayout::kPerProperty: {
+      auto it = partitions_.find(property);
+      if (it == partitions_.end()) {
+        // Unknown property: empty result with the partition schema.
+        return Relation::Empty(Schema({{"subject", DataType::kString},
+                                       {"object", DataType::kString},
+                                       {"p", DataType::kFloat64}}));
+      }
+      return it->second;
+    }
+    case TripleLayout::kAdaptive: {
+      std::string sig = "triples[property=" + property + "]";
+      if (auto hit = cache_->Get(sig)) return *hit;
+      SPINDLE_ASSIGN_OR_RETURN(RelationPtr part, FilterProperty(property));
+      cache_->Put(sig, part);
+      return part;
+    }
+  }
+  return Status::Internal("unreachable layout");
+}
+
+}  // namespace spindle

@@ -1,0 +1,64 @@
+/// \file partitioning.h
+/// \brief Vertical-partitioning layouts for the triples table (paper §2.2).
+///
+/// Three query-time layouts over the same logical triple set:
+///   - kSingleTable: every property access scans/filters the one big table
+///     (the naive layout whose self-joins the paper worries about);
+///   - kPerProperty: one table per property, built eagerly — Abadi et
+///     al.'s proposal [1], which Sidirourgos et al. [13] showed degrades
+///     when the number of properties is high (E4 reproduces that shape);
+///   - kAdaptive: the paper's approach — property selections are computed
+///     on demand and materialized in the adaptive cache keyed by their
+///     expression signature, so repeated access is free and only the
+///     properties actually used pay any cost.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "engine/materialization_cache.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief Storage layout for property access.
+enum class TripleLayout { kSingleTable, kPerProperty, kAdaptive };
+
+const char* TripleLayoutName(TripleLayout layout);
+
+/// \brief Provides (subject, object, p) access per property under a
+/// configurable layout.
+class PartitionedTriples {
+ public:
+  /// \brief Wraps a (subject, property, object, p) relation.
+  /// For kPerProperty, all per-property tables are built eagerly here
+  /// (their cost is what E4 measures). For kAdaptive, `cache` must
+  /// outlive this object; pass nullptr for the other layouts.
+  static Result<PartitionedTriples> Make(RelationPtr triples,
+                                         TripleLayout layout,
+                                         MaterializationCache* cache);
+
+  /// \brief All (subject, object, p) rows with the given property.
+  Result<RelationPtr> Pattern(const std::string& property) const;
+
+  TripleLayout layout() const { return layout_; }
+
+  /// \brief Number of eagerly built per-property tables (kPerProperty).
+  size_t num_partitions() const { return partitions_.size(); }
+
+ private:
+  PartitionedTriples(RelationPtr triples, TripleLayout layout,
+                     MaterializationCache* cache)
+      : triples_(std::move(triples)), layout_(layout), cache_(cache) {}
+
+  Result<RelationPtr> FilterProperty(const std::string& property) const;
+
+  RelationPtr triples_;
+  TripleLayout layout_;
+  MaterializationCache* cache_;
+  std::map<std::string, RelationPtr> partitions_;
+};
+
+}  // namespace spindle

@@ -1,0 +1,115 @@
+#include "triples/triple_store.h"
+
+#include "common/str.h"
+
+namespace spindle {
+
+void TripleStore::Add(std::string subject, std::string property,
+                      std::string object, double p) {
+  str_.subjects.push_back(std::move(subject));
+  str_.properties.push_back(std::move(property));
+  str_.objects.push_back(std::move(object));
+  str_.probs.push_back(p);
+}
+
+void TripleStore::AddInt(std::string subject, std::string property,
+                         int64_t object, double p) {
+  int_.subjects.push_back(std::move(subject));
+  int_.properties.push_back(std::move(property));
+  int_.objects.push_back(object);
+  int_.probs.push_back(p);
+}
+
+void TripleStore::AddFloat(std::string subject, std::string property,
+                           double object, double p) {
+  flt_.subjects.push_back(std::move(subject));
+  flt_.properties.push_back(std::move(property));
+  flt_.objects.push_back(object);
+  flt_.probs.push_back(p);
+}
+
+Result<RelationPtr> TripleStore::StringTriples() const {
+  Schema schema({{"subject", DataType::kString},
+                 {"property", DataType::kString},
+                 {"object", DataType::kString},
+                 {"p", DataType::kFloat64}});
+  std::vector<Column> cols;
+  cols.push_back(Column::MakeString(str_.subjects));
+  cols.push_back(Column::MakeString(str_.properties));
+  cols.push_back(Column::MakeString(str_.objects));
+  cols.push_back(Column::MakeFloat64(str_.probs));
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+Result<RelationPtr> TripleStore::IntTriples() const {
+  Schema schema({{"subject", DataType::kString},
+                 {"property", DataType::kString},
+                 {"object", DataType::kInt64},
+                 {"p", DataType::kFloat64}});
+  std::vector<Column> cols;
+  cols.push_back(Column::MakeString(int_.subjects));
+  cols.push_back(Column::MakeString(int_.properties));
+  cols.push_back(Column::MakeInt64(int_.objects));
+  cols.push_back(Column::MakeFloat64(int_.probs));
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+Result<RelationPtr> TripleStore::FloatTriples() const {
+  Schema schema({{"subject", DataType::kString},
+                 {"property", DataType::kString},
+                 {"object", DataType::kFloat64},
+                 {"p", DataType::kFloat64}});
+  std::vector<Column> cols;
+  cols.push_back(Column::MakeString(flt_.subjects));
+  cols.push_back(Column::MakeString(flt_.properties));
+  cols.push_back(Column::MakeFloat64(flt_.objects));
+  cols.push_back(Column::MakeFloat64(flt_.probs));
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+Result<RelationPtr> TripleStore::AllAsStrings() const {
+  Schema schema({{"subject", DataType::kString},
+                 {"property", DataType::kString},
+                 {"object", DataType::kString},
+                 {"p", DataType::kFloat64}});
+  std::vector<Column> cols(4, Column(DataType::kString));
+  cols[3] = Column(DataType::kFloat64);
+  size_t total = size();
+  for (auto& c : cols) c.Reserve(total);
+
+  auto append_strings = [&](const Partition<std::string>& part) {
+    for (size_t i = 0; i < part.subjects.size(); ++i) {
+      cols[0].AppendString(part.subjects[i]);
+      cols[1].AppendString(part.properties[i]);
+      cols[2].AppendString(part.objects[i]);
+      cols[3].AppendFloat64(part.probs[i]);
+    }
+  };
+  append_strings(str_);
+  for (size_t i = 0; i < int_.subjects.size(); ++i) {
+    cols[0].AppendString(int_.subjects[i]);
+    cols[1].AppendString(int_.properties[i]);
+    cols[2].AppendString(std::to_string(int_.objects[i]));
+    cols[3].AppendFloat64(int_.probs[i]);
+  }
+  for (size_t i = 0; i < flt_.subjects.size(); ++i) {
+    cols[0].AppendString(flt_.subjects[i]);
+    cols[1].AppendString(flt_.properties[i]);
+    cols[2].AppendString(FormatDouble(flt_.objects[i]));
+    cols[3].AppendFloat64(flt_.probs[i]);
+  }
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+Status TripleStore::RegisterInto(Catalog& catalog,
+                                 const std::string& prefix) const {
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr s, StringTriples());
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr i, IntTriples());
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr f, FloatTriples());
+  catalog.Register(prefix, std::move(s));
+  catalog.Register(prefix + "_int", std::move(i));
+  catalog.Register(prefix + "_float", std::move(f));
+  return Status::OK();
+}
+
+}  // namespace spindle

@@ -1,0 +1,73 @@
+/// \file triple_store.h
+/// \brief The flexible data model (paper §2.2): semantic triples on the
+/// relational engine.
+///
+/// Triples encode uncertain statements (subject, property, object, p) — the
+/// probabilistic quadruple of §2.3. The only *data-driven* partitioning
+/// applied is by the physical type of the object ("rather than serializing
+/// every literal into strings"): string, int64 and float64 objects live in
+/// three separate tables. Everything else (per-property tables, adaptive
+/// caching) is a query-time layout — see partitioning.h.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief Builder + snapshot view of a probabilistic triple collection.
+class TripleStore {
+ public:
+  /// \name Adding statements. Probabilities default to 1.0 (facts);
+  /// smaller values model confidence-weighted extraction (paper §2.3).
+  /// @{
+  void Add(std::string subject, std::string property, std::string object,
+           double p = 1.0);
+  void AddInt(std::string subject, std::string property, int64_t object,
+              double p = 1.0);
+  void AddFloat(std::string subject, std::string property, double object,
+                double p = 1.0);
+  /// @}
+
+  size_t size() const {
+    return str_.subjects.size() + int_.subjects.size() + flt_.subjects.size();
+  }
+
+  /// \brief The string-object partition:
+  /// (subject, property, object, p) with object: string.
+  Result<RelationPtr> StringTriples() const;
+  /// \brief The int64-object partition (object: int64).
+  Result<RelationPtr> IntTriples() const;
+  /// \brief The float64-object partition (object: float64).
+  Result<RelationPtr> FloatTriples() const;
+
+  /// \brief The naive single-table layout: every object serialized to a
+  /// string. This is the baseline the type partitioning improves on.
+  Result<RelationPtr> AllAsStrings() const;
+
+  /// \brief Registers the partitions as `<prefix>` (string objects),
+  /// `<prefix>_int`, `<prefix>_float` in `catalog`.
+  Status RegisterInto(Catalog& catalog,
+                      const std::string& prefix = "triples") const;
+
+ private:
+  template <typename T>
+  struct Partition {
+    std::vector<std::string> subjects;
+    std::vector<std::string> properties;
+    std::vector<T> objects;
+    std::vector<double> probs;
+  };
+
+  Partition<std::string> str_;
+  Partition<int64_t> int_;
+  Partition<double> flt_;
+};
+
+}  // namespace spindle

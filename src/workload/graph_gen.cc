@@ -1,0 +1,92 @@
+#include "workload/graph_gen.h"
+
+#include <algorithm>
+
+#include "workload/text_gen.h"
+
+namespace spindle {
+
+Result<TripleStore> GenerateProductCatalog(
+    const ProductCatalogOptions& opts) {
+  if (opts.categories.empty() || opts.num_products < 0) {
+    return Status::InvalidArgument("invalid product catalog options");
+  }
+  Rng rng(opts.seed);
+  ZipfSampler zipf(static_cast<uint64_t>(opts.vocab_size),
+                   opts.zipf_exponent);
+  TripleStore store;
+  for (int64_t i = 0; i < opts.num_products; ++i) {
+    std::string id = "prod" + std::to_string(i + 1);
+    store.Add(id, "type", "product");
+    store.Add(id, "category",
+              opts.categories[static_cast<size_t>(i) %
+                              opts.categories.size()]);
+    store.Add(id, "description", RandomText(rng, zipf, opts.desc_len));
+    store.AddInt(id, "price",
+                 static_cast<int64_t>(1 + rng.NextBounded(1000)));
+    store.AddFloat(id, "rating", 1.0 + 4.0 * rng.NextDouble());
+  }
+  return store;
+}
+
+Result<TripleStore> GenerateAuctionGraph(const AuctionGraphOptions& opts) {
+  if (opts.num_auctions <= 0 || opts.num_lots < 0) {
+    return Status::InvalidArgument("invalid auction graph options");
+  }
+  Rng rng(opts.seed);
+  ZipfSampler zipf(static_cast<uint64_t>(opts.vocab_size),
+                   opts.zipf_exponent);
+  TripleStore store;
+
+  for (int64_t a = 0; a < opts.num_auctions; ++a) {
+    std::string id = "auction" + std::to_string(a + 1);
+    store.Add(id, "type", "auction");
+    store.Add(id, "description",
+              RandomText(rng, zipf, opts.auction_desc_len));
+  }
+
+  for (int64_t l = 0; l < opts.num_lots; ++l) {
+    std::string id = "lot" + std::to_string(l + 1);
+    store.Add(id, "type", "lot");
+    store.Add(id, "description", RandomText(rng, zipf, opts.lot_desc_len));
+    store.Add(id, "title", RandomText(rng, zipf, opts.lot_title_len));
+    store.Add(id, "hasAuction",
+              "auction" + std::to_string(
+                              1 + rng.NextBounded(static_cast<uint64_t>(
+                                      opts.num_auctions))));
+    store.AddInt(id, "startPrice",
+                 static_cast<int64_t>(5 + rng.NextBounded(5000)));
+    if (rng.NextDouble() < opts.tags_fraction) {
+      store.Add(id, "tags", RandomText(rng, zipf, 3),
+                opts.tags_confidence);
+    }
+    if (rng.NextDouble() < opts.seller_notes_fraction) {
+      store.Add(id, "sellerNotes", RandomText(rng, zipf, 10));
+    }
+  }
+
+  // Symmetric synonym pairs among frequent words (ranks 1..4k), so query
+  // expansion actually fires for mid/high-frequency query terms.
+  const uint64_t syn_band = std::max<uint64_t>(
+      2, std::min<uint64_t>(static_cast<uint64_t>(opts.vocab_size),
+                            static_cast<uint64_t>(
+                                opts.num_synonym_pairs) * 8));
+  for (int64_t sidx = 0; sidx < opts.num_synonym_pairs; ++sidx) {
+    uint64_t a = 1 + rng.NextBounded(syn_band);
+    uint64_t b = 1 + rng.NextBounded(syn_band);
+    if (a == b) continue;
+    store.Add(WordForRank(a), "synonym", WordForRank(b));
+    store.Add(WordForRank(b), "synonym", WordForRank(a));
+  }
+  return store;
+}
+
+std::vector<std::string> GenerateAuctionQueries(
+    const AuctionGraphOptions& opts, int num_queries, int terms_per_query,
+    uint64_t seed) {
+  TextCollectionOptions text_opts;
+  text_opts.vocab_size = opts.vocab_size;
+  return GenerateQueries(text_opts, num_queries, terms_per_query, seed);
+}
+
+}  // namespace spindle

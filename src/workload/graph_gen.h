@@ -1,0 +1,66 @@
+/// \file graph_gen.h
+/// \brief Synthetic semantic graphs: the product catalog of the paper's
+/// toy scenario (§2) and the auction database of the real-world scenario
+/// (§3, scaled stand-in for 8M lots / 25k auctions).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "triples/triple_store.h"
+
+namespace spindle {
+
+/// \brief Toy-scenario product catalog.
+struct ProductCatalogOptions {
+  int64_t num_products = 1000;
+  std::vector<std::string> categories = {"toy", "book", "food", "garden",
+                                         "electronics"};
+  int desc_len = 30;        ///< description length in tokens
+  int64_t vocab_size = 5000;
+  double zipf_exponent = 1.0;
+  uint64_t seed = 7;
+};
+
+/// \brief Generates triples: for each product prod<i> —
+/// (prod, type, "product"), (prod, category, c), (prod, description, text),
+/// (prod, price, int), (prod, rating, float). Categories are assigned
+/// round-robin so each holds ~num_products/|categories| products.
+Result<TripleStore> GenerateProductCatalog(const ProductCatalogOptions& opts);
+
+/// \brief §3 auction database.
+struct AuctionGraphOptions {
+  int64_t num_lots = 10000;
+  int64_t num_auctions = 100;
+  int lot_desc_len = 25;
+  int lot_title_len = 5;
+  int auction_desc_len = 60;
+  int64_t vocab_size = 10000;
+  double zipf_exponent = 1.0;
+  /// Synonym pairs among the most frequent vocabulary words (symmetric,
+  /// for the production strategy's query expansion).
+  int64_t num_synonym_pairs = 500;
+  /// Fraction of lots with a "tags" triple; tags carry this confidence
+  /// (probabilities from confidence-based extraction, paper §2.3).
+  double tags_fraction = 0.5;
+  double tags_confidence = 0.8;
+  /// Fraction of lots with sellerNotes.
+  double seller_notes_fraction = 0.4;
+  uint64_t seed = 11;
+};
+
+/// \brief Generates the auction graph: lots (type, description, title,
+/// optional tags/sellerNotes, startPrice, hasAuction), auctions (type,
+/// description), and synonym triples (word, synonym, word').
+Result<TripleStore> GenerateAuctionGraph(const AuctionGraphOptions& opts);
+
+/// \brief Keyword queries over the auction vocabulary (mid-frequency
+/// band, like GenerateQueries).
+std::vector<std::string> GenerateAuctionQueries(
+    const AuctionGraphOptions& opts, int num_queries, int terms_per_query,
+    uint64_t seed = 99);
+
+}  // namespace spindle

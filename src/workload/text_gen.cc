@@ -1,0 +1,89 @@
+#include "workload/text_gen.h"
+
+#include <algorithm>
+
+namespace spindle {
+
+std::string WordForRank(uint64_t rank) {
+  // Scramble the rank so lexicographic and frequency order are unrelated,
+  // then render in base-26. Deterministic and collision-free (the
+  // scramble is a fixed-point-free bijection on 64-bit values).
+  uint64_t state = rank * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL;
+  uint64_t x = state ^ (state >> 29);
+  std::string word;
+  word.reserve(8);
+  for (int i = 0; i < 5; ++i) {
+    word.push_back('a' + static_cast<char>(x % 26));
+    x /= 26;
+  }
+  // Append the rank in base-26 to guarantee uniqueness.
+  uint64_t r = rank;
+  do {
+    word.push_back('a' + static_cast<char>(r % 26));
+    r /= 26;
+  } while (r > 0);
+  return word;
+}
+
+std::string RandomText(Rng& rng, const ZipfSampler& zipf, int len) {
+  std::string text;
+  text.reserve(static_cast<size_t>(len) * 8);
+  for (int i = 0; i < len; ++i) {
+    if (i > 0) text.push_back(' ');
+    text += WordForRank(zipf.Sample(rng));
+  }
+  return text;
+}
+
+Result<RelationPtr> GenerateTextCollection(
+    const TextCollectionOptions& opts) {
+  if (opts.num_docs < 0 || opts.vocab_size <= 0) {
+    return Status::InvalidArgument("invalid collection options");
+  }
+  Rng rng(opts.seed);
+  ZipfSampler zipf(static_cast<uint64_t>(opts.vocab_size),
+                   opts.zipf_exponent);
+
+  const int lo = std::max(
+      1, static_cast<int>(opts.avg_doc_len * (1.0 - opts.length_jitter)));
+  const int hi = std::max(
+      lo, static_cast<int>(opts.avg_doc_len * (1.0 + opts.length_jitter)));
+
+  std::vector<int64_t> ids(static_cast<size_t>(opts.num_docs));
+  std::vector<std::string> texts(static_cast<size_t>(opts.num_docs));
+  for (int64_t d = 0; d < opts.num_docs; ++d) {
+    ids[static_cast<size_t>(d)] = d + 1;
+    int len = lo + static_cast<int>(rng.NextBounded(
+                       static_cast<uint64_t>(hi - lo + 1)));
+    texts[static_cast<size_t>(d)] = RandomText(rng, zipf, len);
+  }
+  Schema schema({{"docID", DataType::kInt64}, {"data", DataType::kString}});
+  std::vector<Column> cols;
+  cols.push_back(Column::MakeInt64(std::move(ids)));
+  cols.push_back(Column::MakeString(std::move(texts)));
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+std::vector<std::string> GenerateQueries(const TextCollectionOptions& opts,
+                                         int num_queries,
+                                         int terms_per_query,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t lo = std::max<int64_t>(1, opts.vocab_size / 100);
+  const uint64_t hi =
+      std::max<int64_t>(static_cast<int64_t>(lo) + 1, opts.vocab_size / 4);
+  std::vector<std::string> queries;
+  queries.reserve(static_cast<size_t>(num_queries));
+  for (int q = 0; q < num_queries; ++q) {
+    std::string query;
+    for (int t = 0; t < terms_per_query; ++t) {
+      if (t > 0) query.push_back(' ');
+      uint64_t rank = lo + rng.NextBounded(hi - lo);
+      query += WordForRank(rank);
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace spindle

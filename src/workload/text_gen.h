@@ -1,0 +1,54 @@
+/// \file text_gen.h
+/// \brief Synthetic text collections (substitute for the paper's 2.3 GB /
+/// 1.1 M-document crawl).
+///
+/// Terms are drawn from a Zipf distribution over a synthetic vocabulary —
+/// reproducing the statistical properties that drive relational IR cost
+/// (posting-list skew, document-frequency distribution, document-length
+/// spread). Everything is seeded and deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief Parameters of a synthetic collection.
+struct TextCollectionOptions {
+  int64_t num_docs = 10000;
+  int64_t vocab_size = 20000;
+  /// Zipf exponent of the term distribution (natural text: ~1.0).
+  double zipf_exponent = 1.0;
+  /// Mean document length in tokens.
+  int avg_doc_len = 120;
+  /// Lengths are uniform in [avg*(1-jitter), avg*(1+jitter)].
+  double length_jitter = 0.5;
+  uint64_t seed = 42;
+};
+
+/// \brief Deterministic pseudo-word for a vocabulary rank (1-based);
+/// low ranks are the frequent terms.
+std::string WordForRank(uint64_t rank);
+
+/// \brief Generates a (docID: int64, data: string) collection.
+Result<RelationPtr> GenerateTextCollection(const TextCollectionOptions& opts);
+
+/// \brief Query workload over the same vocabulary: terms are drawn from
+/// the mid-frequency band (ranks [vocab/100, vocab/4]) so queries have
+/// selective but non-empty posting lists, like real keyword queries.
+std::vector<std::string> GenerateQueries(const TextCollectionOptions& opts,
+                                         int num_queries,
+                                         int terms_per_query,
+                                         uint64_t seed = 1234);
+
+/// \brief Zipf-sampled text of `len` tokens (shared by the graph
+/// generators).
+std::string RandomText(Rng& rng, const ZipfSampler& zipf, int len);
+
+}  // namespace spindle

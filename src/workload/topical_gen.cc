@@ -1,0 +1,64 @@
+#include "workload/topical_gen.h"
+
+#include "common/rng.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+
+Result<TopicalCollection> GenerateTopicalCollection(
+    const TopicalCollectionOptions& opts) {
+  if (opts.num_topics <= 0 || opts.docs_per_topic <= 0 ||
+      opts.topic_vocab <= 0 || opts.shared_vocab <= 0 ||
+      opts.topic_word_fraction < 0 || opts.topic_word_fraction > 1) {
+    return Status::InvalidArgument("invalid topical collection options");
+  }
+  Rng rng(opts.seed);
+  ZipfSampler shared(static_cast<uint64_t>(opts.shared_vocab), 1.0);
+
+  // Topic t owns vocabulary ranks
+  // shared_vocab + t*topic_vocab + [1, topic_vocab].
+  auto topic_word = [&](int topic, uint64_t k) {
+    return WordForRank(static_cast<uint64_t>(opts.shared_vocab) +
+                       static_cast<uint64_t>(topic) *
+                           static_cast<uint64_t>(opts.topic_vocab) +
+                       k);
+  };
+
+  TopicalCollection out;
+  out.relevant.resize(static_cast<size_t>(opts.num_topics));
+  RelationBuilder builder(
+      {{"docID", DataType::kInt64}, {"data", DataType::kString}});
+  int64_t doc_id = 0;
+  for (int t = 0; t < opts.num_topics; ++t) {
+    for (int d = 0; d < opts.docs_per_topic; ++d) {
+      ++doc_id;
+      out.relevant[static_cast<size_t>(t)].insert(doc_id);
+      std::string text;
+      for (int i = 0; i < opts.avg_doc_len; ++i) {
+        if (i > 0) text.push_back(' ');
+        if (rng.NextDouble() < opts.topic_word_fraction) {
+          text += topic_word(
+              t, 1 + rng.NextBounded(
+                         static_cast<uint64_t>(opts.topic_vocab)));
+        } else {
+          text += WordForRank(shared.Sample(rng));
+        }
+      }
+      SPINDLE_RETURN_IF_ERROR(builder.AddRow({doc_id, text}));
+    }
+  }
+  SPINDLE_ASSIGN_OR_RETURN(out.docs, builder.Build());
+
+  for (int t = 0; t < opts.num_topics; ++t) {
+    std::string query;
+    for (int i = 0; i < opts.query_terms; ++i) {
+      if (i > 0) query.push_back(' ');
+      query += topic_word(
+          t, 1 + rng.NextBounded(static_cast<uint64_t>(opts.topic_vocab)));
+    }
+    out.queries.push_back(std::move(query));
+  }
+  return out;
+}
+
+}  // namespace spindle

@@ -1,0 +1,48 @@
+/// \file topical_gen.h
+/// \brief Topical collections with ground-truth relevance.
+///
+/// Documents belong to topics; a configurable fraction of each document's
+/// tokens is drawn from its topic's private vocabulary, the rest from a
+/// shared Zipfian background. Queries are topic words, so the documents
+/// of the query's topic are relevant by construction — giving the quality
+/// tests an oracle without human judgments.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/eval.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief Parameters of a topical collection.
+struct TopicalCollectionOptions {
+  int num_topics = 10;
+  int docs_per_topic = 100;
+  /// Distinct words private to each topic.
+  int64_t topic_vocab = 200;
+  /// Shared background vocabulary (Zipf 1.0).
+  int64_t shared_vocab = 5000;
+  /// Fraction of document tokens drawn from the topic vocabulary.
+  double topic_word_fraction = 0.4;
+  int avg_doc_len = 50;
+  int query_terms = 3;
+  uint64_t seed = 17;
+};
+
+/// \brief A generated collection plus its relevance oracle.
+struct TopicalCollection {
+  RelationPtr docs;  ///< (docID: int64, data: string)
+  /// Per topic: the relevant docIDs (exactly the topic's documents).
+  std::vector<RelevantSet> relevant;
+  /// Per topic: one query built from topic words.
+  std::vector<std::string> queries;
+};
+
+Result<TopicalCollection> GenerateTopicalCollection(
+    const TopicalCollectionOptions& opts);
+
+}  // namespace spindle

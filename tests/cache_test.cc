@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "engine/materialization_cache.h"
+#include "storage/relation.h"
+
+namespace spindle {
+namespace {
+
+RelationPtr MakeRel(int rows) {
+  RelationBuilder b({{"a", DataType::kInt64}});
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(b.AddRow({int64_t{i}}).ok());
+  }
+  return b.Build().ValueOrDie();
+}
+
+TEST(CacheTest, MissThenHit) {
+  MaterializationCache cache(1 << 20);
+  EXPECT_FALSE(cache.Get("sig1").has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  RelationPtr r = MakeRel(10);
+  cache.Put("sig1", r);
+  auto hit = cache.Get("sig1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE((*hit)->Equals(*r));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(CacheTest, DistinctSignaturesAreDistinctEntries) {
+  MaterializationCache cache(1 << 20);
+  cache.Put("a", MakeRel(1));
+  cache.Put("b", MakeRel(2));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ((*cache.Get("a"))->num_rows(), 1u);
+  EXPECT_EQ((*cache.Get("b"))->num_rows(), 2u);
+}
+
+TEST(CacheTest, ReplaceSameSignature) {
+  MaterializationCache cache(1 << 20);
+  cache.Put("a", MakeRel(1));
+  cache.Put("a", MakeRel(5));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ((*cache.Get("a"))->num_rows(), 5u);
+}
+
+TEST(CacheTest, LruEviction) {
+  // Each 100-row int64 relation is ~800 bytes; budget fits about two.
+  MaterializationCache cache(2000);
+  cache.Put("a", MakeRel(100));
+  cache.Put("b", MakeRel(100));
+  ASSERT_TRUE(cache.Get("a").has_value());  // a is now most recent
+  cache.Put("c", MakeRel(100));             // evicts b (LRU)
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(CacheTest, OversizedRelationNotCached) {
+  MaterializationCache cache(100);
+  cache.Put("big", MakeRel(1000));
+  EXPECT_FALSE(cache.Get("big").has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(CacheTest, ZeroBudgetDisablesCaching) {
+  MaterializationCache cache(0);
+  cache.Put("a", MakeRel(1));
+  EXPECT_FALSE(cache.Get("a").has_value());
+}
+
+TEST(CacheTest, ClearDropsEverything) {
+  MaterializationCache cache(1 << 20);
+  cache.Put("a", MakeRel(10));
+  cache.Clear();
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.stats().bytes_cached, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(CacheTest, ShrinkingBudgetEvicts) {
+  MaterializationCache cache(1 << 20);
+  cache.Put("a", MakeRel(100));
+  cache.Put("b", MakeRel(100));
+  cache.set_budget_bytes(900);  // fits one ~800-byte entry
+  EXPECT_EQ(cache.stats().entries, 1u);
+  // The survivor is the most recently used ("b").
+  EXPECT_TRUE(cache.Get("b").has_value());
+}
+
+TEST(CacheTest, ResetCountersKeepsEntries) {
+  MaterializationCache cache(1 << 20);
+  cache.Put("a", MakeRel(10));
+  cache.Get("a");
+  cache.ResetCounters();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_TRUE(cache.Get("a").has_value());
+}
+
+TEST(CacheTest, BytesAccounting) {
+  MaterializationCache cache(1 << 20);
+  RelationPtr r = MakeRel(100);
+  cache.Put("a", r);
+  EXPECT_EQ(cache.stats().bytes_cached, r->ByteSize());
+}
+
+}  // namespace
+}  // namespace spindle

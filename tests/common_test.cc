@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str.h"
+
+namespace spindle {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (auto code : {StatusCode::kOk, StatusCode::kInvalidArgument,
+                    StatusCode::kNotFound, StatusCode::kAlreadyExists,
+                    StatusCode::kOutOfRange, StatusCode::kTypeMismatch,
+                    StatusCode::kParseError, StatusCode::kNotImplemented,
+                    StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  SPINDLE_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return x * 2;
+}
+
+TEST(ResultTest, ValueRoundTrip) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 21);
+}
+
+TEST(ResultTest, ErrorPropagates) {
+  Result<int> r = Doubled(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Doubled(4).ValueOrDie(), 8);
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(ParsePositive(-5).ValueOr(7), 7);
+  EXPECT_EQ(ParsePositive(5).ValueOr(7), 5);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  Rng a2(42);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedStaysInBound) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(123);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(ZipfTest, RanksInRange) {
+  Rng rng(5);
+  ZipfSampler zipf(100, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t r = zipf.Sample(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+  }
+}
+
+TEST(ZipfTest, LowRanksDominate) {
+  Rng rng(5);
+  ZipfSampler zipf(1000, 1.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[zipf.Sample(rng)]++;
+  // Rank 1 should be roughly twice as frequent as rank 2 and far more
+  // frequent than rank 100.
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[1], 10 * counts[100]);
+  double ratio = static_cast<double>(counts[1]) / counts[2];
+  EXPECT_NEAR(ratio, 2.0, 0.5);
+}
+
+TEST(HashTest, StableAndSpread) {
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_NE(HashInt64(1), HashInt64(2));
+  EXPECT_NE(HashCombine(HashInt64(1), HashInt64(2)),
+            HashCombine(HashInt64(2), HashInt64(1)));
+}
+
+TEST(StrTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("HeLLo WORLD 42"), "hello world 42");
+  EXPECT_EQ(ToLowerAscii(""), "");
+  // Non-ASCII bytes pass through unchanged.
+  EXPECT_EQ(ToLowerAscii("Caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(StrTest, SplitAndJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StrTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.25), "0.25");
+}
+
+TEST(StrTest, QuoteString) {
+  EXPECT_EQ(QuoteString("abc"), "\"abc\"");
+  EXPECT_EQ(QuoteString("a\"b"), "\"a\\\"b\"");
+}
+
+TEST(StrTest, IsDigits) {
+  EXPECT_TRUE(IsDigits("0123"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_FALSE(IsDigits("12a"));
+  EXPECT_FALSE(IsDigits("-1"));
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "engine/ops.h"
+#include "triples/emergent_schema.h"
+#include "triples/triple_store.h"
+#include "workload/graph_gen.h"
+
+namespace spindle {
+namespace {
+
+/// Catalog where most products share one characteristic set and a few
+/// are irregular.
+RelationPtr RegularCatalog() {
+  TripleStore store;
+  for (int i = 1; i <= 20; ++i) {
+    std::string id = "prod" + std::to_string(i);
+    store.Add(id, "type", "product");
+    store.Add(id, "category", i % 2 == 0 ? "toy" : "book");
+    store.Add(id, "description", "item number " + std::to_string(i));
+  }
+  // Two irregular subjects.
+  store.Add("odd1", "type", "product");
+  store.Add("odd2", "category", "toy");
+  return store.StringTriples().ValueOrDie();
+}
+
+TEST(EmergentSchemaTest, DetectsDominantCharacteristicSet) {
+  auto schema = EmergentSchema::Detect(RegularCatalog()).ValueOrDie();
+  ASSERT_GE(schema.tables().size(), 1u);
+  const EmergentTable& top = schema.tables()[0];
+  EXPECT_EQ(top.properties,
+            (std::vector<std::string>{"category", "description", "type"}));
+  EXPECT_EQ(top.num_subjects, 20u);
+  EXPECT_EQ(top.table->num_rows(), 20u);
+  // subject + 3 properties + p.
+  EXPECT_EQ(top.table->num_columns(), 5u);
+  EXPECT_EQ(schema.num_subjects(), 22u);
+  EXPECT_GT(schema.coverage(), 0.9);
+}
+
+TEST(EmergentSchemaTest, WideTableValuesMatchTriples) {
+  auto schema = EmergentSchema::Detect(RegularCatalog()).ValueOrDie();
+  const EmergentTable& top = schema.tables()[0];
+  auto cat_col = top.table->schema().FindField("category");
+  auto desc_col = top.table->schema().FindField("description");
+  ASSERT_TRUE(cat_col && desc_col);
+  for (size_t r = 0; r < top.table->num_rows(); ++r) {
+    const std::string& subject = top.table->column(0).StringAt(r);
+    int i = std::atoi(subject.c_str() + 4);
+    EXPECT_EQ(top.table->column(*cat_col).StringAt(r),
+              i % 2 == 0 ? "toy" : "book");
+    EXPECT_EQ(top.table->column(*desc_col).StringAt(r),
+              "item number " + std::to_string(i));
+    EXPECT_DOUBLE_EQ(
+        top.table->column(top.table->num_columns() - 1).Float64At(r), 1.0);
+  }
+}
+
+TEST(EmergentSchemaTest, MinCoverageFiltersRareSets) {
+  EmergentSchemaOptions strict;
+  strict.min_coverage = 0.5;
+  auto schema =
+      EmergentSchema::Detect(RegularCatalog(), strict).ValueOrDie();
+  EXPECT_EQ(schema.tables().size(), 1u);  // only the dominant set
+}
+
+TEST(EmergentSchemaTest, MaxTablesRespected) {
+  EmergentSchemaOptions one;
+  one.max_tables = 1;
+  one.min_coverage = 0.0;
+  auto schema = EmergentSchema::Detect(RegularCatalog(), one).ValueOrDie();
+  EXPECT_EQ(schema.tables().size(), 1u);
+}
+
+TEST(EmergentSchemaTest, TableForProjectsRequestedProperties) {
+  auto schema = EmergentSchema::Detect(RegularCatalog()).ValueOrDie();
+  RelationPtr docs =
+      schema.TableFor({"category", "description"}).ValueOrDie();
+  EXPECT_EQ(docs->num_rows(), 20u);
+  EXPECT_EQ(docs->schema().field(0).name, "subject");
+  EXPECT_EQ(docs->schema().field(1).name, "category");
+  EXPECT_EQ(docs->schema().field(2).name, "description");
+  EXPECT_EQ(docs->schema().field(3).name, "p");
+}
+
+TEST(EmergentSchemaTest, TableForUnknownPropertyFails) {
+  auto schema = EmergentSchema::Detect(RegularCatalog()).ValueOrDie();
+  EXPECT_EQ(schema.TableFor({"nonexistent"}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(schema.TableFor({}).ok());
+}
+
+TEST(EmergentSchemaTest, EquivalentToSelfJoinOnCoveredSubjects) {
+  // The emergent-table projection must agree with the paper's triples
+  // self-join for every covered subject.
+  RelationPtr triples = RegularCatalog();
+  auto schema = EmergentSchema::Detect(triples).ValueOrDie();
+  RelationPtr via_emergent =
+      schema.TableFor({"category", "description"}).ValueOrDie();
+
+  const auto& reg = FunctionRegistry::Default();
+  RelationPtr cat =
+      Filter(triples, Expr::Eq(Expr::Column(1), Expr::LitString("category")),
+             reg)
+          .ValueOrDie();
+  RelationPtr desc =
+      Filter(triples,
+             Expr::Eq(Expr::Column(1), Expr::LitString("description")),
+             reg)
+          .ValueOrDie();
+  RelationPtr joined = HashJoin(cat, desc, {{0, 0}}).ValueOrDie();
+  std::map<std::string, std::pair<std::string, std::string>> expected;
+  for (size_t r = 0; r < joined->num_rows(); ++r) {
+    expected[joined->column(0).StringAt(r)] = {
+        joined->column(2).StringAt(r), joined->column(6).StringAt(r)};
+  }
+  ASSERT_EQ(via_emergent->num_rows(), expected.size());
+  for (size_t r = 0; r < via_emergent->num_rows(); ++r) {
+    const std::string& s = via_emergent->column(0).StringAt(r);
+    ASSERT_TRUE(expected.count(s)) << s;
+    EXPECT_EQ(via_emergent->column(1).StringAt(r), expected[s].first);
+    EXPECT_EQ(via_emergent->column(2).StringAt(r), expected[s].second);
+  }
+}
+
+TEST(EmergentSchemaTest, MultipleCharacteristicSets) {
+  auto schema = EmergentSchema::Detect(
+                    GenerateAuctionGraph({}).ValueOrDie()
+                        .StringTriples()
+                        .ValueOrDie(),
+                    {16, 0.0})
+                    .ValueOrDie();
+  // Lots come in several shapes (with/without tags, sellerNotes) plus
+  // auctions and synonym words.
+  EXPECT_GT(schema.tables().size(), 3u);
+  EXPECT_GT(schema.coverage(), 0.9);
+  // Every lot-shaped table contains type+description+title+hasAuction.
+  bool found_lot_shape = false;
+  for (const auto& t : schema.tables()) {
+    if (std::find(t.properties.begin(), t.properties.end(),
+                  "hasAuction") != t.properties.end()) {
+      found_lot_shape = true;
+    }
+  }
+  EXPECT_TRUE(found_lot_shape);
+}
+
+TEST(EmergentSchemaTest, UncertainTriplesMultiplyIntoRowP) {
+  TripleStore store;
+  store.Add("s1", "a", "x", 0.5);
+  store.Add("s1", "b", "y", 0.8);
+  store.Add("s2", "a", "x");
+  store.Add("s2", "b", "y");
+  auto schema = EmergentSchema::Detect(store.StringTriples().ValueOrDie(),
+                                       {8, 0.0})
+                    .ValueOrDie();
+  ASSERT_EQ(schema.tables().size(), 1u);
+  const RelationPtr& t = schema.tables()[0].table;
+  std::map<std::string, double> p_by_subject;
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    p_by_subject[t->column(0).StringAt(r)] =
+        t->column(t->num_columns() - 1).Float64At(r);
+  }
+  EXPECT_DOUBLE_EQ(p_by_subject["s1"], 0.4);  // 0.5 * 0.8
+  EXPECT_DOUBLE_EQ(p_by_subject["s2"], 1.0);
+}
+
+TEST(EmergentSchemaTest, RejectsNonStringTriples) {
+  TripleStore store;
+  store.AddInt("s", "p", 1);
+  EXPECT_FALSE(
+      EmergentSchema::Detect(store.IntTriples().ValueOrDie()).ok());
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/expr.h"
+#include "storage/relation.h"
+#include "text/text_functions.h"
+
+namespace spindle {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RelationBuilder b({{"id", DataType::kInt64},
+                       {"score", DataType::kFloat64},
+                       {"name", DataType::kString}});
+    ASSERT_TRUE(b.AddRow({int64_t{1}, 0.5, std::string("Apple")}).ok());
+    ASSERT_TRUE(b.AddRow({int64_t{2}, 1.5, std::string("banana")}).ok());
+    ASSERT_TRUE(b.AddRow({int64_t{3}, 2.0, std::string("Apple")}).ok());
+    rel_ = b.Build().ValueOrDie();
+  }
+
+  Column Eval(const ExprPtr& e) {
+    auto r = e->Evaluate(*rel_, FunctionRegistry::Default());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.MoveValueOrDie();
+  }
+
+  RelationPtr rel_;
+};
+
+TEST_F(ExprTest, ColumnRefByIndex) {
+  Column c = Eval(Expr::Column(0));
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.Int64At(2), 3);
+}
+
+TEST_F(ExprTest, ColumnRefByName) {
+  Column c = Eval(Expr::ColumnNamed("score"));
+  EXPECT_DOUBLE_EQ(c.Float64At(1), 1.5);
+}
+
+TEST_F(ExprTest, ColumnRefOutOfRange) {
+  auto r = Expr::Column(9)->Evaluate(*rel_, FunctionRegistry::Default());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  auto r2 =
+      Expr::ColumnNamed("zzz")->Evaluate(*rel_, FunctionRegistry::Default());
+  EXPECT_EQ(r2.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExprTest, LiteralIsBroadcast) {
+  Column c = Eval(Expr::LitInt(7));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.Int64At(0), 7);
+}
+
+TEST_F(ExprTest, IntArithmeticStaysInt) {
+  Column c = Eval(Expr::Add(Expr::Column(0), Expr::LitInt(10)));
+  ASSERT_EQ(c.type(), DataType::kInt64);
+  EXPECT_EQ(c.Int64At(0), 11);
+  EXPECT_EQ(c.Int64At(2), 13);
+}
+
+TEST_F(ExprTest, MixedArithmeticPromotes) {
+  Column c = Eval(Expr::Mul(Expr::Column(0), Expr::LitFloat(0.5)));
+  ASSERT_EQ(c.type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(c.Float64At(2), 1.5);
+}
+
+TEST_F(ExprTest, DivisionAlwaysFloat) {
+  Column c = Eval(Expr::Div(Expr::LitInt(1), Expr::LitInt(2)));
+  ASSERT_EQ(c.type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(c.Float64At(0), 0.5);
+}
+
+TEST_F(ExprTest, Comparisons) {
+  Column c = Eval(Expr::Gt(Expr::Column(1), Expr::LitFloat(1.0)));
+  ASSERT_EQ(c.type(), DataType::kInt64);
+  EXPECT_EQ(c.Int64At(0), 0);
+  EXPECT_EQ(c.Int64At(1), 1);
+  EXPECT_EQ(c.Int64At(2), 1);
+}
+
+TEST_F(ExprTest, StringEquality) {
+  Column c = Eval(Expr::Eq(Expr::Column(2), Expr::LitString("Apple")));
+  EXPECT_EQ(c.Int64At(0), 1);
+  EXPECT_EQ(c.Int64At(1), 0);
+  EXPECT_EQ(c.Int64At(2), 1);
+}
+
+TEST_F(ExprTest, IncomparableTypesRejected) {
+  auto r = Expr::Eq(Expr::Column(0), Expr::LitString("x"))
+               ->Evaluate(*rel_, FunctionRegistry::Default());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST_F(ExprTest, BooleanLogic) {
+  auto gt1 = Expr::Gt(Expr::Column(1), Expr::LitFloat(1.0));
+  auto isapple = Expr::Eq(Expr::Column(2), Expr::LitString("Apple"));
+  Column c = Eval(Expr::And(gt1, isapple));
+  EXPECT_EQ(c.Int64At(0), 0);
+  EXPECT_EQ(c.Int64At(1), 0);
+  EXPECT_EQ(c.Int64At(2), 1);
+  Column d = Eval(Expr::Or(gt1, isapple));
+  EXPECT_EQ(d.Int64At(0), 1);
+  Column n = Eval(Expr::Not(isapple));
+  EXPECT_EQ(n.Int64At(0), 0);
+  EXPECT_EQ(n.Int64At(1), 1);
+}
+
+TEST_F(ExprTest, MathFunctions) {
+  Column c = Eval(Expr::Call("log", {Expr::LitFloat(std::exp(1.0))}));
+  EXPECT_NEAR(c.Float64At(0), 1.0, 1e-12);
+  Column s = Eval(Expr::Call("sqrt", {Expr::LitFloat(9.0)}));
+  EXPECT_DOUBLE_EQ(s.Float64At(0), 3.0);
+  Column p = Eval(Expr::Call("pow", {Expr::LitFloat(2.0), Expr::LitInt(10)}));
+  EXPECT_DOUBLE_EQ(p.Float64At(0), 1024.0);
+  Column a = Eval(Expr::Call("abs", {Expr::LitInt(-4)}));
+  EXPECT_EQ(a.Int64At(0), 4);
+}
+
+TEST_F(ExprTest, StringFunctions) {
+  Column c = Eval(Expr::Call("lcase", {Expr::Column(2)}));
+  EXPECT_EQ(c.StringAt(0), "apple");
+  Column u = Eval(Expr::Call("ucase", {Expr::LitString("abc")}));
+  EXPECT_EQ(u.StringAt(0), "ABC");
+  Column cat = Eval(
+      Expr::Call("concat", {Expr::Column(2), Expr::LitString("!")}));
+  EXPECT_EQ(cat.StringAt(1), "banana!");
+  Column len = Eval(Expr::Call("strlen", {Expr::Column(2)}));
+  EXPECT_EQ(len.Int64At(1), 6);
+}
+
+TEST_F(ExprTest, Casts) {
+  Column f = Eval(Expr::Call("to_float64", {Expr::Column(0)}));
+  EXPECT_EQ(f.type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(f.Float64At(2), 3.0);
+  Column i = Eval(Expr::Call("to_int64", {Expr::LitString("42")}));
+  EXPECT_EQ(i.Int64At(0), 42);
+  Column s = Eval(Expr::Call("to_string", {Expr::Column(0)}));
+  EXPECT_EQ(s.StringAt(0), "1");
+}
+
+TEST_F(ExprTest, IfFunction) {
+  auto cond = Expr::Gt(Expr::Column(1), Expr::LitFloat(1.0));
+  Column c = Eval(Expr::Call(
+      "if", {cond, Expr::LitString("big"), Expr::LitString("small")}));
+  EXPECT_EQ(c.StringAt(0), "small");
+  EXPECT_EQ(c.StringAt(1), "big");
+}
+
+TEST_F(ExprTest, UnknownFunctionRejected) {
+  auto r = Expr::Call("frobnicate", {})
+               ->Evaluate(*rel_, FunctionRegistry::Default());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExprTest, ConstantFolding) {
+  // All-literal expressions stay broadcast (size 1).
+  Column c = Eval(Expr::Add(Expr::LitInt(1), Expr::LitInt(2)));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.Int64At(0), 3);
+}
+
+TEST_F(ExprTest, StemFunction) {
+  RegisterTextFunctions(FunctionRegistry::Default());
+  Column c = Eval(Expr::Call("stem", {Expr::Call("lcase", {Expr::Column(2)}),
+                                      Expr::LitString("sb-english")}));
+  EXPECT_EQ(c.StringAt(0), "appl");
+  EXPECT_EQ(c.StringAt(1), "banana");
+}
+
+TEST_F(ExprTest, StemUnknownLanguage) {
+  RegisterTextFunctions(FunctionRegistry::Default());
+  auto r = Expr::Call("stem", {Expr::Column(2), Expr::LitString("klingon")})
+               ->Evaluate(*rel_, FunctionRegistry::Default());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExprTest, ToStringCanonical) {
+  auto e = Expr::And(Expr::Eq(Expr::Column(1), Expr::LitString("toy")),
+                     Expr::Gt(Expr::Column(0), Expr::LitInt(5)));
+  EXPECT_EQ(e->ToString(), "and(eq($2, \"toy\"), gt($1, 5))");
+}
+
+TEST(MaterializeFullTest, BroadcastExpansion) {
+  Column c = Column::MakeInt64({7});
+  Column full = MaterializeFull(std::move(c), 4).ValueOrDie();
+  ASSERT_EQ(full.size(), 4u);
+  EXPECT_EQ(full.Int64At(3), 7);
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "engine/ops.h"
+#include "storage/relation.h"
+
+namespace spindle {
+namespace {
+
+RelationPtr Products() {
+  RelationBuilder b({{"id", DataType::kInt64},
+                     {"category", DataType::kString},
+                     {"price", DataType::kFloat64}});
+  auto add = [&](int64_t id, const char* cat, double price) {
+    EXPECT_TRUE(b.AddRow({id, std::string(cat), price}).ok());
+  };
+  add(1, "toy", 10.0);
+  add(2, "book", 5.0);
+  add(3, "toy", 7.5);
+  add(4, "food", 2.0);
+  add(5, "toy", 1.0);
+  return b.Build().ValueOrDie();
+}
+
+const FunctionRegistry& Reg() { return FunctionRegistry::Default(); }
+
+TEST(FilterTest, SelectsMatchingRows) {
+  auto rel = Products();
+  auto pred = Expr::Eq(Expr::ColumnNamed("category"), Expr::LitString("toy"));
+  RelationPtr out = Filter(rel, pred, Reg()).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 3u);
+  EXPECT_EQ(out->column(0).Int64At(0), 1);
+  EXPECT_EQ(out->column(0).Int64At(1), 3);
+  EXPECT_EQ(out->column(0).Int64At(2), 5);
+}
+
+TEST(FilterTest, ConstantPredicate) {
+  auto rel = Products();
+  RelationPtr all = Filter(rel, Expr::LitInt(1), Reg()).ValueOrDie();
+  EXPECT_EQ(all->num_rows(), 5u);
+  RelationPtr none = Filter(rel, Expr::LitInt(0), Reg()).ValueOrDie();
+  EXPECT_EQ(none->num_rows(), 0u);
+  EXPECT_TRUE(none->schema().Equals(rel->schema()));
+}
+
+TEST(FilterTest, NonBooleanPredicateRejected) {
+  auto rel = Products();
+  auto r = Filter(rel, Expr::LitString("x"), Reg());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(ProjectTest, ColumnsShareBuffers) {
+  auto rel = Products();
+  RelationPtr out = ProjectColumns(rel, {2, 0}).ValueOrDie();
+  ASSERT_EQ(out->num_columns(), 2u);
+  EXPECT_EQ(out->schema().field(0).name, "price");
+  // Buffer sharing: same underlying column object.
+  EXPECT_EQ(out->column_ptr(0).get(), rel->column_ptr(2).get());
+}
+
+TEST(ProjectTest, Renames) {
+  auto rel = Products();
+  RelationPtr out = ProjectColumns(rel, {0}, {"docID"}).ValueOrDie();
+  EXPECT_EQ(out->schema().field(0).name, "docID");
+}
+
+TEST(ProjectTest, ExprProjection) {
+  auto rel = Products();
+  RelationPtr out =
+      ProjectExprs(rel,
+                   {Expr::ColumnNamed("id"),
+                    Expr::Mul(Expr::ColumnNamed("price"), Expr::LitFloat(2))},
+                   {"id", "double_price"}, Reg())
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(out->column(1).Float64At(0), 20.0);
+  EXPECT_EQ(out->schema().field(1).name, "double_price");
+}
+
+TEST(ProjectTest, BroadcastLiteralExpands) {
+  auto rel = Products();
+  RelationPtr out =
+      ProjectExprs(rel, {Expr::LitInt(9)}, {"nine"}, Reg()).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 5u);
+  EXPECT_EQ(out->column(0).Int64At(4), 9);
+}
+
+RelationPtr Orders() {
+  RelationBuilder b(
+      {{"product_id", DataType::kInt64}, {"qty", DataType::kInt64}});
+  EXPECT_TRUE(b.AddRow({int64_t{1}, int64_t{2}}).ok());
+  EXPECT_TRUE(b.AddRow({int64_t{3}, int64_t{1}}).ok());
+  EXPECT_TRUE(b.AddRow({int64_t{1}, int64_t{5}}).ok());
+  EXPECT_TRUE(b.AddRow({int64_t{9}, int64_t{1}}).ok());
+  return b.Build().ValueOrDie();
+}
+
+TEST(HashJoinTest, InnerJoin) {
+  auto joined =
+      HashJoin(Orders(), Products(), {{0, 0}}, JoinType::kInner).ValueOrDie();
+  // Orders 1,3,1 match products; order for product 9 does not.
+  ASSERT_EQ(joined->num_rows(), 3u);
+  ASSERT_EQ(joined->num_columns(), 5u);
+  // Left-row order preserved.
+  EXPECT_EQ(joined->column(0).Int64At(0), 1);
+  EXPECT_EQ(joined->column(0).Int64At(1), 3);
+  EXPECT_EQ(joined->column(0).Int64At(2), 1);
+  // Right payload attached.
+  EXPECT_EQ(joined->column(3).StringAt(1), "toy");
+}
+
+TEST(HashJoinTest, SemiAndAnti) {
+  auto semi =
+      HashJoin(Orders(), Products(), {{0, 0}}, JoinType::kLeftSemi)
+          .ValueOrDie();
+  ASSERT_EQ(semi->num_rows(), 3u);
+  EXPECT_EQ(semi->num_columns(), 2u);
+
+  auto anti =
+      HashJoin(Orders(), Products(), {{0, 0}}, JoinType::kLeftAnti)
+          .ValueOrDie();
+  ASSERT_EQ(anti->num_rows(), 1u);
+  EXPECT_EQ(anti->column(0).Int64At(0), 9);
+}
+
+TEST(HashJoinTest, MultiKeyAndStringKeys) {
+  RelationBuilder l({{"k", DataType::kString}, {"v", DataType::kInt64}});
+  ASSERT_TRUE(l.AddRow({std::string("a"), int64_t{1}}).ok());
+  ASSERT_TRUE(l.AddRow({std::string("a"), int64_t{2}}).ok());
+  RelationBuilder r({{"k", DataType::kString}, {"v", DataType::kInt64}});
+  ASSERT_TRUE(r.AddRow({std::string("a"), int64_t{2}}).ok());
+  ASSERT_TRUE(r.AddRow({std::string("b"), int64_t{2}}).ok());
+  auto out = HashJoin(l.Build().ValueOrDie(), r.Build().ValueOrDie(),
+                      {{0, 0}, {1, 1}})
+                 .ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->column(1).Int64At(0), 2);
+}
+
+TEST(HashJoinTest, KeyTypeMismatchRejected) {
+  auto r = HashJoin(Orders(), Products(), {{0, 1}});
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(HashJoinTest, DuplicateKeysProduceCrossMatches) {
+  RelationBuilder l({{"k", DataType::kInt64}});
+  RelationBuilder r({{"k", DataType::kInt64}});
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(l.AddRow({int64_t{7}}).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(r.AddRow({int64_t{7}}).ok());
+  auto out =
+      HashJoin(l.Build().ValueOrDie(), r.Build().ValueOrDie(), {{0, 0}})
+          .ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 6u);
+}
+
+TEST(GroupAggregateTest, CountSumAvgMinMax) {
+  auto rel = Products();
+  auto out = GroupAggregate(rel, {1},
+                            {{AggKind::kCount, 0, "n"},
+                             {AggKind::kSum, 2, "total"},
+                             {AggKind::kAvg, 2, "mean"},
+                             {AggKind::kMin, 2, "lo"},
+                             {AggKind::kMax, 2, "hi"}})
+                 .ValueOrDie();
+  // Groups in first-appearance order: toy, book, food.
+  ASSERT_EQ(out->num_rows(), 3u);
+  EXPECT_EQ(out->column(0).StringAt(0), "toy");
+  EXPECT_EQ(out->column(1).Int64At(0), 3);
+  EXPECT_DOUBLE_EQ(out->column(2).Float64At(0), 18.5);
+  EXPECT_DOUBLE_EQ(out->column(3).Float64At(0), 18.5 / 3);
+  EXPECT_DOUBLE_EQ(out->column(4).Float64At(0), 1.0);
+  EXPECT_DOUBLE_EQ(out->column(5).Float64At(0), 10.0);
+}
+
+TEST(GroupAggregateTest, IntSumStaysInt) {
+  auto out = GroupAggregate(Orders(), {0}, {{AggKind::kSum, 1, "qty"}})
+                 .ValueOrDie();
+  EXPECT_EQ(out->schema().field(1).type, DataType::kInt64);
+  EXPECT_EQ(out->column(1).Int64At(0), 7);  // product 1: 2+5
+}
+
+TEST(GroupAggregateTest, GlobalAggregate) {
+  auto out =
+      GroupAggregate(Products(), {}, {{AggKind::kCount, 0, "n"}}).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->column(0).Int64At(0), 5);
+}
+
+TEST(GroupAggregateTest, GlobalAggregateOnEmptyInput) {
+  RelationPtr empty = Relation::Empty(Schema({{"x", DataType::kInt64}}));
+  auto out =
+      GroupAggregate(empty, {}, {{AggKind::kCount, 0, "n"}}).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->column(0).Int64At(0), 0);
+}
+
+TEST(GroupAggregateTest, MinMaxOnStrings) {
+  auto out = GroupAggregate(Products(), {},
+                            {{AggKind::kMin, 1, "first"},
+                             {AggKind::kMax, 1, "last"}})
+                 .ValueOrDie();
+  EXPECT_EQ(out->column(0).StringAt(0), "book");
+  EXPECT_EQ(out->column(1).StringAt(0), "toy");
+}
+
+TEST(GroupAggregateTest, SumOnStringRejected) {
+  auto r = GroupAggregate(Products(), {}, {{AggKind::kSum, 1, "bad"}});
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(DistinctTest, AllColumns) {
+  RelationBuilder b({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  ASSERT_TRUE(b.AddRow({int64_t{1}, std::string("x")}).ok());
+  ASSERT_TRUE(b.AddRow({int64_t{1}, std::string("x")}).ok());
+  ASSERT_TRUE(b.AddRow({int64_t{1}, std::string("y")}).ok());
+  auto out = Distinct(b.Build().ValueOrDie()).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 2u);
+}
+
+TEST(DistinctTest, SubsetProjectsAndDedups) {
+  auto out = Distinct(Products(), {1}).ValueOrDie();
+  ASSERT_EQ(out->num_columns(), 1u);
+  ASSERT_EQ(out->num_rows(), 3u);
+  EXPECT_EQ(out->column(0).StringAt(0), "toy");  // first-appearance order
+  EXPECT_EQ(out->column(0).StringAt(1), "book");
+}
+
+TEST(SortTest, StableMultiKey) {
+  auto out = SortBy(Products(), {{1, false}, {2, true}}).ValueOrDie();
+  // Sorted by category asc, price desc.
+  EXPECT_EQ(out->column(1).StringAt(0), "book");
+  EXPECT_EQ(out->column(1).StringAt(1), "food");
+  EXPECT_EQ(out->column(1).StringAt(2), "toy");
+  EXPECT_DOUBLE_EQ(out->column(2).Float64At(2), 10.0);
+  EXPECT_DOUBLE_EQ(out->column(2).Float64At(4), 1.0);
+}
+
+TEST(TopKTest, ReturnsKLargest) {
+  auto out = TopK(Products(), {2, true}, 2).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(out->column(2).Float64At(0), 10.0);
+  EXPECT_DOUBLE_EQ(out->column(2).Float64At(1), 7.5);
+}
+
+TEST(TopKTest, KLargerThanInput) {
+  auto out = TopK(Products(), {2, false}, 100).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 5u);
+  EXPECT_DOUBLE_EQ(out->column(2).Float64At(0), 1.0);
+}
+
+TEST(UnionTest, AppendsCompatibleInputs) {
+  auto rel = Products();
+  auto out = UnionAll({rel, rel}).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 10u);
+}
+
+TEST(UnionTest, IncompatibleRejected) {
+  auto r = UnionAll({Products(), Orders()});
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(LimitTest, TruncatesAndPassesThrough) {
+  EXPECT_EQ(Limit(Products(), 2).ValueOrDie()->num_rows(), 2u);
+  EXPECT_EQ(Limit(Products(), 99).ValueOrDie()->num_rows(), 5u);
+}
+
+TEST(WithRowNumberTest, NumbersFromOne) {
+  auto out = WithRowNumber(Products(), "rn").ValueOrDie();
+  ASSERT_EQ(out->num_columns(), 4u);
+  EXPECT_EQ(out->schema().field(3).name, "rn");
+  EXPECT_EQ(out->column(3).Int64At(0), 1);
+  EXPECT_EQ(out->column(3).Int64At(4), 5);
+}
+
+}  // namespace
+}  // namespace spindle

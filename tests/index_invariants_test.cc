@@ -1,0 +1,159 @@
+/// \file index_invariants_test.cc
+/// \brief Property tests: the relational index views must satisfy the
+/// textbook inverted-index invariants for any collection and analyzer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "ir/indexing.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+namespace {
+
+struct Config {
+  int64_t num_docs;
+  const char* stemmer;
+  bool stopwords;
+};
+
+class IndexInvariants : public ::testing::TestWithParam<Config> {};
+
+TEST_P(IndexInvariants, AllViewsConsistent) {
+  const Config& cfg = GetParam();
+  TextCollectionOptions gopts;
+  gopts.num_docs = cfg.num_docs;
+  gopts.vocab_size = 2000;
+  gopts.avg_doc_len = 30;
+  RelationPtr docs = GenerateTextCollection(gopts).ValueOrDie();
+
+  AnalyzerOptions aopts;
+  aopts.stemmer = cfg.stemmer;
+  aopts.remove_stopwords = cfg.stopwords;
+  Analyzer analyzer = Analyzer::Make(aopts).ValueOrDie();
+  TextIndexPtr idx = TextIndex::Build(docs, analyzer).ValueOrDie();
+
+  // 1. Total postings = term_doc rows = sum of doc lengths.
+  int64_t len_sum = 0;
+  for (int64_t len : idx->doc_len()->column(1).int64_data()) {
+    len_sum += len;
+    EXPECT_GE(len, 0);
+  }
+  EXPECT_EQ(len_sum, idx->stats().total_postings);
+  EXPECT_EQ(static_cast<int64_t>(idx->term_doc()->num_rows()),
+            idx->stats().total_postings);
+
+  // 2. Every document appears in doc_len exactly once.
+  EXPECT_EQ(idx->doc_len()->num_rows(),
+            static_cast<size_t>(idx->stats().num_docs));
+  std::set<int64_t> seen_docs;
+  for (int64_t d : idx->doc_len()->column(0).int64_data()) {
+    EXPECT_TRUE(seen_docs.insert(d).second);
+  }
+
+  // 3. tf sums back to postings; every tf >= 1.
+  int64_t tf_sum = 0;
+  for (int64_t tf : idx->tf()->column(2).int64_data()) {
+    EXPECT_GE(tf, 1);
+    tf_sum += tf;
+  }
+  EXPECT_EQ(tf_sum, idx->stats().total_postings);
+
+  // 4. termdict is dense 1..T and unique both ways.
+  const int64_t T = idx->stats().num_terms;
+  std::set<int64_t> ids;
+  std::set<std::string> terms;
+  for (size_t r = 0; r < idx->termdict()->num_rows(); ++r) {
+    int64_t id = idx->termdict()->column(0).Int64At(r);
+    EXPECT_GE(id, 1);
+    EXPECT_LE(id, T);
+    EXPECT_TRUE(ids.insert(id).second);
+    EXPECT_TRUE(terms.insert(idx->termdict()->column(1).StringAt(r)).second);
+  }
+
+  // 5. df in [1, N]; idf matches the BM25 formula; cf >= df.
+  std::map<int64_t, int64_t> df_by_term;
+  for (size_t r = 0; r < idx->idf()->num_rows(); ++r) {
+    int64_t df = idx->idf()->column(1).Int64At(r);
+    EXPECT_GE(df, 1);
+    EXPECT_LE(df, idx->stats().num_docs);
+    df_by_term[idx->idf()->column(0).Int64At(r)] = df;
+    double expect =
+        std::log((idx->stats().num_docs - df + 0.5) / (df + 0.5));
+    EXPECT_NEAR(idx->idf()->column(2).Float64At(r), expect, 1e-12);
+  }
+  for (size_t r = 0; r < idx->cf()->num_rows(); ++r) {
+    int64_t term = idx->cf()->column(0).Int64At(r);
+    EXPECT_GE(idx->cf()->column(1).Int64At(r), df_by_term[term]);
+  }
+  EXPECT_EQ(idx->idf()->num_rows(), static_cast<size_t>(T));
+  EXPECT_EQ(idx->cf()->num_rows(), static_cast<size_t>(T));
+
+  // 6. The term-partitioned access path covers tf exactly.
+  size_t covered = 0;
+  for (int64_t t = 1; t <= T; ++t) {
+    auto [rows, len] = idx->TfRowsForTerm(t);
+    for (size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(idx->tf()->column(0).Int64At(rows[i]), t);
+    }
+    covered += len;
+  }
+  EXPECT_EQ(covered, idx->tf()->num_rows());
+  EXPECT_EQ(idx->TfRowsForTerm(0).second, 0u);
+  EXPECT_EQ(idx->TfRowsForTerm(T + 1).second, 0u);
+
+  // 7. avg_doc_len consistent.
+  if (idx->stats().num_docs > 0) {
+    EXPECT_NEAR(idx->stats().avg_doc_len,
+                static_cast<double>(len_sum) / idx->stats().num_docs,
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, IndexInvariants,
+    ::testing::Values(Config{1, "sb-english", false},
+                      Config{50, "sb-english", false},
+                      Config{500, "sb-english", false},
+                      Config{500, "none", false},
+                      Config{500, "porter1", false},
+                      Config{500, "s-english", false},
+                      Config{500, "sb-english", true},
+                      Config{500, "sb-german", false},
+                      Config{0, "sb-english", false}));
+
+TEST(IndexAnalyzerTest, StrongerStemmingShrinksTermSpace) {
+  // On English-like text, sb-english conflates at least as much as the
+  // weak s-stemmer, which conflates at least as much as no stemming.
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  const char* texts[] = {
+      "connection connections connected connecting connect",
+      "retrieval retrieve retrieves retrieved",
+      "databases database relational relations",
+      "running runs runner ran",
+  };
+  int64_t id = 1;
+  for (const char* t : texts) {
+    ASSERT_TRUE(b.AddRow({id++, std::string(t)}).ok());
+  }
+  RelationPtr docs = b.Build().ValueOrDie();
+  auto terms_with = [&](const char* stemmer) {
+    AnalyzerOptions opts;
+    opts.stemmer = stemmer;
+    Analyzer a = Analyzer::Make(opts).ValueOrDie();
+    return TextIndex::Build(docs, a).ValueOrDie()->stats().num_terms;
+  };
+  int64_t none = terms_with("none");
+  int64_t weak = terms_with("s-english");
+  int64_t full = terms_with("sb-english");
+  EXPECT_LE(weak, none);
+  EXPECT_LE(full, weak);
+  EXPECT_LT(full, none);
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,250 @@
+/// \file integration_test.cc
+/// \brief Cross-module properties: the strategy layer, SpinQL evaluator,
+/// PRA operators and IR pipeline must agree with each other and be
+/// transparent to caching.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ir/ranking.h"
+#include "spinql/evaluator.h"
+#include "strategy/prebuilt.h"
+#include "triples/graph.h"
+#include "workload/graph_gen.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+namespace {
+
+std::map<std::string, double> ById(const ProbRelation& rel) {
+  std::map<std::string, double> out;
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    out[rel.rel()->column(0).StringAt(r)] = rel.prob_at(r);
+  }
+  return out;
+}
+
+class GeneratedCatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ProductCatalogOptions opts;
+    opts.num_products = 300;
+    TripleStore store = GenerateProductCatalog(opts).ValueOrDie();
+    ASSERT_TRUE(store.RegisterInto(catalog_).ok());
+    TextCollectionOptions vocab;
+    vocab.vocab_size = opts.vocab_size;
+    queries_ = GenerateQueries(vocab, 5, 3);
+  }
+
+  Catalog catalog_;
+  MaterializationCache cache_{256 << 20};
+  std::vector<std::string> queries_;
+};
+
+TEST_F(GeneratedCatalogTest, StrategyMatchesManualPipeline) {
+  // Run the Fig. 2 strategy...
+  strategy::StrategyExecutor exec(&catalog_, &cache_);
+  strategy::ToyStrategyOptions sopts;
+  sopts.top_k = 1000;  // effectively no cutoff
+  strategy::Strategy strat =
+      strategy::MakeToyStrategy(sopts).ValueOrDie();
+  ProbRelation via_strategy =
+      exec.Run(strat, queries_[0]).ValueOrDie();
+
+  // ...and rebuild the same answer by hand with the graph + IR APIs.
+  RelationPtr triples = catalog_.Get("triples").ValueOrDie();
+  ProbRelation products = SelectByType(triples, "product").ValueOrDie();
+  ProbRelation toys = ProbRelation::Wrap(triples).ValueOrDie();
+  // products with category=toy:
+  ProbRelation toy_ids =
+      SelectByProperty(triples, "category", "toy").ValueOrDie();
+  ProbRelation docs =
+      ExtractProperty(toy_ids, triples, "description").ValueOrDie();
+
+  // Dense ids for the relational index.
+  RelationBuilder db({{"docID", DataType::kInt64},
+                      {"data", DataType::kString}});
+  std::vector<std::string> ids;
+  for (size_t r = 0; r < docs.num_rows(); ++r) {
+    ids.push_back(docs.rel()->column(0).StringAt(r));
+    ASSERT_TRUE(db.AddRow({static_cast<int64_t>(r + 1),
+                           docs.rel()->column(1).StringAt(r)})
+                    .ok());
+  }
+  Analyzer an = Analyzer::Make({}).ValueOrDie();
+  auto idx = TextIndex::Build(db.Build().ValueOrDie(), an).ValueOrDie();
+  RelationPtr q = idx->QueryTerms(queries_[0]).ValueOrDie();
+  RelationPtr scored = RankBm25(*idx, q).ValueOrDie();
+
+  std::map<std::string, double> manual;
+  for (size_t r = 0; r < scored->num_rows(); ++r) {
+    manual[ids[static_cast<size_t>(scored->column(0).Int64At(r)) - 1]] +=
+        scored->column(1).Float64At(r);
+  }
+  auto strategic = ById(via_strategy);
+  ASSERT_EQ(strategic.size(), manual.size());
+  for (const auto& [id, score] : manual) {
+    ASSERT_TRUE(strategic.count(id)) << id;
+    EXPECT_NEAR(strategic[id], score, 1e-9) << id;
+  }
+}
+
+TEST_F(GeneratedCatalogTest, CacheIsTransparent) {
+  // Same program with and without the materialization cache gives
+  // identical results.
+  strategy::Strategy strat = strategy::MakeToyStrategy().ValueOrDie();
+  spinql::Program program = strat.Compile().ValueOrDie();
+
+  strategy::StrategyExecutor cached(&catalog_, &cache_);
+  strategy::StrategyExecutor uncached(&catalog_, nullptr);
+  for (const auto& q : queries_) {
+    ProbRelation a = cached.RunProgram(program, q).ValueOrDie();
+    ProbRelation b = uncached.RunProgram(program, q).ValueOrDie();
+    EXPECT_TRUE(a.rel()->Equals(*b.rel())) << q;
+  }
+  EXPECT_GT(cache_.stats().hits, 0u);
+}
+
+TEST_F(GeneratedCatalogTest, RepeatedQueriesAreIdentical) {
+  strategy::StrategyExecutor exec(&catalog_, &cache_);
+  strategy::Strategy strat = strategy::MakeToyStrategy().ValueOrDie();
+  ProbRelation first = exec.Run(strat, queries_[1]).ValueOrDie();
+  ProbRelation second = exec.Run(strat, queries_[1]).ValueOrDie();
+  EXPECT_TRUE(first.rel()->Equals(*second.rel()));
+}
+
+TEST_F(GeneratedCatalogTest, CompiledProgramRoundTripsThroughText) {
+  // Compile -> print -> parse -> run must equal compile -> run.
+  strategy::Strategy strat = strategy::MakeToyStrategy().ValueOrDie();
+  spinql::Program program = strat.Compile().ValueOrDie();
+  spinql::Program reparsed =
+      spinql::Program::Parse(program.ToString()).ValueOrDie();
+  strategy::StrategyExecutor exec(&catalog_, &cache_);
+  ProbRelation a = exec.RunProgram(program, queries_[2]).ValueOrDie();
+  ProbRelation b = exec.RunProgram(reparsed, queries_[2]).ValueOrDie();
+  EXPECT_TRUE(a.rel()->Equals(*b.rel()));
+}
+
+class GeneratedAuctionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AuctionGraphOptions opts;
+    opts.num_lots = 400;
+    opts.num_auctions = 20;
+    TripleStore store = GenerateAuctionGraph(opts).ValueOrDie();
+    ASSERT_TRUE(store.RegisterInto(catalog_).ok());
+    queries_ = GenerateAuctionQueries(opts, 4, 3);
+  }
+
+  Catalog catalog_;
+  MaterializationCache cache_{512 << 20};
+  std::vector<std::string> queries_;
+};
+
+TEST_F(GeneratedAuctionTest, OptimizerPreservesStrategyResults) {
+  strategy::StrategyExecutor optimized(&catalog_, &cache_);
+  MaterializationCache cache2(512 << 20);
+  strategy::StrategyExecutor plain(&catalog_, &cache2);
+  plain.set_optimize(false);
+  strategy::Strategy strat =
+      strategy::MakeProductionStrategy().ValueOrDie();
+  for (const auto& q : queries_) {
+    ProbRelation a = optimized.Run(strat, q).ValueOrDie();
+    ProbRelation b = plain.Run(strat, q).ValueOrDie();
+    ASSERT_EQ(a.num_rows(), b.num_rows()) << q;
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      EXPECT_EQ(a.rel()->column(0).StringAt(r),
+                b.rel()->column(0).StringAt(r));
+      EXPECT_NEAR(a.prob_at(r), b.prob_at(r), 1e-12);
+    }
+  }
+}
+
+TEST_F(GeneratedAuctionTest, MixIsLinearOnGeneratedData) {
+  strategy::StrategyExecutor exec(&catalog_, &cache_);
+  auto run = [&](double wl, double wr) {
+    strategy::AuctionStrategyOptions o;
+    o.lot_weight = wl;
+    o.auction_weight = wr;
+    o.top_k = 100000;
+    return ById(exec.Run(strategy::MakeAuctionStrategy(o).ValueOrDie(),
+                         queries_[0])
+                    .ValueOrDie());
+  };
+  auto left = run(1.0, 0.0);
+  auto right = run(0.0, 1.0);
+  auto mixed = run(0.6, 0.4);
+  for (const auto& [id, score] : mixed) {
+    double l = left.count(id) ? left[id] : 0.0;
+    double r = right.count(id) ? right[id] : 0.0;
+    EXPECT_NEAR(score, 0.6 * l + 0.4 * r, 1e-9) << id;
+  }
+}
+
+TEST_F(GeneratedAuctionTest, TopKIsPrefixOfFullRanking) {
+  strategy::StrategyExecutor exec(&catalog_, &cache_);
+  strategy::AuctionStrategyOptions small;
+  small.top_k = 5;
+  strategy::AuctionStrategyOptions big;
+  big.top_k = 100000;
+  ProbRelation top5 =
+      exec.Run(strategy::MakeAuctionStrategy(small).ValueOrDie(),
+               queries_[1])
+          .ValueOrDie();
+  ProbRelation all =
+      exec.Run(strategy::MakeAuctionStrategy(big).ValueOrDie(),
+               queries_[1])
+          .ValueOrDie();
+  ASSERT_LE(top5.num_rows(), 5u);
+  for (size_t r = 0; r < top5.num_rows(); ++r) {
+    EXPECT_EQ(top5.rel()->column(0).StringAt(r),
+              all.rel()->column(0).StringAt(r));
+    EXPECT_DOUBLE_EQ(top5.prob_at(r), all.prob_at(r));
+  }
+}
+
+TEST_F(GeneratedAuctionTest, HotRequestsNeverRebuildIndexes) {
+  strategy::StrategyExecutor exec(&catalog_, &cache_);
+  strategy::Strategy strat =
+      strategy::MakeAuctionStrategy().ValueOrDie();
+  for (const auto& q : queries_) {
+    ASSERT_TRUE(exec.Run(strat, q).ok());
+  }
+  // Fig. 3 builds exactly two on-demand indexes: lot descriptions and
+  // auction descriptions.
+  EXPECT_EQ(exec.evaluator().stats().index_misses, 2u);
+  EXPECT_EQ(exec.evaluator().stats().index_hits,
+            2 * (queries_.size() - 1));
+}
+
+TEST_F(GeneratedAuctionTest, UncertainTagsStayBounded) {
+  // tags triples carry p = 0.8; any strategy over them must keep
+  // probabilistic weighting intact (scores scale by tag confidence).
+  RelationPtr triples = catalog_.Get("triples").ValueOrDie();
+  ProbRelation lots = SelectByType(triples, "lot").ValueOrDie();
+  ProbRelation tags =
+      ExtractProperty(lots, triples, "tags").ValueOrDie();
+  ASSERT_GT(tags.num_rows(), 0u);
+  for (size_t r = 0; r < tags.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(tags.prob_at(r), 0.8);
+  }
+}
+
+TEST_F(GeneratedAuctionTest, GraphTraversalRoundTrip) {
+  // lots -> auctions -> lots covers every lot again (each lot has
+  // exactly one hasAuction edge).
+  RelationPtr triples = catalog_.Get("triples").ValueOrDie();
+  ProbRelation lots = SelectByType(triples, "lot").ValueOrDie();
+  ProbRelation auctions =
+      Traverse(lots, triples, "hasAuction", Direction::kForward)
+          .ValueOrDie();
+  EXPECT_LE(auctions.num_rows(), 20u);
+  ProbRelation back =
+      Traverse(auctions, triples, "hasAuction", Direction::kBackward)
+          .ValueOrDie();
+  EXPECT_EQ(back.num_rows(), lots.num_rows());
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/io.h"
+#include "workload/graph_gen.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "spindle_io_" + name;
+  }
+
+  void TearDown() override {
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+
+  std::string Track(std::string path) {
+    created_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> created_;
+};
+
+RelationPtr MixedRelation() {
+  RelationBuilder b({{"id", DataType::kInt64},
+                     {"score", DataType::kFloat64},
+                     {"text", DataType::kString}});
+  EXPECT_TRUE(b.AddRow({int64_t{1}, 0.5, std::string("hello world")}).ok());
+  EXPECT_TRUE(
+      b.AddRow({int64_t{-7}, 1.25, std::string("tab\tand\nnewline")}).ok());
+  EXPECT_TRUE(b.AddRow({int64_t{0}, -3.5, std::string("")}).ok());
+  return b.Build().ValueOrDie();
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  RelationPtr rel = MixedRelation();
+  std::string path = Track(TempPath("bin"));
+  ASSERT_TRUE(WriteRelation(*rel, path).ok());
+  RelationPtr back = ReadRelation(path).ValueOrDie();
+  EXPECT_TRUE(rel->Equals(*back));
+}
+
+TEST_F(IoTest, BinaryRoundTripEmptyRelation) {
+  RelationPtr rel = Relation::Empty(
+      Schema({{"a", DataType::kInt64}, {"b", DataType::kString}}));
+  std::string path = Track(TempPath("empty"));
+  ASSERT_TRUE(WriteRelation(*rel, path).ok());
+  RelationPtr back = ReadRelation(path).ValueOrDie();
+  EXPECT_TRUE(rel->Equals(*back));
+}
+
+TEST_F(IoTest, BinaryRejectsGarbage) {
+  std::string path = Track(TempPath("garbage"));
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("this is not a relation", f);
+  fclose(f);
+  EXPECT_FALSE(ReadRelation(path).ok());
+  EXPECT_FALSE(ReadRelation(TempPath("missing")).ok());
+}
+
+TEST_F(IoTest, TsvRoundTripWithEscapes) {
+  RelationPtr rel = MixedRelation();
+  std::string path = Track(TempPath("tsv"));
+  ASSERT_TRUE(WriteTsv(*rel, path).ok());
+  RelationPtr back = ReadTsv(path).ValueOrDie();
+  ASSERT_TRUE(back->schema().Equals(rel->schema()));
+  ASSERT_EQ(back->num_rows(), rel->num_rows());
+  EXPECT_EQ(back->column(2).StringAt(1), "tab\tand\nnewline");
+  EXPECT_EQ(back->column(0).Int64At(1), -7);
+  EXPECT_DOUBLE_EQ(back->column(1).Float64At(2), -3.5);
+}
+
+TEST_F(IoTest, TsvRejectsMalformed) {
+  std::string path = Track(TempPath("badtsv"));
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a:int64\tb:string\n1\n", f);  // row with one cell
+  fclose(f);
+  EXPECT_FALSE(ReadTsv(path).ok());
+
+  std::string path2 = Track(TempPath("badheader"));
+  f = fopen(path2.c_str(), "w");
+  fputs("a:int64\tb:nosuchtype\n", f);
+  fclose(f);
+  EXPECT_FALSE(ReadTsv(path2).ok());
+}
+
+TEST_F(IoTest, GeneratedCollectionSurvivesRoundTrip) {
+  TextCollectionOptions opts;
+  opts.num_docs = 200;
+  RelationPtr docs = GenerateTextCollection(opts).ValueOrDie();
+  std::string path = Track(TempPath("coll"));
+  ASSERT_TRUE(WriteRelation(*docs, path).ok());
+  EXPECT_TRUE(docs->Equals(*ReadRelation(path).ValueOrDie()));
+}
+
+TEST_F(IoTest, TripleStoreViaTsv) {
+  // The triple-store export/import path: string triples as TSV.
+  ProductCatalogOptions opts;
+  opts.num_products = 20;
+  TripleStore store = GenerateProductCatalog(opts).ValueOrDie();
+  RelationPtr triples = store.StringTriples().ValueOrDie();
+  std::string path = Track(TempPath("triples"));
+  ASSERT_TRUE(WriteTsv(*triples, path).ok());
+  RelationPtr back = ReadTsv(path).ValueOrDie();
+  EXPECT_TRUE(triples->Equals(*back));
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "engine/ops.h"
+#include "ir/indexing.h"
+#include "ir/ranking.h"
+#include "ir/searcher.h"
+
+namespace spindle {
+namespace {
+
+/// Tiny hand-checkable corpus.
+///   d1: "the cat sat on the mat"   -> the cat sat on the mat   (len 6)
+///   d2: "The dog chased the cat"   -> the dog chase the cat    (len 5)
+///   d3: "Dogs and cats"            -> dog and cat              (len 3)
+RelationPtr TinyDocs() {
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  EXPECT_TRUE(
+      b.AddRow({int64_t{1}, std::string("the cat sat on the mat")}).ok());
+  EXPECT_TRUE(
+      b.AddRow({int64_t{2}, std::string("The dog chased the cat")}).ok());
+  EXPECT_TRUE(b.AddRow({int64_t{3}, std::string("Dogs and cats")}).ok());
+  return b.Build().ValueOrDie();
+}
+
+TextIndexPtr TinyIndex() {
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  return TextIndex::Build(TinyDocs(), a).ValueOrDie();
+}
+
+std::map<int64_t, double> Scores(const RelationPtr& ranked) {
+  std::map<int64_t, double> out;
+  for (size_t r = 0; r < ranked->num_rows(); ++r) {
+    const Column& v = ranked->column(1);
+    out[ranked->column(0).Int64At(r)] =
+        v.type() == DataType::kInt64 ? static_cast<double>(v.Int64At(r))
+                                     : v.Float64At(r);
+  }
+  return out;
+}
+
+TEST(TokenizeRelationTest, ExplodesRows) {
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  RelationPtr out = TokenizeRelation(TinyDocs(), 1, a).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 14u);  // 6 + 5 + 3
+  EXPECT_EQ(out->schema().field(0).name, "docID");
+  EXPECT_EQ(out->schema().field(1).name, "term");
+  EXPECT_EQ(out->schema().field(2).name, "pos");
+  // First token of doc 1.
+  EXPECT_EQ(out->column(0).Int64At(0), 1);
+  EXPECT_EQ(out->column(1).StringAt(0), "the");
+  EXPECT_EQ(out->column(2).Int64At(0), 0);
+}
+
+TEST(TokenizeRelationTest, NonStringColumnRejected) {
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  EXPECT_FALSE(TokenizeRelation(TinyDocs(), 0, a).ok());
+  EXPECT_FALSE(TokenizeRelation(TinyDocs(), 5, a).ok());
+}
+
+TEST(TextIndexTest, CollectionStats) {
+  auto idx = TinyIndex();
+  EXPECT_EQ(idx->stats().num_docs, 3);
+  EXPECT_EQ(idx->stats().total_postings, 14);
+  EXPECT_NEAR(idx->stats().avg_doc_len, 14.0 / 3.0, 1e-12);
+  // distinct stems: the, cat, sat, on, mat, dog, chase, and = 8
+  EXPECT_EQ(idx->stats().num_terms, 8);
+}
+
+TEST(TextIndexTest, DocLen) {
+  auto idx = TinyIndex();
+  auto lens = Scores(idx->doc_len());
+  EXPECT_EQ(lens.size(), 3u);
+  EXPECT_EQ(lens[1], 6);
+  EXPECT_EQ(lens[2], 5);
+  EXPECT_EQ(lens[3], 3);
+}
+
+TEST(TextIndexTest, EmptyDocGetsZeroLen) {
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  ASSERT_TRUE(b.AddRow({int64_t{1}, std::string("hello")}).ok());
+  ASSERT_TRUE(b.AddRow({int64_t{2}, std::string("...")}).ok());
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  auto idx = TextIndex::Build(b.Build().ValueOrDie(), a).ValueOrDie();
+  auto lens = Scores(idx->doc_len());
+  EXPECT_EQ(lens[2], 0);
+  EXPECT_EQ(idx->stats().num_docs, 2);
+  EXPECT_NEAR(idx->stats().avg_doc_len, 0.5, 1e-12);
+}
+
+TEST(TextIndexTest, TermdictIsDense) {
+  auto idx = TinyIndex();
+  ASSERT_EQ(idx->termdict()->num_rows(), 8u);
+  // termIDs are 1..8 (row_number() over distinct terms).
+  std::vector<bool> seen(9, false);
+  for (size_t r = 0; r < 8; ++r) {
+    int64_t id = idx->termdict()->column(0).Int64At(r);
+    ASSERT_GE(id, 1);
+    ASSERT_LE(id, 8);
+    EXPECT_FALSE(seen[id]);
+    seen[id] = true;
+  }
+}
+
+int64_t TermIdOf(const TextIndex& idx, const std::string& term) {
+  for (size_t r = 0; r < idx.termdict()->num_rows(); ++r) {
+    if (idx.termdict()->column(1).StringAt(r) == term) {
+      return idx.termdict()->column(0).Int64At(r);
+    }
+  }
+  return -1;
+}
+
+TEST(TextIndexTest, TermFrequencies) {
+  auto idx = TinyIndex();
+  int64_t the_id = TermIdOf(*idx, "the");
+  ASSERT_GT(the_id, 0);
+  // tf(the, d1) = 2, tf(the, d2) = 2.
+  std::map<int64_t, int64_t> tf_the;
+  for (size_t r = 0; r < idx->tf()->num_rows(); ++r) {
+    if (idx->tf()->column(0).Int64At(r) == the_id) {
+      tf_the[idx->tf()->column(1).Int64At(r)] =
+          idx->tf()->column(2).Int64At(r);
+    }
+  }
+  EXPECT_EQ(tf_the.size(), 2u);
+  EXPECT_EQ(tf_the[1], 2);
+  EXPECT_EQ(tf_the[2], 2);
+}
+
+TEST(TextIndexTest, DocumentFrequenciesAndIdf) {
+  auto idx = TinyIndex();
+  int64_t cat_id = TermIdOf(*idx, "cat");
+  for (size_t r = 0; r < idx->idf()->num_rows(); ++r) {
+    if (idx->idf()->column(0).Int64At(r) == cat_id) {
+      EXPECT_EQ(idx->idf()->column(1).Int64At(r), 3);  // df
+      // idf = ln((3 - 3 + 0.5) / (3 + 0.5)) — negative for ubiquitous
+      // terms, as in the paper's raw BM25 formulation.
+      EXPECT_NEAR(idx->idf()->column(2).Float64At(r), std::log(0.5 / 3.5),
+                  1e-12);
+      return;
+    }
+  }
+  FAIL() << "cat not found in idf view";
+}
+
+TEST(TextIndexTest, CollectionFrequency) {
+  auto idx = TinyIndex();
+  int64_t cat_id = TermIdOf(*idx, "cat");
+  for (size_t r = 0; r < idx->cf()->num_rows(); ++r) {
+    if (idx->cf()->column(0).Int64At(r) == cat_id) {
+      EXPECT_EQ(idx->cf()->column(1).Int64At(r), 3);
+      return;
+    }
+  }
+  FAIL() << "cat not found in cf view";
+}
+
+TEST(TextIndexTest, QueryTermsMapAndDropOov) {
+  auto idx = TinyIndex();
+  RelationPtr q = idx->QueryTerms("cats zebra dog").ValueOrDie();
+  ASSERT_EQ(q->num_rows(), 2u);  // zebra is out-of-vocabulary
+  EXPECT_EQ(q->column(0).Int64At(0), TermIdOf(*idx, "cat"));
+  EXPECT_EQ(q->column(0).Int64At(1), TermIdOf(*idx, "dog"));
+}
+
+TEST(TextIndexTest, QueryTermsKeepDuplicates) {
+  auto idx = TinyIndex();
+  RelationPtr q = idx->QueryTerms("cat cat").ValueOrDie();
+  EXPECT_EQ(q->num_rows(), 2u);
+}
+
+double Bm25Weight(double tf, double df, double len, double n, double avgdl,
+                  double k1 = 1.2, double b = 0.75) {
+  double idf = std::log((n - df + 0.5) / (df + 0.5));
+  return idf * tf / (tf + k1 * (1 - b + b * len / avgdl));
+}
+
+TEST(RankBm25Test, HandComputedScores) {
+  auto idx = TinyIndex();
+  RelationPtr q = idx->QueryTerms("sat mat").ValueOrDie();
+  RelationPtr ranked = RankBm25(*idx, q).ValueOrDie();
+  auto scores = Scores(ranked);
+  ASSERT_EQ(scores.size(), 1u);  // only d1 contains sat/mat
+  const double avgdl = 14.0 / 3.0;
+  double expected = Bm25Weight(1, 1, 6, 3, avgdl) * 2;  // sat + mat
+  EXPECT_NEAR(scores[1], expected, 1e-12);
+}
+
+TEST(RankBm25Test, DocLengthNormalizationOrdersDocs) {
+  auto idx = TinyIndex();
+  RelationPtr q = idx->QueryTerms("dog").ValueOrDie();
+  auto scores = Scores(RankBm25(*idx, q).ValueOrDie());
+  ASSERT_EQ(scores.size(), 2u);
+  const double avgdl = 14.0 / 3.0;
+  EXPECT_NEAR(scores[2], Bm25Weight(1, 2, 5, 3, avgdl), 1e-12);
+  EXPECT_NEAR(scores[3], Bm25Weight(1, 2, 3, 3, avgdl), 1e-12);
+  // Both idfs are negative here (df=2 of 3 docs); the shorter doc has the
+  // larger |weight| — check relative order matches the formula.
+  EXPECT_LT(scores[3], scores[2]);
+}
+
+TEST(RankBm25Test, DuplicateQueryTermCountsTwice) {
+  auto idx = TinyIndex();
+  RelationPtr q1 = idx->QueryTerms("sat").ValueOrDie();
+  RelationPtr q2 = idx->QueryTerms("sat sat").ValueOrDie();
+  auto s1 = Scores(RankBm25(*idx, q1).ValueOrDie());
+  auto s2 = Scores(RankBm25(*idx, q2).ValueOrDie());
+  EXPECT_NEAR(s2[1], 2 * s1[1], 1e-12);
+}
+
+TEST(RankBm25Test, ParametersMatter) {
+  auto idx = TinyIndex();
+  RelationPtr q = idx->QueryTerms("dog cat").ValueOrDie();
+  auto s_default = Scores(RankBm25(*idx, q, {1.2, 0.75}).ValueOrDie());
+  auto s_noblen = Scores(RankBm25(*idx, q, {1.2, 0.0}).ValueOrDie());
+  // With b = 0 doc-length normalization is off; scores must differ.
+  EXPECT_NE(s_default[2], s_noblen[2]);
+}
+
+TEST(RankBm25Test, EmptyQueryRanksNothing) {
+  auto idx = TinyIndex();
+  RelationPtr q = idx->QueryTerms("zzz qqq").ValueOrDie();
+  RelationPtr ranked = RankBm25(*idx, q).ValueOrDie();
+  EXPECT_EQ(ranked->num_rows(), 0u);
+}
+
+TEST(RankTfIdfTest, HandComputed) {
+  auto idx = TinyIndex();
+  RelationPtr q = idx->QueryTerms("sat").ValueOrDie();
+  auto scores = Scores(RankTfIdf(*idx, q).ValueOrDie());
+  ASSERT_EQ(scores.size(), 1u);
+  // (1 + ln 1) * ln(3/1) = ln 3
+  EXPECT_NEAR(scores[1], std::log(3.0), 1e-12);
+}
+
+TEST(RankLmDirichletTest, HandComputed) {
+  auto idx = TinyIndex();
+  RelationPtr q = idx->QueryTerms("sat").ValueOrDie();
+  const double mu = 100.0;
+  auto scores = Scores(RankLmDirichlet(*idx, q, {mu}).ValueOrDie());
+  ASSERT_EQ(scores.size(), 1u);
+  // matched: ln(1 + tf*total/(mu*cf)) = ln(1 + 14/100)
+  // length part: 1 * ln(mu/(len+mu)) = ln(100/106)
+  double expected = std::log(1 + 14.0 / 100.0) + std::log(100.0 / 106.0);
+  EXPECT_NEAR(scores[1], expected, 1e-12);
+}
+
+TEST(RankLmDirichletTest, PrefersHigherTf) {
+  auto idx = TinyIndex();
+  RelationPtr q = idx->QueryTerms("the").ValueOrDie();
+  auto scores = Scores(RankLmDirichlet(*idx, q, {100.0}).ValueOrDie());
+  ASSERT_EQ(scores.size(), 2u);
+  // d2 has the same tf (2) but is shorter -> higher likelihood.
+  EXPECT_GT(scores[2], scores[1]);
+}
+
+TEST(RankLmJelinekMercerTest, HandComputed) {
+  auto idx = TinyIndex();
+  RelationPtr q = idx->QueryTerms("sat").ValueOrDie();
+  const double lambda = 0.5;
+  auto scores =
+      Scores(RankLmJelinekMercer(*idx, q, {lambda}).ValueOrDie());
+  ASSERT_EQ(scores.size(), 1u);
+  // ln(1 + (0.5/0.5) * (1/6) / (1/14)) = ln(1 + 14/6)
+  EXPECT_NEAR(scores[1], std::log(1 + 14.0 / 6.0), 1e-12);
+}
+
+TEST(RankLmJelinekMercerTest, LambdaValidated) {
+  auto idx = TinyIndex();
+  RelationPtr q = idx->QueryTerms("sat").ValueOrDie();
+  EXPECT_FALSE(RankLmJelinekMercer(*idx, q, {0.0}).ok());
+  EXPECT_FALSE(RankLmJelinekMercer(*idx, q, {1.0}).ok());
+}
+
+TEST(SearcherTest, EndToEndTopK) {
+  Searcher searcher;
+  SearchOptions opts;
+  opts.top_k = 2;
+  RelationPtr hits =
+      searcher.Search(TinyDocs(), "tiny", "cat dog", opts).ValueOrDie();
+  ASSERT_LE(hits->num_rows(), 2u);
+  ASSERT_GE(hits->num_rows(), 1u);
+  // Scores sorted descending.
+  if (hits->num_rows() == 2) {
+    EXPECT_GE(hits->column(1).Float64At(0), hits->column(1).Float64At(1));
+  }
+}
+
+TEST(SearcherTest, IndexReuseAcrossQueries) {
+  Searcher searcher;
+  RelationPtr docs = TinyDocs();
+  ASSERT_TRUE(searcher.Search(docs, "tiny", "cat").ok());
+  ASSERT_TRUE(searcher.Search(docs, "tiny", "dog").ok());
+  EXPECT_EQ(searcher.stats().index_misses, 1u);
+  EXPECT_EQ(searcher.stats().index_hits, 1u);
+}
+
+TEST(SearcherTest, DifferentCollectionsDifferentIndexes) {
+  Searcher searcher;
+  ASSERT_TRUE(searcher.Search(TinyDocs(), "a", "cat").ok());
+  ASSERT_TRUE(searcher.Search(TinyDocs(), "b", "cat").ok());
+  EXPECT_EQ(searcher.stats().index_misses, 2u);
+}
+
+TEST(SearcherTest, ClearCacheForcesRebuild) {
+  Searcher searcher;
+  RelationPtr docs = TinyDocs();
+  ASSERT_TRUE(searcher.Search(docs, "tiny", "cat").ok());
+  searcher.ClearIndexCache();
+  ASSERT_TRUE(searcher.Search(docs, "tiny", "cat").ok());
+  EXPECT_EQ(searcher.stats().index_misses, 2u);
+}
+
+TEST(SearcherTest, AllModelsRun) {
+  for (RankModel m : {RankModel::kBm25, RankModel::kTfIdf,
+                      RankModel::kLmDirichlet,
+                      RankModel::kLmJelinekMercer}) {
+    Searcher searcher;
+    SearchOptions opts;
+    opts.model = m;
+    auto hits = searcher.Search(TinyDocs(), "tiny", "dog cat", opts);
+    ASSERT_TRUE(hits.ok()) << RankModelName(m);
+    EXPECT_GT(hits.ValueOrDie()->num_rows(), 0u) << RankModelName(m);
+  }
+}
+
+TEST(SearcherTest, AnalyzerConfigurationChangesTermSpace) {
+  // On-demand indexing: the same raw text under a different stemmer is a
+  // different index (paper §2.1).
+  AnalyzerOptions no_stem;
+  no_stem.stemmer = "none";
+  Searcher stemmed;       // default sb-english
+  Searcher plain(no_stem);
+  // "cats" matches d1/d2 only via stemming.
+  auto hits_stemmed =
+      stemmed.Search(TinyDocs(), "tiny", "cats", SearchOptions{}).ValueOrDie();
+  auto hits_plain =
+      plain.Search(TinyDocs(), "tiny", "cats", SearchOptions{}).ValueOrDie();
+  EXPECT_EQ(hits_stemmed->num_rows(), 3u);  // stem "cat" is in all 3 docs
+  EXPECT_EQ(hits_plain->num_rows(), 1u);    // literal "cats" only in d3
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "triples/ntriples.h"
+
+namespace spindle {
+namespace {
+
+TEST(NTriplesTest, ParsesIrisAndLiterals) {
+  const char* src =
+      "# a comment\n"
+      "<lot23> <hasAuction> <auction12> .\n"
+      "<lot23> <description> \"antique oak table\" .\n"
+      "\n"
+      "<lot23> <startPrice> \"100\"^^<int> .\n"
+      "<lot23> <weightKg> \"12.5\"^^<double> .\n";
+  TripleStore store = ParseNTriples(src).ValueOrDie();
+  EXPECT_EQ(store.size(), 4u);
+  RelationPtr strs = store.StringTriples().ValueOrDie();
+  ASSERT_EQ(strs->num_rows(), 2u);
+  EXPECT_EQ(strs->column(0).StringAt(0), "lot23");
+  EXPECT_EQ(strs->column(2).StringAt(0), "auction12");
+  EXPECT_EQ(strs->column(2).StringAt(1), "antique oak table");
+  RelationPtr ints = store.IntTriples().ValueOrDie();
+  ASSERT_EQ(ints->num_rows(), 1u);
+  EXPECT_EQ(ints->column(2).Int64At(0), 100);
+  RelationPtr flts = store.FloatTriples().ValueOrDie();
+  ASSERT_EQ(flts->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(flts->column(2).Float64At(0), 12.5);
+}
+
+TEST(NTriplesTest, XsdStyleDatatypes) {
+  const char* src =
+      "<s> <p> \"7\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "<s> <p> \"2.5\"^^<http://www.w3.org/2001/XMLSchema#double> .\n"
+      "<s> <p> \"x\"^^<http://www.w3.org/2001/XMLSchema#string> .\n";
+  TripleStore store = ParseNTriples(src).ValueOrDie();
+  EXPECT_EQ(store.IntTriples().ValueOrDie()->num_rows(), 1u);
+  EXPECT_EQ(store.FloatTriples().ValueOrDie()->num_rows(), 1u);
+  EXPECT_EQ(store.StringTriples().ValueOrDie()->num_rows(), 1u);
+}
+
+TEST(NTriplesTest, ProbabilityExtension) {
+  const char* src = "<s> <tags> \"vintage silver\" 0.8 .\n";
+  TripleStore store = ParseNTriples(src).ValueOrDie();
+  RelationPtr strs = store.StringTriples().ValueOrDie();
+  EXPECT_DOUBLE_EQ(strs->column(3).Float64At(0), 0.8);
+}
+
+TEST(NTriplesTest, EscapesInLiterals) {
+  const char* src = "<s> <p> \"a \\\"quoted\\\" tab\\tnewline\\n\" .\n";
+  TripleStore store = ParseNTriples(src).ValueOrDie();
+  EXPECT_EQ(store.StringTriples().ValueOrDie()->column(2).StringAt(0),
+            "a \"quoted\" tab\tnewline\n");
+}
+
+TEST(NTriplesTest, MalformedLinesRejected) {
+  EXPECT_FALSE(ParseNTriples("<s> <p> \"x\"").ok());        // no dot
+  EXPECT_FALSE(ParseNTriples("<s> <p> .\n").ok());          // no object
+  EXPECT_FALSE(ParseNTriples("s <p> \"x\" .\n").ok());      // bare subject
+  EXPECT_FALSE(ParseNTriples("<s> <p> \"x .\n").ok());      // open literal
+  EXPECT_FALSE(ParseNTriples("<s> <p> \"x\" 1.5 .\n").ok());  // bad prob
+  EXPECT_FALSE(ParseNTriples("<s <p> \"x\" .\n").ok());     // open IRI
+  EXPECT_FALSE(ParseNTriples("<s> <p> \"x\" . junk\n").ok());
+}
+
+TEST(NTriplesTest, RoundTrip) {
+  TripleStore store;
+  store.Add("lot1", "description", "a \"special\" item");
+  store.Add("lot1", "tags", "rare", 0.75);
+  store.AddInt("lot1", "price", 42);
+  store.AddFloat("lot1", "weight", 1.25);
+  std::string text = ToNTriples(store).ValueOrDie();
+  TripleStore back = ParseNTriples(text).ValueOrDie();
+  EXPECT_TRUE(store.StringTriples().ValueOrDie()->Equals(
+      *back.StringTriples().ValueOrDie()));
+  EXPECT_TRUE(store.IntTriples().ValueOrDie()->Equals(
+      *back.IntTriples().ValueOrDie()));
+  EXPECT_TRUE(store.FloatTriples().ValueOrDie()->Equals(
+      *back.FloatTriples().ValueOrDie()));
+}
+
+TEST(NTriplesTest, MissingFile) {
+  EXPECT_EQ(LoadNTriplesFile("/no/such/file.nt").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace spindle

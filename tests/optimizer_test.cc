@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "spinql/evaluator.h"
+#include "spinql/optimizer.h"
+#include "spinql/parser.h"
+#include "triples/triple_store.h"
+#include "workload/graph_gen.h"
+
+namespace spindle {
+namespace spinql {
+namespace {
+
+NodePtr Parse(const std::string& s) {
+  return ParseExpression(s).ValueOrDie();
+}
+
+std::string Optimized(const std::string& s, OptimizerStats* stats) {
+  return Optimize(Parse(s), stats).ValueOrDie()->ToString();
+}
+
+TEST(OptimizerTest, SelectFusion) {
+  OptimizerStats stats;
+  std::string out = Optimized(
+      "SELECT [$1=\"a\"] (SELECT [$2=\"b\"] (t))", &stats);
+  EXPECT_EQ(out, "SELECT [and(eq($2, \"b\"), eq($1, \"a\"))] (t)");
+  EXPECT_EQ(stats.select_fusions, 1);
+}
+
+TEST(OptimizerTest, SelectFusionChain) {
+  OptimizerStats stats;
+  std::string out = Optimized(
+      "SELECT [$1=\"a\"] (SELECT [$2=\"b\"] (SELECT [$3=\"c\"] (t)))",
+      &stats);
+  EXPECT_EQ(stats.select_fusions, 2);
+  EXPECT_EQ(out.find("SELECT", 1), std::string::npos)
+      << "only one SELECT should remain: " << out;
+}
+
+TEST(OptimizerTest, WeightFusionAndElimination) {
+  OptimizerStats stats;
+  EXPECT_EQ(Optimized("WEIGHT [0.5] (WEIGHT [0.4] (t))", &stats),
+            "WEIGHT [0.2] (t)");
+  EXPECT_EQ(stats.weight_fusions, 1);
+  EXPECT_EQ(Optimized("WEIGHT [1] (t)", &stats), "t");
+  EXPECT_EQ(stats.weight_eliminations, 1);
+  // Fusing to weight 1 then eliminating.
+  EXPECT_EQ(Optimized("WEIGHT [4] (WEIGHT [0.25] (t))", &stats), "t");
+}
+
+TEST(OptimizerTest, TopKFusion) {
+  OptimizerStats stats;
+  EXPECT_EQ(Optimized("TOPK [10] (TOPK [3] (t))", &stats), "TOPK [3] (t)");
+  EXPECT_EQ(Optimized("TOPK [2] (TOPK [50] (t))", &stats), "TOPK [2] (t)");
+  EXPECT_EQ(stats.topk_fusions, 2);
+}
+
+TEST(OptimizerTest, UniteFlattening) {
+  OptimizerStats stats;
+  std::string out = Optimized(
+      "UNITE DISJOINT (UNITE DISJOINT (a, b), c)", &stats);
+  EXPECT_EQ(out, "UNITE DISJOINT (a, b, c)");
+  EXPECT_EQ(stats.unite_flattenings, 1);
+  // Mixed assumptions do not flatten.
+  std::string mixed = Optimized(
+      "UNITE DISJOINT (UNITE MAX (a, b), c)", &stats);
+  EXPECT_EQ(mixed, "UNITE DISJOINT (UNITE MAX (a, b), c)");
+}
+
+TEST(OptimizerTest, WeightDistributesOverDisjointUnite) {
+  OptimizerStats stats;
+  std::string out = Optimized(
+      "WEIGHT [0.5] (UNITE DISJOINT (WEIGHT [0.6] (a), WEIGHT [0.4] "
+      "(b)))",
+      &stats);
+  EXPECT_EQ(out, "UNITE DISJOINT (WEIGHT [0.3] (a), WEIGHT [0.2] (b))");
+  EXPECT_GE(stats.weight_distributions, 1);
+  EXPECT_GE(stats.weight_fusions, 2);
+}
+
+TEST(OptimizerTest, SelectPushdownIntoJoin) {
+  OptimizerStats stats;
+  // Left input has known arity (PROJECT of 2 items), right too.
+  std::string out = Optimized(
+      "SELECT [$1=\"x\" and $3=\"y\"] (JOIN INDEPENDENT [$1=$1] ("
+      "PROJECT [$1, $2] (t), PROJECT [$1, $2] (u)))",
+      &stats);
+  EXPECT_EQ(stats.select_pushdowns, 1);
+  // $1 pushed left; $3 pushed right as $1.
+  EXPECT_NE(out.find("SELECT [eq($1, \"x\")] (PROJECT [$1, $2] (t))"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("SELECT [eq($1, \"y\")] (PROJECT [$1, $2] (u))"),
+            std::string::npos)
+      << out;
+}
+
+TEST(OptimizerTest, PredicateOnPBlocksPushdown) {
+  OptimizerStats stats;
+  std::string src =
+      "SELECT [P < 0.5] (JOIN INDEPENDENT [$1=$1] (PROJECT [$1] (t), "
+      "PROJECT [$1] (u)))";
+  std::string out = Optimized(src, &stats);
+  EXPECT_EQ(stats.select_pushdowns, 0);
+  EXPECT_EQ(out, Parse(src)->ToString());
+}
+
+TEST(OptimizerTest, UnknownArityBlocksPushdown) {
+  OptimizerStats stats;
+  std::string src =
+      "SELECT [$1=\"x\"] (JOIN INDEPENDENT [$1=$1] (t, u))";
+  Optimized(src, &stats);
+  EXPECT_EQ(stats.select_pushdowns, 0);
+}
+
+// ----------------------------------------------------------------------
+// Equivalence properties: optimized plans produce identical relations.
+// ----------------------------------------------------------------------
+
+class OptimizerEquivalence : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    TripleStore store;
+    Rng rng(31);
+    const char* props[] = {"category", "description", "type", "color"};
+    const char* vals[] = {"toy", "book", "red", "blue", "product"};
+    for (int i = 0; i < 300; ++i) {
+      std::string subj = "s";
+      subj += std::to_string(rng.NextBounded(40));
+      store.Add(subj,
+                props[rng.NextBounded(4)], vals[rng.NextBounded(5)],
+                0.1 + 0.9 * rng.NextDouble());
+    }
+    ASSERT_TRUE(store.RegisterInto(catalog_).ok());
+  }
+
+  Catalog catalog_;
+};
+
+/// Equality up to floating-point rounding in the probability column
+/// (rewrites like weight distribution reassociate multiplications).
+void ExpectApproxEqual(const ProbRelation& a, const ProbRelation& b,
+                       const std::string& context) {
+  ASSERT_TRUE(a.rel()->schema().TypesEqual(b.rel()->schema())) << context;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << context;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.arity(); ++c) {
+      EXPECT_TRUE(a.rel()->column(c).ElementEquals(r, b.rel()->column(c),
+                                                   r))
+          << context << " row " << r << " col " << c;
+    }
+    EXPECT_NEAR(a.prob_at(r), b.prob_at(r), 1e-12)
+        << context << " row " << r;
+  }
+}
+
+TEST_P(OptimizerEquivalence, SameResults) {
+  NodePtr plain = Parse(GetParam());
+  OptimizerStats stats;
+  NodePtr optimized = Optimize(plain, &stats).ValueOrDie();
+
+  // No cache: both must evaluate from scratch.
+  Evaluator ev(&catalog_, nullptr);
+  Program p1, p2;
+  ASSERT_TRUE(p1.Append("out", plain).ok());
+  ASSERT_TRUE(p2.Append("out", optimized).ok());
+  ProbRelation a = ev.Eval(p1, "out").ValueOrDie();
+  ProbRelation b = ev.Eval(p2, "out").ValueOrDie();
+  ExpectApproxEqual(a, b,
+                    "plain: " + plain->ToString() +
+                        " optimized: " + optimized->ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, OptimizerEquivalence,
+    ::testing::Values(
+        "SELECT [$2=\"category\"] (SELECT [$3=\"toy\"] (triples))",
+        "WEIGHT [0.5] (WEIGHT [0.4] (triples))",
+        "WEIGHT [1] (triples)",
+        "TOPK [5] (TOPK [20] (triples))",
+        "UNITE DISJOINT (UNITE DISJOINT (PROJECT [$1] (triples), "
+        "PROJECT [$1] (triples)), PROJECT [$1] (triples))",
+        "WEIGHT [0.5] (UNITE DISJOINT (WEIGHT [0.6] (PROJECT [$1] "
+        "(triples)), WEIGHT [0.4] (PROJECT [$1] (triples))))",
+        "SELECT [$1=\"toy\" and $3=\"red\"] (JOIN INDEPENDENT [$1=$2] ("
+        "PROJECT [$3, $1] (triples), PROJECT [$1, $3] (triples)))",
+        "SELECT [P < 0.5] (SELECT [$2=\"color\"] (triples))",
+        "UNITE MAX (UNITE MAX (PROJECT [$1] (triples), PROJECT [$1] "
+        "(triples)), PROJECT [$2] (triples))",
+        "UNITE INDEPENDENT (UNITE INDEPENDENT (PROJECT [$1] (triples), "
+        "PROJECT [$1] (triples)), PROJECT [$1] (triples))"));
+
+}  // namespace
+}  // namespace spinql
+}  // namespace spindle

@@ -1,0 +1,95 @@
+/// \file parser_robustness_test.cc
+/// \brief Robustness sweep: the SpinQL front-end must return ParseError
+/// statuses (never crash or accept garbage silently) on mutated input.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "spinql/parser.h"
+
+namespace spindle {
+namespace spinql {
+namespace {
+
+const char* kSeeds[] = {
+    "docs = PROJECT [$1,$6] (JOIN INDEPENDENT [$1=$1] ("
+    "SELECT [$2=\"category\" and $3=\"toy\"] (triples),"
+    "SELECT [$2=\"description\"] (triples)));",
+    "a = RANK BM25 [k1=1.2, b=0.75] (docs, query);",
+    "b = UNITE DISJOINT (WEIGHT [0.7] (x), WEIGHT [0.3] (y));",
+    "c = TOKENIZE [$2, \"sb-english\"] (docs);",
+    "d = BAYES [$1] (TOPK [10] (events));",
+};
+
+TEST(ParserRobustnessTest, TruncationsNeverCrash) {
+  for (const char* seed : kSeeds) {
+    std::string src(seed);
+    for (size_t len = 0; len < src.size(); ++len) {
+      auto result = Program::Parse(src.substr(0, len));
+      // Either a clean parse (possible when a statement boundary is cut)
+      // or a Status — never a crash.
+      if (!result.ok()) {
+        EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+      }
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, RandomMutationsNeverCrash) {
+  Rng rng(99);
+  const char kAlphabet[] = "abS$=()[]{};,\"1.\\ +-*/<>!PROJECT";
+  for (const char* seed : kSeeds) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::string src(seed);
+      int mutations = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int m = 0; m < mutations; ++m) {
+        size_t pos = rng.NextBounded(src.size());
+        src[pos] = kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)];
+      }
+      auto result = Program::Parse(src);
+      if (!result.ok()) {
+        EXPECT_EQ(result.status().code(), StatusCode::kParseError)
+            << src;
+      } else {
+        // Whatever parsed must re-parse from its canonical printing.
+        std::string printed = result.ValueOrDie().ToString();
+        auto again = Program::Parse(printed);
+        EXPECT_TRUE(again.ok()) << printed;
+      }
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, RandomGarbageNeverCrashes) {
+  Rng rng(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t len = rng.NextBounded(64);
+    std::string src;
+    for (size_t i = 0; i < len; ++i) {
+      src.push_back(static_cast<char>(32 + rng.NextBounded(95)));
+    }
+    auto result = Program::Parse(src);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, DeepNestingTerminates) {
+  // 200 levels of nested COMPLEMENT.
+  std::string src = "a = ";
+  for (int i = 0; i < 200; ++i) src += "COMPLEMENT (";
+  src += "t";
+  for (int i = 0; i < 200; ++i) src += ")";
+  src += ";";
+  auto result = Program::Parse(src);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().statements().size(), 1u);
+}
+
+}  // namespace
+}  // namespace spinql
+}  // namespace spindle

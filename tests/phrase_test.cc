@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ir/phrase.h"
+#include "ir/searcher.h"
+#include "storage/relation.h"
+
+namespace spindle {
+namespace {
+
+RelationPtr PhraseDocs() {
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  // d1: phrase "column store" twice; d2: both words, never adjacent;
+  // d3: reversed order; d4: neither.
+  EXPECT_TRUE(b.AddRow({int64_t{1},
+                        std::string("the column store wins a column store "
+                                    "benchmark")})
+                  .ok());
+  EXPECT_TRUE(b.AddRow({int64_t{2},
+                        std::string("this store has a column of marble")})
+                  .ok());
+  EXPECT_TRUE(
+      b.AddRow({int64_t{3}, std::string("store column layouts differ")})
+          .ok());
+  EXPECT_TRUE(
+      b.AddRow({int64_t{4}, std::string("completely unrelated text")}).ok());
+  return b.Build().ValueOrDie();
+}
+
+TextIndexPtr PhraseIndex() {
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  return TextIndex::Build(PhraseDocs(), a).ValueOrDie();
+}
+
+std::map<int64_t, int64_t> Counts(const RelationPtr& rel) {
+  std::map<int64_t, int64_t> out;
+  for (size_t r = 0; r < rel->num_rows(); ++r) {
+    out[rel->column(0).Int64At(r)] = rel->column(1).Int64At(r);
+  }
+  return out;
+}
+
+TEST(MatchPhraseTest, ExactAdjacencyOnly) {
+  auto idx = PhraseIndex();
+  auto counts = Counts(MatchPhrase(*idx, "column store").ValueOrDie());
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[1], 2);  // two occurrences in d1
+}
+
+TEST(MatchPhraseTest, OrderMatters) {
+  auto idx = PhraseIndex();
+  auto counts = Counts(MatchPhrase(*idx, "store column").ValueOrDie());
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts.count(3), 1u);  // only d3 has the reversed phrase
+}
+
+TEST(MatchPhraseTest, SingleTermDegeneratesToTf) {
+  auto idx = PhraseIndex();
+  auto counts = Counts(MatchPhrase(*idx, "column").ValueOrDie());
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(counts.count(4), 0u);
+}
+
+TEST(MatchPhraseTest, ThreeTermPhrase) {
+  auto idx = PhraseIndex();
+  auto counts =
+      Counts(MatchPhrase(*idx, "the column store").ValueOrDie());
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[1], 1);  // only the first occurrence follows "the"
+}
+
+TEST(MatchPhraseTest, OovAndEmpty) {
+  auto idx = PhraseIndex();
+  EXPECT_EQ(MatchPhrase(*idx, "zebra crossing").ValueOrDie()->num_rows(),
+            0u);
+  EXPECT_EQ(MatchPhrase(*idx, "").ValueOrDie()->num_rows(), 0u);
+  EXPECT_EQ(MatchPhrase(*idx, "column zebra").ValueOrDie()->num_rows(),
+            0u);
+}
+
+TEST(MatchPhraseTest, StemmedPhraseMatches) {
+  // The analyzer stems both sides: "column stores" matches "column store".
+  auto idx = PhraseIndex();
+  auto counts = Counts(MatchPhrase(*idx, "column stores").ValueOrDie());
+  EXPECT_EQ(counts[1], 2);
+}
+
+TEST(RankBm25PhraseBoostedTest, PhraseHitsRankAboveBagHits) {
+  auto idx = PhraseIndex();
+  RelationPtr ranked =
+      RankBm25PhraseBoosted(*idx, "column store", {}).ValueOrDie();
+  std::map<int64_t, double> scores;
+  for (size_t r = 0; r < ranked->num_rows(); ++r) {
+    scores[ranked->column(0).Int64At(r)] = ranked->column(1).Float64At(r);
+  }
+  // d1 (exact phrase) must beat d2/d3 (bag-of-words only).
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_GT(scores[1], scores[2]);
+  EXPECT_GT(scores[1], scores[3]);
+}
+
+TEST(RankBm25PhraseBoostedTest, ZeroBoostEqualsPlainBm25) {
+  auto idx = PhraseIndex();
+  PhraseBoostParams params;
+  params.boost = 0.0;
+  RelationPtr boosted =
+      RankBm25PhraseBoosted(*idx, "column store", params).ValueOrDie();
+  RelationPtr qterms = idx->QueryTerms("column store").ValueOrDie();
+  RelationPtr plain = RankBm25(*idx, qterms).ValueOrDie();
+  std::map<int64_t, double> a, b;
+  for (size_t r = 0; r < boosted->num_rows(); ++r) {
+    a[boosted->column(0).Int64At(r)] = boosted->column(1).Float64At(r);
+  }
+  for (size_t r = 0; r < plain->num_rows(); ++r) {
+    b[plain->column(0).Int64At(r)] = plain->column(1).Float64At(r);
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(SearcherPhraseTest, PhraseBoostThroughSearcher) {
+  Searcher searcher;
+  SearchOptions boosted;
+  boosted.phrase_boost = 2.0;
+  boosted.top_k = 1;
+  RelationPtr top =
+      searcher.Search(PhraseDocs(), "phrase", "column store", boosted)
+          .ValueOrDie();
+  ASSERT_EQ(top->num_rows(), 1u);
+  EXPECT_EQ(top->column(0).Int64At(0), 1);
+
+  // Non-BM25 models ignore the boost (documented).
+  SearchOptions lm;
+  lm.phrase_boost = 2.0;
+  lm.model = RankModel::kLmDirichlet;
+  EXPECT_TRUE(
+      searcher.Search(PhraseDocs(), "phrase", "column store", lm).ok());
+}
+
+TEST(RankBm25PhraseBoostedTest, NoPhraseInQueryFallsBack) {
+  auto idx = PhraseIndex();
+  RelationPtr ranked =
+      RankBm25PhraseBoosted(*idx, "marble", {}).ValueOrDie();
+  ASSERT_EQ(ranked->num_rows(), 1u);
+  EXPECT_EQ(ranked->column(0).Int64At(0), 2);
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "text/stemmer.h"
+
+namespace spindle {
+namespace {
+
+std::string Stem(const std::string& w) { return SnowballEnglish().Stem(w); }
+
+struct Vector {
+  const char* word;
+  const char* stem;
+};
+
+// Hand-derived against the published Snowball English algorithm
+// (regions R1/R2, steps 0-5, exceptional forms).
+class Porter2Vectors : public ::testing::TestWithParam<Vector> {};
+
+TEST_P(Porter2Vectors, StemsCorrectly) {
+  EXPECT_EQ(Stem(GetParam().word), GetParam().stem) << GetParam().word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1a, Porter2Vectors,
+    ::testing::Values(Vector{"caresses", "caress"}, Vector{"ponies", "poni"},
+                      Vector{"ties", "tie"}, Vector{"dies", "die"},
+                      Vector{"caress", "caress"}, Vector{"cats", "cat"},
+                      Vector{"dogs", "dog"}, Vector{"gas", "gas"},
+                      Vector{"this", "this"}, Vector{"consensus",
+                                                     "consensus"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1b, Porter2Vectors,
+    ::testing::Values(Vector{"feed", "feed"}, Vector{"agreed", "agre"},
+                      Vector{"plastered", "plaster"},
+                      Vector{"motoring", "motor"}, Vector{"sing", "sing"},
+                      Vector{"conflated", "conflat"},
+                      Vector{"troubled", "troubl"}, Vector{"sized", "size"},
+                      Vector{"hopping", "hop"}, Vector{"hoping", "hope"},
+                      Vector{"falling", "fall"}, Vector{"filing", "file"},
+                      Vector{"running", "run"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1c, Porter2Vectors,
+    ::testing::Values(Vector{"happy", "happi"}, Vector{"cry", "cri"},
+                      Vector{"by", "by"}, Vector{"say", "say"},
+                      Vector{"enjoy", "enjoy"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Steps2to4, Porter2Vectors,
+    ::testing::Values(Vector{"relational", "relat"},
+                      Vector{"conditional", "condit"},
+                      Vector{"rational", "ration"},
+                      Vector{"electricity", "electr"},
+                      Vector{"electrical", "electr"},
+                      Vector{"hopefulness", "hope"},
+                      Vector{"goodness", "good"},
+                      Vector{"radically", "radic"},
+                      Vector{"quickly", "quick"},
+                      Vector{"knightly", "knight"},
+                      Vector{"consolation", "consol"},
+                      Vector{"argument", "argument"},
+                      Vector{"arguments", "argument"},
+                      Vector{"replacement", "replac"},
+                      Vector{"adjustment", "adjust"},
+                      Vector{"communism", "communism"},
+                      Vector{"national", "nation"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step5AndRegions, Porter2Vectors,
+    ::testing::Values(Vector{"generate", "generat"},
+                      Vector{"generic", "generic"},
+                      Vector{"rate", "rate"}, Vector{"cease", "ceas"},
+                      Vector{"controlled", "control"},
+                      Vector{"rolled", "roll"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Exceptions, Porter2Vectors,
+    ::testing::Values(Vector{"skis", "ski"}, Vector{"skies", "sky"},
+                      Vector{"dying", "die"}, Vector{"lying", "lie"},
+                      Vector{"tying", "tie"}, Vector{"idly", "idl"},
+                      Vector{"gently", "gentl"}, Vector{"ugly", "ugli"},
+                      Vector{"early", "earli"}, Vector{"only", "onli"},
+                      Vector{"singly", "singl"}, Vector{"sky", "sky"},
+                      Vector{"news", "news"}, Vector{"howe", "howe"},
+                      Vector{"atlas", "atlas"}, Vector{"cosmos", "cosmos"},
+                      Vector{"bias", "bias"}, Vector{"andes", "andes"},
+                      Vector{"inning", "inning"}, Vector{"outing", "outing"},
+                      Vector{"canning", "canning"},
+                      Vector{"herring", "herring"},
+                      Vector{"earring", "earring"},
+                      Vector{"proceed", "proceed"},
+                      Vector{"exceed", "exceed"},
+                      Vector{"succeed", "succeed"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Apostrophes, Porter2Vectors,
+    ::testing::Values(Vector{"boy's", "boy"}, Vector{"boys'", "boy"},
+                      Vector{"nation's", "nation"}));
+
+TEST(Porter2Test, ShortWordsUnchanged) {
+  EXPECT_EQ(Stem("a"), "a");
+  EXPECT_EQ(Stem("is"), "is");
+  EXPECT_EQ(Stem("be"), "be");
+  EXPECT_EQ(Stem(""), "");
+}
+
+TEST(Porter2Test, UppercaseInputIsLowercased) {
+  EXPECT_EQ(Stem("Running"), "run");
+  EXPECT_EQ(Stem("CATS"), "cat");
+}
+
+TEST(Porter2Test, OutputsAreFixedPoints) {
+  // Every expected stem in our vectors should itself stem to itself
+  // (stability of the reduced vocabulary).
+  for (const char* s :
+       {"caress", "poni", "tie", "cat", "plaster", "motor", "conflat",
+        "troubl", "size", "hop", "hope", "fall", "file", "run", "happi",
+        "relat", "electr", "good", "quick", "knight", "consol", "replac",
+        "nation", "generat", "boy"}) {
+    EXPECT_EQ(Stem(s), s) << s;
+  }
+}
+
+TEST(Porter2Test, ConflatesInflections) {
+  // The property that matters for retrieval: morphological variants map
+  // to one term.
+  EXPECT_EQ(Stem("connect"), Stem("connected"));
+  EXPECT_EQ(Stem("connect"), Stem("connecting"));
+  EXPECT_EQ(Stem("connect"), Stem("connection"));
+  EXPECT_EQ(Stem("connect"), Stem("connections"));
+  EXPECT_EQ(Stem("retrieve"), Stem("retrieval"));
+  EXPECT_EQ(Stem("probability"), Stem("probabilities"));
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pra/pra_ops.h"
+#include "storage/relation.h"
+
+namespace spindle {
+namespace {
+
+const FunctionRegistry& Reg() { return FunctionRegistry::Default(); }
+
+ProbRelation MakeEvents(
+    const std::vector<std::pair<std::string, double>>& rows) {
+  RelationBuilder b({{"id", DataType::kString}, {"p", DataType::kFloat64}});
+  for (const auto& [id, p] : rows) {
+    EXPECT_TRUE(b.AddRow({id, p}).ok());
+  }
+  return ProbRelation::Wrap(b.Build().ValueOrDie()).ValueOrDie();
+}
+
+TEST(CombineProbTest, AllAssumptions) {
+  EXPECT_DOUBLE_EQ(CombineProb(Assumption::kIndependent, 0.5, 0.5), 0.75);
+  EXPECT_DOUBLE_EQ(CombineProb(Assumption::kDisjoint, 0.3, 0.4), 0.7);
+  EXPECT_DOUBLE_EQ(CombineProb(Assumption::kMax, 0.3, 0.4), 0.4);
+  EXPECT_DOUBLE_EQ(CombineProb(Assumption::kAll, 0.3, 0.4), 0.3);
+}
+
+TEST(ProbRelationTest, WrapRequiresTrailingP) {
+  RelationBuilder b({{"p", DataType::kFloat64}, {"id", DataType::kString}});
+  EXPECT_TRUE(b.AddRow({0.5, std::string("a")}).ok());
+  EXPECT_FALSE(ProbRelation::Wrap(b.Build().ValueOrDie()).ok());
+}
+
+TEST(ProbRelationTest, AttachAddsCertainty) {
+  RelationBuilder b({{"id", DataType::kString}});
+  ASSERT_TRUE(b.AddRow({std::string("a")}).ok());
+  ProbRelation pr = ProbRelation::Attach(b.Build().ValueOrDie()).ValueOrDie();
+  EXPECT_EQ(pr.arity(), 1u);
+  EXPECT_DOUBLE_EQ(pr.prob_at(0), 1.0);
+  EXPECT_TRUE(pr.ProbsAreNormalized());
+}
+
+TEST(ProbRelationTest, AttachIsIdempotent) {
+  ProbRelation pr = MakeEvents({{"a", 0.5}});
+  ProbRelation again = ProbRelation::Attach(pr.rel()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(again.prob_at(0), 0.5);
+  EXPECT_EQ(again.arity(), 1u);
+}
+
+TEST(PraSelectTest, ProbabilitiesPassThrough) {
+  ProbRelation pr = MakeEvents({{"a", 0.5}, {"b", 0.25}});
+  ProbRelation out =
+      pra::Select(pr, Expr::Eq(Expr::Column(0), Expr::LitString("b")), Reg())
+          .ValueOrDie();
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(out.prob_at(0), 0.25);
+}
+
+TEST(PraProjectTest, IndependentMerge) {
+  ProbRelation pr = MakeEvents({{"a", 0.5}, {"a", 0.5}, {"b", 0.1}});
+  ProbRelation out =
+      pra::Project(pr, {Expr::Column(0)}, {"id"}, Assumption::kIndependent,
+                   Reg())
+          .ValueOrDie();
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(out.prob_at(0), 0.75);  // 1 - 0.5*0.5
+  EXPECT_DOUBLE_EQ(out.prob_at(1), 0.1);
+}
+
+TEST(PraProjectTest, DisjointMergeSums) {
+  ProbRelation pr = MakeEvents({{"a", 0.2}, {"a", 0.3}, {"a", 0.1}});
+  ProbRelation out =
+      pra::Project(pr, {Expr::Column(0)}, {"id"}, Assumption::kDisjoint,
+                   Reg())
+          .ValueOrDie();
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_NEAR(out.prob_at(0), 0.6, 1e-12);
+}
+
+TEST(PraProjectTest, MaxMerge) {
+  ProbRelation pr = MakeEvents({{"a", 0.2}, {"a", 0.9}});
+  ProbRelation out = pra::Project(pr, {Expr::Column(0)}, {"id"},
+                                  Assumption::kMax, Reg())
+                         .ValueOrDie();
+  EXPECT_DOUBLE_EQ(out.prob_at(0), 0.9);
+}
+
+TEST(PraProjectTest, AllKeepsDuplicates) {
+  ProbRelation pr = MakeEvents({{"a", 0.2}, {"a", 0.9}});
+  ProbRelation out = pra::Project(pr, {Expr::Column(0)}, {"id"},
+                                  Assumption::kAll, Reg())
+                         .ValueOrDie();
+  EXPECT_EQ(out.num_rows(), 2u);
+}
+
+TEST(PraProjectTest, CountingViaDisjointProjection) {
+  // PRA counting: project certain tuples (p=1) onto a key; the disjoint
+  // sum yields the frequency. This is exactly how tf is expressible in
+  // the algebra.
+  ProbRelation pr =
+      MakeEvents({{"doc1", 1.0}, {"doc1", 1.0}, {"doc1", 1.0},
+                  {"doc2", 1.0}});
+  ProbRelation out =
+      pra::Project(pr, {Expr::Column(0)}, {"doc"}, Assumption::kDisjoint,
+                   Reg())
+          .ValueOrDie();
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(out.prob_at(0), 3.0);
+  EXPECT_DOUBLE_EQ(out.prob_at(1), 1.0);
+}
+
+TEST(PraProjectTest, EmptyItemsAggregateEverything) {
+  ProbRelation pr = MakeEvents({{"a", 0.25}, {"b", 0.5}});
+  ProbRelation out =
+      pra::Project(pr, {}, {}, Assumption::kDisjoint, Reg()).ValueOrDie();
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(out.prob_at(0), 0.75);
+}
+
+TEST(PraJoinTest, IndependentJoinMultiplies) {
+  ProbRelation l = MakeEvents({{"x", 0.5}, {"y", 0.4}});
+  ProbRelation r = MakeEvents({{"x", 0.5}, {"z", 0.9}});
+  ProbRelation out = pra::JoinIndependent(l, r, {{0, 0}}).ValueOrDie();
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.arity(), 2u);
+  EXPECT_DOUBLE_EQ(out.prob_at(0), 0.25);
+}
+
+TEST(PraJoinTest, PCannotBeAKey) {
+  ProbRelation l = MakeEvents({{"x", 0.5}});
+  ProbRelation r = MakeEvents({{"x", 0.5}});
+  EXPECT_EQ(pra::JoinIndependent(l, r, {{1, 0}}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(PraJoinTest, PaperToyScenario) {
+  // The paper's docs view: JOIN INDEPENDENT of category/description
+  // selections over the triples table; p = t1.p * t2.p.
+  RelationBuilder b({{"subject", DataType::kString},
+                     {"property", DataType::kString},
+                     {"object", DataType::kString},
+                     {"p", DataType::kFloat64}});
+  auto add = [&](const char* s, const char* pr, const char* o, double p) {
+    EXPECT_TRUE(
+        b.AddRow({std::string(s), std::string(pr), std::string(o), p}).ok());
+  };
+  add("prod1", "category", "toy", 0.9);
+  add("prod1", "description", "a red toy car", 1.0);
+  add("prod2", "category", "book", 1.0);
+  add("prod2", "description", "a history book", 1.0);
+  ProbRelation triples =
+      ProbRelation::Wrap(b.Build().ValueOrDie()).ValueOrDie();
+
+  auto cat_toy = pra::Select(
+      triples,
+      Expr::And(Expr::Eq(Expr::Column(1), Expr::LitString("category")),
+                Expr::Eq(Expr::Column(2), Expr::LitString("toy"))),
+      Reg());
+  auto desc = pra::Select(
+      triples, Expr::Eq(Expr::Column(1), Expr::LitString("description")),
+      Reg());
+  ASSERT_TRUE(cat_toy.ok() && desc.ok());
+  ProbRelation joined = pra::JoinIndependent(cat_toy.ValueOrDie(),
+                                             desc.ValueOrDie(), {{0, 0}})
+                            .ValueOrDie();
+  // PROJECT [$1, $6]: subject of t1 and object of t2.
+  ProbRelation docs =
+      pra::Project(joined, {Expr::Column(0), Expr::Column(5)},
+                   {"docID", "data"}, Assumption::kAll, Reg())
+          .ValueOrDie();
+  ASSERT_EQ(docs.num_rows(), 1u);
+  EXPECT_EQ(docs.rel()->column(0).StringAt(0), "prod1");
+  EXPECT_EQ(docs.rel()->column(1).StringAt(0), "a red toy car");
+  EXPECT_DOUBLE_EQ(docs.prob_at(0), 0.9);
+}
+
+TEST(PraUniteTest, DisjointSums) {
+  ProbRelation a = MakeEvents({{"x", 0.3}, {"y", 0.2}});
+  ProbRelation b = MakeEvents({{"x", 0.4}});
+  ProbRelation out =
+      pra::Unite(Assumption::kDisjoint, {a, b}).ValueOrDie();
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_NEAR(out.prob_at(0), 0.7, 1e-12);  // x
+  EXPECT_DOUBLE_EQ(out.prob_at(1), 0.2);    // y
+}
+
+TEST(PraUniteTest, IndependentNoisyOr) {
+  ProbRelation a = MakeEvents({{"x", 0.5}});
+  ProbRelation b = MakeEvents({{"x", 0.5}});
+  ProbRelation out =
+      pra::Unite(Assumption::kIndependent, {a, b}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out.prob_at(0), 0.75);
+}
+
+TEST(PraUniteTest, IncompatibleSchemasRejected) {
+  ProbRelation a = MakeEvents({{"x", 0.5}});
+  RelationBuilder b({{"id", DataType::kInt64}, {"p", DataType::kFloat64}});
+  ASSERT_TRUE(b.AddRow({int64_t{1}, 0.5}).ok());
+  ProbRelation other =
+      ProbRelation::Wrap(b.Build().ValueOrDie()).ValueOrDie();
+  EXPECT_FALSE(pra::Unite(Assumption::kDisjoint, {a, other}).ok());
+}
+
+TEST(PraWeightTest, ScalesP) {
+  ProbRelation pr = MakeEvents({{"a", 0.5}, {"b", 1.0}});
+  ProbRelation out = pra::Weight(pr, 0.3).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out.prob_at(0), 0.15);
+  EXPECT_DOUBLE_EQ(out.prob_at(1), 0.3);
+}
+
+TEST(PraWeightTest, LinearMixViaWeightAndUnite) {
+  // The paper's "mixed via linear combination, with the given weights".
+  ProbRelation left = MakeEvents({{"lot1", 0.8}, {"lot2", 0.2}});
+  ProbRelation right = MakeEvents({{"lot1", 0.1}, {"lot3", 0.9}});
+  ProbRelation mix =
+      pra::Unite(Assumption::kDisjoint,
+                 {pra::Weight(left, 0.7).ValueOrDie(),
+                  pra::Weight(right, 0.3).ValueOrDie()})
+          .ValueOrDie();
+  ASSERT_EQ(mix.num_rows(), 3u);
+  // lot1: 0.7*0.8 + 0.3*0.1 = 0.59
+  EXPECT_NEAR(mix.prob_at(0), 0.59, 1e-12);
+}
+
+TEST(PraComplementTest, OneMinusP) {
+  ProbRelation pr = MakeEvents({{"a", 0.25}});
+  ProbRelation out = pra::Complement(pr).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out.prob_at(0), 0.75);
+}
+
+TEST(PraBayesTest, GlobalNormalization) {
+  ProbRelation pr = MakeEvents({{"a", 1.0}, {"b", 3.0}});
+  ProbRelation out = pra::Bayes(pr, {}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out.prob_at(0), 0.25);
+  EXPECT_DOUBLE_EQ(out.prob_at(1), 0.75);
+  EXPECT_TRUE(out.ProbsAreNormalized());
+}
+
+TEST(PraBayesTest, GroupedNormalization) {
+  RelationBuilder b({{"group", DataType::kString},
+                     {"id", DataType::kString},
+                     {"p", DataType::kFloat64}});
+  ASSERT_TRUE(b.AddRow({std::string("g1"), std::string("a"), 2.0}).ok());
+  ASSERT_TRUE(b.AddRow({std::string("g1"), std::string("b"), 2.0}).ok());
+  ASSERT_TRUE(b.AddRow({std::string("g2"), std::string("c"), 5.0}).ok());
+  ProbRelation pr = ProbRelation::Wrap(b.Build().ValueOrDie()).ValueOrDie();
+  ProbRelation out = pra::Bayes(pr, {0}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out.prob_at(0), 0.5);
+  EXPECT_DOUBLE_EQ(out.prob_at(1), 0.5);
+  EXPECT_DOUBLE_EQ(out.prob_at(2), 1.0);
+}
+
+TEST(PraBayesTest, ZeroMassGroupStaysZero) {
+  ProbRelation pr = MakeEvents({{"a", 0.0}, {"a", 0.0}});
+  ProbRelation out = pra::Bayes(pr, {0}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out.prob_at(0), 0.0);
+}
+
+TEST(PraTopKTest, OrdersByP) {
+  ProbRelation pr =
+      MakeEvents({{"a", 0.2}, {"b", 0.9}, {"c", 0.5}, {"d", 0.7}});
+  ProbRelation out = pra::TopKByProb(pr, 2).ValueOrDie();
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.rel()->column(0).StringAt(0), "b");
+  EXPECT_EQ(out.rel()->column(0).StringAt(1), "d");
+}
+
+// Property: PROJECT INDEPENDENT / MAX keep probabilities in [0,1] for
+// normalized inputs; JOIN INDEPENDENT of normalized inputs stays
+// normalized. Swept over several synthetic sizes.
+class PraNormalizationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PraNormalizationProperty, OpsPreserveNormalization) {
+  int n = GetParam();
+  std::vector<std::pair<std::string, double>> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({"id" + std::to_string(i % 7),
+                    (i % 10) / 10.0});  // p in [0, 0.9]
+  }
+  ProbRelation pr = MakeEvents(rows);
+  for (Assumption a : {Assumption::kIndependent, Assumption::kMax}) {
+    ProbRelation out =
+        pra::Project(pr, {Expr::Column(0)}, {"id"}, a, Reg()).ValueOrDie();
+    EXPECT_TRUE(out.ProbsAreNormalized()) << AssumptionName(a);
+  }
+  ProbRelation joined = pra::JoinIndependent(pr, pr, {{0, 0}}).ValueOrDie();
+  EXPECT_TRUE(joined.ProbsAreNormalized());
+  EXPECT_TRUE(pra::Bayes(pr, {0}).ValueOrDie().ProbsAreNormalized());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PraNormalizationProperty,
+                         ::testing::Values(1, 5, 20, 100, 1000));
+
+// Property: Unite is commutative for symmetric assumptions (up to row
+// order), verified via the merged probability of a shared key.
+TEST(PraUniteTest, CommutativeProbabilities) {
+  ProbRelation a = MakeEvents({{"x", 0.3}, {"y", 0.2}});
+  ProbRelation b = MakeEvents({{"x", 0.4}, {"z", 0.6}});
+  for (Assumption asm_ : {Assumption::kIndependent, Assumption::kDisjoint,
+                          Assumption::kMax}) {
+    ProbRelation ab = pra::Unite(asm_, {a, b}).ValueOrDie();
+    ProbRelation ba = pra::Unite(asm_, {b, a}).ValueOrDie();
+    // Find "x" in both.
+    auto find_p = [](const ProbRelation& pr, const std::string& key) {
+      for (size_t r = 0; r < pr.num_rows(); ++r) {
+        if (pr.rel()->column(0).StringAt(r) == key) return pr.prob_at(r);
+      }
+      return -1.0;
+    };
+    EXPECT_DOUBLE_EQ(find_p(ab, "x"), find_p(ba, "x"))
+        << AssumptionName(asm_);
+    EXPECT_DOUBLE_EQ(find_p(ab, "z"), find_p(ba, "z"));
+  }
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,140 @@
+/// \file quality_test.cc
+/// \brief Retrieval-effectiveness tests: on topical collections with a
+/// relevance oracle, every ranking model must retrieve the right
+/// documents — not just compute its formula correctly.
+
+#include <gtest/gtest.h>
+
+#include "ir/eval.h"
+#include "ir/searcher.h"
+#include "specialized/inverted_index.h"
+#include "workload/topical_gen.h"
+
+namespace spindle {
+namespace {
+
+TEST(MetricsTest, PrecisionRecallBasics) {
+  RelevantSet rel = {1, 2, 3};
+  std::vector<int64_t> ranked = {1, 9, 2, 8, 7};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, rel, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, rel, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, rel, 5), 0.4);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, rel, 5), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, rel, 5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(ranked, rel), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({9, 8, 3}, rel), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({9, 8}, rel), 0.0);
+}
+
+TEST(MetricsTest, AveragePrecision) {
+  RelevantSet rel = {1, 2};
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecision({1, 9, 2}, rel), (1.0 + 2.0 / 3.0) / 2,
+              1e-12);
+  EXPECT_DOUBLE_EQ(AveragePrecision({9, 8}, rel), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({}, rel), 0.0);
+}
+
+class QualityTest : public ::testing::Test {
+ protected:
+  static const TopicalCollection& Collection() {
+    static const TopicalCollection* c = [] {
+      TopicalCollectionOptions opts;
+      opts.num_topics = 8;
+      opts.docs_per_topic = 60;
+      return new TopicalCollection(
+          GenerateTopicalCollection(opts).ValueOrDie());
+    }();
+    return *c;
+  }
+
+  /// Mean P@10 over all topic queries under a model.
+  double MeanPrecisionAt10(RankModel model) {
+    const auto& coll = Collection();
+    Searcher searcher;
+    SearchOptions opts;
+    opts.model = model;
+    opts.top_k = 10;
+    double sum = 0;
+    for (size_t t = 0; t < coll.queries.size(); ++t) {
+      RelationPtr ranked =
+          searcher.Search(coll.docs, "topical", coll.queries[t], opts)
+              .ValueOrDie();
+      sum += PrecisionAtK(RankedIds(*ranked), coll.relevant[t], 10);
+    }
+    return sum / coll.queries.size();
+  }
+};
+
+TEST_F(QualityTest, GeneratorShape) {
+  const auto& coll = Collection();
+  EXPECT_EQ(coll.docs->num_rows(), 8u * 60u);
+  EXPECT_EQ(coll.queries.size(), 8u);
+  for (const auto& rel : coll.relevant) EXPECT_EQ(rel.size(), 60u);
+}
+
+TEST_F(QualityTest, Bm25RetrievesTheRightTopic) {
+  // Random ranking would score docs_per_topic/total = 12.5%; topic
+  // vocabulary is discriminative, so BM25 should be near-perfect.
+  EXPECT_GT(MeanPrecisionAt10(RankModel::kBm25), 0.9);
+}
+
+TEST_F(QualityTest, AllModelsBeatChanceByFar) {
+  for (RankModel m : {RankModel::kTfIdf, RankModel::kLmDirichlet,
+                      RankModel::kLmJelinekMercer}) {
+    EXPECT_GT(MeanPrecisionAt10(m), 0.8) << RankModelName(m);
+  }
+}
+
+TEST_F(QualityTest, SpecializedEngineSameQuality) {
+  const auto& coll = Collection();
+  Analyzer analyzer = Analyzer::Make({}).ValueOrDie();
+  auto idx = SpecializedIndex::Build(coll.docs, analyzer).ValueOrDie();
+  double sum = 0;
+  for (size_t t = 0; t < coll.queries.size(); ++t) {
+    auto hits = idx.SearchBm25(coll.queries[t], 10);
+    std::vector<int64_t> ids;
+    for (const auto& h : hits) ids.push_back(h.doc_id);
+    sum += PrecisionAtK(ids, coll.relevant[t], 10);
+  }
+  EXPECT_GT(sum / coll.queries.size(), 0.9);
+}
+
+TEST_F(QualityTest, RecallGrowsWithK) {
+  const auto& coll = Collection();
+  Searcher searcher;
+  SearchOptions opts;
+  opts.top_k = 0;  // full ranking
+  RelationPtr ranked =
+      searcher.Search(coll.docs, "topical", coll.queries[0], opts)
+          .ValueOrDie();
+  auto ids = RankedIds(*ranked);
+  double r10 = RecallAtK(ids, coll.relevant[0], 10);
+  double r30 = RecallAtK(ids, coll.relevant[0], 30);
+  double r60 = RecallAtK(ids, coll.relevant[0], 60);
+  EXPECT_LE(r10, r30);
+  EXPECT_LE(r30, r60);
+  // Bag-of-words recall is bounded by term overlap: a relevant document
+  // matches only if it contains one of the 3 query words (each doc
+  // samples ~20 of the topic's 200 private words, so roughly a quarter
+  // of the relevant set is reachable at all).
+  EXPECT_GT(r60, 0.1);
+}
+
+TEST_F(QualityTest, MrrIsHigh) {
+  const auto& coll = Collection();
+  Searcher searcher;
+  SearchOptions opts;
+  opts.top_k = 20;
+  double sum = 0;
+  for (size_t t = 0; t < coll.queries.size(); ++t) {
+    RelationPtr ranked =
+        searcher.Search(coll.docs, "topical", coll.queries[t], opts)
+            .ValueOrDie();
+    sum += ReciprocalRank(RankedIds(*ranked), coll.relevant[t]);
+  }
+  EXPECT_GT(sum / coll.queries.size(), 0.9);
+}
+
+}  // namespace
+}  // namespace spindle

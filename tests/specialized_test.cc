@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ir/indexing.h"
+#include "ir/ranking.h"
+#include "specialized/inverted_index.h"
+#include "storage/relation.h"
+
+namespace spindle {
+namespace {
+
+RelationPtr TinyDocs() {
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  EXPECT_TRUE(
+      b.AddRow({int64_t{1}, std::string("the cat sat on the mat")}).ok());
+  EXPECT_TRUE(
+      b.AddRow({int64_t{2}, std::string("The dog chased the cat")}).ok());
+  EXPECT_TRUE(b.AddRow({int64_t{3}, std::string("Dogs and cats")}).ok());
+  return b.Build().ValueOrDie();
+}
+
+TEST(SpecializedIndexTest, BuildStats) {
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  auto idx = SpecializedIndex::Build(TinyDocs(), a).ValueOrDie();
+  EXPECT_EQ(idx.num_docs(), 3);
+  EXPECT_NEAR(idx.avg_doc_len(), 14.0 / 3.0, 1e-12);
+  EXPECT_EQ(idx.num_terms(), 8);
+}
+
+TEST(SpecializedIndexTest, PostingsLookup) {
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  auto idx = SpecializedIndex::Build(TinyDocs(), a).ValueOrDie();
+  const auto* cat = idx.PostingsFor("cat");
+  ASSERT_NE(cat, nullptr);
+  EXPECT_EQ(cat->size(), 3u);
+  const auto* the = idx.PostingsFor("the");
+  ASSERT_NE(the, nullptr);
+  EXPECT_EQ(the->size(), 2u);
+  EXPECT_EQ(idx.PostingsFor("zebra"), nullptr);
+}
+
+TEST(SpecializedIndexTest, SearchReturnsSortedTopK) {
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  auto idx = SpecializedIndex::Build(TinyDocs(), a).ValueOrDie();
+  auto hits = idx.SearchBm25("sat mat cat", 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_GE(hits[0].score, hits[1].score);
+  EXPECT_EQ(hits[0].doc_id, 1);  // only d1 has sat+mat
+}
+
+TEST(SpecializedIndexTest, EmptyQuery) {
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  auto idx = SpecializedIndex::Build(TinyDocs(), a).ValueOrDie();
+  EXPECT_TRUE(idx.SearchBm25("zebra", 10).empty());
+}
+
+/// Deterministic synthetic corpus: `ndocs` documents over a small word
+/// pool with skewed frequencies.
+RelationPtr SyntheticDocs(int ndocs, uint64_t seed) {
+  static const char* kPool[] = {
+      "database", "retrieval", "column",  "store",   "index",  "query",
+      "term",     "document",  "ranking", "search",  "triple", "graph",
+      "auction",  "lot",       "score",   "probability"};
+  constexpr int kPoolSize = 16;
+  Rng rng(seed);
+  ZipfSampler zipf(kPoolSize, 1.0);
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  for (int d = 0; d < ndocs; ++d) {
+    int len = 3 + static_cast<int>(rng.NextBounded(15));
+    std::string text;
+    for (int i = 0; i < len; ++i) {
+      if (i > 0) text += ' ';
+      text += kPool[zipf.Sample(rng) - 1];
+    }
+    EXPECT_TRUE(b.AddRow({int64_t{d + 1}, text}).ok());
+  }
+  return b.Build().ValueOrDie();
+}
+
+/// Cross-implementation property: the IR-on-DB relational BM25 and the
+/// specialized engine produce identical scores for every document.
+class CrossCheckBm25 : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossCheckBm25, RelationalEqualsSpecialized) {
+  RelationPtr docs = SyntheticDocs(GetParam(), 42 + GetParam());
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  auto rel_idx = TextIndex::Build(docs, a).ValueOrDie();
+  auto spec_idx = SpecializedIndex::Build(docs, a).ValueOrDie();
+
+  for (const char* query :
+       {"database retrieval", "column store index", "auction lot score",
+        "probability", "database database query"}) {
+    RelationPtr q = rel_idx->QueryTerms(query).ValueOrDie();
+    RelationPtr ranked = RankBm25(*rel_idx, q).ValueOrDie();
+    std::map<int64_t, double> rel_scores;
+    for (size_t r = 0; r < ranked->num_rows(); ++r) {
+      rel_scores[ranked->column(0).Int64At(r)] =
+          ranked->column(1).Float64At(r);
+    }
+    auto spec_hits = spec_idx.SearchBm25(query, /*k=*/1u << 20);
+    ASSERT_EQ(spec_hits.size(), rel_scores.size()) << query;
+    for (const auto& hit : spec_hits) {
+      auto it = rel_scores.find(hit.doc_id);
+      ASSERT_NE(it, rel_scores.end()) << query << " doc " << hit.doc_id;
+      EXPECT_NEAR(it->second, hit.score, 1e-9) << query;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CorpusSizes, CrossCheckBm25,
+                         ::testing::Values(5, 25, 100, 400));
+
+TEST(CrossCheckBm25Params, NonDefaultParamsAgree) {
+  RelationPtr docs = SyntheticDocs(60, 7);
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  auto rel_idx = TextIndex::Build(docs, a).ValueOrDie();
+  auto spec_idx = SpecializedIndex::Build(docs, a).ValueOrDie();
+  Bm25Params params{0.9, 0.4};
+  RelationPtr q = rel_idx->QueryTerms("index query term").ValueOrDie();
+  RelationPtr ranked = RankBm25(*rel_idx, q, params).ValueOrDie();
+  std::map<int64_t, double> rel_scores;
+  for (size_t r = 0; r < ranked->num_rows(); ++r) {
+    rel_scores[ranked->column(0).Int64At(r)] =
+        ranked->column(1).Float64At(r);
+  }
+  auto spec_hits = spec_idx.SearchBm25("index query term", 1u << 20, params);
+  ASSERT_EQ(spec_hits.size(), rel_scores.size());
+  for (const auto& hit : spec_hits) {
+    EXPECT_NEAR(rel_scores[hit.doc_id], hit.score, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace spindle

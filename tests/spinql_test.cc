@@ -1,0 +1,441 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "ir/ranking.h"
+#include "spinql/evaluator.h"
+#include "spinql/lexer.h"
+#include "spinql/parser.h"
+#include "spinql/sql_emitter.h"
+#include "workload/graph_gen.h"
+
+namespace spindle {
+namespace spinql {
+namespace {
+
+// ---------------------------------------------------------------- lexer --
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = Lex("docs = SELECT [$2=\"toy\"] (triples);").ValueOrDie();
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "docs");
+  EXPECT_EQ(toks[1].kind, TokKind::kEquals);
+  EXPECT_EQ(toks[3].kind, TokKind::kLBracket);
+  EXPECT_EQ(toks[4].kind, TokKind::kDollar);
+  EXPECT_EQ(toks[4].number, 2);
+  EXPECT_EQ(toks[6].kind, TokKind::kString);
+  EXPECT_EQ(toks[6].text, "toy");
+  EXPECT_EQ(toks.back().kind, TokKind::kEnd);
+}
+
+TEST(LexerTest, NumbersAndOperators) {
+  auto toks = Lex("0.75 12 1e3 <= != <>").ValueOrDie();
+  EXPECT_EQ(toks[0].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[0].number, 0.75);
+  EXPECT_EQ(toks[1].kind, TokKind::kInt);
+  EXPECT_EQ(toks[2].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[2].number, 1000);
+  EXPECT_EQ(toks[3].kind, TokKind::kLessEq);
+  EXPECT_EQ(toks[4].kind, TokKind::kNotEquals);
+  EXPECT_EQ(toks[5].kind, TokKind::kNotEquals);
+}
+
+TEST(LexerTest, CommentsAndEscapes) {
+  auto toks = Lex("-- a comment\nx \"a\\\"b\"").ValueOrDie();
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "a\"b");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("\"unterminated").ok());
+  EXPECT_FALSE(Lex("$x").ok());
+  EXPECT_FALSE(Lex("a ! b").ok());
+  EXPECT_FALSE(Lex("a @ b").ok());
+}
+
+// --------------------------------------------------------------- parser --
+
+TEST(ParserTest, PaperDocsQueryParses) {
+  // Verbatim from the paper (Section 2.3).
+  const char* src =
+      "docs = PROJECT [$1,$6] (\n"
+      "  JOIN INDEPENDENT [$1=$1] (\n"
+      "    SELECT [$2=\"category\" and $3=\"toy\"] (triples),\n"
+      "    SELECT [$2=\"description\"] (triples) ) );\n";
+  Program p = Program::Parse(src).ValueOrDie();
+  ASSERT_EQ(p.statements().size(), 1u);
+  EXPECT_EQ(p.output(), "docs");
+  NodePtr node = p.Lookup("docs").ValueOrDie();
+  EXPECT_EQ(node->kind(), NodeKind::kProject);
+  EXPECT_EQ(node->inputs()[0]->kind(), NodeKind::kJoin);
+}
+
+TEST(ParserTest, CanonicalPrintRoundTrips) {
+  const char* srcs[] = {
+      "SELECT [eq($2, \"toy\")] (triples)",
+      "PROJECT DISJOINT [$1] (t)",
+      "PROJECT [$1 AS id, $2 * P AS w] (t)",
+      "JOIN INDEPENDENT [$1=$2, $3=$1] (a, b)",
+      "UNITE MAX (a, b, c)",
+      "WEIGHT [0.3] (a)",
+      "COMPLEMENT (a)",
+      "BAYES [$1] (a)",
+      "BAYES [] (a)",
+      "TOKENIZE [$2, \"sb-english\"] (docs)",
+      "RANK BM25 [k1=1.2, b=0.75, analyzer=\"sb-english\"] (docs, query)",
+      "RANK LMD [mu=2000, analyzer=\"sb-english\"] (docs, query)",
+      "TOPK [10] (a)",
+  };
+  for (const char* src : srcs) {
+    auto first = ParseExpression(src);
+    ASSERT_TRUE(first.ok()) << src << ": " << first.status().ToString();
+    std::string printed = first.ValueOrDie()->ToString();
+    auto second = ParseExpression(printed);
+    ASSERT_TRUE(second.ok()) << printed << ": "
+                             << second.status().ToString();
+    EXPECT_EQ(second.ValueOrDie()->ToString(), printed) << src;
+  }
+}
+
+TEST(ParserTest, PredicateOperators) {
+  auto node =
+      ParseExpression(
+          "SELECT [NOT ($1 = \"x\" OR $2 != \"y\") AND $3 >= 5] (t)")
+          .ValueOrDie();
+  EXPECT_EQ(node->kind(), NodeKind::kSelect);
+  // Shape: and(not(or(eq, ne)), ge)
+  EXPECT_EQ(node->predicate()->ToString(),
+            "and(not(or(eq($1, \"x\"), ne($2, \"y\"))), ge($3, 5))");
+}
+
+TEST(ParserTest, ScalarArithmeticPrecedence) {
+  auto node =
+      ParseExpression("PROJECT [$1 + $2 * 3 - 1] (t)").ValueOrDie();
+  EXPECT_EQ(node->items()[0]->ToString(),
+            "sub(add($1, mul($2, 3)), 1)");
+}
+
+TEST(ParserTest, FunctionCalls) {
+  auto node = ParseExpression(
+                  "PROJECT [stem(lcase($1), \"sb-english\")] (t)")
+                  .ValueOrDie();
+  EXPECT_EQ(node->items()[0]->ToString(),
+            "stem(lcase($1), \"sb-english\")");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseExpression("SELECT [$1=1] t").ok());     // missing ()
+  EXPECT_FALSE(ParseExpression("JOIN [$1=$1] (a, b)").ok()); // no INDEPENDENT
+  EXPECT_FALSE(ParseExpression("UNITE (a, b)").ok());        // no assumption
+  EXPECT_FALSE(ParseExpression("PROJECT [$0] (t)").ok());    // 1-based refs
+  EXPECT_FALSE(ParseExpression("RANK FOO (a, b)").ok());
+  EXPECT_FALSE(ParseExpression("TOPK [2.5] (a)").ok());
+  EXPECT_FALSE(Program::Parse("").ok());
+  EXPECT_FALSE(Program::Parse("a = t; a = t;").ok());        // duplicate
+}
+
+// ------------------------------------------------------------ evaluator --
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TripleStore store;
+    store.Add("prod1", "category", "toy", 0.9);
+    store.Add("prod1", "description", "a red toy car");
+    store.Add("prod2", "category", "book");
+    store.Add("prod2", "description", "a history book");
+    store.Add("prod3", "category", "toy");
+    store.Add("prod3", "description", "blue wooden blocks");
+    ASSERT_TRUE(store.RegisterInto(catalog_).ok());
+  }
+
+  Catalog catalog_;
+  MaterializationCache cache_{64 << 20};
+};
+
+TEST_F(EvalTest, PaperDocsQueryEvaluates) {
+  const char* src =
+      "docs = PROJECT [$1,$6] (JOIN INDEPENDENT [$1=$1] ("
+      "SELECT [$2=\"category\" and $3=\"toy\"] (triples),"
+      "SELECT [$2=\"description\"] (triples)));";
+  Program p = Program::Parse(src).ValueOrDie();
+  Evaluator ev(&catalog_, &cache_);
+  ProbRelation docs = ev.Eval(p).ValueOrDie();
+  ASSERT_EQ(docs.num_rows(), 2u);
+  std::map<std::string, double> by_id;
+  for (size_t r = 0; r < docs.num_rows(); ++r) {
+    by_id[docs.rel()->column(0).StringAt(r)] = docs.prob_at(r);
+  }
+  EXPECT_DOUBLE_EQ(by_id["prod1"], 0.9);  // t1.p * t2.p
+  EXPECT_DOUBLE_EQ(by_id["prod3"], 1.0);
+}
+
+TEST_F(EvalTest, SelectOnP) {
+  Evaluator ev(&catalog_, &cache_);
+  ProbRelation out =
+      ev.EvalExpression("SELECT [P < 1.0] (triples)").ValueOrDie();
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.rel()->column(0).StringAt(0), "prod1");
+}
+
+TEST_F(EvalTest, WeightUniteMix) {
+  Evaluator ev(&catalog_, &cache_);
+  const char* src =
+      "a = PROJECT MAX [$1] (SELECT [$2=\"category\" and $3=\"toy\"] "
+      "(triples));"
+      "b = PROJECT MAX [$1] (SELECT [$2=\"category\" and $3=\"book\"] "
+      "(triples));"
+      "mix = UNITE DISJOINT (WEIGHT [0.7] (a), WEIGHT [0.3] (b));";
+  Program p = Program::Parse(src).ValueOrDie();
+  ProbRelation mix = ev.Eval(p).ValueOrDie();
+  ASSERT_EQ(mix.num_rows(), 3u);
+  std::map<std::string, double> by_id;
+  for (size_t r = 0; r < mix.num_rows(); ++r) {
+    by_id[mix.rel()->column(0).StringAt(r)] = mix.prob_at(r);
+  }
+  EXPECT_NEAR(by_id["prod1"], 0.63, 1e-12);  // 0.7 * 0.9
+  EXPECT_NEAR(by_id["prod2"], 0.3, 1e-12);
+  EXPECT_NEAR(by_id["prod3"], 0.7, 1e-12);
+}
+
+TEST_F(EvalTest, BindingsResolveAcrossStatements) {
+  Evaluator ev(&catalog_, &cache_);
+  const char* src =
+      "toys = SELECT [$2=\"category\" and $3=\"toy\"] (triples);"
+      "ids = PROJECT MAX [$1] (toys);";
+  Program p = Program::Parse(src).ValueOrDie();
+  ProbRelation ids = ev.Eval(p, "ids").ValueOrDie();
+  EXPECT_EQ(ids.num_rows(), 2u);
+  ProbRelation toys = ev.Eval(p, "toys").ValueOrDie();
+  EXPECT_EQ(toys.arity(), 3u);
+}
+
+TEST_F(EvalTest, UnknownTableOrBindingFails) {
+  Evaluator ev(&catalog_, &cache_);
+  EXPECT_FALSE(ev.EvalExpression("SELECT [$1=\"x\"] (nope)").ok());
+  Program p = Program::Parse("a = triples;").ValueOrDie();
+  EXPECT_FALSE(ev.Eval(p, "zzz").ok());
+}
+
+TEST_F(EvalTest, IntermediatesAreMaterialized) {
+  Evaluator ev(&catalog_, &cache_);
+  ASSERT_TRUE(
+      ev.EvalExpression("SELECT [$2=\"description\"] (triples)").ok());
+  uint64_t misses = cache_.stats().misses;
+  // Second evaluation of the same expression hits the cache.
+  ASSERT_TRUE(
+      ev.EvalExpression("SELECT [$2=\"description\"] (triples)").ok());
+  EXPECT_EQ(cache_.stats().misses, misses);
+  EXPECT_GE(cache_.stats().hits, 1u);
+}
+
+TEST_F(EvalTest, CacheInvalidatedByTableReplacement) {
+  Evaluator ev(&catalog_, &cache_);
+  ProbRelation before =
+      ev.EvalExpression("SELECT [$2=\"description\"] (triples)")
+          .ValueOrDie();
+  EXPECT_EQ(before.num_rows(), 3u);
+  // Replace the table: signatures pin the version, so the stale entry is
+  // simply never hit again.
+  TripleStore store;
+  store.Add("x", "description", "fresh");
+  catalog_.Register("triples", store.StringTriples().ValueOrDie());
+  ProbRelation after =
+      ev.EvalExpression("SELECT [$2=\"description\"] (triples)")
+          .ValueOrDie();
+  EXPECT_EQ(after.num_rows(), 1u);
+}
+
+TEST_F(EvalTest, SubexpressionSharedAcrossQueries) {
+  Evaluator ev(&catalog_, &cache_);
+  // Two different programs share the description-selection subexpression.
+  ASSERT_TRUE(ev.EvalExpression("PROJECT [$1] (SELECT [$2=\"description\"] "
+                                "(triples))")
+                  .ok());
+  cache_.ResetCounters();
+  ASSERT_TRUE(ev.EvalExpression("PROJECT [$3] (SELECT [$2=\"description\"] "
+                                "(triples))")
+                  .ok());
+  EXPECT_GE(cache_.stats().hits, 1u);  // the SELECT was reused
+}
+
+TEST_F(EvalTest, TokenizeExplodesAndKeepsP) {
+  Evaluator ev(&catalog_, &cache_);
+  ProbRelation out =
+      ev.EvalExpression("TOKENIZE [$3, \"none\"] (SELECT "
+                        "[$2=\"description\" and $1=\"prod1\"] (triples))")
+          .ValueOrDie();
+  // "a red toy car" -> 4 tokens; attrs: subject, property, term, pos.
+  ASSERT_EQ(out.num_rows(), 4u);
+  EXPECT_EQ(out.arity(), 4u);
+  EXPECT_EQ(out.rel()->schema().field(out.arity()).name, "p");
+  EXPECT_EQ(out.rel()->column(2).StringAt(1), "red");
+}
+
+TEST_F(EvalTest, RankMatchesIrPipeline) {
+  Evaluator ev(&catalog_, &cache_);
+  Program p = Program::Parse(
+                  "docs = PROJECT [$1, $3] (SELECT [$2=\"description\"] "
+                  "(triples));"
+                  "hits = RANK BM25 [k1=1.2, b=0.75, "
+                  "analyzer=\"sb-english\"] (docs, query);")
+                  .ValueOrDie();
+  RelationBuilder qb({{"data", DataType::kString},
+                      {"p", DataType::kFloat64}});
+  ASSERT_TRUE(qb.AddRow({std::string("toy car"), 1.0}).ok());
+  catalog_.Register("query", qb.Build().ValueOrDie());
+
+  ProbRelation hits = ev.Eval(p).ValueOrDie();
+  ASSERT_EQ(hits.num_rows(), 1u);
+  EXPECT_EQ(hits.rel()->column(0).StringAt(0), "prod1");
+
+  // Cross-check the score against the direct IR pipeline on the same
+  // 3-document sub-collection (prod1's p = 1.0 for description).
+  RelationBuilder db({{"docID", DataType::kInt64},
+                      {"data", DataType::kString}});
+  ASSERT_TRUE(db.AddRow({int64_t{1}, std::string("a red toy car")}).ok());
+  ASSERT_TRUE(db.AddRow({int64_t{2}, std::string("a history book")}).ok());
+  ASSERT_TRUE(
+      db.AddRow({int64_t{3}, std::string("blue wooden blocks")}).ok());
+  Analyzer an = Analyzer::Make({}).ValueOrDie();
+  auto idx = TextIndex::Build(db.Build().ValueOrDie(), an).ValueOrDie();
+  RelationPtr q = idx->QueryTerms("toy car").ValueOrDie();
+  RelationPtr scored = RankBm25(*idx, q).ValueOrDie();
+  ASSERT_EQ(scored->num_rows(), 1u);
+  EXPECT_NEAR(hits.prob_at(0), scored->column(1).Float64At(0), 1e-9);
+}
+
+TEST_F(EvalTest, RankReusesOnDemandIndex) {
+  Evaluator ev(&catalog_, &cache_);
+  Program p = Program::Parse(
+                  "docs = PROJECT [$1, $3] (SELECT [$2=\"description\"] "
+                  "(triples));"
+                  "hits = RANK BM25 (docs, query);")
+                  .ValueOrDie();
+  for (const char* qtext : {"toy", "book", "blocks"}) {
+    RelationBuilder qb({{"data", DataType::kString},
+                        {"p", DataType::kFloat64}});
+    ASSERT_TRUE(qb.AddRow({std::string(qtext), 1.0}).ok());
+    catalog_.Register("query", qb.Build().ValueOrDie());
+    ASSERT_TRUE(ev.Eval(p).ok());
+  }
+  EXPECT_EQ(ev.stats().index_misses, 1u);
+  EXPECT_EQ(ev.stats().index_hits, 2u);
+}
+
+TEST_F(EvalTest, RankWeightedQueryRows) {
+  Evaluator ev(&catalog_, &cache_);
+  Program p = Program::Parse(
+                  "docs = PROJECT [$1, $3] (SELECT [$2=\"description\"] "
+                  "(triples));"
+                  "hits = RANK BM25 (docs, query);")
+                  .ValueOrDie();
+  // Two query rows: "toy" at weight 1 and "car" at weight 0.5.
+  RelationBuilder qb({{"data", DataType::kString},
+                      {"p", DataType::kFloat64}});
+  ASSERT_TRUE(qb.AddRow({std::string("toy"), 1.0}).ok());
+  ASSERT_TRUE(qb.AddRow({std::string("car"), 0.5}).ok());
+  catalog_.Register("query", qb.Build().ValueOrDie());
+  ProbRelation weighted = ev.Eval(p).ValueOrDie();
+
+  RelationBuilder qb2({{"data", DataType::kString},
+                       {"p", DataType::kFloat64}});
+  ASSERT_TRUE(qb2.AddRow({std::string("toy"), 1.0}).ok());
+  catalog_.Register("query", qb2.Build().ValueOrDie());
+  ProbRelation toy_only = ev.Eval(p).ValueOrDie();
+
+  // prod1 matches both terms; with the weighted extra term its score must
+  // strictly exceed the toy-only score.
+  EXPECT_GT(weighted.prob_at(0), toy_only.prob_at(0));
+}
+
+// ----------------------------------------------------------- SQL emitter --
+
+TEST_F(EvalTest, SqlEmissionMatchesPaperShape) {
+  const char* src =
+      "docs = PROJECT [$1,$6] (JOIN INDEPENDENT [$1=$1] ("
+      "SELECT [$2=\"category\" and $3=\"toy\"] (triples),"
+      "SELECT [$2=\"description\"] (triples)));";
+  Program p = Program::Parse(src).ValueOrDie();
+  std::string sql =
+      EmitSql(p.Lookup("docs").ValueOrDie(), p, catalog_).ValueOrDie();
+  // The paper's translation: p = t1.p * t2.p, category/description
+  // selections, join on subject.
+  EXPECT_NE(sql.find("t1.p * t2.p AS p"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("= 'toy'"), std::string::npos);
+  EXPECT_NE(sql.find("= 'description'"), std::string::npos);
+  EXPECT_NE(sql.find("t1.c1 = t2.c1"), std::string::npos);
+}
+
+TEST_F(EvalTest, SqlEmissionAggregates) {
+  Program p = Program::Parse(
+                  "a = PROJECT DISJOINT [$1] (triples);"
+                  "b = PROJECT INDEPENDENT [$1] (triples);"
+                  "c = BAYES [$2] (triples);")
+                  .ValueOrDie();
+  std::string a =
+      EmitSql(p.Lookup("a").ValueOrDie(), p, catalog_).ValueOrDie();
+  EXPECT_NE(a.find("SUM(t.p)"), std::string::npos);
+  EXPECT_NE(a.find("GROUP BY"), std::string::npos);
+  std::string b =
+      EmitSql(p.Lookup("b").ValueOrDie(), p, catalog_).ValueOrDie();
+  EXPECT_NE(b.find("1 - EXP(SUM(LN(1 - t.p)))"), std::string::npos);
+  std::string c =
+      EmitSql(p.Lookup("c").ValueOrDie(), p, catalog_).ValueOrDie();
+  EXPECT_NE(c.find("OVER (PARTITION BY t.c2)"), std::string::npos);
+}
+
+TEST_F(EvalTest, SqlEmissionRankCascade) {
+  Program p = Program::Parse(
+                  "docs = PROJECT [$1, $3] (SELECT [$2=\"description\"] "
+                  "(triples));"
+                  "hits = RANK BM25 [k1=1.2, b=0.75] (docs, query);")
+                  .ValueOrDie();
+  RelationBuilder qb({{"data", DataType::kString},
+                      {"p", DataType::kFloat64}});
+  ASSERT_TRUE(qb.AddRow({std::string("toy"), 1.0}).ok());
+  catalog_.Register("query", qb.Build().ValueOrDie());
+  std::string sql =
+      EmitSql(p.Lookup("hits").ValueOrDie(), p, catalog_).ValueOrDie();
+  // The paper's §2.1 view cascade.
+  for (const char* view : {"term_doc", "doc_len", "termdict", "tf AS",
+                           "idf AS", "tf_bm25", "qterms"}) {
+    EXPECT_NE(sql.find(view), std::string::npos) << view << "\n" << sql;
+  }
+  EXPECT_NE(sql.find("row_number() OVER ()"), std::string::npos);
+  EXPECT_NE(sql.find("stem(lcase("), std::string::npos);
+}
+
+TEST_F(EvalTest, ProgramSqlEmitsViews) {
+  Program p = Program::Parse(
+                  "a = SELECT [$2=\"description\"] (triples);"
+                  "b = PROJECT MAX [$1] (a);")
+                  .ValueOrDie();
+  std::string sql = EmitProgramSql(p, catalog_).ValueOrDie();
+  EXPECT_NE(sql.find("CREATE VIEW a AS"), std::string::npos);
+  EXPECT_NE(sql.find("CREATE VIEW b AS"), std::string::npos);
+  EXPECT_NE(sql.find("FROM a"), std::string::npos);
+}
+
+TEST_F(EvalTest, InferArity) {
+  Program p = Program::Parse(
+                  "a = SELECT [$2=\"x\"] (triples);"
+                  "b = PROJECT [$1, $2] (a);"
+                  "c = JOIN INDEPENDENT [$1=$1] (a, b);"
+                  "d = TOKENIZE [$3] (a);")
+                  .ValueOrDie();
+  EXPECT_EQ(InferArity(p.Lookup("a").ValueOrDie(), p, catalog_).ValueOrDie(),
+            3u);
+  EXPECT_EQ(InferArity(p.Lookup("b").ValueOrDie(), p, catalog_).ValueOrDie(),
+            2u);
+  EXPECT_EQ(InferArity(p.Lookup("c").ValueOrDie(), p, catalog_).ValueOrDie(),
+            5u);
+  EXPECT_EQ(InferArity(p.Lookup("d").ValueOrDie(), p, catalog_).ValueOrDie(),
+            4u);
+}
+
+}  // namespace
+}  // namespace spinql
+}  // namespace spindle

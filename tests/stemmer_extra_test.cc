@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "text/stemmer.h"
+
+namespace spindle {
+namespace {
+
+std::string German(const std::string& w) {
+  return GetStemmer("sb-german").ValueOrDie()->Stem(w);
+}
+
+std::string P1(const std::string& w) {
+  return GetStemmer("porter1").ValueOrDie()->Stem(w);
+}
+
+struct Vector {
+  const char* word;
+  const char* stem;
+};
+
+// ------------------------------------------------------------- German --
+
+class GermanVectors : public ::testing::TestWithParam<Vector> {};
+
+TEST_P(GermanVectors, StemsCorrectly) {
+  EXPECT_EQ(German(GetParam().word), GetParam().stem) << GetParam().word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1, GermanVectors,
+    ::testing::Values(Vector{"katzen", "katz"}, Vector{"laufen", "lauf"},
+                      Vector{"arbeiten", "arbeit"},
+                      Vector{"hauses", "haus"}, Vector{"tisch", "tisch"},
+                      Vector{"kinder", "kind"}, Vector{"bilder", "bild"},
+                      Vector{"lief", "lief"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Umlauts, GermanVectors,
+    ::testing::Values(Vector{"b\xc3\xbc" "cher", "buch"},   // bücher
+                      Vector{"h\xc3\xa4user", "haus"},       // häuser
+                      Vector{"sch\xc3\xb6nes", "schon"},     // schönes
+                      Vector{"gr\xc3\xb6\xc3\x9fte", "grosst"}));  // größte
+
+INSTANTIATE_TEST_SUITE_P(
+    Steps2and3, GermanVectors,
+    ::testing::Values(Vector{"schnellsten", "schnell"},
+                      Vector{"bedeutung", "bedeut"},
+                      Vector{"m\xc3\xb6glichkeiten", "moglich"},
+                      Vector{"fr\xc3\xb6hlich", "frohlich"}));
+
+TEST(GermanStemmerTest, ConflatesInflections) {
+  EXPECT_EQ(German("zeitungen"), German("zeitung"));
+  EXPECT_EQ(German("katze"), German("katzen"));
+  EXPECT_EQ(German("hauses"), German("haus"));
+}
+
+TEST(GermanStemmerTest, ShortWordsStable) {
+  EXPECT_EQ(German("ab"), "ab");
+  EXPECT_EQ(German(""), "");
+}
+
+// --------------------------------------------------------------- Dutch --
+
+std::string Dutch(const std::string& w) {
+  return GetStemmer("sb-dutch").ValueOrDie()->Stem(w);
+}
+
+class DutchVectors : public ::testing::TestWithParam<Vector> {};
+
+TEST_P(DutchVectors, StemsCorrectly) {
+  EXPECT_EQ(Dutch(GetParam().word), GetParam().stem) << GetParam().word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Core, DutchVectors,
+    ::testing::Values(Vector{"katten", "kat"},      // en + undouble
+                      Vector{"huizen", "huiz"},
+                      Vector{"kinderen", "kinder"},
+                      Vector{"honds", "hond"},       // s-ending
+                      Vector{"maan", "man"},         // vowel undoubling
+                      Vector{"brood", "brod"},       // (spec examples)
+                      Vector{"lichamelijk", "licham"},
+                      Vector{"mogelijkheden", "mogelijk"},
+                      Vector{"gemeente", "gemeent"},
+                      Vector{"eieren", "eier"}));
+
+TEST(DutchStemmerTest, ConflatesInflections) {
+  EXPECT_EQ(Dutch("mogelijkheden"), Dutch("mogelijkheid"));
+  EXPECT_EQ(Dutch("katten"), Dutch("kat"));
+}
+
+// ------------------------------------------------------------- Porter1 --
+
+class Porter1Vectors : public ::testing::TestWithParam<Vector> {};
+
+TEST_P(Porter1Vectors, StemsCorrectly) {
+  EXPECT_EQ(P1(GetParam().word), GetParam().stem) << GetParam().word;
+}
+
+// From the examples in Porter's 1980 paper.
+INSTANTIATE_TEST_SUITE_P(
+    PaperExamples, Porter1Vectors,
+    ::testing::Values(
+        Vector{"caresses", "caress"}, Vector{"ponies", "poni"},
+        Vector{"ties", "ti"},  // Porter1 differs from Porter2 here
+        Vector{"caress", "caress"}, Vector{"cats", "cat"},
+        Vector{"feed", "feed"}, Vector{"agreed", "agre"},
+        Vector{"plastered", "plaster"}, Vector{"bled", "bled"},
+        Vector{"motoring", "motor"}, Vector{"sing", "sing"},
+        Vector{"conflated", "conflat"}, Vector{"troubled", "troubl"},
+        Vector{"sized", "size"}, Vector{"hopping", "hop"},
+        Vector{"tanned", "tan"}, Vector{"falling", "fall"},
+        Vector{"hissing", "hiss"}, Vector{"fizzed", "fizz"},
+        Vector{"failing", "fail"}, Vector{"filing", "file"},
+        Vector{"happy", "happi"}, Vector{"sky", "sky"},
+        Vector{"relational", "relat"}, Vector{"conditional", "condit"},
+        Vector{"rational", "ration"}, Vector{"valenci", "valenc"},
+        Vector{"digitizer", "digit"}, Vector{"operator", "oper"},
+        Vector{"feudalism", "feudal"}, Vector{"decisiveness", "decis"},
+        Vector{"hopefulness", "hope"}, Vector{"formaliti", "formal"},
+        Vector{"formative", "form"}, Vector{"formalize", "formal"},
+        Vector{"electriciti", "electr"}, Vector{"electrical", "electr"},
+        Vector{"hopeful", "hope"}, Vector{"goodness", "good"},
+        Vector{"revival", "reviv"}, Vector{"allowance", "allow"},
+        Vector{"inference", "infer"}, Vector{"airliner", "airlin"},
+        Vector{"adjustable", "adjust"}, Vector{"defensible", "defens"},
+        Vector{"irritant", "irrit"}, Vector{"replacement", "replac"},
+        Vector{"adjustment", "adjust"}, Vector{"dependent", "depend"},
+        Vector{"adoption", "adopt"}, Vector{"communism", "commun"},
+        Vector{"activate", "activ"}, Vector{"angulariti", "angular"},
+        Vector{"homologous", "homolog"}, Vector{"effective", "effect"},
+        Vector{"bowdlerize", "bowdler"}, Vector{"probate", "probat"},
+        Vector{"rate", "rate"}, Vector{"cease", "ceas"},
+        Vector{"controll", "control"}, Vector{"roll", "roll"}));
+
+TEST(Porter1Test, DiffersFromPorter2WhereDocumented) {
+  const Stemmer* p2 = GetStemmer("sb-english").ValueOrDie();
+  // "ties": Porter1 -> ti, Porter2 -> tie.
+  EXPECT_EQ(P1("ties"), "ti");
+  EXPECT_EQ(p2->Stem("ties"), "tie");
+  // Porter2's exceptional forms are not in Porter1.
+  EXPECT_EQ(P1("skies"), "ski");
+  EXPECT_EQ(p2->Stem("skies"), "sky");
+}
+
+TEST(Porter1Test, ConflatesLikeP2OnCommonCases) {
+  const Stemmer* p2 = GetStemmer("sb-english").ValueOrDie();
+  for (const char* w : {"running", "cats", "motoring", "relational",
+                        "goodness", "electrical"}) {
+    EXPECT_EQ(P1(w), p2->Stem(w)) << w;
+  }
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "storage/string_dict.h"
+
+namespace spindle {
+namespace {
+
+TEST(ColumnTest, Int64Basics) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(3);
+  c.AppendInt64(-7);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Int64At(0), 3);
+  EXPECT_EQ(c.Int64At(1), -7);
+  EXPECT_EQ(c.ToStringAt(1), "-7");
+  EXPECT_EQ(std::get<int64_t>(c.ValueAt(0)), 3);
+}
+
+TEST(ColumnTest, StringBasics) {
+  Column c = Column::MakeString({"abc", "def"});
+  EXPECT_EQ(c.type(), DataType::kString);
+  EXPECT_EQ(c.StringAt(1), "def");
+  EXPECT_GT(c.ByteSize(), 0u);
+}
+
+TEST(ColumnTest, AppendValueTypeChecked) {
+  Column c(DataType::kInt64);
+  EXPECT_TRUE(c.AppendValue(Value(int64_t{5})).ok());
+  Status bad = c.AppendValue(Value(std::string("x")));
+  EXPECT_EQ(bad.code(), StatusCode::kTypeMismatch);
+}
+
+TEST(ColumnTest, Gather) {
+  Column c = Column::MakeInt64({10, 20, 30, 40});
+  Column g = c.Gather({3, 1, 1});
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.Int64At(0), 40);
+  EXPECT_EQ(g.Int64At(1), 20);
+  EXPECT_EQ(g.Int64At(2), 20);
+}
+
+TEST(ColumnTest, EqualsAndCompare) {
+  Column a = Column::MakeFloat64({1.0, 2.5});
+  Column b = Column::MakeFloat64({1.0, 2.5});
+  Column c = Column::MakeFloat64({1.0, 2.6});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_LT(a.ElementCompare(1, c, 1), 0);
+  EXPECT_EQ(a.ElementCompare(0, c, 0), 0);
+}
+
+TEST(ColumnTest, HashConsistentWithEquality) {
+  Column a = Column::MakeString({"term", "term", "other"});
+  EXPECT_EQ(a.HashAt(0), a.HashAt(1));
+  EXPECT_NE(a.HashAt(0), a.HashAt(2));
+}
+
+TEST(SchemaTest, FindAndToString) {
+  Schema s({{"docID", DataType::kInt64}, {"data", DataType::kString}});
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(*s.FindField("data"), 1u);
+  EXPECT_FALSE(s.FindField("nope").has_value());
+  EXPECT_EQ(s.ToString(), "(docID: int64, data: string)");
+}
+
+TEST(SchemaTest, TypesEqualIgnoresNames) {
+  Schema a({{"x", DataType::kInt64}});
+  Schema b({{"y", DataType::kInt64}});
+  Schema c({{"x", DataType::kString}});
+  EXPECT_TRUE(a.TypesEqual(b));
+  EXPECT_FALSE(a.Equals(b));
+  EXPECT_FALSE(a.TypesEqual(c));
+}
+
+TEST(RelationTest, MakeValidatesShape) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  {
+    std::vector<Column> cols;
+    cols.push_back(Column::MakeInt64({1, 2}));
+    cols.push_back(Column::MakeString({"x", "y"}));
+    auto r = Relation::Make(s, std::move(cols));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.ValueOrDie()->num_rows(), 2u);
+  }
+  {
+    std::vector<Column> cols;
+    cols.push_back(Column::MakeInt64({1, 2}));
+    auto r = Relation::Make(s, std::move(cols));
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    std::vector<Column> cols;
+    cols.push_back(Column::MakeInt64({1, 2}));
+    cols.push_back(Column::MakeString({"x"}));
+    auto r = Relation::Make(s, std::move(cols));
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    std::vector<Column> cols;
+    cols.push_back(Column::MakeString({"x", "y"}));
+    cols.push_back(Column::MakeString({"x", "y"}));
+    auto r = Relation::Make(s, std::move(cols));
+    EXPECT_EQ(r.status().code(), StatusCode::kTypeMismatch);
+  }
+}
+
+TEST(RelationTest, EmptyAndRowAccess) {
+  Schema s({{"a", DataType::kInt64}});
+  RelationPtr e = Relation::Empty(s);
+  EXPECT_EQ(e->num_rows(), 0u);
+
+  RelationBuilder b({{"a", DataType::kInt64}, {"p", DataType::kFloat64}});
+  ASSERT_TRUE(b.AddRow({int64_t{1}, 0.5}).ok());
+  ASSERT_TRUE(b.AddRow({int64_t{2}, 0.25}).ok());
+  RelationPtr r = b.Build().ValueOrDie();
+  auto row = r->Row(1);
+  EXPECT_EQ(std::get<int64_t>(row[0]), 2);
+  EXPECT_EQ(std::get<double>(row[1]), 0.25);
+}
+
+TEST(RelationTest, BuilderRejectsWrongArity) {
+  RelationBuilder b({{"a", DataType::kInt64}});
+  EXPECT_FALSE(b.AddRow({int64_t{1}, int64_t{2}}).ok());
+}
+
+TEST(RelationTest, EqualsIsDeep) {
+  RelationBuilder b1({{"a", DataType::kInt64}});
+  RelationBuilder b2({{"a", DataType::kInt64}});
+  ASSERT_TRUE(b1.AddRow({int64_t{1}}).ok());
+  ASSERT_TRUE(b2.AddRow({int64_t{1}}).ok());
+  RelationPtr r1 = b1.Build().ValueOrDie();
+  RelationPtr r2 = b2.Build().ValueOrDie();
+  EXPECT_TRUE(r1->Equals(*r2));
+}
+
+TEST(RelationTest, ToStringTruncates) {
+  RelationBuilder b({{"a", DataType::kInt64}});
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(b.AddRow({int64_t{i}}).ok());
+  RelationPtr r = b.Build().ValueOrDie();
+  std::string s = r->ToString(5);
+  EXPECT_NE(s.find("[30 rows]"), std::string::npos);
+  EXPECT_NE(s.find("(25 more)"), std::string::npos);
+}
+
+TEST(CatalogTest, RegisterGetVersion) {
+  Catalog cat;
+  EXPECT_FALSE(cat.Get("t").ok());
+  EXPECT_EQ(cat.Version("t"), 0u);
+
+  RelationPtr r = Relation::Empty(Schema({{"a", DataType::kInt64}}));
+  cat.Register("t", r);
+  EXPECT_TRUE(cat.Contains("t"));
+  uint64_t v1 = cat.Version("t");
+  EXPECT_GT(v1, 0u);
+  ASSERT_TRUE(cat.Get("t").ok());
+
+  cat.Register("t", r);  // replace bumps version
+  EXPECT_GT(cat.Version("t"), v1);
+
+  cat.Drop("t");
+  EXPECT_FALSE(cat.Contains("t"));
+}
+
+TEST(CatalogTest, ListIsSorted) {
+  Catalog cat;
+  RelationPtr r = Relation::Empty(Schema({{"a", DataType::kInt64}}));
+  cat.Register("zeta", r);
+  cat.Register("alpha", r);
+  auto names = cat.List();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(StringDictTest, InternIsIdempotent) {
+  StringDict dict;
+  int64_t a = dict.Intern("book");
+  int64_t b = dict.Intern("cake");
+  EXPECT_EQ(dict.Intern("book"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.StringFor(a), "book");
+  EXPECT_EQ(dict.StringFor(b), "cake");
+  EXPECT_EQ(dict.Lookup("book"), a);
+  EXPECT_EQ(dict.Lookup("absent"), -1);
+  EXPECT_EQ(dict.size(), 2);
+}
+
+TEST(StringDictTest, FirstIdRespected) {
+  StringDict dict(100);
+  EXPECT_EQ(dict.Intern("x"), 100);
+  EXPECT_EQ(dict.Intern("y"), 101);
+  EXPECT_EQ(dict.StringFor(101), "y");
+}
+
+TEST(StringDictTest, SurvivesReallocation) {
+  StringDict dict;
+  // Force multiple growth cycles with small (SSO) strings whose buffers
+  // move on vector reallocation.
+  for (int i = 0; i < 1000; ++i) {
+    std::string w = "w";
+    w += std::to_string(i);
+    dict.Intern(w);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    std::string w = "w";
+    w += std::to_string(i);
+    EXPECT_EQ(dict.Lookup(w), 1 + i) << w;
+    EXPECT_EQ(dict.StringFor(1 + i), w);
+  }
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "strategy/prebuilt.h"
+#include "strategy/strategy.h"
+#include "workload/graph_gen.h"
+
+namespace spindle {
+namespace strategy {
+namespace {
+
+std::map<std::string, double> ById(const ProbRelation& rel) {
+  std::map<std::string, double> out;
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    out[rel.rel()->column(0).StringAt(r)] = rel.prob_at(r);
+  }
+  return out;
+}
+
+/// Hand-crafted catalog for the toy scenario.
+void RegisterToyCatalog(Catalog* catalog) {
+  TripleStore store;
+  auto product = [&](const std::string& id, const std::string& cat,
+                     const std::string& desc) {
+    store.Add(id, "type", "product");
+    store.Add(id, "category", cat);
+    store.Add(id, "description", desc);
+  };
+  product("prod1", "toy", "a wooden train set for children");
+  product("prod2", "toy", "remote controlled racing car");
+  product("prod3", "book", "history of wooden ships");
+  product("prod4", "toy", "plush bear");
+  ASSERT_TRUE(store.RegisterInto(*catalog).ok());
+}
+
+/// Hand-crafted auction graph. Large enough that single-document terms
+/// have positive BM25 idf (idf = ln((N - df + 0.5)/(df + 0.5)) needs
+/// N >= 2 per matching document).
+void RegisterAuctionCatalog(Catalog* catalog) {
+  TripleStore store;
+  auto lot = [&](const std::string& id, const std::string& desc,
+                 const std::string& auction) {
+    store.Add(id, "type", "lot");
+    store.Add(id, "description", desc);
+    store.Add(id, "hasAuction", auction);
+  };
+  auto auction = [&](const std::string& id, const std::string& desc) {
+    store.Add(id, "type", "auction");
+    store.Add(id, "description", desc);
+  };
+  auction("auction1", "estate sale of antique furniture");
+  auction("auction2", "modern art collection");
+  auction("auction3", "rare coins and stamps");
+  auction("auction4", "garden tools clearance");
+  lot("lot1", "antique oak table", "auction1");
+  lot("lot2", "silver spoon", "auction1");
+  lot("lot3", "abstract painting", "auction2");
+  lot("lot4", "roman coin", "auction3");
+  lot("lot5", "steel shovel", "auction4");
+  lot("lot6", "hedge trimmer", "auction4");
+  ASSERT_TRUE(store.RegisterInto(*catalog).ok());
+}
+
+TEST(StrategyGraphTest, AddValidatesArity) {
+  Strategy s;
+  EXPECT_FALSE(s.Add(MakeTopKBlock(3)).ok());  // needs one input
+  int src = s.Add(MakeSelectByTypeBlock("lot")).ValueOrDie();
+  EXPECT_TRUE(s.Add(MakeTopKBlock(3), {src}).ok());
+  EXPECT_FALSE(s.Add(MakeTopKBlock(3), {42}).ok());  // unknown id
+}
+
+TEST(StrategyGraphTest, DescribeListsBlocks) {
+  Strategy s = MakeToyStrategy().ValueOrDie();
+  std::string desc = s.Describe();
+  EXPECT_NE(desc.find("Select type product"), std::string::npos);
+  EXPECT_NE(desc.find("Rank by Text bm25"), std::string::npos);
+  EXPECT_NE(desc.find("Top 10"), std::string::npos);
+}
+
+TEST(StrategyGraphTest, CompileProducesSpinql) {
+  Strategy s = MakeToyStrategy().ValueOrDie();
+  spinql::Program p = s.Compile().ValueOrDie();
+  std::string text = p.ToString();
+  // The combined program contains the blocks' SpinQL fragments.
+  EXPECT_NE(text.find("SELECT [and(eq($2, \"type\"), eq($3, \"product\"))]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("RANK BM25"), std::string::npos);
+  EXPECT_NE(text.find("TOPK [10]"), std::string::npos);
+}
+
+TEST(StrategyGraphTest, EmptyStrategyRejected) {
+  Strategy s;
+  EXPECT_FALSE(s.Compile().ok());
+}
+
+TEST(ToyStrategyTest, EndToEnd) {
+  Catalog catalog;
+  RegisterToyCatalog(&catalog);
+  MaterializationCache cache(64 << 20);
+  StrategyExecutor exec(&catalog, &cache);
+  Strategy s = MakeToyStrategy().ValueOrDie();
+
+  ProbRelation hits = exec.Run(s, "wooden").ValueOrDie();
+  auto by_id = ById(hits);
+  // Only toy products are searched: prod3 ("history of wooden ships") is
+  // a book and must not appear even though it matches the keyword.
+  ASSERT_EQ(by_id.size(), 1u);
+  EXPECT_TRUE(by_id.count("prod1"));
+}
+
+TEST(ToyStrategyTest, CategoryParameter) {
+  Catalog catalog;
+  RegisterToyCatalog(&catalog);
+  MaterializationCache cache(64 << 20);
+  StrategyExecutor exec(&catalog, &cache);
+  ToyStrategyOptions opts;
+  opts.category = "book";
+  Strategy s = MakeToyStrategy(opts).ValueOrDie();
+  ProbRelation hits = exec.Run(s, "wooden").ValueOrDie();
+  auto by_id = ById(hits);
+  ASSERT_EQ(by_id.size(), 1u);
+  EXPECT_TRUE(by_id.count("prod3"));
+}
+
+TEST(ToyStrategyTest, HotRequestsReuseIndex) {
+  Catalog catalog;
+  RegisterToyCatalog(&catalog);
+  MaterializationCache cache(64 << 20);
+  StrategyExecutor exec(&catalog, &cache);
+  Strategy s = MakeToyStrategy().ValueOrDie();
+  ASSERT_TRUE(exec.Run(s, "wooden train").ok());
+  ASSERT_TRUE(exec.Run(s, "racing car").ok());
+  ASSERT_TRUE(exec.Run(s, "plush bear").ok());
+  EXPECT_EQ(exec.evaluator().stats().index_misses, 1u);
+  EXPECT_EQ(exec.evaluator().stats().index_hits, 2u);
+}
+
+TEST(AuctionStrategyTest, LeftBranchFindsLotByOwnDescription) {
+  Catalog catalog;
+  RegisterAuctionCatalog(&catalog);
+  MaterializationCache cache(64 << 20);
+  StrategyExecutor exec(&catalog, &cache);
+  Strategy s = MakeAuctionStrategy().ValueOrDie();
+  ProbRelation hits = exec.Run(s, "silver spoon").ValueOrDie();
+  auto by_id = ById(hits);
+  ASSERT_TRUE(by_id.count("lot2"));
+  // lot2 should be the top result.
+  EXPECT_EQ(hits.rel()->column(0).StringAt(0), "lot2");
+}
+
+TEST(AuctionStrategyTest, RightBranchPropagatesAuctionScores) {
+  Catalog catalog;
+  RegisterAuctionCatalog(&catalog);
+  MaterializationCache cache(64 << 20);
+  StrategyExecutor exec(&catalog, &cache);
+  Strategy s = MakeAuctionStrategy().ValueOrDie();
+  // "estate furniture" matches only auction1's description; both its lots
+  // inherit the score through the backward traversal.
+  ProbRelation hits = exec.Run(s, "estate furniture").ValueOrDie();
+  auto by_id = ById(hits);
+  EXPECT_TRUE(by_id.count("lot1"));
+  EXPECT_TRUE(by_id.count("lot2"));
+  EXPECT_FALSE(by_id.count("lot3"));
+  // Both lots inherit the same auction score, scaled by the mix weight.
+  EXPECT_NEAR(by_id["lot1"], by_id["lot2"], 1e-12);
+}
+
+TEST(AuctionStrategyTest, MixWeightsChangeRanking) {
+  Catalog catalog;
+  RegisterAuctionCatalog(&catalog);
+  MaterializationCache cache(64 << 20);
+  StrategyExecutor exec(&catalog, &cache);
+
+  // "antique" matches lot1's own description AND auction1's description.
+  AuctionStrategyOptions lot_heavy;
+  lot_heavy.lot_weight = 1.0;
+  lot_heavy.auction_weight = 0.0;
+  Strategy s1 = MakeAuctionStrategy(lot_heavy).ValueOrDie();
+  auto r1 = ById(exec.Run(s1, "antique").ValueOrDie());
+  // With no auction branch, lot2 (same auction, no own match) scores 0
+  // and is absent or zero.
+  EXPECT_GT(r1["lot1"], 0.0);
+  EXPECT_DOUBLE_EQ(r1.count("lot2") ? r1["lot2"] : 0.0, 0.0);
+
+  AuctionStrategyOptions auction_heavy;
+  auction_heavy.lot_weight = 0.0;
+  auction_heavy.auction_weight = 1.0;
+  Strategy s2 = MakeAuctionStrategy(auction_heavy).ValueOrDie();
+  auto r2 = ById(exec.Run(s2, "antique").ValueOrDie());
+  // Pure auction branch: lot1 and lot2 (same auction) tie.
+  ASSERT_TRUE(r2.count("lot1"));
+  ASSERT_TRUE(r2.count("lot2"));
+  EXPECT_NEAR(r2["lot1"], r2["lot2"], 1e-12);
+}
+
+TEST(AuctionStrategyTest, MixIsLinear) {
+  Catalog catalog;
+  RegisterAuctionCatalog(&catalog);
+  MaterializationCache cache(64 << 20);
+  StrategyExecutor exec(&catalog, &cache);
+  auto run = [&](double wl, double wr) {
+    AuctionStrategyOptions o;
+    o.lot_weight = wl;
+    o.auction_weight = wr;
+    Strategy s = MakeAuctionStrategy(o).ValueOrDie();
+    return ById(exec.Run(s, "antique").ValueOrDie());
+  };
+  auto left = run(1.0, 0.0);
+  auto right = run(0.0, 1.0);
+  auto mixed = run(0.7, 0.3);
+  EXPECT_NEAR(mixed["lot1"], 0.7 * left["lot1"] + 0.3 * right["lot1"],
+              1e-9);
+}
+
+TEST(ProductionStrategyTest, RunsOnGeneratedGraph) {
+  AuctionGraphOptions gopts;
+  gopts.num_lots = 200;
+  gopts.num_auctions = 10;
+  TripleStore store = GenerateAuctionGraph(gopts).ValueOrDie();
+  Catalog catalog;
+  ASSERT_TRUE(store.RegisterInto(catalog).ok());
+  MaterializationCache cache(256 << 20);
+  StrategyExecutor exec(&catalog, &cache);
+  Strategy s = MakeProductionStrategy().ValueOrDie();
+  auto queries = GenerateAuctionQueries(gopts, 3, 3);
+  for (const auto& q : queries) {
+    auto hits = exec.Run(s, q);
+    ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+    EXPECT_LE(hits.ValueOrDie().num_rows(), 10u);
+  }
+}
+
+TEST(ProductionStrategyTest, SynonymExpansionWidensResults) {
+  TripleStore store;
+  store.Add("lot1", "type", "lot");
+  store.Add("lot1", "description", "antique chair");
+  store.Add("lot1", "title", "chair");
+  store.Add("lot1", "hasAuction", "auction1");
+  store.Add("lot2", "type", "lot");
+  store.Add("lot2", "description", "vintage stool");
+  store.Add("lot2", "title", "stool");
+  store.Add("lot2", "hasAuction", "auction1");
+  // Filler lots so single-document terms keep positive idf.
+  for (int i = 3; i <= 6; ++i) {
+    std::string id = "lot" + std::to_string(i);
+    store.Add(id, "type", "lot");
+    store.Add(id, "description", "ceramic vase lot number " +
+                                     std::to_string(i));
+    store.Add(id, "title", "vase");
+    store.Add(id, "hasAuction", "auction1");
+  }
+  store.Add("auction1", "type", "auction");
+  store.Add("auction1", "description", "furniture");
+  store.Add("chair", "synonym", "stool");
+  Catalog catalog;
+  ASSERT_TRUE(store.RegisterInto(catalog).ok());
+  MaterializationCache cache(64 << 20);
+  StrategyExecutor exec(&catalog, &cache);
+
+  ProductionStrategyOptions no_syn;
+  no_syn.expand_synonyms = false;
+  auto plain =
+      ById(exec.Run(MakeProductionStrategy(no_syn).ValueOrDie(), "chair")
+               .ValueOrDie());
+  ProductionStrategyOptions with_syn;
+  with_syn.expand_synonyms = true;
+  auto expanded =
+      ById(exec.Run(MakeProductionStrategy(with_syn).ValueOrDie(), "chair")
+               .ValueOrDie());
+  // Without expansion only lot1 matches "chair"; with the chair->stool
+  // synonym, lot2 enters the result list too.
+  EXPECT_TRUE(plain.count("lot1"));
+  EXPECT_FALSE(plain.count("lot2"));
+  EXPECT_TRUE(expanded.count("lot1"));
+  EXPECT_TRUE(expanded.count("lot2"));
+  // The synonym match carries reduced weight: lot1 still wins.
+  EXPECT_GT(expanded["lot1"], expanded["lot2"]);
+}
+
+TEST(ProductionStrategyTest, CompoundExpansionFindsConcatenations) {
+  TripleStore store;
+  store.Add("lot1", "type", "lot");
+  store.Add("lot1", "description", "mechanical keyboard with red switches");
+  store.Add("lot1", "title", "keyboard");
+  store.Add("lot1", "hasAuction", "auction1");
+  for (int i = 2; i <= 6; ++i) {
+    std::string id = "lot" + std::to_string(i);
+    store.Add(id, "type", "lot");
+    store.Add(id, "description", "ceramic vase number " + std::to_string(i));
+    store.Add(id, "title", "vase");
+    store.Add(id, "hasAuction", "auction1");
+  }
+  store.Add("auction1", "type", "auction");
+  store.Add("auction1", "description", "electronics sale");
+  Catalog catalog;
+  ASSERT_TRUE(store.RegisterInto(catalog).ok());
+  MaterializationCache cache(64 << 20);
+  StrategyExecutor exec(&catalog, &cache);
+
+  // The user types "key board"; neither token exists in the collection,
+  // but the compound "keyboard" does.
+  ProductionStrategyOptions off;
+  off.expand_synonyms = false;
+  off.expand_compounds = false;
+  auto plain = ById(
+      exec.Run(MakeProductionStrategy(off).ValueOrDie(), "key board")
+          .ValueOrDie());
+  EXPECT_FALSE(plain.count("lot1"));
+
+  ProductionStrategyOptions on;
+  on.expand_synonyms = false;
+  on.expand_compounds = true;
+  auto expanded = ById(
+      exec.Run(MakeProductionStrategy(on).ValueOrDie(), "key board")
+          .ValueOrDie());
+  EXPECT_TRUE(expanded.count("lot1"));
+}
+
+TEST(ProductionStrategyTest, BranchCountMatchesOptions) {
+  ProductionStrategyOptions opts;
+  opts.branches = {{"description", 0.5, false}, {"title", 0.5, false}};
+  Strategy s = MakeProductionStrategy(opts).ValueOrDie();
+  spinql::Program p = s.Compile().ValueOrDie();
+  // Two RANK statements in the compiled program.
+  std::string text = p.ToString();
+  size_t count = 0, at = 0;
+  while ((at = text.find("RANK", at)) != std::string::npos) {
+    ++count;
+    at += 4;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace strategy
+}  // namespace spindle

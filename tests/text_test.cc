@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "text/analyzer.h"
+#include "text/stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace spindle {
+namespace {
+
+TEST(TokenizerTest, BasicSplit) {
+  auto toks = Tokenize("Hello, world! 42 times");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], (Token{"Hello", 0}));
+  EXPECT_EQ(toks[1], (Token{"world", 1}));
+  EXPECT_EQ(toks[2], (Token{"42", 2}));
+  EXPECT_EQ(toks[3], (Token{"times", 3}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... --- !!!").empty());
+}
+
+TEST(TokenizerTest, InWordApostropheKept) {
+  auto toks = Tokenize("don't stop");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "don't");
+}
+
+TEST(TokenizerTest, TrailingApostropheNotKept) {
+  auto toks = Tokenize("the boys' toys");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "boys");
+}
+
+TEST(TokenizerTest, NumbersCanBeDropped) {
+  TokenizerOptions opts;
+  opts.keep_numbers = false;
+  auto toks = Tokenize("call 911 now", opts);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "call");
+  EXPECT_EQ(toks[1].text, "now");
+}
+
+TEST(TokenizerTest, LengthFilters) {
+  TokenizerOptions opts;
+  opts.min_token_len = 2;
+  opts.max_token_len = 5;
+  auto toks = Tokenize("a ab abcdef abc", opts);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "ab");
+  EXPECT_EQ(toks[1].text, "abc");
+  // Positions count all tokens, including filtered ones.
+  EXPECT_EQ(toks[0].pos, 1);
+  EXPECT_EQ(toks[1].pos, 3);
+}
+
+TEST(TokenizerTest, Utf8BytesTreatedAsLetters) {
+  auto toks = Tokenize("caf\xc3\xa9 au lait");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "caf\xc3\xa9");
+}
+
+TEST(StemmerRegistryTest, KnownNames) {
+  for (const auto& name : ListStemmers()) {
+    EXPECT_TRUE(GetStemmer(name).ok()) << name;
+  }
+  EXPECT_FALSE(GetStemmer("klingon").ok());
+}
+
+TEST(StemmerRegistryTest, AliasesShareImplementation) {
+  const Stemmer* a = GetStemmer("sb-english").ValueOrDie();
+  const Stemmer* b = GetStemmer("porter2").ValueOrDie();
+  EXPECT_EQ(a, b);
+}
+
+TEST(SStemmerTest, HarmanRules) {
+  const Stemmer* s = GetStemmer("s-english").ValueOrDie();
+  EXPECT_EQ(s->Stem("ponies"), "pony");
+  EXPECT_EQ(s->Stem("skies"), "sky");
+  EXPECT_EQ(s->Stem("churches"), "churche");  // es -> e
+  EXPECT_EQ(s->Stem("cats"), "cat");
+  EXPECT_EQ(s->Stem("class"), "class");   // ss kept
+  EXPECT_EQ(s->Stem("corpus"), "corpus"); // us kept
+  EXPECT_EQ(s->Stem("is"), "is");         // too short
+}
+
+TEST(LightStemmersTest, DutchConflation) {
+  const Stemmer* s = GetStemmer("sb-dutch").ValueOrDie();
+  EXPECT_EQ(s->Stem("mogelijkheden"), s->Stem("mogelijkheid"));
+  EXPECT_EQ(s->Stem("katten"), "kat");
+  EXPECT_EQ(s->Stem("kat"), "kat");
+}
+
+TEST(LightStemmersTest, GermanConflation) {
+  const Stemmer* s = GetStemmer("sb-german").ValueOrDie();
+  EXPECT_EQ(s->Stem("zeitungen"), s->Stem("zeitung"));
+  EXPECT_EQ(s->Stem("kinder"), "kind");
+}
+
+TEST(LightStemmersTest, FrenchConflation) {
+  const Stemmer* s = GetStemmer("sb-french").ValueOrDie();
+  EXPECT_EQ(s->Stem("nationales"), s->Stem("national"));
+  EXPECT_EQ(s->Stem("chanter"), "chant");
+}
+
+TEST(LightStemmersTest, DifferentLanguagesDiffer) {
+  // The same surface form can stem differently per language — this is why
+  // on-demand indexing with a configurable analyzer matters (paper §2.1).
+  const Stemmer* en = GetStemmer("sb-english").ValueOrDie();
+  const Stemmer* de = GetStemmer("sb-german").ValueOrDie();
+  EXPECT_NE(en->Stem("running"), de->Stem("running"));
+}
+
+TEST(StopwordsTest, CommonWordsPresent) {
+  EXPECT_TRUE(IsEnglishStopword("the"));
+  EXPECT_TRUE(IsEnglishStopword("and"));
+  EXPECT_TRUE(IsEnglishStopword("of"));
+  EXPECT_FALSE(IsEnglishStopword("retrieval"));
+  EXPECT_GT(EnglishStopwords().size(), 100u);
+}
+
+TEST(AnalyzerTest, DefaultMatchesPaperPipeline) {
+  // stem(lcase(token), 'sb-english') over the tokenizer output.
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  auto toks = a.Analyze("Books about History");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], (Token{"book", 0}));
+  EXPECT_EQ(toks[1], (Token{"about", 1}));
+  EXPECT_EQ(toks[2], (Token{"histori", 2}));
+}
+
+TEST(AnalyzerTest, StopwordRemovalKeepsPositions) {
+  AnalyzerOptions opts;
+  opts.remove_stopwords = true;
+  Analyzer a = Analyzer::Make(opts).ValueOrDie();
+  auto toks = a.Analyze("the history of books");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], (Token{"histori", 1}));
+  EXPECT_EQ(toks[1], (Token{"book", 3}));
+}
+
+TEST(AnalyzerTest, NoStemming) {
+  AnalyzerOptions opts;
+  opts.stemmer = "none";
+  Analyzer a = Analyzer::Make(opts).ValueOrDie();
+  auto toks = a.Analyze("Books");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].text, "books");
+}
+
+TEST(AnalyzerTest, CaseSensitiveWhenDisabled) {
+  AnalyzerOptions opts;
+  opts.lowercase = false;
+  opts.stemmer = "none";
+  Analyzer a = Analyzer::Make(opts).ValueOrDie();
+  EXPECT_EQ(a.Analyze("Books")[0].text, "Books");
+}
+
+TEST(AnalyzerTest, AnalyzeTermMatchesAnalyze) {
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  EXPECT_EQ(a.AnalyzeTerm("Connections"), "connect");
+}
+
+TEST(AnalyzerTest, UnknownStemmerRejected) {
+  AnalyzerOptions opts;
+  opts.stemmer = "nope";
+  EXPECT_FALSE(Analyzer::Make(opts).ok());
+}
+
+TEST(AnalyzerTest, SignatureDistinguishesConfigs) {
+  AnalyzerOptions a, b;
+  b.stemmer = "none";
+  EXPECT_NE(a.Signature(), b.Signature());
+  AnalyzerOptions c;
+  EXPECT_EQ(a.Signature(), c.Signature());
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "engine/materialization_cache.h"
+#include "triples/graph.h"
+#include "triples/partitioning.h"
+#include "triples/triple_store.h"
+
+namespace spindle {
+namespace {
+
+/// The paper's §3 auction micro-graph: lots in auctions.
+TripleStore AuctionGraph() {
+  TripleStore store;
+  store.Add("lot23", "type", "lot");
+  store.Add("lot24", "type", "lot");
+  store.Add("lot25", "type", "lot");
+  store.Add("auction12", "type", "auction");
+  store.Add("lot23", "hasAuction", "auction12");
+  store.Add("lot24", "hasAuction", "auction12");
+  store.Add("lot25", "hasAuction", "auction13");
+  store.Add("lot23", "description", "antique oak table");
+  store.Add("lot24", "description", "vintage silver spoon");
+  store.Add("auction12", "description", "estate sale of antiques");
+  store.AddInt("lot23", "startPrice", 100);
+  store.AddFloat("lot23", "weightKg", 12.5);
+  return store;
+}
+
+TEST(TripleStoreTest, TypePartitioning) {
+  TripleStore store = AuctionGraph();
+  EXPECT_EQ(store.size(), 12u);
+  RelationPtr s = store.StringTriples().ValueOrDie();
+  RelationPtr i = store.IntTriples().ValueOrDie();
+  RelationPtr f = store.FloatTriples().ValueOrDie();
+  EXPECT_EQ(s->num_rows(), 10u);
+  EXPECT_EQ(i->num_rows(), 1u);
+  EXPECT_EQ(f->num_rows(), 1u);
+  EXPECT_EQ(i->column(2).type(), DataType::kInt64);
+  EXPECT_EQ(f->column(2).type(), DataType::kFloat64);
+}
+
+TEST(TripleStoreTest, AllAsStringsSerializes) {
+  TripleStore store = AuctionGraph();
+  RelationPtr all = store.AllAsStrings().ValueOrDie();
+  EXPECT_EQ(all->num_rows(), 12u);
+  // The int and float objects are serialized.
+  bool found_int = false, found_float = false;
+  for (size_t r = 0; r < all->num_rows(); ++r) {
+    if (all->column(2).StringAt(r) == "100") found_int = true;
+    if (all->column(2).StringAt(r) == "12.5") found_float = true;
+  }
+  EXPECT_TRUE(found_int);
+  EXPECT_TRUE(found_float);
+}
+
+TEST(TripleStoreTest, RegisterInto) {
+  TripleStore store = AuctionGraph();
+  Catalog cat;
+  ASSERT_TRUE(store.RegisterInto(cat).ok());
+  EXPECT_TRUE(cat.Contains("triples"));
+  EXPECT_TRUE(cat.Contains("triples_int"));
+  EXPECT_TRUE(cat.Contains("triples_float"));
+}
+
+TEST(TripleStoreTest, DefaultProbabilityIsOne) {
+  TripleStore store;
+  store.Add("s", "p", "o");
+  store.Add("s2", "p", "o2", 0.4);
+  RelationPtr rel = store.StringTriples().ValueOrDie();
+  EXPECT_DOUBLE_EQ(rel->column(3).Float64At(0), 1.0);
+  EXPECT_DOUBLE_EQ(rel->column(3).Float64At(1), 0.4);
+}
+
+class PartitioningTest : public ::testing::TestWithParam<TripleLayout> {};
+
+TEST_P(PartitioningTest, AllLayoutsAgree) {
+  TripleStore store = AuctionGraph();
+  RelationPtr triples = store.StringTriples().ValueOrDie();
+  MaterializationCache cache(16 << 20);
+  auto part =
+      PartitionedTriples::Make(triples, GetParam(),
+                               GetParam() == TripleLayout::kAdaptive
+                                   ? &cache
+                                   : nullptr)
+          .ValueOrDie();
+  RelationPtr desc = part.Pattern("description").ValueOrDie();
+  EXPECT_EQ(desc->num_rows(), 3u);
+  EXPECT_EQ(desc->num_columns(), 3u);  // (subject, object, p)
+  RelationPtr none = part.Pattern("noSuchProperty").ValueOrDie();
+  EXPECT_EQ(none->num_rows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, PartitioningTest,
+                         ::testing::Values(TripleLayout::kSingleTable,
+                                           TripleLayout::kPerProperty,
+                                           TripleLayout::kAdaptive));
+
+TEST(PartitioningTest, PerPropertyBuildsEagerly) {
+  TripleStore store = AuctionGraph();
+  RelationPtr triples = store.StringTriples().ValueOrDie();
+  auto part = PartitionedTriples::Make(triples, TripleLayout::kPerProperty,
+                                       nullptr)
+                  .ValueOrDie();
+  EXPECT_EQ(part.num_partitions(), 3u);  // type, hasAuction, description
+}
+
+TEST(PartitioningTest, AdaptiveCachesOnSecondAccess) {
+  TripleStore store = AuctionGraph();
+  RelationPtr triples = store.StringTriples().ValueOrDie();
+  MaterializationCache cache(16 << 20);
+  auto part =
+      PartitionedTriples::Make(triples, TripleLayout::kAdaptive, &cache)
+          .ValueOrDie();
+  ASSERT_TRUE(part.Pattern("description").ok());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  ASSERT_TRUE(part.Pattern("description").ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // Only the accessed property was materialized.
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(PartitioningTest, AdaptiveRequiresCache) {
+  TripleStore store = AuctionGraph();
+  RelationPtr triples = store.StringTriples().ValueOrDie();
+  EXPECT_FALSE(
+      PartitionedTriples::Make(triples, TripleLayout::kAdaptive, nullptr)
+          .ok());
+}
+
+TEST(GraphTest, SelectByType) {
+  RelationPtr triples = AuctionGraph().StringTriples().ValueOrDie();
+  ProbRelation lots = SelectByType(triples, "lot").ValueOrDie();
+  EXPECT_EQ(lots.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(lots.prob_at(0), 1.0);
+}
+
+TEST(GraphTest, TraverseForward) {
+  RelationPtr triples = AuctionGraph().StringTriples().ValueOrDie();
+  ProbRelation lots = SelectByType(triples, "lot").ValueOrDie();
+  ProbRelation auctions =
+      Traverse(lots, triples, "hasAuction", Direction::kForward)
+          .ValueOrDie();
+  // lot23, lot24 -> auction12 (merged); lot25 -> auction13.
+  EXPECT_EQ(auctions.num_rows(), 2u);
+}
+
+TEST(GraphTest, TraverseBackwardPropagatesScores) {
+  // The paper's right branch: rank auctions, then traverse hasAuction
+  // backward; lots inherit the auction scores transparently.
+  RelationPtr triples = AuctionGraph().StringTriples().ValueOrDie();
+  RelationBuilder b({{"id", DataType::kString}, {"p", DataType::kFloat64}});
+  ASSERT_TRUE(b.AddRow({std::string("auction12"), 0.8}).ok());
+  ASSERT_TRUE(b.AddRow({std::string("auction13"), 0.2}).ok());
+  ProbRelation ranked_auctions =
+      ProbRelation::Wrap(b.Build().ValueOrDie()).ValueOrDie();
+  ProbRelation lots =
+      Traverse(ranked_auctions, triples, "hasAuction", Direction::kBackward)
+          .ValueOrDie();
+  ASSERT_EQ(lots.num_rows(), 3u);
+  double p23 = -1, p25 = -1;
+  for (size_t r = 0; r < lots.num_rows(); ++r) {
+    if (lots.rel()->column(0).StringAt(r) == "lot23") p23 = lots.prob_at(r);
+    if (lots.rel()->column(0).StringAt(r) == "lot25") p25 = lots.prob_at(r);
+  }
+  EXPECT_DOUBLE_EQ(p23, 0.8);  // inherits auction12's score
+  EXPECT_DOUBLE_EQ(p25, 0.2);
+}
+
+TEST(GraphTest, TraverseMergesMultiplePaths) {
+  TripleStore store;
+  store.Add("a", "linksTo", "t", 0.5);
+  store.Add("b", "linksTo", "t", 0.5);
+  RelationPtr triples = store.StringTriples().ValueOrDie();
+  RelationBuilder b({{"id", DataType::kString}, {"p", DataType::kFloat64}});
+  ASSERT_TRUE(b.AddRow({std::string("a"), 1.0}).ok());
+  ASSERT_TRUE(b.AddRow({std::string("b"), 1.0}).ok());
+  ProbRelation nodes = ProbRelation::Wrap(b.Build().ValueOrDie()).ValueOrDie();
+
+  ProbRelation merged_max = Traverse(nodes, triples, "linksTo",
+                                     Direction::kForward, Assumption::kMax)
+                                .ValueOrDie();
+  ASSERT_EQ(merged_max.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(merged_max.prob_at(0), 0.5);
+
+  ProbRelation merged_ind =
+      Traverse(nodes, triples, "linksTo", Direction::kForward,
+               Assumption::kIndependent)
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(merged_ind.prob_at(0), 0.75);
+}
+
+TEST(GraphTest, ExtractProperty) {
+  RelationPtr triples = AuctionGraph().StringTriples().ValueOrDie();
+  ProbRelation lots = SelectByType(triples, "lot").ValueOrDie();
+  ProbRelation descs =
+      ExtractProperty(lots, triples, "description").ValueOrDie();
+  // lot25 has no description.
+  EXPECT_EQ(descs.num_rows(), 2u);
+  EXPECT_EQ(descs.arity(), 2u);
+}
+
+TEST(GraphTest, SelectByProperty) {
+  RelationPtr triples = AuctionGraph().StringTriples().ValueOrDie();
+  ProbRelation nodes =
+      SelectByProperty(triples, "hasAuction", "auction12").ValueOrDie();
+  EXPECT_EQ(nodes.num_rows(), 2u);
+}
+
+TEST(GraphTest, UncertainTriplesPropagate) {
+  TripleStore store;
+  store.Add("item1", "type", "lot", 0.6);  // confidence-based extraction
+  RelationPtr triples = store.StringTriples().ValueOrDie();
+  ProbRelation lots = SelectByType(triples, "lot").ValueOrDie();
+  ASSERT_EQ(lots.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(lots.prob_at(0), 0.6);
+}
+
+}  // namespace
+}  // namespace spindle

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/str.h"
+#include "text/analyzer.h"
+#include "workload/graph_gen.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+namespace {
+
+TEST(WordForRankTest, DeterministicAndUnique) {
+  std::set<std::string> seen;
+  for (uint64_t r = 1; r <= 5000; ++r) {
+    std::string w = WordForRank(r);
+    EXPECT_EQ(w, WordForRank(r));
+    EXPECT_TRUE(seen.insert(w).second) << "collision at rank " << r;
+    for (char c : w) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(TextGenTest, ShapeAndDeterminism) {
+  TextCollectionOptions opts;
+  opts.num_docs = 100;
+  opts.avg_doc_len = 40;
+  RelationPtr a = GenerateTextCollection(opts).ValueOrDie();
+  RelationPtr b = GenerateTextCollection(opts).ValueOrDie();
+  EXPECT_EQ(a->num_rows(), 100u);
+  EXPECT_TRUE(a->Equals(*b));
+  opts.seed = 43;
+  RelationPtr c = GenerateTextCollection(opts).ValueOrDie();
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(TextGenTest, DocLengthsWithinJitterBand) {
+  TextCollectionOptions opts;
+  opts.num_docs = 200;
+  opts.avg_doc_len = 50;
+  opts.length_jitter = 0.2;
+  RelationPtr docs = GenerateTextCollection(opts).ValueOrDie();
+  for (size_t r = 0; r < docs->num_rows(); ++r) {
+    const std::string& text = docs->column(1).StringAt(r);
+    size_t tokens = 1 + std::count(text.begin(), text.end(), ' ');
+    EXPECT_GE(tokens, 40u);
+    EXPECT_LE(tokens, 60u);
+  }
+}
+
+TEST(TextGenTest, TermDistributionIsSkewed) {
+  TextCollectionOptions opts;
+  opts.num_docs = 300;
+  opts.vocab_size = 1000;
+  RelationPtr docs = GenerateTextCollection(opts).ValueOrDie();
+  std::map<std::string, int> freq;
+  for (size_t r = 0; r < docs->num_rows(); ++r) {
+    for (const auto& piece :
+         Split(docs->column(1).StringAt(r), ' ')) {
+      freq[piece]++;
+    }
+  }
+  // The most frequent term should dominate the median term massively.
+  std::vector<int> counts;
+  for (const auto& [w, c] : freq) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  ASSERT_GT(counts.size(), 100u);
+  EXPECT_GT(counts[0], 20 * counts[counts.size() / 2]);
+  // And the rank-1 word of the vocabulary is that term.
+  EXPECT_EQ(freq[WordForRank(1)], counts[0]);
+}
+
+TEST(TextGenTest, QueriesUseMidFrequencyVocabulary) {
+  TextCollectionOptions opts;
+  opts.vocab_size = 10000;
+  auto queries = GenerateQueries(opts, 50, 3);
+  ASSERT_EQ(queries.size(), 50u);
+  for (const auto& q : queries) {
+    auto parts = Split(q, ' ');
+    EXPECT_EQ(parts.size(), 3u);
+  }
+  // Deterministic.
+  EXPECT_EQ(queries, GenerateQueries(opts, 50, 3));
+}
+
+TEST(ProductCatalogTest, SchemaAndCounts) {
+  ProductCatalogOptions opts;
+  opts.num_products = 50;
+  TripleStore store = GenerateProductCatalog(opts).ValueOrDie();
+  RelationPtr s = store.StringTriples().ValueOrDie();
+  RelationPtr i = store.IntTriples().ValueOrDie();
+  RelationPtr f = store.FloatTriples().ValueOrDie();
+  // 3 string triples per product (type, category, description).
+  EXPECT_EQ(s->num_rows(), 150u);
+  EXPECT_EQ(i->num_rows(), 50u);  // price
+  EXPECT_EQ(f->num_rows(), 50u);  // rating
+  // Categories round-robin over 5 defaults: 10 each.
+  std::map<std::string, int> per_category;
+  for (size_t r = 0; r < s->num_rows(); ++r) {
+    if (s->column(1).StringAt(r) == "category") {
+      per_category[s->column(2).StringAt(r)]++;
+    }
+  }
+  EXPECT_EQ(per_category.size(), 5u);
+  for (const auto& [cat, count] : per_category) EXPECT_EQ(count, 10);
+}
+
+TEST(AuctionGraphTest, ShapeAndDeterminism) {
+  AuctionGraphOptions opts;
+  opts.num_lots = 100;
+  opts.num_auctions = 8;
+  opts.num_synonym_pairs = 20;
+  TripleStore a = GenerateAuctionGraph(opts).ValueOrDie();
+  TripleStore b = GenerateAuctionGraph(opts).ValueOrDie();
+  RelationPtr ra = a.StringTriples().ValueOrDie();
+  EXPECT_TRUE(ra->Equals(*b.StringTriples().ValueOrDie()));
+
+  std::map<std::string, int> per_property;
+  int lot_types = 0, auction_types = 0;
+  for (size_t r = 0; r < ra->num_rows(); ++r) {
+    per_property[ra->column(1).StringAt(r)]++;
+    if (ra->column(1).StringAt(r) == "type") {
+      if (ra->column(2).StringAt(r) == "lot") lot_types++;
+      if (ra->column(2).StringAt(r) == "auction") auction_types++;
+    }
+  }
+  EXPECT_EQ(lot_types, 100);
+  EXPECT_EQ(auction_types, 8);
+  EXPECT_EQ(per_property["hasAuction"], 100);
+  EXPECT_EQ(per_property["description"], 108);  // lots + auctions
+  EXPECT_EQ(per_property["title"], 100);
+  EXPECT_GT(per_property["synonym"], 0);
+  // Optional properties hit roughly their configured fractions.
+  EXPECT_GT(per_property["tags"], 20);
+  EXPECT_LT(per_property["tags"], 80);
+}
+
+TEST(AuctionGraphTest, TagsCarryConfidence) {
+  AuctionGraphOptions opts;
+  opts.num_lots = 50;
+  opts.num_auctions = 5;
+  opts.tags_confidence = 0.8;
+  TripleStore store = GenerateAuctionGraph(opts).ValueOrDie();
+  RelationPtr rel = store.StringTriples().ValueOrDie();
+  bool found = false;
+  for (size_t r = 0; r < rel->num_rows(); ++r) {
+    if (rel->column(1).StringAt(r) == "tags") {
+      EXPECT_DOUBLE_EQ(rel->column(3).Float64At(r), 0.8);
+      found = true;
+    } else {
+      EXPECT_DOUBLE_EQ(rel->column(3).Float64At(r), 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AuctionGraphTest, SynonymsAreSymmetric) {
+  AuctionGraphOptions opts;
+  opts.num_lots = 10;
+  opts.num_auctions = 2;
+  opts.num_synonym_pairs = 30;
+  TripleStore store = GenerateAuctionGraph(opts).ValueOrDie();
+  RelationPtr rel = store.StringTriples().ValueOrDie();
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (size_t r = 0; r < rel->num_rows(); ++r) {
+    if (rel->column(1).StringAt(r) == "synonym") {
+      pairs.insert({rel->column(0).StringAt(r),
+                    rel->column(2).StringAt(r)});
+    }
+  }
+  for (const auto& [a, b] : pairs) {
+    EXPECT_TRUE(pairs.count({b, a})) << a << " <-> " << b;
+  }
+}
+
+TEST(AuctionGraphTest, QueriesDrawFromVocabulary) {
+  AuctionGraphOptions opts;
+  auto queries = GenerateAuctionQueries(opts, 10, 3);
+  ASSERT_EQ(queries.size(), 10u);
+  for (const auto& q : queries) {
+    EXPECT_EQ(Split(q, ' ').size(), 3u);
+  }
+}
+
+TEST(GeneratorValidationTest, BadOptionsRejected) {
+  TextCollectionOptions t;
+  t.vocab_size = 0;
+  EXPECT_FALSE(GenerateTextCollection(t).ok());
+  ProductCatalogOptions p;
+  p.categories.clear();
+  EXPECT_FALSE(GenerateProductCatalog(p).ok());
+  AuctionGraphOptions a;
+  a.num_auctions = 0;
+  EXPECT_FALSE(GenerateAuctionGraph(a).ok());
+}
+
+}  // namespace
+}  // namespace spindle
