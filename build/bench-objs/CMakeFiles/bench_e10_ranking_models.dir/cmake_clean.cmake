@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_ranking_models"
+  "../bench/bench_e10_ranking_models.pdb"
+  "CMakeFiles/bench_e10_ranking_models.dir/bench_e10_ranking_models.cpp.o"
+  "CMakeFiles/bench_e10_ranking_models.dir/bench_e10_ranking_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_ranking_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

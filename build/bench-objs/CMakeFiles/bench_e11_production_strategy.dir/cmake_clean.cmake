@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_production_strategy"
+  "../bench/bench_e11_production_strategy.pdb"
+  "CMakeFiles/bench_e11_production_strategy.dir/bench_e11_production_strategy.cpp.o"
+  "CMakeFiles/bench_e11_production_strategy.dir/bench_e11_production_strategy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_production_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

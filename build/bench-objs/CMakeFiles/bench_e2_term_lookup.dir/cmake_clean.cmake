@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_term_lookup"
+  "../bench/bench_e2_term_lookup.pdb"
+  "CMakeFiles/bench_e2_term_lookup.dir/bench_e2_term_lookup.cpp.o"
+  "CMakeFiles/bench_e2_term_lookup.dir/bench_e2_term_lookup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_term_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_docs_view"
+  "../bench/bench_e3_docs_view.pdb"
+  "CMakeFiles/bench_e3_docs_view.dir/bench_e3_docs_view.cpp.o"
+  "CMakeFiles/bench_e3_docs_view.dir/bench_e3_docs_view.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_docs_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_score_propagation"
+  "../bench/bench_e5_score_propagation.pdb"
+  "CMakeFiles/bench_e5_score_propagation.dir/bench_e5_score_propagation.cpp.o"
+  "CMakeFiles/bench_e5_score_propagation.dir/bench_e5_score_propagation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_score_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

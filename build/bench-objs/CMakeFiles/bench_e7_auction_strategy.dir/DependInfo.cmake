@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e7_auction_strategy.cpp" "bench-objs/CMakeFiles/bench_e7_auction_strategy.dir/bench_e7_auction_strategy.cpp.o" "gcc" "bench-objs/CMakeFiles/bench_e7_auction_strategy.dir/bench_e7_auction_strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/specialized/CMakeFiles/spindle_specialized.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/spindle_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/spinql/CMakeFiles/spindle_spinql.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spindle_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spindle_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/spindle_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/triples/CMakeFiles/spindle_triples.dir/DependInfo.cmake"
+  "/root/repo/build/src/pra/CMakeFiles/spindle_pra.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/spindle_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spindle_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spindle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

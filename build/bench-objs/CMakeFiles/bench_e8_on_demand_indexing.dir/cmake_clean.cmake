@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_on_demand_indexing"
+  "../bench/bench_e8_on_demand_indexing.pdb"
+  "CMakeFiles/bench_e8_on_demand_indexing.dir/bench_e8_on_demand_indexing.cpp.o"
+  "CMakeFiles/bench_e8_on_demand_indexing.dir/bench_e8_on_demand_indexing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_on_demand_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_vs_specialized"
+  "../bench/bench_e9_vs_specialized.pdb"
+  "CMakeFiles/bench_e9_vs_specialized.dir/bench_e9_vs_specialized.cpp.o"
+  "CMakeFiles/bench_e9_vs_specialized.dir/bench_e9_vs_specialized.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_vs_specialized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_search.dir/auction_search.cpp.o"
+  "CMakeFiles/auction_search.dir/auction_search.cpp.o.d"
+  "auction_search"
+  "auction_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

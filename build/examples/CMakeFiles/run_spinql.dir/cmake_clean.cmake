@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_spinql.dir/run_spinql.cpp.o"
+  "CMakeFiles/run_spinql.dir/run_spinql.cpp.o.d"
+  "run_spinql"
+  "run_spinql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_spinql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinql_shell.dir/spinql_shell.cpp.o"
+  "CMakeFiles/spinql_shell.dir/spinql_shell.cpp.o.d"
+  "spinql_shell"
+  "spinql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toy_products.dir/toy_products.cpp.o"
+  "CMakeFiles/toy_products.dir/toy_products.cpp.o.d"
+  "toy_products"
+  "toy_products.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toy_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

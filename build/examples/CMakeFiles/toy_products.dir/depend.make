@@ -1,0 +1,2 @@
+# Empty dependencies file for toy_products.
+# This may be replaced when dependencies are built.

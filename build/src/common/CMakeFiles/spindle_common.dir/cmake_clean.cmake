@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spindle_common.dir/rng.cc.o"
+  "CMakeFiles/spindle_common.dir/rng.cc.o.d"
+  "CMakeFiles/spindle_common.dir/status.cc.o"
+  "CMakeFiles/spindle_common.dir/status.cc.o.d"
+  "CMakeFiles/spindle_common.dir/str.cc.o"
+  "CMakeFiles/spindle_common.dir/str.cc.o.d"
+  "libspindle_common.a"
+  "libspindle_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spindle_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

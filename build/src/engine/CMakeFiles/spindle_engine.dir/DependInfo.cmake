@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/expr.cc" "src/engine/CMakeFiles/spindle_engine.dir/expr.cc.o" "gcc" "src/engine/CMakeFiles/spindle_engine.dir/expr.cc.o.d"
+  "/root/repo/src/engine/materialization_cache.cc" "src/engine/CMakeFiles/spindle_engine.dir/materialization_cache.cc.o" "gcc" "src/engine/CMakeFiles/spindle_engine.dir/materialization_cache.cc.o.d"
+  "/root/repo/src/engine/ops.cc" "src/engine/CMakeFiles/spindle_engine.dir/ops.cc.o" "gcc" "src/engine/CMakeFiles/spindle_engine.dir/ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/spindle_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spindle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

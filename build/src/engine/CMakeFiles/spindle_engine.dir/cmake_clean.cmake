@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spindle_engine.dir/expr.cc.o"
+  "CMakeFiles/spindle_engine.dir/expr.cc.o.d"
+  "CMakeFiles/spindle_engine.dir/materialization_cache.cc.o"
+  "CMakeFiles/spindle_engine.dir/materialization_cache.cc.o.d"
+  "CMakeFiles/spindle_engine.dir/ops.cc.o"
+  "CMakeFiles/spindle_engine.dir/ops.cc.o.d"
+  "libspindle_engine.a"
+  "libspindle_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spindle_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

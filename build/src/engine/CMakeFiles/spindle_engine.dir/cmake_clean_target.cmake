@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspindle_engine.a"
+)

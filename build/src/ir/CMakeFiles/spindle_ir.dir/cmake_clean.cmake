@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spindle_ir.dir/eval.cc.o"
+  "CMakeFiles/spindle_ir.dir/eval.cc.o.d"
+  "CMakeFiles/spindle_ir.dir/indexing.cc.o"
+  "CMakeFiles/spindle_ir.dir/indexing.cc.o.d"
+  "CMakeFiles/spindle_ir.dir/phrase.cc.o"
+  "CMakeFiles/spindle_ir.dir/phrase.cc.o.d"
+  "CMakeFiles/spindle_ir.dir/ranking.cc.o"
+  "CMakeFiles/spindle_ir.dir/ranking.cc.o.d"
+  "CMakeFiles/spindle_ir.dir/searcher.cc.o"
+  "CMakeFiles/spindle_ir.dir/searcher.cc.o.d"
+  "libspindle_ir.a"
+  "libspindle_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spindle_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

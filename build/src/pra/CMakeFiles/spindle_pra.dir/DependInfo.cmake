@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pra/pra_ops.cc" "src/pra/CMakeFiles/spindle_pra.dir/pra_ops.cc.o" "gcc" "src/pra/CMakeFiles/spindle_pra.dir/pra_ops.cc.o.d"
+  "/root/repo/src/pra/prob_relation.cc" "src/pra/CMakeFiles/spindle_pra.dir/prob_relation.cc.o" "gcc" "src/pra/CMakeFiles/spindle_pra.dir/prob_relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/spindle_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spindle_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spindle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spindle_pra.dir/pra_ops.cc.o"
+  "CMakeFiles/spindle_pra.dir/pra_ops.cc.o.d"
+  "CMakeFiles/spindle_pra.dir/prob_relation.cc.o"
+  "CMakeFiles/spindle_pra.dir/prob_relation.cc.o.d"
+  "libspindle_pra.a"
+  "libspindle_pra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spindle_pra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

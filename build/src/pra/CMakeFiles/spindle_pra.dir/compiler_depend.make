@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spindle_pra.
+# This may be replaced when dependencies are built.

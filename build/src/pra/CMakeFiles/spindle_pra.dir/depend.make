@@ -1,0 +1,2 @@
+# Empty dependencies file for spindle_pra.
+# This may be replaced when dependencies are built.

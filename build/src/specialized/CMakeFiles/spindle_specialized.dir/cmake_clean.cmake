@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spindle_specialized.dir/inverted_index.cc.o"
+  "CMakeFiles/spindle_specialized.dir/inverted_index.cc.o.d"
+  "libspindle_specialized.a"
+  "libspindle_specialized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spindle_specialized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

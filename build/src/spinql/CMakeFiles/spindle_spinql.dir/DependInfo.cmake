@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spinql/ast.cc" "src/spinql/CMakeFiles/spindle_spinql.dir/ast.cc.o" "gcc" "src/spinql/CMakeFiles/spindle_spinql.dir/ast.cc.o.d"
+  "/root/repo/src/spinql/evaluator.cc" "src/spinql/CMakeFiles/spindle_spinql.dir/evaluator.cc.o" "gcc" "src/spinql/CMakeFiles/spindle_spinql.dir/evaluator.cc.o.d"
+  "/root/repo/src/spinql/lexer.cc" "src/spinql/CMakeFiles/spindle_spinql.dir/lexer.cc.o" "gcc" "src/spinql/CMakeFiles/spindle_spinql.dir/lexer.cc.o.d"
+  "/root/repo/src/spinql/optimizer.cc" "src/spinql/CMakeFiles/spindle_spinql.dir/optimizer.cc.o" "gcc" "src/spinql/CMakeFiles/spindle_spinql.dir/optimizer.cc.o.d"
+  "/root/repo/src/spinql/parser.cc" "src/spinql/CMakeFiles/spindle_spinql.dir/parser.cc.o" "gcc" "src/spinql/CMakeFiles/spindle_spinql.dir/parser.cc.o.d"
+  "/root/repo/src/spinql/sql_emitter.cc" "src/spinql/CMakeFiles/spindle_spinql.dir/sql_emitter.cc.o" "gcc" "src/spinql/CMakeFiles/spindle_spinql.dir/sql_emitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pra/CMakeFiles/spindle_pra.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spindle_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/spindle_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/spindle_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spindle_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spindle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spindle_spinql.dir/ast.cc.o"
+  "CMakeFiles/spindle_spinql.dir/ast.cc.o.d"
+  "CMakeFiles/spindle_spinql.dir/evaluator.cc.o"
+  "CMakeFiles/spindle_spinql.dir/evaluator.cc.o.d"
+  "CMakeFiles/spindle_spinql.dir/lexer.cc.o"
+  "CMakeFiles/spindle_spinql.dir/lexer.cc.o.d"
+  "CMakeFiles/spindle_spinql.dir/optimizer.cc.o"
+  "CMakeFiles/spindle_spinql.dir/optimizer.cc.o.d"
+  "CMakeFiles/spindle_spinql.dir/parser.cc.o"
+  "CMakeFiles/spindle_spinql.dir/parser.cc.o.d"
+  "CMakeFiles/spindle_spinql.dir/sql_emitter.cc.o"
+  "CMakeFiles/spindle_spinql.dir/sql_emitter.cc.o.d"
+  "libspindle_spinql.a"
+  "libspindle_spinql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spindle_spinql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

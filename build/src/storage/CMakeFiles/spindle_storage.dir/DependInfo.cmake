@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/spindle_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/spindle_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/storage/CMakeFiles/spindle_storage.dir/column.cc.o" "gcc" "src/storage/CMakeFiles/spindle_storage.dir/column.cc.o.d"
+  "/root/repo/src/storage/io.cc" "src/storage/CMakeFiles/spindle_storage.dir/io.cc.o" "gcc" "src/storage/CMakeFiles/spindle_storage.dir/io.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/storage/CMakeFiles/spindle_storage.dir/relation.cc.o" "gcc" "src/storage/CMakeFiles/spindle_storage.dir/relation.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/spindle_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/spindle_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/string_dict.cc" "src/storage/CMakeFiles/spindle_storage.dir/string_dict.cc.o" "gcc" "src/storage/CMakeFiles/spindle_storage.dir/string_dict.cc.o.d"
+  "/root/repo/src/storage/types.cc" "src/storage/CMakeFiles/spindle_storage.dir/types.cc.o" "gcc" "src/storage/CMakeFiles/spindle_storage.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spindle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

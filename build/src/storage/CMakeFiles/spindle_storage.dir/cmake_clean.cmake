@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spindle_storage.dir/catalog.cc.o"
+  "CMakeFiles/spindle_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/spindle_storage.dir/column.cc.o"
+  "CMakeFiles/spindle_storage.dir/column.cc.o.d"
+  "CMakeFiles/spindle_storage.dir/io.cc.o"
+  "CMakeFiles/spindle_storage.dir/io.cc.o.d"
+  "CMakeFiles/spindle_storage.dir/relation.cc.o"
+  "CMakeFiles/spindle_storage.dir/relation.cc.o.d"
+  "CMakeFiles/spindle_storage.dir/schema.cc.o"
+  "CMakeFiles/spindle_storage.dir/schema.cc.o.d"
+  "CMakeFiles/spindle_storage.dir/string_dict.cc.o"
+  "CMakeFiles/spindle_storage.dir/string_dict.cc.o.d"
+  "CMakeFiles/spindle_storage.dir/types.cc.o"
+  "CMakeFiles/spindle_storage.dir/types.cc.o.d"
+  "libspindle_storage.a"
+  "libspindle_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spindle_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

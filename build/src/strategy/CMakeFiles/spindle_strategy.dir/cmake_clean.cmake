@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spindle_strategy.dir/block.cc.o"
+  "CMakeFiles/spindle_strategy.dir/block.cc.o.d"
+  "CMakeFiles/spindle_strategy.dir/prebuilt.cc.o"
+  "CMakeFiles/spindle_strategy.dir/prebuilt.cc.o.d"
+  "CMakeFiles/spindle_strategy.dir/strategy.cc.o"
+  "CMakeFiles/spindle_strategy.dir/strategy.cc.o.d"
+  "libspindle_strategy.a"
+  "libspindle_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spindle_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/analyzer.cc" "src/text/CMakeFiles/spindle_text.dir/analyzer.cc.o" "gcc" "src/text/CMakeFiles/spindle_text.dir/analyzer.cc.o.d"
+  "/root/repo/src/text/dutch.cc" "src/text/CMakeFiles/spindle_text.dir/dutch.cc.o" "gcc" "src/text/CMakeFiles/spindle_text.dir/dutch.cc.o.d"
+  "/root/repo/src/text/german.cc" "src/text/CMakeFiles/spindle_text.dir/german.cc.o" "gcc" "src/text/CMakeFiles/spindle_text.dir/german.cc.o.d"
+  "/root/repo/src/text/porter1.cc" "src/text/CMakeFiles/spindle_text.dir/porter1.cc.o" "gcc" "src/text/CMakeFiles/spindle_text.dir/porter1.cc.o.d"
+  "/root/repo/src/text/porter2.cc" "src/text/CMakeFiles/spindle_text.dir/porter2.cc.o" "gcc" "src/text/CMakeFiles/spindle_text.dir/porter2.cc.o.d"
+  "/root/repo/src/text/simple_stemmers.cc" "src/text/CMakeFiles/spindle_text.dir/simple_stemmers.cc.o" "gcc" "src/text/CMakeFiles/spindle_text.dir/simple_stemmers.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/text/CMakeFiles/spindle_text.dir/stopwords.cc.o" "gcc" "src/text/CMakeFiles/spindle_text.dir/stopwords.cc.o.d"
+  "/root/repo/src/text/text_functions.cc" "src/text/CMakeFiles/spindle_text.dir/text_functions.cc.o" "gcc" "src/text/CMakeFiles/spindle_text.dir/text_functions.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/spindle_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/spindle_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/spindle_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spindle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spindle_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spindle_text.dir/analyzer.cc.o"
+  "CMakeFiles/spindle_text.dir/analyzer.cc.o.d"
+  "CMakeFiles/spindle_text.dir/dutch.cc.o"
+  "CMakeFiles/spindle_text.dir/dutch.cc.o.d"
+  "CMakeFiles/spindle_text.dir/german.cc.o"
+  "CMakeFiles/spindle_text.dir/german.cc.o.d"
+  "CMakeFiles/spindle_text.dir/porter1.cc.o"
+  "CMakeFiles/spindle_text.dir/porter1.cc.o.d"
+  "CMakeFiles/spindle_text.dir/porter2.cc.o"
+  "CMakeFiles/spindle_text.dir/porter2.cc.o.d"
+  "CMakeFiles/spindle_text.dir/simple_stemmers.cc.o"
+  "CMakeFiles/spindle_text.dir/simple_stemmers.cc.o.d"
+  "CMakeFiles/spindle_text.dir/stopwords.cc.o"
+  "CMakeFiles/spindle_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/spindle_text.dir/text_functions.cc.o"
+  "CMakeFiles/spindle_text.dir/text_functions.cc.o.d"
+  "CMakeFiles/spindle_text.dir/tokenizer.cc.o"
+  "CMakeFiles/spindle_text.dir/tokenizer.cc.o.d"
+  "libspindle_text.a"
+  "libspindle_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spindle_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/triples/emergent_schema.cc" "src/triples/CMakeFiles/spindle_triples.dir/emergent_schema.cc.o" "gcc" "src/triples/CMakeFiles/spindle_triples.dir/emergent_schema.cc.o.d"
+  "/root/repo/src/triples/graph.cc" "src/triples/CMakeFiles/spindle_triples.dir/graph.cc.o" "gcc" "src/triples/CMakeFiles/spindle_triples.dir/graph.cc.o.d"
+  "/root/repo/src/triples/ntriples.cc" "src/triples/CMakeFiles/spindle_triples.dir/ntriples.cc.o" "gcc" "src/triples/CMakeFiles/spindle_triples.dir/ntriples.cc.o.d"
+  "/root/repo/src/triples/partitioning.cc" "src/triples/CMakeFiles/spindle_triples.dir/partitioning.cc.o" "gcc" "src/triples/CMakeFiles/spindle_triples.dir/partitioning.cc.o.d"
+  "/root/repo/src/triples/triple_store.cc" "src/triples/CMakeFiles/spindle_triples.dir/triple_store.cc.o" "gcc" "src/triples/CMakeFiles/spindle_triples.dir/triple_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/spindle_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/pra/CMakeFiles/spindle_pra.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spindle_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spindle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spindle_triples.dir/emergent_schema.cc.o"
+  "CMakeFiles/spindle_triples.dir/emergent_schema.cc.o.d"
+  "CMakeFiles/spindle_triples.dir/graph.cc.o"
+  "CMakeFiles/spindle_triples.dir/graph.cc.o.d"
+  "CMakeFiles/spindle_triples.dir/ntriples.cc.o"
+  "CMakeFiles/spindle_triples.dir/ntriples.cc.o.d"
+  "CMakeFiles/spindle_triples.dir/partitioning.cc.o"
+  "CMakeFiles/spindle_triples.dir/partitioning.cc.o.d"
+  "CMakeFiles/spindle_triples.dir/triple_store.cc.o"
+  "CMakeFiles/spindle_triples.dir/triple_store.cc.o.d"
+  "libspindle_triples.a"
+  "libspindle_triples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spindle_triples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

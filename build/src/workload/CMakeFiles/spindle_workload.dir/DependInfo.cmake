@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/graph_gen.cc" "src/workload/CMakeFiles/spindle_workload.dir/graph_gen.cc.o" "gcc" "src/workload/CMakeFiles/spindle_workload.dir/graph_gen.cc.o.d"
+  "/root/repo/src/workload/text_gen.cc" "src/workload/CMakeFiles/spindle_workload.dir/text_gen.cc.o" "gcc" "src/workload/CMakeFiles/spindle_workload.dir/text_gen.cc.o.d"
+  "/root/repo/src/workload/topical_gen.cc" "src/workload/CMakeFiles/spindle_workload.dir/topical_gen.cc.o" "gcc" "src/workload/CMakeFiles/spindle_workload.dir/topical_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/triples/CMakeFiles/spindle_triples.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spindle_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spindle_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spindle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pra/CMakeFiles/spindle_pra.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/spindle_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/spindle_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

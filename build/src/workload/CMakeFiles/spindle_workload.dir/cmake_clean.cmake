@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spindle_workload.dir/graph_gen.cc.o"
+  "CMakeFiles/spindle_workload.dir/graph_gen.cc.o.d"
+  "CMakeFiles/spindle_workload.dir/text_gen.cc.o"
+  "CMakeFiles/spindle_workload.dir/text_gen.cc.o.d"
+  "CMakeFiles/spindle_workload.dir/topical_gen.cc.o"
+  "CMakeFiles/spindle_workload.dir/topical_gen.cc.o.d"
+  "libspindle_workload.a"
+  "libspindle_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spindle_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

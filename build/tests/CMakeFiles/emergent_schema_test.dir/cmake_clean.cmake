@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emergent_schema_test.dir/emergent_schema_test.cc.o"
+  "CMakeFiles/emergent_schema_test.dir/emergent_schema_test.cc.o.d"
+  "emergent_schema_test"
+  "emergent_schema_test.pdb"
+  "emergent_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emergent_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_invariants_test.dir/index_invariants_test.cc.o"
+  "CMakeFiles/index_invariants_test.dir/index_invariants_test.cc.o.d"
+  "index_invariants_test"
+  "index_invariants_test.pdb"
+  "index_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

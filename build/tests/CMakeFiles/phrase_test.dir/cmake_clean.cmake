@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phrase_test.dir/phrase_test.cc.o"
+  "CMakeFiles/phrase_test.dir/phrase_test.cc.o.d"
+  "phrase_test"
+  "phrase_test.pdb"
+  "phrase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phrase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

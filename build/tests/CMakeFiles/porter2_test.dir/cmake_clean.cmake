@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porter2_test.dir/porter2_test.cc.o"
+  "CMakeFiles/porter2_test.dir/porter2_test.cc.o.d"
+  "porter2_test"
+  "porter2_test.pdb"
+  "porter2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porter2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

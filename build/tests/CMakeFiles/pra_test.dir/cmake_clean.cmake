@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pra_test.dir/pra_test.cc.o"
+  "CMakeFiles/pra_test.dir/pra_test.cc.o.d"
+  "pra_test"
+  "pra_test.pdb"
+  "pra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

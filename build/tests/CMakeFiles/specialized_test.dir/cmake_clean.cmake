@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specialized_test.dir/specialized_test.cc.o"
+  "CMakeFiles/specialized_test.dir/specialized_test.cc.o.d"
+  "specialized_test"
+  "specialized_test.pdb"
+  "specialized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specialized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

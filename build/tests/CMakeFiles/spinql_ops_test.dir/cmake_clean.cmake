@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinql_ops_test.dir/spinql_ops_test.cc.o"
+  "CMakeFiles/spinql_ops_test.dir/spinql_ops_test.cc.o.d"
+  "spinql_ops_test"
+  "spinql_ops_test.pdb"
+  "spinql_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinql_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triples_test.dir/triples_test.cc.o"
+  "CMakeFiles/triples_test.dir/triples_test.cc.o.d"
+  "triples_test"
+  "triples_test.pdb"
+  "triples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/porter2_test[1]_include.cmake")
+include("/root/repo/build/tests/pra_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/specialized_test[1]_include.cmake")
+include("/root/repo/build/tests/triples_test[1]_include.cmake")
+include("/root/repo/build/tests/spinql_test[1]_include.cmake")
+include("/root/repo/build/tests/strategy_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/phrase_test[1]_include.cmake")
+include("/root/repo/build/tests/stemmer_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/index_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/spinql_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/quality_test[1]_include.cmake")
+include("/root/repo/build/tests/ntriples_test[1]_include.cmake")
+include("/root/repo/build/tests/emergent_schema_test[1]_include.cmake")
