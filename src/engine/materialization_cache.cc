@@ -16,28 +16,66 @@ std::optional<RelationPtr> MaterializationCache::Get(
   return it->second.rel;
 }
 
+size_t MaterializationCache::IncrementalBytes(const Relation& rel) const {
+  size_t bytes = rel.ByteSizeExcludingDicts();
+  for (const auto& d : rel.CollectDicts()) {
+    auto it = dict_uses_.find(d.get());
+    if (it == dict_uses_.end() || it->second.refs == 0) {
+      bytes += d->ByteSize();
+    }
+  }
+  return bytes;
+}
+
 void MaterializationCache::Put(const std::string& signature,
                                RelationPtr rel) {
   if (budget_bytes_ == 0) return;
-  size_t bytes = rel->ByteSize();
-  if (bytes > budget_bytes_) return;
   auto it = entries_.find(signature);
-  if (it != entries_.end()) {
-    stats_.bytes_cached -= it->second.bytes;
-    lru_.erase(it->second.lru_it);
-    entries_.erase(it);
-    stats_.entries--;
+  if (it != entries_.end()) Remove(it);
+  if (IncrementalBytes(*rel) > budget_bytes_) return;
+  // Recompute the incoming charge after every eviction: evicting the last
+  // holder of a dict this relation shares moves that dict's bytes from the
+  // resident total into the incoming charge.
+  while (!lru_.empty() &&
+         stats_.bytes_cached + IncrementalBytes(*rel) > budget_bytes_) {
+    Remove(entries_.find(lru_.back()));
+    stats_.evictions++;
   }
-  EvictToFit(bytes);
+  size_t own_bytes = rel->ByteSizeExcludingDicts();
+  std::vector<StringDictPtr> dicts = rel->CollectDicts();
+  for (const auto& d : dicts) {
+    DictUse& use = dict_uses_[d.get()];
+    if (use.refs++ == 0) {
+      use.bytes = d->ByteSize();
+      stats_.bytes_cached += use.bytes;
+    }
+  }
   lru_.push_front(signature);
-  entries_[signature] = Entry{std::move(rel), bytes, lru_.begin()};
-  stats_.bytes_cached += bytes;
+  entries_[signature] =
+      Entry{std::move(rel), own_bytes, std::move(dicts), lru_.begin()};
+  stats_.bytes_cached += own_bytes;
   stats_.inserts++;
   stats_.entries++;
 }
 
+void MaterializationCache::Remove(
+    std::unordered_map<std::string, Entry>::iterator it) {
+  stats_.bytes_cached -= it->second.bytes;
+  for (const auto& d : it->second.dicts) {
+    auto use_it = dict_uses_.find(d.get());
+    if (use_it != dict_uses_.end() && --use_it->second.refs == 0) {
+      stats_.bytes_cached -= use_it->second.bytes;
+      dict_uses_.erase(use_it);
+    }
+  }
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  stats_.entries--;
+}
+
 void MaterializationCache::Clear() {
   entries_.clear();
+  dict_uses_.clear();
   lru_.clear();
   stats_.bytes_cached = 0;
   stats_.entries = 0;
@@ -55,13 +93,8 @@ void MaterializationCache::set_budget_bytes(size_t b) {
 void MaterializationCache::EvictToFit(size_t incoming_bytes) {
   while (!lru_.empty() &&
          stats_.bytes_cached + incoming_bytes > budget_bytes_) {
-    const std::string& victim = lru_.back();
-    auto it = entries_.find(victim);
-    stats_.bytes_cached -= it->second.bytes;
+    Remove(entries_.find(lru_.back()));
     stats_.evictions++;
-    stats_.entries--;
-    entries_.erase(it);
-    lru_.pop_back();
   }
 }
 

@@ -45,6 +45,12 @@ class MaterializationCache {
 
   /// \brief Materializes `rel` under `signature`, evicting LRU entries as
   /// needed. Relations larger than the whole budget are not cached.
+  ///
+  /// Dictionary-aware accounting: a StringDict shared by several resident
+  /// relations (e.g. every cached selection over one triples table) is
+  /// charged against the budget once — when its first referencing entry is
+  /// inserted — and released when its last referencing entry is evicted.
+  /// An entry's own charge is its relation's dict-free footprint.
   void Put(const std::string& signature, RelationPtr rel);
 
   /// \brief Drops every entry (used to measure cold performance).
@@ -58,14 +64,25 @@ class MaterializationCache {
  private:
   struct Entry {
     RelationPtr rel;
-    size_t bytes;
+    size_t bytes;  // dict-free footprint charged to this entry alone
+    std::vector<StringDictPtr> dicts;  // distinct dicts the relation uses
     std::list<std::string>::iterator lru_it;
   };
 
+  struct DictUse {
+    size_t refs = 0;   // resident entries referencing this dict
+    size_t bytes = 0;  // charged once while refs > 0
+  };
+
   void EvictToFit(size_t incoming_bytes);
+  void Remove(std::unordered_map<std::string, Entry>::iterator it);
+  /// Budget charge Put(rel) would add right now: the dict-free footprint
+  /// plus every referenced dict not yet charged by a resident entry.
+  size_t IncrementalBytes(const Relation& rel) const;
 
   size_t budget_bytes_;
   std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<const StringDict*, DictUse> dict_uses_;
   std::list<std::string> lru_;  // front = most recent
   Stats stats_;
 };

@@ -11,22 +11,40 @@ namespace spindle {
 
 namespace {
 
-/// Hashes/compares rows of a relation restricted to a column subset.
+/// Hashes/compares rows over a set of key columns.
+///
+/// `self_keyed` marks single-relation uses (group-by, distinct) where both
+/// sides of every comparison are this same RowKey: dict-encoded string
+/// columns are then hashed by their 4-byte code (one integer mix) instead
+/// of the string hash, which is valid because codes are unique within one
+/// dict. Cross-relation uses (join) must leave it false so that plain and
+/// dict representations still meet in one hash table.
 class RowKey {
  public:
-  RowKey(const Relation& rel, const std::vector<size_t>& cols)
-      : rel_(rel), cols_(cols) {}
+  RowKey(const Relation& rel, const std::vector<size_t>& cols,
+         bool self_keyed = false)
+      : self_keyed_(self_keyed) {
+    cols_.reserve(cols.size());
+    for (size_t c : cols) cols_.push_back(&rel.column(c));
+  }
+
+  explicit RowKey(std::vector<const Column*> cols, bool self_keyed = false)
+      : cols_(std::move(cols)), self_keyed_(self_keyed) {}
 
   uint64_t Hash(size_t row) const {
     uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (size_t c : cols_) h = HashCombine(h, rel_.column(c).HashAt(row));
+    for (const Column* c : cols_) {
+      uint64_t v = self_keyed_ && c->dict_encoded()
+                       ? HashInt64(static_cast<uint64_t>(c->CodeAt(row)))
+                       : c->HashAt(row);
+      h = HashCombine(h, v);
+    }
     return h;
   }
 
   bool Equals(size_t row, const RowKey& other, size_t other_row) const {
     for (size_t i = 0; i < cols_.size(); ++i) {
-      if (!rel_.column(cols_[i]).ElementEquals(
-              row, other.rel_.column(other.cols_[i]), other_row)) {
+      if (!cols_[i]->ElementEquals(row, *other.cols_[i], other_row)) {
         return false;
       }
     }
@@ -34,9 +52,53 @@ class RowKey {
   }
 
  private:
-  const Relation& rel_;
-  const std::vector<size_t>& cols_;
+  std::vector<const Column*> cols_;
+  bool self_keyed_;
 };
+
+/// Lexicographic rank of every dict entry (rank[pos] orders like the
+/// strings do), so sorting dict columns compares 4-byte ints.
+std::vector<int32_t> DictRanks(const StringDict& dict) {
+  std::vector<int32_t> order(static_cast<size_t>(dict.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return dict.StringAtPos(static_cast<size_t>(a)) <
+           dict.StringAtPos(static_cast<size_t>(b));
+  });
+  std::vector<int32_t> ranks(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    ranks[static_cast<size_t>(order[i])] = static_cast<int32_t>(i);
+  }
+  return ranks;
+}
+
+/// One sort key with an optional dict-rank fast lane.
+struct SortKeyCtx {
+  const Column* col;
+  bool descending;
+  std::vector<int32_t> ranks;  // non-empty iff the rank lane is active
+
+  int Compare(uint32_t a, uint32_t b) const {
+    if (!ranks.empty()) {
+      int32_t ra = ranks[static_cast<size_t>(col->CodeAt(a))];
+      int32_t rb = ranks[static_cast<size_t>(col->CodeAt(b))];
+      return ra < rb ? -1 : (ra > rb ? 1 : 0);
+    }
+    return col->ElementCompare(a, *col, b);
+  }
+};
+
+SortKeyCtx MakeSortKeyCtx(const Relation& rel, const SortKey& key) {
+  SortKeyCtx ctx{&rel.column(key.column), key.descending, {}};
+  // Building ranks costs O(U log U) string compares; it pays off unless the
+  // dict dwarfs the row count being sorted.
+  if (ctx.col->dict_encoded() &&
+      static_cast<size_t>(ctx.col->dict()->size()) <=
+          rel.num_rows() * 2 + 64) {
+    ctx.ranks = DictRanks(*ctx.col->dict());
+  }
+  return ctx;
+}
 
 Status CheckColumnRange(const Relation& rel, const std::vector<size_t>& cols) {
   for (size_t c : cols) {
@@ -60,6 +122,64 @@ Result<RelationPtr> GatherRows(const Relation& rel,
 }
 
 }  // namespace
+
+std::optional<std::pair<Column, Column>> RecodeToShared(const Column& a,
+                                                        const Column& b) {
+  if (a.type() != DataType::kString || b.type() != DataType::kString) {
+    return std::nullopt;
+  }
+  if (!a.dict_encoded() && !b.dict_encoded()) return std::nullopt;
+
+  auto codes_as_ids = [](const Column& c) {
+    std::vector<int64_t> ids(c.size());
+    const auto& codes = c.dict_codes();
+    for (size_t i = 0; i < codes.size(); ++i) ids[i] = codes[i];
+    return Column::MakeInt64(std::move(ids));
+  };
+
+  if (a.dict_encoded() && b.dict_encoded() && a.dict() == b.dict()) {
+    return std::make_pair(codes_as_ids(a), codes_as_ids(b));
+  }
+
+  // Base = the side with the larger dict; the other side is recoded
+  // against it. Strings missing from the base dict get unique negative
+  // ids: they cannot match the base side (all base values are in its
+  // dict), and join keys only ever compare across sides.
+  const bool base_is_a =
+      a.dict_encoded() &&
+      (!b.dict_encoded() || a.dict()->size() >= b.dict()->size());
+  const Column& base = base_is_a ? a : b;
+  const Column& rec = base_is_a ? b : a;
+  const StringDict& dict = *base.dict();
+  const int64_t first = dict.first_id();
+
+  std::vector<int64_t> rec_ids(rec.size());
+  int64_t next_missing = -1;
+  if (rec.dict_encoded()) {
+    // Translate rec's dict to base positions once, then map codes.
+    const StringDict& rdict = *rec.dict();
+    std::vector<int64_t> mapping(static_cast<size_t>(rdict.size()));
+    for (size_t p = 0; p < mapping.size(); ++p) {
+      int64_t id = dict.Lookup(rdict.StringAtPos(p));
+      mapping[p] = id < 0 ? next_missing-- : id - first;
+    }
+    const auto& codes = rec.dict_codes();
+    for (size_t i = 0; i < codes.size(); ++i) {
+      rec_ids[i] = mapping[static_cast<size_t>(codes[i])];
+    }
+  } else {
+    for (size_t i = 0; i < rec.size(); ++i) {
+      int64_t id = dict.Lookup(rec.StringAt(i));
+      rec_ids[i] = id < 0 ? next_missing-- : id - first;
+    }
+  }
+  Column rec_col = Column::MakeInt64(std::move(rec_ids));
+  Column base_col = codes_as_ids(base);
+  if (base_is_a) {
+    return std::make_pair(std::move(base_col), std::move(rec_col));
+  }
+  return std::make_pair(std::move(rec_col), std::move(base_col));
+}
 
 Result<RelationPtr> Filter(const RelationPtr& rel, const ExprPtr& predicate,
                            const FunctionRegistry& registry) {
@@ -145,8 +265,29 @@ Result<RelationPtr> HashJoin(const RelationPtr& left, const RelationPtr& right,
     }
   }
 
-  RowKey lkey(*left, lcols);
-  RowKey rkey(*right, rcols);
+  // String keys where either side is dict-encoded are recoded to shared
+  // integer ids: build and probe then hash/compare 8-byte ids instead of
+  // strings, regardless of which representation each side arrived in.
+  std::vector<Column> shadow_keys;
+  shadow_keys.reserve(keys.size() * 2);
+  std::vector<const Column*> lkey_cols, rkey_cols;
+  lkey_cols.reserve(keys.size());
+  rkey_cols.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Column& lc = left->column(lcols[i]);
+    const Column& rc = right->column(rcols[i]);
+    if (auto recoded = RecodeToShared(lc, rc)) {
+      shadow_keys.push_back(std::move(recoded->first));
+      lkey_cols.push_back(&shadow_keys.back());
+      shadow_keys.push_back(std::move(recoded->second));
+      rkey_cols.push_back(&shadow_keys.back());
+    } else {
+      lkey_cols.push_back(&lc);
+      rkey_cols.push_back(&rc);
+    }
+  }
+  RowKey lkey(std::move(lkey_cols));
+  RowKey rkey(std::move(rkey_cols));
 
   std::vector<uint32_t> lrows, rrows;
   // Output contract: matches ordered by (left row, right row). The
@@ -241,7 +382,7 @@ Result<RelationPtr> GroupAggregate(const RelationPtr& rel,
     }
   }
 
-  RowKey key(*rel, group_columns);
+  RowKey key(*rel, group_columns, /*self_keyed=*/true);
   // hash -> list of (representative row, group index); collision-safe.
   std::unordered_map<uint64_t, std::vector<std::pair<uint32_t, uint32_t>>>
       groups;
@@ -423,7 +564,7 @@ Result<RelationPtr> Distinct(const RelationPtr& rel,
     std::iota(columns.begin(), columns.end(), 0);
   }
   SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, columns));
-  RowKey key(*rel, columns);
+  RowKey key(*rel, columns, /*self_keyed=*/true);
   std::unordered_map<uint64_t, std::vector<uint32_t>> seen;
   seen.reserve(rel->num_rows());
   std::vector<uint32_t> keep;
@@ -456,14 +597,18 @@ Result<RelationPtr> SortBy(const RelationPtr& rel,
   for (const auto& k : keys) {
     SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, {k.column}));
   }
+  std::vector<SortKeyCtx> ctxs;
+  ctxs.reserve(keys.size());
+  for (const auto& k : keys) ctxs.push_back(MakeSortKeyCtx(*rel, k));
   std::vector<uint32_t> order(rel->num_rows());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
                    [&](uint32_t a, uint32_t b) {
-                     for (const auto& k : keys) {
-                       const Column& c = rel->column(k.column);
-                       int cmp = c.ElementCompare(a, c, b);
-                       if (cmp != 0) return k.descending ? cmp > 0 : cmp < 0;
+                     for (const auto& ctx : ctxs) {
+                       int cmp = ctx.Compare(a, b);
+                       if (cmp != 0) {
+                         return ctx.descending ? cmp > 0 : cmp < 0;
+                       }
                      }
                      return false;
                    });
@@ -476,9 +621,9 @@ Result<RelationPtr> TopK(const RelationPtr& rel, const SortKey& key,
   std::vector<uint32_t> order(rel->num_rows());
   std::iota(order.begin(), order.end(), 0);
   size_t n = std::min(k, order.size());
-  const Column& c = rel->column(key.column);
+  SortKeyCtx ctx = MakeSortKeyCtx(*rel, key);
   auto cmp = [&](uint32_t a, uint32_t b) {
-    int v = c.ElementCompare(a, c, b);
+    int v = ctx.Compare(a, b);
     if (v != 0) return key.descending ? v > 0 : v < 0;
     return a < b;  // deterministic tie-break by input order
   };

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -46,6 +48,21 @@ struct SortKey {
   size_t column;
   bool descending = false;
 };
+
+/// \brief Unifies the key representation of two kString columns so join
+/// build/probe can run on integer ids instead of strings.
+///
+/// Returns int64 key columns (a', b') such that a'[i] == b'[j] iff
+/// a[i] == b[j] as strings, computed without materializing any string:
+///  - both sides share one dict instance: codes are emitted directly;
+///  - otherwise the side with the larger dict becomes the base and the
+///    other side is recoded against it via dict lookups; strings absent
+///    from the base dict get unique negative ids (they can never match the
+///    base side, whose values are all in its dict).
+/// Returns nullopt when neither side is dict-encoded (or types are not
+/// kString) — callers then fall back to generic string hashing.
+std::optional<std::pair<Column, Column>> RecodeToShared(const Column& a,
+                                                        const Column& b);
 
 /// \brief Rows where `predicate` evaluates to non-zero.
 Result<RelationPtr> Filter(const RelationPtr& rel, const ExprPtr& predicate,

@@ -68,7 +68,12 @@ Result<RelationPtr> TokenizeRelation(const RelationPtr& rel, size_t text_col,
   std::vector<Column> cols;
   cols.reserve(schema.num_fields());
   for (size_t c : carry) cols.emplace_back(rel->column(c).type());
-  Column terms(DataType::kString);
+  // Terms are interned as they stream out of the analyzer: the `term`
+  // column is born dictionary-encoded, so every downstream distinct/join
+  // (termdict construction, tf build, query-term lookup) runs on codes.
+  auto term_dict = std::make_shared<StringDict>();
+  const int64_t first = term_dict->first_id();
+  std::vector<int32_t> term_codes;
   Column positions(DataType::kInt64);
 
   const Column& text = rel->column(text_col);
@@ -78,11 +83,13 @@ Result<RelationPtr> TokenizeRelation(const RelationPtr& rel, size_t text_col,
       for (size_t i = 0; i < carry.size(); ++i) {
         cols[i].AppendFrom(rel->column(carry[i]), r);
       }
-      terms.AppendString(tok.text);
+      term_codes.push_back(
+          static_cast<int32_t>(term_dict->Intern(tok.text) - first));
       positions.AppendInt64(tok.pos);
     }
   }
-  cols.push_back(std::move(terms));
+  cols.push_back(
+      Column::MakeDictString(std::move(term_codes), std::move(term_dict)));
   cols.push_back(std::move(positions));
   return Relation::Make(std::move(schema), std::move(cols));
 }
@@ -207,17 +214,45 @@ std::pair<const uint32_t*, size_t> TextIndex::TfRowsForTerm(
   return {tf_rows_.data() + offset, len};
 }
 
+Column TextIndex::EncodeQueryTokens(const std::vector<Token>& tokens,
+                                    std::vector<size_t>* kept) const {
+  const Column& dict_col = termdict_->column(1);
+  if (!dict_col.dict_encoded()) {
+    // Plain fallback (hand-built indexes): keep every token as a string.
+    Column terms(DataType::kString);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      terms.AppendString(tokens[i].text);
+      if (kept != nullptr) kept->push_back(i);
+    }
+    return terms;
+  }
+  // Dict fast path: a query term either exists in the collection's term
+  // dict (then its code is its identity and the termdict join compares
+  // codes) or it matches no document at all and is dropped right here —
+  // exactly what the inner join would have done, minus the string hashing.
+  const StringDict& dict = *dict_col.dict();
+  const int64_t first = dict.first_id();
+  std::vector<int32_t> codes;
+  codes.reserve(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    int64_t id = dict.Lookup(tokens[i].text);
+    if (id < 0) continue;
+    codes.push_back(static_cast<int32_t>(id - first));
+    if (kept != nullptr) kept->push_back(i);
+  }
+  return Column::MakeDictString(std::move(codes), dict_col.dict());
+}
+
 Result<RelationPtr> TextIndex::QueryTerms(const std::string& query) const {
   std::vector<Token> tokens = analyzer_.Analyze(query);
-  Column terms(DataType::kString);
-  for (const Token& tok : tokens) terms.AppendString(tok.text);
   Schema schema({{"qterm", DataType::kString}});
   std::vector<Column> cols;
-  cols.push_back(std::move(terms));
+  cols.push_back(EncodeQueryTokens(tokens, nullptr));
   SPINDLE_ASSIGN_OR_RETURN(RelationPtr qrel,
                            Relation::Make(std::move(schema),
                                           std::move(cols)));
-  // Join against termdict (term lookup as a relational join, Fig. 1).
+  // Join against termdict (term lookup as a relational join, Fig. 1);
+  // with a dict-encoded qrel both sides share the dict and join on codes.
   SPINDLE_ASSIGN_OR_RETURN(RelationPtr joined,
                            HashJoin(qrel, termdict_, {{0, 1}}));
   // columns: qterm, termID, term
@@ -226,14 +261,19 @@ Result<RelationPtr> TextIndex::QueryTerms(const std::string& query) const {
 
 Result<RelationPtr> TextIndex::QueryTermsWeighted(
     const std::vector<std::pair<std::string, double>>& texts) const {
-  Column terms(DataType::kString);
-  Column weights(DataType::kFloat64);
+  std::vector<Token> tokens;
+  std::vector<double> token_weights;
   for (const auto& [text, weight] : texts) {
-    for (const Token& tok : analyzer_.Analyze(text)) {
-      terms.AppendString(tok.text);
-      weights.AppendFloat64(weight);
+    for (Token& tok : analyzer_.Analyze(text)) {
+      tokens.push_back(std::move(tok));
+      token_weights.push_back(weight);
     }
   }
+  std::vector<size_t> kept;
+  Column terms = EncodeQueryTokens(tokens, &kept);
+  Column weights(DataType::kFloat64);
+  weights.Reserve(kept.size());
+  for (size_t i : kept) weights.AppendFloat64(token_weights[i]);
   Schema schema({{"qterm", DataType::kString}, {"w", DataType::kFloat64}});
   std::vector<Column> cols;
   cols.push_back(std::move(terms));

@@ -96,6 +96,14 @@ class TextIndex {
  private:
   TextIndex(Analyzer analyzer) : analyzer_(std::move(analyzer)) {}
 
+  /// Encodes analyzed query tokens against the termdict's shared dict
+  /// (dropping tokens absent from the collection — they cannot match the
+  /// term join anyway); falls back to a plain string column when the
+  /// termdict is not dict-encoded. Records surviving token indices in
+  /// `kept` when non-null.
+  Column EncodeQueryTokens(const std::vector<Token>& tokens,
+                           std::vector<size_t>* kept) const;
+
   Analyzer analyzer_;
   RelationPtr term_doc_;
   RelationPtr termdict_;

@@ -8,6 +8,10 @@ void Catalog::Register(const std::string& name, RelationPtr rel) {
   e.version = next_version_++;
 }
 
+void Catalog::RegisterEncoded(const std::string& name, RelationPtr rel) {
+  Register(name, DictEncodeStringColumns(rel));
+}
+
 void Catalog::Drop(const std::string& name) { entries_.erase(name); }
 
 Result<RelationPtr> Catalog::Get(const std::string& name) const {

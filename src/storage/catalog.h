@@ -22,6 +22,11 @@ class Catalog {
   /// \brief Registers or replaces a relation; bumps its version.
   void Register(const std::string& name, RelationPtr rel);
 
+  /// \brief Like Register, but dictionary-encodes any plain string columns
+  /// first (one shared dict per relation), so strings loaded into the
+  /// catalog are interned once and every downstream kernel works on codes.
+  void RegisterEncoded(const std::string& name, RelationPtr rel);
+
   /// \brief Removes a relation; missing names are ignored.
   void Drop(const std::string& name);
 

@@ -26,6 +26,58 @@ Column Column::MakeString(std::vector<std::string> data) {
   return c;
 }
 
+Column Column::MakeDictString(std::vector<int32_t> codes,
+                              StringDictPtr dict) {
+  assert(dict != nullptr);
+#ifndef NDEBUG
+  for (int32_t code : codes) {
+    assert(code >= 0 && code < dict->size());
+  }
+#endif
+  Column c(DataType::kString);
+  c.codes_ = std::move(codes);
+  c.dict_ = std::move(dict);
+  return c;
+}
+
+Column Column::DictEncode(const std::shared_ptr<StringDict>& dict) const {
+  assert(type_ == DataType::kString);
+  if (dict_ != nullptr && dict == nullptr) {
+    return MakeDictString(codes_, dict_);  // already encoded, share as-is
+  }
+  std::shared_ptr<StringDict> target =
+      dict != nullptr ? dict : std::make_shared<StringDict>();
+  const int64_t first = target->first_id();
+  std::vector<int32_t> codes;
+  codes.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    codes.push_back(static_cast<int32_t>(target->Intern(StringAt(i)) - first));
+  }
+  return MakeDictString(std::move(codes), std::move(target));
+}
+
+Column Column::DecodeToPlain() const {
+  assert(type_ == DataType::kString);
+  if (dict_ == nullptr) return *this;
+  std::vector<std::string> data;
+  data.reserve(codes_.size());
+  for (int32_t code : codes_) {
+    data.push_back(dict_->StringAtPos(static_cast<size_t>(code)));
+  }
+  return MakeString(std::move(data));
+}
+
+void Column::DecayToPlain() {
+  if (dict_ == nullptr) return;
+  strings_.reserve(codes_.size());
+  for (int32_t code : codes_) {
+    strings_.push_back(dict_->StringAtPos(static_cast<size_t>(code)));
+  }
+  codes_.clear();
+  codes_.shrink_to_fit();
+  dict_.reset();
+}
+
 size_t Column::size() const {
   switch (type_) {
     case DataType::kInt64:
@@ -33,9 +85,14 @@ size_t Column::size() const {
     case DataType::kFloat64:
       return floats_.size();
     case DataType::kString:
-      return strings_.size();
+      return dict_ ? codes_.size() : strings_.size();
   }
   return 0;
+}
+
+void Column::AppendString(std::string v) {
+  DecayToPlain();
+  strings_.push_back(std::move(v));
 }
 
 Status Column::AppendValue(const Value& v) {
@@ -52,7 +109,7 @@ Status Column::AppendValue(const Value& v) {
       floats_.push_back(std::get<double>(v));
       break;
     case DataType::kString:
-      strings_.push_back(std::get<std::string>(v));
+      AppendString(std::get<std::string>(v));
       break;
   }
   return Status::OK();
@@ -68,7 +125,16 @@ void Column::AppendFrom(const Column& other, size_t row) {
       floats_.push_back(other.floats_[row]);
       break;
     case DataType::kString:
-      strings_.push_back(other.strings_[row]);
+      if (other.dict_ != nullptr) {
+        // Adopt the source dict when still empty, so that gather/append
+        // pipelines over one dict column stay code-only end to end.
+        if (dict_ == nullptr && strings_.empty()) dict_ = other.dict_;
+        if (dict_ == other.dict_) {
+          codes_.push_back(other.codes_[row]);
+          return;
+        }
+      }
+      AppendString(other.StringAt(row));
       break;
   }
 }
@@ -80,7 +146,7 @@ Value Column::ValueAt(size_t i) const {
     case DataType::kFloat64:
       return Value(floats_[i]);
     case DataType::kString:
-      return Value(strings_[i]);
+      return Value(StringAt(i));
   }
   return Value(int64_t{0});
 }
@@ -92,7 +158,7 @@ std::string Column::ToStringAt(size_t i) const {
     case DataType::kFloat64:
       return FormatDouble(floats_[i]);
     case DataType::kString:
-      return strings_[i];
+      return StringAt(i);
   }
   return "";
 }
@@ -109,7 +175,10 @@ uint64_t Column::HashAt(size_t i) const {
       return HashInt64(bits);
     }
     case DataType::kString:
-      return HashBytes(strings_[i]);
+      // Memoized in the dict: O(1) instead of O(len), and identical to the
+      // plain-representation hash so mixed-representation joins agree.
+      return dict_ ? dict_->HashAtPos(static_cast<size_t>(codes_[i]))
+                   : HashBytes(strings_[i]);
   }
   return 0;
 }
@@ -122,7 +191,10 @@ bool Column::ElementEquals(size_t i, const Column& other, size_t j) const {
     case DataType::kFloat64:
       return floats_[i] == other.floats_[j];
     case DataType::kString:
-      return strings_[i] == other.strings_[j];
+      if (dict_ != nullptr && dict_ == other.dict_) {
+        return codes_[i] == other.codes_[j];  // code fast path
+      }
+      return StringAt(i) == other.StringAt(j);
   }
   return false;
 }
@@ -139,23 +211,38 @@ int Column::ElementCompare(size_t i, const Column& other, size_t j) const {
       return a < b ? -1 : (a > b ? 1 : 0);
     }
     case DataType::kString:
-      return strings_[i].compare(other.strings_[j]);
+      // Dict order is insertion order, not sort order, so equal codes are
+      // the only shortcut; the sort kernels build rank tables instead.
+      if (dict_ != nullptr && dict_ == other.dict_ &&
+          codes_[i] == other.codes_[j]) {
+        return 0;
+      }
+      return StringAt(i).compare(other.StringAt(j));
   }
   return 0;
 }
 
 Column Column::Gather(const std::vector<uint32_t>& indices) const {
   Column out(type_);
-  out.Reserve(indices.size());
   switch (type_) {
     case DataType::kInt64:
+      out.ints_.reserve(indices.size());
       for (uint32_t i : indices) out.ints_.push_back(ints_[i]);
       break;
     case DataType::kFloat64:
+      out.floats_.reserve(indices.size());
       for (uint32_t i : indices) out.floats_.push_back(floats_[i]);
       break;
     case DataType::kString:
-      for (uint32_t i : indices) out.strings_.push_back(strings_[i]);
+      if (dict_ != nullptr) {
+        // Zero-copy for the payload: gather 4-byte codes, share the dict.
+        out.dict_ = dict_;
+        out.codes_.reserve(indices.size());
+        for (uint32_t i : indices) out.codes_.push_back(codes_[i]);
+      } else {
+        out.strings_.reserve(indices.size());
+        for (uint32_t i : indices) out.strings_.push_back(strings_[i]);
+      }
       break;
   }
   return out;
@@ -169,24 +256,43 @@ bool Column::Equals(const Column& other) const {
     case DataType::kFloat64:
       return floats_ == other.floats_;
     case DataType::kString:
-      return strings_ == other.strings_;
+      if (dict_ != nullptr && dict_ == other.dict_) {
+        return codes_ == other.codes_;
+      }
+      for (size_t i = 0; i < size(); ++i) {
+        if (StringAt(i) != other.StringAt(i)) return false;
+      }
+      return true;
   }
   return false;
 }
 
-size_t Column::ByteSize() const {
+size_t Column::ByteSizeExcludingDict() const {
   switch (type_) {
     case DataType::kInt64:
       return ints_.size() * sizeof(int64_t);
     case DataType::kFloat64:
       return floats_.size() * sizeof(double);
     case DataType::kString: {
+      if (dict_ != nullptr) return codes_.size() * sizeof(int32_t);
       size_t bytes = strings_.size() * sizeof(std::string);
-      for (const auto& s : strings_) bytes += s.capacity();
+      // Heap payloads: strings beyond the SSO buffer own an allocation of
+      // capacity()+1 bytes; SSO strings live inside sizeof(std::string),
+      // already counted above.
+      const size_t sso_cap = std::string().capacity();
+      for (const auto& s : strings_) {
+        if (s.capacity() > sso_cap) bytes += s.capacity() + 1;
+      }
       return bytes;
     }
   }
   return 0;
+}
+
+size_t Column::ByteSize() const {
+  size_t bytes = ByteSizeExcludingDict();
+  if (dict_ != nullptr) bytes += dict_->ByteSize();
+  return bytes;
 }
 
 void Column::Reserve(size_t n) {
@@ -198,7 +304,11 @@ void Column::Reserve(size_t n) {
       floats_.reserve(n);
       break;
     case DataType::kString:
-      strings_.reserve(n);
+      if (dict_ != nullptr) {
+        codes_.reserve(n);
+      } else {
+        strings_.reserve(n);
+      }
       break;
   }
 }

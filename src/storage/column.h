@@ -10,12 +10,29 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/string_dict.h"
 #include "storage/types.h"
 
 namespace spindle {
 
-/// \brief A typed column. Exactly one of the three backing vectors is used,
-/// selected by type().
+/// \brief A typed column. Exactly one physical representation is active:
+/// int64, float64, plain strings, or dictionary-encoded strings (int32
+/// codes into a shared immutable StringDict). Dictionary-encoded columns
+/// are logically still DataType::kString — every accessor (StringAt,
+/// ValueAt, HashAt, ElementEquals, ...) is representation-transparent, so
+/// call sites never need to know which representation they got.
+///
+/// Dict-encoding invariants (see docs/column_representations.md):
+///  - codes are 0-based positions into dict()->strings(): the string of
+///    row i is dict()->StringAtPos(code). Codes are always in range.
+///  - the dict is shared (shared_ptr<const StringDict>) and immutable;
+///    Gather/AppendFrom copy 4-byte codes and bump the refcount instead of
+///    copying strings.
+///  - HashAt of a dict column equals HashBytes of the string (memoized in
+///    the dict), so plain and dict columns hash identically.
+///  - appending a raw string (or a row from a column with a *different*
+///    dict) to a dict column decays it to the plain representation; the
+///    kernels avoid this on hot paths via RecodeToShared (see ops.h).
 ///
 /// Columns are mutated only while being built; once handed to a Relation
 /// they are treated as immutable and shared via shared_ptr<const Column>.
@@ -29,19 +46,40 @@ class Column {
   static Column MakeInt64(std::vector<int64_t> data);
   static Column MakeFloat64(std::vector<double> data);
   static Column MakeString(std::vector<std::string> data);
+  /// Dictionary-encoded string column: `codes[i]` is the 0-based position
+  /// of row i's string in `dict`. All codes must be in [0, dict->size()).
+  static Column MakeDictString(std::vector<int32_t> codes,
+                               StringDictPtr dict);
   /// @}
 
   DataType type() const { return type_; }
   size_t size() const;
 
+  /// \name Dictionary representation.
+  /// @{
+  bool dict_encoded() const { return dict_ != nullptr; }
+  const StringDictPtr& dict() const { return dict_; }
+  const std::vector<int32_t>& dict_codes() const { return codes_; }
+  int32_t CodeAt(size_t i) const { return codes_[i]; }
+  /// Returns a dict-encoded copy of this kString column. If `dict` is
+  /// given, strings are interned into it (letting several columns share
+  /// one dict); otherwise a fresh dict is built. Already-encoded columns
+  /// are returned as cheap code copies (re-interned if `dict` is given).
+  Column DictEncode(const std::shared_ptr<StringDict>& dict = nullptr) const;
+  /// Returns a plain-string copy of this kString column.
+  Column DecodeToPlain() const;
+  /// @}
+
   /// \name Append (build phase only).
   /// @{
   void AppendInt64(int64_t v) { ints_.push_back(v); }
   void AppendFloat64(double v) { floats_.push_back(v); }
-  void AppendString(std::string v) { strings_.push_back(std::move(v)); }
+  void AppendString(std::string v);
   /// Appends a Value; returns TypeMismatch if it does not match type().
   Status AppendValue(const Value& v);
   /// Appends row `row` of `other` (same type required; checked by assert).
+  /// If this column is empty it adopts `other`'s dict, so appending rows
+  /// of one dict column builds another dict column code-by-code.
   void AppendFrom(const Column& other, size_t row);
   /// @}
 
@@ -49,7 +87,10 @@ class Column {
   /// @{
   int64_t Int64At(size_t i) const { return ints_[i]; }
   double Float64At(size_t i) const { return floats_[i]; }
-  const std::string& StringAt(size_t i) const { return strings_[i]; }
+  const std::string& StringAt(size_t i) const {
+    return dict_ ? dict_->StringAtPos(static_cast<size_t>(codes_[i]))
+                 : strings_[i];
+  }
   /// @}
 
   /// \brief Generic element access (allocates for strings).
@@ -59,10 +100,13 @@ class Column {
   std::string ToStringAt(size_t i) const;
 
   /// \brief Hash of element i, suitable for join/aggregate keys.
+  /// Representation-independent: a dict column hashes to the same value as
+  /// a plain column holding the same strings.
   uint64_t HashAt(size_t i) const;
 
   /// \brief True if element i of *this equals element j of other
-  /// (same type required).
+  /// (same type required). When both columns share one dict instance this
+  /// is a 4-byte code comparison.
   bool ElementEquals(size_t i, const Column& other, size_t j) const;
 
   /// \brief Three-way comparison of element i vs element j of other:
@@ -70,15 +114,27 @@ class Column {
   int ElementCompare(size_t i, const Column& other, size_t j) const;
 
   /// \brief Returns a new column containing rows at `indices`, in order.
+  /// For dict columns this copies codes and shares the dict (zero-copy for
+  /// the string payload).
   Column Gather(const std::vector<uint32_t>& indices) const;
 
-  /// \brief Deep equality (type, size and all elements).
+  /// \brief Deep logical equality (type, size and all elements); a plain
+  /// and a dict column holding the same strings are equal.
   bool Equals(const Column& other) const;
 
-  /// \brief Approximate heap footprint in bytes (used by the cache budget).
+  /// \brief Approximate heap footprint in bytes (used by the cache
+  /// budget). Includes the dict for dict columns; use
+  /// ByteSizeExcludingDict plus per-instance dict accounting to avoid
+  /// double-charging shared dicts (Relation::ByteSize does this).
   size_t ByteSize() const;
 
+  /// \brief ByteSize without the shared dict (codes / own buffers only).
+  size_t ByteSizeExcludingDict() const;
+
   /// \name Raw data access for vectorized kernels.
+  /// Note: string_data()/mutable_string() expose the *plain* backing
+  /// vector, which is empty for dict-encoded columns — check
+  /// dict_encoded() first or use the transparent accessors.
   /// @{
   const std::vector<int64_t>& int64_data() const { return ints_; }
   const std::vector<double>& float64_data() const { return floats_; }
@@ -91,10 +147,17 @@ class Column {
   void Reserve(size_t n);
 
  private:
+  /// Rewrites a dict column into plain strings in place (build phase
+  /// only) so heterogeneous appends stay correct.
+  void DecayToPlain();
+
   DataType type_;
   std::vector<int64_t> ints_;
   std::vector<double> floats_;
   std::vector<std::string> strings_;
+  // Dictionary representation (type_ == kString, dict_ != nullptr).
+  std::vector<int32_t> codes_;
+  StringDictPtr dict_;
 };
 
 using ColumnPtr = std::shared_ptr<const Column>;

@@ -137,7 +137,10 @@ Status WriteRelation(const Relation& rel, const std::string& path) {
         }
         break;
       case DataType::kString:
-        for (const std::string& s : col.string_data()) {
+        // Via StringAt so dict-encoded columns serialize transparently
+        // (the on-disk format stays representation-free).
+        for (uint64_t r = 0; r < nrows; ++r) {
+          const std::string& s = col.StringAt(r);
           uint32_t len = static_cast<uint32_t>(s.size());
           if (!WritePod(f.get(), len) ||
               !WriteBytes(f.get(), s.data(), s.size())) {

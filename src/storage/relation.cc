@@ -63,9 +63,58 @@ bool Relation::Equals(const Relation& other) const {
 }
 
 size_t Relation::ByteSize() const {
-  size_t bytes = 0;
-  for (const auto& c : columns_) bytes += c->ByteSize();
+  size_t bytes = ByteSizeExcludingDicts();
+  for (const auto& d : CollectDicts()) bytes += d->ByteSize();
   return bytes;
+}
+
+size_t Relation::ByteSizeExcludingDicts() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) bytes += c->ByteSizeExcludingDict();
+  return bytes;
+}
+
+std::vector<StringDictPtr> Relation::CollectDicts() const {
+  std::vector<StringDictPtr> dicts;
+  for (const auto& c : columns_) {
+    if (!c->dict_encoded()) continue;
+    bool seen = false;
+    for (const auto& d : dicts) {
+      if (d == c->dict()) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) dicts.push_back(c->dict());
+  }
+  return dicts;
+}
+
+RelationPtr DictEncodeStringColumns(const RelationPtr& rel) {
+  bool any_plain = false;
+  for (size_t c = 0; c < rel->num_columns(); ++c) {
+    const Column& col = rel->column(c);
+    if (col.type() == DataType::kString && !col.dict_encoded()) {
+      any_plain = true;
+      break;
+    }
+  }
+  if (!any_plain) return rel;
+  auto dict = std::make_shared<StringDict>();
+  std::vector<ColumnPtr> cols;
+  cols.reserve(rel->num_columns());
+  for (size_t c = 0; c < rel->num_columns(); ++c) {
+    const Column& col = rel->column(c);
+    if (col.type() == DataType::kString && !col.dict_encoded()) {
+      cols.push_back(
+          std::make_shared<const Column>(col.DictEncode(dict)));
+    } else {
+      cols.push_back(rel->column_ptr(c));
+    }
+  }
+  auto encoded = Relation::MakeShared(rel->schema(), std::move(cols));
+  // Schema and lengths are unchanged, so this cannot fail.
+  return encoded.ValueOrDie();
 }
 
 std::string Relation::ToString(size_t max_rows) const {

@@ -48,8 +48,18 @@ class Relation {
   /// \brief Deep equality: schema plus all cells, order-sensitive.
   bool Equals(const Relation& other) const;
 
-  /// \brief Approximate heap footprint (cache accounting).
+  /// \brief Approximate heap footprint (cache accounting). Each shared
+  /// StringDict instance is counted once, no matter how many columns
+  /// reference it.
   size_t ByteSize() const;
+
+  /// \brief Heap footprint excluding all shared dicts (the per-relation
+  /// part the materialization cache charges unconditionally).
+  size_t ByteSizeExcludingDicts() const;
+
+  /// \brief The distinct StringDict instances referenced by dict-encoded
+  /// columns, in first-appearance order.
+  std::vector<StringDictPtr> CollectDicts() const;
 
   /// \brief Pretty-prints up to `max_rows` rows with a header.
   std::string ToString(size_t max_rows = 20) const;
@@ -64,6 +74,13 @@ class Relation {
   std::vector<ColumnPtr> columns_;
   size_t num_rows_;
 };
+
+/// \brief Returns a relation whose plain string columns are
+/// dictionary-encoded, all sharing one StringDict (so cross-column joins —
+/// e.g. triples subject vs object — still compare codes). Columns that are
+/// already dict-encoded and non-string columns are shared untouched; if
+/// nothing needs encoding the input pointer is returned as-is.
+RelationPtr DictEncodeStringColumns(const RelationPtr& rel);
 
 /// \brief Convenience row-at-a-time builder for tests and generators.
 ///

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "common/hash.h"
+
 namespace spindle {
 
 int64_t StringDict::Intern(std::string_view s) {
@@ -21,6 +23,7 @@ int64_t StringDict::Intern(std::string_view s) {
     }
   }
   strings_.emplace_back(s);
+  hashes_.push_back(HashBytes(strings_.back()));
   int64_t id = first_id_ + static_cast<int64_t>(strings_.size()) - 1;
   index_.emplace(strings_.back(), id);
   return id;
@@ -29,6 +32,19 @@ int64_t StringDict::Intern(std::string_view s) {
 int64_t StringDict::Lookup(std::string_view s) const {
   auto it = index_.find(s);
   return it == index_.end() ? -1 : it->second;
+}
+
+size_t StringDict::ByteSize() const {
+  size_t bytes = strings_.capacity() * sizeof(std::string) +
+                 hashes_.capacity() * sizeof(uint64_t);
+  const size_t sso_cap = std::string().capacity();
+  for (const auto& s : strings_) {
+    if (s.capacity() > sso_cap) bytes += s.capacity() + 1;
+  }
+  // Rough charge for the hash index nodes (key view + id + bucket link).
+  bytes += index_.size() *
+           (sizeof(std::string_view) + sizeof(int64_t) + 2 * sizeof(void*));
+  return bytes;
 }
 
 }  // namespace spindle

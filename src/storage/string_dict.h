@@ -2,11 +2,15 @@
 /// \brief Bidirectional string <-> dense-id dictionary.
 ///
 /// This is the building block behind `termdict` (paper §2.1): terms are
-/// interned once and the hot ranking path works on int64 term ids.
+/// interned once and the hot ranking path works on int64 term ids. It is
+/// also the backing store of dictionary-encoded string Columns, which hold
+/// dense 0-based positions into a shared immutable StringDict instead of
+/// materialized strings (see docs/column_representations.md).
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -32,16 +36,31 @@ class StringDict {
     return strings_[static_cast<size_t>(id - first_id_)];
   }
 
+  /// \brief The string at 0-based position `pos` (== id - first_id()).
+  /// Dictionary-encoded Columns store these positions as codes.
+  const std::string& StringAtPos(size_t pos) const { return strings_[pos]; }
+
+  /// \brief Memoized hash of the string at position `pos`; always equal to
+  /// HashBytes(StringAtPos(pos)), so plain and dict-encoded columns hash
+  /// identically and can meet in the same hash table.
+  uint64_t HashAtPos(size_t pos) const { return hashes_[pos]; }
+
   int64_t size() const { return static_cast<int64_t>(strings_.size()); }
   int64_t first_id() const { return first_id_; }
 
   /// \brief All interned strings in id order.
   const std::vector<std::string>& strings() const { return strings_; }
 
+  /// \brief Approximate heap footprint (strings, hashes and hash index).
+  size_t ByteSize() const;
+
  private:
   int64_t first_id_;
   std::vector<std::string> strings_;
+  std::vector<uint64_t> hashes_;  // HashBytes of strings_, same order
   std::unordered_map<std::string_view, int64_t> index_;  // views into strings_
 };
+
+using StringDictPtr = std::shared_ptr<const StringDict>;
 
 }  // namespace spindle

@@ -4,6 +4,24 @@
 
 namespace spindle {
 
+namespace {
+
+/// Interns a string vector into `dict`, yielding a dict-encoded column.
+/// Subjects, properties and objects of one relation share a single dict so
+/// self-joins (subject = object graph walks) compare codes directly.
+Column EncodeColumn(const std::vector<std::string>& values,
+                    const std::shared_ptr<StringDict>& dict) {
+  const int64_t first = dict->first_id();
+  std::vector<int32_t> codes;
+  codes.reserve(values.size());
+  for (const auto& v : values) {
+    codes.push_back(static_cast<int32_t>(dict->Intern(v) - first));
+  }
+  return Column::MakeDictString(std::move(codes), dict);
+}
+
+}  // namespace
+
 void TripleStore::Add(std::string subject, std::string property,
                       std::string object, double p) {
   str_.subjects.push_back(std::move(subject));
@@ -33,10 +51,11 @@ Result<RelationPtr> TripleStore::StringTriples() const {
                  {"property", DataType::kString},
                  {"object", DataType::kString},
                  {"p", DataType::kFloat64}});
+  auto dict = std::make_shared<StringDict>();
   std::vector<Column> cols;
-  cols.push_back(Column::MakeString(str_.subjects));
-  cols.push_back(Column::MakeString(str_.properties));
-  cols.push_back(Column::MakeString(str_.objects));
+  cols.push_back(EncodeColumn(str_.subjects, dict));
+  cols.push_back(EncodeColumn(str_.properties, dict));
+  cols.push_back(EncodeColumn(str_.objects, dict));
   cols.push_back(Column::MakeFloat64(str_.probs));
   return Relation::Make(std::move(schema), std::move(cols));
 }
@@ -46,9 +65,10 @@ Result<RelationPtr> TripleStore::IntTriples() const {
                  {"property", DataType::kString},
                  {"object", DataType::kInt64},
                  {"p", DataType::kFloat64}});
+  auto dict = std::make_shared<StringDict>();
   std::vector<Column> cols;
-  cols.push_back(Column::MakeString(int_.subjects));
-  cols.push_back(Column::MakeString(int_.properties));
+  cols.push_back(EncodeColumn(int_.subjects, dict));
+  cols.push_back(EncodeColumn(int_.properties, dict));
   cols.push_back(Column::MakeInt64(int_.objects));
   cols.push_back(Column::MakeFloat64(int_.probs));
   return Relation::Make(std::move(schema), std::move(cols));
@@ -59,9 +79,10 @@ Result<RelationPtr> TripleStore::FloatTriples() const {
                  {"property", DataType::kString},
                  {"object", DataType::kFloat64},
                  {"p", DataType::kFloat64}});
+  auto dict = std::make_shared<StringDict>();
   std::vector<Column> cols;
-  cols.push_back(Column::MakeString(flt_.subjects));
-  cols.push_back(Column::MakeString(flt_.properties));
+  cols.push_back(EncodeColumn(flt_.subjects, dict));
+  cols.push_back(EncodeColumn(flt_.properties, dict));
   cols.push_back(Column::MakeFloat64(flt_.objects));
   cols.push_back(Column::MakeFloat64(flt_.probs));
   return Relation::Make(std::move(schema), std::move(cols));
@@ -72,32 +93,42 @@ Result<RelationPtr> TripleStore::AllAsStrings() const {
                  {"property", DataType::kString},
                  {"object", DataType::kString},
                  {"p", DataType::kFloat64}});
-  std::vector<Column> cols(4, Column(DataType::kString));
-  cols[3] = Column(DataType::kFloat64);
+  auto dict = std::make_shared<StringDict>();
+  const int64_t first = dict->first_id();
   size_t total = size();
-  for (auto& c : cols) c.Reserve(total);
+  std::vector<int32_t> subj, prop, obj;
+  subj.reserve(total);
+  prop.reserve(total);
+  obj.reserve(total);
+  Column probs(DataType::kFloat64);
+  probs.Reserve(total);
 
-  auto append_strings = [&](const Partition<std::string>& part) {
-    for (size_t i = 0; i < part.subjects.size(); ++i) {
-      cols[0].AppendString(part.subjects[i]);
-      cols[1].AppendString(part.properties[i]);
-      cols[2].AppendString(part.objects[i]);
-      cols[3].AppendFloat64(part.probs[i]);
-    }
+  auto code = [&](const std::string& s) {
+    return static_cast<int32_t>(dict->Intern(s) - first);
   };
-  append_strings(str_);
+  for (size_t i = 0; i < str_.subjects.size(); ++i) {
+    subj.push_back(code(str_.subjects[i]));
+    prop.push_back(code(str_.properties[i]));
+    obj.push_back(code(str_.objects[i]));
+    probs.AppendFloat64(str_.probs[i]);
+  }
   for (size_t i = 0; i < int_.subjects.size(); ++i) {
-    cols[0].AppendString(int_.subjects[i]);
-    cols[1].AppendString(int_.properties[i]);
-    cols[2].AppendString(std::to_string(int_.objects[i]));
-    cols[3].AppendFloat64(int_.probs[i]);
+    subj.push_back(code(int_.subjects[i]));
+    prop.push_back(code(int_.properties[i]));
+    obj.push_back(code(std::to_string(int_.objects[i])));
+    probs.AppendFloat64(int_.probs[i]);
   }
   for (size_t i = 0; i < flt_.subjects.size(); ++i) {
-    cols[0].AppendString(flt_.subjects[i]);
-    cols[1].AppendString(flt_.properties[i]);
-    cols[2].AppendString(FormatDouble(flt_.objects[i]));
-    cols[3].AppendFloat64(flt_.probs[i]);
+    subj.push_back(code(flt_.subjects[i]));
+    prop.push_back(code(flt_.properties[i]));
+    obj.push_back(code(FormatDouble(flt_.objects[i])));
+    probs.AppendFloat64(flt_.probs[i]);
   }
+  std::vector<Column> cols;
+  cols.push_back(Column::MakeDictString(std::move(subj), dict));
+  cols.push_back(Column::MakeDictString(std::move(prop), dict));
+  cols.push_back(Column::MakeDictString(std::move(obj), dict));
+  cols.push_back(std::move(probs));
   return Relation::Make(std::move(schema), std::move(cols));
 }
 

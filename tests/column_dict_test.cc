@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/column.h"
+#include "storage/relation.h"
+#include "storage/string_dict.h"
+
+namespace spindle {
+namespace {
+
+Column PlainCities() {
+  return Column::MakeString(
+      {"oslo", "lima", "oslo", "quito", "lima", "oslo"});
+}
+
+TEST(ColumnDictTest, EncodeDecodeRoundTrip) {
+  Column plain = PlainCities();
+  Column dict = plain.DictEncode();
+  ASSERT_TRUE(dict.dict_encoded());
+  EXPECT_EQ(dict.type(), DataType::kString);
+  EXPECT_EQ(dict.size(), plain.size());
+  // Distinct values collapse into the dict.
+  EXPECT_EQ(dict.dict()->size(), 3);
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(dict.StringAt(i), plain.StringAt(i));
+  }
+  Column back = dict.DecodeToPlain();
+  EXPECT_FALSE(back.dict_encoded());
+  EXPECT_TRUE(back.Equals(plain));
+}
+
+TEST(ColumnDictTest, EqualsAcrossRepresentations) {
+  Column plain = PlainCities();
+  Column dict = plain.DictEncode();
+  // Logical equality must ignore the physical representation, both ways.
+  EXPECT_TRUE(plain.Equals(dict));
+  EXPECT_TRUE(dict.Equals(plain));
+  EXPECT_TRUE(dict.Equals(dict.DictEncode()));  // re-encode shares codes
+
+  Column other = Column::MakeString(
+      {"oslo", "lima", "oslo", "quito", "lima", "OSLO"});
+  EXPECT_FALSE(dict.Equals(other));
+  EXPECT_FALSE(other.Equals(dict));
+}
+
+TEST(ColumnDictTest, HashMatchesPlainRepresentation) {
+  Column plain = PlainCities();
+  Column dict = plain.DictEncode();
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(dict.HashAt(i), plain.HashAt(i));
+    EXPECT_EQ(dict.HashAt(i), HashBytes(plain.StringAt(i)));
+  }
+}
+
+TEST(ColumnDictTest, ElementEqualsAndCompareAcrossRepresentations) {
+  Column plain = PlainCities();
+  Column dict = plain.DictEncode();
+  for (size_t i = 0; i < plain.size(); ++i) {
+    for (size_t j = 0; j < plain.size(); ++j) {
+      EXPECT_EQ(dict.ElementEquals(i, plain, j),
+                plain.ElementEquals(i, plain, j));
+      EXPECT_EQ(dict.ElementEquals(i, dict, j),
+                plain.ElementEquals(i, plain, j));
+      // Compare must agree in sign with the plain-vs-plain result.
+      int expect = plain.ElementCompare(i, plain, j);
+      int got_mixed = dict.ElementCompare(i, plain, j);
+      int got_dict = dict.ElementCompare(i, dict, j);
+      EXPECT_EQ(expect < 0, got_mixed < 0);
+      EXPECT_EQ(expect > 0, got_mixed > 0);
+      EXPECT_EQ(expect < 0, got_dict < 0);
+      EXPECT_EQ(expect > 0, got_dict > 0);
+    }
+  }
+}
+
+TEST(ColumnDictTest, GatherSharesDict) {
+  Column dict = PlainCities().DictEncode();
+  Column gathered = dict.Gather({5, 0, 3});
+  ASSERT_TRUE(gathered.dict_encoded());
+  // Zero-copy: the very same dict instance, only codes were copied.
+  EXPECT_EQ(gathered.dict().get(), dict.dict().get());
+  EXPECT_EQ(gathered.StringAt(0), "oslo");
+  EXPECT_EQ(gathered.StringAt(1), "oslo");
+  EXPECT_EQ(gathered.StringAt(2), "quito");
+}
+
+TEST(ColumnDictTest, AppendFromAdoptsSourceDict) {
+  Column src = PlainCities().DictEncode();
+  Column dst(DataType::kString);
+  dst.AppendFrom(src, 3);
+  dst.AppendFrom(src, 1);
+  ASSERT_TRUE(dst.dict_encoded());
+  EXPECT_EQ(dst.dict().get(), src.dict().get());
+  EXPECT_EQ(dst.StringAt(0), "quito");
+  EXPECT_EQ(dst.StringAt(1), "lima");
+}
+
+TEST(ColumnDictTest, AppendRawStringDecaysToPlain) {
+  Column src = PlainCities().DictEncode();
+  Column dst(DataType::kString);
+  dst.AppendFrom(src, 0);
+  ASSERT_TRUE(dst.dict_encoded());
+  dst.AppendString("tokyo");  // not in the dict: must decay, stay correct
+  EXPECT_FALSE(dst.dict_encoded());
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst.StringAt(0), "oslo");
+  EXPECT_EQ(dst.StringAt(1), "tokyo");
+}
+
+TEST(ColumnDictTest, AppendFromDifferentDictDecaysToPlain) {
+  Column a = PlainCities().DictEncode();
+  Column b = Column::MakeString({"cairo", "lima"}).DictEncode();
+  Column dst(DataType::kString);
+  dst.AppendFrom(a, 1);   // adopts a's dict
+  dst.AppendFrom(b, 0);   // different dict instance: decay
+  EXPECT_FALSE(dst.dict_encoded());
+  EXPECT_EQ(dst.StringAt(0), "lima");
+  EXPECT_EQ(dst.StringAt(1), "cairo");
+}
+
+TEST(ColumnDictTest, SharedDictAcrossColumns) {
+  auto shared = std::make_shared<StringDict>();
+  Column a = Column::MakeString({"x", "y"}).DictEncode(shared);
+  Column b = Column::MakeString({"y", "z"}).DictEncode(shared);
+  ASSERT_TRUE(a.dict_encoded());
+  ASSERT_TRUE(b.dict_encoded());
+  EXPECT_EQ(a.dict().get(), b.dict().get());
+  // Same string, same code, even across columns.
+  EXPECT_EQ(a.CodeAt(1), b.CodeAt(0));
+  EXPECT_TRUE(a.ElementEquals(1, b, 0));
+}
+
+TEST(ColumnDictTest, MakeDictStringAccessors) {
+  auto d = std::make_shared<StringDict>();
+  d->Intern("alpha");
+  d->Intern("beta");
+  Column c = Column::MakeDictString({1, 0, 1}, d);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.StringAt(0), "beta");
+  EXPECT_EQ(c.StringAt(1), "alpha");
+  EXPECT_EQ(c.CodeAt(2), 1);
+  EXPECT_EQ(c.ValueAt(1), Value(std::string("alpha")));
+  EXPECT_EQ(c.ToStringAt(0), "beta");
+}
+
+TEST(ColumnDictTest, ByteSizeCountsCodesAndDictOnce) {
+  Column plain = PlainCities();
+  Column dict = plain.DictEncode();
+  EXPECT_EQ(dict.ByteSizeExcludingDict(), dict.size() * sizeof(int32_t));
+  EXPECT_EQ(dict.ByteSize(),
+            dict.ByteSizeExcludingDict() + dict.dict()->ByteSize());
+  // Plain strings charge the vector shell plus any heap payloads.
+  EXPECT_GE(plain.ByteSize(), plain.size() * sizeof(std::string));
+}
+
+TEST(ColumnDictTest, ByteSizeCountsLongStringHeap) {
+  std::string big(4096, 'q');
+  Column c = Column::MakeString({big});
+  // The heap payload must be visible, not just sizeof(std::string).
+  EXPECT_GE(c.ByteSize(), sizeof(std::string) + big.size());
+}
+
+TEST(RelationDictTest, DictEncodeStringColumnsSharesOneDict) {
+  RelationBuilder b({{"s", DataType::kString},
+                     {"n", DataType::kInt64},
+                     {"o", DataType::kString}});
+  ASSERT_TRUE(b.AddRow({std::string("a"), int64_t{1}, std::string("b")}).ok());
+  ASSERT_TRUE(b.AddRow({std::string("b"), int64_t{2}, std::string("a")}).ok());
+  RelationPtr rel = b.Build().ValueOrDie();
+  RelationPtr enc = DictEncodeStringColumns(rel);
+  ASSERT_NE(enc.get(), rel.get());
+  ASSERT_TRUE(enc->column(0).dict_encoded());
+  ASSERT_TRUE(enc->column(2).dict_encoded());
+  // Both string columns share one dict; cross-column compares hit codes.
+  EXPECT_EQ(enc->column(0).dict().get(), enc->column(2).dict().get());
+  EXPECT_TRUE(enc->column(0).ElementEquals(0, enc->column(2), 1));
+  // The int column is shared untouched.
+  EXPECT_EQ(enc->column_ptr(1).get(), rel->column_ptr(1).get());
+  // Logical content unchanged.
+  EXPECT_TRUE(enc->Equals(*rel));
+  // Already-encoded input comes back as the same pointer.
+  EXPECT_EQ(DictEncodeStringColumns(enc).get(), enc.get());
+}
+
+TEST(RelationDictTest, ByteSizeChargesSharedDictOnce) {
+  RelationBuilder b({{"s", DataType::kString}, {"o", DataType::kString}});
+  ASSERT_TRUE(b.AddRow({std::string("alpha"), std::string("beta")}).ok());
+  RelationPtr enc = DictEncodeStringColumns(b.Build().ValueOrDie());
+  ASSERT_EQ(enc->CollectDicts().size(), 1u);
+  size_t dict_bytes = enc->column(0).dict()->ByteSize();
+  EXPECT_EQ(enc->ByteSize(), enc->ByteSizeExcludingDicts() + dict_bytes);
+  EXPECT_EQ(enc->ByteSizeExcludingDicts(),
+            enc->column(0).ByteSizeExcludingDict() +
+                enc->column(1).ByteSizeExcludingDict());
+}
+
+}  // namespace
+}  // namespace spindle

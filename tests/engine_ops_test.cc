@@ -270,5 +270,135 @@ TEST(WithRowNumberTest, NumbersFromOne) {
   EXPECT_EQ(out->column(3).Int64At(4), 5);
 }
 
+// --- Dictionary-encoded string columns through the engine kernels. ---
+
+RelationPtr DictProducts() { return DictEncodeStringColumns(Products()); }
+
+TEST(DictOpsTest, JoinOnSharedDictKeysMatchesPlain) {
+  RelationBuilder b({{"category", DataType::kString},
+                     {"tax", DataType::kFloat64}});
+  ASSERT_TRUE(b.AddRow({std::string("toy"), 0.2}).ok());
+  ASSERT_TRUE(b.AddRow({std::string("food"), 0.1}).ok());
+  RelationPtr rates = b.Build().ValueOrDie();
+
+  auto plain = HashJoin(Products(), rates, {{1, 0}}).ValueOrDie();
+  // Every representation pairing must produce the same join result.
+  for (const auto& [l, r] :
+       {std::pair{DictProducts(), rates},
+        std::pair{Products(), DictEncodeStringColumns(rates)},
+        std::pair{DictProducts(), DictEncodeStringColumns(rates)}}) {
+    auto out = HashJoin(l, r, {{1, 0}}).ValueOrDie();
+    EXPECT_TRUE(out->Equals(*plain));
+  }
+}
+
+TEST(DictOpsTest, JoinAcrossDifferentDictsRecodes) {
+  // Two independently-built dicts: same strings get different codes, so a
+  // correct join must go through RecodeToShared, not raw codes.
+  RelationPtr left = DictProducts();
+  RelationBuilder b({{"category", DataType::kString},
+                     {"rank", DataType::kInt64}});
+  ASSERT_TRUE(b.AddRow({std::string("food"), int64_t{1}}).ok());
+  ASSERT_TRUE(b.AddRow({std::string("toy"), int64_t{2}}).ok());
+  ASSERT_TRUE(b.AddRow({std::string("game"), int64_t{3}}).ok());
+  RelationPtr right = DictEncodeStringColumns(b.Build().ValueOrDie());
+  ASSERT_NE(left->column(1).dict().get(), right->column(0).dict().get());
+
+  auto out = HashJoin(left, right, {{1, 0}}).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 4u);  // 3 toys + 1 food; "game" unmatched
+  for (size_t r = 0; r < out->num_rows(); ++r) {
+    EXPECT_EQ(out->column(1).StringAt(r), out->column(3).StringAt(r));
+  }
+}
+
+TEST(DictOpsTest, RecodeToSharedAgreesWithStringEquality) {
+  Column a = Column::MakeString({"x", "y", "z", "x"}).DictEncode();
+  Column b = Column::MakeString({"y", "w", "x"}).DictEncode();
+  auto recoded = RecodeToShared(a, b);
+  ASSERT_TRUE(recoded.has_value());
+  const auto& [ra, rb] = *recoded;
+  ASSERT_EQ(ra.size(), a.size());
+  ASSERT_EQ(rb.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      EXPECT_EQ(ra.Int64At(i) == rb.Int64At(j),
+                a.StringAt(i) == b.StringAt(j))
+          << "i=" << i << " j=" << j;
+    }
+  }
+  // Neither side encoded: nothing to do.
+  Column p = Column::MakeString({"x"});
+  EXPECT_FALSE(RecodeToShared(p, p).has_value());
+}
+
+TEST(DictOpsTest, GroupAggregateOnDictKeys) {
+  auto plain = GroupAggregate(Products(), {1},
+                              {{AggKind::kCount, 0, "n"},
+                               {AggKind::kSum, 2, "total"}})
+                   .ValueOrDie();
+  auto dict = GroupAggregate(DictProducts(), {1},
+                             {{AggKind::kCount, 0, "n"},
+                              {AggKind::kSum, 2, "total"}})
+                  .ValueOrDie();
+  EXPECT_TRUE(dict->Equals(*plain));
+  // The group-key output column still shares the input dict.
+  EXPECT_TRUE(dict->column(0).dict_encoded());
+}
+
+TEST(DictOpsTest, DistinctOnDictKeys) {
+  auto out = Distinct(DictProducts(), {1}).ValueOrDie();
+  EXPECT_TRUE(out->Equals(*Distinct(Products(), {1}).ValueOrDie()));
+}
+
+TEST(DictOpsTest, SortByDictColumnMatchesPlain) {
+  auto plain = SortBy(Products(), {{1, false}, {2, true}}).ValueOrDie();
+  auto dict = SortBy(DictProducts(), {{1, false}, {2, true}}).ValueOrDie();
+  EXPECT_TRUE(dict->Equals(*plain));
+  auto desc = SortBy(DictProducts(), {{1, true}}).ValueOrDie();
+  EXPECT_EQ(desc->column(1).StringAt(0), "toy");
+  EXPECT_EQ(desc->column(1).StringAt(4), "book");
+}
+
+TEST(DictOpsTest, EmptyRelationEdgeCases) {
+  RelationPtr empty =
+      Filter(DictProducts(), Expr::LitInt(0), Reg()).ValueOrDie();
+  ASSERT_EQ(empty->num_rows(), 0u);
+  EXPECT_EQ(HashJoin(empty, DictProducts(), {{1, 1}})
+                .ValueOrDie()
+                ->num_rows(),
+            0u);
+  EXPECT_EQ(HashJoin(DictProducts(), empty, {{1, 1}})
+                .ValueOrDie()
+                ->num_rows(),
+            0u);
+  EXPECT_EQ(Distinct(empty, {1}).ValueOrDie()->num_rows(), 0u);
+  EXPECT_EQ(SortBy(empty, {{1, false}}).ValueOrDie()->num_rows(), 0u);
+  EXPECT_EQ(TopK(empty, {2, true}, 3).ValueOrDie()->num_rows(), 0u);
+}
+
+TEST(DictOpsTest, DictSharedThroughFilterJoinTopKPipeline) {
+  RelationPtr products = DictProducts();
+  const StringDict* dict = products->column(1).dict().get();
+  ASSERT_NE(dict, nullptr);
+
+  auto cheap = Filter(products,
+                      Expr::Lt(Expr::ColumnNamed("price"), Expr::LitFloat(9)),
+                      Reg())
+                   .ValueOrDie();
+  ASSERT_EQ(cheap->num_rows(), 4u);
+  EXPECT_EQ(cheap->column(1).dict().get(), dict);
+
+  auto joined = HashJoin(Orders(), cheap, {{0, 0}}).ValueOrDie();
+  ASSERT_EQ(joined->num_rows(), 1u);  // only product 3 is cheap & ordered
+  EXPECT_EQ(joined->column(3).dict().get(), dict);
+
+  auto top = TopK(joined, {1, true}, 5).ValueOrDie();
+  ASSERT_GE(top->num_rows(), 1u);
+  // The very same StringDict instance survived Filter -> Join -> TopK:
+  // no string was copied anywhere along the pipeline.
+  EXPECT_EQ(top->column(3).dict().get(), dict);
+  EXPECT_EQ(top->column(3).StringAt(0), "toy");
+}
+
 }  // namespace
 }  // namespace spindle
