@@ -1,0 +1,98 @@
+/// \file bench_e12_parallel_scaling.cpp
+/// \brief E12 — morsel-driven parallel scaling of the relational IR engine.
+///
+/// Measures the two hot paths the exec subsystem parallelizes, at 1/2/4/8
+/// engine threads over one fixed collection:
+///
+///  - keyword query: BM25 over the relational text index (MatchQuery term
+///    fan-out, parallel hash joins, parallel group-by, parallel top-k);
+///  - term lookup: the paper's Fig. 1 inner join of query terms against
+///    term occurrences (parallel probe of the big term_doc side).
+///
+/// The 1-thread runs take the legacy serial code paths bit-exactly, so the
+/// reported ratio serial/parallel is the subsystem's true speedup. Pass
+/// --threads=N to pin a single thread count instead of sweeping (the
+/// SPINDLE_THREADS environment variable sets the process default for all
+/// other benchmarks, but this sweep installs explicit per-run contexts).
+
+#include "bench/bench_util.h"
+#include "engine/ops.h"
+#include "exec/exec_context.h"
+
+namespace spindle {
+namespace bench {
+
+constexpr int64_t kDocs = 50000;
+
+/// Full keyword query: analyze, match, BM25-rank, top-10.
+void BM_KeywordQueryScaling(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  TextIndexPtr index = GetIndex(kDocs);
+  const auto& queries = GetQueries(kDocs, 3);
+  ScopedExecContext scope{ExecContext(threads)};
+  size_t qi = 0;
+  for (auto _ : state) {
+    const std::string& query = queries[qi++ % queries.size()];
+    RelationPtr qterms = OrDie(index->QueryTerms(query), "qterms");
+    RelationPtr top =
+        OrDie(RankWithModel(*index, qterms, SearchOptions{}), "rank");
+    benchmark::DoNotOptimize(top);
+  }
+  state.counters["threads"] = threads;
+}
+
+/// Term-lookup join (paper Fig. 1b): query terms x term_doc on term. The
+/// build side is the tiny query relation; the morsel-parallel probe of
+/// term_doc is what scales.
+void BM_TermLookupJoinScaling(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  TextIndexPtr index = GetIndex(kDocs);
+  const auto& queries = GetQueries(kDocs, 3);
+  Analyzer analyzer = OrDie(Analyzer::Make({}), "analyzer");
+  ScopedExecContext scope{ExecContext(threads)};
+  size_t qi = 0;
+  for (auto _ : state) {
+    const std::string& query = queries[qi++ % queries.size()];
+    RelationBuilder qb({{"term", DataType::kString}});
+    for (const Token& tok : analyzer.Analyze(query)) {
+      Status st = qb.AddRow({tok.text});
+      if (!st.ok()) abort();
+    }
+    RelationPtr qrel = OrDie(qb.Build(), "qrel");
+    RelationPtr matches =
+        OrDie(HashJoin(index->term_doc(), qrel, {{0, 0}}), "join");
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["threads"] = threads;
+  state.counters["term_doc_rows"] =
+      static_cast<double>(index->term_doc()->num_rows());
+}
+
+}  // namespace bench
+}  // namespace spindle
+
+int main(int argc, char** argv) {
+  const int threads_flag = spindle::bench::ParseThreadsFlag(&argc, argv);
+  std::vector<int64_t> sweep;
+  if (threads_flag > 0) {
+    sweep = {threads_flag};
+  } else {
+    sweep = {1, 2, 4, 8};
+  }
+  for (int64_t t : sweep) {
+    benchmark::RegisterBenchmark("BM_KeywordQueryScaling",
+                                 spindle::bench::BM_KeywordQueryScaling)
+        ->ArgNames({"threads"})
+        ->Arg(t)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("BM_TermLookupJoinScaling",
+                                 spindle::bench::BM_TermLookupJoinScaling)
+        ->ArgNames({"threads"})
+        ->Arg(t)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

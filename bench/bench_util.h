@@ -9,11 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/exec_context.h"
 #include "ir/indexing.h"
 #include "ir/searcher.h"
 #include "specialized/inverted_index.h"
@@ -33,6 +35,27 @@ T OrDie(Result<T> result, const char* what) {
     abort();
   }
   return std::move(result).ValueOrDie();
+}
+
+/// Parses and strips a `--threads=N` argument for benchmarks that take an
+/// explicit engine thread count (e.g. E12's scaling sweep). Returns 0 when
+/// the flag is absent — callers then fall back to their own sweep or to
+/// the process default (the SPINDLE_THREADS environment variable, see
+/// ExecContext::DefaultThreads()). Must run before benchmark::Initialize,
+/// which rejects unknown flags.
+inline int ParseThreadsFlag(int* argc, char** argv) {
+  int threads = 0;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return threads;
 }
 
 inline TextCollectionOptions CollectionOptions(int64_t num_docs) {

@@ -20,12 +20,38 @@ inline uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// \brief Decorrelated child seed for stream `stream` of a root seed.
+///
+/// Workload generators draw one independent stream per entity (document,
+/// product, lot, ...) instead of one long sequence, so generation can be
+/// morsel-parallel while staying bit-identical for any thread count: the
+/// bits of entity i depend only on (root_seed, i), never on which worker
+/// generated entity i-1. Streams are mixed through SplitMix64 twice so
+/// adjacent stream ids land far apart in state space.
+inline uint64_t DeriveStreamSeed(uint64_t root_seed, uint64_t stream) {
+  uint64_t state = root_seed;
+  uint64_t mixed = SplitMix64(state);
+  state = mixed ^ (stream + 0x9e3779b97f4a7c15ULL);
+  mixed = SplitMix64(state);
+  return SplitMix64(state) ^ mixed;
+}
+
 /// \brief xoshiro256** — fast, high-quality, deterministic PRNG.
 class Rng {
  public:
-  explicit Rng(uint64_t seed) {
+  explicit Rng(uint64_t seed) : seed_(seed) {
     uint64_t sm = seed;
     for (auto& w : s_) w = SplitMix64(sm);
+  }
+
+  /// \brief The seed this Rng was constructed with (the root of Split).
+  uint64_t seed() const { return seed_; }
+
+  /// \brief A child Rng for stream `stream`. Depends only on the
+  /// constructor seed, not on how many values this Rng has produced, so
+  /// splitting is safe from any thread at any time.
+  Rng Split(uint64_t stream) const {
+    return Rng(DeriveStreamSeed(seed_, stream));
   }
 
   /// \brief Uniform 64-bit value.
@@ -56,6 +82,7 @@ class Rng {
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }
+  uint64_t seed_;
   uint64_t s_[4];
 };
 

@@ -4,6 +4,7 @@ namespace spindle {
 
 std::optional<RelationPtr> MaterializationCache::Get(
     const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(signature);
   if (it == entries_.end()) {
     stats_.misses++;
@@ -27,8 +28,24 @@ size_t MaterializationCache::IncrementalBytes(const Relation& rel) const {
   return bytes;
 }
 
+bool MaterializationCache::EvictOneUnpinned() {
+  // Walk LRU-first, skipping pinned entries. The cache itself holds one
+  // reference; any additional one means an in-flight reader (or the
+  // producer) still uses the relation, so evicting it now would yank a
+  // table out of a running query's working set.
+  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+    auto it = entries_.find(*rit);
+    if (it->second.rel.use_count() > 1) continue;
+    Remove(it);
+    stats_.evictions++;
+    return true;
+  }
+  return false;
+}
+
 void MaterializationCache::Put(const std::string& signature,
                                RelationPtr rel) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (budget_bytes_ == 0) return;
   auto it = entries_.find(signature);
   if (it != entries_.end()) Remove(it);
@@ -36,10 +53,8 @@ void MaterializationCache::Put(const std::string& signature,
   // Recompute the incoming charge after every eviction: evicting the last
   // holder of a dict this relation shares moves that dict's bytes from the
   // resident total into the incoming charge.
-  while (!lru_.empty() &&
-         stats_.bytes_cached + IncrementalBytes(*rel) > budget_bytes_) {
-    Remove(entries_.find(lru_.back()));
-    stats_.evictions++;
+  while (stats_.bytes_cached + IncrementalBytes(*rel) > budget_bytes_) {
+    if (!EvictOneUnpinned()) break;  // everything pinned: overshoot
   }
   size_t own_bytes = rel->ByteSizeExcludingDicts();
   std::vector<StringDictPtr> dicts = rel->CollectDicts();
@@ -74,6 +89,7 @@ void MaterializationCache::Remove(
 }
 
 void MaterializationCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   dict_uses_.clear();
   lru_.clear();
@@ -81,20 +97,30 @@ void MaterializationCache::Clear() {
   stats_.entries = 0;
 }
 
+MaterializationCache::Stats MaterializationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
 void MaterializationCache::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.hits = stats_.misses = stats_.inserts = stats_.evictions = 0;
 }
 
+size_t MaterializationCache::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_bytes_;
+}
+
 void MaterializationCache::set_budget_bytes(size_t b) {
+  std::lock_guard<std::mutex> lock(mu_);
   budget_bytes_ = b;
   EvictToFit(0);
 }
 
 void MaterializationCache::EvictToFit(size_t incoming_bytes) {
-  while (!lru_.empty() &&
-         stats_.bytes_cached + incoming_bytes > budget_bytes_) {
-    Remove(entries_.find(lru_.back()));
-    stats_.evictions++;
+  while (stats_.bytes_cached + incoming_bytes > budget_bytes_) {
+    if (!EvictOneUnpinned()) break;
   }
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -22,6 +23,15 @@
 namespace spindle {
 
 /// \brief LRU cache of materialized relations keyed by plan signature.
+///
+/// Thread safety: all operations synchronize on one internal mutex, so
+/// concurrent queries can Get/Put freely. Entries whose relation is still
+/// referenced outside the cache (an in-flight reader holds the
+/// RelationPtr a Get returned, or the producer kept its copy) are
+/// *pinned*: eviction walks the LRU list skipping them, so a reader's
+/// entry is never dropped mid-query. When every entry is pinned the
+/// budget may transiently overshoot; it recovers as readers release
+/// their references.
 class MaterializationCache {
  public:
   /// \brief Counters exposed for tests and the E3/E8 benchmarks.
@@ -56,9 +66,11 @@ class MaterializationCache {
   /// \brief Drops every entry (used to measure cold performance).
   void Clear();
 
-  const Stats& stats() const { return stats_; }
+  /// \brief A consistent snapshot of the counters (taken under the lock,
+  /// hence by value).
+  Stats stats() const;
   void ResetCounters();
-  size_t budget_bytes() const { return budget_bytes_; }
+  size_t budget_bytes() const;
   void set_budget_bytes(size_t b);
 
  private:
@@ -74,12 +86,18 @@ class MaterializationCache {
     size_t bytes = 0;  // charged once while refs > 0
   };
 
+  /// Evicts the least-recently-used entry whose relation is not pinned
+  /// by an external reference; returns false if every entry is pinned
+  /// (or the cache is empty). Caller holds mu_.
+  bool EvictOneUnpinned();
   void EvictToFit(size_t incoming_bytes);
   void Remove(std::unordered_map<std::string, Entry>::iterator it);
   /// Budget charge Put(rel) would add right now: the dict-free footprint
   /// plus every referenced dict not yet charged by a resident entry.
   size_t IncrementalBytes(const Relation& rel) const;
 
+  /// Guards every member below.
+  mutable std::mutex mu_;
   size_t budget_bytes_;
   std::unordered_map<std::string, Entry> entries_;
   std::unordered_map<const StringDict*, DictUse> dict_uses_;

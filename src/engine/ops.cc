@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "exec/scheduler.h"
 
 namespace spindle {
 
@@ -113,15 +114,148 @@ Status CheckColumnRange(const Relation& rel, const std::vector<size_t>& cols) {
 
 Result<RelationPtr> GatherRows(const Relation& rel,
                                const std::vector<uint32_t>& rows) {
+  const ExecContext& ctx = ExecContext::Current();
   std::vector<Column> cols;
   cols.reserve(rel.num_columns());
   for (size_t c = 0; c < rel.num_columns(); ++c) {
-    cols.push_back(rel.column(c).Gather(rows));
+    cols.push_back(GatherColumnRows(rel.column(c), rows, ctx));
   }
   return Relation::Make(rel.schema(), std::move(cols));
 }
 
+/// Hash table over a join's build side. On the parallel path the table is
+/// radix-partitioned on the high bits of the key hash so partitions build
+/// concurrently; each partition's buckets hold rows in ascending order,
+/// exactly as the serial single-map build produces, so probe results are
+/// bit-identical no matter how the table was built.
+struct JoinTable {
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> parts;
+  std::vector<uint64_t> hashes;  // precomputed build-side hashes
+  int shift = 64;                // partition(h) = h >> shift (1 part: unused)
+
+  const std::vector<uint32_t>* Find(uint64_t h) const {
+    const auto& m =
+        parts.size() == 1 ? parts[0] : parts[static_cast<size_t>(h >> shift)];
+    auto it = m.find(h);
+    return it == m.end() ? nullptr : &it->second;
+  }
+};
+
+JoinTable BuildJoinTable(const RowKey& key, size_t n,
+                         const ExecContext& ctx) {
+  JoinTable table;
+  if (!ctx.ShouldParallelize(n)) {
+    table.parts.resize(1);
+    auto& m = table.parts[0];
+    m.reserve(n * 2);
+    for (size_t r = 0; r < n; ++r) {
+      m[key.Hash(r)].push_back(static_cast<uint32_t>(r));
+    }
+    return table;
+  }
+
+  table.hashes.resize(n);
+  auto& hashes = table.hashes;
+  ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) hashes[i] = key.Hash(i);
+  });
+
+  size_t p = 1;
+  int log2p = 0;
+  while (p < static_cast<size_t>(ctx.threads) * 4 && p < 256) {
+    p <<= 1;
+    ++log2p;
+  }
+  table.shift = 64 - log2p;
+
+  // Two-pass radix partition that preserves row order within a partition:
+  // per-morsel histograms, serial prefix sums, parallel scatter.
+  const size_t num_morsels = NumMorsels(ctx, n);
+  std::vector<std::vector<uint32_t>> counts(
+      num_morsels, std::vector<uint32_t>(p, 0));
+  ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t m) {
+    auto& c = counts[m];
+    for (size_t i = begin; i < end; ++i) c[hashes[i] >> table.shift]++;
+  });
+  std::vector<std::vector<uint32_t>> offsets(
+      num_morsels, std::vector<uint32_t>(p, 0));
+  std::vector<uint32_t> part_sizes(p, 0);
+  for (size_t part = 0; part < p; ++part) {
+    uint32_t off = 0;
+    for (size_t m = 0; m < num_morsels; ++m) {
+      offsets[m][part] = off;
+      off += counts[m][part];
+    }
+    part_sizes[part] = off;
+  }
+  std::vector<std::vector<uint32_t>> part_rows(p);
+  for (size_t part = 0; part < p; ++part) {
+    part_rows[part].resize(part_sizes[part]);
+  }
+  ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t m) {
+    std::vector<uint32_t> cursor = offsets[m];
+    for (size_t i = begin; i < end; ++i) {
+      size_t part = hashes[i] >> table.shift;
+      part_rows[part][cursor[part]++] = static_cast<uint32_t>(i);
+    }
+  });
+
+  table.parts.resize(p);
+  Scheduler::Global().EnsureWorkers(ctx.threads - 1);
+  TaskGroup group;
+  for (size_t part = 0; part < p; ++part) {
+    group.Spawn([&, part] {
+      auto& m = table.parts[part];
+      m.reserve(part_rows[part].size() * 2);
+      for (uint32_t r : part_rows[part]) m[hashes[r]].push_back(r);
+    });
+  }
+  group.Wait();
+  return table;
+}
+
 }  // namespace
+
+Column GatherColumnRows(const Column& col, const std::vector<uint32_t>& rows,
+                        const ExecContext& ctx) {
+  const size_t n = rows.size();
+  if (!ctx.ShouldParallelize(n)) return col.Gather(rows);
+  switch (col.type()) {
+    case DataType::kInt64: {
+      std::vector<int64_t> out(n);
+      const auto& src = col.int64_data();
+      ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) out[i] = src[rows[i]];
+      });
+      return Column::MakeInt64(std::move(out));
+    }
+    case DataType::kFloat64: {
+      std::vector<double> out(n);
+      const auto& src = col.float64_data();
+      ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) out[i] = src[rows[i]];
+      });
+      return Column::MakeFloat64(std::move(out));
+    }
+    case DataType::kString: {
+      if (col.dict_encoded()) {
+        std::vector<int32_t> out(n);
+        const auto& src = col.dict_codes();
+        ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t) {
+          for (size_t i = begin; i < end; ++i) out[i] = src[rows[i]];
+        });
+        return Column::MakeDictString(std::move(out), col.dict());
+      }
+      std::vector<std::string> out(n);
+      const auto& src = col.string_data();
+      ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) out[i] = src[rows[i]];
+      });
+      return Column::MakeString(std::move(out));
+    }
+  }
+  return col.Gather(rows);  // unreachable
+}
 
 std::optional<std::pair<Column, Column>> RecodeToShared(const Column& a,
                                                         const Column& b) {
@@ -196,8 +330,27 @@ Result<RelationPtr> Filter(const RelationPtr& rel, const ExprPtr& predicate,
     return Status::Internal("predicate result has wrong row count");
   }
   const auto& bits = mask.int64_data();
-  for (size_t r = 0; r < bits.size(); ++r) {
-    if (bits[r] != 0) rows.push_back(static_cast<uint32_t>(r));
+  const ExecContext& ctx = ExecContext::Current();
+  if (ctx.ShouldParallelize(bits.size())) {
+    // Per-morsel selection vectors concatenated in morsel order: identical
+    // row list to the serial scan, built on ctx.threads threads.
+    std::vector<std::vector<uint32_t>> selected(NumMorsels(ctx, bits.size()));
+    ParallelFor(ctx, bits.size(), [&](size_t begin, size_t end, size_t m) {
+      auto& out = selected[m];
+      for (size_t r = begin; r < end; ++r) {
+        if (bits[r] != 0) out.push_back(static_cast<uint32_t>(r));
+      }
+    });
+    size_t total = 0;
+    for (const auto& part : selected) total += part.size();
+    rows.reserve(total);
+    for (const auto& part : selected) {
+      rows.insert(rows.end(), part.begin(), part.end());
+    }
+  } else {
+    for (size_t r = 0; r < bits.size(); ++r) {
+      if (bits[r] != 0) rows.push_back(static_cast<uint32_t>(r));
+    }
   }
   return GatherRows(*rel, rows);
 }
@@ -231,6 +384,45 @@ Result<RelationPtr> ProjectExprs(const RelationPtr& rel,
   Schema schema;
   std::vector<Column> cols;
   cols.reserve(exprs.size());
+  const ExecContext& ctx = ExecContext::Current();
+  if (ctx.threads > 1 && exprs.size() > 1 &&
+      rel->num_rows() > ctx.morsel_rows) {
+    // Independent output expressions evaluate concurrently; errors are
+    // reported in expression order, matching the serial short-circuit.
+    struct Slot {
+      Status st;
+      std::optional<Column> col;
+    };
+    std::vector<Slot> slots(exprs.size());
+    Scheduler::Global().EnsureWorkers(ctx.threads - 1);
+    TaskGroup group;
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      group.Spawn([&, i] {
+        // Expression subtrees may themselves hit parallel kernels; keep
+        // them serial so this fan-out alone bounds thread use.
+        ScopedExecContext serial{ExecContext(1)};
+        Result<Column> c = exprs[i]->Evaluate(*rel, registry);
+        if (!c.ok()) {
+          slots[i].st = c.status();
+          return;
+        }
+        Result<Column> full =
+            MaterializeFull(std::move(c).ValueOrDie(), rel->num_rows());
+        if (!full.ok()) {
+          slots[i].st = full.status();
+          return;
+        }
+        slots[i].col = std::move(full).ValueOrDie();
+      });
+    }
+    group.Wait();
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      if (!slots[i].st.ok()) return slots[i].st;
+      schema.AddField({names[i], slots[i].col->type()});
+      cols.push_back(std::move(*slots[i].col));
+    }
+    return Relation::Make(std::move(schema), std::move(cols));
+  }
   for (size_t i = 0; i < exprs.size(); ++i) {
     SPINDLE_ASSIGN_OR_RETURN(Column c, exprs[i]->Evaluate(*rel, registry));
     SPINDLE_ASSIGN_OR_RETURN(c, MaterializeFull(std::move(c),
@@ -289,6 +481,7 @@ Result<RelationPtr> HashJoin(const RelationPtr& left, const RelationPtr& right,
   RowKey lkey(std::move(lkey_cols));
   RowKey rkey(std::move(rkey_cols));
 
+  const ExecContext& ctx = ExecContext::Current();
   std::vector<uint32_t> lrows, rrows;
   // Output contract: matches ordered by (left row, right row). The
   // default plan builds a hash table on the right side and probes with
@@ -297,22 +490,47 @@ Result<RelationPtr> HashJoin(const RelationPtr& left, const RelationPtr& right,
   // table — the shape of every per-query ranking join), building on the
   // left and probing the right avoids allocating a large table; the
   // match list is then sorted back into contract order.
+  //
+  // Both plans parallelize independently of each other: the build side
+  // through the radix-partitioned JoinTable, the probe side per-morsel
+  // with match lists concatenated in morsel order — so results are
+  // bit-identical to the serial engine at every thread count.
   const bool build_on_left =
       type == JoinType::kInner &&
       left->num_rows() * 8 < right->num_rows();
   if (build_on_left) {
-    std::unordered_map<uint64_t, std::vector<uint32_t>> table;
-    table.reserve(left->num_rows() * 2);
-    for (size_t l = 0; l < left->num_rows(); ++l) {
-      table[lkey.Hash(l)].push_back(static_cast<uint32_t>(l));
-    }
+    JoinTable table = BuildJoinTable(lkey, left->num_rows(), ctx);
     std::vector<std::pair<uint32_t, uint32_t>> matches;
-    for (size_t r = 0; r < right->num_rows(); ++r) {
-      auto it = table.find(rkey.Hash(r));
-      if (it == table.end()) continue;
-      for (uint32_t l : it->second) {
-        if (lkey.Equals(l, rkey, r)) {
-          matches.emplace_back(l, static_cast<uint32_t>(r));
+    const size_t probe_n = right->num_rows();
+    if (ctx.ShouldParallelize(probe_n)) {
+      std::vector<std::vector<std::pair<uint32_t, uint32_t>>> found(
+          NumMorsels(ctx, probe_n));
+      ParallelFor(ctx, probe_n, [&](size_t begin, size_t end, size_t m) {
+        auto& out = found[m];
+        for (size_t r = begin; r < end; ++r) {
+          const std::vector<uint32_t>* bucket = table.Find(rkey.Hash(r));
+          if (bucket == nullptr) continue;
+          for (uint32_t l : *bucket) {
+            if (lkey.Equals(l, rkey, r)) {
+              out.emplace_back(l, static_cast<uint32_t>(r));
+            }
+          }
+        }
+      });
+      size_t total = 0;
+      for (const auto& part : found) total += part.size();
+      matches.reserve(total);
+      for (const auto& part : found) {
+        matches.insert(matches.end(), part.begin(), part.end());
+      }
+    } else {
+      for (size_t r = 0; r < probe_n; ++r) {
+        const std::vector<uint32_t>* bucket = table.Find(rkey.Hash(r));
+        if (bucket == nullptr) continue;
+        for (uint32_t l : *bucket) {
+          if (lkey.Equals(l, rkey, r)) {
+            matches.emplace_back(l, static_cast<uint32_t>(r));
+          }
         }
       }
     }
@@ -324,32 +542,51 @@ Result<RelationPtr> HashJoin(const RelationPtr& left, const RelationPtr& right,
       rrows.push_back(r);
     }
   } else {
-    std::unordered_map<uint64_t, std::vector<uint32_t>> table;
-    table.reserve(right->num_rows() * 2);
-    for (size_t r = 0; r < right->num_rows(); ++r) {
-      table[rkey.Hash(r)].push_back(static_cast<uint32_t>(r));
-    }
-    for (size_t l = 0; l < left->num_rows(); ++l) {
-      auto it = table.find(lkey.Hash(l));
-      bool matched = false;
-      if (it != table.end()) {
-        for (uint32_t r : it->second) {
-          if (lkey.Equals(l, rkey, r)) {
-            matched = true;
-            if (type == JoinType::kInner) {
-              lrows.push_back(static_cast<uint32_t>(l));
-              rrows.push_back(r);
-            } else {
-              break;  // semi/anti only need existence
+    JoinTable table = BuildJoinTable(rkey, right->num_rows(), ctx);
+    const size_t probe_n = left->num_rows();
+    auto probe_range = [&](size_t begin, size_t end,
+                           std::vector<uint32_t>& lout,
+                           std::vector<uint32_t>& rout) {
+      for (size_t l = begin; l < end; ++l) {
+        const std::vector<uint32_t>* bucket = table.Find(lkey.Hash(l));
+        bool matched = false;
+        if (bucket != nullptr) {
+          for (uint32_t r : *bucket) {
+            if (lkey.Equals(l, rkey, r)) {
+              matched = true;
+              if (type == JoinType::kInner) {
+                lout.push_back(static_cast<uint32_t>(l));
+                rout.push_back(r);
+              } else {
+                break;  // semi/anti only need existence
+              }
             }
           }
         }
+        if (type == JoinType::kLeftSemi && matched) {
+          lout.push_back(static_cast<uint32_t>(l));
+        } else if (type == JoinType::kLeftAnti && !matched) {
+          lout.push_back(static_cast<uint32_t>(l));
+        }
       }
-      if (type == JoinType::kLeftSemi && matched) {
-        lrows.push_back(static_cast<uint32_t>(l));
-      } else if (type == JoinType::kLeftAnti && !matched) {
-        lrows.push_back(static_cast<uint32_t>(l));
+    };
+    if (ctx.ShouldParallelize(probe_n)) {
+      const size_t num_morsels = NumMorsels(ctx, probe_n);
+      std::vector<std::vector<uint32_t>> lparts(num_morsels);
+      std::vector<std::vector<uint32_t>> rparts(num_morsels);
+      ParallelFor(ctx, probe_n, [&](size_t begin, size_t end, size_t m) {
+        probe_range(begin, end, lparts[m], rparts[m]);
+      });
+      size_t total = 0;
+      for (const auto& part : lparts) total += part.size();
+      lrows.reserve(total);
+      rrows.reserve(total);
+      for (size_t m = 0; m < num_morsels; ++m) {
+        lrows.insert(lrows.end(), lparts[m].begin(), lparts[m].end());
+        rrows.insert(rrows.end(), rparts[m].begin(), rparts[m].end());
       }
+    } else {
+      probe_range(0, probe_n, lrows, rrows);
     }
   }
 
@@ -357,142 +594,143 @@ Result<RelationPtr> HashJoin(const RelationPtr& left, const RelationPtr& right,
   std::vector<Column> cols;
   for (size_t c = 0; c < left->num_columns(); ++c) {
     schema.AddField(left->schema().field(c));
-    cols.push_back(left->column(c).Gather(lrows));
+    cols.push_back(GatherColumnRows(left->column(c), lrows, ctx));
   }
   if (type == JoinType::kInner) {
     for (size_t c = 0; c < right->num_columns(); ++c) {
       schema.AddField(right->schema().field(c));
-      cols.push_back(right->column(c).Gather(rrows));
+      cols.push_back(GatherColumnRows(right->column(c), rrows, ctx));
     }
   }
   return Relation::Make(std::move(schema), std::move(cols));
 }
 
-Result<RelationPtr> GroupAggregate(const RelationPtr& rel,
-                                   const std::vector<size_t>& group_columns,
-                                   const std::vector<AggSpec>& aggs) {
-  SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, group_columns));
-  for (const auto& a : aggs) {
-    if (a.kind != AggKind::kCount) {
-      SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, {a.column}));
-      if (a.kind != AggKind::kMin && a.kind != AggKind::kMax &&
-          rel->column(a.column).type() == DataType::kString) {
-        return Status::TypeMismatch("sum/avg require a numeric column");
-      }
-    }
-  }
+namespace {
 
-  RowKey key(*rel, group_columns, /*self_keyed=*/true);
-  // hash -> list of (representative row, group index); collision-safe.
-  std::unordered_map<uint64_t, std::vector<std::pair<uint32_t, uint32_t>>>
-      groups;
-  groups.reserve(rel->num_rows());
-  std::vector<uint32_t> repr_rows;           // group -> representative row
-  std::vector<uint32_t> group_of_row(rel->num_rows());
+/// Per-group accumulators for one AggSpec.
+struct Acc {
+  std::vector<int64_t> counts;
+  std::vector<double> fsums;
+  std::vector<int64_t> isums;
+  std::vector<uint32_t> minmax_row;  // row index of current min/max
+  std::vector<bool> seen;
+};
 
-  const bool global = group_columns.empty();
-  if (global) {
-    repr_rows.push_back(0);
-    std::fill(group_of_row.begin(), group_of_row.end(), 0);
-  } else {
-    for (size_t r = 0; r < rel->num_rows(); ++r) {
-      uint64_t h = key.Hash(r);
-      auto& bucket = groups[h];
-      uint32_t gid = UINT32_MAX;
-      for (auto& [repr, g] : bucket) {
-        if (key.Equals(r, key, repr)) {
-          gid = g;
-          break;
-        }
-      }
-      if (gid == UINT32_MAX) {
-        gid = static_cast<uint32_t>(repr_rows.size());
-        repr_rows.push_back(static_cast<uint32_t>(r));
-        bucket.emplace_back(static_cast<uint32_t>(r), gid);
-      }
-      group_of_row[r] = gid;
-    }
-  }
-  const size_t num_groups =
-      global ? 1 : repr_rows.size();
-
-  // Accumulators.
-  struct Acc {
-    std::vector<int64_t> counts;
-    std::vector<double> fsums;
-    std::vector<int64_t> isums;
-    std::vector<uint32_t> minmax_row;  // row index of current min/max
-    std::vector<bool> seen;
-  };
-  std::vector<Acc> accs(aggs.size());
+/// Appends `extra` zero-initialized group slots to every accumulator.
+void GrowAccs(const Relation& rel, const std::vector<AggSpec>& aggs,
+              std::vector<Acc>& accs, size_t extra) {
   for (size_t i = 0; i < aggs.size(); ++i) {
     const auto& a = aggs[i];
+    Acc& acc = accs[i];
     if (a.kind == AggKind::kCount) {
-      accs[i].counts.assign(num_groups, 0);
+      acc.counts.resize(acc.counts.size() + extra, 0);
     } else if (a.kind == AggKind::kSum || a.kind == AggKind::kAvg) {
-      accs[i].counts.assign(num_groups, 0);
-      if (rel->column(a.column).type() == DataType::kInt64) {
-        accs[i].isums.assign(num_groups, 0);
+      acc.counts.resize(acc.counts.size() + extra, 0);
+      if (rel.column(a.column).type() == DataType::kInt64) {
+        acc.isums.resize(acc.isums.size() + extra, 0);
       }
-      accs[i].fsums.assign(num_groups, 0.0);
+      acc.fsums.resize(acc.fsums.size() + extra, 0.0);
     } else {
-      accs[i].minmax_row.assign(num_groups, 0);
-      accs[i].seen.assign(num_groups, false);
+      acc.minmax_row.resize(acc.minmax_row.size() + extra, 0);
+      acc.seen.resize(acc.seen.size() + extra, false);
     }
   }
+}
 
-  for (size_t r = 0; r < rel->num_rows(); ++r) {
-    uint32_t g = group_of_row[r];
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      const auto& a = aggs[i];
-      Acc& acc = accs[i];
-      switch (a.kind) {
-        case AggKind::kCount:
-          acc.counts[g]++;
-          break;
-        case AggKind::kSum:
-        case AggKind::kAvg: {
-          const Column& c = rel->column(a.column);
-          acc.counts[g]++;
-          if (c.type() == DataType::kInt64) {
-            acc.isums[g] += c.Int64At(r);
-            acc.fsums[g] += static_cast<double>(c.Int64At(r));
-          } else {
-            acc.fsums[g] += c.Float64At(r);
-          }
-          break;
+/// Folds row `r` into group `g` of every accumulator.
+void AccumulateRow(const Relation& rel, const std::vector<AggSpec>& aggs,
+                   std::vector<Acc>& accs, uint32_t g, size_t r) {
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const auto& a = aggs[i];
+    Acc& acc = accs[i];
+    switch (a.kind) {
+      case AggKind::kCount:
+        acc.counts[g]++;
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg: {
+        const Column& c = rel.column(a.column);
+        acc.counts[g]++;
+        if (c.type() == DataType::kInt64) {
+          acc.isums[g] += c.Int64At(r);
+          acc.fsums[g] += static_cast<double>(c.Int64At(r));
+        } else {
+          acc.fsums[g] += c.Float64At(r);
         }
-        case AggKind::kMin:
-        case AggKind::kMax: {
-          const Column& c = rel->column(a.column);
-          if (!acc.seen[g]) {
-            acc.seen[g] = true;
+        break;
+      }
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        const Column& c = rel.column(a.column);
+        if (!acc.seen[g]) {
+          acc.seen[g] = true;
+          acc.minmax_row[g] = static_cast<uint32_t>(r);
+        } else {
+          int cmp = c.ElementCompare(r, c, acc.minmax_row[g]);
+          if ((a.kind == AggKind::kMin && cmp < 0) ||
+              (a.kind == AggKind::kMax && cmp > 0)) {
             acc.minmax_row[g] = static_cast<uint32_t>(r);
-          } else {
-            int cmp = c.ElementCompare(r, c, acc.minmax_row[g]);
-            if ((a.kind == AggKind::kMin && cmp < 0) ||
-                (a.kind == AggKind::kMax && cmp > 0)) {
-              acc.minmax_row[g] = static_cast<uint32_t>(r);
-            }
           }
-          break;
         }
+        break;
       }
     }
   }
+}
 
-  // Assemble output.
+/// Folds local group `lg` of `local` (first seen at local representative
+/// row `lrow`) into global group `g`. Min/max replace only on a strict
+/// improvement; since morsels merge in ascending row order this reproduces
+/// the serial "earliest best row wins" exactly.
+void MergeGroup(const Relation& rel, const std::vector<AggSpec>& aggs,
+                std::vector<Acc>& accs, uint32_t g,
+                const std::vector<Acc>& local, uint32_t lg) {
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const auto& a = aggs[i];
+    Acc& acc = accs[i];
+    const Acc& lacc = local[i];
+    switch (a.kind) {
+      case AggKind::kCount:
+        acc.counts[g] += lacc.counts[lg];
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg: {
+        acc.counts[g] += lacc.counts[lg];
+        if (!acc.isums.empty()) acc.isums[g] += lacc.isums[lg];
+        acc.fsums[g] += lacc.fsums[lg];
+        break;
+      }
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        if (!lacc.seen[lg]) break;
+        const Column& c = rel.column(a.column);
+        uint32_t cand = lacc.minmax_row[lg];
+        if (!acc.seen[g]) {
+          acc.seen[g] = true;
+          acc.minmax_row[g] = cand;
+        } else {
+          int cmp = c.ElementCompare(cand, c, acc.minmax_row[g]);
+          if ((a.kind == AggKind::kMin && cmp < 0) ||
+              (a.kind == AggKind::kMax && cmp > 0)) {
+            acc.minmax_row[g] = cand;
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Builds the (group columns, aggregate columns) output relation.
+Result<RelationPtr> AssembleGroupOutput(
+    const Relation& rel, const std::vector<size_t>& group_columns,
+    const std::vector<AggSpec>& aggs, const std::vector<uint32_t>& repr_rows,
+    const std::vector<Acc>& accs, size_t num_groups, const ExecContext& ctx) {
   Schema schema;
   std::vector<Column> cols;
-  std::vector<uint32_t> repr_for_output(repr_rows.begin(), repr_rows.end());
-  if (global && rel->num_rows() == 0) {
-    // No representative row exists; group columns are empty anyway.
-    repr_for_output.clear();
-    repr_for_output.push_back(0);
-  }
   for (size_t gc : group_columns) {
-    schema.AddField(rel->schema().field(gc));
-    cols.push_back(rel->column(gc).Gather(repr_rows));
+    schema.AddField(rel.schema().field(gc));
+    cols.push_back(GatherColumnRows(rel.column(gc), repr_rows, ctx));
   }
   for (size_t i = 0; i < aggs.size(); ++i) {
     const auto& a = aggs[i];
@@ -504,7 +742,7 @@ Result<RelationPtr> GroupAggregate(const RelationPtr& rel,
         break;
       }
       case AggKind::kSum: {
-        if (rel->column(a.column).type() == DataType::kInt64) {
+        if (rel.column(a.column).type() == DataType::kInt64) {
           schema.AddField({a.name, DataType::kInt64});
           cols.push_back(Column::MakeInt64(acc.isums));
         } else {
@@ -526,7 +764,7 @@ Result<RelationPtr> GroupAggregate(const RelationPtr& rel,
       }
       case AggKind::kMin:
       case AggKind::kMax: {
-        const Column& c = rel->column(a.column);
+        const Column& c = rel.column(a.column);
         Column out(c.type());
         out.Reserve(num_groups);
         for (size_t g = 0; g < num_groups; ++g) {
@@ -555,6 +793,140 @@ Result<RelationPtr> GroupAggregate(const RelationPtr& rel,
     }
   }
   return Relation::Make(std::move(schema), std::move(cols));
+}
+
+}  // namespace
+
+Result<RelationPtr> GroupAggregate(const RelationPtr& rel,
+                                   const std::vector<size_t>& group_columns,
+                                   const std::vector<AggSpec>& aggs) {
+  SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, group_columns));
+  for (const auto& a : aggs) {
+    if (a.kind != AggKind::kCount) {
+      SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, {a.column}));
+      if (a.kind != AggKind::kMin && a.kind != AggKind::kMax &&
+          rel->column(a.column).type() == DataType::kString) {
+        return Status::TypeMismatch("sum/avg require a numeric column");
+      }
+    }
+  }
+
+  RowKey key(*rel, group_columns, /*self_keyed=*/true);
+  const ExecContext& ctx = ExecContext::Current();
+  const bool global = group_columns.empty();
+  const size_t n = rel->num_rows();
+
+  if (ctx.ShouldParallelize(n)) {
+    // Morsel-local grouping and accumulation, merged serially in morsel
+    // order. Because the morsel grid is independent of the thread count
+    // and the merge walks morsels in ascending order, global group ids
+    // come out in first-occurrence order — identical to the serial scan
+    // for any thread count. (Float sums associate per-morsel instead of
+    // per-row, so kSum/kAvg over float64 may differ from serial in the
+    // last ulps; integer aggregates are exact.)
+    struct MorselAgg {
+      std::vector<uint32_t> repr;       // local first-occurrence order
+      std::vector<uint64_t> repr_hash;  // cached key hashes of repr rows
+      std::vector<Acc> accs;
+    };
+    const size_t num_morsels = NumMorsels(ctx, n);
+    std::vector<MorselAgg> morsels(num_morsels);
+    ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t m) {
+      MorselAgg& mg = morsels[m];
+      mg.accs.resize(aggs.size());
+      std::unordered_map<uint64_t,
+                         std::vector<std::pair<uint32_t, uint32_t>>>
+          lgroups;
+      lgroups.reserve(end - begin);
+      for (size_t r = begin; r < end; ++r) {
+        uint64_t h = key.Hash(r);
+        auto& bucket = lgroups[h];
+        uint32_t gid = UINT32_MAX;
+        for (auto& [repr, g] : bucket) {
+          if (key.Equals(r, key, repr)) {
+            gid = g;
+            break;
+          }
+        }
+        if (gid == UINT32_MAX) {
+          gid = static_cast<uint32_t>(mg.repr.size());
+          mg.repr.push_back(static_cast<uint32_t>(r));
+          mg.repr_hash.push_back(h);
+          bucket.emplace_back(static_cast<uint32_t>(r), gid);
+          GrowAccs(*rel, aggs, mg.accs, 1);
+        }
+        AccumulateRow(*rel, aggs, mg.accs, gid, r);
+      }
+    });
+
+    std::unordered_map<uint64_t, std::vector<std::pair<uint32_t, uint32_t>>>
+        groups;
+    std::vector<uint32_t> repr_rows;
+    std::vector<Acc> accs(aggs.size());
+    for (const MorselAgg& mg : morsels) {
+      for (size_t j = 0; j < mg.repr.size(); ++j) {
+        uint64_t h = mg.repr_hash[j];
+        auto& bucket = groups[h];
+        uint32_t gid = UINT32_MAX;
+        for (auto& [repr, g] : bucket) {
+          if (key.Equals(mg.repr[j], key, repr)) {
+            gid = g;
+            break;
+          }
+        }
+        if (gid == UINT32_MAX) {
+          gid = static_cast<uint32_t>(repr_rows.size());
+          repr_rows.push_back(mg.repr[j]);
+          bucket.emplace_back(mg.repr[j], gid);
+          GrowAccs(*rel, aggs, accs, 1);
+        }
+        MergeGroup(*rel, aggs, accs, gid, mg.accs,
+                   static_cast<uint32_t>(j));
+      }
+    }
+    return AssembleGroupOutput(*rel, group_columns, aggs, repr_rows, accs,
+                               repr_rows.size(), ctx);
+  }
+
+  // Serial path (also taken at threads == 1): single-scan grouping.
+  // hash -> list of (representative row, group index); collision-safe.
+  std::unordered_map<uint64_t, std::vector<std::pair<uint32_t, uint32_t>>>
+      groups;
+  groups.reserve(n);
+  std::vector<uint32_t> repr_rows;  // group -> representative row
+  std::vector<uint32_t> group_of_row(n);
+
+  if (global) {
+    repr_rows.push_back(0);
+    std::fill(group_of_row.begin(), group_of_row.end(), 0);
+  } else {
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t h = key.Hash(r);
+      auto& bucket = groups[h];
+      uint32_t gid = UINT32_MAX;
+      for (auto& [repr, g] : bucket) {
+        if (key.Equals(r, key, repr)) {
+          gid = g;
+          break;
+        }
+      }
+      if (gid == UINT32_MAX) {
+        gid = static_cast<uint32_t>(repr_rows.size());
+        repr_rows.push_back(static_cast<uint32_t>(r));
+        bucket.emplace_back(static_cast<uint32_t>(r), gid);
+      }
+      group_of_row[r] = gid;
+    }
+  }
+  const size_t num_groups = global ? 1 : repr_rows.size();
+
+  std::vector<Acc> accs(aggs.size());
+  GrowAccs(*rel, aggs, accs, num_groups);
+  for (size_t r = 0; r < n; ++r) {
+    AccumulateRow(*rel, aggs, accs, group_of_row[r], r);
+  }
+  return AssembleGroupOutput(*rel, group_columns, aggs, repr_rows, accs,
+                             num_groups, ctx);
 }
 
 Result<RelationPtr> Distinct(const RelationPtr& rel,
@@ -618,15 +990,45 @@ Result<RelationPtr> SortBy(const RelationPtr& rel,
 Result<RelationPtr> TopK(const RelationPtr& rel, const SortKey& key,
                          size_t k) {
   SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, {key.column}));
-  std::vector<uint32_t> order(rel->num_rows());
-  std::iota(order.begin(), order.end(), 0);
-  size_t n = std::min(k, order.size());
-  SortKeyCtx ctx = MakeSortKeyCtx(*rel, key);
+  const size_t num_rows = rel->num_rows();
+  size_t n = std::min(k, num_rows);
+  SortKeyCtx key_ctx = MakeSortKeyCtx(*rel, key);
+  // cmp is a strict total order (ties broken by row index), so the top-n
+  // sequence is unique — which is what lets the parallel path below
+  // reproduce the serial result exactly.
   auto cmp = [&](uint32_t a, uint32_t b) {
-    int v = ctx.Compare(a, b);
+    int v = key_ctx.Compare(a, b);
     if (v != 0) return key.descending ? v > 0 : v < 0;
     return a < b;  // deterministic tie-break by input order
   };
+
+  const ExecContext& ctx = ExecContext::Current();
+  if (ctx.ShouldParallelize(num_rows) && n < num_rows) {
+    // Per-morsel top-n candidates (every global top-n row is in its
+    // morsel's top-n), concatenated and re-selected.
+    const size_t num_morsels = NumMorsels(ctx, num_rows);
+    std::vector<std::vector<uint32_t>> candidates(num_morsels);
+    ParallelFor(ctx, num_rows, [&](size_t begin, size_t end, size_t m) {
+      std::vector<uint32_t>& local = candidates[m];
+      local.resize(end - begin);
+      std::iota(local.begin(), local.end(),
+                static_cast<uint32_t>(begin));
+      size_t keep = std::min(n, local.size());
+      std::partial_sort(local.begin(), local.begin() + keep, local.end(),
+                        cmp);
+      local.resize(keep);
+    });
+    std::vector<uint32_t> order;
+    for (const auto& part : candidates) {
+      order.insert(order.end(), part.begin(), part.end());
+    }
+    std::partial_sort(order.begin(), order.begin() + n, order.end(), cmp);
+    order.resize(n);
+    return GatherRows(*rel, order);
+  }
+
+  std::vector<uint32_t> order(num_rows);
+  std::iota(order.begin(), order.end(), 0);
   std::partial_sort(order.begin(), order.begin() + n, order.end(), cmp);
   order.resize(n);
   return GatherRows(*rel, order);

@@ -17,6 +17,7 @@
 
 #include "common/status.h"
 #include "engine/expr.h"
+#include "exec/exec_context.h"
 #include "storage/relation.h"
 
 namespace spindle {
@@ -63,6 +64,13 @@ struct SortKey {
 /// kString) — callers then fall back to generic string hashing.
 std::optional<std::pair<Column, Column>> RecodeToShared(const Column& a,
                                                         const Column& b);
+
+/// \brief Morsel-parallel row gather of a single column: returns a column
+/// holding col[rows[0]], col[rows[1]], ... Identical to col.Gather(rows)
+/// but splits the copy across ctx.threads when `rows` spans more than one
+/// morsel. Dict-encoded columns gather 4-byte codes and share the dict.
+Column GatherColumnRows(const Column& col, const std::vector<uint32_t>& rows,
+                        const ExecContext& ctx);
 
 /// \brief Rows where `predicate` evaluates to non-zero.
 Result<RelationPtr> Filter(const RelationPtr& rel, const ExprPtr& predicate,

@@ -1,0 +1,67 @@
+#include "exec/exec_context.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace spindle {
+
+namespace {
+
+int ParseEnvThreads() {
+  const char* env = std::getenv("SPINDLE_THREADS");
+  if (env != nullptr) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+      return static_cast<int>(v);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// 0 means "not overridden": fall back to the env/hardware default.
+std::atomic<int>& DefaultOverride() {
+  static std::atomic<int> v{0};
+  return v;
+}
+
+const ExecContext*& CurrentOverride() {
+  thread_local const ExecContext* tl = nullptr;
+  return tl;
+}
+
+}  // namespace
+
+int ExecContext::DefaultThreads() {
+  int o = DefaultOverride().load(std::memory_order_relaxed);
+  if (o > 0) return o;
+  static const int env_default = ParseEnvThreads();
+  return env_default;
+}
+
+void ExecContext::SetDefaultThreads(int threads) {
+  DefaultOverride().store(threads > 0 ? threads : 0,
+                          std::memory_order_relaxed);
+}
+
+ExecContext ExecContext::Default() { return ExecContext(DefaultThreads()); }
+
+const ExecContext& ExecContext::Current() {
+  const ExecContext* tl = CurrentOverride();
+  if (tl != nullptr) return *tl;
+  // Thread-local cache of the default so Current() can return a reference.
+  thread_local ExecContext cached;
+  cached.threads = DefaultThreads();
+  return cached;
+}
+
+ScopedExecContext::ScopedExecContext(ExecContext ctx) : ctx_(ctx) {
+  prev_ = CurrentOverride();
+  CurrentOverride() = &ctx_;
+}
+
+ScopedExecContext::~ScopedExecContext() { CurrentOverride() = prev_; }
+
+}  // namespace spindle

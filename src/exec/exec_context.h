@@ -1,0 +1,79 @@
+/// \file exec_context.h
+/// \brief Execution configuration for the morsel-driven parallel engine.
+///
+/// An ExecContext says how much parallelism an operator may use and how
+/// work is chopped into morsels (row ranges). The ambient context is
+/// resolved per call site via ExecContext::Current(): a thread-local
+/// override installed by ScopedExecContext if present, otherwise the
+/// process-wide default. The default thread count comes from the
+/// SPINDLE_THREADS environment variable (or hardware_concurrency() when
+/// unset/0) and can be changed programmatically with SetDefaultThreads.
+///
+/// threads == 1 reproduces the serial engine exactly: every operator takes
+/// its original single-threaded code path, so results are bit-identical to
+/// pre-parallel Spindle and all existing tests remain deterministic.
+
+#pragma once
+
+#include <cstddef>
+
+namespace spindle {
+
+/// \brief Per-query execution knobs consulted by the parallel kernels.
+struct ExecContext {
+  /// Maximum number of threads an operator may use (including the calling
+  /// thread). 1 means strictly serial execution on the calling thread.
+  int threads = 1;
+
+  /// Rows per morsel for ParallelFor-style row-range decomposition. The
+  /// morsel grid depends only on this value and the row count — never on
+  /// the thread count — so any result merged in morsel order is
+  /// deterministic for every threads >= 2.
+  size_t morsel_rows = 8192;
+
+  ExecContext() = default;
+  explicit ExecContext(int t) : threads(t) {}
+
+  /// \brief True if an operator over `rows` rows should take its parallel
+  /// path: more than one thread available and more than one morsel of work.
+  bool ShouldParallelize(size_t rows) const {
+    return threads > 1 && rows > morsel_rows;
+  }
+
+  /// \brief The ambient context of the calling thread: the innermost
+  /// ScopedExecContext override, or the process default.
+  static const ExecContext& Current();
+
+  /// \brief The process default context (threads = DefaultThreads()).
+  static ExecContext Default();
+
+  /// \brief Default thread count: SPINDLE_THREADS env var if set to a
+  /// positive integer, otherwise std::thread::hardware_concurrency()
+  /// (minimum 1). Parsed once per process.
+  static int DefaultThreads();
+
+  /// \brief Overrides the process default thread count (0 restores the
+  /// SPINDLE_THREADS / hardware default).
+  static void SetDefaultThreads(int threads);
+};
+
+/// \brief RAII thread-local override of ExecContext::Current(). Scopes
+/// nest; each scope restores the previous context on destruction.
+///
+/// \code
+///   ScopedExecContext serial(ExecContext(1));  // force serial in scope
+/// \endcode
+class ScopedExecContext {
+ public:
+  explicit ScopedExecContext(ExecContext ctx);
+  ~ScopedExecContext();
+
+  ScopedExecContext(const ScopedExecContext&) = delete;
+  ScopedExecContext& operator=(const ScopedExecContext&) = delete;
+
+ private:
+  ExecContext ctx_;
+  const ExecContext* prev_;
+};
+
+}  // namespace spindle

@@ -1,0 +1,227 @@
+#include "exec/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace spindle {
+
+namespace {
+
+// Index of the calling thread within the pool, or -1 for external threads.
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+Scheduler& Scheduler::Global() {
+  // Leaked on purpose: workers run until process exit, and a static
+  // destructor could otherwise race tasks still in flight.
+  static Scheduler* instance = new Scheduler();
+  return *instance;
+}
+
+void Scheduler::EnsureWorkers(int count) {
+  count = std::min(count, kMaxWorkers);
+  if (workers_started_.load(std::memory_order_acquire) >= count) return;
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  int started = workers_started_.load(std::memory_order_acquire);
+  while (started < count) {
+    workers_[started] = std::make_unique<Worker>();
+    int index = started;
+    workers_[started]->thread = std::thread([this, index] { WorkerLoop(index); });
+    workers_[started]->thread.detach();
+    ++started;
+    // Release-publish the slot only after the Worker object is complete.
+    workers_started_.store(started, std::memory_order_release);
+  }
+}
+
+void Scheduler::Submit(Task task) {
+  int self = tls_worker_index;
+  int live = workers_started_.load(std::memory_order_acquire);
+  if (self >= 0 && self < live) {
+    Worker& w = *workers_[self];
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.deque.push_back(std::move(task));
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    injected_.push_back(std::move(task));
+  }
+  NotifyOne();
+}
+
+void Scheduler::NotifyOne() {
+  // Bump the epoch under the sleep mutex so a worker that just checked
+  // for work and is about to sleep cannot miss this wakeup.
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    work_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+bool Scheduler::PopOwn(int index, Task& out) {
+  Worker& w = *workers_[index];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.deque.empty()) return false;
+  out = std::move(w.deque.back());
+  w.deque.pop_back();
+  return true;
+}
+
+bool Scheduler::PopInjected(Task& out) {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  if (injected_.empty()) return false;
+  out = std::move(injected_.front());
+  injected_.pop_front();
+  return true;
+}
+
+bool Scheduler::Steal(int thief, Task& out) {
+  int live = workers_started_.load(std::memory_order_acquire);
+  if (live == 0) return false;
+  // Start at a thief-dependent offset so victims differ across thieves.
+  int start = thief >= 0 ? (thief + 1) % live : 0;
+  for (int i = 0; i < live; ++i) {
+    int victim = (start + i) % live;
+    if (victim == thief) continue;
+    Worker& w = *workers_[victim];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!w.deque.empty()) {
+      out = std::move(w.deque.front());
+      w.deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Scheduler::RunOneTask() {
+  Task task;
+  int self = tls_worker_index;
+  if (self >= 0 && PopOwn(self, task)) {
+    task();
+    return true;
+  }
+  if (PopInjected(task)) {
+    task();
+    return true;
+  }
+  if (Steal(self, task)) {
+    task();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::WorkerLoop(int index) {
+  tls_worker_index = index;
+  for (;;) {
+    if (RunOneTask()) continue;
+    // No work found: snapshot the epoch, re-check, then sleep until the
+    // epoch moves. Submit bumps the epoch under sleep_mu_, so between our
+    // snapshot and the wait we cannot lose a wakeup.
+    uint64_t seen = work_epoch_.load(std::memory_order_acquire);
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    cv_.wait_for(lock, std::chrono::milliseconds(50), [&] {
+      return work_epoch_.load(std::memory_order_acquire) != seen;
+    });
+  }
+}
+
+TaskGroup::TaskGroup(Scheduler& scheduler)
+    : scheduler_(scheduler), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() {
+  // A TaskGroup must be Wait()ed before destruction; tolerate misuse by
+  // waiting here (the shared State already keeps tasks memory-safe).
+  if (state_->pending.load(std::memory_order_acquire) != 0) Wait();
+}
+
+void TaskGroup::Spawn(Task task) {
+  state_->pending.fetch_add(1, std::memory_order_acq_rel);
+  std::shared_ptr<State> state = state_;
+  // Capture the spawning thread's context so the task sees the same
+  // thread budget / morsel size (ExecContext::Current() is thread-local).
+  ExecContext ctx = ExecContext::Current();
+  scheduler_.Submit([state, ctx, task = std::move(task)]() {
+    ScopedExecContext scope(ctx);
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->first_error) state->first_error = std::current_exception();
+    }
+    // notify under the mutex so a waiter between its pending-check and
+    // its cv wait cannot miss the signal.
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      state->done_cv.notify_all();
+    }
+  });
+}
+
+void TaskGroup::Wait() {
+  // Help: drain queued tasks (ours or anyone's) while our group is live.
+  while (state_->pending.load(std::memory_order_acquire) != 0) {
+    if (!scheduler_.RunOneTask()) {
+      std::unique_lock<std::mutex> lock(state_->mu);
+      if (state_->pending.load(std::memory_order_acquire) == 0) break;
+      // Short timed wait as belt-and-braces: a task of ours may be running
+      // on a worker while new helpable work appears elsewhere.
+      state_->done_cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    err = state_->first_error;
+    state_->first_error = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ParallelFor(const ExecContext& ctx, size_t n,
+                 const std::function<void(size_t, size_t, size_t)>& body) {
+  if (n == 0) return;
+  const size_t morsel = ctx.morsel_rows == 0 ? 1 : ctx.morsel_rows;
+  const size_t num_morsels = (n + morsel - 1) / morsel;
+
+  if (ctx.threads <= 1 || num_morsels == 1) {
+    // Serial path: exact legacy loop, ascending order, calling thread.
+    for (size_t m = 0; m < num_morsels; ++m) {
+      size_t begin = m * morsel;
+      size_t end = std::min(begin + morsel, n);
+      body(begin, end, m);
+    }
+    return;
+  }
+
+  Scheduler& sched = Scheduler::Global();
+  sched.EnsureWorkers(ctx.threads - 1);
+
+  // Driver-task pattern: `drivers` tasks plus the caller all loop over a
+  // shared atomic morsel counter, bounding concurrency to ctx.threads
+  // while keeping the morsel grid independent of the thread count.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto run_morsels = [&body, next, n, morsel, num_morsels]() {
+    for (;;) {
+      size_t m = next->fetch_add(1, std::memory_order_relaxed);
+      if (m >= num_morsels) return;
+      size_t begin = m * morsel;
+      size_t end = std::min(begin + morsel, n);
+      body(begin, end, m);
+    }
+  };
+
+  size_t drivers =
+      std::min<size_t>(static_cast<size_t>(ctx.threads), num_morsels) - 1;
+  TaskGroup group(sched);
+  for (size_t i = 0; i < drivers; ++i) group.Spawn(run_morsels);
+  run_morsels();  // the caller participates
+  group.Wait();
+}
+
+}  // namespace spindle

@@ -1,0 +1,159 @@
+/// \file scheduler.h
+/// \brief Work-stealing task scheduler for morsel-driven parallelism.
+///
+/// Design (see docs/parallel_execution.md for the full write-up):
+///
+///  - One process-wide Scheduler (Scheduler::Global(), a leaked singleton)
+///    owns a pool of worker threads, lazily grown up to the largest thread
+///    count any ExecContext has requested (capped at kMaxWorkers).
+///  - Each worker has its own deque: it pushes/pops its back (LIFO, cache
+///    friendly) and steals from the front of other workers (FIFO, coarse
+///    work first). External threads inject into a shared queue.
+///  - TaskGroup is the fork/join primitive: Spawn() tasks, then Wait().
+///    Wait() *helps* — it executes queued tasks while waiting — so nested
+///    parallelism (an operator spawning inside a task) cannot deadlock.
+///  - ParallelFor decomposes [0, n) into fixed-size morsels and runs a
+///    body(begin, end, morsel_index) over them on up to ctx.threads
+///    threads (the caller participates). The morsel grid depends only on
+///    morsel_rows and n — never on the thread count — so callers that
+///    merge per-morsel partials in morsel order get deterministic results
+///    for every thread count >= 2. With ctx.threads == 1 the body runs
+///    inline on the calling thread, serially, in order.
+///
+/// Tasks spawned through TaskGroup capture the spawning thread's
+/// ExecContext so nested operators see the same configuration.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "exec/exec_context.h"
+
+namespace spindle {
+
+/// \brief A unit of work. Must not throw (the engine is Status-based);
+/// TaskGroup additionally guards against stray exceptions by capturing
+/// the first one and rethrowing it in Wait().
+using Task = std::function<void()>;
+
+/// \brief Process-wide work-stealing thread pool.
+class Scheduler {
+ public:
+  /// Upper bound on pool size; worker slots are a fixed array so the pool
+  /// can grow without invalidating concurrent stealers.
+  static constexpr int kMaxWorkers = 256;
+
+  /// \brief The shared process-wide scheduler. Created on first use and
+  /// intentionally leaked (workers run until process exit) so static
+  /// destruction order can never race an in-flight task.
+  static Scheduler& Global();
+
+  /// \brief Ensures at least `count` worker threads exist (capped at
+  /// kMaxWorkers). Thread-safe; never shrinks.
+  void EnsureWorkers(int count);
+
+  /// \brief Current number of worker threads.
+  int num_workers() const {
+    return workers_started_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Enqueues a task: onto the calling worker's own deque when
+  /// called from a pool thread, else onto the shared injection queue.
+  void Submit(Task task);
+
+  /// \brief Runs one queued task if any is available (own deque first,
+  /// then injection queue, then stealing). Returns false if no task was
+  /// found. Used by helping waiters.
+  bool RunOneTask();
+
+ private:
+  Scheduler() = default;
+  ~Scheduler() = delete;  // leaked singleton
+
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> deque;  // back = hot end (own), front = steal end
+    std::thread thread;
+  };
+
+  void WorkerLoop(int index);
+  bool PopOwn(int index, Task& out);
+  bool PopInjected(Task& out);
+  bool Steal(int thief, Task& out);
+  void NotifyOne();
+
+  // Fixed-capacity slot array: slots [0, workers_started_) are live and
+  // never move, so stealers may scan without locking the pool.
+  std::array<std::unique_ptr<Worker>, kMaxWorkers> workers_;
+  std::atomic<int> workers_started_{0};
+  std::mutex grow_mu_;
+
+  std::mutex inject_mu_;
+  std::deque<Task> injected_;
+
+  // Sleep/wake protocol: workers nap on cv_ when they find no work;
+  // Submit bumps work_epoch_ under sleep_mu_ and notifies.
+  std::mutex sleep_mu_;
+  std::condition_variable cv_;
+  std::atomic<uint64_t> work_epoch_{0};
+};
+
+/// \brief Fork/join scope: Spawn() any number of tasks, then Wait() for
+/// all of them. Wait() helps execute queued work while blocked. The first
+/// exception thrown by a task (none are expected in Spindle) is captured
+/// and rethrown from Wait().
+class TaskGroup {
+ public:
+  explicit TaskGroup(Scheduler& scheduler = Scheduler::Global());
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// \brief Schedules `task` on the pool. The task inherits the spawning
+  /// thread's ExecContext.
+  void Spawn(Task task);
+
+  /// \brief Blocks until every spawned task has finished, executing queued
+  /// tasks while it waits. Rethrows the first captured task exception.
+  void Wait();
+
+ private:
+  // Heap-allocated and shared with every task wrapper so a TaskGroup can
+  // never be destroyed out from under a still-running task.
+  struct State {
+    std::atomic<size_t> pending{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr first_error;  // guarded by mu
+  };
+
+  Scheduler& scheduler_;
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Runs body(begin, end, morsel_index) over [0, n) split into
+/// ctx.morsel_rows-sized morsels, on up to ctx.threads threads including
+/// the caller. Blocks until all morsels are done.
+///
+/// The decomposition is a fixed grid: morsel m covers
+/// [m * morsel_rows, min((m+1) * morsel_rows, n)). Bodies run unordered
+/// and concurrently on the parallel path; with ctx.threads == 1 they run
+/// inline in ascending morsel order (the exact serial loop).
+void ParallelFor(const ExecContext& ctx, size_t n,
+                 const std::function<void(size_t, size_t, size_t)>& body);
+
+/// \brief Number of morsels ParallelFor would use for `n` rows.
+inline size_t NumMorsels(const ExecContext& ctx, size_t n) {
+  return n == 0 ? 0 : (n + ctx.morsel_rows - 1) / ctx.morsel_rows;
+}
+
+}  // namespace spindle

@@ -1,6 +1,7 @@
 #include "ir/ranking.h"
 
 #include "engine/ops.h"
+#include "exec/scheduler.h"
 
 namespace spindle {
 
@@ -32,23 +33,47 @@ Result<RelationPtr> MatchQuery(const TextIndex& index,
   // the query-independent term-partitioned access path so only matching
   // tf rows are touched (see TextIndex::TfRowsForTerm).
   const bool weighted = qterms->num_columns() >= 2;
-  std::vector<uint32_t> rows;
-  std::vector<double> weights;
-  for (size_t q = 0; q < qterms->num_rows(); ++q) {
-    auto [begin, len] =
-        index.TfRowsForTerm(qterms->column(0).Int64At(q));
+  const ExecContext& ctx = ExecContext::Current();
+  // Per-term posting spans are query-independent offsets, so the copy of
+  // each term's rows/weights is independent work: fan out one task per
+  // term into a preallocated output when the total is worth it.
+  const size_t num_terms = qterms->num_rows();
+  std::vector<std::pair<const uint32_t*, size_t>> spans(num_terms);
+  std::vector<size_t> offsets(num_terms);
+  size_t total = 0;
+  for (size_t q = 0; q < num_terms; ++q) {
+    spans[q] = index.TfRowsForTerm(qterms->column(0).Int64At(q));
+    offsets[q] = total;
+    total += spans[q].second;
+  }
+  std::vector<uint32_t> rows(total);
+  std::vector<double> weights(total);
+  auto fill_term = [&](size_t q) {
+    auto [begin, len] = spans[q];
     double w = weighted ? qterms->column(1).Float64At(q) : 1.0;
-    rows.insert(rows.end(), begin, begin + len);
-    weights.insert(weights.end(), len, w);
+    std::copy(begin, begin + len, rows.begin() + offsets[q]);
+    std::fill(weights.begin() + offsets[q],
+              weights.begin() + offsets[q] + len, w);
+  };
+  if (ctx.ShouldParallelize(total) && num_terms > 1) {
+    Scheduler::Global().EnsureWorkers(ctx.threads - 1);
+    TaskGroup group;
+    for (size_t q = 0; q + 1 < num_terms; ++q) {
+      group.Spawn([&fill_term, q] { fill_term(q); });
+    }
+    fill_term(num_terms - 1);
+    group.Wait();
+  } else {
+    for (size_t q = 0; q < num_terms; ++q) fill_term(q);
   }
   Schema schema({{"termID", DataType::kInt64},
                  {"docID", DataType::kInt64},
                  {"tf", DataType::kInt64},
                  {"w", DataType::kFloat64}});
   std::vector<Column> cols;
-  cols.push_back(index.tf()->column(0).Gather(rows));
-  cols.push_back(index.tf()->column(1).Gather(rows));
-  cols.push_back(index.tf()->column(2).Gather(rows));
+  cols.push_back(GatherColumnRows(index.tf()->column(0), rows, ctx));
+  cols.push_back(GatherColumnRows(index.tf()->column(1), rows, ctx));
+  cols.push_back(GatherColumnRows(index.tf()->column(2), rows, ctx));
   cols.push_back(Column::MakeFloat64(std::move(weights)));
   return Relation::Make(std::move(schema), std::move(cols));
 }

@@ -53,16 +53,21 @@ Result<TextIndexPtr> Searcher::GetOrBuildIndex(
   SPINDLE_ASSIGN_OR_RETURN(Analyzer analyzer,
                            Analyzer::Make(analyzer_options_));
   std::string key = collection_signature + "|" + analyzer.Signature();
-  auto it = indexes_.find(key);
-  if (it != indexes_.end()) {
-    stats_.index_hits++;
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = indexes_.find(key);
+    if (it != indexes_.end()) {
+      stats_.index_hits++;
+      return it->second;
+    }
+    stats_.index_misses++;
   }
-  stats_.index_misses++;
+  // Build outside the lock (it is the expensive part); on a race the
+  // first inserted index wins and the duplicate build is discarded.
   SPINDLE_ASSIGN_OR_RETURN(TextIndexPtr index,
                            TextIndex::Build(docs, analyzer));
-  indexes_.emplace(std::move(key), index);
-  return index;
+  std::lock_guard<std::mutex> lock(mu_);
+  return indexes_.emplace(std::move(key), index).first->second;
 }
 
 Result<RelationPtr> Searcher::Search(const RelationPtr& docs,

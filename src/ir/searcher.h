@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -66,15 +67,25 @@ class Searcher {
                              const SearchOptions& options = {});
 
   /// \brief Drops all cached indexes (cold-start measurements).
-  void ClearIndexCache() { indexes_.clear(); }
+  void ClearIndexCache() {
+    std::lock_guard<std::mutex> lock(mu_);
+    indexes_.clear();
+  }
 
-  const Stats& stats() const { return stats_; }
+  /// \brief Counter snapshot (by value: concurrent searches mutate them).
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   const AnalyzerOptions& analyzer_options() const {
     return analyzer_options_;
   }
 
  private:
   AnalyzerOptions analyzer_options_;
+  /// Guards indexes_ and stats_ so concurrent queries can share one
+  /// Searcher; index builds happen outside the lock (first build wins).
+  mutable std::mutex mu_;
   std::unordered_map<std::string, TextIndexPtr> indexes_;
   Stats stats_;
 };

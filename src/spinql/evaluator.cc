@@ -1,12 +1,27 @@
 #include "spinql/evaluator.h"
 
+#include <optional>
+
 #include "engine/ops.h"
+#include "exec/scheduler.h"
 #include "ir/ranking.h"
 #include "pra/pra_ops.h"
 #include "spinql/parser.h"
 
 namespace spindle {
 namespace spinql {
+
+namespace {
+
+/// Output slot for one concurrently evaluated input subtree
+/// (Result<ProbRelation> is not default-constructible, so status and
+/// value travel separately).
+struct EvalSlot {
+  Status st;
+  std::optional<ProbRelation> rel;
+};
+
+}  // namespace
 
 Evaluator::Evaluator(Catalog* catalog, MaterializationCache* cache)
     : catalog_(catalog), cache_(cache),
@@ -134,6 +149,31 @@ Result<ProbRelation> Evaluator::EvalNode(const NodePtr& node,
       break;
     }
     case NodeKind::kJoin: {
+      // Independent subtrees: evaluate the left input on a pool task
+      // while this thread evaluates the right, then join.
+      const ExecContext& ctx = ExecContext::Current();
+      if (ctx.threads > 1) {
+        EvalSlot lslot, rslot;
+        auto eval_into = [&](const NodePtr& in_node, EvalSlot& slot) {
+          Result<ProbRelation> in = EvalNode(in_node, program);
+          if (in.ok()) {
+            slot.rel = std::move(in).ValueOrDie();
+          } else {
+            slot.st = in.status();
+          }
+        };
+        Scheduler::Global().EnsureWorkers(ctx.threads - 1);
+        TaskGroup group;
+        group.Spawn([&] { eval_into(node->inputs()[0], lslot); });
+        eval_into(node->inputs()[1], rslot);
+        group.Wait();
+        if (!lslot.st.ok()) return lslot.st;
+        if (!rslot.st.ok()) return rslot.st;
+        SPINDLE_ASSIGN_OR_RETURN(
+            result, pra::JoinIndependent(*lslot.rel, *rslot.rel,
+                                         node->keys()));
+        break;
+      }
       SPINDLE_ASSIGN_OR_RETURN(ProbRelation l,
                                EvalNode(node->inputs()[0], program));
       SPINDLE_ASSIGN_OR_RETURN(ProbRelation r,
@@ -143,6 +183,38 @@ Result<ProbRelation> Evaluator::EvalNode(const NodePtr& node,
       break;
     }
     case NodeKind::kUnite: {
+      // The branches of a UNITE are exactly the paper's independent
+      // strategy blocks (a Mix compiles to WEIGHT+UNITE); evaluate them
+      // concurrently and combine in input order.
+      const ExecContext& ctx = ExecContext::Current();
+      const auto& in_nodes = node->inputs();
+      if (ctx.threads > 1 && in_nodes.size() > 1) {
+        std::vector<EvalSlot> slots(in_nodes.size());
+        auto eval_into = [&](size_t i) {
+          Result<ProbRelation> in = EvalNode(in_nodes[i], program);
+          if (in.ok()) {
+            slots[i].rel = std::move(in).ValueOrDie();
+          } else {
+            slots[i].st = in.status();
+          }
+        };
+        Scheduler::Global().EnsureWorkers(ctx.threads - 1);
+        TaskGroup group;
+        for (size_t i = 0; i + 1 < in_nodes.size(); ++i) {
+          group.Spawn([&eval_into, i] { eval_into(i); });
+        }
+        eval_into(in_nodes.size() - 1);
+        group.Wait();
+        std::vector<ProbRelation> inputs;
+        inputs.reserve(slots.size());
+        for (auto& slot : slots) {
+          if (!slot.st.ok()) return slot.st;
+          inputs.push_back(std::move(*slot.rel));
+        }
+        SPINDLE_ASSIGN_OR_RETURN(result,
+                                 pra::Unite(node->assumption(), inputs));
+        break;
+      }
       std::vector<ProbRelation> inputs;
       inputs.reserve(node->inputs().size());
       for (const auto& in_node : node->inputs()) {
@@ -248,12 +320,20 @@ Result<ProbRelation> Evaluator::EvalRank(const Node& node,
                            Signature(node.inputs()[0], program));
   std::string index_key = docs_sig + "|" + analyzer.Signature();
   TextIndexPtr index;
-  auto it = index_cache_.find(index_key);
-  if (it != index_cache_.end()) {
-    stats_.index_hits++;
-    index = it->second;
-  } else {
-    stats_.index_misses++;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_cache_.find(index_key);
+    if (it != index_cache_.end()) {
+      stats_.index_hits++;
+      index = it->second;
+    } else {
+      stats_.index_misses++;
+    }
+  }
+  if (index == nullptr) {
+    // Build outside the lock (concurrent UNITE branches may rank in
+    // parallel; the expensive build must not serialize them). On a race
+    // the first inserted index wins and the duplicate is discarded.
     // Dense internal docIDs 1..n; external ids (string or int64) are
     // restored after ranking.
     Schema schema({{"docID", DataType::kInt64},
@@ -270,7 +350,8 @@ Result<ProbRelation> Evaluator::EvalRank(const Node& node,
         RelationPtr dense_docs,
         Relation::Make(std::move(schema), std::move(cols)));
     SPINDLE_ASSIGN_OR_RETURN(index, TextIndex::Build(dense_docs, analyzer));
-    index_cache_.emplace(std::move(index_key), index);
+    std::lock_guard<std::mutex> lock(mu_);
+    index = index_cache_.emplace(std::move(index_key), index).first->second;
   }
 
   // Weighted query terms: every query row contributes its analyzed tokens

@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -53,8 +54,15 @@ class Evaluator {
   Result<std::string> Signature(const NodePtr& node,
                                 const Program& program) const;
 
-  const Stats& stats() const { return stats_; }
-  void ClearIndexCache() { index_cache_.clear(); }
+  /// \brief Counter snapshot (by value: concurrent subtrees mutate them).
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ClearIndexCache() {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_cache_.clear();
+  }
   MaterializationCache* cache() { return cache_; }
 
  private:
@@ -63,9 +71,12 @@ class Evaluator {
   Result<NodePtr> ResolveForSignature(const NodePtr& node,
                                       const Program& program) const;
 
-  Catalog* catalog_;
-  MaterializationCache* cache_;
+  Catalog* catalog_;             // read-only during evaluation
+  MaterializationCache* cache_;  // internally synchronized
   FunctionRegistry* registry_;
+  /// Guards index_cache_ and stats_: independent Join/Unite subtrees are
+  /// evaluated concurrently, and each may build or look up text indexes.
+  mutable std::mutex mu_;
   std::unordered_map<std::string, TextIndexPtr> index_cache_;
   Stats stats_;
 };

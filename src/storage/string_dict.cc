@@ -7,6 +7,7 @@
 namespace spindle {
 
 int64_t StringDict::Intern(std::string_view s) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
   // Deques of strings would keep views stable; with a vector we must
@@ -30,11 +31,13 @@ int64_t StringDict::Intern(std::string_view s) {
 }
 
 int64_t StringDict::Lookup(std::string_view s) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(s);
   return it == index_.end() ? -1 : it->second;
 }
 
 size_t StringDict::ByteSize() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t bytes = strings_.capacity() * sizeof(std::string) +
                  hashes_.capacity() * sizeof(uint64_t);
   const size_t sso_cap = std::string().capacity();

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -19,11 +21,39 @@
 namespace spindle {
 
 /// \brief Interns strings, assigning dense ids starting at `first_id`.
+///
+/// Thread safety: Intern/Lookup/size/ByteSize synchronize on an internal
+/// shared_mutex, so a dict still being grown on one thread can be probed
+/// from others (the RecodeToShared path does exactly this when parallel
+/// operators recode against a dict another query is extending). The
+/// positional accessors (StringFor, StringAtPos, HashAtPos, strings())
+/// are deliberately lock-free and rely on the build-side ownership
+/// invariant: a dict is mutated only single-threaded while its column is
+/// being built, and is immutable once published as a StringDictPtr
+/// (shared_ptr<const StringDict>). Positional reads are only issued
+/// against published dicts.
 class StringDict {
  public:
   /// \param first_id the id given to the first interned string. The paper's
   /// termdict uses row_number() which starts at 1, so 1 is the default.
   explicit StringDict(int64_t first_id = 1) : first_id_(first_id) {}
+
+  /// Build-side moves only (the mutex is not movable and the target gets a
+  /// fresh one): legal while a single thread owns the dict, per the
+  /// ownership invariant above. The interned string_views stay valid
+  /// because the vector's heap buffer moves with it.
+  StringDict(StringDict&& other) noexcept
+      : first_id_(other.first_id_),
+        strings_(std::move(other.strings_)),
+        hashes_(std::move(other.hashes_)),
+        index_(std::move(other.index_)) {}
+  StringDict& operator=(StringDict&& other) noexcept {
+    first_id_ = other.first_id_;
+    strings_ = std::move(other.strings_);
+    hashes_ = std::move(other.hashes_);
+    index_ = std::move(other.index_);
+    return *this;
+  }
 
   /// \brief Returns the id of `s`, interning it if new.
   int64_t Intern(std::string_view s);
@@ -45,7 +75,10 @@ class StringDict {
   /// identically and can meet in the same hash table.
   uint64_t HashAtPos(size_t pos) const { return hashes_[pos]; }
 
-  int64_t size() const { return static_cast<int64_t>(strings_.size()); }
+  int64_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return static_cast<int64_t>(strings_.size());
+  }
   int64_t first_id() const { return first_id_; }
 
   /// \brief All interned strings in id order.
@@ -56,6 +89,9 @@ class StringDict {
 
  private:
   int64_t first_id_;
+  /// Guards strings_/hashes_/index_ for the id-keyed operations; see the
+  /// class comment for which accessors bypass it.
+  mutable std::shared_mutex mu_;
   std::vector<std::string> strings_;
   std::vector<uint64_t> hashes_;  // HashBytes of strings_, same order
   std::unordered_map<std::string_view, int64_t> index_;  // views into strings_

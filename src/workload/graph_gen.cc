@@ -11,11 +11,14 @@ Result<TripleStore> GenerateProductCatalog(
   if (opts.categories.empty() || opts.num_products < 0) {
     return Status::InvalidArgument("invalid product catalog options");
   }
-  Rng rng(opts.seed);
+  // One splittable stream per product: entity i depends only on
+  // (opts.seed, i), independent of generation order or thread count.
+  Rng root(opts.seed);
   ZipfSampler zipf(static_cast<uint64_t>(opts.vocab_size),
                    opts.zipf_exponent);
   TripleStore store;
   for (int64_t i = 0; i < opts.num_products; ++i) {
+    Rng rng = root.Split(static_cast<uint64_t>(i));
     std::string id = "prod" + std::to_string(i + 1);
     store.Add(id, "type", "product");
     store.Add(id, "category",
@@ -33,12 +36,16 @@ Result<TripleStore> GenerateAuctionGraph(const AuctionGraphOptions& opts) {
   if (opts.num_auctions <= 0 || opts.num_lots < 0) {
     return Status::InvalidArgument("invalid auction graph options");
   }
-  Rng rng(opts.seed);
+  // Disjoint per-entity streams (auctions / lots / synonym pairs live in
+  // separate stream bands) so each entity's attributes depend only on
+  // (opts.seed, entity), never on how many entities came before it.
+  Rng root(opts.seed);
   ZipfSampler zipf(static_cast<uint64_t>(opts.vocab_size),
                    opts.zipf_exponent);
   TripleStore store;
 
   for (int64_t a = 0; a < opts.num_auctions; ++a) {
+    Rng rng = root.Split(static_cast<uint64_t>(a));
     std::string id = "auction" + std::to_string(a + 1);
     store.Add(id, "type", "auction");
     store.Add(id, "description",
@@ -46,6 +53,7 @@ Result<TripleStore> GenerateAuctionGraph(const AuctionGraphOptions& opts) {
   }
 
   for (int64_t l = 0; l < opts.num_lots; ++l) {
+    Rng rng = root.Split((1ULL << 40) + static_cast<uint64_t>(l));
     std::string id = "lot" + std::to_string(l + 1);
     store.Add(id, "type", "lot");
     store.Add(id, "description", RandomText(rng, zipf, opts.lot_desc_len));
@@ -72,6 +80,7 @@ Result<TripleStore> GenerateAuctionGraph(const AuctionGraphOptions& opts) {
                             static_cast<uint64_t>(
                                 opts.num_synonym_pairs) * 8));
   for (int64_t sidx = 0; sidx < opts.num_synonym_pairs; ++sidx) {
+    Rng rng = root.Split((2ULL << 40) + static_cast<uint64_t>(sidx));
     uint64_t a = 1 + rng.NextBounded(syn_band);
     uint64_t b = 1 + rng.NextBounded(syn_band);
     if (a == b) continue;

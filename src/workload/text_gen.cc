@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/scheduler.h"
+
 namespace spindle {
 
 std::string WordForRank(uint64_t rank) {
@@ -40,7 +42,10 @@ Result<RelationPtr> GenerateTextCollection(
   if (opts.num_docs < 0 || opts.vocab_size <= 0) {
     return Status::InvalidArgument("invalid collection options");
   }
-  Rng rng(opts.seed);
+  // One splittable stream per document: doc d depends only on
+  // (opts.seed, d), so the collection is byte-identical at every thread
+  // count and docs can be generated in parallel.
+  Rng root(opts.seed);
   ZipfSampler zipf(static_cast<uint64_t>(opts.vocab_size),
                    opts.zipf_exponent);
 
@@ -51,12 +56,16 @@ Result<RelationPtr> GenerateTextCollection(
 
   std::vector<int64_t> ids(static_cast<size_t>(opts.num_docs));
   std::vector<std::string> texts(static_cast<size_t>(opts.num_docs));
-  for (int64_t d = 0; d < opts.num_docs; ++d) {
-    ids[static_cast<size_t>(d)] = d + 1;
-    int len = lo + static_cast<int>(rng.NextBounded(
-                       static_cast<uint64_t>(hi - lo + 1)));
-    texts[static_cast<size_t>(d)] = RandomText(rng, zipf, len);
-  }
+  ParallelFor(ExecContext::Current(), static_cast<size_t>(opts.num_docs),
+              [&](size_t begin, size_t end, size_t /*morsel*/) {
+                for (size_t d = begin; d < end; ++d) {
+                  ids[d] = static_cast<int64_t>(d) + 1;
+                  Rng rng = root.Split(static_cast<uint64_t>(d));
+                  int len = lo + static_cast<int>(rng.NextBounded(
+                                     static_cast<uint64_t>(hi - lo + 1)));
+                  texts[d] = RandomText(rng, zipf, len);
+                }
+              });
   Schema schema({{"docID", DataType::kInt64}, {"data", DataType::kString}});
   std::vector<Column> cols;
   cols.push_back(Column::MakeInt64(std::move(ids)));

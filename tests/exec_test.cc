@@ -1,0 +1,483 @@
+/// \file exec_test.cc
+/// \brief Tests for the morsel-driven parallel execution subsystem:
+/// ExecContext resolution, the work-stealing scheduler, parallel operator
+/// equivalence against the serial engine, splittable RNG streams, and the
+/// concurrency-safety of StringDict and MaterializationCache.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/materialization_cache.h"
+#include "engine/ops.h"
+#include "exec/scheduler.h"
+#include "storage/relation.h"
+#include "storage/string_dict.h"
+#include "workload/graph_gen.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+namespace {
+
+const FunctionRegistry& Reg() { return FunctionRegistry::Default(); }
+
+/// Runs `fn` under an ExecContext with the given thread count.
+template <typename Fn>
+auto WithThreads(int threads, Fn&& fn) {
+  ScopedExecContext scope(ExecContext(threads));
+  return fn();
+}
+
+// ---------------------------------------------------------------------------
+// ExecContext
+
+TEST(ExecContextTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ExecContext::DefaultThreads(), 1);
+  EXPECT_GE(ExecContext::Current().threads, 1);
+}
+
+TEST(ExecContextTest, ScopedOverrideNestsAndRestores) {
+  ExecContext outer(3);
+  {
+    ScopedExecContext a(outer);
+    EXPECT_EQ(ExecContext::Current().threads, 3);
+    {
+      ScopedExecContext b{ExecContext(7)};
+      EXPECT_EQ(ExecContext::Current().threads, 7);
+    }
+    EXPECT_EQ(ExecContext::Current().threads, 3);
+  }
+  EXPECT_EQ(ExecContext::Current().threads, ExecContext::DefaultThreads());
+}
+
+TEST(ExecContextTest, SetDefaultThreadsOverridesAndRestores) {
+  ExecContext::SetDefaultThreads(5);
+  EXPECT_EQ(ExecContext::DefaultThreads(), 5);
+  EXPECT_EQ(ExecContext::Current().threads, 5);
+  ExecContext::SetDefaultThreads(0);  // back to env/hardware default
+  EXPECT_GE(ExecContext::DefaultThreads(), 1);
+}
+
+TEST(ExecContextTest, ShouldParallelize) {
+  ExecContext serial(1);
+  EXPECT_FALSE(serial.ShouldParallelize(1u << 20));
+  ExecContext par(4);
+  EXPECT_FALSE(par.ShouldParallelize(par.morsel_rows));      // single morsel
+  EXPECT_TRUE(par.ShouldParallelize(par.morsel_rows + 1));  // two morsels
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+TEST(SchedulerTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ExecContext ctx(8);
+  ctx.morsel_rows = 1000;
+  const size_t n = 100123;
+  std::vector<char> hits(n, 0);  // morsels are disjoint: no two writers
+  std::atomic<size_t> total{0};
+  ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t /*morsel*/) {
+    for (size_t i = begin; i < end; ++i) hits[i]++;
+    total.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), n);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(SchedulerTest, ParallelForSerialRunsInAscendingOrder) {
+  ExecContext ctx(1);
+  ctx.morsel_rows = 64;
+  std::vector<size_t> morsels;
+  ParallelFor(ctx, 1000, [&](size_t begin, size_t end, size_t morsel) {
+    EXPECT_EQ(begin, morsel * ctx.morsel_rows);
+    EXPECT_LE(end, 1000u);
+    morsels.push_back(morsel);
+  });
+  ASSERT_EQ(morsels.size(), NumMorsels(ctx, 1000));
+  for (size_t m = 0; m < morsels.size(); ++m) EXPECT_EQ(morsels[m], m);
+}
+
+TEST(SchedulerTest, ParallelForEmptyRange) {
+  int calls = 0;
+  ParallelFor(ExecContext(4), 0,
+              [&](size_t, size_t, size_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SchedulerTest, MorselGridIndependentOfThreadCount) {
+  ExecContext two(2), eight(8);
+  for (size_t n : {0u, 1u, 8192u, 8193u, 100000u}) {
+    EXPECT_EQ(NumMorsels(two, n), NumMorsels(eight, n));
+  }
+}
+
+TEST(SchedulerTest, TaskGroupRunsEveryTask) {
+  Scheduler::Global().EnsureWorkers(3);
+  std::atomic<int> count{0};
+  TaskGroup group;
+  for (int i = 0; i < 200; ++i) {
+    group.Spawn([&count] { count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(SchedulerTest, NestedTaskGroupsDoNotDeadlock) {
+  Scheduler::Global().EnsureWorkers(3);
+  std::atomic<int> count{0};
+  TaskGroup outer;
+  for (int i = 0; i < 8; ++i) {
+    outer.Spawn([&count] {
+      TaskGroup inner;
+      for (int j = 0; j < 8; ++j) {
+        inner.Spawn([&count] { count.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(SchedulerTest, SpawnedTasksInheritExecContext) {
+  Scheduler::Global().EnsureWorkers(2);
+  ExecContext ctx(3);
+  ctx.morsel_rows = 777;
+  ScopedExecContext scope(ctx);
+  std::atomic<int> seen_threads{0};
+  std::atomic<size_t> seen_morsel{0};
+  TaskGroup group;
+  group.Spawn([&] {
+    seen_threads = ExecContext::Current().threads;
+    seen_morsel = ExecContext::Current().morsel_rows;
+  });
+  group.Wait();
+  EXPECT_EQ(seen_threads.load(), 3);
+  EXPECT_EQ(seen_morsel.load(), 777u);
+}
+
+// ---------------------------------------------------------------------------
+// Splittable RNG
+
+TEST(RngSplitTest, SplitDependsOnlyOnConstructorSeed) {
+  Rng a(42);
+  for (int i = 0; i < 100; ++i) a.Next();  // advance position
+  Rng from_advanced = a.Split(7);
+  Rng from_fresh = Rng(42).Split(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(from_advanced.Next(), from_fresh.Next());
+  }
+}
+
+TEST(RngSplitTest, DistinctStreamsDiffer) {
+  Rng root(42);
+  Rng s0 = root.Split(0), s1 = root.Split(1);
+  int equal = 0;
+  for (int i = 0; i < 16; ++i) equal += (s0.Next() == s1.Next());
+  EXPECT_LT(equal, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel operators vs the serial engine
+
+/// A 4-column table big enough to span several morsels (40k rows > 4
+/// default 8192-row morsels): int64 id, int64 val, float64 f, string cat.
+RelationPtr MakeWide(size_t n, uint64_t seed = 7) {
+  std::vector<int64_t> id(n), val(n);
+  std::vector<double> f(n);
+  std::vector<std::string> cat(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    id[i] = static_cast<int64_t>(i);
+    val[i] = static_cast<int64_t>(rng.NextBounded(1000));
+    f[i] = rng.NextDouble();
+    cat[i] = "c" + std::to_string(val[i] % 97);
+  }
+  Schema schema({{"id", DataType::kInt64},
+                 {"val", DataType::kInt64},
+                 {"f", DataType::kFloat64},
+                 {"cat", DataType::kString}});
+  std::vector<Column> cols;
+  cols.push_back(Column::MakeInt64(std::move(id)));
+  cols.push_back(Column::MakeInt64(std::move(val)));
+  cols.push_back(Column::MakeFloat64(std::move(f)));
+  cols.push_back(Column::MakeString(std::move(cat)));
+  return Relation::Make(std::move(schema), std::move(cols)).ValueOrDie();
+}
+
+/// Compares two relations cell by cell. When float_exact is false, float64
+/// cells are compared with a relative tolerance (parallel aggregation may
+/// re-associate sums); everything else must match exactly.
+void ExpectSameRelation(const RelationPtr& a, const RelationPtr& b,
+                        bool float_exact = true) {
+  ASSERT_TRUE(a->schema().Equals(b->schema()))
+      << a->schema().ToString() << " vs " << b->schema().ToString();
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (size_t c = 0; c < a->num_columns(); ++c) {
+    for (size_t r = 0; r < a->num_rows(); ++r) {
+      switch (a->column(c).type()) {
+        case DataType::kInt64:
+          ASSERT_EQ(a->column(c).Int64At(r), b->column(c).Int64At(r))
+              << "col " << c << " row " << r;
+          break;
+        case DataType::kFloat64:
+          if (float_exact) {
+            ASSERT_EQ(a->column(c).Float64At(r), b->column(c).Float64At(r))
+                << "col " << c << " row " << r;
+          } else {
+            double x = a->column(c).Float64At(r);
+            double y = b->column(c).Float64At(r);
+            ASSERT_NEAR(x, y, 1e-9 * (1.0 + std::fabs(x)))
+                << "col " << c << " row " << r;
+          }
+          break;
+        case DataType::kString:
+          ASSERT_EQ(a->column(c).StringAt(r), b->column(c).StringAt(r))
+              << "col " << c << " row " << r;
+          break;
+      }
+    }
+  }
+}
+
+constexpr size_t kRows = 40000;
+
+TEST(ParallelOpsTest, FilterMatchesSerial) {
+  auto rel = MakeWide(kRows);
+  auto pred = Expr::Lt(Expr::ColumnNamed("val"), Expr::LitInt(300));
+  auto serial =
+      WithThreads(1, [&] { return Filter(rel, pred, Reg()).ValueOrDie(); });
+  for (int threads : {2, 8}) {
+    auto parallel = WithThreads(
+        threads, [&] { return Filter(rel, pred, Reg()).ValueOrDie(); });
+    ExpectSameRelation(serial, parallel);
+  }
+}
+
+TEST(ParallelOpsTest, ProjectExprsMatchesSerial) {
+  auto rel = MakeWide(kRows);
+  std::vector<ExprPtr> exprs = {
+      Expr::ColumnNamed("id"),
+      Expr::Mul(Expr::ColumnNamed("val"), Expr::LitInt(3)),
+      Expr::Add(Expr::ColumnNamed("f"), Expr::LitFloat(1.0))};
+  std::vector<std::string> names = {"id", "val3", "f1"};
+  auto serial = WithThreads(
+      1, [&] { return ProjectExprs(rel, exprs, names, Reg()).ValueOrDie(); });
+  for (int threads : {2, 8}) {
+    auto parallel = WithThreads(threads, [&] {
+      return ProjectExprs(rel, exprs, names, Reg()).ValueOrDie();
+    });
+    ExpectSameRelation(serial, parallel);
+  }
+}
+
+TEST(ParallelOpsTest, HashJoinIntKeysMatchesSerial) {
+  auto fact = MakeWide(kRows);
+  // Dimension table keyed by val in [0, 1000).
+  std::vector<int64_t> key(1000);
+  std::vector<std::string> name(1000);
+  for (size_t i = 0; i < 1000; ++i) {
+    key[i] = static_cast<int64_t>(i);
+    name[i] = "dim" + std::to_string(i);
+  }
+  std::vector<Column> cols;
+  cols.push_back(Column::MakeInt64(std::move(key)));
+  cols.push_back(Column::MakeString(std::move(name)));
+  auto dim = Relation::Make(Schema({{"key", DataType::kInt64},
+                                    {"name", DataType::kString}}),
+                            std::move(cols))
+                 .ValueOrDie();
+  auto serial = WithThreads(
+      1, [&] { return HashJoin(fact, dim, {{1, 0}}).ValueOrDie(); });
+  for (int threads : {2, 8}) {
+    auto parallel = WithThreads(
+        threads, [&] { return HashJoin(fact, dim, {{1, 0}}).ValueOrDie(); });
+    ExpectSameRelation(serial, parallel);
+  }
+}
+
+TEST(ParallelOpsTest, HashJoinStringKeysAndSemiAntiMatchSerial) {
+  auto fact = MakeWide(kRows);
+  // String-keyed dimension covering half the categories.
+  std::vector<std::string> cats;
+  for (int i = 0; i < 97; i += 2) cats.push_back("c" + std::to_string(i));
+  std::vector<Column> cols;
+  cols.push_back(Column::MakeString(std::move(cats)));
+  auto dim =
+      Relation::Make(Schema({{"cat", DataType::kString}}), std::move(cols))
+          .ValueOrDie();
+  for (JoinType type :
+       {JoinType::kInner, JoinType::kLeftSemi, JoinType::kLeftAnti}) {
+    auto serial = WithThreads(1, [&] {
+      return HashJoin(fact, dim, {{3, 0}}, type).ValueOrDie();
+    });
+    for (int threads : {2, 8}) {
+      auto parallel = WithThreads(threads, [&] {
+        return HashJoin(fact, dim, {{3, 0}}, type).ValueOrDie();
+      });
+      ExpectSameRelation(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelOpsTest, TopKMatchesSerial) {
+  auto rel = MakeWide(kRows);
+  auto serial = WithThreads(
+      1, [&] { return TopK(rel, SortKey{2, true}, 100).ValueOrDie(); });
+  for (int threads : {2, 8}) {
+    auto parallel = WithThreads(
+        threads, [&] { return TopK(rel, SortKey{2, true}, 100).ValueOrDie(); });
+    ExpectSameRelation(serial, parallel);
+  }
+}
+
+TEST(ParallelOpsTest, GroupAggregateMatchesSerial) {
+  auto rel = MakeWide(kRows);
+  std::vector<AggSpec> aggs = {{AggKind::kCount, 0, "n"},
+                               {AggKind::kSum, 1, "sum_val"},
+                               {AggKind::kMin, 1, "min_val"},
+                               {AggKind::kMax, 1, "max_val"},
+                               {AggKind::kSum, 2, "sum_f"},
+                               {AggKind::kAvg, 2, "avg_f"}};
+  auto serial = WithThreads(
+      1, [&] { return GroupAggregate(rel, {3}, aggs).ValueOrDie(); });
+  for (int threads : {2, 8}) {
+    auto parallel = WithThreads(
+        threads, [&] { return GroupAggregate(rel, {3}, aggs).ValueOrDie(); });
+    // Group order and integer aggregates are exact; float sums may
+    // re-associate across morsels, hence the tolerance.
+    ExpectSameRelation(serial, parallel, /*float_exact=*/false);
+  }
+}
+
+TEST(ParallelOpsTest, ParallelResultsIdenticalAcrossThreadCounts) {
+  // The morsel grid depends only on the row count, so any threads >= 2
+  // produce bit-identical output — including float sums.
+  auto rel = MakeWide(kRows);
+  std::vector<AggSpec> aggs = {{AggKind::kSum, 2, "sum_f"},
+                               {AggKind::kAvg, 2, "avg_f"}};
+  auto two = WithThreads(
+      2, [&] { return GroupAggregate(rel, {3}, aggs).ValueOrDie(); });
+  auto eight = WithThreads(
+      8, [&] { return GroupAggregate(rel, {3}, aggs).ValueOrDie(); });
+  ExpectSameRelation(two, eight, /*float_exact=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Workload generators: thread-count invariance
+
+TEST(WorkloadParallelTest, TextCollectionIdenticalAtEveryThreadCount) {
+  TextCollectionOptions opts;
+  opts.num_docs = 9000;  // > one morsel, so the parallel path runs
+  opts.vocab_size = 2000;
+  opts.avg_doc_len = 8;
+  opts.seed = 99;
+  auto serial = WithThreads(
+      1, [&] { return GenerateTextCollection(opts).ValueOrDie(); });
+  for (int threads : {2, 4}) {
+    auto parallel = WithThreads(
+        threads, [&] { return GenerateTextCollection(opts).ValueOrDie(); });
+    ExpectSameRelation(serial, parallel);
+  }
+}
+
+TEST(WorkloadParallelTest, AuctionGraphDeterministic) {
+  AuctionGraphOptions opts;
+  opts.num_lots = 200;
+  opts.num_auctions = 10;
+  auto a = GenerateAuctionGraph(opts).ValueOrDie();
+  auto b = GenerateAuctionGraph(opts).ValueOrDie();
+  EXPECT_EQ(a.size(), b.size());
+}
+
+// ---------------------------------------------------------------------------
+// StringDict concurrency
+
+TEST(StringDictConcurrencyTest, ConcurrentInternAndLookup) {
+  StringDict dict;
+  constexpr int kThreads = 4;
+  constexpr int kUnique = 500;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < 4000; ++i) {
+        std::string s =
+            "key" + std::to_string(rng.NextBounded(kUnique));
+        int64_t id = dict.Intern(s);
+        int64_t looked = dict.Lookup(s);
+        if (looked != id) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(dict.size(), kUnique);
+  // Every id round-trips: StringFor(Intern(s)) == s.
+  for (int i = 0; i < kUnique; ++i) {
+    std::string s = "key" + std::to_string(i);
+    int64_t id = dict.Lookup(s);
+    ASSERT_GE(id, dict.first_id());
+    EXPECT_EQ(dict.StringFor(id), s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MaterializationCache concurrency + pinning
+
+TEST(CacheConcurrencyTest, PinnedEntrySurvivesEvictionPressure) {
+  MaterializationCache cache(1 << 18);  // 256 KiB
+  RelationPtr held = MakeWide(2048, /*seed=*/1);
+  cache.Put("held", held);  // `held` keeps a reference: pinned
+  for (int i = 0; i < 32; ++i) {
+    cache.Put("filler" + std::to_string(i),
+              MakeWide(2048, static_cast<uint64_t>(i + 2)));
+  }
+  auto got = cache.Get("held");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->get(), held.get());
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(CacheConcurrencyTest, ConcurrentGetPutStress) {
+  MaterializationCache cache(1 << 18);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 300;
+  constexpr int kKeys = 20;
+  // Prebuild the relations so the loop hammers the cache, not the builder.
+  std::vector<RelationPtr> rels;
+  for (int k = 0; k < kKeys; ++k) {
+    rels.push_back(MakeWide(1024, static_cast<uint64_t>(k)));
+  }
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> gets{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 77);
+      for (int i = 0; i < kIters; ++i) {
+        int k = static_cast<int>(rng.NextBounded(kKeys));
+        std::string key = "k" + std::to_string(k);
+        auto hit = cache.Get(key);
+        gets.fetch_add(1);
+        if (!hit.has_value()) {
+          cache.Put(key, rels[static_cast<size_t>(k)]);
+        } else {
+          // A hit must return the exact relation put under that key.
+          EXPECT_EQ(hit->get(), rels[static_cast<size_t>(k)].get());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, gets.load());
+  EXPECT_LE(stats.entries, static_cast<size_t>(kKeys));
+}
+
+}  // namespace
+}  // namespace spindle
