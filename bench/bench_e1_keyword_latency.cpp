@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "ir/ranking.h"
+#include "ir/topk_pruning.h"
 
 namespace spindle {
 namespace bench {
@@ -26,21 +27,60 @@ void BM_KeywordQueryHot(benchmark::State& state) {
   TextIndexPtr index = GetIndex(num_docs);
   const auto& queries = GetQueries(num_docs, terms);
 
+  LatencyRecorder lat;
   size_t qi = 0;
   int64_t results = 0;
   for (auto _ : state) {
     const std::string& query = queries[qi++ % queries.size()];
+    lat.Start();
     RelationPtr qterms = OrDie(index->QueryTerms(query), "qterms");
     RelationPtr scored = OrDie(RankBm25(*index, qterms), "bm25");
+    lat.Stop();
     benchmark::DoNotOptimize(scored);
     results += static_cast<int64_t>(scored->num_rows());
   }
+  lat.Report(state);
   state.counters["docs"] = static_cast<double>(num_docs);
   state.counters["postings"] =
       static_cast<double>(index->stats().total_postings);
   state.counters["terms/query"] = terms;
   state.counters["avg_results"] =
       static_cast<double>(results) / state.iterations();
+}
+
+/// The same query stream through the fused MaxScore/WAND top-k path
+/// (ir/topk_pruning.h) at k = --topk (default 10) — the user-facing
+/// ranked-search configuration, where the engine may skip documents it
+/// can prove sub-threshold instead of scoring the full match set.
+void BM_KeywordQueryHotTopK(benchmark::State& state) {
+  const int64_t num_docs = state.range(0);
+  const int terms = static_cast<int>(state.range(1));
+  TextIndexPtr index = GetIndex(num_docs);
+  const auto& queries = GetQueries(num_docs, terms);
+  SearchOptions options;
+  options.top_k = TopKFlag();
+
+  LatencyRecorder lat;
+  PruningStats stats;
+  size_t qi = 0;
+  for (auto _ : state) {
+    const std::string& query = queries[qi++ % queries.size()];
+    lat.Start();
+    RelationPtr qterms = OrDie(index->QueryTerms(query), "qterms");
+    RelationPtr top =
+        OrDie(RankTopK(*index, qterms, options, &stats), "fused topk");
+    lat.Stop();
+    benchmark::DoNotOptimize(top);
+  }
+  lat.Report(state);
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["k"] = static_cast<double>(options.top_k);
+  state.counters["docs_scored"] =
+      static_cast<double>(stats.docs_scored) / iters;
+  state.counters["docs_skipped"] =
+      static_cast<double>(stats.docs_skipped) / iters;
+  state.counters["blocks_skipped"] =
+      static_cast<double>(stats.blocks_skipped) / iters;
 }
 
 BENCHMARK(BM_KeywordQueryHot)
@@ -53,8 +93,23 @@ BENCHMARK(BM_KeywordQueryHot)
     ->Args({50000, 5})
     ->Unit(benchmark::kMillisecond);
 
+BENCHMARK(BM_KeywordQueryHotTopK)
+    ->ArgNames({"docs", "terms"})
+    ->Args({10000, 3})
+    ->Args({50000, 3})
+    ->Args({50000, 5})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace bench
 }  // namespace spindle
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  spindle::bench::TopKFlag() =
+      spindle::bench::ParseTopKFlag(&argc, argv, /*fallback=*/10);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

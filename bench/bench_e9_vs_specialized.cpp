@@ -15,6 +15,7 @@
 #include "bench/bench_util.h"
 #include "engine/ops.h"
 #include "ir/ranking.h"
+#include "ir/topk_pruning.h"
 
 namespace spindle {
 namespace bench {
@@ -29,7 +30,7 @@ void BM_QueryRelational(benchmark::State& state) {
     const std::string& query = queries[qi++ % queries.size()];
     RelationPtr qterms = OrDie(index->QueryTerms(query), "qterms");
     RelationPtr scored = OrDie(RankBm25(*index, qterms), "bm25");
-    RelationPtr top = OrDie(TopK(scored, {1, true}, 10), "topk");
+    RelationPtr top = OrDie(TopK(scored, {1, true}, TopKFlag()), "topk");
     benchmark::DoNotOptimize(top);
   }
 }
@@ -59,15 +60,68 @@ BENCHMARK(BM_QueryRelationalScanJoin)
     ->Arg(50000)
     ->Unit(benchmark::kMillisecond);
 
+/// The fused MaxScore/WAND relational path (ir/topk_pruning.h): same
+/// index, same queries, same top-10 cut as BM_QueryRelational, but the
+/// scorer prunes documents it can bound below the heap threshold instead
+/// of materializing the full scored relation first.
+void BM_QueryRelationalFused(benchmark::State& state) {
+  const int64_t num_docs = state.range(0);
+  TextIndexPtr index = GetIndex(num_docs);
+  const auto& queries = GetQueries(num_docs, 3);
+  SearchOptions options;
+  options.top_k = TopKFlag();
+  PruningStats stats;
+  size_t qi = 0;
+  for (auto _ : state) {
+    const std::string& query = queries[qi++ % queries.size()];
+    RelationPtr qterms = OrDie(index->QueryTerms(query), "qterms");
+    RelationPtr top =
+        OrDie(RankTopK(*index, qterms, options, &stats), "fused topk");
+    benchmark::DoNotOptimize(top);
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["k"] = static_cast<double>(options.top_k);
+  state.counters["docs_scored"] =
+      static_cast<double>(stats.docs_scored) / iters;
+  state.counters["docs_skipped"] =
+      static_cast<double>(stats.docs_skipped) / iters;
+  state.counters["blocks_skipped"] =
+      static_cast<double>(stats.blocks_skipped) / iters;
+}
+
 void BM_QuerySpecialized(benchmark::State& state) {
   const int64_t num_docs = state.range(0);
   const SpecializedIndex& index = GetSpecializedIndex(num_docs);
   const auto& queries = GetQueries(num_docs, 3);
   size_t qi = 0;
   for (auto _ : state) {
-    auto hits = index.SearchBm25(queries[qi++ % queries.size()], 10);
+    auto hits =
+        index.SearchBm25(queries[qi++ % queries.size()], TopKFlag());
     benchmark::DoNotOptimize(hits);
   }
+}
+
+/// The specialized engine's document-at-a-time mode with the same
+/// MaxScore/WAND bounds as the relational fused path — like against
+/// like on both sides of the specialized-vs-relational comparison.
+void BM_QuerySpecializedDaat(benchmark::State& state) {
+  const int64_t num_docs = state.range(0);
+  const SpecializedIndex& index = GetSpecializedIndex(num_docs);
+  const auto& queries = GetQueries(num_docs, 3);
+  PruningStats stats;
+  size_t qi = 0;
+  for (auto _ : state) {
+    auto hits = index.SearchBm25Daat(queries[qi++ % queries.size()],
+                                     TopKFlag(), {}, &stats);
+    benchmark::DoNotOptimize(hits);
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["docs_scored"] =
+      static_cast<double>(stats.docs_scored) / iters;
+  state.counters["docs_skipped"] =
+      static_cast<double>(stats.docs_skipped) / iters;
+  state.counters["blocks_skipped"] =
+      static_cast<double>(stats.blocks_skipped) / iters;
 }
 
 void BM_BuildRelational(benchmark::State& state) {
@@ -94,7 +148,17 @@ BENCHMARK(BM_QueryRelational)
     ->Arg(10000)
     ->Arg(50000)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QueryRelationalFused)
+    ->ArgNames({"docs"})
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_QuerySpecialized)
+    ->ArgNames({"docs"})
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QuerySpecializedDaat)
     ->ArgNames({"docs"})
     ->Arg(10000)
     ->Arg(50000)
@@ -112,4 +176,12 @@ BENCHMARK(BM_BuildSpecialized)
 }  // namespace bench
 }  // namespace spindle
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  spindle::bench::TopKFlag() =
+      spindle::bench::ParseTopKFlag(&argc, argv, /*fallback=*/10);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,5 +1,5 @@
 /// \file bench_util.h
-/// \brief Shared fixtures for the experiment benchmarks (E1-E11).
+/// \brief Shared fixtures for the experiment benchmarks (E1-E13).
 ///
 /// Fixtures are built once per process and cached by parameter, so
 /// google-benchmark iterations measure hot behaviour; cold behaviour is
@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -57,6 +59,66 @@ inline int ParseThreadsFlag(int* argc, char** argv) {
   *argc = out;
   return threads;
 }
+
+/// Parses and strips a `--topk=N` argument for the query benchmarks whose
+/// result-list size is configurable (E1/E9/E13). Returns `fallback` when
+/// the flag is absent. Like ParseThreadsFlag, must run before
+/// benchmark::Initialize, which rejects unknown flags.
+inline size_t ParseTopKFlag(int* argc, char** argv, size_t fallback = 10) {
+  size_t k = fallback;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--topk=", 0) == 0) {
+      k = static_cast<size_t>(std::atoll(arg.c_str() + 7));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return k;
+}
+
+/// The process-wide --topk value (set once in main, read by benchmarks;
+/// google-benchmark registration cannot thread extra arguments through).
+inline size_t& TopKFlag() {
+  static size_t k = 10;
+  return k;
+}
+
+/// Per-iteration wall-clock samples with tail percentiles. Latency
+/// experiments care about p95/p99, which google-benchmark's mean/median
+/// aggregates hide; this records every iteration of the timed loop and
+/// publishes p50/p95/p99 as counters (milliseconds).
+class LatencyRecorder {
+ public:
+  void Start() { t0_ = std::chrono::steady_clock::now(); }
+  void Stop() {
+    samples_.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+  /// Nearest-rank percentile over the recorded samples, q in [0, 100].
+  double Percentile(double q) {
+    if (samples_.empty()) return 0.0;
+    std::sort(samples_.begin(), samples_.end());
+    size_t idx = static_cast<size_t>((q / 100.0) * samples_.size());
+    if (idx >= samples_.size()) idx = samples_.size() - 1;
+    return samples_[idx];
+  }
+
+  void Report(benchmark::State& state) {
+    state.counters["p50_ms"] = Percentile(50);
+    state.counters["p95_ms"] = Percentile(95);
+    state.counters["p99_ms"] = Percentile(99);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+  std::vector<double> samples_;
+};
 
 inline TextCollectionOptions CollectionOptions(int64_t num_docs) {
   TextCollectionOptions opts;

@@ -1034,6 +1034,55 @@ Result<RelationPtr> TopK(const RelationPtr& rel, const SortKey& key,
   return GatherRows(*rel, order);
 }
 
+Result<RelationPtr> TopK(const RelationPtr& rel,
+                         const std::vector<SortKey>& keys, size_t k) {
+  for (const auto& key : keys) {
+    SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, {key.column}));
+  }
+  const size_t num_rows = rel->num_rows();
+  size_t n = std::min(k, num_rows);
+  std::vector<SortKeyCtx> ctxs;
+  ctxs.reserve(keys.size());
+  for (const auto& key : keys) ctxs.push_back(MakeSortKeyCtx(*rel, key));
+  // Strict total order (compound keys, then row index), so the top-n
+  // sequence is unique and the parallel path reproduces it exactly.
+  auto cmp = [&](uint32_t a, uint32_t b) {
+    for (const auto& ctx : ctxs) {
+      int v = ctx.Compare(a, b);
+      if (v != 0) return ctx.descending ? v > 0 : v < 0;
+    }
+    return a < b;
+  };
+
+  const ExecContext& ctx = ExecContext::Current();
+  if (ctx.ShouldParallelize(num_rows) && n < num_rows) {
+    const size_t num_morsels = NumMorsels(ctx, num_rows);
+    std::vector<std::vector<uint32_t>> candidates(num_morsels);
+    ParallelFor(ctx, num_rows, [&](size_t begin, size_t end, size_t m) {
+      std::vector<uint32_t>& local = candidates[m];
+      local.resize(end - begin);
+      std::iota(local.begin(), local.end(), static_cast<uint32_t>(begin));
+      size_t keep = std::min(n, local.size());
+      std::partial_sort(local.begin(), local.begin() + keep, local.end(),
+                        cmp);
+      local.resize(keep);
+    });
+    std::vector<uint32_t> order;
+    for (const auto& part : candidates) {
+      order.insert(order.end(), part.begin(), part.end());
+    }
+    std::partial_sort(order.begin(), order.begin() + n, order.end(), cmp);
+    order.resize(n);
+    return GatherRows(*rel, order);
+  }
+
+  std::vector<uint32_t> order(num_rows);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + n, order.end(), cmp);
+  order.resize(n);
+  return GatherRows(*rel, order);
+}
+
 Result<RelationPtr> UnionAll(const std::vector<RelationPtr>& inputs) {
   if (inputs.empty()) {
     return Status::InvalidArgument("UnionAll requires at least one input");

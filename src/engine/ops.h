@@ -122,6 +122,13 @@ Result<RelationPtr> SortBy(const RelationPtr& rel,
 Result<RelationPtr> TopK(const RelationPtr& rel, const SortKey& key,
                          size_t k);
 
+/// \brief Top-k rows under a compound sort key (remaining ties broken by
+/// row order). With keys = {score desc, docID asc} this realizes the
+/// ranked-retrieval total order that the fused pruning path
+/// (ir/topk_pruning.h) reproduces.
+Result<RelationPtr> TopK(const RelationPtr& rel,
+                         const std::vector<SortKey>& keys, size_t k);
+
 /// \brief Appends union-compatible relations (bag semantics, no dedup).
 /// Output takes the first input's schema.
 Result<RelationPtr> UnionAll(const std::vector<RelationPtr>& inputs);

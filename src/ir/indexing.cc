@@ -1,6 +1,7 @@
 #include "ir/indexing.h"
 
 #include "engine/ops.h"
+#include "ir/topk_pruning.h"
 
 namespace spindle {
 
@@ -201,8 +202,17 @@ Result<TextIndexPtr> TextIndex::Build(const RelationPtr& docs,
       num_docs == 0 ? 0.0
                     : static_cast<double>(index->stats_.total_postings) /
                           static_cast<double>(num_docs);
+
+  // Impact metadata for the fused top-k path: doc-ordered postings with
+  // per-term/per-block score-bound boxes. Query-independent, so built
+  // eagerly with the other views and shared by every fused query.
+  index->impact_ =
+      ImpactIndex::Build(*index->tf_, *index->doc_len_, *index->idf_,
+                         *index->cf_, index->termdict_->num_rows());
   return TextIndexPtr(std::move(index));
 }
+
+const ImpactIndex& TextIndex::impact() const { return *impact_; }
 
 std::pair<const uint32_t*, size_t> TextIndex::TfRowsForTerm(
     int64_t term_id) const {

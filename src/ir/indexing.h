@@ -21,6 +21,8 @@
 
 namespace spindle {
 
+class ImpactIndex;
+
 /// \brief The relational Tokenize operator (the paper's tokenize() UDF):
 /// maps (..., text at `text_col`, ...) to one output row per token:
 /// all columns except `text_col`, then (term: string, pos: int64).
@@ -80,6 +82,12 @@ class TextIndex {
   /// of scanning the whole relation. (The E9 benchmark ablates it.)
   std::pair<const uint32_t*, size_t> TfRowsForTerm(int64_t term_id) const;
 
+  /// \brief Score-upper-bound metadata (doc-ordered postings with per-term
+  /// and per-block (tf, len) extrema plus skip offsets) for the fused
+  /// top-k pruning path (ir/topk_pruning.h). Query-independent; built once
+  /// with the other index views.
+  const ImpactIndex& impact() const;
+
   /// \brief Analyzes a free-text query under this index's analyzer and
   /// maps it to (termID: int64) — the paper's qterms view. Terms not in
   /// the dictionary are dropped; duplicates are kept (a term queried
@@ -115,6 +123,7 @@ class TextIndex {
   /// tf row indices grouped by termID; offsets index into tf_rows_.
   std::vector<uint32_t> tf_rows_;
   std::vector<std::pair<uint32_t, uint32_t>> tf_offsets_;  // id -> (off,len)
+  std::shared_ptr<const ImpactIndex> impact_;
 };
 
 using TextIndexPtr = std::shared_ptr<const TextIndex>;

@@ -2,6 +2,14 @@
 
 #include "engine/ops.h"
 #include "ir/phrase.h"
+#include "ir/topk_pruning.h"
+
+namespace {
+/// Ranked-retrieval total order: score descending, then docID ascending —
+/// the order the fused pruning path reproduces bit-identically.
+const std::vector<spindle::SortKey> kRankOrder = {
+    {1, /*descending=*/true}, {0, /*descending=*/false}};
+}  // namespace
 
 namespace spindle {
 
@@ -45,7 +53,7 @@ Result<RelationPtr> RankWithModel(const TextIndex& index,
     }
   }
   size_t k = options.top_k == 0 ? scored->num_rows() : options.top_k;
-  return TopK(scored, SortKey{1, /*descending=*/true}, k);
+  return TopK(scored, kRankOrder, k);
 }
 
 Result<TextIndexPtr> Searcher::GetOrBuildIndex(
@@ -82,9 +90,22 @@ Result<RelationPtr> Searcher::Search(const RelationPtr& docs,
         RankBm25PhraseBoosted(*index, query,
                               {options.bm25, options.phrase_boost}));
     size_t k = options.top_k == 0 ? scored->num_rows() : options.top_k;
-    return TopK(scored, SortKey{1, /*descending=*/true}, k);
+    return TopK(scored, kRankOrder, k);
   }
   SPINDLE_ASSIGN_OR_RETURN(RelationPtr qterms, index->QueryTerms(query));
+  if (options.top_k > 0) {
+    // Fused document-at-a-time path: same top-k, same scores, same order
+    // as the exhaustive cascade, but with MaxScore/block-skip pruning.
+    PruningStats pstats;
+    SPINDLE_ASSIGN_OR_RETURN(RelationPtr result,
+                             RankTopK(*index, qterms, options, &pstats));
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.docs_scored += pstats.docs_scored;
+    stats_.docs_skipped += pstats.docs_skipped;
+    stats_.blocks_skipped += pstats.blocks_skipped;
+    stats_.fused_path_used++;
+    return result;
+  }
   return RankWithModel(*index, qterms, options);
 }
 

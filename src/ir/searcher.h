@@ -46,6 +46,16 @@ class Searcher {
   struct Stats {
     uint64_t index_hits = 0;
     uint64_t index_misses = 0;
+    /// Pruning observability (fused top-k path, ir/topk_pruning.h):
+    /// candidates fully scored, candidates rejected by an upper bound,
+    /// posting blocks jumped without scanning, and how many searches took
+    /// the fused path at all. Counter totals can vary with the thread
+    /// count (per-morsel thresholds prune independently); the result
+    /// relation never does.
+    uint64_t docs_scored = 0;
+    uint64_t docs_skipped = 0;
+    uint64_t blocks_skipped = 0;
+    uint64_t fused_path_used = 0;
   };
 
   explicit Searcher(AnalyzerOptions analyzer_options = {})

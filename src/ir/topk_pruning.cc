@@ -1,0 +1,577 @@
+#include "ir/topk_pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "exec/scheduler.h"
+#include "ir/indexing.h"
+
+namespace spindle {
+
+// ---------------------------------------------------------------------------
+// ImpactIndex construction
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const ImpactIndex> ImpactIndex::Build(
+    const Relation& tf, const Relation& doc_len, const Relation& idf,
+    const Relation& cf, size_t num_terms) {
+  auto impact = std::shared_ptr<ImpactIndex>(new ImpactIndex());
+
+  // Doc ordinals: the rank of each external docID in ascending order, so
+  // document-at-a-time traversal in ordinal order is traversal in docID
+  // order — which is exactly the exhaustive pipeline's TopK tie-break.
+  const size_t num_docs = doc_len.num_rows();
+  std::vector<std::pair<int64_t, int32_t>> docs(num_docs);
+  for (size_t r = 0; r < num_docs; ++r) {
+    docs[r] = {doc_len.column(0).Int64At(r),
+               static_cast<int32_t>(doc_len.column(1).Int64At(r))};
+  }
+  std::sort(docs.begin(), docs.end());
+  impact->doc_ids_.resize(num_docs);
+  impact->doc_lens_.resize(num_docs);
+  for (size_t i = 0; i < num_docs; ++i) {
+    impact->doc_ids_[i] = docs[i].first;
+    impact->doc_lens_[i] = docs[i].second;
+  }
+
+  // Per-term df/idf/cf, scattered from the (first-occurrence-ordered)
+  // idf and cf views into dense termID-indexed arrays.
+  impact->term_meta_.assign(num_terms + 1, TermMeta{});
+  for (size_t r = 0; r < idf.num_rows(); ++r) {
+    auto tid = static_cast<size_t>(idf.column(0).Int64At(r));
+    if (tid == 0 || tid > num_terms) continue;
+    impact->term_meta_[tid].df = idf.column(1).Int64At(r);
+    impact->term_meta_[tid].idf = idf.column(2).Float64At(r);
+  }
+  for (size_t r = 0; r < cf.num_rows(); ++r) {
+    auto tid = static_cast<size_t>(cf.column(0).Int64At(r));
+    if (tid == 0 || tid > num_terms) continue;
+    impact->term_meta_[tid].cf = cf.column(1).Int64At(r);
+  }
+
+  // Postings re-sorted by doc ordinal, flattened per term via a counting
+  // pass. tf is (termID, docID, tf).
+  const size_t postings = tf.num_rows();
+  std::vector<uint32_t> counts(num_terms + 1, 0);
+  for (size_t r = 0; r < postings; ++r) {
+    auto tid = static_cast<size_t>(tf.column(0).Int64At(r));
+    if (tid >= 1 && tid <= num_terms) counts[tid]++;
+  }
+  impact->term_offsets_.assign(num_terms + 1, {0, 0});
+  uint32_t offset = 0;
+  for (size_t tid = 1; tid <= num_terms; ++tid) {
+    impact->term_offsets_[tid] = {offset, counts[tid]};
+    offset += counts[tid];
+  }
+  impact->ords_.resize(offset);
+  impact->tfs_.resize(offset);
+  std::vector<uint32_t> cursor(num_terms + 1, 0);
+  int32_t min_plen = std::numeric_limits<int32_t>::max();
+  int32_t max_plen = 0;
+  for (size_t r = 0; r < postings; ++r) {
+    auto tid = static_cast<size_t>(tf.column(0).Int64At(r));
+    if (tid < 1 || tid > num_terms) continue;
+    int64_t doc_id = tf.column(1).Int64At(r);
+    auto it = std::lower_bound(impact->doc_ids_.begin(),
+                               impact->doc_ids_.end(), doc_id);
+    auto ord = static_cast<uint32_t>(it - impact->doc_ids_.begin());
+    size_t slot = impact->term_offsets_[tid].first + cursor[tid]++;
+    impact->ords_[slot] = ord;
+    impact->tfs_[slot] = static_cast<int32_t>(tf.column(2).Int64At(r));
+    int32_t len = impact->doc_lens_[ord];
+    min_plen = std::min(min_plen, len);
+    max_plen = std::max(max_plen, len);
+  }
+  impact->min_posting_len_ = offset == 0 ? 0 : min_plen;
+  impact->max_posting_len_ = max_plen;
+
+  // Per-term: sort by ordinal (tf rows arrive in collection ingest order,
+  // which is already ascending for id-ordered collections — check first),
+  // then per-term extrema and fixed-size block metadata with skip bounds.
+  impact->block_offsets_.assign(num_terms + 1, {0, 0});
+  for (size_t tid = 1; tid <= num_terms; ++tid) {
+    auto [off, len] = impact->term_offsets_[tid];
+    uint32_t* ords = impact->ords_.data() + off;
+    int32_t* tfs = impact->tfs_.data() + off;
+    if (!std::is_sorted(ords, ords + len)) {
+      std::vector<std::pair<uint32_t, int32_t>> pairs(len);
+      for (uint32_t i = 0; i < len; ++i) pairs[i] = {ords[i], tfs[i]};
+      std::sort(pairs.begin(), pairs.end());
+      for (uint32_t i = 0; i < len; ++i) {
+        ords[i] = pairs[i].first;
+        tfs[i] = pairs[i].second;
+      }
+    }
+    TermMeta& meta = impact->term_meta_[tid];
+    meta.max_tf = 0;
+    meta.min_tf = std::numeric_limits<int32_t>::max();
+    meta.min_len = std::numeric_limits<int32_t>::max();
+    meta.max_len = 0;
+    auto bfirst = static_cast<uint32_t>(impact->blocks_.size());
+    for (uint32_t i = 0; i < len; i += kBlockSize) {
+      uint32_t bend = std::min(len, i + kBlockSize);
+      Block blk;
+      blk.last_ord = ords[bend - 1];
+      blk.max_tf = 0;
+      blk.min_tf = std::numeric_limits<int32_t>::max();
+      blk.min_len = std::numeric_limits<int32_t>::max();
+      blk.max_len = 0;
+      for (uint32_t j = i; j < bend; ++j) {
+        int32_t dlen = impact->doc_lens_[ords[j]];
+        blk.max_tf = std::max(blk.max_tf, tfs[j]);
+        blk.min_tf = std::min(blk.min_tf, tfs[j]);
+        blk.min_len = std::min(blk.min_len, dlen);
+        blk.max_len = std::max(blk.max_len, dlen);
+      }
+      impact->blocks_.push_back(blk);
+      meta.max_tf = std::max(meta.max_tf, blk.max_tf);
+      meta.min_tf = std::min(meta.min_tf, blk.min_tf);
+      meta.min_len = std::min(meta.min_len, blk.min_len);
+      meta.max_len = std::max(meta.max_len, blk.max_len);
+    }
+    if (len == 0) {
+      meta.min_tf = 0;
+      meta.min_len = 0;
+    }
+    impact->block_offsets_[tid] = {
+        bfirst, static_cast<uint32_t>(impact->blocks_.size()) - bfirst};
+  }
+  return impact;
+}
+
+ImpactIndex::PostingsView ImpactIndex::postings(int64_t term_id) const {
+  PostingsView view;
+  if (term_id < 1 ||
+      term_id >= static_cast<int64_t>(term_offsets_.size())) {
+    return view;
+  }
+  auto [off, len] = term_offsets_[static_cast<size_t>(term_id)];
+  auto [boff, blen] = block_offsets_[static_cast<size_t>(term_id)];
+  view.ords = ords_.data() + off;
+  view.tfs = tfs_.data() + off;
+  view.size = len;
+  view.blocks = blocks_.data() + boff;
+  view.num_blocks = blen;
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Fused document-at-a-time MaxScore / block-skipping evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Model parameters resolved once per query, with the same degenerate-case
+/// adjustments ranking.cc applies (avgdl/N/total floored at 1).
+struct ModelCtx {
+  RankModel model;
+  double k1 = 0, b = 0, one_minus_b = 0, avgdl = 1;  // bm25
+  double n = 1;                                      // tfidf
+  double mu = 0, total = 1;                          // dirichlet / jm
+  double ratio = 0;                                  // jm
+  double qlen = 0;                                   // dirichlet
+};
+
+/// One query-term occurrence (duplicate query terms keep one entry per
+/// occurrence, as in the exhaustive pipeline's per-occurrence match rows).
+struct Entry {
+  ImpactIndex::PostingsView pv;
+  double idf = 0;        // index BM25 idf column value
+  double plain_idf = 0;  // tfidf: ln(N / df)
+  double cf = 1;
+  double w = 1;
+  double ub = 0;  // upper bound on this occurrence's contribution
+  size_t pos = 0; // cursor into pv
+};
+
+/// The per-posting score contribution. The expression shapes (operation
+/// order and association) mirror the Expr trees in ranking.cc exactly, so
+/// a fused score is the bit-identical double the exhaustive pipeline
+/// computes for the same posting.
+inline double Contribution(const ModelCtx& m, const Entry& e, double tf,
+                           double len) {
+  switch (m.model) {
+    case RankModel::kBm25:
+      return ((tf / (tf + (m.k1 * (m.one_minus_b + (m.b * (len / m.avgdl)))))) *
+              e.idf) *
+             e.w;
+    case RankModel::kTfIdf:
+      return ((1.0 + std::log(tf)) * e.plain_idf) * e.w;
+    case RankModel::kLmDirichlet:
+      return (std::log(1.0 + ((tf * m.total) / (m.mu * e.cf)))) * e.w;
+    case RankModel::kLmJelinekMercer:
+      return (std::log(1.0 + (m.ratio * ((tf * m.total) / (len * e.cf))))) *
+             e.w;
+  }
+  return 0.0;
+}
+
+/// Upper bound of Contribution over a (tf, len) box. Every model's
+/// contribution is monotone in tf and in len separately (in a direction
+/// that may depend on the signs of idf and w), so the maximum over the box
+/// is attained at one of the four corners; evaluating all four is sign-
+/// agnostic and uses the exact same arithmetic as real contributions,
+/// which (with IEEE ops being weakly monotone) keeps the bound safe.
+inline double BoxBound(const ModelCtx& m, const Entry& e, int32_t min_tf,
+                       int32_t max_tf, int32_t min_len, int32_t max_len) {
+  const double tl = static_cast<double>(min_tf);
+  const double th = static_cast<double>(max_tf);
+  const double ll = static_cast<double>(min_len);
+  const double lh = static_cast<double>(max_len);
+  double u = Contribution(m, e, tl, ll);
+  u = std::max(u, Contribution(m, e, tl, lh));
+  u = std::max(u, Contribution(m, e, th, ll));
+  u = std::max(u, Contribution(m, e, th, lh));
+  return u;
+}
+
+/// Dirichlet's candidate-document length part, |q| * ln(mu / (len + mu)),
+/// in the exact expression shape of RankLmDirichlet's len_part.
+inline double DirichletDocPart(const ModelCtx& m, double len) {
+  return m.qlen * std::log(m.mu / (len + m.mu));
+}
+
+/// Safety margin for threshold comparisons: upper bounds are summed in a
+/// different association order than exact scores, so give pruning a
+/// headroom several orders of magnitude above accumulated ulp error.
+/// Pruning only when bound + slack < threshold keeps the top-k exact.
+inline double Slack(double bound, double threshold) {
+  return 1e-9 * (1.0 + std::fabs(bound) + std::fabs(threshold));
+}
+
+struct Cand {
+  double score;
+  uint32_t ord;
+};
+
+/// The result-list total order: score descending, docID (== ordinal)
+/// ascending. Scores are unique per doc, so this is a strict total order.
+inline bool Beats(const Cand& a, const Cand& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.ord < b.ord;
+}
+
+/// Positions e.pos at the first posting with ordinal >= target, jumping
+/// whole blocks via their last_ord skip bound. Returns false when the
+/// list has no posting >= target.
+inline bool AdvanceTo(Entry& e, uint32_t target, uint64_t* blocks_skipped) {
+  if (e.pos >= e.pv.size) return false;
+  if (e.pv.ords[e.pos] >= target) return true;
+  size_t b = e.pos / ImpactIndex::kBlockSize;
+  while (b < e.pv.num_blocks && e.pv.blocks[b].last_ord < target) {
+    ++b;
+    ++*blocks_skipped;
+  }
+  if (b >= e.pv.num_blocks) {
+    e.pos = e.pv.size;
+    return false;
+  }
+  size_t begin = std::max(e.pos, b * ImpactIndex::kBlockSize);
+  size_t end = std::min(e.pv.size, (b + 1) * ImpactIndex::kBlockSize);
+  e.pos = static_cast<size_t>(
+      std::lower_bound(e.pv.ords + begin, e.pv.ords + end, target) -
+      e.pv.ords);
+  return e.pos < e.pv.size;
+}
+
+/// Document-at-a-time MaxScore over doc ordinals in [lo, hi): appends the
+/// range's top-k candidates (unordered) to `out`. Entry cursors are
+/// range-local (entries passed by value).
+void RankRange(const ImpactIndex& impact, const ModelCtx& m,
+               std::vector<Entry> entries, uint32_t lo, uint32_t hi,
+               size_t k, std::vector<Cand>& out, PruningStats& stats) {
+  const size_t ne = entries.size();
+  for (Entry& e : entries) AdvanceTo(e, lo, &stats.blocks_skipped);
+
+  // MaxScore partitioning state: occurrence indices sorted by upper bound
+  // ascending and the prefix sums of those bounds. Occurrences in the
+  // sorted prefix whose cumulative bound cannot reach the threshold are
+  // "non-essential": they never generate candidates and are only probed
+  // for documents surfaced by the essential suffix.
+  std::vector<size_t> order(ne);
+  for (size_t i = 0; i < ne; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return entries[a].ub < entries[b].ub;
+  });
+  // Prefix sums clamp each bound at 0: a negative bound (negative-idf
+  // term) only applies when the term is *present* — an absent term
+  // contributes exactly 0, so the sound absent-or-present bound is
+  // max(ub, 0).
+  std::vector<double> prefix(ne + 1, 0.0);
+  for (size_t i = 0; i < ne; ++i) {
+    prefix[i + 1] = prefix[i] + std::max(entries[order[i]].ub, 0.0);
+  }
+
+  // Dirichlet only: the doc-dependent part applies to every candidate;
+  // bound it over the collection's candidate length range.
+  double doc_part_ub = 0.0;
+  if (m.model == RankModel::kLmDirichlet && impact.num_docs() > 0) {
+    doc_part_ub = std::max(
+        DirichletDocPart(m, static_cast<double>(impact.min_posting_len())),
+        DirichletDocPart(m, static_cast<double>(impact.max_posting_len())));
+  }
+
+  std::vector<Cand> heap;  // Beats-comparator heap: top() is the worst
+  heap.reserve(k + 1);
+  const auto neg_inf = -std::numeric_limits<double>::infinity();
+
+  std::vector<double> contrib(ne, 0.0);
+  std::vector<char> present(ne, 0);
+
+  size_t first_essential = 0;  // index into `order`
+  while (true) {
+    const double theta = heap.size() == k ? heap.front().score : neg_inf;
+
+    // Grow the non-essential prefix while its total bound (plus the
+    // doc-dependent part) provably cannot beat theta.
+    while (first_essential < ne &&
+           prefix[first_essential + 1] + doc_part_ub +
+                   Slack(prefix[first_essential + 1] + doc_part_ub, theta) <
+               theta) {
+      ++first_essential;
+    }
+    if (first_essential >= ne) break;  // nothing left can enter the heap
+
+    // Next candidate: the minimum current ordinal among essential
+    // occurrences.
+    uint32_t d = std::numeric_limits<uint32_t>::max();
+    for (size_t i = first_essential; i < ne; ++i) {
+      const Entry& e = entries[order[i]];
+      if (e.pos < e.pv.size && e.pv.ords[e.pos] < d) d = e.pv.ords[e.pos];
+    }
+    if (d >= hi) break;
+
+    const double len = static_cast<double>(impact.doc_len(d));
+    const double doc_part =
+        m.model == RankModel::kLmDirichlet ? DirichletDocPart(m, len) : 0.0;
+
+    // Cheap block-max refinement before touching tfs: essential
+    // occurrences positioned at d contribute at most their current
+    // block's box bound; everything else at most its list bound.
+    double quick = prefix[first_essential] + doc_part;
+    for (size_t i = first_essential; i < ne; ++i) {
+      Entry& e = entries[order[i]];
+      if (e.pos < e.pv.size && e.pv.ords[e.pos] == d) {
+        const ImpactIndex::Block& blk =
+            e.pv.blocks[e.pos / ImpactIndex::kBlockSize];
+        quick += BoxBound(m, e, blk.min_tf, blk.max_tf, blk.min_len,
+                          blk.max_len);
+      } else {
+        // The term may be absent from d (contribution 0), so a negative
+        // list bound must not lower the estimate.
+        quick += std::max(e.ub, 0.0);
+      }
+    }
+    bool rejected = quick + Slack(quick, theta) < theta;
+
+    double tracking = doc_part;
+    if (!rejected) {
+      std::fill(present.begin(), present.end(), 0);
+      // Exact contributions from the essential occurrences at d.
+      for (size_t i = first_essential; i < ne; ++i) {
+        Entry& e = entries[order[i]];
+        if (e.pos < e.pv.size && e.pv.ords[e.pos] == d) {
+          size_t occ = order[i];
+          contrib[occ] = Contribution(
+              m, e, static_cast<double>(e.pv.tfs[e.pos]), len);
+          present[occ] = 1;
+          tracking += contrib[occ];
+        }
+      }
+      // Probe non-essential occurrences from the largest bound down,
+      // re-checking the remaining bound after each resolution.
+      for (size_t i = first_essential; i-- > 0;) {
+        double bound = tracking + prefix[i + 1];
+        if (bound + Slack(bound, theta) < theta) {
+          rejected = true;
+          break;
+        }
+        Entry& e = entries[order[i]];
+        if (AdvanceTo(e, d, &stats.blocks_skipped) &&
+            e.pv.ords[e.pos] == d) {
+          size_t occ = order[i];
+          contrib[occ] = Contribution(
+              m, e, static_cast<double>(e.pv.tfs[e.pos]), len);
+          present[occ] = 1;
+          tracking += contrib[occ];
+        }
+      }
+    }
+
+    if (rejected) {
+      stats.docs_skipped++;
+    } else {
+      // Canonical fold: sum the contributions in query-occurrence order —
+      // the exact association order of the exhaustive GroupAggregate —
+      // then the Dirichlet doc part, matching its final ProjectExprs add.
+      double score = 0.0;
+      for (size_t occ = 0; occ < ne; ++occ) {
+        if (present[occ]) score += contrib[occ];
+      }
+      if (m.model == RankModel::kLmDirichlet) score = score + doc_part;
+      stats.docs_scored++;
+      Cand cand{score, d};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), Beats);
+      } else if (Beats(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), Beats);
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), Beats);
+      }
+    }
+
+    // Move every essential occurrence past d.
+    for (size_t i = first_essential; i < ne; ++i) {
+      Entry& e = entries[order[i]];
+      if (e.pos < e.pv.size && e.pv.ords[e.pos] == d) {
+        ++e.pos;
+        // Re-align with the block grid so later skips start correctly.
+        AdvanceTo(e, d + 1, &stats.blocks_skipped);
+      }
+    }
+  }
+
+  out.insert(out.end(), heap.begin(), heap.end());
+}
+
+Status CheckQterms(const RelationPtr& qterms) {
+  if (qterms->num_columns() < 1 ||
+      qterms->column(0).type() != DataType::kInt64) {
+    return Status::InvalidArgument(
+        "qterms must be a (termID: int64[, w: float64]) relation");
+  }
+  if (qterms->num_columns() >= 2 &&
+      qterms->column(1).type() != DataType::kFloat64) {
+    return Status::TypeMismatch("qterms weight column must be float64");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RelationPtr> RankTopK(const TextIndex& index,
+                             const RelationPtr& qterms,
+                             const SearchOptions& options,
+                             PruningStats* stats) {
+  SPINDLE_RETURN_IF_ERROR(CheckQterms(qterms));
+  if (options.top_k == 0) {
+    return Status::InvalidArgument(
+        "RankTopK requires top_k > 0; k == 0 means a full scoring pass — "
+        "use the exhaustive rank pipeline");
+  }
+  const ImpactIndex& impact = index.impact();
+
+  ModelCtx m;
+  m.model = options.model;
+  switch (options.model) {
+    case RankModel::kBm25:
+      m.k1 = options.bm25.k1;
+      m.b = options.bm25.b;
+      m.one_minus_b = 1.0 - options.bm25.b;
+      m.avgdl =
+          index.stats().avg_doc_len > 0 ? index.stats().avg_doc_len : 1.0;
+      break;
+    case RankModel::kTfIdf:
+      m.n = static_cast<double>(
+          index.stats().num_docs > 0 ? index.stats().num_docs : 1);
+      break;
+    case RankModel::kLmDirichlet: {
+      m.mu = options.dirichlet.mu;
+      m.total = static_cast<double>(index.stats().total_postings > 0
+                                        ? index.stats().total_postings
+                                        : 1);
+      if (qterms->num_columns() >= 2) {
+        for (double w : qterms->column(1).float64_data()) m.qlen += w;
+      } else {
+        m.qlen = static_cast<double>(qterms->num_rows());
+      }
+      break;
+    }
+    case RankModel::kLmJelinekMercer:
+      if (options.jm.lambda <= 0.0 || options.jm.lambda >= 1.0) {
+        return Status::InvalidArgument("lambda must be in (0, 1)");
+      }
+      m.ratio = (1.0 - options.jm.lambda) / options.jm.lambda;
+      m.total = static_cast<double>(index.stats().total_postings > 0
+                                        ? index.stats().total_postings
+                                        : 1);
+      break;
+  }
+
+  // One entry per query-term occurrence. Occurrences whose term has no
+  // postings can never contribute and are dropped (the exhaustive match
+  // join drops their rows the same way).
+  const bool weighted = qterms->num_columns() >= 2;
+  std::vector<Entry> entries;
+  entries.reserve(qterms->num_rows());
+  for (size_t q = 0; q < qterms->num_rows(); ++q) {
+    Entry e;
+    int64_t tid = qterms->column(0).Int64At(q);
+    e.pv = impact.postings(tid);
+    if (e.pv.size == 0) continue;
+    const ImpactIndex::TermMeta& meta = impact.term_meta(tid);
+    e.idf = meta.idf;
+    e.cf = static_cast<double>(meta.cf);
+    if (options.model == RankModel::kTfIdf) {
+      e.plain_idf = std::log(m.n / static_cast<double>(meta.df));
+    }
+    e.w = weighted ? qterms->column(1).Float64At(q) : 1.0;
+    e.ub = BoxBound(m, e, meta.min_tf, meta.max_tf, meta.min_len,
+                    meta.max_len);
+    entries.push_back(e);
+  }
+
+  PruningStats local;
+  std::vector<Cand> cands;
+  const size_t num_docs = impact.num_docs();
+  const ExecContext& ctx = ExecContext::Current();
+  if (!entries.empty() && ctx.ShouldParallelize(num_docs)) {
+    // Parallel fused mode: the ordinal space is cut on the morsel grid;
+    // each range runs the full MaxScore machine with its own bounded heap
+    // and range-local threshold (every global top-k document is in its
+    // range's top-k, so local pruning stays safe), and the per-range
+    // survivors are merged deterministically under the total order.
+    const size_t num_morsels = NumMorsels(ctx, num_docs);
+    std::vector<std::vector<Cand>> parts(num_morsels);
+    std::vector<PruningStats> part_stats(num_morsels);
+    ParallelFor(ctx, num_docs, [&](size_t begin, size_t end, size_t mi) {
+      RankRange(impact, m, entries, static_cast<uint32_t>(begin),
+                static_cast<uint32_t>(end), options.top_k, parts[mi],
+                part_stats[mi]);
+    });
+    for (size_t mi = 0; mi < num_morsels; ++mi) {
+      cands.insert(cands.end(), parts[mi].begin(), parts[mi].end());
+      local.docs_scored += part_stats[mi].docs_scored;
+      local.docs_skipped += part_stats[mi].docs_skipped;
+      local.blocks_skipped += part_stats[mi].blocks_skipped;
+    }
+  } else if (!entries.empty()) {
+    RankRange(impact, m, entries, 0, static_cast<uint32_t>(num_docs),
+              options.top_k, cands, local);
+  }
+
+  const size_t n = std::min(options.top_k, cands.size());
+  std::partial_sort(cands.begin(), cands.begin() + n, cands.end(), Beats);
+  cands.resize(n);
+
+  std::vector<int64_t> out_ids(n);
+  std::vector<double> out_scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    out_ids[i] = impact.doc_id(cands[i].ord);
+    out_scores[i] = cands[i].score;
+  }
+  if (stats != nullptr) {
+    stats->docs_scored += local.docs_scored;
+    stats->docs_skipped += local.docs_skipped;
+    stats->blocks_skipped += local.blocks_skipped;
+  }
+  Schema schema({{"docID", DataType::kInt64}, {"score", DataType::kFloat64}});
+  std::vector<Column> cols;
+  cols.push_back(Column::MakeInt64(std::move(out_ids)));
+  cols.push_back(Column::MakeFloat64(std::move(out_scores)));
+  return Relation::Make(std::move(schema), std::move(cols));
+}
+
+}  // namespace spindle

@@ -1,0 +1,141 @@
+/// \file topk_pruning.h
+/// \brief Safe-up-to-k dynamic pruning for ranked retrieval (MaxScore /
+/// WAND-style block skipping) over the relational TextIndex.
+///
+/// The exhaustive rank pipeline (ranking.h) scores every document that
+/// matches any query term and only then sorts; for Search(top_k = k) that
+/// is work proportional to the candidate set, not to k. The fused path
+/// here evaluates document-at-a-time over doc-ordered postings with
+/// per-term and per-block score upper bounds, maintaining a bounded heap
+/// whose threshold prunes non-essential terms (MaxScore partitioning) and
+/// skips whole posting blocks (WAND-style) — while provably returning
+/// exactly the same top-k, with the same scores and the same total order
+/// (score descending, docID ascending), as the exhaustive rank→TopK
+/// cascade. See docs/topk_pruning.md for the safety argument.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/searcher.h"
+#include "storage/relation.h"
+
+namespace spindle {
+
+/// \brief Score-upper-bound metadata over a TextIndex: per-term postings
+/// re-sorted by document ID with per-term and per-block (tf, doc length)
+/// extrema, plus skip offsets. Query-independent; built once per index
+/// (TextIndex::Build) and shared by every fused query.
+///
+/// Upper bounds are *derived at query time* from the stored (tf, len)
+/// boxes by evaluating the model's exact contribution formula at the box
+/// corners — each model's per-posting contribution is monotone in tf and
+/// in len separately, so the corner maximum dominates every posting in
+/// the box for any model parameters (no per-parameter re-build needed).
+class ImpactIndex {
+ public:
+  /// Postings per block. Small enough that the per-block (tf, len) box is
+  /// tight on skewed lists, large enough that block metadata stays a few
+  /// percent of the postings themselves.
+  static constexpr uint32_t kBlockSize = 128;
+
+  /// \brief Per-block metadata over kBlockSize doc-ordered postings.
+  struct Block {
+    uint32_t last_ord;  ///< doc ordinal of the last posting in the block
+    int32_t max_tf;
+    int32_t min_tf;
+    int32_t min_len;
+    int32_t max_len;
+  };
+
+  /// \brief Per-term aggregate metadata (the whole posting list's box).
+  struct TermMeta {
+    int32_t max_tf = 0;
+    int32_t min_tf = 0;
+    int32_t min_len = 0;
+    int32_t max_len = 0;
+    int64_t df = 0;
+    int64_t cf = 0;
+    double idf = 0.0;  ///< the index's BM25 idf column value
+  };
+
+  /// \brief Builds the impact structures from an index's materialized
+  /// views (tf, doc_len, idf, cf). Called by TextIndex::Build.
+  static std::shared_ptr<const ImpactIndex> Build(
+      const Relation& tf, const Relation& doc_len, const Relation& idf,
+      const Relation& cf, size_t num_terms);
+
+  size_t num_docs() const { return doc_ids_.size(); }
+  size_t num_terms() const { return term_meta_.empty()
+                                 ? 0
+                                 : term_meta_.size() - 1; }
+
+  /// \brief External docID for a doc ordinal (ordinals are the rank of
+  /// the docID in ascending order, so ordinal order == docID order).
+  int64_t doc_id(uint32_t ord) const { return doc_ids_[ord]; }
+  int32_t doc_len(uint32_t ord) const { return doc_lens_[ord]; }
+
+  /// \brief Doc-length range over documents that have at least one
+  /// posting (candidate documents). Zero when the index is empty.
+  int32_t min_posting_len() const { return min_posting_len_; }
+  int32_t max_posting_len() const { return max_posting_len_; }
+
+  /// \brief Term metadata for a dense termID in [1, num_terms()].
+  const TermMeta& term_meta(int64_t term_id) const {
+    return term_meta_[static_cast<size_t>(term_id)];
+  }
+
+  /// \brief The term's postings sorted by doc ordinal: parallel spans of
+  /// ordinals and term frequencies. Empty span for out-of-range ids.
+  struct PostingsView {
+    const uint32_t* ords = nullptr;
+    const int32_t* tfs = nullptr;
+    size_t size = 0;
+    const Block* blocks = nullptr;
+    size_t num_blocks = 0;
+  };
+  PostingsView postings(int64_t term_id) const;
+
+ private:
+  ImpactIndex() = default;
+
+  std::vector<int64_t> doc_ids_;   ///< ordinal -> external docID (sorted)
+  std::vector<int32_t> doc_lens_;  ///< ordinal -> doc length
+  int32_t min_posting_len_ = 0;
+  int32_t max_posting_len_ = 0;
+
+  // Flattened per-term postings (1-based dense termIDs, entry 0 unused).
+  std::vector<uint32_t> ords_;
+  std::vector<int32_t> tfs_;
+  std::vector<Block> blocks_;
+  std::vector<std::pair<uint32_t, uint32_t>> term_offsets_;   // (off, len)
+  std::vector<std::pair<uint32_t, uint32_t>> block_offsets_;  // (off, len)
+  std::vector<TermMeta> term_meta_;
+};
+
+/// \brief Pruning observability counters for one fused evaluation.
+struct PruningStats {
+  uint64_t docs_scored = 0;    ///< candidates fully scored
+  uint64_t docs_skipped = 0;   ///< candidates rejected by an upper bound
+  uint64_t blocks_skipped = 0; ///< posting blocks jumped without scanning
+};
+
+/// \brief Fused rank→TopK: returns the exact top options.top_k documents
+/// under the total order (score descending, docID ascending) for the
+/// configured model — bit-identical (same docIDs, same score doubles,
+/// same order) to RankWithModel's exhaustive rank-then-TopK cascade.
+///
+/// `qterms` is a (termID[, w]) relation as produced by
+/// TextIndex::QueryTerms / QueryTermsWeighted; duplicate query terms
+/// contribute once per occurrence, exactly as in the exhaustive path.
+/// Requires options.top_k > 0 (k == 0 means "all documents": that is a
+/// full scoring pass by definition, use the exhaustive cascade).
+Result<RelationPtr> RankTopK(const TextIndex& index,
+                             const RelationPtr& qterms,
+                             const SearchOptions& options,
+                             PruningStats* stats = nullptr);
+
+}  // namespace spindle

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 
 namespace spindle {
@@ -50,7 +51,50 @@ Result<SpecializedIndex> SpecializedIndex::Build(const RelationPtr& docs,
       index.num_docs_ == 0
           ? 0.0
           : static_cast<double>(total_len) / index.num_docs_;
+  index.BuildImpactBounds();
   return index;
+}
+
+void SpecializedIndex::BuildImpactBounds() {
+  // Postings are appended in dense-doc order during Build, so every list
+  // is already doc-sorted — block last_doc values are valid skip bounds.
+  term_bounds_.assign(postings_.size(), TermBound{});
+  blocks_.clear();
+  for (size_t tid = 0; tid < postings_.size(); ++tid) {
+    const auto& plist = postings_[tid];
+    TermBound& tb = term_bounds_[tid];
+    tb.block_off = static_cast<uint32_t>(blocks_.size());
+    tb.max_tf = 0;
+    tb.min_tf = std::numeric_limits<int32_t>::max();
+    tb.min_len = std::numeric_limits<int32_t>::max();
+    tb.max_len = 0;
+    for (size_t i = 0; i < plist.size(); i += kBlockSize) {
+      size_t end = std::min(plist.size(), i + kBlockSize);
+      Block blk;
+      blk.last_doc = plist[end - 1].doc;
+      blk.max_tf = 0;
+      blk.min_tf = std::numeric_limits<int32_t>::max();
+      blk.min_len = std::numeric_limits<int32_t>::max();
+      blk.max_len = 0;
+      for (size_t j = i; j < end; ++j) {
+        int32_t len = doc_lens_[plist[j].doc];
+        blk.max_tf = std::max(blk.max_tf, plist[j].tf);
+        blk.min_tf = std::min(blk.min_tf, plist[j].tf);
+        blk.min_len = std::min(blk.min_len, len);
+        blk.max_len = std::max(blk.max_len, len);
+      }
+      blocks_.push_back(blk);
+      tb.max_tf = std::max(tb.max_tf, blk.max_tf);
+      tb.min_tf = std::min(tb.min_tf, blk.min_tf);
+      tb.min_len = std::min(tb.min_len, blk.min_len);
+      tb.max_len = std::max(tb.max_len, blk.max_len);
+    }
+    tb.num_blocks = static_cast<uint32_t>(blocks_.size()) - tb.block_off;
+    if (plist.empty()) {
+      tb.min_tf = 0;
+      tb.min_len = 0;
+    }
+  }
 }
 
 const std::vector<SpecializedIndex::Posting>* SpecializedIndex::PostingsFor(
@@ -98,6 +142,232 @@ std::vector<ScoredDoc> SpecializedIndex::SearchBm25(
     results.resize(k);
   } else {
     std::sort(results.begin(), results.end(), better);
+  }
+  return results;
+}
+
+namespace {
+
+/// Pruning slack mirroring the relational fused path: bounds are summed in
+/// a different association order than exact scores, so only prune when the
+/// bound is below the threshold by more than accumulated-ulp headroom.
+inline double DaatSlack(double bound, double threshold) {
+  return 1e-9 * (1.0 + std::fabs(bound) + std::fabs(threshold));
+}
+
+}  // namespace
+
+std::vector<ScoredDoc> SpecializedIndex::SearchBm25Daat(
+    const std::string& query, size_t k, const Bm25Params& params,
+    PruningStats* stats) const {
+  std::vector<Token> qtokens = analyzer_.Analyze(query);
+  const double avgdl = avg_doc_len_ > 0 ? avg_doc_len_ : 1.0;
+  const double n = static_cast<double>(num_docs_);
+  PruningStats local;
+
+  // One entry per query-token occurrence (duplicates score once per
+  // occurrence, exactly as in SearchBm25's accumulator loop).
+  struct Entry {
+    const Posting* plist;
+    size_t size;
+    const Block* blocks;
+    size_t num_blocks;
+    double idf;
+    double ub;
+    size_t pos = 0;
+  };
+  // The exact per-posting contribution SearchBm25 computes, same shape.
+  auto contribution = [&](const Entry& e, double tf, double len) {
+    return e.idf * tf /
+           (tf + params.k1 * (1.0 - params.b + params.b * len / avgdl));
+  };
+  // Box upper bound via the four corners: the contribution is monotone in
+  // tf and len separately (direction depending on idf's sign), so the
+  // corner maximum dominates every posting in the box.
+  auto box_bound = [&](const Entry& e, int32_t min_tf, int32_t max_tf,
+                       int32_t min_len, int32_t max_len) {
+    const double tl = static_cast<double>(min_tf);
+    const double th = static_cast<double>(max_tf);
+    const double ll = static_cast<double>(min_len);
+    const double lh = static_cast<double>(max_len);
+    double u = contribution(e, tl, ll);
+    u = std::max(u, contribution(e, tl, lh));
+    u = std::max(u, contribution(e, th, ll));
+    u = std::max(u, contribution(e, th, lh));
+    return u;
+  };
+
+  std::vector<Entry> entries;
+  entries.reserve(qtokens.size());
+  for (const Token& tok : qtokens) {
+    int64_t tid = dict_.Lookup(tok.text);
+    if (tid < 0 || postings_[tid].empty()) continue;
+    const auto& plist = postings_[tid];
+    const TermBound& tb = term_bounds_[tid];
+    Entry e;
+    e.plist = plist.data();
+    e.size = plist.size();
+    e.blocks = blocks_.data() + tb.block_off;
+    e.num_blocks = tb.num_blocks;
+    const double df = static_cast<double>(plist.size());
+    e.idf = std::log((n - df + 0.5) / (df + 0.5));
+    e.ub = box_bound(e, tb.min_tf, tb.max_tf, tb.min_len, tb.max_len);
+    entries.push_back(e);
+  }
+
+  // Positions e.pos at the first posting with dense doc >= target,
+  // jumping whole blocks via their last_doc skip bound.
+  auto advance_to = [&local](Entry& e, int64_t target) {
+    if (e.pos >= e.size) return false;
+    if (e.plist[e.pos].doc >= target) return true;
+    size_t b = e.pos / kBlockSize;
+    while (b < e.num_blocks && e.blocks[b].last_doc < target) {
+      ++b;
+      ++local.blocks_skipped;
+    }
+    if (b >= e.num_blocks) {
+      e.pos = e.size;
+      return false;
+    }
+    size_t begin = std::max(e.pos, b * kBlockSize);
+    size_t end = std::min(e.size, (b + 1) * kBlockSize);
+    e.pos = static_cast<size_t>(
+        std::lower_bound(e.plist + begin, e.plist + end, target,
+                         [](const Posting& p, int64_t t) {
+                           return p.doc < t;
+                         }) -
+        e.plist);
+    return e.pos < e.size;
+  };
+
+  const size_t ne = entries.size();
+  // MaxScore partition: occurrence indices by ascending upper bound with
+  // prefix sums; the prefix that provably cannot reach the threshold is
+  // non-essential.
+  std::vector<size_t> order(ne);
+  for (size_t i = 0; i < ne; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return entries[a].ub < entries[b].ub;
+  });
+  // Bounds are clamped at 0 in sums: a negative bound (negative-idf term)
+  // only applies when the term is present; absence contributes exactly 0.
+  std::vector<double> prefix(ne + 1, 0.0);
+  for (size_t i = 0; i < ne; ++i) {
+    prefix[i + 1] = prefix[i] + std::max(entries[order[i]].ub, 0.0);
+  }
+
+  // Bounded heap under the result order (score desc, external docID asc);
+  // top() is the current worst, i.e. the pruning threshold.
+  auto beats = [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  };
+  std::vector<ScoredDoc> heap;
+  heap.reserve(k + 1);
+  const auto neg_inf = -std::numeric_limits<double>::infinity();
+  std::vector<double> contrib(ne, 0.0);
+  std::vector<char> present(ne, 0);
+
+  size_t first_essential = 0;
+  while (k > 0 && ne > 0) {
+    const double theta = heap.size() == k ? heap.front().score : neg_inf;
+    while (first_essential < ne &&
+           prefix[first_essential + 1] +
+                   DaatSlack(prefix[first_essential + 1], theta) <
+               theta) {
+      ++first_essential;
+    }
+    if (first_essential >= ne) break;
+
+    int64_t d = std::numeric_limits<int64_t>::max();
+    for (size_t i = first_essential; i < ne; ++i) {
+      const Entry& e = entries[order[i]];
+      if (e.pos < e.size && e.plist[e.pos].doc < d) d = e.plist[e.pos].doc;
+    }
+    if (d == std::numeric_limits<int64_t>::max()) break;
+
+    const double len = static_cast<double>(doc_lens_[d]);
+
+    // Block-max refinement before touching term frequencies.
+    double quick = prefix[first_essential];
+    for (size_t i = first_essential; i < ne; ++i) {
+      const Entry& e = entries[order[i]];
+      if (e.pos < e.size && e.plist[e.pos].doc == d) {
+        const Block& blk = e.blocks[e.pos / kBlockSize];
+        quick += box_bound(e, blk.min_tf, blk.max_tf, blk.min_len,
+                           blk.max_len);
+      } else {
+        quick += std::max(e.ub, 0.0);
+      }
+    }
+    bool rejected = quick + DaatSlack(quick, theta) < theta;
+
+    double tracking = 0.0;
+    if (!rejected) {
+      std::fill(present.begin(), present.end(), 0);
+      for (size_t i = first_essential; i < ne; ++i) {
+        Entry& e = entries[order[i]];
+        if (e.pos < e.size && e.plist[e.pos].doc == d) {
+          size_t occ = order[i];
+          contrib[occ] = contribution(
+              e, static_cast<double>(e.plist[e.pos].tf), len);
+          present[occ] = 1;
+          tracking += contrib[occ];
+        }
+      }
+      for (size_t i = first_essential; i-- > 0;) {
+        double bound = tracking + prefix[i + 1];
+        if (bound + DaatSlack(bound, theta) < theta) {
+          rejected = true;
+          break;
+        }
+        Entry& e = entries[order[i]];
+        if (advance_to(e, d) && e.plist[e.pos].doc == d) {
+          size_t occ = order[i];
+          contrib[occ] = contribution(
+              e, static_cast<double>(e.plist[e.pos].tf), len);
+          present[occ] = 1;
+          tracking += contrib[occ];
+        }
+      }
+    }
+
+    if (rejected) {
+      local.docs_skipped++;
+    } else {
+      // Canonical fold in query-occurrence order — the association order
+      // of SearchBm25's accumulator, so scores are bit-identical.
+      double score = 0.0;
+      for (size_t occ = 0; occ < ne; ++occ) {
+        if (present[occ]) score += contrib[occ];
+      }
+      local.docs_scored++;
+      ScoredDoc cand{doc_ids_[d], score};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), beats);
+      } else if (beats(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), beats);
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), beats);
+      }
+    }
+
+    for (size_t i = first_essential; i < ne; ++i) {
+      Entry& e = entries[order[i]];
+      if (e.pos < e.size && e.plist[e.pos].doc == d) {
+        ++e.pos;
+        advance_to(e, d + 1);
+      }
+    }
+  }
+
+  std::vector<ScoredDoc> results(heap.begin(), heap.end());
+  std::sort(results.begin(), results.end(), beats);
+  if (stats != nullptr) {
+    stats->docs_scored += local.docs_scored;
+    stats->docs_skipped += local.docs_skipped;
+    stats->blocks_skipped += local.blocks_skipped;
   }
   return results;
 }

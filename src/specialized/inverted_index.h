@@ -16,6 +16,7 @@
 
 #include "common/status.h"
 #include "ir/ranking.h"
+#include "ir/topk_pruning.h"
 #include "storage/relation.h"
 #include "storage/string_dict.h"
 #include "text/analyzer.h"
@@ -46,6 +47,16 @@ class SpecializedIndex {
   std::vector<ScoredDoc> SearchBm25(const std::string& query, size_t k,
                                     const Bm25Params& params = {}) const;
 
+  /// \brief BM25 top-k, document-at-a-time with MaxScore term partitioning
+  /// and WAND-style block skipping over per-term / per-block (tf, len)
+  /// bounds. Returns exactly SearchBm25's results (same score doubles,
+  /// same order) while skipping provably sub-threshold documents — the
+  /// specialized-engine counterpart of the relational fused path
+  /// (ir/topk_pruning.h), so bench_e9 compares like against like.
+  std::vector<ScoredDoc> SearchBm25Daat(const std::string& query, size_t k,
+                                        const Bm25Params& params = {},
+                                        PruningStats* stats = nullptr) const;
+
   int64_t num_docs() const { return num_docs_; }
   double avg_doc_len() const { return avg_doc_len_; }
   int64_t num_terms() const { return dict_.size(); }
@@ -54,8 +65,33 @@ class SpecializedIndex {
   const std::vector<Posting>* PostingsFor(const std::string& term) const;
 
  private:
+  /// Postings per skip block (mirrors ImpactIndex::kBlockSize).
+  static constexpr uint32_t kBlockSize = 128;
+
+  /// Per-block skip bound + (tf, len) box over kBlockSize postings.
+  struct Block {
+    int64_t last_doc;  // dense doc index of the block's last posting
+    int32_t max_tf;
+    int32_t min_tf;
+    int32_t min_len;
+    int32_t max_len;
+  };
+
+  /// Per-term (tf, len) box and the term's span in blocks_.
+  struct TermBound {
+    int32_t max_tf = 0;
+    int32_t min_tf = 0;
+    int32_t min_len = 0;
+    int32_t max_len = 0;
+    uint32_t block_off = 0;
+    uint32_t num_blocks = 0;
+  };
+
   explicit SpecializedIndex(Analyzer analyzer)
       : analyzer_(std::move(analyzer)) {}
+
+  /// Builds term_bounds_/blocks_ once all postings are in (Build tail).
+  void BuildImpactBounds();
 
   Analyzer analyzer_;
   StringDict dict_{0};  // term -> dense id
@@ -64,6 +100,8 @@ class SpecializedIndex {
   std::vector<int32_t> doc_lens_;  // dense doc index -> length
   int64_t num_docs_ = 0;
   double avg_doc_len_ = 0.0;
+  std::vector<Block> blocks_;
+  std::vector<TermBound> term_bounds_;
 };
 
 }  // namespace spindle

@@ -1,10 +1,12 @@
 #include "spinql/evaluator.h"
 
 #include <optional>
+#include <unordered_set>
 
 #include "engine/ops.h"
 #include "exec/scheduler.h"
 #include "ir/ranking.h"
+#include "ir/topk_pruning.h"
 #include "pra/pra_ops.h"
 #include "spinql/parser.h"
 
@@ -275,8 +277,39 @@ Result<ProbRelation> Evaluator::EvalNode(const NodePtr& node,
       break;
     }
     case NodeKind::kTopK: {
-      SPINDLE_ASSIGN_OR_RETURN(ProbRelation in,
-                               EvalNode(node->inputs()[0], program));
+      const NodePtr& child = node->inputs()[0];
+      if (child->kind() == NodeKind::kRank && node->k() > 0) {
+        // TOPK directly above RANK: let the rank evaluate through the
+        // fused pruned path when safe, instead of materializing the full
+        // score relation. TopKByProb still applies (it is a no-op cut on
+        // an already k-bounded, prob-descending fused result).
+        if (cache_ != nullptr) {
+          // A previously materialized full ranking beats re-ranking.
+          SPINDLE_ASSIGN_OR_RETURN(std::string child_sig,
+                                   Signature(child, program));
+          if (auto hit = cache_->Get(child_sig)) {
+            SPINDLE_ASSIGN_OR_RETURN(ProbRelation in,
+                                     ProbRelation::Wrap(*hit));
+            SPINDLE_ASSIGN_OR_RETURN(result,
+                                     pra::TopKByProb(in, node->k()));
+            break;
+          }
+        }
+        bool fused = false;
+        SPINDLE_ASSIGN_OR_RETURN(
+            ProbRelation in, EvalRank(*child, program, node->k(), &fused));
+        if (!fused && cache_ != nullptr) {
+          // The fallback computed the complete ranking; cache it under
+          // the rank node's own signature, exactly as the unfused
+          // evaluation order would have.
+          SPINDLE_ASSIGN_OR_RETURN(std::string child_sig,
+                                   Signature(child, program));
+          cache_->Put(child_sig, in.rel());
+        }
+        SPINDLE_ASSIGN_OR_RETURN(result, pra::TopKByProb(in, node->k()));
+        break;
+      }
+      SPINDLE_ASSIGN_OR_RETURN(ProbRelation in, EvalNode(child, program));
       SPINDLE_ASSIGN_OR_RETURN(result, pra::TopKByProb(in, node->k()));
       break;
     }
@@ -291,7 +324,9 @@ Result<ProbRelation> Evaluator::EvalNode(const NodePtr& node,
 }
 
 Result<ProbRelation> Evaluator::EvalRank(const Node& node,
-                                         const Program& program) {
+                                         const Program& program,
+                                         size_t fused_k, bool* fused) {
+  if (fused != nullptr) *fused = false;
   SPINDLE_ASSIGN_OR_RETURN(ProbRelation docs,
                            EvalNode(node.inputs()[0], program));
   SPINDLE_ASSIGN_OR_RETURN(ProbRelation query,
@@ -370,8 +405,45 @@ Result<ProbRelation> Evaluator::EvalRank(const Node& node,
   options.dirichlet = spec.dirichlet;
   options.jm = spec.jm;
   options.top_k = 0;  // TOPK is a separate operator
-  SPINDLE_ASSIGN_OR_RETURN(RelationPtr scored,
-                           RankWithModel(*index, qterms, options));
+
+  // TOPK-over-RANK fusion: rank through the pruned top-k path when the
+  // cut provably commutes with the post-rank transforms — every doc prob
+  // must be 1.0 (the prob multiplies the score, so a prob < 1 could
+  // reorder) and external ids must be unique (the disjoint projection
+  // below merges duplicate ids, so a pre-merge cut could drop evidence).
+  bool use_fused = fused_k > 0;
+  if (use_fused) {
+    for (size_t r = 0; r < docs.num_rows() && use_fused; ++r) {
+      if (docs.prob_at(r) != 1.0) use_fused = false;
+    }
+  }
+  if (use_fused) {
+    const Column& ids = docs.rel()->column(0);
+    if (ids.type() == DataType::kInt64) {
+      std::unordered_set<int64_t> seen;
+      seen.reserve(docs.num_rows());
+      for (size_t r = 0; r < docs.num_rows() && use_fused; ++r) {
+        if (!seen.insert(ids.Int64At(r)).second) use_fused = false;
+      }
+    } else {
+      std::unordered_set<std::string> seen;
+      seen.reserve(docs.num_rows());
+      for (size_t r = 0; r < docs.num_rows() && use_fused; ++r) {
+        if (!seen.insert(ids.StringAt(r)).second) use_fused = false;
+      }
+    }
+  }
+
+  RelationPtr scored;
+  if (use_fused) {
+    options.top_k = fused_k;
+    SPINDLE_ASSIGN_OR_RETURN(scored, RankTopK(*index, qterms, options));
+    if (fused != nullptr) *fused = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.fused_topk_ranks++;
+  } else {
+    SPINDLE_ASSIGN_OR_RETURN(scored, RankWithModel(*index, qterms, options));
+  }
 
   // Map dense docIDs back to external ids; the document's own probability
   // multiplies the score (scores and sub-collection confidence combine

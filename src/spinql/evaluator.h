@@ -32,6 +32,10 @@ class Evaluator {
   struct Stats {
     uint64_t index_hits = 0;
     uint64_t index_misses = 0;
+    /// TOPK-over-RANK fusions that took the pruned top-k path instead of
+    /// materializing the full score relation (safe only when every doc
+    /// prob is 1.0 and external ids are unique; else falls back).
+    uint64_t fused_topk_ranks = 0;
   };
 
   /// \param catalog base tables (must outlive the evaluator)
@@ -67,7 +71,14 @@ class Evaluator {
 
  private:
   Result<ProbRelation> EvalNode(const NodePtr& node, const Program& program);
-  Result<ProbRelation> EvalRank(const Node& node, const Program& program);
+  /// \param fused_k when > 0, a TOPK(k) sits directly above this RANK: if
+  ///        provably safe (all doc probs 1.0, unique external ids) rank
+  ///        through the pruned fused path with top_k = fused_k instead of
+  ///        materializing the full score relation. `fused` (may be null)
+  ///        reports whether the fused path was taken — when false the
+  ///        returned relation is the complete exhaustive ranking.
+  Result<ProbRelation> EvalRank(const Node& node, const Program& program,
+                                size_t fused_k = 0, bool* fused = nullptr);
   Result<NodePtr> ResolveForSignature(const NodePtr& node,
                                       const Program& program) const;
 

@@ -1,0 +1,613 @@
+/// \file topk_pruning_test.cc
+/// \brief Exactness and structure tests for the fused top-k pruning path:
+/// the fused RankTopK must be bit-identical (same docIDs, same score
+/// doubles, same order) to the exhaustive rank→TopK cascade for every
+/// model, k, thread count, and collection shape.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "ir/indexing.h"
+#include "ir/ranking.h"
+#include "ir/searcher.h"
+#include "ir/topk_pruning.h"
+#include "spinql/evaluator.h"
+#include "spinql/parser.h"
+#include "specialized/inverted_index.h"
+#include "storage/relation.h"
+#include "triples/triple_store.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+namespace {
+
+using spinql::Evaluator;
+using spinql::Program;
+
+/// Bitwise double equality (NaN-safe, distinguishes -0.0 from 0.0): the
+/// fused path promises the *same doubles*, not nearly the same.
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void ExpectIdenticalRanking(const RelationPtr& fused,
+                            const RelationPtr& exhaustive,
+                            const std::string& what) {
+  ASSERT_EQ(fused->num_rows(), exhaustive->num_rows()) << what;
+  for (size_t r = 0; r < fused->num_rows(); ++r) {
+    EXPECT_EQ(fused->column(0).Int64At(r), exhaustive->column(0).Int64At(r))
+        << what << " docID row " << r;
+    EXPECT_TRUE(SameBits(fused->column(1).Float64At(r),
+                         exhaustive->column(1).Float64At(r)))
+        << what << " score row " << r << ": fused "
+        << fused->column(1).Float64At(r) << " vs exhaustive "
+        << exhaustive->column(1).Float64At(r);
+  }
+}
+
+TextIndexPtr BuildIndex(const RelationPtr& docs) {
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  return TextIndex::Build(docs, a).ValueOrDie();
+}
+
+/// The exhaustive reference, always evaluated strictly serially so its
+/// float accumulation is the canonical left-to-right association order.
+RelationPtr ExhaustiveTopK(const TextIndex& index, const RelationPtr& qterms,
+                           SearchOptions options) {
+  ScopedExecContext serial{ExecContext(1)};
+  return RankWithModel(index, qterms, options).ValueOrDie();
+}
+
+SearchOptions OptionsFor(RankModel model, size_t k) {
+  SearchOptions options;
+  options.model = model;
+  options.top_k = k;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// ImpactIndex structure
+// ---------------------------------------------------------------------------
+
+RelationPtr ShuffledIdDocs() {
+  // docIDs deliberately out of ingest order: ordinals must re-sort them.
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  EXPECT_TRUE(b.AddRow({int64_t{30}, std::string("cat cat dog")}).ok());
+  EXPECT_TRUE(b.AddRow({int64_t{10}, std::string("dog")}).ok());
+  EXPECT_TRUE(b.AddRow({int64_t{20}, std::string("cat fish dog")}).ok());
+  return b.Build().ValueOrDie();
+}
+
+int64_t TermIdOf(const TextIndex& index, const std::string& term) {
+  const Relation& td = *index.termdict();
+  for (size_t r = 0; r < td.num_rows(); ++r) {
+    if (td.column(1).StringAt(r) == term) return td.column(0).Int64At(r);
+  }
+  return -1;
+}
+
+TEST(ImpactIndexTest, OrdinalsFollowDocIdOrder) {
+  TextIndexPtr index = BuildIndex(ShuffledIdDocs());
+  const ImpactIndex& impact = index->impact();
+  ASSERT_EQ(impact.num_docs(), 3u);
+  EXPECT_EQ(impact.doc_id(0), 10);
+  EXPECT_EQ(impact.doc_id(1), 20);
+  EXPECT_EQ(impact.doc_id(2), 30);
+  EXPECT_EQ(impact.doc_len(0), 1);
+  EXPECT_EQ(impact.doc_len(2), 3);
+}
+
+TEST(ImpactIndexTest, PostingsSortedWithPerTermBoxes) {
+  TextIndexPtr index = BuildIndex(ShuffledIdDocs());
+  const ImpactIndex& impact = index->impact();
+
+  int64_t cat = TermIdOf(*index, "cat");
+  ASSERT_GT(cat, 0);
+  auto pv = impact.postings(cat);
+  ASSERT_EQ(pv.size, 2u);
+  // cat appears in docID 20 (ordinal 1, tf 1) and docID 30 (ordinal 2,
+  // tf 2) — sorted by ordinal even though docID 30 was ingested first.
+  EXPECT_EQ(pv.ords[0], 1u);
+  EXPECT_EQ(pv.tfs[0], 1);
+  EXPECT_EQ(pv.ords[1], 2u);
+  EXPECT_EQ(pv.tfs[1], 2);
+  ASSERT_EQ(pv.num_blocks, 1u);
+  EXPECT_EQ(pv.blocks[0].last_ord, 2u);
+  EXPECT_EQ(pv.blocks[0].max_tf, 2);
+  EXPECT_EQ(pv.blocks[0].min_tf, 1);
+  EXPECT_EQ(pv.blocks[0].min_len, 3);
+  EXPECT_EQ(pv.blocks[0].max_len, 3);
+
+  const ImpactIndex::TermMeta& meta = impact.term_meta(cat);
+  EXPECT_EQ(meta.max_tf, 2);
+  EXPECT_EQ(meta.min_tf, 1);
+  EXPECT_EQ(meta.df, 2);
+  EXPECT_EQ(meta.cf, 3);
+
+  // dog is in every doc.
+  int64_t dog = TermIdOf(*index, "dog");
+  EXPECT_EQ(impact.postings(dog).size, 3u);
+  // Out-of-range ids yield empty views.
+  EXPECT_EQ(impact.postings(0).size, 0u);
+  EXPECT_EQ(impact.postings(9999).size, 0u);
+
+  EXPECT_EQ(impact.min_posting_len(), 1);
+  EXPECT_EQ(impact.max_posting_len(), 3);
+}
+
+TEST(ImpactIndexTest, MultiBlockTermsGetPerBlockMaxima) {
+  // 300 docs with a shared term forces ceil(300/128) = 3 blocks; one doc
+  // in the middle carries an extreme tf that must only inflate its block.
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  for (int64_t d = 1; d <= 300; ++d) {
+    std::string text = "common";
+    if (d == 200) text = "common common common common";
+    ASSERT_TRUE(b.AddRow({d, text}).ok());
+  }
+  TextIndexPtr index = BuildIndex(b.Build().ValueOrDie());
+  const ImpactIndex& impact = index->impact();
+  int64_t common = TermIdOf(*index, "common");
+  auto pv = impact.postings(common);
+  ASSERT_EQ(pv.size, 300u);
+  ASSERT_EQ(pv.num_blocks, 3u);
+  EXPECT_EQ(pv.blocks[0].last_ord, 127u);
+  EXPECT_EQ(pv.blocks[1].last_ord, 255u);
+  EXPECT_EQ(pv.blocks[2].last_ord, 299u);
+  // Doc 200 is ordinal 199 — inside block 1 only.
+  EXPECT_EQ(pv.blocks[0].max_tf, 1);
+  EXPECT_EQ(pv.blocks[1].max_tf, 4);
+  EXPECT_EQ(pv.blocks[2].max_tf, 1);
+  EXPECT_EQ(impact.term_meta(common).max_tf, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial exactness
+// ---------------------------------------------------------------------------
+
+TEST(RankTopKTest, SingleDocTermsAndAllEqualTf) {
+  // Every term appears in exactly one doc (no overlap) plus one term in
+  // all docs with identical tf — maximal score ties.
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  for (int64_t d = 1; d <= 50; ++d) {
+    std::string text = "shared unique" + std::to_string(d);
+    ASSERT_TRUE(b.AddRow({d, text}).ok());
+  }
+  TextIndexPtr index = BuildIndex(b.Build().ValueOrDie());
+  for (RankModel model : {RankModel::kBm25, RankModel::kTfIdf,
+                          RankModel::kLmDirichlet,
+                          RankModel::kLmJelinekMercer}) {
+    for (size_t k : {size_t{1}, size_t{7}, size_t{50}, size_t{200}}) {
+      SearchOptions options = OptionsFor(model, k);
+      RelationPtr qterms =
+          index->QueryTerms("shared unique7 unique33").ValueOrDie();
+      RelationPtr fused = RankTopK(*index, qterms, options).ValueOrDie();
+      RelationPtr exhaustive = ExhaustiveTopK(*index, qterms, options);
+      ExpectIdenticalRanking(fused, exhaustive,
+                             std::string(RankModelName(model)) + " k=" +
+                                 std::to_string(k));
+    }
+  }
+}
+
+TEST(RankTopKTest, BlockSkippingIsExactAndObservable) {
+  // A rare term far apart in ordinal space drives the candidates; the
+  // common term is non-essential and must be *skipped over* in blocks,
+  // never mis-scored.
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  for (int64_t d = 1; d <= 2000; ++d) {
+    std::string text = d % 3 == 0 ? "alpha filler" : "filler";
+    // Low-scoring zeta doc early (long), high-scoring one late (short):
+    // after doc 50 sets the threshold, doc 1950's bound stays above it,
+    // forcing a probe of the non-essential alpha list — which must jump
+    // over ~5 blocks of alpha postings to reach ordinal 1949.
+    if (d == 50) text = "filler filler filler filler filler zeta";
+    if (d == 1950) text = "alpha zeta";
+    ASSERT_TRUE(b.AddRow({d, text}).ok());
+  }
+  TextIndexPtr index = BuildIndex(b.Build().ValueOrDie());
+  SearchOptions options = OptionsFor(RankModel::kBm25, 1);
+  RelationPtr qterms = index->QueryTerms("zeta alpha").ValueOrDie();
+  PruningStats stats;
+  RelationPtr fused = RankTopK(*index, qterms, options, &stats).ValueOrDie();
+  RelationPtr exhaustive = ExhaustiveTopK(*index, qterms, options);
+  ExpectIdenticalRanking(fused, exhaustive, "block skip");
+  EXPECT_GT(stats.blocks_skipped, 0u);
+  // Far fewer docs scored than the ~700 candidates of the alpha list.
+  EXPECT_LT(stats.docs_scored, 100u);
+}
+
+TEST(RankTopKTest, NegativeIdfTermsStaySafe) {
+  // A term in > half the collection has negative BM25 idf — upper bounds
+  // must stay correct when contributions are negative.
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  for (int64_t d = 1; d <= 200; ++d) {
+    std::string text = "everywhere";
+    if (d % 7 == 0) text += " sometimes";
+    if (d == 3 || d == 120) text += " rare rare";
+    ASSERT_TRUE(b.AddRow({d, text}).ok());
+  }
+  TextIndexPtr index = BuildIndex(b.Build().ValueOrDie());
+  for (size_t k : {size_t{1}, size_t{5}, size_t{200}}) {
+    SearchOptions options = OptionsFor(RankModel::kBm25, k);
+    RelationPtr qterms =
+        index->QueryTerms("everywhere sometimes rare").ValueOrDie();
+    RelationPtr fused = RankTopK(*index, qterms, options).ValueOrDie();
+    RelationPtr exhaustive = ExhaustiveTopK(*index, qterms, options);
+    ExpectIdenticalRanking(fused, exhaustive,
+                           "negative idf k=" + std::to_string(k));
+  }
+}
+
+TEST(RankTopKTest, DuplicateAndWeightedQueryTerms) {
+  TextCollectionOptions copts;
+  copts.num_docs = 800;
+  copts.vocab_size = 400;
+  copts.avg_doc_len = 30;
+  copts.seed = 7;
+  RelationPtr docs = GenerateTextCollection(copts).ValueOrDie();
+  TextIndexPtr index = BuildIndex(docs);
+  // A term queried twice contributes twice; expansion terms carry
+  // fractional weights.
+  RelationPtr qterms =
+      index
+          ->QueryTermsWeighted({{WordForRank(8), 1.0},
+                                {WordForRank(8), 1.0},
+                                {WordForRank(20), 0.4},
+                                {WordForRank(3), 0.7}})
+          .ValueOrDie();
+  for (RankModel model : {RankModel::kBm25, RankModel::kTfIdf,
+                          RankModel::kLmDirichlet,
+                          RankModel::kLmJelinekMercer}) {
+    SearchOptions options = OptionsFor(model, 10);
+    RelationPtr fused = RankTopK(*index, qterms, options).ValueOrDie();
+    RelationPtr exhaustive = ExhaustiveTopK(*index, qterms, options);
+    ExpectIdenticalRanking(fused, exhaustive,
+                           std::string("weighted ") + RankModelName(model));
+  }
+}
+
+TEST(RankTopKTest, EmptyAndDegenerateQueries) {
+  TextIndexPtr index = BuildIndex(ShuffledIdDocs());
+  SearchOptions options = OptionsFor(RankModel::kBm25, 5);
+  RelationPtr none = index->QueryTerms("zebra quagga").ValueOrDie();
+  RelationPtr fused = RankTopK(*index, none, options).ValueOrDie();
+  EXPECT_EQ(fused->num_rows(), 0u);
+  EXPECT_EQ(fused->num_columns(), 2u);
+
+  // k == 0 is the exhaustive cascade's job.
+  RelationPtr some = index->QueryTerms("cat").ValueOrDie();
+  EXPECT_FALSE(RankTopK(*index, some, OptionsFor(RankModel::kBm25, 0)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized exactness property: collections × models × k × threads
+// ---------------------------------------------------------------------------
+
+TEST(RankTopKTest, RandomizedExactnessProperty) {
+  struct CollectionSpec {
+    int64_t num_docs;
+    int64_t vocab;
+    int avg_len;
+    uint64_t seed;
+  };
+  const CollectionSpec specs[] = {
+      {600, 300, 25, 11},   // dense: short vocab, heavy overlap, many ties
+      {1500, 3000, 40, 22}, // sparse: selective posting lists
+  };
+  const RankModel models[] = {RankModel::kBm25, RankModel::kTfIdf,
+                              RankModel::kLmDirichlet,
+                              RankModel::kLmJelinekMercer};
+  PruningStats aggregate;
+  for (const auto& spec : specs) {
+    TextCollectionOptions copts;
+    copts.num_docs = spec.num_docs;
+    copts.vocab_size = spec.vocab;
+    copts.avg_doc_len = spec.avg_len;
+    copts.seed = spec.seed;
+    RelationPtr docs = GenerateTextCollection(copts).ValueOrDie();
+    TextIndexPtr index = BuildIndex(docs);
+    std::vector<std::string> queries =
+        GenerateQueries(copts, /*num_queries=*/6, /*terms_per_query=*/3,
+                        /*seed=*/spec.seed + 1);
+    for (const std::string& query : queries) {
+      RelationPtr qterms = index->QueryTerms(query).ValueOrDie();
+      if (qterms->num_rows() == 0) continue;
+      for (RankModel model : models) {
+        for (size_t k :
+             {size_t{1}, size_t{5}, size_t{37},
+              static_cast<size_t>(spec.num_docs)}) {
+          SearchOptions options = OptionsFor(model, k);
+          RelationPtr exhaustive = ExhaustiveTopK(*index, qterms, options);
+          for (int threads : {1, 4}) {
+            ScopedExecContext scope{ExecContext(threads)};
+            PruningStats stats;
+            RelationPtr fused =
+                RankTopK(*index, qterms, options, &stats).ValueOrDie();
+            ExpectIdenticalRanking(
+                fused, exhaustive,
+                std::string(RankModelName(model)) + " k=" +
+                    std::to_string(k) + " threads=" +
+                    std::to_string(threads) + " q=\"" + query + "\"");
+            aggregate.docs_scored += stats.docs_scored;
+            aggregate.docs_skipped += stats.docs_skipped;
+            aggregate.blocks_skipped += stats.blocks_skipped;
+          }
+        }
+      }
+    }
+  }
+  // Across the sweep, pruning must actually engage.
+  EXPECT_GT(aggregate.docs_skipped, 0u);
+  EXPECT_GT(aggregate.blocks_skipped, 0u);
+}
+
+TEST(RankTopKTest, ParallelMachineryForcedIsBitIdentical) {
+  // Small morsels force the per-morsel heap + deterministic merge path
+  // even on a small collection.
+  TextCollectionOptions copts;
+  copts.num_docs = 1200;
+  copts.vocab_size = 600;
+  copts.avg_doc_len = 30;
+  copts.seed = 33;
+  RelationPtr docs = GenerateTextCollection(copts).ValueOrDie();
+  TextIndexPtr index = BuildIndex(docs);
+  std::vector<std::string> queries = GenerateQueries(copts, 4, 3, 99);
+  for (const std::string& query : queries) {
+    RelationPtr qterms = index->QueryTerms(query).ValueOrDie();
+    if (qterms->num_rows() == 0) continue;
+    for (RankModel model : {RankModel::kBm25, RankModel::kTfIdf,
+                            RankModel::kLmDirichlet,
+                            RankModel::kLmJelinekMercer}) {
+      SearchOptions options = OptionsFor(model, 10);
+      RelationPtr exhaustive = ExhaustiveTopK(*index, qterms, options);
+      ExecContext ctx(4);
+      ctx.morsel_rows = 256;  // 1200 docs -> 5 morsels
+      ScopedExecContext scope{ctx};
+      RelationPtr fused = RankTopK(*index, qterms, options).ValueOrDie();
+      ExpectIdenticalRanking(fused, exhaustive,
+                             std::string("forced-parallel ") +
+                                 RankModelName(model) + " q=\"" + query +
+                                 "\"");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Searcher integration
+// ---------------------------------------------------------------------------
+
+TEST(SearcherFusedTest, SearchRoutesThroughFusedPathAndCountsIt) {
+  TextCollectionOptions copts;
+  copts.num_docs = 500;
+  copts.vocab_size = 250;
+  copts.avg_doc_len = 25;
+  RelationPtr docs = GenerateTextCollection(copts).ValueOrDie();
+  Searcher searcher;
+  SearchOptions options;
+  options.top_k = 10;
+  RelationPtr hits =
+      searcher.Search(docs, "c1", WordForRank(5) + " " + WordForRank(9),
+                      options)
+          .ValueOrDie();
+  EXPECT_LE(hits->num_rows(), 10u);
+  Searcher::Stats stats = searcher.stats();
+  EXPECT_EQ(stats.fused_path_used, 1u);
+  EXPECT_GT(stats.docs_scored, 0u);
+
+  // k == 0 falls back to the exhaustive cascade.
+  options.top_k = 0;
+  ASSERT_TRUE(searcher.Search(docs, "c1", WordForRank(5), options).ok());
+  EXPECT_EQ(searcher.stats().fused_path_used, 1u);
+
+  // The phrase-boost path also bypasses the fused scorer.
+  options.top_k = 5;
+  options.phrase_boost = 1.0;
+  ASSERT_TRUE(searcher
+                  .Search(docs, "c1", WordForRank(5) + " " + WordForRank(9),
+                          options)
+                  .ok());
+  EXPECT_EQ(searcher.stats().fused_path_used, 1u);
+}
+
+TEST(SearcherFusedTest, SearchMatchesExhaustiveRankCascade) {
+  TextCollectionOptions copts;
+  copts.num_docs = 900;
+  copts.vocab_size = 450;
+  copts.avg_doc_len = 30;
+  copts.seed = 5;
+  RelationPtr docs = GenerateTextCollection(copts).ValueOrDie();
+  Searcher searcher;
+  for (RankModel model : {RankModel::kBm25, RankModel::kTfIdf,
+                          RankModel::kLmDirichlet,
+                          RankModel::kLmJelinekMercer}) {
+    SearchOptions options;
+    options.model = model;
+    options.top_k = 8;
+    std::string query = WordForRank(6) + " " + WordForRank(11);
+    RelationPtr via_search =
+        searcher.Search(docs, "sig", query, options).ValueOrDie();
+    TextIndexPtr index = searcher.GetOrBuildIndex(docs, "sig").ValueOrDie();
+    RelationPtr qterms = index->QueryTerms(query).ValueOrDie();
+    RelationPtr exhaustive = ExhaustiveTopK(*index, qterms, options);
+    ExpectIdenticalRanking(via_search, exhaustive,
+                           std::string("Search ") + RankModelName(model));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine: specialized DAAT vs TAAT vs relational, tie-heavy
+// ---------------------------------------------------------------------------
+
+TEST(SpecializedDaatTest, DaatBitIdenticalToTaat) {
+  TextCollectionOptions copts;
+  copts.num_docs = 1000;
+  copts.vocab_size = 500;
+  copts.avg_doc_len = 30;
+  copts.seed = 13;
+  RelationPtr docs = GenerateTextCollection(copts).ValueOrDie();
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  auto idx = SpecializedIndex::Build(docs, a).ValueOrDie();
+  std::vector<std::string> queries = GenerateQueries(copts, 8, 3, 77);
+  // Head-of-Zipf terms can sit in more than half the collection —
+  // negative idf — and must stay exact in the DAAT bounds too.
+  queries.push_back(WordForRank(1) + " " + WordForRank(40));
+  PruningStats aggregate;
+  for (const std::string& query : queries) {
+    for (size_t k : {size_t{1}, size_t{10}, size_t{1000}}) {
+      auto taat = idx.SearchBm25(query, k);
+      PruningStats stats;
+      auto daat = idx.SearchBm25Daat(query, k, {}, &stats);
+      ASSERT_EQ(daat.size(), taat.size()) << query << " k=" << k;
+      for (size_t i = 0; i < daat.size(); ++i) {
+        EXPECT_EQ(daat[i].doc_id, taat[i].doc_id)
+            << query << " k=" << k << " row " << i;
+        EXPECT_TRUE(SameBits(daat[i].score, taat[i].score))
+            << query << " k=" << k << " row " << i;
+      }
+      aggregate.docs_scored += stats.docs_scored;
+      aggregate.docs_skipped += stats.docs_skipped;
+      aggregate.blocks_skipped += stats.blocks_skipped;
+    }
+  }
+  EXPECT_GT(aggregate.docs_skipped + aggregate.blocks_skipped, 0u);
+}
+
+TEST(SpecializedDaatTest, CrossEngineTieHeavyTotalOrder) {
+  // Duplicate documents under distinct docIDs: every duplicate pair ties
+  // exactly, so result order is decided purely by the docID tie-break —
+  // which all three engines (relational exhaustive, relational fused,
+  // specialized TAAT/DAAT) must agree on.
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  const char* texts[] = {"red toy car", "history book", "wooden blocks",
+                         "red fire truck", "toy train set"};
+  int64_t id = 1;
+  for (int rep = 0; rep < 8; ++rep) {
+    for (const char* t : texts) {
+      ASSERT_TRUE(b.AddRow({id++, std::string(t)}).ok());
+    }
+  }
+  RelationPtr docs = b.Build().ValueOrDie();
+  TextIndexPtr index = BuildIndex(docs);
+  Analyzer a = Analyzer::Make({}).ValueOrDie();
+  auto sidx = SpecializedIndex::Build(docs, a).ValueOrDie();
+
+  const std::string query = "red toy";
+  const size_t k = 12;  // cuts through a tie group
+  SearchOptions options = OptionsFor(RankModel::kBm25, k);
+  RelationPtr qterms = index->QueryTerms(query).ValueOrDie();
+  RelationPtr fused = RankTopK(*index, qterms, options).ValueOrDie();
+  RelationPtr exhaustive = ExhaustiveTopK(*index, qterms, options);
+  ExpectIdenticalRanking(fused, exhaustive, "tie-heavy relational");
+
+  auto taat = sidx.SearchBm25(query, k);
+  auto daat = sidx.SearchBm25Daat(query, k);
+  ASSERT_EQ(taat.size(), fused->num_rows());
+  for (size_t i = 0; i < taat.size(); ++i) {
+    EXPECT_EQ(taat[i].doc_id, fused->column(0).Int64At(i)) << "row " << i;
+    EXPECT_EQ(daat[i].doc_id, fused->column(0).Int64At(i)) << "row " << i;
+    // Engines differ in association shape ((idf*tf)/norm vs (tf/norm)*idf)
+    // so scores agree to tolerance, not bitwise.
+    EXPECT_NEAR(taat[i].score, fused->column(1).Float64At(i), 1e-9);
+    EXPECT_TRUE(SameBits(daat[i].score, taat[i].score));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpinQL TOPK-over-RANK fusion
+// ---------------------------------------------------------------------------
+
+class TopKFusionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TripleStore store;
+    store.Add("prod1", "description", "a red toy car");
+    store.Add("prod2", "description", "a history book about cars");
+    store.Add("prod3", "description", "blue wooden toy blocks");
+    store.Add("prod4", "description", "red toy fire truck");
+    store.Add("prod5", "description", "cookbook for beginners");
+    ASSERT_TRUE(store.RegisterInto(catalog_).ok());
+    RelationBuilder qb({{"data", DataType::kString},
+                        {"p", DataType::kFloat64}});
+    ASSERT_TRUE(qb.AddRow({std::string("red toy"), 1.0}).ok());
+    catalog_.Register("query", qb.Build().ValueOrDie());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(TopKFusionTest, FusedTopKOverRankMatchesUnfused) {
+  const char* src =
+      "docs = PROJECT [$1, $3] (SELECT [$2=\"description\"] (triples));"
+      "hits = TOPK [2] (RANK BM25 (docs, query));";
+  Program p = Program::Parse(src).ValueOrDie();
+
+  Evaluator fused_ev(&catalog_);  // no cache: fusion engages directly
+  ProbRelation fused = fused_ev.Eval(p).ValueOrDie();
+  EXPECT_EQ(fused_ev.stats().fused_topk_ranks, 1u);
+
+  // Reference: the full ranking, cut by TopKByProb semantics (prob
+  // descending, ties by row order) — what the unfused path computes.
+  Program full = Program::Parse(
+                     "docs = PROJECT [$1, $3] (SELECT [$2=\"description\"] "
+                     "(triples));"
+                     "hits = RANK BM25 (docs, query);")
+                     .ValueOrDie();
+  Evaluator full_ev(&catalog_);
+  ProbRelation all = full_ev.Eval(full).ValueOrDie();
+  ASSERT_GE(all.num_rows(), 2u);
+  ASSERT_EQ(fused.num_rows(), 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(fused.rel()->column(0).StringAt(r),
+              all.rel()->column(0).StringAt(r))
+        << "row " << r;
+    EXPECT_TRUE(SameBits(fused.prob_at(r), all.prob_at(r))) << "row " << r;
+  }
+}
+
+TEST_F(TopKFusionTest, WeightedDocsFallBackToExhaustive) {
+  // WEIGHT scales every doc prob below 1.0, which makes the pre-cut
+  // unsafe — fusion must not engage, and results must still be correct.
+  const char* src =
+      "docs = WEIGHT [0.5] (PROJECT [$1, $3] (SELECT [$2=\"description\"] "
+      "(triples)));"
+      "hits = TOPK [2] (RANK BM25 (docs, query));";
+  Program p = Program::Parse(src).ValueOrDie();
+  Evaluator ev(&catalog_);
+  ProbRelation hits = ev.Eval(p).ValueOrDie();
+  EXPECT_EQ(ev.stats().fused_topk_ranks, 0u);
+  EXPECT_EQ(hits.num_rows(), 2u);
+}
+
+TEST_F(TopKFusionTest, DuplicateExternalIdsFallBackToExhaustive) {
+  // Two description triples for one product: the disjoint projection
+  // merges them, so the fused pre-cut would be unsound.
+  TripleStore store;
+  store.Add("prod1", "description", "a red toy car");
+  store.Add("prod1", "description", "a shiny red toy");
+  store.Add("prod2", "description", "a history book");
+  ASSERT_TRUE(store.RegisterInto(catalog_).ok());
+  const char* src =
+      "docs = PROJECT [$1, $3] (SELECT [$2=\"description\"] (triples));"
+      "hits = TOPK [1] (RANK BM25 (docs, query));";
+  Program p = Program::Parse(src).ValueOrDie();
+  Evaluator ev(&catalog_);
+  ProbRelation hits = ev.Eval(p).ValueOrDie();
+  EXPECT_EQ(ev.stats().fused_topk_ranks, 0u);
+  ASSERT_EQ(hits.num_rows(), 1u);
+  EXPECT_EQ(hits.rel()->column(0).StringAt(0), "prod1");
+}
+
+}  // namespace
+}  // namespace spindle
