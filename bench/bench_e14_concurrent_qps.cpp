@@ -1,0 +1,144 @@
+/// \file bench_e14_concurrent_qps.cpp
+/// \brief E14: concurrent serving throughput and tail latency.
+///
+/// Closed-loop clients (1, 4, 16, 64 threads) issue keyword queries
+/// against one QueryService. Reported per client count:
+///   - items_per_second  completed queries per second (QPS)
+///   - p50/p95/p99_ms    per-request latency percentiles (admission +
+///                       execution, merged across client recorders)
+///   - shed_rate         fraction of requests shed with Overloaded
+///
+/// The admission controller is configured tighter than the default
+/// (4 in flight, queue of 16) so the 64-client point demonstrates
+/// explicit load shedding instead of unbounded queueing — the paper's
+/// industrial-strength requirement that overload degrade predictably.
+///
+///   ./bench_e14_concurrent_qps
+///   ./bench_e14_concurrent_qps --topk=100
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/query_service.h"
+
+namespace spindle {
+namespace bench {
+namespace {
+
+constexpr int64_t kNumDocs = 50000;
+constexpr int kQueriesPerClientPerIter = 8;
+
+/// One service per process, shared by every client count so the index and
+/// caches are warm (the cold path is E8's experiment).
+server::QueryService& GetService() {
+  static auto* service = [] {
+    server::QueryServiceOptions opts;
+    opts.admission.max_inflight = 4;
+    opts.admission.max_queue = 16;
+    auto* s = new server::QueryService(opts);
+    s->RegisterCollection("docs", GetCollection(kNumDocs));
+    return s;
+  }();
+  return *service;
+}
+
+void BM_E14_ConcurrentQps(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  server::QueryService& service = GetService();
+  const std::vector<std::string>& queries = GetQueries(kNumDocs, 2);
+
+  SearchOptions options;
+  options.top_k = TopKFlag();
+
+  // Warm the on-demand index once so the closed loop measures serving.
+  {
+    server::SearchRequest req;
+    req.collection = "docs";
+    req.query = queries[0];
+    req.options = options;
+    auto r = service.Search(req);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+  }
+
+  LatencyRecorder recorder;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+
+  for (auto _ : state) {
+    std::vector<LatencyRecorder> per_client(clients);
+    std::atomic<uint64_t> iter_ok{0};
+    std::atomic<uint64_t> iter_shed{0};
+    std::atomic<uint64_t> iter_errors{0};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        LatencyRecorder& rec = per_client[c];
+        for (int i = 0; i < kQueriesPerClientPerIter; ++i) {
+          server::SearchRequest req;
+          req.collection = "docs";
+          req.query = queries[(c * kQueriesPerClientPerIter + i) %
+                              queries.size()];
+          req.options = options;
+          rec.Start();
+          auto r = service.Search(req);
+          rec.Stop();
+          if (r.ok()) {
+            iter_ok.fetch_add(1, std::memory_order_relaxed);
+            benchmark::DoNotOptimize(r.ValueOrDie().rows);
+          } else if (r.status().code() == StatusCode::kOverloaded) {
+            iter_shed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            iter_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const LatencyRecorder& rec : per_client) recorder.Merge(rec);
+    completed += iter_ok.load();
+    shed += iter_shed.load();
+    errors += iter_errors.load();
+  }
+
+  if (errors > 0) {
+    state.SkipWithError("requests failed with unexpected statuses");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+  recorder.Report(state);
+  const double attempts = static_cast<double>(completed + shed);
+  state.counters["shed_rate"] =
+      attempts > 0 ? static_cast<double>(shed) / attempts : 0.0;
+  state.counters["clients"] = clients;
+}
+
+BENCHMARK(BM_E14_ConcurrentQps)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace spindle
+
+int main(int argc, char** argv) {
+  spindle::bench::TopKFlag() =
+      spindle::bench::ParseTopKFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -100,6 +100,16 @@ class LatencyRecorder {
             .count());
   }
 
+  /// Appends another recorder's samples. LatencyRecorder is not
+  /// thread-safe: concurrent benchmarks keep one recorder per client
+  /// thread and merge them after the closed loop joins (E14).
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  size_t num_samples() const { return samples_.size(); }
+
   /// Nearest-rank percentile over the recorded samples, q in [0, 100].
   double Percentile(double q) {
     if (samples_.empty()) return 0.0;

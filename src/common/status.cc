@@ -22,8 +22,32 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
+}
+
+bool StatusCodeFromName(const std::string& name, StatusCode* out) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,    StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,  StatusCode::kTypeMismatch,
+      StatusCode::kParseError,  StatusCode::kNotImplemented,
+      StatusCode::kInternal,    StatusCode::kDeadlineExceeded,
+      StatusCode::kCancelled,   StatusCode::kOverloaded,
+  };
+  for (StatusCode code : kAll) {
+    if (name == StatusCodeName(code)) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Status::ToString() const {

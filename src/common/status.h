@@ -25,10 +25,23 @@ enum class StatusCode {
   kParseError,
   kNotImplemented,
   kInternal,
+  /// The request's deadline passed before evaluation finished; the query
+  /// was cooperatively cancelled at a morsel/operator boundary.
+  kDeadlineExceeded,
+  /// The request was cancelled by its client (not by a deadline).
+  kCancelled,
+  /// Admission control shed the request: the in-flight limit and the
+  /// FIFO queue cap were both reached. Retrying later may succeed.
+  kOverloaded,
 };
 
 /// \brief Returns a stable, human-readable name for a StatusCode.
 const char* StatusCodeName(StatusCode code);
+
+/// \brief Inverse of StatusCodeName (exact match). Returns false and
+/// leaves `out` untouched for unknown names — used by wire clients that
+/// re-hydrate a Status from "ERR <CodeName> <message>" lines.
+bool StatusCodeFromName(const std::string& name, StatusCode* out);
 
 /// \brief The outcome of an operation: OK, or an error code plus message.
 ///
@@ -67,6 +80,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

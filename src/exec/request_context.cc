@@ -1,0 +1,24 @@
+#include "exec/request_context.h"
+
+namespace spindle {
+
+namespace {
+
+const RequestContext*& CurrentSlot() {
+  thread_local const RequestContext* tl = nullptr;
+  return tl;
+}
+
+}  // namespace
+
+const RequestContext* RequestContext::Current() { return CurrentSlot(); }
+
+ScopedRequestContext::ScopedRequestContext(RequestContext ctx)
+    : ctx_(std::move(ctx)) {
+  prev_ = CurrentSlot();
+  CurrentSlot() = &ctx_;
+}
+
+ScopedRequestContext::~ScopedRequestContext() { CurrentSlot() = prev_; }
+
+}  // namespace spindle

@@ -1,0 +1,158 @@
+/// \file request_context.h
+/// \brief Per-request deadline / cancellation state for concurrent serving.
+///
+/// A RequestContext travels with one client request through the engine: it
+/// carries an optional deadline, a cooperative CancelToken shared by every
+/// thread working on the request, and a scheduling priority consulted by
+/// the admission controller (server/admission.h).
+///
+/// Cancellation is cooperative and *sound*: cancellation points only ever
+/// turn a would-be result into a Status (kDeadlineExceeded / kCancelled) —
+/// a partial result never escapes, is never cached, and a request that
+/// runs to completion is bit-identical to one executed with no context at
+/// all. The engine checks the ambient context
+///
+///   - in exec::ParallelFor, before claiming each morsel (a cancelled
+///     request stops burning cores at morsel granularity),
+///   - between SpinQL operators (spinql::Evaluator::EvalNode) and before
+///     any materialization-cache insert,
+///   - at Searcher::Search entry and inside the fused top-k scoring loop
+///     (ir/topk_pruning.cc, every few thousand candidates).
+///
+/// Like ExecContext, the ambient context is a thread-local installed with
+/// ScopedRequestContext; TaskGroup::Spawn propagates it to pool tasks so
+/// morsels executed by workers observe the same token. No ambient context
+/// (the default everywhere outside the server) means "never cancelled" and
+/// costs one thread-local read per check.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace spindle {
+
+/// \brief Shared cancellation flag for one request. Thread-safe; cheap to
+/// poll (one relaxed atomic load while untripped).
+class CancelToken {
+ public:
+  /// \brief Trips the token with a reason. First caller wins; later calls
+  /// are no-ops. `reason` must be kDeadlineExceeded or kCancelled.
+  void Cancel(StatusCode reason) {
+    StatusCode expected = StatusCode::kOk;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+  }
+
+  bool cancelled() const {
+    return reason_.load(std::memory_order_acquire) != StatusCode::kOk;
+  }
+
+  /// \brief kOk while untripped, else the winning Cancel() reason.
+  StatusCode reason() const {
+    return reason_.load(std::memory_order_acquire);
+  }
+
+  /// \brief OK while untripped, else the corresponding error Status.
+  Status ToStatus() const {
+    switch (reason()) {
+      case StatusCode::kOk:
+        return Status::OK();
+      case StatusCode::kCancelled:
+        return Status::Cancelled("request cancelled by client");
+      default:
+        return Status::DeadlineExceeded("request deadline exceeded");
+    }
+  }
+
+ private:
+  std::atomic<StatusCode> reason_{StatusCode::kOk};
+};
+
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
+/// \brief Admission-control priority class of a request. Within a class
+/// the admission queue is strictly FIFO; interactive requests are always
+/// served before queued batch requests.
+enum class Priority : uint8_t { kInteractive = 0, kBatch = 1 };
+
+/// \brief One client request's identity as seen by the engine: deadline,
+/// cancel token, priority.
+struct RequestContext {
+  using Clock = std::chrono::steady_clock;
+
+  /// Cooperative cancellation flag; may be shared with the client side so
+  /// it can cancel explicitly. Null means "not cancellable".
+  CancelTokenPtr token;
+
+  /// Absolute deadline; Clock::time_point::max() means none.
+  Clock::time_point deadline = Clock::time_point::max();
+
+  Priority priority = Priority::kInteractive;
+
+  bool has_deadline() const { return deadline != Clock::time_point::max(); }
+
+  /// \brief Polls this context: trips the token once the deadline passes,
+  /// then reports the token's status. OK means "keep going".
+  Status Check() const {
+    if (token == nullptr) return Status::OK();
+    if (!token->cancelled() && has_deadline() &&
+        Clock::now() >= deadline) {
+      token->Cancel(StatusCode::kDeadlineExceeded);
+    }
+    return token->ToStatus();
+  }
+
+  /// \brief The calling thread's ambient request, or nullptr when the
+  /// thread is not serving a request (library usage).
+  static const RequestContext* Current();
+
+  /// \brief Polls the ambient request; OK when there is none. This is the
+  /// engine-wide cancellation point — cheap enough for per-morsel use.
+  static Status CheckCurrent() {
+    const RequestContext* rc = Current();
+    return rc == nullptr ? Status::OK() : rc->Check();
+  }
+
+  /// \brief True if the ambient request is cancelled/expired (polling
+  /// form of CheckCurrent for void contexts like ParallelFor's driver).
+  static bool CurrentCancelled() {
+    const RequestContext* rc = Current();
+    return rc != nullptr && !rc->Check().ok();
+  }
+
+  /// \brief Convenience: a context whose deadline is `ms` from now (with
+  /// a fresh token); ms <= 0 means no deadline but still cancellable.
+  static RequestContext WithDeadlineMs(int64_t ms,
+                                       Priority priority =
+                                           Priority::kInteractive) {
+    RequestContext rc;
+    rc.token = std::make_shared<CancelToken>();
+    rc.priority = priority;
+    if (ms > 0) rc.deadline = Clock::now() + std::chrono::milliseconds(ms);
+    return rc;
+  }
+};
+
+/// \brief RAII thread-local override of RequestContext::Current(); scopes
+/// nest exactly like ScopedExecContext. The context is copied (tokens are
+/// shared_ptr, so every scope of one request trips together).
+class ScopedRequestContext {
+ public:
+  explicit ScopedRequestContext(RequestContext ctx);
+  ~ScopedRequestContext();
+
+  ScopedRequestContext(const ScopedRequestContext&) = delete;
+  ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+
+ private:
+  RequestContext ctx_;
+  const RequestContext* prev_;
+};
+
+}  // namespace spindle

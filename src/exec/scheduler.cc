@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "exec/request_context.h"
+
 namespace spindle {
 
 namespace {
@@ -145,9 +147,18 @@ void TaskGroup::Spawn(Task task) {
   std::shared_ptr<State> state = state_;
   // Capture the spawning thread's context so the task sees the same
   // thread budget / morsel size (ExecContext::Current() is thread-local).
+  // The request context (deadline / cancel token) travels the same way so
+  // pool workers hit the same cancellation points as the request thread.
   ExecContext ctx = ExecContext::Current();
-  scheduler_.Submit([state, ctx, task = std::move(task)]() {
+  const RequestContext* rc = RequestContext::Current();
+  std::shared_ptr<RequestContext> req =
+      rc == nullptr ? nullptr : std::make_shared<RequestContext>(*rc);
+  scheduler_.Submit([state, ctx, req, task = std::move(task)]() {
     ScopedExecContext scope(ctx);
+    std::unique_ptr<ScopedRequestContext> req_scope;
+    if (req != nullptr) {
+      req_scope = std::make_unique<ScopedRequestContext>(*req);
+    }
     try {
       task();
     } catch (...) {
@@ -191,7 +202,11 @@ void ParallelFor(const ExecContext& ctx, size_t n,
 
   if (ctx.threads <= 1 || num_morsels == 1) {
     // Serial path: exact legacy loop, ascending order, calling thread.
+    // The per-morsel cancellation check mirrors the parallel driver: a
+    // cancelled request stops between morsels, and the caller's
+    // cancellation point turns the abandoned partial into a Status.
     for (size_t m = 0; m < num_morsels; ++m) {
+      if (RequestContext::CurrentCancelled()) return;
       size_t begin = m * morsel;
       size_t end = std::min(begin + morsel, n);
       body(begin, end, m);
@@ -208,6 +223,13 @@ void ParallelFor(const ExecContext& ctx, size_t n,
   auto next = std::make_shared<std::atomic<size_t>>(0);
   auto run_morsels = [&body, next, n, morsel, num_morsels]() {
     for (;;) {
+      // Morsel-granular cancellation: once the ambient request is
+      // cancelled or past its deadline, stop claiming morsels so the
+      // request frees its cores promptly. Remaining morsels are simply
+      // never run; the caller must check its request context afterwards
+      // and discard the partial result (every Result-returning caller
+      // in the engine does).
+      if (RequestContext::CurrentCancelled()) return;
       size_t m = next->fetch_add(1, std::memory_order_relaxed);
       if (m >= num_morsels) return;
       size_t begin = m * morsel;

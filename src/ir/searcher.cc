@@ -1,6 +1,7 @@
 #include "ir/searcher.h"
 
 #include "engine/ops.h"
+#include "exec/request_context.h"
 #include "ir/phrase.h"
 #include "ir/topk_pruning.h"
 
@@ -57,7 +58,8 @@ Result<RelationPtr> RankWithModel(const TextIndex& index,
 }
 
 Result<TextIndexPtr> Searcher::GetOrBuildIndex(
-    const RelationPtr& docs, const std::string& collection_signature) {
+    const RelationPtr& docs, const std::string& collection_signature,
+    Stats* call_stats) {
   SPINDLE_ASSIGN_OR_RETURN(Analyzer analyzer,
                            Analyzer::Make(analyzer_options_));
   std::string key = collection_signature + "|" + analyzer.Signature();
@@ -65,10 +67,12 @@ Result<TextIndexPtr> Searcher::GetOrBuildIndex(
     std::lock_guard<std::mutex> lock(mu_);
     auto it = indexes_.find(key);
     if (it != indexes_.end()) {
-      stats_.index_hits++;
+      stats_.index_hits.fetch_add(1, std::memory_order_relaxed);
+      if (call_stats != nullptr) call_stats->index_hits++;
       return it->second;
     }
-    stats_.index_misses++;
+    stats_.index_misses.fetch_add(1, std::memory_order_relaxed);
+    if (call_stats != nullptr) call_stats->index_misses++;
   }
   // Build outside the lock (it is the expensive part); on a race the
   // first inserted index wins and the duplicate build is discarded.
@@ -81,14 +85,20 @@ Result<TextIndexPtr> Searcher::GetOrBuildIndex(
 Result<RelationPtr> Searcher::Search(const RelationPtr& docs,
                                      const std::string& collection_signature,
                                      const std::string& query,
-                                     const SearchOptions& options) {
-  SPINDLE_ASSIGN_OR_RETURN(TextIndexPtr index,
-                           GetOrBuildIndex(docs, collection_signature));
+                                     const SearchOptions& options,
+                                     Stats* call_stats) {
+  // Entry cancellation point: don't even build/fetch the index for a
+  // request that is already past its deadline.
+  SPINDLE_RETURN_IF_ERROR(RequestContext::CheckCurrent());
+  SPINDLE_ASSIGN_OR_RETURN(
+      TextIndexPtr index,
+      GetOrBuildIndex(docs, collection_signature, call_stats));
   if (options.phrase_boost > 0.0 && options.model == RankModel::kBm25) {
     SPINDLE_ASSIGN_OR_RETURN(
         RelationPtr scored,
         RankBm25PhraseBoosted(*index, query,
                               {options.bm25, options.phrase_boost}));
+    SPINDLE_RETURN_IF_ERROR(RequestContext::CheckCurrent());
     size_t k = options.top_k == 0 ? scored->num_rows() : options.top_k;
     return TopK(scored, kRankOrder, k);
   }
@@ -99,14 +109,26 @@ Result<RelationPtr> Searcher::Search(const RelationPtr& docs,
     PruningStats pstats;
     SPINDLE_ASSIGN_OR_RETURN(RelationPtr result,
                              RankTopK(*index, qterms, options, &pstats));
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.docs_scored += pstats.docs_scored;
-    stats_.docs_skipped += pstats.docs_skipped;
-    stats_.blocks_skipped += pstats.blocks_skipped;
-    stats_.fused_path_used++;
+    stats_.docs_scored.fetch_add(pstats.docs_scored,
+                                 std::memory_order_relaxed);
+    stats_.docs_skipped.fetch_add(pstats.docs_skipped,
+                                  std::memory_order_relaxed);
+    stats_.blocks_skipped.fetch_add(pstats.blocks_skipped,
+                                    std::memory_order_relaxed);
+    stats_.fused_path_used.fetch_add(1, std::memory_order_relaxed);
+    if (call_stats != nullptr) {
+      call_stats->docs_scored += pstats.docs_scored;
+      call_stats->docs_skipped += pstats.docs_skipped;
+      call_stats->blocks_skipped += pstats.blocks_skipped;
+      call_stats->fused_path_used++;
+    }
     return result;
   }
-  return RankWithModel(*index, qterms, options);
+  Result<RelationPtr> exhaustive = RankWithModel(*index, qterms, options);
+  // The exhaustive cascade runs morsel-parallel operators that stop
+  // dispensing when the request is cancelled; discard any partial.
+  SPINDLE_RETURN_IF_ERROR(RequestContext::CheckCurrent());
+  return exhaustive;
 }
 
 }  // namespace spindle

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -43,6 +44,10 @@ struct SearchOptions {
 /// \brief Builds, caches and queries on-demand text indexes.
 class Searcher {
  public:
+  /// \brief Plain counter snapshot. Used both as the service-wide total
+  /// (stats()) and as the per-call contribution a concurrent caller can
+  /// request via Search's out-param — concurrent Search calls each get
+  /// their own exact counters instead of diffing a racing shared total.
   struct Stats {
     uint64_t index_hits = 0;
     uint64_t index_misses = 0;
@@ -65,16 +70,25 @@ class Searcher {
   /// building it if `collection_signature` has not been seen (or the
   /// analyzer changed). The signature must uniquely identify the
   /// collection contents — e.g. a SpinQL expression signature or a
-  /// catalog name + version.
+  /// catalog name + version. When `call_stats` is non-null the call's
+  /// index hit/miss is added to it as well as to the shared totals.
   Result<TextIndexPtr> GetOrBuildIndex(
-      const RelationPtr& docs, const std::string& collection_signature);
+      const RelationPtr& docs, const std::string& collection_signature,
+      Stats* call_stats = nullptr);
 
   /// \brief Ranks `docs` for `query`; returns (docID, score) sorted by
   /// score descending, cut to options.top_k.
+  ///
+  /// Thread-safe: any number of threads may Search through one Searcher.
+  /// `call_stats` (optional) receives exactly this call's counters —
+  /// accumulated locally, so it is race-free under concurrent serving.
+  /// Honors the ambient RequestContext: a cancelled or past-deadline
+  /// request returns kDeadlineExceeded/kCancelled instead of a result.
   Result<RelationPtr> Search(const RelationPtr& docs,
                              const std::string& collection_signature,
                              const std::string& query,
-                             const SearchOptions& options = {});
+                             const SearchOptions& options = {},
+                             Stats* call_stats = nullptr);
 
   /// \brief Drops all cached indexes (cold-start measurements).
   void ClearIndexCache() {
@@ -82,22 +96,43 @@ class Searcher {
     indexes_.clear();
   }
 
-  /// \brief Counter snapshot (by value: concurrent searches mutate them).
+  /// \brief Snapshot of the shared totals (atomic counters; a snapshot
+  /// taken while searches are in flight is a consistent set of
+  /// monotonically-lagging values).
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    Stats s;
+    s.index_hits = stats_.index_hits.load(std::memory_order_relaxed);
+    s.index_misses = stats_.index_misses.load(std::memory_order_relaxed);
+    s.docs_scored = stats_.docs_scored.load(std::memory_order_relaxed);
+    s.docs_skipped = stats_.docs_skipped.load(std::memory_order_relaxed);
+    s.blocks_skipped = stats_.blocks_skipped.load(std::memory_order_relaxed);
+    s.fused_path_used =
+        stats_.fused_path_used.load(std::memory_order_relaxed);
+    return s;
   }
   const AnalyzerOptions& analyzer_options() const {
     return analyzer_options_;
   }
 
  private:
+  /// Shared totals as atomics: Search never takes mu_ on the scoring
+  /// path, so stats accumulation cannot serialize (or race) concurrent
+  /// queries.
+  struct AtomicStats {
+    std::atomic<uint64_t> index_hits{0};
+    std::atomic<uint64_t> index_misses{0};
+    std::atomic<uint64_t> docs_scored{0};
+    std::atomic<uint64_t> docs_skipped{0};
+    std::atomic<uint64_t> blocks_skipped{0};
+    std::atomic<uint64_t> fused_path_used{0};
+  };
+
   AnalyzerOptions analyzer_options_;
-  /// Guards indexes_ and stats_ so concurrent queries can share one
-  /// Searcher; index builds happen outside the lock (first build wins).
+  /// Guards indexes_ only; index builds happen outside the lock (first
+  /// build wins).
   mutable std::mutex mu_;
   std::unordered_map<std::string, TextIndexPtr> indexes_;
-  Stats stats_;
+  AtomicStats stats_;
 };
 
 /// \brief Runs the configured model over a prebuilt index: (docID, score)

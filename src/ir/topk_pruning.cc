@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/request_context.h"
 #include "exec/scheduler.h"
 #include "ir/indexing.h"
 
@@ -320,7 +321,17 @@ void RankRange(const ImpactIndex& impact, const ModelCtx& m,
   std::vector<char> present(ne, 0);
 
   size_t first_essential = 0;  // index into `order`
+  uint32_t cancel_probe = 0;
   while (true) {
+    // Sub-morsel cancellation point: the serial fused path scores one
+    // whole collection in a single range, so morsel-boundary checks alone
+    // would never fire. Every 4096 candidates is ~100 µs of work; a
+    // cancelled range just stops early — RankTopK discards the partial
+    // heap by returning the token's status.
+    if ((++cancel_probe & 0xFFFu) == 0 &&
+        RequestContext::CurrentCancelled()) {
+      break;
+    }
     const double theta = heap.size() == k ? heap.front().score : neg_inf;
 
     // Grow the non-essential prefix while its total bound (plus the
@@ -551,6 +562,9 @@ Result<RelationPtr> RankTopK(const TextIndex& index,
     RankRange(impact, m, entries, 0, static_cast<uint32_t>(num_docs),
               options.top_k, cands, local);
   }
+  // If the request was cancelled, some ranges stopped early and `cands`
+  // is incomplete — surface the deadline instead of a wrong top-k.
+  SPINDLE_RETURN_IF_ERROR(RequestContext::CheckCurrent());
 
   const size_t n = std::min(options.top_k, cands.size());
   std::partial_sort(cands.begin(), cands.begin() + n, cands.end(), Beats);

@@ -1,0 +1,79 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace spindle {
+namespace server {
+
+bool AdmissionController::IsNext(uint64_t id) const {
+  if (!queues_[0].empty()) return queues_[0].front() == id;
+  return !queues_[1].empty() && queues_[1].front() == id;
+}
+
+void AdmissionController::RemoveWaiter(uint64_t id, int pri) {
+  auto& q = queues_[pri];
+  auto it = std::find(q.begin(), q.end(), id);
+  if (it != q.end()) q.erase(it);
+}
+
+Status AdmissionController::Admit(const RequestContext& rc,
+                                  uint64_t* queue_wait_us) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int pri = static_cast<int>(rc.priority);
+  std::unique_lock<std::mutex> lock(mu_);
+
+  // Shed on arrival: the queue is the only buffer, and it is bounded.
+  if (queues_[0].size() + queues_[1].size() >= opts_.max_queue) {
+    ++shed_total_;
+    return Status::Overloaded(
+        "admission queue full (" + std::to_string(opts_.max_queue) +
+        " waiting, " + std::to_string(inflight_) + " in flight)");
+  }
+
+  // Even when a slot is free, go through the queue: a new arrival must
+  // not barge past already-queued waiters of its class.
+  const uint64_t id = next_id_++;
+  queues_[pri].push_back(id);
+
+  for (;;) {
+    if (IsNext(id) && inflight_ < opts_.max_inflight) {
+      queues_[pri].pop_front();
+      ++inflight_;
+      // The next waiter may also fit (several Releases can land while
+      // the head waiter was scheduled out).
+      cv_.notify_all();
+      if (queue_wait_us != nullptr) {
+        *queue_wait_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      }
+      return Status::OK();
+    }
+    // A queued request that dies (deadline / explicit cancel) must leave
+    // the queue rather than be admitted to do no work.
+    Status st = rc.Check();
+    if (!st.ok()) {
+      RemoveWaiter(id, pri);
+      cv_.notify_all();  // the waiter behind us may now be next
+      return st;
+    }
+    if (rc.token != nullptr && rc.has_deadline()) {
+      cv_.wait_until(lock, rc.deadline);
+    } else {
+      // Bounded nap: an external CancelToken::Cancel does not know this
+      // cv, so poll the token at a coarse interval.
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_;
+  cv_.notify_all();
+}
+
+}  // namespace server
+}  // namespace spindle

@@ -1,0 +1,87 @@
+/// \file admission.h
+/// \brief Admission control for the query service: bounds in-flight
+/// queries, queues the overflow FIFO per priority class, and sheds load
+/// with Status::Overloaded once the queue cap is hit.
+///
+/// Guarantees:
+///  - at most Options::max_inflight requests execute concurrently;
+///  - within a priority class, waiters are admitted in strict arrival
+///    order (FIFO fairness — no barging, even by the fast path);
+///  - kInteractive waiters are always admitted before kBatch waiters;
+///  - arrival when the queue already holds Options::max_queue waiters
+///    returns Overloaded immediately (bounded memory, explicit shedding,
+///    never unbounded queuing);
+///  - a queued request whose deadline passes (or whose token is
+///    cancelled) leaves the queue and returns the token's status instead
+///    of occupying a slot it can no longer use.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/status.h"
+#include "exec/request_context.h"
+
+namespace spindle {
+namespace server {
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Maximum concurrently executing requests.
+    int max_inflight = 4;
+    /// Maximum queued (admitted-pending) requests across both priority
+    /// classes; arrivals beyond this shed with Overloaded.
+    size_t max_queue = 64;
+  };
+
+  explicit AdmissionController(Options options) : opts_(options) {}
+
+  /// \brief Blocks until this request may execute, then claims a slot.
+  /// Returns OK (caller MUST pair with Release()), Overloaded (shed on
+  /// arrival, no slot claimed), or the request's cancellation status
+  /// (deadline passed / token cancelled while queued, no slot claimed).
+  /// `queue_wait_us`, when non-null, receives the time spent queued.
+  Status Admit(const RequestContext& rc, uint64_t* queue_wait_us = nullptr);
+
+  /// \brief Returns the slot claimed by a successful Admit().
+  void Release();
+
+  int inflight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inflight_;
+  }
+  size_t queued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queues_[0].size() + queues_[1].size();
+  }
+  uint64_t shed_total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shed_total_;
+  }
+
+  const Options& options() const { return opts_; }
+
+ private:
+  /// True when `id` is the next waiter to admit: the head of the highest
+  /// priority non-empty queue. Caller holds mu_.
+  bool IsNext(uint64_t id) const;
+  /// Removes `id` from its queue (abandoned waiter). Caller holds mu_.
+  void RemoveWaiter(uint64_t id, int pri);
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int inflight_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t shed_total_ = 0;
+  /// Waiter ids in arrival order, one queue per priority class
+  /// (index = static_cast<int>(Priority)).
+  std::deque<uint64_t> queues_[2];
+};
+
+}  // namespace server
+}  // namespace spindle

@@ -1,0 +1,140 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace spindle {
+namespace server {
+
+Status LineClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status st = Status::Internal("connect " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+    Close();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  char chunk[4096];
+  size_t nl;
+  while ((nl = buffer_.find('\n')) == std::string::npos) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return Status::Internal("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  std::string line = buffer_.substr(0, nl);
+  buffer_.erase(0, nl + 1);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+Result<WireResponse> LineClient::Call(const std::string& line) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  std::string out = line;
+  out += "\n";
+  size_t sent = 0;
+  while (sent < out.size()) {
+    ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status::Internal("send failed: connection lost");
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  SPINDLE_ASSIGN_OR_RETURN(std::string header, ReadLine());
+  if (header.rfind("ERR ", 0) == 0) {
+    std::string rest = header.substr(4);
+    size_t sp = rest.find(' ');
+    std::string name = sp == std::string::npos ? rest : rest.substr(0, sp);
+    std::string msg = sp == std::string::npos ? "" : rest.substr(sp + 1);
+    StatusCode code;
+    if (!StatusCodeFromName(name, &code)) code = StatusCode::kInternal;
+    return Status(code, std::move(msg));
+  }
+  if (header.rfind("OK ", 0) != 0) {
+    return Status::Internal("malformed response header: " + header);
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long n = std::strtoll(header.c_str() + 3, &end, 10);
+  if (errno == ERANGE || end == header.c_str() + 3 || n < 0) {
+    return Status::Internal("malformed response count: " + header);
+  }
+  WireResponse resp;
+  resp.rows.reserve(static_cast<size_t>(n));
+  for (long long i = 0; i < n; ++i) {
+    SPINDLE_ASSIGN_OR_RETURN(std::string row, ReadLine());
+    resp.rows.push_back(std::move(row));
+  }
+  return resp;
+}
+
+Result<WireResponse> LineClient::Search(const std::string& collection,
+                                        size_t k, int64_t deadline_ms,
+                                        const std::string& query) {
+  return Call("SEARCH " + collection + " " + std::to_string(k) + " " +
+              std::to_string(deadline_ms) + " " + query);
+}
+
+Result<WireResponse> LineClient::Spinql(int64_t deadline_ms,
+                                        const std::string& expression) {
+  return Call("SPINQL " + std::to_string(deadline_ms) + " " + expression);
+}
+
+Result<std::string> LineClient::Stats() {
+  SPINDLE_ASSIGN_OR_RETURN(WireResponse resp, Call("STATS"));
+  if (resp.rows.size() != 1) {
+    return Status::Internal("STATS returned " +
+                            std::to_string(resp.rows.size()) + " rows");
+  }
+  return resp.rows[0];
+}
+
+Status LineClient::Ping() {
+  Result<WireResponse> resp = Call("PING");
+  return resp.ok() ? Status::OK() : resp.status();
+}
+
+Status LineClient::Shutdown() {
+  Result<WireResponse> resp = Call("SHUTDOWN");
+  return resp.ok() ? Status::OK() : resp.status();
+}
+
+}  // namespace server
+}  // namespace spindle

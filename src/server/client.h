@@ -1,0 +1,72 @@
+/// \file client.h
+/// \brief Line-protocol client for spindle_serve (see line_server.h for
+/// the wire format). Used by the spindle_client binary, the concurrent
+/// smoke tests and the CI server-smoke step.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spindle {
+namespace server {
+
+/// \brief One server reply: the data lines of an OK block. An ERR reply
+/// is surfaced as the Result's Status (code re-hydrated from the wire).
+struct WireResponse {
+  std::vector<std::string> rows;
+};
+
+/// \brief Blocking line-protocol client; one TCP connection. Not
+/// thread-safe — use one client per thread (connections are cheap).
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient() { Close(); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  LineClient(LineClient&& other) noexcept { *this = std::move(other); }
+  LineClient& operator=(LineClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      buffer_ = std::move(other.buffer_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// \brief Connects to a running spindle_serve.
+  Status Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// \brief Sends one request line and reads the full response. A
+  /// protocol-level ERR becomes the returned Status; transport errors
+  /// are kInternal.
+  Result<WireResponse> Call(const std::string& line);
+
+  /// Convenience wrappers over Call().
+  Result<WireResponse> Search(const std::string& collection, size_t k,
+                              int64_t deadline_ms,
+                              const std::string& query);
+  Result<WireResponse> Spinql(int64_t deadline_ms,
+                              const std::string& expression);
+  Result<std::string> Stats();
+  Status Ping();
+  Status Shutdown();
+
+ private:
+  Result<std::string> ReadLine();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace server
+}  // namespace spindle

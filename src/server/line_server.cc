@@ -1,0 +1,325 @@
+#include "server/line_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace spindle {
+namespace server {
+
+namespace {
+
+/// One wire field from a cell: float64 printed with %.17g so the client
+/// reparses the exact double; strings escape the protocol's framing
+/// characters.
+std::string FieldOf(const Column& col, size_t row) {
+  switch (col.type()) {
+    case DataType::kInt64:
+      return std::to_string(col.Int64At(row));
+    case DataType::kFloat64: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", col.Float64At(row));
+      return buf;
+    }
+    case DataType::kString: {
+      const std::string& s = col.StringAt(row);
+      std::string out;
+      out.reserve(s.size());
+      for (char c : s) {
+        if (c == '\\') {
+          out += "\\\\";
+        } else if (c == '\t') {
+          out += "\\t";
+        } else if (c == '\n') {
+          out += "\\n";
+        } else {
+          out.push_back(c);
+        }
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string SanitizeMessage(const std::string& msg) {
+  std::string out;
+  out.reserve(msg.size());
+  for (char c : msg) out.push_back((c == '\n' || c == '\t') ? ' ' : c);
+  return out;
+}
+
+std::string ErrLine(const Status& st) {
+  return std::string("ERR ") + StatusCodeName(st.code()) + " " +
+         SanitizeMessage(st.message()) + "\n";
+}
+
+std::string OkBlock(const std::vector<std::string>& rows) {
+  std::string out = "OK " + std::to_string(rows.size()) + "\n";
+  for (const std::string& r : rows) {
+    out += r;
+    out += "\n";
+  }
+  return out;
+}
+
+/// Splits off the first whitespace-delimited word; returns the rest
+/// (leading spaces stripped).
+std::string TakeWord(std::string* rest) {
+  size_t start = rest->find_first_not_of(' ');
+  if (start == std::string::npos) {
+    rest->clear();
+    return "";
+  }
+  size_t end = rest->find(' ', start);
+  std::string word = end == std::string::npos
+                         ? rest->substr(start)
+                         : rest->substr(start, end - start);
+  *rest = end == std::string::npos ? "" : rest->substr(end + 1);
+  size_t lead = rest->find_first_not_of(' ');
+  if (lead == std::string::npos) {
+    rest->clear();
+  } else if (lead > 0) {
+    *rest = rest->substr(lead);
+  }
+  return word;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> SerializeRows(const Relation& rel) {
+  std::vector<std::string> rows;
+  rows.reserve(rel.num_rows());
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    std::string line;
+    for (size_t c = 0; c < rel.num_columns(); ++c) {
+      if (c > 0) line += "\t";
+      line += FieldOf(rel.column(c), r);
+    }
+    rows.push_back(std::move(line));
+  }
+  return rows;
+}
+
+LineServer::LineServer(QueryService* service, LineServerOptions options)
+    : service_(service), opts_(std::move(options)) {}
+
+LineServer::~LineServer() { Stop(); }
+
+Status LineServer::Start() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen host: " + opts_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::Internal(std::string("bind: ") +
+                                 std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 128) != 0) {
+    Status st = Status::Internal(std::string("listen: ") +
+                                 std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                    &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void LineServer::AcceptLoop() {
+  // Loaded once: Start() published the fd before spawning this thread,
+  // and Stop() invalidates the member (not this copy) when it closes the
+  // socket — accept() then fails and the loop exits via stopping_.
+  const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void LineServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    size_t nl;
+    while ((nl = buffer.find('\n')) == std::string::npos) {
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        open = false;
+        break;
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    if (!open) break;
+    std::string line = buffer.substr(0, nl);
+    buffer.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    bool close_connection = false;
+    std::string response = HandleLine(line, &close_connection);
+    size_t sent = 0;
+    while (sent < response.size()) {
+      ssize_t n = ::send(fd, response.data() + sent,
+                         response.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        open = false;
+        break;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    if (close_connection) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_fds_.erase(fd);
+}
+
+std::string LineServer::HandleLine(const std::string& line,
+                                   bool* close_connection) {
+  std::string rest = line;
+  std::string cmd = TakeWord(&rest);
+
+  if (cmd == "PING") return OkBlock({});
+  if (cmd == "QUIT") {
+    *close_connection = true;
+    return OkBlock({});
+  }
+  if (cmd == "SHUTDOWN") {
+    *close_connection = true;
+    RequestShutdown();
+    return OkBlock({});
+  }
+  if (cmd == "STATS") return OkBlock({service_->MetricsJson()});
+
+  if (cmd == "SEARCH") {
+    SearchRequest req;
+    req.collection = TakeWord(&rest);
+    int64_t k = 0, deadline_ms = 0;
+    if (req.collection.empty() || !ParseInt64(TakeWord(&rest), &k) ||
+        !ParseInt64(TakeWord(&rest), &deadline_ms) || rest.empty()) {
+      return ErrLine(Status::InvalidArgument(
+          "usage: SEARCH <collection> <k> <deadline_ms> <query...>"));
+    }
+    if (k < 0) return ErrLine(Status::InvalidArgument("k must be >= 0"));
+    req.query = rest;
+    req.options.top_k = static_cast<size_t>(k);
+    req.request.deadline_ms = deadline_ms;
+    Result<QueryResponse> resp = service_->Search(req);
+    if (!resp.ok()) return ErrLine(resp.status());
+    return OkBlock(SerializeRows(*resp.ValueOrDie().rows));
+  }
+
+  if (cmd == "SPINQL") {
+    SpinqlRequest req;
+    int64_t deadline_ms = 0;
+    if (!ParseInt64(TakeWord(&rest), &deadline_ms) || rest.empty()) {
+      return ErrLine(Status::InvalidArgument(
+          "usage: SPINQL <deadline_ms> <expression...>"));
+    }
+    req.text = rest;
+    req.request.deadline_ms = deadline_ms;
+    Result<QueryResponse> resp = service_->EvalSpinql(req);
+    if (!resp.ok()) return ErrLine(resp.status());
+    return OkBlock(SerializeRows(*resp.ValueOrDie().rows));
+  }
+
+  return ErrLine(Status::InvalidArgument("unknown command: " + cmd));
+}
+
+void LineServer::WaitForShutdown() {
+  // Timed poll rather than a pure cv wait: a signal handler may only set
+  // an atomic (see spindle_serve_main.cc), never notify a cv.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    shutdown_cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+}
+
+void LineServer::RequestShutdown() {
+  stopping_.store(true, std::memory_order_release);
+  shutdown_cv_.notify_all();
+}
+
+void LineServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+  }
+  RequestShutdown();
+  // Unblock accept(): shutdown then close the listener. exchange() makes
+  // the close idempotent and race-free against the accept loop.
+  int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock connection reads, then join their threads.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+    started_ = false;
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace server
+}  // namespace spindle

@@ -1,0 +1,106 @@
+/// \file line_server.h
+/// \brief A small line-protocol TCP front-end over QueryService, so the
+/// same engine can be driven over a socket (spindle_serve binary).
+///
+/// Wire protocol (newline-terminated request lines; see docs/serving.md):
+///
+///   PING
+///   SEARCH <collection> <k> <deadline_ms> <query terms...>
+///   SPINQL <deadline_ms> <expression...>
+///   STATS
+///   QUIT        close this connection
+///   SHUTDOWN    stop the whole server (clean shutdown)
+///
+/// Responses are count-framed:
+///
+///   OK <n>\n        followed by exactly n data lines (tab-separated
+///                   columns; float64 columns printed with %.17g so a
+///                   client sees bit-identical doubles)
+///   ERR <Code> <message>\n   (message has newlines/tabs stripped)
+///
+/// Threading: one accept thread plus one thread per connection.
+/// Concurrency and overload are governed by the QueryService's admission
+/// controller, not by the socket layer.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "server/query_service.h"
+
+namespace spindle {
+namespace server {
+
+struct LineServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port() after Start().
+  int port = 0;
+};
+
+class LineServer {
+ public:
+  LineServer(QueryService* service, LineServerOptions options = {});
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// \brief Binds, listens and spawns the accept thread.
+  Status Start();
+
+  /// \brief The port actually bound (useful with options.port == 0).
+  int port() const { return port_; }
+
+  /// \brief Blocks until a SHUTDOWN command or RequestShutdown() arrives.
+  void WaitForShutdown();
+
+  /// \brief Asks the server to stop (called by the SHUTDOWN command; NOT
+  /// async-signal-safe — from a signal handler, set your own atomic and
+  /// poll stopping() from the main thread instead).
+  void RequestShutdown();
+
+  /// \brief True once shutdown has been requested.
+  bool stopping() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Stops accepting, closes every connection and joins all
+  /// threads. Idempotent. Must not be called from a connection thread —
+  /// use SHUTDOWN/RequestShutdown there and Stop() from the owner.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Handles one request line; returns the full response payload.
+  std::string HandleLine(const std::string& line, bool* close_connection);
+
+  QueryService* service_;
+  LineServerOptions opts_;
+  /// Atomic: Stop() invalidates it concurrently with the accept loop.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  std::vector<std::thread> conn_threads_;
+  std::set<int> conn_fds_;
+  bool started_ = false;
+};
+
+/// \brief Serializes a result relation into protocol data lines
+/// (tab-separated; float64 via %.17g; tabs/newlines/backslashes in
+/// strings escaped as \t, \n, \\). Shared with tests.
+std::vector<std::string> SerializeRows(const Relation& rel);
+
+}  // namespace server
+}  // namespace spindle

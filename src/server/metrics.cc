@@ -1,0 +1,86 @@
+#include "server/metrics.h"
+
+#include <bit>
+
+namespace spindle {
+namespace server {
+
+int LatencyHistogram::BucketOf(uint64_t us) {
+  if (us < (1u << kSubBits)) return static_cast<int>(us);  // exact tiny values
+  int octave = std::bit_width(us) - 1;                     // >= kSubBits
+  if (octave >= kOctaves) {
+    octave = kOctaves - 1;
+    us = (uint64_t{1} << kOctaves) - 1;
+  }
+  // Top kSubBits bits below the leading bit select the linear sub-bucket.
+  uint64_t sub = (us >> (octave - kSubBits)) & ((1u << kSubBits) - 1);
+  return (octave << kSubBits) + static_cast<int>(sub);
+}
+
+uint64_t LatencyHistogram::BucketUpperUs(int bucket) {
+  if (bucket < (1 << kSubBits)) return static_cast<uint64_t>(bucket);
+  int octave = bucket >> kSubBits;
+  uint64_t sub = static_cast<uint64_t>(bucket & ((1 << kSubBits) - 1));
+  uint64_t base = uint64_t{1} << octave;
+  uint64_t step = base >> kSubBits;
+  return base + (sub + 1) * step - 1;
+}
+
+uint64_t LatencyHistogram::PercentileUs(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  // Nearest-rank: the ceil(q/100 * total)-th smallest sample (1-based).
+  uint64_t rank = static_cast<uint64_t>(q / 100.0 * total);
+  if (rank * 100 < static_cast<uint64_t>(q * total)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpperUs(b);
+  }
+  return max_us();
+}
+
+std::string LatencyHistogram::ToJson() const {
+  uint64_t n = count();
+  double mean = n == 0 ? 0.0 : static_cast<double>(sum_us()) /
+                                   static_cast<double>(n);
+  std::string out = "{";
+  out += "\"count\":" + std::to_string(n);
+  out += ",\"mean_us\":" + std::to_string(mean);
+  out += ",\"max_us\":" + std::to_string(max_us());
+  out += ",\"p50_us\":" + std::to_string(PercentileUs(50));
+  out += ",\"p95_us\":" + std::to_string(PercentileUs(95));
+  out += ",\"p99_us\":" + std::to_string(PercentileUs(99));
+  out += "}";
+  return out;
+}
+
+std::string ServiceMetrics::SnapshotJson() const {
+  auto v = [](const std::atomic<uint64_t>& a) {
+    return std::to_string(a.load(std::memory_order_relaxed));
+  };
+  std::string out = "{";
+  out += "\"requests\":{";
+  out += "\"total\":" + v(requests_total);
+  out += ",\"ok\":" + v(requests_ok);
+  out += ",\"deadline_exceeded\":" + v(requests_deadline_exceeded);
+  out += ",\"cancelled\":" + v(requests_cancelled);
+  out += ",\"overloaded\":" + v(requests_overloaded);
+  out += ",\"error\":" + v(requests_error);
+  out += "},\"work\":{";
+  out += "\"docs_scored\":" + v(docs_scored);
+  out += ",\"docs_skipped\":" + v(docs_skipped);
+  out += ",\"index_hits\":" + v(index_hits);
+  out += ",\"index_misses\":" + v(index_misses);
+  out += ",\"cache_hits\":" + v(cache_hits);
+  out += ",\"cache_misses\":" + v(cache_misses);
+  out += "},\"latency_us\":" + latency_us.ToJson();
+  out += ",\"queue_wait_us\":" + queue_wait_us.ToJson();
+  out += "}";
+  return out;
+}
+
+}  // namespace server
+}  // namespace spindle

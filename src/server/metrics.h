@@ -1,0 +1,98 @@
+/// \file metrics.h
+/// \brief Service-wide observability: lock-free counters and latency
+/// histograms with percentile snapshots, exportable as JSON.
+///
+/// Recording is wait-free (one atomic add per sample), so the serving hot
+/// path never contends on a metrics lock. Snapshots read the buckets
+/// relaxed: the exported values are a consistent-enough monotone lag of
+/// the true totals, which is the standard contract for scrape-style
+/// metrics endpoints.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace spindle {
+namespace server {
+
+/// \brief Log-bucketed histogram of microsecond values.
+///
+/// Buckets are exponential with 4 linear sub-buckets per octave
+/// (resolution ~12% everywhere), covering 1 µs .. ~1.2 hours; larger
+/// samples clamp into the top bucket. Percentile estimates return the
+/// upper bound of the bucket containing the nearest-rank sample, so a
+/// reported p99 is always >= the true p99 (conservative for SLOs).
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 2;                   // 4 sub-buckets
+  static constexpr int kOctaves = 32;                  // up to 2^32 µs
+  static constexpr int kBuckets = kOctaves << kSubBits;
+
+  /// \brief Records one sample (microseconds). Wait-free.
+  void Record(uint64_t us) {
+    counts_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+    uint64_t prev = max_us_.load(std::memory_order_relaxed);
+    while (us > prev && !max_us_.compare_exchange_weak(
+                            prev, us, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+  uint64_t max_us() const { return max_us_.load(std::memory_order_relaxed); }
+
+  /// \brief Nearest-rank percentile (q in [0, 100]) in microseconds: the
+  /// upper bound of the bucket holding the rank-th sample; 0 when empty.
+  uint64_t PercentileUs(double q) const;
+
+  /// \brief {"count":n,"mean_us":x,"max_us":n,"p50_us":n,...}
+  std::string ToJson() const;
+
+  /// \brief Bucket index of a microsecond value.
+  static int BucketOf(uint64_t us);
+  /// \brief Inclusive upper bound of a bucket's value range.
+  static uint64_t BucketUpperUs(int bucket);
+
+ private:
+  std::atomic<uint64_t> counts_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+/// \brief The query service's counters and histograms. One instance per
+/// QueryService; everything is atomic so concurrent requests record
+/// without coordination.
+struct ServiceMetrics {
+  // Request outcomes.
+  std::atomic<uint64_t> requests_total{0};
+  std::atomic<uint64_t> requests_ok{0};
+  std::atomic<uint64_t> requests_deadline_exceeded{0};
+  std::atomic<uint64_t> requests_cancelled{0};
+  std::atomic<uint64_t> requests_overloaded{0};
+  std::atomic<uint64_t> requests_error{0};
+
+  // Work done on behalf of requests (rolled up from per-call stats).
+  std::atomic<uint64_t> docs_scored{0};
+  std::atomic<uint64_t> docs_skipped{0};
+  std::atomic<uint64_t> index_hits{0};
+  std::atomic<uint64_t> index_misses{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+
+  /// End-to-end request latency (admission + execution), microseconds.
+  LatencyHistogram latency_us;
+  /// Time spent queued in the admission controller, microseconds.
+  LatencyHistogram queue_wait_us;
+
+  /// \brief One JSON object with every counter and both histograms
+  /// (schema documented in docs/serving.md).
+  std::string SnapshotJson() const;
+};
+
+}  // namespace server
+}  // namespace spindle

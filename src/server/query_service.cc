@@ -1,0 +1,166 @@
+#include "server/query_service.h"
+
+#include <chrono>
+#include <exception>
+
+#include "exec/exec_context.h"
+
+namespace spindle {
+namespace server {
+
+namespace {
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+QueryService::QueryService(QueryServiceOptions options)
+    : opts_(options),
+      cache_(options.cache_budget_bytes),
+      searcher_(options.analyzer),
+      evaluator_(&catalog_, &cache_),
+      admission_(options.admission) {}
+
+void QueryService::RegisterCollection(const std::string& name,
+                                      RelationPtr docs) {
+  catalog_.RegisterEncoded(name, std::move(docs));
+}
+
+RequestContext QueryService::MakeContext(const RequestOptions& ro) const {
+  RequestContext rc;
+  rc.token = ro.token != nullptr ? ro.token
+                                 : std::make_shared<CancelToken>();
+  rc.priority = ro.priority;
+  int64_t ms = ro.deadline_ms != 0 ? ro.deadline_ms
+                                   : opts_.default_deadline_ms;
+  if (ms > 0) {
+    rc.deadline =
+        RequestContext::Clock::now() + std::chrono::milliseconds(ms);
+  }
+  return rc;
+}
+
+Result<RelationPtr> QueryService::RunAdmitted(
+    const RequestOptions& ro, RequestStats* stats,
+    const std::function<Result<RelationPtr>()>& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  metrics_.requests_total.fetch_add(1, std::memory_order_relaxed);
+  RequestContext rc = MakeContext(ro);
+
+  auto finish = [&](const Status& st) {
+    const uint64_t us = ElapsedUs(t0);
+    stats->latency_us = us;
+    metrics_.latency_us.Record(us);
+    metrics_.queue_wait_us.Record(stats->queue_wait_us);
+    switch (st.code()) {
+      case StatusCode::kOk:
+        metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kDeadlineExceeded:
+        metrics_.requests_deadline_exceeded.fetch_add(
+            1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kCancelled:
+        metrics_.requests_cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kOverloaded:
+        metrics_.requests_overloaded.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        metrics_.requests_error.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  };
+
+  Status admitted = admission_.Admit(rc, &stats->queue_wait_us);
+  if (!admitted.ok()) {
+    finish(admitted);
+    return admitted;
+  }
+
+  Result<RelationPtr> out = [&]() -> Result<RelationPtr> {
+    // The ambient request context is what every cancellation point in the
+    // engine consults; the exec context bounds per-query parallelism.
+    ScopedRequestContext request_scope(rc);
+    std::unique_ptr<ScopedExecContext> exec_scope;
+    if (opts_.threads > 0) {
+      exec_scope =
+          std::make_unique<ScopedExecContext>(ExecContext(opts_.threads));
+    }
+    // Exception firewall: the engine is Status-based, but a stray throw
+    // from malformed input must degrade to one failed request, not a
+    // terminated service.
+    try {
+      return body();
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("uncaught exception: ") +
+                              e.what());
+    } catch (...) {
+      return Status::Internal("uncaught non-standard exception");
+    }
+  }();
+  admission_.Release();
+
+  // Roll this request's work counters into the service totals.
+  metrics_.docs_scored.fetch_add(stats->search.docs_scored,
+                                 std::memory_order_relaxed);
+  metrics_.docs_skipped.fetch_add(stats->search.docs_skipped,
+                                  std::memory_order_relaxed);
+  metrics_.index_hits.fetch_add(stats->search.index_hits,
+                                std::memory_order_relaxed);
+  metrics_.index_misses.fetch_add(stats->search.index_misses,
+                                  std::memory_order_relaxed);
+
+  finish(out.ok() ? Status::OK() : out.status());
+  return out;
+}
+
+std::string QueryService::MetricsJson() {
+  // The materialization cache keeps its own internally-locked counters;
+  // mirror them into the snapshot so one JSON object tells the whole
+  // story.
+  MaterializationCache::Stats cs = cache_.stats();
+  metrics_.cache_hits.store(cs.hits, std::memory_order_relaxed);
+  metrics_.cache_misses.store(cs.misses, std::memory_order_relaxed);
+  return metrics_.SnapshotJson();
+}
+
+Result<QueryResponse> QueryService::Search(const SearchRequest& req) {
+  QueryResponse resp;
+  Result<RelationPtr> rows = RunAdmitted(
+      req.request, &resp.stats, [&]() -> Result<RelationPtr> {
+        SPINDLE_ASSIGN_OR_RETURN(RelationPtr docs,
+                                 catalog_.Get(req.collection));
+        // Same signature scheme the evaluator uses for base tables, so a
+        // catalog replace invalidates the cached index.
+        std::string sig =
+            "tbl:" + req.collection + "@" +
+            std::to_string(catalog_.Version(req.collection));
+        return searcher_.Search(docs, sig, req.query, req.options,
+                                &resp.stats.search);
+      });
+  if (!rows.ok()) return rows.status();
+  resp.rows = std::move(rows).ValueOrDie();
+  return resp;
+}
+
+Result<QueryResponse> QueryService::EvalSpinql(const SpinqlRequest& req) {
+  QueryResponse resp;
+  Result<RelationPtr> rows = RunAdmitted(
+      req.request, &resp.stats, [&]() -> Result<RelationPtr> {
+        Result<ProbRelation> r = evaluator_.EvalExpression(req.text);
+        if (!r.ok()) return r.status();
+        return r.ValueOrDie().rel();
+      });
+  if (!rows.ok()) return rows.status();
+  resp.rows = std::move(rows).ValueOrDie();
+  return resp;
+}
+
+}  // namespace server
+}  // namespace spindle

@@ -1,0 +1,143 @@
+/// \file query_service.h
+/// \brief The concurrent query-serving core: owns the catalog, the
+/// on-demand text indexes and the materialization cache, and executes
+/// keyword searches and SpinQL strategies on behalf of many clients.
+///
+/// Request lifecycle (docs/serving.md):
+///   1. a RequestContext is minted (deadline from the request, fresh or
+///      client-supplied CancelToken, priority);
+///   2. the admission controller grants a slot (FIFO per class) or sheds
+///      with Overloaded; queue wait is metered;
+///   3. the request context is installed as the thread's ambient context
+///      and the query executes through exactly the same library entry
+///      points (Searcher::Search / spinql::Evaluator) a direct caller
+///      would use — results are bit-identical to library calls;
+///   4. outcome, latency, queue wait and per-request work counters roll
+///      up into ServiceMetrics (JSON-snapshot exportable).
+///
+/// Thread safety: every public method may be called from any number of
+/// threads concurrently. The service assumes sole ownership of its
+/// Catalog mutations (RegisterCollection) happen-before serving starts.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/materialization_cache.h"
+#include "exec/request_context.h"
+#include "ir/searcher.h"
+#include "server/admission.h"
+#include "server/metrics.h"
+#include "spinql/evaluator.h"
+#include "storage/catalog.h"
+
+namespace spindle {
+namespace server {
+
+/// \brief Service-level configuration.
+struct QueryServiceOptions {
+  AdmissionController::Options admission;
+  /// Applied to requests that do not carry their own deadline; 0 = none.
+  int64_t default_deadline_ms = 0;
+  /// Engine threads per query (ExecContext); 0 = process default.
+  int threads = 0;
+  /// Materialization cache budget.
+  size_t cache_budget_bytes = 256u << 20;
+  /// Analyzer for keyword search.
+  AnalyzerOptions analyzer;
+};
+
+/// \brief Common per-request envelope.
+struct RequestOptions {
+  /// Relative deadline in milliseconds; 0 uses the service default,
+  /// negative disables the deadline explicitly.
+  int64_t deadline_ms = 0;
+  Priority priority = Priority::kInteractive;
+  /// Optional client-held token for explicit cancellation; when null the
+  /// service mints one internally (deadline enforcement needs a token).
+  CancelTokenPtr token;
+};
+
+/// \brief Per-request accounting returned with every response.
+struct RequestStats {
+  uint64_t latency_us = 0;     ///< admission + execution, end to end
+  uint64_t queue_wait_us = 0;  ///< time spent queued in admission
+  Searcher::Stats search;      ///< this call's searcher counters
+};
+
+struct SearchRequest {
+  std::string collection;  ///< catalog name of a (docID, text, ...) table
+  std::string query;
+  SearchOptions options;
+  RequestOptions request;
+};
+
+struct SpinqlRequest {
+  std::string text;  ///< one SpinQL expression
+  RequestOptions request;
+};
+
+struct QueryResponse {
+  RelationPtr rows;  ///< result relation (schema depends on the call)
+  RequestStats stats;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(QueryServiceOptions options = {});
+  ~QueryService() = default;
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// \brief Registers a (docID, text[, ...]) collection for keyword
+  /// search and SpinQL RelRefs. Not safe to call concurrently with
+  /// serving (load collections first, then serve).
+  void RegisterCollection(const std::string& name, RelationPtr docs);
+
+  /// \brief Keyword search against a registered collection. The result
+  /// relation is bit-identical to calling Searcher::Search directly with
+  /// the same options.
+  Result<QueryResponse> Search(const SearchRequest& req);
+
+  /// \brief Evaluates one SpinQL expression. The result relation is
+  /// bit-identical to spinql::Evaluator::EvalExpression on the same
+  /// catalog. Parse and evaluation errors surface as Status (never
+  /// terminate the process).
+  Result<QueryResponse> EvalSpinql(const SpinqlRequest& req);
+
+  /// \brief JSON snapshot of the service-wide metrics (request outcomes,
+  /// latency/queue-wait percentiles, searcher and materialization-cache
+  /// counters).
+  std::string MetricsJson();
+
+  Catalog& catalog() { return catalog_; }
+  const ServiceMetrics& metrics() const { return metrics_; }
+  AdmissionController& admission() { return admission_; }
+  const QueryServiceOptions& options() const { return opts_; }
+
+ private:
+  /// Builds the RequestContext for one call (deadline resolution, token
+  /// minting).
+  RequestContext MakeContext(const RequestOptions& ro) const;
+
+  /// Admission + ambient-context installation + metrics around `body`.
+  Result<RelationPtr> RunAdmitted(
+      const RequestOptions& ro, RequestStats* stats,
+      const std::function<Result<RelationPtr>()>& body);
+
+  QueryServiceOptions opts_;
+  Catalog catalog_;
+  MaterializationCache cache_;
+  Searcher searcher_;
+  spinql::Evaluator evaluator_;
+  AdmissionController admission_;
+  ServiceMetrics metrics_;
+};
+
+}  // namespace server
+}  // namespace spindle

@@ -1,0 +1,83 @@
+/// \file spindle_client_main.cc
+/// \brief The spindle_client binary: sends scripted request lines to a
+/// running spindle_serve and prints the responses. Exits non-zero if any
+/// request fails, so CI can assert on it.
+///
+///   spindle_client --port=7654 PING "SEARCH docs 5 0 word7 word11" STATS
+///   spindle_client --port=7654 --allow-err "SEARCH docs 5 1 word7" SHUTDOWN
+///
+/// Flags:
+///   --host=ADDR   server address (default 127.0.0.1)
+///   --port=N      server port (required)
+///   --allow-err   treat ERR responses as expected output, not failure
+///                 (transport errors still fail)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  bool allow_err = false;
+  int first_command = argc;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (FlagValue(argv[i], "--host", &v)) {
+      host = v;
+    } else if (FlagValue(argv[i], "--port", &v)) {
+      port = std::atoi(v.c_str());
+    } else if (std::strcmp(argv[i], "--allow-err") == 0) {
+      allow_err = true;
+    } else {
+      first_command = i;
+      break;
+    }
+  }
+  if (port <= 0 || first_command >= argc) {
+    std::fprintf(stderr,
+                 "usage: spindle_client --port=N [--host=A] [--allow-err] "
+                 "<request line>...\n");
+    return 2;
+  }
+
+  spindle::server::LineClient client;
+  spindle::Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  for (int i = first_command; i < argc; ++i) {
+    std::printf(">> %s\n", argv[i]);
+    auto resp = client.Call(argv[i]);
+    if (!resp.ok()) {
+      std::printf("ERR %s %s\n",
+                  spindle::StatusCodeName(resp.status().code()),
+                  resp.status().message().c_str());
+      bool transport = resp.status().code() == spindle::StatusCode::kInternal;
+      if (!allow_err || transport) ++failures;
+      continue;
+    }
+    const auto& rows = resp.ValueOrDie().rows;
+    std::printf("OK %zu\n", rows.size());
+    for (const std::string& row : rows) std::printf("%s\n", row.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,145 @@
+/// \file spindle_serve_main.cc
+/// \brief The spindle_serve binary: a line-protocol TCP front-end over a
+/// QueryService (docs/serving.md has a quickstart).
+///
+///   spindle_serve --generate=50000 --port=7654
+///   spindle_serve --generate=50000 --port=0 --port-file=port.txt
+///
+/// Flags:
+///   --port=N               listen port (0 = ephemeral; default 7654)
+///   --host=ADDR            listen address (default 127.0.0.1)
+///   --port-file=PATH       write the bound port to PATH (for scripts
+///                          that start with --port=0)
+///   --generate=N           register a synthetic N-doc collection as
+///                          "docs" (workload/text_gen.h)
+///   --queries-file=PATH    with --generate: write sample query lines
+///                          drawn from the generated vocabulary to PATH
+///                          (one per line, for scripted clients)
+///   --threads=N            engine threads per query (0 = default)
+///   --max-inflight=N       admission: concurrent queries (default 4)
+///   --max-queue=N          admission: queue cap (default 64)
+///   --default-deadline-ms=N  deadline for requests that send 0
+///
+/// Shuts down cleanly on the SHUTDOWN command, SIGINT or SIGTERM.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/line_server.h"
+#include "server/query_service.h"
+#include "workload/text_gen.h"
+
+namespace {
+
+std::sig_atomic_t g_signal_stop = 0;
+
+void HandleSignal(int) { g_signal_stop = 1; }
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using spindle::server::LineServer;
+  using spindle::server::LineServerOptions;
+  using spindle::server::QueryService;
+  using spindle::server::QueryServiceOptions;
+
+  LineServerOptions server_opts;
+  server_opts.port = 7654;
+  QueryServiceOptions service_opts;
+  std::string port_file;
+  std::string queries_file;
+  int64_t generate_docs = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (FlagValue(argv[i], "--port", &v)) {
+      server_opts.port = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--host", &v)) {
+      server_opts.host = v;
+    } else if (FlagValue(argv[i], "--port-file", &v)) {
+      port_file = v;
+    } else if (FlagValue(argv[i], "--generate", &v)) {
+      generate_docs = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--queries-file", &v)) {
+      queries_file = v;
+    } else if (FlagValue(argv[i], "--threads", &v)) {
+      service_opts.threads = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--max-inflight", &v)) {
+      service_opts.admission.max_inflight = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--max-queue", &v)) {
+      service_opts.admission.max_queue =
+          static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (FlagValue(argv[i], "--default-deadline-ms", &v)) {
+      service_opts.default_deadline_ms = std::atoll(v.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  QueryService service(service_opts);
+
+  if (generate_docs > 0) {
+    spindle::TextCollectionOptions gen;
+    gen.num_docs = generate_docs;
+    gen.vocab_size = std::max<int64_t>(2000, generate_docs / 2);
+    gen.avg_doc_len = 60;
+    auto docs = spindle::GenerateTextCollection(gen);
+    if (!docs.ok()) {
+      std::fprintf(stderr, "generate failed: %s\n",
+                   docs.status().ToString().c_str());
+      return 1;
+    }
+    service.RegisterCollection("docs", docs.MoveValueOrDie());
+    std::fprintf(stderr, "registered synthetic collection 'docs' (%lld docs)\n",
+                 static_cast<long long>(generate_docs));
+    if (!queries_file.empty()) {
+      // Vocabulary words are synthetic (base-26 scrambles, not "word7"),
+      // so scripted clients need real query terms; dump a sample workload.
+      std::FILE* f = std::fopen(queries_file.c_str(), "w");
+      if (f != nullptr) {
+        for (const std::string& q : spindle::GenerateQueries(gen, 16, 2)) {
+          std::fprintf(f, "%s\n", q.c_str());
+        }
+        std::fclose(f);
+      }
+    }
+  }
+
+  LineServer server(&service, server_opts);
+  spindle::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "LISTENING %s:%d\n", server_opts.host.c_str(),
+               server.port());
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%d\n", server.port());
+      std::fclose(f);
+    }
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_signal_stop == 0 && !server.stopping()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  std::fprintf(stderr, "shutdown complete\n%s\n",
+               service.MetricsJson().c_str());
+  return 0;
+}

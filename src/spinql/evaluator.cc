@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "engine/ops.h"
+#include "exec/request_context.h"
 #include "exec/scheduler.h"
 #include "ir/ranking.h"
 #include "ir/topk_pruning.h"
@@ -102,6 +103,9 @@ Result<std::string> Evaluator::Signature(const NodePtr& node,
 
 Result<ProbRelation> Evaluator::EvalNode(const NodePtr& node,
                                          const Program& program) {
+  // Operator-boundary cancellation point: a request past its deadline
+  // stops descending the plan and unwinds as a Status.
+  SPINDLE_RETURN_IF_ERROR(RequestContext::CheckCurrent());
   if (node->kind() == NodeKind::kRelRef) {
     auto bound = program.Lookup(node->rel_name());
     if (bound.ok()) return EvalNode(bound.ValueOrDie(), program);
@@ -317,6 +321,11 @@ Result<ProbRelation> Evaluator::EvalNode(const NodePtr& node,
       return Status::Internal("unreachable");
   }
 
+  // A cancelled request may have abandoned morsels inside the operator
+  // above (ParallelFor stops dispensing); its partial result must neither
+  // be cached nor returned. Checked after *every* operator, so a result
+  // that does escape is always complete.
+  SPINDLE_RETURN_IF_ERROR(RequestContext::CheckCurrent());
   if (cache_ != nullptr) {
     cache_->Put(signature, result.rel());
   }
@@ -444,6 +453,10 @@ Result<ProbRelation> Evaluator::EvalRank(const Node& node,
   } else {
     SPINDLE_ASSIGN_OR_RETURN(scored, RankWithModel(*index, qterms, options));
   }
+  // The ranking above may have been abandoned mid-morsel; never let a
+  // partial score relation reach the caller (or the TOPK fast path's
+  // cache insert).
+  SPINDLE_RETURN_IF_ERROR(RequestContext::CheckCurrent());
 
   // Map dense docIDs back to external ids; the document's own probability
   // multiplies the score (scores and sub-collection confidence combine

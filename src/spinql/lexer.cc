@@ -1,6 +1,9 @@
 #include "spinql/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 
 namespace spindle {
 namespace spinql {
@@ -10,6 +13,20 @@ namespace {
 Status LexError(size_t line, size_t col, const std::string& msg) {
   return Status::ParseError("line " + std::to_string(line) + ":" +
                             std::to_string(col) + ": " + msg);
+}
+
+/// Parses a numeric literal without throwing: std::stod raises
+/// std::out_of_range on inputs like "1e999" and malformed SpinQL must
+/// surface as Status::ParseError, never as an exception escaping the
+/// service (see docs/serving.md). Overflow to ±inf is reported as false.
+bool ParseNumber(const std::string& text, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (errno == ERANGE && !std::isfinite(v)) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace
@@ -67,7 +84,10 @@ Result<std::vector<Tok>> Lex(const std::string& source) {
         return LexError(tok.line, tok.col, "expected digits after '$'");
       }
       tok.kind = TokKind::kDollar;
-      tok.number = std::stod(source.substr(start, i - start));
+      if (!ParseNumber(source.substr(start, i - start), &tok.number)) {
+        return LexError(tok.line, tok.col,
+                        "attribute reference out of range");
+      }
       toks.push_back(std::move(tok));
       continue;
     }
@@ -103,7 +123,9 @@ Result<std::vector<Tok>> Lex(const std::string& source) {
         }
       }
       tok.kind = is_float ? TokKind::kFloat : TokKind::kInt;
-      tok.number = std::stod(source.substr(start, i - start));
+      if (!ParseNumber(source.substr(start, i - start), &tok.number)) {
+        return LexError(tok.line, tok.col, "numeric literal out of range");
+      }
       toks.push_back(std::move(tok));
       continue;
     }

@@ -1,0 +1,657 @@
+/// \file server_test.cc
+/// \brief Tests for the query-serving subsystem: cancellation tokens and
+/// deadlines, admission control (shedding, FIFO fairness, priorities),
+/// metrics histograms, the QueryService (bit-identical results vs direct
+/// library calls, concurrent smoke) and the line-protocol server.
+///
+/// The concurrent tests here also run under ThreadSanitizer in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/materialization_cache.h"
+#include "exec/exec_context.h"
+#include "exec/request_context.h"
+#include "exec/scheduler.h"
+#include "ir/searcher.h"
+#include "server/admission.h"
+#include "server/client.h"
+#include "server/line_server.h"
+#include "server/metrics.h"
+#include "server/query_service.h"
+#include "spinql/evaluator.h"
+#include "storage/catalog.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+namespace server {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------------------
+// CancelToken / RequestContext
+// ---------------------------------------------------------------------------
+
+TEST(CancelTokenTest, FirstCancellationWins) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.ToStatus().ok());
+
+  token.Cancel(StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), StatusCode::kDeadlineExceeded);
+
+  // A later cancel with a different reason must not overwrite the first.
+  token.Cancel(StatusCode::kCancelled);
+  EXPECT_EQ(token.reason(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RequestContextTest, ExpiredDeadlineTripsToken) {
+  RequestContext rc;
+  rc.token = std::make_shared<CancelToken>();
+  rc.deadline = RequestContext::Clock::now() - milliseconds(5);
+  ASSERT_TRUE(rc.has_deadline());
+
+  Status st = rc.Check();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  // The deadline check must trip the shared token so sibling threads of
+  // the same request observe the cancellation too.
+  EXPECT_TRUE(rc.token->cancelled());
+  EXPECT_EQ(rc.token->reason(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RequestContextTest, NoAmbientContextIsOk) {
+  // Library callers without a serving context pay one thread-local read
+  // and proceed.
+  EXPECT_EQ(RequestContext::Current(), nullptr);
+  EXPECT_TRUE(RequestContext::CheckCurrent().ok());
+  EXPECT_FALSE(RequestContext::CurrentCancelled());
+}
+
+TEST(RequestContextTest, ScopedInstallAndRestore) {
+  RequestContext rc = RequestContext::WithDeadlineMs(10'000);
+  {
+    ScopedRequestContext scope(rc);
+    ASSERT_NE(RequestContext::Current(), nullptr);
+    EXPECT_TRUE(RequestContext::CheckCurrent().ok());
+    rc.token->Cancel(StatusCode::kCancelled);
+    EXPECT_TRUE(RequestContext::CurrentCancelled());
+    EXPECT_EQ(RequestContext::CheckCurrent().code(), StatusCode::kCancelled);
+  }
+  EXPECT_EQ(RequestContext::Current(), nullptr);
+}
+
+TEST(RequestContextTest, ParallelForObservesCancelledContext) {
+  // A cancelled ambient context stops ParallelFor at morsel granularity:
+  // no morsel body runs when the token is tripped before the loop.
+  RequestContext rc;
+  rc.token = std::make_shared<CancelToken>();
+  rc.token->Cancel(StatusCode::kCancelled);
+  ScopedRequestContext scope(rc);
+
+  ExecContext serial(1);
+  std::atomic<size_t> rows{0};
+  ParallelFor(serial, serial.morsel_rows * 4,
+              [&](size_t, size_t begin, size_t end) {
+                rows.fetch_add(end - begin);
+              });
+  EXPECT_EQ(rows.load(), 0u);
+
+  ExecContext parallel(2);
+  ParallelFor(parallel, parallel.morsel_rows * 4,
+              [&](size_t, size_t begin, size_t end) {
+                rows.fetch_add(end - begin);
+              });
+  EXPECT_EQ(rows.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+RequestContext PlainContext(Priority pri = Priority::kInteractive) {
+  RequestContext rc;
+  rc.token = std::make_shared<CancelToken>();
+  rc.priority = pri;
+  return rc;
+}
+
+TEST(AdmissionTest, QueueCapSheds) {
+  AdmissionController::Options opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 1;
+  AdmissionController ac(opts);
+
+  // Claim the only slot.
+  ASSERT_TRUE(ac.Admit(PlainContext()).ok());
+  EXPECT_EQ(ac.inflight(), 1);
+
+  // One waiter fits in the queue; it parks with a short deadline.
+  std::thread waiter([&] {
+    RequestContext rc = RequestContext::WithDeadlineMs(30'000);
+    if (ac.Admit(rc).ok()) ac.Release();
+  });
+  while (ac.queued() < 1) std::this_thread::yield();
+
+  // The queue is at capacity: the next arrival sheds immediately.
+  Status st = ac.Admit(PlainContext());
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(ac.shed_total(), 1u);
+
+  ac.Release();  // lets the queued waiter through
+  waiter.join();
+  EXPECT_EQ(ac.inflight(), 0);
+  EXPECT_EQ(ac.queued(), 0u);
+}
+
+TEST(AdmissionTest, QueuedWaiterHonorsDeadline) {
+  AdmissionController::Options opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 8;
+  AdmissionController ac(opts);
+
+  ASSERT_TRUE(ac.Admit(PlainContext()).ok());  // occupy the slot
+
+  RequestContext rc = RequestContext::WithDeadlineMs(20);
+  Status st = ac.Admit(rc);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ac.queued(), 0u);  // the dead waiter left the queue
+
+  ac.Release();
+}
+
+TEST(AdmissionTest, QueuedWaiterHonorsExplicitCancel) {
+  AdmissionController::Options opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 8;
+  AdmissionController ac(opts);
+
+  ASSERT_TRUE(ac.Admit(PlainContext()).ok());
+
+  RequestContext rc = PlainContext();
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(milliseconds(20));
+    rc.token->Cancel(StatusCode::kCancelled);
+  });
+  Status st = ac.Admit(rc);
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  canceller.join();
+  ac.Release();
+}
+
+TEST(AdmissionTest, FifoFairnessWithinClass) {
+  AdmissionController::Options opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 16;
+  AdmissionController ac(opts);
+
+  ASSERT_TRUE(ac.Admit(PlainContext()).ok());  // hold the slot
+
+  // Enqueue waiters in a known arrival order (each waits for the previous
+  // one to be parked before arriving).
+  constexpr int kWaiters = 4;
+  std::vector<int> grant_order;
+  std::mutex order_mu;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    while (ac.queued() < static_cast<size_t>(i)) std::this_thread::yield();
+    waiters.emplace_back([&, i] {
+      RequestContext rc = RequestContext::WithDeadlineMs(60'000);
+      ASSERT_TRUE(ac.Admit(rc).ok());
+      {
+        std::lock_guard<std::mutex> lock(order_mu);
+        grant_order.push_back(i);
+      }
+      ac.Release();
+    });
+  }
+  while (ac.queued() < static_cast<size_t>(kWaiters)) {
+    std::this_thread::yield();
+  }
+
+  ac.Release();  // start the chain
+  for (auto& t : waiters) t.join();
+
+  // Strict arrival order: no waiter barged past an earlier one.
+  ASSERT_EQ(grant_order.size(), static_cast<size_t>(kWaiters));
+  for (int i = 0; i < kWaiters; ++i) EXPECT_EQ(grant_order[i], i);
+}
+
+TEST(AdmissionTest, InteractiveAdmittedBeforeBatch) {
+  AdmissionController::Options opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 8;
+  AdmissionController ac(opts);
+
+  ASSERT_TRUE(ac.Admit(PlainContext()).ok());
+
+  // A batch waiter arrives FIRST, then an interactive one.
+  std::vector<std::string> grant_order;
+  std::mutex order_mu;
+  std::thread batch([&] {
+    RequestContext rc = RequestContext::WithDeadlineMs(60'000);
+    rc.priority = Priority::kBatch;
+    ASSERT_TRUE(ac.Admit(rc).ok());
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      grant_order.push_back("batch");
+    }
+    ac.Release();
+  });
+  while (ac.queued() < 1) std::this_thread::yield();
+  std::thread interactive([&] {
+    RequestContext rc = RequestContext::WithDeadlineMs(60'000);
+    ASSERT_TRUE(ac.Admit(rc).ok());
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      grant_order.push_back("interactive");
+    }
+    ac.Release();
+  });
+  while (ac.queued() < 2) std::this_thread::yield();
+
+  ac.Release();
+  batch.join();
+  interactive.join();
+
+  ASSERT_EQ(grant_order.size(), 2u);
+  EXPECT_EQ(grant_order[0], "interactive");
+  EXPECT_EQ(grant_order[1], "batch");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketBoundsAreMonotone) {
+  // Sweep values: the bucket index never decreases, and every value is
+  // covered by its bucket's upper bound (so percentile estimates are
+  // conservative). Buckets 4..7 are unreachable padding below the first
+  // full octave, hence the sweep rather than iterating raw indices.
+  int prev_bucket = -1;
+  uint64_t prev_upper = 0;
+  for (uint64_t us = 0; us < 1'000'000; us = us < 16 ? us + 1 : us * 2) {
+    int b = LatencyHistogram::BucketOf(us);
+    uint64_t upper = LatencyHistogram::BucketUpperUs(b);
+    EXPECT_LE(us, upper) << us;
+    EXPECT_GE(b, prev_bucket) << us;
+    if (b != prev_bucket) {
+      if (prev_bucket >= 0) {
+        EXPECT_GT(upper, prev_upper) << us;
+      }
+      prev_upper = upper;
+      prev_bucket = b;
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesAreConservative) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.PercentileUs(50), 0u);
+  for (uint64_t us = 1; us <= 1000; ++us) h.Record(us);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.max_us(), 1000u);
+  // Bucketed nearest-rank estimates never under-report (~12% resolution).
+  EXPECT_GE(h.PercentileUs(50), 500u);
+  EXPECT_LE(h.PercentileUs(50), 640u);
+  EXPECT_GE(h.PercentileUs(99), 990u);
+  EXPECT_LE(h.PercentileUs(99), 1280u);
+  std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":1000"), std::string::npos);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordIsClean) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+// ---------------------------------------------------------------------------
+// QueryService
+// ---------------------------------------------------------------------------
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kDocs = 2000;
+
+  static TextCollectionOptions GenOptions() {
+    TextCollectionOptions gen;
+    gen.num_docs = kDocs;
+    gen.vocab_size = 2000;
+    gen.avg_doc_len = 60;
+    return gen;
+  }
+
+  static RelationPtr Docs() {
+    static RelationPtr docs =
+        GenerateTextCollection(GenOptions()).ValueOrDie();
+    return docs;
+  }
+
+  static const std::vector<std::string>& Queries() {
+    static std::vector<std::string> queries =
+        GenerateQueries(GenOptions(), 16, 2);
+    return queries;
+  }
+
+  std::unique_ptr<QueryService> MakeService(
+      QueryServiceOptions opts = {}) {
+    auto service = std::make_unique<QueryService>(opts);
+    service->RegisterCollection("docs", Docs());
+    return service;
+  }
+};
+
+TEST_F(QueryServiceTest, SearchBitIdenticalToDirectCall) {
+  auto service = MakeService();
+  SearchOptions options;
+  options.top_k = 10;
+
+  // Direct library call against the same collection relation.
+  Searcher direct;
+  for (const std::string& q : Queries()) {
+    SearchRequest req;
+    req.collection = "docs";
+    req.query = q;
+    req.options = options;
+    auto resp = service->Search(req);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+
+    auto want = direct.Search(Docs(), "sig", q, options);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+    // %.17g serialization makes float64 comparison exact, so equal rows
+    // means bit-identical scores.
+    EXPECT_EQ(SerializeRows(*resp.ValueOrDie().rows),
+              SerializeRows(*want.ValueOrDie()));
+  }
+  EXPECT_EQ(service->metrics().requests_ok.load(), Queries().size());
+  EXPECT_EQ(service->metrics().requests_total.load(), Queries().size());
+}
+
+TEST_F(QueryServiceTest, PreCancelledTokenShortCircuits) {
+  auto service = MakeService();
+  SearchRequest req;
+  req.collection = "docs";
+  req.query = Queries()[0];
+  req.request.token = std::make_shared<CancelToken>();
+  req.request.token->Cancel(StatusCode::kCancelled);
+
+  auto resp = service->Search(req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(service->metrics().requests_cancelled.load(), 1u);
+}
+
+TEST_F(QueryServiceTest, TightDeadlineReturnsDeadlineExceeded) {
+  // A 1 ms budget cannot cover a cold index build over 2000 docs plus
+  // ranking; the request must come back as DeadlineExceeded, not hang and
+  // not return partial results.
+  auto service = MakeService();
+  SearchRequest req;
+  req.collection = "docs";
+  req.query = Queries()[0];
+  req.request.deadline_ms = 1;
+
+  auto resp = service->Search(req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service->metrics().requests_deadline_exceeded.load(), 1u);
+
+  // The same query with no deadline still works and matches the direct
+  // call: cancellation never corrupts service state.
+  SearchRequest ok_req;
+  ok_req.collection = "docs";
+  ok_req.query = Queries()[0];
+  auto ok_resp = service->Search(ok_req);
+  ASSERT_TRUE(ok_resp.ok()) << ok_resp.status().ToString();
+  Searcher direct;
+  auto want = direct.Search(Docs(), "sig", Queries()[0], SearchOptions{});
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(SerializeRows(*ok_resp.ValueOrDie().rows),
+            SerializeRows(*want.ValueOrDie()));
+}
+
+TEST_F(QueryServiceTest, UnknownCollectionIsAnError) {
+  auto service = MakeService();
+  SearchRequest req;
+  req.collection = "nope";
+  req.query = "anything";
+  auto resp = service->Search(req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(service->metrics().requests_error.load(), 1u);
+}
+
+TEST_F(QueryServiceTest, SpinqlErrorsSurfaceAsStatus) {
+  auto service = MakeService();
+  // Parse error, unknown relation, and a numeric literal that overflows
+  // double: each fails with a Status — the service never terminates.
+  for (const char* bad :
+       {"SELECT [", "SELECT [P < 0.5] (no_such_relation)",
+        "SELECT [P < 1e999999] (docs)"}) {
+    SpinqlRequest req;
+    req.text = bad;
+    auto resp = service->EvalSpinql(req);
+    EXPECT_FALSE(resp.ok()) << bad;
+  }
+  EXPECT_EQ(service->metrics().requests_error.load(), 3u);
+}
+
+TEST_F(QueryServiceTest, SpinqlBitIdenticalToDirectEvaluator) {
+  auto service = MakeService();
+  const std::string expr = "PROJECT [$1] (docs)";
+  SpinqlRequest req;
+  req.text = expr;
+  auto resp = service->EvalSpinql(req);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+
+  Catalog catalog;
+  catalog.RegisterEncoded("docs", Docs());
+  MaterializationCache cache(64u << 20);
+  spinql::Evaluator ev(&catalog, &cache);
+  auto want = ev.EvalExpression(expr);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  EXPECT_EQ(SerializeRows(*resp.ValueOrDie().rows),
+            SerializeRows(*want.ValueOrDie().rel()));
+}
+
+TEST_F(QueryServiceTest, OverloadShedsWithOverloaded) {
+  QueryServiceOptions opts;
+  opts.admission.max_inflight = 1;
+  opts.admission.max_queue = 1;
+  auto service = MakeService(opts);
+
+  // Saturate: occupy the slot and the single queue seat from the outside.
+  ASSERT_TRUE(service->admission().Admit(PlainContext()).ok());
+  std::thread parked([&] {
+    RequestContext rc = RequestContext::WithDeadlineMs(30'000);
+    if (service->admission().Admit(rc).ok()) service->admission().Release();
+  });
+  while (service->admission().queued() < 1) std::this_thread::yield();
+
+  SearchRequest req;
+  req.collection = "docs";
+  req.query = Queries()[0];
+  auto resp = service->Search(req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(service->metrics().requests_overloaded.load(), 1u);
+
+  service->admission().Release();
+  parked.join();
+}
+
+TEST_F(QueryServiceTest, ConcurrentClientsBitIdentical) {
+  // The TSan-checked smoke: 16 client threads hammer the service with a
+  // shared query set; every response must be bit-identical to the direct
+  // library result computed up front.
+  auto service = MakeService();
+  SearchOptions options;
+  options.top_k = 10;
+
+  Searcher direct;
+  std::vector<std::vector<std::string>> want;
+  for (const std::string& q : Queries()) {
+    auto r = direct.Search(Docs(), "sig", q, options);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    want.push_back(SerializeRows(*r.ValueOrDie()));
+  }
+
+  constexpr int kClients = 16;
+  constexpr int kPerClient = 8;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        size_t qi = static_cast<size_t>(c * kPerClient + i) %
+                    Queries().size();
+        SearchRequest req;
+        req.collection = "docs";
+        req.query = Queries()[qi];
+        req.options = options;
+        auto resp = service->Search(req);
+        if (!resp.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (SerializeRows(*resp.ValueOrDie().rows) != want[qi]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(service->metrics().requests_ok.load(),
+            static_cast<uint64_t>(kClients * kPerClient));
+  // Every request either hit or missed the index cache (clients racing
+  // the cold build may each count a miss; the first insert wins).
+  EXPECT_GE(service->metrics().index_misses.load(), 1u);
+  EXPECT_EQ(service->metrics().index_hits.load() +
+                service->metrics().index_misses.load(),
+            static_cast<uint64_t>(kClients * kPerClient));
+  std::string json = service->MetricsJson();
+  EXPECT_NE(json.find("\"requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Line-protocol server + client
+// ---------------------------------------------------------------------------
+
+class LineServerTest : public QueryServiceTest {};
+
+TEST_F(LineServerTest, EndToEndOverSocket) {
+  auto service = MakeService();
+  LineServer server(service.get(), LineServerOptions{});  // port 0
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+
+  // SEARCH over the wire is bit-identical to the direct library call.
+  const std::string& q = Queries()[0];
+  auto resp = client.Search("docs", 10, 0, q);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  SearchOptions options;
+  options.top_k = 10;
+  Searcher direct;
+  auto want = direct.Search(Docs(), "sig", q, options);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(resp.ValueOrDie().rows, SerializeRows(*want.ValueOrDie()));
+
+  // Errors come back as ERR lines that rehydrate into typed Statuses.
+  auto bad = client.Search("no_such_collection", 10, 0, q);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+
+  auto spinql = client.Spinql(0, "PROJECT [$1] (docs)");
+  ASSERT_TRUE(spinql.ok()) << spinql.status().ToString();
+  EXPECT_EQ(spinql.ValueOrDie().rows.size(), static_cast<size_t>(kDocs));
+
+  auto bad_spinql = client.Spinql(0, "SELECT [");
+  ASSERT_FALSE(bad_spinql.ok());
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats.ValueOrDie().find("\"requests\""), std::string::npos);
+
+  // Malformed command lines get an error, not a dropped connection.
+  auto garbage = client.Call("BOGUS COMMAND");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_TRUE(client.Ping().ok());
+
+  EXPECT_TRUE(client.Shutdown().ok());
+  server.Stop();
+  EXPECT_TRUE(server.stopping());
+}
+
+TEST_F(LineServerTest, ConcurrentSocketClients) {
+  auto service = MakeService();
+  LineServer server(service.get(), LineServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Warm the index once so the concurrent phase measures serving, then
+  // compute the expected wire payloads.
+  SearchOptions options;
+  options.top_k = 10;
+  Searcher direct;
+  std::vector<std::vector<std::string>> want;
+  for (const std::string& q : Queries()) {
+    auto r = direct.Search(Docs(), "sig", q, options);
+    ASSERT_TRUE(r.ok());
+    want.push_back(SerializeRows(*r.ValueOrDie()));
+  }
+
+  constexpr int kClients = 8;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      LineClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        bad.fetch_add(1);
+        return;
+      }
+      for (size_t qi = 0; qi < Queries().size(); ++qi) {
+        auto resp = client.Search("docs", 10, 0, Queries()[qi]);
+        if (!resp.ok() || resp.ValueOrDie().rows != want[qi]) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace spindle
