@@ -73,6 +73,7 @@ void BM_TermLookupJoinScaling(benchmark::State& state) {
 
 int main(int argc, char** argv) {
   const int threads_flag = spindle::bench::ParseThreadsFlag(&argc, argv);
+  spindle::bench::ParseTraceFlag(&argc, argv);
   std::vector<int64_t> sweep;
   if (threads_flag > 0) {
     sweep = {threads_flag};

@@ -137,6 +137,7 @@ BENCHMARK(BM_E14_ConcurrentQps)
 int main(int argc, char** argv) {
   spindle::bench::TopKFlag() =
       spindle::bench::ParseTopKFlag(&argc, argv);
+  spindle::bench::ParseTraceFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,201 @@
+/// \file bench_e15_trace_overhead.cpp
+/// \brief E15: cost of query-level tracing (docs/observability.md).
+///
+/// Every instrumentation point in the engine is one thread-local read
+/// plus a null check when tracing is off; when on, each span is a clock
+/// read at open/close plus one mutex-guarded append. This experiment
+/// quantifies both, per workload:
+///
+///   BM_KeywordTraced / BM_SpinqlTraced with arm:
+///     0 = tracing off   (baseline: ambient tracer is null)
+///     1 = tracing on    (per-query tracer minted, spans recorded)
+///     2 = on + export   (arm 1 plus Chrome-JSON serialization)
+///
+/// Each reports p50/p95 latency so the overhead shows up where it
+/// matters (the tail, where a traced query contends on the span mutex).
+///
+/// `--check-overhead=<pct>` runs a self-test instead of benchmarks:
+/// median traced latency must be within <pct> percent of untraced, else
+/// exit 1. CI runs this with a generous bound to catch regressions that
+/// make tracing non-cheap (an allocation or syscall on the hot path).
+
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "ir/topk_pruning.h"
+#include "obs/trace.h"
+#include "spinql/evaluator.h"
+
+namespace spindle {
+namespace bench {
+namespace {
+
+enum TraceArm { kOff = 0, kOn = 1, kOnExport = 2 };
+
+/// One keyword query through the fused top-k path (the serving hot
+/// path): query-term lookup + RankTopK over the cached index.
+void KeywordOnce(const TextIndex& index, const std::string& query,
+                 size_t k) {
+  SearchOptions options;
+  options.top_k = k;
+  PruningStats stats;
+  RelationPtr qterms = OrDie(index.QueryTerms(query), "qterms");
+  RelationPtr top =
+      OrDie(RankTopK(index, qterms, options, &stats), "fused topk");
+  benchmark::DoNotOptimize(top);
+}
+
+void BM_KeywordTraced(benchmark::State& state) {
+  const int64_t num_docs = state.range(0);
+  const TraceArm arm = static_cast<TraceArm>(state.range(1));
+  TextIndexPtr index = GetIndex(num_docs);
+  const auto& queries = GetQueries(num_docs, 3);
+  LatencyRecorder lat;
+  size_t qi = 0;
+  for (auto _ : state) {
+    const std::string& query = queries[qi++ % queries.size()];
+    // Per-iteration tracer mint mirrors the server's per-request tracer,
+    // so the measured cost includes everything a traced request pays.
+    std::unique_ptr<obs::Tracer> tracer;
+    std::optional<obs::ScopedTracer> scope;
+    lat.Start();
+    if (arm != kOff) {
+      tracer = std::make_unique<obs::Tracer>();
+      scope.emplace(tracer.get());
+    }
+    KeywordOnce(*index, query, TopKFlag());
+    scope.reset();
+    if (arm == kOnExport) {
+      std::string json = tracer->ExportChromeTrace();
+      benchmark::DoNotOptimize(json);
+    }
+    lat.Stop();
+  }
+  lat.Report(state);
+}
+
+/// Catalog with the benchmark collection registered as "docs", cached.
+Catalog& GetDocsCatalog(int64_t num_docs) {
+  static auto* cache = new std::map<int64_t, std::unique_ptr<Catalog>>();
+  auto it = cache->find(num_docs);
+  if (it != cache->end()) return *it->second;
+  auto catalog = std::make_unique<Catalog>();
+  catalog->RegisterEncoded("docs", GetCollection(num_docs));
+  return *cache->emplace(num_docs, std::move(catalog)).first->second;
+}
+
+void BM_SpinqlTraced(benchmark::State& state) {
+  const int64_t num_docs = state.range(0);
+  const TraceArm arm = static_cast<TraceArm>(state.range(1));
+  Catalog& catalog = GetDocsCatalog(num_docs);
+  // No materialization cache: every iteration re-executes the operator
+  // tree, so the spans measured are real work, not cache hits.
+  spinql::Evaluator evaluator(&catalog, nullptr);
+  const std::string expr = "TOPK [10] (TOKENIZE [$2] (docs))";
+  LatencyRecorder lat;
+  for (auto _ : state) {
+    std::unique_ptr<obs::Tracer> tracer;
+    std::optional<obs::ScopedTracer> scope;
+    lat.Start();
+    if (arm != kOff) {
+      tracer = std::make_unique<obs::Tracer>();
+      scope.emplace(tracer.get());
+    }
+    ProbRelation out = OrDie(evaluator.EvalExpression(expr), "spinql");
+    benchmark::DoNotOptimize(out);
+    scope.reset();
+    if (arm == kOnExport) {
+      std::string json = tracer->ExportChromeTrace();
+      benchmark::DoNotOptimize(json);
+    }
+    lat.Stop();
+  }
+  lat.Report(state);
+}
+
+BENCHMARK(BM_KeywordTraced)
+    ->ArgNames({"docs", "trace"})
+    ->Args({50000, kOff})
+    ->Args({50000, kOn})
+    ->Args({50000, kOnExport})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpinqlTraced)
+    ->ArgNames({"docs", "trace"})
+    ->Args({10000, kOff})
+    ->Args({10000, kOn})
+    ->Args({10000, kOnExport})
+    ->Unit(benchmark::kMillisecond);
+
+/// Median keyword latency (ms) over `iters` runs, traced or not.
+double MedianKeywordMs(bool traced, int iters) {
+  TextIndexPtr index = GetIndex(10000);
+  const auto& queries = GetQueries(10000, 3);
+  LatencyRecorder lat;
+  for (int i = 0; i < iters; ++i) {
+    const std::string& query = queries[i % queries.size()];
+    std::unique_ptr<obs::Tracer> tracer;
+    std::optional<obs::ScopedTracer> scope;
+    lat.Start();
+    if (traced) {
+      tracer = std::make_unique<obs::Tracer>();
+      scope.emplace(tracer.get());
+    }
+    KeywordOnce(*index, query, 10);
+    scope.reset();
+    lat.Stop();
+  }
+  return lat.Percentile(50);
+}
+
+/// Self-test for CI: traced median within `pct`% of untraced median.
+int RunOverheadCheck(double pct) {
+  const int kIters = 400;
+  MedianKeywordMs(false, 50);  // warm index, queries, allocator
+  // Interleave-by-halves to be robust against machine-wide drift: take
+  // the best of two baseline and two traced medians.
+  double base = std::min(MedianKeywordMs(false, kIters),
+                         MedianKeywordMs(false, kIters));
+  double traced = std::min(MedianKeywordMs(true, kIters),
+                           MedianKeywordMs(true, kIters));
+  double overhead_pct =
+      base > 0 ? (traced - base) / base * 100.0 : 0.0;
+  std::fprintf(stderr,
+               "trace overhead check: base=%.4fms traced=%.4fms "
+               "overhead=%.2f%% (limit %.1f%%)\n",
+               base, traced, overhead_pct, pct);
+  return overhead_pct <= pct ? 0 : 1;
+}
+
+/// Parses and strips `--check-overhead=<pct>`; negative when absent.
+double ParseCheckOverheadFlag(int* argc, char** argv) {
+  double pct = -1.0;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--check-overhead=", 0) == 0) {
+      pct = std::atof(arg.c_str() + 17);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return pct;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spindle
+
+int main(int argc, char** argv) {
+  double check_pct =
+      spindle::bench::ParseCheckOverheadFlag(&argc, argv);
+  if (check_pct >= 0) {
+    return spindle::bench::RunOverheadCheck(check_pct);
+  }
+  spindle::bench::ParseTraceFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -179,6 +179,7 @@ BENCHMARK(BM_BuildSpecialized)
 int main(int argc, char** argv) {
   spindle::bench::TopKFlag() =
       spindle::bench::ParseTopKFlag(&argc, argv, /*fallback=*/10);
+  spindle::bench::ParseTraceFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -11,7 +11,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -20,6 +22,7 @@
 #include "exec/exec_context.h"
 #include "ir/indexing.h"
 #include "ir/searcher.h"
+#include "obs/trace.h"
 #include "specialized/inverted_index.h"
 #include "storage/catalog.h"
 #include "workload/graph_gen.h"
@@ -84,6 +87,93 @@ inline size_t ParseTopKFlag(int* argc, char** argv, size_t fallback = 10) {
 inline size_t& TopKFlag() {
   static size_t k = 10;
   return k;
+}
+
+/// Process-lifetime tracing for benchmark binaries. When enabled, one
+/// obs::Tracer is installed as the main thread's ambient tracer for the
+/// whole run (ParallelFor workers inherit it through TaskGroup::Spawn)
+/// and its Chrome trace-event JSON is written at process exit — load the
+/// file in chrome://tracing or Perfetto. Two activation paths:
+///   - SPINDLE_TRACE=1 (default path spindle_trace.json) or
+///     SPINDLE_TRACE=<path> in the environment: zero code changes, works
+///     for plain BENCHMARK_MAIN() binaries;
+///   - --trace=<path> via ParseTraceFlag, for benches with their own
+///     main().
+/// Tracing only observes — results are bit-identical; spans beyond the
+/// tracer's cap are dropped and the count is reported on exit.
+class ProcessTracer {
+ public:
+  static ProcessTracer& Instance() {
+    // Deliberately leaked so the tracer outlives every static fixture and
+    // is still valid when the atexit dump runs.
+    static ProcessTracer* t = new ProcessTracer();
+    return *t;
+  }
+
+  /// Idempotent; a later call just retargets the output path.
+  void Enable(const std::string& path) {
+    path_ = path;
+    if (tracer_ != nullptr) return;
+    tracer_ = new obs::Tracer();
+    scope_ = new obs::ScopedTracer(tracer_);
+    std::atexit([]() { Instance().Dump(); });
+  }
+
+  bool enabled() const { return tracer_ != nullptr; }
+
+ private:
+  ProcessTracer() = default;
+
+  void Dump() {
+    if (tracer_ == nullptr) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "trace: could not open %s\n", path_.c_str());
+      return;
+    }
+    std::string json = tracer_->ExportChromeTrace();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "trace: wrote %zu spans to %s (%llu dropped)\n",
+                 tracer_->num_spans(), path_.c_str(),
+                 static_cast<unsigned long long>(tracer_->dropped()));
+  }
+
+  std::string path_;
+  obs::Tracer* tracer_ = nullptr;       // leaked: alive through atexit
+  obs::ScopedTracer* scope_ = nullptr;  // leaked: ambient for process life
+};
+
+/// Env-driven activation. An inline variable's dynamic initializer runs
+/// during static init of any binary including this header, so
+/// SPINDLE_TRACE works for BENCHMARK_MAIN() benches with no code changes.
+inline const bool kTraceEnvActivated = []() {
+  const char* env = std::getenv("SPINDLE_TRACE");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "0") == 0) {
+    return false;
+  }
+  ProcessTracer::Instance().Enable(
+      std::strcmp(env, "1") == 0 ? "spindle_trace.json" : env);
+  return true;
+}();
+
+/// Parses and strips `--trace=<path.json>`, enabling process-lifetime
+/// tracing (see ProcessTracer). Like ParseThreadsFlag, must run before
+/// benchmark::Initialize, which rejects unknown flags.
+inline bool ParseTraceFlag(int* argc, char** argv) {
+  bool enabled = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      ProcessTracer::Instance().Enable(arg.substr(8));
+      enabled = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return enabled;
 }
 
 /// Per-iteration wall-clock samples with tail percentiles. Latency

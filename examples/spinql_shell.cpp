@@ -7,6 +7,10 @@
 ///   .tables            list catalog tables
 ///   .sql <binding>     show the SQL translation of a binding
 ///   .program           print accumulated program
+///   EXPLAIN ANALYZE <expr>   execute the expression and print the
+///                      per-operator tree (wall time, rows, cache
+///                      hit/miss) instead of rows; session bindings are
+///                      not visible to EXPLAIN ANALYZE
 ///   .quit
 ///
 /// Usage: ./spinql_shell   (then type, e.g.)
@@ -82,6 +86,13 @@ int main() {
       auto sql = spinql::EmitSql(node.ValueOrDie(), session, catalog);
       std::printf("%s\n", sql.ok() ? sql.ValueOrDie().c_str()
                                    : sql.status().ToString().c_str());
+      continue;
+    }
+
+    if (line.rfind("EXPLAIN", 0) == 0 || line.rfind("explain", 0) == 0) {
+      auto tree = evaluator.ExplainAnalyze(line);
+      std::printf("%s", tree.ok() ? tree.ValueOrDie().c_str()
+                                  : (tree.status().ToString() + "\n").c_str());
       continue;
     }
 

@@ -1,5 +1,7 @@
 #include "engine/materialization_cache.h"
 
+#include "obs/trace.h"
+
 namespace spindle {
 
 std::optional<RelationPtr> MaterializationCache::Get(
@@ -8,9 +10,11 @@ std::optional<RelationPtr> MaterializationCache::Get(
   auto it = entries_.find(signature);
   if (it == entries_.end()) {
     stats_.misses++;
+    obs::Event("cache", "miss");
     return std::nullopt;
   }
   stats_.hits++;
+  obs::Event("cache", "hit");
   lru_.erase(it->second.lru_it);
   lru_.push_front(signature);
   it->second.lru_it = lru_.begin();
@@ -38,6 +42,7 @@ bool MaterializationCache::EvictOneUnpinned() {
     if (it->second.rel.use_count() > 1) continue;
     Remove(it);
     stats_.evictions++;
+    obs::Event("cache", "evict");
     return true;
   }
   return false;
@@ -71,6 +76,8 @@ void MaterializationCache::Put(const std::string& signature,
   stats_.bytes_cached += own_bytes;
   stats_.inserts++;
   stats_.entries++;
+  obs::Event("cache", "materialize",
+             {{"bytes", static_cast<int64_t>(own_bytes)}});
 }
 
 void MaterializationCache::Remove(

@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "exec/scheduler.h"
+#include "obs/trace.h"
 
 namespace spindle {
 
@@ -317,6 +318,10 @@ std::optional<std::pair<Column, Column>> RecodeToShared(const Column& a,
 
 Result<RelationPtr> Filter(const RelationPtr& rel, const ExprPtr& predicate,
                            const FunctionRegistry& registry) {
+  obs::Span span("engine", "filter");
+  if (span.active()) {
+    span.Add("rows_in", static_cast<int64_t>(rel->num_rows()));
+  }
   SPINDLE_ASSIGN_OR_RETURN(Column mask, predicate->Evaluate(*rel, registry));
   if (mask.type() != DataType::kInt64) {
     return Status::TypeMismatch("filter predicate must be boolean (int64)");
@@ -352,6 +357,10 @@ Result<RelationPtr> Filter(const RelationPtr& rel, const ExprPtr& predicate,
       if (bits[r] != 0) rows.push_back(static_cast<uint32_t>(r));
     }
   }
+  if (span.active()) {
+    span.Add("rows_out", static_cast<int64_t>(rows.size()));
+    span.Add("morsels", static_cast<int64_t>(NumMorsels(ctx, bits.size())));
+  }
   return GatherRows(*rel, rows);
 }
 
@@ -378,6 +387,11 @@ Result<RelationPtr> ProjectExprs(const RelationPtr& rel,
                                  const std::vector<ExprPtr>& exprs,
                                  const std::vector<std::string>& names,
                                  const FunctionRegistry& registry) {
+  obs::Span span("engine", "project");
+  if (span.active()) {
+    span.Add("rows_in", static_cast<int64_t>(rel->num_rows()));
+    span.Add("exprs", static_cast<int64_t>(exprs.size()));
+  }
   if (exprs.size() != names.size()) {
     return Status::InvalidArgument("ProjectExprs: names/exprs size mismatch");
   }
@@ -436,6 +450,11 @@ Result<RelationPtr> ProjectExprs(const RelationPtr& rel,
 Result<RelationPtr> HashJoin(const RelationPtr& left, const RelationPtr& right,
                              const std::vector<JoinKey>& keys,
                              JoinType type) {
+  obs::Span span("engine", "hash_join");
+  if (span.active()) {
+    span.Add("rows_left", static_cast<int64_t>(left->num_rows()));
+    span.Add("rows_right", static_cast<int64_t>(right->num_rows()));
+  }
   if (keys.empty()) {
     return Status::InvalidArgument("HashJoin requires at least one key");
   }
@@ -498,10 +517,25 @@ Result<RelationPtr> HashJoin(const RelationPtr& left, const RelationPtr& right,
   const bool build_on_left =
       type == JoinType::kInner &&
       left->num_rows() * 8 < right->num_rows();
+  if (span.active()) {
+    span.Note("build_side", build_on_left ? "left" : "right");
+  }
   if (build_on_left) {
-    JoinTable table = BuildJoinTable(lkey, left->num_rows(), ctx);
+    JoinTable table = [&] {
+      obs::Span build_span("engine", "join_build");
+      if (build_span.active()) {
+        build_span.Add("rows", static_cast<int64_t>(left->num_rows()));
+      }
+      return BuildJoinTable(lkey, left->num_rows(), ctx);
+    }();
     std::vector<std::pair<uint32_t, uint32_t>> matches;
     const size_t probe_n = right->num_rows();
+    obs::Span probe_span("engine", "join_probe");
+    if (probe_span.active()) {
+      probe_span.Add("rows", static_cast<int64_t>(probe_n));
+      probe_span.Add("morsels",
+                     static_cast<int64_t>(NumMorsels(ctx, probe_n)));
+    }
     if (ctx.ShouldParallelize(probe_n)) {
       std::vector<std::vector<std::pair<uint32_t, uint32_t>>> found(
           NumMorsels(ctx, probe_n));
@@ -542,8 +576,20 @@ Result<RelationPtr> HashJoin(const RelationPtr& left, const RelationPtr& right,
       rrows.push_back(r);
     }
   } else {
-    JoinTable table = BuildJoinTable(rkey, right->num_rows(), ctx);
+    JoinTable table = [&] {
+      obs::Span build_span("engine", "join_build");
+      if (build_span.active()) {
+        build_span.Add("rows", static_cast<int64_t>(right->num_rows()));
+      }
+      return BuildJoinTable(rkey, right->num_rows(), ctx);
+    }();
     const size_t probe_n = left->num_rows();
+    obs::Span probe_span("engine", "join_probe");
+    if (probe_span.active()) {
+      probe_span.Add("rows", static_cast<int64_t>(probe_n));
+      probe_span.Add("morsels",
+                     static_cast<int64_t>(NumMorsels(ctx, probe_n)));
+    }
     auto probe_range = [&](size_t begin, size_t end,
                            std::vector<uint32_t>& lout,
                            std::vector<uint32_t>& rout) {
@@ -590,6 +636,7 @@ Result<RelationPtr> HashJoin(const RelationPtr& left, const RelationPtr& right,
     }
   }
 
+  if (span.active()) span.Add("rows_out", static_cast<int64_t>(lrows.size()));
   Schema schema;
   std::vector<Column> cols;
   for (size_t c = 0; c < left->num_columns(); ++c) {
@@ -800,6 +847,11 @@ Result<RelationPtr> AssembleGroupOutput(
 Result<RelationPtr> GroupAggregate(const RelationPtr& rel,
                                    const std::vector<size_t>& group_columns,
                                    const std::vector<AggSpec>& aggs) {
+  obs::Span span("engine", "group_aggregate");
+  if (span.active()) {
+    span.Add("rows_in", static_cast<int64_t>(rel->num_rows()));
+    span.Add("group_cols", static_cast<int64_t>(group_columns.size()));
+  }
   SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, group_columns));
   for (const auto& a : aggs) {
     if (a.kind != AggKind::kCount) {
@@ -989,6 +1041,11 @@ Result<RelationPtr> SortBy(const RelationPtr& rel,
 
 Result<RelationPtr> TopK(const RelationPtr& rel, const SortKey& key,
                          size_t k) {
+  obs::Span span("engine", "top_k");
+  if (span.active()) {
+    span.Add("rows_in", static_cast<int64_t>(rel->num_rows()));
+    span.Add("k", static_cast<int64_t>(k));
+  }
   SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, {key.column}));
   const size_t num_rows = rel->num_rows();
   size_t n = std::min(k, num_rows);
@@ -1036,6 +1093,12 @@ Result<RelationPtr> TopK(const RelationPtr& rel, const SortKey& key,
 
 Result<RelationPtr> TopK(const RelationPtr& rel,
                          const std::vector<SortKey>& keys, size_t k) {
+  obs::Span span("engine", "top_k");
+  if (span.active()) {
+    span.Add("rows_in", static_cast<int64_t>(rel->num_rows()));
+    span.Add("k", static_cast<int64_t>(k));
+    span.Add("sort_keys", static_cast<int64_t>(keys.size()));
+  }
   for (const auto& key : keys) {
     SPINDLE_RETURN_IF_ERROR(CheckColumnRange(*rel, {key.column}));
   }

@@ -36,6 +36,10 @@
 
 namespace spindle {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 /// \brief Shared cancellation flag for one request. Thread-safe; cheap to
 /// poll (one relaxed atomic load while untripped).
 class CancelToken {
@@ -94,6 +98,15 @@ struct RequestContext {
   Clock::time_point deadline = Clock::time_point::max();
 
   Priority priority = Priority::kInteractive;
+
+  /// Per-request tracer (obs/trace.h); null means tracing is off. This
+  /// field is ownership + transport only: the request's tracer stays
+  /// alive on pool workers because TaskGroup::Spawn copies the context.
+  /// The *ambient* tracing state (which tracer, which open span) is a
+  /// separate thread-local installed with obs::ScopedTracer /
+  /// obs::ScopedTraceContext — ScopedRequestContext deliberately leaves
+  /// it alone so worker-side spans keep their cross-thread parent link.
+  std::shared_ptr<obs::Tracer> tracer;
 
   bool has_deadline() const { return deadline != Clock::time_point::max(); }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "exec/request_context.h"
+#include "obs/trace.h"
 
 namespace spindle {
 
@@ -153,13 +155,28 @@ void TaskGroup::Spawn(Task task) {
   const RequestContext* rc = RequestContext::Current();
   std::shared_ptr<RequestContext> req =
       rc == nullptr ? nullptr : std::make_shared<RequestContext>(*rc);
-  scheduler_.Submit([state, ctx, req, task = std::move(task)]() {
+  // The trace context travels separately from the RequestContext: the
+  // worker's spans must link to the span open *here* at spawn time, and
+  // ScopedRequestContext never touches the ambient tracing state. The
+  // clock is only read when a tracer is installed (queue-wait counter).
+  const obs::TraceContext tc = obs::CurrentTraceContext();
+  const uint64_t enqueue_ns = tc.tracer != nullptr ? obs::NowNs() : 0;
+  scheduler_.Submit([state, ctx, req, tc, enqueue_ns,
+                     task = std::move(task)]() {
     ScopedExecContext scope(ctx);
     std::unique_ptr<ScopedRequestContext> req_scope;
     if (req != nullptr) {
       req_scope = std::make_unique<ScopedRequestContext>(*req);
     }
+    std::optional<obs::ScopedTraceContext> trace_scope;
+    if (tc.tracer != nullptr) trace_scope.emplace(tc);
     try {
+      obs::Span task_span("exec", "task");
+      if (task_span.active()) {
+        task_span.Add("queue_wait_us", static_cast<int64_t>(
+                                           (obs::NowNs() - enqueue_ns) /
+                                           1000));
+      }
       task();
     } catch (...) {
       std::lock_guard<std::mutex> lock(state->mu);
@@ -209,6 +226,11 @@ void ParallelFor(const ExecContext& ctx, size_t n,
       if (RequestContext::CurrentCancelled()) return;
       size_t begin = m * morsel;
       size_t end = std::min(begin + morsel, n);
+      obs::Span span("exec", "morsel");
+      if (span.active()) {
+        span.Add("index", static_cast<int64_t>(m));
+        span.Add("rows", static_cast<int64_t>(end - begin));
+      }
       body(begin, end, m);
     }
     return;
@@ -234,6 +256,11 @@ void ParallelFor(const ExecContext& ctx, size_t n,
       if (m >= num_morsels) return;
       size_t begin = m * morsel;
       size_t end = std::min(begin + morsel, n);
+      obs::Span span("exec", "morsel");
+      if (span.active()) {
+        span.Add("index", static_cast<int64_t>(m));
+        span.Add("rows", static_cast<int64_t>(end - begin));
+      }
       body(begin, end, m);
     }
   };

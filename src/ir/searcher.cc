@@ -4,6 +4,7 @@
 #include "exec/request_context.h"
 #include "ir/phrase.h"
 #include "ir/topk_pruning.h"
+#include "obs/trace.h"
 
 namespace {
 /// Ranked-retrieval total order: score descending, then docID ascending —
@@ -69,6 +70,7 @@ Result<TextIndexPtr> Searcher::GetOrBuildIndex(
     if (it != indexes_.end()) {
       stats_.index_hits.fetch_add(1, std::memory_order_relaxed);
       if (call_stats != nullptr) call_stats->index_hits++;
+      obs::Event("ir", "index_hit");
       return it->second;
     }
     stats_.index_misses.fetch_add(1, std::memory_order_relaxed);
@@ -76,10 +78,39 @@ Result<TextIndexPtr> Searcher::GetOrBuildIndex(
   }
   // Build outside the lock (it is the expensive part); on a race the
   // first inserted index wins and the duplicate build is discarded.
+  obs::Span span("ir", "index_build");
+  if (span.active()) {
+    span.Add("docs", static_cast<int64_t>(docs->num_rows()));
+    span.Note("key", key);
+  }
   SPINDLE_ASSIGN_OR_RETURN(TextIndexPtr index,
                            TextIndex::Build(docs, analyzer));
   std::lock_guard<std::mutex> lock(mu_);
   return indexes_.emplace(std::move(key), index).first->second;
+}
+
+void Searcher::RecordPruning(const PruningStats& pstats, Stats* call_stats,
+                             obs::Span* span) {
+  stats_.docs_scored.fetch_add(pstats.docs_scored,
+                               std::memory_order_relaxed);
+  stats_.docs_skipped.fetch_add(pstats.docs_skipped,
+                                std::memory_order_relaxed);
+  stats_.blocks_skipped.fetch_add(pstats.blocks_skipped,
+                                  std::memory_order_relaxed);
+  stats_.fused_path_used.fetch_add(1, std::memory_order_relaxed);
+  if (call_stats != nullptr) {
+    call_stats->docs_scored += pstats.docs_scored;
+    call_stats->docs_skipped += pstats.docs_skipped;
+    call_stats->blocks_skipped += pstats.blocks_skipped;
+    call_stats->fused_path_used++;
+  }
+  if (span != nullptr && span->active()) {
+    span->Add("docs_scored", static_cast<int64_t>(pstats.docs_scored));
+    span->Add("docs_skipped", static_cast<int64_t>(pstats.docs_skipped));
+    span->Add("blocks_skipped",
+              static_cast<int64_t>(pstats.blocks_skipped));
+    span->Add("fused", 1);
+  }
 }
 
 Result<RelationPtr> Searcher::Search(const RelationPtr& docs,
@@ -90,6 +121,11 @@ Result<RelationPtr> Searcher::Search(const RelationPtr& docs,
   // Entry cancellation point: don't even build/fetch the index for a
   // request that is already past its deadline.
   SPINDLE_RETURN_IF_ERROR(RequestContext::CheckCurrent());
+  obs::Span span("ir", "search");
+  if (span.active()) {
+    span.Add("top_k", static_cast<int64_t>(options.top_k));
+    span.Note("model", RankModelName(options.model));
+  }
   SPINDLE_ASSIGN_OR_RETURN(
       TextIndexPtr index,
       GetOrBuildIndex(docs, collection_signature, call_stats));
@@ -109,19 +145,10 @@ Result<RelationPtr> Searcher::Search(const RelationPtr& docs,
     PruningStats pstats;
     SPINDLE_ASSIGN_OR_RETURN(RelationPtr result,
                              RankTopK(*index, qterms, options, &pstats));
-    stats_.docs_scored.fetch_add(pstats.docs_scored,
-                                 std::memory_order_relaxed);
-    stats_.docs_skipped.fetch_add(pstats.docs_skipped,
-                                  std::memory_order_relaxed);
-    stats_.blocks_skipped.fetch_add(pstats.blocks_skipped,
-                                    std::memory_order_relaxed);
-    stats_.fused_path_used.fetch_add(1, std::memory_order_relaxed);
-    if (call_stats != nullptr) {
-      call_stats->docs_scored += pstats.docs_scored;
-      call_stats->docs_skipped += pstats.docs_skipped;
-      call_stats->blocks_skipped += pstats.blocks_skipped;
-      call_stats->fused_path_used++;
-    }
+    // One fold for all three consumers — the searcher's cumulative
+    // atomics, the caller's per-call out-param, and the span counter
+    // bag — so the pruning counters cannot drift apart.
+    RecordPruning(pstats, call_stats, &span);
     return result;
   }
   Result<RelationPtr> exhaustive = RankWithModel(*index, qterms, options);

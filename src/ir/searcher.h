@@ -21,6 +21,11 @@
 
 namespace spindle {
 
+struct PruningStats;
+namespace obs {
+class Span;
+}  // namespace obs
+
 /// \brief Which retrieval model Search() runs.
 enum class RankModel { kBm25, kTfIdf, kLmDirichlet, kLmJelinekMercer };
 
@@ -115,6 +120,12 @@ class Searcher {
   }
 
  private:
+  /// One fold of a fused query's pruning counters into all three
+  /// consumers — shared atomics, the per-call out-param and the search
+  /// span's counter bag — so they cannot drift apart.
+  void RecordPruning(const PruningStats& pstats, Stats* call_stats,
+                     obs::Span* span);
+
   /// Shared totals as atomics: Search never takes mu_ on the scoring
   /// path, so stats accumulation cannot serialize (or race) concurrent
   /// queries.

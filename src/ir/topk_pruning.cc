@@ -7,6 +7,7 @@
 #include "exec/request_context.h"
 #include "exec/scheduler.h"
 #include "ir/indexing.h"
+#include "obs/trace.h"
 
 namespace spindle {
 
@@ -466,6 +467,11 @@ Result<RelationPtr> RankTopK(const TextIndex& index,
                              const RelationPtr& qterms,
                              const SearchOptions& options,
                              PruningStats* stats) {
+  obs::Span span("ir", "rank_topk");
+  if (span.active()) {
+    span.Add("k", static_cast<int64_t>(options.top_k));
+    span.Add("terms", static_cast<int64_t>(qterms->num_rows()));
+  }
   SPINDLE_RETURN_IF_ERROR(CheckQterms(qterms));
   if (options.top_k == 0) {
     return Status::InvalidArgument(
@@ -580,6 +586,12 @@ Result<RelationPtr> RankTopK(const TextIndex& index,
     stats->docs_scored += local.docs_scored;
     stats->docs_skipped += local.docs_skipped;
     stats->blocks_skipped += local.blocks_skipped;
+  }
+  if (span.active()) {
+    span.Add("docs_scored", static_cast<int64_t>(local.docs_scored));
+    span.Add("docs_skipped", static_cast<int64_t>(local.docs_skipped));
+    span.Add("blocks_skipped",
+             static_cast<int64_t>(local.blocks_skipped));
   }
   Schema schema({{"docID", DataType::kInt64}, {"score", DataType::kFloat64}});
   std::vector<Column> cols;

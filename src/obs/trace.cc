@@ -1,0 +1,481 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+namespace spindle {
+namespace obs {
+
+namespace {
+
+/// Thread-local tracing state: the ambient context plus a one-entry lane
+/// cache so repeated spans on the same thread skip the tracer's atomic.
+struct ThreadState {
+  TraceContext ctx;
+  const Tracer* lane_tracer = nullptr;
+  uint32_t lane = 0;
+};
+
+ThreadState& State() {
+  thread_local ThreadState state;
+  return state;
+}
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string FormatMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms",
+                static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+uint64_t NowNs() {
+  using clock = std::chrono::steady_clock;
+  // Magic static: every tracer in the process shares one epoch, so spans
+  // from concurrent requests merge onto a single exportable timeline.
+  static const clock::time_point epoch = clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+Tracer::Tracer(size_t max_spans)
+    : trace_id_(NextTraceId()), max_spans_(max_spans) {}
+
+uint64_t Tracer::Begin(const char* category, std::string name,
+                       uint64_t parent) {
+  SpanRecord rec;
+  rec.parent = parent;
+  rec.category = category;
+  rec.name = std::move(name);
+  rec.lane = LaneForCurrentThread();
+  rec.start_ns = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  rec.id = spans_.size() + 1;
+  spans_.push_back(std::move(rec));
+  return spans_.back().id;
+}
+
+void Tracer::End(uint64_t id,
+                 std::vector<std::pair<const char*, int64_t>> counters,
+                 std::vector<std::pair<const char*, std::string>> notes) {
+  if (id == 0) return;
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  SpanRecord& rec = spans_[id - 1];
+  rec.end_ns = now;
+  rec.counters = std::move(counters);
+  rec.notes = std::move(notes);
+}
+
+void Tracer::Instant(
+    const char* category, std::string name, uint64_t parent,
+    std::vector<std::pair<const char*, int64_t>> counters,
+    std::vector<std::pair<const char*, std::string>> notes) {
+  SpanRecord rec;
+  rec.parent = parent;
+  rec.category = category;
+  rec.name = std::move(name);
+  rec.lane = LaneForCurrentThread();
+  rec.start_ns = NowNs();
+  rec.end_ns = rec.start_ns;
+  rec.instant = true;
+  rec.counters = std::move(counters);
+  rec.notes = std::move(notes);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  rec.id = spans_.size() + 1;
+  spans_.push_back(std::move(rec));
+}
+
+uint32_t Tracer::LaneForCurrentThread() {
+  ThreadState& state = State();
+  if (state.lane_tracer != this) {
+    state.lane_tracer = this;
+    state.lane = next_lane_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return state.lane;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::num_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string Tracer::RenderTree(const TreeOptions& options) const {
+  const std::vector<SpanRecord> spans = Snapshot();
+
+  // Which spans make it into the tree view?
+  std::vector<bool> included(spans.size() + 1, false);
+  for (const SpanRecord& s : spans) {
+    if (s.instant && !options.include_events) continue;
+    if (std::string_view(s.category) == "exec" && !options.include_exec) {
+      continue;
+    }
+    included[s.id] = true;
+  }
+
+  // Reattach each included span to its nearest included ancestor, so
+  // filtering "exec" task spans doesn't orphan the operator spans that
+  // ran inside pool tasks.
+  std::vector<uint64_t> effective_parent(spans.size() + 1, 0);
+  for (const SpanRecord& s : spans) {
+    if (!included[s.id]) continue;
+    uint64_t p = s.parent;
+    while (p != 0 && !included[p]) p = spans[p - 1].parent;
+    effective_parent[s.id] = p;
+  }
+
+  // Children in recording order (== Begin order, a stable DFS-ish order).
+  std::vector<std::vector<uint64_t>> children(spans.size() + 1);
+  std::vector<uint64_t> roots;
+  for (const SpanRecord& s : spans) {
+    if (!included[s.id]) continue;
+    uint64_t p = effective_parent[s.id];
+    if (p == 0) {
+      roots.push_back(s.id);
+    } else {
+      children[p].push_back(s.id);
+    }
+  }
+
+  std::string out;
+  // Iterative DFS; stack holds (id, depth).
+  std::vector<std::pair<uint64_t, size_t>> stack;
+  for (size_t i = roots.size(); i-- > 0;) stack.push_back({roots[i], 0});
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    const SpanRecord& s = spans[id - 1];
+    out.append(depth * 2, ' ');
+    out += s.name;
+    if (s.instant) {
+      out += "  [event]";
+    } else {
+      out += "  ";
+      out += FormatMs(s.end_ns == 0 ? NowNs() - s.start_ns
+                                    : s.duration_ns());
+    }
+    for (const auto& [key, value] : s.counters) {
+      out += "  ";
+      out += key;
+      out += "=";
+      out += std::to_string(value);
+    }
+    for (const auto& [key, value] : s.notes) {
+      out += "  ";
+      out += key;
+      out += "=";
+      if (value.size() > options.max_note_len) {
+        out.append(value, 0, options.max_note_len);
+        out += "...";
+      } else {
+        out += value;
+      }
+    }
+    out += "\n";
+    const std::vector<uint64_t>& kids = children[id];
+    for (size_t i = kids.size(); i-- > 0;) {
+      stack.push_back({kids[i], depth + 1});
+    }
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Tracer::AppendChromeEvents(std::string* out, bool* first) const {
+  const std::vector<SpanRecord> spans = Snapshot();
+  const uint64_t now = NowNs();
+  char buf[128];
+
+  auto comma = [&] {
+    if (!*first) *out += ",\n";
+    *first = false;
+  };
+
+  // Process metadata: name this tracer's "process" by its trace id.
+  comma();
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"M\",\"pid\":%llu,\"tid\":0,"
+                "\"name\":\"process_name\",\"args\":{\"name\":",
+                static_cast<unsigned long long>(trace_id_));
+  *out += buf;
+  *out += "\"trace " + std::to_string(trace_id_) + "\"}}";
+
+  // Thread (lane) metadata: every lane that appears gets a name.
+  uint32_t max_lane = 0;
+  for (const SpanRecord& s : spans) max_lane = std::max(max_lane, s.lane);
+  for (uint32_t lane = 0; lane <= max_lane && !spans.empty(); ++lane) {
+    comma();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%llu,\"tid\":%u,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":"
+                  "\"lane %u\"}}",
+                  static_cast<unsigned long long>(trace_id_), lane, lane);
+    *out += buf;
+  }
+
+  for (const SpanRecord& s : spans) {
+    comma();
+    const uint64_t start_us = s.start_ns / 1000;
+    if (s.instant) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%llu,\"tid\":%u,"
+                    "\"ts\":%llu,",
+                    static_cast<unsigned long long>(trace_id_), s.lane,
+                    static_cast<unsigned long long>(start_us));
+    } else {
+      const uint64_t end_ns = s.end_ns == 0 ? now : s.end_ns;
+      const uint64_t dur_us =
+          end_ns >= s.start_ns ? (end_ns - s.start_ns) / 1000 : 0;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"X\",\"pid\":%llu,\"tid\":%u,"
+                    "\"ts\":%llu,\"dur\":%llu,",
+                    static_cast<unsigned long long>(trace_id_), s.lane,
+                    static_cast<unsigned long long>(start_us),
+                    static_cast<unsigned long long>(dur_us));
+    }
+    *out += buf;
+    *out += "\"cat\":\"";
+    *out += EscapeJson(s.category);
+    *out += "\",\"name\":\"";
+    *out += EscapeJson(s.name);
+    *out += "\",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [key, value] : s.counters) {
+      if (!first_arg) *out += ",";
+      first_arg = false;
+      *out += "\"";
+      *out += EscapeJson(key);
+      *out += "\":";
+      *out += std::to_string(value);
+    }
+    for (const auto& [key, value] : s.notes) {
+      if (!first_arg) *out += ",";
+      first_arg = false;
+      *out += "\"";
+      *out += EscapeJson(key);
+      *out += "\":\"";
+      *out += EscapeJson(value);
+      *out += "\"";
+    }
+    std::snprintf(buf, sizeof(buf), ",\"span\":%llu,\"parent\":%llu}}",
+                  static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent));
+    // Replace leading "," when args was empty to keep valid JSON.
+    if (first_arg) {
+      *out += buf + 1;  // skip the comma
+    } else {
+      *out += buf;
+    }
+  }
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  AppendChromeEvents(&out, &first);
+  out += "\n]}\n";
+  return out;
+}
+
+std::string ExportChromeTrace(
+    const std::vector<std::shared_ptr<const Tracer>>& tracers) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& t : tracers) {
+    if (t) t->AppendChromeEvents(&out, &first);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+TraceContext CurrentTraceContext() { return State().ctx; }
+
+bool TracingActive() { return State().ctx.tracer != nullptr; }
+
+ScopedTracer::ScopedTracer(Tracer* tracer) : prev_(State().ctx) {
+  State().ctx = TraceContext{tracer, 0};
+}
+
+ScopedTracer::~ScopedTracer() { State().ctx = prev_; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : prev_(State().ctx) {
+  State().ctx = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { State().ctx = prev_; }
+
+Span::Span(const char* category, const char* name) {
+  if (State().ctx.tracer == nullptr) return;  // disabled path
+  Open(category, name);
+}
+
+Span::Span(const char* category, std::string name) {
+  if (State().ctx.tracer == nullptr) return;  // disabled path
+  Open(category, std::move(name));
+}
+
+void Span::Open(const char* category, std::string name) {
+  ThreadState& state = State();
+  tracer_ = state.ctx.tracer;
+  prev_span_ = state.ctx.span;
+  id_ = tracer_->Begin(category, std::move(name), prev_span_);
+  state.ctx.span = id_ == 0 ? prev_span_ : id_;
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  State().ctx.span = prev_span_;
+  if (id_ != 0) tracer_->End(id_, std::move(counters_), std::move(notes_));
+}
+
+void Span::Add(const char* key, int64_t delta) {
+  if (tracer_ == nullptr || id_ == 0) return;
+  for (auto& [k, v] : counters_) {
+    if (k == key || std::strcmp(k, key) == 0) {
+      v += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(key, delta);
+}
+
+void Span::Note(const char* key, std::string value) {
+  if (tracer_ == nullptr || id_ == 0) return;
+  notes_.emplace_back(key, std::move(value));
+}
+
+void Event(const char* category, const char* name) {
+  TraceContext ctx = State().ctx;
+  if (ctx.tracer == nullptr) return;
+  ctx.tracer->Instant(category, name, ctx.span);
+}
+
+void Event(const char* category, const char* name,
+           std::initializer_list<std::pair<const char*, int64_t>> counters) {
+  TraceContext ctx = State().ctx;
+  if (ctx.tracer == nullptr) return;
+  ctx.tracer->Instant(category, name, ctx.span,
+                      std::vector<std::pair<const char*, int64_t>>(counters));
+}
+
+void TraceAggregator::Merge(const Tracer& tracer) {
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SpanRecord& s : spans) {
+    if (s.instant || s.end_ns == 0) continue;
+    std::string op = std::string(s.category) + "/" + s.name;
+    OpStat* stat = nullptr;
+    for (OpStat& candidate : ops_) {
+      if (candidate.op == op) {
+        stat = &candidate;
+        break;
+      }
+    }
+    if (stat == nullptr) {
+      ops_.push_back(OpStat{std::move(op), 0, 0, 0});
+      stat = &ops_.back();
+    }
+    stat->count++;
+    stat->total_ns += s.duration_ns();
+    stat->max_ns = std::max(stat->max_ns, s.duration_ns());
+  }
+}
+
+std::vector<TraceAggregator::OpStat> TraceAggregator::Top(size_t n) const {
+  std::vector<OpStat> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = ops_;
+  }
+  std::sort(out.begin(), out.end(), [](const OpStat& a, const OpStat& b) {
+    if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+    return a.op < b.op;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::string TraceAggregator::TopJson(size_t n) const {
+  std::vector<OpStat> top = Top(n);
+  std::string out = "[";
+  for (size_t i = 0; i < top.size(); ++i) {
+    if (i > 0) out += ",";
+    const OpStat& s = top[i];
+    char buf[160];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"op\":\"%s\",\"count\":%llu,\"total_us\":%llu,"
+        "\"max_us\":%llu,\"mean_us\":%.1f}",
+        EscapeJson(s.op).c_str(), static_cast<unsigned long long>(s.count),
+        static_cast<unsigned long long>(s.total_ns / 1000),
+        static_cast<unsigned long long>(s.max_ns / 1000),
+        s.count == 0 ? 0.0
+                     : static_cast<double>(s.total_ns) / 1000.0 /
+                           static_cast<double>(s.count));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace spindle

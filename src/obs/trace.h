@@ -1,0 +1,278 @@
+/// \file trace.h
+/// \brief Query-level tracing & profiling: a low-overhead, thread-safe
+/// Tracer with RAII Spans, used by every layer of the engine.
+///
+/// Design goals (docs/observability.md has the full write-up):
+///
+///  - **Zero cost when off.** The ambient tracer is a thread-local
+///    pointer; every instrumentation point starts with one thread-local
+///    read and one null check. No atomics, no clock reads, no
+///    allocations on the disabled path, and results are bit-identical
+///    with tracing on or off (tracing only observes, never steers).
+///  - **Ambient, like cancellation.** A tracer is installed for a scope
+///    with ScopedTracer (or travels inside RequestContext for served
+///    queries) and TaskGroup::Spawn forwards the spawning thread's
+///    TraceContext to pool workers, so spans emitted on a worker link to
+///    the correct parent across threads.
+///  - **One span taxonomy across the stack.** Categories: "server"
+///    (request, admission), "spinql" (one span per operator node), "ir"
+///    (search, rank_topk, index_build), "engine" (filter, hash_join,
+///    group_aggregate, top_k), "exec" (task, morsel) and "cache"
+///    (instant hit/miss/evict events). Each span carries a counter bag
+///    (rows, docs_scored, queue_wait_us, ...) and string notes
+///    (cache=hit, key=<signature>).
+///
+/// Consumers:
+///  - Tracer::RenderTree — the EXPLAIN ANALYZE / TRACE operator tree
+///    (per-node wall time, row counts, cache annotations);
+///  - Tracer::ExportChromeTrace / obs::ExportChromeTrace — Chrome
+///    trace-event JSON for chrome://tracing / Perfetto, with one lane
+///    per participating thread;
+///  - TraceAggregator — since-start rollups (count/total/max per span
+///    kind) merged into the server's STATS command.
+///
+/// Lifetime: a Tracer must outlive every span recorded into it. All
+/// engine fan-out joins before returning (TaskGroup::Wait /
+/// ParallelFor), so a tracer owned by the caller of a query entry point
+/// is always safe; served queries share ownership via the
+/// RequestContext's shared_ptr.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spindle {
+namespace obs {
+
+/// \brief Nanoseconds since the process-wide trace epoch (the first call;
+/// steady clock). All tracers share this epoch so traces from different
+/// requests merge onto one timeline.
+uint64_t NowNs();
+
+/// \brief One recorded span (or instant event).
+struct SpanRecord {
+  uint64_t id = 0;      ///< 1-based, unique within its tracer
+  uint64_t parent = 0;  ///< parent span id; 0 = root
+  const char* category = "";  ///< static string: "spinql", "engine", ...
+  std::string name;
+  uint64_t start_ns = 0;  ///< NowNs() at Begin
+  uint64_t end_ns = 0;    ///< NowNs() at End; 0 while still open
+  uint32_t lane = 0;      ///< per-tracer thread lane (Chrome tid)
+  bool instant = false;   ///< a point event (cache hit/miss/evict)
+  std::vector<std::pair<const char*, int64_t>> counters;
+  std::vector<std::pair<const char*, std::string>> notes;
+
+  uint64_t duration_ns() const {
+    return end_ns >= start_ns ? end_ns - start_ns : 0;
+  }
+};
+
+/// \brief Rendering options for Tracer::RenderTree.
+struct TreeOptions {
+  /// Include "exec" spans (per-task / per-morsel). Off by default: the
+  /// operator tree reads better without thousands of morsel lines; the
+  /// Chrome export always has them.
+  bool include_exec = false;
+  /// Include instant events (the cache hit/miss/evict stream).
+  bool include_events = false;
+  /// Long string notes (materialization keys) are truncated to this.
+  size_t max_note_len = 96;
+};
+
+/// \brief Collects spans for one traced unit of work (one request, one
+/// EXPLAIN ANALYZE, one bench process). Thread-safe: any number of
+/// threads may record concurrently; recording is one short mutex-guarded
+/// append (spans are operator/morsel-grained, never per-row).
+class Tracer {
+ public:
+  /// Spans recorded beyond `max_spans` are counted in dropped() and
+  /// otherwise ignored, bounding memory for long-running trace sessions.
+  static constexpr size_t kDefaultMaxSpans = 1u << 20;
+
+  explicit Tracer(size_t max_spans = kDefaultMaxSpans);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// \brief Process-unique id of this tracer (the request's trace id).
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// \brief Opens a span; returns its id (0 when the span cap is hit —
+  /// the caller then treats the span as inactive). Used by Span.
+  uint64_t Begin(const char* category, std::string name, uint64_t parent);
+
+  /// \brief Closes a span, attaching its counter bag and notes.
+  void End(uint64_t id,
+           std::vector<std::pair<const char*, int64_t>> counters,
+           std::vector<std::pair<const char*, std::string>> notes);
+
+  /// \brief Records an instant event (zero duration) under `parent`.
+  void Instant(const char* category, std::string name, uint64_t parent,
+               std::vector<std::pair<const char*, int64_t>> counters = {},
+               std::vector<std::pair<const char*, std::string>> notes = {});
+
+  /// \brief The Chrome-trace lane of the calling thread within this
+  /// tracer (assigned on first use, cached thread-locally).
+  uint32_t LaneForCurrentThread();
+
+  /// \brief Copy of every recorded span, in Begin order.
+  std::vector<SpanRecord> Snapshot() const;
+
+  size_t num_spans() const;
+  /// \brief Spans discarded because the cap was reached.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// \brief The EXPLAIN ANALYZE / TRACE view: the span tree rendered one
+  /// line per span — `name  <wall time>  counter=… note=…` — indented two
+  /// spaces per depth. Spans whose parent is filtered out reattach to
+  /// their nearest included ancestor.
+  std::string RenderTree(const TreeOptions& options = {}) const;
+
+  /// \brief Chrome trace-event JSON ({"traceEvents": [...]}) for this
+  /// tracer alone. Open spans are exported as if they ended now.
+  std::string ExportChromeTrace() const;
+
+ private:
+  friend std::string ExportChromeTrace(
+      const std::vector<std::shared_ptr<const Tracer>>& tracers);
+
+  void AppendChromeEvents(std::string* out, bool* first) const;
+
+  const uint64_t trace_id_;
+  const size_t max_spans_;
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint32_t> next_lane_{0};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// \brief Chrome trace-event JSON merging several tracers onto the shared
+/// process timeline; each tracer becomes one Chrome "process" named by
+/// its trace id (so a multi-request export shows requests side by side).
+std::string ExportChromeTrace(
+    const std::vector<std::shared_ptr<const Tracer>>& tracers);
+
+/// \brief The ambient tracing state of a thread: the installed tracer
+/// and the innermost open span (the parent for new spans). Captured by
+/// TaskGroup::Spawn and re-installed on pool workers.
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  uint64_t span = 0;
+};
+
+/// \brief The calling thread's ambient trace context.
+TraceContext CurrentTraceContext();
+
+/// \brief True when the calling thread has a tracer installed. This is
+/// the whole cost of a disabled instrumentation point.
+bool TracingActive();
+
+/// \brief RAII: installs `tracer` as the calling thread's ambient tracer
+/// for the scope (parent span resets to root). Null is allowed and means
+/// "tracing off in this scope". Restores the previous state on exit.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer* tracer);
+  ~ScopedTracer();
+
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// \brief RAII: installs a full TraceContext (tracer + parent span).
+/// Used by the scheduler to make a pool worker's spans children of the
+/// span that was open on the spawning thread.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// \brief RAII span. Construction opens the span under the thread's
+/// innermost open span and makes it the new innermost; destruction
+/// closes it and restores the parent. When no tracer is installed every
+/// method is a no-op (one thread-local read + null check).
+class Span {
+ public:
+  Span(const char* category, const char* name);
+  Span(const char* category, std::string name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// \brief True when this span is actually recording (a tracer is
+  /// installed and the span was not dropped by the cap) — use to skip
+  /// computing expensive counter values on the disabled path.
+  bool active() const { return tracer_ != nullptr && id_ != 0; }
+
+  /// \brief Adds `delta` to the span's counter `key` (keys must be
+  /// static strings; repeated keys accumulate).
+  void Add(const char* key, int64_t delta);
+
+  /// \brief Attaches a string annotation (cache=hit, key=<signature>).
+  void Note(const char* key, std::string value);
+
+ private:
+  void Open(const char* category, std::string name);
+
+  Tracer* tracer_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t prev_span_ = 0;
+  std::vector<std::pair<const char*, int64_t>> counters_;
+  std::vector<std::pair<const char*, std::string>> notes_;
+};
+
+/// \brief Emits an instant event under the current span (no-op without a
+/// tracer). Used for the materialization cache's hit/miss/evict stream.
+void Event(const char* category, const char* name);
+void Event(const char* category, const char* name,
+           std::initializer_list<std::pair<const char*, int64_t>> counters);
+
+/// \brief Since-start rollups of finished spans keyed by
+/// "category/name": count, total and max wall time. Feeds the server's
+/// STATS command ("top-N slowest operators since start").
+class TraceAggregator {
+ public:
+  struct OpStat {
+    std::string op;  ///< "category/name"
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t max_ns = 0;
+  };
+
+  /// \brief Folds every finished, non-instant span of `tracer` in.
+  void Merge(const Tracer& tracer);
+
+  /// \brief The `n` ops with the largest total wall time, descending.
+  std::vector<OpStat> Top(size_t n) const;
+
+  /// \brief JSON array for STATS:
+  /// [{"op":…,"count":…,"total_us":…,"max_us":…,"mean_us":…}, …]
+  std::string TopJson(size_t n) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<OpStat> ops_;  // unsorted; linear scan (few distinct ops)
+};
+
+/// \brief Escapes a string for embedding in a JSON string literal.
+std::string EscapeJson(const std::string& s);
+
+}  // namespace obs
+}  // namespace spindle

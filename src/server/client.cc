@@ -97,6 +97,11 @@ Result<WireResponse> LineClient::Call(const std::string& line) {
     return Status::Internal("malformed response count: " + header);
   }
   WireResponse resp;
+  // Optional " trace=<id>" token after the count (traced requests).
+  if (end != nullptr && std::strncmp(end, " trace=", 7) == 0) {
+    resp.trace_id =
+        static_cast<uint64_t>(std::strtoull(end + 7, nullptr, 10));
+  }
   resp.rows.reserve(static_cast<size_t>(n));
   for (long long i = 0; i < n; ++i) {
     SPINDLE_ASSIGN_OR_RETURN(std::string row, ReadLine());
@@ -115,6 +120,11 @@ Result<WireResponse> LineClient::Search(const std::string& collection,
 Result<WireResponse> LineClient::Spinql(int64_t deadline_ms,
                                         const std::string& expression) {
   return Call("SPINQL " + std::to_string(deadline_ms) + " " + expression);
+}
+
+Result<WireResponse> LineClient::Trace(int64_t deadline_ms,
+                                       const std::string& expression) {
+  return Call("TRACE " + std::to_string(deadline_ms) + " " + expression);
 }
 
 Result<std::string> LineClient::Stats() {

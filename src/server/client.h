@@ -18,6 +18,9 @@ namespace server {
 /// is surfaced as the Result's Status (code re-hydrated from the wire).
 struct WireResponse {
   std::vector<std::string> rows;
+  /// From the optional "OK <n> trace=<id>" header extension; 0 when the
+  /// request was not traced.
+  uint64_t trace_id = 0;
 };
 
 /// \brief Blocking line-protocol client; one TCP connection. Not
@@ -57,6 +60,9 @@ class LineClient {
                               const std::string& query);
   Result<WireResponse> Spinql(int64_t deadline_ms,
                               const std::string& expression);
+  /// Runs the expression traced; rows are the operator-tree lines.
+  Result<WireResponse> Trace(int64_t deadline_ms,
+                             const std::string& expression);
   Result<std::string> Stats();
   Status Ping();
   Status Shutdown();

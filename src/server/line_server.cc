@@ -62,13 +62,35 @@ std::string ErrLine(const Status& st) {
          SanitizeMessage(st.message()) + "\n";
 }
 
-std::string OkBlock(const std::vector<std::string>& rows) {
-  std::string out = "OK " + std::to_string(rows.size()) + "\n";
+/// `trace_id` != 0 appends a " trace=<id>" token after the row count —
+/// existing clients parse the count with strtoll and stop at the space,
+/// so the extension is backward compatible.
+std::string OkBlock(const std::vector<std::string>& rows,
+                    uint64_t trace_id = 0) {
+  std::string out = "OK " + std::to_string(rows.size());
+  if (trace_id != 0) out += " trace=" + std::to_string(trace_id);
+  out += "\n";
   for (const std::string& r : rows) {
     out += r;
     out += "\n";
   }
   return out;
+}
+
+/// Splits rendered multi-line text (operator tree) into protocol rows.
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> rows;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      rows.push_back(text.substr(start));
+      break;
+    }
+    rows.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return rows;
 }
 
 /// Splits off the first whitespace-delimited word; returns the rest
@@ -260,7 +282,8 @@ std::string LineServer::HandleLine(const std::string& line,
     req.request.deadline_ms = deadline_ms;
     Result<QueryResponse> resp = service_->Search(req);
     if (!resp.ok()) return ErrLine(resp.status());
-    return OkBlock(SerializeRows(*resp.ValueOrDie().rows));
+    return OkBlock(SerializeRows(*resp.ValueOrDie().rows),
+                   resp.ValueOrDie().stats.trace_id);
   }
 
   if (cmd == "SPINQL") {
@@ -274,7 +297,31 @@ std::string LineServer::HandleLine(const std::string& line,
     req.request.deadline_ms = deadline_ms;
     Result<QueryResponse> resp = service_->EvalSpinql(req);
     if (!resp.ok()) return ErrLine(resp.status());
-    return OkBlock(SerializeRows(*resp.ValueOrDie().rows));
+    return OkBlock(SerializeRows(*resp.ValueOrDie().rows),
+                   resp.ValueOrDie().stats.trace_id);
+  }
+
+  if (cmd == "TRACE") {
+    // Executes the expression with per-request tracing forced on and
+    // returns the rendered operator tree (per-node wall time, rows,
+    // cache annotations) instead of the result rows.
+    SpinqlRequest req;
+    int64_t deadline_ms = 0;
+    if (!ParseInt64(TakeWord(&rest), &deadline_ms) || rest.empty()) {
+      return ErrLine(Status::InvalidArgument(
+          "usage: TRACE <deadline_ms> <expression...>"));
+    }
+    req.text = rest;
+    req.request.deadline_ms = deadline_ms;
+    req.request.trace = true;
+    Result<QueryResponse> resp = service_->EvalSpinql(req);
+    if (!resp.ok()) return ErrLine(resp.status());
+    const QueryResponse& qr = resp.ValueOrDie();
+    if (qr.trace == nullptr) {
+      return ErrLine(Status::Internal("traced request produced no trace"));
+    }
+    return OkBlock(SplitLines(qr.trace->RenderTree()),
+                   qr.stats.trace_id);
   }
 
   return ErrLine(Status::InvalidArgument("unknown command: " + cmd));

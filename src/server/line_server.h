@@ -7,6 +7,11 @@
 ///   PING
 ///   SEARCH <collection> <k> <deadline_ms> <query terms...>
 ///   SPINQL <deadline_ms> <expression...>
+///   TRACE <deadline_ms> <expression...>
+///               executes the SpinQL expression with per-request tracing
+///               forced on and returns the operator tree (one line per
+///               span: wall time, rows, cache annotations) instead of
+///               result rows
 ///   STATS
 ///   QUIT        close this connection
 ///   SHUTDOWN    stop the whole server (clean shutdown)
@@ -16,6 +21,9 @@
 ///   OK <n>\n        followed by exactly n data lines (tab-separated
 ///                   columns; float64 columns printed with %.17g so a
 ///                   client sees bit-identical doubles)
+///   OK <n> trace=<id>\n   same, for a traced request (service-wide
+///                   trace_requests or the TRACE command); <id> is the
+///                   request's trace id in the Chrome export
 ///   ERR <Code> <message>\n   (message has newlines/tabs stripped)
 ///
 /// Threading: one accept thread plus one thread per connection.

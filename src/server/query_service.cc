@@ -47,10 +47,22 @@ RequestContext QueryService::MakeContext(const RequestOptions& ro) const {
 
 Result<RelationPtr> QueryService::RunAdmitted(
     const RequestOptions& ro, RequestStats* stats,
+    std::shared_ptr<const obs::Tracer>* trace_out,
     const std::function<Result<RelationPtr>()>& body) {
   const auto t0 = std::chrono::steady_clock::now();
   metrics_.requests_total.fetch_add(1, std::memory_order_relaxed);
+
+  // Per-request tracer: minted only when tracing is on, so the disabled
+  // serving path allocates nothing and the engine sees a null ambient
+  // tracer (one pointer check per instrumentation point).
+  std::shared_ptr<obs::Tracer> tracer;
+  if (opts_.trace_requests || ro.trace) {
+    tracer = std::make_shared<obs::Tracer>();
+    stats->trace_id = tracer->trace_id();
+  }
+
   RequestContext rc = MakeContext(ro);
+  rc.tracer = tracer;
 
   auto finish = [&](const Status& st) {
     const uint64_t us = ElapsedUs(t0);
@@ -77,34 +89,58 @@ Result<RelationPtr> QueryService::RunAdmitted(
     }
   };
 
-  Status admitted = admission_.Admit(rc, &stats->queue_wait_us);
-  if (!admitted.ok()) {
-    finish(admitted);
-    return admitted;
-  }
-
+  // The whole admitted lifecycle runs inside a "request" root span so
+  // it closes (and its wall time is final) before the rollup below.
   Result<RelationPtr> out = [&]() -> Result<RelationPtr> {
-    // The ambient request context is what every cancellation point in the
-    // engine consults; the exec context bounds per-query parallelism.
-    ScopedRequestContext request_scope(rc);
-    std::unique_ptr<ScopedExecContext> exec_scope;
-    if (opts_.threads > 0) {
-      exec_scope =
-          std::make_unique<ScopedExecContext>(ExecContext(opts_.threads));
+    obs::ScopedTracer trace_scope(tracer.get());
+    obs::Span request_span("server", "request");
+
+    Status admitted;
+    {
+      // Admission wait is its own child span: a Chrome trace of an
+      // overloaded server shows the request parked here.
+      obs::Span admission_span("server", "admission");
+      admitted = admission_.Admit(rc, &stats->queue_wait_us);
+      if (admission_span.active()) {
+        admission_span.Add(
+            "queue_wait_us", static_cast<int64_t>(stats->queue_wait_us));
+      }
     }
-    // Exception firewall: the engine is Status-based, but a stray throw
-    // from malformed input must degrade to one failed request, not a
-    // terminated service.
-    try {
-      return body();
-    } catch (const std::exception& e) {
-      return Status::Internal(std::string("uncaught exception: ") +
-                              e.what());
-    } catch (...) {
-      return Status::Internal("uncaught non-standard exception");
+    if (!admitted.ok()) {
+      if (request_span.active()) request_span.Note("status", "shed");
+      return admitted;
     }
+
+    Result<RelationPtr> r = [&]() -> Result<RelationPtr> {
+      // The ambient request context is what every cancellation point in
+      // the engine consults; the exec context bounds per-query
+      // parallelism.
+      ScopedRequestContext request_scope(rc);
+      std::unique_ptr<ScopedExecContext> exec_scope;
+      if (opts_.threads > 0) {
+        exec_scope =
+            std::make_unique<ScopedExecContext>(ExecContext(opts_.threads));
+      }
+      // Exception firewall: the engine is Status-based, but a stray throw
+      // from malformed input must degrade to one failed request, not a
+      // terminated service.
+      try {
+        return body();
+      } catch (const std::exception& e) {
+        return Status::Internal(std::string("uncaught exception: ") +
+                                e.what());
+      } catch (...) {
+        return Status::Internal("uncaught non-standard exception");
+      }
+    }();
+    admission_.Release();
+    if (request_span.active()) {
+      request_span.Note(
+          "status",
+          StatusCodeName(r.ok() ? StatusCode::kOk : r.status().code()));
+    }
+    return r;
   }();
-  admission_.Release();
 
   // Roll this request's work counters into the service totals.
   metrics_.docs_scored.fetch_add(stats->search.docs_scored,
@@ -117,6 +153,21 @@ Result<RelationPtr> QueryService::RunAdmitted(
                                   std::memory_order_relaxed);
 
   finish(out.ok() ? Status::OK() : out.status());
+
+  if (tracer != nullptr) {
+    // The request span is closed: fold this trace into the since-start
+    // per-operator rollup and retain it for Chrome export.
+    trace_agg_.Merge(*tracer);
+    {
+      std::lock_guard<std::mutex> lock(trace_mu_);
+      trace_log_.push_back(tracer);
+      while (trace_log_.size() > opts_.trace_log_capacity &&
+             !trace_log_.empty()) {
+        trace_log_.pop_front();
+      }
+    }
+    if (trace_out != nullptr) *trace_out = tracer;
+  }
   return out;
 }
 
@@ -127,13 +178,30 @@ std::string QueryService::MetricsJson() {
   MaterializationCache::Stats cs = cache_.stats();
   metrics_.cache_hits.store(cs.hits, std::memory_order_relaxed);
   metrics_.cache_misses.store(cs.misses, std::memory_order_relaxed);
-  return metrics_.SnapshotJson();
+  // Merge the tracer rollup in: the snapshot's closing brace is replaced
+  // by a "top_operators" member (the N slowest operator kinds by total
+  // wall time since start — empty until a request runs traced).
+  std::string json = metrics_.SnapshotJson();
+  if (!json.empty() && json.back() == '}') {
+    json.pop_back();
+    json += ",\"top_operators\":" + trace_agg_.TopJson(10) + "}";
+  }
+  return json;
+}
+
+std::string QueryService::ExportChromeTraceJson() const {
+  std::vector<std::shared_ptr<const obs::Tracer>> tracers;
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    tracers.assign(trace_log_.begin(), trace_log_.end());
+  }
+  return obs::ExportChromeTrace(tracers);
 }
 
 Result<QueryResponse> QueryService::Search(const SearchRequest& req) {
   QueryResponse resp;
   Result<RelationPtr> rows = RunAdmitted(
-      req.request, &resp.stats, [&]() -> Result<RelationPtr> {
+      req.request, &resp.stats, &resp.trace, [&]() -> Result<RelationPtr> {
         SPINDLE_ASSIGN_OR_RETURN(RelationPtr docs,
                                  catalog_.Get(req.collection));
         // Same signature scheme the evaluator uses for base tables, so a
@@ -152,7 +220,7 @@ Result<QueryResponse> QueryService::Search(const SearchRequest& req) {
 Result<QueryResponse> QueryService::EvalSpinql(const SpinqlRequest& req) {
   QueryResponse resp;
   Result<RelationPtr> rows = RunAdmitted(
-      req.request, &resp.stats, [&]() -> Result<RelationPtr> {
+      req.request, &resp.stats, &resp.trace, [&]() -> Result<RelationPtr> {
         Result<ProbRelation> r = evaluator_.EvalExpression(req.text);
         if (!r.ok()) return r.status();
         return r.ValueOrDie().rel();

@@ -22,14 +22,17 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
 #include "engine/materialization_cache.h"
 #include "exec/request_context.h"
 #include "ir/searcher.h"
+#include "obs/trace.h"
 #include "server/admission.h"
 #include "server/metrics.h"
 #include "spinql/evaluator.h"
@@ -49,6 +52,13 @@ struct QueryServiceOptions {
   size_t cache_budget_bytes = 256u << 20;
   /// Analyzer for keyword search.
   AnalyzerOptions analyzer;
+  /// Trace every request (per-request obs::Tracer carried through the
+  /// engine). Off by default — tracing is also available per request via
+  /// RequestOptions::trace or the TRACE wire command. SPINDLE_TRACE=1
+  /// turns this on in spindle_serve.
+  bool trace_requests = false;
+  /// How many recent request traces are retained for Chrome export.
+  size_t trace_log_capacity = 64;
 };
 
 /// \brief Common per-request envelope.
@@ -60,12 +70,16 @@ struct RequestOptions {
   /// Optional client-held token for explicit cancellation; when null the
   /// service mints one internally (deadline enforcement needs a token).
   CancelTokenPtr token;
+  /// Trace this one request even when the service-wide switch is off
+  /// (the TRACE wire command sets this).
+  bool trace = false;
 };
 
 /// \brief Per-request accounting returned with every response.
 struct RequestStats {
   uint64_t latency_us = 0;     ///< admission + execution, end to end
   uint64_t queue_wait_us = 0;  ///< time spent queued in admission
+  uint64_t trace_id = 0;       ///< 0 when the request was not traced
   Searcher::Stats search;      ///< this call's searcher counters
 };
 
@@ -84,6 +98,11 @@ struct SpinqlRequest {
 struct QueryResponse {
   RelationPtr rows;  ///< result relation (schema depends on the call)
   RequestStats stats;
+  /// The request's full span record when it was traced (service-wide
+  /// trace_requests or per-request RequestOptions::trace); null
+  /// otherwise. RenderTree() gives the operator tree, ExportChromeTrace()
+  /// the Perfetto-loadable JSON.
+  std::shared_ptr<const obs::Tracer> trace;
 };
 
 class QueryService {
@@ -112,8 +131,20 @@ class QueryService {
 
   /// \brief JSON snapshot of the service-wide metrics (request outcomes,
   /// latency/queue-wait percentiles, searcher and materialization-cache
-  /// counters).
+  /// counters, and the tracer rollup's top-N slowest operators).
   std::string MetricsJson();
+
+  /// \brief Chrome trace-event JSON of the retained recent request
+  /// traces (up to options().trace_log_capacity), merged onto one
+  /// timeline — one Chrome "process" per request. Empty trace list
+  /// yields a valid, empty trace document.
+  std::string ExportChromeTraceJson() const;
+
+  /// \brief Since-start rollups of every traced span (the STATS
+  /// "top_operators" source).
+  const obs::TraceAggregator& trace_aggregator() const {
+    return trace_agg_;
+  }
 
   Catalog& catalog() { return catalog_; }
   const ServiceMetrics& metrics() const { return metrics_; }
@@ -125,9 +156,12 @@ class QueryService {
   /// minting).
   RequestContext MakeContext(const RequestOptions& ro) const;
 
-  /// Admission + ambient-context installation + metrics around `body`.
+  /// Admission + ambient-context installation + metrics + tracing around
+  /// `body`. When the request is traced, `*trace_out` (if non-null)
+  /// receives the request's tracer.
   Result<RelationPtr> RunAdmitted(
       const RequestOptions& ro, RequestStats* stats,
+      std::shared_ptr<const obs::Tracer>* trace_out,
       const std::function<Result<RelationPtr>()>& body);
 
   QueryServiceOptions opts_;
@@ -137,6 +171,11 @@ class QueryService {
   spinql::Evaluator evaluator_;
   AdmissionController admission_;
   ServiceMetrics metrics_;
+  /// Tracing consumers: since-start per-operator rollups and a bounded
+  /// log of recent request tracers (Chrome export).
+  obs::TraceAggregator trace_agg_;
+  mutable std::mutex trace_mu_;
+  std::deque<std::shared_ptr<const obs::Tracer>> trace_log_;
 };
 
 }  // namespace server

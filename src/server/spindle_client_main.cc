@@ -75,9 +75,14 @@ int main(int argc, char** argv) {
       if (!allow_err || transport) ++failures;
       continue;
     }
-    const auto& rows = resp.ValueOrDie().rows;
-    std::printf("OK %zu\n", rows.size());
-    for (const std::string& row : rows) std::printf("%s\n", row.c_str());
+    const auto& wire = resp.ValueOrDie();
+    if (wire.trace_id != 0) {
+      std::printf("OK %zu trace=%llu\n", wire.rows.size(),
+                  static_cast<unsigned long long>(wire.trace_id));
+    } else {
+      std::printf("OK %zu\n", wire.rows.size());
+    }
+    for (const std::string& row : wire.rows) std::printf("%s\n", row.c_str());
   }
   return failures == 0 ? 0 : 1;
 }

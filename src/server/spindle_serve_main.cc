@@ -19,6 +19,14 @@
 ///   --max-inflight=N       admission: concurrent queries (default 4)
 ///   --max-queue=N          admission: queue cap (default 64)
 ///   --default-deadline-ms=N  deadline for requests that send 0
+///   --trace=0|1            trace every request (per-request spans roll
+///                          into STATS top_operators; implied by
+///                          --trace-file and by SPINDLE_TRACE=1)
+///   --trace-file=PATH      at shutdown, write the retained request
+///                          traces as Chrome trace-event JSON to PATH
+///                          (load in chrome://tracing or Perfetto)
+///
+/// SPINDLE_TRACE=1 in the environment is equivalent to --trace=1.
 ///
 /// Shuts down cleanly on the SHUTDOWN command, SIGINT or SIGTERM.
 
@@ -59,7 +67,13 @@ int main(int argc, char** argv) {
   QueryServiceOptions service_opts;
   std::string port_file;
   std::string queries_file;
+  std::string trace_file;
   int64_t generate_docs = 0;
+
+  const char* trace_env = std::getenv("SPINDLE_TRACE");
+  if (trace_env != nullptr && std::strcmp(trace_env, "1") == 0) {
+    service_opts.trace_requests = true;
+  }
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -82,6 +96,11 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atoll(v.c_str()));
     } else if (FlagValue(argv[i], "--default-deadline-ms", &v)) {
       service_opts.default_deadline_ms = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--trace", &v)) {
+      service_opts.trace_requests = std::atoi(v.c_str()) != 0;
+    } else if (FlagValue(argv[i], "--trace-file", &v)) {
+      trace_file = v;
+      service_opts.trace_requests = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -139,6 +158,18 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   server.Stop();
+  if (!trace_file.empty()) {
+    std::FILE* f = std::fopen(trace_file.c_str(), "w");
+    if (f != nullptr) {
+      std::string json = service.ExportChromeTraceJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote trace to %s\n", trace_file.c_str());
+    } else {
+      std::fprintf(stderr, "could not open trace file %s\n",
+                   trace_file.c_str());
+    }
+  }
   std::fprintf(stderr, "shutdown complete\n%s\n",
                service.MetricsJson().c_str());
   return 0;

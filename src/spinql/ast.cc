@@ -5,6 +5,34 @@
 namespace spindle {
 namespace spinql {
 
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kRelRef:
+      return "relref";
+    case NodeKind::kSelect:
+      return "select";
+    case NodeKind::kProject:
+      return "project";
+    case NodeKind::kJoin:
+      return "join";
+    case NodeKind::kUnite:
+      return "unite";
+    case NodeKind::kWeight:
+      return "weight";
+    case NodeKind::kComplement:
+      return "complement";
+    case NodeKind::kBayes:
+      return "bayes";
+    case NodeKind::kTokenize:
+      return "tokenize";
+    case NodeKind::kRank:
+      return "rank";
+    case NodeKind::kTopK:
+      return "topk";
+  }
+  return "?";
+}
+
 std::string RankSpec::ToString() const {
   std::string out;
   switch (model) {

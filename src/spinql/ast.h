@@ -38,6 +38,10 @@ enum class NodeKind {
   kTopK,        ///< TOPK [k] (in)
 };
 
+/// \brief Lower-case operator name ("select", "rank", ...) — the span
+/// name of the operator's node in a query trace.
+const char* NodeKindName(NodeKind kind);
+
 /// \brief Ranking configuration of a RANK node.
 struct RankSpec {
   RankModel model = RankModel::kBm25;

@@ -8,6 +8,7 @@
 #include "exec/scheduler.h"
 #include "ir/ranking.h"
 #include "ir/topk_pruning.h"
+#include "obs/trace.h"
 #include "pra/pra_ops.h"
 #include "spinql/parser.h"
 
@@ -46,6 +47,36 @@ Result<ProbRelation> Evaluator::EvalExpression(const std::string& spinql) {
   SPINDLE_ASSIGN_OR_RETURN(NodePtr node, ParseExpression(spinql));
   Program empty_program;
   return EvalNode(node, empty_program);
+}
+
+Result<std::string> Evaluator::ExplainAnalyze(const std::string& spinql) {
+  // Strip an optional "EXPLAIN ANALYZE" prefix so callers can pass the
+  // statement form verbatim.
+  std::string_view text = spinql;
+  auto strip_word = [&text](std::string_view word) {
+    while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+      text.remove_prefix(1);
+    }
+    if (text.size() < word.size()) return false;
+    for (size_t i = 0; i < word.size(); ++i) {
+      char c = text[i];
+      if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+      if (c != word[i]) return false;
+    }
+    text.remove_prefix(word.size());
+    return true;
+  };
+  if (strip_word("EXPLAIN")) {
+    strip_word("ANALYZE");  // plain EXPLAIN also executes-and-traces
+  }
+  obs::Tracer tracer;
+  {
+    obs::ScopedTracer scope(&tracer);
+    SPINDLE_ASSIGN_OR_RETURN(ProbRelation evaluated,
+                             EvalExpression(std::string(text)));
+    (void)evaluated;
+  }
+  return tracer.RenderTree();
 }
 
 Result<NodePtr> Evaluator::ResolveForSignature(const NodePtr& node,
@@ -114,10 +145,21 @@ Result<ProbRelation> Evaluator::EvalNode(const NodePtr& node,
     return ProbRelation::Attach(std::move(rel));
   }
 
+  // One span per operator node — the EXPLAIN ANALYZE tree. Child
+  // operators evaluate inside this scope (including concurrent JOIN/
+  // UNITE subtrees, whose spans link back here through TaskGroup's
+  // trace-context propagation), so nesting mirrors the plan.
+  obs::Span span("spinql", NodeKindName(node->kind()));
+
   std::string signature;
   if (cache_ != nullptr) {
     SPINDLE_ASSIGN_OR_RETURN(signature, Signature(node, program));
     if (auto hit = cache_->Get(signature)) {
+      if (span.active()) {
+        span.Note("cache", "hit");
+        span.Note("key", signature);
+        span.Add("rows_out", static_cast<int64_t>((*hit)->num_rows()));
+      }
       return ProbRelation::Wrap(*hit);
     }
   }
@@ -329,6 +371,11 @@ Result<ProbRelation> Evaluator::EvalNode(const NodePtr& node,
   if (cache_ != nullptr) {
     cache_->Put(signature, result.rel());
   }
+  if (span.active()) {
+    span.Add("rows_out", static_cast<int64_t>(result.num_rows()));
+    span.Note("cache", cache_ != nullptr ? "miss" : "off");
+    if (cache_ != nullptr) span.Note("key", signature);
+  }
   return result;
 }
 
@@ -374,12 +421,18 @@ Result<ProbRelation> Evaluator::EvalRank(const Node& node,
       stats_.index_misses++;
     }
   }
+  if (index != nullptr) obs::Event("ir", "index_hit");
   if (index == nullptr) {
     // Build outside the lock (concurrent UNITE branches may rank in
     // parallel; the expensive build must not serialize them). On a race
     // the first inserted index wins and the duplicate is discarded.
     // Dense internal docIDs 1..n; external ids (string or int64) are
     // restored after ranking.
+    obs::Span build_span("ir", "index_build");
+    if (build_span.active()) {
+      build_span.Add("docs", static_cast<int64_t>(docs.num_rows()));
+      build_span.Note("key", index_key);
+    }
     Schema schema({{"docID", DataType::kInt64},
                    {"data", DataType::kString}});
     std::vector<int64_t> ids(docs.num_rows());
@@ -446,6 +499,7 @@ Result<ProbRelation> Evaluator::EvalRank(const Node& node,
   RelationPtr scored;
   if (use_fused) {
     options.top_k = fused_k;
+    obs::Event("spinql", "rank_fused");
     SPINDLE_ASSIGN_OR_RETURN(scored, RankTopK(*index, qterms, options));
     if (fused != nullptr) *fused = true;
     std::lock_guard<std::mutex> lock(mu_);

@@ -53,6 +53,13 @@ class Evaluator {
   /// \brief Parses and evaluates a single SpinQL expression.
   Result<ProbRelation> EvalExpression(const std::string& spinql);
 
+  /// \brief Runs `spinql` (an optional leading "EXPLAIN ANALYZE " is
+  /// stripped, case-insensitively) under a private tracer and returns
+  /// the executed operator tree — one line per operator with wall time,
+  /// row counts and cache hit/miss/key annotations. The query really
+  /// executes (caches are warmed/consulted exactly as in Eval).
+  Result<std::string> ExplainAnalyze(const std::string& spinql);
+
   /// \brief The canonical cache signature of a node (bindings expanded,
   /// base tables version-pinned).
   Result<std::string> Signature(const NodePtr& node,

@@ -1,0 +1,388 @@
+/// \file obs_test.cc
+/// \brief Tests for the query-level tracing subsystem: span recording and
+/// nesting, cross-thread parent linkage through ParallelFor/TaskGroup,
+/// concurrent emission, the zero-cost disabled path (bit-identical
+/// results), EXPLAIN ANALYZE tree shape, Chrome trace-event export and
+/// the STATS aggregator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/materialization_cache.h"
+#include "exec/exec_context.h"
+#include "exec/scheduler.h"
+#include "ir/searcher.h"
+#include "obs/trace.h"
+#include "server/line_server.h"
+#include "spinql/evaluator.h"
+#include "storage/catalog.h"
+#include "storage/relation.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+namespace {
+
+using obs::ScopedTracer;
+using obs::Span;
+using obs::SpanRecord;
+using obs::TraceAggregator;
+using obs::Tracer;
+using obs::TreeOptions;
+
+std::map<std::string, SpanRecord> ByName(const Tracer& tracer) {
+  std::map<std::string, SpanRecord> out;
+  for (const SpanRecord& s : tracer.Snapshot()) out[s.name] = s;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Core span mechanics
+
+TEST(TracerTest, RecordsNestedSpansWithCountersAndNotes) {
+  Tracer tracer;
+  {
+    ScopedTracer scope(&tracer);
+    ASSERT_TRUE(obs::TracingActive());
+    Span outer("spinql", "topk");
+    outer.Add("rows", 10);
+    outer.Add("rows", 5);  // repeated key accumulates
+    outer.Note("cache", "miss");
+    {
+      Span inner("engine", "top_k");
+      inner.Add("k", 3);
+    }
+    obs::Event("cache", "hit");
+  }
+  EXPECT_FALSE(obs::TracingActive());
+
+  auto spans = ByName(tracer);
+  ASSERT_EQ(spans.size(), 3u);
+  const SpanRecord& outer = spans.at("topk");
+  const SpanRecord& inner = spans.at("top_k");
+  const SpanRecord& hit = spans.at("hit");
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(hit.parent, outer.id);  // Event under innermost open span
+  EXPECT_TRUE(hit.instant);
+  EXPECT_GT(outer.end_ns, 0u);
+  EXPECT_GE(outer.duration_ns(), inner.duration_ns());
+  ASSERT_EQ(outer.counters.size(), 1u);
+  EXPECT_STREQ(outer.counters[0].first, "rows");
+  EXPECT_EQ(outer.counters[0].second, 15);
+  ASSERT_EQ(outer.notes.size(), 1u);
+  EXPECT_EQ(outer.notes[0].second, "miss");
+}
+
+TEST(TracerTest, InactiveWithoutAmbientTracer) {
+  Span span("engine", "filter");
+  EXPECT_FALSE(span.active());
+  span.Add("rows", 1);       // all no-ops
+  span.Note("cache", "hit");
+  obs::Event("cache", "miss");
+  EXPECT_EQ(obs::CurrentTraceContext().tracer, nullptr);
+}
+
+TEST(TracerTest, SpanCapCountsDropped) {
+  Tracer tracer(/*max_spans=*/2);
+  {
+    ScopedTracer scope(&tracer);
+    Span a("t", "a");
+    Span b("t", "b");
+    Span c("t", "c");  // over the cap: dropped, inactive
+    EXPECT_TRUE(a.active());
+    EXPECT_FALSE(c.active());
+  }
+  EXPECT_EQ(tracer.num_spans(), 2u);
+  EXPECT_GE(tracer.dropped(), 1u);
+}
+
+TEST(TracerTest, ScopedTracerNestsAndRestores) {
+  Tracer outer_tracer, inner_tracer;
+  ScopedTracer a(&outer_tracer);
+  Span outer("t", "outer");
+  {
+    // A nested tracer starts a fresh span stack (parent resets to root)
+    // and restores the outer tracer *and* its open span on exit.
+    ScopedTracer b(&inner_tracer);
+    Span inner("t", "inner");
+    EXPECT_EQ(obs::CurrentTraceContext().tracer, &inner_tracer);
+  }
+  EXPECT_EQ(obs::CurrentTraceContext().tracer, &outer_tracer);
+  Span sibling("t", "sibling");
+  auto inner_spans = ByName(inner_tracer);
+  EXPECT_EQ(inner_spans.at("inner").parent, 0u);
+  auto outer_spans = ByName(outer_tracer);
+  EXPECT_EQ(outer_spans.at("sibling").parent, outer_spans.at("outer").id);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread propagation
+
+class ParallelForSpanTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelForSpanTest, MorselSpansLinkToSpawningSpan) {
+  const int threads = GetParam();
+  Tracer tracer;
+  const size_t n = 10000;  // several morsels at the 8192-row grid
+  {
+    ScopedTracer scope(&tracer);
+    Span root("test", "query");
+    ExecContext ctx(threads);
+    std::atomic<size_t> rows{0};
+    ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t) {
+      rows.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(rows.load(), n);
+  }
+
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  uint64_t root_id = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.name == "query") root_id = s.id;
+  }
+  ASSERT_NE(root_id, 0u);
+  // Every morsel span must reach the root through recorded parents —
+  // on pool workers via the forwarded "task" span, inline via root
+  // directly — regardless of thread count.
+  std::map<uint64_t, uint64_t> parent_of;
+  for (const SpanRecord& s : spans) parent_of[s.id] = s.parent;
+  size_t morsels = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.name != "morsel") continue;
+    ++morsels;
+    uint64_t p = s.id;
+    while (p != 0 && p != root_id) p = parent_of[p];
+    EXPECT_EQ(p, root_id) << "morsel span detached from query root";
+  }
+  EXPECT_EQ(morsels, NumMorsels(ExecContext(threads), n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelForSpanTest,
+                         ::testing::Values(1, 2, 8));
+
+TEST(TracerTest, ConcurrentEmissionFromManyThreads) {
+  Tracer tracer;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  {
+    ScopedTracer scope(&tracer);
+    Span root("test", "root");
+    const obs::TraceContext ctx = obs::CurrentTraceContext();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([ctx] {
+        obs::ScopedTraceContext install(ctx);
+        for (int i = 0; i < kSpansPerThread; ++i) {
+          Span s("test", "work");
+          s.Add("i", i);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  EXPECT_EQ(tracer.num_spans(), 1u + kThreads * kSpansPerThread);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  // Lanes: root thread plus up to kThreads distinct worker lanes.
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  uint64_t root_id = spans.front().id;
+  for (const SpanRecord& s : spans) {
+    if (s.name == "work") EXPECT_EQ(s.parent, root_id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Disabled path is bit-identical
+
+TEST(TracerTest, DisabledTracingIsBitIdentical) {
+  TextCollectionOptions gen;
+  gen.num_docs = 500;
+  gen.vocab_size = 2000;
+  auto docs_r = GenerateTextCollection(gen);
+  ASSERT_TRUE(docs_r.ok());
+  RelationPtr docs = docs_r.MoveValueOrDie();
+  std::string query = GenerateQueries(gen, 1, 2)[0];
+
+  auto run = [&](Tracer* tracer) -> RelationPtr {
+    ScopedTracer scope(tracer);
+    Searcher searcher;
+    SearchOptions options;
+    options.top_k = 10;
+    auto r = searcher.Search(docs, "sig", query, options);
+    EXPECT_TRUE(r.ok());
+    return r.MoveValueOrDie();
+  };
+
+  RelationPtr plain = run(nullptr);
+  Tracer tracer;
+  RelationPtr traced = run(&tracer);
+  EXPECT_GT(tracer.num_spans(), 0u);
+
+  // %.17g serialization makes float64 comparison exact, so equal rows
+  // means bit-identical scores.
+  EXPECT_EQ(server::SerializeRows(*plain), server::SerializeRows(*traced));
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE
+
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TextCollectionOptions gen;
+    gen.num_docs = 200;
+    auto docs = GenerateTextCollection(gen);
+    ASSERT_TRUE(docs.ok());
+    catalog_.RegisterEncoded("docs", docs.MoveValueOrDie());
+  }
+
+  Catalog catalog_;
+  MaterializationCache cache_{64u << 20};
+};
+
+TEST_F(ExplainAnalyzeTest, PrintsOperatorTreeWithTimesAndCache) {
+  spinql::Evaluator ev(&catalog_, &cache_);
+  auto tree = ev.ExplainAnalyze(
+      "EXPLAIN ANALYZE TOPK [5] (PROJECT [$1] (docs))");
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  const std::string& t = tree.ValueOrDie();
+  // Operator lines, nested two spaces per depth, with wall time and
+  // rows/cache annotations.
+  EXPECT_NE(t.find("topk"), std::string::npos) << t;
+  EXPECT_NE(t.find("\n  project"), std::string::npos) << t;
+  EXPECT_NE(t.find(" ms"), std::string::npos) << t;
+  EXPECT_NE(t.find("rows_out=5"), std::string::npos) << t;
+  EXPECT_NE(t.find("cache=miss"), std::string::npos) << t;
+  // engine/exec spans are filtered from the operator tree by default.
+  EXPECT_EQ(t.find("morsel"), std::string::npos) << t;
+
+  // Second run: same query is served from the materialization cache.
+  auto again = ev.ExplainAnalyze(
+      "explain analyze TOPK [5] (PROJECT [$1] (docs))");
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE(again.ValueOrDie().find("cache=hit"), std::string::npos)
+      << again.ValueOrDie();
+}
+
+TEST_F(ExplainAnalyzeTest, PrefixIsOptionalAndErrorsPropagate) {
+  spinql::Evaluator ev(&catalog_, &cache_);
+  EXPECT_TRUE(ev.ExplainAnalyze("TOPK [2] (docs)").ok());
+  EXPECT_FALSE(ev.ExplainAnalyze("EXPLAIN ANALYZE TOPK [").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Chrome export
+
+TEST(ChromeExportTest, ExportsValidStructureWithLanesAndArgs) {
+  Tracer tracer;
+  {
+    ScopedTracer scope(&tracer);
+    Span root("server", "request");
+    root.Add("rows", 2);
+    root.Note("status", "OK");
+    Span child("engine", "filter");
+    obs::Event("cache", "hit");
+  }
+  std::string json = tracer.ExportChromeTrace();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_EQ(json[json.find_last_not_of('\n')], '}');
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"cat\":\"engine\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"OK\""), std::string::npos);
+
+  // Multi-tracer export: one Chrome pid per tracer.
+  auto t1 = std::make_shared<Tracer>();
+  auto t2 = std::make_shared<Tracer>();
+  for (auto& t : {t1, t2}) {
+    ScopedTracer scope(t.get());
+    Span s("server", "request");
+  }
+  std::string merged = obs::ExportChromeTrace(
+      {std::static_pointer_cast<const Tracer>(t1),
+       std::static_pointer_cast<const Tracer>(t2)});
+  EXPECT_NE(merged.find("\"pid\":" + std::to_string(t1->trace_id())),
+            std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":" + std::to_string(t2->trace_id())),
+            std::string::npos);
+}
+
+TEST(ChromeExportTest, EscapesJsonStrings) {
+  EXPECT_EQ(obs::EscapeJson("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  Tracer tracer;
+  {
+    ScopedTracer scope(&tracer);
+    Span s("t", "quote\"name");
+    s.Note("key", "tab\there");
+  }
+  std::string json = tracer.ExportChromeTrace();
+  EXPECT_NE(json.find("quote\\\"name"), std::string::npos);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator
+
+TEST(TraceAggregatorTest, RollsUpByCategoryAndName) {
+  Tracer tracer;
+  {
+    ScopedTracer scope(&tracer);
+    { Span s("engine", "filter"); }
+    { Span s("engine", "filter"); }
+    { Span s("ir", "search"); }
+    obs::Event("cache", "hit");  // instants are excluded from rollups
+  }
+  TraceAggregator agg;
+  agg.Merge(tracer);
+  auto top = agg.Top(10);
+  ASSERT_EQ(top.size(), 2u);
+  auto filter = std::find_if(top.begin(), top.end(), [](const auto& o) {
+    return o.op == "engine/filter";
+  });
+  ASSERT_NE(filter, top.end());
+  EXPECT_EQ(filter->count, 2u);
+  EXPECT_GE(filter->max_ns, 0u);
+
+  std::string json = agg.TopJson(1);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"op\":"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_us\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// RenderTree
+
+TEST(RenderTreeTest, FiltersExecAndReattachesOrphans) {
+  Tracer tracer;
+  {
+    ScopedTracer scope(&tracer);
+    Span root("spinql", "select");
+    {
+      Span task("exec", "task");  // filtered out by default
+      Span morsel("engine", "filter");  // must reattach under select
+      (void)task;
+      (void)morsel;
+    }
+  }
+  std::string tree = tracer.RenderTree();
+  EXPECT_EQ(tree.find("task"), std::string::npos) << tree;
+  // filter's recorded parent (task) is excluded: it indents under select.
+  EXPECT_NE(tree.find("\n  filter"), std::string::npos) << tree;
+
+  TreeOptions all;
+  all.include_exec = true;
+  std::string full = tracer.RenderTree(all);
+  EXPECT_NE(full.find("task"), std::string::npos) << full;
+}
+
+}  // namespace
+}  // namespace spindle

@@ -611,6 +611,85 @@ TEST_F(LineServerTest, EndToEndOverSocket) {
   EXPECT_TRUE(server.stopping());
 }
 
+TEST_F(LineServerTest, TraceCommandAndTracedHeaders) {
+  QueryServiceOptions opts;
+  opts.trace_log_capacity = 4;
+  auto service = MakeService(opts);
+  LineServer server(service.get(), LineServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // TRACE executes the query and returns the operator tree instead of
+  // rows; the header carries the request's trace id. Run it first so the
+  // materialization cache is cold and the full operator tree shows.
+  auto traced = client.Trace(0, "TOPK [3] (PROJECT [$1] (docs))");
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  const auto& wire = traced.ValueOrDie();
+  EXPECT_NE(wire.trace_id, 0u);
+  ASSERT_FALSE(wire.rows.empty());
+  EXPECT_EQ(wire.rows[0].rfind("request", 0), 0u) << wire.rows[0];
+  std::string tree;
+  for (const auto& row : wire.rows) tree += row + "\n";
+  EXPECT_NE(tree.find("admission"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("topk"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("project"), std::string::npos) << tree;
+  EXPECT_NE(tree.find(" ms"), std::string::npos) << tree;
+
+  // Untraced requests carry no trace id.
+  auto plain = client.Spinql(0, "TOPK [3] (PROJECT [$1] (docs))");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain.ValueOrDie().trace_id, 0u);
+
+  // Parse/eval errors in a traced expression surface as ERR.
+  auto bad = client.Trace(0, "TOPK [");
+  EXPECT_FALSE(bad.ok());
+
+  // STATS includes the per-operator rollup once a traced request ran.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.ValueOrDie().find("\"top_operators\""),
+            std::string::npos);
+  EXPECT_NE(stats.ValueOrDie().find("server/request"), std::string::npos);
+
+  // The retained trace exports as Chrome trace-event JSON.
+  std::string chrome = service->ExportChromeTraceJson();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"pid\":" + std::to_string(wire.trace_id)),
+            std::string::npos);
+
+  server.Stop();
+}
+
+TEST_F(LineServerTest, ServiceWideTracingStampsEveryResponse) {
+  QueryServiceOptions opts;
+  opts.trace_requests = true;
+  auto service = MakeService(opts);
+  LineServer server(service.get(), LineServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto r1 = client.Search("docs", 5, 0, Queries()[0]);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  auto r2 = client.Spinql(0, "TOPK [2] (docs)");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_NE(r1.ValueOrDie().trace_id, 0u);
+  EXPECT_NE(r2.ValueOrDie().trace_id, 0u);
+  EXPECT_NE(r1.ValueOrDie().trace_id, r2.ValueOrDie().trace_id);
+
+  // Traced search results stay bit-identical to the direct library call.
+  SearchOptions options;
+  options.top_k = 5;
+  Searcher direct;
+  auto want = direct.Search(Docs(), "sig", Queries()[0], options);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(r1.ValueOrDie().rows, SerializeRows(*want.ValueOrDie()));
+
+  server.Stop();
+}
+
 TEST_F(LineServerTest, ConcurrentSocketClients) {
   auto service = MakeService();
   LineServer server(service.get(), LineServerOptions{});
