@@ -11,6 +11,10 @@
 ///                      per-operator tree (wall time, rows, cache
 ///                      hit/miss) instead of rows; session bindings are
 ///                      not visible to EXPLAIN ANALYZE
+///   SAVE SNAPSHOT <path>     persist the whole catalog to a mapped
+///                      snapshot file (storage/snapshot.h format)
+///   LOAD SNAPSHOT <path>     map a snapshot and register its relations
+///                      (replacing same-named tables, zero-copy)
 ///   .quit
 ///
 /// Usage: ./spinql_shell   (then type, e.g.)
@@ -24,6 +28,7 @@
 #include <iostream>
 #include <string>
 
+#include "ir/index_snapshot.h"
 #include "spinql/evaluator.h"
 #include "spinql/parser.h"
 #include "spinql/sql_emitter.h"
@@ -86,6 +91,26 @@ int main() {
       auto sql = spinql::EmitSql(node.ValueOrDie(), session, catalog);
       std::printf("%s\n", sql.ok() ? sql.ValueOrDie().c_str()
                                    : sql.status().ToString().c_str());
+      continue;
+    }
+
+    if (line.rfind("SAVE SNAPSHOT ", 0) == 0) {
+      std::string path = line.substr(14);
+      Status st = SaveSnapshotFile(path, catalog, {});
+      std::printf("%s\n", st.ok() ? ("saved " + path).c_str()
+                                  : st.ToString().c_str());
+      continue;
+    }
+    if (line.rfind("LOAD SNAPSHOT ", 0) == 0) {
+      std::string path = line.substr(14);
+      SnapshotLoadInfo info;
+      Status st = LoadSnapshotFile(path, &catalog, nullptr, &info);
+      if (st.ok()) {
+        std::printf("loaded %s: %zu relations, %zu bytes mapped\n",
+                    path.c_str(), info.relations, info.file_bytes);
+      } else {
+        std::printf("%s\n", st.ToString().c_str());
+      }
       continue;
     }
 

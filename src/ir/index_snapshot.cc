@@ -1,0 +1,266 @@
+#include "ir/index_snapshot.h"
+
+#include <utility>
+
+#include "ir/topk_pruning.h"
+#include "obs/trace.h"
+
+namespace spindle {
+
+/// Friend of TextIndex and ImpactIndex: the only code that touches their
+/// private members for serialization, keeping the snapshot format out of
+/// the index headers.
+class IndexSnapshotIO {
+ public:
+  static void Encode(SnapshotWriter* writer, SnapshotDictTable* dicts,
+                     const TextIndex& index, const std::string& prefix,
+                     ByteWriter* meta) {
+    const AnalyzerOptions& a = index.analyzer_options();
+    meta->U8(a.lowercase ? 1 : 0);
+    meta->Str(a.stemmer);
+    meta->U8(a.remove_stopwords ? 1 : 0);
+    meta->U64(a.tokenizer.min_token_len);
+    meta->U64(a.tokenizer.max_token_len);
+    meta->U8(a.tokenizer.keep_numbers ? 1 : 0);
+
+    const CollectionStats& s = index.stats();
+    meta->I64(s.num_docs);
+    meta->F64(s.avg_doc_len);
+    meta->I64(s.num_terms);
+    meta->I64(s.total_postings);
+
+    EncodeRelation(writer, dicts, *index.term_doc_, prefix + ".td", meta);
+    EncodeRelation(writer, dicts, *index.termdict_, prefix + ".dict", meta);
+    EncodeRelation(writer, dicts, *index.doc_len_, prefix + ".dl", meta);
+    EncodeRelation(writer, dicts, *index.tf_, prefix + ".tf", meta);
+    EncodeRelation(writer, dicts, *index.idf_, prefix + ".idf", meta);
+    EncodeRelation(writer, dicts, *index.cf_, prefix + ".cf", meta);
+
+    meta->U32(writer->AddPodSection(prefix + ".tfrows",
+                                    index.tf_rows_.span()));
+    meta->U32(writer->AddPodSection(prefix + ".tfoff",
+                                    index.tf_offsets_.span()));
+
+    const ImpactIndex& im = *index.impact_;
+    meta->I32(im.min_posting_len_);
+    meta->I32(im.max_posting_len_);
+    meta->U32(writer->AddPodSection(prefix + ".docids",
+                                    im.doc_ids_.span()));
+    meta->U32(writer->AddPodSection(prefix + ".doclens",
+                                    im.doc_lens_.span()));
+    meta->U32(writer->AddPodSection(prefix + ".ords", im.ords_.span()));
+    meta->U32(writer->AddPodSection(prefix + ".tfs", im.tfs_.span()));
+    meta->U32(writer->AddPodSection(prefix + ".blocks", im.blocks_.span()));
+    meta->U32(writer->AddPodSection(prefix + ".toff",
+                                    im.term_offsets_.span()));
+    meta->U32(writer->AddPodSection(prefix + ".boff",
+                                    im.block_offsets_.span()));
+    meta->U32(writer->AddPodSection(prefix + ".tmeta",
+                                    im.term_meta_.span()));
+  }
+
+  static Result<TextIndexPtr> Decode(
+      const std::shared_ptr<const SnapshotReader>& snap,
+      const std::vector<StringDictPtr>& dicts, ByteReader* meta) {
+    AnalyzerOptions opts;
+    opts.lowercase = meta->U8() != 0;
+    opts.stemmer = meta->Str();
+    opts.remove_stopwords = meta->U8() != 0;
+    opts.tokenizer.min_token_len = static_cast<size_t>(meta->U64());
+    opts.tokenizer.max_token_len = static_cast<size_t>(meta->U64());
+    opts.tokenizer.keep_numbers = meta->U8() != 0;
+    SPINDLE_RETURN_IF_ERROR(meta->status());
+    SPINDLE_ASSIGN_OR_RETURN(Analyzer analyzer, Analyzer::Make(opts));
+
+    auto index = std::shared_ptr<TextIndex>(new TextIndex(std::move(analyzer)));
+    index->stats_.num_docs = meta->I64();
+    index->stats_.avg_doc_len = meta->F64();
+    index->stats_.num_terms = meta->I64();
+    index->stats_.total_postings = meta->I64();
+    SPINDLE_RETURN_IF_ERROR(meta->status());
+
+    SPINDLE_ASSIGN_OR_RETURN(index->term_doc_,
+                             DecodeRelation(snap, dicts, meta));
+    SPINDLE_ASSIGN_OR_RETURN(index->termdict_,
+                             DecodeRelation(snap, dicts, meta));
+    SPINDLE_ASSIGN_OR_RETURN(index->doc_len_,
+                             DecodeRelation(snap, dicts, meta));
+    SPINDLE_ASSIGN_OR_RETURN(index->tf_, DecodeRelation(snap, dicts, meta));
+    SPINDLE_ASSIGN_OR_RETURN(index->idf_, DecodeRelation(snap, dicts, meta));
+    SPINDLE_ASSIGN_OR_RETURN(index->cf_, DecodeRelation(snap, dicts, meta));
+
+    const uint32_t tfrows_sec = meta->U32();
+    const uint32_t tfoff_sec = meta->U32();
+    SPINDLE_RETURN_IF_ERROR(meta->status());
+    SPINDLE_ASSIGN_OR_RETURN(index->tf_rows_,
+                             snap->MappedSection<uint32_t>(tfrows_sec));
+    SPINDLE_ASSIGN_OR_RETURN(index->tf_offsets_,
+                             snap->MappedSection<OffsetLen>(tfoff_sec));
+
+    auto impact = std::shared_ptr<ImpactIndex>(new ImpactIndex());
+    impact->min_posting_len_ = meta->I32();
+    impact->max_posting_len_ = meta->I32();
+    const uint32_t docids_sec = meta->U32();
+    const uint32_t doclens_sec = meta->U32();
+    const uint32_t ords_sec = meta->U32();
+    const uint32_t tfs_sec = meta->U32();
+    const uint32_t blocks_sec = meta->U32();
+    const uint32_t toff_sec = meta->U32();
+    const uint32_t boff_sec = meta->U32();
+    const uint32_t tmeta_sec = meta->U32();
+    SPINDLE_RETURN_IF_ERROR(meta->status());
+    SPINDLE_ASSIGN_OR_RETURN(impact->doc_ids_,
+                             snap->MappedSection<int64_t>(docids_sec));
+    SPINDLE_ASSIGN_OR_RETURN(impact->doc_lens_,
+                             snap->MappedSection<int32_t>(doclens_sec));
+    SPINDLE_ASSIGN_OR_RETURN(impact->ords_,
+                             snap->MappedSection<uint32_t>(ords_sec));
+    SPINDLE_ASSIGN_OR_RETURN(impact->tfs_,
+                             snap->MappedSection<int32_t>(tfs_sec));
+    SPINDLE_ASSIGN_OR_RETURN(
+        impact->blocks_, snap->MappedSection<ImpactIndex::Block>(blocks_sec));
+    SPINDLE_ASSIGN_OR_RETURN(impact->term_offsets_,
+                             snap->MappedSection<OffsetLen>(toff_sec));
+    SPINDLE_ASSIGN_OR_RETURN(impact->block_offsets_,
+                             snap->MappedSection<OffsetLen>(boff_sec));
+    SPINDLE_ASSIGN_OR_RETURN(
+        impact->term_meta_, snap->MappedSection<ImpactIndex::TermMeta>(tmeta_sec));
+    SPINDLE_RETURN_IF_ERROR(Validate(snap->path(), *index, *impact));
+    index->impact_ = std::move(impact);
+    return TextIndexPtr(std::move(index));
+  }
+
+ private:
+  /// Structural consistency of the mapped arrays. The file checksum
+  /// guarantees bytes-as-saved; this guards against logically inconsistent
+  /// files (hand-edited, or written by a buggy saver) so indexing into
+  /// the arrays can never leave bounds.
+  static Status Validate(const std::string& path, const TextIndex& index,
+                         const ImpactIndex& impact) {
+    auto corrupt = [&](const std::string& what) {
+      return Status::ParseError("snapshot '" + path + "': index " + what);
+    };
+    const size_t num_terms = static_cast<size_t>(index.termdict_->num_rows());
+    const size_t expected = num_terms == 0 && impact.term_meta_.empty()
+                                ? 0
+                                : num_terms + 1;
+    if (impact.term_meta_.size() != expected ||
+        impact.term_offsets_.size() != expected ||
+        impact.block_offsets_.size() != expected ||
+        index.tf_offsets_.size() != expected) {
+      return corrupt("term table lengths disagree with termdict");
+    }
+    if (impact.doc_ids_.size() != impact.doc_lens_.size()) {
+      return corrupt("doc_ids/doc_lens length mismatch");
+    }
+    if (impact.ords_.size() != impact.tfs_.size()) {
+      return corrupt("ords/tfs length mismatch");
+    }
+    if (index.tf_rows_.size() != static_cast<size_t>(index.tf_->num_rows())) {
+      return corrupt("tf_rows length disagrees with tf view");
+    }
+    const size_t num_postings = impact.ords_.size();
+    const size_t num_blocks = impact.blocks_.size();
+    const size_t num_tf_rows = index.tf_rows_.size();
+    for (size_t t = 0; t < expected; ++t) {
+      const OffsetLen to = impact.term_offsets_[t];
+      const OffsetLen bo = impact.block_offsets_[t];
+      const OffsetLen fo = index.tf_offsets_[t];
+      if (size_t{to.offset} + to.length > num_postings ||
+          size_t{bo.offset} + bo.length > num_blocks ||
+          size_t{fo.offset} + fo.length > num_tf_rows) {
+        return corrupt("offset table out of bounds");
+      }
+    }
+    const size_t num_docs = impact.doc_ids_.size();
+    for (uint32_t ord : impact.ords_) {
+      if (ord >= num_docs) return corrupt("posting ordinal out of range");
+    }
+    for (uint32_t row : index.tf_rows_) {
+      if (row >= num_tf_rows) return corrupt("tf row index out of range");
+    }
+    return Status::OK();
+  }
+};
+
+Status SaveSnapshotFile(const std::string& path, const Catalog& catalog,
+                        const std::vector<SnapshotIndexEntry>& indexes) {
+  obs::Span span("snapshot", "serialize");
+  SnapshotWriter writer;
+  SnapshotDictTable dicts(&writer);
+  EncodeCatalog(&writer, &dicts, catalog);
+  ByteWriter imeta;
+  imeta.U32(static_cast<uint32_t>(indexes.size()));
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    imeta.Str(indexes[i].collection);
+    IndexSnapshotIO::Encode(&writer, &dicts, *indexes[i].index,
+                            "i" + std::to_string(i), &imeta);
+  }
+  writer.AddOwnedSection("indexes", imeta.Take());
+  // Written last: the dict table is only complete once every relation and
+  // index referencing a dict has been encoded.
+  writer.AddOwnedSection("dicts", dicts.EncodeMeta());
+  if (span.active()) {
+    span.Add("relations", static_cast<int64_t>(catalog.List().size()));
+    span.Add("indexes", static_cast<int64_t>(indexes.size()));
+  }
+  return writer.Finish(path);
+}
+
+Status LoadSnapshotFile(const std::string& path, Catalog* catalog,
+                        std::vector<SnapshotIndexEntry>* indexes,
+                        SnapshotLoadInfo* info) {
+  obs::Span span("snapshot", "load");
+  SPINDLE_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotReader> snap,
+                           SnapshotReader::Open(path));
+  SPINDLE_ASSIGN_OR_RETURN(std::vector<StringDictPtr> dicts,
+                           DecodeSnapshotDicts(snap));
+
+  // Stage into a scratch catalog first so a corrupt tail section cannot
+  // leave the live catalog half-replaced.
+  Catalog staged;
+  SPINDLE_ASSIGN_OR_RETURN(size_t num_relations,
+                           DecodeCatalog(snap, dicts, &staged));
+
+  std::vector<SnapshotIndexEntry> loaded;
+  if (snap->HasSection("indexes")) {
+    SPINDLE_ASSIGN_OR_RETURN(uint32_t sec, snap->FindSection("indexes"));
+    SPINDLE_ASSIGN_OR_RETURN(std::span<const std::byte> bytes,
+                             snap->SectionBytes(sec));
+    ByteReader meta(bytes);
+    const uint32_t count = meta.U32();
+    SPINDLE_RETURN_IF_ERROR(meta.status());
+    loaded.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      SnapshotIndexEntry entry;
+      entry.collection = meta.Str();
+      SPINDLE_RETURN_IF_ERROR(meta.status());
+      SPINDLE_ASSIGN_OR_RETURN(entry.index,
+                               IndexSnapshotIO::Decode(snap, dicts, &meta));
+      loaded.push_back(std::move(entry));
+    }
+  }
+
+  // Commit: registration order is the saved (sorted-name) order, so the
+  // version counters a server derives from it are deterministic.
+  for (const std::string& name : staged.List()) {
+    catalog->Register(name, staged.Get(name).ValueOrDie());
+  }
+  if (indexes != nullptr) *indexes = std::move(loaded);
+
+  if (info != nullptr) {
+    info->file_bytes = snap->file_size();
+    info->sections = snap->num_sections();
+    info->relations = num_relations;
+    info->indexes = indexes != nullptr ? indexes->size() : loaded.size();
+  }
+  if (span.active()) {
+    span.Add("bytes", static_cast<int64_t>(snap->file_size()));
+    span.Add("sections", static_cast<int64_t>(snap->num_sections()));
+    span.Add("relations", static_cast<int64_t>(num_relations));
+    span.Note("path", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace spindle

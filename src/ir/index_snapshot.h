@@ -1,0 +1,54 @@
+/// \file index_snapshot.h
+/// \brief Whole-snapshot save/load: catalog relations plus text indexes
+/// (TextIndex views and the flattened ImpactIndex) in one mapped file.
+///
+/// Save serializes every catalog relation and any prebuilt indexes into
+/// the sectioned container of storage/snapshot.h. Load maps the file and
+/// reconstructs: numeric columns, dict codes, postings, block score-bound
+/// boxes and skip pointers all *borrow* the mapping (zero-copy), so a
+/// restored Searcher serves its first query without re-tokenizing a
+/// single document, and the fused RankTopK kernel runs over mapped
+/// postings unchanged.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/indexing.h"
+#include "storage/catalog.h"
+#include "storage/snapshot.h"
+
+namespace spindle {
+
+/// \brief One text index stored in (or restored from) a snapshot,
+/// labelled with the catalog collection it was built from.
+struct SnapshotIndexEntry {
+  std::string collection;
+  TextIndexPtr index;
+};
+
+/// \brief Load summary for logging / trace counters.
+struct SnapshotLoadInfo {
+  size_t file_bytes = 0;
+  size_t sections = 0;
+  size_t relations = 0;
+  size_t indexes = 0;
+};
+
+/// \brief Writes catalog + indexes to `path` (format of snapshot.h).
+/// `indexes` may be empty (catalog-only snapshot, e.g. from the shell).
+Status SaveSnapshotFile(const std::string& path, const Catalog& catalog,
+                        const std::vector<SnapshotIndexEntry>& indexes);
+
+/// \brief Maps `path`, validates it, and registers every stored relation
+/// into `catalog` (replacing same-named entries; registration happens in
+/// sorted-name order, so version assignment is deterministic). Stored
+/// indexes are returned through `indexes` when non-null. On any error the
+/// catalog is left untouched.
+Status LoadSnapshotFile(const std::string& path, Catalog* catalog,
+                        std::vector<SnapshotIndexEntry>* indexes = nullptr,
+                        SnapshotLoadInfo* info = nullptr);
+
+}  // namespace spindle

@@ -179,19 +179,21 @@ Result<TextIndexPtr> TextIndex::Build(const RelationPtr& docs,
     const size_t num_terms = index->termdict_->num_rows();
     std::vector<uint32_t> counts(num_terms + 2, 0);
     for (int64_t id : term_ids) counts[static_cast<size_t>(id)]++;
-    index->tf_offsets_.assign(num_terms + 1, {0, 0});
+    std::vector<OffsetLen> tf_offsets(num_terms + 1, OffsetLen{});
     uint32_t offset = 0;
     for (size_t id = 1; id <= num_terms; ++id) {
-      index->tf_offsets_[id] = {offset, counts[id]};
+      tf_offsets[id] = {offset, counts[id]};
       offset += counts[id];
     }
-    index->tf_rows_.resize(term_ids.size());
+    std::vector<uint32_t> tf_rows(term_ids.size());
     std::vector<uint32_t> cursor(num_terms + 1, 0);
     for (size_t r = 0; r < term_ids.size(); ++r) {
       size_t id = static_cast<size_t>(term_ids[r]);
-      index->tf_rows_[index->tf_offsets_[id].first + cursor[id]++] =
+      tf_rows[tf_offsets[id].offset + cursor[id]++] =
           static_cast<uint32_t>(r);
     }
+    index->tf_rows_ = MappedVector<uint32_t>::Own(std::move(tf_rows));
+    index->tf_offsets_ = MappedVector<OffsetLen>::Own(std::move(tf_offsets));
   }
 
   index->stats_.num_docs = num_docs;
@@ -213,6 +215,16 @@ Result<TextIndexPtr> TextIndex::Build(const RelationPtr& docs,
 }
 
 const ImpactIndex& TextIndex::impact() const { return *impact_; }
+
+size_t TextIndex::MappedByteSize() const {
+  size_t bytes = tf_rows_.MappedBytes() + tf_offsets_.MappedBytes();
+  for (const RelationPtr* rel :
+       {&term_doc_, &termdict_, &doc_len_, &tf_, &idf_, &cf_}) {
+    if (*rel != nullptr) bytes += (*rel)->MappedByteSize();
+  }
+  if (impact_ != nullptr) bytes += impact_->MappedByteSize();
+  return bytes;
+}
 
 std::pair<const uint32_t*, size_t> TextIndex::TfRowsForTerm(
     int64_t term_id) const {

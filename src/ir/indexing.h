@@ -16,12 +16,14 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/mmap_file.h"
 #include "storage/relation.h"
 #include "text/analyzer.h"
 
 namespace spindle {
 
 class ImpactIndex;
+class IndexSnapshotIO;
 
 /// \brief The relational Tokenize operator (the paper's tokenize() UDF):
 /// maps (..., text at `text_col`, ...) to one output row per token:
@@ -101,7 +103,13 @@ class TextIndex {
   Result<RelationPtr> QueryTermsWeighted(
       const std::vector<std::pair<std::string, double>>& texts) const;
 
+  /// \brief Mapped (page-cache) bytes viewed by this index's relations
+  /// and flattened arrays; 0 for an in-memory build.
+  size_t MappedByteSize() const;
+
  private:
+  friend class IndexSnapshotIO;  // snapshot save/load (ir/index_snapshot.cc)
+
   TextIndex(Analyzer analyzer) : analyzer_(std::move(analyzer)) {}
 
   /// Encodes analyzed query tokens against the termdict's shared dict
@@ -121,8 +129,9 @@ class TextIndex {
   RelationPtr cf_;
   CollectionStats stats_;
   /// tf row indices grouped by termID; offsets index into tf_rows_.
-  std::vector<uint32_t> tf_rows_;
-  std::vector<std::pair<uint32_t, uint32_t>> tf_offsets_;  // id -> (off,len)
+  /// Owned when built, borrowed from the mapping when snapshot-restored.
+  MappedVector<uint32_t> tf_rows_;
+  MappedVector<OffsetLen> tf_offsets_;  // termID -> (off, len)
   std::shared_ptr<const ImpactIndex> impact_;
 };
 

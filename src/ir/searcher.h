@@ -95,6 +95,23 @@ class Searcher {
                              const SearchOptions& options = {},
                              Stats* call_stats = nullptr);
 
+  /// \brief Installs a prebuilt index (e.g. one restored from a mapped
+  /// snapshot) under `collection_signature`, replacing any cached entry.
+  /// Subsequent Search calls with this signature hit the cache and serve
+  /// without re-tokenizing a single document. The caller must ensure the
+  /// index was built under an analyzer equal to this searcher's (compare
+  /// AnalyzerOptions::Signature()); a mismatched install would silently
+  /// serve a different term space.
+  void InstallIndex(const std::string& collection_signature,
+                    TextIndexPtr index) {
+    // Same composite key GetOrBuildIndex uses, so the next Search with
+    // this signature is a cache hit.
+    const std::string key =
+        collection_signature + "|" + analyzer_options_.Signature();
+    std::lock_guard<std::mutex> lock(mu_);
+    indexes_[key] = std::move(index);
+  }
+
   /// \brief Drops all cached indexes (cold-start measurements).
   void ClearIndexCache() {
     std::lock_guard<std::mutex> lock(mu_);

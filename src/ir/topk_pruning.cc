@@ -20,6 +20,10 @@ std::shared_ptr<const ImpactIndex> ImpactIndex::Build(
     const Relation& cf, size_t num_terms) {
   auto impact = std::shared_ptr<ImpactIndex>(new ImpactIndex());
 
+  // Built into local vectors and moved into the (owned-mode) MappedVector
+  // members at the end; snapshot restore installs borrowed spans into the
+  // same members instead.
+
   // Doc ordinals: the rank of each external docID in ascending order, so
   // document-at-a-time traversal in ordinal order is traversal in docID
   // order — which is exactly the exhaustive pipeline's TopK tie-break.
@@ -30,26 +34,26 @@ std::shared_ptr<const ImpactIndex> ImpactIndex::Build(
                static_cast<int32_t>(doc_len.column(1).Int64At(r))};
   }
   std::sort(docs.begin(), docs.end());
-  impact->doc_ids_.resize(num_docs);
-  impact->doc_lens_.resize(num_docs);
+  std::vector<int64_t> doc_ids(num_docs);
+  std::vector<int32_t> doc_lens(num_docs);
   for (size_t i = 0; i < num_docs; ++i) {
-    impact->doc_ids_[i] = docs[i].first;
-    impact->doc_lens_[i] = docs[i].second;
+    doc_ids[i] = docs[i].first;
+    doc_lens[i] = docs[i].second;
   }
 
   // Per-term df/idf/cf, scattered from the (first-occurrence-ordered)
   // idf and cf views into dense termID-indexed arrays.
-  impact->term_meta_.assign(num_terms + 1, TermMeta{});
+  std::vector<TermMeta> term_meta(num_terms + 1, TermMeta{});
   for (size_t r = 0; r < idf.num_rows(); ++r) {
     auto tid = static_cast<size_t>(idf.column(0).Int64At(r));
     if (tid == 0 || tid > num_terms) continue;
-    impact->term_meta_[tid].df = idf.column(1).Int64At(r);
-    impact->term_meta_[tid].idf = idf.column(2).Float64At(r);
+    term_meta[tid].df = idf.column(1).Int64At(r);
+    term_meta[tid].idf = idf.column(2).Float64At(r);
   }
   for (size_t r = 0; r < cf.num_rows(); ++r) {
     auto tid = static_cast<size_t>(cf.column(0).Int64At(r));
     if (tid == 0 || tid > num_terms) continue;
-    impact->term_meta_[tid].cf = cf.column(1).Int64At(r);
+    term_meta[tid].cf = cf.column(1).Int64At(r);
   }
 
   // Postings re-sorted by doc ordinal, flattened per term via a counting
@@ -60,14 +64,14 @@ std::shared_ptr<const ImpactIndex> ImpactIndex::Build(
     auto tid = static_cast<size_t>(tf.column(0).Int64At(r));
     if (tid >= 1 && tid <= num_terms) counts[tid]++;
   }
-  impact->term_offsets_.assign(num_terms + 1, {0, 0});
+  std::vector<OffsetLen> term_offsets(num_terms + 1, OffsetLen{});
   uint32_t offset = 0;
   for (size_t tid = 1; tid <= num_terms; ++tid) {
-    impact->term_offsets_[tid] = {offset, counts[tid]};
+    term_offsets[tid] = {offset, counts[tid]};
     offset += counts[tid];
   }
-  impact->ords_.resize(offset);
-  impact->tfs_.resize(offset);
+  std::vector<uint32_t> all_ords(offset);
+  std::vector<int32_t> all_tfs(offset);
   std::vector<uint32_t> cursor(num_terms + 1, 0);
   int32_t min_plen = std::numeric_limits<int32_t>::max();
   int32_t max_plen = 0;
@@ -75,13 +79,12 @@ std::shared_ptr<const ImpactIndex> ImpactIndex::Build(
     auto tid = static_cast<size_t>(tf.column(0).Int64At(r));
     if (tid < 1 || tid > num_terms) continue;
     int64_t doc_id = tf.column(1).Int64At(r);
-    auto it = std::lower_bound(impact->doc_ids_.begin(),
-                               impact->doc_ids_.end(), doc_id);
-    auto ord = static_cast<uint32_t>(it - impact->doc_ids_.begin());
-    size_t slot = impact->term_offsets_[tid].first + cursor[tid]++;
-    impact->ords_[slot] = ord;
-    impact->tfs_[slot] = static_cast<int32_t>(tf.column(2).Int64At(r));
-    int32_t len = impact->doc_lens_[ord];
+    auto it = std::lower_bound(doc_ids.begin(), doc_ids.end(), doc_id);
+    auto ord = static_cast<uint32_t>(it - doc_ids.begin());
+    size_t slot = term_offsets[tid].offset + cursor[tid]++;
+    all_ords[slot] = ord;
+    all_tfs[slot] = static_cast<int32_t>(tf.column(2).Int64At(r));
+    int32_t len = doc_lens[ord];
     min_plen = std::min(min_plen, len);
     max_plen = std::max(max_plen, len);
   }
@@ -91,11 +94,12 @@ std::shared_ptr<const ImpactIndex> ImpactIndex::Build(
   // Per-term: sort by ordinal (tf rows arrive in collection ingest order,
   // which is already ascending for id-ordered collections — check first),
   // then per-term extrema and fixed-size block metadata with skip bounds.
-  impact->block_offsets_.assign(num_terms + 1, {0, 0});
+  std::vector<Block> blocks;
+  std::vector<OffsetLen> block_offsets(num_terms + 1, OffsetLen{});
   for (size_t tid = 1; tid <= num_terms; ++tid) {
-    auto [off, len] = impact->term_offsets_[tid];
-    uint32_t* ords = impact->ords_.data() + off;
-    int32_t* tfs = impact->tfs_.data() + off;
+    auto [off, len] = term_offsets[tid];
+    uint32_t* ords = all_ords.data() + off;
+    int32_t* tfs = all_tfs.data() + off;
     if (!std::is_sorted(ords, ords + len)) {
       std::vector<std::pair<uint32_t, int32_t>> pairs(len);
       for (uint32_t i = 0; i < len; ++i) pairs[i] = {ords[i], tfs[i]};
@@ -105,12 +109,12 @@ std::shared_ptr<const ImpactIndex> ImpactIndex::Build(
         tfs[i] = pairs[i].second;
       }
     }
-    TermMeta& meta = impact->term_meta_[tid];
+    TermMeta& meta = term_meta[tid];
     meta.max_tf = 0;
     meta.min_tf = std::numeric_limits<int32_t>::max();
     meta.min_len = std::numeric_limits<int32_t>::max();
     meta.max_len = 0;
-    auto bfirst = static_cast<uint32_t>(impact->blocks_.size());
+    auto bfirst = static_cast<uint32_t>(blocks.size());
     for (uint32_t i = 0; i < len; i += kBlockSize) {
       uint32_t bend = std::min(len, i + kBlockSize);
       Block blk;
@@ -120,13 +124,13 @@ std::shared_ptr<const ImpactIndex> ImpactIndex::Build(
       blk.min_len = std::numeric_limits<int32_t>::max();
       blk.max_len = 0;
       for (uint32_t j = i; j < bend; ++j) {
-        int32_t dlen = impact->doc_lens_[ords[j]];
+        int32_t dlen = doc_lens[ords[j]];
         blk.max_tf = std::max(blk.max_tf, tfs[j]);
         blk.min_tf = std::min(blk.min_tf, tfs[j]);
         blk.min_len = std::min(blk.min_len, dlen);
         blk.max_len = std::max(blk.max_len, dlen);
       }
-      impact->blocks_.push_back(blk);
+      blocks.push_back(blk);
       meta.max_tf = std::max(meta.max_tf, blk.max_tf);
       meta.min_tf = std::min(meta.min_tf, blk.min_tf);
       meta.min_len = std::min(meta.min_len, blk.min_len);
@@ -136,10 +140,27 @@ std::shared_ptr<const ImpactIndex> ImpactIndex::Build(
       meta.min_tf = 0;
       meta.min_len = 0;
     }
-    impact->block_offsets_[tid] = {
-        bfirst, static_cast<uint32_t>(impact->blocks_.size()) - bfirst};
+    block_offsets[tid] = {bfirst,
+                          static_cast<uint32_t>(blocks.size()) - bfirst};
   }
+
+  impact->doc_ids_ = MappedVector<int64_t>::Own(std::move(doc_ids));
+  impact->doc_lens_ = MappedVector<int32_t>::Own(std::move(doc_lens));
+  impact->ords_ = MappedVector<uint32_t>::Own(std::move(all_ords));
+  impact->tfs_ = MappedVector<int32_t>::Own(std::move(all_tfs));
+  impact->blocks_ = MappedVector<Block>::Own(std::move(blocks));
+  impact->term_offsets_ = MappedVector<OffsetLen>::Own(std::move(term_offsets));
+  impact->block_offsets_ =
+      MappedVector<OffsetLen>::Own(std::move(block_offsets));
+  impact->term_meta_ = MappedVector<TermMeta>::Own(std::move(term_meta));
   return impact;
+}
+
+size_t ImpactIndex::MappedByteSize() const {
+  return doc_ids_.MappedBytes() + doc_lens_.MappedBytes() +
+         ords_.MappedBytes() + tfs_.MappedBytes() + blocks_.MappedBytes() +
+         term_offsets_.MappedBytes() + block_offsets_.MappedBytes() +
+         term_meta_.MappedBytes();
 }
 
 ImpactIndex::PostingsView ImpactIndex::postings(int64_t term_id) const {

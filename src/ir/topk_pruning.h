@@ -17,13 +17,17 @@
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/status.h"
 #include "ir/searcher.h"
+#include "storage/mmap_file.h"
 #include "storage/relation.h"
 
 namespace spindle {
+
+class IndexSnapshotIO;
 
 /// \brief Score-upper-bound metadata over a TextIndex: per-term postings
 /// re-sorted by document ID with per-term and per-block (tf, doc length)
@@ -99,22 +103,37 @@ class ImpactIndex {
   };
   PostingsView postings(int64_t term_id) const;
 
+  /// \brief Mapped (page-cache) bytes viewed by the flattened arrays;
+  /// 0 for an in-memory build.
+  size_t MappedByteSize() const;
+
  private:
+  friend class IndexSnapshotIO;  // snapshot save/load (ir/index_snapshot.cc)
+
   ImpactIndex() = default;
 
-  std::vector<int64_t> doc_ids_;   ///< ordinal -> external docID (sorted)
-  std::vector<int32_t> doc_lens_;  ///< ordinal -> doc length
+  // All flattened arrays are MappedVectors: owned heap vectors when built
+  // in memory, borrowed spans of a snapshot mapping when restored — the
+  // fused RankTopK kernel runs over either without change.
+  MappedVector<int64_t> doc_ids_;   ///< ordinal -> external docID (sorted)
+  MappedVector<int32_t> doc_lens_;  ///< ordinal -> doc length
   int32_t min_posting_len_ = 0;
   int32_t max_posting_len_ = 0;
 
   // Flattened per-term postings (1-based dense termIDs, entry 0 unused).
-  std::vector<uint32_t> ords_;
-  std::vector<int32_t> tfs_;
-  std::vector<Block> blocks_;
-  std::vector<std::pair<uint32_t, uint32_t>> term_offsets_;   // (off, len)
-  std::vector<std::pair<uint32_t, uint32_t>> block_offsets_;  // (off, len)
-  std::vector<TermMeta> term_meta_;
+  MappedVector<uint32_t> ords_;
+  MappedVector<int32_t> tfs_;
+  MappedVector<Block> blocks_;
+  MappedVector<OffsetLen> term_offsets_;
+  MappedVector<OffsetLen> block_offsets_;
+  MappedVector<TermMeta> term_meta_;
 };
+
+// The flattened arrays are stored verbatim in snapshot sections.
+static_assert(std::is_trivially_copyable_v<ImpactIndex::Block> &&
+              sizeof(ImpactIndex::Block) == 20);
+static_assert(std::is_trivially_copyable_v<ImpactIndex::TermMeta> &&
+              sizeof(ImpactIndex::TermMeta) == 40);
 
 /// \brief Pruning observability counters for one fused evaluation.
 struct PruningStats {

@@ -116,7 +116,8 @@ Result<ProbRelation> Project(const ProbRelation& in,
     attr_schema.AddField({names[i], c.type()});
     attr_cols.push_back(std::move(c));
   }
-  std::vector<double> probs = in.rel()->column(in.prob_col()).float64_data();
+  auto prob_span = in.rel()->column(in.prob_col()).float64_data();
+  std::vector<double> probs(prob_span.begin(), prob_span.end());
 
   if (assumption == Assumption::kAll) {
     return AttachP(std::move(attr_schema), std::move(attr_cols),
@@ -199,7 +200,8 @@ Result<ProbRelation> Unite(Assumption assumption,
 }
 
 Result<ProbRelation> Weight(const ProbRelation& in, double weight) {
-  std::vector<double> probs = in.rel()->column(in.prob_col()).float64_data();
+  auto prob_span = in.rel()->column(in.prob_col()).float64_data();
+  std::vector<double> probs(prob_span.begin(), prob_span.end());
   for (double& p : probs) p *= weight;
   Schema schema;
   std::vector<Column> cols;
@@ -212,7 +214,8 @@ Result<ProbRelation> Weight(const ProbRelation& in, double weight) {
 }
 
 Result<ProbRelation> Complement(const ProbRelation& in) {
-  std::vector<double> probs = in.rel()->column(in.prob_col()).float64_data();
+  auto prob_span = in.rel()->column(in.prob_col()).float64_data();
+  std::vector<double> probs(prob_span.begin(), prob_span.end());
   for (double& p : probs) p = 1.0 - p;
   Schema schema;
   std::vector<Column> cols;
@@ -232,7 +235,8 @@ Result<ProbRelation> Bayes(const ProbRelation& in,
     }
   }
   const size_t n = in.num_rows();
-  std::vector<double> probs = in.rel()->column(in.prob_col()).float64_data();
+  auto prob_span = in.rel()->column(in.prob_col()).float64_data();
+  std::vector<double> probs(prob_span.begin(), prob_span.end());
 
   std::vector<double> group_sum;
   std::vector<uint32_t> group_of_row(n);

@@ -171,6 +171,47 @@ Result<RelationPtr> QueryService::RunAdmitted(
   return out;
 }
 
+Status QueryService::SaveSnapshot(const std::string& path) {
+  std::vector<SnapshotIndexEntry> entries;
+  for (const std::string& name : catalog_.List()) {
+    Result<RelationPtr> docs = catalog_.Get(name);
+    if (!docs.ok()) continue;
+    const std::string sig =
+        "tbl:" + name + "@" + std::to_string(catalog_.Version(name));
+    // Build (or fetch) the index so the snapshot restarts warm. Tables
+    // that are not (docID, text) collections fail the build — they are
+    // saved as plain relations.
+    Result<TextIndexPtr> index =
+        searcher_.GetOrBuildIndex(docs.ValueOrDie(), sig);
+    if (index.ok()) {
+      entries.push_back({name, index.MoveValueOrDie()});
+    }
+  }
+  return SaveSnapshotFile(path, catalog_, entries);
+}
+
+Status QueryService::LoadSnapshot(const std::string& path,
+                                  SnapshotLoadInfo* info) {
+  std::vector<SnapshotIndexEntry> entries;
+  SPINDLE_RETURN_IF_ERROR(
+      LoadSnapshotFile(path, &catalog_, &entries, info));
+  const std::string analyzer_sig = searcher_.analyzer_options().Signature();
+  for (SnapshotIndexEntry& entry : entries) {
+    // A snapshot written under a different analyzer would serve a
+    // different term space; skip those indexes (search rebuilds lazily).
+    if (entry.index->analyzer_options().Signature() != analyzer_sig) {
+      continue;
+    }
+    // Signatures use the post-load catalog version, exactly what Search
+    // computes for its cache key.
+    const std::string sig =
+        "tbl:" + entry.collection + "@" +
+        std::to_string(catalog_.Version(entry.collection));
+    searcher_.InstallIndex(sig, std::move(entry.index));
+  }
+  return Status::OK();
+}
+
 std::string QueryService::MetricsJson() {
   // The materialization cache keeps its own internally-locked counters;
   // mirror them into the snapshot so one JSON object tells the whole
@@ -184,6 +225,12 @@ std::string QueryService::MetricsJson() {
   std::string json = metrics_.SnapshotJson();
   if (!json.empty() && json.back() == '}') {
     json.pop_back();
+    // Catalog storage accounting: heap and mapped bytes reported as
+    // disjoint numbers — mapped snapshot pages are page cache, charging
+    // them as heap would double-count them.
+    Catalog::ByteStats cb = catalog_.ByteSizes();
+    json += ",\"catalog\":{\"heap_bytes\":" + std::to_string(cb.heap_bytes) +
+            ",\"mapped_bytes\":" + std::to_string(cb.mapped_bytes) + "}";
     json += ",\"top_operators\":" + trace_agg_.TopJson(10) + "}";
   }
   return json;

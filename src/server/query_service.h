@@ -31,6 +31,7 @@
 #include "common/status.h"
 #include "engine/materialization_cache.h"
 #include "exec/request_context.h"
+#include "ir/index_snapshot.h"
 #include "ir/searcher.h"
 #include "obs/trace.h"
 #include "server/admission.h"
@@ -128,6 +129,22 @@ class QueryService {
   /// catalog. Parse and evaluation errors surface as Status (never
   /// terminate the process).
   Result<QueryResponse> EvalSpinql(const SpinqlRequest& req);
+
+  /// \brief Persists the catalog plus every buildable text index to a
+  /// snapshot file (storage/snapshot.h format). Indexes are built first
+  /// if needed — saving right after RegisterCollection writes a
+  /// fully-indexed snapshot; tables that are not (docID, text) collections
+  /// are stored without an index. Not safe concurrently with serving.
+  Status SaveSnapshot(const std::string& path);
+
+  /// \brief Maps a snapshot and installs its relations and indexes:
+  /// subsequent searches hit the index cache and serve without
+  /// re-tokenizing a single document. Indexes whose analyzer differs from
+  /// this service's are dropped (the searcher rebuilds on demand rather
+  /// than serve a different term space). Not safe concurrently with
+  /// serving; the catalog is untouched on error.
+  Status LoadSnapshot(const std::string& path,
+                      SnapshotLoadInfo* info = nullptr);
 
   /// \brief JSON snapshot of the service-wide metrics (request outcomes,
   /// latency/queue-wait percentiles, searcher and materialization-cache

@@ -12,6 +12,11 @@
 ///                          that start with --port=0)
 ///   --generate=N           register a synthetic N-doc collection as
 ///                          "docs" (workload/text_gen.h)
+///   --snapshot=PATH        warm restarts: when PATH exists, map it and
+///                          serve from it (skips --generate entirely —
+///                          no document is re-tokenized); when absent,
+///                          build the catalog (--generate) and indexes,
+///                          then save them to PATH for the next start
 ///   --queries-file=PATH    with --generate: write sample query lines
 ///                          drawn from the generated vocabulary to PATH
 ///                          (one per line, for scripted clients)
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
   std::string port_file;
   std::string queries_file;
   std::string trace_file;
+  std::string snapshot_path;
   int64_t generate_docs = 0;
 
   const char* trace_env = std::getenv("SPINDLE_TRACE");
@@ -87,6 +93,8 @@ int main(int argc, char** argv) {
       generate_docs = std::atoll(v.c_str());
     } else if (FlagValue(argv[i], "--queries-file", &v)) {
       queries_file = v;
+    } else if (FlagValue(argv[i], "--snapshot", &v)) {
+      snapshot_path = v;
     } else if (FlagValue(argv[i], "--threads", &v)) {
       service_opts.threads = std::atoi(v.c_str());
     } else if (FlagValue(argv[i], "--max-inflight", &v)) {
@@ -109,23 +117,52 @@ int main(int argc, char** argv) {
 
   QueryService service(service_opts);
 
+  // Warm restart: an existing snapshot replaces collection building
+  // entirely — relations and indexes are mapped, not rebuilt, and the
+  // first query runs without re-tokenizing a single document.
+  bool restored = false;
+  if (!snapshot_path.empty()) {
+    std::FILE* probe = std::fopen(snapshot_path.c_str(), "rb");
+    if (probe != nullptr) {
+      std::fclose(probe);
+      spindle::SnapshotLoadInfo info;
+      spindle::Status st = service.LoadSnapshot(snapshot_path, &info);
+      if (!st.ok()) {
+        std::fprintf(stderr, "snapshot load failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      restored = true;
+      std::fprintf(
+          stderr,
+          "restored snapshot %s (%zu bytes, %zu relations, %zu indexes)\n",
+          snapshot_path.c_str(), info.file_bytes, info.relations,
+          info.indexes);
+    }
+  }
+
   if (generate_docs > 0) {
     spindle::TextCollectionOptions gen;
     gen.num_docs = generate_docs;
     gen.vocab_size = std::max<int64_t>(2000, generate_docs / 2);
     gen.avg_doc_len = 60;
-    auto docs = spindle::GenerateTextCollection(gen);
-    if (!docs.ok()) {
-      std::fprintf(stderr, "generate failed: %s\n",
-                   docs.status().ToString().c_str());
-      return 1;
+    if (!restored) {
+      auto docs = spindle::GenerateTextCollection(gen);
+      if (!docs.ok()) {
+        std::fprintf(stderr, "generate failed: %s\n",
+                     docs.status().ToString().c_str());
+        return 1;
+      }
+      service.RegisterCollection("docs", docs.MoveValueOrDie());
+      std::fprintf(stderr,
+                   "registered synthetic collection 'docs' (%lld docs)\n",
+                   static_cast<long long>(generate_docs));
     }
-    service.RegisterCollection("docs", docs.MoveValueOrDie());
-    std::fprintf(stderr, "registered synthetic collection 'docs' (%lld docs)\n",
-                 static_cast<long long>(generate_docs));
     if (!queries_file.empty()) {
       // Vocabulary words are synthetic (base-26 scrambles, not "word7"),
       // so scripted clients need real query terms; dump a sample workload.
+      // Queries derive from the generator options alone, so a restored
+      // server writes the same workload a cold one would.
       std::FILE* f = std::fopen(queries_file.c_str(), "w");
       if (f != nullptr) {
         for (const std::string& q : spindle::GenerateQueries(gen, 16, 2)) {
@@ -134,6 +171,16 @@ int main(int argc, char** argv) {
         std::fclose(f);
       }
     }
+  }
+
+  if (!snapshot_path.empty() && !restored) {
+    spindle::Status st = service.SaveSnapshot(snapshot_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "snapshot save failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved snapshot %s\n", snapshot_path.c_str());
   }
 
   LineServer server(&service, server_opts);

@@ -1,5 +1,9 @@
 #include "storage/catalog.h"
 
+#include <set>
+
+#include "storage/string_dict.h"
+
 namespace spindle {
 
 void Catalog::Register(const std::string& name, RelationPtr rel) {
@@ -32,6 +36,22 @@ std::vector<std::string> Catalog::List() const {
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
   return names;
+}
+
+Catalog::ByteStats Catalog::ByteSizes() const {
+  ByteStats stats;
+  std::set<const StringDict*> seen;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.rel == nullptr) continue;
+    stats.heap_bytes += entry.rel->ByteSizeExcludingDicts();
+    stats.mapped_bytes += entry.rel->MappedByteSize();
+    for (const StringDictPtr& dict : entry.rel->CollectDicts()) {
+      if (seen.insert(dict.get()).second) {
+        stats.heap_bytes += dict->ByteSize();
+      }
+    }
+  }
+  return stats;
 }
 
 }  // namespace spindle

@@ -43,6 +43,17 @@ class Catalog {
   /// \brief All registered names, sorted.
   std::vector<std::string> List() const;
 
+  /// \brief Catalog-wide storage accounting. Heap and mapped bytes are
+  /// disjoint: mapped snapshot pages live in the OS page cache, not on
+  /// the heap, so metrics endpoints report them separately instead of
+  /// double-charging them. Each shared StringDict is counted once across
+  /// the whole catalog, no matter how many relations reference it.
+  struct ByteStats {
+    size_t heap_bytes = 0;
+    size_t mapped_bytes = 0;
+  };
+  ByteStats ByteSizes() const;
+
  private:
   struct Entry {
     RelationPtr rel;

@@ -40,10 +40,47 @@ Column Column::MakeDictString(std::vector<int32_t> codes,
   return c;
 }
 
+Column Column::BorrowInt64(std::span<const int64_t> data,
+                           std::shared_ptr<const void> owner) {
+  assert(owner != nullptr);
+  Column c(DataType::kInt64);
+  c.bints_ = data;
+  c.owner_ = std::move(owner);
+  return c;
+}
+
+Column Column::BorrowFloat64(std::span<const double> data,
+                             std::shared_ptr<const void> owner) {
+  assert(owner != nullptr);
+  Column c(DataType::kFloat64);
+  c.bfloats_ = data;
+  c.owner_ = std::move(owner);
+  return c;
+}
+
+Column Column::BorrowDictString(std::span<const int32_t> codes,
+                                StringDictPtr dict,
+                                std::shared_ptr<const void> owner) {
+  assert(dict != nullptr && owner != nullptr);
+#ifndef NDEBUG
+  for (int32_t code : codes) {
+    assert(code >= 0 && code < dict->size());
+  }
+#endif
+  Column c(DataType::kString);
+  c.bcodes_ = codes;
+  c.dict_ = std::move(dict);
+  c.owner_ = std::move(owner);
+  return c;
+}
+
 Column Column::DictEncode(const std::shared_ptr<StringDict>& dict) const {
   assert(type_ == DataType::kString);
   if (dict_ != nullptr && dict == nullptr) {
-    return MakeDictString(codes_, dict_);  // already encoded, share as-is
+    // Already encoded, share as-is (materializing codes when mapped).
+    auto codes = dict_codes();
+    return MakeDictString(std::vector<int32_t>(codes.begin(), codes.end()),
+                          dict_);
   }
   std::shared_ptr<StringDict> target =
       dict != nullptr ? dict : std::make_shared<StringDict>();
@@ -60,14 +97,15 @@ Column Column::DecodeToPlain() const {
   assert(type_ == DataType::kString);
   if (dict_ == nullptr) return *this;
   std::vector<std::string> data;
-  data.reserve(codes_.size());
-  for (int32_t code : codes_) {
+  data.reserve(size());
+  for (int32_t code : dict_codes()) {
     data.push_back(dict_->StringAtPos(static_cast<size_t>(code)));
   }
   return MakeString(std::move(data));
 }
 
 void Column::DecayToPlain() {
+  assert(!mapped());
   if (dict_ == nullptr) return;
   strings_.reserve(codes_.size());
   for (int32_t code : codes_) {
@@ -81,16 +119,18 @@ void Column::DecayToPlain() {
 size_t Column::size() const {
   switch (type_) {
     case DataType::kInt64:
-      return ints_.size();
+      return owner_ ? bints_.size() : ints_.size();
     case DataType::kFloat64:
-      return floats_.size();
+      return owner_ ? bfloats_.size() : floats_.size();
     case DataType::kString:
-      return dict_ ? codes_.size() : strings_.size();
+      if (dict_) return owner_ ? bcodes_.size() : codes_.size();
+      return strings_.size();
   }
   return 0;
 }
 
 void Column::AppendString(std::string v) {
+  assert(!mapped());
   DecayToPlain();
   strings_.push_back(std::move(v));
 }
@@ -101,6 +141,7 @@ Status Column::AppendValue(const Value& v) {
                                 DataTypeName(ValueType(v)) + " to " +
                                 DataTypeName(type_) + " column");
   }
+  assert(!mapped());
   switch (type_) {
     case DataType::kInt64:
       ints_.push_back(std::get<int64_t>(v));
@@ -117,12 +158,13 @@ Status Column::AppendValue(const Value& v) {
 
 void Column::AppendFrom(const Column& other, size_t row) {
   assert(other.type_ == type_);
+  assert(!mapped());
   switch (type_) {
     case DataType::kInt64:
-      ints_.push_back(other.ints_[row]);
+      ints_.push_back(other.Int64At(row));
       break;
     case DataType::kFloat64:
-      floats_.push_back(other.floats_[row]);
+      floats_.push_back(other.Float64At(row));
       break;
     case DataType::kString:
       if (other.dict_ != nullptr) {
@@ -130,7 +172,7 @@ void Column::AppendFrom(const Column& other, size_t row) {
         // pipelines over one dict column stay code-only end to end.
         if (dict_ == nullptr && strings_.empty()) dict_ = other.dict_;
         if (dict_ == other.dict_) {
-          codes_.push_back(other.codes_[row]);
+          codes_.push_back(other.CodeAt(row));
           return;
         }
       }
@@ -142,9 +184,9 @@ void Column::AppendFrom(const Column& other, size_t row) {
 Value Column::ValueAt(size_t i) const {
   switch (type_) {
     case DataType::kInt64:
-      return Value(ints_[i]);
+      return Value(Int64At(i));
     case DataType::kFloat64:
-      return Value(floats_[i]);
+      return Value(Float64At(i));
     case DataType::kString:
       return Value(StringAt(i));
   }
@@ -154,9 +196,9 @@ Value Column::ValueAt(size_t i) const {
 std::string Column::ToStringAt(size_t i) const {
   switch (type_) {
     case DataType::kInt64:
-      return std::to_string(ints_[i]);
+      return std::to_string(Int64At(i));
     case DataType::kFloat64:
-      return FormatDouble(floats_[i]);
+      return FormatDouble(Float64At(i));
     case DataType::kString:
       return StringAt(i);
   }
@@ -166,9 +208,9 @@ std::string Column::ToStringAt(size_t i) const {
 uint64_t Column::HashAt(size_t i) const {
   switch (type_) {
     case DataType::kInt64:
-      return HashInt64(static_cast<uint64_t>(ints_[i]));
+      return HashInt64(static_cast<uint64_t>(Int64At(i)));
     case DataType::kFloat64: {
-      double d = floats_[i];
+      double d = Float64At(i);
       if (d == 0.0) d = 0.0;  // collapse -0.0 and +0.0
       uint64_t bits;
       std::memcpy(&bits, &d, sizeof(bits));
@@ -177,7 +219,7 @@ uint64_t Column::HashAt(size_t i) const {
     case DataType::kString:
       // Memoized in the dict: O(1) instead of O(len), and identical to the
       // plain-representation hash so mixed-representation joins agree.
-      return dict_ ? dict_->HashAtPos(static_cast<size_t>(codes_[i]))
+      return dict_ ? dict_->HashAtPos(static_cast<size_t>(CodeAt(i)))
                    : HashBytes(strings_[i]);
   }
   return 0;
@@ -187,12 +229,12 @@ bool Column::ElementEquals(size_t i, const Column& other, size_t j) const {
   assert(type_ == other.type_);
   switch (type_) {
     case DataType::kInt64:
-      return ints_[i] == other.ints_[j];
+      return Int64At(i) == other.Int64At(j);
     case DataType::kFloat64:
-      return floats_[i] == other.floats_[j];
+      return Float64At(i) == other.Float64At(j);
     case DataType::kString:
       if (dict_ != nullptr && dict_ == other.dict_) {
-        return codes_[i] == other.codes_[j];  // code fast path
+        return CodeAt(i) == other.CodeAt(j);  // code fast path
       }
       return StringAt(i) == other.StringAt(j);
   }
@@ -203,18 +245,18 @@ int Column::ElementCompare(size_t i, const Column& other, size_t j) const {
   assert(type_ == other.type_);
   switch (type_) {
     case DataType::kInt64: {
-      int64_t a = ints_[i], b = other.ints_[j];
+      int64_t a = Int64At(i), b = other.Int64At(j);
       return a < b ? -1 : (a > b ? 1 : 0);
     }
     case DataType::kFloat64: {
-      double a = floats_[i], b = other.floats_[j];
+      double a = Float64At(i), b = other.Float64At(j);
       return a < b ? -1 : (a > b ? 1 : 0);
     }
     case DataType::kString:
       // Dict order is insertion order, not sort order, so equal codes are
       // the only shortcut; the sort kernels build rank tables instead.
       if (dict_ != nullptr && dict_ == other.dict_ &&
-          codes_[i] == other.codes_[j]) {
+          CodeAt(i) == other.CodeAt(j)) {
         return 0;
       }
       return StringAt(i).compare(other.StringAt(j));
@@ -225,20 +267,25 @@ int Column::ElementCompare(size_t i, const Column& other, size_t j) const {
 Column Column::Gather(const std::vector<uint32_t>& indices) const {
   Column out(type_);
   switch (type_) {
-    case DataType::kInt64:
+    case DataType::kInt64: {
+      auto src = int64_data();
       out.ints_.reserve(indices.size());
-      for (uint32_t i : indices) out.ints_.push_back(ints_[i]);
+      for (uint32_t i : indices) out.ints_.push_back(src[i]);
       break;
-    case DataType::kFloat64:
+    }
+    case DataType::kFloat64: {
+      auto src = float64_data();
       out.floats_.reserve(indices.size());
-      for (uint32_t i : indices) out.floats_.push_back(floats_[i]);
+      for (uint32_t i : indices) out.floats_.push_back(src[i]);
       break;
+    }
     case DataType::kString:
       if (dict_ != nullptr) {
         // Zero-copy for the payload: gather 4-byte codes, share the dict.
+        auto src = dict_codes();
         out.dict_ = dict_;
         out.codes_.reserve(indices.size());
-        for (uint32_t i : indices) out.codes_.push_back(codes_[i]);
+        for (uint32_t i : indices) out.codes_.push_back(src[i]);
       } else {
         out.strings_.reserve(indices.size());
         for (uint32_t i : indices) out.strings_.push_back(strings_[i]);
@@ -251,13 +298,18 @@ Column Column::Gather(const std::vector<uint32_t>& indices) const {
 bool Column::Equals(const Column& other) const {
   if (type_ != other.type_ || size() != other.size()) return false;
   switch (type_) {
-    case DataType::kInt64:
-      return ints_ == other.ints_;
-    case DataType::kFloat64:
-      return floats_ == other.floats_;
+    case DataType::kInt64: {
+      auto a = int64_data(), b = other.int64_data();
+      return std::equal(a.begin(), a.end(), b.begin());
+    }
+    case DataType::kFloat64: {
+      auto a = float64_data(), b = other.float64_data();
+      return std::equal(a.begin(), a.end(), b.begin());
+    }
     case DataType::kString:
       if (dict_ != nullptr && dict_ == other.dict_) {
-        return codes_ == other.codes_;
+        auto a = dict_codes(), b = other.dict_codes();
+        return std::equal(a.begin(), a.end(), b.begin());
       }
       for (size_t i = 0; i < size(); ++i) {
         if (StringAt(i) != other.StringAt(i)) return false;
@@ -268,6 +320,9 @@ bool Column::Equals(const Column& other) const {
 }
 
 size_t Column::ByteSizeExcludingDict() const {
+  // Mapped columns consume page cache, not heap; MappedByteSize reports
+  // that side so the two are never double-counted.
+  if (mapped()) return 0;
   switch (type_) {
     case DataType::kInt64:
       return ints_.size() * sizeof(int64_t);
@@ -295,7 +350,21 @@ size_t Column::ByteSize() const {
   return bytes;
 }
 
+size_t Column::MappedByteSize() const {
+  if (!mapped()) return 0;
+  switch (type_) {
+    case DataType::kInt64:
+      return bints_.size_bytes();
+    case DataType::kFloat64:
+      return bfloats_.size_bytes();
+    case DataType::kString:
+      return bcodes_.size_bytes();
+  }
+  return 0;
+}
+
 void Column::Reserve(size_t n) {
+  assert(!mapped());
   switch (type_) {
     case DataType::kInt64:
       ints_.reserve(n);

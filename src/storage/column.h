@@ -4,8 +4,10 @@
 
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,14 @@ namespace spindle {
 /// are logically still DataType::kString — every accessor (StringAt,
 /// ValueAt, HashAt, ElementEquals, ...) is representation-transparent, so
 /// call sites never need to know which representation they got.
+///
+/// Orthogonally to the logical representation, the backing storage of
+/// int64/float64/dict-code columns is either *owned* (heap vectors, the
+/// build path) or *borrowed* (read-only spans of a memory-mapped snapshot,
+/// kept alive by a shared owner handle). Borrowed columns are immutable:
+/// all accessors work identically, mutation asserts. Raw data accessors
+/// return std::span<const T>, so vectorized kernels are storage-agnostic
+/// and spans survive Filter -> Join -> TopK untouched.
 ///
 /// Dict-encoding invariants (see docs/column_representations.md):
 ///  - codes are 0-based positions into dict()->strings(): the string of
@@ -52,15 +62,35 @@ class Column {
                                StringDictPtr dict);
   /// @}
 
+  /// \name Construction over borrowed (mapped) storage.
+  /// The spans must stay valid for the lifetime of `owner`; the column
+  /// holds `owner` (typically a SnapshotReader handle) so mapped data can
+  /// outlive the snapshot object that produced it.
+  /// @{
+  static Column BorrowInt64(std::span<const int64_t> data,
+                            std::shared_ptr<const void> owner);
+  static Column BorrowFloat64(std::span<const double> data,
+                              std::shared_ptr<const void> owner);
+  static Column BorrowDictString(std::span<const int32_t> codes,
+                                 StringDictPtr dict,
+                                 std::shared_ptr<const void> owner);
+  /// @}
+
   DataType type() const { return type_; }
   size_t size() const;
+
+  /// \brief True when the backing storage is a borrowed mapped span
+  /// rather than owned heap vectors.
+  bool mapped() const { return owner_ != nullptr; }
 
   /// \name Dictionary representation.
   /// @{
   bool dict_encoded() const { return dict_ != nullptr; }
   const StringDictPtr& dict() const { return dict_; }
-  const std::vector<int32_t>& dict_codes() const { return codes_; }
-  int32_t CodeAt(size_t i) const { return codes_[i]; }
+  std::span<const int32_t> dict_codes() const {
+    return owner_ ? bcodes_ : std::span<const int32_t>(codes_);
+  }
+  int32_t CodeAt(size_t i) const { return owner_ ? bcodes_[i] : codes_[i]; }
   /// Returns a dict-encoded copy of this kString column. If `dict` is
   /// given, strings are interned into it (letting several columns share
   /// one dict); otherwise a fresh dict is built. Already-encoded columns
@@ -70,25 +100,34 @@ class Column {
   Column DecodeToPlain() const;
   /// @}
 
-  /// \name Append (build phase only).
+  /// \name Append (build phase only; asserts on mapped columns).
   /// @{
-  void AppendInt64(int64_t v) { ints_.push_back(v); }
-  void AppendFloat64(double v) { floats_.push_back(v); }
+  void AppendInt64(int64_t v) {
+    assert(!mapped());
+    ints_.push_back(v);
+  }
+  void AppendFloat64(double v) {
+    assert(!mapped());
+    floats_.push_back(v);
+  }
   void AppendString(std::string v);
   /// Appends a Value; returns TypeMismatch if it does not match type().
   Status AppendValue(const Value& v);
   /// Appends row `row` of `other` (same type required; checked by assert).
   /// If this column is empty it adopts `other`'s dict, so appending rows
-  /// of one dict column builds another dict column code-by-code.
+  /// of one dict column builds another dict column code-by-code. `other`
+  /// may be mapped; *this must not be.
   void AppendFrom(const Column& other, size_t row);
   /// @}
 
   /// \name Typed element access (caller must respect type()).
   /// @{
-  int64_t Int64At(size_t i) const { return ints_[i]; }
-  double Float64At(size_t i) const { return floats_[i]; }
+  int64_t Int64At(size_t i) const { return owner_ ? bints_[i] : ints_[i]; }
+  double Float64At(size_t i) const {
+    return owner_ ? bfloats_[i] : floats_[i];
+  }
   const std::string& StringAt(size_t i) const {
-    return dict_ ? dict_->StringAtPos(static_cast<size_t>(codes_[i]))
+    return dict_ ? dict_->StringAtPos(static_cast<size_t>(CodeAt(i)))
                  : strings_[i];
   }
   /// @}
@@ -115,33 +154,57 @@ class Column {
 
   /// \brief Returns a new column containing rows at `indices`, in order.
   /// For dict columns this copies codes and shares the dict (zero-copy for
-  /// the string payload).
+  /// the string payload). The result owns its storage even when *this is
+  /// mapped — intermediates never pin the snapshot.
   Column Gather(const std::vector<uint32_t>& indices) const;
 
   /// \brief Deep logical equality (type, size and all elements); a plain
-  /// and a dict column holding the same strings are equal.
+  /// and a dict column holding the same strings are equal, as are owned
+  /// and mapped columns holding the same values.
   bool Equals(const Column& other) const;
 
   /// \brief Approximate heap footprint in bytes (used by the cache
   /// budget). Includes the dict for dict columns; use
   /// ByteSizeExcludingDict plus per-instance dict accounting to avoid
   /// double-charging shared dicts (Relation::ByteSize does this).
+  /// Borrowed (mapped) storage is page cache, not heap: it is excluded
+  /// here and reported by MappedByteSize instead.
   size_t ByteSize() const;
 
   /// \brief ByteSize without the shared dict (codes / own buffers only).
   size_t ByteSizeExcludingDict() const;
 
+  /// \brief Bytes of borrowed mapped storage viewed by this column (0 for
+  /// owned columns). Kept separate from ByteSize so cache budgets and
+  /// STATS don't double-charge the OS page cache.
+  size_t MappedByteSize() const;
+
   /// \name Raw data access for vectorized kernels.
-  /// Note: string_data()/mutable_string() expose the *plain* backing
-  /// vector, which is empty for dict-encoded columns — check
-  /// dict_encoded() first or use the transparent accessors.
+  /// Spans are representation- and storage-agnostic: they view the owned
+  /// heap vector or the borrowed mapping, whichever is active. Note:
+  /// string_data()/mutable_string() expose the *plain* backing vector,
+  /// which is empty for dict-encoded columns — check dict_encoded() first
+  /// or use the transparent accessors.
   /// @{
-  const std::vector<int64_t>& int64_data() const { return ints_; }
-  const std::vector<double>& float64_data() const { return floats_; }
+  std::span<const int64_t> int64_data() const {
+    return owner_ ? bints_ : std::span<const int64_t>(ints_);
+  }
+  std::span<const double> float64_data() const {
+    return owner_ ? bfloats_ : std::span<const double>(floats_);
+  }
   const std::vector<std::string>& string_data() const { return strings_; }
-  std::vector<int64_t>& mutable_int64() { return ints_; }
-  std::vector<double>& mutable_float64() { return floats_; }
-  std::vector<std::string>& mutable_string() { return strings_; }
+  std::vector<int64_t>& mutable_int64() {
+    assert(!mapped());
+    return ints_;
+  }
+  std::vector<double>& mutable_float64() {
+    assert(!mapped());
+    return floats_;
+  }
+  std::vector<std::string>& mutable_string() {
+    assert(!mapped());
+    return strings_;
+  }
   /// @}
 
   void Reserve(size_t n);
@@ -158,6 +221,12 @@ class Column {
   // Dictionary representation (type_ == kString, dict_ != nullptr).
   std::vector<int32_t> codes_;
   StringDictPtr dict_;
+  // Borrowed (mapped) storage: active when owner_ != nullptr. The spans
+  // alias memory kept alive by owner_; the vectors above stay empty.
+  std::shared_ptr<const void> owner_;
+  std::span<const int64_t> bints_;
+  std::span<const double> bfloats_;
+  std::span<const int32_t> bcodes_;
 };
 
 using ColumnPtr = std::shared_ptr<const Column>;

@@ -1,0 +1,62 @@
+#include "storage/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPINDLE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SPINDLE_HAVE_MMAP 0
+#endif
+
+namespace spindle {
+
+Result<std::shared_ptr<const MmapFile>> MmapFile::OpenReadOnly(
+    const std::string& path) {
+#if SPINDLE_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat('" + path + "'): " + std::strerror(err));
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  const std::byte* data = nullptr;
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      return Status::Internal("mmap('" + path + "', " + std::to_string(size) +
+                             " bytes): " + std::strerror(err));
+    }
+    data = static_cast<const std::byte*>(addr);
+  }
+  // The mapping stays valid after the descriptor is closed.
+  ::close(fd);
+  return std::shared_ptr<const MmapFile>(new MmapFile(path, data, size));
+#else
+  return Status::NotImplemented(
+      "memory-mapped snapshots require a POSIX mmap; not available on this "
+      "platform");
+#endif
+}
+
+MmapFile::~MmapFile() {
+#if SPINDLE_HAVE_MMAP
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace spindle

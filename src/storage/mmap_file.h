@@ -1,0 +1,181 @@
+/// \file mmap_file.h
+/// \brief Read-only memory-mapped files and the typed views the zero-copy
+/// storage layer hands out over them.
+///
+/// A production engine does not rebuild its indexes from raw text on every
+/// process start: it maps an on-disk snapshot and serves from the mapping,
+/// letting the OS page cache — not the heap — hold cold data. MmapFile is
+/// the primitive: it maps a whole file read-only and keeps it mapped until
+/// the last reference dies. MappedVector<T> / MappedVectorOfVectors<T> are
+/// the typed views layered on top (snapshot.h builds them from file
+/// sections): a MappedVector either *owns* a heap vector or *borrows* a
+/// span of mapped memory, so every consumer (columns, postings, skip
+/// tables) is representation-transparent — exactly the pattern PR 1
+/// established for dict codes, now applied to the whole storage layer.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spindle {
+
+/// \brief A whole file mapped read-only into the address space.
+///
+/// The mapping lives for the lifetime of the MmapFile object; consumers
+/// that borrow spans of it keep the file alive through a
+/// shared_ptr<const MmapFile> (or any shared owner handle derived from
+/// it), so a column can outlive the Snapshot that produced it.
+class MmapFile {
+ public:
+  /// \brief Opens and maps `path` read-only. Fails with a clean Status on
+  /// missing files, permission errors or mmap failure — never UB.
+  static Result<std::shared_ptr<const MmapFile>> OpenReadOnly(
+      const std::string& path);
+
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MmapFile(std::string path, const std::byte* data, size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  std::string path_;
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// \brief (offset, length) into a flattened value array — the element type
+/// of ragged (vector-of-vectors) layouts. A plain trivially-copyable
+/// struct (std::pair is not guaranteed trivially copyable) so arrays of it
+/// can live in mapped sections verbatim.
+struct OffsetLen {
+  uint32_t offset = 0;
+  uint32_t length = 0;
+
+  bool operator==(const OffsetLen&) const = default;
+};
+static_assert(std::is_trivially_copyable_v<OffsetLen> &&
+              sizeof(OffsetLen) == 8);
+
+/// \brief A typed immutable vector whose storage is either an owned heap
+/// std::vector<T> or a borrowed span of mapped (or otherwise externally
+/// owned) memory — the MemoryMappedVector<T> pattern.
+///
+/// Accessors are identical in both modes, so data structures built over
+/// MappedVector (flattened postings, skip tables, doc arrays) execute
+/// unchanged whether they were built in memory or mapped from a snapshot.
+template <typename T>
+class MappedVector {
+ public:
+  MappedVector() = default;
+
+  /// \brief Takes ownership of a heap vector (the in-memory build path).
+  static MappedVector Own(std::vector<T> v) {
+    MappedVector m;
+    m.owned_ = std::move(v);
+    m.view_ = std::span<const T>(m.owned_);
+    return m;
+  }
+
+  /// \brief Borrows mapped memory; `owner` keeps the mapping alive.
+  static MappedVector Borrow(std::span<const T> view,
+                             std::shared_ptr<const void> owner) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "only trivially copyable types can be mapped");
+    MappedVector m;
+    m.view_ = view;
+    m.owner_ = std::move(owner);
+    return m;
+  }
+
+  // Moves must rebuild the span when the storage is owned (the vector's
+  // heap buffer survives the move, but the span object must follow it).
+  MappedVector(MappedVector&& other) noexcept { *this = std::move(other); }
+  MappedVector& operator=(MappedVector&& other) noexcept {
+    owned_ = std::move(other.owned_);
+    owner_ = std::move(other.owner_);
+    view_ = owner_ == nullptr ? std::span<const T>(owned_) : other.view_;
+    other.view_ = {};
+    return *this;
+  }
+  MappedVector(const MappedVector& other) { *this = other; }
+  MappedVector& operator=(const MappedVector& other) {
+    owned_ = other.owned_;
+    owner_ = other.owner_;
+    view_ = owner_ == nullptr ? std::span<const T>(owned_) : other.view_;
+    return *this;
+  }
+
+  const T* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  const T& operator[](size_t i) const { return view_[i]; }
+  auto begin() const { return view_.begin(); }
+  auto end() const { return view_.end(); }
+  std::span<const T> span() const { return view_; }
+
+  /// \brief True when the storage is borrowed (mapped) rather than owned.
+  bool mapped() const { return owner_ != nullptr; }
+
+  /// \brief Heap bytes owned by this vector (0 when mapped).
+  size_t HeapBytes() const {
+    return mapped() ? 0 : owned_.capacity() * sizeof(T);
+  }
+  /// \brief Mapped (page-cache) bytes viewed by this vector (0 when
+  /// owned). Reported separately from heap so cache accounting does not
+  /// double-charge the page cache.
+  size_t MappedBytes() const {
+    return mapped() ? view_.size_bytes() : 0;
+  }
+
+ private:
+  std::vector<T> owned_;
+  std::span<const T> view_;
+  std::shared_ptr<const void> owner_;
+};
+
+/// \brief Ragged data (a vector of variable-length vectors) flattened into
+/// one value array plus an offsets array of n+1 monotone positions —
+/// the MemoryMappedVectorOfVectors pattern. Row i is
+/// values[offsets[i], offsets[i+1]).
+template <typename T>
+struct MappedVectorOfVectors {
+  MappedVector<T> values;
+  MappedVector<uint64_t> offsets;  ///< size() + 1 entries, monotone
+
+  size_t size() const {
+    return offsets.size() == 0 ? 0 : offsets.size() - 1;
+  }
+  std::span<const T> operator[](size_t i) const {
+    return values.span().subspan(
+        static_cast<size_t>(offsets[i]),
+        static_cast<size_t>(offsets[i + 1] - offsets[i]));
+  }
+
+  /// \brief Validates monotone offsets bounded by the value count (call
+  /// once after mapping untrusted data; indexing assumes it).
+  bool Valid() const {
+    if (offsets.size() == 0) return values.size() == 0;
+    if (offsets[0] != 0) return false;
+    for (size_t i = 1; i < offsets.size(); ++i) {
+      if (offsets[i] < offsets[i - 1]) return false;
+    }
+    return offsets[offsets.size() - 1] == values.size();
+  }
+};
+
+}  // namespace spindle

@@ -74,6 +74,12 @@ size_t Relation::ByteSizeExcludingDicts() const {
   return bytes;
 }
 
+size_t Relation::MappedByteSize() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) bytes += c->MappedByteSize();
+  return bytes;
+}
+
 std::vector<StringDictPtr> Relation::CollectDicts() const {
   std::vector<StringDictPtr> dicts;
   for (const auto& c : columns_) {

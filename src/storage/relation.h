@@ -57,6 +57,12 @@ class Relation {
   /// part the materialization cache charges unconditionally).
   size_t ByteSizeExcludingDicts() const;
 
+  /// \brief Bytes of memory-mapped (page-cache) storage viewed by this
+  /// relation's columns. Disjoint from ByteSize(): mapped snapshot pages
+  /// belong to the OS page cache, so charging them as heap would
+  /// double-count them in cache budgets and STATS.
+  size_t MappedByteSize() const;
+
   /// \brief The distinct StringDict instances referenced by dict-encoded
   /// columns, in first-appearance order.
   std::vector<StringDictPtr> CollectDicts() const;

@@ -1,0 +1,607 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace spindle {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Streaming form of SnapshotChecksum: folds 8-byte words, buffering the
+/// tail across Update calls so chunked writes and one-shot reads agree.
+class Checksummer {
+ public:
+  void Update(const void* data, size_t size) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    if (carry_len_ > 0) {
+      while (size > 0 && carry_len_ < 8) {
+        carry_[carry_len_++] = *p++;
+        --size;
+      }
+      if (carry_len_ == 8) {
+        FoldWord(carry_);
+        carry_len_ = 0;
+      }
+    }
+    size_t words = size / 8;
+    for (size_t i = 0; i < words; ++i) FoldWord(p + i * 8);
+    p += words * 8;
+    size -= words * 8;
+    while (size > 0) {
+      carry_[carry_len_++] = *p++;
+      --size;
+    }
+  }
+
+  uint64_t Finish() const {
+    uint64_t h = hash_;
+    for (size_t i = 0; i < carry_len_; ++i) {
+      h = (h ^ carry_[i]) * kFnvPrime;
+    }
+    return h;
+  }
+
+ private:
+  void FoldWord(const uint8_t* p) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    hash_ = (hash_ ^ w) * kFnvPrime;
+  }
+
+  uint64_t hash_ = kFnvOffset;
+  uint8_t carry_[8];
+  size_t carry_len_ = 0;
+};
+
+uint64_t AlignUp(uint64_t v) {
+  return (v + kSnapshotSectionAlign - 1) & ~uint64_t{kSnapshotSectionAlign - 1};
+}
+
+Status WriteChecked(FILE* f, const void* data, size_t size,
+                    const std::string& path) {
+  if (size == 0) return Status::OK();
+  if (std::fwrite(data, 1, size, f) != size) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::ParseError("snapshot '" + path + "': " + what);
+}
+
+template <typename T>
+std::string PodBytes(const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::string(reinterpret_cast<const char*>(v.data()),
+                     v.size() * sizeof(T));
+}
+
+}  // namespace
+
+uint64_t SnapshotChecksum(const std::byte* data, size_t size) {
+  Checksummer sum;
+  sum.Update(data, size);
+  return sum.Finish();
+}
+
+uint32_t SnapshotWriter::AddSection(std::string_view name, const void* data,
+                                    size_t size) {
+  Pending p;
+  p.name = std::string(name.substr(0, kSnapshotSectionNameLen - 1));
+  p.data = data;
+  p.size = size;
+  sections_.push_back(std::move(p));
+  return static_cast<uint32_t>(sections_.size() - 1);
+}
+
+uint32_t SnapshotWriter::AddOwnedSection(std::string_view name,
+                                         std::string bytes) {
+  Pending p;
+  p.name = std::string(name.substr(0, kSnapshotSectionNameLen - 1));
+  p.data = nullptr;
+  p.size = bytes.size();
+  p.owned = std::move(bytes);
+  sections_.push_back(std::move(p));
+  return static_cast<uint32_t>(sections_.size() - 1);
+}
+
+Status SnapshotWriter::Finish(const std::string& path) {
+  obs::Span span("snapshot", "save");
+
+  // Lay out the file: header, TOC, then 64-byte-aligned payloads.
+  const uint64_t toc_offset = sizeof(SnapshotHeader);
+  std::vector<SnapshotSectionEntry> toc(sections_.size());
+  uint64_t pos =
+      AlignUp(toc_offset + sections_.size() * sizeof(SnapshotSectionEntry));
+  const uint64_t payload_start = pos;
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    SnapshotSectionEntry& e = toc[i];
+    std::memset(&e, 0, sizeof(e));
+    std::memcpy(e.name, sections_[i].name.data(), sections_[i].name.size());
+    e.offset = pos;
+    e.size = sections_[i].size;
+    pos = AlignUp(pos + e.size);
+  }
+  const uint64_t file_size = pos;
+
+  SnapshotHeader hdr;
+  std::memset(&hdr, 0, sizeof(hdr));
+  std::memcpy(hdr.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+  hdr.format_version = kSnapshotFormatVersion;
+  hdr.num_sections = static_cast<uint32_t>(sections_.size());
+  hdr.file_size = file_size;
+  hdr.toc_offset = toc_offset;
+  hdr.toc_checksum = SnapshotChecksum(
+      reinterpret_cast<const std::byte*>(toc.data()),
+      toc.size() * sizeof(SnapshotSectionEntry));
+  hdr.payload_checksum = 0;  // patched after the payload is written
+
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot create snapshot '" + path +
+                            "': " + std::strerror(errno));
+  }
+  auto fail = [&](Status st) {
+    std::fclose(f);
+    std::remove(path.c_str());
+    return st;
+  };
+
+  Status st = WriteChecked(f, &hdr, sizeof(hdr), path);
+  if (st.ok()) {
+    st = WriteChecked(f, toc.data(),
+                      toc.size() * sizeof(SnapshotSectionEntry), path);
+  }
+  if (!st.ok()) return fail(st);
+
+  // Payloads with zero padding; the checksum covers padding too, so the
+  // whole region [payload_start, file_size) is verified on load.
+  static const char kZeros[kSnapshotSectionAlign] = {0};
+  uint64_t written = toc_offset + toc.size() * sizeof(SnapshotSectionEntry);
+  Checksummer payload_sum;
+  auto emit = [&](const void* data, size_t size) {
+    Status w = WriteChecked(f, data, size, path);
+    if (w.ok()) {
+      payload_sum.Update(data, size);
+      written += size;
+    }
+    return w;
+  };
+  if (payload_start > written) {
+    // Padding between TOC and first payload sits before payload_start and
+    // is outside both checksums.
+    st = WriteChecked(f, kZeros, payload_start - written, path);
+    if (!st.ok()) return fail(st);
+    written = payload_start;
+  }
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    const Pending& p = sections_[i];
+    const void* data = p.data != nullptr ? p.data : p.owned.data();
+    st = emit(data, p.size);
+    if (st.ok() && written < AlignUp(written)) {
+      st = emit(kZeros, AlignUp(written) - written);
+    }
+    if (!st.ok()) return fail(st);
+  }
+  hdr.payload_checksum = payload_sum.Finish();
+
+  if (std::fseek(f, 0, SEEK_SET) != 0 ||
+      std::fwrite(&hdr, 1, sizeof(hdr), f) != sizeof(hdr)) {
+    return fail(Status::Internal("cannot rewrite snapshot header of '" +
+                                 path + "'"));
+  }
+  if (std::fflush(f) != 0) {
+    return fail(Status::Internal("cannot flush snapshot '" + path + "'"));
+  }
+  std::fclose(f);
+
+  if (span.active()) {
+    span.Add("bytes", static_cast<int64_t>(file_size));
+    span.Add("sections", static_cast<int64_t>(sections_.size()));
+    span.Note("path", path);
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const SnapshotReader>> SnapshotReader::Open(
+    const std::string& path) {
+  obs::Span span("snapshot", "map");
+  SPINDLE_ASSIGN_OR_RETURN(std::shared_ptr<const MmapFile> file,
+                           MmapFile::OpenReadOnly(path));
+  const std::byte* base = file->data();
+  const size_t size = file->size();
+  if (size < sizeof(SnapshotHeader)) {
+    return Corrupt(path, "file smaller than the header");
+  }
+  SnapshotHeader hdr;
+  std::memcpy(&hdr, base, sizeof(hdr));
+  if (std::memcmp(hdr.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Corrupt(path, "bad magic");
+  }
+  if (hdr.format_version != kSnapshotFormatVersion) {
+    return Corrupt(path, "format version " +
+                             std::to_string(hdr.format_version) +
+                             ", this build reads version " +
+                             std::to_string(kSnapshotFormatVersion));
+  }
+  if (hdr.file_size != size) {
+    return Corrupt(path, "header says " + std::to_string(hdr.file_size) +
+                             " bytes but the file has " +
+                             std::to_string(size) + " (truncated?)");
+  }
+  if (hdr.toc_offset != sizeof(SnapshotHeader)) {
+    return Corrupt(path, "unexpected TOC offset");
+  }
+  const uint64_t toc_bytes =
+      uint64_t{hdr.num_sections} * sizeof(SnapshotSectionEntry);
+  if (toc_bytes > size - hdr.toc_offset) {
+    return Corrupt(path, "TOC extends past end of file");
+  }
+  if (SnapshotChecksum(base + hdr.toc_offset, toc_bytes) !=
+      hdr.toc_checksum) {
+    return Corrupt(path, "TOC checksum mismatch");
+  }
+  const uint64_t payload_start = AlignUp(hdr.toc_offset + toc_bytes);
+  if (payload_start > size) {
+    return Corrupt(path, "payload region extends past end of file");
+  }
+  if (SnapshotChecksum(base + payload_start, size - payload_start) !=
+      hdr.payload_checksum) {
+    return Corrupt(path, "payload checksum mismatch");
+  }
+
+  auto reader = std::shared_ptr<SnapshotReader>(
+      new SnapshotReader(std::move(file)));
+  reader->sections_.reserve(hdr.num_sections);
+  for (uint32_t i = 0; i < hdr.num_sections; ++i) {
+    SnapshotSectionEntry e;
+    std::memcpy(&e, base + hdr.toc_offset + i * sizeof(e), sizeof(e));
+    Section s;
+    s.name.assign(e.name, strnlen(e.name, kSnapshotSectionNameLen));
+    s.offset = e.offset;
+    s.size = e.size;
+    if (s.offset % kSnapshotSectionAlign != 0 || s.offset < payload_start ||
+        s.offset > size || s.size > size - s.offset) {
+      return Corrupt(path, "section " + std::to_string(i) + " ('" + s.name +
+                               "') out of bounds");
+    }
+    // First occurrence wins; duplicate names (possible after truncation)
+    // are only reachable by id.
+    reader->by_name_.emplace(s.name, i);
+    reader->sections_.push_back(std::move(s));
+  }
+  if (span.active()) {
+    span.Add("bytes", static_cast<int64_t>(size));
+    span.Add("sections", static_cast<int64_t>(reader->sections_.size()));
+    span.Note("path", path);
+  }
+  return std::shared_ptr<const SnapshotReader>(std::move(reader));
+}
+
+Result<uint32_t> SnapshotReader::FindSection(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("snapshot '" + path() + "' has no section '" +
+                            name + "'");
+  }
+  return it->second;
+}
+
+bool SnapshotReader::HasSection(const std::string& name) const {
+  return by_name_.find(name) != by_name_.end();
+}
+
+Result<std::span<const std::byte>> SnapshotReader::SectionBytes(
+    uint32_t id) const {
+  if (id >= sections_.size()) {
+    return Status::OutOfRange("snapshot section id " + std::to_string(id) +
+                              " out of range (" +
+                              std::to_string(sections_.size()) +
+                              " sections)");
+  }
+  const Section& s = sections_[id];
+  return std::span<const std::byte>(file_->data() + s.offset, s.size);
+}
+
+uint32_t SnapshotDictTable::Add(const StringDictPtr& dict) {
+  auto it = by_ptr_.find(dict.get());
+  if (it != by_ptr_.end()) return it->second;
+
+  const std::vector<std::string>& strings = dict->strings();
+  std::string blob;
+  size_t total = 0;
+  for (const auto& s : strings) total += s.size();
+  blob.reserve(total);
+  std::vector<uint64_t> offsets;
+  offsets.reserve(strings.size() + 1);
+  offsets.push_back(0);
+  std::vector<uint64_t> hashes;
+  hashes.reserve(strings.size());
+  for (size_t i = 0; i < strings.size(); ++i) {
+    blob += strings[i];
+    offsets.push_back(blob.size());
+    hashes.push_back(dict->HashAtPos(i));
+  }
+
+  const uint32_t slot = static_cast<uint32_t>(entries_.size());
+  const std::string label = "dict" + std::to_string(slot);
+  Entry e;
+  e.first_id = dict->first_id();
+  e.count = strings.size();
+  e.blob_section = writer_->AddOwnedSection(label + ".blob", std::move(blob));
+  e.offsets_section =
+      writer_->AddOwnedSection(label + ".off", PodBytes(offsets));
+  e.hashes_section =
+      writer_->AddOwnedSection(label + ".hash", PodBytes(hashes));
+  entries_.push_back(e);
+  by_ptr_.emplace(dict.get(), slot);
+  return slot;
+}
+
+std::string SnapshotDictTable::EncodeMeta() const {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    w.I64(e.first_id);
+    w.U64(e.count);
+    w.U32(e.blob_section);
+    w.U32(e.offsets_section);
+    w.U32(e.hashes_section);
+  }
+  return w.Take();
+}
+
+Result<std::vector<StringDictPtr>> DecodeSnapshotDicts(
+    const std::shared_ptr<const SnapshotReader>& snap) {
+  std::vector<StringDictPtr> dicts;
+  if (!snap->HasSection("dicts")) return dicts;
+  SPINDLE_ASSIGN_OR_RETURN(uint32_t sec, snap->FindSection("dicts"));
+  SPINDLE_ASSIGN_OR_RETURN(std::span<const std::byte> bytes,
+                           snap->SectionBytes(sec));
+  ByteReader r(bytes);
+  const uint32_t count = r.U32();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    const int64_t first_id = r.I64();
+    const uint64_t n = r.U64();
+    const uint32_t blob_sec = r.U32();
+    const uint32_t off_sec = r.U32();
+    const uint32_t hash_sec = r.U32();
+    if (!r.ok()) break;
+    SPINDLE_ASSIGN_OR_RETURN(std::span<const char> blob,
+                             snap->PodSection<char>(blob_sec));
+    SPINDLE_ASSIGN_OR_RETURN(std::span<const uint64_t> offsets,
+                             snap->PodSection<uint64_t>(off_sec));
+    SPINDLE_ASSIGN_OR_RETURN(std::span<const uint64_t> hashes,
+                             snap->PodSection<uint64_t>(hash_sec));
+    if (offsets.size() != n + 1 || hashes.size() != n) {
+      return Corrupt(snap->path(),
+                     "dict " + std::to_string(i) + " has inconsistent "
+                     "offsets/hashes lengths");
+    }
+    std::vector<std::string> strings;
+    strings.reserve(n);
+    for (uint64_t j = 0; j < n; ++j) {
+      if (offsets[j] > offsets[j + 1] || offsets[j + 1] > blob.size()) {
+        return Corrupt(snap->path(), "dict " + std::to_string(i) +
+                                         " has non-monotone offsets");
+      }
+      strings.emplace_back(blob.data() + offsets[j],
+                           offsets[j + 1] - offsets[j]);
+    }
+    SPINDLE_ASSIGN_OR_RETURN(
+        std::shared_ptr<StringDict> dict,
+        StringDict::FromIdOrderedStrings(
+            first_id, std::move(strings),
+            std::vector<uint64_t>(hashes.begin(), hashes.end())));
+    dicts.push_back(std::move(dict));
+  }
+  SPINDLE_RETURN_IF_ERROR(r.status());
+  return dicts;
+}
+
+namespace {
+
+// Column representation tags in relation metadata.
+constexpr uint8_t kReprInt64 = 0;
+constexpr uint8_t kReprFloat64 = 1;
+constexpr uint8_t kReprPlainString = 2;
+constexpr uint8_t kReprDictString = 3;
+
+}  // namespace
+
+void EncodeRelation(SnapshotWriter* writer, SnapshotDictTable* dicts,
+                    const Relation& rel, const std::string& prefix,
+                    ByteWriter* meta) {
+  meta->U64(rel.num_rows());
+  meta->U32(static_cast<uint32_t>(rel.num_columns()));
+  for (size_t c = 0; c < rel.num_columns(); ++c) {
+    const Field& field = rel.schema().field(c);
+    const Column& col = rel.column(c);
+    meta->Str(field.name);
+    meta->U8(static_cast<uint8_t>(field.type));
+    const std::string label = prefix + ".c" + std::to_string(c);
+    switch (col.type()) {
+      case DataType::kInt64:
+        meta->U8(kReprInt64);
+        meta->U32(writer->AddPodSection(label, col.int64_data()));
+        break;
+      case DataType::kFloat64:
+        meta->U8(kReprFloat64);
+        meta->U32(writer->AddPodSection(label, col.float64_data()));
+        break;
+      case DataType::kString:
+        if (col.dict_encoded()) {
+          meta->U8(kReprDictString);
+          meta->U32(writer->AddPodSection(label, col.dict_codes()));
+          meta->U32(dicts->Add(col.dict()));
+        } else {
+          meta->U8(kReprPlainString);
+          std::string blob;
+          std::vector<uint64_t> offsets;
+          offsets.reserve(col.size() + 1);
+          offsets.push_back(0);
+          for (size_t r = 0; r < col.size(); ++r) {
+            blob += col.StringAt(r);
+            offsets.push_back(blob.size());
+          }
+          meta->U32(writer->AddOwnedSection(label + ".blob",
+                                            std::move(blob)));
+          meta->U32(writer->AddOwnedSection(label + ".off",
+                                            PodBytes(offsets)));
+        }
+        break;
+    }
+  }
+}
+
+Result<RelationPtr> DecodeRelation(
+    const std::shared_ptr<const SnapshotReader>& snap,
+    const std::vector<StringDictPtr>& dicts, ByteReader* meta) {
+  const uint64_t rows = meta->U64();
+  const uint32_t ncols = meta->U32();
+  SPINDLE_RETURN_IF_ERROR(meta->status());
+  Schema schema;
+  std::vector<ColumnPtr> cols;
+  cols.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    std::string name = meta->Str();
+    const uint8_t type_tag = meta->U8();
+    const uint8_t repr = meta->U8();
+    SPINDLE_RETURN_IF_ERROR(meta->status());
+    if (type_tag > static_cast<uint8_t>(DataType::kString)) {
+      return Corrupt(snap->path(), "column '" + name +
+                                       "' has unknown type tag " +
+                                       std::to_string(type_tag));
+    }
+    const DataType type = static_cast<DataType>(type_tag);
+    Column col(type);
+    switch (repr) {
+      case kReprInt64: {
+        const uint32_t sec = meta->U32();
+        SPINDLE_RETURN_IF_ERROR(meta->status());
+        SPINDLE_ASSIGN_OR_RETURN(std::span<const int64_t> data,
+                                 snap->PodSection<int64_t>(sec));
+        if (data.size() != rows) {
+          return Corrupt(snap->path(), "column '" + name + "' length");
+        }
+        col = Column::BorrowInt64(data, snap);
+        break;
+      }
+      case kReprFloat64: {
+        const uint32_t sec = meta->U32();
+        SPINDLE_RETURN_IF_ERROR(meta->status());
+        SPINDLE_ASSIGN_OR_RETURN(std::span<const double> data,
+                                 snap->PodSection<double>(sec));
+        if (data.size() != rows) {
+          return Corrupt(snap->path(), "column '" + name + "' length");
+        }
+        col = Column::BorrowFloat64(data, snap);
+        break;
+      }
+      case kReprPlainString: {
+        const uint32_t blob_sec = meta->U32();
+        const uint32_t off_sec = meta->U32();
+        SPINDLE_RETURN_IF_ERROR(meta->status());
+        SPINDLE_ASSIGN_OR_RETURN(std::span<const char> blob,
+                                 snap->PodSection<char>(blob_sec));
+        SPINDLE_ASSIGN_OR_RETURN(std::span<const uint64_t> offsets,
+                                 snap->PodSection<uint64_t>(off_sec));
+        if (offsets.size() != rows + 1) {
+          return Corrupt(snap->path(), "column '" + name + "' offsets");
+        }
+        std::vector<std::string> strings;
+        strings.reserve(rows);
+        for (uint64_t r = 0; r < rows; ++r) {
+          if (offsets[r] > offsets[r + 1] || offsets[r + 1] > blob.size()) {
+            return Corrupt(snap->path(),
+                           "column '" + name + "' non-monotone offsets");
+          }
+          strings.emplace_back(blob.data() + offsets[r],
+                               offsets[r + 1] - offsets[r]);
+        }
+        col = Column::MakeString(std::move(strings));
+        break;
+      }
+      case kReprDictString: {
+        const uint32_t sec = meta->U32();
+        const uint32_t dict_slot = meta->U32();
+        SPINDLE_RETURN_IF_ERROR(meta->status());
+        SPINDLE_ASSIGN_OR_RETURN(std::span<const int32_t> codes,
+                                 snap->PodSection<int32_t>(sec));
+        if (codes.size() != rows) {
+          return Corrupt(snap->path(), "column '" + name + "' length");
+        }
+        if (dict_slot >= dicts.size()) {
+          return Corrupt(snap->path(), "column '" + name +
+                                           "' references missing dict " +
+                                           std::to_string(dict_slot));
+        }
+        const StringDictPtr& dict = dicts[dict_slot];
+        const int32_t limit = static_cast<int32_t>(dict->size());
+        for (int32_t code : codes) {
+          if (code < 0 || code >= limit) {
+            return Corrupt(snap->path(),
+                           "column '" + name + "' has out-of-range code");
+          }
+        }
+        col = Column::BorrowDictString(codes, dict, snap);
+        break;
+      }
+      default:
+        return Corrupt(snap->path(), "column '" + name +
+                                         "' has unknown representation " +
+                                         std::to_string(repr));
+    }
+    if (col.type() != type) {
+      return Corrupt(snap->path(),
+                     "column '" + name + "' representation/type mismatch");
+    }
+    schema.AddField({std::move(name), type});
+    cols.push_back(std::make_shared<const Column>(std::move(col)));
+  }
+  return Relation::MakeShared(std::move(schema), std::move(cols));
+}
+
+void EncodeCatalog(SnapshotWriter* writer, SnapshotDictTable* dicts,
+                   const Catalog& catalog) {
+  ByteWriter meta;
+  const std::vector<std::string> names = catalog.List();
+  meta.U32(static_cast<uint32_t>(names.size()));
+  for (size_t i = 0; i < names.size(); ++i) {
+    meta.Str(names[i]);
+    RelationPtr rel = catalog.Get(names[i]).ValueOrDie();
+    EncodeRelation(writer, dicts, *rel, "t" + std::to_string(i), &meta);
+  }
+  writer->AddOwnedSection("catalog", meta.Take());
+}
+
+Result<size_t> DecodeCatalog(const std::shared_ptr<const SnapshotReader>& snap,
+                             const std::vector<StringDictPtr>& dicts,
+                             Catalog* catalog) {
+  SPINDLE_ASSIGN_OR_RETURN(uint32_t sec, snap->FindSection("catalog"));
+  SPINDLE_ASSIGN_OR_RETURN(std::span<const std::byte> bytes,
+                           snap->SectionBytes(sec));
+  ByteReader meta(bytes);
+  const uint32_t count = meta.U32();
+  SPINDLE_RETURN_IF_ERROR(meta.status());
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name = meta.Str();
+    SPINDLE_RETURN_IF_ERROR(meta.status());
+    SPINDLE_ASSIGN_OR_RETURN(RelationPtr rel,
+                             DecodeRelation(snap, dicts, &meta));
+    // Dict columns were encoded at save time; plain Register preserves
+    // the decoded representation (RegisterEncoded would re-intern and
+    // drop the zero-copy mapping).
+    catalog->Register(name, std::move(rel));
+  }
+  return static_cast<size_t>(count);
+}
+
+}  // namespace spindle

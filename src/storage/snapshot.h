@@ -1,0 +1,343 @@
+/// \file snapshot.h
+/// \brief The persistent snapshot format: a sectioned, checksummed,
+/// memory-mappable container for catalog relations, string dictionaries
+/// and text indexes.
+///
+/// File layout (all little-endian, same-architecture format):
+///
+///   [SnapshotHeader, 64 B]                      magic, version, checksums
+///   [SnapshotSectionEntry x num_sections]       the table of contents
+///   [padding to 64-byte boundary]
+///   [section 0 payload][padding to 64]
+///   [section 1 payload][padding to 64]
+///   ...
+///
+/// Every section payload starts on a 64-byte boundary, so any
+/// trivially-copyable array stored in a section can be reinterpreted in
+/// place with correct alignment — this is what makes load zero-copy: the
+/// engine's columns and postings borrow spans of the mapping instead of
+/// deserializing. Two checksums (TOC and payload region) plus magic,
+/// version and size validation mean a corrupted or truncated file is
+/// rejected with a clean Status, never undefined behavior.
+///
+/// This layer knows about raw sections, dictionaries, relations and the
+/// catalog. Index serialization (TextIndex/ImpactIndex) lives one layer up
+/// in src/ir/index_snapshot.{h,cc}, which composes the same writer/reader.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/mmap_file.h"
+#include "storage/relation.h"
+#include "storage/string_dict.h"
+
+namespace spindle {
+
+/// First 8 bytes of every snapshot file.
+inline constexpr char kSnapshotMagic[8] = {'S', 'P', 'I', 'N',
+                                           'S', 'N', 'P', '1'};
+/// Bump on any incompatible layout change (see docs/persistence.md for the
+/// bump policy); readers reject files with a different version.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Section payload alignment. 64 covers every scalar/struct the engine
+/// maps and matches the cache-line size morsel kernels assume.
+inline constexpr size_t kSnapshotSectionAlign = 64;
+/// Max length (including NUL) of a section name in the TOC.
+inline constexpr size_t kSnapshotSectionNameLen = 40;
+
+/// \brief Fixed 64-byte file header.
+struct SnapshotHeader {
+  char magic[8];
+  uint32_t format_version;
+  uint32_t num_sections;
+  uint64_t file_size;         ///< must equal the actual file size
+  uint64_t toc_offset;        ///< byte offset of the TOC (== 64)
+  uint64_t toc_checksum;      ///< checksum of the TOC bytes
+  uint64_t payload_checksum;  ///< checksum of [payload_start, file_size)
+  char reserved[16];
+};
+static_assert(sizeof(SnapshotHeader) == 64);
+
+/// \brief Fixed 64-byte TOC entry. Names are diagnostic labels (truncated
+/// to fit); cross-references between sections use integer section ids.
+struct SnapshotSectionEntry {
+  char name[kSnapshotSectionNameLen];  ///< NUL-padded
+  uint64_t offset;                     ///< absolute, 64-byte aligned
+  uint64_t size;                       ///< payload bytes (padding excluded)
+  uint64_t reserved;
+};
+static_assert(sizeof(SnapshotSectionEntry) == 64);
+
+/// \brief FNV-1a-style checksum folded over 8-byte words (fast enough to
+/// validate multi-hundred-MB snapshots at load without dominating restart
+/// time; not cryptographic — it detects corruption, not tampering).
+uint64_t SnapshotChecksum(const std::byte* data, size_t size);
+
+/// \brief Accumulates named sections and writes the container file.
+///
+/// Sections added by pointer must stay alive until Finish(); use
+/// AddOwnedSection for transient buffers (the writer keeps the string).
+class SnapshotWriter {
+ public:
+  /// \brief Registers a section; returns its id for cross-references.
+  uint32_t AddSection(std::string_view name, const void* data, size_t size);
+
+  /// \brief Registers a section backed by a buffer the writer owns.
+  uint32_t AddOwnedSection(std::string_view name, std::string bytes);
+
+  /// \brief Registers an array of trivially-copyable values as a section.
+  template <typename T>
+  uint32_t AddPodSection(std::string_view name, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return AddSection(name, values.data(), values.size_bytes());
+  }
+
+  size_t num_sections() const { return sections_.size(); }
+
+  /// \brief Writes header + TOC + aligned payloads to `path` (atomic-ish:
+  /// written to `path` directly; callers wanting atomicity write to a temp
+  /// path and rename). The writer is single-use.
+  Status Finish(const std::string& path);
+
+ private:
+  struct Pending {
+    std::string name;
+    const void* data;  // null when owned
+    size_t size;
+    std::string owned;
+  };
+  std::vector<Pending> sections_;
+};
+
+/// \brief An open, validated snapshot file.
+///
+/// Open() maps the file and validates magic, version, size, TOC bounds,
+/// section bounds/alignment and both checksums before returning; any
+/// mismatch yields a Status. Typed accessors re-check element size and
+/// alignment, so a logically inconsistent (but checksum-valid) file also
+/// fails cleanly.
+class SnapshotReader : public std::enable_shared_from_this<SnapshotReader> {
+ public:
+  static Result<std::shared_ptr<const SnapshotReader>> Open(
+      const std::string& path);
+
+  size_t num_sections() const { return sections_.size(); }
+  size_t file_size() const { return file_->size(); }
+  const std::string& path() const { return file_->path(); }
+
+  /// \brief Section id by exact name; NotFound if absent.
+  Result<uint32_t> FindSection(const std::string& name) const;
+  bool HasSection(const std::string& name) const;
+
+  const std::string& SectionName(uint32_t id) const {
+    return sections_[id].name;
+  }
+
+  /// \brief Raw payload bytes of a section.
+  Result<std::span<const std::byte>> SectionBytes(uint32_t id) const;
+
+  /// \brief Section reinterpreted as an array of T (zero-copy). Fails if
+  /// the payload size is not a multiple of sizeof(T) or misaligned.
+  template <typename T>
+  Result<std::span<const T>> PodSection(uint32_t id) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SPINDLE_ASSIGN_OR_RETURN(std::span<const std::byte> bytes,
+                             SectionBytes(id));
+    if (bytes.size() % sizeof(T) != 0) {
+      return Status::ParseError(
+          "snapshot section '" + SectionName(id) + "' has " +
+          std::to_string(bytes.size()) + " bytes, not a multiple of " +
+          std::to_string(sizeof(T)));
+    }
+    if (reinterpret_cast<uintptr_t>(bytes.data()) % alignof(T) != 0) {
+      return Status::Internal("snapshot section '" + SectionName(id) +
+                              "' is misaligned for element size " +
+                              std::to_string(sizeof(T)));
+    }
+    return std::span<const T>(reinterpret_cast<const T*>(bytes.data()),
+                              bytes.size() / sizeof(T));
+  }
+
+  /// \brief Section as a MappedVector borrowing the mapping; the returned
+  /// vector keeps the snapshot (and thus the mapping) alive.
+  template <typename T>
+  Result<MappedVector<T>> MappedSection(uint32_t id) const {
+    SPINDLE_ASSIGN_OR_RETURN(std::span<const T> view, PodSection<T>(id));
+    return MappedVector<T>::Borrow(view, shared_from_this());
+  }
+
+  /// \brief Shared handle to the underlying mapping, usable as the owner
+  /// token for borrowed columns.
+  std::shared_ptr<const MmapFile> file() const { return file_; }
+
+ private:
+  struct Section {
+    std::string name;
+    uint64_t offset;
+    uint64_t size;
+  };
+
+  explicit SnapshotReader(std::shared_ptr<const MmapFile> file)
+      : file_(std::move(file)) {}
+
+  std::shared_ptr<const MmapFile> file_;
+  std::vector<Section> sections_;
+  std::map<std::string, uint32_t, std::less<>> by_name_;
+};
+
+/// \brief Bounds-unchecked appender for little meta sections (schemas,
+/// name tables, cross-references). Fixed-width integers, IEEE doubles and
+/// length-prefixed strings.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Pod(v); }
+  void U64(uint64_t v) { Pod(v); }
+  void I32(int32_t v) { Pod(v); }
+  void I64(int64_t v) { Pod(v); }
+  void F64(double v) { Pod(v); }
+  void Str(std::string_view s) {
+    U64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void Pod(T v) {
+    char tmp[sizeof(T)];
+    std::memcpy(tmp, &v, sizeof(T));
+    buf_.append(tmp, sizeof(T));
+  }
+
+  std::string buf_;
+};
+
+/// \brief Bounds-checked cursor over a meta section. Reads past the end
+/// latch a failure and return zero values; callers check ok()/status()
+/// once at a convenient boundary instead of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  uint8_t U8() { return Pod<uint8_t>(); }
+  uint32_t U32() { return Pod<uint32_t>(); }
+  uint64_t U64() { return Pod<uint64_t>(); }
+  int32_t I32() { return Pod<int32_t>(); }
+  int64_t I64() { return Pod<int64_t>(); }
+  double F64() { return Pod<double>(); }
+  std::string Str() {
+    uint64_t n = U64();
+    if (failed_ || n > data_.size() - pos_) {
+      failed_ = true;
+      return std::string();
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                  static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+
+  bool ok() const { return !failed_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  Status status() const {
+    if (!failed_) return Status::OK();
+    return Status::ParseError("snapshot metadata truncated at offset " +
+                              std::to_string(pos_));
+  }
+
+ private:
+  template <typename T>
+  T Pod() {
+    if (failed_ || sizeof(T) > data_.size() - pos_) {
+      failed_ = true;
+      return T();
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// \brief Deduplicating writer-side registry of string dictionaries.
+///
+/// Relations that share a StringDict (e.g. a text index's term_doc and
+/// termdict views) reference the same dict table slot, so sharing survives
+/// the round trip and joins still compare codes without re-encoding.
+/// Strings are serialized in id order, so reloaded dicts assign identical
+/// codes — the root of bit-identical query results.
+class SnapshotDictTable {
+ public:
+  explicit SnapshotDictTable(SnapshotWriter* writer) : writer_(writer) {}
+
+  /// \brief Registers a dict (writing its sections on first sight) and
+  /// returns its slot in the table.
+  uint32_t Add(const StringDictPtr& dict);
+
+  /// \brief Encodes the "dicts" meta section.
+  std::string EncodeMeta() const;
+
+ private:
+  struct Entry {
+    int64_t first_id;
+    uint64_t count;
+    uint32_t blob_section;
+    uint32_t offsets_section;
+    uint32_t hashes_section;
+  };
+
+  SnapshotWriter* writer_;
+  std::map<const StringDict*, uint32_t> by_ptr_;
+  std::vector<Entry> entries_;
+};
+
+/// \brief Decodes the "dicts" meta section; strings are materialized on
+/// the heap (vocabularies are small next to postings) but hashes are
+/// loaded, not recomputed.
+Result<std::vector<StringDictPtr>> DecodeSnapshotDicts(
+    const std::shared_ptr<const SnapshotReader>& snap);
+
+/// \brief Serializes one relation: bulk column data goes into sections
+/// (named "<prefix>.<col>"), layout metadata is appended to `meta`.
+/// Dict-encoded columns reference `dicts` slots.
+void EncodeRelation(SnapshotWriter* writer, SnapshotDictTable* dicts,
+                    const Relation& rel, const std::string& prefix,
+                    ByteWriter* meta);
+
+/// \brief Decodes one relation encoded by EncodeRelation. Numeric and
+/// dict-code columns borrow the mapping (zero-copy); plain string columns
+/// are materialized.
+Result<RelationPtr> DecodeRelation(
+    const std::shared_ptr<const SnapshotReader>& snap,
+    const std::vector<StringDictPtr>& dicts, ByteReader* meta);
+
+/// \brief Serializes every catalog relation (sorted by name) plus the
+/// shared dict table into `writer` sections "catalog" and "dicts".
+void EncodeCatalog(SnapshotWriter* writer, SnapshotDictTable* dicts,
+                   const Catalog& catalog);
+
+/// \brief Registers every relation from the snapshot's "catalog" section
+/// into `catalog` (replacing same-named entries, bumping versions, in the
+/// saved order so version assignment is deterministic).
+Result<size_t> DecodeCatalog(const std::shared_ptr<const SnapshotReader>& snap,
+                             const std::vector<StringDictPtr>& dicts,
+                             Catalog* catalog);
+
+}  // namespace spindle

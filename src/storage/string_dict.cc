@@ -1,10 +1,35 @@
 #include "storage/string_dict.h"
 
+#include <cassert>
 #include <memory>
 
 #include "common/hash.h"
 
 namespace spindle {
+
+Result<std::shared_ptr<StringDict>> StringDict::FromIdOrderedStrings(
+    int64_t first_id, std::vector<std::string> strings,
+    std::vector<uint64_t> hashes) {
+  if (strings.size() != hashes.size()) {
+    return Status::InvalidArgument(
+        "dict restore: " + std::to_string(strings.size()) + " strings but " +
+        std::to_string(hashes.size()) + " hashes");
+  }
+  auto dict = std::make_shared<StringDict>(first_id);
+  dict->strings_ = std::move(strings);
+  dict->hashes_ = std::move(hashes);
+  dict->index_.reserve(dict->strings_.size());
+  for (size_t i = 0; i < dict->strings_.size(); ++i) {
+    assert(dict->hashes_[i] == HashBytes(dict->strings_[i]));
+    auto [it, inserted] = dict->index_.emplace(
+        dict->strings_[i], first_id + static_cast<int64_t>(i));
+    if (!inserted) {
+      return Status::InvalidArgument("dict restore: duplicate string '" +
+                                     dict->strings_[i] + "'");
+    }
+  }
+  return std::shared_ptr<StringDict>(std::move(dict));
+}
 
 int64_t StringDict::Intern(std::string_view s) {
   std::unique_lock<std::shared_mutex> lock(mu_);

@@ -18,6 +18,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+
 namespace spindle {
 
 /// \brief Interns strings, assigning dense ids starting at `first_id`.
@@ -54,6 +56,16 @@ class StringDict {
     index_ = std::move(other.index_);
     return *this;
   }
+
+  /// \brief Bulk factory for snapshot restore: builds a dict whose id
+  /// assignment is exactly the order of `strings` (so dictionary codes
+  /// saved against the original dict decode bit-identically). `hashes`
+  /// must be the memoized HashBytes values saved alongside (validated in
+  /// debug builds, trusted in release — the snapshot checksum already
+  /// covers them). Fails on duplicate strings or length mismatch.
+  static Result<std::shared_ptr<StringDict>> FromIdOrderedStrings(
+      int64_t first_id, std::vector<std::string> strings,
+      std::vector<uint64_t> hashes);
 
   /// \brief Returns the id of `s`, interning it if new.
   int64_t Intern(std::string_view s);

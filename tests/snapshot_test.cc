@@ -1,0 +1,441 @@
+/// \file snapshot_test.cc
+/// \brief Tests for persistent memory-mapped snapshots: the sectioned
+/// container (checksums, corruption rejection), relation/catalog round
+/// trips (zero-copy borrow semantics, dict sharing, byte accounting) and
+/// whole-service round trips — queries served from a mapped snapshot must
+/// be bit-identical to a fresh build across ranking models, k and thread
+/// counts, including the trace-visible pruning counters.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ir/index_snapshot.h"
+#include "ir/searcher.h"
+#include "server/query_service.h"
+#include "storage/catalog.h"
+#include "storage/mmap_file.h"
+#include "storage/relation.h"
+#include "storage/snapshot.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+RelationPtr SmallCollection(int64_t num_docs) {
+  TextCollectionOptions gen;
+  gen.num_docs = num_docs;
+  gen.vocab_size = 2000;
+  gen.avg_doc_len = 40;
+  return GenerateTextCollection(gen).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Container layer: raw sections, checksums, corruption rejection
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotContainerTest, RawSectionRoundTrip) {
+  const std::string path = TempPath("raw_sections.snap");
+  std::vector<int64_t> ints = {1, -2, 3, 1LL << 40};
+  std::vector<double> doubles = {0.5, -1.25, 3e100};
+
+  SnapshotWriter writer;
+  uint32_t ints_id = writer.AddPodSection<int64_t>("ints", ints);
+  uint32_t doubles_id = writer.AddPodSection<double>("doubles", doubles);
+  uint32_t meta_id = writer.AddOwnedSection("meta", std::string("hello"));
+  ASSERT_TRUE(writer.Finish(path).ok());
+
+  auto snap = SnapshotReader::Open(path).ValueOrDie();
+  EXPECT_EQ(snap->num_sections(), 3u);
+  EXPECT_EQ(snap->FindSection("ints").ValueOrDie(), ints_id);
+  EXPECT_FALSE(snap->FindSection("absent").ok());
+  EXPECT_TRUE(snap->HasSection("doubles"));
+
+  auto got_ints = snap->PodSection<int64_t>(ints_id).ValueOrDie();
+  ASSERT_EQ(got_ints.size(), ints.size());
+  for (size_t i = 0; i < ints.size(); ++i) EXPECT_EQ(got_ints[i], ints[i]);
+  // Payloads start on 64-byte boundaries: reinterpretation is aligned.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(got_ints.data()) % 64, 0u);
+
+  auto got_doubles = snap->PodSection<double>(doubles_id).ValueOrDie();
+  ASSERT_EQ(got_doubles.size(), doubles.size());
+  for (size_t i = 0; i < doubles.size(); ++i) {
+    EXPECT_EQ(got_doubles[i], doubles[i]);
+  }
+
+  auto meta = snap->SectionBytes(meta_id).ValueOrDie();
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(meta.data()),
+                        meta.size()),
+            "hello");
+
+  // A borrowed MappedVector keeps the mapping alive past the reader ref.
+  MappedVector<int64_t> borrowed =
+      snap->MappedSection<int64_t>(ints_id).ValueOrDie();
+  snap.reset();
+  ASSERT_EQ(borrowed.size(), ints.size());
+  EXPECT_EQ(borrowed[3], 1LL << 40);
+  EXPECT_GT(borrowed.MappedBytes(), 0u);
+  EXPECT_EQ(borrowed.HeapBytes(), 0u);
+}
+
+TEST(SnapshotContainerTest, MissingFileIsNotFound) {
+  auto r = SnapshotReader::Open(TempPath("does_not_exist.snap"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("corrupt_target.snap");
+    std::vector<int64_t> payload(100, 7);
+    SnapshotWriter writer;
+    writer.AddPodSection<int64_t>("payload", payload);
+    ASSERT_TRUE(writer.Finish(path_).ok());
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GT(bytes_.size(), 128u);
+  }
+
+  /// Writes a mutated copy and asserts Open rejects it with a clean
+  /// error Status (never UB, never OK).
+  void ExpectRejected(const std::string& mutated) {
+    const std::string p = TempPath("corrupt_mutated.snap");
+    WriteFileBytes(p, mutated);
+    auto r = SnapshotReader::Open(p);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError)
+        << r.status().ToString();
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotCorruptionTest, IntactFileOpens) {
+  EXPECT_TRUE(SnapshotReader::Open(path_).ok());
+}
+
+TEST_F(SnapshotCorruptionTest, RejectsBadMagic) {
+  std::string m = bytes_;
+  m[0] ^= 0x5A;
+  ExpectRejected(m);
+}
+
+TEST_F(SnapshotCorruptionTest, RejectsBadFormatVersion) {
+  std::string m = bytes_;
+  m[8] ^= 0x7F;  // format_version lives at header offset 8
+  ExpectRejected(m);
+}
+
+TEST_F(SnapshotCorruptionTest, RejectsTruncatedHeader) {
+  ExpectRejected(bytes_.substr(0, 32));
+}
+
+TEST_F(SnapshotCorruptionTest, RejectsTruncatedSection) {
+  ExpectRejected(bytes_.substr(0, bytes_.size() - 64));
+}
+
+TEST_F(SnapshotCorruptionTest, RejectsFlippedPayloadByte) {
+  std::string m = bytes_;
+  m[m.size() - 1] ^= 0x01;
+  ExpectRejected(m);
+}
+
+TEST_F(SnapshotCorruptionTest, RejectsFlippedTocByte) {
+  std::string m = bytes_;
+  m[64 + 48] ^= 0xFF;  // a TOC entry's offset field
+  ExpectRejected(m);
+}
+
+// ---------------------------------------------------------------------------
+// Relation / catalog round trips
+// ---------------------------------------------------------------------------
+
+TEST(CatalogSnapshotTest, MixedColumnTypesRoundTripBitIdentical) {
+  RelationBuilder b({{"id", DataType::kInt64},
+                     {"score", DataType::kFloat64},
+                     {"tag", DataType::kString}});
+  ASSERT_TRUE(b.AddRow({int64_t{1}, 0.5, std::string("alpha")}).ok());
+  ASSERT_TRUE(b.AddRow({int64_t{2}, -2.25, std::string("beta")}).ok());
+  ASSERT_TRUE(b.AddRow({int64_t{3}, 1e-300, std::string("alpha")}).ok());
+  RelationPtr rel = b.Build().ValueOrDie();
+
+  Catalog catalog;
+  catalog.Register("plain", rel);            // plain string column
+  catalog.RegisterEncoded("encoded", rel);   // dict-encoded string column
+
+  const std::string path = TempPath("catalog_mixed.snap");
+  ASSERT_TRUE(SaveSnapshotFile(path, catalog, {}).ok());
+
+  Catalog loaded;
+  SnapshotLoadInfo info;
+  ASSERT_TRUE(LoadSnapshotFile(path, &loaded, nullptr, &info).ok());
+  EXPECT_EQ(info.relations, 2u);
+  EXPECT_GT(info.file_bytes, 0u);
+
+  for (const std::string& name : {"plain", "encoded"}) {
+    RelationPtr got = loaded.Get(name).ValueOrDie();
+    RelationPtr want = catalog.Get(name).ValueOrDie();
+    EXPECT_TRUE(got->Equals(*want)) << name;
+  }
+
+  // Numeric and dict-code columns borrow the mapping; heap accounting
+  // reports them as mapped bytes, not heap bytes.
+  RelationPtr enc = loaded.Get("encoded").ValueOrDie();
+  EXPECT_TRUE(enc->column(0).mapped());
+  EXPECT_TRUE(enc->column(1).mapped());
+  EXPECT_GT(enc->MappedByteSize(), 0u);
+  EXPECT_EQ(enc->column(0).ByteSizeExcludingDict(), 0u);
+}
+
+TEST(CatalogSnapshotTest, EmptyCatalogRoundTrips) {
+  Catalog catalog;
+  const std::string path = TempPath("catalog_empty.snap");
+  ASSERT_TRUE(SaveSnapshotFile(path, catalog, {}).ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadSnapshotFile(path, &loaded).ok());
+  EXPECT_TRUE(loaded.List().empty());
+}
+
+TEST(CatalogSnapshotTest, CatalogUntouchedOnCorruptFile) {
+  Catalog catalog;
+  catalog.Register("keep", SmallCollection(10));
+  const uint64_t version_before = catalog.Version("keep");
+
+  // A valid snapshot containing a table named "keep" — then corrupted.
+  Catalog source;
+  source.Register("keep", SmallCollection(20));
+  source.Register("extra", SmallCollection(5));
+  const std::string path = TempPath("catalog_corrupt.snap");
+  ASSERT_TRUE(SaveSnapshotFile(path, source, {}).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() / 2] ^= 0x10;
+  WriteFileBytes(path, bytes);
+
+  ASSERT_FALSE(LoadSnapshotFile(path, &catalog).ok());
+  EXPECT_EQ(catalog.Version("keep"), version_before);
+  EXPECT_FALSE(catalog.Contains("extra"));
+}
+
+TEST(CatalogSnapshotTest, ByteSizesSeparateHeapFromMapped) {
+  Catalog catalog;
+  catalog.RegisterEncoded("docs", SmallCollection(200));
+  Catalog::ByteStats fresh = catalog.ByteSizes();
+  EXPECT_GT(fresh.heap_bytes, 0u);
+  EXPECT_EQ(fresh.mapped_bytes, 0u);
+
+  const std::string path = TempPath("catalog_bytes.snap");
+  ASSERT_TRUE(SaveSnapshotFile(path, catalog, {}).ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadSnapshotFile(path, &loaded).ok());
+  Catalog::ByteStats mapped = loaded.ByteSizes();
+  EXPECT_GT(mapped.mapped_bytes, 0u);
+  // Dicts are still heap (materialized on load), but the bulk columns
+  // moved to the mapping: heap shrinks, and mapped bytes are disjoint
+  // from (not double-charged into) the heap number.
+  EXPECT_LT(mapped.heap_bytes, fresh.heap_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-service round trips: bit-identical serving from a mapped snapshot
+// ---------------------------------------------------------------------------
+
+class ServiceSnapshotTest : public ::testing::Test {
+ protected:
+  static server::QueryServiceOptions ServiceOptions(int threads) {
+    server::QueryServiceOptions opts;
+    opts.threads = threads;
+    return opts;
+  }
+
+  /// Builds a fresh service and a snapshot-restored one over the same
+  /// collection; returns the snapshot path.
+  std::string MakePair(int threads,
+                       std::unique_ptr<server::QueryService>* fresh,
+                       std::unique_ptr<server::QueryService>* restored) {
+    const std::string path = TempPath("service_t" +
+                                      std::to_string(threads) + ".snap");
+    std::remove(path.c_str());
+    RelationPtr docs = SmallCollection(kNumDocs);
+    *fresh = std::make_unique<server::QueryService>(ServiceOptions(threads));
+    (*fresh)->RegisterCollection("docs", docs);
+    EXPECT_TRUE((*fresh)->SaveSnapshot(path).ok());
+
+    *restored =
+        std::make_unique<server::QueryService>(ServiceOptions(threads));
+    SnapshotLoadInfo info;
+    EXPECT_TRUE((*restored)->LoadSnapshot(path, &info).ok());
+    EXPECT_EQ(info.relations, 1u);
+    EXPECT_EQ(info.indexes, 1u);
+    return path;
+  }
+
+  static constexpr int64_t kNumDocs = 2500;
+};
+
+TEST_F(ServiceSnapshotTest, SearchBitIdenticalAcrossModelsKAndThreads) {
+  TextCollectionOptions gen;
+  gen.num_docs = kNumDocs;
+  gen.vocab_size = 2000;
+  gen.avg_doc_len = 40;
+  const std::vector<std::string> queries = GenerateQueries(gen, 6, 2);
+  const RankModel models[] = {RankModel::kBm25, RankModel::kTfIdf,
+                              RankModel::kLmDirichlet,
+                              RankModel::kLmJelinekMercer};
+
+  for (int threads : {1, 4}) {
+    std::unique_ptr<server::QueryService> fresh, restored;
+    MakePair(threads, &fresh, &restored);
+    for (RankModel model : models) {
+      for (size_t k : {size_t{1}, size_t{10}, size_t{100}}) {
+        for (const std::string& q : queries) {
+          server::SearchRequest req;
+          req.collection = "docs";
+          req.query = q;
+          req.options.model = model;
+          req.options.top_k = k;
+          auto a = fresh->Search(req);
+          auto b = restored->Search(req);
+          ASSERT_TRUE(a.ok()) << RankModelName(model);
+          ASSERT_TRUE(b.ok()) << RankModelName(model);
+          // Bit-identical rows AND scores (Equals compares the doubles).
+          EXPECT_TRUE(a.ValueOrDie().rows->Equals(*b.ValueOrDie().rows))
+              << RankModelName(model) << " k=" << k << " threads="
+              << threads << " q=\"" << q << "\"";
+          if (threads == 1) {
+            // Single-threaded pruning is deterministic: the restored
+            // index must drive exactly the same pruning decisions.
+            const Searcher::Stats& sa = a.ValueOrDie().stats.search;
+            const Searcher::Stats& sb = b.ValueOrDie().stats.search;
+            EXPECT_EQ(sa.docs_scored, sb.docs_scored);
+            EXPECT_EQ(sa.docs_skipped, sb.docs_skipped);
+            EXPECT_EQ(sa.blocks_skipped, sb.blocks_skipped);
+            EXPECT_EQ(sa.fused_path_used, sb.fused_path_used);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ServiceSnapshotTest, FirstQueryAfterRestoreHitsInstalledIndex) {
+  std::unique_ptr<server::QueryService> fresh, restored;
+  MakePair(1, &fresh, &restored);
+
+  server::SearchRequest req;
+  req.collection = "docs";
+  req.query = GenerateQueries({}, 1, 2)[0];
+  req.options.top_k = 10;
+  auto resp = restored->Search(req);
+  ASSERT_TRUE(resp.ok());
+  // The restored index serves immediately: a cache hit, no rebuild — no
+  // document was re-tokenized.
+  EXPECT_EQ(resp.ValueOrDie().stats.search.index_hits, 1u);
+  EXPECT_EQ(resp.ValueOrDie().stats.search.index_misses, 0u);
+}
+
+TEST_F(ServiceSnapshotTest, SpinqlBitIdenticalFromSnapshot) {
+  std::unique_ptr<server::QueryService> fresh, restored;
+  MakePair(1, &fresh, &restored);
+
+  for (const char* expr :
+       {"PROJECT [$1] (docs)", "TOPK [7] (PROJECT [$1] (docs))"}) {
+    server::SpinqlRequest req;
+    req.text = expr;
+    auto a = fresh->EvalSpinql(req);
+    auto b = restored->EvalSpinql(req);
+    ASSERT_TRUE(a.ok()) << expr;
+    ASSERT_TRUE(b.ok()) << expr;
+    EXPECT_TRUE(a.ValueOrDie().rows->Equals(*b.ValueOrDie().rows)) << expr;
+  }
+}
+
+TEST_F(ServiceSnapshotTest, MetricsReportMappedCatalogBytes) {
+  std::unique_ptr<server::QueryService> fresh, restored;
+  MakePair(1, &fresh, &restored);
+
+  Catalog::ByteStats fresh_bytes = fresh->catalog().ByteSizes();
+  Catalog::ByteStats mapped_bytes = restored->catalog().ByteSizes();
+  EXPECT_EQ(fresh_bytes.mapped_bytes, 0u);
+  EXPECT_GT(mapped_bytes.mapped_bytes, 0u);
+
+  std::string json = restored->MetricsJson();
+  EXPECT_NE(json.find("\"catalog\""), std::string::npos);
+  EXPECT_NE(json.find("\"mapped_bytes\":" +
+                      std::to_string(mapped_bytes.mapped_bytes)),
+            std::string::npos);
+}
+
+TEST_F(ServiceSnapshotTest, MismatchedAnalyzerSkipsIndexInstall) {
+  const std::string path = TempPath("service_analyzer.snap");
+  std::remove(path.c_str());
+  server::QueryService writer_svc(ServiceOptions(1));
+  writer_svc.RegisterCollection("docs", SmallCollection(100));
+  ASSERT_TRUE(writer_svc.SaveSnapshot(path).ok());
+
+  server::QueryServiceOptions opts = ServiceOptions(1);
+  opts.analyzer.stemmer = "none";  // different term space
+  server::QueryService other(opts);
+  ASSERT_TRUE(other.LoadSnapshot(path).ok());
+
+  server::SearchRequest req;
+  req.collection = "docs";
+  req.query = GenerateQueries({}, 1, 2)[0];
+  auto resp = other.Search(req);
+  ASSERT_TRUE(resp.ok());
+  // The stored index was built under a different analyzer: it must NOT
+  // be served; the searcher rebuilds under its own analyzer instead.
+  EXPECT_EQ(resp.ValueOrDie().stats.search.index_misses, 1u);
+}
+
+TEST_F(ServiceSnapshotTest, IndexViewsShareOneDictAfterRoundTrip) {
+  // term_doc and termdict share a StringDict at build time; the dict
+  // table must preserve that sharing across the round trip so term joins
+  // still compare codes from one dictionary.
+  Searcher searcher;
+  RelationPtr docs = SmallCollection(300);
+  TextIndexPtr index =
+      searcher.GetOrBuildIndex(docs, "sig").ValueOrDie();
+
+  Catalog catalog;
+  const std::string path = TempPath("index_dicts.snap");
+  ASSERT_TRUE(SaveSnapshotFile(path, catalog, {{"docs", index}}).ok());
+  std::vector<SnapshotIndexEntry> entries;
+  Catalog loaded;
+  ASSERT_TRUE(LoadSnapshotFile(path, &loaded, &entries).ok());
+  ASSERT_EQ(entries.size(), 1u);
+  const TextIndex& got = *entries[0].index;
+
+  EXPECT_TRUE(got.term_doc()->Equals(*index->term_doc()));
+  EXPECT_TRUE(got.termdict()->Equals(*index->termdict()));
+  EXPECT_TRUE(got.tf()->Equals(*index->tf()));
+  EXPECT_TRUE(got.idf()->Equals(*index->idf()));
+  ASSERT_TRUE(got.term_doc()->column(0).dict_encoded());
+  ASSERT_TRUE(got.termdict()->column(1).dict_encoded());
+  EXPECT_EQ(got.term_doc()->column(0).dict().get(),
+            got.termdict()->column(1).dict().get());
+  EXPECT_GT(got.MappedByteSize(), 0u);
+  EXPECT_EQ(index->MappedByteSize(), 0u);
+}
+
+}  // namespace
+}  // namespace spindle
