@@ -1,0 +1,224 @@
+/// \file bench_e17_shard_scaling.cpp
+/// \brief E17: scatter-gather serving vs shard count.
+///
+/// A closed loop of concurrent clients issues keyword queries through a
+/// ShardCoordinator over {1, 2, 4} in-process shard backends (each shard
+/// a QueryService holding its disjoint partition, scoring with the
+/// shipped full-collection statistics). Reported per shard count:
+///   - items_per_second  merged queries per second (QPS)
+///   - p50/p95/p99_ms    end-to-end coordinator latency percentiles
+///
+/// A final arm kills one of 4 shards under PartialPolicy::kDegrade and
+/// reports the same numbers for degraded (partial) answers — the cost
+/// and availability of serving through a failure.
+///
+///   ./bench_e17_shard_scaling
+///   ./bench_e17_shard_scaling --topk=100
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/query_service.h"
+#include "shard/coordinator.h"
+#include "shard/global_stats.h"
+#include "shard/partitioner.h"
+
+namespace spindle {
+namespace bench {
+namespace {
+
+constexpr int64_t kNumDocs = 50000;
+constexpr int kClients = 4;
+constexpr int kQueriesPerClientPerIter = 8;
+
+shard::GlobalStatsPtr GetStats() {
+  static shard::GlobalStatsPtr stats = OrDie(
+      shard::GlobalStats::Compute(GetCollection(kNumDocs), {}), "stats");
+  return stats;
+}
+
+/// One fleet per (shard count, degraded) arm, cached for the process so
+/// every iteration serves from warm per-shard indexes.
+struct Fleet {
+  std::vector<std::unique_ptr<server::QueryService>> services;
+  std::unique_ptr<shard::ShardCoordinator> coordinator;
+};
+
+Fleet* GetFleet(uint32_t num_shards, bool one_shard_down) {
+  static auto* cache = new std::map<std::pair<uint32_t, bool>, Fleet*>();
+  auto key = std::make_pair(num_shards, one_shard_down);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+
+  auto* fleet = new Fleet();
+  shard::CoordinatorOptions copts;
+  copts.partial = one_shard_down ? shard::PartialPolicy::kDegrade
+                                 : shard::PartialPolicy::kFail;
+  fleet->coordinator =
+      std::make_unique<shard::ShardCoordinator>(copts);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    server::QueryServiceOptions sopts;
+    sopts.admission.max_inflight = 8;
+    auto service = std::make_unique<server::QueryService>(sopts);
+    service->RegisterCollection(
+        "docs", OrDie(shard::PartitionCollection(GetCollection(kNumDocs),
+                                                 i, num_shards),
+                      "partition"));
+    Status st = service->SetGlobalStats("docs", GetStats());
+    if (!st.ok()) std::abort();
+    fleet->coordinator->AddShard(
+        std::make_shared<shard::LocalShardBackend>(
+            "shard" + std::to_string(i), service.get()));
+    fleet->services.push_back(std::move(service));
+  }
+  if (one_shard_down) {
+    // The "killed" shard: a backend whose service no longer exists is
+    // modeled by one that always fails fast.
+    class DeadBackend : public shard::ShardBackend {
+     public:
+      const std::string& name() const override { return name_; }
+      Result<RelationPtr> SearchSharded(const std::string&,
+                                        const QueryGlobalStats&,
+                                        const SearchOptions&, int64_t,
+                                        CancelTokenPtr) override {
+        return Status::Unavailable("shard killed");
+      }
+      Status Ping() override { return Status::Unavailable("dead"); }
+      Result<shard::GlobalStatsPtr> FetchGlobalStats(
+          const std::string&) override {
+        return Status::Unavailable("dead");
+      }
+
+     private:
+      std::string name_ = "dead";
+    };
+    fleet->coordinator->AddShard(std::make_shared<DeadBackend>());
+  }
+  Status st = fleet->coordinator->SetGlobalStats("docs", GetStats());
+  if (!st.ok()) std::abort();
+  cache->emplace(key, fleet);
+  return fleet;
+}
+
+void RunArm(benchmark::State& state, uint32_t num_shards,
+            bool one_shard_down) {
+  Fleet* fleet = GetFleet(num_shards, one_shard_down);
+  const std::vector<std::string>& queries = GetQueries(kNumDocs, 2);
+
+  SearchOptions options;
+  options.top_k = TopKFlag();
+
+  // Warm every shard's on-demand index once.
+  {
+    shard::CoordSearchRequest req;
+    req.collection = "docs";
+    req.query = queries[0];
+    req.options = options;
+    auto r = fleet->coordinator->Search(req);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+  }
+
+  LatencyRecorder recorder;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t partials = 0;
+
+  for (auto _ : state) {
+    std::vector<LatencyRecorder> per_client(kClients);
+    std::atomic<uint64_t> iter_ok{0};
+    std::atomic<uint64_t> iter_partial{0};
+    std::atomic<uint64_t> iter_errors{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        LatencyRecorder& rec = per_client[c];
+        for (int i = 0; i < kQueriesPerClientPerIter; ++i) {
+          shard::CoordSearchRequest req;
+          req.collection = "docs";
+          req.query = queries[(c * kQueriesPerClientPerIter + i) %
+                              queries.size()];
+          req.options = options;
+          rec.Start();
+          auto r = fleet->coordinator->Search(req);
+          rec.Stop();
+          if (r.ok()) {
+            iter_ok.fetch_add(1, std::memory_order_relaxed);
+            if (r.ValueOrDie().partial) {
+              iter_partial.fetch_add(1, std::memory_order_relaxed);
+            }
+            benchmark::DoNotOptimize(r.ValueOrDie().rows);
+          } else {
+            iter_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const LatencyRecorder& rec : per_client) recorder.Merge(rec);
+    completed += iter_ok.load();
+    partials += iter_partial.load();
+    errors += iter_errors.load();
+  }
+
+  if (errors > 0) {
+    state.SkipWithError("coordinator requests failed");
+    return;
+  }
+  if (one_shard_down && partials != completed) {
+    state.SkipWithError("degraded arm expected every answer partial");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+  recorder.Report(state);
+  state.counters["shards"] = num_shards + (one_shard_down ? 1 : 0);
+  state.counters["partial_rate"] =
+      completed > 0 ? static_cast<double>(partials) /
+                          static_cast<double>(completed)
+                    : 0.0;
+}
+
+void BM_E17_ShardScaling(benchmark::State& state) {
+  RunArm(state, static_cast<uint32_t>(state.range(0)),
+         /*one_shard_down=*/false);
+}
+
+/// 4-shard fleet with one shard killed, degraded-answer policy: the
+/// coordinator keeps answering (partial=1) from the 3 healthy shards.
+void BM_E17_OneShardKilledDegraded(benchmark::State& state) {
+  RunArm(state, 3, /*one_shard_down=*/true);
+}
+
+BENCHMARK(BM_E17_ShardScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_E17_OneShardKilledDegraded)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace spindle
+
+int main(int argc, char** argv) {
+  spindle::bench::TopKFlag() =
+      spindle::bench::ParseTopKFlag(&argc, argv);
+  spindle::bench::ParseTraceFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

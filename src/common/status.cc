@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -40,6 +42,7 @@ bool StatusCodeFromName(const std::string& name, StatusCode* out) {
       StatusCode::kParseError,  StatusCode::kNotImplemented,
       StatusCode::kInternal,    StatusCode::kDeadlineExceeded,
       StatusCode::kCancelled,   StatusCode::kOverloaded,
+      StatusCode::kUnavailable,
   };
   for (StatusCode code : kAll) {
     if (name == StatusCodeName(code)) {

@@ -33,6 +33,10 @@ enum class StatusCode {
   /// Admission control shed the request: the in-flight limit and the
   /// FIFO queue cap were both reached. Retrying later may succeed.
   kOverloaded,
+  /// A backend needed to answer is unreachable or failed to respond in
+  /// time (e.g. a shard missed its deadline under the coordinator's
+  /// fail-on-partial policy). Retrying later may succeed.
+  kUnavailable,
 };
 
 /// \brief Returns a stable, human-readable name for a StatusCode.
@@ -89,6 +93,9 @@ class Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -184,7 +184,8 @@ class IndexSnapshotIO {
 };
 
 Status SaveSnapshotFile(const std::string& path, const Catalog& catalog,
-                        const std::vector<SnapshotIndexEntry>& indexes) {
+                        const std::vector<SnapshotIndexEntry>& indexes,
+                        const SnapshotExtraSections& extra) {
   obs::Span span("snapshot", "serialize");
   SnapshotWriter writer;
   SnapshotDictTable dicts(&writer);
@@ -197,6 +198,9 @@ Status SaveSnapshotFile(const std::string& path, const Catalog& catalog,
                             "i" + std::to_string(i), &imeta);
   }
   writer.AddOwnedSection("indexes", imeta.Take());
+  for (const auto& [name, bytes] : extra) {
+    writer.AddOwnedSection(name, bytes);
+  }
   // Written last: the dict table is only complete once every relation and
   // index referencing a dict has been encoded.
   writer.AddOwnedSection("dicts", dicts.EncodeMeta());
@@ -209,7 +213,9 @@ Status SaveSnapshotFile(const std::string& path, const Catalog& catalog,
 
 Status LoadSnapshotFile(const std::string& path, Catalog* catalog,
                         std::vector<SnapshotIndexEntry>* indexes,
-                        SnapshotLoadInfo* info) {
+                        SnapshotLoadInfo* info,
+                        const std::vector<std::string>& extra_names,
+                        std::map<std::string, std::string>* extra_out) {
   obs::Span span("snapshot", "load");
   SPINDLE_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotReader> snap,
                            SnapshotReader::Open(path));
@@ -238,6 +244,19 @@ Status LoadSnapshotFile(const std::string& path, Catalog* catalog,
       SPINDLE_ASSIGN_OR_RETURN(entry.index,
                                IndexSnapshotIO::Decode(snap, dicts, &meta));
       loaded.push_back(std::move(entry));
+    }
+  }
+
+  // Requested extra sections (opaque subsystem blobs, e.g. "gstats");
+  // copied out because their lifetime should not pin the whole mapping.
+  if (extra_out != nullptr) {
+    for (const std::string& name : extra_names) {
+      if (!snap->HasSection(name)) continue;
+      SPINDLE_ASSIGN_OR_RETURN(uint32_t sec, snap->FindSection(name));
+      SPINDLE_ASSIGN_OR_RETURN(std::span<const std::byte> bytes,
+                               snap->SectionBytes(sec));
+      (*extra_out)[name].assign(
+          reinterpret_cast<const char*>(bytes.data()), bytes.size());
     }
   }
 

@@ -12,7 +12,9 @@
 
 #pragma once
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -37,18 +39,32 @@ struct SnapshotLoadInfo {
   size_t indexes = 0;
 };
 
+/// \brief Extra opaque sections stored alongside the catalog and indexes
+/// — (section name, bytes) pairs a subsystem wants persisted in the same
+/// checksummed file (e.g. the sharding layer's "gstats" blob). Names must
+/// not collide with the container's own sections.
+using SnapshotExtraSections =
+    std::vector<std::pair<std::string, std::string>>;
+
 /// \brief Writes catalog + indexes to `path` (format of snapshot.h).
 /// `indexes` may be empty (catalog-only snapshot, e.g. from the shell).
 Status SaveSnapshotFile(const std::string& path, const Catalog& catalog,
-                        const std::vector<SnapshotIndexEntry>& indexes);
+                        const std::vector<SnapshotIndexEntry>& indexes,
+                        const SnapshotExtraSections& extra = {});
 
 /// \brief Maps `path`, validates it, and registers every stored relation
 /// into `catalog` (replacing same-named entries; registration happens in
 /// sorted-name order, so version assignment is deterministic). Stored
 /// indexes are returned through `indexes` when non-null. On any error the
-/// catalog is left untouched.
+/// catalog is left untouched. When `extra_names` is non-empty, each named
+/// section that exists in the file is copied into `*extra_out` (sections
+/// a given snapshot lacks are simply skipped — older files stay
+/// loadable).
 Status LoadSnapshotFile(const std::string& path, Catalog* catalog,
                         std::vector<SnapshotIndexEntry>* indexes = nullptr,
-                        SnapshotLoadInfo* info = nullptr);
+                        SnapshotLoadInfo* info = nullptr,
+                        const std::vector<std::string>& extra_names = {},
+                        std::map<std::string, std::string>* extra_out =
+                            nullptr);
 
 }  // namespace spindle

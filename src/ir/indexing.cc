@@ -1,5 +1,8 @@
 #include "ir/indexing.h"
 
+#include <string_view>
+#include <unordered_map>
+
 #include "engine/ops.h"
 #include "ir/topk_pruning.h"
 
@@ -263,6 +266,44 @@ Column TextIndex::EncodeQueryTokens(const std::vector<Token>& tokens,
     if (kept != nullptr) kept->push_back(i);
   }
   return Column::MakeDictString(std::move(codes), dict_col.dict());
+}
+
+Result<RelationPtr> TextIndex::MapQueryTerms(
+    const std::vector<std::string>& terms) const {
+  const Column& tid_col = termdict_->column(0);
+  const Column& term_col = termdict_->column(1);
+  std::vector<int64_t> out(terms.size(), 0);
+  if (term_col.dict_encoded()) {
+    // Dict fast path: scatter termID by dictionary code once (cheap int
+    // writes, same order of work as QueryTerms' per-query join build),
+    // then each input term is one dict lookup.
+    const StringDict& dict = *term_col.dict();
+    const int64_t first = dict.first_id();
+    std::vector<int64_t> code_to_tid(static_cast<size_t>(dict.size()), 0);
+    for (size_t r = 0; r < termdict_->num_rows(); ++r) {
+      code_to_tid[static_cast<size_t>(term_col.CodeAt(r))] =
+          tid_col.Int64At(r);
+    }
+    for (size_t i = 0; i < terms.size(); ++i) {
+      int64_t id = dict.Lookup(terms[i]);
+      if (id >= 0) out[i] = code_to_tid[static_cast<size_t>(id - first)];
+    }
+  } else {
+    // Plain fallback (hand-built indexes): hash the dictionary strings.
+    std::unordered_map<std::string_view, int64_t> by_term;
+    by_term.reserve(termdict_->num_rows());
+    for (size_t r = 0; r < termdict_->num_rows(); ++r) {
+      by_term.emplace(term_col.StringAt(r), tid_col.Int64At(r));
+    }
+    for (size_t i = 0; i < terms.size(); ++i) {
+      auto it = by_term.find(terms[i]);
+      if (it != by_term.end()) out[i] = it->second;
+    }
+  }
+  Schema schema({{"termID", DataType::kInt64}});
+  std::vector<Column> cols;
+  cols.push_back(Column::MakeInt64(std::move(out)));
+  return Relation::Make(std::move(schema), std::move(cols));
 }
 
 Result<RelationPtr> TextIndex::QueryTerms(const std::string& query) const {

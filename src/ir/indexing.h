@@ -103,6 +103,16 @@ class TextIndex {
   Result<RelationPtr> QueryTermsWeighted(
       const std::vector<std::pair<std::string, double>>& texts) const;
 
+  /// \brief Maps pre-analyzed terms to a (termID: int64) relation with one
+  /// row per input term, *in input order*, using termID 0 for terms absent
+  /// from this index's dictionary. Used by sharded serving: the
+  /// coordinator analyzes the query once against the global dictionary and
+  /// ships the surviving terms; a shard maps them here without
+  /// re-analyzing, keeping every globally-present term as a qterms row
+  /// (absent-here terms score nothing but still count toward |q|).
+  Result<RelationPtr> MapQueryTerms(
+      const std::vector<std::string>& terms) const;
+
   /// \brief Mapped (page-cache) bytes viewed by this index's relations
   /// and flattened arrays; 0 for an in-memory build.
   size_t MappedByteSize() const;

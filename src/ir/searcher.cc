@@ -158,4 +158,49 @@ Result<RelationPtr> Searcher::Search(const RelationPtr& docs,
   return exhaustive;
 }
 
+Result<RelationPtr> Searcher::SearchSharded(
+    const RelationPtr& docs, const std::string& collection_signature,
+    const QueryGlobalStats& global, const SearchOptions& options,
+    Stats* call_stats) {
+  SPINDLE_RETURN_IF_ERROR(RequestContext::CheckCurrent());
+  if (options.top_k == 0) {
+    return Status::InvalidArgument(
+        "sharded search requires top_k > 0 (k == 0 is a full scoring "
+        "pass; run it single-node)");
+  }
+  if (options.phrase_boost > 0.0) {
+    return Status::NotImplemented(
+        "phrase boost is not supported on sharded queries");
+  }
+  obs::Span span("ir", "search_sharded");
+  if (span.active()) {
+    span.Add("top_k", static_cast<int64_t>(options.top_k));
+    span.Add("terms", static_cast<int64_t>(global.terms.size()));
+    span.Note("model", RankModelName(options.model));
+  }
+  SPINDLE_ASSIGN_OR_RETURN(
+      TextIndexPtr index,
+      GetOrBuildIndex(docs, collection_signature, call_stats));
+  std::vector<std::string> terms;
+  terms.reserve(global.terms.size());
+  QueryStatsOverride ov;
+  ov.collection.num_docs = global.num_docs;
+  ov.collection.total_postings = global.total_postings;
+  ov.collection.avg_doc_len = global.avg_doc_len;
+  ov.df.reserve(global.terms.size());
+  ov.cf.reserve(global.terms.size());
+  for (const QueryGlobalStats::Term& t : global.terms) {
+    terms.push_back(t.term);
+    ov.df.push_back(t.df);
+    ov.cf.push_back(t.cf);
+  }
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr qterms,
+                           index->MapQueryTerms(terms));
+  PruningStats pstats;
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr result, RankTopK(*index, qterms, options, &pstats, &ov));
+  RecordPruning(pstats, call_stats, &span);
+  return result;
+}
+
 }  // namespace spindle

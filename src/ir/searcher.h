@@ -14,6 +14,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "ir/indexing.h"
@@ -44,6 +45,29 @@ struct SearchOptions {
   /// phrase get a bonus of phrase_boost * ln(1 + phrase_tf), using the
   /// positional self-join of ir/phrase.h.
   double phrase_boost = 0.0;
+};
+
+/// \brief A query resolved against *global* collection statistics by a
+/// shard coordinator (src/shard/global_stats.h): the analyzed query terms
+/// that survive the global dictionary — in query order, duplicates
+/// preserved — each with its global df/cf, plus the collection-level
+/// totals. Shipped with every sharded query so each shard scores its
+/// partition with full-collection statistics (the soundness rule that
+/// makes distributed ranking bit-identical to single-node; see
+/// docs/sharding.md).
+struct QueryGlobalStats {
+  int64_t num_docs = 0;
+  int64_t total_postings = 0;
+  /// total_postings / num_docs in double arithmetic (the index build's
+  /// expression shape); carried explicitly so every consumer uses the
+  /// same double.
+  double avg_doc_len = 0.0;
+  struct Term {
+    std::string term;  ///< analyzer output (post-stem), not raw query text
+    int64_t df = 0;
+    int64_t cf = 0;
+  };
+  std::vector<Term> terms;
 };
 
 /// \brief Builds, caches and queries on-demand text indexes.
@@ -94,6 +118,20 @@ class Searcher {
                              const std::string& query,
                              const SearchOptions& options = {},
                              Stats* call_stats = nullptr);
+
+  /// \brief Sharded-serving variant of Search: scores this searcher's
+  /// (sub-)collection with the shipped *global* statistics instead of the
+  /// local index's own. The query arrives pre-analyzed inside `global`
+  /// (terms in query order, global df/cf per term) and is mapped to local
+  /// termIDs without re-tokenizing; terms absent from this partition keep
+  /// a zero-termID qterms row so Dirichlet's |q| matches single-node.
+  /// Requires options.top_k > 0 and no phrase boost (the fused pruning
+  /// path is the only one with the global-stats hook).
+  Result<RelationPtr> SearchSharded(const RelationPtr& docs,
+                                    const std::string& collection_signature,
+                                    const QueryGlobalStats& global,
+                                    const SearchOptions& options,
+                                    Stats* call_stats = nullptr);
 
   /// \brief Installs a prebuilt index (e.g. one restored from a mapped
   /// snapshot) under `collection_signature`, replacing any cached entry.

@@ -487,11 +487,13 @@ Status CheckQterms(const RelationPtr& qterms) {
 Result<RelationPtr> RankTopK(const TextIndex& index,
                              const RelationPtr& qterms,
                              const SearchOptions& options,
-                             PruningStats* stats) {
+                             PruningStats* stats,
+                             const QueryStatsOverride* global) {
   obs::Span span("ir", "rank_topk");
   if (span.active()) {
     span.Add("k", static_cast<int64_t>(options.top_k));
     span.Add("terms", static_cast<int64_t>(qterms->num_rows()));
+    if (global != nullptr) span.Add("global_stats", 1);
   }
   SPINDLE_RETURN_IF_ERROR(CheckQterms(qterms));
   if (options.top_k == 0) {
@@ -499,7 +501,18 @@ Result<RelationPtr> RankTopK(const TextIndex& index,
         "RankTopK requires top_k > 0; k == 0 means a full scoring pass — "
         "use the exhaustive rank pipeline");
   }
+  if (global != nullptr &&
+      (global->df.size() != qterms->num_rows() ||
+       global->cf.size() != qterms->num_rows())) {
+    return Status::InvalidArgument(
+        "QueryStatsOverride df/cf must be parallel to the qterms rows");
+  }
   const ImpactIndex& impact = index.impact();
+  // Collection-level statistics: the index's own for single-node serving,
+  // the shipped global ones for a shard (so every per-document score is
+  // the double a full-collection evaluation computes).
+  const CollectionStats& cstats =
+      global != nullptr ? global->collection : index.stats();
 
   ModelCtx m;
   m.model = options.model;
@@ -508,18 +521,15 @@ Result<RelationPtr> RankTopK(const TextIndex& index,
       m.k1 = options.bm25.k1;
       m.b = options.bm25.b;
       m.one_minus_b = 1.0 - options.bm25.b;
-      m.avgdl =
-          index.stats().avg_doc_len > 0 ? index.stats().avg_doc_len : 1.0;
+      m.avgdl = cstats.avg_doc_len > 0 ? cstats.avg_doc_len : 1.0;
       break;
     case RankModel::kTfIdf:
-      m.n = static_cast<double>(
-          index.stats().num_docs > 0 ? index.stats().num_docs : 1);
+      m.n = static_cast<double>(cstats.num_docs > 0 ? cstats.num_docs : 1);
       break;
     case RankModel::kLmDirichlet: {
       m.mu = options.dirichlet.mu;
-      m.total = static_cast<double>(index.stats().total_postings > 0
-                                        ? index.stats().total_postings
-                                        : 1);
+      m.total = static_cast<double>(
+          cstats.total_postings > 0 ? cstats.total_postings : 1);
       if (qterms->num_columns() >= 2) {
         for (double w : qterms->column(1).float64_data()) m.qlen += w;
       } else {
@@ -532,15 +542,16 @@ Result<RelationPtr> RankTopK(const TextIndex& index,
         return Status::InvalidArgument("lambda must be in (0, 1)");
       }
       m.ratio = (1.0 - options.jm.lambda) / options.jm.lambda;
-      m.total = static_cast<double>(index.stats().total_postings > 0
-                                        ? index.stats().total_postings
-                                        : 1);
+      m.total = static_cast<double>(
+          cstats.total_postings > 0 ? cstats.total_postings : 1);
       break;
   }
 
   // One entry per query-term occurrence. Occurrences whose term has no
   // postings can never contribute and are dropped (the exhaustive match
-  // join drops their rows the same way).
+  // join drops their rows the same way; under an override a dropped row
+  // still counted toward Dirichlet's |q| above, like a dictionary term
+  // absent from this shard's partition).
   const bool weighted = qterms->num_columns() >= 2;
   std::vector<Entry> entries;
   entries.reserve(qterms->num_rows());
@@ -550,10 +561,23 @@ Result<RelationPtr> RankTopK(const TextIndex& index,
     e.pv = impact.postings(tid);
     if (e.pv.size == 0) continue;
     const ImpactIndex::TermMeta& meta = impact.term_meta(tid);
-    e.idf = meta.idf;
-    e.cf = static_cast<double>(meta.cf);
-    if (options.model == RankModel::kTfIdf) {
-      e.plain_idf = std::log(m.n / static_cast<double>(meta.df));
+    if (global != nullptr) {
+      // Global statistics, recomputed in the exact expression shapes the
+      // index build / exhaustive path uses, so the doubles match bit for
+      // bit: idf = ln((N - df + 0.5) / (df + 0.5)) with N, df global.
+      const double n_docs = static_cast<double>(cstats.num_docs);
+      const double dfd = static_cast<double>(global->df[q]);
+      e.idf = std::log(((n_docs - dfd) + 0.5) / (dfd + 0.5));
+      e.cf = static_cast<double>(global->cf[q]);
+      if (options.model == RankModel::kTfIdf) {
+        e.plain_idf = std::log(m.n / dfd);
+      }
+    } else {
+      e.idf = meta.idf;
+      e.cf = static_cast<double>(meta.cf);
+      if (options.model == RankModel::kTfIdf) {
+        e.plain_idf = std::log(m.n / static_cast<double>(meta.df));
+      }
     }
     e.w = weighted ? qterms->column(1).Float64At(q) : 1.0;
     e.ub = BoxBound(m, e, meta.min_tf, meta.max_tf, meta.min_len,

@@ -142,6 +142,26 @@ struct PruningStats {
   uint64_t blocks_skipped = 0; ///< posting blocks jumped without scanning
 };
 
+/// \brief Global-collection statistics shipped with a sharded query
+/// (src/shard/): when passed to RankTopK they replace the index's own
+/// collection-level stats — N, avgdl, total postings, and per-query-term
+/// df/cf — so a shard holding a partition scores every document exactly
+/// as a single node holding the full collection would. This is the
+/// soundness rule that makes distributed top-k bit-identical to
+/// single-node ranking: local statistics would shift every idf and
+/// language-model denominator per shard.
+///
+/// `df`/`cf` run parallel to the qterms rows (one value per query-term
+/// occurrence, global values). A qterms row whose term is absent from
+/// this shard carries termID 0 — it contributes no postings, but it
+/// still counts toward Dirichlet's |q| exactly as on a single node where
+/// the term is in the dictionary.
+struct QueryStatsOverride {
+  CollectionStats collection;
+  std::vector<int64_t> df;
+  std::vector<int64_t> cf;
+};
+
 /// \brief Fused rank→TopK: returns the exact top options.top_k documents
 /// under the total order (score descending, docID ascending) for the
 /// configured model — bit-identical (same docIDs, same score doubles,
@@ -152,9 +172,14 @@ struct PruningStats {
 /// contribute once per occurrence, exactly as in the exhaustive path.
 /// Requires options.top_k > 0 (k == 0 means "all documents": that is a
 /// full scoring pass by definition, use the exhaustive cascade).
+///
+/// `global` (optional) overrides collection statistics for sharded
+/// serving; scores are then bit-identical to a single-node evaluation
+/// over the full collection, restricted to this index's documents.
 Result<RelationPtr> RankTopK(const TextIndex& index,
                              const RelationPtr& qterms,
                              const SearchOptions& options,
-                             PruningStats* stats = nullptr);
+                             PruningStats* stats = nullptr,
+                             const QueryStatsOverride* global = nullptr);
 
 }  // namespace spindle

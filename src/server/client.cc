@@ -1,19 +1,24 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace spindle {
 namespace server {
 
-Status LineClient::Connect(const std::string& host, int port) {
+Status LineClient::ConnectOnce(const std::string& host, int port) {
   Close();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
@@ -26,17 +31,67 @@ Status LineClient::Connect(const std::string& host, int port) {
     Close();
     return Status::InvalidArgument("bad host: " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    Status st = Status::Internal("connect " + host + ":" +
-                                 std::to_string(port) + ": " +
-                                 std::strerror(errno));
+  const std::string target = host + ":" + std::to_string(port);
+  if (opts_.connect_timeout_ms > 0) {
+    // Timed connect: non-blocking connect, poll for writability, then
+    // check SO_ERROR and restore blocking mode.
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      Status st = Status::Unavailable("connect " + target + ": " +
+                                      std::strerror(errno));
+      Close();
+      return st;
+    }
+    if (rc != 0) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      int pr = ::poll(&pfd, 1,
+                      static_cast<int>(opts_.connect_timeout_ms));
+      if (pr <= 0) {
+        Close();
+        return Status::Unavailable(
+            "connect " + target + ": timed out after " +
+            std::to_string(opts_.connect_timeout_ms) + "ms");
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        Status st = Status::Unavailable("connect " + target + ": " +
+                                        std::strerror(err));
+        Close();
+        return st;
+      }
+    }
+    ::fcntl(fd_, F_SETFL, flags);
+  } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
+    Status st = Status::Unavailable("connect " + target + ": " +
+                                    std::strerror(errno));
     Close();
     return st;
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Status::OK();
+  return SetReadTimeout(opts_.read_timeout_ms);
+}
+
+Status LineClient::Connect(const std::string& host, int port) {
+  int64_t backoff = std::max<int64_t>(opts_.backoff_ms, 1);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= opts_.connect_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min<int64_t>(backoff * 2, 1000);
+    }
+    last = ConnectOnce(host, port);
+    // Only transient failures are worth a retry; a bad host string or a
+    // socket() failure will not improve with backoff.
+    if (last.ok() || last.code() != StatusCode::kUnavailable) return last;
+  }
+  return last;
 }
 
 void LineClient::Close() {
@@ -47,11 +102,31 @@ void LineClient::Close() {
   buffer_.clear();
 }
 
+Status LineClient::SetReadTimeout(int64_t ms) {
+  if (fd_ < 0) return Status::OK();
+  timeval tv{};
+  if (ms > 0) {
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(std::string("SO_RCVTIMEO: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 Result<std::string> LineClient::ReadLine() {
   char chunk[4096];
   size_t nl;
   while ((nl = buffer_.find('\n')) == std::string::npos) {
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired: the backend is up but not answering within
+      // budget. The connection is now mid-response, so drop it.
+      Close();
+      return Status::Unavailable("read timed out waiting for response");
+    }
     if (n <= 0) {
       return Status::Internal("connection closed by server");
     }
@@ -97,10 +172,14 @@ Result<WireResponse> LineClient::Call(const std::string& line) {
     return Status::Internal("malformed response count: " + header);
   }
   WireResponse resp;
-  // Optional " trace=<id>" token after the count (traced requests).
+  // Optional ordered header tokens after the count: " trace=<id>", then
+  // " partial=1" (degraded scatter-gather answers).
   if (end != nullptr && std::strncmp(end, " trace=", 7) == 0) {
     resp.trace_id =
-        static_cast<uint64_t>(std::strtoull(end + 7, nullptr, 10));
+        static_cast<uint64_t>(std::strtoull(end + 7, &end, 10));
+  }
+  if (end != nullptr && std::strncmp(end, " partial=1", 10) == 0) {
+    resp.partial = true;
   }
   resp.rows.reserve(static_cast<size_t>(n));
   for (long long i = 0; i < n; ++i) {

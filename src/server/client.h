@@ -1,7 +1,8 @@
 /// \file client.h
-/// \brief Line-protocol client for spindle_serve (see line_server.h for
-/// the wire format). Used by the spindle_client binary, the concurrent
-/// smoke tests and the CI server-smoke step.
+/// \brief Line-protocol client for spindle_serve / spindle_coord (see
+/// line_server.h for the wire format). Used by the spindle_client binary,
+/// the coordinator's remote shard backends, the concurrent smoke tests
+/// and the CI server-smoke step.
 
 #pragma once
 
@@ -21,6 +22,30 @@ struct WireResponse {
   /// From the optional "OK <n> trace=<id>" header extension; 0 when the
   /// request was not traced.
   uint64_t trace_id = 0;
+  /// From the optional "OK <n> partial=1" header extension: a degraded
+  /// scatter-gather answer — some shards failed or missed the deadline
+  /// and the result covers the remainder.
+  bool partial = false;
+};
+
+/// \brief Connection behavior. The defaults match the historical client:
+/// a blocking connect and no read timeout — calls wait as long as the
+/// server takes. Timeouts and retries exist for the coordinator's remote
+/// shard dispatches and for scripted clients that must not hang on a dead
+/// backend.
+struct LineClientOptions {
+  /// Per-attempt connect timeout; 0 = OS default (blocking connect).
+  int64_t connect_timeout_ms = 0;
+  /// Response-wait timeout per read; 0 = wait forever. An expired read
+  /// returns kUnavailable (the backend stopped responding — distinct from
+  /// a server-side kDeadlineExceeded, which arrives as an ERR line).
+  int64_t read_timeout_ms = 0;
+  /// Additional connect attempts after the first fails, with exponential
+  /// backoff starting at backoff_ms (50, 100, 200, ... capped at 1s).
+  /// Retries apply to Connect() only — requests are never re-sent (a
+  /// re-sent search would double-execute on a slow-but-alive server).
+  int connect_retries = 0;
+  int64_t backoff_ms = 50;
 };
 
 /// \brief Blocking line-protocol client; one TCP connection. Not
@@ -28,6 +53,8 @@ struct WireResponse {
 class LineClient {
  public:
   LineClient() = default;
+  explicit LineClient(LineClientOptions options)
+      : opts_(options) {}
   ~LineClient() { Close(); }
 
   LineClient(const LineClient&) = delete;
@@ -37,21 +64,29 @@ class LineClient {
     if (this != &other) {
       Close();
       fd_ = other.fd_;
+      opts_ = other.opts_;
       buffer_ = std::move(other.buffer_);
       other.fd_ = -1;
     }
     return *this;
   }
 
-  /// \brief Connects to a running spindle_serve.
+  /// \brief Connects to a running spindle_serve / spindle_coord,
+  /// honoring the configured connect timeout and bounded retry. A
+  /// backend that stays unreachable returns kUnavailable.
   Status Connect(const std::string& host, int port);
 
   bool connected() const { return fd_ >= 0; }
   void Close();
 
+  /// \brief Adjusts the read timeout on the live connection (the
+  /// coordinator bounds each dispatch by the request's remaining budget).
+  /// No-op when not connected; ms <= 0 clears the timeout.
+  Status SetReadTimeout(int64_t ms);
+
   /// \brief Sends one request line and reads the full response. A
   /// protocol-level ERR becomes the returned Status; transport errors
-  /// are kInternal.
+  /// are kInternal; a read timeout is kUnavailable.
   Result<WireResponse> Call(const std::string& line);
 
   /// Convenience wrappers over Call().
@@ -68,9 +103,11 @@ class LineClient {
   Status Shutdown();
 
  private:
+  Status ConnectOnce(const std::string& host, int port);
   Result<std::string> ReadLine();
 
   int fd_ = -1;
+  LineClientOptions opts_;
   std::string buffer_;
 };
 

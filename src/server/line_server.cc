@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "shard/wire.h"
+
 namespace spindle {
 namespace server {
 
@@ -57,26 +59,6 @@ std::string SanitizeMessage(const std::string& msg) {
   return out;
 }
 
-std::string ErrLine(const Status& st) {
-  return std::string("ERR ") + StatusCodeName(st.code()) + " " +
-         SanitizeMessage(st.message()) + "\n";
-}
-
-/// `trace_id` != 0 appends a " trace=<id>" token after the row count —
-/// existing clients parse the count with strtoll and stop at the space,
-/// so the extension is backward compatible.
-std::string OkBlock(const std::vector<std::string>& rows,
-                    uint64_t trace_id = 0) {
-  std::string out = "OK " + std::to_string(rows.size());
-  if (trace_id != 0) out += " trace=" + std::to_string(trace_id);
-  out += "\n";
-  for (const std::string& r : rows) {
-    out += r;
-    out += "\n";
-  }
-  return out;
-}
-
 /// Splits rendered multi-line text (operator tree) into protocol rows.
 std::vector<std::string> SplitLines(const std::string& text) {
   std::vector<std::string> rows;
@@ -93,9 +75,31 @@ std::vector<std::string> SplitLines(const std::string& text) {
   return rows;
 }
 
-/// Splits off the first whitespace-delimited word; returns the rest
-/// (leading spaces stripped).
-std::string TakeWord(std::string* rest) {
+}  // namespace
+
+std::string WireErrLine(const Status& st) {
+  return std::string("ERR ") + StatusCodeName(st.code()) + " " +
+         SanitizeMessage(st.message()) + "\n";
+}
+
+/// `trace_id` != 0 appends a " trace=<id>" token, `partial` a
+/// " partial=1" token after the row count — existing clients parse the
+/// count with strtoll and stop at the space, so both extensions are
+/// backward compatible.
+std::string WireOkBlock(const std::vector<std::string>& rows,
+                        uint64_t trace_id, bool partial) {
+  std::string out = "OK " + std::to_string(rows.size());
+  if (trace_id != 0) out += " trace=" + std::to_string(trace_id);
+  if (partial) out += " partial=1";
+  out += "\n";
+  for (const std::string& r : rows) {
+    out += r;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string WireTakeWord(std::string* rest) {
   size_t start = rest->find_first_not_of(' ');
   if (start == std::string::npos) {
     rest->clear();
@@ -115,7 +119,7 @@ std::string TakeWord(std::string* rest) {
   return word;
 }
 
-bool ParseInt64(const std::string& s, int64_t* out) {
+bool WireParseInt64(const std::string& s, int64_t* out) {
   if (s.empty()) return false;
   errno = 0;
   char* end = nullptr;
@@ -124,8 +128,6 @@ bool ParseInt64(const std::string& s, int64_t* out) {
   *out = v;
   return true;
 }
-
-}  // namespace
 
 std::vector<std::string> SerializeRows(const Relation& rel) {
   std::vector<std::string> rows;
@@ -141,8 +143,109 @@ std::vector<std::string> SerializeRows(const Relation& rel) {
   return rows;
 }
 
+std::string QueryServiceHandler::Handle(const std::string& cmd,
+                                        std::string rest) {
+  if (cmd == "STATS") return WireOkBlock({service_->MetricsJson()});
+
+  if (cmd == "SEARCH") {
+    SearchRequest req;
+    req.collection = WireTakeWord(&rest);
+    int64_t k = 0, deadline_ms = 0;
+    if (req.collection.empty() || !WireParseInt64(WireTakeWord(&rest), &k) ||
+        !WireParseInt64(WireTakeWord(&rest), &deadline_ms) || rest.empty()) {
+      return WireErrLine(Status::InvalidArgument(
+          "usage: SEARCH <collection> <k> <deadline_ms> <query...>"));
+    }
+    if (k < 0) {
+      return WireErrLine(Status::InvalidArgument("k must be >= 0"));
+    }
+    req.query = rest;
+    req.options.top_k = static_cast<size_t>(k);
+    req.request.deadline_ms = deadline_ms;
+    Result<QueryResponse> resp = service_->Search(req);
+    if (!resp.ok()) return WireErrLine(resp.status());
+    return WireOkBlock(SerializeRows(*resp.ValueOrDie().rows),
+                       resp.ValueOrDie().stats.trace_id);
+  }
+
+  if (cmd == "SEARCHG") {
+    // Coordinator-issued sharded search: the query terms arrive already
+    // analyzed, with the full-collection statistics to score under.
+    ShardSearchRequest req;
+    int64_t deadline_ms = 0;
+    Status st = shard::ParseSearchG(std::move(rest), &req.collection,
+                                    &deadline_ms, &req.options, &req.global);
+    if (!st.ok()) return WireErrLine(st);
+    req.request.deadline_ms = deadline_ms;
+    Result<QueryResponse> resp = service_->SearchSharded(req);
+    if (!resp.ok()) return WireErrLine(resp.status());
+    return WireOkBlock(SerializeRows(*resp.ValueOrDie().rows),
+                       resp.ValueOrDie().stats.trace_id);
+  }
+
+  if (cmd == "GSTATS") {
+    const std::string collection = WireTakeWord(&rest);
+    if (collection.empty() || !rest.empty()) {
+      return WireErrLine(
+          Status::InvalidArgument("usage: GSTATS <collection>"));
+    }
+    shard::GlobalStatsPtr stats = service_->GetGlobalStats(collection);
+    if (stats == nullptr) {
+      return WireErrLine(Status::NotFound(
+          "no global statistics for collection: " + collection));
+    }
+    return WireOkBlock(stats->ToWireRows());
+  }
+
+  if (cmd == "SPINQL") {
+    SpinqlRequest req;
+    int64_t deadline_ms = 0;
+    if (!WireParseInt64(WireTakeWord(&rest), &deadline_ms) || rest.empty()) {
+      return WireErrLine(Status::InvalidArgument(
+          "usage: SPINQL <deadline_ms> <expression...>"));
+    }
+    req.text = rest;
+    req.request.deadline_ms = deadline_ms;
+    Result<QueryResponse> resp = service_->EvalSpinql(req);
+    if (!resp.ok()) return WireErrLine(resp.status());
+    return WireOkBlock(SerializeRows(*resp.ValueOrDie().rows),
+                       resp.ValueOrDie().stats.trace_id);
+  }
+
+  if (cmd == "TRACE") {
+    // Executes the expression with per-request tracing forced on and
+    // returns the rendered operator tree (per-node wall time, rows,
+    // cache annotations) instead of the result rows.
+    SpinqlRequest req;
+    int64_t deadline_ms = 0;
+    if (!WireParseInt64(WireTakeWord(&rest), &deadline_ms) || rest.empty()) {
+      return WireErrLine(Status::InvalidArgument(
+          "usage: TRACE <deadline_ms> <expression...>"));
+    }
+    req.text = rest;
+    req.request.deadline_ms = deadline_ms;
+    req.request.trace = true;
+    Result<QueryResponse> resp = service_->EvalSpinql(req);
+    if (!resp.ok()) return WireErrLine(resp.status());
+    const QueryResponse& qr = resp.ValueOrDie();
+    if (qr.trace == nullptr) {
+      return WireErrLine(
+          Status::Internal("traced request produced no trace"));
+    }
+    return WireOkBlock(SplitLines(qr.trace->RenderTree()),
+                       qr.stats.trace_id);
+  }
+
+  return WireErrLine(Status::InvalidArgument("unknown command: " + cmd));
+}
+
 LineServer::LineServer(QueryService* service, LineServerOptions options)
-    : service_(service), opts_(std::move(options)) {}
+    : owned_handler_(std::make_unique<QueryServiceHandler>(service)),
+      handler_(owned_handler_.get()),
+      opts_(std::move(options)) {}
+
+LineServer::LineServer(LineHandler* handler, LineServerOptions options)
+    : handler_(handler), opts_(std::move(options)) {}
 
 LineServer::~LineServer() { Stop(); }
 
@@ -253,78 +356,20 @@ void LineServer::ServeConnection(int fd) {
 std::string LineServer::HandleLine(const std::string& line,
                                    bool* close_connection) {
   std::string rest = line;
-  std::string cmd = TakeWord(&rest);
+  std::string cmd = WireTakeWord(&rest);
 
-  if (cmd == "PING") return OkBlock({});
+  // Protocol-level commands, independent of the backing handler.
+  if (cmd == "PING") return WireOkBlock({});
   if (cmd == "QUIT") {
     *close_connection = true;
-    return OkBlock({});
+    return WireOkBlock({});
   }
   if (cmd == "SHUTDOWN") {
     *close_connection = true;
     RequestShutdown();
-    return OkBlock({});
+    return WireOkBlock({});
   }
-  if (cmd == "STATS") return OkBlock({service_->MetricsJson()});
-
-  if (cmd == "SEARCH") {
-    SearchRequest req;
-    req.collection = TakeWord(&rest);
-    int64_t k = 0, deadline_ms = 0;
-    if (req.collection.empty() || !ParseInt64(TakeWord(&rest), &k) ||
-        !ParseInt64(TakeWord(&rest), &deadline_ms) || rest.empty()) {
-      return ErrLine(Status::InvalidArgument(
-          "usage: SEARCH <collection> <k> <deadline_ms> <query...>"));
-    }
-    if (k < 0) return ErrLine(Status::InvalidArgument("k must be >= 0"));
-    req.query = rest;
-    req.options.top_k = static_cast<size_t>(k);
-    req.request.deadline_ms = deadline_ms;
-    Result<QueryResponse> resp = service_->Search(req);
-    if (!resp.ok()) return ErrLine(resp.status());
-    return OkBlock(SerializeRows(*resp.ValueOrDie().rows),
-                   resp.ValueOrDie().stats.trace_id);
-  }
-
-  if (cmd == "SPINQL") {
-    SpinqlRequest req;
-    int64_t deadline_ms = 0;
-    if (!ParseInt64(TakeWord(&rest), &deadline_ms) || rest.empty()) {
-      return ErrLine(Status::InvalidArgument(
-          "usage: SPINQL <deadline_ms> <expression...>"));
-    }
-    req.text = rest;
-    req.request.deadline_ms = deadline_ms;
-    Result<QueryResponse> resp = service_->EvalSpinql(req);
-    if (!resp.ok()) return ErrLine(resp.status());
-    return OkBlock(SerializeRows(*resp.ValueOrDie().rows),
-                   resp.ValueOrDie().stats.trace_id);
-  }
-
-  if (cmd == "TRACE") {
-    // Executes the expression with per-request tracing forced on and
-    // returns the rendered operator tree (per-node wall time, rows,
-    // cache annotations) instead of the result rows.
-    SpinqlRequest req;
-    int64_t deadline_ms = 0;
-    if (!ParseInt64(TakeWord(&rest), &deadline_ms) || rest.empty()) {
-      return ErrLine(Status::InvalidArgument(
-          "usage: TRACE <deadline_ms> <expression...>"));
-    }
-    req.text = rest;
-    req.request.deadline_ms = deadline_ms;
-    req.request.trace = true;
-    Result<QueryResponse> resp = service_->EvalSpinql(req);
-    if (!resp.ok()) return ErrLine(resp.status());
-    const QueryResponse& qr = resp.ValueOrDie();
-    if (qr.trace == nullptr) {
-      return ErrLine(Status::Internal("traced request produced no trace"));
-    }
-    return OkBlock(SplitLines(qr.trace->RenderTree()),
-                   qr.stats.trace_id);
-  }
-
-  return ErrLine(Status::InvalidArgument("unknown command: " + cmd));
+  return handler_->Handle(cmd, std::move(rest));
 }
 
 void LineServer::WaitForShutdown() {

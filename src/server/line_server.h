@@ -1,11 +1,20 @@
 /// \file line_server.h
-/// \brief A small line-protocol TCP front-end over QueryService, so the
-/// same engine can be driven over a socket (spindle_serve binary).
+/// \brief A small line-protocol TCP front-end, so the same engine can be
+/// driven over a socket (spindle_serve binary) — and, via the LineHandler
+/// seam, so the shard coordinator (spindle_coord) speaks the identical
+/// protocol: spindle_client works unchanged against either.
 ///
 /// Wire protocol (newline-terminated request lines; see docs/serving.md):
 ///
 ///   PING
 ///   SEARCH <collection> <k> <deadline_ms> <query terms...>
+///   SEARCHG <collection> <k> <deadline_ms> <model> <params...>
+///               <global stats...>  — sharded search with shipped
+///               full-collection statistics (coordinator-issued; see
+///               src/shard/wire.h for the exact field layout)
+///   GSTATS <collection>
+///               the shard's stored full-collection statistics (header
+///               row + one row per term; coordinator bootstrap)
 ///   SPINQL <deadline_ms> <expression...>
 ///   TRACE <deadline_ms> <expression...>
 ///               executes the SpinQL expression with per-request tracing
@@ -24,16 +33,24 @@
 ///   OK <n> trace=<id>\n   same, for a traced request (service-wide
 ///                   trace_requests or the TRACE command); <id> is the
 ///                   request's trace id in the Chrome export
+///   OK <n> partial=1\n    same, for a degraded scatter-gather answer
+///                   (coordinator only: one or more shards failed or
+///                   missed the deadline and the merge covers the rest)
 ///   ERR <Code> <message>\n   (message has newlines/tabs stripped)
 ///
+/// Header tokens after the count are optional, ordered (trace before
+/// partial) and space-separated — clients that parse the count with
+/// strtoll and stop at the first space keep working.
+///
 /// Threading: one accept thread plus one thread per connection.
-/// Concurrency and overload are governed by the QueryService's admission
-/// controller, not by the socket layer.
+/// Concurrency and overload are governed by the backing service's
+/// admission controller, not by the socket layer.
 
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -52,9 +69,39 @@ struct LineServerOptions {
   int port = 0;
 };
 
+/// \brief The command surface behind a LineServer. PING, QUIT and
+/// SHUTDOWN are protocol-level and handled by the server itself; every
+/// other command line lands here. Implementations must be thread-safe —
+/// the server calls Handle from one thread per connection.
+class LineHandler {
+ public:
+  virtual ~LineHandler() = default;
+  /// \brief Handles one request: `cmd` is the first word of the line,
+  /// `rest` the remainder (leading spaces stripped). Returns the complete
+  /// framed response (WireOkBlock / WireErrLine).
+  virtual std::string Handle(const std::string& cmd, std::string rest) = 0;
+};
+
+/// \brief The QueryService command set (single-node serving and the
+/// shard-side of sharded serving): SEARCH, SEARCHG, GSTATS, SPINQL,
+/// TRACE, STATS.
+class QueryServiceHandler : public LineHandler {
+ public:
+  explicit QueryServiceHandler(QueryService* service) : service_(service) {}
+  std::string Handle(const std::string& cmd, std::string rest) override;
+
+ private:
+  QueryService* service_;
+};
+
 class LineServer {
  public:
+  /// \brief Serves the standard QueryService command set (owns the
+  /// handler). The common single-node and shard-backend constructor.
   LineServer(QueryService* service, LineServerOptions options = {});
+  /// \brief Serves a custom command set (e.g. the shard coordinator's);
+  /// `handler` must outlive the server.
+  LineServer(LineHandler* handler, LineServerOptions options = {});
   ~LineServer();
 
   LineServer(const LineServer&) = delete;
@@ -90,7 +137,8 @@ class LineServer {
   /// Handles one request line; returns the full response payload.
   std::string HandleLine(const std::string& line, bool* close_connection);
 
-  QueryService* service_;
+  std::unique_ptr<QueryServiceHandler> owned_handler_;
+  LineHandler* handler_;
   LineServerOptions opts_;
   /// Atomic: Stop() invalidates it concurrently with the accept loop.
   std::atomic<int> listen_fd_{-1};
@@ -109,6 +157,15 @@ class LineServer {
 /// (tab-separated; float64 via %.17g; tabs/newlines/backslashes in
 /// strings escaped as \t, \n, \\). Shared with tests.
 std::vector<std::string> SerializeRows(const Relation& rel);
+
+/// Wire framing helpers, shared by every LineHandler implementation.
+/// OK header: "OK <n>[ trace=<id>][ partial=1]".
+std::string WireOkBlock(const std::vector<std::string>& rows,
+                        uint64_t trace_id = 0, bool partial = false);
+std::string WireErrLine(const Status& st);
+/// Splits off the first space-delimited word of `*rest` in place.
+std::string WireTakeWord(std::string* rest);
+bool WireParseInt64(const std::string& s, int64_t* out);
 
 }  // namespace server
 }  // namespace spindle

@@ -187,15 +187,34 @@ Status QueryService::SaveSnapshot(const std::string& path) {
       entries.push_back({name, index.MoveValueOrDie()});
     }
   }
-  return SaveSnapshotFile(path, catalog_, entries);
+  SnapshotExtraSections extra;
+  if (!global_stats_.empty()) {
+    // A shard server persists its global statistics next to its partition,
+    // so a restored shard serves bit-identical sharded queries immediately.
+    extra.emplace_back(shard::kGlobalStatsSection,
+                       shard::SerializeGlobalStatsMap(global_stats_));
+  }
+  return SaveSnapshotFile(path, catalog_, entries, extra);
 }
 
 Status QueryService::LoadSnapshot(const std::string& path,
                                   SnapshotLoadInfo* info) {
   std::vector<SnapshotIndexEntry> entries;
-  SPINDLE_RETURN_IF_ERROR(
-      LoadSnapshotFile(path, &catalog_, &entries, info));
+  std::map<std::string, std::string> extra;
+  SPINDLE_RETURN_IF_ERROR(LoadSnapshotFile(
+      path, &catalog_, &entries, info, {shard::kGlobalStatsSection},
+      &extra));
   const std::string analyzer_sig = searcher_.analyzer_options().Signature();
+  if (auto it = extra.find(shard::kGlobalStatsSection); it != extra.end()) {
+    SPINDLE_ASSIGN_OR_RETURN(shard::GlobalStatsMap stats,
+                             shard::DeserializeGlobalStatsMap(it->second));
+    for (auto& [name, s] : stats) {
+      // Same rule as for stored indexes: statistics computed under a
+      // different analyzer describe a different term space — drop them.
+      if (s->analyzer_signature() != analyzer_sig) continue;
+      global_stats_[name] = std::move(s);
+    }
+  }
   for (SnapshotIndexEntry& entry : entries) {
     // A snapshot written under a different analyzer would serve a
     // different term space; skip those indexes (search rebuilds lazily).
@@ -262,6 +281,45 @@ Result<QueryResponse> QueryService::Search(const SearchRequest& req) {
   if (!rows.ok()) return rows.status();
   resp.rows = std::move(rows).ValueOrDie();
   return resp;
+}
+
+Result<QueryResponse> QueryService::SearchSharded(
+    const ShardSearchRequest& req) {
+  QueryResponse resp;
+  Result<RelationPtr> rows = RunAdmitted(
+      req.request, &resp.stats, &resp.trace, [&]() -> Result<RelationPtr> {
+        SPINDLE_ASSIGN_OR_RETURN(RelationPtr docs,
+                                 catalog_.Get(req.collection));
+        std::string sig =
+            "tbl:" + req.collection + "@" +
+            std::to_string(catalog_.Version(req.collection));
+        return searcher_.SearchSharded(docs, sig, req.global, req.options,
+                                       &resp.stats.search);
+      });
+  if (!rows.ok()) return rows.status();
+  resp.rows = std::move(rows).ValueOrDie();
+  return resp;
+}
+
+Status QueryService::SetGlobalStats(const std::string& collection,
+                                    shard::GlobalStatsPtr stats) {
+  if (stats == nullptr) {
+    return Status::InvalidArgument("SetGlobalStats: null stats");
+  }
+  const std::string sig = searcher_.analyzer_options().Signature();
+  if (stats->analyzer_signature() != sig) {
+    return Status::InvalidArgument(
+        "global statistics analyzer " + stats->analyzer_signature() +
+        " does not match the service analyzer " + sig);
+  }
+  global_stats_[collection] = std::move(stats);
+  return Status::OK();
+}
+
+shard::GlobalStatsPtr QueryService::GetGlobalStats(
+    const std::string& collection) const {
+  auto it = global_stats_.find(collection);
+  return it == global_stats_.end() ? nullptr : it->second;
 }
 
 Result<QueryResponse> QueryService::EvalSpinql(const SpinqlRequest& req) {

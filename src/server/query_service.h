@@ -36,6 +36,7 @@
 #include "obs/trace.h"
 #include "server/admission.h"
 #include "server/metrics.h"
+#include "shard/global_stats.h"
 #include "spinql/evaluator.h"
 #include "storage/catalog.h"
 
@@ -96,6 +97,18 @@ struct SpinqlRequest {
   RequestOptions request;
 };
 
+/// \brief A sharded search, as dispatched by a ShardCoordinator: the
+/// query is already analyzed and resolved against the *global* dictionary
+/// (terms in query order with full-collection df/cf), so the shard scores
+/// its partition with global statistics — the invariant that makes the
+/// merged distributed top-k bit-identical to single-node ranking.
+struct ShardSearchRequest {
+  std::string collection;
+  QueryGlobalStats global;
+  SearchOptions options;  ///< top_k > 0, no phrase boost
+  RequestOptions request;
+};
+
 struct QueryResponse {
   RelationPtr rows;  ///< result relation (schema depends on the call)
   RequestStats stats;
@@ -123,6 +136,23 @@ class QueryService {
   /// relation is bit-identical to calling Searcher::Search directly with
   /// the same options.
   Result<QueryResponse> Search(const SearchRequest& req);
+
+  /// \brief Executes one sharded search over this server's partition with
+  /// the request's shipped global statistics (full admission / deadline /
+  /// metrics lifecycle, same as Search). The response holds this shard's
+  /// local top-k scored with *global* statistics; the coordinator merges
+  /// the shards' lists into the final ranking.
+  Result<QueryResponse> SearchSharded(const ShardSearchRequest& req);
+
+  /// \brief Installs the full-collection statistics for `collection`
+  /// (sharded serving). Like RegisterCollection, not safe concurrently
+  /// with serving — install statistics before the server starts. Stats
+  /// whose analyzer differs from this service's are rejected.
+  Status SetGlobalStats(const std::string& collection,
+                        shard::GlobalStatsPtr stats);
+
+  /// \brief The installed statistics for `collection`, or null.
+  shard::GlobalStatsPtr GetGlobalStats(const std::string& collection) const;
 
   /// \brief Evaluates one SpinQL expression. The result relation is
   /// bit-identical to spinql::Evaluator::EvalExpression on the same
@@ -183,6 +213,10 @@ class QueryService {
 
   QueryServiceOptions opts_;
   Catalog catalog_;
+  /// Full-collection statistics per collection (sharded serving only;
+  /// empty on a single-node server). Mutated only before serving starts,
+  /// like catalog registration — read lock-free on the request path.
+  shard::GlobalStatsMap global_stats_;
   MaterializationCache cache_;
   Searcher searcher_;
   spinql::Evaluator evaluator_;

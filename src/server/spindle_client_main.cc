@@ -1,17 +1,33 @@
 /// \file spindle_client_main.cc
 /// \brief The spindle_client binary: sends scripted request lines to a
-/// running spindle_serve and prints the responses. Exits non-zero if any
-/// request fails, so CI can assert on it.
+/// running spindle_serve or spindle_coord and prints the responses.
+/// Exits non-zero if any request fails, so CI can assert on it.
 ///
 ///   spindle_client --port=7654 PING "SEARCH docs 5 0 word7 word11" STATS
 ///   spindle_client --port=7654 --allow-err "SEARCH docs 5 1 word7" SHUTDOWN
 ///
 /// Flags:
-///   --host=ADDR   server address (default 127.0.0.1)
-///   --port=N      server port (required)
-///   --allow-err   treat ERR responses as expected output, not failure
-///                 (transport errors still fail)
+///   --host=ADDR           server address (default 127.0.0.1)
+///   --port=N              server port (required)
+///   --allow-err           treat ERR responses as expected output, not
+///                         failure (transport errors still fail)
+///   --connect-timeout-ms=N / --connect-retries=N
+///                         bounded connect with backoff (for scripts
+///                         racing a server that is still starting)
+///   --read-timeout-ms=N   fail instead of hanging on a dead server
+///
+/// Exit codes (scripts branch on the failure class):
+///   0  every request succeeded (or --allow-err covered its ERRs)
+///   1  transport / connection failure, or a generic ERR
+///   2  usage error
+///   3  a request was shed with ERR Overloaded
+///   4  a request exceeded its deadline (ERR DeadlineExceeded)
+///   5  backend unavailable (connect failed, read timed out, or a
+///      coordinator answered ERR Unavailable — e.g. a dead shard under
+///      --partial=fail)
+/// When several requests fail differently, the highest code wins.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +44,19 @@ bool FlagValue(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
+int ExitCodeFor(const spindle::Status& st) {
+  switch (st.code()) {
+    case spindle::StatusCode::kOverloaded:
+      return 3;
+    case spindle::StatusCode::kDeadlineExceeded:
+      return 4;
+    case spindle::StatusCode::kUnavailable:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -35,6 +64,7 @@ int main(int argc, char** argv) {
   int port = 0;
   bool allow_err = false;
   int first_command = argc;
+  spindle::server::LineClientOptions client_opts;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -44,6 +74,12 @@ int main(int argc, char** argv) {
       port = std::atoi(v.c_str());
     } else if (std::strcmp(argv[i], "--allow-err") == 0) {
       allow_err = true;
+    } else if (FlagValue(argv[i], "--connect-timeout-ms", &v)) {
+      client_opts.connect_timeout_ms = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--connect-retries", &v)) {
+      client_opts.connect_retries = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--read-timeout-ms", &v)) {
+      client_opts.read_timeout_ms = std::atoll(v.c_str());
     } else {
       first_command = i;
       break;
@@ -52,18 +88,19 @@ int main(int argc, char** argv) {
   if (port <= 0 || first_command >= argc) {
     std::fprintf(stderr,
                  "usage: spindle_client --port=N [--host=A] [--allow-err] "
-                 "<request line>...\n");
+                 "[--connect-timeout-ms=N] [--connect-retries=N] "
+                 "[--read-timeout-ms=N] <request line>...\n");
     return 2;
   }
 
-  spindle::server::LineClient client;
+  spindle::server::LineClient client(client_opts);
   spindle::Status st = client.Connect(host, port);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
+    return ExitCodeFor(st);
   }
 
-  int failures = 0;
+  int exit_code = 0;
   for (int i = first_command; i < argc; ++i) {
     std::printf(">> %s\n", argv[i]);
     auto resp = client.Call(argv[i]);
@@ -71,18 +108,26 @@ int main(int argc, char** argv) {
       std::printf("ERR %s %s\n",
                   spindle::StatusCodeName(resp.status().code()),
                   resp.status().message().c_str());
-      bool transport = resp.status().code() == spindle::StatusCode::kInternal;
-      if (!allow_err || transport) ++failures;
+      // A transport-level failure (kInternal: connection lost; or
+      // kUnavailable from a read timeout, which also closed the socket)
+      // is never "expected output" — --allow-err covers server ERRs only.
+      const spindle::StatusCode code = resp.status().code();
+      const bool transport =
+          code == spindle::StatusCode::kInternal || !client.connected();
+      if (!allow_err || transport) {
+        exit_code = std::max(exit_code, ExitCodeFor(resp.status()));
+      }
+      if (!client.connected()) break;  // nothing further can be sent
       continue;
     }
     const auto& wire = resp.ValueOrDie();
+    std::string header = "OK " + std::to_string(wire.rows.size());
     if (wire.trace_id != 0) {
-      std::printf("OK %zu trace=%llu\n", wire.rows.size(),
-                  static_cast<unsigned long long>(wire.trace_id));
-    } else {
-      std::printf("OK %zu\n", wire.rows.size());
+      header += " trace=" + std::to_string(wire.trace_id);
     }
+    if (wire.partial) header += " partial=1";
+    std::printf("%s\n", header.c_str());
     for (const std::string& row : wire.rows) std::printf("%s\n", row.c_str());
   }
-  return failures == 0 ? 0 : 1;
+  return exit_code;
 }

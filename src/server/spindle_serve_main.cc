@@ -31,6 +31,22 @@
 ///                          traces as Chrome trace-event JSON to PATH
 ///                          (load in chrome://tracing or Perfetto)
 ///
+/// Sharded serving (docs/sharding.md):
+///   --num-shards=N         the collection is partitioned N ways
+///   --shard-id=I           serve partition I in [0, N): the full
+///                          collection is generated deterministically,
+///                          the full-collection statistics are computed
+///                          and installed, and only partition I is
+///                          registered — a spindle_coord in front merges
+///                          the shards into bit-identical global top-k
+///   --write-shards=PREFIX  offline mode: partition the generated
+///                          collection N ways, build each shard's
+///                          indexes, and write one snapshot per shard to
+///                          PREFIX.shard<i>.snap (each carrying the
+///                          full-collection statistics); prints the
+///                          paths to stdout and exits. Start the shard
+///                          fleet with --snapshot=PREFIX.shard<i>.snap.
+///
 /// SPINDLE_TRACE=1 in the environment is equivalent to --trace=1.
 ///
 /// Shuts down cleanly on the SHUTDOWN command, SIGINT or SIGTERM.
@@ -44,6 +60,8 @@
 
 #include "server/line_server.h"
 #include "server/query_service.h"
+#include "shard/global_stats.h"
+#include "shard/partitioner.h"
 #include "workload/text_gen.h"
 
 namespace {
@@ -74,7 +92,10 @@ int main(int argc, char** argv) {
   std::string queries_file;
   std::string trace_file;
   std::string snapshot_path;
+  std::string write_shards_prefix;
   int64_t generate_docs = 0;
+  int64_t shard_id = -1;
+  int64_t num_shards = 0;
 
   const char* trace_env = std::getenv("SPINDLE_TRACE");
   if (trace_env != nullptr && std::strcmp(trace_env, "1") == 0) {
@@ -109,10 +130,69 @@ int main(int argc, char** argv) {
     } else if (FlagValue(argv[i], "--trace-file", &v)) {
       trace_file = v;
       service_opts.trace_requests = true;
+    } else if (FlagValue(argv[i], "--shard-id", &v)) {
+      shard_id = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--num-shards", &v)) {
+      num_shards = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--write-shards", &v)) {
+      write_shards_prefix = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
+  }
+
+  if (shard_id >= 0 &&
+      (num_shards <= 0 || shard_id >= num_shards)) {
+    std::fprintf(stderr,
+                 "--shard-id=%lld requires --num-shards > %lld\n",
+                 static_cast<long long>(shard_id),
+                 static_cast<long long>(shard_id));
+    return 2;
+  }
+
+  // Offline shard-snapshot production: partition, index, write, exit.
+  if (!write_shards_prefix.empty()) {
+    if (generate_docs <= 0 || num_shards <= 0) {
+      std::fprintf(stderr,
+                   "--write-shards needs --generate=N and "
+                   "--num-shards=N\n");
+      return 2;
+    }
+    spindle::TextCollectionOptions gen;
+    gen.num_docs = generate_docs;
+    gen.vocab_size = std::max<int64_t>(2000, generate_docs / 2);
+    gen.avg_doc_len = 60;
+    auto docs = spindle::GenerateTextCollection(gen);
+    if (!docs.ok()) {
+      std::fprintf(stderr, "generate failed: %s\n",
+                   docs.status().ToString().c_str());
+      return 1;
+    }
+    spindle::Catalog full;
+    full.Register("docs", docs.MoveValueOrDie());
+    auto infos = spindle::shard::WriteShardSnapshots(
+        full, service_opts.analyzer,
+        static_cast<uint32_t>(num_shards), write_shards_prefix);
+    if (!infos.ok()) {
+      std::fprintf(stderr, "write-shards failed: %s\n",
+                   infos.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& info : infos.ValueOrDie()) {
+      std::printf("%s %lld\n", info.path.c_str(),
+                  static_cast<long long>(info.num_docs));
+    }
+    if (!queries_file.empty()) {
+      std::FILE* f = std::fopen(queries_file.c_str(), "w");
+      if (f != nullptr) {
+        for (const std::string& q : spindle::GenerateQueries(gen, 16, 2)) {
+          std::fprintf(f, "%s\n", q.c_str());
+        }
+        std::fclose(f);
+      }
+    }
+    return 0;
   }
 
   QueryService service(service_opts);
@@ -153,10 +233,48 @@ int main(int argc, char** argv) {
                      docs.status().ToString().c_str());
         return 1;
       }
-      service.RegisterCollection("docs", docs.MoveValueOrDie());
-      std::fprintf(stderr,
-                   "registered synthetic collection 'docs' (%lld docs)\n",
-                   static_cast<long long>(generate_docs));
+      if (shard_id >= 0) {
+        // Shard mode: every shard generates the identical full
+        // collection (the generator is deterministic), computes the
+        // full-collection statistics, then keeps only its partition.
+        spindle::RelationPtr full = docs.MoveValueOrDie();
+        auto stats =
+            spindle::shard::GlobalStats::Compute(full,
+                                                 service_opts.analyzer);
+        if (!stats.ok()) {
+          std::fprintf(stderr, "global statistics failed: %s\n",
+                       stats.status().ToString().c_str());
+          return 1;
+        }
+        auto part = spindle::shard::PartitionCollection(
+            full, static_cast<uint32_t>(shard_id),
+            static_cast<uint32_t>(num_shards));
+        if (!part.ok()) {
+          std::fprintf(stderr, "partition failed: %s\n",
+                       part.status().ToString().c_str());
+          return 1;
+        }
+        const size_t partition_rows = part.ValueOrDie()->num_rows();
+        service.RegisterCollection("docs", part.MoveValueOrDie());
+        spindle::Status st =
+            service.SetGlobalStats("docs", stats.MoveValueOrDie());
+        if (!st.ok()) {
+          std::fprintf(stderr, "install statistics failed: %s\n",
+                       st.ToString().c_str());
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "registered shard %lld/%lld of 'docs' (%zu of %lld "
+                     "docs, global statistics installed)\n",
+                     static_cast<long long>(shard_id),
+                     static_cast<long long>(num_shards), partition_rows,
+                     static_cast<long long>(generate_docs));
+      } else {
+        service.RegisterCollection("docs", docs.MoveValueOrDie());
+        std::fprintf(stderr,
+                     "registered synthetic collection 'docs' (%lld docs)\n",
+                     static_cast<long long>(generate_docs));
+      }
     }
     if (!queries_file.empty()) {
       // Vocabulary words are synthetic (base-26 scrambles, not "word7"),

@@ -1,0 +1,718 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "server/line_server.h"
+#include "shard/wire.h"
+
+namespace spindle {
+namespace shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedUs(Clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            t0)
+          .count());
+}
+
+/// Latency ring capacity per shard for percentile hedging.
+constexpr size_t kLatencyRingSize = 256;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Backends
+
+Result<RelationPtr> LocalShardBackend::SearchSharded(
+    const std::string& collection, const QueryGlobalStats& global,
+    const SearchOptions& options, int64_t deadline_ms,
+    CancelTokenPtr token) {
+  server::ShardSearchRequest req;
+  req.collection = collection;
+  req.global = global;
+  req.options = options;
+  // The coordinator owns deadline policy: a remaining budget > 0 is
+  // enforced as-is, otherwise the service default is explicitly disabled
+  // (never stacked on top of the coordinator's).
+  req.request.deadline_ms = deadline_ms > 0 ? deadline_ms : -1;
+  req.request.token = std::move(token);
+  Result<server::QueryResponse> resp = service_->SearchSharded(req);
+  if (!resp.ok()) return resp.status();
+  return resp.MoveValueOrDie().rows;
+}
+
+Result<GlobalStatsPtr> LocalShardBackend::FetchGlobalStats(
+    const std::string& collection) {
+  GlobalStatsPtr stats = service_->GetGlobalStats(collection);
+  if (stats == nullptr) {
+    return Status::NotFound("shard " + name_ +
+                            " has no global statistics for collection: " +
+                            collection);
+  }
+  return stats;
+}
+
+Result<server::LineClient> RemoteShardBackend::Dial(
+    int64_t read_timeout_ms) {
+  server::LineClientOptions co;
+  co.connect_timeout_ms = opts_.connect_timeout_ms;
+  co.connect_retries = opts_.connect_retries;
+  co.backoff_ms = opts_.backoff_ms;
+  co.read_timeout_ms = read_timeout_ms;
+  server::LineClient client(co);
+  SPINDLE_RETURN_IF_ERROR(client.Connect(host_, port_));
+  return client;
+}
+
+Result<RelationPtr> RemoteShardBackend::SearchSharded(
+    const std::string& collection, const QueryGlobalStats& global,
+    const SearchOptions& options, int64_t deadline_ms,
+    CancelTokenPtr token) {
+  if (token != nullptr && token->cancelled()) return token->ToStatus();
+  // Bound the response wait by the remaining budget (plus wire slack) so
+  // a dead shard cannot park a dispatch thread past the deadline.
+  const int64_t read_ms = deadline_ms > 0 ? deadline_ms + 100
+                                          : opts_.default_read_timeout_ms;
+  SPINDLE_ASSIGN_OR_RETURN(server::LineClient client, Dial(read_ms));
+  Result<server::WireResponse> resp =
+      client.Call(EncodeSearchG(collection, deadline_ms, options, global));
+  if (!resp.ok()) return resp.status();
+  if (token != nullptr && token->cancelled()) return token->ToStatus();
+  std::vector<int64_t> ids;
+  std::vector<double> scores;
+  const std::vector<std::string>& rows = resp.ValueOrDie().rows;
+  ids.reserve(rows.size());
+  scores.reserve(rows.size());
+  for (const std::string& row : rows) {
+    const size_t tab = row.find('\t');
+    errno = 0;
+    char* end = nullptr;
+    const long long id = std::strtoll(row.c_str(), &end, 10);
+    bool ok_id = errno == 0 && end == row.c_str() + tab;
+    errno = 0;
+    // %.17g wire doubles reparse to the exact shard-side bits.
+    const double score =
+        tab == std::string::npos
+            ? 0.0
+            : std::strtod(row.c_str() + tab + 1, &end);
+    if (tab == std::string::npos || !ok_id || errno != 0 ||
+        end != row.c_str() + row.size()) {
+      return Status::Internal("shard " + name_ +
+                              " returned a malformed row: " + row);
+    }
+    ids.push_back(static_cast<int64_t>(id));
+    scores.push_back(score);
+  }
+  std::vector<Column> cols;
+  cols.push_back(Column::MakeInt64(std::move(ids)));
+  cols.push_back(Column::MakeFloat64(std::move(scores)));
+  return Relation::Make(
+      Schema({{"docID", DataType::kInt64}, {"score", DataType::kFloat64}}),
+      std::move(cols));
+}
+
+Status RemoteShardBackend::Ping() {
+  Result<server::LineClient> client = Dial(opts_.connect_timeout_ms);
+  if (!client.ok()) return client.status();
+  return client.ValueOrDie().Ping();
+}
+
+Result<GlobalStatsPtr> RemoteShardBackend::FetchGlobalStats(
+    const std::string& collection) {
+  SPINDLE_ASSIGN_OR_RETURN(server::LineClient client,
+                           Dial(opts_.default_read_timeout_ms));
+  Result<server::WireResponse> resp = client.Call("GSTATS " + collection);
+  if (!resp.ok()) return resp.status();
+  return GlobalStats::FromWireRows(resp.ValueOrDie().rows);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+
+/// Shared state of one request's scatter-gather. Dispatch threads keep it
+/// alive via shared_ptr, so a straggler that loses to the deadline can
+/// still write its slot (harmlessly) after Search returned.
+struct ShardCoordinator::GatherState {
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Request inputs, immutable after construction.
+  std::string collection;
+  std::shared_ptr<const QueryGlobalStats> global;
+  SearchOptions options;
+  Clock::time_point start;
+  Clock::time_point deadline;  ///< meaningful when has_deadline
+  bool has_deadline = false;
+
+  struct Slot {
+    bool done = false;  ///< a winning result or a final failure recorded
+    bool has_result = false;
+    RelationPtr rows;
+    Status error = Status::OK();  ///< last failure seen on this slot
+    int outstanding = 0;          ///< dispatches in flight
+    bool hedged = false;          ///< replica dispatch issued
+    bool hedge_won = false;
+    uint64_t latency_us = 0;
+    CancelTokenPtr tokens[2];  ///< [0] primary, [1] hedge
+  };
+  std::vector<Slot> slots;
+  size_t done_count = 0;
+};
+
+ShardCoordinator::ShardCoordinator(CoordinatorOptions options,
+                                   AnalyzerOptions analyzer)
+    : opts_(options), analyzer_options_(std::move(analyzer)) {}
+
+ShardCoordinator::~ShardCoordinator() {
+  stopping_.store(true, std::memory_order_release);
+  // Every Search trips its slots' tokens before returning, so in-flight
+  // dispatches are already cancelled; wait for their threads to drain
+  // (bounded by the backends' own read timeouts).
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+void ShardCoordinator::AddShard(ShardBackendPtr primary,
+                                ShardBackendPtr replica) {
+  auto shard = std::make_unique<Shard>();
+  shard->primary = std::move(primary);
+  shard->replica = std::move(replica);
+  shards_.push_back(std::move(shard));
+}
+
+Status ShardCoordinator::SetGlobalStats(const std::string& collection,
+                                        GlobalStatsPtr stats) {
+  if (stats == nullptr) {
+    return Status::InvalidArgument("SetGlobalStats: null stats");
+  }
+  const std::string sig = analyzer_options_.Signature();
+  if (stats->analyzer_signature() != sig) {
+    return Status::InvalidArgument(
+        "global statistics analyzer " + stats->analyzer_signature() +
+        " does not match the coordinator analyzer " + sig);
+  }
+  stats_[collection] = std::move(stats);
+  return Status::OK();
+}
+
+GlobalStatsPtr ShardCoordinator::GetGlobalStats(
+    const std::string& collection) const {
+  auto it = stats_.find(collection);
+  return it == stats_.end() ? nullptr : it->second;
+}
+
+Status ShardCoordinator::BootstrapGlobalStats(
+    const std::string& collection) {
+  if (shards_.empty()) {
+    return Status::InvalidArgument("no shards configured");
+  }
+  GlobalStatsPtr first;
+  std::string first_bytes;
+  std::string first_from;
+  Status last = Status::Unavailable("no shard reachable");
+  for (const std::unique_ptr<Shard>& s : shards_) {
+    Result<GlobalStatsPtr> r = s->primary->FetchGlobalStats(collection);
+    if (!r.ok()) {
+      last = r.status();
+      continue;
+    }
+    // Every shard of one partitioning stores the identical statistics
+    // blob; a mismatch means the topology mixes partitionings (or
+    // collections) and would serve wrong rankings — refuse to start.
+    std::string bytes = r.ValueOrDie()->Serialize();
+    if (first == nullptr) {
+      first = r.MoveValueOrDie();
+      first_bytes = std::move(bytes);
+      first_from = s->primary->name();
+    } else if (bytes != first_bytes) {
+      return Status::InvalidArgument(
+          "shards " + first_from + " and " + s->primary->name() +
+          " store different global statistics for collection '" +
+          collection + "' — mixed partitionings?");
+    }
+  }
+  if (first == nullptr) {
+    return Status::Unavailable(
+        "could not fetch global statistics for collection '" + collection +
+        "' from any shard: " + last.message());
+  }
+  return SetGlobalStats(collection, std::move(first));
+}
+
+int64_t ShardCoordinator::HedgeDelayMs(Shard& s) const {
+  if (opts_.hedge_after_ms > 0) return opts_.hedge_after_ms;
+  if (opts_.hedge_percentile > 0.0 && opts_.hedge_percentile <= 1.0) {
+    std::lock_guard<std::mutex> lock(s.lat_mu);
+    if (s.lat_us.size() >= opts_.hedge_min_samples) {
+      std::vector<uint64_t> v = s.lat_us;
+      std::sort(v.begin(), v.end());
+      size_t idx = static_cast<size_t>(opts_.hedge_percentile *
+                                       static_cast<double>(v.size()));
+      if (idx >= v.size()) idx = v.size() - 1;
+      return std::max<int64_t>(1, static_cast<int64_t>(v[idx] / 1000));
+    }
+  }
+  return -1;
+}
+
+void ShardCoordinator::RecordLatency(Shard& s, uint64_t us) {
+  std::lock_guard<std::mutex> lock(s.lat_mu);
+  if (s.lat_us.size() < kLatencyRingSize) {
+    s.lat_us.push_back(us);
+  } else {
+    s.lat_us[s.lat_next] = us;
+    s.lat_next = (s.lat_next + 1) % kLatencyRingSize;
+  }
+}
+
+void ShardCoordinator::Dispatch(const std::shared_ptr<GatherState>& state,
+                                size_t idx, const ShardBackendPtr& backend,
+                                bool is_hedge) {
+  CancelTokenPtr token = std::make_shared<CancelToken>();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    GatherState::Slot& slot = state->slots[idx];
+    slot.outstanding++;
+    slot.tokens[is_hedge ? 1 : 0] = token;
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    inflight_++;
+  }
+  // Capture the caller's trace context so the per-shard wait span parents
+  // under the request's scatter span even though it runs on its own
+  // thread. `this` stays valid: the destructor drains inflight_ to zero.
+  const obs::TraceContext tctx = obs::CurrentTraceContext();
+  Shard* shard = shards_[idx].get();
+  std::thread([this, state, idx, backend, is_hedge, token, tctx,
+               shard]() {
+    const Clock::time_point t0 = Clock::now();
+    // Remaining budget at dispatch time — relative, never wall-clock: a
+    // hedge issued 80ms into a 100ms request ships a 20ms budget.
+    int64_t remaining_ms = 0;
+    if (state->has_deadline) {
+      const int64_t left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              state->deadline - t0)
+              .count();
+      remaining_ms = left > 1 ? left : 1;
+    }
+    Result<RelationPtr> r = [&]() -> Result<RelationPtr> {
+      obs::ScopedTraceContext trace_scope(tctx);
+      obs::Span span("coord", is_hedge ? "shard_hedge" : "shard_wait");
+      if (span.active()) span.Note("shard", backend->name());
+      try {
+        return backend->SearchSharded(state->collection, *state->global,
+                                      state->options, remaining_ms, token);
+      } catch (const std::exception& e) {
+        return Status::Internal(std::string("shard backend threw: ") +
+                                e.what());
+      } catch (...) {
+        return Status::Internal("shard backend threw a non-standard "
+                                "exception");
+      }
+    }();
+    const uint64_t us = ElapsedUs(t0);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      GatherState::Slot& slot = state->slots[idx];
+      slot.outstanding--;
+      if (!slot.done) {
+        if (r.ok()) {
+          slot.done = true;
+          slot.has_result = true;
+          slot.rows = r.MoveValueOrDie();
+          slot.latency_us = us;
+          slot.hedge_won = is_hedge;
+          state->done_count++;
+          // Win accounting happens before the notify so coordinator
+          // metrics are coherent by the time Search() returns.
+          RecordLatency(*shard, us);
+          if (is_hedge) {
+            metrics_.hedge_wins.fetch_add(1, std::memory_order_relaxed);
+          }
+          // First reply wins; cancel the losing twin dispatch.
+          CancelTokenPtr& other = slot.tokens[is_hedge ? 0 : 1];
+          if (other != nullptr) other->Cancel(StatusCode::kCancelled);
+        } else {
+          slot.error = r.status();
+          metrics_.shard_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      state->cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      inflight_--;
+      drain_cv_.notify_all();
+    }
+  }).detach();
+}
+
+Result<CoordSearchResponse> ShardCoordinator::Search(
+    const CoordSearchRequest& req) {
+  const Clock::time_point t0 = Clock::now();
+  metrics_.requests_total.fetch_add(1, std::memory_order_relaxed);
+  if (shards_.empty()) {
+    metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("no shards configured");
+  }
+  if (req.options.top_k == 0) {
+    metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(
+        "sharded search requires top_k > 0");
+  }
+  if (req.options.phrase_boost > 0.0) {
+    metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotImplemented(
+        "phrase boost is not supported on sharded queries");
+  }
+  auto stats_it = stats_.find(req.collection);
+  if (stats_it == stats_.end()) {
+    metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("no global statistics for collection: " +
+                            req.collection);
+  }
+
+  CoordSearchResponse resp;
+  std::shared_ptr<obs::Tracer> tracer;
+  if (opts_.trace_requests) {
+    tracer = std::make_shared<obs::Tracer>();
+    resp.trace_id = tracer->trace_id();
+  }
+  obs::ScopedTracer trace_scope(tracer.get());
+  auto fail = [&](Status st) -> Result<CoordSearchResponse> {
+    metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  };
+
+  Result<CoordSearchResponse> out = [&]() -> Result<CoordSearchResponse> {
+    obs::Span root("coord", "search");
+    if (root.active()) {
+      root.Add("shards", static_cast<int64_t>(shards_.size()));
+      root.Add("top_k", static_cast<int64_t>(req.options.top_k));
+      root.Note("model", RankModelName(req.options.model));
+    }
+
+    // Resolve: one analysis of the query, against the global dictionary.
+    SPINDLE_ASSIGN_OR_RETURN(Analyzer analyzer,
+                             Analyzer::Make(analyzer_options_));
+    SPINDLE_ASSIGN_OR_RETURN(
+        QueryGlobalStats global,
+        stats_it->second->ResolveQuery(req.query, analyzer));
+
+    const int64_t deadline_ms = req.deadline_ms != 0
+                                    ? req.deadline_ms
+                                    : opts_.default_deadline_ms;
+    auto state = std::make_shared<GatherState>();
+    state->collection = req.collection;
+    state->global =
+        std::make_shared<const QueryGlobalStats>(std::move(global));
+    state->options = req.options;
+    state->start = t0;
+    state->has_deadline = deadline_ms > 0;
+    if (state->has_deadline) {
+      state->deadline = t0 + std::chrono::milliseconds(deadline_ms);
+    }
+    state->slots.resize(shards_.size());
+
+    // Scatter.
+    {
+      obs::Span scatter("coord", "scatter");
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        Dispatch(state, i, shards_[i]->primary, /*is_hedge=*/false);
+      }
+    }
+
+    // Gather, with failover and latency hedging.
+    {
+      obs::Span gather("coord", "gather");
+      std::unique_lock<std::mutex> lock(state->mu);
+      for (;;) {
+        // Resolve slots whose dispatches all failed: fail over to the
+        // replica once, else record the slot as finally failed.
+        bool changed = false;
+        for (size_t i = 0; i < state->slots.size(); ++i) {
+          GatherState::Slot& slot = state->slots[i];
+          if (slot.done || slot.outstanding > 0) continue;
+          if (shards_[i]->replica != nullptr && !slot.hedged) {
+            slot.hedged = true;
+            resp.hedges++;
+            metrics_.hedges_issued.fetch_add(1,
+                                             std::memory_order_relaxed);
+            lock.unlock();
+            Dispatch(state, i, shards_[i]->replica, /*is_hedge=*/true);
+            lock.lock();
+          } else {
+            slot.done = true;
+            state->done_count++;
+          }
+          changed = true;
+        }
+        if (state->done_count == state->slots.size()) break;
+        const Clock::time_point now = Clock::now();
+        if (state->has_deadline && now >= state->deadline) {
+          // Deadline: trip every straggler and mark its slot failed.
+          for (GatherState::Slot& slot : state->slots) {
+            if (slot.done) continue;
+            for (CancelTokenPtr& t : slot.tokens) {
+              if (t != nullptr) t->Cancel(StatusCode::kDeadlineExceeded);
+            }
+            if (slot.error.ok()) {
+              slot.error = Status::DeadlineExceeded(
+                  "shard did not answer within the deadline");
+            }
+            metrics_.shard_failures.fetch_add(1,
+                                              std::memory_order_relaxed);
+            slot.done = true;
+            state->done_count++;
+          }
+          break;
+        }
+        if (changed) continue;  // re-evaluate before sleeping
+        // Latency hedging: issue due replica dispatches.
+        Clock::time_point wake = state->has_deadline
+                                     ? state->deadline
+                                     : Clock::time_point::max();
+        for (size_t i = 0; i < state->slots.size(); ++i) {
+          GatherState::Slot& slot = state->slots[i];
+          if (slot.done || slot.hedged || shards_[i]->replica == nullptr) {
+            continue;
+          }
+          const int64_t delay = HedgeDelayMs(*shards_[i]);
+          if (delay < 0) continue;
+          const Clock::time_point due =
+              state->start + std::chrono::milliseconds(delay);
+          if (now >= due) {
+            slot.hedged = true;
+            resp.hedges++;
+            metrics_.hedges_issued.fetch_add(1,
+                                             std::memory_order_relaxed);
+            lock.unlock();
+            Dispatch(state, i, shards_[i]->replica, /*is_hedge=*/true);
+            lock.lock();
+          } else {
+            wake = std::min(wake, due);
+          }
+        }
+        if (wake == Clock::time_point::max()) {
+          state->cv.wait(lock);
+        } else {
+          state->cv.wait_until(lock, wake);
+        }
+      }
+
+      // The request is decided: trip every remaining token so straggler
+      // dispatches (hedge losers, post-deadline work) stop promptly.
+      for (GatherState::Slot& slot : state->slots) {
+        for (CancelTokenPtr& t : slot.tokens) {
+          if (t != nullptr) t->Cancel(StatusCode::kCancelled);
+        }
+      }
+    }
+
+    // Collect outcomes.
+    std::vector<RelationPtr> shard_rows;
+    Status first_error = Status::OK();
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      for (size_t i = 0; i < state->slots.size(); ++i) {
+        GatherState::Slot& slot = state->slots[i];
+        if (slot.has_result) {
+          shard_rows.push_back(slot.rows);
+        } else {
+          resp.failed_shards.push_back(shards_[i]->primary->name());
+          if (first_error.ok()) first_error = slot.error;
+        }
+      }
+    }
+    if (!resp.failed_shards.empty()) {
+      std::string names;
+      for (const std::string& n : resp.failed_shards) {
+        if (!names.empty()) names += ", ";
+        names += n;
+      }
+      if (opts_.partial == PartialPolicy::kFail) {
+        return Status::Unavailable(
+            "shard(s) failed: " + names + " (" + first_error.message() +
+            ")");
+      }
+      if (shard_rows.empty()) {
+        // Nothing to degrade to.
+        return Status::Unavailable("all shards failed: " + names + " (" +
+                                   first_error.message() + ")");
+      }
+      resp.partial = true;
+    }
+
+    // Merge: concatenate the local top-k lists and keep the global
+    // top-k under (score desc, docID asc). Disjoint partitions + global
+    // statistics make this exact — every global winner is in its shard's
+    // list with the identical score bits.
+    {
+      obs::Span merge("coord", "merge");
+      struct Entry {
+        double score;
+        int64_t doc;
+      };
+      std::vector<Entry> entries;
+      for (const RelationPtr& rel : shard_rows) {
+        if (rel->num_columns() < 2 ||
+            rel->column(0).type() != DataType::kInt64 ||
+            rel->column(1).type() != DataType::kFloat64) {
+          return Status::Internal(
+              "shard returned an unexpected result schema: " +
+              rel->schema().ToString());
+        }
+        for (size_t r = 0; r < rel->num_rows(); ++r) {
+          entries.push_back(
+              {rel->column(1).Float64At(r), rel->column(0).Int64At(r)});
+        }
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.doc < b.doc;
+                });
+      if (entries.size() > req.options.top_k) {
+        entries.resize(req.options.top_k);
+      }
+      if (merge.active()) {
+        merge.Add("candidates", static_cast<int64_t>(entries.size()));
+      }
+      std::vector<int64_t> ids;
+      std::vector<double> scores;
+      ids.reserve(entries.size());
+      scores.reserve(entries.size());
+      for (const Entry& e : entries) {
+        ids.push_back(e.doc);
+        scores.push_back(e.score);
+      }
+      std::vector<Column> cols;
+      cols.push_back(Column::MakeInt64(std::move(ids)));
+      cols.push_back(Column::MakeFloat64(std::move(scores)));
+      SPINDLE_ASSIGN_OR_RETURN(
+          resp.rows,
+          Relation::Make(Schema({{"docID", DataType::kInt64},
+                                 {"score", DataType::kFloat64}}),
+                         std::move(cols)));
+    }
+    return std::move(resp);
+  }();
+
+  if (tracer != nullptr) {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_log_.push_back(tracer);
+    while (trace_log_.size() > opts_.trace_log_capacity &&
+           !trace_log_.empty()) {
+      trace_log_.pop_front();
+    }
+  }
+  if (!out.ok()) return fail(out.status());
+  CoordSearchResponse final_resp = out.MoveValueOrDie();
+  final_resp.latency_us = ElapsedUs(t0);
+  final_resp.trace = tracer;
+  if (final_resp.partial) {
+    metrics_.requests_partial.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+  }
+  return final_resp;
+}
+
+std::string ShardCoordinator::MetricsJson() const {
+  auto v = [](const std::atomic<uint64_t>& a) {
+    return std::to_string(a.load(std::memory_order_relaxed));
+  };
+  std::string json = "{";
+  json += "\"shards\":" + std::to_string(shards_.size());
+  json += ",\"requests_total\":" + v(metrics_.requests_total);
+  json += ",\"requests_ok\":" + v(metrics_.requests_ok);
+  json += ",\"requests_partial\":" + v(metrics_.requests_partial);
+  json += ",\"requests_failed\":" + v(metrics_.requests_failed);
+  json += ",\"shard_failures\":" + v(metrics_.shard_failures);
+  json += ",\"hedges_issued\":" + v(metrics_.hedges_issued);
+  json += ",\"hedge_wins\":" + v(metrics_.hedge_wins);
+  json += "}";
+  return json;
+}
+
+std::string ShardCoordinator::ExportChromeTraceJson() const {
+  std::vector<std::shared_ptr<const obs::Tracer>> tracers;
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    tracers.assign(trace_log_.begin(), trace_log_.end());
+  }
+  return obs::ExportChromeTrace(tracers);
+}
+
+// ---------------------------------------------------------------------------
+// Wire front-end
+
+std::string CoordinatorHandler::Handle(const std::string& cmd,
+                                       std::string rest) {
+  using server::WireErrLine;
+  using server::WireOkBlock;
+  using server::WireParseInt64;
+  using server::WireTakeWord;
+
+  if (cmd == "STATS") {
+    return WireOkBlock({coordinator_->MetricsJson()});
+  }
+
+  if (cmd == "SEARCH") {
+    CoordSearchRequest req;
+    req.collection = WireTakeWord(&rest);
+    int64_t k = 0;
+    if (req.collection.empty() || !WireParseInt64(WireTakeWord(&rest), &k) ||
+        !WireParseInt64(WireTakeWord(&rest), &req.deadline_ms) ||
+        rest.empty()) {
+      return WireErrLine(Status::InvalidArgument(
+          "usage: SEARCH <collection> <k> <deadline_ms> <query...>"));
+    }
+    if (k <= 0) {
+      return WireErrLine(
+          Status::InvalidArgument("k must be > 0 on a coordinator"));
+    }
+    req.query = rest;
+    req.options.top_k = static_cast<size_t>(k);
+    Result<CoordSearchResponse> resp = coordinator_->Search(req);
+    if (!resp.ok()) return WireErrLine(resp.status());
+    const CoordSearchResponse& cr = resp.ValueOrDie();
+    return WireOkBlock(server::SerializeRows(*cr.rows), cr.trace_id,
+                       cr.partial);
+  }
+
+  if (cmd == "GSTATS") {
+    const std::string collection = WireTakeWord(&rest);
+    if (collection.empty() || !rest.empty()) {
+      return WireErrLine(
+          Status::InvalidArgument("usage: GSTATS <collection>"));
+    }
+    GlobalStatsPtr stats = coordinator_->GetGlobalStats(collection);
+    if (stats == nullptr) {
+      return WireErrLine(Status::NotFound(
+          "no global statistics for collection: " + collection));
+    }
+    return WireOkBlock(stats->ToWireRows());
+  }
+
+  if (cmd == "SPINQL" || cmd == "TRACE") {
+    return WireErrLine(Status::NotImplemented(
+        cmd + " is not distributed; connect to a shard directly"));
+  }
+
+  return WireErrLine(Status::InvalidArgument("unknown command: " + cmd));
+}
+
+}  // namespace shard
+}  // namespace spindle

@@ -1,0 +1,306 @@
+/// \file coordinator.h
+/// \brief Scatter-gather query coordination over partitioned collections.
+///
+/// The coordinator owns the distributed query lifecycle (docs/sharding.md):
+///
+///   1. resolve — analyze the query once and attach full-collection
+///      statistics (GlobalStats::ResolveQuery), so every shard scores
+///      its partition under *global* idf / cf / avgdl;
+///   2. scatter — dispatch the resolved query to every shard with the
+///      request's *remaining budget* as a relative deadline (never a
+///      wall-clock deadline: shard clocks are unrelated);
+///   3. gather — wait for the shards' local top-k lists, hedging a
+///      straggler to its replica after a configurable delay or an
+///      observed latency percentile, and cooperatively cancelling
+///      whichever copy loses the race;
+///   4. merge — concatenate the per-shard (docID, score) lists and keep
+///      the global top-k under (score desc, docID asc).
+///
+/// Because the partitions are disjoint and each shard returns its full
+/// local top-k scored with global statistics, every member of the true
+/// global top-k is necessarily in some shard's list — the merge is exact,
+/// and the final relation is bit-identical to single-node RankTopK over
+/// the whole collection (scores, docIDs and order; verified by
+/// tests/shard_test.cc and the CI byte-diff smoke).
+///
+/// Failures: a shard that fails or misses the deadline either fails the
+/// whole query (PartialPolicy::kFail → kUnavailable) or degrades it
+/// (kDegrade → merged answer over the responsive shards, flagged
+/// partial). A degraded answer is no longer guaranteed complete — that
+/// is the documented trade; the flag travels to clients as the
+/// "partial=1" response-header token.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/request_context.h"
+#include "ir/searcher.h"
+#include "obs/trace.h"
+#include "server/client.h"
+#include "server/line_server.h"
+#include "server/query_service.h"
+#include "shard/global_stats.h"
+#include "text/analyzer.h"
+
+namespace spindle {
+namespace shard {
+
+/// \brief One shard the coordinator can dispatch to. Implementations
+/// must be thread-safe: the coordinator calls SearchSharded from
+/// concurrent dispatch threads (primary and hedge may run at once).
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// \brief Executes the resolved query against this shard's partition.
+  /// `deadline_ms` is the remaining budget at dispatch (0 = none);
+  /// `token` is tripped when the coordinator no longer needs the answer
+  /// (deadline, hedge lost, shutdown) — implementations should stop work
+  /// and may return any status once tripped.
+  virtual Result<RelationPtr> SearchSharded(const std::string& collection,
+                                            const QueryGlobalStats& global,
+                                            const SearchOptions& options,
+                                            int64_t deadline_ms,
+                                            CancelTokenPtr token) = 0;
+
+  /// \brief Cheap liveness probe.
+  virtual Status Ping() = 0;
+
+  /// \brief The shard's stored full-collection statistics (coordinator
+  /// bootstrap; every shard of a partitioning stores the same bytes).
+  virtual Result<GlobalStatsPtr> FetchGlobalStats(
+      const std::string& collection) = 0;
+};
+
+using ShardBackendPtr = std::shared_ptr<ShardBackend>;
+
+/// \brief In-process backend over a QueryService (tests, benchmarks,
+/// single-binary topologies). The service must hold this shard's
+/// partition and outlive the backend.
+class LocalShardBackend : public ShardBackend {
+ public:
+  LocalShardBackend(std::string name, server::QueryService* service)
+      : name_(std::move(name)), service_(service) {}
+
+  const std::string& name() const override { return name_; }
+  Result<RelationPtr> SearchSharded(const std::string& collection,
+                                    const QueryGlobalStats& global,
+                                    const SearchOptions& options,
+                                    int64_t deadline_ms,
+                                    CancelTokenPtr token) override;
+  Status Ping() override { return Status::OK(); }
+  Result<GlobalStatsPtr> FetchGlobalStats(
+      const std::string& collection) override;
+
+ private:
+  std::string name_;
+  server::QueryService* service_;
+};
+
+/// \brief Remote backend over the line protocol (SEARCHG / GSTATS wire
+/// commands). Each call opens a fresh connection, so concurrent primary
+/// and hedge dispatches never share a socket, and the per-call read
+/// timeout is bounded by the request's remaining budget. Cancellation is
+/// cooperative at the transport level: a tripped token abandons the
+/// response; the server side enforces its own (shipped) deadline.
+class RemoteShardBackend : public ShardBackend {
+ public:
+  struct Options {
+    int64_t connect_timeout_ms = 1000;
+    int connect_retries = 2;
+    int64_t backoff_ms = 50;
+    /// Response-wait bound when the request itself has no deadline.
+    int64_t default_read_timeout_ms = 10000;
+  };
+
+  RemoteShardBackend(std::string name, std::string host, int port,
+                     Options options)
+      : name_(std::move(name)),
+        host_(std::move(host)),
+        port_(port),
+        opts_(options) {}
+  RemoteShardBackend(std::string name, std::string host, int port)
+      : RemoteShardBackend(std::move(name), std::move(host), port,
+                           Options()) {}
+
+  const std::string& name() const override { return name_; }
+  Result<RelationPtr> SearchSharded(const std::string& collection,
+                                    const QueryGlobalStats& global,
+                                    const SearchOptions& options,
+                                    int64_t deadline_ms,
+                                    CancelTokenPtr token) override;
+  Status Ping() override;
+  Result<GlobalStatsPtr> FetchGlobalStats(
+      const std::string& collection) override;
+
+ private:
+  Result<server::LineClient> Dial(int64_t read_timeout_ms);
+
+  std::string name_;
+  std::string host_;
+  int port_;
+  Options opts_;
+};
+
+/// \brief What a degraded (partial) answer is allowed to look like.
+enum class PartialPolicy {
+  /// Any failed or late shard fails the query with kUnavailable.
+  kFail,
+  /// Merge the responsive shards and flag the answer partial. If no
+  /// shard responded there is nothing to degrade to — still kUnavailable.
+  kDegrade,
+};
+
+struct CoordinatorOptions {
+  /// Applied to requests that do not carry their own deadline; 0 = none.
+  int64_t default_deadline_ms = 0;
+  PartialPolicy partial = PartialPolicy::kFail;
+  /// Fixed hedge delay: re-issue a shard's request to its replica after
+  /// this many ms without a reply. 0 disables fixed-delay hedging.
+  int64_t hedge_after_ms = 0;
+  /// Adaptive hedge delay: when hedge_after_ms == 0 and this is in
+  /// (0, 1], hedge after the shard's observed latency percentile (e.g.
+  /// 0.95), once hedge_min_samples responses have been recorded.
+  double hedge_percentile = 0.0;
+  size_t hedge_min_samples = 32;
+  /// Trace every request (scatter / per-shard wait / merge spans,
+  /// Chrome-exportable).
+  bool trace_requests = false;
+  size_t trace_log_capacity = 64;
+};
+
+struct CoordSearchRequest {
+  std::string collection;
+  std::string query;
+  SearchOptions options;  ///< top_k > 0 required; no phrase boost
+  /// Relative deadline; 0 uses the coordinator default, negative
+  /// disables it.
+  int64_t deadline_ms = 0;
+};
+
+struct CoordSearchResponse {
+  RelationPtr rows;  ///< (docID: int64, score: float64), global top-k
+  /// True when PartialPolicy::kDegrade dropped one or more shards.
+  bool partial = false;
+  std::vector<std::string> failed_shards;
+  uint64_t latency_us = 0;
+  size_t hedges = 0;  ///< hedge dispatches issued for this request
+  uint64_t trace_id = 0;
+  std::shared_ptr<const obs::Tracer> trace;
+};
+
+/// \brief Coordinator-side counters (monotonic; JSON via MetricsJson).
+struct CoordinatorMetrics {
+  std::atomic<uint64_t> requests_total{0};
+  std::atomic<uint64_t> requests_ok{0};
+  std::atomic<uint64_t> requests_partial{0};
+  std::atomic<uint64_t> requests_failed{0};
+  std::atomic<uint64_t> shard_failures{0};
+  std::atomic<uint64_t> hedges_issued{0};
+  std::atomic<uint64_t> hedge_wins{0};
+};
+
+/// \brief The scatter-gather coordinator. Thread-safe after setup:
+/// configure shards and statistics first, then Search from any number of
+/// threads. The destructor cancels and drains all in-flight dispatches.
+class ShardCoordinator {
+ public:
+  explicit ShardCoordinator(CoordinatorOptions options = {},
+                            AnalyzerOptions analyzer = {});
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  /// \brief Adds one shard: the primary backend and an optional replica
+  /// holding the SAME partition (hedge / failover target).
+  void AddShard(ShardBackendPtr primary, ShardBackendPtr replica = nullptr);
+  size_t num_shards() const { return shards_.size(); }
+
+  /// \brief Installs the full-collection statistics for `collection`.
+  /// Must be computed under this coordinator's analyzer configuration.
+  Status SetGlobalStats(const std::string& collection, GlobalStatsPtr stats);
+
+  /// \brief Fetches the statistics for `collection` from the shards
+  /// (first healthy one wins) and cross-checks that every reachable
+  /// shard stores identical bytes — a mismatch means the topology mixes
+  /// partitionings and would serve wrong rankings.
+  Status BootstrapGlobalStats(const std::string& collection);
+
+  /// \brief The installed statistics for `collection`, or null.
+  GlobalStatsPtr GetGlobalStats(const std::string& collection) const;
+
+  /// \brief One distributed search: resolve, scatter, gather, merge.
+  Result<CoordSearchResponse> Search(const CoordSearchRequest& req);
+
+  const CoordinatorMetrics& metrics() const { return metrics_; }
+  std::string MetricsJson() const;
+  /// \brief Chrome trace-event JSON of retained request traces.
+  std::string ExportChromeTraceJson() const;
+
+ private:
+  struct Shard {
+    ShardBackendPtr primary;
+    ShardBackendPtr replica;
+    /// Completed-dispatch latency ring for percentile hedging.
+    std::mutex lat_mu;
+    std::vector<uint64_t> lat_us;
+    size_t lat_next = 0;
+  };
+
+  struct GatherState;
+
+  /// Hedge delay for shard `s` in ms, or -1 when hedging is off /
+  /// unwarmed.
+  int64_t HedgeDelayMs(Shard& s) const;
+  void RecordLatency(Shard& s, uint64_t us);
+
+  /// Spawns one detached dispatch thread for slot `idx`.
+  void Dispatch(const std::shared_ptr<GatherState>& state, size_t idx,
+                const ShardBackendPtr& backend, bool is_hedge);
+
+  CoordinatorOptions opts_;
+  AnalyzerOptions analyzer_options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  GlobalStatsMap stats_;
+  CoordinatorMetrics metrics_;
+
+  /// Destructor drain: count of live dispatch threads.
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  size_t inflight_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex trace_mu_;
+  std::deque<std::shared_ptr<const obs::Tracer>> trace_log_;
+};
+
+/// \brief LineHandler exposing a ShardCoordinator over the standard wire
+/// protocol: SEARCH fans out (identical request line, identical response
+/// framing — spindle_client cannot tell a coordinator from a single
+/// server, except for the partial=1 token on degraded answers), GSTATS
+/// serves the coordinator's statistics, STATS its metrics JSON. SPINQL
+/// and TRACE are not distributed and return NotImplemented.
+class CoordinatorHandler : public server::LineHandler {
+ public:
+  explicit CoordinatorHandler(ShardCoordinator* coordinator)
+      : coordinator_(coordinator) {}
+  std::string Handle(const std::string& cmd, std::string rest) override;
+
+ private:
+  ShardCoordinator* coordinator_;
+};
+
+}  // namespace shard
+}  // namespace spindle

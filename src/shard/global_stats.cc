@@ -1,0 +1,256 @@
+#include "shard/global_stats.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <span>
+
+#include "ir/topk_pruning.h"
+#include "storage/snapshot.h"
+
+namespace spindle {
+namespace shard {
+
+namespace {
+
+constexpr uint32_t kGlobalStatsMagic = 0x47535431;  // "GST1"
+
+/// Splits the leading space-delimited word off `*rest` (same contract as
+/// the line server's tokenizer; duplicated here so the shard core does
+/// not depend on the server library).
+std::string TakeWord(std::string* rest) {
+  size_t start = rest->find_first_not_of(' ');
+  if (start == std::string::npos) {
+    rest->clear();
+    return "";
+  }
+  size_t end = rest->find(' ', start);
+  std::string word;
+  if (end == std::string::npos) {
+    word = rest->substr(start);
+    rest->clear();
+  } else {
+    word = rest->substr(start, end - start);
+    rest->erase(0, end + 1);
+  }
+  return word;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+/// avg_doc_len with the exact expression shape of TextIndex::Build, so a
+/// merged/deserialized GlobalStats carries the identical double a full
+/// index build would have produced.
+double AvgDocLen(int64_t num_docs, int64_t total_postings) {
+  return num_docs == 0 ? 0.0
+                       : static_cast<double>(total_postings) /
+                             static_cast<double>(num_docs);
+}
+
+}  // namespace
+
+Status GlobalStats::Merger::Add(const TextIndex& index) {
+  const std::string sig = index.analyzer_options().Signature();
+  if (!any_) {
+    analyzer_signature_ = sig;
+    any_ = true;
+  } else if (sig != analyzer_signature_) {
+    return Status::InvalidArgument(
+        "cannot merge statistics across analyzer configurations: " +
+        analyzer_signature_ + " vs " + sig);
+  }
+  num_docs_ += index.stats().num_docs;
+  total_postings_ += index.stats().total_postings;
+  const Relation& dict = *index.termdict();
+  const Column& tid_col = dict.column(0);
+  const Column& term_col = dict.column(1);
+  for (size_t r = 0; r < dict.num_rows(); ++r) {
+    const int64_t tid = tid_col.Int64At(r);
+    const auto& meta = index.impact().term_meta(tid);
+    TermStats& t = terms_[term_col.StringAt(r)];
+    t.df += meta.df;
+    t.cf += meta.cf;
+  }
+  return Status::OK();
+}
+
+Result<GlobalStatsPtr> GlobalStats::Merger::Finish() {
+  if (!any_) {
+    return Status::InvalidArgument(
+        "GlobalStats::Merger::Finish with no partitions added");
+  }
+  auto stats = std::shared_ptr<GlobalStats>(new GlobalStats());
+  stats->num_docs_ = num_docs_;
+  stats->total_postings_ = total_postings_;
+  stats->avg_doc_len_ = AvgDocLen(num_docs_, total_postings_);
+  stats->analyzer_signature_ = std::move(analyzer_signature_);
+  stats->terms_ = std::move(terms_);
+  any_ = false;
+  return GlobalStatsPtr(std::move(stats));
+}
+
+Result<GlobalStatsPtr> GlobalStats::FromIndex(const TextIndex& index) {
+  Merger merger;
+  SPINDLE_RETURN_IF_ERROR(merger.Add(index));
+  return merger.Finish();
+}
+
+Result<GlobalStatsPtr> GlobalStats::Compute(const RelationPtr& docs,
+                                            const AnalyzerOptions& analyzer) {
+  SPINDLE_ASSIGN_OR_RETURN(Analyzer a, Analyzer::Make(analyzer));
+  SPINDLE_ASSIGN_OR_RETURN(TextIndexPtr index,
+                           TextIndex::Build(docs, a));
+  return FromIndex(*index);
+}
+
+const TermStats* GlobalStats::Find(const std::string& term) const {
+  auto it = terms_.find(term);
+  return it == terms_.end() ? nullptr : &it->second;
+}
+
+Result<QueryGlobalStats> GlobalStats::ResolveQuery(
+    const std::string& query, const Analyzer& analyzer) const {
+  if (analyzer.Signature() != analyzer_signature_) {
+    return Status::InvalidArgument(
+        "query analyzer " + analyzer.Signature() +
+        " does not match the collection statistics' analyzer " +
+        analyzer_signature_);
+  }
+  QueryGlobalStats out;
+  out.num_docs = num_docs_;
+  out.total_postings = total_postings_;
+  out.avg_doc_len = avg_doc_len_;
+  for (const Token& tok : analyzer.Analyze(query)) {
+    auto it = terms_.find(tok.text);
+    // A term that occurs nowhere in the collection is dropped — exactly
+    // what the single-node qterms dictionary join does.
+    if (it == terms_.end()) continue;
+    out.terms.push_back({tok.text, it->second.df, it->second.cf});
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, TermStats>> GlobalStats::SortedTerms()
+    const {
+  std::vector<std::pair<std::string, TermStats>> sorted(terms_.begin(),
+                                                        terms_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return sorted;
+}
+
+std::string GlobalStats::Serialize() const {
+  ByteWriter w;
+  w.U32(kGlobalStatsMagic);
+  w.I64(num_docs_);
+  w.I64(total_postings_);
+  w.Str(analyzer_signature_);
+  auto sorted = SortedTerms();
+  w.U64(sorted.size());
+  for (const auto& [term, t] : sorted) {
+    w.Str(term);
+    w.I64(t.df);
+    w.I64(t.cf);
+  }
+  return w.Take();
+}
+
+Result<GlobalStatsPtr> GlobalStats::Deserialize(std::string_view bytes) {
+  ByteReader r(std::as_bytes(std::span<const char>(bytes.data(), bytes.size())));
+  if (r.U32() != kGlobalStatsMagic) {
+    return Status::ParseError("global stats blob: bad magic");
+  }
+  auto stats = std::shared_ptr<GlobalStats>(new GlobalStats());
+  stats->num_docs_ = r.I64();
+  stats->total_postings_ = r.I64();
+  stats->analyzer_signature_ = r.Str();
+  const uint64_t n = r.U64();
+  stats->terms_.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n && r.status().ok(); ++i) {
+    std::string term = r.Str();
+    TermStats t;
+    t.df = r.I64();
+    t.cf = r.I64();
+    stats->terms_.emplace(std::move(term), t);
+  }
+  SPINDLE_RETURN_IF_ERROR(r.status());
+  stats->avg_doc_len_ = AvgDocLen(stats->num_docs_, stats->total_postings_);
+  return GlobalStatsPtr(std::move(stats));
+}
+
+std::vector<std::string> GlobalStats::ToWireRows() const {
+  std::vector<std::string> rows;
+  rows.reserve(terms_.size() + 1);
+  rows.push_back(std::to_string(num_docs_) + " " +
+                 std::to_string(total_postings_) + " " +
+                 analyzer_signature_);
+  for (const auto& [term, t] : SortedTerms()) {
+    rows.push_back(std::to_string(t.df) + " " + std::to_string(t.cf) + " " +
+                   term);
+  }
+  return rows;
+}
+
+Result<GlobalStatsPtr> GlobalStats::FromWireRows(
+    const std::vector<std::string>& rows) {
+  if (rows.empty()) {
+    return Status::ParseError("GSTATS response: missing header row");
+  }
+  auto stats = std::shared_ptr<GlobalStats>(new GlobalStats());
+  std::string rest = rows[0];
+  if (!ParseInt64(TakeWord(&rest), &stats->num_docs_) ||
+      !ParseInt64(TakeWord(&rest), &stats->total_postings_) ||
+      rest.empty()) {
+    return Status::ParseError("GSTATS response: bad header row: " + rows[0]);
+  }
+  stats->analyzer_signature_ = rest;
+  stats->terms_.reserve(rows.size() - 1);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    rest = rows[i];
+    TermStats t;
+    if (!ParseInt64(TakeWord(&rest), &t.df) ||
+        !ParseInt64(TakeWord(&rest), &t.cf) || rest.empty()) {
+      return Status::ParseError("GSTATS response: bad term row: " + rows[i]);
+    }
+    stats->terms_.emplace(std::move(rest), t);
+  }
+  stats->avg_doc_len_ = AvgDocLen(stats->num_docs_, stats->total_postings_);
+  return GlobalStatsPtr(std::move(stats));
+}
+
+std::string SerializeGlobalStatsMap(const GlobalStatsMap& map) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(map.size()));
+  for (const auto& [name, stats] : map) {
+    w.Str(name);
+    w.Str(stats->Serialize());
+  }
+  return w.Take();
+}
+
+Result<GlobalStatsMap> DeserializeGlobalStatsMap(std::string_view bytes) {
+  ByteReader r(std::as_bytes(std::span<const char>(bytes.data(), bytes.size())));
+  const uint32_t n = r.U32();
+  GlobalStatsMap map;
+  for (uint32_t i = 0; i < n && r.status().ok(); ++i) {
+    std::string name = r.Str();
+    std::string blob = r.Str();
+    SPINDLE_RETURN_IF_ERROR(r.status());
+    SPINDLE_ASSIGN_OR_RETURN(GlobalStatsPtr stats,
+                             GlobalStats::Deserialize(blob));
+    map.emplace(std::move(name), std::move(stats));
+  }
+  SPINDLE_RETURN_IF_ERROR(r.status());
+  return map;
+}
+
+}  // namespace shard
+}  // namespace spindle

@@ -1,0 +1,151 @@
+/// \file global_stats.h
+/// \brief Full-collection statistics for bit-identical sharded ranking.
+///
+/// Every ranking model Spindle serves scores a document with two kinds of
+/// input: per-document quantities (tf, doc length — local to whichever
+/// shard holds the document) and *collection-level* quantities (document
+/// count, average document length, per-term df/cf — properties of the
+/// WHOLE collection). A shard that scored with its own partition's
+/// statistics would rank the same document differently depending on which
+/// shard it landed on, and a coordinator merge of such scores would not
+/// equal single-node ranking. The soundness rule for distributed top-k is
+/// therefore: *score locally, but with global statistics* (the ODYS /
+/// scatter-gather blueprint; see docs/sharding.md).
+///
+/// GlobalStats is that global view: computed once over the full
+/// collection (either from a full index, or by integer-summing the
+/// disjoint shards' indexes — identical by construction), persisted in
+/// every shard snapshot, and resolved per query into the small
+/// QueryGlobalStats record that ships with each sharded search.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/indexing.h"
+#include "ir/searcher.h"
+#include "text/analyzer.h"
+
+namespace spindle {
+namespace shard {
+
+/// \brief Per-term global statistics: document frequency and collection
+/// frequency over the full collection.
+struct TermStats {
+  int64_t df = 0;
+  int64_t cf = 0;
+};
+
+class GlobalStats;
+using GlobalStatsPtr = std::shared_ptr<const GlobalStats>;
+
+/// \brief Immutable full-collection statistics under one analyzer
+/// configuration. Thread-safe by construction (all accessors are const
+/// over data frozen at build time).
+class GlobalStats {
+ public:
+  /// \brief Accumulates statistics across disjoint partitions. Because
+  /// partitions are disjoint, every global statistic is an exact integer
+  /// sum of the per-partition values — merging the N shard indexes yields
+  /// bit-identical statistics to indexing the full collection.
+  class Merger {
+   public:
+    /// \brief Folds one partition's index in. All partitions must use the
+    /// same analyzer configuration (checked against the first Add).
+    Status Add(const TextIndex& index);
+
+    /// \brief Freezes the accumulated statistics. The merger is spent
+    /// afterwards.
+    Result<GlobalStatsPtr> Finish();
+
+   private:
+    bool any_ = false;
+    std::string analyzer_signature_;
+    int64_t num_docs_ = 0;
+    int64_t total_postings_ = 0;
+    std::unordered_map<std::string, TermStats> terms_;
+  };
+
+  /// \brief Extracts the statistics of a single (full-collection) index.
+  static Result<GlobalStatsPtr> FromIndex(const TextIndex& index);
+
+  /// \brief Builds a throwaway index over `docs` and extracts its
+  /// statistics. One-time full-collection pass — the generate path of a
+  /// shard server uses it at startup; snapshots avoid repeating it.
+  static Result<GlobalStatsPtr> Compute(const RelationPtr& docs,
+                                        const AnalyzerOptions& analyzer);
+
+  int64_t num_docs() const { return num_docs_; }
+  int64_t total_postings() const { return total_postings_; }
+  /// \brief total_postings / num_docs in double arithmetic — the exact
+  /// expression shape TextIndex::Build uses, so shard-side model setup
+  /// sees the identical double.
+  double avg_doc_len() const { return avg_doc_len_; }
+  size_t num_terms() const { return terms_.size(); }
+  /// \brief Signature of the analyzer the statistics were computed under;
+  /// queries must be analyzed with a matching configuration.
+  const std::string& analyzer_signature() const {
+    return analyzer_signature_;
+  }
+
+  /// \brief Global statistics for one (post-analysis) term, or nullptr if
+  /// the term occurs nowhere in the collection.
+  const TermStats* Find(const std::string& term) const;
+
+  /// \brief Resolves a raw query against the global dictionary: analyzes
+  /// it with `analyzer` (whose signature must match), keeps the terms
+  /// that occur anywhere in the collection — in query order, duplicates
+  /// preserved, exactly the single-node qterms semantics — and attaches
+  /// each term's global df/cf. The result is what a coordinator ships to
+  /// every shard.
+  Result<QueryGlobalStats> ResolveQuery(const std::string& query,
+                                        const Analyzer& analyzer) const;
+
+  /// \brief Terms in lexicographic order — the canonical order used by
+  /// Serialize and the wire form, so equal statistics always produce
+  /// byte-equal encodings.
+  std::vector<std::pair<std::string, TermStats>> SortedTerms() const;
+
+  /// \brief Compact binary encoding (storage/snapshot.h ByteWriter).
+  std::string Serialize() const;
+  static Result<GlobalStatsPtr> Deserialize(std::string_view bytes);
+
+  /// \brief Line-protocol form, used by the GSTATS command: a header row
+  /// "<num_docs> <total_postings> <analyzer signature>" followed by one
+  /// "<df> <cf> <term>" row per term (signature and term last on their
+  /// rows — they are the only fields that may contain spaces or parens).
+  std::vector<std::string> ToWireRows() const;
+  static Result<GlobalStatsPtr> FromWireRows(
+      const std::vector<std::string>& rows);
+
+ private:
+  GlobalStats() = default;
+
+  int64_t num_docs_ = 0;
+  int64_t total_postings_ = 0;
+  double avg_doc_len_ = 0.0;
+  std::string analyzer_signature_;
+  std::unordered_map<std::string, TermStats> terms_;
+};
+
+/// \brief Statistics per collection name — what a shard snapshot stores
+/// under its "gstats" section and a QueryService keeps for sharded
+/// serving.
+using GlobalStatsMap = std::map<std::string, GlobalStatsPtr>;
+
+std::string SerializeGlobalStatsMap(const GlobalStatsMap& map);
+Result<GlobalStatsMap> DeserializeGlobalStatsMap(std::string_view bytes);
+
+/// \brief Section name the sharding layer uses inside snapshot files.
+inline constexpr const char* kGlobalStatsSection = "gstats";
+
+}  // namespace shard
+}  // namespace spindle

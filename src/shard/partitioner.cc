@@ -1,0 +1,173 @@
+#include "shard/partitioner.h"
+
+#include <optional>
+#include <utility>
+
+#include "ir/index_snapshot.h"
+#include "ir/indexing.h"
+
+namespace spindle {
+namespace shard {
+
+namespace {
+
+/// The docID column of a collection-shaped relation: the int64 field
+/// named "docID", else the first int64 column — the same resolution
+/// TextIndex::Build applies. Returns nullopt when the relation has no
+/// int64 column or no string column (not a document collection).
+std::optional<size_t> CollectionDocIdColumn(const Relation& rel) {
+  bool has_text = false;
+  for (size_t c = 0; c < rel.num_columns(); ++c) {
+    if (rel.column(c).type() == DataType::kString) has_text = true;
+  }
+  if (!has_text) return std::nullopt;
+  if (auto named = rel.schema().FindField("docID");
+      named.has_value() &&
+      rel.schema().field(*named).type == DataType::kInt64) {
+    return named;
+  }
+  for (size_t c = 0; c < rel.num_columns(); ++c) {
+    if (rel.column(c).type() == DataType::kInt64) return c;
+  }
+  return std::nullopt;
+}
+
+/// Gathers `rows` of `col` into a fresh column of the same type.
+/// Dict-encoded columns gather codes and keep sharing the dictionary.
+Column GatherColumn(const Column& col, const std::vector<size_t>& rows) {
+  switch (col.type()) {
+    case DataType::kInt64: {
+      std::vector<int64_t> out;
+      out.reserve(rows.size());
+      for (size_t r : rows) out.push_back(col.Int64At(r));
+      return Column::MakeInt64(std::move(out));
+    }
+    case DataType::kFloat64: {
+      std::vector<double> out;
+      out.reserve(rows.size());
+      for (size_t r : rows) out.push_back(col.Float64At(r));
+      return Column::MakeFloat64(std::move(out));
+    }
+    case DataType::kString: {
+      if (col.dict_encoded()) {
+        std::vector<int32_t> codes;
+        codes.reserve(rows.size());
+        for (size_t r : rows) codes.push_back(col.CodeAt(r));
+        return Column::MakeDictString(std::move(codes), col.dict());
+      }
+      std::vector<std::string> out;
+      out.reserve(rows.size());
+      for (size_t r : rows) out.push_back(col.StringAt(r));
+      return Column::MakeString(std::move(out));
+    }
+  }
+  return Column(col.type());
+}
+
+}  // namespace
+
+Result<RelationPtr> PartitionCollection(const RelationPtr& docs,
+                                        uint32_t shard,
+                                        uint32_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (shard >= num_shards) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(shard) + " out of range for " +
+        std::to_string(num_shards) + " shards");
+  }
+  std::optional<size_t> id_col = CollectionDocIdColumn(*docs);
+  if (!id_col.has_value()) {
+    return Status::InvalidArgument(
+        "relation is not collection-shaped (needs an int64 docID column "
+        "and a string column): " +
+        docs->schema().ToString());
+  }
+  const Column& ids = docs->column(*id_col);
+  std::vector<size_t> keep;
+  for (size_t r = 0; r < docs->num_rows(); ++r) {
+    if (Partitioner::Assign(ids.Int64At(r), num_shards) == shard) {
+      keep.push_back(r);
+    }
+  }
+  std::vector<Column> cols;
+  cols.reserve(docs->num_columns());
+  for (size_t c = 0; c < docs->num_columns(); ++c) {
+    cols.push_back(GatherColumn(docs->column(c), keep));
+  }
+  return Relation::Make(docs->schema(), std::move(cols));
+}
+
+Result<std::vector<std::shared_ptr<Catalog>>> PartitionCatalog(
+    const Catalog& full, uint32_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::vector<std::shared_ptr<Catalog>> shards;
+  shards.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    shards.push_back(std::make_shared<Catalog>());
+  }
+  for (const std::string& name : full.List()) {
+    SPINDLE_ASSIGN_OR_RETURN(RelationPtr rel, full.Get(name));
+    if (CollectionDocIdColumn(*rel).has_value()) {
+      for (uint32_t i = 0; i < num_shards; ++i) {
+        SPINDLE_ASSIGN_OR_RETURN(RelationPtr part,
+                                 PartitionCollection(rel, i, num_shards));
+        shards[i]->Register(name, std::move(part));
+      }
+    } else {
+      // Not a document collection: replicate (shared columns, no copy).
+      for (uint32_t i = 0; i < num_shards; ++i) {
+        shards[i]->Register(name, rel);
+      }
+    }
+  }
+  return shards;
+}
+
+Result<std::vector<ShardSnapshotInfo>> WriteShardSnapshots(
+    const Catalog& full, const AnalyzerOptions& analyzer,
+    uint32_t num_shards, const std::string& path_prefix) {
+  SPINDLE_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<Catalog>> catalogs,
+                           PartitionCatalog(full, num_shards));
+  SPINDLE_ASSIGN_OR_RETURN(Analyzer a, Analyzer::Make(analyzer));
+
+  // Build every shard's indexes first: they go into the shard snapshots
+  // AND feed the statistics merger — disjoint partitions make the merged
+  // statistics exactly the full collection's, with no full-size index
+  // build anywhere.
+  std::vector<std::vector<SnapshotIndexEntry>> entries(num_shards);
+  std::map<std::string, GlobalStats::Merger> mergers;
+  std::vector<ShardSnapshotInfo> infos(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    for (const std::string& name : catalogs[i]->List()) {
+      SPINDLE_ASSIGN_OR_RETURN(RelationPtr rel, catalogs[i]->Get(name));
+      if (!CollectionDocIdColumn(*rel).has_value()) continue;
+      SPINDLE_ASSIGN_OR_RETURN(TextIndexPtr index,
+                               TextIndex::Build(rel, a));
+      SPINDLE_RETURN_IF_ERROR(mergers[name].Add(*index));
+      entries[i].push_back({name, std::move(index)});
+      if (infos[i].num_docs == 0) {
+        infos[i].num_docs = static_cast<int64_t>(rel->num_rows());
+      }
+    }
+  }
+  GlobalStatsMap stats;
+  for (auto& [name, merger] : mergers) {
+    SPINDLE_ASSIGN_OR_RETURN(GlobalStatsPtr s, merger.Finish());
+    stats.emplace(name, std::move(s));
+  }
+  const std::string blob = SerializeGlobalStatsMap(stats);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    infos[i].path = path_prefix + ".shard" + std::to_string(i) + ".snap";
+    SPINDLE_RETURN_IF_ERROR(
+        SaveSnapshotFile(infos[i].path, *catalogs[i], entries[i],
+                         {{kGlobalStatsSection, blob}}));
+  }
+  return infos;
+}
+
+}  // namespace shard
+}  // namespace spindle

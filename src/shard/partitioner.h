@@ -1,0 +1,73 @@
+/// \file partitioner.h
+/// \brief Deterministic document partitioning for sharded serving.
+///
+/// A collection is split document-wise into N disjoint partitions by a
+/// stable hash of the docID — no coordination state, no assignment table:
+/// any process that knows (docID, N) computes the same shard. The
+/// partitioner also produces the shard-side artifacts: per-shard
+/// sub-catalogs and per-shard snapshot files, each carrying the
+/// full-collection GlobalStats so every shard can score its partition
+/// with global statistics (docs/sharding.md).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "shard/global_stats.h"
+#include "storage/catalog.h"
+#include "storage/relation.h"
+#include "text/analyzer.h"
+
+namespace spindle {
+namespace shard {
+
+/// \brief Stable document → shard assignment.
+class Partitioner {
+ public:
+  /// \brief The shard in [0, num_shards) that owns `doc_id`. Stable
+  /// across processes and versions: Murmur3-finalized hash of the docID
+  /// modulo the shard count. num_shards == 0 is treated as 1.
+  static uint32_t Assign(int64_t doc_id, uint32_t num_shards) {
+    if (num_shards <= 1) return 0;
+    return static_cast<uint32_t>(HashInt64(static_cast<uint64_t>(doc_id)) %
+                                 num_shards);
+  }
+};
+
+/// \brief The rows of `docs` assigned to `shard` under
+/// Partitioner::Assign, in original order. The docID column is the field
+/// named "docID", else the first int64 column. Dict-encoded string
+/// columns keep sharing their dictionary (code gather, no re-hash).
+Result<RelationPtr> PartitionCollection(const RelationPtr& docs,
+                                        uint32_t shard, uint32_t num_shards);
+
+/// \brief Splits a full catalog into `num_shards` disjoint sub-catalogs:
+/// collection-shaped tables (an int64 docID column plus a string column)
+/// are partitioned by docID; any other table is replicated to every shard
+/// unchanged (dimension tables must be visible everywhere).
+Result<std::vector<std::shared_ptr<Catalog>>> PartitionCatalog(
+    const Catalog& full, uint32_t num_shards);
+
+/// \brief Everything WriteShardSnapshots produced for one shard.
+struct ShardSnapshotInfo {
+  std::string path;
+  int64_t num_docs = 0;  ///< partition rows of the first collection table
+};
+
+/// \brief Partitions `full`, builds each shard's indexes, merges the
+/// shards' statistics into the full-collection GlobalStats (exact: the
+/// partitions are disjoint), and writes one snapshot per shard to
+/// "<path_prefix>.shard<i>.snap" — catalog + indexes + a "gstats"
+/// section. A server restored from such a snapshot serves bit-identical
+/// sharded queries with zero startup indexing.
+Result<std::vector<ShardSnapshotInfo>> WriteShardSnapshots(
+    const Catalog& full, const AnalyzerOptions& analyzer,
+    uint32_t num_shards, const std::string& path_prefix);
+
+}  // namespace shard
+}  // namespace spindle

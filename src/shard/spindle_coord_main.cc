@@ -1,0 +1,279 @@
+/// \file spindle_coord_main.cc
+/// \brief The spindle_coord binary: a scatter-gather coordinator fronting
+/// N spindle_serve shard backends over the same line protocol, so
+/// spindle_client works unchanged (docs/sharding.md has a quickstart).
+///
+///   spindle_coord --shards=127.0.0.1:7701,127.0.0.1:7702 --port=7654
+///
+/// Flags:
+///   --shards=H:P,H:P,...   required: one host:port per shard, in shard
+///                          order (shard i must serve partition i)
+///   --replicas=H:P,,H:P    optional: per-shard replica backends for
+///                          hedging / failover; empty slots allowed
+///   --collection=NAME      collection to bootstrap statistics for
+///                          (default "docs")
+///   --port=N               listen port (0 = ephemeral; default 7654)
+///   --host=ADDR            listen address (default 127.0.0.1)
+///   --port-file=PATH       write the bound port to PATH
+///   --default-deadline-ms=N  deadline for requests that send 0
+///   --partial=fail|degrade  failed-shard policy (default fail):
+///                          fail    → any failed shard fails the query
+///                          degrade → merge the rest, flag partial=1
+///   --hedge-after-ms=N     re-issue to the replica after N ms silence
+///   --hedge-percentile=P   adaptive hedge delay at latency percentile
+///                          P in (0,1], e.g. 0.95 (needs warm-up)
+///   --connect-timeout-ms=N per-dispatch connect timeout (default 1000)
+///   --read-timeout-ms=N    response wait for deadline-less requests
+///                          (default 10000)
+///   --bootstrap-timeout-ms=N  how long to wait for all shards to come
+///                          up before fetching statistics (default 10000)
+///   --trace=0|1            trace every request (scatter / per-shard
+///                          wait / merge spans)
+///   --trace-file=PATH      at shutdown, write retained request traces
+///                          as Chrome trace-event JSON to PATH
+///
+/// Startup: pings every shard until --bootstrap-timeout-ms expires, then
+/// fetches the collection's global statistics via GSTATS (first healthy
+/// shard wins; all reachable shards are cross-checked for byte-identical
+/// statistics — a mismatch aborts startup, because a topology that mixes
+/// partitionings would serve wrong rankings).
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/line_server.h"
+#include "shard/coordinator.h"
+
+namespace {
+
+std::sig_atomic_t g_signal_stop = 0;
+
+void HandleSignal(int) { g_signal_stop = 1; }
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+/// Splits "a,b,,c" into {"a", "b", "", "c"} (empty slots preserved, so
+/// --replicas can cover only some shards).
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (;;) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool ParseHostPort(const std::string& s, std::string* host, int* port) {
+  size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= s.size()) {
+    return false;
+  }
+  *host = s.substr(0, colon);
+  *port = std::atoi(s.c_str() + colon + 1);
+  return *port > 0 && *port < 65536;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using spindle::server::LineServer;
+  using spindle::server::LineServerOptions;
+  using spindle::shard::CoordinatorHandler;
+  using spindle::shard::CoordinatorOptions;
+  using spindle::shard::PartialPolicy;
+  using spindle::shard::RemoteShardBackend;
+  using spindle::shard::ShardBackendPtr;
+  using spindle::shard::ShardCoordinator;
+
+  LineServerOptions server_opts;
+  server_opts.port = 7654;
+  CoordinatorOptions coord_opts;
+  RemoteShardBackend::Options backend_opts;
+  std::string shards_flag;
+  std::string replicas_flag;
+  std::string collection = "docs";
+  std::string port_file;
+  std::string trace_file;
+  int64_t bootstrap_timeout_ms = 10000;
+
+  const char* trace_env = std::getenv("SPINDLE_TRACE");
+  if (trace_env != nullptr && std::strcmp(trace_env, "1") == 0) {
+    coord_opts.trace_requests = true;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (FlagValue(argv[i], "--port", &v)) {
+      server_opts.port = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--host", &v)) {
+      server_opts.host = v;
+    } else if (FlagValue(argv[i], "--port-file", &v)) {
+      port_file = v;
+    } else if (FlagValue(argv[i], "--shards", &v)) {
+      shards_flag = v;
+    } else if (FlagValue(argv[i], "--replicas", &v)) {
+      replicas_flag = v;
+    } else if (FlagValue(argv[i], "--collection", &v)) {
+      collection = v;
+    } else if (FlagValue(argv[i], "--default-deadline-ms", &v)) {
+      coord_opts.default_deadline_ms = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--partial", &v)) {
+      if (v == "fail") {
+        coord_opts.partial = PartialPolicy::kFail;
+      } else if (v == "degrade") {
+        coord_opts.partial = PartialPolicy::kDegrade;
+      } else {
+        std::fprintf(stderr, "--partial must be fail or degrade\n");
+        return 2;
+      }
+    } else if (FlagValue(argv[i], "--hedge-after-ms", &v)) {
+      coord_opts.hedge_after_ms = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--hedge-percentile", &v)) {
+      coord_opts.hedge_percentile = std::atof(v.c_str());
+    } else if (FlagValue(argv[i], "--connect-timeout-ms", &v)) {
+      backend_opts.connect_timeout_ms = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--read-timeout-ms", &v)) {
+      backend_opts.default_read_timeout_ms = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--bootstrap-timeout-ms", &v)) {
+      bootstrap_timeout_ms = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--trace", &v)) {
+      coord_opts.trace_requests = std::atoi(v.c_str()) != 0;
+    } else if (FlagValue(argv[i], "--trace-file", &v)) {
+      trace_file = v;
+      coord_opts.trace_requests = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (shards_flag.empty()) {
+    std::fprintf(stderr,
+                 "--shards=host:port,host:port,... is required\n");
+    return 2;
+  }
+  std::vector<std::string> shard_specs = SplitCsv(shards_flag);
+  std::vector<std::string> replica_specs =
+      replicas_flag.empty() ? std::vector<std::string>()
+                            : SplitCsv(replicas_flag);
+  if (!replica_specs.empty() &&
+      replica_specs.size() != shard_specs.size()) {
+    std::fprintf(stderr,
+                 "--replicas must list one (possibly empty) slot per "
+                 "shard: got %zu slots for %zu shards\n",
+                 replica_specs.size(), shard_specs.size());
+    return 2;
+  }
+
+  ShardCoordinator coordinator(coord_opts);
+  std::vector<ShardBackendPtr> primaries;
+  for (size_t i = 0; i < shard_specs.size(); ++i) {
+    std::string host;
+    int port = 0;
+    if (!ParseHostPort(shard_specs[i], &host, &port)) {
+      std::fprintf(stderr, "bad shard spec: %s\n",
+                   shard_specs[i].c_str());
+      return 2;
+    }
+    auto primary = std::make_shared<RemoteShardBackend>(
+        "shard" + std::to_string(i), host, port, backend_opts);
+    ShardBackendPtr replica;
+    if (i < replica_specs.size() && !replica_specs[i].empty()) {
+      std::string rhost;
+      int rport = 0;
+      if (!ParseHostPort(replica_specs[i], &rhost, &rport)) {
+        std::fprintf(stderr, "bad replica spec: %s\n",
+                     replica_specs[i].c_str());
+        return 2;
+      }
+      replica = std::make_shared<RemoteShardBackend>(
+          "shard" + std::to_string(i) + "r", rhost, rport, backend_opts);
+    }
+    primaries.push_back(primary);
+    coordinator.AddShard(std::move(primary), std::move(replica));
+  }
+
+  // Wait for the shard fleet to come up (they are usually launched in the
+  // same script), then bootstrap the collection's global statistics.
+  const auto bootstrap_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(bootstrap_timeout_ms);
+  for (const ShardBackendPtr& shard : primaries) {
+    for (;;) {
+      spindle::Status st = shard->Ping();
+      if (st.ok()) break;
+      if (std::chrono::steady_clock::now() >= bootstrap_deadline) {
+        std::fprintf(stderr, "shard %s did not come up: %s\n",
+                     shard->name().c_str(), st.ToString().c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  spindle::Status st = coordinator.BootstrapGlobalStats(collection);
+  if (!st.ok()) {
+    std::fprintf(stderr, "statistics bootstrap failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "bootstrapped global statistics for '%s' from %zu "
+               "shard(s)\n",
+               collection.c_str(), shard_specs.size());
+
+  CoordinatorHandler handler(&coordinator);
+  LineServer server(&handler, server_opts);
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "LISTENING %s:%d\n", server_opts.host.c_str(),
+               server.port());
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%d\n", server.port());
+      std::fclose(f);
+    }
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_signal_stop == 0 && !server.stopping()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  if (!trace_file.empty()) {
+    std::FILE* f = std::fopen(trace_file.c_str(), "w");
+    if (f != nullptr) {
+      std::string json = coordinator.ExportChromeTraceJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote trace to %s\n", trace_file.c_str());
+    } else {
+      std::fprintf(stderr, "could not open trace file %s\n",
+                   trace_file.c_str());
+    }
+  }
+  std::fprintf(stderr, "shutdown complete\n%s\n",
+               coordinator.MetricsJson().c_str());
+  return 0;
+}

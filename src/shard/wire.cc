@@ -1,0 +1,160 @@
+#include "shard/wire.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace spindle {
+namespace shard {
+
+namespace {
+
+std::string TakeWord(std::string* rest) {
+  size_t start = rest->find_first_not_of(' ');
+  if (start == std::string::npos) {
+    rest->clear();
+    return "";
+  }
+  size_t end = rest->find(' ', start);
+  std::string word;
+  if (end == std::string::npos) {
+    word = rest->substr(start);
+    rest->clear();
+  } else {
+    word = rest->substr(start, end - start);
+    rest->erase(0, end + 1);
+  }
+  return word;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ModelFromName(const std::string& name, RankModel* out) {
+  if (name == "bm25") {
+    *out = RankModel::kBm25;
+  } else if (name == "tfidf") {
+    *out = RankModel::kTfIdf;
+  } else if (name == "lm-dirichlet") {
+    *out = RankModel::kLmDirichlet;
+  } else if (name == "lm-jm") {
+    *out = RankModel::kLmJelinekMercer;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string EncodeSearchG(const std::string& collection, int64_t deadline_ms,
+                          const SearchOptions& options,
+                          const QueryGlobalStats& global) {
+  std::string line = "SEARCHG ";
+  line += collection;
+  line += ' ';
+  line += std::to_string(options.top_k);
+  line += ' ';
+  line += std::to_string(deadline_ms);
+  line += ' ';
+  line += RankModelName(options.model);
+  line += ' ';
+  line += FormatDouble(options.bm25.k1);
+  line += ' ';
+  line += FormatDouble(options.bm25.b);
+  line += ' ';
+  line += FormatDouble(options.dirichlet.mu);
+  line += ' ';
+  line += FormatDouble(options.jm.lambda);
+  line += ' ';
+  line += std::to_string(global.num_docs);
+  line += ' ';
+  line += std::to_string(global.total_postings);
+  line += ' ';
+  line += FormatDouble(global.avg_doc_len);
+  line += ' ';
+  line += std::to_string(global.terms.size());
+  for (const QueryGlobalStats::Term& t : global.terms) {
+    line += ' ';
+    line += std::to_string(t.df);
+    line += ' ';
+    line += std::to_string(t.cf);
+    line += ' ';
+    line += t.term;
+  }
+  return line;
+}
+
+Status ParseSearchG(std::string rest, std::string* collection,
+                    int64_t* deadline_ms, SearchOptions* options,
+                    QueryGlobalStats* global) {
+  const Status bad =
+      Status::InvalidArgument("SEARCHG: malformed request line");
+  *collection = TakeWord(&rest);
+  if (collection->empty()) return bad;
+  int64_t k = 0;
+  if (!ParseInt64(TakeWord(&rest), &k) || k <= 0) {
+    return Status::InvalidArgument("SEARCHG: k must be a positive integer");
+  }
+  options->top_k = static_cast<size_t>(k);
+  if (!ParseInt64(TakeWord(&rest), deadline_ms)) return bad;
+  if (!ModelFromName(TakeWord(&rest), &options->model)) {
+    return Status::InvalidArgument(
+        "SEARCHG: unknown model (want bm25|tfidf|lm-dirichlet|lm-jm)");
+  }
+  if (!ParseDouble(TakeWord(&rest), &options->bm25.k1) ||
+      !ParseDouble(TakeWord(&rest), &options->bm25.b) ||
+      !ParseDouble(TakeWord(&rest), &options->dirichlet.mu) ||
+      !ParseDouble(TakeWord(&rest), &options->jm.lambda)) {
+    return bad;
+  }
+  options->phrase_boost = 0.0;
+  if (!ParseInt64(TakeWord(&rest), &global->num_docs) ||
+      !ParseInt64(TakeWord(&rest), &global->total_postings) ||
+      !ParseDouble(TakeWord(&rest), &global->avg_doc_len)) {
+    return bad;
+  }
+  int64_t nterms = 0;
+  if (!ParseInt64(TakeWord(&rest), &nterms) || nterms < 0) return bad;
+  global->terms.clear();
+  global->terms.reserve(static_cast<size_t>(nterms));
+  for (int64_t i = 0; i < nterms; ++i) {
+    QueryGlobalStats::Term t;
+    if (!ParseInt64(TakeWord(&rest), &t.df) ||
+        !ParseInt64(TakeWord(&rest), &t.cf)) {
+      return bad;
+    }
+    t.term = TakeWord(&rest);
+    if (t.term.empty()) return bad;
+    global->terms.push_back(std::move(t));
+  }
+  if (!rest.empty()) return bad;
+  return Status::OK();
+}
+
+}  // namespace shard
+}  // namespace spindle

@@ -1,0 +1,45 @@
+/// \file wire.h
+/// \brief Text encoding of sharded-search requests for the line protocol.
+///
+/// The coordinator resolves a query once against the global dictionary
+/// and ships the result to every shard as a single SEARCHG line:
+///
+///   SEARCHG <collection> <k> <deadline_ms> <model> <k1> <b> <mu>
+///           <lambda> <num_docs> <total_postings> <avg_doc_len>
+///           <nterms> {<df> <cf> <term>}...
+///
+/// Doubles travel as %.17g, which round-trips IEEE-754 exactly — the
+/// encode/decode pair preserves bit-identity end to end. Analyzer output
+/// terms are alphanumeric, so space-delimited fields are unambiguous.
+/// `deadline_ms` is the *remaining budget* at send time (0 = none), never
+/// a wall-clock deadline: shard and coordinator clocks are unrelated.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "ir/searcher.h"
+
+namespace spindle {
+namespace shard {
+
+/// \brief Renders one SEARCHG request line (including the command word).
+std::string EncodeSearchG(const std::string& collection, int64_t deadline_ms,
+                          const SearchOptions& options,
+                          const QueryGlobalStats& global);
+
+/// \brief Parses the argument part of a SEARCHG line (everything after
+/// the command word).
+Status ParseSearchG(std::string rest, std::string* collection,
+                    int64_t* deadline_ms, SearchOptions* options,
+                    QueryGlobalStats* global);
+
+/// \brief "%.17g" — shared with the server's row serializer so scores
+/// printed by a shard, re-parsed by the coordinator and re-printed to the
+/// client are byte-identical to the single-node output.
+std::string FormatDouble(double v);
+
+}  // namespace shard
+}  // namespace spindle

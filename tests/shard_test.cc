@@ -1,0 +1,812 @@
+/// \file shard_test.cc
+/// \brief Tests for the sharded-serving subsystem (src/shard/): the
+/// partitioner, full-collection statistics (merge == full-compute,
+/// byte-stable encodings), the scatter-gather coordinator — including the
+/// randomized bit-identity property: for N in {1,2,3,8} shards, every
+/// model and k in {1,10,100}, the coordinator's merged top-k equals
+/// single-node ranking bit for bit — plus fault injection (failed shard,
+/// slow shard vs deadline, hedged replicas) and the remote wire path
+/// (SEARCHG / GSTATS end-to-end over real sockets).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ir/indexing.h"
+#include "ir/searcher.h"
+#include "server/client.h"
+#include "server/line_server.h"
+#include "server/query_service.h"
+#include "shard/coordinator.h"
+#include "shard/global_stats.h"
+#include "shard/partitioner.h"
+#include "shard/wire.h"
+#include "storage/catalog.h"
+#include "text/analyzer.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+namespace shard {
+namespace {
+
+using server::LineClient;
+using server::LineClientOptions;
+using server::LineServer;
+using server::LineServerOptions;
+using server::QueryService;
+using server::QueryServiceOptions;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TextCollectionOptions TestGen() {
+  TextCollectionOptions gen;
+  gen.num_docs = 2000;
+  gen.vocab_size = 3000;
+  gen.avg_doc_len = 40;
+  return gen;
+}
+
+RelationPtr TestDocs() {
+  static RelationPtr docs =
+      GenerateTextCollection(TestGen()).MoveValueOrDie();
+  return docs;
+}
+
+GlobalStatsPtr TestStats() {
+  static GlobalStatsPtr stats =
+      GlobalStats::Compute(TestDocs(), AnalyzerOptions()).MoveValueOrDie();
+  return stats;
+}
+
+/// Asserts two (docID, score) relations are bit-identical: same row
+/// count, same docIDs, exactly equal score doubles, same order.
+void ExpectBitIdentical(const RelationPtr& got, const RelationPtr& want,
+                        const std::string& context) {
+  ASSERT_EQ(got->num_rows(), want->num_rows()) << context;
+  for (size_t r = 0; r < want->num_rows(); ++r) {
+    EXPECT_EQ(got->column(0).Int64At(r), want->column(0).Int64At(r))
+        << context << " row " << r;
+    // Exact double equality on purpose: distributed ranking must
+    // reproduce single-node score bits, not approximate them.
+    EXPECT_EQ(got->column(1).Float64At(r), want->column(1).Float64At(r))
+        << context << " row " << r;
+  }
+}
+
+/// An N-shard in-process fleet: one QueryService per partition, each with
+/// the full-collection statistics installed, fronted by LocalShardBackends.
+struct LocalFleet {
+  std::vector<std::unique_ptr<QueryService>> services;
+  std::unique_ptr<ShardCoordinator> coordinator;
+
+  explicit LocalFleet(uint32_t num_shards,
+                      CoordinatorOptions coord_opts = {}) {
+    coordinator = std::make_unique<ShardCoordinator>(coord_opts);
+    for (uint32_t i = 0; i < num_shards; ++i) {
+      auto service = std::make_unique<QueryService>(QueryServiceOptions{});
+      service->RegisterCollection(
+          "docs",
+          PartitionCollection(TestDocs(), i, num_shards).MoveValueOrDie());
+      EXPECT_TRUE(service->SetGlobalStats("docs", TestStats()).ok());
+      coordinator->AddShard(std::make_shared<LocalShardBackend>(
+          "shard" + std::to_string(i), service.get()));
+      services.push_back(std::move(service));
+    }
+    EXPECT_TRUE(coordinator->SetGlobalStats("docs", TestStats()).ok());
+  }
+};
+
+/// Builds a service's on-demand index ahead of a timing-sensitive query
+/// (cold index builds under sanitizers can outlast test deadlines).
+void WarmService(QueryService* service, const std::string& query) {
+  server::SearchRequest req;
+  req.collection = "docs";
+  req.query = query;
+  req.options.top_k = 1;
+  req.request.deadline_ms = -1;
+  ASSERT_TRUE(service->Search(req).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner
+// ---------------------------------------------------------------------------
+
+TEST(PartitionerTest, AssignIsStableAndInRange) {
+  for (int64_t doc = -5; doc < 100; ++doc) {
+    uint32_t first = Partitioner::Assign(doc, 8);
+    EXPECT_LT(first, 8u);
+    EXPECT_EQ(first, Partitioner::Assign(doc, 8));  // stable
+  }
+  EXPECT_EQ(Partitioner::Assign(7, 1), 0u);
+  EXPECT_EQ(Partitioner::Assign(7, 0), 0u);  // 0 treated as 1
+}
+
+TEST(PartitionerTest, PartitionsAreDisjointAndCover) {
+  const RelationPtr docs = TestDocs();
+  const uint32_t n = 3;
+  std::set<int64_t> seen;
+  size_t total = 0;
+  for (uint32_t shard = 0; shard < n; ++shard) {
+    RelationPtr part =
+        PartitionCollection(docs, shard, n).MoveValueOrDie();
+    total += part->num_rows();
+    for (size_t r = 0; r < part->num_rows(); ++r) {
+      const int64_t doc = part->column(0).Int64At(r);
+      EXPECT_EQ(Partitioner::Assign(doc, n), shard);
+      EXPECT_TRUE(seen.insert(doc).second)
+          << "doc " << doc << " in two partitions";
+    }
+  }
+  EXPECT_EQ(total, docs->num_rows());
+}
+
+TEST(PartitionerTest, RejectsBadShardArguments) {
+  EXPECT_FALSE(PartitionCollection(TestDocs(), 3, 3).ok());
+  EXPECT_FALSE(PartitionCollection(TestDocs(), 0, 0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// GlobalStats
+// ---------------------------------------------------------------------------
+
+TEST(GlobalStatsTest, MergerOfPartitionsEqualsFullCompute) {
+  const RelationPtr docs = TestDocs();
+  Analyzer analyzer = Analyzer::Make(AnalyzerOptions()).MoveValueOrDie();
+  GlobalStats::Merger merger;
+  for (uint32_t shard = 0; shard < 3; ++shard) {
+    RelationPtr part = PartitionCollection(docs, shard, 3).MoveValueOrDie();
+    TextIndexPtr index = TextIndex::Build(part, analyzer).MoveValueOrDie();
+    ASSERT_TRUE(merger.Add(*index).ok());
+  }
+  GlobalStatsPtr merged = merger.Finish().MoveValueOrDie();
+  // Disjoint partitions sum to the full collection exactly — including
+  // the serialized bytes (canonical term order).
+  EXPECT_EQ(merged->Serialize(), TestStats()->Serialize());
+  EXPECT_EQ(merged->num_docs(), TestStats()->num_docs());
+  EXPECT_EQ(merged->avg_doc_len(), TestStats()->avg_doc_len());
+}
+
+TEST(GlobalStatsTest, SerializeRoundTripsByteEqual) {
+  const std::string bytes = TestStats()->Serialize();
+  GlobalStatsPtr restored = GlobalStats::Deserialize(bytes).MoveValueOrDie();
+  EXPECT_EQ(restored->Serialize(), bytes);
+  EXPECT_EQ(restored->num_docs(), TestStats()->num_docs());
+  EXPECT_EQ(restored->total_postings(), TestStats()->total_postings());
+  EXPECT_EQ(restored->avg_doc_len(), TestStats()->avg_doc_len());
+  EXPECT_EQ(restored->analyzer_signature(),
+            TestStats()->analyzer_signature());
+}
+
+TEST(GlobalStatsTest, WireRowsRoundTripByteEqual) {
+  std::vector<std::string> rows = TestStats()->ToWireRows();
+  GlobalStatsPtr restored = GlobalStats::FromWireRows(rows).MoveValueOrDie();
+  EXPECT_EQ(restored->Serialize(), TestStats()->Serialize());
+}
+
+TEST(GlobalStatsTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(GlobalStats::Deserialize("not a stats blob").ok());
+  EXPECT_FALSE(GlobalStats::FromWireRows({"bogus header"}).ok());
+  EXPECT_FALSE(GlobalStats::FromWireRows({}).ok());
+}
+
+TEST(GlobalStatsTest, ResolveQueryKeepsOrderAndDuplicates) {
+  Analyzer analyzer = Analyzer::Make(AnalyzerOptions()).MoveValueOrDie();
+  // Build a tiny collection with a known vocabulary.
+  std::vector<Column> cols;
+  cols.push_back(Column::MakeInt64({1, 2}));
+  cols.push_back(
+      Column::MakeString({"apple banana apple", "cherry banana"}));
+  RelationPtr docs =
+      Relation::Make(Schema({{"docID", DataType::kInt64},
+                             {"data", DataType::kString}}),
+                     std::move(cols))
+          .MoveValueOrDie();
+  GlobalStatsPtr stats =
+      GlobalStats::Compute(docs, AnalyzerOptions()).MoveValueOrDie();
+
+  QueryGlobalStats q =
+      stats->ResolveQuery("banana apple banana zzz", analyzer)
+          .MoveValueOrDie();
+  // "zzz" occurs nowhere — dropped; duplicates and order preserved.
+  // Terms are analyzer output, i.e. stemmed ("apple" → "appl").
+  ASSERT_EQ(q.terms.size(), 3u);
+  EXPECT_EQ(q.terms[0].term, "banana");
+  EXPECT_EQ(q.terms[1].term, "appl");
+  EXPECT_EQ(q.terms[2].term, "banana");
+  EXPECT_EQ(q.terms[0].df, 2);
+  EXPECT_EQ(q.terms[1].df, 1);
+  EXPECT_EQ(q.terms[1].cf, 2);
+  EXPECT_EQ(q.num_docs, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded search on a single service
+// ---------------------------------------------------------------------------
+
+TEST(ShardedSearchTest, OneShardWithOwnStatsEqualsSearch) {
+  QueryService service{QueryServiceOptions{}};
+  service.RegisterCollection("docs", TestDocs());
+  ASSERT_TRUE(service.SetGlobalStats("docs", TestStats()).ok());
+  Analyzer analyzer = Analyzer::Make(AnalyzerOptions()).MoveValueOrDie();
+
+  for (const std::string& query : GenerateQueries(TestGen(), 4, 2)) {
+    server::SearchRequest plain;
+    plain.collection = "docs";
+    plain.query = query;
+    plain.options.top_k = 10;
+    auto want = service.Search(plain);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+    server::ShardSearchRequest sharded;
+    sharded.collection = "docs";
+    sharded.options.top_k = 10;
+    sharded.global =
+        TestStats()->ResolveQuery(query, analyzer).MoveValueOrDie();
+    auto got = service.SearchSharded(sharded);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectBitIdentical(got.ValueOrDie().rows, want.ValueOrDie().rows,
+                       "query: " + query);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The bit-identity property
+// ---------------------------------------------------------------------------
+
+TEST(CoordinatorPropertyTest, BitIdenticalToSingleNodeAcrossShardCounts) {
+  QueryService single{QueryServiceOptions{}};
+  single.RegisterCollection("docs", TestDocs());
+  const std::vector<std::string> queries = GenerateQueries(TestGen(), 8, 2);
+  const RankModel models[] = {RankModel::kBm25, RankModel::kTfIdf,
+                              RankModel::kLmDirichlet,
+                              RankModel::kLmJelinekMercer};
+  const size_t ks[] = {1, 10, 100};
+
+  for (uint32_t n : {1u, 2u, 3u, 8u}) {
+    LocalFleet fleet(n);
+    for (RankModel model : models) {
+      for (size_t k : ks) {
+        for (const std::string& query : queries) {
+          SearchOptions options;
+          options.model = model;
+          options.top_k = k;
+
+          server::SearchRequest sreq;
+          sreq.collection = "docs";
+          sreq.query = query;
+          sreq.options = options;
+          auto want = single.Search(sreq);
+          ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+          CoordSearchRequest creq;
+          creq.collection = "docs";
+          creq.query = query;
+          creq.options = options;
+          auto got = fleet.coordinator->Search(creq);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          EXPECT_FALSE(got.ValueOrDie().partial);
+          ExpectBitIdentical(
+              got.ValueOrDie().rows, want.ValueOrDie().rows,
+              "n=" + std::to_string(n) + " model=" +
+                  RankModelName(model) + " k=" + std::to_string(k) +
+                  " query: " + query);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// A backend that always fails fast.
+class FailingBackend : public ShardBackend {
+ public:
+  explicit FailingBackend(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  Result<RelationPtr> SearchSharded(const std::string&,
+                                    const QueryGlobalStats&,
+                                    const SearchOptions&, int64_t,
+                                    CancelTokenPtr) override {
+    return Status::Internal("injected shard failure");
+  }
+  Status Ping() override { return Status::Internal("down"); }
+  Result<GlobalStatsPtr> FetchGlobalStats(const std::string&) override {
+    return Status::Internal("down");
+  }
+
+ private:
+  std::string name_;
+};
+
+/// A backend that blocks until its cancel token trips (or a 2 s cap),
+/// then reports how it was released.
+class SlowBackend : public ShardBackend {
+ public:
+  explicit SlowBackend(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  Result<RelationPtr> SearchSharded(const std::string&,
+                                    const QueryGlobalStats&,
+                                    const SearchOptions&, int64_t,
+                                    CancelTokenPtr token) override {
+    const auto cap = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(2000);
+    while (std::chrono::steady_clock::now() < cap) {
+      if (token != nullptr && token->cancelled()) {
+        observed_cancel_.store(true, std::memory_order_release);
+        return token->ToStatus();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    timed_out_.store(true, std::memory_order_release);
+    return Status::Internal("slow backend hit its cap uncancelled");
+  }
+  Status Ping() override { return Status::OK(); }
+  Result<GlobalStatsPtr> FetchGlobalStats(const std::string&) override {
+    return Status::Internal("slow");
+  }
+  bool observed_cancel() const {
+    return observed_cancel_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::string name_;
+  std::atomic<bool> observed_cancel_{false};
+  std::atomic<bool> timed_out_{false};
+};
+
+TEST(CoordinatorFaultTest, FailedShardFailsQueryUnderFailPolicy) {
+  CoordinatorOptions opts;
+  opts.partial = PartialPolicy::kFail;
+  LocalFleet fleet(2, opts);
+  fleet.coordinator->AddShard(std::make_shared<FailingBackend>("bad"));
+
+  CoordSearchRequest req;
+  req.collection = "docs";
+  req.query = GenerateQueries(TestGen(), 1, 2)[0];
+  req.options.top_k = 10;
+  auto got = fleet.coordinator->Search(req);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(fleet.coordinator->metrics().requests_failed.load(), 1u);
+}
+
+TEST(CoordinatorFaultTest, FailedShardDegradesUnderDegradePolicy) {
+  CoordinatorOptions opts;
+  opts.partial = PartialPolicy::kDegrade;
+  LocalFleet fleet(2, opts);
+  fleet.coordinator->AddShard(std::make_shared<FailingBackend>("bad"));
+
+  CoordSearchRequest req;
+  req.collection = "docs";
+  req.query = GenerateQueries(TestGen(), 1, 2)[0];
+  req.options.top_k = 10;
+  auto got = fleet.coordinator->Search(req);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const CoordSearchResponse& resp = got.ValueOrDie();
+  EXPECT_TRUE(resp.partial);
+  ASSERT_EQ(resp.failed_shards.size(), 1u);
+  EXPECT_EQ(resp.failed_shards[0], "bad");
+  EXPECT_GT(resp.rows->num_rows(), 0u);
+  EXPECT_EQ(fleet.coordinator->metrics().requests_partial.load(), 1u);
+}
+
+TEST(CoordinatorFaultTest, AllShardsFailedIsUnavailableEvenDegraded) {
+  CoordinatorOptions opts;
+  opts.partial = PartialPolicy::kDegrade;
+  ShardCoordinator coordinator(opts);
+  coordinator.AddShard(std::make_shared<FailingBackend>("bad0"));
+  coordinator.AddShard(std::make_shared<FailingBackend>("bad1"));
+  ASSERT_TRUE(coordinator.SetGlobalStats("docs", TestStats()).ok());
+
+  CoordSearchRequest req;
+  req.collection = "docs";
+  req.query = GenerateQueries(TestGen(), 1, 2)[0];
+  req.options.top_k = 10;
+  auto got = coordinator.Search(req);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(CoordinatorFaultTest, SlowShardIsCancelledAtDeadline) {
+  CoordinatorOptions opts;
+  opts.partial = PartialPolicy::kDegrade;
+  LocalFleet fleet(2, opts);
+  auto slow = std::make_shared<SlowBackend>("slow");
+  fleet.coordinator->AddShard(slow);
+
+  const std::string query = GenerateQueries(TestGen(), 1, 2)[0];
+  // Warm the healthy shards' indexes so only the straggler is slow —
+  // cold builds under sanitizers could miss the deadline themselves.
+  for (auto& service : fleet.services) WarmService(service.get(), query);
+
+  CoordSearchRequest req;
+  req.collection = "docs";
+  req.query = query;
+  req.options.top_k = 10;
+  req.deadline_ms = 200;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto got = fleet.coordinator->Search(req);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got.ValueOrDie().partial);
+  // The deadline bounds the answer; the 2 s straggler must not.
+  EXPECT_LT(elapsed.count(), 1500);
+  // The straggler observes cooperative cancellation (poll briefly: its
+  // dispatch thread may still be between the trip and the check).
+  for (int i = 0; i < 200 && !slow->observed_cancel(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(slow->observed_cancel());
+}
+
+TEST(CoordinatorFaultTest, FailedPrimaryFailsOverToReplica) {
+  CoordinatorOptions opts;
+  opts.partial = PartialPolicy::kFail;
+  LocalFleet fleet(2, opts);
+  // Third shard: dead primary, healthy replica over partition 2 of 3 —
+  // rebuild the fleet by hand for the mixed topology.
+  ShardCoordinator coordinator(opts);
+  std::vector<std::unique_ptr<QueryService>> services;
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto service = std::make_unique<QueryService>(QueryServiceOptions{});
+    service->RegisterCollection(
+        "docs", PartitionCollection(TestDocs(), i, 3).MoveValueOrDie());
+    ASSERT_TRUE(service->SetGlobalStats("docs", TestStats()).ok());
+    auto healthy = std::make_shared<LocalShardBackend>(
+        "shard" + std::to_string(i), service.get());
+    if (i == 2) {
+      coordinator.AddShard(std::make_shared<FailingBackend>("bad2"),
+                           healthy);
+    } else {
+      coordinator.AddShard(healthy);
+    }
+    services.push_back(std::move(service));
+  }
+  ASSERT_TRUE(coordinator.SetGlobalStats("docs", TestStats()).ok());
+
+  QueryService single{QueryServiceOptions{}};
+  single.RegisterCollection("docs", TestDocs());
+  const std::string query = GenerateQueries(TestGen(), 1, 2)[0];
+
+  server::SearchRequest sreq;
+  sreq.collection = "docs";
+  sreq.query = query;
+  sreq.options.top_k = 10;
+  auto want = single.Search(sreq);
+  ASSERT_TRUE(want.ok());
+
+  CoordSearchRequest req;
+  req.collection = "docs";
+  req.query = query;
+  req.options.top_k = 10;
+  auto got = coordinator.Search(req);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  // Failover kept the answer complete and exact.
+  EXPECT_FALSE(got.ValueOrDie().partial);
+  ExpectBitIdentical(got.ValueOrDie().rows, want.ValueOrDie().rows,
+                     "failover");
+  EXPECT_GE(coordinator.metrics().hedges_issued.load(), 1u);
+}
+
+TEST(CoordinatorFaultTest, SlowPrimaryIsHedgedToReplica) {
+  CoordinatorOptions opts;
+  opts.hedge_after_ms = 50;
+  ShardCoordinator coordinator(opts);
+  auto service = std::make_unique<QueryService>(QueryServiceOptions{});
+  service->RegisterCollection("docs", TestDocs());
+  ASSERT_TRUE(service->SetGlobalStats("docs", TestStats()).ok());
+  auto slow = std::make_shared<SlowBackend>("slow-primary");
+  coordinator.AddShard(
+      slow, std::make_shared<LocalShardBackend>("replica", service.get()));
+  ASSERT_TRUE(coordinator.SetGlobalStats("docs", TestStats()).ok());
+
+  const std::string query = GenerateQueries(TestGen(), 1, 2)[0];
+  // Warm the replica's index: the hedge must answer well before the
+  // straggler's 2 s cap even under sanitizer slowdown.
+  WarmService(service.get(), query);
+
+  CoordSearchRequest req;
+  req.collection = "docs";
+  req.query = query;
+  req.options.top_k = 10;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto got = coordinator.Search(req);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_FALSE(got.ValueOrDie().partial);
+  EXPECT_GT(got.ValueOrDie().rows->num_rows(), 0u);
+  EXPECT_GE(got.ValueOrDie().hedges, 1u);
+  EXPECT_LT(elapsed.count(), 1500);  // hedge, not the 2 s straggler
+  EXPECT_GE(coordinator.metrics().hedges_issued.load(), 1u);
+  EXPECT_GE(coordinator.metrics().hedge_wins.load(), 1u);
+  // The losing primary gets cancelled once the hedge answers.
+  for (int i = 0; i < 200 && !slow->observed_cancel(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(slow->observed_cancel());
+}
+
+TEST(CoordinatorTest, RejectsUnknownCollectionAndBadOptions) {
+  LocalFleet fleet(2);
+  CoordSearchRequest req;
+  req.collection = "nope";
+  req.query = "anything";
+  req.options.top_k = 10;
+  EXPECT_EQ(fleet.coordinator->Search(req).status().code(),
+            StatusCode::kNotFound);
+
+  req.collection = "docs";
+  req.options.top_k = 0;
+  EXPECT_EQ(fleet.coordinator->Search(req).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Remote path: SEARCHG / GSTATS over real sockets
+// ---------------------------------------------------------------------------
+
+TEST(RemoteShardTest, EndToEndOverSockets) {
+  // Three shard servers...
+  std::vector<std::unique_ptr<QueryService>> services;
+  std::vector<std::unique_ptr<LineServer>> servers;
+  ShardCoordinator coordinator;
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto service = std::make_unique<QueryService>(QueryServiceOptions{});
+    service->RegisterCollection(
+        "docs", PartitionCollection(TestDocs(), i, 3).MoveValueOrDie());
+    ASSERT_TRUE(service->SetGlobalStats("docs", TestStats()).ok());
+    auto server = std::make_unique<LineServer>(service.get());
+    ASSERT_TRUE(server->Start().ok());
+    RemoteShardBackend::Options bopts;
+    bopts.connect_timeout_ms = 2000;
+    coordinator.AddShard(std::make_shared<RemoteShardBackend>(
+        "shard" + std::to_string(i), "127.0.0.1", server->port(), bopts));
+    services.push_back(std::move(service));
+    servers.push_back(std::move(server));
+  }
+  // ...statistics bootstrapped over the wire (GSTATS), cross-checked.
+  ASSERT_TRUE(coordinator.BootstrapGlobalStats("docs").ok());
+  ASSERT_NE(coordinator.GetGlobalStats("docs"), nullptr);
+  EXPECT_EQ(coordinator.GetGlobalStats("docs")->Serialize(),
+            TestStats()->Serialize());
+
+  QueryService single{QueryServiceOptions{}};
+  single.RegisterCollection("docs", TestDocs());
+
+  // The coordinator itself behind a LineServer, driven by a LineClient —
+  // the full spindle_client-compatible stack.
+  CoordinatorHandler handler(&coordinator);
+  LineServer coord_server(&handler);
+  ASSERT_TRUE(coord_server.Start().ok());
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", coord_server.port()).ok());
+
+  for (const std::string& query : GenerateQueries(TestGen(), 4, 2)) {
+    server::SearchRequest sreq;
+    sreq.collection = "docs";
+    sreq.query = query;
+    sreq.options.top_k = 10;
+    auto want = single.Search(sreq);
+    ASSERT_TRUE(want.ok());
+    const std::vector<std::string> want_rows =
+        server::SerializeRows(*want.ValueOrDie().rows);
+
+    auto resp = client.Search("docs", 10, 0, query);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_FALSE(resp.ValueOrDie().partial);
+    // Byte-identical wire rows: the %.17g doubles survived the shard →
+    // coordinator → client round trip exactly.
+    EXPECT_EQ(resp.ValueOrDie().rows, want_rows) << "query: " << query;
+  }
+
+  for (auto& server : servers) server->Stop();
+  coord_server.Stop();
+}
+
+TEST(RemoteShardTest, SearchGRejectsMalformedLines) {
+  QueryService service{QueryServiceOptions{}};
+  service.RegisterCollection("docs", TestDocs());
+  ASSERT_TRUE(service.SetGlobalStats("docs", TestStats()).ok());
+  LineServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  EXPECT_EQ(client.Call("SEARCHG").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.Call("SEARCHG docs").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      client.Call("SEARCHG docs 10 0 bm25 1.2 0.75 2000 0.1 not numbers")
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.Call("GSTATS nope").status().code(),
+            StatusCode::kNotFound);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// LineClient timeouts (satellite a)
+// ---------------------------------------------------------------------------
+
+TEST(LineClientTimeoutTest, ConnectToDeadPortIsUnavailable) {
+  // Find a port that nothing listens on by binding and closing it.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int dead_port = ntohs(addr.sin_port);
+  ::close(fd);
+
+  LineClientOptions opts;
+  opts.connect_timeout_ms = 200;
+  opts.connect_retries = 2;
+  opts.backoff_ms = 10;
+  LineClient client(opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  Status st = client.Connect("127.0.0.1", dead_port);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  // 3 attempts with 10+20ms backoff, each connect refused instantly on
+  // loopback — well under a second.
+  EXPECT_LT(elapsed.count(), 2000);
+}
+
+TEST(LineClientTimeoutTest, ReadTimeoutIsUnavailable) {
+  // A listener that accepts the TCP handshake but never answers.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  LineClientOptions opts;
+  opts.read_timeout_ms = 100;
+  LineClient client(opts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", ntohs(addr.sin_port)).ok());
+  Status st = client.Call("PING").status();
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(client.connected());  // a timed-out connection is dropped
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Shard snapshots
+// ---------------------------------------------------------------------------
+
+TEST(ShardSnapshotTest, GlobalStatsSurviveServiceSnapshot) {
+  const std::string path = TempPath("shard_gstats.snap");
+  {
+    QueryService service{QueryServiceOptions{}};
+    service.RegisterCollection(
+        "docs", PartitionCollection(TestDocs(), 0, 2).MoveValueOrDie());
+    ASSERT_TRUE(service.SetGlobalStats("docs", TestStats()).ok());
+    ASSERT_TRUE(service.SaveSnapshot(path).ok());
+  }
+  QueryService restored{QueryServiceOptions{}};
+  ASSERT_TRUE(restored.LoadSnapshot(path).ok());
+  GlobalStatsPtr stats = restored.GetGlobalStats("docs");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->Serialize(), TestStats()->Serialize());
+}
+
+TEST(ShardSnapshotTest, WriteShardSnapshotsServeBitIdentical) {
+  Catalog full;
+  full.Register("docs", TestDocs());
+  const std::string prefix = TempPath("fleet");
+  auto infos =
+      WriteShardSnapshots(full, AnalyzerOptions(), 3, prefix);
+  ASSERT_TRUE(infos.ok()) << infos.status().ToString();
+  ASSERT_EQ(infos.ValueOrDie().size(), 3u);
+
+  // A fleet restored purely from the snapshot files...
+  ShardCoordinator coordinator;
+  std::vector<std::unique_ptr<QueryService>> services;
+  int64_t total_docs = 0;
+  for (const ShardSnapshotInfo& info : infos.ValueOrDie()) {
+    total_docs += info.num_docs;
+    auto service = std::make_unique<QueryService>(QueryServiceOptions{});
+    ASSERT_TRUE(service->LoadSnapshot(info.path).ok());
+    ASSERT_NE(service->GetGlobalStats("docs"), nullptr);
+    coordinator.AddShard(
+        std::make_shared<LocalShardBackend>(info.path, service.get()));
+    services.push_back(std::move(service));
+  }
+  EXPECT_EQ(total_docs, static_cast<int64_t>(TestDocs()->num_rows()));
+  ASSERT_TRUE(coordinator.BootstrapGlobalStats("docs").ok());
+
+  // ...serves bit-identically to single-node over the full collection.
+  QueryService single{QueryServiceOptions{}};
+  single.RegisterCollection("docs", TestDocs());
+  for (const std::string& query : GenerateQueries(TestGen(), 4, 2)) {
+    server::SearchRequest sreq;
+    sreq.collection = "docs";
+    sreq.query = query;
+    sreq.options.top_k = 10;
+    auto want = single.Search(sreq);
+    ASSERT_TRUE(want.ok());
+
+    CoordSearchRequest creq;
+    creq.collection = "docs";
+    creq.query = query;
+    creq.options.top_k = 10;
+    auto got = coordinator.Search(creq);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectBitIdentical(got.ValueOrDie().rows, want.ValueOrDie().rows,
+                       "snapshot fleet, query: " + query);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire encoding
+// ---------------------------------------------------------------------------
+
+TEST(WireTest, SearchGRoundTripsExactly) {
+  Analyzer analyzer = Analyzer::Make(AnalyzerOptions()).MoveValueOrDie();
+  QueryGlobalStats global =
+      TestStats()
+          ->ResolveQuery(GenerateQueries(TestGen(), 1, 3)[0], analyzer)
+          .MoveValueOrDie();
+  SearchOptions options;
+  options.model = RankModel::kLmDirichlet;
+  options.dirichlet.mu = 1234.5;
+  options.top_k = 17;
+
+  const std::string line = EncodeSearchG("docs", 250, options, global);
+  ASSERT_EQ(line.rfind("SEARCHG ", 0), 0u);
+
+  std::string collection;
+  int64_t deadline_ms = 0;
+  SearchOptions parsed_options;
+  QueryGlobalStats parsed;
+  std::string rest = line.substr(8);
+  ASSERT_TRUE(ParseSearchG(rest, &collection, &deadline_ms,
+                           &parsed_options, &parsed)
+                  .ok());
+  EXPECT_EQ(collection, "docs");
+  EXPECT_EQ(deadline_ms, 250);
+  EXPECT_EQ(parsed_options.model, RankModel::kLmDirichlet);
+  EXPECT_EQ(parsed_options.dirichlet.mu, options.dirichlet.mu);
+  EXPECT_EQ(parsed_options.top_k, options.top_k);
+  EXPECT_EQ(parsed.num_docs, global.num_docs);
+  EXPECT_EQ(parsed.total_postings, global.total_postings);
+  EXPECT_EQ(parsed.avg_doc_len, global.avg_doc_len);  // bit-exact
+  ASSERT_EQ(parsed.terms.size(), global.terms.size());
+  for (size_t i = 0; i < global.terms.size(); ++i) {
+    EXPECT_EQ(parsed.terms[i].term, global.terms[i].term);
+    EXPECT_EQ(parsed.terms[i].df, global.terms[i].df);
+    EXPECT_EQ(parsed.terms[i].cf, global.terms[i].cf);
+  }
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace spindle
