@@ -1,0 +1,212 @@
+/// \file bench_e18_compression.cpp
+/// \brief E18 — block compression: storage footprint and fused-query
+/// latency of the compressed index representation (storage/block_codec.h)
+/// against the uncompressed baseline, on the same collection and query
+/// stream.
+///
+/// Two arms per (docs, k) point, built from the same documents:
+///   - compressed: frame-of-reference bit-packed posting blocks plus
+///     zigzag-varint cold columns (the build default);
+///   - uncompressed: flat (ord, tf) arrays and plain columns
+///     (ScopedCompressionDefaults off).
+/// Each arm reports the three-way footprint (heap / mapped / compressed
+/// bytes), fused p50/p95/p99 latency, and the decode counters
+/// (blocks_decoded, decode_bytes per query — zero by definition on the
+/// uncompressed arm).
+///
+/// Reproduction target: >= 30% total-byte reduction on the 50k-doc
+/// collection with fused p50 within 10% of the uncompressed arm and
+/// blocks_skipped > 0 (skipped blocks are never decoded).
+///
+/// `--check` runs a self-contained correctness gate instead of the
+/// benchmark loop (used by the CI smoke): asserts the compressed index is
+/// strictly smaller and that fused results are byte-identical to the
+/// uncompressed index across all four models and k in {1, 10, 100};
+/// exits non-zero on any violation.
+
+#include <cstdint>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "ir/topk_pruning.h"
+#include "storage/block_codec.h"
+
+namespace spindle {
+namespace bench {
+namespace {
+
+/// Uncompressed-baseline TextIndex over GetCollection(num_docs), cached.
+/// GetIndex() builds with the process defaults (compression on), so the
+/// two fixtures differ only in physical representation.
+TextIndexPtr GetUncompressedIndex(int64_t num_docs) {
+  static auto* cache = new std::map<int64_t, TextIndexPtr>();
+  auto it = cache->find(num_docs);
+  if (it != cache->end()) return it->second;
+  blockcodec::ScopedCompressionDefaults off({false, false});
+  Analyzer analyzer = OrDie(Analyzer::Make({}), "analyzer");
+  TextIndexPtr index =
+      OrDie(TextIndex::Build(GetCollection(num_docs), analyzer), "index");
+  cache->emplace(num_docs, index);
+  return index;
+}
+
+void RunFused(benchmark::State& state, const TextIndexPtr& index) {
+  const size_t k = static_cast<size_t>(state.range(1));
+  const auto& queries = GetQueries(state.range(0), 3);
+  SearchOptions options;
+  options.top_k = k;
+  PruningStats stats;
+  LatencyRecorder lat;
+  size_t qi = 0;
+  for (auto _ : state) {
+    const std::string& query = queries[qi++ % queries.size()];
+    lat.Start();
+    RelationPtr qterms = OrDie(index->QueryTerms(query), "qterms");
+    RelationPtr top = OrDie(RankTopK(*index, qterms, options, &stats),
+                            "fused topk");
+    lat.Stop();
+    benchmark::DoNotOptimize(top);
+  }
+  lat.Report(state);
+  ReportFootprint(state, index->ByteSizes());
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["blocks_skipped"] =
+      static_cast<double>(stats.blocks_skipped) / iters;
+  state.counters["blocks_decoded"] =
+      static_cast<double>(stats.blocks_decoded) / iters;
+  state.counters["decode_bytes"] =
+      static_cast<double>(stats.decode_bytes) / iters;
+}
+
+void BM_FusedCompressed(benchmark::State& state) {
+  RunFused(state, GetIndex(state.range(0)));
+}
+
+void BM_FusedUncompressed(benchmark::State& state) {
+  RunFused(state, GetUncompressedIndex(state.range(0)));
+}
+
+BENCHMARK(BM_FusedCompressed)
+    ->ArgNames({"docs", "k"})
+    ->Args({50000, 10})
+    ->Args({50000, 100})
+    ->Args({10000, 10})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FusedUncompressed)
+    ->ArgNames({"docs", "k"})
+    ->Args({50000, 10})
+    ->Args({50000, 100})
+    ->Args({10000, 10})
+    ->Unit(benchmark::kMillisecond);
+
+/// True when the two top-k relations are byte-identical: same row count,
+/// same docIDs, and score doubles whose bit patterns match exactly (not
+/// merely approximately equal).
+bool BitIdentical(const Relation& a, const Relation& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    if (a.column(0).Int64At(r) != b.column(0).Int64At(r)) return false;
+    const double sa = a.column(1).Float64At(r);
+    const double sb = b.column(1).Float64At(r);
+    uint64_t ba, bb;
+    std::memcpy(&ba, &sa, sizeof(ba));
+    std::memcpy(&bb, &sb, sizeof(bb));
+    if (ba != bb) return false;
+  }
+  return true;
+}
+
+/// CI gate: footprint reduction and bit-identity. Returns a process exit
+/// code (0 = pass).
+int RunCheck() {
+  const int64_t num_docs = 50000;
+  TextIndexPtr comp = GetIndex(num_docs);
+  TextIndexPtr uncomp = GetUncompressedIndex(num_docs);
+
+  const StorageByteStats cb = comp->ByteSizes();
+  const StorageByteStats ub = uncomp->ByteSizes();
+  const double reduction =
+      1.0 - static_cast<double>(cb.total()) / static_cast<double>(ub.total());
+  std::fprintf(stderr,
+               "footprint: uncompressed=%zu compressed=%zu (heap=%zu "
+               "mapped=%zu packed=%zu) reduction=%.1f%%\n",
+               ub.total(), cb.total(), cb.heap_bytes, cb.mapped_bytes,
+               cb.compressed_bytes, 100.0 * reduction);
+  if (!(reduction > 0.0)) {
+    std::fprintf(stderr, "FAIL: compressed index is not smaller\n");
+    return 1;
+  }
+  if (cb.compressed_bytes == 0) {
+    std::fprintf(stderr, "FAIL: no bytes in the compressed bucket\n");
+    return 1;
+  }
+
+  const auto& queries = GetQueries(num_docs, 3);
+  const RankModel models[] = {RankModel::kBm25, RankModel::kTfIdf,
+                              RankModel::kLmDirichlet,
+                              RankModel::kLmJelinekMercer};
+  const size_t ks[] = {1, 10, 100};
+  PruningStats cstats;
+  int failures = 0;
+  for (RankModel model : models) {
+    for (size_t k : ks) {
+      SearchOptions options;
+      options.model = model;
+      options.top_k = k;
+      for (size_t qi = 0; qi < 16 && qi < queries.size(); ++qi) {
+        const std::string& query = queries[qi];
+        RelationPtr cq = OrDie(comp->QueryTerms(query), "qterms");
+        RelationPtr uq = OrDie(uncomp->QueryTerms(query), "qterms");
+        RelationPtr ct =
+            OrDie(RankTopK(*comp, cq, options, &cstats), "fused");
+        RelationPtr ut = OrDie(RankTopK(*uncomp, uq, options), "fused");
+        if (!BitIdentical(*ct, *ut)) {
+          std::fprintf(stderr,
+                       "FAIL: results differ (model=%s k=%zu query=\"%s\")\n",
+                       RankModelName(model), k, query.c_str());
+          ++failures;
+        }
+      }
+    }
+  }
+  if (cstats.blocks_decoded == 0) {
+    std::fprintf(stderr, "FAIL: compressed arm never decoded a block\n");
+    ++failures;
+  }
+  if (cstats.blocks_skipped == 0) {
+    std::fprintf(stderr, "FAIL: no blocks were skipped\n");
+    ++failures;
+  }
+  std::fprintf(stderr,
+               "check: blocks_decoded=%llu blocks_skipped=%llu "
+               "decode_bytes=%llu failures=%d\n",
+               static_cast<unsigned long long>(cstats.blocks_decoded),
+               static_cast<unsigned long long>(cstats.blocks_skipped),
+               static_cast<unsigned long long>(cstats.decode_bytes),
+               failures);
+  if (failures == 0) std::fprintf(stderr, "compression check PASSED\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spindle
+
+int main(int argc, char** argv) {
+  bool check = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (check) return spindle::bench::RunCheck();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -220,6 +220,19 @@ class LatencyRecorder {
   std::vector<double> samples_;
 };
 
+/// Publishes an index's three-way storage footprint (see
+/// Catalog::ByteSizes / TextIndex::ByteSizes) as benchmark counters, so
+/// footprint experiments report heap, mapped and compressed bytes
+/// separately instead of one conflated number.
+inline void ReportFootprint(benchmark::State& state,
+                            const StorageByteStats& bytes) {
+  state.counters["heap_bytes"] = static_cast<double>(bytes.heap_bytes);
+  state.counters["mapped_bytes"] = static_cast<double>(bytes.mapped_bytes);
+  state.counters["compressed_bytes"] =
+      static_cast<double>(bytes.compressed_bytes);
+  state.counters["total_bytes"] = static_cast<double>(bytes.total());
+}
+
 inline TextCollectionOptions CollectionOptions(int64_t num_docs) {
   TextCollectionOptions opts;
   opts.num_docs = num_docs;

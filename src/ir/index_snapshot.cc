@@ -1,6 +1,8 @@
 #include "ir/index_snapshot.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "ir/topk_pruning.h"
 #include "obs/trace.h"
@@ -48,8 +50,19 @@ class IndexSnapshotIO {
                                     im.doc_ids_.span()));
     meta->U32(writer->AddPodSection(prefix + ".doclens",
                                     im.doc_lens_.span()));
-    meta->U32(writer->AddPodSection(prefix + ".ords", im.ords_.span()));
-    meta->U32(writer->AddPodSection(prefix + ".tfs", im.tfs_.span()));
+    // Postings: one representation per index. Compressed blocks are
+    // written verbatim (no decode/re-encode) and map back byte-identical,
+    // so a warm restart decodes on demand exactly like the builder's copy.
+    meta->U8(im.compressed() ? 1 : 0);
+    if (im.compressed()) {
+      meta->U32(writer->AddPodSection(prefix + ".packed",
+                                      im.packed_.span()));
+      meta->U32(writer->AddPodSection(prefix + ".poff",
+                                      im.payload_offsets_.span()));
+    } else {
+      meta->U32(writer->AddPodSection(prefix + ".ords", im.ords_.span()));
+      meta->U32(writer->AddPodSection(prefix + ".tfs", im.tfs_.span()));
+    }
     meta->U32(writer->AddPodSection(prefix + ".blocks", im.blocks_.span()));
     meta->U32(writer->AddPodSection(prefix + ".toff",
                                     im.term_offsets_.span()));
@@ -102,8 +115,9 @@ class IndexSnapshotIO {
     impact->max_posting_len_ = meta->I32();
     const uint32_t docids_sec = meta->U32();
     const uint32_t doclens_sec = meta->U32();
-    const uint32_t ords_sec = meta->U32();
-    const uint32_t tfs_sec = meta->U32();
+    const uint8_t postings_compressed = meta->U8();
+    const uint32_t ords_sec = meta->U32();   // .packed when compressed
+    const uint32_t tfs_sec = meta->U32();    // .poff when compressed
     const uint32_t blocks_sec = meta->U32();
     const uint32_t toff_sec = meta->U32();
     const uint32_t boff_sec = meta->U32();
@@ -113,10 +127,17 @@ class IndexSnapshotIO {
                              snap->MappedSection<int64_t>(docids_sec));
     SPINDLE_ASSIGN_OR_RETURN(impact->doc_lens_,
                              snap->MappedSection<int32_t>(doclens_sec));
-    SPINDLE_ASSIGN_OR_RETURN(impact->ords_,
-                             snap->MappedSection<uint32_t>(ords_sec));
-    SPINDLE_ASSIGN_OR_RETURN(impact->tfs_,
-                             snap->MappedSection<int32_t>(tfs_sec));
+    if (postings_compressed != 0) {
+      SPINDLE_ASSIGN_OR_RETURN(impact->packed_,
+                               snap->MappedSection<uint8_t>(ords_sec));
+      SPINDLE_ASSIGN_OR_RETURN(impact->payload_offsets_,
+                               snap->MappedSection<uint64_t>(tfs_sec));
+    } else {
+      SPINDLE_ASSIGN_OR_RETURN(impact->ords_,
+                               snap->MappedSection<uint32_t>(ords_sec));
+      SPINDLE_ASSIGN_OR_RETURN(impact->tfs_,
+                               snap->MappedSection<int32_t>(tfs_sec));
+    }
     SPINDLE_ASSIGN_OR_RETURN(
         impact->blocks_, snap->MappedSection<ImpactIndex::Block>(blocks_sec));
     SPINDLE_ASSIGN_OR_RETURN(impact->term_offsets_,
@@ -125,7 +146,8 @@ class IndexSnapshotIO {
                              snap->MappedSection<OffsetLen>(boff_sec));
     SPINDLE_ASSIGN_OR_RETURN(
         impact->term_meta_, snap->MappedSection<ImpactIndex::TermMeta>(tmeta_sec));
-    SPINDLE_RETURN_IF_ERROR(Validate(snap->path(), *index, *impact));
+    SPINDLE_RETURN_IF_ERROR(
+        Validate(snap->path(), *index, *impact, postings_compressed != 0));
     index->impact_ = std::move(impact);
     return TextIndexPtr(std::move(index));
   }
@@ -134,9 +156,12 @@ class IndexSnapshotIO {
   /// Structural consistency of the mapped arrays. The file checksum
   /// guarantees bytes-as-saved; this guards against logically inconsistent
   /// files (hand-edited, or written by a buggy saver) so indexing into
-  /// the arrays can never leave bounds.
+  /// the arrays can never leave bounds. For compressed postings this
+  /// includes a full decode-check of every block: the fused kernel then
+  /// treats block decode as infallible (a validated stream cannot fail),
+  /// exactly as CompressedInts::Parse does for cold columns.
   static Status Validate(const std::string& path, const TextIndex& index,
-                         const ImpactIndex& impact) {
+                         const ImpactIndex& impact, bool compressed) {
     auto corrupt = [&](const std::string& what) {
       return Status::ParseError("snapshot '" + path + "': index " + what);
     };
@@ -159,22 +184,83 @@ class IndexSnapshotIO {
     if (index.tf_rows_.size() != static_cast<size_t>(index.tf_->num_rows())) {
       return corrupt("tf_rows length disagrees with tf view");
     }
-    const size_t num_postings = impact.ords_.size();
     const size_t num_blocks = impact.blocks_.size();
     const size_t num_tf_rows = index.tf_rows_.size();
+    const size_t num_docs = impact.doc_ids_.size();
+    if (compressed) {
+      // The payload offset table carries one entry per block plus a final
+      // sentinel; entries are nondecreasing and bounded by the stream.
+      if (impact.payload_offsets_.size() != num_blocks + 1) {
+        return corrupt("payload offset table length disagrees with blocks");
+      }
+      const uint64_t packed_size = impact.packed_.size();
+      for (size_t b = 0; b < num_blocks; ++b) {
+        if (impact.payload_offsets_[b] > impact.payload_offsets_[b + 1]) {
+          return corrupt("payload offsets not monotone");
+        }
+      }
+      if (impact.payload_offsets_[num_blocks] != packed_size ||
+          impact.payload_offsets_[0] != 0) {
+        return corrupt("payload offsets disagree with packed stream size");
+      }
+    }
+    std::vector<uint32_t> dec_ords(ImpactIndex::kBlockSize);
+    std::vector<int32_t> dec_tfs(ImpactIndex::kBlockSize);
     for (size_t t = 0; t < expected; ++t) {
       const OffsetLen to = impact.term_offsets_[t];
       const OffsetLen bo = impact.block_offsets_[t];
       const OffsetLen fo = index.tf_offsets_[t];
-      if (size_t{to.offset} + to.length > num_postings ||
-          size_t{bo.offset} + bo.length > num_blocks ||
+      if (size_t{bo.offset} + bo.length > num_blocks ||
           size_t{fo.offset} + fo.length > num_tf_rows) {
         return corrupt("offset table out of bounds");
       }
+      if (!compressed &&
+          size_t{to.offset} + to.length > impact.ords_.size()) {
+        return corrupt("offset table out of bounds");
+      }
+      if (compressed) {
+        // Block grid: exactly ceil(len / kBlockSize) blocks per term, so
+        // the kernel's pos -> block arithmetic stays within this term.
+        const size_t want_blocks =
+            (size_t{to.length} + ImpactIndex::kBlockSize - 1) /
+            ImpactIndex::kBlockSize;
+        if (bo.length != want_blocks) {
+          return corrupt("block count disagrees with posting count");
+        }
+        // Decode-check every block: well-formed stream, exact count,
+        // strictly increasing in-range ordinals that agree with the
+        // skip table's last_ord (AdvanceTo trusts it without decoding).
+        uint32_t prev_last = 0;
+        for (size_t b = 0; b < bo.length; ++b) {
+          const size_t gb = size_t{bo.offset} + b;
+          const size_t n =
+              std::min<size_t>(ImpactIndex::kBlockSize,
+                               size_t{to.length} - b * ImpactIndex::kBlockSize);
+          const uint64_t begin = impact.payload_offsets_[gb];
+          const uint64_t end = impact.payload_offsets_[gb + 1];
+          if (!blockcodec::DecodePostingBlock(
+                  impact.packed_.data() + begin,
+                  static_cast<size_t>(end - begin), n, dec_ords.data(),
+                  dec_tfs.data())) {
+            return corrupt("posting block failed to decode");
+          }
+          if (dec_ords[n - 1] >= num_docs) {
+            return corrupt("posting ordinal out of range");
+          }
+          if (b > 0 && dec_ords[0] <= prev_last) {
+            return corrupt("posting ordinals not increasing across blocks");
+          }
+          if (dec_ords[n - 1] != impact.blocks_[gb].last_ord) {
+            return corrupt("block skip entry disagrees with postings");
+          }
+          prev_last = dec_ords[n - 1];
+        }
+      }
     }
-    const size_t num_docs = impact.doc_ids_.size();
-    for (uint32_t ord : impact.ords_) {
-      if (ord >= num_docs) return corrupt("posting ordinal out of range");
+    if (!compressed) {
+      for (uint32_t ord : impact.ords_) {
+        if (ord >= num_docs) return corrupt("posting ordinal out of range");
+      }
     }
     for (uint32_t row : index.tf_rows_) {
       if (row >= num_tf_rows) return corrupt("tf row index out of range");

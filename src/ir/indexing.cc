@@ -1,5 +1,6 @@
 #include "ir/indexing.h"
 
+#include <set>
 #include <string_view>
 #include <unordered_map>
 
@@ -214,6 +215,21 @@ Result<TextIndexPtr> TextIndex::Build(const RelationPtr& docs,
   index->impact_ =
       ImpactIndex::Build(*index->tf_, *index->doc_len_, *index->idf_,
                          *index->cf_, index->termdict_->num_rows());
+
+  // Cold-column compression: once the impact index exists, the fused
+  // serving path never touches the relational views' bulk columns — they
+  // are cold until an exhaustive ranking, phrase match or SpinQL scan
+  // asks for them. Store their int64 / dict-code columns compressed
+  // (segment-wise lazy decode) so a serving node's footprint is the
+  // packed bytes, not the flat arrays. Logical content is unchanged:
+  // every consumer decodes transparently and results stay bit-identical.
+  if (blockcodec::GetCompressionDefaults().cold_columns) {
+    index->term_doc_ = CompressColumns(index->term_doc_);
+    index->tf_ = CompressColumns(index->tf_);
+    index->doc_len_ = CompressColumns(index->doc_len_);
+    index->idf_ = CompressColumns(index->idf_);
+    index->cf_ = CompressColumns(index->cf_);
+  }
   return TextIndexPtr(std::move(index));
 }
 
@@ -227,6 +243,25 @@ size_t TextIndex::MappedByteSize() const {
   }
   if (impact_ != nullptr) bytes += impact_->MappedByteSize();
   return bytes;
+}
+
+StorageByteStats TextIndex::ByteSizes() const {
+  StorageByteStats s;
+  s.heap_bytes += tf_rows_.HeapBytes() + tf_offsets_.HeapBytes();
+  s.mapped_bytes += tf_rows_.MappedBytes() + tf_offsets_.MappedBytes();
+  std::set<const StringDict*> seen;
+  for (const RelationPtr* rel :
+       {&term_doc_, &termdict_, &doc_len_, &tf_, &idf_, &cf_}) {
+    if (*rel == nullptr) continue;
+    s.heap_bytes += (*rel)->ByteSizeExcludingDicts();
+    s.mapped_bytes += (*rel)->MappedByteSize();
+    s.compressed_bytes += (*rel)->CompressedByteSize();
+    for (const StringDictPtr& dict : (*rel)->CollectDicts()) {
+      if (seen.insert(dict.get()).second) s.heap_bytes += dict->ByteSize();
+    }
+  }
+  if (impact_ != nullptr) s += impact_->ByteSizes();
+  return s;
 }
 
 std::pair<const uint32_t*, size_t> TextIndex::TfRowsForTerm(

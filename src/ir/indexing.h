@@ -117,6 +117,11 @@ class TextIndex {
   /// and flattened arrays; 0 for an in-memory build.
   size_t MappedByteSize() const;
 
+  /// \brief Three-way byte accounting over every view, the tf access
+  /// path and the impact index: heap vs mapped vs compressed, with each
+  /// shared StringDict counted once.
+  StorageByteStats ByteSizes() const;
+
  private:
   friend class IndexSnapshotIO;  // snapshot save/load (ir/index_snapshot.cc)
 

@@ -97,11 +97,17 @@ void Searcher::RecordPruning(const PruningStats& pstats, Stats* call_stats,
                                 std::memory_order_relaxed);
   stats_.blocks_skipped.fetch_add(pstats.blocks_skipped,
                                   std::memory_order_relaxed);
+  stats_.blocks_decoded.fetch_add(pstats.blocks_decoded,
+                                  std::memory_order_relaxed);
+  stats_.decode_bytes.fetch_add(pstats.decode_bytes,
+                                std::memory_order_relaxed);
   stats_.fused_path_used.fetch_add(1, std::memory_order_relaxed);
   if (call_stats != nullptr) {
     call_stats->docs_scored += pstats.docs_scored;
     call_stats->docs_skipped += pstats.docs_skipped;
     call_stats->blocks_skipped += pstats.blocks_skipped;
+    call_stats->blocks_decoded += pstats.blocks_decoded;
+    call_stats->decode_bytes += pstats.decode_bytes;
     call_stats->fused_path_used++;
   }
   if (span != nullptr && span->active()) {
@@ -109,6 +115,9 @@ void Searcher::RecordPruning(const PruningStats& pstats, Stats* call_stats,
     span->Add("docs_skipped", static_cast<int64_t>(pstats.docs_skipped));
     span->Add("blocks_skipped",
               static_cast<int64_t>(pstats.blocks_skipped));
+    span->Add("blocks_decoded",
+              static_cast<int64_t>(pstats.blocks_decoded));
+    span->Add("decode_bytes", static_cast<int64_t>(pstats.decode_bytes));
     span->Add("fused", 1);
   }
 }

@@ -89,6 +89,8 @@ class Searcher {
     uint64_t docs_scored = 0;
     uint64_t docs_skipped = 0;
     uint64_t blocks_skipped = 0;
+    uint64_t blocks_decoded = 0;  ///< compressed posting blocks decompressed
+    uint64_t decode_bytes = 0;    ///< compressed bytes fed to the decoder
     uint64_t fused_path_used = 0;
   };
 
@@ -166,6 +168,8 @@ class Searcher {
     s.docs_scored = stats_.docs_scored.load(std::memory_order_relaxed);
     s.docs_skipped = stats_.docs_skipped.load(std::memory_order_relaxed);
     s.blocks_skipped = stats_.blocks_skipped.load(std::memory_order_relaxed);
+    s.blocks_decoded = stats_.blocks_decoded.load(std::memory_order_relaxed);
+    s.decode_bytes = stats_.decode_bytes.load(std::memory_order_relaxed);
     s.fused_path_used =
         stats_.fused_path_used.load(std::memory_order_relaxed);
     return s;
@@ -190,6 +194,8 @@ class Searcher {
     std::atomic<uint64_t> docs_scored{0};
     std::atomic<uint64_t> docs_skipped{0};
     std::atomic<uint64_t> blocks_skipped{0};
+    std::atomic<uint64_t> blocks_decoded{0};
+    std::atomic<uint64_t> decode_bytes{0};
     std::atomic<uint64_t> fused_path_used{0};
   };
 

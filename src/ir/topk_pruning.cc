@@ -17,7 +17,7 @@ namespace spindle {
 
 std::shared_ptr<const ImpactIndex> ImpactIndex::Build(
     const Relation& tf, const Relation& doc_len, const Relation& idf,
-    const Relation& cf, size_t num_terms) {
+    const Relation& cf, size_t num_terms, bool compress) {
   auto impact = std::shared_ptr<ImpactIndex>(new ImpactIndex());
 
   // Built into local vectors and moved into the (owned-mode) MappedVector
@@ -146,8 +146,33 @@ std::shared_ptr<const ImpactIndex> ImpactIndex::Build(
 
   impact->doc_ids_ = MappedVector<int64_t>::Own(std::move(doc_ids));
   impact->doc_lens_ = MappedVector<int32_t>::Own(std::move(doc_lens));
-  impact->ords_ = MappedVector<uint32_t>::Own(std::move(all_ords));
-  impact->tfs_ = MappedVector<int32_t>::Own(std::move(all_tfs));
+  if (compress) {
+    // Encode each 128-posting block independently (frame-of-reference
+    // deltas at per-block bit width) and record where every block's bytes
+    // land, so the kernel can decode exactly one block on demand. The raw
+    // flat arrays are dropped — the packed stream plus the offset table
+    // is the only physical copy of (ord, tf).
+    std::vector<uint8_t> packed;
+    packed.reserve(offset * 2);
+    std::vector<uint64_t> payload_offsets;
+    payload_offsets.reserve(blocks.size() + 1);
+    for (size_t tid = 1; tid <= num_terms; ++tid) {
+      auto [off, len] = term_offsets[tid];
+      for (uint32_t i = 0; i < len; i += kBlockSize) {
+        const uint32_t n = std::min(len - i, kBlockSize);
+        payload_offsets.push_back(packed.size());
+        blockcodec::EncodePostingBlock(all_ords.data() + off + i,
+                                       all_tfs.data() + off + i, n, &packed);
+      }
+    }
+    payload_offsets.push_back(packed.size());
+    impact->packed_ = MappedVector<uint8_t>::Own(std::move(packed));
+    impact->payload_offsets_ =
+        MappedVector<uint64_t>::Own(std::move(payload_offsets));
+  } else {
+    impact->ords_ = MappedVector<uint32_t>::Own(std::move(all_ords));
+    impact->tfs_ = MappedVector<int32_t>::Own(std::move(all_tfs));
+  }
   impact->blocks_ = MappedVector<Block>::Own(std::move(blocks));
   impact->term_offsets_ = MappedVector<OffsetLen>::Own(std::move(term_offsets));
   impact->block_offsets_ =
@@ -158,9 +183,31 @@ std::shared_ptr<const ImpactIndex> ImpactIndex::Build(
 
 size_t ImpactIndex::MappedByteSize() const {
   return doc_ids_.MappedBytes() + doc_lens_.MappedBytes() +
-         ords_.MappedBytes() + tfs_.MappedBytes() + blocks_.MappedBytes() +
+         ords_.MappedBytes() + tfs_.MappedBytes() + packed_.MappedBytes() +
+         payload_offsets_.MappedBytes() + blocks_.MappedBytes() +
          term_offsets_.MappedBytes() + block_offsets_.MappedBytes() +
          term_meta_.MappedBytes();
+}
+
+StorageByteStats ImpactIndex::ByteSizes() const {
+  StorageByteStats s;
+  // The packed stream is "compressed bytes" wherever it lives (heap or
+  // mapping); everything else splits by owned vs borrowed.
+  s.compressed_bytes = packed_.size();
+  auto add = [&s](size_t heap, size_t mapped) {
+    s.heap_bytes += heap;
+    s.mapped_bytes += mapped;
+  };
+  add(doc_ids_.HeapBytes(), doc_ids_.MappedBytes());
+  add(doc_lens_.HeapBytes(), doc_lens_.MappedBytes());
+  add(ords_.HeapBytes(), ords_.MappedBytes());
+  add(tfs_.HeapBytes(), tfs_.MappedBytes());
+  add(payload_offsets_.HeapBytes(), payload_offsets_.MappedBytes());
+  add(blocks_.HeapBytes(), blocks_.MappedBytes());
+  add(term_offsets_.HeapBytes(), term_offsets_.MappedBytes());
+  add(block_offsets_.HeapBytes(), block_offsets_.MappedBytes());
+  add(term_meta_.HeapBytes(), term_meta_.MappedBytes());
+  return s;
 }
 
 ImpactIndex::PostingsView ImpactIndex::postings(int64_t term_id) const {
@@ -171,12 +218,40 @@ ImpactIndex::PostingsView ImpactIndex::postings(int64_t term_id) const {
   }
   auto [off, len] = term_offsets_[static_cast<size_t>(term_id)];
   auto [boff, blen] = block_offsets_[static_cast<size_t>(term_id)];
-  view.ords = ords_.data() + off;
-  view.tfs = tfs_.data() + off;
   view.size = len;
   view.blocks = blocks_.data() + boff;
   view.num_blocks = blen;
+  if (compressed()) {
+    view.packed = packed_.data();
+    view.payload_off = payload_offsets_.data() + boff;
+  } else {
+    view.ords = ords_.data() + off;
+    view.tfs = tfs_.data() + off;
+  }
   return view;
+}
+
+void ImpactIndex::DecodePostings(int64_t term_id,
+                                 std::vector<uint32_t>* ords,
+                                 std::vector<int32_t>* tfs) const {
+  const PostingsView pv = postings(term_id);
+  ords->resize(pv.size);
+  tfs->resize(pv.size);
+  if (pv.size == 0) return;
+  if (!pv.compressed()) {
+    std::copy(pv.ords, pv.ords + pv.size, ords->begin());
+    std::copy(pv.tfs, pv.tfs + pv.size, tfs->begin());
+    return;
+  }
+  for (size_t b = 0; b < pv.num_blocks; ++b) {
+    const size_t begin = b * kBlockSize;
+    const size_t n = std::min(pv.size, begin + kBlockSize) - begin;
+    const uint64_t o = pv.payload_off[b];
+    const bool ok = blockcodec::DecodePostingBlock(
+        pv.packed + o, static_cast<size_t>(pv.payload_off[b + 1] - o), n,
+        ords->data() + begin, tfs->data() + begin);
+    (void)ok;  // build/load-time validation makes decode infallible here
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -206,7 +281,59 @@ struct Entry {
   double w = 1;
   double ub = 0;  // upper bound on this occurrence's contribution
   size_t pos = 0; // cursor into pv
+
+  // Decoded window over the block containing pos: `words`/`wtfs` cover
+  // postings [wbegin, wend). Uncompressed lists point straight into the
+  // flat arrays; compressed lists point into this occurrence's
+  // BlockDecoder scratch slot, refilled one block at a time.
+  const uint32_t* words = nullptr;
+  const int32_t* wtfs = nullptr;
+  size_t wbegin = 0;
+  size_t wend = 0;  // == 0 means "no window loaded yet"
+  uint32_t* scratch_ords = nullptr;
+  int32_t* scratch_tfs = nullptr;
 };
+
+/// Points the entry's window at the block containing posting `pos`. For a
+/// compressed list this is THE decompression site: MaxScore/WAND decide
+/// which blocks get scanned, and only those ever reach the decoder —
+/// skipped blocks stay packed.
+void LoadWindow(Entry& e, size_t pos, PruningStats& stats) {
+  const size_t b = pos / ImpactIndex::kBlockSize;
+  const size_t begin = b * ImpactIndex::kBlockSize;
+  const size_t end =
+      std::min(e.pv.size, begin + ImpactIndex::kBlockSize);
+  if (!e.pv.compressed()) {
+    e.words = e.pv.ords + begin;
+    e.wtfs = e.pv.tfs + begin;
+  } else {
+    const uint64_t off = e.pv.payload_off[b];
+    const size_t bytes = static_cast<size_t>(e.pv.payload_off[b + 1] - off);
+    // Build/load-time validation makes this decode infallible; the
+    // decoder itself is bounds-safe on any input regardless.
+    const bool ok = blockcodec::DecodePostingBlock(
+        e.pv.packed + off, bytes, end - begin, e.scratch_ords,
+        e.scratch_tfs);
+    (void)ok;
+    e.words = e.scratch_ords;
+    e.wtfs = e.scratch_tfs;
+    stats.blocks_decoded++;
+    stats.decode_bytes += bytes;
+  }
+  e.wbegin = begin;
+  e.wend = end;
+}
+
+/// Current ordinal / tf under the cursor, decoding the block on first
+/// touch. Callers guarantee pos < pv.size.
+inline uint32_t OrdAt(Entry& e, size_t pos, PruningStats& stats) {
+  if (pos < e.wbegin || pos >= e.wend) LoadWindow(e, pos, stats);
+  return e.words[pos - e.wbegin];
+}
+inline int32_t TfAt(const Entry& e, size_t pos) {
+  // Only called for pos inside the loaded window (OrdAt ran first).
+  return e.wtfs[pos - e.wbegin];
+}
 
 /// The per-posting score contribution. The expression shapes (operation
 /// order and association) mirror the Expr trees in ranking.cc exactly, so
@@ -276,15 +403,23 @@ inline bool Beats(const Cand& a, const Cand& b) {
 }
 
 /// Positions e.pos at the first posting with ordinal >= target, jumping
-/// whole blocks via their last_ord skip bound. Returns false when the
-/// list has no posting >= target.
-inline bool AdvanceTo(Entry& e, uint32_t target, uint64_t* blocks_skipped) {
+/// whole blocks via their last_ord skip bound — the bound lives in block
+/// metadata, so skipping inspects no posting data and decodes nothing;
+/// only the landing block is (lazily) decompressed. Returns false when
+/// the list has no posting >= target.
+inline bool AdvanceTo(Entry& e, uint32_t target, PruningStats& stats) {
   if (e.pos >= e.pv.size) return false;
-  if (e.pv.ords[e.pos] >= target) return true;
+  // Fast path only when the cursor's block is already decoded: if it is
+  // not, the skip loop below may jump the whole block via last_ord
+  // without ever paying for its decompression.
+  if (e.pos >= e.wbegin && e.pos < e.wend &&
+      e.words[e.pos - e.wbegin] >= target) {
+    return true;
+  }
   size_t b = e.pos / ImpactIndex::kBlockSize;
   while (b < e.pv.num_blocks && e.pv.blocks[b].last_ord < target) {
     ++b;
-    ++*blocks_skipped;
+    ++stats.blocks_skipped;
   }
   if (b >= e.pv.num_blocks) {
     e.pos = e.pv.size;
@@ -292,9 +427,10 @@ inline bool AdvanceTo(Entry& e, uint32_t target, uint64_t* blocks_skipped) {
   }
   size_t begin = std::max(e.pos, b * ImpactIndex::kBlockSize);
   size_t end = std::min(e.pv.size, (b + 1) * ImpactIndex::kBlockSize);
-  e.pos = static_cast<size_t>(
-      std::lower_bound(e.pv.ords + begin, e.pv.ords + end, target) -
-      e.pv.ords);
+  if (begin < e.wbegin || begin >= e.wend) LoadWindow(e, begin, stats);
+  const uint32_t* wb = e.words + (begin - e.wbegin);
+  const uint32_t* we = e.words + (end - e.wbegin);
+  e.pos = begin + static_cast<size_t>(std::lower_bound(wb, we, target) - wb);
   return e.pos < e.pv.size;
 }
 
@@ -305,7 +441,20 @@ void RankRange(const ImpactIndex& impact, const ModelCtx& m,
                std::vector<Entry> entries, uint32_t lo, uint32_t hi,
                size_t k, std::vector<Cand>& out, PruningStats& stats) {
   const size_t ne = entries.size();
-  for (Entry& e : entries) AdvanceTo(e, lo, &stats.blocks_skipped);
+  // Per-range decode scratch: one kBlockSize slot per occurrence,
+  // allocated once here — block decode inside the loop allocates nothing.
+  // Entries were copied by value, so re-point their window state at this
+  // range's slots (ranges run concurrently; windows must not be shared).
+  blockcodec::BlockDecoder decoder(ne, ImpactIndex::kBlockSize);
+  for (size_t i = 0; i < ne; ++i) {
+    entries[i].scratch_ords = decoder.ords(i);
+    entries[i].scratch_tfs = decoder.tfs(i);
+    entries[i].words = nullptr;
+    entries[i].wtfs = nullptr;
+    entries[i].wbegin = 0;
+    entries[i].wend = 0;
+  }
+  for (Entry& e : entries) AdvanceTo(e, lo, stats);
 
   // MaxScore partitioning state: occurrence indices sorted by upper bound
   // ascending and the prefix sums of those bounds. Occurrences in the
@@ -370,8 +519,11 @@ void RankRange(const ImpactIndex& impact, const ModelCtx& m,
     // occurrences.
     uint32_t d = std::numeric_limits<uint32_t>::max();
     for (size_t i = first_essential; i < ne; ++i) {
-      const Entry& e = entries[order[i]];
-      if (e.pos < e.pv.size && e.pv.ords[e.pos] < d) d = e.pv.ords[e.pos];
+      Entry& e = entries[order[i]];
+      if (e.pos < e.pv.size) {
+        const uint32_t ord = OrdAt(e, e.pos, stats);
+        if (ord < d) d = ord;
+      }
     }
     if (d >= hi) break;
 
@@ -385,7 +537,7 @@ void RankRange(const ImpactIndex& impact, const ModelCtx& m,
     double quick = prefix[first_essential] + doc_part;
     for (size_t i = first_essential; i < ne; ++i) {
       Entry& e = entries[order[i]];
-      if (e.pos < e.pv.size && e.pv.ords[e.pos] == d) {
+      if (e.pos < e.pv.size && OrdAt(e, e.pos, stats) == d) {
         const ImpactIndex::Block& blk =
             e.pv.blocks[e.pos / ImpactIndex::kBlockSize];
         quick += BoxBound(m, e, blk.min_tf, blk.max_tf, blk.min_len,
@@ -404,10 +556,10 @@ void RankRange(const ImpactIndex& impact, const ModelCtx& m,
       // Exact contributions from the essential occurrences at d.
       for (size_t i = first_essential; i < ne; ++i) {
         Entry& e = entries[order[i]];
-        if (e.pos < e.pv.size && e.pv.ords[e.pos] == d) {
+        if (e.pos < e.pv.size && OrdAt(e, e.pos, stats) == d) {
           size_t occ = order[i];
           contrib[occ] = Contribution(
-              m, e, static_cast<double>(e.pv.tfs[e.pos]), len);
+              m, e, static_cast<double>(TfAt(e, e.pos)), len);
           present[occ] = 1;
           tracking += contrib[occ];
         }
@@ -421,11 +573,10 @@ void RankRange(const ImpactIndex& impact, const ModelCtx& m,
           break;
         }
         Entry& e = entries[order[i]];
-        if (AdvanceTo(e, d, &stats.blocks_skipped) &&
-            e.pv.ords[e.pos] == d) {
+        if (AdvanceTo(e, d, stats) && OrdAt(e, e.pos, stats) == d) {
           size_t occ = order[i];
           contrib[occ] = Contribution(
-              m, e, static_cast<double>(e.pv.tfs[e.pos]), len);
+              m, e, static_cast<double>(TfAt(e, e.pos)), len);
           present[occ] = 1;
           tracking += contrib[occ];
         }
@@ -458,10 +609,10 @@ void RankRange(const ImpactIndex& impact, const ModelCtx& m,
     // Move every essential occurrence past d.
     for (size_t i = first_essential; i < ne; ++i) {
       Entry& e = entries[order[i]];
-      if (e.pos < e.pv.size && e.pv.ords[e.pos] == d) {
+      if (e.pos < e.pv.size && OrdAt(e, e.pos, stats) == d) {
         ++e.pos;
         // Re-align with the block grid so later skips start correctly.
-        AdvanceTo(e, d + 1, &stats.blocks_skipped);
+        AdvanceTo(e, d + 1, stats);
       }
     }
   }
@@ -608,6 +759,8 @@ Result<RelationPtr> RankTopK(const TextIndex& index,
       local.docs_scored += part_stats[mi].docs_scored;
       local.docs_skipped += part_stats[mi].docs_skipped;
       local.blocks_skipped += part_stats[mi].blocks_skipped;
+      local.blocks_decoded += part_stats[mi].blocks_decoded;
+      local.decode_bytes += part_stats[mi].decode_bytes;
     }
   } else if (!entries.empty()) {
     RankRange(impact, m, entries, 0, static_cast<uint32_t>(num_docs),
@@ -631,12 +784,17 @@ Result<RelationPtr> RankTopK(const TextIndex& index,
     stats->docs_scored += local.docs_scored;
     stats->docs_skipped += local.docs_skipped;
     stats->blocks_skipped += local.blocks_skipped;
+    stats->blocks_decoded += local.blocks_decoded;
+    stats->decode_bytes += local.decode_bytes;
   }
   if (span.active()) {
     span.Add("docs_scored", static_cast<int64_t>(local.docs_scored));
     span.Add("docs_skipped", static_cast<int64_t>(local.docs_skipped));
     span.Add("blocks_skipped",
              static_cast<int64_t>(local.blocks_skipped));
+    span.Add("blocks_decoded",
+             static_cast<int64_t>(local.blocks_decoded));
+    span.Add("decode_bytes", static_cast<int64_t>(local.decode_bytes));
   }
   Schema schema({{"docID", DataType::kInt64}, {"score", DataType::kFloat64}});
   std::vector<Column> cols;

@@ -72,6 +72,9 @@ std::string ServiceMetrics::SnapshotJson() const {
   out += "},\"work\":{";
   out += "\"docs_scored\":" + v(docs_scored);
   out += ",\"docs_skipped\":" + v(docs_skipped);
+  out += ",\"blocks_skipped\":" + v(blocks_skipped);
+  out += ",\"blocks_decoded\":" + v(blocks_decoded);
+  out += ",\"decode_bytes\":" + v(decode_bytes);
   out += ",\"index_hits\":" + v(index_hits);
   out += ",\"index_misses\":" + v(index_misses);
   out += ",\"cache_hits\":" + v(cache_hits);

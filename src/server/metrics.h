@@ -79,6 +79,9 @@ struct ServiceMetrics {
   // Work done on behalf of requests (rolled up from per-call stats).
   std::atomic<uint64_t> docs_scored{0};
   std::atomic<uint64_t> docs_skipped{0};
+  std::atomic<uint64_t> blocks_skipped{0};
+  std::atomic<uint64_t> blocks_decoded{0};
+  std::atomic<uint64_t> decode_bytes{0};
   std::atomic<uint64_t> index_hits{0};
   std::atomic<uint64_t> index_misses{0};
   std::atomic<uint64_t> cache_hits{0};

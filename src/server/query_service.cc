@@ -147,6 +147,12 @@ Result<RelationPtr> QueryService::RunAdmitted(
                                  std::memory_order_relaxed);
   metrics_.docs_skipped.fetch_add(stats->search.docs_skipped,
                                   std::memory_order_relaxed);
+  metrics_.blocks_skipped.fetch_add(stats->search.blocks_skipped,
+                                    std::memory_order_relaxed);
+  metrics_.blocks_decoded.fetch_add(stats->search.blocks_decoded,
+                                    std::memory_order_relaxed);
+  metrics_.decode_bytes.fetch_add(stats->search.decode_bytes,
+                                  std::memory_order_relaxed);
   metrics_.index_hits.fetch_add(stats->search.index_hits,
                                 std::memory_order_relaxed);
   metrics_.index_misses.fetch_add(stats->search.index_misses,
@@ -249,7 +255,9 @@ std::string QueryService::MetricsJson() {
     // them as heap would double-count them.
     Catalog::ByteStats cb = catalog_.ByteSizes();
     json += ",\"catalog\":{\"heap_bytes\":" + std::to_string(cb.heap_bytes) +
-            ",\"mapped_bytes\":" + std::to_string(cb.mapped_bytes) + "}";
+            ",\"mapped_bytes\":" + std::to_string(cb.mapped_bytes) +
+            ",\"compressed_bytes\":" + std::to_string(cb.compressed_bytes) +
+            "}";
     json += ",\"top_operators\":" + trace_agg_.TopJson(10) + "}";
   }
   return json;

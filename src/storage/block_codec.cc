@@ -1,0 +1,406 @@
+#include "storage/block_codec.h"
+
+#include <algorithm>
+
+namespace spindle::blockcodec {
+
+namespace {
+
+/// Bits needed to represent v (0 for v == 0).
+inline uint8_t BitWidth(uint32_t v) {
+  uint8_t w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+inline void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+inline uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+/// Appends `count` values at `width` bits each, LSB-first, byte-aligned at
+/// the end.
+void PackBits(const uint32_t* values, size_t count, uint8_t width,
+              std::vector<uint8_t>* out) {
+  if (width == 0 || count == 0) return;
+  uint64_t acc = 0;
+  uint32_t bits = 0;
+  for (size_t i = 0; i < count; ++i) {
+    acc |= static_cast<uint64_t>(values[i]) << bits;
+    bits += width;
+    while (bits >= 8) {
+      out->push_back(static_cast<uint8_t>(acc));
+      acc >>= 8;
+      bits -= 8;
+    }
+  }
+  if (bits > 0) out->push_back(static_cast<uint8_t>(acc));
+}
+
+/// Byte-bounded bit reader: unpacks `count` values at `width` bits each
+/// from [p, p + avail). Returns false if the stream is too short.
+bool UnpackBits(const uint8_t* p, size_t avail, size_t count, uint8_t width,
+                uint32_t* out) {
+  if (width == 0) {
+    std::fill(out, out + count, 0u);
+    return true;
+  }
+  const size_t need = (count * width + 7) / 8;
+  if (need > avail) return false;
+  uint64_t acc = 0;
+  uint32_t bits = 0;
+  const uint32_t mask =
+      width >= 32 ? ~0u : ((1u << width) - 1u);
+  size_t byte = 0;
+  for (size_t i = 0; i < count; ++i) {
+    while (bits < width) {
+      acc |= static_cast<uint64_t>(p[byte++]) << bits;
+      bits += 8;
+    }
+    out[i] = static_cast<uint32_t>(acc) & mask;
+    acc >>= width;
+    bits -= width;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Posting-block codec
+// ---------------------------------------------------------------------------
+
+size_t EncodePostingBlock(const uint32_t* ords, const int32_t* tfs, size_t n,
+                          std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  // Ordinal gaps, stored as (gap - 1): strictly increasing ordinals make
+  // every gap >= 1, so consecutive runs pack at width 0.
+  uint32_t gap_buf[512];
+  uint32_t tf_buf[512];
+  std::vector<uint32_t> big;  // spill for blocks larger than 512 (unused
+                              // by the impact index, kept for generality)
+  uint32_t* gd = gap_buf;
+  uint32_t* td = tf_buf;
+  if (n > 512) {
+    big.resize(2 * n);
+    gd = big.data();
+    td = big.data() + n;
+  }
+  uint32_t max_gap = 0;
+  for (size_t i = 1; i < n; ++i) {
+    gd[i - 1] = ords[i] - ords[i - 1] - 1;
+    max_gap = std::max(max_gap, gd[i - 1]);
+  }
+  int32_t tf_base = tfs[0];
+  for (size_t i = 1; i < n; ++i) tf_base = std::min(tf_base, tfs[i]);
+  uint32_t max_tf_delta = 0;
+  for (size_t i = 0; i < n; ++i) {
+    td[i] = static_cast<uint32_t>(tfs[i] - tf_base);
+    max_tf_delta = std::max(max_tf_delta, td[i]);
+  }
+  const uint8_t ord_width = BitWidth(max_gap);
+  const uint8_t tf_width = BitWidth(max_tf_delta);
+
+  PutU32(ords[0], out);
+  PutU32(static_cast<uint32_t>(tf_base), out);
+  out->push_back(ord_width);
+  out->push_back(tf_width);
+  PackBits(gd, n - 1, ord_width, out);
+  PackBits(td, n, tf_width, out);
+  return out->size() - start;
+}
+
+bool DecodePostingBlock(const uint8_t* data, size_t size, size_t n,
+                        uint32_t* ords, int32_t* tfs) {
+  if (n == 0) return size == 0;
+  if (size < kPostingBlockHeaderBytes) return false;
+  const uint32_t first_ord = GetU32(data);
+  const int32_t tf_base = static_cast<int32_t>(GetU32(data + 4));
+  const uint8_t ord_width = data[8];
+  const uint8_t tf_width = data[9];
+  if (ord_width > 32 || tf_width > 32) return false;
+  const uint8_t* p = data + kPostingBlockHeaderBytes;
+  size_t avail = size - kPostingBlockHeaderBytes;
+  const size_t ord_bytes = ((n - 1) * ord_width + 7) / 8;
+
+  ords[0] = first_ord;
+  // Decode gaps into the ords buffer, then prefix-sum in place.
+  if (!UnpackBits(p, avail, n - 1, ord_width, ords + 1)) return false;
+  uint64_t ord = first_ord;
+  for (size_t i = 1; i < n; ++i) {
+    ord += static_cast<uint64_t>(ords[i]) + 1;
+    if (ord > std::numeric_limits<uint32_t>::max()) return false;
+    ords[i] = static_cast<uint32_t>(ord);
+  }
+  p += ord_bytes;
+  avail -= ord_bytes;
+
+  // Decode tf deltas through the tfs buffer (reinterpreted as uint32).
+  auto* utfs = reinterpret_cast<uint32_t*>(tfs);
+  if (!UnpackBits(p, avail, n, tf_width, utfs)) return false;
+  for (size_t i = 0; i < n; ++i) {
+    tfs[i] = static_cast<int32_t>(
+        static_cast<uint32_t>(tf_base) + utfs[i]);
+  }
+  // The payload must be exactly the header plus the two packed runs:
+  // trailing bytes mean the offsets and the data disagree.
+  const size_t tf_bytes = (n * tf_width + 7) / 8;
+  return kPostingBlockHeaderBytes + ord_bytes + tf_bytes == size;
+}
+
+// ---------------------------------------------------------------------------
+// Varint primitives
+// ---------------------------------------------------------------------------
+
+void PutVarint64(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint64(const uint8_t** p, const uint8_t* end, uint64_t* v) {
+  uint64_t result = 0;
+  uint32_t shift = 0;
+  const uint8_t* q = *p;
+  while (q < end && shift < 70) {
+    const uint8_t byte = *q++;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *p = q;
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Compressed integer vector
+// ---------------------------------------------------------------------------
+
+template <typename T>
+std::vector<uint8_t> EncodeIntBlob(std::span<const T> values) {
+  std::vector<uint8_t> out;
+  const size_t count = values.size();
+  const size_t num_segments = (count + kIntSegmentLen - 1) / kIntSegmentLen;
+  out.reserve(18 + num_segments * 8 + count * 2);
+  out.push_back(kIntBlobMagic);
+  out.push_back(static_cast<uint8_t>(sizeof(T)));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(static_cast<uint64_t>(count) >>
+                                       (8 * i)));
+  }
+  PutU32(static_cast<uint32_t>(kIntSegmentLen), &out);
+  PutU32(static_cast<uint32_t>(num_segments), &out);
+  const size_t ends_at = out.size();
+  out.resize(ends_at + num_segments * 8);  // patched below
+  const size_t payload_at = out.size();
+  for (size_t s = 0; s < num_segments; ++s) {
+    const size_t begin = s * kIntSegmentLen;
+    const size_t end = std::min(count, begin + kIntSegmentLen);
+    int64_t prev = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const auto v = static_cast<int64_t>(values[i]);
+      // Delta in unsigned space: wraparound-safe for any int64 pair.
+      const uint64_t delta = static_cast<uint64_t>(v) -
+                             static_cast<uint64_t>(prev);
+      PutVarint64(ZigZagEncode(static_cast<int64_t>(delta)), &out);
+      prev = v;
+    }
+    const uint64_t rel_end = out.size() - payload_at;
+    for (int b = 0; b < 8; ++b) {
+      out[ends_at + s * 8 + b] = static_cast<uint8_t>(rel_end >> (8 * b));
+    }
+  }
+  return out;
+}
+
+template std::vector<uint8_t> EncodeIntBlob<int64_t>(std::span<const int64_t>);
+template std::vector<uint8_t> EncodeIntBlob<int32_t>(std::span<const int32_t>);
+
+template <typename T>
+Result<std::shared_ptr<const CompressedInts<T>>> CompressedInts<T>::Parse(
+    std::vector<uint8_t> owned_blob, bool trusted, int64_t min_value,
+    int64_t max_value) {
+  auto c = std::shared_ptr<CompressedInts<T>>(new CompressedInts<T>());
+  c->owned_ = std::move(owned_blob);
+  c->blob_ = {c->owned_.data(), c->owned_.size()};
+  return ParseImpl(std::move(c), trusted, min_value, max_value);
+}
+
+template <typename T>
+Result<std::shared_ptr<const CompressedInts<T>>> CompressedInts<T>::Parse(
+    std::span<const uint8_t> blob, std::shared_ptr<const void> owner,
+    bool trusted, int64_t min_value, int64_t max_value) {
+  auto c = std::shared_ptr<CompressedInts<T>>(new CompressedInts<T>());
+  c->owner_ = std::move(owner);
+  c->blob_ = blob;
+  return ParseImpl(std::move(c), trusted, min_value, max_value);
+}
+
+template <typename T>
+Result<std::shared_ptr<const CompressedInts<T>>> CompressedInts<T>::ParseImpl(
+    std::shared_ptr<CompressedInts<T>> c, bool trusted, int64_t min_value,
+    int64_t max_value) {
+  const std::span<const uint8_t> blob = c->blob_;
+  if (blob.size() < 18) {
+    return Status::ParseError("compressed ints: blob too small for header");
+  }
+  if (blob[0] != kIntBlobMagic) {
+    return Status::ParseError("compressed ints: bad magic byte");
+  }
+  if (blob[1] != sizeof(T)) {
+    return Status::ParseError("compressed ints: element size mismatch");
+  }
+  const uint64_t count = GetU64(blob.data() + 2);
+  const uint32_t seg_len = GetU32(blob.data() + 10);
+  const uint32_t num_segments = GetU32(blob.data() + 14);
+  if (seg_len == 0) {
+    return Status::ParseError("compressed ints: zero segment length");
+  }
+  const uint64_t want_segments =
+      (count + seg_len - 1) / seg_len;
+  if (num_segments != want_segments) {
+    return Status::ParseError("compressed ints: segment count mismatch");
+  }
+  // Guard count * sizeof(T) and the decode buffer against overflow from a
+  // hostile header before any allocation.
+  if (count > (static_cast<uint64_t>(1) << 40)) {
+    return Status::ParseError("compressed ints: implausible value count");
+  }
+  const size_t ends_at = 18;
+  const uint64_t payload_at =
+      ends_at + static_cast<uint64_t>(num_segments) * 8;
+  if (payload_at > blob.size()) {
+    return Status::ParseError(
+        "compressed ints: segment table out of bounds");
+  }
+  c->count_ = static_cast<size_t>(count);
+  c->seg_len_ = seg_len;
+  c->num_segments_ = num_segments;
+  c->ends_ = blob.data() + ends_at;
+  c->payload_ = blob.data() + payload_at;
+  c->payload_size_ = blob.size() - static_cast<size_t>(payload_at);
+  // Segment end offsets must be monotone and bounded by the payload.
+  uint64_t prev_end = 0;
+  for (size_t s = 0; s < num_segments; ++s) {
+    const uint64_t e = GetU64(c->ends_ + s * 8);
+    if (e < prev_end || e > c->payload_size_) {
+      return Status::ParseError(
+          "compressed ints: segment offsets not monotone within payload");
+    }
+    prev_end = e;
+  }
+  c->seg_once_ = std::make_unique<std::once_flag[]>(
+      num_segments == 0 ? 1 : num_segments);
+
+  if (!trusted) {
+    // One full decode-check pass so every later access is infallible:
+    // each segment must decode exactly its value count from exactly its
+    // byte range, with every value in [min_value, max_value] and
+    // representable in T.
+    std::vector<T> scratch(std::min<size_t>(c->seg_len_, c->count_));
+    for (size_t s = 0; s < num_segments; ++s) {
+      if (!c->DecodeSegment(s, scratch.data())) {
+        return Status::ParseError(
+            "compressed ints: segment " + std::to_string(s) +
+            " failed to decode");
+      }
+      const size_t begin = s * c->seg_len_;
+      const size_t n = std::min(c->count_, begin + c->seg_len_) - begin;
+      for (size_t i = 0; i < n; ++i) {
+        const auto v = static_cast<int64_t>(scratch[i]);
+        if (v < min_value || v > max_value) {
+          return Status::ParseError(
+              "compressed ints: value out of expected range");
+        }
+      }
+    }
+  }
+  return std::shared_ptr<const CompressedInts<T>>(std::move(c));
+}
+
+template <typename T>
+bool CompressedInts<T>::DecodeSegment(size_t s, T* out) const {
+  const size_t begin = s * seg_len_;
+  const size_t n = std::min(count_, begin + seg_len_) - begin;
+  const uint64_t pbegin = s == 0 ? 0 : GetU64(ends_ + (s - 1) * 8);
+  const uint64_t pend = GetU64(ends_ + s * 8);
+  const uint8_t* p = payload_ + pbegin;
+  const uint8_t* end = payload_ + pend;
+  int64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t zz;
+    if (!GetVarint64(&p, end, &zz)) return false;
+    const int64_t v = static_cast<int64_t>(
+        static_cast<uint64_t>(prev) +
+        static_cast<uint64_t>(ZigZagDecode(zz)));
+    if constexpr (std::is_same_v<T, int32_t>) {
+      if (v < std::numeric_limits<int32_t>::min() ||
+          v > std::numeric_limits<int32_t>::max()) {
+        return false;
+      }
+    }
+    out[i] = static_cast<T>(v);
+    prev = v;
+  }
+  return p == end;  // trailing garbage in a segment is corruption
+}
+
+template <typename T>
+void CompressedInts<T>::EnsureSegment(size_t s) const {
+  std::call_once(alloc_once_, [this] { decoded_.resize(count_); });
+  std::call_once(seg_once_[s], [this, s] {
+    // Parse() validated every segment, so this decode cannot fail; the
+    // defensive check keeps a logic bug from silently serving garbage.
+    const bool ok = DecodeSegment(s, decoded_.data() + s * seg_len_);
+    (void)ok;
+    decoded_segments_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+template class CompressedInts<int64_t>;
+template class CompressedInts<int32_t>;
+
+// ---------------------------------------------------------------------------
+// Process-wide defaults
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint32_t> g_compression_defaults{0x3};  // both bits on
+}  // namespace
+
+CompressionOptions GetCompressionDefaults() {
+  const uint32_t bits = g_compression_defaults.load(std::memory_order_relaxed);
+  CompressionOptions opts;
+  opts.postings = (bits & 0x1) != 0;
+  opts.cold_columns = (bits & 0x2) != 0;
+  return opts;
+}
+
+void SetCompressionDefaults(const CompressionOptions& opts) {
+  g_compression_defaults.store(
+      (opts.postings ? 0x1u : 0u) | (opts.cold_columns ? 0x2u : 0u),
+      std::memory_order_relaxed);
+}
+
+}  // namespace spindle::blockcodec

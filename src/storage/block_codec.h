@@ -1,0 +1,253 @@
+/// \file block_codec.h
+/// \brief Lossless block compression for postings and cold columns.
+///
+/// Two codecs live here, both lossless on integers so decompressed data is
+/// bit-identical to what was encoded (scoring arithmetic never changes):
+///
+///  1. **Posting blocks** — frame-of-reference delta encoding for one
+///     impact-index block (<= ImpactIndex::kBlockSize doc ordinals plus
+///     their term frequencies). Ordinals are strictly increasing, so the
+///     block stores the first ordinal verbatim and the remaining ones as
+///     (gap - 1) deltas bit-packed at the block's own width; tfs are
+///     stored as (tf - min_tf) deltas at their own width. Dense runs and
+///     constant tfs pack at width 0 — a 128-posting block of consecutive
+///     ordinals with tf == 1 costs 10 bytes instead of 1024.
+///
+///  2. **Integer segments** — a general-purpose zigzag-varint byte stream
+///     for irregular int64/int32 arrays (column values, dict codes), cut
+///     into independently decodable segments of kIntSegmentLen values so
+///     a cold column can decompress segment-wise on first access.
+///
+/// Decoders are bounds-safe on arbitrary bytes: a truncated or bit-flipped
+/// payload yields `false` / a ParseError, never an out-of-bounds read —
+/// snapshot loading validates every stream once so the query-time hot path
+/// can decode without rechecking.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spindle::blockcodec {
+
+/// Values per compressed integer segment. Large enough that varint decode
+/// amortizes, small enough that a point access (Column::Int64At on a cold
+/// column) decodes a few KB, not the whole column.
+constexpr size_t kIntSegmentLen = 4096;
+
+// ---------------------------------------------------------------------------
+// Posting-block codec (frame-of-reference + bit packing)
+// ---------------------------------------------------------------------------
+
+/// Fixed 10-byte header preceding the packed bits of one posting block:
+/// [u32 first_ord][i32 tf_base][u8 ord_width][u8 tf_width], then
+/// ceil((n-1)*ord_width/8) bytes of ordinal gap deltas and
+/// ceil(n*tf_width/8) bytes of tf deltas (each byte-aligned, LSB-first).
+constexpr size_t kPostingBlockHeaderBytes = 10;
+
+/// \brief Appends the encoded block to `out`. `ords` must be strictly
+/// increasing; `n >= 1`. Returns the encoded size in bytes.
+size_t EncodePostingBlock(const uint32_t* ords, const int32_t* tfs, size_t n,
+                          std::vector<uint8_t>* out);
+
+/// \brief Decodes a block of exactly `n` postings from `data[0, size)`
+/// into `ords`/`tfs` (each with room for `n` values). Returns false —
+/// without reading or writing out of bounds — when the payload is
+/// malformed (truncated, bad widths, non-monotone ordinals, gap overflow).
+bool DecodePostingBlock(const uint8_t* data, size_t size, size_t n,
+                        uint32_t* ords, int32_t* tfs);
+
+/// \brief Per-query decode scratch: one (ords, tfs) slot of `block_size`
+/// values per posting list, allocated once so block decode inside the
+/// pruning kernel allocates nothing.
+class BlockDecoder {
+ public:
+  BlockDecoder(size_t slots, size_t block_size)
+      : block_size_(block_size),
+        ords_(slots * block_size),
+        tfs_(slots * block_size) {}
+
+  uint32_t* ords(size_t slot) { return ords_.data() + slot * block_size_; }
+  int32_t* tfs(size_t slot) { return tfs_.data() + slot * block_size_; }
+
+ private:
+  size_t block_size_;
+  std::vector<uint32_t> ords_;
+  std::vector<int32_t> tfs_;
+};
+
+// ---------------------------------------------------------------------------
+// Varint primitives (shared by the integer-segment codec and callers that
+// need an irregular-array fallback)
+// ---------------------------------------------------------------------------
+
+/// \brief Appends v as LEB128 (7 bits per byte, high bit = continuation).
+void PutVarint64(uint64_t v, std::vector<uint8_t>* out);
+
+/// \brief Reads one varint from [*p, end). Returns false on truncation or
+/// a >10-byte encoding; on success advances *p past the varint.
+bool GetVarint64(const uint8_t** p, const uint8_t* end, uint64_t* v);
+
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+// ---------------------------------------------------------------------------
+// Compressed integer vector (segment-wise lazy decode for cold columns)
+// ---------------------------------------------------------------------------
+
+/// Self-contained blob layout (little-endian):
+///   [u8  magic = kIntBlobMagic]
+///   [u8  elem_size (4 or 8)]
+///   [u64 count]
+///   [u32 seg_len]
+///   [u32 num_segments = ceil(count / seg_len)]
+///   [u64 payload_end[num_segments]]   cumulative end offsets into payload
+///   [payload bytes]
+/// Segment s holds values [s*seg_len, min(count, (s+1)*seg_len)) encoded
+/// as zigzag varints of delta-from-previous-value (previous = 0 at the
+/// segment start, so segments decode independently).
+constexpr uint8_t kIntBlobMagic = 0xC5;
+
+/// \brief Encodes `values` into the blob format above.
+template <typename T>
+std::vector<uint8_t> EncodeIntBlob(std::span<const T> values);
+
+extern template std::vector<uint8_t> EncodeIntBlob<int64_t>(
+    std::span<const int64_t>);
+extern template std::vector<uint8_t> EncodeIntBlob<int32_t>(
+    std::span<const int32_t>);
+
+/// \brief An immutable compressed integer array that decodes segment-wise
+/// on first access. Thread-safe: concurrent readers race only through
+/// std::call_once per segment.
+///
+/// The blob is either owned or borrowed (e.g. a span of a snapshot
+/// mapping kept alive by `owner`). Parse() validates the container
+/// geometry AND fully decode-checks every segment (stream well-formed,
+/// exact value count, values within [min_value, max_value]) so later
+/// accessors cannot fail; pass `trusted = true` to skip the decode check
+/// when the blob was just produced by EncodeIntBlob in this process.
+template <typename T>
+class CompressedInts {
+ public:
+  static_assert(std::is_same_v<T, int64_t> || std::is_same_v<T, int32_t>);
+
+  static Result<std::shared_ptr<const CompressedInts<T>>> Parse(
+      std::vector<uint8_t> owned_blob, bool trusted = false,
+      int64_t min_value = std::numeric_limits<int64_t>::min(),
+      int64_t max_value = std::numeric_limits<int64_t>::max());
+  static Result<std::shared_ptr<const CompressedInts<T>>> Parse(
+      std::span<const uint8_t> blob, std::shared_ptr<const void> owner,
+      bool trusted = false,
+      int64_t min_value = std::numeric_limits<int64_t>::min(),
+      int64_t max_value = std::numeric_limits<int64_t>::max());
+
+  size_t size() const { return count_; }
+
+  /// \brief Value at index i, decoding its segment on first touch.
+  T At(size_t i) const {
+    EnsureSegment(i / seg_len_);
+    return decoded_[i];
+  }
+
+  /// \brief The fully decoded array (materializes every segment).
+  std::span<const T> All() const {
+    for (size_t s = 0; s < num_segments_; ++s) EnsureSegment(s);
+    return {decoded_.data(), count_};
+  }
+
+  /// \brief The raw encoded bytes (for snapshot sections / re-encode-free
+  /// save) and their size — the column's "compressed bytes" accounting.
+  std::span<const uint8_t> blob() const { return blob_; }
+  size_t CompressedBytes() const { return blob_.size(); }
+
+  /// \brief Heap bytes currently held by decoded segments (grows from 0
+  /// to count*sizeof(T) as segments are touched).
+  size_t DecodedHeapBytes() const {
+    return decoded_segments_.load(std::memory_order_relaxed) > 0
+               ? count_ * sizeof(T)
+               : 0;
+  }
+
+ private:
+  CompressedInts() = default;
+
+  static Result<std::shared_ptr<const CompressedInts<T>>> ParseImpl(
+      std::shared_ptr<CompressedInts<T>> c, bool trusted, int64_t min_value,
+      int64_t max_value);
+
+  void EnsureSegment(size_t s) const;
+  /// Decodes segment s into out (validated streams cannot fail; returns
+  /// false only for corrupt untrusted input during Parse's check pass).
+  bool DecodeSegment(size_t s, T* out) const;
+
+  // Blob storage: owned bytes or a borrowed span kept alive by owner_.
+  std::vector<uint8_t> owned_;
+  std::shared_ptr<const void> owner_;
+  std::span<const uint8_t> blob_;
+
+  // Parsed geometry (pointers into blob_).
+  size_t count_ = 0;
+  size_t seg_len_ = kIntSegmentLen;
+  size_t num_segments_ = 0;
+  const uint8_t* payload_ = nullptr;  // payload base
+  size_t payload_size_ = 0;
+  const uint8_t* ends_ = 0;  // num_segments_ unaligned u64 end offsets
+
+  // Lazy decode state.
+  mutable std::once_flag alloc_once_;
+  mutable std::unique_ptr<std::once_flag[]> seg_once_;
+  mutable std::vector<T> decoded_;
+  mutable std::atomic<size_t> decoded_segments_{0};
+};
+
+extern template class CompressedInts<int64_t>;
+extern template class CompressedInts<int32_t>;
+
+using CompressedInt64Ptr = std::shared_ptr<const CompressedInts<int64_t>>;
+using CompressedInt32Ptr = std::shared_ptr<const CompressedInts<int32_t>>;
+
+// ---------------------------------------------------------------------------
+// Process-wide compression defaults
+// ---------------------------------------------------------------------------
+
+/// \brief What TextIndex::Build compresses by default. Both default on;
+/// tests and benches flip them to build literal uncompressed baselines.
+/// Reads are lock-free; set only from single-threaded setup code.
+struct CompressionOptions {
+  bool postings = true;      ///< impact-index posting blocks
+  bool cold_columns = true;  ///< int64 / dict-code columns of index views
+};
+
+CompressionOptions GetCompressionDefaults();
+void SetCompressionDefaults(const CompressionOptions& opts);
+
+/// \brief RAII override for tests: restores the previous defaults.
+class ScopedCompressionDefaults {
+ public:
+  explicit ScopedCompressionDefaults(const CompressionOptions& opts)
+      : prev_(GetCompressionDefaults()) {
+    SetCompressionDefaults(opts);
+  }
+  ~ScopedCompressionDefaults() { SetCompressionDefaults(prev_); }
+
+ private:
+  CompressionOptions prev_;
+};
+
+}  // namespace spindle::blockcodec

@@ -38,6 +38,13 @@ std::vector<std::string> Catalog::List() const {
   return names;
 }
 
+bool Catalog::Compress(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.rel == nullptr) return false;
+  it->second.rel = CompressColumns(it->second.rel);
+  return true;
+}
+
 Catalog::ByteStats Catalog::ByteSizes() const {
   ByteStats stats;
   std::set<const StringDict*> seen;
@@ -45,6 +52,7 @@ Catalog::ByteStats Catalog::ByteSizes() const {
     if (entry.rel == nullptr) continue;
     stats.heap_bytes += entry.rel->ByteSizeExcludingDicts();
     stats.mapped_bytes += entry.rel->MappedByteSize();
+    stats.compressed_bytes += entry.rel->CompressedByteSize();
     for (const StringDictPtr& dict : entry.rel->CollectDicts()) {
       if (seen.insert(dict.get()).second) {
         stats.heap_bytes += dict->ByteSize();

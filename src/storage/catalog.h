@@ -43,15 +43,19 @@ class Catalog {
   /// \brief All registered names, sorted.
   std::vector<std::string> List() const;
 
-  /// \brief Catalog-wide storage accounting. Heap and mapped bytes are
-  /// disjoint: mapped snapshot pages live in the OS page cache, not on
-  /// the heap, so metrics endpoints report them separately instead of
-  /// double-charging them. Each shared StringDict is counted once across
-  /// the whole catalog, no matter how many relations reference it.
-  struct ByteStats {
-    size_t heap_bytes = 0;
-    size_t mapped_bytes = 0;
-  };
+  /// \brief Replaces `name` with a copy whose compressible columns are
+  /// compressed (CompressColumns) WITHOUT bumping the version: the
+  /// logical content is identical, so caches and index signatures keyed
+  /// on "table@version" stay valid. Returns false for unknown names.
+  bool Compress(const std::string& name);
+
+  /// \brief Catalog-wide storage accounting, three ways. Heap, mapped
+  /// and compressed bytes are disjoint: mapped snapshot pages live in
+  /// the OS page cache, compressed blobs are counted once wherever they
+  /// live, and neither is charged as heap. Each shared StringDict is
+  /// counted once across the whole catalog, no matter how many relations
+  /// reference it.
+  using ByteStats = StorageByteStats;
   ByteStats ByteSizes() const;
 
  private:

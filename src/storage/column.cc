@@ -58,6 +58,50 @@ Column Column::BorrowFloat64(std::span<const double> data,
   return c;
 }
 
+Column Column::MakeCompressedInt64(blockcodec::CompressedInt64Ptr data) {
+  assert(data != nullptr);
+  Column c(DataType::kInt64);
+  c.comp64_ = std::move(data);
+  return c;
+}
+
+Column Column::MakeCompressedDictString(blockcodec::CompressedInt32Ptr codes,
+                                        StringDictPtr dict) {
+  assert(codes != nullptr && dict != nullptr);
+  Column c(DataType::kString);
+  c.comp32_ = std::move(codes);
+  c.dict_ = std::move(dict);
+  return c;
+}
+
+Column Column::Compressed() const {
+  if (compressed()) return *this;
+  switch (type_) {
+    case DataType::kInt64: {
+      auto parsed = blockcodec::CompressedInts<int64_t>::Parse(
+          blockcodec::EncodeIntBlob<int64_t>(int64_data()),
+          /*trusted=*/true);
+      return MakeCompressedInt64(parsed.MoveValueOrDie());
+    }
+    case DataType::kString: {
+      if (dict_ == nullptr) return *this;  // plain strings stay plain
+      auto parsed = blockcodec::CompressedInts<int32_t>::Parse(
+          blockcodec::EncodeIntBlob<int32_t>(dict_codes()),
+          /*trusted=*/true);
+      return MakeCompressedDictString(parsed.MoveValueOrDie(), dict_);
+    }
+    case DataType::kFloat64:
+      return *this;  // no float codec; cold floats are rare in the views
+  }
+  return *this;
+}
+
+size_t Column::CompressedByteSize() const {
+  if (comp64_ != nullptr) return comp64_->CompressedBytes();
+  if (comp32_ != nullptr) return comp32_->CompressedBytes();
+  return 0;
+}
+
 Column Column::BorrowDictString(std::span<const int32_t> codes,
                                 StringDictPtr dict,
                                 std::shared_ptr<const void> owner) {
@@ -119,10 +163,12 @@ void Column::DecayToPlain() {
 size_t Column::size() const {
   switch (type_) {
     case DataType::kInt64:
+      if (comp64_ != nullptr) return comp64_->size();
       return owner_ ? bints_.size() : ints_.size();
     case DataType::kFloat64:
       return owner_ ? bfloats_.size() : floats_.size();
     case DataType::kString:
+      if (comp32_ != nullptr) return comp32_->size();
       if (dict_) return owner_ ? bcodes_.size() : codes_.size();
       return strings_.size();
   }
@@ -130,7 +176,7 @@ size_t Column::size() const {
 }
 
 void Column::AppendString(std::string v) {
-  assert(!mapped());
+  assert(!mapped() && !compressed());
   DecayToPlain();
   strings_.push_back(std::move(v));
 }
@@ -141,7 +187,7 @@ Status Column::AppendValue(const Value& v) {
                                 DataTypeName(ValueType(v)) + " to " +
                                 DataTypeName(type_) + " column");
   }
-  assert(!mapped());
+  assert(!mapped() && !compressed());
   switch (type_) {
     case DataType::kInt64:
       ints_.push_back(std::get<int64_t>(v));
@@ -158,7 +204,7 @@ Status Column::AppendValue(const Value& v) {
 
 void Column::AppendFrom(const Column& other, size_t row) {
   assert(other.type_ == type_);
-  assert(!mapped());
+  assert(!mapped() && !compressed());
   switch (type_) {
     case DataType::kInt64:
       ints_.push_back(other.Int64At(row));
@@ -321,7 +367,11 @@ bool Column::Equals(const Column& other) const {
 
 size_t Column::ByteSizeExcludingDict() const {
   // Mapped columns consume page cache, not heap; MappedByteSize reports
-  // that side so the two are never double-counted.
+  // that side so the two are never double-counted. A compressed column's
+  // heap cost is whatever it has lazily decoded so far (the blob itself
+  // is CompressedByteSize).
+  if (comp64_ != nullptr) return comp64_->DecodedHeapBytes();
+  if (comp32_ != nullptr) return comp32_->DecodedHeapBytes();
   if (mapped()) return 0;
   switch (type_) {
     case DataType::kInt64:

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/block_codec.h"
 #include "storage/string_dict.h"
 #include "storage/types.h"
 
@@ -76,6 +77,41 @@ class Column {
                                  std::shared_ptr<const void> owner);
   /// @}
 
+  /// \name Compressed (cold) physical representation.
+  /// int64 values / dict codes held as a zigzag-varint segment stream
+  /// (storage/block_codec.h) that decompresses segment-wise on first
+  /// access. Logically identical to the plain representation — every
+  /// accessor decodes transparently — but the physical footprint is the
+  /// blob until a consumer touches the data. The blob may itself be
+  /// borrowed from a snapshot mapping (the CompressedInts holds the
+  /// owner); either way it is accounted as CompressedByteSize, never as
+  /// heap or mapped bytes.
+  /// @{
+  static Column MakeCompressedInt64(blockcodec::CompressedInt64Ptr data);
+  static Column MakeCompressedDictString(blockcodec::CompressedInt32Ptr codes,
+                                         StringDictPtr dict);
+  /// True when the physical representation is a compressed segment
+  /// stream (possibly partially decoded).
+  bool compressed() const {
+    return comp64_ != nullptr || comp32_ != nullptr;
+  }
+  /// Returns a compressed copy of this column when its representation
+  /// supports it (int64, dict-encoded string); other types (and already
+  /// compressed columns) come back unchanged.
+  Column Compressed() const;
+  /// Encoded blob bytes (0 for uncompressed columns).
+  size_t CompressedByteSize() const;
+  /// The compressed backing stores (null when the representation is not
+  /// the corresponding compressed one); snapshot encoding writes the blob
+  /// verbatim instead of re-encoding.
+  const blockcodec::CompressedInt64Ptr& compressed_int64() const {
+    return comp64_;
+  }
+  const blockcodec::CompressedInt32Ptr& compressed_codes() const {
+    return comp32_;
+  }
+  /// @}
+
   DataType type() const { return type_; }
   size_t size() const;
 
@@ -88,9 +124,13 @@ class Column {
   bool dict_encoded() const { return dict_ != nullptr; }
   const StringDictPtr& dict() const { return dict_; }
   std::span<const int32_t> dict_codes() const {
+    if (comp32_ != nullptr) return comp32_->All();
     return owner_ ? bcodes_ : std::span<const int32_t>(codes_);
   }
-  int32_t CodeAt(size_t i) const { return owner_ ? bcodes_[i] : codes_[i]; }
+  int32_t CodeAt(size_t i) const {
+    if (comp32_ != nullptr) return comp32_->At(i);
+    return owner_ ? bcodes_[i] : codes_[i];
+  }
   /// Returns a dict-encoded copy of this kString column. If `dict` is
   /// given, strings are interned into it (letting several columns share
   /// one dict); otherwise a fresh dict is built. Already-encoded columns
@@ -103,7 +143,7 @@ class Column {
   /// \name Append (build phase only; asserts on mapped columns).
   /// @{
   void AppendInt64(int64_t v) {
-    assert(!mapped());
+    assert(!mapped() && !compressed());
     ints_.push_back(v);
   }
   void AppendFloat64(double v) {
@@ -122,7 +162,10 @@ class Column {
 
   /// \name Typed element access (caller must respect type()).
   /// @{
-  int64_t Int64At(size_t i) const { return owner_ ? bints_[i] : ints_[i]; }
+  int64_t Int64At(size_t i) const {
+    if (comp64_ != nullptr) return comp64_->At(i);
+    return owner_ ? bints_[i] : ints_[i];
+  }
   double Float64At(size_t i) const {
     return owner_ ? bfloats_[i] : floats_[i];
   }
@@ -187,6 +230,7 @@ class Column {
   /// or use the transparent accessors.
   /// @{
   std::span<const int64_t> int64_data() const {
+    if (comp64_ != nullptr) return comp64_->All();
     return owner_ ? bints_ : std::span<const int64_t>(ints_);
   }
   std::span<const double> float64_data() const {
@@ -194,7 +238,7 @@ class Column {
   }
   const std::vector<std::string>& string_data() const { return strings_; }
   std::vector<int64_t>& mutable_int64() {
-    assert(!mapped());
+    assert(!mapped() && !compressed());
     return ints_;
   }
   std::vector<double>& mutable_float64() {
@@ -227,6 +271,11 @@ class Column {
   std::span<const int64_t> bints_;
   std::span<const double> bfloats_;
   std::span<const int32_t> bcodes_;
+  // Compressed storage: active when non-null (kInt64 / dict codes). The
+  // vectors and spans above stay empty; owner_ stays null (the
+  // CompressedInts keeps any mapping alive itself).
+  blockcodec::CompressedInt64Ptr comp64_;
+  blockcodec::CompressedInt32Ptr comp32_;
 };
 
 using ColumnPtr = std::shared_ptr<const Column>;

@@ -80,6 +80,12 @@ size_t Relation::MappedByteSize() const {
   return bytes;
 }
 
+size_t Relation::CompressedByteSize() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) bytes += c->CompressedByteSize();
+  return bytes;
+}
+
 std::vector<StringDictPtr> Relation::CollectDicts() const {
   std::vector<StringDictPtr> dicts;
   for (const auto& c : columns_) {
@@ -121,6 +127,36 @@ RelationPtr DictEncodeStringColumns(const RelationPtr& rel) {
   auto encoded = Relation::MakeShared(rel->schema(), std::move(cols));
   // Schema and lengths are unchanged, so this cannot fail.
   return encoded.ValueOrDie();
+}
+
+RelationPtr CompressColumns(const RelationPtr& rel) {
+  bool any = false;
+  for (size_t c = 0; c < rel->num_columns(); ++c) {
+    const Column& col = rel->column(c);
+    const bool compressible =
+        !col.compressed() &&
+        (col.type() == DataType::kInt64 ||
+         (col.type() == DataType::kString && col.dict_encoded()));
+    if (compressible) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return rel;
+  std::vector<ColumnPtr> cols;
+  cols.reserve(rel->num_columns());
+  for (size_t c = 0; c < rel->num_columns(); ++c) {
+    const Column& col = rel->column(c);
+    if (!col.compressed() &&
+        (col.type() == DataType::kInt64 ||
+         (col.type() == DataType::kString && col.dict_encoded()))) {
+      cols.push_back(std::make_shared<const Column>(col.Compressed()));
+    } else {
+      cols.push_back(rel->column_ptr(c));
+    }
+  }
+  // Schema and lengths are unchanged, so this cannot fail.
+  return Relation::MakeShared(rel->schema(), std::move(cols)).ValueOrDie();
 }
 
 std::string Relation::ToString(size_t max_rows) const {

@@ -63,6 +63,10 @@ class Relation {
   /// double-count them in cache budgets and STATS.
   size_t MappedByteSize() const;
 
+  /// \brief Encoded bytes of compressed columns (storage/block_codec.h).
+  /// Disjoint from both heap and mapped accounting.
+  size_t CompressedByteSize() const;
+
   /// \brief The distinct StringDict instances referenced by dict-encoded
   /// columns, in first-appearance order.
   std::vector<StringDictPtr> CollectDicts() const;
@@ -87,6 +91,14 @@ class Relation {
 /// already dict-encoded and non-string columns are shared untouched; if
 /// nothing needs encoding the input pointer is returned as-is.
 RelationPtr DictEncodeStringColumns(const RelationPtr& rel);
+
+/// \brief Returns a relation whose compressible columns (int64, dict
+/// codes) are replaced by their compressed representation
+/// (Column::Compressed); the rest are shared untouched. Returns the input
+/// pointer when nothing compresses. Logical content is unchanged — reads
+/// decode transparently — so callers may swap this in for the original
+/// without invalidating anything keyed on content.
+RelationPtr CompressColumns(const RelationPtr& rel);
 
 /// \brief Convenience row-at-a-time builder for tests and generators.
 ///

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "obs/trace.h"
+#include "storage/block_codec.h"
 
 namespace spindle {
 
@@ -226,10 +227,11 @@ Result<std::shared_ptr<const SnapshotReader>> SnapshotReader::Open(
     return Corrupt(path, "bad magic");
   }
   if (hdr.format_version != kSnapshotFormatVersion) {
-    return Corrupt(path, "format version " +
+    return Corrupt(path, "snapshot format version mismatch: found version " +
                              std::to_string(hdr.format_version) +
-                             ", this build reads version " +
-                             std::to_string(kSnapshotFormatVersion));
+                             ", expected version " +
+                             std::to_string(kSnapshotFormatVersion) +
+                             " — rebuild the snapshot with this binary");
   }
   if (hdr.file_size != size) {
     return Corrupt(path, "header says " + std::to_string(hdr.file_size) +
@@ -413,6 +415,11 @@ constexpr uint8_t kReprInt64 = 0;
 constexpr uint8_t kReprFloat64 = 1;
 constexpr uint8_t kReprPlainString = 2;
 constexpr uint8_t kReprDictString = 3;
+// Compressed representations (format v2): the section holds the
+// blockcodec::EncodeIntBlob byte stream verbatim, decoded lazily from the
+// mapping after load.
+constexpr uint8_t kReprInt64Compressed = 4;
+constexpr uint8_t kReprDictStringCompressed = 5;
 
 }  // namespace
 
@@ -429,15 +436,28 @@ void EncodeRelation(SnapshotWriter* writer, SnapshotDictTable* dicts,
     const std::string label = prefix + ".c" + std::to_string(c);
     switch (col.type()) {
       case DataType::kInt64:
-        meta->U8(kReprInt64);
-        meta->U32(writer->AddPodSection(label, col.int64_data()));
+        if (col.compressed()) {
+          // Write the encoded blob verbatim — no decode+re-encode round
+          // trip, and the loaded column decodes lazily from the mapping.
+          meta->U8(kReprInt64Compressed);
+          meta->U32(writer->AddPodSection(label,
+                                          col.compressed_int64()->blob()));
+        } else {
+          meta->U8(kReprInt64);
+          meta->U32(writer->AddPodSection(label, col.int64_data()));
+        }
         break;
       case DataType::kFloat64:
         meta->U8(kReprFloat64);
         meta->U32(writer->AddPodSection(label, col.float64_data()));
         break;
       case DataType::kString:
-        if (col.dict_encoded()) {
+        if (col.dict_encoded() && col.compressed()) {
+          meta->U8(kReprDictStringCompressed);
+          meta->U32(writer->AddPodSection(label,
+                                          col.compressed_codes()->blob()));
+          meta->U32(dicts->Add(col.dict()));
+        } else if (col.dict_encoded()) {
           meta->U8(kReprDictString);
           meta->U32(writer->AddPodSection(label, col.dict_codes()));
           meta->U32(dicts->Add(col.dict()));
@@ -552,6 +572,51 @@ Result<RelationPtr> DecodeRelation(
           }
         }
         col = Column::BorrowDictString(codes, dict, snap);
+        break;
+      }
+      case kReprInt64Compressed: {
+        const uint32_t sec = meta->U32();
+        SPINDLE_RETURN_IF_ERROR(meta->status());
+        SPINDLE_ASSIGN_OR_RETURN(std::span<const uint8_t> blob,
+                                 snap->PodSection<uint8_t>(sec));
+        // Untrusted parse: validates geometry and decode-checks every
+        // segment, so later lazy accesses cannot fail.
+        auto parsed = blockcodec::CompressedInts<int64_t>::Parse(blob, snap);
+        if (!parsed.ok()) {
+          return Corrupt(snap->path(), "column '" + name + "': " +
+                                           parsed.status().message());
+        }
+        if (parsed.ValueOrDie()->size() != rows) {
+          return Corrupt(snap->path(), "column '" + name + "' length");
+        }
+        col = Column::MakeCompressedInt64(parsed.MoveValueOrDie());
+        break;
+      }
+      case kReprDictStringCompressed: {
+        const uint32_t sec = meta->U32();
+        const uint32_t dict_slot = meta->U32();
+        SPINDLE_RETURN_IF_ERROR(meta->status());
+        SPINDLE_ASSIGN_OR_RETURN(std::span<const uint8_t> blob,
+                                 snap->PodSection<uint8_t>(sec));
+        if (dict_slot >= dicts.size()) {
+          return Corrupt(snap->path(), "column '" + name +
+                                           "' references missing dict " +
+                                           std::to_string(dict_slot));
+        }
+        const StringDictPtr& dict = dicts[dict_slot];
+        // min/max bounds make Parse's decode-check pass double as the
+        // dict-code range check the uncompressed path does explicitly.
+        auto parsed = blockcodec::CompressedInts<int32_t>::Parse(
+            blob, snap, /*trusted=*/false, /*min_value=*/0,
+            /*max_value=*/static_cast<int64_t>(dict->size()) - 1);
+        if (!parsed.ok()) {
+          return Corrupt(snap->path(), "column '" + name + "': " +
+                                           parsed.status().message());
+        }
+        if (parsed.ValueOrDie()->size() != rows) {
+          return Corrupt(snap->path(), "column '" + name + "' length");
+        }
+        col = Column::MakeCompressedDictString(parsed.MoveValueOrDie(), dict);
         break;
       }
       default:

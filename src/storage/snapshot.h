@@ -48,7 +48,12 @@ inline constexpr char kSnapshotMagic[8] = {'S', 'P', 'I', 'N',
                                            'S', 'N', 'P', '1'};
 /// Bump on any incompatible layout change (see docs/persistence.md for the
 /// bump policy); readers reject files with a different version.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+///  v1: initial format.
+///  v2: compressed representations — relation columns may carry the
+///      Int64Compressed / DictStringCompressed repr tags and impact
+///      postings may be stored as bit-packed blocks (.packed/.poff
+///      sections) instead of flat .ords/.tfs arrays.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 /// Section payload alignment. 64 covers every scalar/struct the engine
 /// maps and matches the cache-line size morsel kernels assume.
 inline constexpr size_t kSnapshotSectionAlign = 64;

@@ -3,6 +3,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -34,5 +35,25 @@ inline DataType ValueType(const Value& v) {
 
 /// \brief Renders a Value for display ("42", "0.5", "abc").
 std::string ValueToString(const Value& v);
+
+/// \brief Three-way storage accounting used across columns, relations,
+/// the catalog and indexes: owned heap bytes, borrowed mapped (page-
+/// cache) bytes, and compressed physical bytes (counted once wherever
+/// the encoded stream lives — heap or mapping — and never double-charged
+/// to the other two buckets).
+struct StorageByteStats {
+  size_t heap_bytes = 0;
+  size_t mapped_bytes = 0;
+  size_t compressed_bytes = 0;
+
+  size_t total() const { return heap_bytes + mapped_bytes + compressed_bytes; }
+
+  StorageByteStats& operator+=(const StorageByteStats& o) {
+    heap_bytes += o.heap_bytes;
+    mapped_bytes += o.mapped_bytes;
+    compressed_bytes += o.compressed_bytes;
+    return *this;
+  }
+};
 
 }  // namespace spindle

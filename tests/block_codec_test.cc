@@ -1,0 +1,423 @@
+/// \file block_codec_test.cc
+/// \brief Codec-layer tests (storage/block_codec.h): randomized
+/// round-trip properties for the posting-block and integer-segment
+/// codecs, a corruption matrix (every truncation point, bit flips) that
+/// must yield clean failures — never out-of-bounds behaviour — plus
+/// lazy-decode and concurrency behaviour of CompressedInts and the
+/// compressed Column representation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "storage/block_codec.h"
+#include "storage/column.h"
+#include "storage/relation.h"
+#include "storage/string_dict.h"
+
+namespace spindle {
+namespace {
+
+using blockcodec::CompressedInts;
+using blockcodec::DecodePostingBlock;
+using blockcodec::EncodeIntBlob;
+using blockcodec::EncodePostingBlock;
+using blockcodec::GetVarint64;
+using blockcodec::kIntSegmentLen;
+using blockcodec::PutVarint64;
+using blockcodec::ZigZagDecode;
+using blockcodec::ZigZagEncode;
+
+// ---------------------------------------------------------------------------
+// Posting-block codec
+// ---------------------------------------------------------------------------
+
+/// Strictly increasing ordinals with gaps drawn from [1, max_gap] and tfs
+/// from [tf_lo, tf_hi].
+void MakePostings(std::mt19937_64& rng, size_t n, uint32_t first,
+                  uint32_t max_gap, int32_t tf_lo, int32_t tf_hi,
+                  std::vector<uint32_t>* ords, std::vector<int32_t>* tfs) {
+  std::uniform_int_distribution<uint32_t> gap(1, max_gap);
+  std::uniform_int_distribution<int32_t> tf(tf_lo, tf_hi);
+  ords->resize(n);
+  tfs->resize(n);
+  uint32_t ord = first;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) ord += gap(rng);
+    (*ords)[i] = ord;
+    (*tfs)[i] = tf(rng);
+  }
+}
+
+void ExpectRoundTrip(const std::vector<uint32_t>& ords,
+                     const std::vector<int32_t>& tfs) {
+  std::vector<uint8_t> buf;
+  const size_t bytes = EncodePostingBlock(ords.data(), tfs.data(),
+                                          ords.size(), &buf);
+  ASSERT_EQ(bytes, buf.size());
+  std::vector<uint32_t> out_ords(ords.size());
+  std::vector<int32_t> out_tfs(tfs.size());
+  ASSERT_TRUE(DecodePostingBlock(buf.data(), buf.size(), ords.size(),
+                                 out_ords.data(), out_tfs.data()));
+  EXPECT_EQ(out_ords, ords);
+  EXPECT_EQ(out_tfs, tfs);
+}
+
+TEST(PostingBlockCodecTest, SingleAndTinyBlocks) {
+  ExpectRoundTrip({0}, {1});
+  ExpectRoundTrip({42}, {-7});  // tf sign is preserved verbatim
+  ExpectRoundTrip({0, 1}, {1, 1});
+  ExpectRoundTrip({5, 1000000}, {3, 2});
+}
+
+TEST(PostingBlockCodecTest, DenseRunPacksAtWidthZero) {
+  // 128 consecutive ordinals with constant tf: both packed runs are
+  // width 0, so the block is exactly its 10-byte header.
+  std::vector<uint32_t> ords(128);
+  std::vector<int32_t> tfs(128, 7);
+  for (size_t i = 0; i < ords.size(); ++i) {
+    ords[i] = 1000 + static_cast<uint32_t>(i);
+  }
+  std::vector<uint8_t> buf;
+  EncodePostingBlock(ords.data(), tfs.data(), ords.size(), &buf);
+  EXPECT_EQ(buf.size(), blockcodec::kPostingBlockHeaderBytes);
+  ExpectRoundTrip(ords, tfs);
+}
+
+TEST(PostingBlockCodecTest, RandomizedRoundTripProperty) {
+  std::mt19937_64 rng(20260808);
+  struct Shape {
+    size_t n;
+    uint32_t first;
+    uint32_t max_gap;
+    int32_t tf_lo, tf_hi;
+  };
+  const Shape shapes[] = {
+      {1, 0, 1, 1, 1},
+      {2, 0, 1u << 30, 1, 1},                      // adversarial gap width
+      {17, 12345, 3, 1, 2},
+      {128, 0, 1, 1, 1},                           // dense block
+      {128, 4000000000u, 2, 1, 5},                 // near the uint32 ceiling
+      {128, 9, 1u << 24, 1, 1 << 20},              // wide both ways
+      {128, 0, 5, std::numeric_limits<int32_t>::min() + 1,
+       std::numeric_limits<int32_t>::min() + 3},   // negative tf frame
+      {500, 7, 900, 1, 60},                        // > stack scratch (512)
+      {4096, 3, 17, 1, 9},                         // max tested block
+  };
+  for (const Shape& s : shapes) {
+    for (int rep = 0; rep < 8; ++rep) {
+      std::vector<uint32_t> ords;
+      std::vector<int32_t> tfs;
+      MakePostings(rng, s.n, s.first, s.max_gap, s.tf_lo, s.tf_hi, &ords,
+                   &tfs);
+      if (ords.back() < ords.front()) continue;  // uint32 overflowed: skip
+      ExpectRoundTrip(ords, tfs);
+    }
+  }
+}
+
+TEST(PostingBlockCodecTest, CorruptionMatrixFailsCleanly) {
+  std::mt19937_64 rng(99);
+  std::vector<uint32_t> ords;
+  std::vector<int32_t> tfs;
+  MakePostings(rng, 128, 10, 1000, 1, 300, &ords, &tfs);
+  std::vector<uint8_t> buf;
+  EncodePostingBlock(ords.data(), tfs.data(), ords.size(), &buf);
+  std::vector<uint32_t> out_ords(ords.size());
+  std::vector<int32_t> out_tfs(tfs.size());
+
+  // Every truncation point must fail (the codec knows its exact size).
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    EXPECT_FALSE(DecodePostingBlock(buf.data(), cut, ords.size(),
+                                    out_ords.data(), out_tfs.data()))
+        << "truncated to " << cut;
+  }
+  // Trailing garbage must fail too: offsets and payload disagree.
+  std::vector<uint8_t> padded = buf;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodePostingBlock(padded.data(), padded.size(), ords.size(),
+                                  out_ords.data(), out_tfs.data()));
+  // Width bytes flipped to invalid values.
+  std::vector<uint8_t> bad = buf;
+  bad[8] = 33;  // ord_width > 32
+  EXPECT_FALSE(DecodePostingBlock(bad.data(), bad.size(), ords.size(),
+                                  out_ords.data(), out_tfs.data()));
+  bad = buf;
+  bad[9] = 0xFF;  // tf_width > 32
+  EXPECT_FALSE(DecodePostingBlock(bad.data(), bad.size(), ords.size(),
+                                  out_ords.data(), out_tfs.data()));
+  // Single-bit flips: decode either fails or yields a block of the right
+  // shape — never an out-of-bounds access (ASan enforces the "never").
+  for (size_t bit = 0; bit < buf.size() * 8; bit += 7) {
+    std::vector<uint8_t> flipped = buf;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    (void)DecodePostingBlock(flipped.data(), flipped.size(), ords.size(),
+                             out_ords.data(), out_tfs.data());
+  }
+  // Empty block: only a zero-byte payload is valid.
+  EXPECT_TRUE(DecodePostingBlock(buf.data(), 0, 0, out_ords.data(),
+                                 out_tfs.data()));
+  EXPECT_FALSE(DecodePostingBlock(buf.data(), 1, 0, out_ords.data(),
+                                  out_tfs.data()));
+}
+
+// ---------------------------------------------------------------------------
+// Varint primitives
+// ---------------------------------------------------------------------------
+
+TEST(VarintTest, BoundaryValuesRoundTrip) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 35) - 1,
+                             1ull << 35,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    std::vector<uint8_t> buf;
+    PutVarint64(v, &buf);
+    const uint8_t* p = buf.data();
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&p, buf.data() + buf.size(), &out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(p, buf.data() + buf.size());
+  }
+}
+
+TEST(VarintTest, TruncationAndOverlongFail) {
+  std::vector<uint8_t> buf;
+  PutVarint64(std::numeric_limits<uint64_t>::max(), &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    const uint8_t* p = buf.data();
+    uint64_t out;
+    EXPECT_FALSE(GetVarint64(&p, buf.data() + cut, &out));
+  }
+  // 11 continuation bytes: rejected rather than shifted past 64 bits.
+  std::vector<uint8_t> overlong(11, 0x80);
+  overlong.push_back(0x01);
+  const uint8_t* p = overlong.data();
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(&p, overlong.data() + overlong.size(), &out));
+}
+
+TEST(VarintTest, ZigZagIsAnInvolutionOnExtremes) {
+  const int64_t values[] = {0, -1, 1, std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+}
+
+// ---------------------------------------------------------------------------
+// CompressedInts
+// ---------------------------------------------------------------------------
+
+template <typename T>
+std::vector<T> RandomInts(std::mt19937_64& rng, size_t n) {
+  std::uniform_int_distribution<T> dist(std::numeric_limits<T>::min(),
+                                        std::numeric_limits<T>::max());
+  std::vector<T> out(n);
+  // Mix of smooth runs (delta-friendly) and full-range jumps.
+  T v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 17 == 0) {
+      v = dist(rng);
+    } else {
+      // Unsigned add: wraparound instead of signed-overflow UB near max.
+      v = static_cast<T>(static_cast<std::make_unsigned_t<T>>(v) +
+                         static_cast<std::make_unsigned_t<T>>(i % 5));
+    }
+    out[i] = v;
+  }
+  return out;
+}
+
+template <typename T>
+void ExpectBlobRoundTrip(const std::vector<T>& values) {
+  std::vector<uint8_t> blob = EncodeIntBlob<T>(values);
+  auto parsed = CompressedInts<T>::Parse(std::move(blob));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& c = *parsed.ValueOrDie();
+  ASSERT_EQ(c.size(), values.size());
+  std::span<const T> all = c.All();
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(all[i], values[i]) << "index " << i;
+  }
+}
+
+TEST(CompressedIntsTest, RoundTripShapes) {
+  std::mt19937_64 rng(4242);
+  ExpectBlobRoundTrip<int64_t>({});
+  ExpectBlobRoundTrip<int64_t>({0});
+  ExpectBlobRoundTrip<int64_t>({std::numeric_limits<int64_t>::min(),
+                                std::numeric_limits<int64_t>::max()});
+  ExpectBlobRoundTrip<int64_t>(RandomInts<int64_t>(rng, kIntSegmentLen - 1));
+  ExpectBlobRoundTrip<int64_t>(RandomInts<int64_t>(rng, kIntSegmentLen));
+  ExpectBlobRoundTrip<int64_t>(RandomInts<int64_t>(rng, kIntSegmentLen + 1));
+  ExpectBlobRoundTrip<int64_t>(RandomInts<int64_t>(rng, 3 * kIntSegmentLen));
+  ExpectBlobRoundTrip<int32_t>({});
+  ExpectBlobRoundTrip<int32_t>({-1, 0, 1});
+  ExpectBlobRoundTrip<int32_t>(RandomInts<int32_t>(rng, kIntSegmentLen + 7));
+}
+
+TEST(CompressedIntsTest, LazyPointAccessAndAccounting) {
+  std::vector<int64_t> values(2 * kIntSegmentLen + 5);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i) * 3 - 1000;
+  }
+  auto parsed = CompressedInts<int64_t>::Parse(EncodeIntBlob<int64_t>(values),
+                                               /*trusted=*/true);
+  ASSERT_TRUE(parsed.ok());
+  const auto& c = *parsed.ValueOrDie();
+  EXPECT_GT(c.CompressedBytes(), 0u);
+  EXPECT_LT(c.CompressedBytes(), values.size() * sizeof(int64_t));
+  EXPECT_EQ(c.DecodedHeapBytes(), 0u);  // nothing touched yet
+  EXPECT_EQ(c.At(kIntSegmentLen + 3),
+            values[kIntSegmentLen + 3]);  // decodes segment 1 only
+  EXPECT_GT(c.DecodedHeapBytes(), 0u);
+  EXPECT_EQ(c.At(0), values[0]);
+  EXPECT_EQ(c.At(values.size() - 1), values.back());
+}
+
+TEST(CompressedIntsTest, ConcurrentFirstTouchIsSafe) {
+  std::vector<int64_t> values(4 * kIntSegmentLen);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i * i % 100003);
+  }
+  auto parsed = CompressedInts<int64_t>::Parse(EncodeIntBlob<int64_t>(values),
+                                               /*trusted=*/true);
+  ASSERT_TRUE(parsed.ok());
+  const auto c = parsed.ValueOrDie();
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < values.size(); i += 8) {
+        if (c->At(i) != values[i]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(CompressedIntsTest, CorruptionMatrixYieldsParseErrors) {
+  std::vector<int64_t> values(kIntSegmentLen + 100);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i) * 7919;
+  }
+  const std::vector<uint8_t> blob = EncodeIntBlob<int64_t>(values);
+
+  // Truncation at every prefix length: ParseError, never UB. (Untrusted
+  // parse decode-checks the whole stream, so corruption in any byte is
+  // caught here rather than at access time.)
+  for (size_t cut = 0; cut < blob.size(); cut += 13) {
+    std::vector<uint8_t> t(blob.begin(), blob.begin() + cut);
+    EXPECT_FALSE(CompressedInts<int64_t>::Parse(std::move(t)).ok())
+        << "truncated to " << cut;
+  }
+  // Header corruptions.
+  auto flip = [&](size_t at, uint8_t mask) {
+    std::vector<uint8_t> b = blob;
+    b[at] ^= mask;
+    return CompressedInts<int64_t>::Parse(std::move(b));
+  };
+  EXPECT_FALSE(flip(0, 0xFF).ok());   // magic
+  EXPECT_FALSE(flip(1, 0x0C).ok());   // element size
+  EXPECT_FALSE(flip(2, 0x01).ok());   // count
+  EXPECT_FALSE(flip(14, 0x01).ok());  // num_segments
+  // Bit flips across the segment table and payload: either a clean
+  // ParseError or (for flips that keep the stream well-formed) different
+  // values — never an out-of-bounds access.
+  for (size_t bit = 18 * 8; bit < blob.size() * 8; bit += 101) {
+    auto r = flip(bit / 8, static_cast<uint8_t>(1u << (bit % 8)));
+    if (r.ok()) (void)r.ValueOrDie()->All();
+  }
+  // Wrong element type for the blob.
+  std::vector<uint8_t> b64 = blob;
+  EXPECT_FALSE(CompressedInts<int32_t>::Parse(std::move(b64)).ok());
+  // Range enforcement: values exceed [0, 10].
+  std::vector<uint8_t> b2 = blob;
+  EXPECT_FALSE(CompressedInts<int64_t>::Parse(std::move(b2),
+                                              /*trusted=*/false,
+                                              /*min_value=*/0,
+                                              /*max_value=*/10)
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Compressed Column representation
+// ---------------------------------------------------------------------------
+
+TEST(CompressedColumnTest, Int64ColumnIsTransparent) {
+  std::vector<int64_t> values = {5, -3, 0, 1 << 20, -(1ll << 40), 17};
+  Column plain = Column::MakeInt64(values);
+  Column comp = plain.Compressed();
+  ASSERT_TRUE(comp.compressed());
+  EXPECT_FALSE(comp.mapped());
+  ASSERT_EQ(comp.size(), plain.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(comp.Int64At(i), values[i]);
+  }
+  EXPECT_TRUE(comp.Equals(plain));
+  EXPECT_GT(comp.CompressedByteSize(), 0u);
+  EXPECT_EQ(plain.CompressedByteSize(), 0u);
+  // Compressing twice is a no-op.
+  EXPECT_TRUE(comp.Compressed().Equals(plain));
+  // int64_data() materializes the same span contents.
+  std::span<const int64_t> data = comp.int64_data();
+  ASSERT_EQ(data.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) EXPECT_EQ(data[i], values[i]);
+}
+
+TEST(CompressedColumnTest, DictStringColumnIsTransparent) {
+  Column plain = Column::MakeString({"b", "a", "b", "c", "a"});
+  Column dict = plain.DictEncode();
+  Column comp = dict.Compressed();
+  ASSERT_TRUE(comp.compressed());
+  ASSERT_TRUE(comp.dict_encoded());
+  ASSERT_EQ(comp.size(), plain.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(comp.StringAt(i), plain.StringAt(i));
+    EXPECT_EQ(comp.HashAt(i), plain.HashAt(i));
+  }
+  EXPECT_TRUE(comp.Equals(plain));
+  EXPECT_GT(comp.CompressedByteSize(), 0u);
+}
+
+TEST(CompressedColumnTest, FloatAndPlainStringPassThrough) {
+  Column f = Column::MakeFloat64({1.5, -2.5});
+  EXPECT_FALSE(f.Compressed().compressed());
+  Column s = Column::MakeString({"x", "y"});
+  EXPECT_FALSE(s.Compressed().compressed());
+}
+
+TEST(CompressedColumnTest, CompressColumnsSharesUncompressible) {
+  RelationBuilder b({{"id", DataType::kInt64},
+                     {"score", DataType::kFloat64},
+                     {"tag", DataType::kString}});
+  ASSERT_TRUE(b.AddRow({int64_t{1}, 0.5, std::string("x")}).ok());
+  ASSERT_TRUE(b.AddRow({int64_t{2}, 1.5, std::string("y")}).ok());
+  RelationPtr rel = b.Build().ValueOrDie();
+  RelationPtr crel = CompressColumns(rel);
+  ASSERT_NE(crel, nullptr);
+  EXPECT_TRUE(crel->column(0).compressed());
+  EXPECT_FALSE(crel->column(1).compressed());  // float64: unchanged
+  EXPECT_GT(crel->CompressedByteSize(), 0u);
+  for (size_t r = 0; r < rel->num_rows(); ++r) {
+    EXPECT_EQ(crel->column(0).Int64At(r), rel->column(0).Int64At(r));
+    EXPECT_EQ(crel->column(2).StringAt(r), rel->column(2).StringAt(r));
+  }
+  // Nothing to compress -> the same relation comes back.
+  RelationBuilder b2({{"v", DataType::kFloat64}});
+  ASSERT_TRUE(b2.AddRow({0.25}).ok());
+  RelationPtr rel2 = b2.Build().ValueOrDie();
+  EXPECT_EQ(CompressColumns(rel2).get(), rel2.get());
+}
+
+}  // namespace
+}  // namespace spindle

@@ -20,6 +20,7 @@
 #include "spinql/evaluator.h"
 #include "spinql/parser.h"
 #include "specialized/inverted_index.h"
+#include "storage/block_codec.h"
 #include "storage/relation.h"
 #include "triples/triple_store.h"
 #include "workload/text_gen.h"
@@ -114,10 +115,15 @@ TEST(ImpactIndexTest, PostingsSortedWithPerTermBoxes) {
   ASSERT_EQ(pv.size, 2u);
   // cat appears in docID 20 (ordinal 1, tf 1) and docID 30 (ordinal 2,
   // tf 2) — sorted by ordinal even though docID 30 was ingested first.
-  EXPECT_EQ(pv.ords[0], 1u);
-  EXPECT_EQ(pv.tfs[0], 1);
-  EXPECT_EQ(pv.ords[1], 2u);
-  EXPECT_EQ(pv.tfs[1], 2);
+  // DecodePostings works for both physical representations.
+  std::vector<uint32_t> ords;
+  std::vector<int32_t> tfs;
+  impact.DecodePostings(cat, &ords, &tfs);
+  ASSERT_EQ(ords.size(), 2u);
+  EXPECT_EQ(ords[0], 1u);
+  EXPECT_EQ(tfs[0], 1);
+  EXPECT_EQ(ords[1], 2u);
+  EXPECT_EQ(tfs[1], 2);
   ASSERT_EQ(pv.num_blocks, 1u);
   EXPECT_EQ(pv.blocks[0].last_ord, 2u);
   EXPECT_EQ(pv.blocks[0].max_tf, 2);
@@ -384,6 +390,115 @@ TEST(RankTopKTest, ParallelMachineryForcedIsBitIdentical) {
 }
 
 // ---------------------------------------------------------------------------
+// Compressed postings: bit-identity and decode observability
+// ---------------------------------------------------------------------------
+
+TEST(CompressedPostingsTest, CompressedMatchesUncompressedBitIdentical) {
+  TextCollectionOptions copts;
+  copts.num_docs = 1500;
+  copts.vocab_size = 700;
+  copts.avg_doc_len = 35;
+  copts.seed = 41;
+  RelationPtr docs = GenerateTextCollection(copts).ValueOrDie();
+  TextIndexPtr comp;
+  TextIndexPtr uncomp;
+  {
+    blockcodec::ScopedCompressionDefaults on({true, true});
+    comp = BuildIndex(docs);
+  }
+  {
+    blockcodec::ScopedCompressionDefaults off({false, false});
+    uncomp = BuildIndex(docs);
+  }
+  ASSERT_TRUE(comp->impact().compressed());
+  ASSERT_FALSE(uncomp->impact().compressed());
+
+  // The codec is lossless: every term's logical posting list round-trips.
+  for (int64_t t = 1; t <= static_cast<int64_t>(comp->impact().num_terms());
+       ++t) {
+    std::vector<uint32_t> co, uo;
+    std::vector<int32_t> ct, ut;
+    comp->impact().DecodePostings(t, &co, &ct);
+    uncomp->impact().DecodePostings(t, &uo, &ut);
+    ASSERT_EQ(co, uo) << "term " << t;
+    ASSERT_EQ(ct, ut) << "term " << t;
+  }
+
+  const RankModel models[] = {RankModel::kBm25, RankModel::kTfIdf,
+                              RankModel::kLmDirichlet,
+                              RankModel::kLmJelinekMercer};
+  std::vector<std::string> queries = GenerateQueries(copts, 5, 3, 42);
+  PruningStats aggregate;
+  for (const std::string& query : queries) {
+    RelationPtr qterms = comp->QueryTerms(query).ValueOrDie();
+    if (qterms->num_rows() == 0) continue;
+    for (RankModel model : models) {
+      for (size_t k : {size_t{1}, size_t{10}, size_t{100}}) {
+        SearchOptions options = OptionsFor(model, k);
+        for (int threads : {1, 4}) {
+          ScopedExecContext scope{ExecContext(threads)};
+          PruningStats stats;
+          RelationPtr fused_c =
+              RankTopK(*comp, qterms, options, &stats).ValueOrDie();
+          RelationPtr fused_u =
+              RankTopK(*uncomp, qterms, options).ValueOrDie();
+          ExpectIdenticalRanking(
+              fused_c, fused_u,
+              std::string("compressed ") + RankModelName(model) + " k=" +
+                  std::to_string(k) + " threads=" + std::to_string(threads) +
+                  " q=\"" + query + "\"");
+          aggregate.blocks_decoded += stats.blocks_decoded;
+          aggregate.decode_bytes += stats.decode_bytes;
+          aggregate.blocks_skipped += stats.blocks_skipped;
+        }
+      }
+    }
+  }
+  // The compressed arm really decoded blocks (and reported the bytes).
+  EXPECT_GT(aggregate.blocks_decoded, 0u);
+  EXPECT_GT(aggregate.decode_bytes, 0u);
+  // Footprint: the compressed index must be smaller than the baseline.
+  EXPECT_LT(comp->ByteSizes().total(), uncomp->ByteSizes().total());
+  EXPECT_GT(comp->ByteSizes().compressed_bytes, 0u);
+  EXPECT_EQ(uncomp->ByteSizes().compressed_bytes, 0u);
+}
+
+TEST(CompressedPostingsTest, SkippedBlocksAreNeverDecoded) {
+  // Same shape as BlockSkippingIsExactAndObservable: a rare term drives
+  // candidates and the common term's blocks must be jumped. In compressed
+  // mode a jumped block must not be decompressed, so with one morsel
+  // (each block decoded at most once per cursor) strictly fewer blocks
+  // are decoded than exist across the query's posting lists.
+  blockcodec::ScopedCompressionDefaults on({true, true});
+  RelationBuilder b({{"docID", DataType::kInt64},
+                     {"data", DataType::kString}});
+  for (int64_t d = 1; d <= 2000; ++d) {
+    std::string text = d % 3 == 0 ? "alpha filler" : "filler";
+    if (d == 50) text = "filler filler filler filler filler zeta";
+    if (d == 1950) text = "alpha zeta";
+    ASSERT_TRUE(b.AddRow({d, text}).ok());
+  }
+  TextIndexPtr index = BuildIndex(b.Build().ValueOrDie());
+  ASSERT_TRUE(index->impact().compressed());
+  const size_t total_blocks =
+      index->impact().postings(TermIdOf(*index, "alpha")).num_blocks +
+      index->impact().postings(TermIdOf(*index, "zeta")).num_blocks;
+
+  ExecContext ctx(1);
+  ctx.morsel_rows = 1 << 20;  // one morsel: no boundary re-decodes
+  ScopedExecContext scope{ctx};
+  SearchOptions options = OptionsFor(RankModel::kBm25, 1);
+  RelationPtr qterms = index->QueryTerms("zeta alpha").ValueOrDie();
+  PruningStats stats;
+  RelationPtr fused = RankTopK(*index, qterms, options, &stats).ValueOrDie();
+  RelationPtr exhaustive = ExhaustiveTopK(*index, qterms, options);
+  ExpectIdenticalRanking(fused, exhaustive, "compressed block skip");
+  EXPECT_GT(stats.blocks_skipped, 0u);
+  EXPECT_GT(stats.blocks_decoded, 0u);
+  EXPECT_LT(stats.blocks_decoded, total_blocks);
+}
+
+// ---------------------------------------------------------------------------
 // Searcher integration
 // ---------------------------------------------------------------------------
 
@@ -404,6 +519,10 @@ TEST(SearcherFusedTest, SearchRoutesThroughFusedPathAndCountsIt) {
   Searcher::Stats stats = searcher.stats();
   EXPECT_EQ(stats.fused_path_used, 1u);
   EXPECT_GT(stats.docs_scored, 0u);
+  // Compression is the build default, so the fused query decoded blocks
+  // and the decode counters surfaced through Searcher::Stats.
+  EXPECT_GT(stats.blocks_decoded, 0u);
+  EXPECT_GT(stats.decode_bytes, 0u);
 
   // k == 0 falls back to the exhaustive cascade.
   options.top_k = 0;
