@@ -1,0 +1,225 @@
+/// \file bench_e19_live_ingest.cpp
+/// \brief E19: query serving under a live write stream.
+///
+/// Closed-loop reader clients (4 threads) issue keyword queries against
+/// one QueryService while a paced writer applies ADD/UPDATE/DELETE at a
+/// fixed rate. Reported per write rate (0, 10, 100 writes/second):
+///   - items_per_second   completed queries per second (QPS)
+///   - p50/p95/p99_ms     per-query latency percentiles
+///   - freshness_p50/p99_ms  write-arrival -> searchable lag percentiles
+///                        (from the service's freshness histogram)
+///   - compactions        background compactions during the measurement
+///   - compact_pause_ms   cumulative compaction build wall time — all of
+///                        it off-thread: queries keep serving the pinned
+///                        version while the rebuild runs
+///
+/// The 0-writes point is the baseline: the same service and workload
+/// with the writer idle, so any delta between rows is the cost of
+/// freshness, not of the serving stack.
+///
+///   ./bench_e19_live_ingest
+///   ./bench_e19_live_ingest --topk=100
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/query_service.h"
+
+namespace spindle {
+namespace bench {
+namespace {
+
+constexpr int64_t kNumDocs = 20000;
+constexpr int kReaderThreads = 4;
+constexpr int kQueriesPerReaderPerIter = 16;
+
+/// Round-robin ADD / UPDATE / DELETE over a private docID range so every
+/// write validates (the paced writer never collides with base docIDs).
+class WriteStream {
+ public:
+  explicit WriteStream(int64_t first_id) : next_id_(first_id) {}
+
+  server::WriteRequest Next() {
+    server::WriteRequest req;
+    req.collection = "live";
+    const int turn = static_cast<int>(ops_ % 3);
+    if (turn == 0 || live_.empty()) {
+      req.op.kind = ingest::WriteOp::Kind::kAdd;
+      req.op.doc_id = next_id_++;
+      req.op.text = "fresh document body " + std::to_string(req.op.doc_id);
+      live_.push_back(req.op.doc_id);
+    } else if (turn == 1) {
+      req.op.kind = ingest::WriteOp::Kind::kUpdate;
+      req.op.doc_id = live_.back();
+      req.op.text = "updated document body " + std::to_string(ops_);
+    } else {
+      req.op.kind = ingest::WriteOp::Kind::kDelete;
+      req.op.doc_id = live_.front();
+      live_.erase(live_.begin());
+    }
+    ++ops_;
+    return req;
+  }
+
+ private:
+  int64_t next_id_;
+  uint64_t ops_ = 0;
+  std::vector<int64_t> live_;
+};
+
+void BM_E19_LiveIngest(benchmark::State& state) {
+  const int writes_per_second = static_cast<int>(state.range(0));
+
+  // A fresh service per rate point: the write stream mutates the
+  // collection, so sharing one instance would let earlier points warm
+  // (or grow) the collection for later ones.
+  server::QueryServiceOptions opts;
+  opts.compact_threshold = 64;
+  server::QueryService service(opts);
+  service.RegisterCollection("live", GetCollection(kNumDocs));
+
+  const std::vector<std::string>& queries = GetQueries(kNumDocs, 2);
+  SearchOptions options;
+  options.top_k = TopKFlag();
+
+  // Warm the index, then dirty the delta once so readers measure the
+  // two-lane live path (a permanently clean delta would measure E14).
+  {
+    server::SearchRequest req;
+    req.collection = "live";
+    req.query = queries[0];
+    req.options = options;
+    auto r = service.Search(req);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+  }
+  WriteStream stream(10'000'000);
+  if (writes_per_second > 0) {
+    auto w = service.Write(stream.Next());
+    if (!w.ok()) {
+      state.SkipWithError(w.status().ToString().c_str());
+      return;
+    }
+  }
+
+  const uint64_t base_compactions = service.LiveStats("live").compactions;
+  const uint64_t base_compaction_us =
+      service.LiveStats("live").compaction_us;
+
+  LatencyRecorder recorder;
+  uint64_t completed = 0;
+  std::atomic<uint64_t> write_errors{0};
+
+  for (auto _ : state) {
+    std::atomic<bool> stop{false};
+    // Paced writer: sleeps 1/rate between writes. Writes outside the
+    // readers' closed loop are not counted as items.
+    std::thread writer;
+    if (writes_per_second > 0) {
+      writer = std::thread([&] {
+        const auto period = std::chrono::microseconds(
+            1'000'000 / writes_per_second);
+        while (!stop.load(std::memory_order_relaxed)) {
+          auto w = service.Write(stream.Next());
+          if (!w.ok()) {
+            write_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          // Sliced sleep so the iteration join is not gated on a full
+          // write period (100 ms at 10 writes/s would dominate).
+          const auto until = std::chrono::steady_clock::now() + period;
+          while (!stop.load(std::memory_order_relaxed) &&
+                 std::chrono::steady_clock::now() < until) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+      });
+    }
+
+    std::vector<LatencyRecorder> per_reader(kReaderThreads);
+    std::atomic<uint64_t> iter_ok{0};
+    std::atomic<uint64_t> iter_errors{0};
+    std::vector<std::thread> readers;
+    readers.reserve(kReaderThreads);
+    for (int c = 0; c < kReaderThreads; ++c) {
+      readers.emplace_back([&, c] {
+        LatencyRecorder& rec = per_reader[c];
+        for (int i = 0; i < kQueriesPerReaderPerIter; ++i) {
+          server::SearchRequest req;
+          req.collection = "live";
+          req.query = queries[(c * kQueriesPerReaderPerIter + i) %
+                              queries.size()];
+          req.options = options;
+          rec.Start();
+          auto r = service.Search(req);
+          rec.Stop();
+          if (r.ok()) {
+            iter_ok.fetch_add(1, std::memory_order_relaxed);
+            benchmark::DoNotOptimize(r.ValueOrDie().rows);
+          } else {
+            iter_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : readers) t.join();
+    stop.store(true, std::memory_order_relaxed);
+    if (writer.joinable()) writer.join();
+
+    if (iter_errors.load() > 0) {
+      state.SkipWithError("queries failed");
+      return;
+    }
+    for (const LatencyRecorder& rec : per_reader) recorder.Merge(rec);
+    completed += iter_ok.load();
+  }
+
+  if (write_errors.load() > 0) {
+    state.SkipWithError("writes failed");
+    return;
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+  recorder.Report(state);
+  state.counters["writes_per_second"] = writes_per_second;
+
+  const auto& fresh = service.metrics().freshness_lag_us;
+  state.counters["freshness_p50_ms"] =
+      static_cast<double>(fresh.PercentileUs(50)) / 1000.0;
+  state.counters["freshness_p99_ms"] =
+      static_cast<double>(fresh.PercentileUs(99)) / 1000.0;
+
+  const auto live = service.LiveStats("live");
+  state.counters["compactions"] =
+      static_cast<double>(live.compactions - base_compactions);
+  state.counters["compact_pause_ms"] =
+      static_cast<double>(live.compaction_us - base_compaction_us) / 1000.0;
+}
+
+BENCHMARK(BM_E19_LiveIngest)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace spindle
+
+int main(int argc, char** argv) {
+  spindle::bench::TopKFlag() =
+      spindle::bench::ParseTopKFlag(&argc, argv);
+  spindle::bench::ParseTraceFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -99,15 +99,14 @@ BENCHMARK(BM_AuctionStrategyWeights)
     ->Unit(benchmark::kMillisecond);
 
 /// Parallel serving: the paper's deployment handles 150k requests/day
-/// with 450/min peaks on one VM. Relations are immutable, so concurrent
-/// readers are safe as long as each worker owns its mutable state — here
-/// every thread gets its own catalog copy (shared column buffers), cache,
-/// and executor, like independent server workers.
+/// with 450/min peaks on one VM. The catalog is thread-safe and its
+/// relations immutable, so workers share it; each thread owns the rest
+/// of its mutable state — cache and executor — like independent server
+/// workers.
 void BM_AuctionStrategyParallelHot(benchmark::State& state) {
   const int64_t num_lots = 20000;
-  // Per-thread state: catalog copy (cheap — shared_ptr'd relations),
-  // own cache and executor.
-  Catalog catalog = GetAuctionCatalog(num_lots);
+  // Per-thread state: own cache and executor over the shared catalog.
+  Catalog& catalog = GetAuctionCatalog(num_lots);
   MaterializationCache cache(1024ull << 20);
   strategy::StrategyExecutor executor(&catalog, &cache);
   strategy::Strategy strat =

@@ -1,0 +1,293 @@
+#include "ingest/delta_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace spindle {
+namespace ingest {
+
+namespace {
+
+/// Splits the leading space-delimited word off `rest`.
+std::string TakeWord(std::string& rest) {
+  size_t start = rest.find_first_not_of(' ');
+  if (start == std::string::npos) {
+    rest.clear();
+    return "";
+  }
+  size_t end = rest.find(' ', start);
+  std::string word = end == std::string::npos
+                         ? rest.substr(start)
+                         : rest.substr(start, end - start);
+  rest = end == std::string::npos ? "" : rest.substr(end + 1);
+  return word;
+}
+
+Result<int64_t> ParseDocId(const std::string& word) {
+  if (word.empty()) return Status::ParseError("missing docID");
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(word.c_str(), &end, 10);
+  if (errno != 0 || end == word.c_str() || *end != '\0') {
+    return Status::ParseError("bad docID '" + word + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Result<ParsedWrite> ParseWriteCommand(const std::string& line) {
+  std::string rest = line;
+  std::string verb = TakeWord(rest);
+  ParsedWrite out;
+  if (verb == "ADD") {
+    out.op.kind = WriteOp::Kind::kAdd;
+  } else if (verb == "UPDATE") {
+    out.op.kind = WriteOp::Kind::kUpdate;
+  } else if (verb == "DELETE") {
+    out.op.kind = WriteOp::Kind::kDelete;
+  } else {
+    return Status::ParseError("unknown write verb '" + verb + "'");
+  }
+  out.collection = TakeWord(rest);
+  if (out.collection.empty()) {
+    return Status::ParseError(verb + " requires a collection name");
+  }
+  SPINDLE_ASSIGN_OR_RETURN(out.op.doc_id, ParseDocId(TakeWord(rest)));
+  if (out.op.kind == WriteOp::Kind::kDelete) {
+    if (!rest.empty()) {
+      return Status::ParseError("DELETE takes no document text");
+    }
+  } else {
+    // The remainder — possibly empty — is the document text verbatim.
+    out.op.text = rest;
+  }
+  return out;
+}
+
+CollectionStats DeltaState::LiveStats(const CollectionStats& base) const {
+  CollectionStats live;
+  live.num_docs = base.num_docs -
+                  static_cast<int64_t>(deleted.size()) +
+                  static_cast<int64_t>(added.size());
+  live.total_postings = base.total_postings + postings_delta;
+  // The exact expression shape of TextIndex::Build, so model setup sees
+  // the identical double a cold build computes.
+  live.avg_doc_len = live.num_docs == 0
+                         ? 0.0
+                         : static_cast<double>(live.total_postings) /
+                               static_cast<double>(live.num_docs);
+  live.num_terms = base.num_terms;  // informational; not used in scoring
+  return live;
+}
+
+TermDelta DeltaState::LiveTerm(const std::string& term, int64_t main_df,
+                               int64_t main_cf) const {
+  TermDelta live{main_df, main_cf};
+  auto it = terms.find(term);
+  if (it != terms.end()) {
+    live.df += it->second.df;
+    live.cf += it->second.cf;
+  }
+  return live;
+}
+
+DeltaDoc TokenizeDoc(const Analyzer& analyzer, std::string_view text) {
+  DeltaDoc doc;
+  std::vector<Token> tokens = analyzer.Analyze(text);
+  doc.len = static_cast<int64_t>(tokens.size());
+  std::vector<std::string> terms;
+  terms.reserve(tokens.size());
+  for (Token& t : tokens) terms.push_back(std::move(t.text));
+  std::sort(terms.begin(), terms.end());
+  for (size_t i = 0; i < terms.size();) {
+    size_t j = i;
+    while (j < terms.size() && terms[j] == terms[i]) ++j;
+    doc.terms.emplace_back(std::move(terms[i]),
+                           static_cast<int64_t>(j - i));
+    i = j;
+  }
+  return doc;
+}
+
+Status FindDocColumns(const Relation& docs, size_t* id_col,
+                      size_t* data_col) {
+  const Schema& schema = docs.schema();
+  auto id = schema.FindField("docID");
+  auto data = schema.FindField("data");
+  if (id && docs.column(*id).type() == DataType::kInt64 && data &&
+      docs.column(*data).type() == DataType::kString) {
+    *id_col = *id;
+    *data_col = *data;
+    return Status::OK();
+  }
+  bool have_id = false, have_data = false;
+  for (size_t c = 0; c < docs.num_columns(); ++c) {
+    if (!have_id && docs.column(c).type() == DataType::kInt64) {
+      *id_col = c;
+      have_id = true;
+    } else if (!have_data && docs.column(c).type() == DataType::kString) {
+      *data_col = c;
+      have_data = true;
+    }
+  }
+  if (!have_id || !have_data) {
+    return Status::InvalidArgument(
+        "live collection needs (docID: int64, data: string) columns, got " +
+        schema.ToString());
+  }
+  return Status::OK();
+}
+
+std::vector<DeltaCand> ScoreDelta(const DeltaState& delta,
+                                  const std::vector<std::string>& qtokens,
+                                  const std::vector<int64_t>& df,
+                                  const std::vector<int64_t>& cf,
+                                  const CollectionStats& live,
+                                  const SearchOptions& options) {
+  std::vector<DeltaCand> out;
+  if (delta.added.empty() || qtokens.empty()) return out;
+
+  // Model context with the kernel's degenerate-case floors
+  // (avgdl/N/total at 1) — identical doubles to RankTopK's setup over a
+  // cold index whose CollectionStats equal `live`.
+  const double avgdl = live.avg_doc_len > 0 ? live.avg_doc_len : 1.0;
+  const double n =
+      static_cast<double>(live.num_docs > 0 ? live.num_docs : 1);
+  const double total = static_cast<double>(
+      live.total_postings > 0 ? live.total_postings : 1);
+  const double k1 = options.bm25.k1;
+  const double b = options.bm25.b;
+  const double one_minus_b = 1.0 - options.bm25.b;
+  const double mu = options.dirichlet.mu;
+  const double ratio = options.jm.lambda > 0.0 && options.jm.lambda < 1.0
+                           ? (1.0 - options.jm.lambda) / options.jm.lambda
+                           : 0.0;
+  const double qlen = static_cast<double>(qtokens.size());
+
+  // Per-occurrence term statistics in the override's exact expression
+  // shapes: idf = ln((N - df + 0.5) / (df + 0.5)) with the *unfloored*
+  // N (as in the kernel's override path), plain idf = ln(N/df) with the
+  // floored one.
+  const double n_docs = static_cast<double>(live.num_docs);
+  const size_t nq = qtokens.size();
+  std::vector<double> idf(nq), plain_idf(nq, 0.0), cfd(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    const double dfd = static_cast<double>(df[q]);
+    idf[q] = std::log(((n_docs - dfd) + 0.5) / (dfd + 0.5));
+    cfd[q] = static_cast<double>(cf[q]);
+    if (options.model == RankModel::kTfIdf) {
+      plain_idf[q] = std::log(n / dfd);
+    }
+  }
+
+  for (const auto& [doc_id, doc] : delta.added) {
+    const double len = static_cast<double>(doc.len);
+    double score = 0.0;
+    bool any = false;
+    // Canonical fold: per-occurrence contributions summed in query
+    // order — the association order of the exhaustive GroupAggregate
+    // and of the kernel's present-occurrence fold.
+    for (size_t q = 0; q < nq; ++q) {
+      auto it = std::lower_bound(
+          doc.terms.begin(), doc.terms.end(), qtokens[q],
+          [](const std::pair<std::string, int64_t>& a,
+             const std::string& term) { return a.first < term; });
+      if (it == doc.terms.end() || it->first != qtokens[q]) continue;
+      const double tf = static_cast<double>(it->second);
+      double contrib = 0.0;
+      switch (options.model) {
+        case RankModel::kBm25:
+          contrib =
+              ((tf / (tf + (k1 * (one_minus_b + (b * (len / avgdl)))))) *
+               idf[q]) *
+              1.0;
+          break;
+        case RankModel::kTfIdf:
+          contrib = ((1.0 + std::log(tf)) * plain_idf[q]) * 1.0;
+          break;
+        case RankModel::kLmDirichlet:
+          contrib = (std::log(1.0 + ((tf * total) / (mu * cfd[q])))) * 1.0;
+          break;
+        case RankModel::kLmJelinekMercer:
+          contrib =
+              (std::log(1.0 + (ratio * ((tf * total) / (len * cfd[q]))))) *
+              1.0;
+          break;
+      }
+      score += contrib;
+      any = true;
+    }
+    if (!any) continue;  // no matching term: not a candidate, as in the join
+    if (options.model == RankModel::kLmDirichlet) {
+      score = score + qlen * std::log(mu / (len + mu));
+    }
+    out.push_back(DeltaCand{doc_id, score});
+  }
+  return out;
+}
+
+Result<RelationPtr> BuildMergedRelation(
+    const RelationPtr& docs, const std::set<int64_t>& deleted,
+    const std::map<int64_t, std::string>& added) {
+  size_t id_col = 0, data_col = 0;
+  SPINDLE_RETURN_IF_ERROR(FindDocColumns(*docs, &id_col, &data_col));
+  std::map<int64_t, std::string> merged(added);
+  for (size_t r = 0; r < docs->num_rows(); ++r) {
+    int64_t id = docs->column(id_col).Int64At(r);
+    if (deleted.count(id) > 0 || merged.count(id) > 0) continue;
+    merged.emplace(id, docs->column(data_col).StringAt(r));
+  }
+  std::vector<int64_t> ids;
+  std::vector<std::string> texts;
+  ids.reserve(merged.size());
+  texts.reserve(merged.size());
+  for (auto& [id, text] : merged) {
+    ids.push_back(id);
+    texts.push_back(std::move(text));
+  }
+  Schema schema(
+      {{"docID", DataType::kInt64}, {"data", DataType::kString}});
+  return Relation::Make(schema, {Column::MakeInt64(std::move(ids)),
+                                 Column::MakeString(std::move(texts))});
+}
+
+Result<RelationPtr> ApplyWritesCold(const RelationPtr& docs,
+                                    const std::vector<WriteOp>& ops) {
+  size_t id_col = 0, data_col = 0;
+  SPINDLE_RETURN_IF_ERROR(FindDocColumns(*docs, &id_col, &data_col));
+  std::set<int64_t> base_ids;
+  for (size_t r = 0; r < docs->num_rows(); ++r) {
+    base_ids.insert(docs->column(id_col).Int64At(r));
+  }
+  std::set<int64_t> deleted;
+  std::map<int64_t, std::string> added;
+  for (const WriteOp& op : ops) {
+    const bool in_base =
+        base_ids.count(op.doc_id) > 0 && deleted.count(op.doc_id) == 0;
+    const bool in_added = added.count(op.doc_id) > 0;
+    const bool live = in_base || in_added;
+    const std::string id = std::to_string(op.doc_id);
+    switch (op.kind) {
+      case WriteOp::Kind::kAdd:
+        if (live) return Status::AlreadyExists("docID " + id + " is live");
+        added[op.doc_id] = op.text;
+        break;
+      case WriteOp::Kind::kUpdate:
+        if (!live) return Status::NotFound("docID " + id + " is not live");
+        if (in_base) deleted.insert(op.doc_id);
+        added[op.doc_id] = op.text;
+        break;
+      case WriteOp::Kind::kDelete:
+        if (!live) return Status::NotFound("docID " + id + " is not live");
+        if (in_base) deleted.insert(op.doc_id);
+        added.erase(op.doc_id);
+        break;
+    }
+  }
+  return BuildMergedRelation(docs, deleted, added);
+}
+
+}  // namespace ingest
+}  // namespace spindle

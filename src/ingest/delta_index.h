@@ -1,0 +1,165 @@
+/// \file delta_index.h
+/// \brief The mutable side of live ingestion: a small in-memory inverted
+/// structure over newly added/updated documents plus a deleted-doc set.
+///
+/// Following the ODYS / EMBANKS blueprint, writes never touch the
+/// immutable main TextIndex. Each accepted ADD/UPDATE/DELETE produces a
+/// new immutable DeltaState (copy-on-write, installed by LiveTable as
+/// part of a new CatalogVersion); queries merge the delta at search
+/// time: fused top-k over the main index with deletions masked and
+/// *live* statistics overriding the index's own, plus an exhaustive
+/// scoring pass over the delta documents. Because the statistics are
+/// maintained exactly (writes tokenize under the collection's analyzer,
+/// deletes re-tokenize the stored text) and the delta scorer replicates
+/// the kernel's expression shapes, merged results are bit-identical to
+/// a cold build over the same logical collection — the property FLUSH
+/// quiesces into and tests/ingest_test.cc checks per write.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/indexing.h"
+#include "ir/searcher.h"
+#include "storage/relation.h"
+#include "text/analyzer.h"
+
+namespace spindle {
+namespace ingest {
+
+/// \brief One accepted write. `text` is empty for kDelete.
+struct WriteOp {
+  enum class Kind { kAdd, kUpdate, kDelete };
+  Kind kind = Kind::kAdd;
+  int64_t doc_id = 0;
+  std::string text;
+};
+
+/// \brief A write command parsed from its line form
+/// ("ADD <collection> <docID> <text...>", "UPDATE ..." likewise,
+/// "DELETE <collection> <docID>", see docs/ingestion.md).
+struct ParsedWrite {
+  std::string collection;
+  WriteOp op;
+};
+
+/// \brief Parses one write line; rejects unknown verbs and malformed
+/// docIDs. FLUSH is not a write (no document payload) and is not
+/// accepted here.
+Result<ParsedWrite> ParseWriteCommand(const std::string& line);
+
+/// \brief A delta document: its analyzed length (token count, the
+/// doc_len the index build would compute) and per-term frequencies,
+/// sorted by term for binary-search probes.
+struct DeltaDoc {
+  int64_t len = 0;
+  std::vector<std::pair<std::string, int64_t>> terms;  ///< (term, tf) sorted
+};
+
+/// \brief Per-term statistic deltas relative to the main index: how many
+/// live documents gained/lost the term (df) and the token-count change
+/// (cf). Negative values come from deletions of main-index documents.
+struct TermDelta {
+  int64_t df = 0;
+  int64_t cf = 0;
+};
+
+/// \brief Immutable snapshot of the mutable side. Writers copy the
+/// current state, apply one op, and install the copy; readers share the
+/// snapshot through their pinned CatalogVersion for their whole
+/// lifetime. Size is bounded by the compaction threshold.
+struct DeltaState {
+  /// Documents searchable from the delta (adds + the new text of
+  /// updates), keyed by docID — iteration order is docID ascending,
+  /// which the exhaustive delta scorer relies on.
+  std::map<int64_t, DeltaDoc> added;
+  /// Main-index docIDs masked out of the main lane (deletes + the old
+  /// identity of updates).
+  std::set<int64_t> deleted;
+  /// The same deletions as sorted main-index *ordinals*, the form
+  /// RankTopK's deletion mask consumes. Valid only against the
+  /// CatalogVersion's own main index.
+  std::vector<uint32_t> deleted_ords;
+  /// Exact per-term df/cf deltas and collection totals vs. the main
+  /// index (adds positive, main-doc deletions negative).
+  std::map<std::string, TermDelta> terms;
+  int64_t postings_delta = 0;  ///< signed token-count change
+  /// Every op accepted since the last compaction, in order. A
+  /// background compaction pins the log length with its version and
+  /// replays the suffix that arrived while it was building.
+  std::vector<WriteOp> log;
+
+  bool dirty() const { return !added.empty() || !deleted.empty(); }
+  size_t delta_docs() const { return added.size(); }
+  size_t deleted_docs() const { return deleted.size(); }
+
+  /// \brief Live collection statistics: the main index's statistics
+  /// with the delta folded in, using the exact expression shapes of
+  /// TextIndex::Build (integer totals, avg = total/num in double
+  /// arithmetic, 0.0 when empty).
+  CollectionStats LiveStats(const CollectionStats& base) const;
+
+  /// \brief Live df/cf for one analyzed term given its main-index
+  /// values (0/0 when absent from the main dictionary).
+  TermDelta LiveTerm(const std::string& term, int64_t main_df,
+                     int64_t main_cf) const;
+};
+
+/// \brief Analyzes `text` into a DeltaDoc (token count + sorted
+/// per-term tf) under the collection's analyzer — the same token stream
+/// TokenizeRelation feeds the index build.
+DeltaDoc TokenizeDoc(const Analyzer& analyzer, std::string_view text);
+
+/// \brief Locates the (docID: int64, data: string) columns of a
+/// collection relation by name, falling back to the first int64 /
+/// string columns — mirroring the index build's column resolution.
+Status FindDocColumns(const Relation& docs, size_t* id_col,
+                      size_t* data_col);
+
+/// \brief One scored delta document.
+struct DeltaCand {
+  int64_t doc_id = 0;
+  double score = 0.0;
+};
+
+/// \brief Exhaustively scores the delta documents for one query.
+///
+/// `qtokens` are the analyzed query-term occurrences that survive the
+/// *live* dictionary (live df > 0), in query order with duplicates
+/// kept; `df`/`cf` are their live values, parallel to `qtokens`; `live`
+/// is the live collection statistics. Every expression replicates the
+/// fused kernel's shapes (which replicate ranking.cc's Expr trees), so
+/// a delta document's score is the bit-identical double a cold build
+/// over the merged collection computes for it. Documents matching no
+/// query term are not candidates, exactly as in the exhaustive join.
+std::vector<DeltaCand> ScoreDelta(const DeltaState& delta,
+                                  const std::vector<std::string>& qtokens,
+                                  const std::vector<int64_t>& df,
+                                  const std::vector<int64_t>& cf,
+                                  const CollectionStats& live,
+                                  const SearchOptions& options);
+
+/// \brief Materializes the merged logical collection: base rows minus
+/// `deleted`, plus `added` texts, as a plain (docID: int64,
+/// data: string) relation sorted by docID. Compaction and the cold
+/// oracle (--apply-writes, tests) share this one builder, so both sides
+/// of the byte-identity check index the exact same relation.
+Result<RelationPtr> BuildMergedRelation(
+    const RelationPtr& docs, const std::set<int64_t>& deleted,
+    const std::map<int64_t, std::string>& added);
+
+/// \brief Cold-applies a validated write sequence to a collection
+/// relation (ADD of a live docID fails AlreadyExists, UPDATE/DELETE of
+/// an absent one fails NotFound — the same rules the live path
+/// enforces) and returns the merged relation via BuildMergedRelation.
+Result<RelationPtr> ApplyWritesCold(const RelationPtr& docs,
+                                    const std::vector<WriteOp>& ops);
+
+}  // namespace ingest
+}  // namespace spindle

@@ -1,0 +1,503 @@
+#include "ingest/live_table.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace spindle {
+namespace ingest {
+
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Ordinal of `doc_id` in the impact index's docID-sorted doc list, or
+/// num_docs() when absent.
+uint32_t OrdinalOf(const ImpactIndex& impact, int64_t doc_id) {
+  uint32_t lo = 0, hi = static_cast<uint32_t>(impact.num_docs());
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (impact.doc_id(mid) < doc_id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < impact.num_docs() && impact.doc_id(lo) == doc_id) return lo;
+  return static_cast<uint32_t>(impact.num_docs());
+}
+
+/// Subtracts one delta document's statistics back out (update/delete of
+/// a document that only ever lived in the delta).
+void SubtractDeltaDoc(DeltaState* state, const DeltaDoc& doc) {
+  for (const auto& [term, tf] : doc.terms) {
+    // The term may be absent: entries are erased whenever df and cf
+    // cancel to zero (an added doc and a deleted base doc can cancel
+    // each other exactly), so re-insert and go negative from zero.
+    TermDelta& td = state->terms[term];
+    td.df -= 1;
+    td.cf -= tf;
+    if (td.df == 0 && td.cf == 0) state->terms.erase(term);
+  }
+  state->postings_delta -= doc.len;
+}
+
+void AddDeltaDoc(DeltaState* state, const DeltaDoc& doc) {
+  for (const auto& [term, tf] : doc.terms) {
+    TermDelta& td = state->terms[term];
+    td.df += 1;
+    td.cf += tf;
+    if (td.df == 0 && td.cf == 0) state->terms.erase(term);
+  }
+  state->postings_delta += doc.len;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LiveTable>> LiveTable::Make(std::string name,
+                                                   RelationPtr docs,
+                                                   TextIndexPtr index,
+                                                   AnalyzerOptions analyzer,
+                                                   Options options,
+                                                   Hooks hooks) {
+  if (docs == nullptr || index == nullptr) {
+    return Status::InvalidArgument("live table needs a relation and index");
+  }
+  SPINDLE_ASSIGN_OR_RETURN(Analyzer an, Analyzer::Make(analyzer));
+  std::unique_ptr<LiveTable> table(
+      new LiveTable(std::move(name), std::move(analyzer), std::move(an),
+                    options, std::move(hooks)));
+  SPINDLE_RETURN_IF_ERROR(
+      FindDocColumns(*docs, &table->id_col_, &table->data_col_));
+  auto v = std::make_shared<CatalogVersion>();
+  v->epoch = 0;
+  v->storage_version = 1;
+  v->docs = std::move(docs);
+  v->index = std::move(index);
+  v->doc_rows = BuildDocRows(*v->docs, table->id_col_);
+  v->delta = std::make_shared<DeltaState>();
+  table->current_ = std::move(v);
+  return table;
+}
+
+LiveTable::LiveTable(std::string name, AnalyzerOptions analyzer_options,
+                     Analyzer analyzer, Options options, Hooks hooks)
+    : name_(std::move(name)),
+      analyzer_options_(std::move(analyzer_options)),
+      analyzer_(std::move(analyzer)),
+      options_(options),
+      hooks_(std::move(hooks)) {
+  if (options_.auto_compact) {
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+}
+
+LiveTable::~LiveTable() {
+  {
+    std::lock_guard<std::mutex> lock(worker_mu_);
+    shutdown_ = true;
+  }
+  worker_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::shared_ptr<const std::unordered_map<int64_t, size_t>>
+LiveTable::BuildDocRows(const Relation& docs, size_t id_col) {
+  auto rows = std::make_shared<std::unordered_map<int64_t, size_t>>();
+  rows->reserve(docs.num_rows());
+  for (size_t r = 0; r < docs.num_rows(); ++r) {
+    (*rows)[docs.column(id_col).Int64At(r)] = r;
+  }
+  return rows;
+}
+
+CatalogVersionPtr LiveTable::Pin() const {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  return current_;
+}
+
+void LiveTable::Install(CatalogVersionPtr next) {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  current_ = std::move(next);
+}
+
+Status LiveTable::ApplyToState(DeltaState* state, const WriteOp& op,
+                               const CatalogVersion& base) const {
+  const int64_t id = op.doc_id;
+  auto added_it = state->added.find(id);
+  const bool in_added = added_it != state->added.end();
+  const bool in_base = base.doc_rows->count(id) > 0 &&
+                       state->deleted.count(id) == 0;
+  const bool live = in_added || in_base;
+
+  auto delete_base_doc = [&]() {
+    // Re-tokenize the stored text so the df/cf/postings deltas are the
+    // exact negatives of what the document contributed at build time.
+    const size_t row = base.doc_rows->at(id);
+    DeltaDoc doc =
+        TokenizeDoc(analyzer_, base.docs->column(data_col_).StringAt(row));
+    for (const auto& [term, tf] : doc.terms) {
+      TermDelta& td = state->terms[term];
+      td.df -= 1;
+      td.cf -= tf;
+      if (td.df == 0 && td.cf == 0) state->terms.erase(term);
+    }
+    state->postings_delta -= doc.len;
+    state->deleted.insert(id);
+    const uint32_t ord = OrdinalOf(base.index->impact(), id);
+    if (ord < base.index->impact().num_docs()) {
+      auto pos = std::lower_bound(state->deleted_ords.begin(),
+                                  state->deleted_ords.end(), ord);
+      state->deleted_ords.insert(pos, ord);
+    }
+  };
+
+  switch (op.kind) {
+    case WriteOp::Kind::kAdd: {
+      if (live) {
+        return Status::AlreadyExists("docID " + std::to_string(id) +
+                                     " is live; UPDATE to replace it");
+      }
+      DeltaDoc doc = TokenizeDoc(analyzer_, op.text);
+      AddDeltaDoc(state, doc);
+      state->added.emplace(id, std::move(doc));
+      break;
+    }
+    case WriteOp::Kind::kUpdate: {
+      if (!live) {
+        return Status::NotFound("docID " + std::to_string(id) +
+                                " is not live; ADD it first");
+      }
+      if (in_added) {
+        SubtractDeltaDoc(state, added_it->second);
+        state->added.erase(added_it);
+      } else {
+        delete_base_doc();
+      }
+      DeltaDoc doc = TokenizeDoc(analyzer_, op.text);
+      AddDeltaDoc(state, doc);
+      state->added.emplace(id, std::move(doc));
+      break;
+    }
+    case WriteOp::Kind::kDelete: {
+      if (!live) {
+        return Status::NotFound("docID " + std::to_string(id) +
+                                " is not live");
+      }
+      if (in_added) {
+        SubtractDeltaDoc(state, added_it->second);
+        state->added.erase(added_it);
+      } else {
+        delete_base_doc();
+      }
+      break;
+    }
+  }
+  state->log.push_back(op);
+  return Status::OK();
+}
+
+Result<uint64_t> LiveTable::Apply(const WriteOp& op) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  CatalogVersionPtr base = Pin();
+  auto state = std::make_shared<DeltaState>(*base->delta);
+  SPINDLE_RETURN_IF_ERROR(ApplyToState(state.get(), op, *base));
+
+  auto next = std::make_shared<CatalogVersion>();
+  next->epoch = base->epoch + 1;
+  next->storage_version = base->storage_version;
+  next->docs = base->docs;
+  next->index = base->index;
+  next->doc_rows = base->doc_rows;
+  const bool want_compact =
+      state->delta_docs() + state->deleted_docs() >=
+      options_.compact_threshold;
+  next->delta = std::move(state);
+  const uint64_t epoch = next->epoch;
+  Install(std::move(next));
+
+  if (options_.auto_compact && want_compact) {
+    {
+      std::lock_guard<std::mutex> wlock(worker_mu_);
+      compact_requested_ = true;
+    }
+    worker_cv_.notify_one();
+  }
+  return epoch;
+}
+
+Result<std::pair<RelationPtr, TextIndexPtr>> LiveTable::BuildCompacted(
+    const CatalogVersionPtr& from) const {
+  std::map<int64_t, std::string> added;
+  // Rebuild the raw text of every delta document from the write log:
+  // the DeltaState holds analyzed term vectors, but the merged relation
+  // must carry the original text (later analyzers may differ and
+  // SaveSnapshot persists the relation). The log has every op since the
+  // last compaction in order, so folding it yields exactly the delta's
+  // added set.
+  for (const WriteOp& op : from->delta->log) {
+    switch (op.kind) {
+      case WriteOp::Kind::kAdd:
+      case WriteOp::Kind::kUpdate:
+        added[op.doc_id] = op.text;
+        break;
+      case WriteOp::Kind::kDelete:
+        added.erase(op.doc_id);
+        break;
+    }
+  }
+  SPINDLE_ASSIGN_OR_RETURN(
+      RelationPtr merged,
+      BuildMergedRelation(from->docs, from->delta->deleted, added));
+  SPINDLE_ASSIGN_OR_RETURN(TextIndexPtr index,
+                           TextIndex::Build(merged, analyzer_));
+  return std::make_pair(std::move(merged), std::move(index));
+}
+
+bool LiveTable::CompactOnce() {
+  CatalogVersionPtr v0 = Pin();
+  if (!v0->delta->dirty() && v0->delta->log.empty()) return false;
+  const size_t log_mark = v0->delta->log.size();
+
+  std::shared_ptr<obs::Tracer> tracer =
+      hooks_.make_tracer ? hooks_.make_tracer() : nullptr;
+  const uint64_t t0 = NowUs();
+  bool installed = false;
+  size_t merged_docs = 0;
+  {
+    obs::ScopedTracer scope(tracer.get());
+    obs::Span span("ingest", "compaction");
+    auto built = BuildCompacted(v0);
+    if (!built.ok()) return false;
+    RelationPtr merged = std::move(built.ValueOrDie().first);
+    TextIndexPtr index = std::move(built.ValueOrDie().second);
+    merged_docs = merged->num_rows();
+    if (span.active()) {
+      span.Add("docs", static_cast<int64_t>(merged_docs));
+    }
+
+    std::lock_guard<std::mutex> lock(write_mu_);
+    CatalogVersionPtr cur = Pin();
+    // Another install (a FLUSH) won the race: this build is against a
+    // stale storage version, discard it.
+    if (cur->storage_version != v0->storage_version) return false;
+
+    auto next = std::make_shared<CatalogVersion>();
+    next->epoch = cur->epoch;  // same logical content
+    next->storage_version = cur->storage_version + 1;
+    next->docs = std::move(merged);
+    next->index = std::move(index);
+    next->doc_rows = BuildDocRows(*next->docs, id_col_);
+    // Replay the writes that arrived while the build ran onto a fresh
+    // delta over the new main index.
+    if (span.active()) {
+      span.Add("replayed",
+               static_cast<int64_t>(cur->delta->log.size() - log_mark));
+    }
+    auto replayed = std::make_shared<DeltaState>();
+    for (size_t i = log_mark; i < cur->delta->log.size(); ++i) {
+      if (!ApplyToState(replayed.get(), cur->delta->log[i], *next).ok()) {
+        // A replay op that validated against the old state must
+        // validate against the identical logical content; if it does
+        // not, keep serving the current version rather than installing
+        // a divergent one.
+        return false;
+      }
+    }
+    next->delta = std::move(replayed);
+    // Register the compacted relation/index (catalog + searcher cache)
+    // BEFORE publishing the new version: once a reader observes a clean
+    // delta it falls through to the ordinary catalog-backed path, so the
+    // catalog must already hold the merged collection. A reader that
+    // lands in between still sees the old dirty version and takes the
+    // two-lane path — both orders describe the same logical collection.
+    if (hooks_.on_install) hooks_.on_install(next->docs, next->index);
+    Install(std::move(next));
+    installed = true;
+  }
+  const uint64_t took = NowUs() - t0;
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  compaction_us_.fetch_add(took, std::memory_order_relaxed);
+  if (hooks_.on_compaction) hooks_.on_compaction(took, merged_docs);
+  if (tracer != nullptr && hooks_.on_trace) hooks_.on_trace(tracer);
+  return installed;
+}
+
+void LiveTable::WorkerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(worker_mu_);
+      worker_cv_.wait(lock,
+                      [this] { return compact_requested_ || shutdown_; });
+      if (shutdown_) return;
+      compact_requested_ = false;
+    }
+    CompactOnce();
+  }
+}
+
+Status LiveTable::Flush() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  CatalogVersionPtr cur = Pin();
+  if (!cur->delta->dirty() && cur->delta->log.empty()) return Status::OK();
+
+  std::shared_ptr<obs::Tracer> tracer =
+      hooks_.make_tracer ? hooks_.make_tracer() : nullptr;
+  const uint64_t t0 = NowUs();
+  size_t merged_docs = 0;
+  {
+    obs::ScopedTracer scope(tracer.get());
+    obs::Span span("ingest", "compaction");
+    // write_mu_ is held: no writes can interleave, one pass quiesces.
+    SPINDLE_ASSIGN_OR_RETURN(auto built, BuildCompacted(cur));
+    merged_docs = built.first->num_rows();
+    if (span.active()) {
+      span.Add("docs", static_cast<int64_t>(merged_docs));
+      span.Note("mode", "flush");
+    }
+    auto next = std::make_shared<CatalogVersion>();
+    next->epoch = cur->epoch;
+    next->storage_version = cur->storage_version + 1;
+    next->docs = std::move(built.first);
+    next->index = std::move(built.second);
+    next->doc_rows = BuildDocRows(*next->docs, id_col_);
+    next->delta = std::make_shared<DeltaState>();
+    // Same ordering as CompactOnce: catalog/searcher first, then the
+    // version publish, so a clean delta always implies the catalog
+    // already serves the merged collection.
+    if (hooks_.on_install) hooks_.on_install(next->docs, next->index);
+    Install(std::move(next));
+  }
+  const uint64_t took = NowUs() - t0;
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  compaction_us_.fetch_add(took, std::memory_order_relaxed);
+  if (hooks_.on_compaction) hooks_.on_compaction(took, merged_docs);
+  if (tracer != nullptr && hooks_.on_trace) hooks_.on_trace(tracer);
+  return Status::OK();
+}
+
+Result<RelationPtr> LiveTable::Search(const CatalogVersionPtr& version,
+                                      const std::string& query,
+                                      const SearchOptions& options,
+                                      PruningStats* pstats) const {
+  const DeltaState& delta = *version->delta;
+  if (options.phrase_boost > 0.0 && delta.dirty()) {
+    return Status::InvalidArgument(
+        "phrase boost is not supported with pending live writes; "
+        "FLUSH first");
+  }
+
+  // Analyze once, then resolve each token occurrence against the LIVE
+  // dictionary: survivors are tokens some live document contains
+  // (live df > 0), in query order with duplicates kept — exactly the
+  // qterms a cold build over the merged collection would produce.
+  std::vector<Token> analyzed = analyzer_.Analyze(query);
+  std::vector<std::string> tokens;
+  tokens.reserve(analyzed.size());
+  for (Token& t : analyzed) tokens.push_back(std::move(t.text));
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr all_terms,
+                           version->index->MapQueryTerms(tokens));
+  const ImpactIndex& impact = version->index->impact();
+  std::vector<std::string> survivors;
+  std::vector<int64_t> live_df, live_cf;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const int64_t tid = all_terms->column(0).Int64At(i);
+    int64_t main_df = 0, main_cf = 0;
+    if (tid > 0) {
+      const ImpactIndex::TermMeta& meta = impact.term_meta(tid);
+      main_df = meta.df;
+      main_cf = meta.cf;
+    }
+    TermDelta live = delta.LiveTerm(tokens[i], main_df, main_cf);
+    if (live.df > 0) {
+      survivors.push_back(tokens[i]);
+      live_df.push_back(live.df);
+      live_cf.push_back(live.cf);
+    }
+  }
+
+  QueryStatsOverride ov;
+  ov.collection = delta.LiveStats(version->index->stats());
+  ov.df = live_df;
+  ov.cf = live_cf;
+
+  // Main lane: fused top-k with live statistics and deletions masked.
+  // k == 0 means "all matching documents" — run the main lane at the
+  // full document count and skip the final cut.
+  const bool all_docs = options.top_k == 0;
+  SearchOptions main_opts = options;
+  if (all_docs) main_opts.top_k = impact.num_docs();
+  PruningStats local;
+  std::vector<std::pair<double, int64_t>> cands;  // (score, docID)
+  if (!survivors.empty() && main_opts.top_k > 0 && impact.num_docs() > 0) {
+    SPINDLE_ASSIGN_OR_RETURN(RelationPtr qterms,
+                             version->index->MapQueryTerms(survivors));
+    SPINDLE_ASSIGN_OR_RETURN(
+        RelationPtr main,
+        RankTopK(*version->index, qterms, main_opts, &local, &ov,
+                 delta.deleted_ords.empty() ? nullptr
+                                            : &delta.deleted_ords));
+    cands.reserve(main->num_rows());
+    for (size_t r = 0; r < main->num_rows(); ++r) {
+      cands.emplace_back(main->column(1).Float64At(r),
+                         main->column(0).Int64At(r));
+    }
+  }
+
+  // Delta lane: exhaustive scoring of the added documents.
+  std::vector<DeltaCand> dcands =
+      ScoreDelta(delta, survivors, live_df, live_cf, ov.collection,
+                 options);
+  local.docs_scored += dcands.size();
+  cands.reserve(cands.size() + dcands.size());
+  for (const DeltaCand& c : dcands) cands.emplace_back(c.score, c.doc_id);
+
+  // Merge under the kernel's total order (score desc, docID asc). The
+  // union's top-k main-side members are within the main lane's top-k,
+  // so cutting the merged list to k is exact.
+  std::sort(cands.begin(), cands.end(),
+            [](const std::pair<double, int64_t>& a,
+               const std::pair<double, int64_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  const size_t n =
+      all_docs ? cands.size() : std::min(options.top_k, cands.size());
+  std::vector<int64_t> out_ids(n);
+  std::vector<double> out_scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    out_ids[i] = cands[i].second;
+    out_scores[i] = cands[i].first;
+  }
+  if (pstats != nullptr) {
+    pstats->docs_scored += local.docs_scored;
+    pstats->docs_skipped += local.docs_skipped;
+    pstats->blocks_skipped += local.blocks_skipped;
+    pstats->blocks_decoded += local.blocks_decoded;
+    pstats->decode_bytes += local.decode_bytes;
+  }
+  Schema schema(
+      {{"docID", DataType::kInt64}, {"score", DataType::kFloat64}});
+  return Relation::Make(schema, {Column::MakeInt64(std::move(out_ids)),
+                                 Column::MakeFloat64(std::move(out_scores))});
+}
+
+LiveTable::Stats LiveTable::stats() const {
+  CatalogVersionPtr v = Pin();
+  Stats s;
+  s.epoch = v->epoch;
+  s.storage_version = v->storage_version;
+  s.delta_docs = v->delta->delta_docs();
+  s.deleted_docs = v->delta->deleted_docs();
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  s.compaction_us = compaction_us_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ingest
+}  // namespace spindle

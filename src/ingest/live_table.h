@@ -1,0 +1,190 @@
+/// \file live_table.h
+/// \brief Copy-on-write versioned serving state for one live collection.
+///
+/// A LiveTable owns the write path of live ingestion. Its unit of
+/// consistency is the immutable CatalogVersion: the compacted base
+/// relation, the main TextIndex over it, and the DeltaState of writes
+/// accepted since the last compaction, all behind shared_ptr. Readers
+/// Pin() the current version once and use it for their whole lifetime —
+/// a torn read is impossible by construction, writers never mutate an
+/// installed version. Writers serialize on a single mutex, copy the
+/// delta, apply one op, and install a fresh version with a bumped
+/// epoch.
+///
+/// When the delta crosses the compaction threshold, a background worker
+/// rebuilds the merged relation and its TextIndex off-thread, then
+/// atomically swaps them in: it pins a version and the write-log
+/// length, builds outside any lock, and at install time replays the
+/// log suffix that arrived while it was building (aborting if another
+/// compaction won the race). Flush() runs the same rebuild
+/// synchronously while holding the writer mutex — afterwards the delta
+/// is empty and every query is served from the freshly built index
+/// alone, which is what makes post-FLUSH results bit-identical to a
+/// cold build over the same logical collection.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "ingest/delta_index.h"
+#include "ir/searcher.h"
+#include "ir/topk_pruning.h"
+#include "obs/trace.h"
+
+namespace spindle {
+namespace ingest {
+
+/// \brief One immutable, internally consistent serving state. Shared
+/// structurally: a write shares the previous version's relation and
+/// index; a compaction shares nothing but starts an empty delta.
+struct CatalogVersion {
+  /// Bumped on every accepted write — identifies logical content.
+  uint64_t epoch = 0;
+  /// Bumped on every compaction install — identifies the stored
+  /// relation/index pair (delta ordinals are only valid within it).
+  uint64_t storage_version = 0;
+  RelationPtr docs;    ///< compacted base relation
+  TextIndexPtr index;  ///< main index over `docs`
+  /// docID -> row in `docs`, for re-tokenizing deleted documents.
+  std::shared_ptr<const std::unordered_map<int64_t, size_t>> doc_rows;
+  std::shared_ptr<const DeltaState> delta;
+};
+using CatalogVersionPtr = std::shared_ptr<const CatalogVersion>;
+
+class LiveTable {
+ public:
+  struct Options {
+    /// Writes (delta docs + deletions) that trigger a background
+    /// compaction. Bounds the per-write copy cost and the delta scan.
+    size_t compact_threshold = 1024;
+    /// Disable to compact only on Flush() (tests, oracle comparisons).
+    bool auto_compact = true;
+  };
+
+  /// \brief Callbacks into the owning service; all optional.
+  struct Hooks {
+    /// Runs after a compacted version is installed (from the worker
+    /// thread or a Flush() caller): register `docs` under the catalog
+    /// name and install `index` in the searcher cache.
+    std::function<void(const RelationPtr& docs, const TextIndexPtr& index)>
+        on_install;
+    /// Per-compaction accounting: wall time and merged collection size.
+    std::function<void(uint64_t compaction_us, size_t num_docs)>
+        on_compaction;
+    /// When set, each compaction runs under a fresh tracer (emitting an
+    /// "ingest/compaction" span) that is handed back here on completion.
+    std::function<std::shared_ptr<obs::Tracer>()> make_tracer;
+    std::function<void(const std::shared_ptr<obs::Tracer>&)> on_trace;
+  };
+
+  /// \brief Wraps an already-registered collection. `docs` must have
+  /// (docID: int64, data: string) columns and `index` must be the
+  /// index over `docs` under `analyzer`.
+  static Result<std::unique_ptr<LiveTable>> Make(std::string name,
+                                                 RelationPtr docs,
+                                                 TextIndexPtr index,
+                                                 AnalyzerOptions analyzer,
+                                                 Options options,
+                                                 Hooks hooks);
+  ~LiveTable();
+
+  LiveTable(const LiveTable&) = delete;
+  LiveTable& operator=(const LiveTable&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// \brief The current version; the returned pointer stays internally
+  /// consistent forever. Wait-free for practical purposes (one mutex
+  /// protecting a shared_ptr copy).
+  CatalogVersionPtr Pin() const;
+
+  /// \brief Validates and applies one write: ADD requires the docID not
+  /// be live (else AlreadyExists), UPDATE/DELETE require it live (else
+  /// NotFound). Returns the new epoch. Thread-safe; writers serialize.
+  Result<uint64_t> Apply(const WriteOp& op);
+
+  /// \brief Forced compaction + quiesce: when it returns, the delta is
+  /// empty, the compacted relation/index are installed (hooks ran) and
+  /// every subsequent query is served from the main index alone.
+  /// No-op on a clean table.
+  Status Flush();
+
+  /// \brief Two-lane live search over a pinned version: fused top-k on
+  /// the main index (deletions masked, live statistics overriding) +
+  /// exhaustive delta scoring, merged under the total order (score
+  /// desc, docID asc). Bit-identical to a cold build over the merged
+  /// logical collection. `options.top_k == 0` returns all matching
+  /// documents; phrase boost is rejected while the delta is dirty.
+  Result<RelationPtr> Search(const CatalogVersionPtr& version,
+                             const std::string& query,
+                             const SearchOptions& options,
+                             PruningStats* pstats) const;
+
+  struct Stats {
+    uint64_t epoch = 0;
+    uint64_t storage_version = 0;
+    uint64_t delta_docs = 0;
+    uint64_t deleted_docs = 0;
+    uint64_t compactions = 0;
+    uint64_t compaction_us = 0;  ///< cumulative build wall time
+  };
+  Stats stats() const;
+
+ private:
+  LiveTable(std::string name, AnalyzerOptions analyzer_options,
+            Analyzer analyzer, Options options, Hooks hooks);
+
+  void Install(CatalogVersionPtr next);
+
+  /// Applies `op` on top of `state` (already copied) against the given
+  /// main index/relation — shared by the write path and the compaction
+  /// log replay.
+  Status ApplyToState(DeltaState* state, const WriteOp& op,
+                      const CatalogVersion& base) const;
+
+  /// Builds the merged relation + index for `from`'s full delta.
+  /// Runs outside all locks.
+  Result<std::pair<RelationPtr, TextIndexPtr>> BuildCompacted(
+      const CatalogVersionPtr& from) const;
+
+  /// One compaction pass: pin, build, install-with-replay. Returns
+  /// false if the pass was abandoned (clean delta or lost race).
+  bool CompactOnce();
+
+  void WorkerLoop();
+
+  static std::shared_ptr<const std::unordered_map<int64_t, size_t>>
+  BuildDocRows(const Relation& docs, size_t id_col);
+
+  const std::string name_;
+  const AnalyzerOptions analyzer_options_;
+  const Analyzer analyzer_;
+  const Options options_;
+  const Hooks hooks_;
+  size_t id_col_ = 0;
+  size_t data_col_ = 0;
+
+  mutable std::mutex version_mu_;  ///< guards current_ load/store only
+  CatalogVersionPtr current_;
+
+  std::mutex write_mu_;  ///< serializes Apply / Flush / install
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> compaction_us_{0};
+
+  std::mutex worker_mu_;
+  std::condition_variable worker_cv_;
+  bool compact_requested_ = false;
+  bool shutdown_ = false;
+  std::thread worker_;
+};
+
+}  // namespace ingest
+}  // namespace spindle

@@ -439,8 +439,16 @@ inline bool AdvanceTo(Entry& e, uint32_t target, PruningStats& stats) {
 /// range-local (entries passed by value).
 void RankRange(const ImpactIndex& impact, const ModelCtx& m,
                std::vector<Entry> entries, uint32_t lo, uint32_t hi,
-               size_t k, std::vector<Cand>& out, PruningStats& stats) {
+               size_t k, const std::vector<uint32_t>* deleted,
+               std::vector<Cand>& out, PruningStats& stats) {
   const size_t ne = entries.size();
+  // Deletion mask cursor: candidates are produced in ascending ordinal
+  // order within a range, so one forward pointer over the sorted deleted
+  // list covers every membership test.
+  const uint32_t* del = deleted != nullptr ? deleted->data() : nullptr;
+  const uint32_t* del_end =
+      deleted != nullptr ? del + deleted->size() : nullptr;
+  if (del != nullptr) del = std::lower_bound(del, del_end, lo);
   // Per-range decode scratch: one kBlockSize slot per occurrence,
   // allocated once here — block decode inside the loop allocates nothing.
   // Entries were copied by value, so re-point their window state at this
@@ -527,6 +535,15 @@ void RankRange(const ImpactIndex& impact, const ModelCtx& m,
     }
     if (d >= hi) break;
 
+    // A deleted document is still a valid pruning candidate (its bounds
+    // dominate it) but must never reach the heap: force the rejected
+    // path, which advances every cursor past d below.
+    bool masked = false;
+    if (del != del_end) {
+      while (del != del_end && *del < d) ++del;
+      masked = del != del_end && *del == d;
+    }
+
     const double len = static_cast<double>(impact.doc_len(d));
     const double doc_part =
         m.model == RankModel::kLmDirichlet ? DirichletDocPart(m, len) : 0.0;
@@ -548,7 +565,7 @@ void RankRange(const ImpactIndex& impact, const ModelCtx& m,
         quick += std::max(e.ub, 0.0);
       }
     }
-    bool rejected = quick + Slack(quick, theta) < theta;
+    bool rejected = masked || quick + Slack(quick, theta) < theta;
 
     double tracking = doc_part;
     if (!rejected) {
@@ -639,7 +656,8 @@ Result<RelationPtr> RankTopK(const TextIndex& index,
                              const RelationPtr& qterms,
                              const SearchOptions& options,
                              PruningStats* stats,
-                             const QueryStatsOverride* global) {
+                             const QueryStatsOverride* global,
+                             const std::vector<uint32_t>* deleted) {
   obs::Span span("ir", "rank_topk");
   if (span.active()) {
     span.Add("k", static_cast<int64_t>(options.top_k));
@@ -751,8 +769,8 @@ Result<RelationPtr> RankTopK(const TextIndex& index,
     std::vector<PruningStats> part_stats(num_morsels);
     ParallelFor(ctx, num_docs, [&](size_t begin, size_t end, size_t mi) {
       RankRange(impact, m, entries, static_cast<uint32_t>(begin),
-                static_cast<uint32_t>(end), options.top_k, parts[mi],
-                part_stats[mi]);
+                static_cast<uint32_t>(end), options.top_k, deleted,
+                parts[mi], part_stats[mi]);
     });
     for (size_t mi = 0; mi < num_morsels; ++mi) {
       cands.insert(cands.end(), parts[mi].begin(), parts[mi].end());
@@ -764,7 +782,7 @@ Result<RelationPtr> RankTopK(const TextIndex& index,
     }
   } else if (!entries.empty()) {
     RankRange(impact, m, entries, 0, static_cast<uint32_t>(num_docs),
-              options.top_k, cands, local);
+              options.top_k, deleted, cands, local);
   }
   // If the request was cancelled, some ranges stopped early and `cands`
   // is incomplete — surface the deadline instead of a wrong top-k.

@@ -218,10 +218,19 @@ struct QueryStatsOverride {
 /// `global` (optional) overrides collection statistics for sharded
 /// serving; scores are then bit-identical to a single-node evaluation
 /// over the full collection, restricted to this index's documents.
+///
+/// `deleted` (optional) is a sorted-ascending list of doc *ordinals*
+/// masked out of the result (live ingestion, src/ingest/): a masked
+/// ordinal still participates in candidate selection — its bounds
+/// dominate it, so MaxScore pruning stays sound — but it is rejected
+/// before scoring and can never reach the heap. With an exact-stats
+/// override the surviving scores are bit-identical to an index built
+/// without the masked documents.
 Result<RelationPtr> RankTopK(const TextIndex& index,
                              const RelationPtr& qterms,
                              const SearchOptions& options,
                              PruningStats* stats = nullptr,
-                             const QueryStatsOverride* global = nullptr);
+                             const QueryStatsOverride* global = nullptr,
+                             const std::vector<uint32_t>* deleted = nullptr);
 
 }  // namespace spindle

@@ -75,6 +75,7 @@ Status LineClient::ConnectOnce(const std::string& host, int port) {
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  broken_ = false;
   return SetReadTimeout(opts_.read_timeout_ms);
 }
 
@@ -124,10 +125,12 @@ Result<std::string> LineClient::ReadLine() {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // SO_RCVTIMEO expired: the backend is up but not answering within
       // budget. The connection is now mid-response, so drop it.
+      broken_ = true;
       Close();
       return Status::Unavailable("read timed out waiting for response");
     }
     if (n <= 0) {
+      broken_ = true;
       return Status::Internal("connection closed by server");
     }
     buffer_.append(chunk, static_cast<size_t>(n));
@@ -147,6 +150,7 @@ Result<WireResponse> LineClient::Call(const std::string& line) {
     ssize_t n =
         ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
+      broken_ = true;
       return Status::Internal("send failed: connection lost");
     }
     sent += static_cast<size_t>(n);
@@ -223,6 +227,77 @@ Status LineClient::Ping() {
 Status LineClient::Shutdown() {
   Result<WireResponse> resp = Call("SHUTDOWN");
   return resp.ok() ? Status::OK() : resp.status();
+}
+
+Result<WireResponse> LineClient::Add(const std::string& collection,
+                                     int64_t doc_id,
+                                     const std::string& text) {
+  return Call("ADD " + collection + " " + std::to_string(doc_id) + " " +
+              text);
+}
+
+Result<WireResponse> LineClient::Update(const std::string& collection,
+                                        int64_t doc_id,
+                                        const std::string& text) {
+  return Call("UPDATE " + collection + " " + std::to_string(doc_id) + " " +
+              text);
+}
+
+Result<WireResponse> LineClient::Delete(const std::string& collection,
+                                        int64_t doc_id) {
+  return Call("DELETE " + collection + " " + std::to_string(doc_id));
+}
+
+Result<WireResponse> LineClient::Flush(const std::string& collection) {
+  return Call("FLUSH " + collection);
+}
+
+void LineClientPool::Lease::Release() {
+  if (pool_ == nullptr) return;
+  if (client_ != nullptr && client_->connected() && !client_->broken()) {
+    pool_->Return(key_, std::move(client_));
+  }
+  // Broken or disconnected clients just fall out of scope (closing the
+  // socket); the next Acquire dials fresh.
+  pool_ = nullptr;
+  client_.reset();
+}
+
+Result<LineClientPool::Lease> LineClientPool::Acquire(
+    const std::string& host, int port) {
+  const std::string key = host + ":" + std::to_string(port);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = idle_.find(key);
+    if (it != idle_.end() && !it->second.empty()) {
+      std::unique_ptr<LineClient> client = std::move(it->second.back());
+      it->second.pop_back();
+      ++reuses_;
+      return Lease(this, key, std::move(client));
+    }
+  }
+  auto client = std::make_unique<LineClient>(opts_.client);
+  SPINDLE_RETURN_IF_ERROR(client->Connect(host, port));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++dials_;
+  }
+  return Lease(this, key, std::move(client));
+}
+
+void LineClientPool::Return(const std::string& key,
+                            std::unique_ptr<LineClient> client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::unique_ptr<LineClient>>& stack = idle_[key];
+  if (stack.size() < opts_.max_idle_per_target) {
+    stack.push_back(std::move(client));
+  }
+  // else: over budget — the unique_ptr destructor closes the socket.
+}
+
+LineClientPool::Stats LineClientPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{dials_, reuses_};
 }
 
 }  // namespace server

@@ -7,7 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -66,7 +70,9 @@ class LineClient {
       fd_ = other.fd_;
       opts_ = other.opts_;
       buffer_ = std::move(other.buffer_);
+      broken_ = other.broken_;
       other.fd_ = -1;
+      other.broken_ = false;
     }
     return *this;
   }
@@ -77,6 +83,11 @@ class LineClient {
   Status Connect(const std::string& host, int port);
 
   bool connected() const { return fd_ >= 0; }
+  /// \brief True after a transport failure mid-request (send failed,
+  /// stream closed, read timeout): the connection may hold a partial
+  /// response frame and must not carry another request. Server-side ERR
+  /// replies do NOT set this — the protocol stream stays clean.
+  bool broken() const { return broken_; }
   void Close();
 
   /// \brief Adjusts the read timeout on the live connection (the
@@ -102,6 +113,16 @@ class LineClient {
   Status Ping();
   Status Shutdown();
 
+  /// Live-write wrappers (docs/ingestion.md). The single response row is
+  /// "epoch=<e>" (FLUSH: "epoch=<e> docs=<n>").
+  Result<WireResponse> Add(const std::string& collection, int64_t doc_id,
+                           const std::string& text);
+  Result<WireResponse> Update(const std::string& collection, int64_t doc_id,
+                              const std::string& text);
+  Result<WireResponse> Delete(const std::string& collection,
+                              int64_t doc_id);
+  Result<WireResponse> Flush(const std::string& collection);
+
  private:
   Status ConnectOnce(const std::string& host, int port);
   Result<std::string> ReadLine();
@@ -109,6 +130,87 @@ class LineClient {
   int fd_ = -1;
   LineClientOptions opts_;
   std::string buffer_;
+  bool broken_ = false;
+};
+
+/// \brief Thread-safe pool of line-protocol connections, keyed by
+/// "host:port". Scatter dispatches and write fan-out check a connection
+/// out per call and return it afterwards, so steady-state serving pays
+/// zero TCP handshakes instead of one per dispatch.
+///
+/// Lease is the RAII checkout: on destruction a clean connection goes
+/// back to the idle stack (LIFO — the warmest connection is reused
+/// first); a broken one (transport failure mid-request, see
+/// LineClient::broken()) is closed and dropped, never reused.
+class LineClientPool {
+ public:
+  struct Options {
+    LineClientOptions client;
+    /// Idle connections retained per target; extra returns are closed.
+    size_t max_idle_per_target = 8;
+  };
+
+  struct Stats {
+    uint64_t dials = 0;   ///< connections established
+    uint64_t reuses = 0;  ///< checkouts served from the idle stack
+  };
+
+  LineClientPool() = default;
+  explicit LineClientPool(Options options) : opts_(options) {}
+
+  LineClientPool(const LineClientPool&) = delete;
+  LineClientPool& operator=(const LineClientPool&) = delete;
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(LineClientPool* pool, std::string key,
+          std::unique_ptr<LineClient> client)
+        : pool_(pool), key_(std::move(key)), client_(std::move(client)) {}
+    ~Lease() { Release(); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        key_ = std::move(other.key_);
+        client_ = std::move(other.client_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+
+    LineClient* operator->() { return client_.get(); }
+    LineClient& operator*() { return *client_; }
+    LineClient* get() { return client_.get(); }
+
+   private:
+    void Release();
+
+    LineClientPool* pool_ = nullptr;
+    std::string key_;
+    std::unique_ptr<LineClient> client_;
+  };
+
+  /// \brief Checks out a connected client for `host:port`, reusing an
+  /// idle connection when one exists and dialing otherwise (with the
+  /// pool's client options — timeouts, retries).
+  Result<Lease> Acquire(const std::string& host, int port);
+
+  Stats stats() const;
+
+ private:
+  friend class Lease;
+  void Return(const std::string& key, std::unique_ptr<LineClient> client);
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::unique_ptr<LineClient>>> idle_;
+  uint64_t dials_ = 0;
+  uint64_t reuses_ = 0;
 };
 
 }  // namespace server

@@ -197,6 +197,55 @@ std::string QueryServiceHandler::Handle(const std::string& cmd,
     return WireOkBlock(stats->ToWireRows());
   }
 
+  if (cmd == "ADD" || cmd == "UPDATE" || cmd == "DELETE") {
+    // Live writes share one grammar: <collection> <docID> [text...].
+    // The parser owns validation (DELETE rejects trailing text, the
+    // docID must be a full integer); the epoch row it returns is the
+    // client's freshness token.
+    Result<ingest::ParsedWrite> parsed =
+        ingest::ParseWriteCommand(cmd + " " + rest);
+    if (!parsed.ok()) return WireErrLine(parsed.status());
+    WriteRequest req;
+    req.collection = parsed.ValueOrDie().collection;
+    req.op = std::move(parsed.ValueOrDie().op);
+    Result<QueryResponse> resp = service_->Write(req);
+    if (!resp.ok()) return WireErrLine(resp.status());
+    const Relation& rows = *resp.ValueOrDie().rows;
+    return WireOkBlock(
+        {"epoch=" + std::to_string(rows.column(0).Int64At(0))},
+        resp.ValueOrDie().stats.trace_id);
+  }
+
+  if (cmd == "FLUSH") {
+    FlushRequest req;
+    req.collection = WireTakeWord(&rest);
+    if (req.collection.empty() || !rest.empty()) {
+      return WireErrLine(Status::InvalidArgument("usage: FLUSH <collection>"));
+    }
+    Result<QueryResponse> resp = service_->Flush(req);
+    if (!resp.ok()) return WireErrLine(resp.status());
+    const Relation& rows = *resp.ValueOrDie().rows;
+    return WireOkBlock(
+        {"epoch=" + std::to_string(rows.column(0).Int64At(0)) +
+         " docs=" + std::to_string(rows.column(1).Int64At(0))},
+        resp.ValueOrDie().stats.trace_id);
+  }
+
+  if (cmd == "GSTATSL") {
+    // Local-partition statistics, recomputed from the current index —
+    // what a coordinator merges across shards after a FLUSH to refresh
+    // the shipped full-collection statistics.
+    const std::string collection = WireTakeWord(&rest);
+    if (collection.empty() || !rest.empty()) {
+      return WireErrLine(
+          Status::InvalidArgument("usage: GSTATSL <collection>"));
+    }
+    Result<shard::GlobalStatsPtr> stats =
+        service_->ComputeLocalStats(collection);
+    if (!stats.ok()) return WireErrLine(stats.status());
+    return WireOkBlock(stats.ValueOrDie()->ToWireRows());
+  }
+
   if (cmd == "SPINQL") {
     SpinqlRequest req;
     int64_t deadline_ms = 0;

@@ -79,6 +79,13 @@ std::string ServiceMetrics::SnapshotJson() const {
   out += ",\"index_misses\":" + v(index_misses);
   out += ",\"cache_hits\":" + v(cache_hits);
   out += ",\"cache_misses\":" + v(cache_misses);
+  out += "},\"ingest\":{";
+  out += "\"writes_total\":" + v(writes_total);
+  out += ",\"writes_rejected\":" + v(writes_rejected);
+  out += ",\"delta_docs\":" + v(delta_docs);
+  out += ",\"deleted_docs\":" + v(deleted_docs);
+  out += ",\"compactions\":" + v(compactions);
+  out += ",\"freshness_lag_us\":" + freshness_lag_us.ToJson();
   out += "},\"latency_us\":" + latency_us.ToJson();
   out += ",\"queue_wait_us\":" + queue_wait_us.ToJson();
   out += "}";

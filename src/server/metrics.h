@@ -87,10 +87,21 @@ struct ServiceMetrics {
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
 
+  // Live ingestion. The doc counts are gauges (set to the current delta
+  // size after each write), the rest are monotone counters.
+  std::atomic<uint64_t> writes_total{0};
+  std::atomic<uint64_t> writes_rejected{0};
+  std::atomic<uint64_t> delta_docs{0};
+  std::atomic<uint64_t> deleted_docs{0};
+  std::atomic<uint64_t> compactions{0};
+
   /// End-to-end request latency (admission + execution), microseconds.
   LatencyHistogram latency_us;
   /// Time spent queued in the admission controller, microseconds.
   LatencyHistogram queue_wait_us;
+  /// Freshness lag: write arrival to the write being searchable (the new
+  /// catalog version installed), microseconds.
+  LatencyHistogram freshness_lag_us;
 
   /// \brief One JSON object with every counter and both histograms
   /// (schema documented in docs/serving.md).

@@ -2,8 +2,12 @@
 
 #include <chrono>
 #include <exception>
+#include <utility>
 
 #include "exec/exec_context.h"
+#include "storage/column.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
 
 namespace spindle {
 namespace server {
@@ -244,6 +248,19 @@ std::string QueryService::MetricsJson() {
   MaterializationCache::Stats cs = cache_.stats();
   metrics_.cache_hits.store(cs.hits, std::memory_order_relaxed);
   metrics_.cache_misses.store(cs.misses, std::memory_order_relaxed);
+  // Ingest gauges are refreshed at scrape time so a background
+  // compaction that drained the delta is visible without another write.
+  {
+    uint64_t delta = 0, deleted = 0;
+    std::lock_guard<std::mutex> lock(live_mu_);
+    for (const auto& [name, table] : live_) {
+      ingest::LiveTable::Stats s = table->stats();
+      delta += s.delta_docs;
+      deleted += s.deleted_docs;
+    }
+    metrics_.delta_docs.store(delta, std::memory_order_relaxed);
+    metrics_.deleted_docs.store(deleted, std::memory_order_relaxed);
+  }
   // Merge the tracer rollup in: the snapshot's closing brace is replaced
   // by a "top_operators" member (the N slowest operator kinds by total
   // wall time since start — empty until a request runs traced).
@@ -276,6 +293,26 @@ Result<QueryResponse> QueryService::Search(const SearchRequest& req) {
   QueryResponse resp;
   Result<RelationPtr> rows = RunAdmitted(
       req.request, &resp.stats, &resp.trace, [&]() -> Result<RelationPtr> {
+        // A live-written collection with a dirty delta takes the fused
+        // two-lane path: the pinned version stays consistent for the
+        // whole query no matter how many writes land meanwhile. With a
+        // clean delta the compacted relation/index are already
+        // registered, so the ordinary path below serves them.
+        if (ingest::LiveTable* live = FindLive(req.collection)) {
+          ingest::CatalogVersionPtr version = live->Pin();
+          if (version->delta->dirty()) {
+            PruningStats ps;
+            Result<RelationPtr> r =
+                live->Search(version, req.query, req.options, &ps);
+            resp.stats.search.docs_scored += ps.docs_scored;
+            resp.stats.search.docs_skipped += ps.docs_skipped;
+            resp.stats.search.blocks_skipped += ps.blocks_skipped;
+            resp.stats.search.blocks_decoded += ps.blocks_decoded;
+            resp.stats.search.decode_bytes += ps.decode_bytes;
+            resp.stats.search.fused_path_used += 1;
+            return r;
+          }
+        }
         SPINDLE_ASSIGN_OR_RETURN(RelationPtr docs,
                                  catalog_.Get(req.collection));
         // Same signature scheme the evaluator uses for base tables, so a
@@ -289,6 +326,152 @@ Result<QueryResponse> QueryService::Search(const SearchRequest& req) {
   if (!rows.ok()) return rows.status();
   resp.rows = std::move(rows).ValueOrDie();
   return resp;
+}
+
+namespace {
+
+RelationPtr EpochRow(uint64_t epoch) {
+  Schema schema({{"epoch", DataType::kInt64}});
+  Result<RelationPtr> rel = Relation::Make(
+      schema, {Column::MakeInt64({static_cast<int64_t>(epoch)})});
+  return rel.ok() ? rel.MoveValueOrDie() : nullptr;
+}
+
+RelationPtr FlushRow(uint64_t epoch, int64_t docs) {
+  Schema schema({{"epoch", DataType::kInt64}, {"docs", DataType::kInt64}});
+  Result<RelationPtr> rel = Relation::Make(
+      schema, {Column::MakeInt64({static_cast<int64_t>(epoch)}),
+               Column::MakeInt64({docs})});
+  return rel.ok() ? rel.MoveValueOrDie() : nullptr;
+}
+
+}  // namespace
+
+Result<QueryResponse> QueryService::Write(const WriteRequest& req) {
+  QueryResponse resp;
+  Result<RelationPtr> rows = RunAdmitted(
+      req.request, &resp.stats, &resp.trace, [&]() -> Result<RelationPtr> {
+        SPINDLE_ASSIGN_OR_RETURN(ingest::LiveTable * live,
+                                 GetOrCreateLive(req.collection));
+        const auto w0 = std::chrono::steady_clock::now();
+        Result<uint64_t> epoch = live->Apply(req.op);
+        if (!epoch.ok()) {
+          metrics_.writes_rejected.fetch_add(1, std::memory_order_relaxed);
+          return epoch.status();
+        }
+        // The write is searchable the moment Apply installs the next
+        // version; the lag it took to get there is the freshness lag.
+        metrics_.freshness_lag_us.Record(ElapsedUs(w0));
+        metrics_.writes_total.fetch_add(1, std::memory_order_relaxed);
+        // The epoch bump is what invalidates materialized SpinQL plans
+        // over this collection (plan signatures embed the epoch).
+        catalog_.BumpEpoch(req.collection);
+        ingest::LiveTable::Stats s = live->stats();
+        metrics_.delta_docs.store(s.delta_docs, std::memory_order_relaxed);
+        metrics_.deleted_docs.store(s.deleted_docs,
+                                    std::memory_order_relaxed);
+        return EpochRow(epoch.ValueOrDie());
+      });
+  if (!rows.ok()) return rows.status();
+  resp.rows = std::move(rows).ValueOrDie();
+  return resp;
+}
+
+Result<QueryResponse> QueryService::Flush(const FlushRequest& req) {
+  QueryResponse resp;
+  Result<RelationPtr> rows = RunAdmitted(
+      req.request, &resp.stats, &resp.trace, [&]() -> Result<RelationPtr> {
+        ingest::LiveTable* live = FindLive(req.collection);
+        if (live == nullptr) {
+          // Never written: FLUSH is a no-op, but still validates the name.
+          SPINDLE_ASSIGN_OR_RETURN(RelationPtr docs,
+                                   catalog_.Get(req.collection));
+          return FlushRow(0, static_cast<int64_t>(docs->num_rows()));
+        }
+        SPINDLE_RETURN_IF_ERROR(live->Flush());
+        catalog_.BumpEpoch(req.collection);
+        metrics_.delta_docs.store(0, std::memory_order_relaxed);
+        metrics_.deleted_docs.store(0, std::memory_order_relaxed);
+        ingest::CatalogVersionPtr version = live->Pin();
+        return FlushRow(version->epoch,
+                        static_cast<int64_t>(version->docs->num_rows()));
+      });
+  if (!rows.ok()) return rows.status();
+  resp.rows = std::move(rows).ValueOrDie();
+  return resp;
+}
+
+ingest::LiveTable::Stats QueryService::LiveStats(
+    const std::string& collection) const {
+  ingest::LiveTable* live = FindLive(collection);
+  return live == nullptr ? ingest::LiveTable::Stats{} : live->stats();
+}
+
+Result<ingest::LiveTable*> QueryService::GetOrCreateLive(
+    const std::string& collection) {
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    auto it = live_.find(collection);
+    if (it != live_.end()) return it->second.get();
+  }
+  // Built outside the registry lock: the first write pays an index
+  // build (cache hit when the collection was already searched). Losing
+  // a creation race just discards the duplicate table.
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr docs, catalog_.Get(collection));
+  const std::string sig = "tbl:" + collection + "@" +
+                          std::to_string(catalog_.Version(collection));
+  SPINDLE_ASSIGN_OR_RETURN(TextIndexPtr index,
+                           searcher_.GetOrBuildIndex(docs, sig));
+  ingest::LiveTable::Options lopts;
+  lopts.compact_threshold = opts_.compact_threshold;
+  lopts.auto_compact = opts_.auto_compact;
+  ingest::LiveTable::Hooks hooks;
+  const std::string name = collection;
+  hooks.on_install = [this, name](const RelationPtr& d,
+                                  const TextIndexPtr& idx) {
+    // Register-then-install keeps the ordinary Search path coherent: the
+    // catalog version bump changes the index cache key, and the install
+    // fills that key, so no query ever rebuilds the compacted index.
+    catalog_.RegisterEncoded(name, d);
+    searcher_.InstallIndex(
+        "tbl:" + name + "@" + std::to_string(catalog_.Version(name)), idx);
+  };
+  hooks.on_compaction = [this](uint64_t, size_t) {
+    metrics_.compactions.fetch_add(1, std::memory_order_relaxed);
+  };
+  if (opts_.trace_requests) {
+    hooks.make_tracer = [] { return std::make_shared<obs::Tracer>(); };
+    hooks.on_trace = [this](const std::shared_ptr<obs::Tracer>& t) {
+      RetainTrace(t);
+    };
+  }
+  SPINDLE_ASSIGN_OR_RETURN(
+      std::unique_ptr<ingest::LiveTable> table,
+      ingest::LiveTable::Make(collection, std::move(docs), std::move(index),
+                              opts_.analyzer, lopts, std::move(hooks)));
+  std::lock_guard<std::mutex> lock(live_mu_);
+  auto [it, inserted] = live_.emplace(collection, std::move(table));
+  (void)inserted;
+  return it->second.get();
+}
+
+ingest::LiveTable* QueryService::FindLive(
+    const std::string& collection) const {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  auto it = live_.find(collection);
+  return it == live_.end() ? nullptr : it->second.get();
+}
+
+void QueryService::RetainTrace(
+    const std::shared_ptr<const obs::Tracer>& tracer) {
+  if (tracer == nullptr) return;
+  trace_agg_.Merge(*tracer);
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  trace_log_.push_back(tracer);
+  while (trace_log_.size() > opts_.trace_log_capacity &&
+         !trace_log_.empty()) {
+    trace_log_.pop_front();
+  }
 }
 
 Result<QueryResponse> QueryService::SearchSharded(
@@ -322,6 +505,24 @@ Status QueryService::SetGlobalStats(const std::string& collection,
   }
   global_stats_[collection] = std::move(stats);
   return Status::OK();
+}
+
+Result<shard::GlobalStatsPtr> QueryService::ComputeLocalStats(
+    const std::string& collection) {
+  if (ingest::LiveTable* live = FindLive(collection)) {
+    ingest::CatalogVersionPtr version = live->Pin();
+    if (version->delta->dirty()) {
+      return Status::InvalidArgument(
+          "collection '" + collection +
+          "' has pending live writes; FLUSH before refreshing statistics");
+    }
+  }
+  SPINDLE_ASSIGN_OR_RETURN(RelationPtr docs, catalog_.Get(collection));
+  const std::string sig = "tbl:" + collection + "@" +
+                          std::to_string(catalog_.Version(collection));
+  SPINDLE_ASSIGN_OR_RETURN(TextIndexPtr index,
+                           searcher_.GetOrBuildIndex(docs, sig));
+  return shard::GlobalStats::FromIndex(*index);
 }
 
 shard::GlobalStatsPtr QueryService::GetGlobalStats(

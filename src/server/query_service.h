@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,6 +32,7 @@
 #include "common/status.h"
 #include "engine/materialization_cache.h"
 #include "exec/request_context.h"
+#include "ingest/live_table.h"
 #include "ir/index_snapshot.h"
 #include "ir/searcher.h"
 #include "obs/trace.h"
@@ -61,6 +63,11 @@ struct QueryServiceOptions {
   bool trace_requests = false;
   /// How many recent request traces are retained for Chrome export.
   size_t trace_log_capacity = 64;
+  /// Delta size (added/updated docs + deletions) at which a live-written
+  /// collection is compacted in the background.
+  size_t compact_threshold = 1024;
+  /// Disable to compact live tables only on FLUSH (deterministic tests).
+  bool auto_compact = true;
 };
 
 /// \brief Common per-request envelope.
@@ -94,6 +101,23 @@ struct SearchRequest {
 
 struct SpinqlRequest {
   std::string text;  ///< one SpinQL expression
+  RequestOptions request;
+};
+
+/// \brief One live write (ADD / UPDATE / DELETE) against a registered
+/// collection. The response relation is a single (epoch: int64) row —
+/// the catalog epoch at which the write became searchable.
+struct WriteRequest {
+  std::string collection;
+  ingest::WriteOp op;
+  RequestOptions request;
+};
+
+/// \brief Forced compaction + quiesce of a live collection. The response
+/// relation is one (epoch: int64, docs: int64) row: the epoch of the
+/// compacted version and the merged collection size.
+struct FlushRequest {
+  std::string collection;
   RequestOptions request;
 };
 
@@ -137,6 +161,24 @@ class QueryService {
   /// the same options.
   Result<QueryResponse> Search(const SearchRequest& req);
 
+  /// \brief Applies one live write. The first write to a collection
+  /// promotes it to a live table (delta index + background compaction);
+  /// subsequent searches merge the delta at query time and stay
+  /// bit-identical to a cold build over the merged logical collection.
+  /// ADD of a live docID fails AlreadyExists; UPDATE/DELETE of an absent
+  /// docID fail NotFound. Full admission / deadline / metrics lifecycle.
+  Result<QueryResponse> Write(const WriteRequest& req);
+
+  /// \brief Forces compaction of a live collection and waits for it:
+  /// afterwards the delta is empty, the compacted relation and index are
+  /// registered, and every query is served from the main index alone.
+  /// No-op (current epoch returned) on a clean or never-written table.
+  Result<QueryResponse> Flush(const FlushRequest& req);
+
+  /// \brief Live ingestion counters for `collection`; zeros when the
+  /// collection has never been written to.
+  ingest::LiveTable::Stats LiveStats(const std::string& collection) const;
+
   /// \brief Executes one sharded search over this server's partition with
   /// the request's shipped global statistics (full admission / deadline /
   /// metrics lifecycle, same as Search). The response holds this shard's
@@ -153,6 +195,13 @@ class QueryService {
 
   /// \brief The installed statistics for `collection`, or null.
   shard::GlobalStatsPtr GetGlobalStats(const std::string& collection) const;
+
+  /// \brief Statistics of this server's *current* partition of
+  /// `collection` (the GSTATSL wire command). After FLUSH a coordinator
+  /// merges these per-shard answers into fresh full-collection
+  /// statistics, restoring the exact distributed ranking.
+  Result<shard::GlobalStatsPtr> ComputeLocalStats(
+      const std::string& collection);
 
   /// \brief Evaluates one SpinQL expression. The result relation is
   /// bit-identical to spinql::Evaluator::EvalExpression on the same
@@ -211,6 +260,17 @@ class QueryService {
       std::shared_ptr<const obs::Tracer>* trace_out,
       const std::function<Result<RelationPtr>()>& body);
 
+  /// The live table for `collection`, creating it on first write (builds
+  /// the main index if not cached). Thread-safe.
+  Result<ingest::LiveTable*> GetOrCreateLive(const std::string& collection);
+
+  /// The live table for `collection`, or null when it was never written.
+  ingest::LiveTable* FindLive(const std::string& collection) const;
+
+  /// Folds a compaction tracer into the aggregator and the Chrome-export
+  /// log (same retention rule as request traces).
+  void RetainTrace(const std::shared_ptr<const obs::Tracer>& tracer);
+
   QueryServiceOptions opts_;
   Catalog catalog_;
   /// Full-collection statistics per collection (sharded serving only;
@@ -227,6 +287,10 @@ class QueryService {
   obs::TraceAggregator trace_agg_;
   mutable std::mutex trace_mu_;
   std::deque<std::shared_ptr<const obs::Tracer>> trace_log_;
+  /// Live-written collections (created lazily on first write). The map
+  /// only grows; LiveTable itself is internally synchronized.
+  mutable std::mutex live_mu_;
+  std::map<std::string, std::unique_ptr<ingest::LiveTable>> live_;
 };
 
 }  // namespace server

@@ -31,6 +31,18 @@
 ///                          traces as Chrome trace-event JSON to PATH
 ///                          (load in chrome://tracing or Perfetto)
 ///
+/// Live ingestion (docs/ingestion.md):
+///   --compact-threshold=N  delta size that triggers background
+///                          compaction (default 1024; 0 compacts only on
+///                          FLUSH)
+///   --apply-writes=PATH    cold oracle: before serving, apply the
+///                          ADD/UPDATE/DELETE lines in PATH (FLUSH lines
+///                          are no-ops) to the registered collections by
+///                          rebuilding them offline — the server then
+///                          serves exactly what a live server serves
+///                          after streaming the same writes and FLUSHing
+///                          (the CI ingest smoke byte-diffs the two)
+///
 /// Sharded serving (docs/sharding.md):
 ///   --num-shards=N         the collection is partitioned N ways
 ///   --shard-id=I           serve partition I in [0, N): the full
@@ -55,9 +67,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "ingest/delta_index.h"
 #include "server/line_server.h"
 #include "server/query_service.h"
 #include "shard/global_stats.h"
@@ -93,6 +109,7 @@ int main(int argc, char** argv) {
   std::string trace_file;
   std::string snapshot_path;
   std::string write_shards_prefix;
+  std::string apply_writes_file;
   int64_t generate_docs = 0;
   int64_t shard_id = -1;
   int64_t num_shards = 0;
@@ -136,6 +153,15 @@ int main(int argc, char** argv) {
       num_shards = std::atoll(v.c_str());
     } else if (FlagValue(argv[i], "--write-shards", &v)) {
       write_shards_prefix = v;
+    } else if (FlagValue(argv[i], "--compact-threshold", &v)) {
+      long long t = std::atoll(v.c_str());
+      if (t <= 0) {
+        service_opts.auto_compact = false;
+      } else {
+        service_opts.compact_threshold = static_cast<size_t>(t);
+      }
+    } else if (FlagValue(argv[i], "--apply-writes", &v)) {
+      apply_writes_file = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -289,6 +315,58 @@ int main(int argc, char** argv) {
         std::fclose(f);
       }
     }
+  }
+
+  // Cold oracle: fold a write log into the registered collections by
+  // offline rebuild. The result is definitionally what "a cold build
+  // over the final logical collection" means — the reference the live
+  // delta/compaction path is byte-compared against.
+  if (!apply_writes_file.empty()) {
+    std::ifstream in(apply_writes_file);
+    if (!in) {
+      std::fprintf(stderr, "could not open --apply-writes file %s\n",
+                   apply_writes_file.c_str());
+      return 2;
+    }
+    std::map<std::string, std::vector<spindle::ingest::WriteOp>> per_coll;
+    std::string line;
+    size_t total_ops = 0;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (line.rfind("FLUSH", 0) == 0) continue;  // no-op offline
+      auto parsed = spindle::ingest::ParseWriteCommand(line);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad write line '%s': %s\n", line.c_str(),
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      per_coll[parsed.ValueOrDie().collection].push_back(
+          std::move(parsed.ValueOrDie().op));
+      ++total_ops;
+    }
+    for (auto& [name, ops] : per_coll) {
+      auto docs = service.catalog().Get(name);
+      if (!docs.ok()) {
+        std::fprintf(stderr, "--apply-writes: %s\n",
+                     docs.status().ToString().c_str());
+        return 2;
+      }
+      auto merged =
+          spindle::ingest::ApplyWritesCold(docs.ValueOrDie(), ops);
+      if (!merged.ok()) {
+        std::fprintf(stderr, "--apply-writes failed on '%s': %s\n",
+                     name.c_str(), merged.status().ToString().c_str());
+        return 2;
+      }
+      const size_t rows = merged.ValueOrDie()->num_rows();
+      service.RegisterCollection(name, merged.MoveValueOrDie());
+      std::fprintf(stderr,
+                   "applied writes cold to '%s' (%zu ops total, %zu docs)\n",
+                   name.c_str(), ops.size(), rows);
+    }
+    std::fprintf(stderr, "cold-applied %zu writes from %s\n", total_ops,
+                 apply_writes_file.c_str());
   }
 
   if (!snapshot_path.empty() && !restored) {

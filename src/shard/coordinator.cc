@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "server/line_server.h"
+#include "shard/partitioner.h"
 #include "shard/wire.h"
 
 namespace spindle {
@@ -61,16 +62,37 @@ Result<GlobalStatsPtr> LocalShardBackend::FetchGlobalStats(
   return stats;
 }
 
-Result<server::LineClient> RemoteShardBackend::Dial(
+Result<uint64_t> LocalShardBackend::Write(const std::string& collection,
+                                          const ingest::WriteOp& op) {
+  server::WriteRequest req;
+  req.collection = collection;
+  req.op = op;
+  Result<server::QueryResponse> resp = service_->Write(req);
+  if (!resp.ok()) return resp.status();
+  const Relation& rows = *resp.ValueOrDie().rows;
+  return static_cast<uint64_t>(rows.column(0).Int64At(0));
+}
+
+Result<int64_t> LocalShardBackend::Flush(const std::string& collection) {
+  server::FlushRequest req;
+  req.collection = collection;
+  Result<server::QueryResponse> resp = service_->Flush(req);
+  if (!resp.ok()) return resp.status();
+  const Relation& rows = *resp.ValueOrDie().rows;
+  return rows.column(1).Int64At(0);
+}
+
+Result<GlobalStatsPtr> LocalShardBackend::FetchLocalStats(
+    const std::string& collection) {
+  return service_->ComputeLocalStats(collection);
+}
+
+Result<server::LineClientPool::Lease> RemoteShardBackend::Checkout(
     int64_t read_timeout_ms) {
-  server::LineClientOptions co;
-  co.connect_timeout_ms = opts_.connect_timeout_ms;
-  co.connect_retries = opts_.connect_retries;
-  co.backoff_ms = opts_.backoff_ms;
-  co.read_timeout_ms = read_timeout_ms;
-  server::LineClient client(co);
-  SPINDLE_RETURN_IF_ERROR(client.Connect(host_, port_));
-  return client;
+  SPINDLE_ASSIGN_OR_RETURN(server::LineClientPool::Lease lease,
+                           pool_.Acquire(host_, port_));
+  SPINDLE_RETURN_IF_ERROR(lease->SetReadTimeout(read_timeout_ms));
+  return lease;
 }
 
 Result<RelationPtr> RemoteShardBackend::SearchSharded(
@@ -82,9 +104,10 @@ Result<RelationPtr> RemoteShardBackend::SearchSharded(
   // a dead shard cannot park a dispatch thread past the deadline.
   const int64_t read_ms = deadline_ms > 0 ? deadline_ms + 100
                                           : opts_.default_read_timeout_ms;
-  SPINDLE_ASSIGN_OR_RETURN(server::LineClient client, Dial(read_ms));
+  SPINDLE_ASSIGN_OR_RETURN(server::LineClientPool::Lease client,
+                           Checkout(read_ms));
   Result<server::WireResponse> resp =
-      client.Call(EncodeSearchG(collection, deadline_ms, options, global));
+      client->Call(EncodeSearchG(collection, deadline_ms, options, global));
   if (!resp.ok()) return resp.status();
   if (token != nullptr && token->cancelled()) return token->ToStatus();
   std::vector<int64_t> ids;
@@ -121,16 +144,85 @@ Result<RelationPtr> RemoteShardBackend::SearchSharded(
 }
 
 Status RemoteShardBackend::Ping() {
-  Result<server::LineClient> client = Dial(opts_.connect_timeout_ms);
+  Result<server::LineClientPool::Lease> client =
+      Checkout(opts_.connect_timeout_ms);
   if (!client.ok()) return client.status();
-  return client.ValueOrDie().Ping();
+  return client.ValueOrDie()->Ping();
 }
 
 Result<GlobalStatsPtr> RemoteShardBackend::FetchGlobalStats(
     const std::string& collection) {
-  SPINDLE_ASSIGN_OR_RETURN(server::LineClient client,
-                           Dial(opts_.default_read_timeout_ms));
-  Result<server::WireResponse> resp = client.Call("GSTATS " + collection);
+  SPINDLE_ASSIGN_OR_RETURN(server::LineClientPool::Lease client,
+                           Checkout(opts_.default_read_timeout_ms));
+  Result<server::WireResponse> resp = client->Call("GSTATS " + collection);
+  if (!resp.ok()) return resp.status();
+  return GlobalStats::FromWireRows(resp.ValueOrDie().rows);
+}
+
+namespace {
+
+/// Parses a "key=<int>" token out of a write/flush response row.
+Result<int64_t> ParseTokenInt(const std::string& row,
+                              const std::string& key) {
+  const std::string needle = key + "=";
+  size_t pos = row.find(needle);
+  if (pos == std::string::npos) {
+    return Status::Internal("response row missing " + key + ": " + row);
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(row.c_str() + pos + needle.size(), &end, 10);
+  if (errno == ERANGE || end == row.c_str() + pos + needle.size()) {
+    return Status::Internal("malformed " + key + " token: " + row);
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Result<uint64_t> RemoteShardBackend::Write(const std::string& collection,
+                                           const ingest::WriteOp& op) {
+  SPINDLE_ASSIGN_OR_RETURN(server::LineClientPool::Lease client,
+                           Checkout(opts_.default_read_timeout_ms));
+  Result<server::WireResponse> resp = [&]() {
+    switch (op.kind) {
+      case ingest::WriteOp::Kind::kAdd:
+        return client->Add(collection, op.doc_id, op.text);
+      case ingest::WriteOp::Kind::kUpdate:
+        return client->Update(collection, op.doc_id, op.text);
+      case ingest::WriteOp::Kind::kDelete:
+        return client->Delete(collection, op.doc_id);
+    }
+    return Result<server::WireResponse>(
+        Status::Internal("unknown write kind"));
+  }();
+  if (!resp.ok()) return resp.status();
+  if (resp.ValueOrDie().rows.size() != 1) {
+    return Status::Internal("shard " + name_ +
+                            " returned a malformed write response");
+  }
+  SPINDLE_ASSIGN_OR_RETURN(
+      int64_t epoch, ParseTokenInt(resp.ValueOrDie().rows[0], "epoch"));
+  return static_cast<uint64_t>(epoch);
+}
+
+Result<int64_t> RemoteShardBackend::Flush(const std::string& collection) {
+  SPINDLE_ASSIGN_OR_RETURN(server::LineClientPool::Lease client,
+                           Checkout(opts_.default_read_timeout_ms));
+  Result<server::WireResponse> resp = client->Flush(collection);
+  if (!resp.ok()) return resp.status();
+  if (resp.ValueOrDie().rows.size() != 1) {
+    return Status::Internal("shard " + name_ +
+                            " returned a malformed flush response");
+  }
+  return ParseTokenInt(resp.ValueOrDie().rows[0], "docs");
+}
+
+Result<GlobalStatsPtr> RemoteShardBackend::FetchLocalStats(
+    const std::string& collection) {
+  SPINDLE_ASSIGN_OR_RETURN(server::LineClientPool::Lease client,
+                           Checkout(opts_.default_read_timeout_ms));
+  Result<server::WireResponse> resp = client->Call("GSTATSL " + collection);
   if (!resp.ok()) return resp.status();
   return GlobalStats::FromWireRows(resp.ValueOrDie().rows);
 }
@@ -629,6 +721,71 @@ Result<CoordSearchResponse> ShardCoordinator::Search(
   return final_resp;
 }
 
+Result<uint64_t> ShardCoordinator::Write(const std::string& collection,
+                                         const ingest::WriteOp& op) {
+  metrics_.writes_total.fetch_add(1, std::memory_order_relaxed);
+  auto fail = [&](Status st) -> Result<uint64_t> {
+    metrics_.writes_failed.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  };
+  if (shards_.empty()) {
+    return fail(Status::InvalidArgument("no shards configured"));
+  }
+  // Stable-hash routing: the same (docID, N) → shard mapping the offline
+  // partitioner uses, so streamed writes land exactly where a cold
+  // re-partition would place the documents.
+  const uint32_t idx = Partitioner::Assign(
+      op.doc_id, static_cast<uint32_t>(shards_.size()));
+  Shard& shard = *shards_[idx];
+  Result<uint64_t> epoch = shard.primary->Write(collection, op);
+  if (!epoch.ok()) return fail(epoch.status());
+  if (shard.replica != nullptr) {
+    // The replica holds the same partition and must see the same writes,
+    // or a later hedge would serve a diverged answer. A replica failure
+    // therefore fails the write loudly (the primary already applied it —
+    // surfaced in the message so operators re-sync before re-enabling
+    // hedges).
+    Result<uint64_t> r = shard.replica->Write(collection, op);
+    if (!r.ok()) {
+      return fail(Status::Unavailable(
+          "replica of shard " + shard.primary->name() +
+          " rejected the write (primary applied it; replica now stale): " +
+          r.status().message()));
+    }
+  }
+  return epoch;
+}
+
+Result<int64_t> ShardCoordinator::Flush(const std::string& collection) {
+  if (shards_.empty()) {
+    return Status::InvalidArgument("no shards configured");
+  }
+  metrics_.flushes.fetch_add(1, std::memory_order_relaxed);
+  // Quiesce every copy of every partition first...
+  int64_t total_docs = 0;
+  for (const std::unique_ptr<Shard>& s : shards_) {
+    SPINDLE_ASSIGN_OR_RETURN(int64_t docs,
+                             s->primary->Flush(collection));
+    total_docs += docs;
+    if (s->replica != nullptr) {
+      SPINDLE_RETURN_IF_ERROR(s->replica->Flush(collection).status());
+    }
+  }
+  // ...then refresh the full-collection statistics from the rebuilt
+  // partition indexes. Partitions are disjoint, so the merge is an exact
+  // integer sum — queries after this point score bit-identically to a
+  // cold build over the merged logical collection.
+  GlobalStats::Merger merger;
+  for (const std::unique_ptr<Shard>& s : shards_) {
+    SPINDLE_ASSIGN_OR_RETURN(GlobalStatsPtr local,
+                             s->primary->FetchLocalStats(collection));
+    SPINDLE_RETURN_IF_ERROR(merger.Add(*local));
+  }
+  SPINDLE_ASSIGN_OR_RETURN(GlobalStatsPtr merged, merger.Finish());
+  SPINDLE_RETURN_IF_ERROR(SetGlobalStats(collection, std::move(merged)));
+  return total_docs;
+}
+
 std::string ShardCoordinator::MetricsJson() const {
   auto v = [](const std::atomic<uint64_t>& a) {
     return std::to_string(a.load(std::memory_order_relaxed));
@@ -642,6 +799,9 @@ std::string ShardCoordinator::MetricsJson() const {
   json += ",\"shard_failures\":" + v(metrics_.shard_failures);
   json += ",\"hedges_issued\":" + v(metrics_.hedges_issued);
   json += ",\"hedge_wins\":" + v(metrics_.hedge_wins);
+  json += ",\"writes_total\":" + v(metrics_.writes_total);
+  json += ",\"writes_failed\":" + v(metrics_.writes_failed);
+  json += ",\"flushes\":" + v(metrics_.flushes);
   json += "}";
   return json;
 }
@@ -704,6 +864,32 @@ std::string CoordinatorHandler::Handle(const std::string& cmd,
           "no global statistics for collection: " + collection));
     }
     return WireOkBlock(stats->ToWireRows());
+  }
+
+  if (cmd == "ADD" || cmd == "UPDATE" || cmd == "DELETE") {
+    // Same write grammar a shard server accepts; the coordinator routes
+    // the op to the owning shard (and its replica) by docID hash.
+    Result<ingest::ParsedWrite> parsed =
+        ingest::ParseWriteCommand(cmd + " " + rest);
+    if (!parsed.ok()) return WireErrLine(parsed.status());
+    Result<uint64_t> epoch = coordinator_->Write(
+        parsed.ValueOrDie().collection, parsed.ValueOrDie().op);
+    if (!epoch.ok()) return WireErrLine(epoch.status());
+    return WireOkBlock({"epoch=" + std::to_string(epoch.ValueOrDie())});
+  }
+
+  if (cmd == "FLUSH") {
+    const std::string collection = WireTakeWord(&rest);
+    if (collection.empty() || !rest.empty()) {
+      return WireErrLine(
+          Status::InvalidArgument("usage: FLUSH <collection>"));
+    }
+    Result<int64_t> docs = coordinator_->Flush(collection);
+    if (!docs.ok()) return WireErrLine(docs.status());
+    // The epoch token keeps the response shape of a shard server; write
+    // epochs are per-shard, so the fleet-wide token is always 0.
+    return WireOkBlock(
+        {"epoch=0 docs=" + std::to_string(docs.ValueOrDie())});
   }
 
   if (cmd == "SPINQL" || cmd == "TRACE") {

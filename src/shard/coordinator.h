@@ -81,6 +81,33 @@ class ShardBackend {
   /// bootstrap; every shard of a partitioning stores the same bytes).
   virtual Result<GlobalStatsPtr> FetchGlobalStats(
       const std::string& collection) = 0;
+
+  /// \brief Applies one live write to this shard's partition; returns
+  /// the shard's new write epoch. Defaults to NotImplemented so
+  /// search-only backends (and test fakes) need not care.
+  virtual Result<uint64_t> Write(const std::string& collection,
+                                 const ingest::WriteOp& op) {
+    (void)collection;
+    (void)op;
+    return Status::NotImplemented("backend does not support live writes");
+  }
+
+  /// \brief Forces compaction + quiesce of this shard's partition;
+  /// returns the compacted partition's document count.
+  virtual Result<int64_t> Flush(const std::string& collection) {
+    (void)collection;
+    return Status::NotImplemented("backend does not support live writes");
+  }
+
+  /// \brief The statistics of this shard's *current* partition (GSTATSL)
+  /// — merged across shards after FLUSH to refresh the coordinator's
+  /// full-collection statistics.
+  virtual Result<GlobalStatsPtr> FetchLocalStats(
+      const std::string& collection) {
+    (void)collection;
+    return Status::NotImplemented(
+        "backend does not support local statistics");
+  }
 };
 
 using ShardBackendPtr = std::shared_ptr<ShardBackend>;
@@ -102,18 +129,27 @@ class LocalShardBackend : public ShardBackend {
   Status Ping() override { return Status::OK(); }
   Result<GlobalStatsPtr> FetchGlobalStats(
       const std::string& collection) override;
+  Result<uint64_t> Write(const std::string& collection,
+                         const ingest::WriteOp& op) override;
+  Result<int64_t> Flush(const std::string& collection) override;
+  Result<GlobalStatsPtr> FetchLocalStats(
+      const std::string& collection) override;
 
  private:
   std::string name_;
   server::QueryService* service_;
 };
 
-/// \brief Remote backend over the line protocol (SEARCHG / GSTATS wire
-/// commands). Each call opens a fresh connection, so concurrent primary
-/// and hedge dispatches never share a socket, and the per-call read
-/// timeout is bounded by the request's remaining budget. Cancellation is
-/// cooperative at the transport level: a tripped token abandons the
-/// response; the server side enforces its own (shipped) deadline.
+/// \brief Remote backend over the line protocol (SEARCHG / GSTATS /
+/// write wire commands). Connections come from a per-backend
+/// LineClientPool: steady-state dispatches and write fan-out reuse warm
+/// TCP connections instead of paying a handshake per call, and
+/// concurrent primary and hedge dispatches still never share a socket
+/// (each checks its own connection out). The per-call read timeout is
+/// re-armed on the pooled connection from the request's remaining
+/// budget. Cancellation is cooperative at the transport level: a tripped
+/// token abandons the response (the connection is dropped, not reused);
+/// the server side enforces its own (shipped) deadline.
 class RemoteShardBackend : public ShardBackend {
  public:
   struct Options {
@@ -122,6 +158,8 @@ class RemoteShardBackend : public ShardBackend {
     int64_t backoff_ms = 50;
     /// Response-wait bound when the request itself has no deadline.
     int64_t default_read_timeout_ms = 10000;
+    /// Idle pooled connections retained (see LineClientPool).
+    size_t max_idle_connections = 8;
   };
 
   RemoteShardBackend(std::string name, std::string host, int port,
@@ -129,7 +167,8 @@ class RemoteShardBackend : public ShardBackend {
       : name_(std::move(name)),
         host_(std::move(host)),
         port_(port),
-        opts_(options) {}
+        opts_(options),
+        pool_(MakePoolOptions(options)) {}
   RemoteShardBackend(std::string name, std::string host, int port)
       : RemoteShardBackend(std::move(name), std::move(host), port,
                            Options()) {}
@@ -143,14 +182,35 @@ class RemoteShardBackend : public ShardBackend {
   Status Ping() override;
   Result<GlobalStatsPtr> FetchGlobalStats(
       const std::string& collection) override;
+  Result<uint64_t> Write(const std::string& collection,
+                         const ingest::WriteOp& op) override;
+  Result<int64_t> Flush(const std::string& collection) override;
+  Result<GlobalStatsPtr> FetchLocalStats(
+      const std::string& collection) override;
+
+  /// \brief Connection-reuse accounting (dials vs. pool hits).
+  server::LineClientPool::Stats pool_stats() const { return pool_.stats(); }
 
  private:
-  Result<server::LineClient> Dial(int64_t read_timeout_ms);
+  static server::LineClientPool::Options MakePoolOptions(
+      const Options& options) {
+    server::LineClientPool::Options po;
+    po.client.connect_timeout_ms = options.connect_timeout_ms;
+    po.client.connect_retries = options.connect_retries;
+    po.client.backoff_ms = options.backoff_ms;
+    po.client.read_timeout_ms = options.default_read_timeout_ms;
+    po.max_idle_per_target = options.max_idle_connections;
+    return po;
+  }
+
+  /// Checks a pooled connection out with the read timeout re-armed.
+  Result<server::LineClientPool::Lease> Checkout(int64_t read_timeout_ms);
 
   std::string name_;
   std::string host_;
   int port_;
   Options opts_;
+  server::LineClientPool pool_;
 };
 
 /// \brief What a degraded (partial) answer is allowed to look like.
@@ -209,6 +269,9 @@ struct CoordinatorMetrics {
   std::atomic<uint64_t> shard_failures{0};
   std::atomic<uint64_t> hedges_issued{0};
   std::atomic<uint64_t> hedge_wins{0};
+  std::atomic<uint64_t> writes_total{0};
+  std::atomic<uint64_t> writes_failed{0};
+  std::atomic<uint64_t> flushes{0};
 };
 
 /// \brief The scatter-gather coordinator. Thread-safe after setup:
@@ -243,6 +306,23 @@ class ShardCoordinator {
 
   /// \brief One distributed search: resolve, scatter, gather, merge.
   Result<CoordSearchResponse> Search(const CoordSearchRequest& req);
+
+  /// \brief Routes one live write to the shard owning the docID
+  /// (Partitioner::Assign — the same stable hash the offline partitioner
+  /// uses, so a streamed write lands exactly where a cold re-partition
+  /// would put the document) and applies it to the primary and its
+  /// replica. Returns the primary's new write epoch. Note distributed
+  /// rankings are exact again only after Flush(): per-shard deltas score
+  /// under the last refreshed global statistics until then.
+  Result<uint64_t> Write(const std::string& collection,
+                         const ingest::WriteOp& op);
+
+  /// \brief Flushes every shard (primaries and replicas), then refreshes
+  /// the coordinator's full-collection statistics by merging the shards'
+  /// GSTATSL answers — afterwards distributed results are bit-identical
+  /// to a cold build over the merged logical collection. Returns the
+  /// total document count across partitions.
+  Result<int64_t> Flush(const std::string& collection);
 
   const CoordinatorMetrics& metrics() const { return metrics_; }
   std::string MetricsJson() const;

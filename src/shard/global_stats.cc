@@ -82,6 +82,26 @@ Status GlobalStats::Merger::Add(const TextIndex& index) {
   return Status::OK();
 }
 
+Status GlobalStats::Merger::Add(const GlobalStats& stats) {
+  const std::string& sig = stats.analyzer_signature_;
+  if (!any_) {
+    analyzer_signature_ = sig;
+    any_ = true;
+  } else if (sig != analyzer_signature_) {
+    return Status::InvalidArgument(
+        "cannot merge statistics across analyzer configurations: " +
+        analyzer_signature_ + " vs " + sig);
+  }
+  num_docs_ += stats.num_docs_;
+  total_postings_ += stats.total_postings_;
+  for (const auto& [term, ts] : stats.terms_) {
+    TermStats& t = terms_[term];
+    t.df += ts.df;
+    t.cf += ts.cf;
+  }
+  return Status::OK();
+}
+
 Result<GlobalStatsPtr> GlobalStats::Merger::Finish() {
   if (!any_) {
     return Status::InvalidArgument(

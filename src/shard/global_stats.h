@@ -62,6 +62,11 @@ class GlobalStats {
     /// same analyzer configuration (checked against the first Add).
     Status Add(const TextIndex& index);
 
+    /// \brief Folds one partition's already-extracted statistics in —
+    /// what a coordinator merges after FLUSH, when each shard answers
+    /// GSTATSL with the statistics of its rebuilt partition index.
+    Status Add(const GlobalStats& stats);
+
     /// \brief Freezes the accumulated statistics. The merger is spent
     /// afterwards.
     Result<GlobalStatsPtr> Finish();

@@ -25,6 +25,27 @@ struct EvalSlot {
   std::optional<ProbRelation> rel;
 };
 
+/// Removes every "#e<digits>" epoch tag a resolved signature carries
+/// (one per base-table reference). Index caches key on the remainder:
+/// the stored relation's identity, "tbl:<name>@<version>".
+std::string StripEpochTags(const std::string& sig) {
+  std::string out;
+  out.reserve(sig.size());
+  for (size_t i = 0; i < sig.size();) {
+    if (sig[i] == '#' && i + 1 < sig.size() && sig[i + 1] == 'e') {
+      size_t j = i + 2;
+      while (j < sig.size() && sig[j] >= '0' && sig[j] <= '9') ++j;
+      if (j > i + 2) {
+        i = j;
+        continue;
+      }
+    }
+    out.push_back(sig[i]);
+    ++i;
+  }
+  return out;
+}
+
 }  // namespace
 
 Evaluator::Evaluator(Catalog* catalog, MaterializationCache* cache)
@@ -86,8 +107,14 @@ Result<NodePtr> Evaluator::ResolveForSignature(const NodePtr& node,
     if (bound.ok()) {
       return ResolveForSignature(bound.ValueOrDie(), program);
     }
+    // Version identifies the stored relation; the epoch trails it so
+    // live writes (which bump the epoch without replacing the relation)
+    // retire stale materialization-cache entries. Index caches key on
+    // the version alone — see StripEpochTags below.
     return Node::RelRef("tbl:" + node->rel_name() + "@" +
-                        std::to_string(catalog_->Version(node->rel_name())));
+                        std::to_string(catalog_->Version(node->rel_name())) +
+                        "#e" +
+                        std::to_string(catalog_->Epoch(node->rel_name())));
   }
   std::vector<NodePtr> inputs;
   inputs.reserve(node->inputs().size());
@@ -406,10 +433,14 @@ Result<ProbRelation> Evaluator::EvalRank(const Node& node,
 
   // On-demand index keyed by the collection subexpression's signature —
   // query-independent, so all queries over the same sub-collection share
-  // one materialized index.
+  // one materialized index. The epoch tags are stripped: an index
+  // depends only on the stored relation (the version), and live writes
+  // bump epochs on every accepted write — keeping them here would
+  // rebuild the index once per write for an unchanged relation.
   SPINDLE_ASSIGN_OR_RETURN(std::string docs_sig,
                            Signature(node.inputs()[0], program));
-  std::string index_key = docs_sig + "|" + analyzer.Signature();
+  std::string index_key =
+      StripEpochTags(docs_sig) + "|" + analyzer.Signature();
   TextIndexPtr index;
   {
     std::lock_guard<std::mutex> lock(mu_);

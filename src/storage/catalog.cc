@@ -7,18 +7,24 @@
 namespace spindle {
 
 void Catalog::Register(const std::string& name, RelationPtr rel) {
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[name];
   e.rel = std::move(rel);
   e.version = next_version_++;
+  e.epoch = next_epoch_++;
 }
 
 void Catalog::RegisterEncoded(const std::string& name, RelationPtr rel) {
   Register(name, DictEncodeStringColumns(rel));
 }
 
-void Catalog::Drop(const std::string& name) { entries_.erase(name); }
+void Catalog::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(name);
+}
 
 Result<RelationPtr> Catalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::NotFound("no relation named '" + name + "'");
@@ -26,12 +32,33 @@ Result<RelationPtr> Catalog::Get(const std::string& name) const {
   return it->second.rel;
 }
 
+bool Catalog::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(name) > 0;
+}
+
 uint64_t Catalog::Version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   return it == entries_.end() ? 0 : it->second.version;
 }
 
+uint64_t Catalog::Epoch(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.epoch;
+}
+
+uint64_t Catalog::BumpEpoch(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return 0;
+  it->second.epoch = next_epoch_++;
+  return it->second.epoch;
+}
+
 std::vector<std::string> Catalog::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
@@ -39,6 +66,7 @@ std::vector<std::string> Catalog::List() const {
 }
 
 bool Catalog::Compress(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end() || it->second.rel == nullptr) return false;
   it->second.rel = CompressColumns(it->second.rel);
@@ -46,6 +74,7 @@ bool Catalog::Compress(const std::string& name) {
 }
 
 Catalog::ByteStats Catalog::ByteSizes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   ByteStats stats;
   std::set<const StringDict*> seen;
   for (const auto& [name, entry] : entries_) {

@@ -1,13 +1,22 @@
 /// \file catalog.h
-/// \brief Named base relations with version counters.
+/// \brief Named base relations with version and epoch counters.
 ///
 /// Versions let the materialization cache invalidate entries whose
 /// producing expressions read a table that has since been replaced.
+/// Epochs track *logical* content: live ingestion (src/ingest/) bumps a
+/// table's epoch on every accepted write without touching the stored
+/// relation, so plan signatures that embed the epoch stop matching
+/// pre-write cache entries while index caches — keyed on the version
+/// only — keep serving the unchanged compacted relation.
+///
+/// All methods are thread-safe: writers install new versions while
+/// concurrent readers resolve signatures and fetch relations.
 
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,7 +28,7 @@ namespace spindle {
 /// \brief A mutable namespace of immutable relations.
 class Catalog {
  public:
-  /// \brief Registers or replaces a relation; bumps its version.
+  /// \brief Registers or replaces a relation; bumps its version and epoch.
   void Register(const std::string& name, RelationPtr rel);
 
   /// \brief Like Register, but dictionary-encodes any plain string columns
@@ -33,12 +42,23 @@ class Catalog {
   /// \brief Looks a relation up by name.
   Result<RelationPtr> Get(const std::string& name) const;
 
-  bool Contains(const std::string& name) const {
-    return entries_.count(name) > 0;
-  }
+  bool Contains(const std::string& name) const;
 
-  /// \brief Monotonic version of a table; 0 if absent.
+  /// \brief Monotonic version of a table; 0 if absent. Bumped only when
+  /// the stored relation is replaced (Register / compaction install).
   uint64_t Version(const std::string& name) const;
+
+  /// \brief Monotonic logical epoch of a table; 0 if absent. Bumped by
+  /// Register and by BumpEpoch — i.e. on every change to the table's
+  /// logical content, including live writes that leave the stored
+  /// relation untouched.
+  uint64_t Epoch(const std::string& name) const;
+
+  /// \brief Advances the epoch without replacing the relation; returns
+  /// the new epoch (0 for unknown names). Called once per accepted live
+  /// write so epoch-tagged plan signatures stop matching stale
+  /// materialization-cache entries.
+  uint64_t BumpEpoch(const std::string& name);
 
   /// \brief All registered names, sorted.
   std::vector<std::string> List() const;
@@ -62,9 +82,12 @@ class Catalog {
   struct Entry {
     RelationPtr rel;
     uint64_t version = 0;
+    uint64_t epoch = 0;
   };
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   uint64_t next_version_ = 1;
+  uint64_t next_epoch_ = 1;
 };
 
 }  // namespace spindle

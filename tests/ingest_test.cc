@@ -1,0 +1,804 @@
+/// \file ingest_test.cc
+/// \brief Tests for live ingestion (src/ingest/): the keystone invariant
+/// that a live-written collection answers every query bit-identically to
+/// a cold build over the same logical collection — checked per write by
+/// a randomized interleaving property test against a cold-rebuilt
+/// oracle, across all four ranking models, several k cutoffs and thread
+/// counts — plus write-validation semantics, copy-on-write version
+/// pinning, epoch-based cache invalidation, the wire commands, the
+/// connection pool and coordinator write routing.
+///
+/// The concurrent writers-vs-readers test also runs under
+/// ThreadSanitizer in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "ingest/delta_index.h"
+#include "ingest/live_table.h"
+#include "ir/indexing.h"
+#include "ir/searcher.h"
+#include "server/client.h"
+#include "server/line_server.h"
+#include "server/query_service.h"
+#include "shard/coordinator.h"
+#include "shard/global_stats.h"
+#include "shard/partitioner.h"
+#include "text/analyzer.h"
+#include "workload/text_gen.h"
+
+namespace spindle {
+namespace {
+
+using ingest::WriteOp;
+using server::FlushRequest;
+using server::LineClient;
+using server::LineClientPool;
+using server::LineServer;
+using server::LineServerOptions;
+using server::QueryService;
+using server::QueryServiceOptions;
+using server::SearchRequest;
+using server::SerializeRows;
+using server::WriteRequest;
+
+// ---------------------------------------------------------------------------
+// Shared fixtures and helpers
+// ---------------------------------------------------------------------------
+
+TextCollectionOptions SmallGenOptions() {
+  TextCollectionOptions gen;
+  gen.num_docs = 300;
+  gen.vocab_size = 500;
+  gen.avg_doc_len = 24;
+  return gen;
+}
+
+RelationPtr BaseDocs() {
+  static RelationPtr docs =
+      GenerateTextCollection(SmallGenOptions()).ValueOrDie();
+  return docs;
+}
+
+const std::vector<std::string>& TestQueries() {
+  static std::vector<std::string> queries =
+      GenerateQueries(SmallGenOptions(), 3, 2);
+  return queries;
+}
+
+/// Random document text over the same vocabulary band the generator
+/// uses, so live writes share terms with the base collection.
+std::string RandomWords(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> len_d(4, 24);
+  std::uniform_int_distribution<uint64_t> rank_d(1, 300);
+  const int len = len_d(rng);
+  std::string out;
+  for (int i = 0; i < len; ++i) {
+    if (i > 0) out += ' ';
+    out += WordForRank(rank_d(rng));
+  }
+  return out;
+}
+
+std::vector<int64_t> DocIds(const RelationPtr& docs) {
+  std::vector<int64_t> ids;
+  ids.reserve(docs->num_rows());
+  for (size_t r = 0; r < docs->num_rows(); ++r) {
+    ids.push_back(docs->column(0).Int64At(r));
+  }
+  return ids;
+}
+
+WriteOp MakeAdd(int64_t id, std::string text) {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kAdd;
+  op.doc_id = id;
+  op.text = std::move(text);
+  return op;
+}
+
+WriteOp MakeUpdate(int64_t id, std::string text) {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kUpdate;
+  op.doc_id = id;
+  op.text = std::move(text);
+  return op;
+}
+
+WriteOp MakeDelete(int64_t id) {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kDelete;
+  op.doc_id = id;
+  return op;
+}
+
+Result<server::QueryResponse> Apply(QueryService& service, const WriteOp& op) {
+  WriteRequest req;
+  req.collection = "live";
+  req.op = op;
+  return service.Write(req);
+}
+
+Status FlushLive(QueryService& service) {
+  FlushRequest req;
+  req.collection = "live";
+  return service.Flush(req).status();
+}
+
+/// The keystone check: the live service must answer bit-identically to
+/// a cold oracle over the merged logical collection, for every model,
+/// several k cutoffs and thread counts. `sig` must be unique per
+/// logical state so the oracle searcher never serves a stale index.
+void ExpectMatchesOracle(QueryService& service, Searcher& oracle,
+                         const RelationPtr& merged, const std::string& sig) {
+  const RankModel kModels[] = {RankModel::kBm25, RankModel::kTfIdf,
+                               RankModel::kLmDirichlet,
+                               RankModel::kLmJelinekMercer};
+  const size_t kCutoffs[] = {1, 10, 100};
+  const int kThreads[] = {1, 4};
+  for (RankModel model : kModels) {
+    for (size_t k : kCutoffs) {
+      for (int threads : kThreads) {
+        ScopedExecContext scope{ExecContext(threads)};
+        for (const std::string& q : TestQueries()) {
+          SearchOptions options;
+          options.model = model;
+          options.top_k = k;
+          SearchRequest req;
+          req.collection = "live";
+          req.query = q;
+          req.options = options;
+          auto got = service.Search(req);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          auto want = oracle.Search(merged, sig, q, options);
+          ASSERT_TRUE(want.ok()) << want.status().ToString();
+          ASSERT_EQ(SerializeRows(*got.ValueOrDie().rows),
+                    SerializeRows(*want.ValueOrDie()))
+              << "state " << sig << " model " << RankModelName(model)
+              << " k=" << k << " threads=" << threads << " query '" << q
+              << "'";
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized interleaving vs. cold-rebuilt oracle (the keystone)
+// ---------------------------------------------------------------------------
+
+TEST(IngestOracleTest, RandomizedInterleavingMatchesColdBuild) {
+  QueryServiceOptions sopts;
+  sopts.auto_compact = false;  // flush only at the chosen steps
+  QueryService service(sopts);
+  service.RegisterCollection("live", BaseDocs());
+
+  Searcher oracle;
+  std::mt19937_64 rng(20260808);
+  std::vector<WriteOp> log;  // every accepted write, in order
+  std::vector<int64_t> live = DocIds(BaseDocs());
+  int64_t next_id = 1'000'000;
+  int flushes = 0;
+
+  for (int step = 0; step < 40; ++step) {
+    const int roll = std::uniform_int_distribution<int>(0, 99)(rng);
+    const std::string sig = "oracle@" + std::to_string(step);
+    if (roll >= 85 && step > 0) {
+      // FLUSH: quiesce, then the merged state must survive compaction.
+      ASSERT_TRUE(FlushLive(service).ok());
+      ++flushes;
+      EXPECT_EQ(service.LiveStats("live").delta_docs, 0u);
+      EXPECT_EQ(service.LiveStats("live").deleted_docs, 0u);
+      auto merged = ingest::ApplyWritesCold(BaseDocs(), log).ValueOrDie();
+      ExpectMatchesOracle(service, oracle, merged, sig);
+      continue;
+    }
+    WriteOp op;
+    if (roll < 40 || live.empty()) {
+      op = MakeAdd(next_id++, RandomWords(rng));
+      live.push_back(op.doc_id);
+    } else if (roll < 65) {
+      const size_t i = std::uniform_int_distribution<size_t>(
+          0, live.size() - 1)(rng);
+      op = MakeUpdate(live[i], RandomWords(rng));
+    } else {
+      const size_t i = std::uniform_int_distribution<size_t>(
+          0, live.size() - 1)(rng);
+      op = MakeDelete(live[i]);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(i));
+    }
+    auto wrote = Apply(service, op);
+    ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
+    log.push_back(op);
+    auto merged = ingest::ApplyWritesCold(BaseDocs(), log).ValueOrDie();
+    ExpectMatchesOracle(service, oracle, merged, sig);
+  }
+
+  // Final quiesce: post-FLUSH results are served from the main index
+  // alone and must still match the oracle bit for bit.
+  ASSERT_TRUE(FlushLive(service).ok());
+  auto merged = ingest::ApplyWritesCold(BaseDocs(), log).ValueOrDie();
+  ExpectMatchesOracle(service, oracle, merged, "oracle@final");
+  EXPECT_EQ(service.metrics().writes_total.load(), log.size());
+  EXPECT_GE(flushes, 0);
+}
+
+TEST(IngestOracleTest, BackgroundCompactionPreservesBitIdentity) {
+  // A tiny threshold forces several background compactions while the
+  // write stream is in flight; results must stay oracle-identical no
+  // matter where the compaction swap lands.
+  QueryServiceOptions sopts;
+  sopts.compact_threshold = 8;
+  QueryService service(sopts);
+  service.RegisterCollection("live", BaseDocs());
+
+  Searcher oracle;
+  std::mt19937_64 rng(7);
+  std::vector<WriteOp> log;
+  std::vector<int64_t> live = DocIds(BaseDocs());
+  int64_t next_id = 2'000'000;
+
+  for (int step = 0; step < 30; ++step) {
+    WriteOp op;
+    if (step % 5 == 4) {
+      const size_t i = std::uniform_int_distribution<size_t>(
+          0, live.size() - 1)(rng);
+      op = MakeDelete(live[i]);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      op = MakeAdd(next_id++, RandomWords(rng));
+      live.push_back(op.doc_id);
+    }
+    auto wrote = Apply(service, op);
+    ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
+    log.push_back(op);
+
+    // Quick per-write check (default model); the full cross product runs
+    // after the final flush below.
+    auto merged = ingest::ApplyWritesCold(BaseDocs(), log).ValueOrDie();
+    const std::string sig = "compact-oracle@" + std::to_string(step);
+    for (const std::string& q : TestQueries()) {
+      SearchRequest req;
+      req.collection = "live";
+      req.query = q;
+      auto got = service.Search(req);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      auto want = oracle.Search(merged, sig, q, SearchOptions{});
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ASSERT_EQ(SerializeRows(*got.ValueOrDie().rows),
+                SerializeRows(*want.ValueOrDie()))
+          << "step " << step << " query '" << q << "'";
+    }
+  }
+
+  ASSERT_TRUE(FlushLive(service).ok());
+  auto merged = ingest::ApplyWritesCold(BaseDocs(), log).ValueOrDie();
+  ExpectMatchesOracle(service, oracle, merged, "compact-oracle@final");
+  // 30 writes over threshold 8 must have compacted at least once in the
+  // background (plus the final flush).
+  EXPECT_GE(service.LiveStats("live").compactions, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Write-validation semantics
+// ---------------------------------------------------------------------------
+
+class IngestSemanticsTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<QueryService> MakeService() {
+    QueryServiceOptions sopts;
+    sopts.auto_compact = false;
+    auto service = std::make_unique<QueryService>(sopts);
+    service->RegisterCollection("live", BaseDocs());
+    return service;
+  }
+};
+
+TEST_F(IngestSemanticsTest, AddOfLiveDocFailsAlreadyExists) {
+  auto service = MakeService();
+  const int64_t existing = BaseDocs()->column(0).Int64At(0);
+  auto r = Apply(*service, MakeAdd(existing, "dup text"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(service->metrics().writes_rejected.load(), 1u);
+  EXPECT_EQ(service->metrics().writes_total.load(), 0u);
+  // The rejected write left no delta behind.
+  EXPECT_EQ(service->LiveStats("live").delta_docs, 0u);
+
+  // A fresh docID ADDs fine, and re-ADDing it then fails.
+  ASSERT_TRUE(Apply(*service, MakeAdd(9001, "fresh doc")).ok());
+  auto dup = Apply(*service, MakeAdd(9001, "fresh doc again"));
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(IngestSemanticsTest, UpdateAndDeleteOfAbsentDocFailNotFound) {
+  auto service = MakeService();
+  EXPECT_EQ(Apply(*service, MakeUpdate(77'777, "nope")).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Apply(*service, MakeDelete(77'777)).status().code(),
+            StatusCode::kNotFound);
+  // A deleted doc is no longer live: the second delete fails too.
+  const int64_t existing = BaseDocs()->column(0).Int64At(3);
+  ASSERT_TRUE(Apply(*service, MakeDelete(existing)).ok());
+  EXPECT_EQ(Apply(*service, MakeDelete(existing)).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Apply(*service, MakeUpdate(existing, "x")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(IngestSemanticsTest, ReAddAfterDeleteServesTheNewText) {
+  auto service = MakeService();
+  const int64_t id = BaseDocs()->column(0).Int64At(5);
+  ASSERT_TRUE(Apply(*service, MakeDelete(id)).ok());
+  ASSERT_TRUE(Apply(*service, MakeAdd(id, "zebrazebra quokka")).ok());
+
+  SearchRequest req;
+  req.collection = "live";
+  req.query = "zebrazebra";
+  auto resp = service->Search(req);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  const Relation& rows = *resp.ValueOrDie().rows;
+  ASSERT_EQ(rows.num_rows(), 1u);
+  EXPECT_EQ(rows.column(0).Int64At(0), id);
+}
+
+TEST_F(IngestSemanticsTest, FlushOfCleanOrUnwrittenCollectionIsNoop) {
+  auto service = MakeService();
+  // Never written: FLUSH validates the collection and reports its size.
+  FlushRequest req;
+  req.collection = "live";
+  auto r = service->Flush(req);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Relation& row = *r.ValueOrDie().rows;
+  EXPECT_EQ(row.column(1).Int64At(0),
+            static_cast<int64_t>(BaseDocs()->num_rows()));
+
+  // Unknown collection: FLUSH is an error, not a silent no-op.
+  FlushRequest bad;
+  bad.collection = "nope";
+  EXPECT_FALSE(service->Flush(bad).ok());
+
+  // Written then flushed twice: the second flush is a clean no-op.
+  ASSERT_TRUE(Apply(*service, MakeAdd(9002, "one doc")).ok());
+  ASSERT_TRUE(FlushLive(*service).ok());
+  ASSERT_TRUE(FlushLive(*service).ok());
+  EXPECT_EQ(service->LiveStats("live").delta_docs, 0u);
+}
+
+TEST_F(IngestSemanticsTest, PhraseBoostRejectedOnlyWhileDeltaIsDirty) {
+  auto service = MakeService();
+  SearchRequest req;
+  req.collection = "live";
+  req.query = TestQueries()[0];
+  req.options.phrase_boost = 1.0;
+  ASSERT_TRUE(service->Search(req).ok());  // clean: phrase path fine
+
+  ASSERT_TRUE(Apply(*service, MakeAdd(9003, "phrase breaker")).ok());
+  auto dirty = service->Search(req);
+  ASSERT_FALSE(dirty.ok());
+  EXPECT_EQ(dirty.status().code(), StatusCode::kInvalidArgument);
+
+  // Plain ranking still works against the dirty delta...
+  SearchRequest plain = req;
+  plain.options.phrase_boost = 0.0;
+  EXPECT_TRUE(service->Search(plain).ok());
+
+  // ...and FLUSH restores the phrase path.
+  ASSERT_TRUE(FlushLive(*service).ok());
+  EXPECT_TRUE(service->Search(req).ok());
+}
+
+TEST_F(IngestSemanticsTest, EpochBumpsPerAcceptedWriteOnly) {
+  auto service = MakeService();
+  const uint64_t e0 = service->catalog().Epoch("live");
+  ASSERT_TRUE(Apply(*service, MakeAdd(9004, "bump")).ok());
+  const uint64_t e1 = service->catalog().Epoch("live");
+  EXPECT_GT(e1, e0);
+  // A rejected write must not invalidate anything.
+  ASSERT_FALSE(Apply(*service, MakeAdd(9004, "bump again")).ok());
+  EXPECT_EQ(service->catalog().Epoch("live"), e1);
+}
+
+TEST_F(IngestSemanticsTest, SpinqlSeesCompactedWritesAndNoStaleCache) {
+  auto service = MakeService();
+  const std::string expr = "PROJECT [$1] (live)";
+  server::SpinqlRequest sreq;
+  sreq.text = expr;
+  auto before = service->EvalSpinql(sreq);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  const size_t rows_before = before.ValueOrDie().rows->num_rows();
+
+  // Evaluate twice so the materialization cache holds the plan, then
+  // write + flush: the re-registered relation and the epoch-tagged plan
+  // signature must keep the cached result from being served stale.
+  ASSERT_TRUE(service->EvalSpinql(sreq).ok());
+  ASSERT_TRUE(Apply(*service, MakeAdd(9005, "spinql visible")).ok());
+  ASSERT_TRUE(FlushLive(*service).ok());
+
+  auto after = service->EvalSpinql(sreq);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.ValueOrDie().rows->num_rows(), rows_before + 1);
+}
+
+TEST_F(IngestSemanticsTest, LocalStatsRejectDirtyDelta) {
+  auto service = MakeService();
+  ASSERT_TRUE(Apply(*service, MakeAdd(9006, "stats pending")).ok());
+  auto dirty = service->ComputeLocalStats("live");
+  ASSERT_FALSE(dirty.ok());
+  EXPECT_EQ(dirty.status().code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(FlushLive(*service).ok());
+  auto clean = service->ComputeLocalStats("live");
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean.ValueOrDie()->num_docs(),
+            static_cast<int64_t>(BaseDocs()->num_rows()) + 1);
+}
+
+TEST_F(IngestSemanticsTest, MetricsExposeIngestCounters) {
+  auto service = MakeService();
+  ASSERT_TRUE(Apply(*service, MakeAdd(9007, "metered")).ok());
+  ASSERT_TRUE(
+      Apply(*service, MakeDelete(BaseDocs()->column(0).Int64At(7))).ok());
+  const std::string json = service->MetricsJson();
+  EXPECT_NE(json.find("\"ingest\""), std::string::npos);
+  EXPECT_NE(json.find("\"writes_total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"delta_docs\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"deleted_docs\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"freshness_lag_us\""), std::string::npos);
+  EXPECT_EQ(service->metrics().freshness_lag_us.count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Write-command parsing
+// ---------------------------------------------------------------------------
+
+TEST(ParseWriteCommandTest, ParsesAllVerbs) {
+  auto add = ingest::ParseWriteCommand("ADD docs 42 the quick  brown fox");
+  ASSERT_TRUE(add.ok());
+  EXPECT_EQ(add.ValueOrDie().collection, "docs");
+  EXPECT_EQ(add.ValueOrDie().op.kind, WriteOp::Kind::kAdd);
+  EXPECT_EQ(add.ValueOrDie().op.doc_id, 42);
+  EXPECT_EQ(add.ValueOrDie().op.text, "the quick  brown fox");
+
+  auto upd = ingest::ParseWriteCommand("UPDATE docs -3 new text");
+  ASSERT_TRUE(upd.ok());
+  EXPECT_EQ(upd.ValueOrDie().op.kind, WriteOp::Kind::kUpdate);
+  EXPECT_EQ(upd.ValueOrDie().op.doc_id, -3);
+
+  auto del = ingest::ParseWriteCommand("DELETE docs 7");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del.ValueOrDie().op.kind, WriteOp::Kind::kDelete);
+  EXPECT_TRUE(del.ValueOrDie().op.text.empty());
+}
+
+TEST(ParseWriteCommandTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ingest::ParseWriteCommand("UPSERT docs 1 x").ok());
+  EXPECT_FALSE(ingest::ParseWriteCommand("ADD").ok());
+  EXPECT_FALSE(ingest::ParseWriteCommand("ADD docs notanid text").ok());
+  EXPECT_FALSE(ingest::ParseWriteCommand("DELETE docs 7 trailing").ok());
+  EXPECT_FALSE(ingest::ParseWriteCommand("DELETE docs").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write version pinning (LiveTable directly)
+// ---------------------------------------------------------------------------
+
+TEST(LiveTableTest, PinnedVersionsStayConsistentAcrossWrites) {
+  AnalyzerOptions aopts;
+  Analyzer analyzer = Analyzer::Make(aopts).ValueOrDie();
+  RelationPtr docs = BaseDocs();
+  TextIndexPtr index = TextIndex::Build(docs, analyzer).ValueOrDie();
+  ingest::LiveTable::Options lopts;
+  lopts.auto_compact = false;
+  auto table = ingest::LiveTable::Make("live", docs, index, aopts, lopts,
+                                       ingest::LiveTable::Hooks{})
+                   .MoveValueOrDie();
+
+  auto v0 = table->Pin();
+  EXPECT_EQ(v0->epoch, 0u);
+  EXPECT_FALSE(v0->delta->dirty());
+
+  SearchOptions options;
+  PruningStats ps;
+  auto r0 = table->Search(v0, TestQueries()[0], options, &ps).ValueOrDie();
+
+  ASSERT_TRUE(table->Apply(MakeAdd(9100, "pinned versions")).ok());
+  ASSERT_TRUE(
+      table->Apply(MakeDelete(docs->column(0).Int64At(0))).ok());
+
+  auto v1 = table->Pin();
+  EXPECT_EQ(v1->epoch, 2u);
+  EXPECT_TRUE(v1->delta->dirty());
+  // v0 is immutable: searching it again returns the identical bytes even
+  // though two writes landed since it was pinned.
+  EXPECT_FALSE(v0->delta->dirty());
+  auto r0_again =
+      table->Search(v0, TestQueries()[0], options, &ps).ValueOrDie();
+  EXPECT_EQ(SerializeRows(*r0), SerializeRows(*r0_again));
+
+  // The two versions share the storage generation (no compaction ran).
+  EXPECT_EQ(v0->storage_version, v1->storage_version);
+  EXPECT_EQ(v0->docs.get(), v1->docs.get());
+  EXPECT_EQ(v0->index.get(), v1->index.get());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent writers vs. readers (runs under TSan in CI)
+// ---------------------------------------------------------------------------
+
+TEST(IngestConcurrencyTest, WritersVsReadersWithBackgroundCompaction) {
+  QueryServiceOptions sopts;
+  sopts.compact_threshold = 16;  // force compactions mid-stream
+  QueryService service(sopts);
+  service.RegisterCollection("live", BaseDocs());
+
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr int kOpsPerWriter = 100;
+  std::vector<std::vector<WriteOp>> logs(kWriters);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Disjoint docID ranges: cross-thread interleavings commute, so
+      // the per-thread logs concatenated in any order give one oracle.
+      std::mt19937_64 rng(1000 + w);
+      const int64_t base_id = 3'000'000 + w * 100'000;
+      std::vector<int64_t> own;
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        WriteOp op;
+        if (i % 3 == 2 && !own.empty()) {
+          op = MakeDelete(own.back());
+          own.pop_back();
+        } else if (i % 7 == 5 && !own.empty()) {
+          op = MakeUpdate(own.front(), RandomWords(rng));
+        } else {
+          op = MakeAdd(base_id + i, RandomWords(rng));
+          own.push_back(op.doc_id);
+        }
+        auto r = Apply(service, op);
+        EXPECT_TRUE(r.ok()) << r.status().ToString();
+        if (r.ok()) logs[w].push_back(op);
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        SearchRequest req;
+        req.collection = "live";
+        req.query = TestQueries()[i++ % TestQueries().size()];
+        auto resp = service.Search(req);
+        EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+      }
+    });
+  }
+
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  // Quiesce and check the final state against the cold oracle once.
+  ASSERT_TRUE(FlushLive(service).ok());
+  std::vector<WriteOp> all;
+  for (const auto& log : logs) all.insert(all.end(), log.begin(), log.end());
+  auto merged = ingest::ApplyWritesCold(BaseDocs(), all).ValueOrDie();
+  Searcher oracle;
+  for (const std::string& q : TestQueries()) {
+    SearchRequest req;
+    req.collection = "live";
+    req.query = q;
+    auto got = service.Search(req);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto want = oracle.Search(merged, "concurrent-oracle", q, SearchOptions{});
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_EQ(SerializeRows(*got.ValueOrDie().rows),
+              SerializeRows(*want.ValueOrDie()));
+  }
+  EXPECT_EQ(service.metrics().writes_total.load(),
+            static_cast<uint64_t>(all.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Wire commands end to end
+// ---------------------------------------------------------------------------
+
+TEST(IngestWireTest, WriteCommandsOverSocket) {
+  QueryServiceOptions sopts;
+  sopts.auto_compact = false;
+  QueryService service(sopts);
+  service.RegisterCollection("live", BaseDocs());
+  LineServer server(&service, LineServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  auto add = client.Add("live", 9500, "wire doc alpha");
+  ASSERT_TRUE(add.ok()) << add.status().ToString();
+  ASSERT_EQ(add.ValueOrDie().rows.size(), 1u);
+  EXPECT_EQ(add.ValueOrDie().rows[0], "epoch=1");
+
+  auto upd = client.Update("live", 9500, "wire doc beta");
+  ASSERT_TRUE(upd.ok());
+  EXPECT_EQ(upd.ValueOrDie().rows[0], "epoch=2");
+
+  auto del = client.Delete("live", BaseDocs()->column(0).Int64At(0));
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del.ValueOrDie().rows[0], "epoch=3");
+
+  // Validation errors surface as ERR lines, not broken connections.
+  EXPECT_FALSE(client.Add("live", 9500, "dup").ok());
+  EXPECT_FALSE(client.broken());
+  EXPECT_TRUE(client.Ping().ok());
+
+  // Dirty delta: local statistics are refused until FLUSH.
+  EXPECT_FALSE(client.Call("GSTATSL live").ok());
+
+  auto flush = client.Flush("live");
+  ASSERT_TRUE(flush.ok()) << flush.status().ToString();
+  EXPECT_EQ(flush.ValueOrDie().rows[0],
+            "epoch=3 docs=" + std::to_string(BaseDocs()->num_rows()));
+
+  auto gstatsl = client.Call("GSTATSL live");
+  ASSERT_TRUE(gstatsl.ok()) << gstatsl.status().ToString();
+  auto stats = shard::GlobalStats::FromWireRows(gstatsl.ValueOrDie().rows);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.ValueOrDie()->num_docs(),
+            static_cast<int64_t>(BaseDocs()->num_rows()));
+
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Connection pool
+// ---------------------------------------------------------------------------
+
+TEST(LineClientPoolTest, ReusesIdleConnections) {
+  QueryService service{QueryServiceOptions{}};
+  LineServer server(&service, LineServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClientPool pool;
+  for (int i = 0; i < 3; ++i) {
+    auto lease = pool.Acquire("127.0.0.1", server.port());
+    ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+    EXPECT_TRUE(lease.ValueOrDie()->Ping().ok());
+  }
+  EXPECT_EQ(pool.stats().dials, 1u);
+  EXPECT_EQ(pool.stats().reuses, 2u);
+
+  // Two concurrent leases need two connections; both return to the pool.
+  {
+    auto a = pool.Acquire("127.0.0.1", server.port()).MoveValueOrDie();
+    auto b = pool.Acquire("127.0.0.1", server.port()).MoveValueOrDie();
+    EXPECT_TRUE(a->Ping().ok());
+    EXPECT_TRUE(b->Ping().ok());
+  }
+  EXPECT_EQ(pool.stats().dials, 2u);
+  auto again = pool.Acquire("127.0.0.1", server.port());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pool.stats().dials, 2u);
+  EXPECT_EQ(pool.stats().reuses, 4u);
+
+  server.Stop();
+}
+
+TEST(LineClientPoolTest, BrokenConnectionsAreDroppedNotReused) {
+  QueryService service{QueryServiceOptions{}};
+  auto server = std::make_unique<LineServer>(&service, LineServerOptions{});
+  ASSERT_TRUE(server->Start().ok());
+  const int port = server->port();
+
+  LineClientPool pool;
+  {
+    auto lease = pool.Acquire("127.0.0.1", port).MoveValueOrDie();
+    ASSERT_TRUE(lease->Ping().ok());
+    // An explicitly closed connection must not go back to the pool.
+    lease->Close();
+  }
+  {
+    auto lease = pool.Acquire("127.0.0.1", port).MoveValueOrDie();
+    EXPECT_EQ(pool.stats().dials, 2u);
+    EXPECT_EQ(pool.stats().reuses, 0u);
+    // Kill the server mid-lease: the next call fails at the transport
+    // level and poisons the connection.
+    server->Stop();
+    server.reset();
+    EXPECT_FALSE(lease->Ping().ok());
+    EXPECT_TRUE(lease->broken());
+  }
+  // The poisoned connection was dropped; a fresh acquire has to dial a
+  // dead address and fails loudly instead of handing back a zombie.
+  auto dead = pool.Acquire("127.0.0.1", port);
+  EXPECT_FALSE(dead.ok());
+  EXPECT_EQ(pool.stats().reuses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator write routing
+// ---------------------------------------------------------------------------
+
+TEST(IngestShardedTest, CoordinatorWritesRouteByStableHashAndFlushRestoresExactness) {
+  constexpr int kShards = 2;
+  AnalyzerOptions aopts;
+  auto stats = shard::GlobalStats::Compute(BaseDocs(), aopts).ValueOrDie();
+
+  std::vector<std::unique_ptr<QueryService>> services;
+  shard::ShardCoordinator coordinator;
+  for (int i = 0; i < kShards; ++i) {
+    QueryServiceOptions sopts;
+    sopts.auto_compact = false;
+    auto service = std::make_unique<QueryService>(sopts);
+    service->RegisterCollection(
+        "docs",
+        shard::PartitionCollection(BaseDocs(), i, kShards).MoveValueOrDie());
+    ASSERT_TRUE(service->SetGlobalStats("docs", stats).ok());
+    coordinator.AddShard(std::make_shared<shard::LocalShardBackend>(
+        "shard" + std::to_string(i), service.get()));
+    services.push_back(std::move(service));
+  }
+  ASSERT_TRUE(coordinator.SetGlobalStats("docs", stats).ok());
+
+  // Stream writes through the coordinator: adds, one update, one delete.
+  std::vector<WriteOp> log;
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 12; ++i) {
+    log.push_back(MakeAdd(5'000'000 + i, RandomWords(rng)));
+  }
+  log.push_back(MakeUpdate(BaseDocs()->column(0).Int64At(1),
+                           RandomWords(rng)));
+  log.push_back(MakeDelete(BaseDocs()->column(0).Int64At(2)));
+  for (const WriteOp& op : log) {
+    auto r = coordinator.Write("docs", op);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // The write landed on the shard the stable hash owns: its delta (or
+    // deletion set) is non-empty.
+    const uint32_t owner = shard::Partitioner::Assign(
+        op.doc_id, static_cast<uint32_t>(kShards));
+    const auto lstats = services[owner]->LiveStats("docs");
+    EXPECT_GT(lstats.delta_docs + lstats.deleted_docs, 0u)
+        << "doc " << op.doc_id << " expected on shard " << owner;
+  }
+  EXPECT_EQ(coordinator.metrics().writes_total.load(), log.size());
+
+  // FLUSH compacts every shard and refreshes the fleet statistics.
+  auto flushed = coordinator.Flush("docs");
+  ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+  EXPECT_EQ(flushed.ValueOrDie(),
+            static_cast<int64_t>(BaseDocs()->num_rows()) + 12 - 1);
+
+  // Post-FLUSH distributed results are bit-identical to a single-node
+  // cold build over the merged logical collection.
+  auto merged = ingest::ApplyWritesCold(BaseDocs(), log).ValueOrDie();
+  Searcher oracle;
+  for (const std::string& q : TestQueries()) {
+    shard::CoordSearchRequest req;
+    req.collection = "docs";
+    req.query = q;
+    req.options.top_k = 10;
+    auto got = coordinator.Search(req);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto want = oracle.Search(merged, "sharded-oracle", q, req.options);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_EQ(SerializeRows(*got.ValueOrDie().rows),
+              SerializeRows(*want.ValueOrDie()))
+        << "query '" << q << "'";
+  }
+}
+
+}  // namespace
+}  // namespace spindle
