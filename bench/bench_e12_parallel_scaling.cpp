@@ -92,6 +92,7 @@ int main(int argc, char** argv) {
         ->Arg(t)
         ->Unit(benchmark::kMillisecond);
   }
+  spindle::bench::ParseJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

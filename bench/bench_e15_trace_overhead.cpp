@@ -193,6 +193,7 @@ int main(int argc, char** argv) {
     return spindle::bench::RunOverheadCheck(check_pct);
   }
   spindle::bench::ParseTraceFlag(&argc, argv);
+  spindle::bench::ParseJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

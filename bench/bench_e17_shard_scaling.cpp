@@ -217,6 +217,7 @@ int main(int argc, char** argv) {
   spindle::bench::TopKFlag() =
       spindle::bench::ParseTopKFlag(&argc, argv);
   spindle::bench::ParseTraceFlag(&argc, argv);
+  spindle::bench::ParseJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -204,6 +204,7 @@ int main(int argc, char** argv) {
   }
   argc = out;
   if (check) return spindle::bench::RunCheck();
+  spindle::bench::ParseJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

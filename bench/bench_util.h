@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -156,6 +157,24 @@ inline const bool kTraceEnvActivated = []() {
       std::strcmp(env, "1") == 0 ? "spindle_trace.json" : env);
   return true;
 }();
+
+/// Rewrites `--json=PATH` into `--benchmark_out=PATH` in place, so every
+/// bench binary exports machine-readable results with one short uniform
+/// flag (google-benchmark's out format defaults to JSON). The rewritten
+/// strings live in leaked storage because google-benchmark keeps argv
+/// pointers past Initialize. Must run before benchmark::Initialize.
+inline void ParseJsonFlag(int* argc, char** argv) {
+  // Deque, not vector: growth must not invalidate earlier c_str()s
+  // already planted in argv.
+  static auto* storage = new std::deque<std::string>();
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      storage->push_back("--benchmark_out=" + arg.substr(7));
+      argv[i] = const_cast<char*>(storage->back().c_str());
+    }
+  }
+}
 
 /// Parses and strips `--trace=<path.json>`, enabling process-lifetime
 /// tracing (see ProcessTracer). Like ParseThreadsFlag, must run before
@@ -319,3 +338,25 @@ inline const std::vector<std::string>& GetAuctionQueries(int64_t num_lots) {
 
 }  // namespace bench
 }  // namespace spindle
+
+/// Every bench that uses the stock google-benchmark main still accepts
+/// --json=PATH: the redefinition below rewrites it to --benchmark_out
+/// before Initialize (which would otherwise reject the unknown flag).
+/// Benches with a custom main() call ParseJsonFlag themselves.
+#undef BENCHMARK_MAIN
+#define BENCHMARK_MAIN()                                                \
+  int main(int argc, char** argv) {                                     \
+    char arg0_default[] = "benchmark";                                  \
+    char* args_default = arg0_default;                                  \
+    if (!argv) {                                                        \
+      argc = 1;                                                         \
+      argv = &args_default;                                             \
+    }                                                                   \
+    ::spindle::bench::ParseJsonFlag(&argc, argv);                       \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }                                                                     \
+  int main(int, char**)

@@ -1,0 +1,673 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+namespace spindle {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+int LatencyHistogram::BucketOf(uint64_t us) {
+  if (us < (1u << kSubBits)) return static_cast<int>(us);  // exact tiny values
+  int octave = std::bit_width(us) - 1;                     // >= kSubBits
+  if (octave >= kOctaves) {
+    octave = kOctaves - 1;
+    us = (uint64_t{1} << kOctaves) - 1;
+  }
+  // Top kSubBits bits below the leading bit select the linear sub-bucket.
+  uint64_t sub = (us >> (octave - kSubBits)) & ((1u << kSubBits) - 1);
+  return (octave << kSubBits) + static_cast<int>(sub);
+}
+
+uint64_t LatencyHistogram::BucketLowerUs(int bucket) {
+  if (bucket < (1 << kSubBits)) return static_cast<uint64_t>(bucket);
+  int octave = bucket >> kSubBits;
+  uint64_t sub = static_cast<uint64_t>(bucket & ((1 << kSubBits) - 1));
+  uint64_t base = uint64_t{1} << octave;
+  uint64_t step = base >> kSubBits;
+  return base + sub * step;
+}
+
+uint64_t LatencyHistogram::BucketUpperUs(int bucket) {
+  if (bucket < (1 << kSubBits)) return static_cast<uint64_t>(bucket);
+  int octave = bucket >> kSubBits;
+  uint64_t sub = static_cast<uint64_t>(bucket & ((1 << kSubBits) - 1));
+  uint64_t base = uint64_t{1} << octave;
+  uint64_t step = base >> kSubBits;
+  return base + (sub + 1) * step - 1;
+}
+
+uint64_t LatencyHistogram::PercentileUs(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  // Nearest-rank: the ceil(q/100 * total)-th smallest sample (1-based).
+  uint64_t rank = static_cast<uint64_t>(q / 100.0 * total);
+  if (rank * 100 < static_cast<uint64_t>(q * total)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    uint64_t c = counts_[b].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      // Interpolate: the rank-th sample is the r-th of c samples in this
+      // bucket; assume they are spread evenly over [lower, upper].
+      uint64_t lower = BucketLowerUs(b);
+      uint64_t upper = BucketUpperUs(b);
+      uint64_t r = rank - seen;  // 1..c
+      uint64_t est = lower + (upper - lower + 1) * r / c;
+      if (est > upper) est = upper;
+      uint64_t mx = max_us();
+      if (mx > 0 && est > mx) est = mx;
+      return est;
+    }
+    seen += c;
+  }
+  return max_us();
+}
+
+std::string LatencyHistogram::ToJson() const {
+  uint64_t n = count();
+  double mean = n == 0 ? 0.0 : static_cast<double>(sum_us()) /
+                                   static_cast<double>(n);
+  std::string out = "{";
+  out += "\"count\":" + std::to_string(n);
+  out += ",\"mean_us\":" + std::to_string(mean);
+  out += ",\"max_us\":" + std::to_string(max_us());
+  out += ",\"p50_us\":" + std::to_string(PercentileUs(50));
+  out += ",\"p95_us\":" + std::to_string(PercentileUs(95));
+  out += ",\"p99_us\":" + std::to_string(PercentileUs(99));
+  out += "}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeHelp(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Integers print exactly (counters stay greppable); everything else uses
+/// %.17g so a parse/re-render round trip is lossless.
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const char* TypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+void AppendSample(std::string* out, const std::string& name,
+                  const std::string& labels, double value) {
+  *out += name;
+  if (!labels.empty()) {
+    *out += '{';
+    *out += labels;
+    *out += '}';
+  }
+  *out += ' ';
+  *out += FormatValue(value);
+  *out += '\n';
+}
+
+std::string JoinLabels(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return a + "," + b;
+}
+
+void AppendHistogram(std::string* out, const std::string& name,
+                     const std::string& labels,
+                     const LatencyHistogram& hist) {
+  uint64_t cum = 0;
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    uint64_t c = hist.bucket_count(b);
+    if (c == 0) continue;
+    cum += c;
+    std::string le =
+        "le=\"" + std::to_string(LatencyHistogram::BucketUpperUs(b)) + "\"";
+    AppendSample(out, name + "_bucket", JoinLabels(labels, le),
+                 static_cast<double>(cum));
+  }
+  AppendSample(out, name + "_bucket", JoinLabels(labels, "le=\"+Inf\""),
+               static_cast<double>(hist.count()));
+  AppendSample(out, name + "_sum", labels,
+               static_cast<double>(hist.sum_us()));
+  AppendSample(out, name + "_count", labels,
+               static_cast<double>(hist.count()));
+}
+
+}  // namespace
+
+std::string RenderLabels(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += '"';
+  }
+  return out;
+}
+
+MetricsRegistry::Family* MetricsRegistry::FamilyOf(const std::string& name,
+                                                   const std::string& help,
+                                                   MetricType type) {
+  for (auto& f : families_) {
+    if (f.name == name) return &f;
+  }
+  families_.push_back(Family{name, help, type, {}});
+  return &families_.back();
+}
+
+void MetricsRegistry::AddCounter(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels,
+                                 const std::atomic<uint64_t>* cell) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.type = MetricType::kCounter;
+  e.labels = labels;
+  e.cell = cell;
+  FamilyOf(name, help, MetricType::kCounter)->entries.push_back(std::move(e));
+}
+
+void MetricsRegistry::AddGauge(const std::string& name,
+                               const std::string& help,
+                               const std::string& labels,
+                               const std::atomic<uint64_t>* cell) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.type = MetricType::kGauge;
+  e.labels = labels;
+  e.cell = cell;
+  FamilyOf(name, help, MetricType::kGauge)->entries.push_back(std::move(e));
+}
+
+void MetricsRegistry::AddCounterFn(const std::string& name,
+                                   const std::string& help,
+                                   const std::string& labels,
+                                   std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.type = MetricType::kCounter;
+  e.labels = labels;
+  e.fn = std::move(fn);
+  FamilyOf(name, help, MetricType::kCounter)->entries.push_back(std::move(e));
+}
+
+void MetricsRegistry::AddGaugeFn(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels,
+                                 std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.type = MetricType::kGauge;
+  e.labels = labels;
+  e.fn = std::move(fn);
+  FamilyOf(name, help, MetricType::kGauge)->entries.push_back(std::move(e));
+}
+
+void MetricsRegistry::AddHistogram(const std::string& name,
+                                   const std::string& help,
+                                   const std::string& labels,
+                                   const LatencyHistogram* hist) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.type = MetricType::kHistogram;
+  e.labels = labels;
+  e.hist = hist;
+  FamilyOf(name, help, MetricType::kHistogram)
+      ->entries.push_back(std::move(e));
+}
+
+void MetricsRegistry::AddGaugeCallback(
+    const std::string& name, const std::string& help,
+    std::function<void(std::vector<std::pair<std::string, double>>*)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.type = MetricType::kGauge;
+  e.multi = std::move(fn);
+  FamilyOf(name, help, MetricType::kGauge)->entries.push_back(std::move(e));
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& f : families_) {
+    if (!f.help.empty()) {
+      out += "# HELP " + f.name + " " + EscapeHelp(f.help) + "\n";
+    }
+    out += "# TYPE " + f.name + " ";
+    out += TypeName(f.type);
+    out += '\n';
+    for (const auto& e : f.entries) {
+      if (e.hist != nullptr) {
+        AppendHistogram(&out, f.name, e.labels, *e.hist);
+      } else if (e.multi) {
+        std::vector<std::pair<std::string, double>> samples;
+        e.multi(&samples);
+        for (const auto& [labels, value] : samples) {
+          AppendSample(&out, f.name, labels, value);
+        }
+      } else if (e.fn) {
+        AppendSample(&out, f.name, e.labels, e.fn());
+      } else if (e.cell != nullptr) {
+        AppendSample(&out, f.name, e.labels,
+                     static_cast<double>(
+                         e.cell->load(std::memory_order_relaxed)));
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scrape parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Splits a label body into (key, quoted-value) pairs, honouring quotes
+/// and backslash escapes inside values.
+std::vector<std::pair<std::string, std::string>> SplitLabels(
+    const std::string& body) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t i = 0;
+  while (i < body.size()) {
+    size_t eq = body.find('=', i);
+    if (eq == std::string::npos) break;
+    std::string key = body.substr(i, eq - i);
+    size_t j = eq + 1;
+    std::string value;
+    if (j < body.size() && body[j] == '"') {
+      value += '"';
+      ++j;
+      while (j < body.size()) {
+        char c = body[j];
+        value += c;
+        ++j;
+        if (c == '\\' && j < body.size()) {
+          value += body[j];
+          ++j;
+        } else if (c == '"') {
+          break;
+        }
+      }
+    }
+    out.emplace_back(std::move(key), std::move(value));
+    if (j < body.size() && body[j] == ',') ++j;
+    i = j;
+  }
+  return out;
+}
+
+std::string StripLabel(const std::string& body, const std::string& key,
+                       std::string* removed_value) {
+  auto pairs = SplitLabels(body);
+  std::string out;
+  for (const auto& [k, v] : pairs) {
+    if (k == key) {
+      if (removed_value != nullptr) *removed_value = v;
+      continue;
+    }
+    if (!out.empty()) out += ',';
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+double ParseLeValue(const std::string& quoted) {
+  // quoted is `"123"` or `"+Inf"`.
+  std::string inner = quoted;
+  if (inner.size() >= 2 && inner.front() == '"' && inner.back() == '"') {
+    inner = inner.substr(1, inner.size() - 2);
+  }
+  if (inner == "+Inf") return std::numeric_limits<double>::infinity();
+  return std::strtod(inner.c_str(), nullptr);
+}
+
+bool TakeToken(const std::string& line, size_t* pos, std::string* out) {
+  while (*pos < line.size() && line[*pos] == ' ') ++*pos;
+  size_t start = *pos;
+  while (*pos < line.size() && line[*pos] != ' ') ++*pos;
+  if (*pos == start) return false;
+  *out = line.substr(start, *pos - start);
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<PrometheusFamily>> ParsePrometheusText(
+    const std::string& text) {
+  std::vector<PrometheusFamily> families;
+  auto family_of = [&](const std::string& name) -> PrometheusFamily* {
+    for (auto& f : families) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  };
+  // A sample `X_bucket`/`X_sum`/`X_count` belongs to histogram family X.
+  auto owner_of = [&](const std::string& sample) -> PrometheusFamily* {
+    if (PrometheusFamily* f = family_of(sample)) return f;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      size_t n = std::string(suffix).size();
+      if (sample.size() > n &&
+          sample.compare(sample.size() - n, n, suffix) == 0) {
+        PrometheusFamily* f = family_of(sample.substr(0, sample.size() - n));
+        if (f != nullptr && f->type == MetricType::kHistogram) return f;
+      }
+    }
+    return nullptr;
+  };
+
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      size_t p = 1;
+      std::string kind, name;
+      if (!TakeToken(line, &p, &kind) || !TakeToken(line, &p, &name)) {
+        continue;
+      }
+      if (kind == "TYPE") {
+        std::string type;
+        TakeToken(line, &p, &type);
+        PrometheusFamily* f = family_of(name);
+        if (f == nullptr) {
+          families.push_back(PrometheusFamily{name, "", MetricType::kGauge,
+                                              {}});
+          f = &families.back();
+        }
+        if (type == "counter") {
+          f->type = MetricType::kCounter;
+        } else if (type == "histogram") {
+          f->type = MetricType::kHistogram;
+        } else {
+          f->type = MetricType::kGauge;
+        }
+      } else if (kind == "HELP") {
+        while (p < line.size() && line[p] == ' ') ++p;
+        PrometheusFamily* f = family_of(name);
+        if (f == nullptr) {
+          families.push_back(PrometheusFamily{name, "", MetricType::kGauge,
+                                              {}});
+          f = &families.back();
+        }
+        f->help = line.substr(p);
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    PrometheusSample sample;
+    size_t brace = line.find('{');
+    size_t name_end;
+    if (brace != std::string::npos &&
+        brace < line.find(' ')) {  // labels present
+      sample.name = line.substr(0, brace);
+      // Quote-aware scan for the closing brace.
+      size_t j = brace + 1;
+      bool in_quote = false;
+      while (j < line.size()) {
+        char c = line[j];
+        if (in_quote) {
+          if (c == '\\') {
+            ++j;
+          } else if (c == '"') {
+            in_quote = false;
+          }
+        } else if (c == '"') {
+          in_quote = true;
+        } else if (c == '}') {
+          break;
+        }
+        ++j;
+      }
+      if (j >= line.size()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "unterminated label set: " + line);
+      }
+      sample.labels = line.substr(brace + 1, j - brace - 1);
+      name_end = j + 1;
+    } else {
+      name_end = line.find(' ');
+      if (name_end == std::string::npos) {
+        return Status(StatusCode::kInvalidArgument,
+                      "sample line without value: " + line);
+      }
+      sample.name = line.substr(0, name_end);
+    }
+    size_t p = name_end;
+    std::string value;
+    if (!TakeToken(line, &p, &value)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "sample line without value: " + line);
+    }
+    if (value == "+Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else {
+      char* end = nullptr;
+      sample.value = std::strtod(value.c_str(), &end);
+      if (end == value.c_str()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "bad sample value: " + line);
+      }
+    }
+    PrometheusFamily* f = owner_of(sample.name);
+    if (f == nullptr) {
+      families.push_back(
+          PrometheusFamily{sample.name, "", MetricType::kGauge, {}});
+      f = &families.back();
+    }
+    f->samples.push_back(std::move(sample));
+  }
+  return families;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet aggregation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string FormatLe(double le) {
+  if (std::isinf(le)) return "+Inf";
+  return FormatValue(le);
+}
+
+}  // namespace
+
+std::string AggregateScrapes(
+    const std::vector<std::pair<std::string, std::vector<PrometheusFamily>>>&
+        shards) {
+  // Family order: first appearance across shards.
+  std::vector<std::pair<std::string, const PrometheusFamily*>> order;
+  auto known = [&](const std::string& name) {
+    for (const auto& [n, f] : order) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  for (const auto& [shard, families] : shards) {
+    (void)shard;
+    for (const auto& f : families) {
+      if (!known(f.name)) order.emplace_back(f.name, &f);
+    }
+  }
+
+  std::string out;
+  for (const auto& [name, meta] : order) {
+    if (!meta->help.empty()) {
+      out += "# HELP " + name + " " + meta->help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    out += TypeName(meta->type);
+    out += '\n';
+
+    // Gather this family's samples from every shard.
+    struct ShardSamples {
+      const std::string* shard;
+      const PrometheusFamily* family;
+    };
+    std::vector<ShardSamples> sources;
+    for (const auto& [shard, families] : shards) {
+      for (const auto& f : families) {
+        if (f.name == name) sources.push_back({&shard, &f});
+      }
+    }
+
+    if (meta->type == MetricType::kCounter) {
+      // Exact fleet sums, keyed by (sample name, labels), in
+      // first-appearance order.
+      std::vector<std::pair<std::string, double>> sums;  // key -> sum
+      for (const auto& src : sources) {
+        for (const auto& s : src.family->samples) {
+          std::string key = s.name + "\t" + s.labels;
+          bool found = false;
+          for (auto& [k, v] : sums) {
+            if (k == key) {
+              v += s.value;
+              found = true;
+              break;
+            }
+          }
+          if (!found) sums.emplace_back(key, s.value);
+        }
+      }
+      for (const auto& [key, sum] : sums) {
+        size_t tab = key.find('\t');
+        AppendSample(&out, key.substr(0, tab), key.substr(tab + 1), sum);
+      }
+    } else if (meta->type == MetricType::kHistogram) {
+      // Bucket-wise merge: de-cumulate each shard's buckets, sum deltas
+      // per le over the union of bounds, re-cumulate. Exact because every
+      // shard shares the bucket layout. Grouped by the non-le label body
+      // (normally empty or a fixed label set).
+      std::vector<std::string> groups;  // label bodies sans le
+      auto add_group = [&](const std::string& g) {
+        for (const auto& x : groups) {
+          if (x == g) return;
+        }
+        groups.push_back(g);
+      };
+      for (const auto& src : sources) {
+        for (const auto& s : src.family->samples) {
+          if (s.name == name + "_bucket") {
+            add_group(StripLabel(s.labels, "le", nullptr));
+          } else if (s.name == name + "_sum" || s.name == name + "_count") {
+            add_group(s.labels);
+          }
+        }
+      }
+      for (const auto& group : groups) {
+        std::map<double, double> deltas;  // le -> summed bucket delta
+        double sum = 0.0, count = 0.0;
+        for (const auto& src : sources) {
+          std::vector<std::pair<double, double>> cum;  // le -> cumulative
+          for (const auto& s : src.family->samples) {
+            if (s.name == name + "_bucket") {
+              std::string le;
+              if (StripLabel(s.labels, "le", &le) != group) continue;
+              cum.emplace_back(ParseLeValue(le), s.value);
+            } else if (s.name == name + "_sum" && s.labels == group) {
+              sum += s.value;
+            } else if (s.name == name + "_count" && s.labels == group) {
+              count += s.value;
+            }
+          }
+          std::sort(cum.begin(), cum.end());
+          double prev = 0.0;
+          for (const auto& [le, c] : cum) {
+            deltas[le] += c - prev;
+            prev = c;
+          }
+        }
+        double running = 0.0;
+        for (const auto& [le, delta] : deltas) {
+          running += delta;
+          std::string le_label = "le=\"" + FormatLe(le) + "\"";
+          AppendSample(&out, name + "_bucket", JoinLabels(group, le_label),
+                       running);
+        }
+        AppendSample(&out, name + "_sum", group, sum);
+        AppendSample(&out, name + "_count", group, count);
+      }
+    }
+
+    // Per-shard series survive aggregation under a `shard=` label.
+    for (const auto& src : sources) {
+      std::string shard_label =
+          "shard=\"" + EscapeLabelValue(*src.shard) + "\"";
+      for (const auto& s : src.family->samples) {
+        AppendSample(&out, s.name, JoinLabels(shard_label, s.labels),
+                     s.value);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace spindle

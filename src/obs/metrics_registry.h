@@ -1,0 +1,195 @@
+/// \file metrics_registry.h
+/// \brief Fleet observability: the log-bucketed latency histogram, a
+/// registry of named counters/gauges/histograms with Prometheus text
+/// exposition, and the scrape parser + exact fleet aggregation used by
+/// the coordinator's fleet view.
+///
+/// The registry does not own any hot-path cells: components keep their
+/// existing lock-free atomics and self-register pointers (or snapshot
+/// callbacks) under Prometheus family names and label sets. Recording
+/// stays wait-free; only `PrometheusText()` walks the registry, which is
+/// the standard scrape-time contract.
+///
+/// Aggregation exactness: every histogram in the fleet shares the same
+/// bucket layout (`LatencyHistogram`), so a bucket-wise sum of per-shard
+/// scrapes is exactly the histogram of the union of samples — the
+/// coordinator's merged fleet series are not approximations.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spindle {
+namespace obs {
+
+/// \brief Log-bucketed histogram of microsecond values.
+///
+/// Buckets are exponential with 4 linear sub-buckets per octave
+/// (resolution ~12% everywhere), covering 1 µs .. ~1.2 hours; larger
+/// samples clamp into the top bucket. Percentile estimates interpolate
+/// linearly within the bucket holding the nearest-rank sample, so the
+/// worst-case relative error is bounded by the bucket resolution rather
+/// than always landing on the bucket's upper bound.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 2;                   // 4 sub-buckets
+  static constexpr int kOctaves = 32;                  // up to 2^32 µs
+  static constexpr int kBuckets = kOctaves << kSubBits;
+
+  /// \brief Records one sample (microseconds). Wait-free.
+  void Record(uint64_t us) {
+    counts_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+    uint64_t prev = max_us_.load(std::memory_order_relaxed);
+    while (us > prev && !max_us_.compare_exchange_weak(
+                            prev, us, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+  uint64_t max_us() const { return max_us_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(int b) const {
+    return counts_[b].load(std::memory_order_relaxed);
+  }
+
+  /// \brief Nearest-rank percentile (q in [0, 100]) in microseconds,
+  /// linearly interpolated within the rank's bucket; 0 when empty. Never
+  /// exceeds the recorded maximum.
+  uint64_t PercentileUs(double q) const;
+
+  /// \brief {"count":n,"mean_us":x,"max_us":n,"p50_us":n,...}
+  std::string ToJson() const;
+
+  /// \brief Bucket index of a microsecond value.
+  static int BucketOf(uint64_t us);
+  /// \brief Inclusive lower bound of a bucket's value range.
+  static uint64_t BucketLowerUs(int bucket);
+  /// \brief Inclusive upper bound of a bucket's value range.
+  static uint64_t BucketUpperUs(int bucket);
+
+ private:
+  std::atomic<uint64_t> counts_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// \brief Renders a label set body (no braces): `R"(shard="s0")"`. Pairs
+/// are emitted in the given order; values are escaped per the Prometheus
+/// text format.
+std::string RenderLabels(
+    const std::vector<std::pair<std::string, std::string>>& labels);
+
+/// \brief Registry of named metric families. Registration is mutexed
+/// (startup-time); scraping walks the registry under the same mutex.
+/// Recording never touches the registry — cells stay wherever the
+/// component put them.
+///
+/// The registrant must keep every registered cell / callback target
+/// alive for the registry's lifetime (the registry stores raw pointers).
+class MetricsRegistry {
+ public:
+  /// \brief Registers a monotone counter backed by an atomic cell.
+  /// `labels` is a pre-rendered label body ("" for none).
+  void AddCounter(const std::string& name, const std::string& help,
+                  const std::string& labels,
+                  const std::atomic<uint64_t>* cell);
+  /// \brief Registers a gauge backed by an atomic cell.
+  void AddGauge(const std::string& name, const std::string& help,
+                const std::string& labels, const std::atomic<uint64_t>* cell);
+  /// \brief Registers a counter whose value is computed at scrape time.
+  void AddCounterFn(const std::string& name, const std::string& help,
+                    const std::string& labels, std::function<double()> fn);
+  /// \brief Registers a gauge whose value is computed at scrape time.
+  void AddGaugeFn(const std::string& name, const std::string& help,
+                  const std::string& labels, std::function<double()> fn);
+  /// \brief Registers a histogram (shared bucket layout; exposed as
+  /// cumulative `_bucket{le=}` samples plus `_sum` and `_count`).
+  void AddHistogram(const std::string& name, const std::string& help,
+                    const std::string& labels, const LatencyHistogram* hist);
+  /// \brief Registers a gauge family whose sample set (label body, value)
+  /// is only known at scrape time — e.g. one sample per live collection.
+  void AddGaugeCallback(
+      const std::string& name, const std::string& help,
+      std::function<void(std::vector<std::pair<std::string, double>>*)> fn);
+
+  /// \brief Renders every family in Prometheus text exposition format
+  /// (one `# HELP`/`# TYPE` pair per family, families in registration
+  /// order, histogram buckets cumulative with a closing `+Inf`).
+  std::string PrometheusText() const;
+
+ private:
+  struct Entry {
+    MetricType type = MetricType::kCounter;
+    std::string labels;
+    const std::atomic<uint64_t>* cell = nullptr;
+    std::function<double()> fn;
+    const LatencyHistogram* hist = nullptr;
+    std::function<void(std::vector<std::pair<std::string, double>>*)> multi;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::vector<Entry> entries;
+  };
+
+  Family* FamilyOf(const std::string& name, const std::string& help,
+                   MetricType type);
+
+  mutable std::mutex mu_;
+  std::vector<Family> families_;
+};
+
+// ---------------------------------------------------------------------------
+// Scrape parsing + fleet aggregation (coordinator fleet view)
+// ---------------------------------------------------------------------------
+
+/// \brief One sample line from a scrape: full sample name (may carry a
+/// `_bucket`/`_sum`/`_count` suffix), rendered label body, value.
+struct PrometheusSample {
+  std::string name;
+  std::string labels;
+  double value = 0.0;
+};
+
+/// \brief One metric family from a scrape, in document order.
+struct PrometheusFamily {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kGauge;
+  std::vector<PrometheusSample> samples;
+};
+
+/// \brief Parses Prometheus text exposition format (the subset this
+/// registry emits: `# HELP`, `# TYPE`, and sample lines). Samples that
+/// precede any TYPE line default to untyped gauges.
+Result<std::vector<PrometheusFamily>> ParsePrometheusText(
+    const std::string& text);
+
+/// \brief Merges per-shard scrapes into the fleet view. For counter and
+/// histogram families the merged series sum sample-wise across shards
+/// (histogram buckets are first de-cumulated per shard, summed per `le`,
+/// then re-cumulated over the union of bucket bounds — exact because all
+/// shards share the bucket layout). Every source series is additionally
+/// re-exported with a `shard="<name>"` label so per-shard views survive
+/// aggregation. Gauge families are only re-exported per shard (a summed
+/// gauge is rarely meaningful; consumers aggregate as they see fit).
+std::string AggregateScrapes(
+    const std::vector<std::pair<std::string, std::vector<PrometheusFamily>>>&
+        shards);
+
+}  // namespace obs
+}  // namespace spindle

@@ -1,0 +1,192 @@
+#include "obs/span_wire.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+namespace spindle {
+namespace obs {
+
+namespace {
+
+/// SpanRecord keys are `const char*` (static strings in-process). Parsed
+/// keys get the same property by interning into a leaked set — the span
+/// taxonomy is small and fixed, so this is bounded.
+const char* Intern(const std::string& s) {
+  static std::mutex mu;
+  static auto* pool = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  return pool->insert(s).first->c_str();
+}
+
+/// Percent-encodes space, '%', tab, newline and CR so fields stay
+/// single-token on a space-split line.
+std::string Encode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (c == ' ' || c == '%' || c == '\t' || c == '\n' || c == '\r' ||
+        c == '=') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+std::string Decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      char hex[3] = {s[i + 1], s[i + 2], 0};
+      out += static_cast<char>(std::strtoul(hex, nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+bool TakeWord(std::string* rest, std::string* out) {
+  size_t start = rest->find_first_not_of(' ');
+  if (start == std::string::npos) return false;
+  size_t end = rest->find(' ', start);
+  if (end == std::string::npos) end = rest->size();
+  *out = rest->substr(start, end - start);
+  rest->erase(0, end);
+  return true;
+}
+
+bool TakeU64(std::string* rest, uint64_t* out) {
+  std::string word;
+  if (!TakeWord(rest, &word)) return false;
+  char* end = nullptr;
+  *out = std::strtoull(word.c_str(), &end, 10);
+  return end == word.c_str() + word.size() && !word.empty();
+}
+
+bool TakeKeyed(std::string* rest, const char* key, uint64_t* out, int base) {
+  std::string word;
+  if (!TakeWord(rest, &word)) return false;
+  std::string prefix = std::string(key) + "=";
+  if (word.compare(0, prefix.size(), prefix) != 0) return false;
+  char* end = nullptr;
+  *out = std::strtoull(word.c_str() + prefix.size(), &end, base);
+  return end == word.c_str() + word.size();
+}
+
+}  // namespace
+
+std::vector<std::string> SpanPayloadToRows(const SpanPayload& payload) {
+  std::vector<std::string> rows;
+  rows.reserve(payload.spans.size() + 1);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "trace=%llx parent=%llu now=%llu spans=%zu dropped=%llu",
+                static_cast<unsigned long long>(payload.trace_id),
+                static_cast<unsigned long long>(payload.parent_span),
+                static_cast<unsigned long long>(payload.now_ns),
+                payload.spans.size(),
+                static_cast<unsigned long long>(payload.dropped));
+  rows.push_back(buf);
+  for (const SpanRecord& s : payload.spans) {
+    std::string row;
+    std::snprintf(buf, sizeof(buf), "%llu %llu %u %d %llu %llu ",
+                  static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent), s.lane,
+                  s.instant ? 1 : 0,
+                  static_cast<unsigned long long>(s.start_ns),
+                  static_cast<unsigned long long>(s.end_ns));
+    row += buf;
+    row += Encode(s.category);
+    row += ' ';
+    row += Encode(s.name);
+    for (const auto& [key, value] : s.counters) {
+      row += " c:";
+      row += Encode(key);
+      row += '=';
+      row += std::to_string(value);
+    }
+    for (const auto& [key, value] : s.notes) {
+      row += " n:";
+      row += Encode(key);
+      row += '=';
+      row += Encode(value);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<SpanPayload> SpanPayloadFromRows(
+    const std::vector<std::string>& rows) {
+  auto bad = [](const std::string& row) {
+    return Status(StatusCode::kInvalidArgument,
+                  "malformed span payload row: " + row);
+  };
+  if (rows.empty()) {
+    return Status(StatusCode::kInvalidArgument, "empty span payload");
+  }
+  SpanPayload payload;
+  {
+    std::string rest = rows[0];
+    uint64_t spans = 0;
+    if (!TakeKeyed(&rest, "trace", &payload.trace_id, 16) ||
+        !TakeKeyed(&rest, "parent", &payload.parent_span, 10) ||
+        !TakeKeyed(&rest, "now", &payload.now_ns, 10) ||
+        !TakeKeyed(&rest, "spans", &spans, 10) ||
+        !TakeKeyed(&rest, "dropped", &payload.dropped, 10)) {
+      return bad(rows[0]);
+    }
+    if (spans != rows.size() - 1) {
+      return Status(StatusCode::kInvalidArgument,
+                    "span payload header count mismatch");
+    }
+  }
+  payload.spans.reserve(rows.size() - 1);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    std::string rest = rows[i];
+    SpanRecord rec;
+    uint64_t lane = 0, instant = 0;
+    std::string cat, name;
+    if (!TakeU64(&rest, &rec.id) || !TakeU64(&rest, &rec.parent) ||
+        !TakeU64(&rest, &lane) || !TakeU64(&rest, &instant) ||
+        !TakeU64(&rest, &rec.start_ns) || !TakeU64(&rest, &rec.end_ns) ||
+        !TakeWord(&rest, &cat) || !TakeWord(&rest, &name)) {
+      return bad(rows[i]);
+    }
+    rec.lane = static_cast<uint32_t>(lane);
+    rec.instant = instant != 0;
+    rec.category = Intern(Decode(cat));
+    rec.name = Decode(name);
+    std::string word;
+    while (TakeWord(&rest, &word)) {
+      bool is_counter = word.compare(0, 2, "c:") == 0;
+      bool is_note = word.compare(0, 2, "n:") == 0;
+      if (!is_counter && !is_note) return bad(rows[i]);
+      size_t eq = word.find('=', 2);
+      if (eq == std::string::npos) return bad(rows[i]);
+      std::string key = Decode(word.substr(2, eq - 2));
+      std::string value = word.substr(eq + 1);
+      if (is_counter) {
+        char* end = nullptr;
+        int64_t v = std::strtoll(value.c_str(), &end, 10);
+        if (end != value.c_str() + value.size()) return bad(rows[i]);
+        rec.counters.emplace_back(Intern(key), v);
+      } else {
+        rec.notes.emplace_back(Intern(key), Decode(value));
+      }
+    }
+    payload.spans.push_back(std::move(rec));
+  }
+  return payload;
+}
+
+}  // namespace obs
+}  // namespace spindle

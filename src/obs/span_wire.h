@@ -1,0 +1,50 @@
+/// \file span_wire.h
+/// \brief Compact wire serialization of a tracer's spans, used by the
+/// shard `TRACEPULL` command: the coordinator pulls a shard request's
+/// spans and splices them into its own tracer (Tracer::ImportSpans) so
+/// `ExportChromeTrace` shows one fleet-wide timeline.
+///
+/// Format (one row per line, rows carried inside an OK block):
+///
+///   trace=<hex> parent=<span> now=<ns> spans=<n> dropped=<d>
+///   <id> <parent> <lane> <instant> <start_ns> <end_ns> <cat> <name>
+///       [c:<key>=<val>]... [n:<key>=<val>]...     (one physical line)
+///
+/// Free-text fields (category, name, note keys/values) are
+/// percent-encoded so rows stay single-line and space-splittable. The
+/// header's `now` is the shard's NowNs at serialization time; together
+/// with the request span's start/end it lets the puller compute the
+/// clock offset between the two processes.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace spindle {
+namespace obs {
+
+/// \brief A serialized (or parsed) span payload.
+struct SpanPayload {
+  uint64_t trace_id = 0;     ///< the trace these spans belong to
+  uint64_t parent_span = 0;  ///< foreign parent the roots attach under
+  uint64_t now_ns = 0;       ///< source's NowNs at serialization
+  uint64_t dropped = 0;
+  std::vector<SpanRecord> spans;
+};
+
+/// \brief Renders the payload as wire rows (header + one row per span).
+std::vector<std::string> SpanPayloadToRows(const SpanPayload& payload);
+
+/// \brief Parses wire rows back into a payload. Parsed category and
+/// counter/note keys are interned process-wide (SpanRecord stores static
+/// strings), which is fine: span taxonomies are small and fixed.
+Result<SpanPayload> SpanPayloadFromRows(
+    const std::vector<std::string>& rows);
+
+}  // namespace obs
+}  // namespace spindle

@@ -115,6 +115,78 @@ uint32_t Tracer::LaneForCurrentThread() {
   return state.lane;
 }
 
+void Tracer::NameLane(uint32_t lane, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [l, n] : lane_names_) {
+    if (l == lane) {
+      n = std::move(name);
+      return;
+    }
+  }
+  lane_names_.emplace_back(lane, std::move(name));
+}
+
+size_t Tracer::ImportSpans(
+    const std::vector<SpanRecord>& foreign, uint64_t attach_under,
+    int64_t offset_ns, const std::string& lane_name,
+    std::vector<std::pair<const char*, std::string>> root_notes) {
+  if (foreign.empty()) return 0;
+  auto shift = [&](uint64_t ns) -> uint64_t {
+    if (ns == 0) return 0;  // open span stays open
+    int64_t shifted = static_cast<int64_t>(ns) + offset_ns;
+    return shifted > 0 ? static_cast<uint64_t>(shifted) : 1;
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  // Foreign ids remap into this tracer's id space; parents precede
+  // children in Begin order, so a single pass resolves every edge.
+  std::vector<std::pair<uint64_t, uint64_t>> id_map;
+  std::vector<std::pair<uint32_t, uint32_t>> lane_map;
+  size_t imported = 0;
+  for (const SpanRecord& f : foreign) {
+    if (spans_.size() >= max_spans_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    SpanRecord rec = f;
+    rec.id = spans_.size() + 1;
+    id_map.emplace_back(f.id, rec.id);
+    rec.parent = attach_under;
+    if (f.parent != 0) {
+      for (const auto& [from, to] : id_map) {
+        if (from == f.parent) {
+          rec.parent = to;
+          break;
+        }
+      }
+    }
+    uint32_t lane = UINT32_MAX;
+    for (const auto& [from, to] : lane_map) {
+      if (from == f.lane) {
+        lane = to;
+        break;
+      }
+    }
+    if (lane == UINT32_MAX) {
+      lane = next_lane_.fetch_add(1, std::memory_order_relaxed);
+      std::string label =
+          lane_map.empty()
+              ? lane_name
+              : lane_name + "#" + std::to_string(lane_map.size());
+      lane_names_.emplace_back(lane, std::move(label));
+      lane_map.emplace_back(f.lane, lane);
+    }
+    rec.lane = lane;
+    rec.start_ns = shift(f.start_ns);
+    rec.end_ns = shift(f.end_ns);
+    if (f.parent == 0) {
+      for (const auto& note : root_notes) rec.notes.push_back(note);
+    }
+    spans_.push_back(std::move(rec));
+    ++imported;
+  }
+  return imported;
+}
+
 std::vector<SpanRecord> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return spans_;
@@ -240,7 +312,13 @@ std::string EscapeJson(const std::string& s) {
 }
 
 void Tracer::AppendChromeEvents(std::string* out, bool* first) const {
-  const std::vector<SpanRecord> spans = Snapshot();
+  std::vector<SpanRecord> spans;
+  std::vector<std::pair<uint32_t, std::string>> lane_names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+    lane_names = lane_names_;
+  }
   const uint64_t now = NowNs();
   char buf[128];
 
@@ -258,17 +336,26 @@ void Tracer::AppendChromeEvents(std::string* out, bool* first) const {
   *out += buf;
   *out += "\"trace " + std::to_string(trace_id_) + "\"}}";
 
-  // Thread (lane) metadata: every lane that appears gets a name.
+  // Thread (lane) metadata: every lane that appears gets a name —
+  // either the registered label (imported shard lanes) or "lane N".
   uint32_t max_lane = 0;
   for (const SpanRecord& s : spans) max_lane = std::max(max_lane, s.lane);
   for (uint32_t lane = 0; lane <= max_lane && !spans.empty(); ++lane) {
     comma();
+    std::string label = "lane " + std::to_string(lane);
+    for (const auto& [l, n] : lane_names) {
+      if (l == lane) {
+        label = n;
+        break;
+      }
+    }
     std::snprintf(buf, sizeof(buf),
                   "{\"ph\":\"M\",\"pid\":%llu,\"tid\":%u,"
-                  "\"name\":\"thread_name\",\"args\":{\"name\":"
-                  "\"lane %u\"}}",
-                  static_cast<unsigned long long>(trace_id_), lane, lane);
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"",
+                  static_cast<unsigned long long>(trace_id_), lane);
     *out += buf;
+    *out += EscapeJson(label);
+    *out += "\"}}";
   }
 
   for (const SpanRecord& s : spans) {

@@ -121,6 +121,25 @@ class Tracer {
   /// tracer (assigned on first use, cached thread-locally).
   uint32_t LaneForCurrentThread();
 
+  /// \brief Labels a Chrome lane (thread row). Used for imported shard
+  /// lanes so the merged export reads "shard0" instead of "lane 7".
+  void NameLane(uint32_t lane, std::string name);
+
+  /// \brief Splices foreign spans (a shard's serialized trace payload)
+  /// into this tracer: span ids are remapped into this tracer's id
+  /// space, roots attach under `attach_under`, timestamps shift by
+  /// `offset_ns` (the measured clock offset, so shard spans land on this
+  /// process's timeline), and each foreign lane maps to a fresh lane
+  /// labeled `lane_name` (suffixed when the payload spans several
+  /// threads). `root_notes` is appended to every imported root span
+  /// (shard name, clock offset, skew). Open foreign spans stay open.
+  /// Returns the number of spans imported.
+  size_t ImportSpans(const std::vector<SpanRecord>& foreign,
+                     uint64_t attach_under, int64_t offset_ns,
+                     const std::string& lane_name,
+                     std::vector<std::pair<const char*, std::string>>
+                         root_notes = {});
+
   /// \brief Copy of every recorded span, in Begin order.
   std::vector<SpanRecord> Snapshot() const;
 
@@ -150,6 +169,7 @@ class Tracer {
   std::atomic<uint32_t> next_lane_{0};
   mutable std::mutex mu_;
   std::vector<SpanRecord> spans_;
+  std::vector<std::pair<uint32_t, std::string>> lane_names_;  // guarded by mu_
 };
 
 /// \brief Chrome trace-event JSON merging several tracers onto the shared
@@ -220,6 +240,11 @@ class Span {
   /// installed and the span was not dropped by the cap) — use to skip
   /// computing expensive counter values on the disabled path.
   bool active() const { return tracer_ != nullptr && id_ != 0; }
+
+  /// \brief This span's id within its tracer (0 when inactive). Together
+  /// with the tracer's trace_id it forms the `tid=<hex>:<span>` token
+  /// propagated to shards.
+  uint64_t id() const { return id_; }
 
   /// \brief Adds `delta` to the span's counter `key` (keys must be
   /// static strings; repeated keys accumulate).

@@ -15,8 +15,24 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/trace.h"
+#include "shard/wire.h"
+
 namespace spindle {
 namespace server {
+
+namespace {
+
+/// "tid=<hex>:<span> " when the calling thread is traced, "" otherwise —
+/// the empty case keeps request lines byte-identical to the pre-token
+/// protocol.
+std::string TracePrefix() {
+  obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.tracer == nullptr) return "";
+  return shard::FormatTraceToken(ctx.tracer->trace_id(), ctx.span) + " ";
+}
+
+}  // namespace
 
 Status LineClient::ConnectOnce(const std::string& host, int port) {
   Close();
@@ -196,13 +212,15 @@ Result<WireResponse> LineClient::Call(const std::string& line) {
 Result<WireResponse> LineClient::Search(const std::string& collection,
                                         size_t k, int64_t deadline_ms,
                                         const std::string& query) {
-  return Call("SEARCH " + collection + " " + std::to_string(k) + " " +
-              std::to_string(deadline_ms) + " " + query);
+  return Call("SEARCH " + TracePrefix() + collection + " " +
+              std::to_string(k) + " " + std::to_string(deadline_ms) + " " +
+              query);
 }
 
 Result<WireResponse> LineClient::Spinql(int64_t deadline_ms,
                                         const std::string& expression) {
-  return Call("SPINQL " + std::to_string(deadline_ms) + " " + expression);
+  return Call("SPINQL " + TracePrefix() + std::to_string(deadline_ms) + " " +
+              expression);
 }
 
 Result<WireResponse> LineClient::Trace(int64_t deadline_ms,
@@ -232,33 +250,36 @@ Status LineClient::Shutdown() {
 Result<WireResponse> LineClient::Add(const std::string& collection,
                                      int64_t doc_id,
                                      const std::string& text) {
-  return Call("ADD " + collection + " " + std::to_string(doc_id) + " " +
-              text);
+  return Call("ADD " + TracePrefix() + collection + " " +
+              std::to_string(doc_id) + " " + text);
 }
 
 Result<WireResponse> LineClient::Update(const std::string& collection,
                                         int64_t doc_id,
                                         const std::string& text) {
-  return Call("UPDATE " + collection + " " + std::to_string(doc_id) + " " +
-              text);
+  return Call("UPDATE " + TracePrefix() + collection + " " +
+              std::to_string(doc_id) + " " + text);
 }
 
 Result<WireResponse> LineClient::Delete(const std::string& collection,
                                         int64_t doc_id) {
-  return Call("DELETE " + collection + " " + std::to_string(doc_id));
+  return Call("DELETE " + TracePrefix() + collection + " " +
+              std::to_string(doc_id));
 }
 
 Result<WireResponse> LineClient::Flush(const std::string& collection) {
-  return Call("FLUSH " + collection);
+  return Call("FLUSH " + TracePrefix() + collection);
 }
 
 void LineClientPool::Lease::Release() {
   if (pool_ == nullptr) return;
   if (client_ != nullptr && client_->connected() && !client_->broken()) {
     pool_->Return(key_, std::move(client_));
+  } else {
+    // Broken or disconnected clients just fall out of scope (closing the
+    // socket); the next Acquire dials fresh.
+    pool_->Dropped();
   }
-  // Broken or disconnected clients just fall out of scope (closing the
-  // socket); the next Acquire dials fresh.
   pool_ = nullptr;
   client_.reset();
 }
@@ -273,6 +294,7 @@ Result<LineClientPool::Lease> LineClientPool::Acquire(
       std::unique_ptr<LineClient> client = std::move(it->second.back());
       it->second.pop_back();
       ++reuses_;
+      ++outstanding_;
       return Lease(this, key, std::move(client));
     }
   }
@@ -281,6 +303,7 @@ Result<LineClientPool::Lease> LineClientPool::Acquire(
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++dials_;
+    ++outstanding_;
   }
   return Lease(this, key, std::move(client));
 }
@@ -288,6 +311,7 @@ Result<LineClientPool::Lease> LineClientPool::Acquire(
 void LineClientPool::Return(const std::string& key,
                             std::unique_ptr<LineClient> client) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (outstanding_ > 0) --outstanding_;
   std::vector<std::unique_ptr<LineClient>>& stack = idle_[key];
   if (stack.size() < opts_.max_idle_per_target) {
     stack.push_back(std::move(client));
@@ -295,9 +319,19 @@ void LineClientPool::Return(const std::string& key,
   // else: over budget — the unique_ptr destructor closes the socket.
 }
 
+void LineClientPool::Dropped() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outstanding_ > 0) --outstanding_;
+}
+
 LineClientPool::Stats LineClientPool::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return Stats{dials_, reuses_};
+  Stats s;
+  s.dials = dials_;
+  s.reuses = reuses_;
+  s.outstanding = outstanding_;
+  for (const auto& kv : idle_) s.idle += kv.second.size();
+  return s;
 }
 
 }  // namespace server

@@ -100,7 +100,13 @@ class LineClient {
   /// are kInternal; a read timeout is kUnavailable.
   Result<WireResponse> Call(const std::string& line);
 
-  /// Convenience wrappers over Call().
+  /// Convenience wrappers over Call(). When the calling thread has an
+  /// ambient tracer installed (obs::CurrentTraceContext()), each wrapper
+  /// prepends the distributed-trace token (`tid=<hex>:<span>`) so the
+  /// server records its spans under the caller's trace — this is how the
+  /// coordinator's scatter and write fan-out propagate trace identity.
+  /// Untraced callers (the spindle_client binary, untraced serving) emit
+  /// byte-identical request lines to the pre-token protocol.
   Result<WireResponse> Search(const std::string& collection, size_t k,
                               int64_t deadline_ms,
                               const std::string& query);
@@ -151,8 +157,10 @@ class LineClientPool {
   };
 
   struct Stats {
-    uint64_t dials = 0;   ///< connections established
-    uint64_t reuses = 0;  ///< checkouts served from the idle stack
+    uint64_t dials = 0;        ///< connections established
+    uint64_t reuses = 0;       ///< checkouts served from the idle stack
+    uint64_t idle = 0;         ///< connections parked across all targets
+    uint64_t outstanding = 0;  ///< leases currently checked out
   };
 
   LineClientPool() = default;
@@ -205,12 +213,15 @@ class LineClientPool {
  private:
   friend class Lease;
   void Return(const std::string& key, std::unique_ptr<LineClient> client);
+  /// A broken lease fell out of scope without returning its connection.
+  void Dropped();
 
   Options opts_;
   mutable std::mutex mu_;
   std::map<std::string, std::vector<std::unique_ptr<LineClient>>> idle_;
   uint64_t dials_ = 0;
   uint64_t reuses_ = 0;
+  uint64_t outstanding_ = 0;
 };
 
 }  // namespace server

@@ -59,8 +59,9 @@ std::string SanitizeMessage(const std::string& msg) {
   return out;
 }
 
-/// Splits rendered multi-line text (operator tree) into protocol rows.
-std::vector<std::string> SplitLines(const std::string& text) {
+}  // namespace
+
+std::vector<std::string> WireSplitLines(const std::string& text) {
   std::vector<std::string> rows;
   size_t start = 0;
   while (start < text.size()) {
@@ -74,8 +75,6 @@ std::vector<std::string> SplitLines(const std::string& text) {
   }
   return rows;
 }
-
-}  // namespace
 
 std::string WireErrLine(const Status& st) {
   return std::string("ERR ") + StatusCodeName(st.code()) + " " +
@@ -146,6 +145,38 @@ std::vector<std::string> SerializeRows(const Relation& rel) {
 std::string QueryServiceHandler::Handle(const std::string& cmd,
                                         std::string rest) {
   if (cmd == "STATS") return WireOkBlock({service_->MetricsJson()});
+  if (cmd == "METRICS") {
+    return WireOkBlock(WireSplitLines(service_->MetricsPrometheus()));
+  }
+  if (cmd == "HEALTH") return WireOkBlock({service_->HealthRow()});
+  if (cmd == "SLOWLOG") return WireOkBlock(service_->SlowLogRows());
+  if (cmd == "TRACEPULL") {
+    const std::string word = WireTakeWord(&rest);
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long id = std::strtoull(word.c_str(), &end, 16);
+    if (word.empty() || !rest.empty() || errno != 0 ||
+        end != word.c_str() + word.size() || id == 0) {
+      return WireErrLine(
+          Status::InvalidArgument("usage: TRACEPULL <trace id (hex)>"));
+    }
+    Result<std::vector<std::string>> rows = service_->PullTraceRows(id);
+    if (!rows.ok()) return WireErrLine(rows.status());
+    return WireOkBlock(rows.ValueOrDie());
+  }
+
+  // An optional leading `tid=<hex>:<span>` token joins this request to a
+  // coordinator-minted distributed trace. Stripped here — before
+  // command-specific parsing — so every command accepts it and command
+  // grammars stay unchanged.
+  uint64_t foreign_trace = 0, foreign_span = 0;
+  if (rest.compare(0, 4, "tid=") == 0) {
+    const std::string token = WireTakeWord(&rest);
+    if (!shard::ParseTraceToken(token, &foreign_trace, &foreign_span)) {
+      return WireErrLine(
+          Status::InvalidArgument("malformed trace token: " + token));
+    }
+  }
 
   if (cmd == "SEARCH") {
     SearchRequest req;
@@ -162,6 +193,8 @@ std::string QueryServiceHandler::Handle(const std::string& cmd,
     req.query = rest;
     req.options.top_k = static_cast<size_t>(k);
     req.request.deadline_ms = deadline_ms;
+    req.request.foreign_trace_id = foreign_trace;
+    req.request.foreign_parent_span = foreign_span;
     Result<QueryResponse> resp = service_->Search(req);
     if (!resp.ok()) return WireErrLine(resp.status());
     return WireOkBlock(SerializeRows(*resp.ValueOrDie().rows),
@@ -177,6 +210,8 @@ std::string QueryServiceHandler::Handle(const std::string& cmd,
                                     &deadline_ms, &req.options, &req.global);
     if (!st.ok()) return WireErrLine(st);
     req.request.deadline_ms = deadline_ms;
+    req.request.foreign_trace_id = foreign_trace;
+    req.request.foreign_parent_span = foreign_span;
     Result<QueryResponse> resp = service_->SearchSharded(req);
     if (!resp.ok()) return WireErrLine(resp.status());
     return WireOkBlock(SerializeRows(*resp.ValueOrDie().rows),
@@ -208,6 +243,8 @@ std::string QueryServiceHandler::Handle(const std::string& cmd,
     WriteRequest req;
     req.collection = parsed.ValueOrDie().collection;
     req.op = std::move(parsed.ValueOrDie().op);
+    req.request.foreign_trace_id = foreign_trace;
+    req.request.foreign_parent_span = foreign_span;
     Result<QueryResponse> resp = service_->Write(req);
     if (!resp.ok()) return WireErrLine(resp.status());
     const Relation& rows = *resp.ValueOrDie().rows;
@@ -222,6 +259,8 @@ std::string QueryServiceHandler::Handle(const std::string& cmd,
     if (req.collection.empty() || !rest.empty()) {
       return WireErrLine(Status::InvalidArgument("usage: FLUSH <collection>"));
     }
+    req.request.foreign_trace_id = foreign_trace;
+    req.request.foreign_parent_span = foreign_span;
     Result<QueryResponse> resp = service_->Flush(req);
     if (!resp.ok()) return WireErrLine(resp.status());
     const Relation& rows = *resp.ValueOrDie().rows;
@@ -255,6 +294,8 @@ std::string QueryServiceHandler::Handle(const std::string& cmd,
     }
     req.text = rest;
     req.request.deadline_ms = deadline_ms;
+    req.request.foreign_trace_id = foreign_trace;
+    req.request.foreign_parent_span = foreign_span;
     Result<QueryResponse> resp = service_->EvalSpinql(req);
     if (!resp.ok()) return WireErrLine(resp.status());
     return WireOkBlock(SerializeRows(*resp.ValueOrDie().rows),
@@ -274,6 +315,8 @@ std::string QueryServiceHandler::Handle(const std::string& cmd,
     req.text = rest;
     req.request.deadline_ms = deadline_ms;
     req.request.trace = true;
+    req.request.foreign_trace_id = foreign_trace;
+    req.request.foreign_parent_span = foreign_span;
     Result<QueryResponse> resp = service_->EvalSpinql(req);
     if (!resp.ok()) return WireErrLine(resp.status());
     const QueryResponse& qr = resp.ValueOrDie();
@@ -281,7 +324,7 @@ std::string QueryServiceHandler::Handle(const std::string& cmd,
       return WireErrLine(
           Status::Internal("traced request produced no trace"));
     }
-    return WireOkBlock(SplitLines(qr.trace->RenderTree()),
+    return WireOkBlock(WireSplitLines(qr.trace->RenderTree()),
                        qr.stats.trace_id);
   }
 

@@ -21,9 +21,24 @@
 ///               forced on and returns the operator tree (one line per
 ///               span: wall time, rows, cache annotations) instead of
 ///               result rows
-///   STATS
+///   STATS       metrics snapshot as one JSON row
+///   METRICS     metrics in Prometheus text exposition format (one
+///               protocol row per exposition line)
+///   HEALTH      one-row readiness probe (served even when the admission
+///               queue is full — probes never take an admission slot)
+///   SLOWLOG     slow-query log, one JSON row per entry, oldest first
+///   TRACEPULL <trace id (hex)>
+///               span rows for a recently traced request (header row +
+///               one row per span; see src/obs/span_wire.h) — how a
+///               coordinator collects shard spans into one timeline
 ///   QUIT        close this connection
 ///   SHUTDOWN    stop the whole server (clean shutdown)
+///
+/// Any command (except the probe/pull commands above) may carry an
+/// optional leading `tid=<hex trace id>:<parent span>` token before its
+/// arguments: the request then records spans under the caller's
+/// distributed trace and keeps them pullable via TRACEPULL. Requests
+/// without the token are byte-identical to the pre-token protocol.
 ///
 /// Responses are count-framed:
 ///
@@ -166,6 +181,9 @@ std::string WireErrLine(const Status& st);
 /// Splits off the first space-delimited word of `*rest` in place.
 std::string WireTakeWord(std::string* rest);
 bool WireParseInt64(const std::string& s, int64_t* out);
+/// Splits rendered multi-line text (operator tree, Prometheus
+/// exposition) into protocol rows.
+std::vector<std::string> WireSplitLines(const std::string& text);
 
 }  // namespace server
 }  // namespace spindle

@@ -1,61 +1,7 @@
 #include "server/metrics.h"
 
-#include <bit>
-
 namespace spindle {
 namespace server {
-
-int LatencyHistogram::BucketOf(uint64_t us) {
-  if (us < (1u << kSubBits)) return static_cast<int>(us);  // exact tiny values
-  int octave = std::bit_width(us) - 1;                     // >= kSubBits
-  if (octave >= kOctaves) {
-    octave = kOctaves - 1;
-    us = (uint64_t{1} << kOctaves) - 1;
-  }
-  // Top kSubBits bits below the leading bit select the linear sub-bucket.
-  uint64_t sub = (us >> (octave - kSubBits)) & ((1u << kSubBits) - 1);
-  return (octave << kSubBits) + static_cast<int>(sub);
-}
-
-uint64_t LatencyHistogram::BucketUpperUs(int bucket) {
-  if (bucket < (1 << kSubBits)) return static_cast<uint64_t>(bucket);
-  int octave = bucket >> kSubBits;
-  uint64_t sub = static_cast<uint64_t>(bucket & ((1 << kSubBits) - 1));
-  uint64_t base = uint64_t{1} << octave;
-  uint64_t step = base >> kSubBits;
-  return base + (sub + 1) * step - 1;
-}
-
-uint64_t LatencyHistogram::PercentileUs(double q) const {
-  uint64_t total = count();
-  if (total == 0) return 0;
-  // Nearest-rank: the ceil(q/100 * total)-th smallest sample (1-based).
-  uint64_t rank = static_cast<uint64_t>(q / 100.0 * total);
-  if (rank * 100 < static_cast<uint64_t>(q * total)) ++rank;
-  if (rank == 0) rank = 1;
-  if (rank > total) rank = total;
-  uint64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    seen += counts_[b].load(std::memory_order_relaxed);
-    if (seen >= rank) return BucketUpperUs(b);
-  }
-  return max_us();
-}
-
-std::string LatencyHistogram::ToJson() const {
-  uint64_t n = count();
-  double mean = n == 0 ? 0.0 : static_cast<double>(sum_us()) /
-                                   static_cast<double>(n);
-  std::string out = "{";
-  out += "\"count\":" + std::to_string(n);
-  out += ",\"mean_us\":" + std::to_string(mean);
-  out += ",\"max_us\":" + std::to_string(max_us());
-  out += ",\"p50_us\":" + std::to_string(PercentileUs(50));
-  out += ",\"p95_us\":" + std::to_string(PercentileUs(95));
-  out += ",\"p99_us\":" + std::to_string(PercentileUs(99));
-  out += "}";
-  return out;
-}
 
 std::string ServiceMetrics::SnapshotJson() const {
   auto v = [](const std::atomic<uint64_t>& a) {
@@ -90,6 +36,69 @@ std::string ServiceMetrics::SnapshotJson() const {
   out += ",\"queue_wait_us\":" + queue_wait_us.ToJson();
   out += "}";
   return out;
+}
+
+void ServiceMetrics::Register(obs::MetricsRegistry* registry) const {
+  auto* r = registry;
+  const std::string none;
+  r->AddCounter("spindle_requests_total", "Requests by outcome.",
+                R"(outcome="ok")", &requests_ok);
+  r->AddCounter("spindle_requests_total", "", R"(outcome="deadline_exceeded")",
+                &requests_deadline_exceeded);
+  r->AddCounter("spindle_requests_total", "", R"(outcome="cancelled")",
+                &requests_cancelled);
+  r->AddCounter("spindle_requests_total", "", R"(outcome="overloaded")",
+                &requests_overloaded);
+  r->AddCounter("spindle_requests_total", "", R"(outcome="error")",
+                &requests_error);
+  r->AddCounter("spindle_requests_by_priority_total",
+                "Requests by admission priority.", R"(priority="interactive")",
+                &requests_by_priority[0]);
+  r->AddCounter("spindle_requests_by_priority_total", "",
+                R"(priority="batch")", &requests_by_priority[1]);
+  static const char* kModelNames[4] = {"bm25", "tfidf", "lm_dirichlet",
+                                       "lm_jelinek_mercer"};
+  for (int m = 0; m < 4; ++m) {
+    r->AddCounter("spindle_searches_total", m == 0 ? "Searches by model." : "",
+                  "model=\"" + std::string(kModelNames[m]) + "\"",
+                  &searches_by_model[m]);
+  }
+  r->AddCounter("spindle_docs_scored_total", "Documents scored.", none,
+                &docs_scored);
+  r->AddCounter("spindle_docs_skipped_total",
+                "Documents skipped by pruning.", none, &docs_skipped);
+  r->AddCounter("spindle_blocks_skipped_total",
+                "Posting blocks skipped by impact bounds.", none,
+                &blocks_skipped);
+  r->AddCounter("spindle_blocks_decoded_total",
+                "Compressed posting blocks decoded.", none, &blocks_decoded);
+  r->AddCounter("spindle_decode_bytes_total",
+                "Compressed bytes decoded.", none, &decode_bytes);
+  r->AddCounter("spindle_index_hits_total",
+                "On-demand index lookups served from an existing index.",
+                none, &index_hits);
+  r->AddCounter("spindle_index_misses_total",
+                "On-demand index lookups that triggered a build.", none,
+                &index_misses);
+  r->AddCounter("spindle_writes_total", "Accepted write commands.", none,
+                &writes_total);
+  r->AddCounter("spindle_writes_rejected_total", "Rejected write commands.",
+                none, &writes_rejected);
+  r->AddCounter("spindle_compactions_total", "Delta compactions installed.",
+                none, &compactions);
+  r->AddGauge("spindle_delta_docs", "Docs buffered in live deltas.", none,
+              &delta_docs);
+  r->AddGauge("spindle_deleted_docs", "Docs masked as deleted in deltas.",
+              none, &deleted_docs);
+  r->AddHistogram("spindle_request_latency_us",
+                  "End-to-end request latency (microseconds).", none,
+                  &latency_us);
+  r->AddHistogram("spindle_queue_wait_us",
+                  "Admission queue wait (microseconds).", none,
+                  &queue_wait_us);
+  r->AddHistogram("spindle_freshness_lag_us",
+                  "Write arrival to searchable (microseconds).", none,
+                  &freshness_lag_us);
 }
 
 }  // namespace server

@@ -1,6 +1,8 @@
 /// \file metrics.h
 /// \brief Service-wide observability: lock-free counters and latency
-/// histograms with percentile snapshots, exportable as JSON.
+/// histograms with percentile snapshots, exportable as JSON and
+/// self-registering into the unified obs::MetricsRegistry for the
+/// Prometheus METRICS endpoint.
 ///
 /// Recording is wait-free (one atomic add per sample), so the serving hot
 /// path never contends on a metrics lock. Snapshots read the buckets
@@ -14,55 +16,15 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics_registry.h"
+
 namespace spindle {
 namespace server {
 
-/// \brief Log-bucketed histogram of microsecond values.
-///
-/// Buckets are exponential with 4 linear sub-buckets per octave
-/// (resolution ~12% everywhere), covering 1 µs .. ~1.2 hours; larger
-/// samples clamp into the top bucket. Percentile estimates return the
-/// upper bound of the bucket containing the nearest-rank sample, so a
-/// reported p99 is always >= the true p99 (conservative for SLOs).
-class LatencyHistogram {
- public:
-  static constexpr int kSubBits = 2;                   // 4 sub-buckets
-  static constexpr int kOctaves = 32;                  // up to 2^32 µs
-  static constexpr int kBuckets = kOctaves << kSubBits;
-
-  /// \brief Records one sample (microseconds). Wait-free.
-  void Record(uint64_t us) {
-    counts_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_us_.fetch_add(us, std::memory_order_relaxed);
-    uint64_t prev = max_us_.load(std::memory_order_relaxed);
-    while (us > prev && !max_us_.compare_exchange_weak(
-                            prev, us, std::memory_order_relaxed)) {
-    }
-  }
-
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  uint64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
-  uint64_t max_us() const { return max_us_.load(std::memory_order_relaxed); }
-
-  /// \brief Nearest-rank percentile (q in [0, 100]) in microseconds: the
-  /// upper bound of the bucket holding the rank-th sample; 0 when empty.
-  uint64_t PercentileUs(double q) const;
-
-  /// \brief {"count":n,"mean_us":x,"max_us":n,"p50_us":n,...}
-  std::string ToJson() const;
-
-  /// \brief Bucket index of a microsecond value.
-  static int BucketOf(uint64_t us);
-  /// \brief Inclusive upper bound of a bucket's value range.
-  static uint64_t BucketUpperUs(int bucket);
-
- private:
-  std::atomic<uint64_t> counts_[kBuckets] = {};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_us_{0};
-  std::atomic<uint64_t> max_us_{0};
-};
+/// The log-bucketed histogram lives in obs so the registry (and the
+/// coordinator's exact fleet merge) can share its bucket layout; the
+/// server keeps its historical name.
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// \brief The query service's counters and histograms. One instance per
 /// QueryService; everything is atomic so concurrent requests record
@@ -75,6 +37,11 @@ struct ServiceMetrics {
   std::atomic<uint64_t> requests_cancelled{0};
   std::atomic<uint64_t> requests_overloaded{0};
   std::atomic<uint64_t> requests_error{0};
+
+  // Requests by admission priority (0 = interactive, 1 = batch).
+  std::atomic<uint64_t> requests_by_priority[2] = {};
+  // Searches by ranking model, indexed by ir::RankModel's enum order.
+  std::atomic<uint64_t> searches_by_model[4] = {};
 
   // Work done on behalf of requests (rolled up from per-call stats).
   std::atomic<uint64_t> docs_scored{0};
@@ -106,6 +73,11 @@ struct ServiceMetrics {
   /// \brief One JSON object with every counter and both histograms
   /// (schema documented in docs/serving.md).
   std::string SnapshotJson() const;
+
+  /// \brief Self-registers every cell under the `spindle_*` family names
+  /// (docs/observability.md documents the naming scheme). The registry
+  /// must not outlive this struct.
+  void Register(obs::MetricsRegistry* registry) const;
 };
 
 }  // namespace server

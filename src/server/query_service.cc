@@ -28,7 +28,54 @@ QueryService::QueryService(QueryServiceOptions options)
       cache_(options.cache_budget_bytes),
       searcher_(options.analyzer),
       evaluator_(&catalog_, &cache_),
-      admission_(options.admission) {}
+      admission_(options.admission),
+      slowlog_(SlowLogOptions{options.slow_query_ms, options.slow_sample,
+                              options.slow_log_capacity}) {
+  metrics_.Register(&registry_);
+  RegisterGauges();
+}
+
+void QueryService::RegisterGauges() {
+  registry_.AddCounterFn(
+      "spindle_cache_hits_total", "Materialization cache hits.", "",
+      [this] { return static_cast<double>(cache_.stats().hits); });
+  registry_.AddCounterFn(
+      "spindle_cache_misses_total", "Materialization cache misses.", "",
+      [this] { return static_cast<double>(cache_.stats().misses); });
+  registry_.AddGaugeFn(
+      "spindle_heap_bytes", "Catalog heap bytes.", "",
+      [this] { return static_cast<double>(catalog_.ByteSizes().heap_bytes); });
+  registry_.AddGaugeFn(
+      "spindle_mapped_bytes", "Catalog memory-mapped snapshot bytes.", "",
+      [this] {
+        return static_cast<double>(catalog_.ByteSizes().mapped_bytes);
+      });
+  registry_.AddGaugeFn(
+      "spindle_compressed_bytes", "Catalog compressed column/posting bytes.",
+      "", [this] {
+        return static_cast<double>(catalog_.ByteSizes().compressed_bytes);
+      });
+  registry_.AddGaugeFn(
+      "spindle_admission_inflight", "Requests currently executing.", "",
+      [this] { return static_cast<double>(admission_.inflight()); });
+  registry_.AddGaugeFn(
+      "spindle_admission_queued", "Requests waiting for admission.", "",
+      [this] { return static_cast<double>(admission_.queued()); });
+  registry_.AddCounterFn(
+      "spindle_shed_total", "Requests shed by admission control.", "",
+      [this] { return static_cast<double>(admission_.shed_total()); });
+  registry_.AddGaugeCallback(
+      "spindle_freshness_epoch",
+      "Latest searchable epoch per live-written collection.",
+      [this](std::vector<std::pair<std::string, double>>* out) {
+        std::lock_guard<std::mutex> lock(live_mu_);
+        for (const auto& [name, table] : live_) {
+          out->emplace_back(
+              obs::RenderLabels({{"collection", name}}),
+              static_cast<double>(table->stats().epoch));
+        }
+      });
+}
 
 void QueryService::RegisterCollection(const std::string& name,
                                       RelationPtr docs) {
@@ -51,18 +98,33 @@ RequestContext QueryService::MakeContext(const RequestOptions& ro) const {
 
 Result<RelationPtr> QueryService::RunAdmitted(
     const RequestOptions& ro, RequestStats* stats,
-    std::shared_ptr<const obs::Tracer>* trace_out,
+    std::shared_ptr<const obs::Tracer>* trace_out, const char* kind,
+    const std::function<std::string()>& text_fn,
     const std::function<Result<RelationPtr>()>& body) {
   const auto t0 = std::chrono::steady_clock::now();
   metrics_.requests_total.fetch_add(1, std::memory_order_relaxed);
+  metrics_.requests_by_priority[ro.priority == Priority::kBatch ? 1 : 0]
+      .fetch_add(1, std::memory_order_relaxed);
 
   // Per-request tracer: minted only when tracing is on, so the disabled
   // serving path allocates nothing and the engine sees a null ambient
-  // tracer (one pointer check per instrumentation point).
+  // tracer (one pointer check per instrumentation point). A propagated
+  // coordinator trace id (`tid=` wire token) also forces tracing.
   std::shared_ptr<obs::Tracer> tracer;
-  if (opts_.trace_requests || ro.trace) {
+  if (opts_.trace_requests || ro.trace || ro.foreign_trace_id != 0) {
     tracer = std::make_shared<obs::Tracer>();
     stats->trace_id = tracer->trace_id();
+    // Enter the TRACEPULL window at mint time, keyed by the foreign id
+    // when one was propagated: a coordinator can pull a still-running
+    // (e.g. cancelled straggler) request's spans mid-flight.
+    PullEntry entry;
+    entry.key = ro.foreign_trace_id != 0 ? ro.foreign_trace_id
+                                         : tracer->trace_id();
+    entry.parent_span = ro.foreign_parent_span;
+    entry.tracer = tracer;
+    std::lock_guard<std::mutex> lock(pull_mu_);
+    pull_log_.push_back(std::move(entry));
+    while (pull_log_.size() > kPullCapacity) pull_log_.pop_front();
   }
 
   RequestContext rc = MakeContext(ro);
@@ -163,6 +225,42 @@ Result<RelationPtr> QueryService::RunAdmitted(
                                   std::memory_order_relaxed);
 
   finish(out.ok() ? Status::OK() : out.status());
+
+  // Slow-query log: decided once the end-to-end latency is known, off
+  // the response's critical path. One relaxed check when disabled.
+  if (slowlog_.enabled()) {
+    bool sampled = false;
+    if (slowlog_.ShouldRecord(stats->latency_us, &sampled)) {
+      SlowLogEntry e;
+      e.at_ns = obs::NowNs();
+      e.kind = kind;
+      e.text = text_fn ? text_fn() : std::string();
+      e.status =
+          StatusCodeName(out.ok() ? StatusCode::kOk : out.status().code());
+      e.latency_us = stats->latency_us;
+      e.queue_wait_us = stats->queue_wait_us;
+      e.docs_scored = stats->search.docs_scored;
+      e.docs_skipped = stats->search.docs_skipped;
+      e.blocks_decoded = stats->search.blocks_decoded;
+      e.trace_id = stats->trace_id;
+      e.sampled = sampled;
+      slowlog_.Record(std::move(e));
+      if (tracer != nullptr) {
+        // Pin the exemplar so the SLOWLOG row's trace id stays pullable
+        // for as long as the row itself (the rolling window rotates).
+        PullEntry pin;
+        pin.key = ro.foreign_trace_id != 0 ? ro.foreign_trace_id
+                                           : tracer->trace_id();
+        pin.parent_span = ro.foreign_parent_span;
+        pin.tracer = tracer;
+        std::lock_guard<std::mutex> lock(pull_mu_);
+        pinned_log_.push_back(std::move(pin));
+        while (pinned_log_.size() > opts_.slow_log_capacity) {
+          pinned_log_.pop_front();
+        }
+      }
+    }
+  }
 
   if (tracer != nullptr) {
     // The request span is closed: fold this trace into the since-start
@@ -280,6 +378,61 @@ std::string QueryService::MetricsJson() {
   return json;
 }
 
+std::string QueryService::MetricsPrometheus() {
+  return registry_.PrometheusText();
+}
+
+std::string QueryService::HealthRow() {
+  uint64_t max_epoch = 0, delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    for (const auto& [name, table] : live_) {
+      ingest::LiveTable::Stats s = table->stats();
+      if (s.epoch > max_epoch) max_epoch = s.epoch;
+      delta += s.delta_docs;
+    }
+  }
+  const bool degraded =
+      admission_.queued() >= static_cast<size_t>(opts_.admission.max_queue);
+  std::string row = "ready=1";
+  row += " degraded=" + std::to_string(degraded ? 1 : 0);
+  row += " collections=" + std::to_string(catalog_.List().size());
+  row += " epoch=" + std::to_string(max_epoch);
+  row += " delta_docs=" + std::to_string(delta);
+  row += " inflight=" + std::to_string(admission_.inflight());
+  row += " queued=" + std::to_string(admission_.queued());
+  row += " shed=" + std::to_string(admission_.shed_total());
+  return row;
+}
+
+Result<std::vector<std::string>> QueryService::PullTraceRows(
+    uint64_t id) const {
+  PullEntry found;
+  {
+    std::lock_guard<std::mutex> lock(pull_mu_);
+    auto scan = [&](const std::deque<PullEntry>& log) {
+      for (auto it = log.rbegin(); it != log.rend(); ++it) {
+        if (it->key == id || it->tracer->trace_id() == id) {
+          found = *it;
+          return true;
+        }
+      }
+      return false;
+    };
+    if (!scan(pull_log_) && !scan(pinned_log_)) {
+      return Status::NotFound("no retained trace with id " +
+                              std::to_string(id));
+    }
+  }
+  obs::SpanPayload payload;
+  payload.trace_id = found.key;
+  payload.parent_span = found.parent_span;
+  payload.now_ns = obs::NowNs();
+  payload.dropped = found.tracer->dropped();
+  payload.spans = found.tracer->Snapshot();
+  return obs::SpanPayloadToRows(payload);
+}
+
 std::string QueryService::ExportChromeTraceJson() const {
   std::vector<std::shared_ptr<const obs::Tracer>> tracers;
   {
@@ -291,8 +444,12 @@ std::string QueryService::ExportChromeTraceJson() const {
 
 Result<QueryResponse> QueryService::Search(const SearchRequest& req) {
   QueryResponse resp;
+  metrics_.searches_by_model[static_cast<int>(req.options.model)].fetch_add(
+      1, std::memory_order_relaxed);
   Result<RelationPtr> rows = RunAdmitted(
-      req.request, &resp.stats, &resp.trace, [&]() -> Result<RelationPtr> {
+      req.request, &resp.stats, &resp.trace, "search",
+      [&] { return req.collection + " " + req.query; },
+      [&]() -> Result<RelationPtr> {
         // A live-written collection with a dirty delta takes the fused
         // two-lane path: the pinned version stays consistent for the
         // whole query no matter how many writes land meanwhile. With a
@@ -350,7 +507,8 @@ RelationPtr FlushRow(uint64_t epoch, int64_t docs) {
 Result<QueryResponse> QueryService::Write(const WriteRequest& req) {
   QueryResponse resp;
   Result<RelationPtr> rows = RunAdmitted(
-      req.request, &resp.stats, &resp.trace, [&]() -> Result<RelationPtr> {
+      req.request, &resp.stats, &resp.trace, "write",
+      [&] { return req.collection; }, [&]() -> Result<RelationPtr> {
         SPINDLE_ASSIGN_OR_RETURN(ingest::LiveTable * live,
                                  GetOrCreateLive(req.collection));
         const auto w0 = std::chrono::steady_clock::now();
@@ -380,7 +538,8 @@ Result<QueryResponse> QueryService::Write(const WriteRequest& req) {
 Result<QueryResponse> QueryService::Flush(const FlushRequest& req) {
   QueryResponse resp;
   Result<RelationPtr> rows = RunAdmitted(
-      req.request, &resp.stats, &resp.trace, [&]() -> Result<RelationPtr> {
+      req.request, &resp.stats, &resp.trace, "flush",
+      [&] { return req.collection; }, [&]() -> Result<RelationPtr> {
         ingest::LiveTable* live = FindLive(req.collection);
         if (live == nullptr) {
           // Never written: FLUSH is a no-op, but still validates the name.
@@ -477,8 +636,11 @@ void QueryService::RetainTrace(
 Result<QueryResponse> QueryService::SearchSharded(
     const ShardSearchRequest& req) {
   QueryResponse resp;
+  metrics_.searches_by_model[static_cast<int>(req.options.model)].fetch_add(
+      1, std::memory_order_relaxed);
   Result<RelationPtr> rows = RunAdmitted(
-      req.request, &resp.stats, &resp.trace, [&]() -> Result<RelationPtr> {
+      req.request, &resp.stats, &resp.trace, "searchg",
+      [&] { return req.collection; }, [&]() -> Result<RelationPtr> {
         SPINDLE_ASSIGN_OR_RETURN(RelationPtr docs,
                                  catalog_.Get(req.collection));
         std::string sig =
@@ -534,7 +696,8 @@ shard::GlobalStatsPtr QueryService::GetGlobalStats(
 Result<QueryResponse> QueryService::EvalSpinql(const SpinqlRequest& req) {
   QueryResponse resp;
   Result<RelationPtr> rows = RunAdmitted(
-      req.request, &resp.stats, &resp.trace, [&]() -> Result<RelationPtr> {
+      req.request, &resp.stats, &resp.trace, "spinql",
+      [&] { return req.text; }, [&]() -> Result<RelationPtr> {
         Result<ProbRelation> r = evaluator_.EvalExpression(req.text);
         if (!r.ok()) return r.status();
         return r.ValueOrDie().rel();

@@ -35,9 +35,12 @@
 #include "ingest/live_table.h"
 #include "ir/index_snapshot.h"
 #include "ir/searcher.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_wire.h"
 #include "obs/trace.h"
 #include "server/admission.h"
 #include "server/metrics.h"
+#include "server/slowlog.h"
 #include "shard/global_stats.h"
 #include "spinql/evaluator.h"
 #include "storage/catalog.h"
@@ -68,6 +71,12 @@ struct QueryServiceOptions {
   size_t compact_threshold = 1024;
   /// Disable to compact live tables only on FLUSH (deterministic tests).
   bool auto_compact = true;
+  /// Slow-query log: capture requests slower than this (ms); 0 = off.
+  int64_t slow_query_ms = 0;
+  /// Slow-query log: additionally capture every N-th request; 0 = off.
+  uint64_t slow_sample = 0;
+  /// Slow-query log ring capacity.
+  size_t slow_log_capacity = 128;
 };
 
 /// \brief Common per-request envelope.
@@ -82,6 +91,13 @@ struct RequestOptions {
   /// Trace this one request even when the service-wide switch is off
   /// (the TRACE wire command sets this).
   bool trace = false;
+  /// Distributed tracing: the coordinator's trace id and parent span id
+  /// (from the wire `tid=<hex>:<span>` token). Non-zero trace id forces
+  /// tracing for this request and retains its tracer for `TRACEPULL
+  /// <hex>` so the coordinator can splice this shard's spans into its
+  /// own timeline.
+  uint64_t foreign_trace_id = 0;
+  uint64_t foreign_parent_span = 0;
 };
 
 /// \brief Per-request accounting returned with every response.
@@ -230,6 +246,26 @@ class QueryService {
   /// counters, and the tracer rollup's top-N slowest operators).
   std::string MetricsJson();
 
+  /// \brief Prometheus text exposition of every registered metric (the
+  /// METRICS wire command). Naming scheme in docs/observability.md.
+  std::string MetricsPrometheus();
+
+  /// \brief One-line health row for probes (the HEALTH wire command):
+  /// `ready=1 degraded=<0|1> collections=<n> epoch=<max live epoch>
+  /// delta_docs=<n> inflight=<n> queued=<n> shed=<n>`. Cheap and served
+  /// without admission, so it answers even on a saturated server.
+  std::string HealthRow();
+
+  /// \brief The serialized span payload of a retained trace: `id` is
+  /// either a foreign (coordinator-minted) trace id propagated via the
+  /// wire `tid=` token, or a shard-local trace id. NotFound once the
+  /// bounded retention window has evicted it.
+  Result<std::vector<std::string>> PullTraceRows(uint64_t id) const;
+
+  /// \brief Slow-query log rows, oldest first (the SLOWLOG command).
+  std::vector<std::string> SlowLogRows() const { return slowlog_.RenderRows(); }
+  const SlowQueryLog& slowlog() const { return slowlog_; }
+
   /// \brief Chrome trace-event JSON of the retained recent request
   /// traces (up to options().trace_log_capacity), merged onto one
   /// timeline — one Chrome "process" per request. Empty trace list
@@ -252,13 +288,20 @@ class QueryService {
   /// minting).
   RequestContext MakeContext(const RequestOptions& ro) const;
 
-  /// Admission + ambient-context installation + metrics + tracing around
-  /// `body`. When the request is traced, `*trace_out` (if non-null)
-  /// receives the request's tracer.
+  /// Admission + ambient-context installation + metrics + tracing +
+  /// slow-query logging around `body`. When the request is traced,
+  /// `*trace_out` (if non-null) receives the request's tracer. `kind`
+  /// labels the request class for the slow log; `text_fn` renders its
+  /// query text and is only invoked when an entry is actually recorded.
   Result<RelationPtr> RunAdmitted(
       const RequestOptions& ro, RequestStats* stats,
-      std::shared_ptr<const obs::Tracer>* trace_out,
+      std::shared_ptr<const obs::Tracer>* trace_out, const char* kind,
+      const std::function<std::string()>& text_fn,
       const std::function<Result<RelationPtr>()>& body);
+
+  /// Registers the scrape-time gauges (cache, catalog bytes, per-
+  /// collection freshness) into registry_. Called once from the ctor.
+  void RegisterGauges();
 
   /// The live table for `collection`, creating it on first write (builds
   /// the main index if not cached). Thread-safe.
@@ -287,6 +330,25 @@ class QueryService {
   obs::TraceAggregator trace_agg_;
   mutable std::mutex trace_mu_;
   std::deque<std::shared_ptr<const obs::Tracer>> trace_log_;
+  /// Distributed-tracing pull window: recent request tracers keyed by
+  /// the id TRACEPULL looks them up under (the foreign coordinator id
+  /// when one was propagated, else the tracer's own id). Registered at
+  /// mint time so a still-running (e.g. cancelled straggler) request is
+  /// already pullable.
+  struct PullEntry {
+    uint64_t key = 0;
+    uint64_t parent_span = 0;
+    std::shared_ptr<const obs::Tracer> tracer;
+  };
+  static constexpr size_t kPullCapacity = 256;
+  mutable std::mutex pull_mu_;
+  std::deque<PullEntry> pull_log_;
+  /// Slow-query exemplars pinned past the rolling pull window, so a
+  /// SLOWLOG row's trace id stays retrievable as long as the row itself.
+  std::deque<PullEntry> pinned_log_;
+  /// Slow-query ring + the unified metrics registry (Prometheus).
+  SlowQueryLog slowlog_;
+  obs::MetricsRegistry registry_;
   /// Live-written collections (created lazily on first write). The map
   /// only grows; LiveTable itself is internally synchronized.
   mutable std::mutex live_mu_;

@@ -1,0 +1,69 @@
+#include "server/slowlog.h"
+
+#include <atomic>
+
+#include "obs/trace.h"
+
+namespace spindle {
+namespace server {
+
+std::string SlowLogEntry::ToJson() const {
+  std::string out = "{";
+  out += "\"seq\":" + std::to_string(seq);
+  out += ",\"at_ms\":" + std::to_string(at_ns / 1000000);
+  out += ",\"kind\":\"" + obs::EscapeJson(kind) + "\"";
+  out += ",\"text\":\"" + obs::EscapeJson(text) + "\"";
+  out += ",\"status\":\"" + obs::EscapeJson(status) + "\"";
+  out += ",\"latency_us\":" + std::to_string(latency_us);
+  out += ",\"queue_wait_us\":" + std::to_string(queue_wait_us);
+  out += ",\"docs_scored\":" + std::to_string(docs_scored);
+  out += ",\"docs_skipped\":" + std::to_string(docs_skipped);
+  out += ",\"blocks_decoded\":" + std::to_string(blocks_decoded);
+  out += ",\"trace_id\":" + std::to_string(trace_id);
+  out += ",\"sampled\":";
+  out += sampled ? "true" : "false";
+  if (!detail.empty()) {
+    out += ",\"detail\":\"" + obs::EscapeJson(detail) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+bool SlowQueryLog::ShouldRecord(uint64_t latency_us, bool* sampled_out) {
+  *sampled_out = false;
+  if (opts_.threshold_ms > 0 &&
+      latency_us >= static_cast<uint64_t>(opts_.threshold_ms) * 1000) {
+    return true;
+  }
+  if (opts_.sample_every > 0) {
+    uint64_t n = sample_counter_.fetch_add(1, std::memory_order_relaxed);
+    if (n % opts_.sample_every == 0) {
+      *sampled_out = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SlowQueryLog::Record(SlowLogEntry entry) {
+  entry.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() >= opts_.capacity) ring_.pop_front();
+  ring_.push_back(std::move(entry));
+}
+
+std::vector<SlowLogEntry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowLogEntry>(ring_.begin(), ring_.end());
+}
+
+std::vector<std::string> SlowQueryLog::RenderRows() const {
+  std::vector<std::string> rows;
+  std::lock_guard<std::mutex> lock(mu_);
+  rows.reserve(ring_.size());
+  for (const SlowLogEntry& e : ring_) rows.push_back(e.ToJson());
+  return rows;
+}
+
+}  // namespace server
+}  // namespace spindle

@@ -1,0 +1,83 @@
+/// \file slowlog.h
+/// \brief Bounded slow-query log: captures requests over a latency
+/// threshold (or a deterministic 1/N sample) with their query text,
+/// outcome, latency breakdown and pruning counters — plus an exemplar
+/// trace id when tracing was on, retrievable via `TRACEPULL`.
+///
+/// The off path costs one relaxed load (enabled check); the sampled path
+/// adds one relaxed fetch_add. Recording a hit takes a short mutex on a
+/// bounded ring, off the per-request critical path (after the response
+/// has been produced).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spindle {
+namespace server {
+
+struct SlowLogOptions {
+  /// Capture any request slower than this (0 disables the threshold).
+  int64_t threshold_ms = 0;
+  /// Additionally capture every N-th request regardless of latency
+  /// (0 disables sampling).
+  uint64_t sample_every = 0;
+  /// Ring capacity; the oldest entry is evicted on overflow.
+  size_t capacity = 128;
+};
+
+struct SlowLogEntry {
+  uint64_t seq = 0;          ///< 1-based, monotone across evictions
+  uint64_t at_ns = 0;        ///< obs::NowNs() when the request finished
+  std::string kind;          ///< "search", "searchg", "write", ...
+  std::string text;          ///< query / command text
+  std::string status;        ///< "ok", "deadline_exceeded", ...
+  uint64_t latency_us = 0;
+  uint64_t queue_wait_us = 0;
+  uint64_t docs_scored = 0;
+  uint64_t docs_skipped = 0;
+  uint64_t blocks_decoded = 0;
+  uint64_t trace_id = 0;     ///< exemplar trace (0 = tracing was off)
+  bool sampled = false;      ///< captured by 1/N sampling, not threshold
+  std::string detail;        ///< extra breakdown (coordinator shard info)
+
+  /// \brief One JSON object (the SLOWLOG row format).
+  std::string ToJson() const;
+};
+
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(SlowLogOptions options) : opts_(options) {}
+
+  bool enabled() const {
+    return opts_.threshold_ms > 0 || opts_.sample_every > 0;
+  }
+
+  /// \brief Whether a finished request with this latency should be
+  /// recorded; `sampled_out` reports which rule fired.
+  bool ShouldRecord(uint64_t latency_us, bool* sampled_out);
+
+  /// \brief Appends an entry (assigns seq, evicts the oldest at cap).
+  void Record(SlowLogEntry entry);
+
+  std::vector<SlowLogEntry> Snapshot() const;
+  /// \brief One JSON row per entry, oldest first (the SLOWLOG response).
+  std::vector<std::string> RenderRows() const;
+
+  const SlowLogOptions& options() const { return opts_; }
+
+ private:
+  const SlowLogOptions opts_;
+  std::atomic<uint64_t> sample_counter_{0};
+  std::atomic<uint64_t> next_seq_{1};
+  mutable std::mutex mu_;
+  std::deque<SlowLogEntry> ring_;
+};
+
+}  // namespace server
+}  // namespace spindle

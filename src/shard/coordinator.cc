@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 #include <utility>
@@ -46,6 +47,14 @@ Result<RelationPtr> LocalShardBackend::SearchSharded(
   // (never stacked on top of the coordinator's).
   req.request.deadline_ms = deadline_ms > 0 ? deadline_ms : -1;
   req.request.token = std::move(token);
+  // Distributed trace propagation, in-process edition: hand the ambient
+  // trace identity over so the service records (and retains) its spans
+  // under the coordinator's trace id.
+  const obs::TraceContext tctx = obs::CurrentTraceContext();
+  if (tctx.tracer != nullptr) {
+    req.request.foreign_trace_id = tctx.tracer->trace_id();
+    req.request.foreign_parent_span = tctx.span;
+  }
   Result<server::QueryResponse> resp = service_->SearchSharded(req);
   if (!resp.ok()) return resp.status();
   return resp.MoveValueOrDie().rows;
@@ -87,6 +96,15 @@ Result<GlobalStatsPtr> LocalShardBackend::FetchLocalStats(
   return service_->ComputeLocalStats(collection);
 }
 
+Result<std::string> LocalShardBackend::FetchMetricsText() {
+  return service_->MetricsPrometheus();
+}
+
+Result<std::vector<std::string>> LocalShardBackend::PullTraceRows(
+    uint64_t trace_id) {
+  return service_->PullTraceRows(trace_id);
+}
+
 Result<server::LineClientPool::Lease> RemoteShardBackend::Checkout(
     int64_t read_timeout_ms) {
   SPINDLE_ASSIGN_OR_RETURN(server::LineClientPool::Lease lease,
@@ -106,8 +124,17 @@ Result<RelationPtr> RemoteShardBackend::SearchSharded(
                                           : opts_.default_read_timeout_ms;
   SPINDLE_ASSIGN_OR_RETURN(server::LineClientPool::Lease client,
                            Checkout(read_ms));
-  Result<server::WireResponse> resp =
-      client->Call(EncodeSearchG(collection, deadline_ms, options, global));
+  // Propagate the ambient trace identity (the coordinator's shard_wait
+  // span) so the shard records its spans under our trace id; untraced
+  // dispatches send byte-identical request lines.
+  uint64_t trace_id = 0, parent_span = 0;
+  const obs::TraceContext tctx = obs::CurrentTraceContext();
+  if (tctx.tracer != nullptr) {
+    trace_id = tctx.tracer->trace_id();
+    parent_span = tctx.span;
+  }
+  Result<server::WireResponse> resp = client->Call(EncodeSearchG(
+      collection, deadline_ms, options, global, trace_id, parent_span));
   if (!resp.ok()) return resp.status();
   if (token != nullptr && token->cancelled()) return token->ToStatus();
   std::vector<int64_t> ids;
@@ -227,6 +254,32 @@ Result<GlobalStatsPtr> RemoteShardBackend::FetchLocalStats(
   return GlobalStats::FromWireRows(resp.ValueOrDie().rows);
 }
 
+Result<std::string> RemoteShardBackend::FetchMetricsText() {
+  SPINDLE_ASSIGN_OR_RETURN(server::LineClientPool::Lease client,
+                           Checkout(opts_.default_read_timeout_ms));
+  Result<server::WireResponse> resp = client->Call("METRICS");
+  if (!resp.ok()) return resp.status();
+  std::string text;
+  for (const std::string& row : resp.ValueOrDie().rows) {
+    text += row;
+    text += '\n';
+  }
+  return text;
+}
+
+Result<std::vector<std::string>> RemoteShardBackend::PullTraceRows(
+    uint64_t trace_id) {
+  SPINDLE_ASSIGN_OR_RETURN(server::LineClientPool::Lease client,
+                           Checkout(opts_.default_read_timeout_ms));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llx",
+                static_cast<unsigned long long>(trace_id));
+  Result<server::WireResponse> resp =
+      client->Call(std::string("TRACEPULL ") + buf);
+  if (!resp.ok()) return resp.status();
+  return resp.MoveValueOrDie().rows;
+}
+
 // ---------------------------------------------------------------------------
 // Coordinator
 
@@ -255,6 +308,15 @@ struct ShardCoordinator::GatherState {
     bool hedge_won = false;
     uint64_t latency_us = 0;
     CancelTokenPtr tokens[2];  ///< [0] primary, [1] hedge
+    // Distributed-trace bookkeeping, written only on traced requests:
+    // which backend each copy went to, the coordinator-clock send /
+    // receive timestamps bracketing the dispatch (the clock-offset
+    // anchor) and the shard_wait / shard_hedge span the shard's spans
+    // attach under.
+    ShardBackendPtr dispatched[2];
+    uint64_t sent_ns[2] = {0, 0};
+    uint64_t recv_ns[2] = {0, 0};
+    uint64_t wait_span[2] = {0, 0};
   };
   std::vector<Slot> slots;
   size_t done_count = 0;
@@ -262,7 +324,11 @@ struct ShardCoordinator::GatherState {
 
 ShardCoordinator::ShardCoordinator(CoordinatorOptions options,
                                    AnalyzerOptions analyzer)
-    : opts_(options), analyzer_options_(std::move(analyzer)) {}
+    : opts_(options),
+      analyzer_options_(std::move(analyzer)),
+      slowlog_(server::SlowLogOptions{options.slow_query_ms,
+                                      options.slow_sample,
+                                      options.slow_log_capacity}) {}
 
 ShardCoordinator::~ShardCoordinator() {
   stopping_.store(true, std::memory_order_release);
@@ -398,10 +464,20 @@ void ShardCoordinator::Dispatch(const std::shared_ptr<GatherState>& state,
               .count();
       remaining_ms = left > 1 ? left : 1;
     }
+    const int ci = is_hedge ? 1 : 0;
     Result<RelationPtr> r = [&]() -> Result<RelationPtr> {
       obs::ScopedTraceContext trace_scope(tctx);
       obs::Span span("coord", is_hedge ? "shard_hedge" : "shard_wait");
-      if (span.active()) span.Note("shard", backend->name());
+      if (span.active()) {
+        span.Note("shard", backend->name());
+        // Publish the trace anchors before the call: a straggler's spans
+        // can then be pulled (and attached) while it is still in flight.
+        std::lock_guard<std::mutex> lock(state->mu);
+        GatherState::Slot& slot = state->slots[idx];
+        slot.dispatched[ci] = backend;
+        slot.wait_span[ci] = span.id();
+        slot.sent_ns[ci] = obs::NowNs();
+      }
       try {
         return backend->SearchSharded(state->collection, *state->global,
                                       state->options, remaining_ms, token);
@@ -418,6 +494,7 @@ void ShardCoordinator::Dispatch(const std::shared_ptr<GatherState>& state,
       std::lock_guard<std::mutex> lock(state->mu);
       GatherState::Slot& slot = state->slots[idx];
       slot.outstanding--;
+      if (slot.sent_ns[ci] != 0) slot.recv_ns[ci] = obs::NowNs();
       if (!slot.done) {
         if (r.ok()) {
           slot.done = true;
@@ -477,7 +554,7 @@ Result<CoordSearchResponse> ShardCoordinator::Search(
 
   CoordSearchResponse resp;
   std::shared_ptr<obs::Tracer> tracer;
-  if (opts_.trace_requests) {
+  if (opts_.trace_requests || req.trace) {
     tracer = std::make_shared<obs::Tracer>();
     resp.trace_id = tracer->trace_id();
   }
@@ -698,6 +775,12 @@ Result<CoordSearchResponse> ShardCoordinator::Search(
                                  {"score", DataType::kFloat64}}),
                          std::move(cols)));
     }
+
+    // The answer is final — now splice every dispatched shard's spans
+    // (including hedge losers and cancelled stragglers) onto this
+    // timeline. Purely additive: pull failures only make the trace less
+    // complete, never the answer.
+    if (tracer != nullptr) ImportShardTraces(tracer.get(), state);
     return std::move(resp);
   }();
 
@@ -709,9 +792,45 @@ Result<CoordSearchResponse> ShardCoordinator::Search(
       trace_log_.pop_front();
     }
   }
+
+  const uint64_t latency_us = ElapsedUs(t0);
+  metrics_.latency_us.Record(latency_us);
+  if (slowlog_.enabled()) {
+    bool sampled = false;
+    if (slowlog_.ShouldRecord(latency_us, &sampled)) {
+      server::SlowLogEntry e;
+      e.at_ns = obs::NowNs();
+      e.kind = "search";
+      e.text = req.collection + " " + req.query;
+      e.latency_us = latency_us;
+      e.trace_id = tracer != nullptr ? tracer->trace_id() : 0;
+      e.sampled = sampled;
+      if (out.ok()) {
+        const CoordSearchResponse& r = out.ValueOrDie();
+        e.status = r.partial ? "partial" : "ok";
+        std::string detail = "hedges=" + std::to_string(r.hedges);
+        for (const std::string& n : r.failed_shards) detail += " failed=" + n;
+        e.detail = std::move(detail);
+      } else {
+        e.status = StatusCodeName(out.status().code());
+      }
+      slowlog_.Record(std::move(e));
+      if (tracer != nullptr) {
+        // Pin the exemplar so its TRACEPULL id outlives the rolling
+        // trace log.
+        std::lock_guard<std::mutex> lock(trace_mu_);
+        pinned_traces_.push_back(tracer);
+        while (pinned_traces_.size() > opts_.slow_log_capacity &&
+               !pinned_traces_.empty()) {
+          pinned_traces_.pop_front();
+        }
+      }
+    }
+  }
+
   if (!out.ok()) return fail(out.status());
   CoordSearchResponse final_resp = out.MoveValueOrDie();
-  final_resp.latency_us = ElapsedUs(t0);
+  final_resp.latency_us = latency_us;
   final_resp.trace = tracer;
   if (final_resp.partial) {
     metrics_.requests_partial.fetch_add(1, std::memory_order_relaxed);
@@ -719,6 +838,107 @@ Result<CoordSearchResponse> ShardCoordinator::Search(
     metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
   }
   return final_resp;
+}
+
+void ShardCoordinator::ImportShardTraces(
+    obs::Tracer* tracer, const std::shared_ptr<GatherState>& state) {
+  struct PullTarget {
+    ShardBackendPtr backend;
+    uint64_t attach = 0;
+    uint64_t sent = 0;
+    uint64_t recv = 0;
+  };
+  std::vector<PullTarget> targets;
+  {
+    // Copy the anchors out so the (possibly remote) pulls below never
+    // hold the gather mutex.
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (GatherState::Slot& slot : state->slots) {
+      for (int c = 0; c < 2; ++c) {
+        if (slot.dispatched[c] == nullptr) continue;
+        targets.push_back({slot.dispatched[c], slot.wait_span[c],
+                           slot.sent_ns[c], slot.recv_ns[c]});
+      }
+    }
+  }
+  obs::Span pull("coord", "trace_pull");
+  int64_t imported = 0;
+  for (const PullTarget& t : targets) {
+    Result<std::vector<std::string>> rows =
+        t.backend->PullTraceRows(tracer->trace_id());
+    if (!rows.ok()) continue;  // unreachable / not retained: trace less
+                               // complete, answer unaffected
+    Result<obs::SpanPayload> payload =
+        obs::SpanPayloadFromRows(rows.ValueOrDie());
+    if (!payload.ok()) continue;
+    const obs::SpanPayload& p = payload.ValueOrDie();
+
+    // Clock offset: shard and coordinator clocks share no epoch, so
+    // align the shard's root request span onto the coordinator's
+    // send→receive window. A closed root maps midpoint to midpoint and
+    // the window surplus is the measured skew (wire + queue time); an
+    // open root (cancelled straggler) aligns its start to the send.
+    int64_t offset_ns = 0;
+    int64_t skew_ns = 0;
+    const obs::SpanRecord* root = nullptr;
+    for (const obs::SpanRecord& s : p.spans) {
+      if (s.parent == 0 && !s.instant) {
+        root = &s;
+        break;
+      }
+    }
+    if (root != nullptr && t.sent != 0) {
+      if (root->end_ns != 0 && t.recv != 0) {
+        offset_ns = static_cast<int64_t>((t.sent + t.recv) / 2) -
+                    static_cast<int64_t>((root->start_ns + root->end_ns) / 2);
+        skew_ns = static_cast<int64_t>(t.recv - t.sent) -
+                  static_cast<int64_t>(root->end_ns - root->start_ns);
+      } else {
+        offset_ns = static_cast<int64_t>(t.sent) -
+                    static_cast<int64_t>(root->start_ns);
+      }
+    }
+    imported += static_cast<int64_t>(tracer->ImportSpans(
+        p.spans, t.attach, offset_ns, t.backend->name(),
+        {{"shard", t.backend->name()},
+         {"clock_offset_ns", std::to_string(offset_ns)},
+         {"skew_ns", std::to_string(skew_ns)}}));
+  }
+  if (pull.active()) pull.Add("spans_imported", imported);
+}
+
+Result<std::vector<std::string>> ShardCoordinator::PullTraceRows(
+    uint64_t trace_id) const {
+  std::shared_ptr<const obs::Tracer> found;
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    for (auto it = trace_log_.rbegin(); it != trace_log_.rend(); ++it) {
+      if ((*it)->trace_id() == trace_id) {
+        found = *it;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      for (auto it = pinned_traces_.rbegin(); it != pinned_traces_.rend();
+           ++it) {
+        if ((*it)->trace_id() == trace_id) {
+          found = *it;
+          break;
+        }
+      }
+    }
+  }
+  if (found == nullptr) {
+    return Status::NotFound("no retained trace with id " +
+                            std::to_string(trace_id));
+  }
+  obs::SpanPayload payload;
+  payload.trace_id = trace_id;
+  payload.parent_span = 0;
+  payload.now_ns = obs::NowNs();
+  payload.dropped = found->dropped();
+  payload.spans = found->Snapshot();
+  return obs::SpanPayloadToRows(payload);
 }
 
 Result<uint64_t> ShardCoordinator::Write(const std::string& collection,
@@ -806,6 +1026,139 @@ std::string ShardCoordinator::MetricsJson() const {
   return json;
 }
 
+void CoordinatorMetrics::Register(obs::MetricsRegistry* registry) const {
+  auto* r = registry;
+  const std::string none;
+  r->AddCounter("spindle_coord_requests_total",
+                "Distributed searches by outcome.", R"(outcome="ok")",
+                &requests_ok);
+  r->AddCounter("spindle_coord_requests_total", "", R"(outcome="partial")",
+                &requests_partial);
+  r->AddCounter("spindle_coord_requests_total", "", R"(outcome="failed")",
+                &requests_failed);
+  r->AddCounter("spindle_coord_shard_failures_total",
+                "Shard dispatches that failed or missed the deadline.",
+                none, &shard_failures);
+  r->AddCounter("spindle_coord_hedges_issued_total",
+                "Hedge dispatches issued to replicas.", none,
+                &hedges_issued);
+  r->AddCounter("spindle_coord_hedge_wins_total",
+                "Requests answered by the hedge copy.", none, &hedge_wins);
+  r->AddCounter("spindle_coord_writes_total", "Routed live writes.", none,
+                &writes_total);
+  r->AddCounter("spindle_coord_writes_failed_total",
+                "Live writes that failed on the owning shard or its "
+                "replica.",
+                none, &writes_failed);
+  r->AddCounter("spindle_coord_flushes_total",
+                "Fleet-wide flush + statistics refreshes.", none, &flushes);
+  r->AddHistogram("spindle_coord_request_latency_us",
+                  "End-to-end distributed search latency (microseconds).",
+                  none, &latency_us);
+}
+
+void ShardCoordinator::EnsureRegistered() {
+  // Deferred past setup (AddShard) so the per-shard pool gauges exist;
+  // the coordinator is setup-then-serve, so the shard set is final by
+  // the first scrape.
+  std::call_once(registry_once_, [this] {
+    metrics_.Register(&registry_);
+    registry_.AddGaugeFn("spindle_coord_shards", "Configured shards.", "",
+                         [this] {
+                           return static_cast<double>(shards_.size());
+                         });
+    registry_.AddGaugeFn("spindle_coord_inflight_dispatches",
+                         "Shard dispatch threads in flight.", "", [this] {
+                           std::lock_guard<std::mutex> lock(drain_mu_);
+                           return static_cast<double>(inflight_);
+                         });
+    for (const std::unique_ptr<Shard>& s : shards_) {
+      for (ShardBackendPtr backend : {s->primary, s->replica}) {
+        if (backend == nullptr) continue;
+        server::LineClientPool::Stats probe;
+        if (!backend->ConnectionPoolStats(&probe)) continue;
+        const std::string labels =
+            "shard=\"" + backend->name() + "\"";
+        auto fn = [backend](auto pick) {
+          server::LineClientPool::Stats st;
+          backend->ConnectionPoolStats(&st);
+          return pick(st);
+        };
+        registry_.AddCounterFn(
+            "spindle_coord_pool_dials_total",
+            "Backend connections established.", labels, [fn] {
+              return fn([](const server::LineClientPool::Stats& st) {
+                return static_cast<double>(st.dials);
+              });
+            });
+        registry_.AddCounterFn(
+            "spindle_coord_pool_reuses_total",
+            "Backend checkouts served from the idle pool.", labels, [fn] {
+              return fn([](const server::LineClientPool::Stats& st) {
+                return static_cast<double>(st.reuses);
+              });
+            });
+        registry_.AddGaugeFn(
+            "spindle_coord_pool_idle", "Idle pooled backend connections.",
+            labels, [fn] {
+              return fn([](const server::LineClientPool::Stats& st) {
+                return static_cast<double>(st.idle);
+              });
+            });
+        registry_.AddGaugeFn(
+            "spindle_coord_pool_outstanding",
+            "Backend connections checked out right now.", labels, [fn] {
+              return fn([](const server::LineClientPool::Stats& st) {
+                return static_cast<double>(st.outstanding);
+              });
+            });
+      }
+    }
+  });
+}
+
+std::string ShardCoordinator::MetricsPrometheus() {
+  EnsureRegistered();
+  std::string out = registry_.PrometheusText();
+  // Fleet view: scrape every reachable backend and append the exact
+  // aggregation (summed counters, bucket-wise-merged histograms) plus
+  // the per-shard re-export. Unreachable backends are skipped — the
+  // fleet series then cover the reachable subset.
+  std::vector<std::pair<std::string, std::vector<obs::PrometheusFamily>>>
+      scrapes;
+  for (const std::unique_ptr<Shard>& s : shards_) {
+    for (const ShardBackendPtr& backend : {s->primary, s->replica}) {
+      if (backend == nullptr) continue;
+      Result<std::string> text = backend->FetchMetricsText();
+      if (!text.ok()) continue;
+      Result<std::vector<obs::PrometheusFamily>> parsed =
+          obs::ParsePrometheusText(text.ValueOrDie());
+      if (!parsed.ok()) continue;
+      scrapes.emplace_back(backend->name(), parsed.MoveValueOrDie());
+    }
+  }
+  if (!scrapes.empty()) out += obs::AggregateScrapes(scrapes);
+  return out;
+}
+
+std::string ShardCoordinator::HealthRow() const {
+  // Cheap by design: no shard probes, no admission — HEALTH must answer
+  // even when the fleet is struggling.
+  size_t inflight;
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    inflight = inflight_;
+  }
+  std::string row = "ready=";
+  row += shards_.empty() ? '0' : '1';
+  row += " shards=" + std::to_string(shards_.size());
+  row += " inflight=" + std::to_string(inflight);
+  row += " requests_total=" +
+         std::to_string(
+             metrics_.requests_total.load(std::memory_order_relaxed));
+  return row;
+}
+
 std::string ShardCoordinator::ExportChromeTraceJson() const {
   std::vector<std::shared_ptr<const obs::Tracer>> tracers;
   {
@@ -823,14 +1176,49 @@ std::string CoordinatorHandler::Handle(const std::string& cmd,
   using server::WireErrLine;
   using server::WireOkBlock;
   using server::WireParseInt64;
+  using server::WireSplitLines;
   using server::WireTakeWord;
 
   if (cmd == "STATS") {
     return WireOkBlock({coordinator_->MetricsJson()});
   }
+  if (cmd == "METRICS") {
+    return WireOkBlock(WireSplitLines(coordinator_->MetricsPrometheus()));
+  }
+  if (cmd == "HEALTH") return WireOkBlock({coordinator_->HealthRow()});
+  if (cmd == "SLOWLOG") return WireOkBlock(coordinator_->SlowLogRows());
+  if (cmd == "TRACEPULL") {
+    const std::string word = WireTakeWord(&rest);
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long id = std::strtoull(word.c_str(), &end, 16);
+    if (word.empty() || !rest.empty() || errno != 0 ||
+        end != word.c_str() + word.size() || id == 0) {
+      return WireErrLine(
+          Status::InvalidArgument("usage: TRACEPULL <trace id (hex)>"));
+    }
+    Result<std::vector<std::string>> rows = coordinator_->PullTraceRows(id);
+    if (!rows.ok()) return WireErrLine(rows.status());
+    return WireOkBlock(rows.ValueOrDie());
+  }
+
+  // A leading tid= token on a coordinator request forces the request
+  // traced (the coordinator mints the distributed trace id itself — the
+  // caller's ids are not propagated upward).
+  bool traced = false;
+  if (rest.compare(0, 4, "tid=") == 0) {
+    const std::string token = WireTakeWord(&rest);
+    uint64_t foreign_trace = 0, foreign_span = 0;
+    if (!ParseTraceToken(token, &foreign_trace, &foreign_span)) {
+      return WireErrLine(
+          Status::InvalidArgument("malformed trace token: " + token));
+    }
+    traced = true;
+  }
 
   if (cmd == "SEARCH") {
     CoordSearchRequest req;
+    req.trace = traced;
     req.collection = WireTakeWord(&rest);
     int64_t k = 0;
     if (req.collection.empty() || !WireParseInt64(WireTakeWord(&rest), &k) ||

@@ -44,10 +44,13 @@
 #include "common/status.h"
 #include "exec/request_context.h"
 #include "ir/searcher.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_wire.h"
 #include "obs/trace.h"
 #include "server/client.h"
 #include "server/line_server.h"
 #include "server/query_service.h"
+#include "server/slowlog.h"
 #include "shard/global_stats.h"
 #include "text/analyzer.h"
 
@@ -108,6 +111,28 @@ class ShardBackend {
     return Status::NotImplemented(
         "backend does not support local statistics");
   }
+
+  /// \brief The shard's Prometheus metrics text (the METRICS wire
+  /// command) — the coordinator's fleet view scrapes every backend
+  /// through this.
+  virtual Result<std::string> FetchMetricsText() {
+    return Status::NotImplemented("backend does not expose metrics");
+  }
+
+  /// \brief Span rows (see obs/span_wire.h) for a trace recently
+  /// recorded on this shard — how the coordinator collects the shard
+  /// side of a distributed trace (TRACEPULL).
+  virtual Result<std::vector<std::string>> PullTraceRows(uint64_t trace_id) {
+    (void)trace_id;
+    return Status::NotImplemented("backend does not retain traces");
+  }
+
+  /// \brief Connection-pool occupancy, for backends that pool
+  /// connections (remote). Returns false for in-process backends.
+  virtual bool ConnectionPoolStats(server::LineClientPool::Stats* out) const {
+    (void)out;
+    return false;
+  }
 };
 
 using ShardBackendPtr = std::shared_ptr<ShardBackend>;
@@ -134,6 +159,8 @@ class LocalShardBackend : public ShardBackend {
   Result<int64_t> Flush(const std::string& collection) override;
   Result<GlobalStatsPtr> FetchLocalStats(
       const std::string& collection) override;
+  Result<std::string> FetchMetricsText() override;
+  Result<std::vector<std::string>> PullTraceRows(uint64_t trace_id) override;
 
  private:
   std::string name_;
@@ -187,6 +214,12 @@ class RemoteShardBackend : public ShardBackend {
   Result<int64_t> Flush(const std::string& collection) override;
   Result<GlobalStatsPtr> FetchLocalStats(
       const std::string& collection) override;
+  Result<std::string> FetchMetricsText() override;
+  Result<std::vector<std::string>> PullTraceRows(uint64_t trace_id) override;
+  bool ConnectionPoolStats(server::LineClientPool::Stats* out) const override {
+    *out = pool_.stats();
+    return true;
+  }
 
   /// \brief Connection-reuse accounting (dials vs. pool hits).
   server::LineClientPool::Stats pool_stats() const { return pool_.stats(); }
@@ -234,10 +267,18 @@ struct CoordinatorOptions {
   /// 0.95), once hedge_min_samples responses have been recorded.
   double hedge_percentile = 0.0;
   size_t hedge_min_samples = 32;
-  /// Trace every request (scatter / per-shard wait / merge spans,
+  /// Trace every request (scatter / per-shard wait / merge spans, shard
+  /// spans pulled and merged onto the coordinator timeline,
   /// Chrome-exportable).
   bool trace_requests = false;
   size_t trace_log_capacity = 64;
+  /// Slow-query log (docs/observability.md): capture requests slower
+  /// than this (0 disables) ...
+  int64_t slow_query_ms = 0;
+  /// ... and/or every N-th request regardless of latency (0 disables).
+  uint64_t slow_sample = 0;
+  /// Slow-log ring capacity; also bounds pinned exemplar traces.
+  size_t slow_log_capacity = 128;
 };
 
 struct CoordSearchRequest {
@@ -247,6 +288,9 @@ struct CoordSearchRequest {
   /// Relative deadline; 0 uses the coordinator default, negative
   /// disables it.
   int64_t deadline_ms = 0;
+  /// Trace this request even when the coordinator-wide trace_requests
+  /// is off (set by a tid= token on the wire).
+  bool trace = false;
 };
 
 struct CoordSearchResponse {
@@ -260,7 +304,8 @@ struct CoordSearchResponse {
   std::shared_ptr<const obs::Tracer> trace;
 };
 
-/// \brief Coordinator-side counters (monotonic; JSON via MetricsJson).
+/// \brief Coordinator-side counters (monotonic; JSON via MetricsJson,
+/// Prometheus families via Register).
 struct CoordinatorMetrics {
   std::atomic<uint64_t> requests_total{0};
   std::atomic<uint64_t> requests_ok{0};
@@ -272,6 +317,11 @@ struct CoordinatorMetrics {
   std::atomic<uint64_t> writes_total{0};
   std::atomic<uint64_t> writes_failed{0};
   std::atomic<uint64_t> flushes{0};
+  obs::LatencyHistogram latency_us;  ///< end-to-end Search latency
+
+  /// \brief Self-registers every cell under spindle_coord_* family
+  /// names. The metrics object must outlive the registry.
+  void Register(obs::MetricsRegistry* registry) const;
 };
 
 /// \brief The scatter-gather coordinator. Thread-safe after setup:
@@ -329,6 +379,23 @@ class ShardCoordinator {
   /// \brief Chrome trace-event JSON of retained request traces.
   std::string ExportChromeTraceJson() const;
 
+  /// \brief Prometheus text: the coordinator's own spindle_coord_*
+  /// families, followed by the fleet view — every reachable backend is
+  /// scraped (METRICS), counter and histogram families are summed into
+  /// exact fleet series and every source series is re-exported with a
+  /// shard="<name>" label (obs::AggregateScrapes). Unreachable backends
+  /// are skipped; the fleet series then cover the reachable subset.
+  std::string MetricsPrometheus();
+  /// \brief One-row readiness probe (the HEALTH wire command).
+  std::string HealthRow() const;
+  /// \brief Span rows for a retained (or slow-log-pinned) request trace.
+  Result<std::vector<std::string>> PullTraceRows(uint64_t trace_id) const;
+  /// \brief Slow-query log rows, oldest first (the SLOWLOG command).
+  std::vector<std::string> SlowLogRows() const {
+    return slowlog_.RenderRows();
+  }
+  const server::SlowQueryLog& slowlog() const { return slowlog_; }
+
  private:
   struct Shard {
     ShardBackendPtr primary;
@@ -350,11 +417,24 @@ class ShardCoordinator {
   void Dispatch(const std::shared_ptr<GatherState>& state, size_t idx,
                 const ShardBackendPtr& backend, bool is_hedge);
 
+  /// Pulls every dispatched backend's spans for this trace and splices
+  /// them onto the coordinator timeline (clock offset from the
+  /// send/receive window; see docs/observability.md).
+  void ImportShardTraces(obs::Tracer* tracer,
+                         const std::shared_ptr<GatherState>& state);
+
+  /// One-time registration of the coordinator's Prometheus families
+  /// (deferred past AddShard so per-shard pool gauges exist).
+  void EnsureRegistered();
+
   CoordinatorOptions opts_;
   AnalyzerOptions analyzer_options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   GlobalStatsMap stats_;
   CoordinatorMetrics metrics_;
+  obs::MetricsRegistry registry_;
+  std::once_flag registry_once_;
+  server::SlowQueryLog slowlog_;
 
   /// Destructor drain: count of live dispatch threads.
   mutable std::mutex drain_mu_;
@@ -364,14 +444,19 @@ class ShardCoordinator {
 
   mutable std::mutex trace_mu_;
   std::deque<std::shared_ptr<const obs::Tracer>> trace_log_;
+  /// Slow-log exemplar traces: pinned past the rolling trace_log_ so a
+  /// SLOWLOG trace_id stays pullable via TRACEPULL.
+  std::deque<std::shared_ptr<const obs::Tracer>> pinned_traces_;
 };
 
 /// \brief LineHandler exposing a ShardCoordinator over the standard wire
 /// protocol: SEARCH fans out (identical request line, identical response
 /// framing — spindle_client cannot tell a coordinator from a single
 /// server, except for the partial=1 token on degraded answers), GSTATS
-/// serves the coordinator's statistics, STATS its metrics JSON. SPINQL
-/// and TRACE are not distributed and return NotImplemented.
+/// serves the coordinator's statistics, STATS its metrics JSON, METRICS
+/// its Prometheus families plus the aggregated fleet view, HEALTH /
+/// SLOWLOG / TRACEPULL the observability surface (docs/serving.md).
+/// SPINQL and TRACE are not distributed and return NotImplemented.
 class CoordinatorHandler : public server::LineHandler {
  public:
   explicit CoordinatorHandler(ShardCoordinator* coordinator)

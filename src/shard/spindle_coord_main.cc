@@ -31,6 +31,11 @@
 ///                          wait / merge spans)
 ///   --trace-file=PATH      at shutdown, write retained request traces
 ///                          as Chrome trace-event JSON to PATH
+///   --slow-query-ms=N      slow-query log: capture requests slower than
+///                          N ms (SLOWLOG wire command; SIGUSR1 dumps the
+///                          log to stderr)
+///   --slow-sample=N        additionally capture every N-th request
+///                          regardless of latency (0 = off)
 ///
 /// Startup: pings every shard until --bootstrap-timeout-ms expires, then
 /// fetches the collection's global statistics via GSTATS (first healthy
@@ -53,8 +58,11 @@
 namespace {
 
 std::sig_atomic_t g_signal_stop = 0;
+std::sig_atomic_t g_dump_slowlog = 0;
 
 void HandleSignal(int) { g_signal_stop = 1; }
+
+void HandleSigusr1(int) { g_dump_slowlog = 1; }
 
 bool FlagValue(const char* arg, const char* name, std::string* out) {
   size_t len = std::strlen(name);
@@ -158,6 +166,11 @@ int main(int argc, char** argv) {
     } else if (FlagValue(argv[i], "--trace-file", &v)) {
       trace_file = v;
       coord_opts.trace_requests = true;
+    } else if (FlagValue(argv[i], "--slow-query-ms", &v)) {
+      coord_opts.slow_query_ms = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--slow-sample", &v)) {
+      coord_opts.slow_sample =
+          static_cast<uint64_t>(std::atoll(v.c_str()));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -257,7 +270,16 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGUSR1, HandleSigusr1);
   while (g_signal_stop == 0 && !server.stopping()) {
+    if (g_dump_slowlog != 0) {
+      g_dump_slowlog = 0;
+      std::fprintf(stderr, "--- slow-query log ---\n");
+      for (const std::string& row : coordinator.SlowLogRows()) {
+        std::fprintf(stderr, "%s\n", row.c_str());
+      }
+      std::fprintf(stderr, "--- end slow-query log ---\n");
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   server.Stop();

@@ -71,10 +71,40 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+std::string FormatTraceToken(uint64_t trace_id, uint64_t parent_span) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "tid=%llx:%llu",
+                static_cast<unsigned long long>(trace_id),
+                static_cast<unsigned long long>(parent_span));
+  return buf;
+}
+
+bool ParseTraceToken(const std::string& word, uint64_t* trace_id,
+                     uint64_t* parent_span) {
+  if (word.compare(0, 4, "tid=") != 0) return false;
+  const char* p = word.c_str() + 4;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long tid = std::strtoull(p, &end, 16);
+  if (errno != 0 || end == p || *end != ':' || tid == 0) return false;
+  p = end + 1;
+  errno = 0;
+  unsigned long long span = std::strtoull(p, &end, 10);
+  if (errno != 0 || end == p || *end != '\0') return false;
+  *trace_id = tid;
+  *parent_span = span;
+  return true;
+}
+
 std::string EncodeSearchG(const std::string& collection, int64_t deadline_ms,
                           const SearchOptions& options,
-                          const QueryGlobalStats& global) {
+                          const QueryGlobalStats& global,
+                          uint64_t trace_id, uint64_t parent_span) {
   std::string line = "SEARCHG ";
+  if (trace_id != 0) {
+    line += FormatTraceToken(trace_id, parent_span);
+    line += ' ';
+  }
   line += collection;
   line += ' ';
   line += std::to_string(options.top_k);

@@ -26,9 +26,13 @@ namespace spindle {
 namespace shard {
 
 /// \brief Renders one SEARCHG request line (including the command word).
+/// A non-zero `trace_id` prepends the distributed-trace token (see
+/// FormatTraceToken) to the arguments; the default emits bytes identical
+/// to the pre-token wire format.
 std::string EncodeSearchG(const std::string& collection, int64_t deadline_ms,
                           const SearchOptions& options,
-                          const QueryGlobalStats& global);
+                          const QueryGlobalStats& global,
+                          uint64_t trace_id = 0, uint64_t parent_span = 0);
 
 /// \brief Parses the argument part of a SEARCHG line (everything after
 /// the command word).
@@ -40,6 +44,18 @@ Status ParseSearchG(std::string rest, std::string* collection,
 /// printed by a shard, re-parsed by the coordinator and re-printed to the
 /// client are byte-identical to the single-node output.
 std::string FormatDouble(double v);
+
+/// \brief Renders the optional distributed-trace token a coordinator may
+/// prepend to a command's arguments: `tid=<hex trace id>:<parent span>`.
+/// Handlers strip it before command-specific parsing, so every command
+/// accepts it; requests without one are byte-identical to the pre-token
+/// wire format.
+std::string FormatTraceToken(uint64_t trace_id, uint64_t parent_span);
+
+/// \brief Parses a `tid=<hex>:<dec>` token. Returns false (leaving the
+/// outputs untouched) when `word` is not a well-formed trace token.
+bool ParseTraceToken(const std::string& word, uint64_t* trace_id,
+                     uint64_t* parent_span);
 
 }  // namespace shard
 }  // namespace spindle

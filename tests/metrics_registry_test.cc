@@ -1,0 +1,371 @@
+/// \file metrics_registry_test.cc
+/// \brief Tests for the fleet observability layer: log-bucketed histogram
+/// bucketing and percentile interpolation error bounds, the metrics
+/// registry's Prometheus text exposition, the scrape parser, exactness of
+/// the coordinator's fleet aggregation (merged histogram == histogram of
+/// the union of samples), and concurrent registration vs. scraping.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace spindle {
+namespace {
+
+using obs::AggregateScrapes;
+using obs::LatencyHistogram;
+using obs::MetricsRegistry;
+using obs::MetricType;
+using obs::ParsePrometheusText;
+using obs::PrometheusFamily;
+using obs::RenderLabels;
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing
+
+TEST(LatencyHistogramTest, BucketBoundsContainTheirValues) {
+  // Sweep values (not bucket indices: low-octave indices are dead by
+  // construction — tiny values map to exact buckets): every value must
+  // land in a bucket whose [lower, upper] contains it, bucket indices
+  // must be monotone in the value, and consecutive occupied buckets must
+  // tile without gap or overlap.
+  int prev_bucket = -1;
+  uint64_t prev_upper = 0;
+  for (uint64_t v = 0; v <= (1u << 16); ++v) {
+    int b = LatencyHistogram::BucketOf(v);
+    uint64_t lower = LatencyHistogram::BucketLowerUs(b);
+    uint64_t upper = LatencyHistogram::BucketUpperUs(b);
+    ASSERT_LE(lower, v) << "bucket " << b;
+    ASSERT_GE(upper, v) << "bucket " << b;
+    if (b != prev_bucket) {
+      ASSERT_GT(b, prev_bucket) << "v=" << v;
+      if (prev_bucket >= 0) {
+        ASSERT_EQ(lower, prev_upper + 1)
+            << "gap or overlap entering bucket " << b;
+      }
+      prev_bucket = b;
+      prev_upper = upper;
+    }
+  }
+  // Exponentially sampled large values stay contained too, up to the
+  // top representable value (beyond it everything clamps to the last
+  // bucket, checked below).
+  for (uint64_t v = 1u << 16; v < (uint64_t{1} << 32); v = v * 2 + 7) {
+    int b = LatencyHistogram::BucketOf(v);
+    ASSERT_LE(LatencyHistogram::BucketLowerUs(b), v);
+    ASSERT_GE(LatencyHistogram::BucketUpperUs(b), v);
+  }
+  // Values past the top bucket clamp into it.
+  EXPECT_EQ(LatencyHistogram::BucketOf(~uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+}
+
+// The interpolation satellite: a percentile estimate must stay within the
+// bucket resolution of the true nearest-rank sample. With 4 sub-buckets
+// per octave the bucket width is at most 25% of its lower bound, so 25%
+// is the worst-case relative error; we pin 26% to leave integer-rounding
+// slack at tiny values.
+TEST(LatencyHistogramTest, InterpolatedPercentileErrorIsBounded) {
+  // Single-valued distributions across magnitudes: the estimate must land
+  // inside the value's bucket and never exceed the recorded max.
+  for (uint64_t v : {1ull, 3ull, 7ull, 19ull, 100ull, 1234ull, 98765ull,
+                     5000000ull, 3600000000ull}) {
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i) h.Record(v);
+    for (double q : {50.0, 95.0, 99.0}) {
+      uint64_t est = h.PercentileUs(q);
+      double rel = std::fabs(static_cast<double>(est) -
+                             static_cast<double>(v)) /
+                   static_cast<double>(v);
+      EXPECT_LE(rel, 0.26) << "v=" << v << " q=" << q << " est=" << est;
+      EXPECT_LE(est, h.max_us());
+    }
+  }
+  // A spread distribution: exact nearest-rank values are known, so the
+  // estimate's relative error is directly checkable.
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  for (double q : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    uint64_t exact = static_cast<uint64_t>(std::ceil(q / 100.0 * 10000));
+    uint64_t est = h.PercentileUs(q);
+    double rel = std::fabs(static_cast<double>(est) -
+                           static_cast<double>(exact)) /
+                 static_cast<double>(exact);
+    EXPECT_LE(rel, 0.26) << "q=" << q << " exact=" << exact
+                         << " est=" << est;
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyAndMaxClampBehaviour) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.PercentileUs(50), 0u);
+  h.Record(1000);
+  // p100-ish rank of a single sample interpolates within the bucket but
+  // clamps to the recorded maximum.
+  EXPECT_LE(h.PercentileUs(99.9), 1000u);
+  EXPECT_EQ(h.max_us(), 1000u);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum_us(), 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition format
+
+TEST(RenderLabelsTest, EscapesQuotesBackslashesNewlines) {
+  EXPECT_EQ(RenderLabels({{"shard", "s0"}}), "shard=\"s0\"");
+  EXPECT_EQ(RenderLabels({{"a", "x"}, {"b", "y"}}), "a=\"x\",b=\"y\"");
+  EXPECT_EQ(RenderLabels({{"q", "say \"hi\"\\\n"}}),
+            "q=\"say \\\"hi\\\"\\\\\\n\"");
+}
+
+TEST(MetricsRegistryTest, PrometheusTextGolden) {
+  MetricsRegistry reg;
+  std::atomic<uint64_t> ok{7}, err{2}, inflight{3};
+  reg.AddCounter("spindle_requests_total", "Requests by outcome.",
+                 R"(outcome="ok")", &ok);
+  reg.AddCounter("spindle_requests_total", "Requests by outcome.",
+                 R"(outcome="error")", &err);
+  reg.AddGauge("spindle_inflight", "In-flight requests.", "", &inflight);
+  reg.AddGaugeFn("spindle_threads", "Worker threads.", "",
+                 []() { return 4.0; });
+  reg.AddGaugeCallback(
+      "spindle_epoch", "Freshness epoch per collection.",
+      [](std::vector<std::pair<std::string, double>>* out) {
+        out->emplace_back(R"(collection="docs")", 12.0);
+      });
+  LatencyHistogram hist;
+  hist.Record(1);  // bucket [1,1] -> le="1"
+  hist.Record(1);
+  hist.Record(100);  // le="103"
+  reg.AddHistogram("spindle_latency_us", "Request latency.", "", &hist);
+
+  const std::string expected =
+      "# HELP spindle_requests_total Requests by outcome.\n"
+      "# TYPE spindle_requests_total counter\n"
+      "spindle_requests_total{outcome=\"ok\"} 7\n"
+      "spindle_requests_total{outcome=\"error\"} 2\n"
+      "# HELP spindle_inflight In-flight requests.\n"
+      "# TYPE spindle_inflight gauge\n"
+      "spindle_inflight 3\n"
+      "# HELP spindle_threads Worker threads.\n"
+      "# TYPE spindle_threads gauge\n"
+      "spindle_threads 4\n"
+      "# HELP spindle_epoch Freshness epoch per collection.\n"
+      "# TYPE spindle_epoch gauge\n"
+      "spindle_epoch{collection=\"docs\"} 12\n"
+      "# HELP spindle_latency_us Request latency.\n"
+      "# TYPE spindle_latency_us histogram\n"
+      "spindle_latency_us_bucket{le=\"1\"} 2\n" +
+      std::string("spindle_latency_us_bucket{le=\"") +
+      std::to_string(LatencyHistogram::BucketUpperUs(
+          LatencyHistogram::BucketOf(100))) +
+      "\"} 3\n"
+      "spindle_latency_us_bucket{le=\"+Inf\"} 3\n"
+      "spindle_latency_us_sum 102\n"
+      "spindle_latency_us_count 3\n";
+  EXPECT_EQ(reg.PrometheusText(), expected);
+}
+
+TEST(MetricsRegistryTest, ParseRoundTrip) {
+  MetricsRegistry reg;
+  std::atomic<uint64_t> hits{41};
+  reg.AddCounter("spindle_cache_hits_total", "Cache hits.",
+                 R"(cache="block")", &hits);
+  LatencyHistogram hist;
+  hist.Record(5);
+  hist.Record(700);
+  reg.AddHistogram("spindle_wait_us", "Queue wait.", "", &hist);
+
+  auto parsed = ParsePrometheusText(reg.PrometheusText());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<PrometheusFamily>& families = parsed.ValueOrDie();
+  ASSERT_EQ(families.size(), 2u);
+
+  EXPECT_EQ(families[0].name, "spindle_cache_hits_total");
+  EXPECT_EQ(families[0].help, "Cache hits.");
+  EXPECT_EQ(families[0].type, MetricType::kCounter);
+  ASSERT_EQ(families[0].samples.size(), 1u);
+  EXPECT_EQ(families[0].samples[0].labels, "cache=\"block\"");
+  EXPECT_EQ(families[0].samples[0].value, 41.0);
+
+  EXPECT_EQ(families[1].name, "spindle_wait_us");
+  EXPECT_EQ(families[1].type, MetricType::kHistogram);
+  // 2 nonzero buckets + +Inf + sum + count.
+  ASSERT_EQ(families[1].samples.size(), 5u);
+  EXPECT_EQ(families[1].samples.back().name, "spindle_wait_us_count");
+  EXPECT_EQ(families[1].samples.back().value, 2.0);
+  EXPECT_TRUE(std::isinf(families[1].samples[2].value) ||
+              families[1].samples[2].labels.find("+Inf") !=
+                  std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(ParsePrometheusText("spindle_x{le=\"1\" 3\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("lonely_name_no_value\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("spindle_x notanumber\n").ok());
+  EXPECT_TRUE(ParsePrometheusText("").ok());
+  EXPECT_TRUE(ParsePrometheusText("# just a comment\n").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fleet aggregation exactness
+
+// Renders one histogram through a registry and parses it back, as the
+// coordinator does with a shard scrape.
+std::vector<PrometheusFamily> ScrapeOf(const LatencyHistogram& hist,
+                                       const std::atomic<uint64_t>& ctr) {
+  MetricsRegistry reg;
+  reg.AddCounter("spindle_requests_total", "Requests.", "", &ctr);
+  reg.AddHistogram("spindle_latency_us", "Latency.", "", &hist);
+  auto parsed = ParsePrometheusText(reg.PrometheusText());
+  EXPECT_TRUE(parsed.ok());
+  return parsed.ValueOrDie();
+}
+
+TEST(AggregateScrapesTest, MergedHistogramEqualsHistogramOfUnion) {
+  LatencyHistogram a, b, both;
+  std::atomic<uint64_t> ca{17}, cb{25}, cboth{42};
+  // Deliberately non-overlapping bucket sets plus one shared bucket, so
+  // the de-cumulate/re-cumulate path is exercised: shard b has samples in
+  // buckets below a's smallest, which a naive per-le cumulative sum gets
+  // wrong.
+  for (uint64_t v : {900ull, 901ull, 5000ull, 70000ull}) {
+    a.Record(v);
+    both.Record(v);
+  }
+  for (uint64_t v : {3ull, 10ull, 11ull, 900ull, 1000000ull}) {
+    b.Record(v);
+    both.Record(v);
+  }
+
+  auto merged_text = AggregateScrapes(
+      {{"s0", ScrapeOf(a, ca)}, {"s1", ScrapeOf(b, cb)}});
+  auto merged = ParsePrometheusText(merged_text);
+  ASSERT_TRUE(merged.ok()) << merged_text;
+
+  // Reference: the same samples recorded into one histogram.
+  auto want_families = ScrapeOf(both, cboth);
+
+  // Pull the merged (shard-label-free) samples per family.
+  auto merged_samples = [&](const std::string& family) {
+    std::vector<obs::PrometheusSample> out;
+    for (const auto& f : merged.ValueOrDie()) {
+      if (f.name != family) continue;
+      for (const auto& s : f.samples) {
+        if (s.labels.find("shard=") == std::string::npos) out.push_back(s);
+      }
+    }
+    return out;
+  };
+
+  // Counter: exact sum.
+  auto ctr = merged_samples("spindle_requests_total");
+  ASSERT_EQ(ctr.size(), 1u);
+  EXPECT_EQ(ctr[0].value, 42.0);
+
+  // Histogram: sample-for-sample identical to the union histogram.
+  auto got = merged_samples("spindle_latency_us");
+  std::vector<obs::PrometheusSample> want;
+  for (const auto& f : want_families) {
+    if (f.name == "spindle_latency_us") want = f.samples;
+  }
+  ASSERT_EQ(got.size(), want.size()) << merged_text;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].name, want[i].name) << i;
+    EXPECT_EQ(got[i].labels, want[i].labels) << i;
+    if (std::isinf(want[i].value)) {
+      EXPECT_TRUE(std::isinf(got[i].value)) << i;
+    } else {
+      EXPECT_EQ(got[i].value, want[i].value)
+          << i << " " << got[i].name << "{" << got[i].labels << "}";
+    }
+  }
+
+  // Per-shard series survive with a shard label.
+  EXPECT_NE(merged_text.find("spindle_requests_total{shard=\"s0\"} 17"),
+            std::string::npos)
+      << merged_text;
+  EXPECT_NE(merged_text.find("spindle_requests_total{shard=\"s1\"} 25"),
+            std::string::npos);
+}
+
+TEST(AggregateScrapesTest, GaugesAreReExportedPerShardNotSummed) {
+  MetricsRegistry ra, rb;
+  std::atomic<uint64_t> ga{5}, gb{9};
+  ra.AddGauge("spindle_heap_bytes", "Heap bytes.", "", &ga);
+  rb.AddGauge("spindle_heap_bytes", "Heap bytes.", "", &gb);
+  auto fa = ParsePrometheusText(ra.PrometheusText());
+  auto fb = ParsePrometheusText(rb.PrometheusText());
+  ASSERT_TRUE(fa.ok() && fb.ok());
+  std::string merged = AggregateScrapes(
+      {{"s0", fa.ValueOrDie()}, {"s1", fb.ValueOrDie()}});
+  // No unlabeled (summed) gauge sample — a summed gauge is meaningless.
+  EXPECT_EQ(merged.find("spindle_heap_bytes 14"), std::string::npos)
+      << merged;
+  EXPECT_NE(merged.find("spindle_heap_bytes{shard=\"s0\"} 5"),
+            std::string::npos);
+  EXPECT_NE(merged.find("spindle_heap_bytes{shard=\"s1\"} 9"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (meaningful under TSan)
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIncrementAndScrape) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 16;
+  std::deque<std::atomic<uint64_t>> cells;
+  for (int i = 0; i < kThreads * kPerThread; ++i) cells.emplace_back(0);
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::string text = reg.PrometheusText();
+      EXPECT_TRUE(ParsePrometheusText(text).ok());
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::atomic<uint64_t>& cell = cells[t * kPerThread + i];
+        reg.AddCounter("spindle_worker_ops_total", "Ops.",
+                       RenderLabels({{"worker", std::to_string(t)},
+                                     {"op", std::to_string(i)}}),
+                       &cell);
+        for (int n = 0; n < 100; ++n) {
+          cell.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  // Final scrape sees every registered cell at its final value.
+  std::string text = reg.PrometheusText();
+  auto parsed = ParsePrometheusText(text);
+  ASSERT_TRUE(parsed.ok());
+  size_t samples = 0;
+  for (const auto& f : parsed.ValueOrDie()) {
+    if (f.name != "spindle_worker_ops_total") continue;
+    for (const auto& s : f.samples) {
+      ++samples;
+      EXPECT_EQ(s.value, 100.0) << s.labels;
+    }
+  }
+  EXPECT_EQ(samples, static_cast<size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace spindle

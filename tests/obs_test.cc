@@ -19,6 +19,7 @@
 #include "exec/exec_context.h"
 #include "exec/scheduler.h"
 #include "ir/searcher.h"
+#include "obs/span_wire.h"
 #include "obs/trace.h"
 #include "server/line_server.h"
 #include "spinql/evaluator.h"
@@ -382,6 +383,153 @@ TEST(RenderTreeTest, FiltersExecAndReattachesOrphans) {
   all.include_exec = true;
   std::string full = tracer.RenderTree(all);
   EXPECT_NE(full.find("task"), std::string::npos) << full;
+}
+
+// ---------------------------------------------------------------------------
+// Span wire + ImportSpans (distributed trace splicing)
+
+TEST(SpanWireTest, PayloadRoundTripsExactly) {
+  Tracer tracer;
+  {
+    ScopedTracer scope(&tracer);
+    Span root("server", "request");
+    root.Add("rows", 7);
+    root.Note("model", "bm25");
+    {
+      Span child("engine", "top k");  // space forces percent-encoding
+      child.Note("q", "a%b c\nd");
+    }
+    obs::Event("cache", "hit");
+  }
+  obs::SpanPayload payload;
+  payload.trace_id = 0xabc123;
+  payload.parent_span = 9;
+  payload.now_ns = obs::NowNs();
+  payload.dropped = 1;
+  payload.spans = tracer.Snapshot();
+
+  std::vector<std::string> rows = obs::SpanPayloadToRows(payload);
+  ASSERT_EQ(rows.size(), 1 + payload.spans.size());
+  EXPECT_EQ(rows[0].rfind("trace=abc123 parent=9 ", 0), 0u) << rows[0];
+
+  auto back = obs::SpanPayloadFromRows(rows);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const obs::SpanPayload& got = back.ValueOrDie();
+  EXPECT_EQ(got.trace_id, payload.trace_id);
+  EXPECT_EQ(got.parent_span, payload.parent_span);
+  EXPECT_EQ(got.now_ns, payload.now_ns);
+  EXPECT_EQ(got.dropped, payload.dropped);
+  ASSERT_EQ(got.spans.size(), payload.spans.size());
+  for (size_t i = 0; i < payload.spans.size(); ++i) {
+    const SpanRecord& a = payload.spans[i];
+    const SpanRecord& b = got.spans[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.lane, b.lane);
+    EXPECT_EQ(a.instant, b.instant);
+    EXPECT_EQ(a.start_ns, b.start_ns);
+    EXPECT_EQ(a.end_ns, b.end_ns);
+    EXPECT_STREQ(a.category, b.category);
+    EXPECT_EQ(a.name, b.name);
+    ASSERT_EQ(a.counters.size(), b.counters.size());
+    for (size_t c = 0; c < a.counters.size(); ++c) {
+      EXPECT_STREQ(a.counters[c].first, b.counters[c].first);
+      EXPECT_EQ(a.counters[c].second, b.counters[c].second);
+    }
+    ASSERT_EQ(a.notes.size(), b.notes.size());
+    for (size_t n = 0; n < a.notes.size(); ++n) {
+      EXPECT_STREQ(a.notes[n].first, b.notes[n].first);
+      EXPECT_EQ(a.notes[n].second, b.notes[n].second);
+    }
+  }
+}
+
+TEST(SpanWireTest, RejectsMalformedRows) {
+  EXPECT_FALSE(obs::SpanPayloadFromRows({}).ok());
+  EXPECT_FALSE(obs::SpanPayloadFromRows({"not a header"}).ok());
+  EXPECT_FALSE(obs::SpanPayloadFromRows(
+                   {"trace=1 parent=0 now=5 spans=1 dropped=0",
+                    "1 0 0"})  // truncated span row
+                   .ok());
+}
+
+TEST(ImportSpansTest, RemapsIdsShiftsClocksAndNamesLanes) {
+  // A "shard" trace whose clock sits 1 ms behind the importer's.
+  Tracer shard;
+  {
+    ScopedTracer scope(&shard);
+    Span root("server", "request");
+    { Span child("engine", "score"); }
+  }
+  std::vector<SpanRecord> foreign = shard.Snapshot();
+  ASSERT_EQ(foreign.size(), 2u);
+
+  Tracer coord;
+  uint64_t attach = 0;
+  {
+    ScopedTracer scope(&coord);
+    Span wait("coord", "shard_wait");
+    attach = wait.id();
+  }
+  const int64_t offset_ns = 1000000;
+  size_t imported =
+      coord.ImportSpans(foreign, attach, offset_ns, "shard0",
+                        {{"shard", "shard0"}, {"skew_ns", "0"}});
+  EXPECT_EQ(imported, 2u);
+
+  auto spans = ByName(coord);
+  const SpanRecord& wait = spans.at("shard_wait");
+  const SpanRecord& root = spans.at("request");
+  const SpanRecord& child = spans.at("score");
+  // Foreign roots attach under the wait span; the child keeps its
+  // (remapped) parent.
+  EXPECT_EQ(root.parent, wait.id);
+  EXPECT_EQ(child.parent, root.id);
+  EXPECT_NE(root.id, foreign[0].id);
+  // Timestamps shifted onto the importer's clock.
+  EXPECT_EQ(root.start_ns, foreign[0].start_ns + offset_ns);
+  EXPECT_EQ(child.end_ns, foreign[1].end_ns + offset_ns);
+  // Root annotations applied to the imported root only.
+  bool root_has_shard_note = false;
+  for (const auto& [k, v] : root.notes) {
+    if (std::string(k) == "shard") root_has_shard_note = v == "shard0";
+  }
+  EXPECT_TRUE(root_has_shard_note);
+  for (const auto& [k, v] : child.notes) {
+    EXPECT_NE(std::string(k), "shard") << v;
+  }
+  // The imported lane is fresh (not the importer's lane 0) and the
+  // Chrome export labels it.
+  EXPECT_NE(root.lane, wait.lane);
+  EXPECT_EQ(root.lane, child.lane);
+  std::string chrome = coord.ExportChromeTrace();
+  EXPECT_NE(chrome.find("shard0"), std::string::npos) << chrome;
+}
+
+TEST(ImportSpansTest, OpenSpansStayOpenAndNegativeShiftClamps) {
+  Tracer shard;
+  std::vector<SpanRecord> foreign;
+  {
+    ScopedTracer scope(&shard);
+    Span root("server", "request");  // still open at snapshot time
+    foreign = shard.Snapshot();
+  }
+  ASSERT_EQ(foreign.size(), 1u);
+  ASSERT_EQ(foreign[0].end_ns, 0u);  // open
+
+  Tracer coord;
+  // A negative offset larger than the start time must clamp to a positive
+  // timestamp instead of wrapping around uint64.
+  int64_t huge_negative =
+      -static_cast<int64_t>(foreign[0].start_ns) - 1000000;
+  size_t imported =
+      coord.ImportSpans(foreign, 0, huge_negative, "lagging");
+  EXPECT_EQ(imported, 1u);
+  auto spans = coord.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].end_ns, 0u) << "open span must stay open";
+  EXPECT_GT(spans[0].start_ns, 0u);
+  EXPECT_LT(spans[0].start_ns, foreign[0].start_ns);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -21,6 +22,8 @@
 #include "exec/request_context.h"
 #include "exec/scheduler.h"
 #include "ir/searcher.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_wire.h"
 #include "server/admission.h"
 #include "server/client.h"
 #include "server/line_server.h"
@@ -727,6 +730,129 @@ TEST_F(LineServerTest, ConcurrentSocketClients) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(bad.load(), 0);
+
+  server.Stop();
+}
+
+TEST_F(LineServerTest, MetricsHealthAndSlowlogOverTheWire) {
+  QueryServiceOptions opts;
+  opts.slow_sample = 1;  // capture every request in the slow log
+  auto service = MakeService(opts);
+  LineServer server(service.get(), LineServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const std::string& q = Queries()[0];
+  ASSERT_TRUE(client.Search("docs", 5, 0, q).ok());
+
+  // METRICS: valid Prometheus text that reflects the request just served.
+  auto metrics = client.Call("METRICS");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  std::string text;
+  for (const auto& row : metrics.ValueOrDie().rows) text += row + "\n";
+  EXPECT_NE(text.find("# TYPE spindle_requests_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spindle_requests_total{outcome=\"ok\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spindle_request_latency_us_bucket"),
+            std::string::npos)
+      << text;
+  auto parsed = obs::ParsePrometheusText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_GT(parsed.ValueOrDie().size(), 5u);
+
+  // HEALTH: one row, served without taking an admission slot.
+  auto health = client.Call("HEALTH");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  ASSERT_EQ(health.ValueOrDie().rows.size(), 1u);
+  EXPECT_NE(health.ValueOrDie().rows[0].find("ready=1"),
+            std::string::npos)
+      << health.ValueOrDie().rows[0];
+
+  // SLOWLOG: the sampled request shows up with its query text.
+  auto slowlog = client.Call("SLOWLOG");
+  ASSERT_TRUE(slowlog.ok()) << slowlog.status().ToString();
+  ASSERT_FALSE(slowlog.ValueOrDie().rows.empty());
+  const std::string& entry = slowlog.ValueOrDie().rows.back();
+  EXPECT_NE(entry.find("\"kind\":\"search\""), std::string::npos) << entry;
+  EXPECT_NE(entry.find(q), std::string::npos) << entry;
+  EXPECT_NE(entry.find("\"sampled\":true"), std::string::npos) << entry;
+
+  server.Stop();
+}
+
+TEST_F(LineServerTest, TracepullReturnsSpansForTracedRequests) {
+  QueryServiceOptions opts;
+  opts.trace_requests = true;
+  auto service = MakeService(opts);
+  LineServer server(service.get(), LineServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto resp = client.Search("docs", 5, 0, Queries()[0]);
+  ASSERT_TRUE(resp.ok());
+  uint64_t id = resp.ValueOrDie().trace_id;
+  ASSERT_NE(id, 0u);
+
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%llx",
+                static_cast<unsigned long long>(id));
+  auto pull = client.Call(std::string("TRACEPULL ") + hex);
+  ASSERT_TRUE(pull.ok()) << pull.status().ToString();
+  const auto& rows = pull.ValueOrDie().rows;
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_EQ(rows[0].rfind("trace=", 0), 0u) << rows[0];
+  auto payload = obs::SpanPayloadFromRows(rows);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_FALSE(payload.ValueOrDie().spans.empty());
+
+  // Unknown and malformed ids are errors, not hangs.
+  EXPECT_FALSE(client.Call("TRACEPULL ffffffffffffffff").ok());
+  EXPECT_FALSE(client.Call("TRACEPULL zz").ok());
+  EXPECT_FALSE(client.Call("TRACEPULL").ok());
+
+  server.Stop();
+}
+
+TEST_F(LineServerTest, TraceTokenPropagatesAndStaysBitIdentical) {
+  auto service = MakeService();  // tracing OFF service-wide
+  LineServer server(service.get(), LineServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const std::string& q = Queries()[0];
+
+  // Baseline: the untraced request line (byte-identical to the pre-token
+  // protocol since no ambient trace context is installed).
+  auto plain = client.Search("docs", 10, 0, q);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.ValueOrDie().trace_id, 0u);
+
+  // The same search carrying a foreign trace token: rows bit-identical,
+  // spans recorded under the foreign id and pullable.
+  auto traced =
+      client.Call("SEARCH tid=deadbeef123:42 docs 10 0 " + q);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  EXPECT_EQ(traced.ValueOrDie().rows, plain.ValueOrDie().rows);
+
+  auto pull = client.Call("TRACEPULL deadbeef123");
+  ASSERT_TRUE(pull.ok()) << pull.status().ToString();
+  const auto& rows = pull.ValueOrDie().rows;
+  ASSERT_GE(rows.size(), 2u);
+  auto payload = obs::SpanPayloadFromRows(rows);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(payload.ValueOrDie().trace_id, 0xdeadbeef123ull);
+  EXPECT_EQ(payload.ValueOrDie().parent_span, 42u);
+
+  // A malformed token is rejected up front — it must never be misread as
+  // a collection name.
+  EXPECT_FALSE(client.Call("SEARCH tid=xyz docs 10 0 " + q).ok());
+  EXPECT_FALSE(client.Call("SEARCH tid=1f docs 10 0 " + q).ok());
 
   server.Stop();
 }

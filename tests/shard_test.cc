@@ -24,6 +24,8 @@
 
 #include "ir/indexing.h"
 #include "ir/searcher.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_wire.h"
 #include "server/client.h"
 #include "server/line_server.h"
 #include "server/query_service.h"
@@ -805,6 +807,204 @@ TEST(WireTest, SearchGRoundTripsExactly) {
     EXPECT_EQ(parsed.terms[i].df, global.terms[i].df);
     EXPECT_EQ(parsed.terms[i].cf, global.terms[i].cf);
   }
+}
+
+TEST(WireTest, TraceTokenRoundTripsAndRejectsGarbage) {
+  EXPECT_EQ(FormatTraceToken(0xdeadbeef, 42), "tid=deadbeef:42");
+  uint64_t trace = 0, span = 0;
+  ASSERT_TRUE(ParseTraceToken("tid=deadbeef:42", &trace, &span));
+  EXPECT_EQ(trace, 0xdeadbeefull);
+  EXPECT_EQ(span, 42u);
+  ASSERT_TRUE(ParseTraceToken(FormatTraceToken(~uint64_t{0}, 0), &trace,
+                              &span));
+  EXPECT_EQ(trace, ~uint64_t{0});
+  EXPECT_EQ(span, 0u);
+  for (const char* bad :
+       {"tid=", "tid=zz:1", "tid=1f", "tid=1f:", "tid=1f:x", "tid=0:5",
+        "tid=1f:2x", "xid=1f:2", "tid=1f:2:3"}) {
+    EXPECT_FALSE(ParseTraceToken(bad, &trace, &span)) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed tracing, fleet metrics, coordinator slow log
+// ---------------------------------------------------------------------------
+
+/// A 2-shard remote fleet (real sockets) fronted by a traced coordinator.
+struct RemoteTracedFleet {
+  std::vector<std::unique_ptr<QueryService>> services;
+  std::vector<std::unique_ptr<LineServer>> servers;
+  std::unique_ptr<ShardCoordinator> coordinator;
+
+  explicit RemoteTracedFleet(CoordinatorOptions coord_opts) {
+    coordinator = std::make_unique<ShardCoordinator>(coord_opts);
+    for (uint32_t i = 0; i < 2; ++i) {
+      auto service = std::make_unique<QueryService>(QueryServiceOptions{});
+      service->RegisterCollection(
+          "docs", PartitionCollection(TestDocs(), i, 2).MoveValueOrDie());
+      EXPECT_TRUE(service->SetGlobalStats("docs", TestStats()).ok());
+      auto server = std::make_unique<LineServer>(service.get());
+      EXPECT_TRUE(server->Start().ok());
+      RemoteShardBackend::Options bopts;
+      bopts.connect_timeout_ms = 2000;
+      coordinator->AddShard(std::make_shared<RemoteShardBackend>(
+          "shard" + std::to_string(i), "127.0.0.1", server->port(),
+          bopts));
+      services.push_back(std::move(service));
+      servers.push_back(std::move(server));
+    }
+    EXPECT_TRUE(coordinator->SetGlobalStats("docs", TestStats()).ok());
+  }
+
+  ~RemoteTracedFleet() {
+    for (auto& server : servers) server->Stop();
+  }
+};
+
+TEST(DistributedTraceTest, MergedTraceHasOneLanePerShardUnderOneId) {
+  CoordinatorOptions opts;
+  opts.trace_requests = true;
+  RemoteTracedFleet fleet(opts);
+
+  CoordSearchRequest req;
+  req.collection = "docs";
+  req.query = GenerateQueries(TestGen(), 1, 2)[0];
+  req.options.top_k = 10;
+  auto resp = fleet.coordinator->Search(req);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  const uint64_t trace_id = resp.ValueOrDie().trace_id;
+  ASSERT_NE(trace_id, 0u);
+
+  // The merged trace is pullable from the coordinator and contains the
+  // spliced shard spans: one root per dispatched shard copy, annotated
+  // with the shard name and the measured clock offset.
+  auto pull = fleet.coordinator->PullTraceRows(trace_id);
+  ASSERT_TRUE(pull.ok()) << pull.status().ToString();
+  auto payload = obs::SpanPayloadFromRows(pull.ValueOrDie());
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  const auto& spans = payload.ValueOrDie().spans;
+  EXPECT_EQ(payload.ValueOrDie().trace_id, trace_id);
+
+  std::set<std::string> shards_seen;
+  for (const obs::SpanRecord& s : spans) {
+    for (const auto& [key, value] : s.notes) {
+      if (std::string(key) == "shard") shards_seen.insert(value);
+    }
+  }
+  EXPECT_EQ(shards_seen,
+            (std::set<std::string>{"shard0", "shard1"}));
+
+  // Imported roots attach under the coordinator's per-shard wait spans:
+  // every span reaches a coordinator root through recorded parents.
+  std::set<uint64_t> ids;
+  for (const obs::SpanRecord& s : spans) ids.insert(s.id);
+  for (const obs::SpanRecord& s : spans) {
+    if (s.parent != 0) {
+      EXPECT_TRUE(ids.count(s.parent))
+          << "span " << s.name << " has dangling parent";
+    }
+  }
+
+  // The Chrome export labels the imported lanes with the shard names.
+  std::string chrome = fleet.coordinator->ExportChromeTraceJson();
+  EXPECT_NE(chrome.find("shard0"), std::string::npos);
+  EXPECT_NE(chrome.find("shard1"), std::string::npos);
+  EXPECT_NE(chrome.find("\"pid\":" + std::to_string(trace_id)),
+            std::string::npos);
+}
+
+TEST(FleetMetricsTest, CoordinatorViewSumsShardScrapesExactly) {
+  CoordinatorOptions opts;
+  RemoteTracedFleet fleet(opts);
+
+  for (const std::string& q : GenerateQueries(TestGen(), 3, 2)) {
+    CoordSearchRequest req;
+    req.collection = "docs";
+    req.query = q;
+    req.options.top_k = 5;
+    ASSERT_TRUE(fleet.coordinator->Search(req).ok());
+  }
+
+  std::string text = fleet.coordinator->MetricsPrometheus();
+  auto parsed = obs::ParsePrometheusText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  // The coordinator's own families are present...
+  EXPECT_NE(text.find("spindle_coord_requests_total{outcome=\"ok\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spindle_coord_request_latency_us_bucket"),
+            std::string::npos);
+
+  // ...and the fleet view sums per-shard counters exactly: each shard
+  // served 3 SEARCHG requests, so the merged series reads 6 and the
+  // per-shard re-exports read 3 each.
+  EXPECT_NE(text.find("spindle_requests_total{outcome=\"ok\"} 6"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find(
+          "spindle_requests_total{shard=\"shard0\",outcome=\"ok\"} 3"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find(
+          "spindle_requests_total{shard=\"shard1\",outcome=\"ok\"} 3"),
+      std::string::npos)
+      << text;
+
+  // Exactness against the ground truth scrapes, counter by counter.
+  double shard_sum = 0.0;
+  for (const auto& service : fleet.services) {
+    auto sparsed = obs::ParsePrometheusText(service->MetricsPrometheus());
+    ASSERT_TRUE(sparsed.ok());
+    for (const auto& f : sparsed.ValueOrDie()) {
+      if (f.name != "spindle_requests_total") continue;
+      for (const auto& s : f.samples) {
+        if (s.labels == R"(outcome="ok")") shard_sum += s.value;
+      }
+    }
+  }
+  for (const auto& f : parsed.ValueOrDie()) {
+    if (f.name != "spindle_requests_total") continue;
+    for (const auto& s : f.samples) {
+      if (s.labels == R"(outcome="ok")") {
+        EXPECT_EQ(s.value, shard_sum);
+      }
+    }
+  }
+}
+
+TEST(CoordinatorSlowLogTest, SampledRequestsPinExemplarTraces) {
+  CoordinatorOptions opts;
+  opts.slow_sample = 1;  // record every request
+  LocalFleet fleet(2, opts);
+
+  const std::string query = GenerateQueries(TestGen(), 1, 2)[0];
+  CoordSearchRequest req;
+  req.collection = "docs";
+  req.query = query;
+  req.options.top_k = 5;
+  req.trace = true;  // per-request trace (as a tid= token would force)
+  auto resp = fleet.coordinator->Search(req);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_NE(resp.ValueOrDie().trace_id, 0u);
+
+  std::vector<std::string> rows = fleet.coordinator->SlowLogRows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_NE(rows[0].find("\"kind\":\"search\""), std::string::npos)
+      << rows[0];
+  EXPECT_NE(rows[0].find(query), std::string::npos) << rows[0];
+  EXPECT_NE(rows[0].find("\"status\":\"ok\""), std::string::npos)
+      << rows[0];
+
+  // The logged exemplar trace id is the request's and stays pullable.
+  EXPECT_NE(rows[0].find("\"trace_id\":" +
+                         std::to_string(resp.ValueOrDie().trace_id)),
+            std::string::npos)
+      << rows[0];
+  EXPECT_TRUE(
+      fleet.coordinator->PullTraceRows(resp.ValueOrDie().trace_id).ok());
 }
 
 }  // namespace
